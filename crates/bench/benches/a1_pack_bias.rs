@@ -1,0 +1,54 @@
+//! A1 bench target: shader-side cost of the two output bias modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpes_core::{ComputeContext, Kernel, PackBias, ScalarType};
+use std::hint::black_box;
+
+fn bench_bias(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_pack_bias");
+    group.sample_size(10);
+    let bytes: Vec<u8> = (0..=255).collect();
+    for bias in [PackBias::QuarterTexel, PackBias::HalfTexel, PackBias::PaperDelta] {
+        group.bench_with_input(
+            BenchmarkId::new("u8_identity", format!("{bias:?}")),
+            &bias,
+            |bench, &bias| {
+                let mut cc = ComputeContext::new(32, 32).expect("context");
+                cc.set_pack_bias(bias);
+                let arr = cc.upload(&bytes).expect("upload");
+                let k = Kernel::builder("ident")
+                    .input("x", &arr)
+                    .output(ScalarType::U8, bytes.len())
+                    .body("return fetch_x(idx);")
+                    .build(&mut cc)
+                    .expect("kernel");
+                bench.iter(|| {
+                    let out: Vec<u8> = cc.run_and_read(&k).expect("run");
+                    black_box(out)
+                });
+            },
+        );
+    }
+    // Mirror (pure CPU) packing for reference.
+    for bias in [PackBias::QuarterTexel, PackBias::HalfTexel, PackBias::PaperDelta] {
+        group.bench_with_input(
+            BenchmarkId::new("mirror_pack", format!("{bias:?}")),
+            &bias,
+            |bench, &bias| {
+                bench.iter(|| {
+                    let mut acc = 0u32;
+                    for b in 0..=255u32 {
+                        acc = acc
+                            .wrapping_add(gpes_core::codec::ubyte::mirror_pack(b as f32, bias)
+                                as u32);
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bias);
+criterion_main!(benches);

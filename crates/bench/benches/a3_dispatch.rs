@@ -1,0 +1,35 @@
+//! A3 bench target: fragment dispatch scaling across simulator threads —
+//! the stand-in for QPU data parallelism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpes_core::ComputeContext;
+use gpes_gles2::Dispatch;
+use gpes_kernels::{data, sum};
+use std::hint::black_box;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_dispatch");
+    group.sample_size(10);
+    let n = 1usize << 14;
+    let a = data::random_f32(n, 20, 100.0);
+    let b = data::random_f32(n, 21, 100.0);
+    for (label, dispatch) in [
+        ("serial", Dispatch::Serial),
+        ("threads2", Dispatch::Parallel(2)),
+        ("threads4", Dispatch::Parallel(4)),
+        ("threads8", Dispatch::Parallel(8)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("sum_fp", label), &dispatch, |bench, &d| {
+            let mut cc = ComputeContext::new(256, 256).expect("context");
+            cc.set_dispatch(d);
+            let ga = cc.upload(&a).expect("a");
+            let gb = cc.upload(&b).expect("b");
+            let k = sum::build_f32(&mut cc, &ga, &gb).expect("kernel");
+            bench.iter(|| black_box(cc.run_f32(&k).expect("run")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! A5/A7 bench targets: per-value cost of the §IV codecs against the
+//! Strzodka'02 baseline (A5) and the channel-packed layouts (A7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpes_core::codec::strzodka16;
+use gpes_core::{ComputeContext, Kernel};
+use gpes_kernels::data;
+use std::hint::black_box;
+
+const N: usize = 4096;
+
+fn bench_formats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a5_formats");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+
+    // Paper u32 codec add.
+    group.bench_function(BenchmarkId::new("add", "paper_u32"), |bench| {
+        let a = data::random_u32(N, 551, u16::MAX as u32);
+        let b = data::random_u32(N, 552, u16::MAX as u32);
+        let mut cc = ComputeContext::new(128, 128).expect("context");
+        let ga = cc.upload(&a).expect("a");
+        let gb = cc.upload(&b).expect("b");
+        let k = gpes_kernels::sum::build_u32(&mut cc, &ga, &gb).expect("kernel");
+        bench.iter(|| {
+            let out: Vec<u32> = cc.run_and_read(&k).expect("run");
+            black_box(out)
+        });
+    });
+
+    // Strzodka virtual-16 add (two values per texel).
+    group.bench_function(BenchmarkId::new("add", "strzodka16"), |bench| {
+        let a: Vec<u16> = data::random_u32(N, 553, u16::MAX as u32 + 1)
+            .into_iter()
+            .map(|v| v as u16)
+            .collect();
+        let b: Vec<u16> = data::random_u32(N, 554, u16::MAX as u32 + 1)
+            .into_iter()
+            .map(|v| v as u16)
+            .collect();
+        let mut cc = ComputeContext::new(128, 128).expect("context");
+        let side = (N.div_ceil(2) as f64).sqrt().ceil() as u32;
+        let texels = side as usize * side as usize;
+        let ta = cc
+            .upload_texels(side, side, &strzodka16::encode_texels(&a, texels))
+            .expect("ta");
+        let tb = cc
+            .upload_texels(side, side, &strzodka16::encode_texels(&b, texels))
+            .expect("tb");
+        let k = Kernel::builder("v16_add")
+            .input_texels("a", &ta)
+            .input_texels("b", &tb)
+            .functions(strzodka16::GLSL)
+            .output_texels(texels)
+            .body(
+                "vec4 ta = fetch_a_texel(idx);\n\
+                 vec4 tb = fetch_b_texel(idx);\n\
+                 vec2 r0 = gpes_v16_add(gpes_v16_from_bytes(ta.xy), gpes_v16_from_bytes(tb.xy));\n\
+                 vec2 r1 = gpes_v16_add(gpes_v16_from_bytes(ta.zw), gpes_v16_from_bytes(tb.zw));\n\
+                 return vec4(gpes_v16_pack(r0), gpes_v16_pack(r1));",
+            )
+            .build(&mut cc)
+            .expect("kernel");
+        bench.iter(|| {
+            let bytes = cc.run_and_read_texels(&k).expect("run");
+            black_box(strzodka16::decode_texels(&bytes, N))
+        });
+    });
+
+    // Host-side interop transforms (§VI's CPU cost argument).
+    group.bench_function(BenchmarkId::new("host_encode", "paper_u32_memcpy"), |bench| {
+        let a = data::random_u32(N, 555, u32::MAX);
+        bench.iter(|| {
+            let bytes: Vec<u8> = a.iter().flat_map(|v| v.to_le_bytes()).collect();
+            black_box(bytes)
+        });
+    });
+    group.bench_function(BenchmarkId::new("host_encode", "strzodka16_transform"), |bench| {
+        let a: Vec<u16> = data::random_u32(N, 556, u16::MAX as u32 + 1)
+            .into_iter()
+            .map(|v| v as u16)
+            .collect();
+        bench.iter(|| black_box(strzodka16::encode_texels(&a, N.div_ceil(2))));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("a7_packing");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("u8_scalar", |bench| {
+        let a = data::random_u8(N, 557, 127);
+        let b = data::random_u8(N, 558, 127);
+        let mut cc = ComputeContext::new(128, 128).expect("context");
+        let ga = cc.upload(&a).expect("a");
+        let gb = cc.upload(&b).expect("b");
+        let k = gpes_kernels::sum::build_u8(&mut cc, &ga, &gb).expect("kernel");
+        bench.iter(|| {
+            let out: Vec<u8> = cc.run_and_read(&k).expect("run");
+            black_box(out)
+        });
+    });
+    group.bench_function("u8_packed_x4", |bench| {
+        let a = data::random_u8(N, 559, 127);
+        let b = data::random_u8(N, 560, 127);
+        let mut cc = ComputeContext::new(128, 128).expect("context");
+        let side = (N.div_ceil(4) as f64).sqrt().ceil() as u32;
+        let pad = |d: &[u8]| {
+            let mut v = d.to_vec();
+            v.resize(side as usize * side as usize * 4, 0);
+            v
+        };
+        let ta = cc.upload_texels(side, side, &pad(&a)).expect("ta");
+        let tb = cc.upload_texels(side, side, &pad(&b)).expect("tb");
+        let k = Kernel::builder("sum_u8x4")
+            .input_texels("a", &ta)
+            .input_texels("b", &tb)
+            .output_texels(side as usize * side as usize)
+            .body(
+                "vec4 av = floor(fetch_a_texel(idx) * 255.0 + 0.5);\n\
+                 vec4 bv = floor(fetch_b_texel(idx) * 255.0 + 0.5);\n\
+                 return (mod(av + bv, 256.0) + 0.25) / 255.0;",
+            )
+            .build(&mut cc)
+            .expect("kernel");
+        bench.iter(|| {
+            let out = cc.run_and_read_texels(&k).expect("run");
+            black_box(out)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

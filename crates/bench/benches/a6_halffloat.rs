@@ -1,0 +1,43 @@
+//! A6 bench target: the fp16 extension data path vs the paper's RGBA8
+//! packing, plus the raw half-float conversion cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpes_bench::ablations;
+use gpes_gles2::half;
+use gpes_kernels::data;
+use std::hint::black_box;
+
+fn bench_half_float(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a6_halffloat");
+    group.sample_size(10);
+
+    group.bench_function("a6_comparison_512", |bench| {
+        bench.iter(|| black_box(ablations::a6_half_float(512).expect("a6")));
+    });
+
+    let values = data::random_f32(4096, 661, 1.0e4);
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("f32_to_f16_narrowing", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u32;
+            for &v in &values {
+                acc = acc.wrapping_add(half::f32_to_f16_bits(v) as u32);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("f16_to_f32_widening", |bench| {
+        let halves: Vec<u16> = values.iter().map(|&v| half::f32_to_f16_bits(v)).collect();
+        bench.iter(|| {
+            let mut acc = 0.0f32;
+            for &h in &halves {
+                acc += half::f16_bits_to_f32(h);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_half_float);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Codec micro-benchmarks: host encode/decode and shader-mirror
+//! pack/unpack throughput for every §IV format.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpes_core::codec::{float32, sbyte, sint, ubyte, uint, FloatSpecials, PackBias};
+use gpes_kernels::data;
+use std::hint::black_box;
+
+fn bench_host(c: &mut Criterion) {
+    let n = 4096usize;
+    let floats = data::random_f32(n, 30, 1.0e9);
+    let uints = data::random_u32(n, 31, 1 << 24);
+    let ints = data::random_i32(n, 32, 1 << 24);
+
+    let mut group = c.benchmark_group("codec_host");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("f32_encode_decode", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &v in &floats {
+                acc ^= float32::decode(float32::encode(v)).to_bits();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("u32_encode_decode", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &v in &uints {
+                acc ^= uint::decode(uint::encode(v));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("i32_encode_decode", |b| {
+        b.iter(|| {
+            let mut acc = 0i32;
+            for &v in &ints {
+                acc ^= sint::decode(sint::encode(v));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_mirror(c: &mut Criterion) {
+    let n = 4096usize;
+    let floats = data::random_f32(n, 33, 1.0e9);
+    let mut group = c.benchmark_group("codec_mirror");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("f32_unpack_pack", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &v in &floats {
+                let up = float32::mirror_unpack(float32::encode(v), FloatSpecials::Preserve);
+                let bytes = float32::mirror_pack(up, PackBias::HalfTexel, FloatSpecials::Preserve);
+                acc ^= bytes[0] ^ bytes[3];
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("byte_unpack_pack", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for i in 0..n {
+                let v = (i & 0xFF) as u8;
+                acc ^= ubyte::mirror_pack(ubyte::mirror_unpack(v), PackBias::HalfTexel);
+                acc ^= sbyte::mirror_pack(sbyte::mirror_unpack(v), PackBias::HalfTexel);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_host, bench_mirror);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E1 bench target: end-to-end simulator cost of the paper's two
+//! benchmarks (host time; the modelled device times are printed by the
+//! `reproduce` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpes_core::ComputeContext;
+use gpes_kernels::{data, sgemm, sum};
+use std::hint::black_box;
+
+fn bench_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_sum");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        let a32 = data::random_u32(n, 1, 1 << 22);
+        let b32 = data::random_u32(n, 2, 1 << 22);
+        group.bench_with_input(BenchmarkId::new("int", n), &n, |bench, _| {
+            let mut cc = ComputeContext::new(128, 128).expect("context");
+            let ga = cc.upload(&a32).expect("a");
+            let gb = cc.upload(&b32).expect("b");
+            let k = sum::build_u32(&mut cc, &ga, &gb).expect("kernel");
+            bench.iter(|| {
+                let out: Vec<u32> = cc.run_and_read(&k).expect("run");
+                black_box(out)
+            });
+        });
+        let af = data::random_f32(n, 3, 1000.0);
+        let bf = data::random_f32(n, 4, 1000.0);
+        group.bench_with_input(BenchmarkId::new("fp", n), &n, |bench, _| {
+            let mut cc = ComputeContext::new(128, 128).expect("context");
+            let ga = cc.upload(&af).expect("a");
+            let gb = cc.upload(&bf).expect("b");
+            let k = sum::build_f32(&mut cc, &ga, &gb).expect("kernel");
+            bench.iter(|| black_box(cc.run_f32(&k).expect("run")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_sgemm");
+    group.sample_size(10);
+    for &size in &[8usize, 16] {
+        let a = data::random_f32(size * size, 5, 2.0);
+        let b = data::random_f32(size * size, 6, 2.0);
+        let zeros = vec![0.0f32; size * size];
+        group.bench_with_input(BenchmarkId::new("fp", size), &size, |bench, _| {
+            let mut cc = ComputeContext::new(64, 64).expect("context");
+            let ga = cc.upload_matrix(size as u32, size as u32, &a).expect("a");
+            let gb = cc.upload_matrix(size as u32, size as u32, &b).expect("b");
+            let gc = cc
+                .upload_matrix(size as u32, size as u32, &zeros)
+                .expect("c");
+            let k = sgemm::build_f32(&mut cc, &ga, &gb, &gc, 1.0, 0.0).expect("kernel");
+            bench.iter(|| black_box(cc.run_f32(&k).expect("run")));
+        });
+        let ai = data::random_i32(size * size, 7, 100);
+        let bi = data::random_i32(size * size, 8, 100);
+        group.bench_with_input(BenchmarkId::new("int", size), &size, |bench, _| {
+            let mut cc = ComputeContext::new(64, 64).expect("context");
+            let ga = cc.upload_matrix(size as u32, size as u32, &ai).expect("a");
+            let gb = cc.upload_matrix(size as u32, size as u32, &bi).expect("b");
+            let k = sgemm::build_i32(&mut cc, &ga, &gb).expect("kernel");
+            bench.iter(|| {
+                let out: Vec<i32> = cc.run_and_read(&k).expect("run");
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sum, bench_sgemm);
+criterion_main!(benches);

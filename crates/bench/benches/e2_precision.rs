@@ -1,0 +1,36 @@
+//! E2 bench target: cost of the float identity round trip under each
+//! simulated float model (the accuracy numbers come from `reproduce e2`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpes_core::{ComputeContext, Kernel, ScalarType};
+use gpes_glsl::exec::FloatModel;
+use gpes_kernels::data;
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_roundtrip");
+    group.sample_size(10);
+    let values = data::random_f32(1024, 10, 1.0e9);
+    for model in [FloatModel::Exact, FloatModel::Vc4Sfu, FloatModel::Mediump16] {
+        group.bench_with_input(
+            BenchmarkId::new("identity", format!("{model:?}")),
+            &model,
+            |bench, &model| {
+                let mut cc = ComputeContext::new(64, 64).expect("context");
+                cc.set_float_model(model);
+                let arr = cc.upload(&values).expect("upload");
+                let k = Kernel::builder("identity")
+                    .input("x", &arr)
+                    .output(ScalarType::F32, values.len())
+                    .body("return fetch_x(idx);")
+                    .build(&mut cc)
+                    .expect("kernel");
+                bench.iter(|| black_box(cc.run_f32(&k).expect("run")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! GLSL interpreter throughput: arithmetic loop inside one fragment
+//! invocation (isolates the interpreter from the rasteriser).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpes_glsl::exec::{FloatModel, NoTextures};
+use gpes_glsl::interp::Interpreter;
+use gpes_glsl::{compile, ShaderKind};
+use std::hint::black_box;
+
+fn bench_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_loop");
+    group.sample_size(20);
+    for &iters in &[100u32, 1000] {
+        let src = format!(
+            "precision highp float;\n\
+             void main() {{\n\
+               float s = 0.0;\n\
+               for (int i = 0; i < {iters}; i++) {{\n\
+                 s += fract(float(i) * 0.37) * 1.5 - 0.25;\n\
+               }}\n\
+               gl_FragColor = vec4(s);\n\
+             }}"
+        );
+        let shader = compile(ShaderKind::Fragment, &src).expect("compile");
+        group.throughput(Throughput::Elements(iters as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, _| {
+            let tex = NoTextures;
+            let mut interp =
+                Interpreter::with_model(&shader, &tex, FloatModel::Exact).expect("interp");
+            b.iter(|| {
+                interp.run_main().expect("run");
+                black_box(interp.frag_color())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_float_models");
+    group.sample_size(20);
+    let src = "precision highp float;\n\
+               void main() {\n\
+                 float s = 1.0;\n\
+                 for (int i = 0; i < 200; i++) { s = exp2(log2(s + 1.0)); }\n\
+                 gl_FragColor = vec4(s / 256.0);\n\
+               }";
+    let shader = compile(ShaderKind::Fragment, src).expect("compile");
+    for model in [FloatModel::Exact, FloatModel::Vc4Sfu, FloatModel::Mediump16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{model:?}")),
+            &model,
+            |b, &model| {
+                let tex = NoTextures;
+                let mut interp = Interpreter::with_model(&shader, &tex, model).expect("interp");
+                b.iter(|| {
+                    interp.run_main().expect("run");
+                    black_box(interp.frag_color())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loop, bench_models);
+criterion_main!(benches);

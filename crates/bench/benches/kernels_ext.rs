@@ -1,0 +1,115 @@
+//! Bench targets for the extension workloads: FFT (paper ref. [6]),
+//! the Rodinia-style kernels (§III-8) and the vertex-vs-fragment stage
+//! choice (§III-1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpes_core::vertex_compute::VertexKernel;
+use gpes_core::{ComputeContext, Kernel, ScalarType};
+use gpes_kernels::{backprop, data, fft, pathfinder, srad};
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("gpu", n), &n, |bench, &n| {
+            let re = data::random_f32(n, 641, 1.0);
+            let im = data::random_f32(n, 642, 1.0);
+            let mut cc = ComputeContext::new(32, 32).expect("context");
+            bench.iter(|| {
+                black_box(fft::run_gpu(&mut cc, &re, &im, fft::Direction::Forward).expect("fft"))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_mirror", n), &n, |bench, &n| {
+            let re = data::random_f32(n, 641, 1.0);
+            let im = data::random_f32(n, 642, 1.0);
+            bench.iter(|| black_box(fft::cpu_reference(&re, &im, fft::Direction::Forward)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rodinia(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rodinia");
+    group.sample_size(10);
+    group.bench_function("pathfinder_16x64", |bench| {
+        let wall: Vec<f32> = data::random_f32(16 * 64, 643, 9.0)
+            .into_iter()
+            .map(f32::abs)
+            .collect();
+        let mut cc = ComputeContext::new(64, 64).expect("context");
+        bench.iter(|| black_box(pathfinder::run_gpu(&mut cc, 16, 64, &wall).expect("run")));
+    });
+    group.bench_function("srad_16x16_2iter", |bench| {
+        let img: Vec<f32> = data::random_f32(256, 644, 40.0)
+            .into_iter()
+            .map(|v| v.abs() + 10.0)
+            .collect();
+        let mut cc = ComputeContext::new(32, 32).expect("context");
+        bench.iter(|| {
+            black_box(
+                srad::run_gpu(&mut cc, 16, 16, &img, srad::SradParams::default(), 2)
+                    .expect("run"),
+            )
+        });
+    });
+    group.bench_function("backprop_64_32_10", |bench| {
+        let input = data::random_f32(64, 645, 1.0);
+        let layers = vec![
+            (
+                data::random_f32(64 * 32, 646, 0.2),
+                data::random_f32(32, 647, 0.1),
+                backprop::Activation::Relu,
+            ),
+            (
+                data::random_f32(32 * 10, 648, 0.2),
+                data::random_f32(10, 649, 0.1),
+                backprop::Activation::Identity,
+            ),
+        ];
+        let mut cc = ComputeContext::new(32, 32).expect("context");
+        bench.iter(|| black_box(backprop::forward_gpu(&mut cc, &input, &layers).expect("run")));
+    });
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage_choice");
+    group.sample_size(10);
+    const N: usize = 1024;
+    group.throughput(Throughput::Elements(N as u64));
+    let x = data::random_f32(N, 650, 100.0);
+    let y = data::random_f32(N, 651, 100.0);
+
+    group.bench_function("fragment_saxpy", |bench| {
+        let mut cc = ComputeContext::new(64, 64).expect("context");
+        let gx = cc.upload(&x).expect("x");
+        let gy = cc.upload(&y).expect("y");
+        let k = Kernel::builder("saxpy_f")
+            .input("x", &gx)
+            .input("y", &gy)
+            .uniform_f32("alpha", 2.5)
+            .output(ScalarType::F32, N)
+            .body("return alpha * fetch_x(idx) + fetch_y(idx);")
+            .build(&mut cc)
+            .expect("kernel");
+        bench.iter(|| black_box(cc.run_f32(&k).expect("run")));
+    });
+    group.bench_function("vertex_saxpy", |bench| {
+        let mut cc = ComputeContext::new(64, 64).expect("context");
+        let vk = VertexKernel::builder("saxpy_v")
+            .input("x", &x)
+            .input("y", &y)
+            .uniform_f32("alpha", 2.5)
+            .output(ScalarType::F32, N)
+            .body("return alpha * x + y;")
+            .build(&mut cc)
+            .expect("kernel");
+        bench.iter(|| black_box(vk.run_and_read::<f32>(&mut cc).expect("run")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_rodinia, bench_stages);
+criterion_main!(benches);

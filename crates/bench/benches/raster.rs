@@ -1,0 +1,36 @@
+//! Rasteriser fill-rate: a constant-colour fragment shader over growing
+//! targets, isolating pipeline overhead from shader cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpes_gles2::{Context, PrimitiveMode};
+use std::hint::black_box;
+
+const VS: &str = "attribute vec2 a_pos;\nvoid main() { gl_Position = vec4(a_pos, 0.0, 1.0); }";
+const FS: &str = "precision highp float;\nvoid main() { gl_FragColor = vec4(0.5, 0.25, 1.0, 1.0); }";
+const QUAD: [f32; 12] = [
+    -1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0,
+];
+
+fn bench_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raster_fill");
+    group.sample_size(10);
+    for &side in &[32u32, 128, 256] {
+        group.throughput(Throughput::Elements(side as u64 * side as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            let mut gl = Context::new(side, side).expect("context");
+            let prog = gl.create_program(VS, FS).expect("program");
+            gl.use_program(prog).expect("use");
+            gl.set_attribute("a_pos", 2, &QUAD).expect("attrib");
+            b.iter(|| {
+                let stats = gl
+                    .draw_arrays(PrimitiveMode::Triangles, 0, 6)
+                    .expect("draw");
+                black_box(stats.fragments_shaded)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fill);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! `reproduce` — regenerates every table and figure of the paper's
+//! evaluation section on the simulated platform.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p gpes-bench --bin reproduce -- [e1|e2|f1|f2|a1|a3|a4|sweep|all]
+//! ```
+
+use gpes_bench::{ablations, e1, e2, figures};
+
+fn heading(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+fn run_e1() -> Result<(), Box<dyn std::error::Error>> {
+    heading("E1: §V speedup table (modelled Raspberry Pi 1, measured shader profiles)");
+    println!("workloads: sum on 2 x 1Mi elements; gemm on 1024x1024 matrices");
+    println!("(functional validation runs on the simulator at calibration sizes)");
+    for row in e1::run(1 << 20, 1024)? {
+        println!("{}", row.format());
+    }
+    println!();
+    println!("note: absolute times are analytic estimates; the paper's exact");
+    println!("experimental conditions are under-specified (see EXPERIMENTS.md).");
+    println!("The reproduced *shape*: the GPU wins on every configuration and");
+    println!("integer speedups exceed floating-point speedups.");
+    Ok(())
+}
+
+fn run_sweep() -> Result<(), Box<dyn std::error::Error>> {
+    heading("E1 sweep: sum (int) across sizes — locating the crossover");
+    for row in e1::sum_sweep(&[256, 1024, 4096, 16384, 65536, 1 << 18, 1 << 20, 1 << 22])? {
+        println!("{}", row.format());
+    }
+    heading("E1 sweep: sgemm (fp) across sizes");
+    for row in e1::gemm_sweep(&[16, 32, 64, 128, 256, 512, 1024])? {
+        println!("{}", row.format());
+    }
+    Ok(())
+}
+
+fn run_e2() -> Result<(), Box<dyn std::error::Error>> {
+    heading("E2: §V precision (mantissa agreement, 23 = bit-exact fp32)");
+    for row in e2::run(4096)? {
+        println!("{}", row.format());
+    }
+    let samples = gpes_kernels::data::random_f32(4096, 299, 1.0e20);
+    println!(
+        "host-side transform exact on 4096 random values: {}",
+        e2::host_transform_exact(&samples)
+    );
+    println!();
+    println!("paper: \"accurate … within the 15 most significant bits of the");
+    println!("mantissa\" on the GPU; \"the same transformations on the CPU are");
+    println!("precise\" — reproduced by Vc4Sfu vs Exact rows above.");
+    Ok(())
+}
+
+fn run_f1() -> Result<(), Box<dyn std::error::Error>> {
+    heading("F1: the graphics pipeline of Figure 1, as stage counters");
+    let stats = figures::pipeline_trace(1000)?;
+    println!("{}", figures::format_pipeline(&stats));
+    Ok(())
+}
+
+fn run_f2() {
+    heading("F2: Figure 2 — CPU (IEEE 754) vs GPU texel byte layout");
+    println!("{:>16}  {:<22} rotated texel bytes", "value", "ieee bytes (LE)");
+    for &v in figures::F2_SAMPLES {
+        println!("{}", figures::float_layout_row(v));
+    }
+}
+
+fn run_a1() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A1/A2: output byte bias x framebuffer store rounding");
+    for row in ablations::a1_pack_bias()? {
+        println!("{}", row.format());
+    }
+    Ok(())
+}
+
+fn run_a3() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A3: fragment dispatch parallelism (simulator host throughput)");
+    for row in ablations::a3_dispatch(1 << 16)? {
+        println!("{}", row.format());
+    }
+    Ok(())
+}
+
+fn run_a4() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A4: readback strategies (workaround #7)");
+    let result = ablations::a4_readback(1000)?;
+    println!(
+        "all strategies bit-identical: {}\n\
+         kernel-ordering / direct-FBO passes: {}\n\
+         copy-shader passes: {} (one extra full-screen pass)",
+        result.all_equal, result.direct_passes, result.copy_shader_passes
+    );
+    Ok(())
+}
+
+fn run_a5() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A5: §VI related work — paper u32 codec vs Strzodka VMV'02 virtual-16");
+    for row in ablations::a5_strzodka_baseline(4096)? {
+        println!("{}", row.format_row());
+    }
+    println!();
+    println!("paper §VI: the baseline's custom split format costs a per-element");
+    println!("CPU transformation both ways and caps precision at 16 bits, while");
+    println!("the paper's 2's-complement codec uploads unmodified integers and");
+    println!("keeps 24 exact bits — at half the texel density, float included.");
+    Ok(())
+}
+
+fn run_a6() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A6: §II.5-6 — vendor half-float extensions vs the paper's packing");
+    for row in ablations::a6_half_float(4096)? {
+        println!("{}", row.format_row());
+    }
+    println!();
+    println!("paper: fp16 extensions are \"neither enough nor portable\" — the");
+    println!("extension path needs two vendor extensions and keeps 10 mantissa");
+    println!("bits with a 65504 range cap; the paper's RGBA8 packing runs on");
+    println!("core ES 2 and keeps 15-23 bits at full f32 range.");
+    Ok(())
+}
+
+fn run_a7() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A7: channel packing (the §V 'not optimised' headroom)");
+    for row in ablations::a7_channel_packing(4096)? {
+        println!("{}", row.format_row());
+    }
+    println!();
+    println!("packing all texel channels cuts fragment invocations and texture");
+    println!("fetches per value — one of the optimisations §V says would");
+    println!("increase performance further.");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    match what.as_str() {
+        "e1" => run_e1()?,
+        "sweep" => run_sweep()?,
+        "e2" => run_e2()?,
+        "f1" => run_f1()?,
+        "f2" => run_f2(),
+        "a1" | "a2" => run_a1()?,
+        "a3" => run_a3()?,
+        "a4" => run_a4()?,
+        "a5" => run_a5()?,
+        "a6" => run_a6()?,
+        "a7" => run_a7()?,
+        "all" => {
+            run_e1()?;
+            run_sweep()?;
+            run_e2()?;
+            run_f1()?;
+            run_f2();
+            run_a1()?;
+            run_a3()?;
+            run_a4()?;
+            run_a5()?;
+            run_a6()?;
+            run_a7()?;
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|all");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}

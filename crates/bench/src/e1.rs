@@ -1,0 +1,317 @@
+//! Experiment E1 — the paper's §V speedup table.
+//!
+//! Method: run each benchmark *functionally* on the simulator at a
+//! calibration size, validate against the CPU reference, and take the
+//! **measured per-element operation profile** from the interpreter. Scale
+//! that profile to the paper-scale workload (per-element shader work is
+//! size-independent for `sum` and linear in `K` for `sgemm`), then feed
+//! it to the `gpes-perf` device models alongside the counted CPU
+//! workload. Absolute times are modelled; the profile driving them is
+//! measured, not assumed.
+
+use gpes_core::{ComputeContext, ComputeError, ScalarType};
+use gpes_glsl::exec::OpProfile;
+use gpes_kernels::{data, sgemm, sum};
+use gpes_perf::{
+    estimate_gpu, gpu_run_from_passes, readback_bytes_for, upload_bytes_for, Arm11Cpu,
+    CpuWorkload, GpuEstimate, GpuRun, Vc4Gpu,
+};
+
+/// One row of the E1 table.
+#[derive(Debug, Clone)]
+pub struct E1Row {
+    /// Benchmark label, e.g. `"sum (int)"`.
+    pub label: String,
+    /// Problem size description.
+    pub size: String,
+    /// Modelled CPU seconds.
+    pub cpu_s: f64,
+    /// Modelled GPU breakdown.
+    pub gpu: GpuEstimate,
+    /// Whether the calibration run's output matched the CPU reference.
+    pub validated: bool,
+    /// The paper's reported speedup, where applicable.
+    pub paper_speedup: Option<f64>,
+}
+
+impl E1Row {
+    /// GPU-over-CPU speedup.
+    pub fn speedup(&self) -> f64 {
+        self.cpu_s / self.gpu.total()
+    }
+
+    /// Formats the row for the harness output.
+    pub fn format(&self) -> String {
+        let paper = match self.paper_speedup {
+            Some(p) => format!("{p:.1}x"),
+            None => "-".into(),
+        };
+        format!(
+            "{:<12} {:<12} cpu {:>10.2} ms   gpu {:>9.2} ms   speedup {:>6.2}x   paper {:>5}   validated {}",
+            self.label,
+            self.size,
+            self.cpu_s * 1e3,
+            self.gpu.total() * 1e3,
+            self.speedup(),
+            paper,
+            if self.validated { "yes" } else { "NO" },
+        )
+    }
+}
+
+fn scale_profile(profile: &OpProfile, factor: f64) -> OpProfile {
+    let scale = |v: u64| (v as f64 * factor).round() as u64;
+    OpProfile {
+        alu_ops: scale(profile.alu_ops),
+        sfu_ops: scale(profile.sfu_ops),
+        tex_fetches: scale(profile.tex_fetches),
+        branches: scale(profile.branches),
+        calls: scale(profile.calls),
+        invocations: scale(profile.invocations),
+    }
+}
+
+/// Calibrates `sum` for one element type and scales to `target_n`.
+fn sum_row<FB, FW>(
+    label: &str,
+    target_n: usize,
+    calib_n: usize,
+    build_and_check: FB,
+    workload: FW,
+    paper_speedup: f64,
+) -> Result<E1Row, ComputeError>
+where
+    FB: FnOnce(&mut ComputeContext, usize) -> Result<(bool, Vec<gpes_core::PassRecord>), ComputeError>,
+    FW: FnOnce(usize) -> CpuWorkload,
+{
+    let mut cc = ComputeContext::new(256, 256)?;
+    let (validated, passes) = build_and_check(&mut cc, calib_n)?;
+    let run_small = gpu_run_from_passes(&passes, 1, 0, 0);
+    let factor = target_n as f64 / calib_n as f64;
+    let run = GpuRun {
+        fs_profile: scale_profile(&run_small.fs_profile, factor),
+        passes: 1,
+        programs_compiled: 1,
+        upload_bytes: 2 * upload_bytes_for(ScalarType::U32, target_n),
+        readback_bytes: readback_bytes_for(target_n),
+        ..GpuRun::default()
+    };
+    let gpu = estimate_gpu(&Vc4Gpu::raspberry_pi1(), &run);
+    let cpu = Arm11Cpu::raspberry_pi1_baseline();
+    Ok(E1Row {
+        label: label.into(),
+        size: format!("n={target_n}"),
+        cpu_s: cpu.time(&workload(target_n)),
+        gpu,
+        validated,
+        paper_speedup: Some(paper_speedup),
+    })
+}
+
+/// Calibrates sgemm at two small sizes and extrapolates per-fragment work
+/// linearly in `K` to the target square size.
+fn sgemm_row(
+    label: &str,
+    float: bool,
+    target: usize,
+    paper_speedup: f64,
+) -> Result<E1Row, ComputeError> {
+    let (k1, k2) = (8usize, 24usize);
+    let mut profiles = Vec::new();
+    let mut validated = true;
+    for &k_dim in &[k1, k2] {
+        let mut cc = ComputeContext::new(64, 64)?;
+        let frags = k_dim * k_dim;
+        if float {
+            let a = data::random_f32(frags, 101, 2.0);
+            let b = data::random_f32(frags, 102, 2.0);
+            let c = data::random_f32(frags, 103, 2.0);
+            let ga = cc.upload_matrix(k_dim as u32, k_dim as u32, &a)?;
+            let gb = cc.upload_matrix(k_dim as u32, k_dim as u32, &b)?;
+            let gc = cc.upload_matrix(k_dim as u32, k_dim as u32, &c)?;
+            let kern = sgemm::build_f32(&mut cc, &ga, &gb, &gc, 1.0, 0.5)?;
+            let gpu = cc.run_f32(&kern)?;
+            let cpu = sgemm::cpu_reference_f32(k_dim, k_dim, k_dim, &a, &b, &c, 1.0, 0.5);
+            validated &= gpu == cpu;
+        } else {
+            let a = data::random_i32(frags, 104, 128);
+            let b = data::random_i32(frags, 105, 128);
+            let ga = cc.upload_matrix(k_dim as u32, k_dim as u32, &a)?;
+            let gb = cc.upload_matrix(k_dim as u32, k_dim as u32, &b)?;
+            let kern = sgemm::build_i32(&mut cc, &ga, &gb)?;
+            let gpu: Vec<i32> = cc.run_and_read(&kern)?;
+            let cpu = sgemm::cpu_reference_i32(k_dim, k_dim, k_dim, &a, &b);
+            validated &= gpu == cpu;
+        }
+        let passes = cc.take_pass_log();
+        let run = gpu_run_from_passes(&passes, 1, 0, 0);
+        profiles.push((k_dim as f64, frags as f64, run.fs_profile));
+    }
+
+    // Per-fragment work is a + b·K: fit from the two calibration points,
+    // then extrapolate to the target (fragments = target², K = target).
+    let per_frag = |field: fn(&OpProfile) -> u64| {
+        let (ka, fa, pa) = &profiles[0];
+        let (kb, fb, pb) = &profiles[1];
+        let ya = field(pa) as f64 / fa;
+        let yb = field(pb) as f64 / fb;
+        let slope = (yb - ya) / (kb - ka);
+        let intercept = ya - slope * ka;
+        move |k: f64| intercept + slope * k
+    };
+    let t = target as f64;
+    let frags = t * t;
+    let fs_profile = OpProfile {
+        alu_ops: (per_frag(|p| p.alu_ops)(t) * frags) as u64,
+        sfu_ops: (per_frag(|p| p.sfu_ops)(t) * frags) as u64,
+        tex_fetches: (per_frag(|p| p.tex_fetches)(t) * frags) as u64,
+        branches: (per_frag(|p| p.branches)(t) * frags) as u64,
+        calls: (per_frag(|p| p.calls)(t) * frags) as u64,
+        invocations: frags as u64,
+    };
+    let matrices = if float { 3 } else { 2 };
+    let run = GpuRun {
+        fs_profile,
+        passes: 1,
+        programs_compiled: 1,
+        upload_bytes: matrices * upload_bytes_for(ScalarType::F32, target * target),
+        readback_bytes: readback_bytes_for(target * target),
+        ..GpuRun::default()
+    };
+    let gpu = estimate_gpu(&Vc4Gpu::raspberry_pi1(), &run);
+    let cpu = Arm11Cpu::raspberry_pi1_baseline();
+    Ok(E1Row {
+        label: label.into(),
+        size: format!("{target}x{target}"),
+        cpu_s: cpu.time(&sgemm::cpu_workload(target, float)),
+        gpu,
+        validated,
+        paper_speedup: Some(paper_speedup),
+    })
+}
+
+/// Runs the full E1 experiment at the paper-scale sizes.
+///
+/// # Errors
+///
+/// Propagates simulator failures (none are expected).
+pub fn run(sum_n: usize, gemm_size: usize) -> Result<Vec<E1Row>, ComputeError> {
+    let calib = 4096usize.min(sum_n);
+    let mut rows = Vec::new();
+    rows.push(sum_row(
+        "sum (int)",
+        sum_n,
+        calib,
+        |cc, n| {
+            let a = data::random_u32(n, 106, 1 << 22);
+            let b = data::random_u32(n, 107, 1 << 22);
+            let ga = cc.upload(&a)?;
+            let gb = cc.upload(&b)?;
+            let k = sum::build_u32(cc, &ga, &gb)?;
+            let gpu: Vec<u32> = cc.run_and_read(&k)?;
+            let ok = gpu == sum::cpu_reference(&a, &b);
+            Ok((ok, cc.take_pass_log()))
+        },
+        sum::cpu_workload_int,
+        7.2,
+    )?);
+    rows.push(sum_row(
+        "sum (fp)",
+        sum_n,
+        calib,
+        |cc, n| {
+            let a = data::random_f32(n, 108, 1000.0);
+            let b = data::random_f32(n, 109, 1000.0);
+            let ga = cc.upload(&a)?;
+            let gb = cc.upload(&b)?;
+            let k = sum::build_f32(cc, &ga, &gb)?;
+            let gpu = cc.run_f32(&k)?;
+            let ok = gpu == sum::cpu_reference(&a, &b);
+            Ok((ok, cc.take_pass_log()))
+        },
+        sum::cpu_workload_f32,
+        6.5,
+    )?);
+    rows.push(sgemm_row("sgemm (int)", false, gemm_size, 6.5)?);
+    rows.push(sgemm_row("sgemm (fp)", true, gemm_size, 6.3)?);
+    Ok(rows)
+}
+
+/// Size sweep over square gemm dimensions — exposes where the modelled
+/// speedup passes through the paper's 6.3–6.5× band (the paper's
+/// "matrix sizes of 1024 … elements" is ambiguous between 32×32 and
+/// 1024×1024; see EXPERIMENTS.md).
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn gemm_sweep(sizes: &[usize]) -> Result<Vec<E1Row>, ComputeError> {
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let mut row = sgemm_row("sgemm (fp)", true, size, 6.3)?;
+        row.paper_speedup = None;
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Size sweep used to locate the GPU/CPU crossover for `sum`.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn sum_sweep(sizes: &[usize]) -> Result<Vec<E1Row>, ComputeError> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut row = sum_row(
+            "sum (int)",
+            n,
+            n.min(4096),
+            |cc, cn| {
+                let a = data::random_u32(cn, 110, 1 << 22);
+                let b = data::random_u32(cn, 111, 1 << 22);
+                let ga = cc.upload(&a)?;
+                let gb = cc.upload(&b)?;
+                let k = sum::build_u32(cc, &ga, &gb)?;
+                let gpu: Vec<u32> = cc.run_and_read(&k)?;
+                let ok = gpu == sum::cpu_reference(&a, &b);
+                Ok((ok, cc.take_pass_log()))
+            },
+            sum::cpu_workload_int,
+            7.2,
+        )?;
+        row.paper_speedup = None;
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_rows_are_validated_and_gpu_wins_at_scale() {
+        let rows = run(1 << 20, 256).expect("e1");
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.validated, "{} failed validation", row.label);
+            assert!(
+                row.speedup() > 1.0,
+                "{} should favour the GPU at paper scale: {}",
+                row.label,
+                row.format()
+            );
+        }
+        // Ordering property the paper reports: integer speedups exceed
+        // floating-point speedups for the same benchmark.
+        assert!(rows[0].speedup() > rows[1].speedup(), "sum int vs fp");
+        assert!(rows[2].speedup() > rows[3].speedup(), "sgemm int vs fp");
+    }
+
+    #[test]
+    fn sweep_shows_overhead_dominated_small_sizes() {
+        let rows = sum_sweep(&[256, 1 << 20]).expect("sweep");
+        assert!(rows[0].speedup() < rows[1].speedup());
+    }
+}

@@ -1,0 +1,225 @@
+//! Experiment E2 — the paper's §V precision result.
+//!
+//! > "For the floating point versions, the GPU output is accurate with
+//! > respect to the fp32 format used by the CPU, within the 15 most
+//! > significant bits of the mantissa. … This difference comes from the
+//! > GPU platform (hardware and software), since the same transformations
+//! > on the CPU are precise."
+//!
+//! We reproduce both halves: under the exact float model every kernel is
+//! bit-exact (the "CPU precise" half), and under the VideoCore-like SFU
+//! model accuracy drops to ≈15 mantissa bits (the "GPU platform" half).
+//!
+//! A subtlety the simulation exposes: a *pure* unpack→pack round trip
+//! stays bit-exact even under the noisy SFU model, because `exp2(e)` in
+//! the unpack and the pack see the same input and return the identical
+//! (noisy) value — the error cancels. Any arithmetic between unpack and
+//! pack (a scale, a sum) shifts the output exponent, de-correlates the
+//! two `exp2` evaluations and exposes the ≈15-bit accuracy the paper
+//! measured. The identity row below documents the cancellation; the
+//! arithmetic rows reproduce the paper's number.
+
+use gpes_core::codec::float32::mantissa_agreement_bits;
+use gpes_core::{ComputeContext, ComputeError, Kernel, ScalarType};
+use gpes_glsl::exec::FloatModel;
+use gpes_kernels::data;
+
+/// Accuracy statistics for one float model.
+#[derive(Debug, Clone)]
+pub struct E2Row {
+    /// The simulated float model.
+    pub model: FloatModel,
+    /// Scenario label.
+    pub scenario: String,
+    /// Minimum mantissa agreement across samples (23 = bit exact).
+    pub min_bits: u32,
+    /// Mean mantissa agreement.
+    pub mean_bits: f64,
+    /// Fraction of samples that were bit-exact.
+    pub exact_fraction: f64,
+}
+
+impl E2Row {
+    /// Formats the row for the harness output.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<12} {:<22} min {:>2} bits   mean {:>5.2} bits   bit-exact {:>5.1}%",
+            format!("{:?}", self.model),
+            self.scenario,
+            self.min_bits,
+            self.mean_bits,
+            self.exact_fraction * 100.0,
+        )
+    }
+}
+
+fn agreement_stats(
+    model: FloatModel,
+    scenario: &str,
+    expected: &[f32],
+    actual: &[f32],
+) -> E2Row {
+    let mut min_bits = 23u32;
+    let mut total = 0u64;
+    let mut exact = 0usize;
+    for (&e, &a) in expected.iter().zip(actual) {
+        let bits = mantissa_agreement_bits(e, a);
+        min_bits = min_bits.min(bits);
+        total += bits as u64;
+        if e.to_bits() == a.to_bits() {
+            exact += 1;
+        }
+    }
+    E2Row {
+        model,
+        scenario: scenario.into(),
+        min_bits,
+        mean_bits: total as f64 / expected.len() as f64,
+        exact_fraction: exact as f64 / expected.len() as f64,
+    }
+}
+
+/// Round-trips `values` through an identity kernel (`return fetch_x(idx)`)
+/// under the given float model and reports mantissa agreement.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn identity_round_trip(model: FloatModel, values: &[f32]) -> Result<E2Row, ComputeError> {
+    let mut cc = ComputeContext::new(128, 128)?;
+    cc.set_float_model(model);
+    let arr = cc.upload(values)?;
+    let k = Kernel::builder("identity")
+        .input("x", &arr)
+        .output(ScalarType::F32, values.len())
+        .body("return fetch_x(idx);")
+        .build(&mut cc)?;
+    let out = cc.run_f32(&k)?;
+    Ok(agreement_stats(model, "identity round-trip", values, &out))
+}
+
+/// Scales every element by 3 on the GPU and compares with the exact CPU
+/// result — the minimal kernel whose output exponent differs from its
+/// input exponent (breaking the exp2 cancellation).
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn scale_accuracy(model: FloatModel, values: &[f32]) -> Result<E2Row, ComputeError> {
+    let mut cc = ComputeContext::new(128, 128)?;
+    cc.set_float_model(model);
+    let arr = cc.upload(values)?;
+    let k = Kernel::builder("scale3")
+        .input("x", &arr)
+        .output(ScalarType::F32, values.len())
+        .body("return fetch_x(idx) * 3.0;")
+        .build(&mut cc)?;
+    let out = cc.run_f32(&k)?;
+    let expected: Vec<f32> = values.iter().map(|&v| v * 3.0).collect();
+    Ok(agreement_stats(model, "scale x3 vs CPU", &expected, &out))
+}
+
+/// Runs the `sum (fp)` benchmark under the given model and compares with
+/// the exact CPU reference.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn sum_accuracy(model: FloatModel, n: usize) -> Result<E2Row, ComputeError> {
+    let a = data::random_f32(n, 201, 1.0e4);
+    let b = data::random_f32(n, 202, 1.0e4);
+    let mut cc = ComputeContext::new(128, 128)?;
+    cc.set_float_model(model);
+    let ga = cc.upload(&a)?;
+    let gb = cc.upload(&b)?;
+    let k = gpes_kernels::sum::build_f32(&mut cc, &ga, &gb)?;
+    let out = cc.run_f32(&k)?;
+    let expected = gpes_kernels::sum::cpu_reference(&a, &b);
+    Ok(agreement_stats(model, "sum (fp) vs CPU", &expected, &out))
+}
+
+/// Host-side transform exactness (the "CPU precise" half of the claim):
+/// encode→decode must be the identity on raw bits for any input.
+pub fn host_transform_exact(values: &[f32]) -> bool {
+    values.iter().all(|&v| {
+        gpes_core::codec::float32::decode(gpes_core::codec::float32::encode(v)).to_bits()
+            == v.to_bits()
+    })
+}
+
+/// Runs the full E2 experiment.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run(samples: usize) -> Result<Vec<E2Row>, ComputeError> {
+    let values = data::random_f32(samples, 200, 1.0e12);
+    let mut rows = Vec::new();
+    for model in [FloatModel::Exact, FloatModel::Vc4Sfu, FloatModel::Mediump16] {
+        rows.push(identity_round_trip(model, &values)?);
+    }
+    for model in [FloatModel::Exact, FloatModel::Vc4Sfu] {
+        rows.push(scale_accuracy(model, &values)?);
+    }
+    for model in [FloatModel::Exact, FloatModel::Vc4Sfu] {
+        rows.push(sum_accuracy(model, samples.min(2048))?);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_model_is_bit_exact() {
+        let values = data::random_f32(256, 210, 1.0e9);
+        let row = identity_round_trip(FloatModel::Exact, &values).expect("run");
+        assert_eq!(row.min_bits, 23, "{}", row.format());
+        assert_eq!(row.exact_fraction, 1.0);
+    }
+
+    #[test]
+    fn vc4_identity_cancels_the_sfu_noise() {
+        // Pure unpack→pack: the exp2(e) noise is identical on both sides
+        // and cancels — bit-exact even on the "imprecise" GPU.
+        let values = data::random_f32(512, 211, 1.0e9);
+        let row = identity_round_trip(FloatModel::Vc4Sfu, &values).expect("run");
+        assert_eq!(row.min_bits, 23, "{}", row.format());
+    }
+
+    #[test]
+    fn vc4_arithmetic_lands_near_the_papers_15_bits() {
+        let values = data::random_f32(512, 214, 1.0e9);
+        let row = scale_accuracy(FloatModel::Vc4Sfu, &values).expect("run");
+        assert!(
+            (12..=19).contains(&row.min_bits),
+            "expected ≈15 bits, got {}",
+            row.format()
+        );
+        assert!(row.mean_bits >= 14.0 && row.mean_bits <= 20.0, "{}", row.format());
+        assert!(row.exact_fraction < 1.0);
+
+        let row = sum_accuracy(FloatModel::Vc4Sfu, 1024).expect("run");
+        assert!(
+            row.min_bits >= 12 && row.mean_bits >= 14.0,
+            "{}",
+            row.format()
+        );
+    }
+
+    #[test]
+    fn mediump_is_clearly_not_enough() {
+        // The paper (§II #5): half-float extensions are "not enough".
+        let values = data::random_f32(256, 212, 1.0e4);
+        let row = identity_round_trip(FloatModel::Mediump16, &values).expect("run");
+        assert!(row.mean_bits < 13.0, "{}", row.format());
+    }
+
+    #[test]
+    fn host_transforms_are_precise() {
+        let mut values = data::random_f32(4096, 213, 1.0e30);
+        values.extend([0.0, -0.0, f32::INFINITY, f32::NEG_INFINITY, 1e-42]);
+        assert!(host_transform_exact(&values));
+    }
+}

@@ -1,0 +1,108 @@
+//! Figures F1 and F2 as executable demonstrations.
+
+use gpes_core::codec::float32;
+use gpes_core::{ComputeContext, ComputeError, Kernel, ScalarType};
+use gpes_gles2::DrawStats;
+
+/// F1 — the graphics pipeline of Figure 1, observed through stage
+/// counters of one GPGPU draw: vertex shading → primitive assembly →
+/// rasterisation → fragment shading → framebuffer conversion.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn pipeline_trace(n: usize) -> Result<DrawStats, ComputeError> {
+    let mut cc = ComputeContext::new(128, 128)?;
+    let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let arr = cc.upload(&data)?;
+    let k = Kernel::builder("trace")
+        .input("x", &arr)
+        .output(ScalarType::F32, n)
+        .body("return fetch_x(idx) * 2.0;")
+        .build(&mut cc)?;
+    let _ = cc.run_f32(&k)?;
+    Ok(cc.pass_log()[0].stats)
+}
+
+/// Renders F1 stage counters as the familiar pipeline diagram.
+pub fn format_pipeline(stats: &DrawStats) -> String {
+    format!(
+        "vertex shader      : {:>8} invocations ({} ALU ops)\n\
+         primitive assembly : {:>8} triangles in, {} rasterised\n\
+         rasteriser         : {:>8} fragments covered\n\
+         fragment shader    : {:>8} invocations ({} ALU, {} SFU, {} fetches)\n\
+         framebuffer        : {:>8} pixels written ({} discarded)",
+        stats.vertices_shaded,
+        stats.vs_profile.alu_ops,
+        stats.triangles_in,
+        stats.triangles_rasterized,
+        stats.fragments_shaded,
+        stats.fragments_shaded,
+        stats.fs_profile.alu_ops,
+        stats.fs_profile.sfu_ops,
+        stats.fs_profile.tex_fetches,
+        stats.pixels_written,
+        stats.fragments_discarded,
+    )
+}
+
+/// F2 — one line of the Figure 2 byte-layout table for a value: the IEEE
+/// 754 bytes next to the rotated texture bytes.
+pub fn float_layout_row(v: f32) -> String {
+    let ieee = v.to_bits().to_le_bytes();
+    let rotated = float32::encode(v);
+    format!(
+        "{v:>16e}  ieee[{:02x} {:02x} {:02x} {:02x}]  texel[{:02x} {:02x} {:02x} {:02x}]  (b3=exponent {}, sign in b2 bit7: {})",
+        ieee[0],
+        ieee[1],
+        ieee[2],
+        ieee[3],
+        rotated[0],
+        rotated[1],
+        rotated[2],
+        rotated[3],
+        rotated[3],
+        rotated[2] >> 7,
+    )
+}
+
+/// Sample values used by the F2 demonstration.
+pub const F2_SAMPLES: &[f32] = &[
+    1.0,
+    -1.0,
+    0.5,
+    -2.0,
+    255.0,
+    std::f32::consts::PI,
+    -6.25e-3,
+    1.0e20,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_trace_counts_are_consistent() {
+        let stats = pipeline_trace(100).expect("trace");
+        assert_eq!(stats.vertices_shaded, 6);
+        assert_eq!(stats.triangles_in, 2);
+        assert_eq!(stats.triangles_rasterized, 2);
+        assert_eq!(stats.fragments_shaded, 100);
+        assert_eq!(stats.pixels_written, 100);
+        let rendered = format_pipeline(&stats);
+        assert!(rendered.contains("vertex shader"));
+        assert!(rendered.contains("framebuffer"));
+    }
+
+    #[test]
+    fn f2_rows_show_rotation() {
+        // 1.0: IEEE LE bytes [00 00 80 3f] → texel [00 00 00 7f]
+        let row = float_layout_row(1.0);
+        assert!(row.contains("texel[00 00 00 7f]"), "{row}");
+        // -2.0: sign bit moves into b2's top bit; exponent byte becomes 0x80.
+        let row = float_layout_row(-2.0);
+        assert!(row.contains("texel[00 00 80 80]"), "{row}");
+        assert!(row.contains("sign in b2 bit7: 1"), "{row}");
+    }
+}

@@ -1,0 +1,262 @@
+//! §III workarounds 3 & 4: mapping 1-D arrays onto 2-D textures with
+//! normalised coordinates.
+//!
+//! ES 2 has no 1-D textures and no unnormalised texel coordinates, so a
+//! linear index `i` must become a texel `(x, y) = (i mod W, ⌊i/W⌋)` and
+//! then a normalised centre `((x+0.5)/W, (y+0.5)/H)` — the classic
+//! Lefohn/Purcell address translation the paper reuses.
+
+use crate::error::ComputeError;
+
+/// Layout of a linear array inside a 2-D texture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayLayout {
+    /// Number of live elements.
+    pub len: usize,
+    /// Texture width in texels.
+    pub width: u32,
+    /// Texture height in texels.
+    pub height: u32,
+}
+
+impl ArrayLayout {
+    /// Chooses a near-square texture for `len` elements, bounded by
+    /// `max_side` texels per dimension.
+    ///
+    /// # Errors
+    ///
+    /// [`ComputeError::TooLarge`] if `len` does not fit and
+    /// [`ComputeError::BadKernel`] if `len` is zero.
+    pub fn for_len(len: usize, max_side: u32) -> Result<ArrayLayout, ComputeError> {
+        if len == 0 {
+            return Err(ComputeError::bad_kernel("array length must be non-zero"));
+        }
+        let width = ((len as f64).sqrt().ceil() as u64).clamp(1, max_side as u64) as u32;
+        let rows = len.div_ceil(width as usize);
+        if rows > max_side as usize {
+            return Err(ComputeError::TooLarge {
+                what: format!("array of {len} elements (needs {width}x{rows} texels)"),
+            });
+        }
+        Ok(ArrayLayout {
+            len,
+            width,
+            height: rows as u32,
+        })
+    }
+
+    /// An explicit 2-D grid layout (for matrices): `width = cols`,
+    /// `height = rows`, `len = rows·cols`.
+    ///
+    /// # Errors
+    ///
+    /// [`ComputeError::TooLarge`] when a dimension exceeds `max_side`.
+    pub fn grid(rows: u32, cols: u32, max_side: u32) -> Result<ArrayLayout, ComputeError> {
+        if rows == 0 || cols == 0 {
+            return Err(ComputeError::bad_kernel("grid dimensions must be non-zero"));
+        }
+        if rows > max_side || cols > max_side {
+            return Err(ComputeError::TooLarge {
+                what: format!("{rows}x{cols} grid"),
+            });
+        }
+        Ok(ArrayLayout {
+            len: rows as usize * cols as usize,
+            width: cols,
+            height: rows,
+        })
+    }
+
+    /// Total texel count (may exceed `len` by up to `width − 1`).
+    pub fn texel_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Texel coordinates of element `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ len` (debug builds).
+    pub fn coord_of(&self, index: usize) -> (u32, u32) {
+        debug_assert!(index < self.texel_count());
+        (
+            (index % self.width as usize) as u32,
+            (index / self.width as usize) as u32,
+        )
+    }
+
+    /// Linear index of texel `(x, y)`.
+    pub fn index_of(&self, x: u32, y: u32) -> usize {
+        y as usize * self.width as usize + x as usize
+    }
+
+    /// Normalised coordinates of the texel centre for element `index`
+    /// (what `texture2D` must receive for an exact nearest fetch).
+    pub fn normalized_center(&self, index: usize) -> (f32, f32) {
+        let (x, y) = self.coord_of(index);
+        (
+            (x as f32 + 0.5) / self.width as f32,
+            (y as f32 + 0.5) / self.height as f32,
+        )
+    }
+}
+
+/// Emits the GLSL fetch helper for input `name` with the given layout and
+/// unpack function: `float fetch_<name>(float idx)`.
+///
+/// `swizzle` selects the texel channels the unpack function consumes
+/// (`""` for a full `vec4`, `".r"` for byte formats, `".xy"` for the
+/// two-byte short formats). The texture and dimension uniforms are named
+/// `u_<name>` and `u_<name>_dims` respectively.
+pub fn glsl_fetch_1d(name: &str, unpack_fn: &str, swizzle: &str) -> String {
+    format!(
+        "uniform sampler2D u_{name};\n\
+         uniform vec2 u_{name}_dims;\n\
+         float fetch_{name}(float idx) {{\n\
+         \x20   // +0.5 guards the division against SFU reciprocal error\n\
+         \x20   // when idx is an exact multiple of the width.\n\
+         \x20   float y = floor((idx + 0.5) / u_{name}_dims.x);\n\
+         \x20   float x = idx - y * u_{name}_dims.x;\n\
+         \x20   vec2 uv = vec2((x + 0.5) / u_{name}_dims.x, (y + 0.5) / u_{name}_dims.y);\n\
+         \x20   return {unpack_fn}(texture2D(u_{name}, uv){swizzle});\n\
+         }}\n"
+    )
+}
+
+/// Emits the 2-D fetch helper: `float fetch_<name>_rc(float row, float col)`.
+pub fn glsl_fetch_2d(name: &str, unpack_fn: &str, swizzle: &str) -> String {
+    format!(
+        "float fetch_{name}_rc(float row, float col) {{\n\
+         \x20   vec2 uv = vec2((col + 0.5) / u_{name}_dims.x, (row + 0.5) / u_{name}_dims.y);\n\
+         \x20   return {unpack_fn}(texture2D(u_{name}, uv){swizzle});\n\
+         }}\n"
+    )
+}
+
+/// Emits the raw-texel fetch helper: `vec4 fetch_<name>_texel(float idx)`.
+///
+/// Hands the body the undecoded RGBA colour of texel `idx` — the escape
+/// hatch for kernels that define their own texel interpretation (packed
+/// pairs, complex numbers, related-work formats).
+pub fn glsl_fetch_texel_1d(name: &str) -> String {
+    format!(
+        "uniform sampler2D u_{name};\n\
+         uniform vec2 u_{name}_dims;\n\
+         vec4 fetch_{name}_texel(float idx) {{\n\
+         \x20   float y = floor((idx + 0.5) / u_{name}_dims.x);\n\
+         \x20   float x = idx - y * u_{name}_dims.x;\n\
+         \x20   vec2 uv = vec2((x + 0.5) / u_{name}_dims.x, (y + 0.5) / u_{name}_dims.y);\n\
+         \x20   return texture2D(u_{name}, uv);\n\
+         }}\n"
+    )
+}
+
+/// Emits the raw-texel 2-D fetch helper:
+/// `vec4 fetch_<name>_texel_rc(float row, float col)`.
+pub fn glsl_fetch_texel_2d(name: &str) -> String {
+    format!(
+        "vec4 fetch_{name}_texel_rc(float row, float col) {{\n\
+         \x20   vec2 uv = vec2((col + 0.5) / u_{name}_dims.x, (row + 0.5) / u_{name}_dims.y);\n\
+         \x20   return texture2D(u_{name}, uv);\n\
+         }}\n"
+    )
+}
+
+/// Emits the output-index helper used by kernel main bodies:
+/// `idx = ⌊gl_FragCoord.y⌋·W + ⌊gl_FragCoord.x⌋`.
+pub fn glsl_out_index() -> &'static str {
+    "uniform vec2 u_out_dims;\n\
+     float gpes_out_index() {\n\
+     \x20   return floor(gl_FragCoord.y) * u_out_dims.x + floor(gl_FragCoord.x);\n\
+     }\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_square_layouts() {
+        let l = ArrayLayout::for_len(1024, 2048).expect("layout");
+        assert_eq!((l.width, l.height), (32, 32));
+        let l = ArrayLayout::for_len(1000, 2048).expect("layout");
+        assert_eq!(l.width, 32);
+        assert_eq!(l.height, 32); // 32*32 = 1024 ≥ 1000
+        let l = ArrayLayout::for_len(1, 2048).expect("layout");
+        assert_eq!((l.width, l.height), (1, 1));
+    }
+
+    #[test]
+    fn coordinate_round_trip() {
+        let l = ArrayLayout::for_len(1000, 2048).expect("layout");
+        for i in [0usize, 1, 31, 32, 999] {
+            let (x, y) = l.coord_of(i);
+            assert_eq!(l.index_of(x, y), i);
+        }
+    }
+
+    #[test]
+    fn normalized_centers_are_inside_unit_square() {
+        let l = ArrayLayout::for_len(77, 2048).expect("layout");
+        for i in 0..77 {
+            let (u, v) = l.normalized_center(i);
+            assert!(u > 0.0 && u < 1.0);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_len_rejected() {
+        assert!(ArrayLayout::for_len(0, 2048).is_err());
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let err = ArrayLayout::for_len(usize::MAX / 2, 4096).unwrap_err();
+        assert!(matches!(err, ComputeError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn grid_layout() {
+        let l = ArrayLayout::grid(3, 5, 2048).expect("grid");
+        assert_eq!(l.len, 15);
+        assert_eq!((l.width, l.height), (5, 3));
+        assert_eq!(l.coord_of(7), (2, 1)); // row 1, col 2
+        assert!(ArrayLayout::grid(0, 5, 2048).is_err());
+        assert!(ArrayLayout::grid(5000, 5, 2048).is_err());
+    }
+
+    #[test]
+    fn fetch_codegen_compiles() {
+        let src = format!(
+            "precision highp float;\n\
+             float gpes_unpack_byte(float t) {{ return floor(t * 255.0 + 0.5); }}\n\
+             float gpes_unpack_uint(vec4 t) {{ return gpes_unpack_byte(t.x); }}\n\
+             {}{}{}\
+             void main() {{\n\
+               float idx = gpes_out_index();\n\
+               gl_FragColor = vec4(fetch_a(idx) + fetch_a_rc(1.0, 2.0));\n\
+             }}",
+            glsl_fetch_1d("a", "gpes_unpack_uint", ""),
+            glsl_fetch_2d("a", "gpes_unpack_uint", ""),
+            glsl_out_index(),
+        );
+        gpes_glsl::compile(gpes_glsl::ShaderKind::Fragment, &src)
+            .unwrap_or_else(|e| panic!("fetch codegen failed: {e}\n{src}"));
+    }
+
+    #[test]
+    fn raw_texel_fetch_codegen_compiles() {
+        let src = format!(
+            "precision highp float;\n\
+             {}{}\
+             void main() {{\n\
+               gl_FragColor = fetch_a_texel(3.0) + fetch_a_texel_rc(1.0, 2.0);\n\
+             }}",
+            glsl_fetch_texel_1d("a"),
+            glsl_fetch_texel_2d("a"),
+        );
+        gpes_glsl::compile(gpes_glsl::ShaderKind::Fragment, &src)
+            .unwrap_or_else(|e| panic!("raw fetch codegen failed: {e}\n{src}"));
+    }
+}

@@ -1,0 +1,380 @@
+//! §IV-E: IEEE-754 single-precision floating point.
+//!
+//! Unlike the integer formats, float bytes are **not** uploaded verbatim:
+//! the paper's Figure 2 rotates the top nine bits so the eight exponent
+//! bits occupy one byte and the sign joins the mantissa's high byte:
+//!
+//! ```text
+//! IEEE-754:  [ s | e7…e0 | m22…m0 ]
+//! rotated:   [ e7…e0 | s | m22…m0 ]
+//! bytes LE:  b0 = m7…m0   b1 = m15…m8   b2 = s·128 + m22…m16   b3 = e
+//! ```
+//!
+//! The shader reconstructs `(-1)^s · (1 + m·2⁻²³) · 2^(e−127)` with
+//! `exp2`, and decomposes with `log2`/`exp2` on output — precisely the SFU
+//! operations whose reduced precision produces the paper's "accurate
+//! within the 15 most significant mantissa bits" observation (experiment
+//! E2). Denormals, ±0, and (optionally) ±∞/NaN are preserved.
+
+use super::{mirror_store_byte, mirror_unpack_byte, FloatSpecials, PackBias};
+
+/// Rotates IEEE-754 bits into the texture layout (Figure 2).
+#[inline]
+pub fn rotate_bits(bits: u32) -> u32 {
+    let s = bits >> 31;
+    let e = (bits >> 23) & 0xFF;
+    let m = bits & 0x007F_FFFF;
+    (e << 24) | (s << 23) | m
+}
+
+/// Inverse of [`rotate_bits`].
+#[inline]
+pub fn unrotate_bits(rotated: u32) -> u32 {
+    let e = rotated >> 24;
+    let s = (rotated >> 23) & 1;
+    let m = rotated & 0x007F_FFFF;
+    (s << 31) | (e << 23) | m
+}
+
+/// Host-side encode: rotate, then little-endian bytes into RGBA.
+#[inline]
+pub fn encode(v: f32) -> [u8; 4] {
+    rotate_bits(v.to_bits()).to_le_bytes()
+}
+
+/// Host-side decode.
+#[inline]
+pub fn decode(bytes: [u8; 4]) -> f32 {
+    f32::from_bits(unrotate_bits(u32::from_le_bytes(bytes)))
+}
+
+/// GLSL pack/unpack for `float` values carried in a full texel.
+pub fn glsl(specials: FloatSpecials) -> String {
+    let unpack_specials = match specials {
+        FloatSpecials::Preserve => {
+            "    if (b3 == 255.0) {\n\
+             \x20       if (m == 0.0) { return sign_value / 0.0; }\n\
+             \x20       return 0.0 / 0.0;\n\
+             \x20   }\n"
+        }
+        FloatSpecials::Flush => "",
+    };
+    let pack_specials = match specials {
+        FloatSpecials::Preserve => {
+            "    if (a != a) {\n\
+             \x20       return vec4(gpes_pack_byte(0.0), gpes_pack_byte(0.0),\n\
+             \x20                   gpes_pack_byte(64.0), gpes_pack_byte(255.0));\n\
+             \x20   }\n\
+             \x20   if (a == 1.0 / 0.0) {\n\
+             \x20       return vec4(gpes_pack_byte(0.0), gpes_pack_byte(0.0),\n\
+             \x20                   gpes_pack_byte(s), gpes_pack_byte(255.0));\n\
+             \x20   }\n"
+        }
+        FloatSpecials::Flush => "",
+    };
+    format!(
+        "float gpes_unpack_float(vec4 t) {{\n\
+         \x20   float b0 = gpes_unpack_byte(t.x);\n\
+         \x20   float b1 = gpes_unpack_byte(t.y);\n\
+         \x20   float b2 = gpes_unpack_byte(t.z);\n\
+         \x20   float b3 = gpes_unpack_byte(t.w);\n\
+         \x20   float sign_value = b2 < 128.0 ? 1.0 : -1.0;\n\
+         \x20   float mant_hi = b2 < 128.0 ? b2 : b2 - 128.0;\n\
+         \x20   float m = b0 + b1 * 256.0 + mant_hi * 65536.0;\n\
+         \x20   if (b3 == 0.0) {{\n\
+         \x20       return sign_value * m * exp2(-149.0);\n\
+         \x20   }}\n\
+         {unpack_specials}\
+         \x20   return sign_value * (1.0 + m * exp2(-23.0)) * exp2(b3 - 127.0);\n\
+         }}\n\
+         vec4 gpes_pack_float(float v) {{\n\
+         \x20   float s = 0.0;\n\
+         \x20   if (v < 0.0 || (v == 0.0 && 1.0 / v < 0.0)) {{ s = 128.0; }}\n\
+         \x20   float a = abs(v);\n\
+         {pack_specials}\
+         \x20   if (a == 0.0) {{\n\
+         \x20       return vec4(gpes_pack_byte(0.0), gpes_pack_byte(0.0),\n\
+         \x20                   gpes_pack_byte(s), gpes_pack_byte(0.0));\n\
+         \x20   }}\n\
+         \x20   float e = floor(log2(a));\n\
+         \x20   if (e > 127.0) {{ e = 127.0; }}\n\
+         \x20   float p = exp2(e);\n\
+         \x20   // Guards against SFU rounding error in log2/exp2.\n\
+         \x20   if (a < p) {{ e = e - 1.0; p = p * 0.5; }}\n\
+         \x20   if (a >= p * 2.0) {{ e = e + 1.0; p = p * 2.0; }}\n\
+         \x20   if (e < -126.0) {{\n\
+         \x20       float md = floor(a * exp2(126.0) * 8388608.0 + 0.5);\n\
+         \x20       float d0 = mod(md, 256.0);\n\
+         \x20       float d1 = mod(floor(md / 256.0), 256.0);\n\
+         \x20       float d2 = s + floor(md / 65536.0);\n\
+         \x20       return vec4(gpes_pack_byte(d0), gpes_pack_byte(d1),\n\
+         \x20                   gpes_pack_byte(d2), gpes_pack_byte(0.0));\n\
+         \x20   }}\n\
+         \x20   float m = floor((a / p - 1.0) * 8388608.0 + 0.5);\n\
+         \x20   if (m >= 8388608.0) {{ m = 0.0; e = e + 1.0; }}\n\
+         \x20   float b3 = e + 127.0;\n\
+         \x20   float b0 = mod(m, 256.0);\n\
+         \x20   float b1 = mod(floor(m / 256.0), 256.0);\n\
+         \x20   float b2 = s + floor(m / 65536.0);\n\
+         \x20   return vec4(gpes_pack_byte(b0), gpes_pack_byte(b1),\n\
+         \x20               gpes_pack_byte(b2), gpes_pack_byte(b3));\n\
+         }}\n"
+    )
+}
+
+/// Rust mirror of the shader unpack (exact-model fp32 arithmetic).
+pub fn mirror_unpack(texel: [u8; 4], specials: FloatSpecials) -> f32 {
+    let b0 = mirror_unpack_byte(texel[0]);
+    let b1 = mirror_unpack_byte(texel[1]);
+    let b2 = mirror_unpack_byte(texel[2]);
+    let b3 = mirror_unpack_byte(texel[3]);
+    let sign_value = if b2 < 128.0 { 1.0f32 } else { -1.0 };
+    let mant_hi = if b2 < 128.0 { b2 } else { b2 - 128.0 };
+    let m = b0 + b1 * 256.0 + mant_hi * 65536.0;
+    if b3 == 0.0 {
+        return sign_value * m * exact_exp2(-149);
+    }
+    if specials == FloatSpecials::Preserve && b3 == 255.0 {
+        return if m == 0.0 {
+            sign_value / 0.0
+        } else {
+            f32::NAN
+        };
+    }
+    sign_value * (1.0 + m * exact_exp2(-23)) * exact_exp2(b3 as i32 - 127)
+}
+
+/// Rust mirror of the shader pack + eq. (2) store.
+pub fn mirror_pack(v: f32, bias: PackBias, specials: FloatSpecials) -> [u8; 4] {
+    let store = |b: f32| mirror_store_byte(b, bias);
+    let s = if v < 0.0 || (v == 0.0 && v.is_sign_negative()) {
+        128.0f32
+    } else {
+        0.0
+    };
+    let a = v.abs();
+    if specials == FloatSpecials::Preserve {
+        if a.is_nan() {
+            return [store(0.0), store(0.0), store(64.0), store(255.0)];
+        }
+        if a.is_infinite() {
+            return [store(0.0), store(0.0), store(s), store(255.0)];
+        }
+    }
+    if a == 0.0 {
+        return [store(0.0), store(0.0), store(s), store(0.0)];
+    }
+    let mut e = a.log2().floor();
+    // log2 of values just below a power of two can round up; clamp so
+    // exp2 stays finite (the guards below re-derive the true exponent).
+    if e > 127.0 {
+        e = 127.0;
+    }
+    let mut p = exact_exp2(e as i32);
+    if a < p {
+        e -= 1.0;
+        p *= 0.5;
+    }
+    if a >= p * 2.0 {
+        e += 1.0;
+        p *= 2.0;
+    }
+    if e < -126.0 {
+        let md = (a * exact_exp2(126) * 8_388_608.0 + 0.5).floor();
+        let d0 = md % 256.0;
+        let d1 = (md / 256.0).floor() % 256.0;
+        let d2 = s + (md / 65536.0).floor();
+        return [store(d0), store(d1), store(d2), store(0.0)];
+    }
+    let mut m = ((a / p - 1.0) * 8_388_608.0 + 0.5).floor();
+    if m >= 8_388_608.0 {
+        m = 0.0;
+        e += 1.0;
+    }
+    let b3 = e + 127.0;
+    let b0 = m % 256.0;
+    let b1 = (m / 256.0).floor() % 256.0;
+    let b2 = s + (m / 65536.0).floor();
+    [store(b0), store(b1), store(b2), store(b3)]
+}
+
+/// `2^e` computed exactly for integer exponents (including subnormals).
+fn exact_exp2(e: i32) -> f32 {
+    if e >= -126 {
+        f32::from_bits(((e + 127) as u32) << 23)
+    } else {
+        f32::from_bits(1u32 << (149 + e) as u32)
+    }
+}
+
+/// How many of the 23 explicit mantissa bits of `expected` the value
+/// `actual` reproduces: `23 − ⌈log₂(ulp distance + 1)⌉`, clamped to
+/// [0, 23].
+///
+/// This is the metric behind the paper's §V accuracy claim ("accurate …
+/// within the 15 most significant bits of the mantissa"): an error of at
+/// most 2⁸ units in the last place leaves the 15 most significant
+/// mantissa bits trustworthy. Measuring ulp distance (rather than a raw
+/// XOR bit prefix) keeps a ±1-ulp error near a carry boundary from
+/// counting as total disagreement.
+pub fn mantissa_agreement_bits(expected: f32, actual: f32) -> u32 {
+    if expected.to_bits() == actual.to_bits() || (expected.is_nan() && actual.is_nan()) {
+        return 23;
+    }
+    if expected.is_nan() || actual.is_nan() {
+        return 0;
+    }
+    let d = (ordered(expected) - ordered(actual)).unsigned_abs();
+    let err_bits = 64 - d.leading_zeros();
+    23u32.saturating_sub(err_bits)
+}
+
+/// Maps a float onto a monotone integer line (IEEE total-order trick) so
+/// ulp distances can be computed across binades.
+fn ordered(v: f32) -> i64 {
+    let b = v.to_bits();
+    if b & 0x8000_0000 != 0 {
+        -((b & 0x7FFF_FFFF) as i64)
+    } else {
+        b as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLES: &[f32] = &[
+        0.0,
+        1.0,
+        -1.0,
+        0.5,
+        2.0,
+        -3.75,
+        std::f32::consts::PI,
+        1.0e-10,
+        -1.0e10,
+        6.02214e23,
+        1.175494e-38,  // near smallest normal
+        3.402823e38,   // near f32::MAX
+        1.0e-40,       // subnormal
+        -7.0e-42,      // subnormal
+        255.0,
+        1.0 / 3.0,
+    ];
+
+    #[test]
+    fn rotation_is_a_bijection() {
+        for &v in SAMPLES {
+            let bits = v.to_bits();
+            assert_eq!(unrotate_bits(rotate_bits(bits)), bits, "{v}");
+        }
+        // Byte layout of Figure 2: 1.0 = 0x3F800000 → e=0x7F, s=0, m=0.
+        assert_eq!(encode(1.0), [0, 0, 0, 127]);
+        // -2.0 = s=1, e=128, m=0 → b2 carries the sign bit.
+        assert_eq!(encode(-2.0), [0, 0, 128, 128]);
+    }
+
+    #[test]
+    fn host_round_trip_is_exact() {
+        for &v in SAMPLES {
+            assert_eq!(decode(encode(v)).to_bits(), v.to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn shader_unpack_is_bit_exact_under_exact_model() {
+        for &v in SAMPLES {
+            let up = mirror_unpack(encode(v), FloatSpecials::Preserve);
+            assert_eq!(up.to_bits(), v.to_bits(), "unpack {v}");
+        }
+    }
+
+    #[test]
+    fn shader_pack_round_trips_bit_exactly() {
+        for &v in SAMPLES {
+            let bytes = mirror_pack(v, PackBias::HalfTexel, FloatSpecials::Preserve);
+            assert_eq!(decode(bytes).to_bits(), v.to_bits(), "pack {v}");
+        }
+    }
+
+    #[test]
+    fn full_gpu_cycle_encode_unpack_pack_decode() {
+        for &v in SAMPLES {
+            let up = mirror_unpack(encode(v), FloatSpecials::Preserve);
+            let out = mirror_pack(up, PackBias::HalfTexel, FloatSpecials::Preserve);
+            assert_eq!(decode(out).to_bits(), v.to_bits(), "cycle {v}");
+        }
+    }
+
+    #[test]
+    fn specials_are_preserved() {
+        for v in [f32::INFINITY, f32::NEG_INFINITY] {
+            let up = mirror_unpack(encode(v), FloatSpecials::Preserve);
+            assert_eq!(up, v);
+            let out = mirror_pack(up, PackBias::HalfTexel, FloatSpecials::Preserve);
+            assert_eq!(decode(out), v);
+        }
+        let nan_up = mirror_unpack(encode(f32::NAN), FloatSpecials::Preserve);
+        assert!(nan_up.is_nan());
+        let out = mirror_pack(nan_up, PackBias::HalfTexel, FloatSpecials::Preserve);
+        assert!(decode(out).is_nan());
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        let v = -0.0f32;
+        let out = mirror_pack(
+            mirror_unpack(encode(v), FloatSpecials::Preserve),
+            PackBias::HalfTexel,
+            FloatSpecials::Preserve,
+        );
+        assert_eq!(decode(out).to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn exact_exp2_matches_reference() {
+        for e in [-149, -140, -127, -126, -24, 0, 1, 24, 127] {
+            let expected = 2.0f64.powi(e) as f32;
+            assert_eq!(exact_exp2(e), expected, "2^{e}");
+        }
+    }
+
+    #[test]
+    fn agreement_metric() {
+        assert_eq!(mantissa_agreement_bits(1.0, 1.0), 23);
+        assert_eq!(mantissa_agreement_bits(f32::NAN, f32::NAN), 23);
+        // Flip the lowest mantissa bit → 22 bits agree.
+        let v = 1.5f32;
+        let w = f32::from_bits(v.to_bits() ^ 1);
+        assert_eq!(mantissa_agreement_bits(v, w), 22);
+        // Flip mantissa bit 22 (highest) → 0 agree.
+        let w = f32::from_bits(v.to_bits() ^ (1 << 22));
+        assert_eq!(mantissa_agreement_bits(v, w), 0);
+        // A full binade apart → 0.
+        assert_eq!(mantissa_agreement_bits(1.0, 2.0), 0);
+        // One ulp across a carry boundary is still 22 bits of agreement
+        // (the XOR-prefix metric would report 0 here).
+        let boundary = f32::from_bits(0x3FFF_FFFF); // just below 2.0
+        let next = f32::from_bits(0x4000_0000); // 2.0
+        assert_eq!(mantissa_agreement_bits(boundary, next), 22);
+        // Error of ~2^8 ulps → 14-15 bits agree (the paper's number).
+        let w = f32::from_bits(v.to_bits() + 0xA5);
+        assert!(mantissa_agreement_bits(v, w) >= 14);
+        // Sign disagreement on non-tiny values → 0.
+        assert_eq!(mantissa_agreement_bits(1.0, -1.0), 0);
+    }
+
+    #[test]
+    fn glsl_source_compiles_both_variants() {
+        for specials in [FloatSpecials::Preserve, FloatSpecials::Flush] {
+            let lib = super::super::glsl_codec_library(PackBias::HalfTexel, specials);
+            let src = format!(
+                "precision highp float;\n{lib}\n\
+                 void main() {{ gl_FragColor = gpes_pack_float(gpes_unpack_float(vec4(0.5))); }}"
+            );
+            gpes_glsl::compile(gpes_glsl::ShaderKind::Fragment, &src)
+                .unwrap_or_else(|e| panic!("{specials:?}: {e}"));
+        }
+    }
+}

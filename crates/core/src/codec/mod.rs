@@ -1,0 +1,276 @@
+//! §IV of the paper: numeric transformations for kernel I/O.
+//!
+//! OpenGL ES 2 moves data through RGBA8 textures (bytes interpreted as
+//! `f = c/255` on fetch, eq. (1)) and a byte framebuffer (stores
+//! `i = ⌊clamp(f,0,1)·255⌋`, eq. (2)). Each codec module defines, for one C
+//! scalar type:
+//!
+//! * **host encode/decode** — how the CPU lays the value out in texel
+//!   bytes before upload / after readback (for `f32` this includes the
+//!   paper's Figure 2 bit rotation);
+//! * **GLSL pack/unpack source** — the shader-side transformation, built
+//!   exclusively from floor/mod arithmetic because GLSL ES 1.00 has no
+//!   bitwise operators;
+//! * **a Rust mirror of the shader math** — the same arithmetic in `f32`,
+//!   used for differential testing against the real interpreter and for
+//!   fast CPU-side oracles.
+
+pub mod float32;
+pub mod sbyte;
+pub mod sint;
+pub mod sshort;
+pub mod strzodka16;
+pub mod ubyte;
+pub mod uint;
+pub mod ushort;
+
+use std::fmt;
+
+/// The C scalar types the transformations support (§IV: "unsigned and
+/// signed variants of char and integer, as well as floating point").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    /// `unsigned char` (§IV-A) — one byte per element.
+    U8,
+    /// `signed char` (§IV-B) — one byte per element.
+    I8,
+    /// `unsigned short` — two bytes per element in a `LUMINANCE_ALPHA`
+    /// texel, fully exact through the fp32 shader path.
+    U16,
+    /// `signed short` — §IV-D's two's-complement adjustment on two bytes.
+    I16,
+    /// `unsigned int` (§IV-C) — four bytes per element, 24-bit-exact
+    /// through the fp32 shader path.
+    U32,
+    /// `signed int` (§IV-D).
+    I32,
+    /// IEEE-754 binary32 (§IV-E) — four bytes per element with the
+    /// sign/exponent rotation of Figure 2.
+    F32,
+}
+
+impl ScalarType {
+    /// Bytes of texel storage per element.
+    pub fn bytes_per_element(self) -> usize {
+        match self {
+            ScalarType::U8 | ScalarType::I8 => 1,
+            ScalarType::U16 | ScalarType::I16 => 2,
+            ScalarType::U32 | ScalarType::I32 | ScalarType::F32 => 4,
+        }
+    }
+
+    /// Whether the element occupies a full RGBA texel (vs. one channel).
+    pub fn uses_rgba(self) -> bool {
+        self.bytes_per_element() >= 2
+    }
+
+    /// The swizzle selecting the texel channels the unpack function
+    /// consumes: `""` = full `vec4`, `".r"` = single byte, `".ra"` = the
+    /// two-byte short formats (GLES2 samples `LUMINANCE_ALPHA` as
+    /// `(L, L, L, A)`, and the short pack functions mirror that placement
+    /// in the RGBA8 framebuffer so chained kernels fetch identically).
+    pub fn fetch_swizzle(self) -> &'static str {
+        match self.bytes_per_element() {
+            1 => ".r",
+            2 => ".ra",
+            _ => "",
+        }
+    }
+
+    /// The GLSL unpack function name for this type.
+    pub fn unpack_fn(self) -> &'static str {
+        match self {
+            ScalarType::U8 => "gpes_unpack_ubyte",
+            ScalarType::I8 => "gpes_unpack_sbyte",
+            ScalarType::U16 => "gpes_unpack_ushort",
+            ScalarType::I16 => "gpes_unpack_sshort",
+            ScalarType::U32 => "gpes_unpack_uint",
+            ScalarType::I32 => "gpes_unpack_sint",
+            ScalarType::F32 => "gpes_unpack_float",
+        }
+    }
+
+    /// The GLSL pack function name for this type (returns `vec4` for the
+    /// framebuffer).
+    pub fn pack_fn(self) -> &'static str {
+        match self {
+            ScalarType::U8 => "gpes_pack_ubyte",
+            ScalarType::I8 => "gpes_pack_sbyte",
+            ScalarType::U16 => "gpes_pack_ushort",
+            ScalarType::I16 => "gpes_pack_sshort",
+            ScalarType::U32 => "gpes_pack_uint",
+            ScalarType::I32 => "gpes_pack_sint",
+            ScalarType::F32 => "gpes_pack_float",
+        }
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ScalarType::U8 => "u8",
+            ScalarType::I8 => "i8",
+            ScalarType::U16 => "u16",
+            ScalarType::I16 => "i16",
+            ScalarType::U32 => "u32",
+            ScalarType::I32 => "i32",
+            ScalarType::F32 => "f32",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Output bias applied when a shader packs a byte value `b` into a colour
+/// component so that the framebuffer's eq. (2) recovers exactly `b`.
+///
+/// The ES 2 spec leaves the store rounding implementation-defined, and
+/// the choice of bias interacts with it (ablation A1):
+///
+/// * [`PackBias::HalfTexel`] maximises the safety margin under *floor*
+///   stores but sits exactly on the rounding boundary under *nearest*
+///   stores, where it shifts every byte by one;
+/// * [`PackBias::PaperDelta`] recovers correctly under both roundings but
+///   with a sliver-thin floor margin (255/65280 of a grid step);
+/// * [`PackBias::QuarterTexel`] is correct under both roundings with a
+///   comfortable margin either way — the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PackBias {
+    /// `f = (b + 0.25) / 255` — robust under floor *and* nearest stores.
+    #[default]
+    QuarterTexel,
+    /// `f = (b + 0.5) / 255` — maximal floor margin, breaks under nearest.
+    HalfTexel,
+    /// `f = b/255 + 1/65280` — the paper's `−δ` (eq. (5)).
+    PaperDelta,
+}
+
+impl PackBias {
+    /// The GLSL function body packing byte value `b`.
+    pub fn glsl_pack_byte_body(self) -> &'static str {
+        match self {
+            PackBias::QuarterTexel => "return (b + 0.25) / 255.0;",
+            PackBias::HalfTexel => "return (b + 0.5) / 255.0;",
+            PackBias::PaperDelta => "return b / 255.0 + (1.0 / 65280.0);",
+        }
+    }
+
+    /// Rust mirror of the GLSL: byte value → colour component.
+    #[inline]
+    pub fn pack_byte(self, b: f32) -> f32 {
+        match self {
+            PackBias::QuarterTexel => (b + 0.25) / 255.0,
+            PackBias::HalfTexel => (b + 0.5) / 255.0,
+            PackBias::PaperDelta => b / 255.0 + (1.0 / 65280.0),
+        }
+    }
+}
+
+/// Handling of IEEE special values (±∞, NaN) in the float codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FloatSpecials {
+    /// Preserve infinities and NaNs through pack/unpack (§IV-E: "can
+    /// optionally preserve special values … required in high performance
+    /// and scientific computing").
+    #[default]
+    Preserve,
+    /// Treat exponent-255 patterns as the largest finite magnitudes
+    /// (what naïve shader code would produce).
+    Flush,
+}
+
+/// Shared shader-mirror helper: eq. (1) + the shader's byte
+/// reconstruction `floor(t·255 + 0.5)` (the robust form of eq. (4)).
+#[inline]
+pub(crate) fn mirror_unpack_byte(texel: u8) -> f32 {
+    let t = texel as f32 / 255.0;
+    (t * 255.0 + 0.5).floor()
+}
+
+/// Shared shader-mirror helper: byte value → framebuffer byte through the
+/// pack bias and eq. (2).
+#[inline]
+pub(crate) fn mirror_store_byte(b: f32, bias: PackBias) -> u8 {
+    gpes_gles2::float_to_texel(bias.pack_byte(b), gpes_gles2::StoreRounding::Floor)
+}
+
+/// The GLSL codec library: `gpes_pack_byte` + all pack/unpack functions.
+///
+/// Generated once per program; kernels call the per-type functions. The
+/// `specials` flag controls whether the float codec emits the ∞/NaN
+/// branches.
+pub fn glsl_codec_library(bias: PackBias, specials: FloatSpecials) -> String {
+    let mut src = String::with_capacity(4096);
+    src.push_str("// ---- gpes codec library (paper §IV) ----\n");
+    src.push_str("float gpes_unpack_byte(float t) { return floor(t * 255.0 + 0.5); }\n");
+    src.push_str(&format!(
+        "float gpes_pack_byte(float b) {{ {} }}\n",
+        bias.glsl_pack_byte_body()
+    ));
+    src.push_str(ubyte::GLSL);
+    src.push_str(sbyte::GLSL);
+    src.push_str(ushort::GLSL);
+    src.push_str(sshort::GLSL);
+    src.push_str(uint::GLSL);
+    src.push_str(sint::GLSL);
+    src.push_str(&float32::glsl(specials));
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_type_properties() {
+        assert_eq!(ScalarType::U8.bytes_per_element(), 1);
+        assert_eq!(ScalarType::F32.bytes_per_element(), 4);
+        assert!(!ScalarType::I8.uses_rgba());
+        assert!(ScalarType::I32.uses_rgba());
+        assert_eq!(ScalarType::F32.to_string(), "f32");
+    }
+
+    #[test]
+    fn pack_bias_both_satisfy_floor_recovery() {
+        for bias in [PackBias::QuarterTexel, PackBias::HalfTexel, PackBias::PaperDelta] {
+            for b in 0..=255u32 {
+                let stored = mirror_store_byte(b as f32, bias);
+                assert_eq!(stored as u32, b, "{bias:?} byte {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_unpack_byte_is_identity() {
+        for c in 0..=255u16 {
+            assert_eq!(mirror_unpack_byte(c as u8), c as f32);
+        }
+    }
+
+    #[test]
+    fn codec_library_compiles_as_glsl() {
+        // The library must parse and check when wrapped in a shader.
+        let lib = glsl_codec_library(PackBias::HalfTexel, FloatSpecials::Preserve);
+        let src = format!(
+            "precision highp float;\n{lib}\n\
+             void main() {{\n\
+               vec4 t = vec4(0.5);\n\
+               float a = gpes_unpack_ubyte(t.r) + gpes_unpack_sbyte(t.g)\n\
+                       + gpes_unpack_ushort(t.ra) + gpes_unpack_sshort(t.ra)\n\
+                       + gpes_unpack_uint(t) + gpes_unpack_sint(t) + gpes_unpack_float(t);\n\
+               gl_FragColor = gpes_pack_float(a) + gpes_pack_uint(a) + gpes_pack_sint(a)\n\
+                            + gpes_pack_ushort(a) + gpes_pack_sshort(a)\n\
+                            + vec4(gpes_pack_ubyte(a)) + vec4(gpes_pack_sbyte(a));\n\
+             }}"
+        );
+        gpes_glsl::compile(gpes_glsl::ShaderKind::Fragment, &src)
+            .unwrap_or_else(|e| panic!("codec library failed to compile: {e}"));
+        // Flush variant too.
+        let lib = glsl_codec_library(PackBias::PaperDelta, FloatSpecials::Flush);
+        let src = format!(
+            "precision highp float;\n{lib}\n\
+             void main() {{ gl_FragColor = gpes_pack_float(gpes_unpack_float(vec4(0.25))); }}"
+        );
+        gpes_glsl::compile(gpes_glsl::ShaderKind::Fragment, &src)
+            .unwrap_or_else(|e| panic!("codec library (flush) failed to compile: {e}"));
+    }
+}

@@ -1,0 +1,89 @@
+//! §IV-B: `signed char`.
+//!
+//! Two's-complement bytes travel unchanged; the shader maps
+//! `M₂ : [0,255] → [−128,127]` by subtracting 256 from values ≥ 128, and
+//! the inverse adds 256 back to negative outputs before byte packing.
+
+use super::{mirror_store_byte, mirror_unpack_byte, PackBias};
+
+/// GLSL pack/unpack for `signed char` values carried in one channel.
+pub const GLSL: &str = "\
+float gpes_unpack_sbyte(float t) {\n\
+    float u = gpes_unpack_byte(t);\n\
+    return u < 128.0 ? u : u - 256.0;\n\
+}\n\
+float gpes_pack_sbyte(float v) {\n\
+    return gpes_pack_byte(v < 0.0 ? v + 256.0 : v);\n\
+}\n";
+
+/// Host-side encode: two's-complement byte, unchanged.
+#[inline]
+pub fn encode(v: i8) -> u8 {
+    v as u8
+}
+
+/// Host-side decode.
+#[inline]
+pub fn decode(b: u8) -> i8 {
+    b as i8
+}
+
+/// Rust mirror of the shader unpack: texel byte → signed value in
+/// [−128, 127] as a float.
+#[inline]
+pub fn mirror_unpack(texel: u8) -> f32 {
+    let u = mirror_unpack_byte(texel);
+    if u < 128.0 {
+        u
+    } else {
+        u - 256.0
+    }
+}
+
+/// Rust mirror of the shader pack + store.
+#[inline]
+pub fn mirror_pack(v: f32, bias: PackBias) -> u8 {
+    let b = if v < 0.0 { v + 256.0 } else { v };
+    mirror_store_byte(b, bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_values() {
+        for v in i8::MIN..=i8::MAX {
+            let up = mirror_unpack(encode(v));
+            assert_eq!(up, v as f32, "unpack {v}");
+            let stored = mirror_pack(up, PackBias::HalfTexel);
+            assert_eq!(decode(stored), v, "pack {v}");
+        }
+    }
+
+    #[test]
+    fn two_complement_mapping() {
+        assert_eq!(encode(-1), 255);
+        assert_eq!(encode(-128), 128);
+        assert_eq!(mirror_unpack(255), -1.0);
+        assert_eq!(mirror_unpack(128), -128.0);
+        assert_eq!(mirror_unpack(127), 127.0);
+    }
+
+    #[test]
+    fn arithmetic_in_shader_domain() {
+        // (-100) + 55 = -45 survives the byte round trip.
+        let a = mirror_unpack(encode(-100));
+        let b = mirror_unpack(encode(55));
+        let out = mirror_pack(a + b, PackBias::HalfTexel);
+        assert_eq!(decode(out), -45);
+    }
+
+    #[test]
+    fn paper_delta_round_trip() {
+        for v in i8::MIN..=i8::MAX {
+            let stored = mirror_pack(v as f32, PackBias::PaperDelta);
+            assert_eq!(decode(stored), v);
+        }
+    }
+}

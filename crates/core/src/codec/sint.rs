@@ -1,0 +1,161 @@
+//! §IV-D: `signed int`.
+//!
+//! The paper reconstructs signed integers "as unsigned and adjusted" by
+//! the two's-complement wrap constant. Subtracting 2³² directly in fp32 is
+//! catastrophic near 2³² (ulp = 512 there), so this implementation uses
+//! the algebraically identical bit-complement form, which stays inside the
+//! 24-bit-exact window:
+//!
+//! * unpack: if the top byte ≥ 128, compute `m = Σ (255−bᵢ)·256ⁱ` and
+//!   return `−(m+1)` (since `−v = ~v + 1`);
+//! * pack (v < 0): decompose `m = −v−1` and complement each byte.
+//!
+//! This deviation from the paper's printed formulas is recorded in
+//! `DESIGN.md` §2.
+
+use super::{mirror_store_byte, mirror_unpack_byte, PackBias};
+
+/// Magnitude bound for exact round trips through fp32.
+pub const EXACT_MAX: i32 = 1 << 24;
+
+/// GLSL pack/unpack for `signed int` values carried in a full texel.
+pub const GLSL: &str = "\
+float gpes_unpack_sint(vec4 t) {\n\
+    float b0 = gpes_unpack_byte(t.x);\n\
+    float b1 = gpes_unpack_byte(t.y);\n\
+    float b2 = gpes_unpack_byte(t.z);\n\
+    float b3 = gpes_unpack_byte(t.w);\n\
+    if (b3 >= 128.0) {\n\
+        float m = (255.0 - b0) + (255.0 - b1) * 256.0\n\
+                + (255.0 - b2) * 65536.0 + (255.0 - b3) * 16777216.0;\n\
+        return -(m + 1.0);\n\
+    }\n\
+    return b0 + b1 * 256.0 + b2 * 65536.0 + b3 * 16777216.0;\n\
+}\n\
+vec4 gpes_pack_sint(float v) {\n\
+    if (v < 0.0) {\n\
+        float m = -v - 1.0;\n\
+        float b0 = 255.0 - mod(m, 256.0);\n\
+        float r1 = floor(m / 256.0);\n\
+        float b1 = 255.0 - mod(r1, 256.0);\n\
+        float r2 = floor(r1 / 256.0);\n\
+        float b2 = 255.0 - mod(r2, 256.0);\n\
+        float b3 = 255.0 - mod(floor(r2 / 256.0), 256.0);\n\
+        return vec4(gpes_pack_byte(b0), gpes_pack_byte(b1),\n\
+                    gpes_pack_byte(b2), gpes_pack_byte(b3));\n\
+    }\n\
+    return gpes_pack_uint(v);\n\
+}\n";
+
+/// Host-side encode: two's-complement little-endian bytes.
+#[inline]
+pub fn encode(v: i32) -> [u8; 4] {
+    v.to_le_bytes()
+}
+
+/// Host-side decode.
+#[inline]
+pub fn decode(bytes: [u8; 4]) -> i32 {
+    i32::from_le_bytes(bytes)
+}
+
+/// Whether `v` survives the fp32 shader path exactly.
+#[inline]
+pub fn is_exact(v: i32) -> bool {
+    v.unsigned_abs() <= EXACT_MAX as u32
+}
+
+/// Rust mirror of the shader unpack.
+#[inline]
+pub fn mirror_unpack(texel: [u8; 4]) -> f32 {
+    let b0 = mirror_unpack_byte(texel[0]);
+    let b1 = mirror_unpack_byte(texel[1]);
+    let b2 = mirror_unpack_byte(texel[2]);
+    let b3 = mirror_unpack_byte(texel[3]);
+    if b3 >= 128.0 {
+        let m = (255.0 - b0)
+            + (255.0 - b1) * 256.0
+            + (255.0 - b2) * 65536.0
+            + (255.0 - b3) * 16777216.0;
+        -(m + 1.0)
+    } else {
+        b0 + b1 * 256.0 + b2 * 65536.0 + b3 * 16777216.0
+    }
+}
+
+/// Rust mirror of the shader pack + store.
+#[inline]
+pub fn mirror_pack(v: f32, bias: PackBias) -> [u8; 4] {
+    if v < 0.0 {
+        let m = -v - 1.0;
+        let b0 = 255.0 - m % 256.0;
+        let r1 = (m / 256.0).floor();
+        let b1 = 255.0 - r1 % 256.0;
+        let r2 = (r1 / 256.0).floor();
+        let b2 = 255.0 - r2 % 256.0;
+        let b3 = 255.0 - (r2 / 256.0).floor() % 256.0;
+        [
+            mirror_store_byte(b0, bias),
+            mirror_store_byte(b1, bias),
+            mirror_store_byte(b2, bias),
+            mirror_store_byte(b3, bias),
+        ]
+    } else {
+        super::uint::mirror_pack(v, bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_notable_values() {
+        for v in [
+            0i32,
+            1,
+            -1,
+            127,
+            -128,
+            255,
+            -256,
+            65536,
+            -65537,
+            (1 << 24) - 1,
+            -(1 << 24),
+            1 << 24,
+        ] {
+            assert!(is_exact(v), "{v}");
+            let up = mirror_unpack(encode(v));
+            assert_eq!(up, v as f32, "unpack {v}");
+            let stored = mirror_pack(up, PackBias::HalfTexel);
+            assert_eq!(decode(stored), v, "pack {v}");
+        }
+    }
+
+    #[test]
+    fn two_complement_bytes() {
+        assert_eq!(encode(-1), [255, 255, 255, 255]);
+        assert_eq!(encode(-256), [0, 255, 255, 255]);
+        assert_eq!(mirror_unpack([0, 255, 255, 255]), -256.0);
+    }
+
+    #[test]
+    fn negative_arithmetic_survives() {
+        let a = mirror_unpack(encode(-1_000_000));
+        let b = mirror_unpack(encode(250_000));
+        let out = mirror_pack(a + b, PackBias::HalfTexel);
+        assert_eq!(decode(out), -750_000);
+        let out = mirror_pack(a * 2.0, PackBias::HalfTexel);
+        assert_eq!(decode(out), -2_000_000);
+    }
+
+    #[test]
+    fn sign_flip_boundary() {
+        // Values straddling zero.
+        for v in -300..300 {
+            let up = mirror_unpack(encode(v));
+            assert_eq!(decode(mirror_pack(up, PackBias::PaperDelta)), v);
+        }
+    }
+}

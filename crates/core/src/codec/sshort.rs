@@ -1,0 +1,109 @@
+//! `signed short` — §IV-D's two's-complement adjustment on two bytes.
+//!
+//! Reconstruction follows §IV-D: read the value as unsigned, then
+//! subtract 2¹⁶ when the top byte's sign bit is set. Because the whole
+//! 16-bit domain is exact in fp32, the inverse transform can use the
+//! direct `v + 65536` wrap for negatives — no need for the bit-complement
+//! identity the 32-bit codec requires near 2³².
+
+use super::{mirror_store_byte, mirror_unpack_byte, PackBias};
+
+/// Largest magnitude exactly representable (the whole domain).
+pub const EXACT_MAX: u32 = i16::MAX as u32;
+
+/// GLSL pack/unpack for `signed short` values carried in `.ra`.
+pub const GLSL: &str = "\
+float gpes_unpack_sshort(vec2 t) {\n\
+    float b0 = gpes_unpack_byte(t.x);\n\
+    float b1 = gpes_unpack_byte(t.y);\n\
+    float v = b0 + b1 * 256.0;\n\
+    if (b1 >= 128.0) { v -= 65536.0; }\n\
+    return v;\n\
+}\n\
+vec4 gpes_pack_sshort(float v) {\n\
+    if (v < 0.0) { v += 65536.0; }\n\
+    float b0 = mod(v, 256.0);\n\
+    float b1 = mod(floor(v / 256.0), 256.0);\n\
+    return vec4(gpes_pack_byte(b0), 0.0, 0.0, gpes_pack_byte(b1));\n\
+}\n";
+
+/// Host-side encode: the CPU's native two's-complement little-endian
+/// bytes, unmodified.
+#[inline]
+pub fn encode(v: i16) -> [u8; 2] {
+    v.to_le_bytes()
+}
+
+/// Host-side decode.
+#[inline]
+pub fn decode(bytes: [u8; 2]) -> i16 {
+    i16::from_le_bytes(bytes)
+}
+
+/// Rust mirror of the shader unpack.
+#[inline]
+pub fn mirror_unpack(bytes: [u8; 2]) -> f32 {
+    let b0 = mirror_unpack_byte(bytes[0]);
+    let b1 = mirror_unpack_byte(bytes[1]);
+    let v = b0 + b1 * 256.0;
+    if b1 >= 128.0 {
+        v - 65536.0
+    } else {
+        v
+    }
+}
+
+/// Rust mirror of the shader pack + store.
+#[inline]
+pub fn mirror_pack(v: f32, bias: PackBias) -> [u8; 2] {
+    let v = if v < 0.0 { v + 65536.0 } else { v };
+    let b0 = v % 256.0;
+    let b1 = (v / 256.0).floor() % 256.0;
+    [mirror_store_byte(b0, bias), mirror_store_byte(b1, bias)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_native_twos_complement() {
+        assert_eq!(encode(-1), [0xFF, 0xFF]);
+        assert_eq!(encode(-2), [0xFE, 0xFF]);
+        assert_eq!(encode(i16::MIN), [0x00, 0x80]);
+        assert_eq!(encode(0x1234), [0x34, 0x12]);
+    }
+
+    #[test]
+    fn round_trip_exhaustive() {
+        for v in i16::MIN..=i16::MAX {
+            let up = mirror_unpack(encode(v));
+            assert_eq!(up, v as f32, "unpack {v}");
+            let stored = mirror_pack(up, PackBias::default());
+            assert_eq!(decode(stored), v, "pack {v}");
+        }
+    }
+
+    #[test]
+    fn signed_arithmetic_survives_packing() {
+        let a = mirror_unpack(encode(-12_000));
+        let b = mirror_unpack(encode(5_000));
+        assert_eq!(decode(mirror_pack(a + b, PackBias::default())), -7_000);
+        assert_eq!(decode(mirror_pack(a * -2.0, PackBias::default())), 24_000);
+    }
+
+    #[test]
+    fn glsl_compiles() {
+        let src = format!(
+            "precision highp float;\n\
+             float gpes_unpack_byte(float t) {{ return floor(t * 255.0 + 0.5); }}\n\
+             float gpes_pack_byte(float b) {{ return (b + 0.25) / 255.0; }}\n\
+             {GLSL}\
+             void main() {{\n\
+               gl_FragColor = gpes_pack_sshort(gpes_unpack_sshort(vec2(0.5, 0.75)));\n\
+             }}"
+        );
+        gpes_glsl::compile(gpes_glsl::ShaderKind::Fragment, &src)
+            .unwrap_or_else(|e| panic!("sshort GLSL failed to compile: {e}"));
+    }
+}

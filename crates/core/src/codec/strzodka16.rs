@@ -1,0 +1,349 @@
+//! Related-work baseline (§VI): Strzodka, *Virtual 16 bit precise
+//! operations on RGBA8 textures* (VMV 2002).
+//!
+//! The DATE paper positions its §IV codecs against this scheme: Strzodka
+//! emulates 16-bit integer precision on hardware whose shader paths only
+//! offer 8-bit fixed point, by splitting each value into a high and a low
+//! byte held in *two texture channels* and performing arithmetic on the
+//! halves with explicit carry propagation. The paper's two criticisms,
+//! which this module exists to make measurable (ablation A5), are:
+//!
+//! 1. **Custom memory format.** The split is big-endian by channel and
+//!    signed values use an excess-32768 bias — not the CPU's
+//!    little-endian two's complement. Host data must be transformed
+//!    element by element before upload and after readback, whereas the
+//!    §IV integer codecs upload unmodified 32-bit integers (a plain
+//!    `memcpy`).
+//! 2. **Integer-only.** The scheme has no floating-point story, "which
+//!    are indispensable for GPGPU computations".
+//!
+//! One RGBA8 texel carries **two** virtual-16 values (RG and BA pairs),
+//! twice the density of the §IV 32-bit codecs — the honest advantage the
+//! ablation also reports.
+//!
+//! ## Substrate note
+//!
+//! On Strzodka's original fixed-point hardware each half-operation needed
+//! multi-pass rendering tricks; on a VideoCore-class fp32 shader core the
+//! halves fit exactly in a float register, so the virtual operations run
+//! in a single pass here. What the comparison preserves is the *format*
+//! and its CPU↔GPU interoperability cost, which is what §VI argues about.
+
+use super::{mirror_store_byte, mirror_unpack_byte, PackBias};
+
+/// Bias added to signed values before the byte split (excess-32768).
+pub const SIGN_BIAS: i32 = 32768;
+
+/// Largest magnitude exactly representable: the format is 16-bit by
+/// construction (vs. 2²⁴ for the §IV integer codecs).
+pub const EXACT_MAX: u32 = u16::MAX as u32;
+
+/// GLSL library for virtual-16-bit values.
+///
+/// A value travels as `vec2(hi, lo)` with both components holding *byte
+/// values* in `[0, 255]`. All arithmetic keeps the halves below 2¹⁶, far
+/// inside fp32's exact-integer range.
+pub const GLSL: &str = "\
+vec2 gpes_v16_from_bytes(vec2 t) {\n\
+    return vec2(gpes_unpack_byte(t.x), gpes_unpack_byte(t.y));\n\
+}\n\
+float gpes_v16_value(vec2 a) {\n\
+    return a.x * 256.0 + a.y;\n\
+}\n\
+vec2 gpes_v16_make(float v) {\n\
+    float hi = floor(v / 256.0);\n\
+    return vec2(mod(hi, 256.0), v - hi * 256.0);\n\
+}\n\
+vec2 gpes_v16_add(vec2 a, vec2 b) {\n\
+    float lo = a.y + b.y;\n\
+    float carry = floor(lo / 256.0);\n\
+    return vec2(mod(a.x + b.x + carry, 256.0), lo - carry * 256.0);\n\
+}\n\
+vec2 gpes_v16_sub(vec2 a, vec2 b) {\n\
+    float lo = a.y - b.y;\n\
+    float borrow = lo < 0.0 ? 1.0 : 0.0;\n\
+    return vec2(mod(a.x - b.x - borrow + 512.0, 256.0), lo + borrow * 256.0);\n\
+}\n\
+vec2 gpes_v16_scale(vec2 a, float k) {\n\
+    float lo = a.y * k;\n\
+    float carry = floor(lo / 256.0);\n\
+    return vec2(mod(a.x * k + carry, 256.0), lo - carry * 256.0);\n\
+}\n\
+float gpes_v16_lt(vec2 a, vec2 b) {\n\
+    if (a.x != b.x) { return a.x < b.x ? 1.0 : 0.0; }\n\
+    return a.y < b.y ? 1.0 : 0.0;\n\
+}\n\
+vec2 gpes_v16_pack(vec2 a) {\n\
+    return vec2(gpes_pack_byte(a.x), gpes_pack_byte(a.y));\n\
+}\n";
+
+/// Host-side encode of an unsigned 16-bit value into the custom
+/// big-endian channel split `[hi, lo]`.
+#[inline]
+pub fn encode_u16(v: u16) -> [u8; 2] {
+    [(v >> 8) as u8, (v & 0xFF) as u8]
+}
+
+/// Host-side decode from the channel split.
+#[inline]
+pub fn decode_u16(bytes: [u8; 2]) -> u16 {
+    ((bytes[0] as u16) << 8) | bytes[1] as u16
+}
+
+/// Host-side encode of a signed value in excess-32768 (the "custom
+/// format, not the common 2's complement" of §VI).
+#[inline]
+pub fn encode_i16(v: i16) -> [u8; 2] {
+    encode_u16((v as i32 + SIGN_BIAS) as u16)
+}
+
+/// Host-side decode of an excess-32768 value.
+#[inline]
+pub fn decode_i16(bytes: [u8; 2]) -> i16 {
+    (decode_u16(bytes) as i32 - SIGN_BIAS) as i16
+}
+
+/// Packs a slice of `u16` values two per RGBA8 texel (RG then BA),
+/// zero-padded to `texel_count` texels.
+pub fn encode_texels(values: &[u16], texel_count: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(texel_count * 4);
+    for pair in values.chunks(2) {
+        let a = encode_u16(pair[0]);
+        let b = encode_u16(pair.get(1).copied().unwrap_or(0));
+        out.extend_from_slice(&[a[0], a[1], b[0], b[1]]);
+    }
+    out.resize(texel_count * 4, 0);
+    out
+}
+
+/// Recovers `len` values from RGBA8 texel bytes written by
+/// [`encode_texels`] (or by a shader through `gpes_v16_pack`).
+pub fn decode_texels(bytes: &[u8], len: usize) -> Vec<u16> {
+    let mut out = Vec::with_capacity(len);
+    for px in bytes.chunks_exact(4) {
+        if out.len() < len {
+            out.push(decode_u16([px[0], px[1]]));
+        }
+        if out.len() < len {
+            out.push(decode_u16([px[2], px[3]]));
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// A virtual-16 value as the shader sees it: `(hi, lo)` byte values.
+pub type Halves = [f32; 2];
+
+/// Rust mirror of `gpes_v16_from_bytes` ∘ texel fetch.
+#[inline]
+pub fn mirror_unpack(bytes: [u8; 2]) -> Halves {
+    [mirror_unpack_byte(bytes[0]), mirror_unpack_byte(bytes[1])]
+}
+
+/// Rust mirror of `gpes_v16_add` (mod-2¹⁶ addition on halves).
+#[inline]
+pub fn mirror_add(a: Halves, b: Halves) -> Halves {
+    let lo = a[1] + b[1];
+    let carry = (lo / 256.0).floor();
+    [(a[0] + b[0] + carry) % 256.0, lo - carry * 256.0]
+}
+
+/// Rust mirror of `gpes_v16_sub` (mod-2¹⁶ subtraction on halves).
+#[inline]
+pub fn mirror_sub(a: Halves, b: Halves) -> Halves {
+    let lo = a[1] - b[1];
+    let borrow = if lo < 0.0 { 1.0 } else { 0.0 };
+    [
+        (a[0] - b[0] - borrow + 512.0) % 256.0,
+        lo + borrow * 256.0,
+    ]
+}
+
+/// Rust mirror of `gpes_v16_scale` (multiply by an integer scalar; exact
+/// while `k ≤ 255`).
+#[inline]
+pub fn mirror_scale(a: Halves, k: f32) -> Halves {
+    let lo = a[1] * k;
+    let carry = (lo / 256.0).floor();
+    [(a[0] * k + carry) % 256.0, lo - carry * 256.0]
+}
+
+/// Rust mirror of `gpes_v16_lt`.
+#[inline]
+pub fn mirror_lt(a: Halves, b: Halves) -> bool {
+    if a[0] != b[0] {
+        a[0] < b[0]
+    } else {
+        a[1] < b[1]
+    }
+}
+
+/// Rust mirror of `gpes_v16_pack` + framebuffer store.
+#[inline]
+pub fn mirror_pack(a: Halves, bias: PackBias) -> [u8; 2] {
+    [mirror_store_byte(a[0], bias), mirror_store_byte(a[1], bias)]
+}
+
+/// How a format's host-side data moves between CPU memory and texel
+/// bytes — the interoperability cost §VI argues about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InteropProfile {
+    /// Whether CPU-native memory can be uploaded without per-element
+    /// transformation.
+    pub memcpy_compatible: bool,
+    /// Host arithmetic/shuffle operations per element on upload+readback.
+    pub host_ops_per_element: u32,
+    /// Exactly representable integer bits through the shader path.
+    pub exact_bits: u32,
+    /// Values carried per RGBA8 texel.
+    pub values_per_texel: u32,
+    /// Whether the format family covers floating point at all.
+    pub covers_float: bool,
+}
+
+/// Interop profile of this baseline.
+pub fn interop_profile() -> InteropProfile {
+    InteropProfile {
+        memcpy_compatible: false,
+        // Split + bias on upload, join + unbias on readback.
+        host_ops_per_element: 4,
+        exact_bits: 16,
+        values_per_texel: 2,
+        covers_float: false,
+    }
+}
+
+/// Interop profile of the paper's §IV-C/D integer codecs, for the A5
+/// comparison table.
+pub fn paper_uint_interop_profile() -> InteropProfile {
+    InteropProfile {
+        memcpy_compatible: true,
+        host_ops_per_element: 0,
+        exact_bits: 24,
+        values_per_texel: 1,
+        covers_float: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u16_split_is_big_endian_by_channel() {
+        assert_eq!(encode_u16(0x1234), [0x12, 0x34]);
+        assert_eq!(decode_u16([0x12, 0x34]), 0x1234);
+        // The whole point of §VI: this is NOT the CPU's memory order.
+        assert_ne!(encode_u16(0x1234), 0x1234u16.to_le_bytes());
+    }
+
+    #[test]
+    fn u16_round_trip_exhaustive() {
+        for v in 0..=u16::MAX {
+            assert_eq!(decode_u16(encode_u16(v)), v);
+        }
+    }
+
+    #[test]
+    fn i16_excess_bias_round_trip_exhaustive() {
+        for v in i16::MIN..=i16::MAX {
+            assert_eq!(decode_i16(encode_i16(v)), v);
+        }
+        // Excess representation: -32768 is all zeros, not 0x8000.
+        assert_eq!(encode_i16(i16::MIN), [0, 0]);
+        assert_eq!(encode_i16(0), [0x80, 0x00]);
+    }
+
+    #[test]
+    fn texel_packing_two_per_texel() {
+        let enc = encode_texels(&[0x0102, 0x0304, 0x0506], 2);
+        assert_eq!(enc, vec![1, 2, 3, 4, 5, 6, 0, 0]);
+        assert_eq!(decode_texels(&enc, 3), vec![0x0102, 0x0304, 0x0506]);
+    }
+
+    #[test]
+    fn mirror_add_matches_wrapping_u16() {
+        let cases = [
+            (0u16, 0u16),
+            (1, 1),
+            (255, 1),
+            (0x00FF, 0x0001),
+            (0x0FFF, 0x0001),
+            (0xFFFF, 0x0001), // wraps
+            (0xABCD, 0x1234),
+            (0x8000, 0x8000),
+        ];
+        for (x, y) in cases {
+            let sum = x.wrapping_add(y);
+            let halves = mirror_add(mirror_unpack(encode_u16(x)), mirror_unpack(encode_u16(y)));
+            let stored = mirror_pack(halves, PackBias::default());
+            assert_eq!(decode_u16(stored), sum, "{x} + {y}");
+        }
+    }
+
+    #[test]
+    fn mirror_sub_matches_wrapping_u16() {
+        let cases = [(5u16, 3u16), (0, 1), (0x0100, 0x0001), (0xFFFF, 0xFFFF)];
+        for (x, y) in cases {
+            let diff = x.wrapping_sub(y);
+            let halves = mirror_sub(mirror_unpack(encode_u16(x)), mirror_unpack(encode_u16(y)));
+            assert_eq!(
+                decode_u16(mirror_pack(halves, PackBias::default())),
+                diff,
+                "{x} - {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn mirror_scale_matches_wrapping_mul() {
+        for (x, k) in [(100u16, 3u16), (0x0101, 255), (0x4000, 4), (0xFFFF, 2)] {
+            let prod = x.wrapping_mul(k);
+            let halves = mirror_scale(mirror_unpack(encode_u16(x)), k as f32);
+            assert_eq!(
+                decode_u16(mirror_pack(halves, PackBias::default())),
+                prod,
+                "{x} * {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn mirror_lt_orders_values() {
+        assert!(mirror_lt([0.0, 1.0], [0.0, 2.0]));
+        assert!(mirror_lt([1.0, 255.0], [2.0, 0.0]));
+        assert!(!mirror_lt([3.0, 0.0], [2.0, 255.0]));
+        assert!(!mirror_lt([1.0, 1.0], [1.0, 1.0]));
+    }
+
+    #[test]
+    fn glsl_library_compiles() {
+        let src = format!(
+            "precision highp float;\n\
+             float gpes_unpack_byte(float t) {{ return floor(t * 255.0 + 0.5); }}\n\
+             float gpes_pack_byte(float b) {{ return (b + 0.25) / 255.0; }}\n\
+             {GLSL}\
+             void main() {{\n\
+               vec2 a = gpes_v16_from_bytes(vec2(0.5, 0.25));\n\
+               vec2 b = gpes_v16_make(1234.0);\n\
+               vec2 s = gpes_v16_add(a, gpes_v16_sub(b, gpes_v16_scale(a, 2.0)));\n\
+               float flag = gpes_v16_lt(a, b);\n\
+               gl_FragColor = vec4(gpes_v16_pack(s), flag, gpes_v16_value(s) / 65535.0);\n\
+             }}"
+        );
+        gpes_glsl::compile(gpes_glsl::ShaderKind::Fragment, &src)
+            .unwrap_or_else(|e| panic!("strzodka16 GLSL failed to compile: {e}"));
+    }
+
+    #[test]
+    fn interop_profiles_tell_the_section_vi_story() {
+        let baseline = interop_profile();
+        let paper = paper_uint_interop_profile();
+        assert!(!baseline.memcpy_compatible && paper.memcpy_compatible);
+        assert!(baseline.host_ops_per_element > paper.host_ops_per_element);
+        assert!(baseline.exact_bits < paper.exact_bits);
+        assert!(baseline.values_per_texel > paper.values_per_texel);
+        assert!(!baseline.covers_float && paper.covers_float);
+    }
+}

@@ -1,0 +1,69 @@
+//! §IV-A: `unsigned char`.
+//!
+//! The byte *is* the texel, so the host side is the identity; the work is
+//! the bijection `M : [0,1] → [0,255]` in the shader (eq. (4)) and its
+//! inverse for output (eq. (5)).
+
+use super::{mirror_store_byte, mirror_unpack_byte, PackBias};
+
+/// GLSL pack/unpack for `unsigned char` values carried in one channel.
+pub const GLSL: &str = "\
+float gpes_unpack_ubyte(float t) { return gpes_unpack_byte(t); }\n\
+float gpes_pack_ubyte(float v) { return gpes_pack_byte(v); }\n";
+
+/// Host-side encode: a `u8` array element to its texel byte.
+#[inline]
+pub fn encode(v: u8) -> u8 {
+    v
+}
+
+/// Host-side decode: framebuffer byte back to the `u8` element.
+#[inline]
+pub fn decode(b: u8) -> u8 {
+    b
+}
+
+/// Rust mirror of the shader unpack: texel byte → the value the kernel
+/// sees (a float holding 0..=255).
+#[inline]
+pub fn mirror_unpack(texel: u8) -> f32 {
+    mirror_unpack_byte(texel)
+}
+
+/// Rust mirror of the shader pack + eq. (2) store: kernel value →
+/// framebuffer byte.
+#[inline]
+pub fn mirror_pack(v: f32, bias: PackBias) -> u8 {
+    mirror_store_byte(v, bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_values() {
+        for v in 0..=255u8 {
+            let up = mirror_unpack(encode(v));
+            assert_eq!(up, v as f32);
+            let stored = mirror_pack(up, PackBias::HalfTexel);
+            assert_eq!(decode(stored), v);
+        }
+    }
+
+    #[test]
+    fn paper_delta_round_trip() {
+        for v in 0..=255u8 {
+            let stored = mirror_pack(v as f32, PackBias::PaperDelta);
+            assert_eq!(stored, v);
+        }
+    }
+
+    #[test]
+    fn shader_arithmetic_then_pack() {
+        // A kernel that adds two bytes and saturates within range.
+        let a = mirror_unpack(100);
+        let b = mirror_unpack(55);
+        assert_eq!(mirror_pack(a + b, PackBias::HalfTexel), 155);
+    }
+}

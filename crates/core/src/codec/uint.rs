@@ -1,0 +1,126 @@
+//! §IV-C: `unsigned int`.
+//!
+//! An integer is its four little-endian bytes spread across RGBA
+//! (eq. (6): `iu = Σ bᵢ·256ⁱ`). Reconstruction runs in shader fp32, so
+//! values are exact up to 2²⁴ — "equivalent to a 24-bit integer, enough
+//! for most integer operations in an embedded system" (§IV-C). The inverse
+//! decomposition uses `⌊·/256ⁱ⌋ mod 256` (the paper's eq. (7) with the
+//! obvious typo fixed).
+
+use super::{mirror_store_byte, mirror_unpack_byte, PackBias};
+
+/// Largest magnitude exactly representable through the fp32 shader path.
+pub const EXACT_MAX: u32 = 1 << 24;
+
+/// GLSL pack/unpack for `unsigned int` values carried in a full texel.
+pub const GLSL: &str = "\
+float gpes_unpack_uint(vec4 t) {\n\
+    float b0 = gpes_unpack_byte(t.x);\n\
+    float b1 = gpes_unpack_byte(t.y);\n\
+    float b2 = gpes_unpack_byte(t.z);\n\
+    float b3 = gpes_unpack_byte(t.w);\n\
+    return b0 + b1 * 256.0 + b2 * 65536.0 + b3 * 16777216.0;\n\
+}\n\
+vec4 gpes_pack_uint(float v) {\n\
+    float b0 = mod(v, 256.0);\n\
+    float r1 = floor(v / 256.0);\n\
+    float b1 = mod(r1, 256.0);\n\
+    float r2 = floor(r1 / 256.0);\n\
+    float b2 = mod(r2, 256.0);\n\
+    float b3 = mod(floor(r2 / 256.0), 256.0);\n\
+    return vec4(gpes_pack_byte(b0), gpes_pack_byte(b1),\n\
+                gpes_pack_byte(b2), gpes_pack_byte(b3));\n\
+}\n";
+
+/// Host-side encode: little-endian bytes into RGBA.
+#[inline]
+pub fn encode(v: u32) -> [u8; 4] {
+    v.to_le_bytes()
+}
+
+/// Host-side decode.
+#[inline]
+pub fn decode(bytes: [u8; 4]) -> u32 {
+    u32::from_le_bytes(bytes)
+}
+
+/// Whether `v` survives the fp32 shader path exactly.
+#[inline]
+pub fn is_exact(v: u32) -> bool {
+    v <= EXACT_MAX
+}
+
+/// Rust mirror of the shader unpack (fp32 arithmetic, like the GPU).
+#[inline]
+pub fn mirror_unpack(texel: [u8; 4]) -> f32 {
+    let b0 = mirror_unpack_byte(texel[0]);
+    let b1 = mirror_unpack_byte(texel[1]);
+    let b2 = mirror_unpack_byte(texel[2]);
+    let b3 = mirror_unpack_byte(texel[3]);
+    b0 + b1 * 256.0 + b2 * 65536.0 + b3 * 16777216.0
+}
+
+/// Rust mirror of the shader pack + store.
+#[inline]
+pub fn mirror_pack(v: f32, bias: PackBias) -> [u8; 4] {
+    let b0 = v % 256.0;
+    let r1 = (v / 256.0).floor();
+    let b1 = r1 % 256.0;
+    let r2 = (r1 / 256.0).floor();
+    let b2 = r2 % 256.0;
+    let b3 = (r2 / 256.0).floor() % 256.0;
+    [
+        mirror_store_byte(b0, bias),
+        mirror_store_byte(b1, bias),
+        mirror_store_byte(b2, bias),
+        mirror_store_byte(b3, bias),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_little_endian() {
+        assert_eq!(encode(0x0403_0201), [1, 2, 3, 4]);
+        assert_eq!(decode([1, 2, 3, 4]), 0x0403_0201);
+    }
+
+    #[test]
+    fn round_trip_within_24_bits() {
+        for v in [0u32, 1, 255, 256, 65535, 65536, 1 << 20, (1 << 24) - 1, 1 << 24] {
+            assert!(is_exact(v));
+            let up = mirror_unpack(encode(v));
+            assert_eq!(up, v as f32, "unpack {v}");
+            let stored = mirror_pack(up, PackBias::HalfTexel);
+            assert_eq!(decode(stored), v, "pack {v}");
+        }
+    }
+
+    #[test]
+    fn beyond_24_bits_loses_low_bits_as_documented() {
+        // 2^24 + 1 is not representable in fp32: the paper's precision
+        // analysis predicts exactly this failure.
+        let v: u32 = (1 << 24) + 1;
+        assert!(!is_exact(v));
+        let up = mirror_unpack(encode(v));
+        assert_eq!(up, (1 << 24) as f32); // rounded to even
+    }
+
+    #[test]
+    fn shader_addition_survives_packing() {
+        let a = mirror_unpack(encode(1_000_000));
+        let b = mirror_unpack(encode(2_345_678));
+        let out = mirror_pack(a + b, PackBias::HalfTexel);
+        assert_eq!(decode(out), 3_345_678);
+    }
+
+    #[test]
+    fn paper_delta_round_trip_samples() {
+        for v in (0..(1u32 << 24)).step_by(65_537) {
+            let stored = mirror_pack(mirror_unpack(encode(v)), PackBias::PaperDelta);
+            assert_eq!(decode(stored), v, "value {v}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! `unsigned short` — the §IV-C construction specialised to two bytes.
+//!
+//! The paper's §IV scope is "the formats supported in the C language:
+//! unsigned and signed variants of char and integer, as well as floating
+//! point"; shorts complete the integer family with the same recipe:
+//! little-endian bytes, reconstructed as `b0 + b1·256` (eq. (6) truncated
+//! to two terms). Two bytes fit a `LUMINANCE_ALPHA` texture (2 bytes per
+//! texel instead of 4), and GLES2 samples that format as `(L, L, L, A)`,
+//! so the value bytes surface in the `.ra` channels — which is also where
+//! [`GLSL`]'s pack function puts them in the RGBA8 framebuffer, keeping
+//! uploaded textures and render-to-texture outputs fetch-compatible.
+//!
+//! All 16 bits sit far inside the fp32-exact range, so unlike the 32-bit
+//! codecs there is no precision carve-out: every `u16` survives exactly.
+
+use super::{mirror_store_byte, mirror_unpack_byte, PackBias};
+
+/// Largest value exactly representable (the whole domain).
+pub const EXACT_MAX: u32 = u16::MAX as u32;
+
+/// GLSL pack/unpack for `unsigned short` values carried in `.ra`.
+pub const GLSL: &str = "\
+float gpes_unpack_ushort(vec2 t) {\n\
+    return gpes_unpack_byte(t.x) + gpes_unpack_byte(t.y) * 256.0;\n\
+}\n\
+vec4 gpes_pack_ushort(float v) {\n\
+    float b0 = mod(v, 256.0);\n\
+    float b1 = mod(floor(v / 256.0), 256.0);\n\
+    return vec4(gpes_pack_byte(b0), 0.0, 0.0, gpes_pack_byte(b1));\n\
+}\n";
+
+/// Host-side encode: little-endian bytes into (L, A).
+#[inline]
+pub fn encode(v: u16) -> [u8; 2] {
+    v.to_le_bytes()
+}
+
+/// Host-side decode.
+#[inline]
+pub fn decode(bytes: [u8; 2]) -> u16 {
+    u16::from_le_bytes(bytes)
+}
+
+/// Rust mirror of the shader unpack (fp32 arithmetic, like the GPU).
+#[inline]
+pub fn mirror_unpack(bytes: [u8; 2]) -> f32 {
+    mirror_unpack_byte(bytes[0]) + mirror_unpack_byte(bytes[1]) * 256.0
+}
+
+/// Rust mirror of the shader pack + store; returns the `(R, A)` bytes the
+/// framebuffer keeps.
+#[inline]
+pub fn mirror_pack(v: f32, bias: PackBias) -> [u8; 2] {
+    let b0 = v % 256.0;
+    let b1 = (v / 256.0).floor() % 256.0;
+    [mirror_store_byte(b0, bias), mirror_store_byte(b1, bias)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_little_endian() {
+        assert_eq!(encode(0x1234), [0x34, 0x12]);
+        assert_eq!(decode([0x34, 0x12]), 0x1234);
+        // Memcpy-compatible with CPU memory, unlike the §VI baseline.
+        assert_eq!(encode(0x1234), 0x1234u16.to_le_bytes());
+    }
+
+    #[test]
+    fn round_trip_exhaustive() {
+        for v in 0..=u16::MAX {
+            let up = mirror_unpack(encode(v));
+            assert_eq!(up, v as f32, "unpack {v}");
+            let stored = mirror_pack(up, PackBias::default());
+            assert_eq!(decode(stored), v, "pack {v}");
+        }
+    }
+
+    #[test]
+    fn shader_arithmetic_survives_packing() {
+        let a = mirror_unpack(encode(12_345));
+        let b = mirror_unpack(encode(40_000));
+        let out = mirror_pack(a + b, PackBias::default());
+        assert_eq!(decode(out), 52_345);
+        // Wrapping is the kernel author's job (mod 65536), as in C.
+        let wrapped = mirror_pack((a + b + 20_000.0) % 65536.0, PackBias::default());
+        assert_eq!(decode(wrapped), 12_345u16.wrapping_add(60_000));
+    }
+
+    #[test]
+    fn glsl_compiles() {
+        let src = format!(
+            "precision highp float;\n\
+             float gpes_unpack_byte(float t) {{ return floor(t * 255.0 + 0.5); }}\n\
+             float gpes_pack_byte(float b) {{ return (b + 0.25) / 255.0; }}\n\
+             {GLSL}\
+             void main() {{\n\
+               gl_FragColor = gpes_pack_ushort(gpes_unpack_ushort(vec2(0.5, 0.25)));\n\
+             }}"
+        );
+        gpes_glsl::compile(gpes_glsl::ShaderKind::Fragment, &src)
+            .unwrap_or_else(|e| panic!("ushort GLSL failed to compile: {e}"));
+    }
+}

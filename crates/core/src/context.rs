@@ -1,0 +1,798 @@
+//! The compute context: uploads, kernel dispatch and readback over the
+//! simulated GLES2 driver.
+
+use crate::addressing::ArrayLayout;
+use crate::buffer::{GpuArray, GpuMatrix, GpuScalar, GpuTexels};
+use crate::codec::{FloatSpecials, PackBias};
+use crate::error::ComputeError;
+use crate::kernel::OutputKind;
+use crate::geometry::{self, FULLSCREEN_QUAD, FULLSCREEN_QUAD_VERTICES, POSITION_ATTRIBUTE};
+use crate::kernel::Kernel;
+use crate::pipeline::{PassRecord, Readback};
+use gpes_gles2::{
+    Context, Dispatch, DrawStats, Filter, FramebufferId, PrimitiveMode, ProgramId, TexFormat,
+    TextureId, Wrap,
+};
+use gpes_glsl::exec::FloatModel;
+use gpes_glsl::Value;
+
+/// A GPGPU compute context over OpenGL ES 2 (the paper's framework).
+///
+/// Owns a GL context whose default framebuffer acts as the "screen"; all
+/// final readbacks go through it or through FBO-attached textures, exactly
+/// as the API allows on real hardware.
+pub struct ComputeContext {
+    gl: Context,
+    pack_bias: PackBias,
+    specials: FloatSpecials,
+    scratch_fbo: FramebufferId,
+    copy_program: Option<ProgramId>,
+    pass_log: Vec<PassRecord>,
+}
+
+impl ComputeContext {
+    /// Creates a context whose default framebuffer ("screen") is
+    /// `width × height` — final outputs read through the screen path must
+    /// fit inside it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL context creation failures.
+    pub fn new(width: u32, height: u32) -> Result<ComputeContext, ComputeError> {
+        ComputeContext::from_gl(Context::new(width, height)?)
+    }
+
+    /// Creates a compute context with explicit driver limits — useful to
+    /// exercise the chunked-execution paths on a simulated device with a
+    /// small `GL_MAX_TEXTURE_SIZE`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL context creation failures.
+    pub fn with_limits(
+        width: u32,
+        height: u32,
+        limits: gpes_gles2::Limits,
+    ) -> Result<ComputeContext, ComputeError> {
+        ComputeContext::from_gl(Context::new_with_limits(width, height, limits)?)
+    }
+
+    fn from_gl(mut gl: Context) -> Result<ComputeContext, ComputeError> {
+        let scratch_fbo = gl.create_framebuffer();
+        Ok(ComputeContext {
+            gl,
+            pack_bias: PackBias::default(),
+            specials: FloatSpecials::default(),
+            scratch_fbo,
+            copy_program: None,
+            pass_log: Vec::new(),
+        })
+    }
+
+    /// Escape hatch to the underlying GL context.
+    pub fn gl(&mut self) -> &mut Context {
+        &mut self.gl
+    }
+
+    /// The output byte bias mode (ablation A1). Takes effect for kernels
+    /// built afterwards.
+    pub fn set_pack_bias(&mut self, bias: PackBias) {
+        self.pack_bias = bias;
+    }
+
+    /// Current pack bias.
+    pub fn pack_bias(&self) -> PackBias {
+        self.pack_bias
+    }
+
+    /// Float special-value handling for kernels built afterwards.
+    pub fn set_float_specials(&mut self, specials: FloatSpecials) {
+        self.specials = specials;
+    }
+
+    /// Current special-value handling.
+    pub fn float_specials(&self) -> FloatSpecials {
+        self.specials
+    }
+
+    /// Sets the simulated GPU float model (experiment E2).
+    pub fn set_float_model(&mut self, model: FloatModel) {
+        self.gl.set_float_model(model);
+    }
+
+    /// Sets fragment dispatch parallelism.
+    pub fn set_dispatch(&mut self, dispatch: Dispatch) {
+        self.gl.set_dispatch(dispatch);
+    }
+
+    /// Maximum texture side length supported by the driver.
+    pub fn max_texture_side(&self) -> u32 {
+        self.gl.limits().max_texture_size
+    }
+
+    // ---- uploads ---------------------------------------------------------
+
+    /// Uploads a slice as a [`GpuArray`] (near-square texture layout,
+    /// nearest filtering, clamp-to-edge).
+    ///
+    /// # Errors
+    ///
+    /// Layout or GL errors (e.g. data larger than the texture limit).
+    pub fn upload<T: GpuScalar>(&mut self, data: &[T]) -> Result<GpuArray<T>, ComputeError> {
+        let layout = ArrayLayout::for_len(data.len(), self.max_texture_side())?;
+        let texture = self.upload_with_layout(data, layout)?;
+        Ok(GpuArray::new(texture, layout))
+    }
+
+    /// Uploads a row-major matrix as a [`GpuMatrix`]
+    /// (texel `(col, row)` = element `(row, col)`).
+    ///
+    /// # Errors
+    ///
+    /// `BadKernel` when `data.len() != rows*cols`; layout/GL errors.
+    pub fn upload_matrix<T: GpuScalar>(
+        &mut self,
+        rows: u32,
+        cols: u32,
+        data: &[T],
+    ) -> Result<GpuMatrix<T>, ComputeError> {
+        if data.len() != rows as usize * cols as usize {
+            return Err(ComputeError::bad_kernel(format!(
+                "matrix data length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        let layout = ArrayLayout::grid(rows, cols, self.max_texture_side())?;
+        let texture = self.upload_with_layout(data, layout)?;
+        Ok(GpuMatrix::new(texture, layout))
+    }
+
+    fn upload_with_layout<T: GpuScalar>(
+        &mut self,
+        data: &[T],
+        layout: ArrayLayout,
+    ) -> Result<TextureId, ComputeError> {
+        let texels = T::encode_texels(data, layout.texel_count());
+        let texture = self.gl.create_texture();
+        self.gl
+            .tex_image_2d(texture, T::tex_format(), layout.width, layout.height, &texels)?;
+        self.gl
+            .set_texture_filter(texture, Filter::Nearest, Filter::Nearest)?;
+        self.gl
+            .set_texture_wrap(texture, Wrap::ClampToEdge, Wrap::ClampToEdge)?;
+        Ok(texture)
+    }
+
+    /// Frees the texture behind an array.
+    pub fn delete_array<T: GpuScalar>(&mut self, array: GpuArray<T>) {
+        self.gl.delete_texture(array.texture);
+    }
+
+    /// Frees the texture behind a matrix.
+    pub fn delete_matrix<T: GpuScalar>(&mut self, matrix: GpuMatrix<T>) {
+        self.gl.delete_texture(matrix.texture);
+    }
+
+    // Typed convenience aliases (discoverability).
+
+    /// Uploads `f32` data; alias of [`ComputeContext::upload`].
+    pub fn upload_f32(&mut self, data: &[f32]) -> Result<GpuArray<f32>, ComputeError> {
+        self.upload(data)
+    }
+
+    /// Uploads `u32` data; alias of [`ComputeContext::upload`].
+    pub fn upload_u32(&mut self, data: &[u32]) -> Result<GpuArray<u32>, ComputeError> {
+        self.upload(data)
+    }
+
+    /// Uploads `i32` data; alias of [`ComputeContext::upload`].
+    pub fn upload_i32(&mut self, data: &[i32]) -> Result<GpuArray<i32>, ComputeError> {
+        self.upload(data)
+    }
+
+    /// Uploads `u8` data; alias of [`ComputeContext::upload`].
+    pub fn upload_u8(&mut self, data: &[u8]) -> Result<GpuArray<u8>, ComputeError> {
+        self.upload(data)
+    }
+
+    /// Uploads `u16` data; alias of [`ComputeContext::upload`].
+    pub fn upload_u16(&mut self, data: &[u16]) -> Result<GpuArray<u16>, ComputeError> {
+        self.upload(data)
+    }
+
+    /// Uploads `i16` data; alias of [`ComputeContext::upload`].
+    pub fn upload_i16(&mut self, data: &[i16]) -> Result<GpuArray<i16>, ComputeError> {
+        self.upload(data)
+    }
+
+    /// Uploads `i8` data; alias of [`ComputeContext::upload`].
+    pub fn upload_i8(&mut self, data: &[i8]) -> Result<GpuArray<i8>, ComputeError> {
+        self.upload(data)
+    }
+
+    /// Uploads raw RGBA8 texels (`4·width·height` bytes) as an untyped
+    /// [`GpuTexels`] buffer for kernels that interpret texels themselves.
+    ///
+    /// # Errors
+    ///
+    /// `BadKernel` when the byte count does not match the dimensions;
+    /// layout/GL errors as in [`ComputeContext::upload`].
+    pub fn upload_texels(
+        &mut self,
+        width: u32,
+        height: u32,
+        bytes: &[u8],
+    ) -> Result<GpuTexels, ComputeError> {
+        if bytes.len() != 4 * width as usize * height as usize {
+            return Err(ComputeError::bad_kernel(format!(
+                "texel data is {} bytes, {width}x{height} RGBA8 needs {}",
+                bytes.len(),
+                4 * width as usize * height as usize
+            )));
+        }
+        let layout = ArrayLayout::grid(height, width, self.max_texture_side())?;
+        let texture = self.gl.create_texture();
+        self.gl
+            .tex_image_2d(texture, TexFormat::Rgba8, width, height, bytes)?;
+        self.gl
+            .set_texture_filter(texture, Filter::Nearest, Filter::Nearest)?;
+        self.gl
+            .set_texture_wrap(texture, Wrap::ClampToEdge, Wrap::ClampToEdge)?;
+        Ok(GpuTexels::new(texture, layout))
+    }
+
+    /// Uploads a linear run of RGBA8 texels into a near-square texture.
+    ///
+    /// # Errors
+    ///
+    /// Layout or GL errors (e.g. more texels than the texture limit).
+    pub fn upload_texels_linear(&mut self, texels: &[[u8; 4]]) -> Result<GpuTexels, ComputeError> {
+        let layout = ArrayLayout::for_len(texels.len(), self.max_texture_side())?;
+        let mut bytes = Vec::with_capacity(layout.texel_count() * 4);
+        for t in texels {
+            bytes.extend_from_slice(t);
+        }
+        bytes.resize(layout.texel_count() * 4, 0);
+        let texture = self.gl.create_texture();
+        self.gl
+            .tex_image_2d(texture, TexFormat::Rgba8, layout.width, layout.height, &bytes)?;
+        self.gl
+            .set_texture_filter(texture, Filter::Nearest, Filter::Nearest)?;
+        self.gl
+            .set_texture_wrap(texture, Wrap::ClampToEdge, Wrap::ClampToEdge)?;
+        Ok(GpuTexels::new(texture, layout))
+    }
+
+    /// Frees the texture behind a texel buffer.
+    pub fn delete_texels(&mut self, texels: GpuTexels) {
+        self.gl.delete_texture(texels.texture);
+    }
+
+    // ---- kernel plumbing (used by KernelBuilder) ----------------------------
+
+    pub(crate) fn compile_kernel_program(
+        &mut self,
+        fragment_source: &str,
+    ) -> Result<ProgramId, ComputeError> {
+        let vs = geometry::passthrough_vertex_shader();
+        Ok(self.gl.create_program(&vs, fragment_source)?)
+    }
+
+    pub(crate) fn initialize_kernel_uniforms(&mut self, kernel: &Kernel) -> Result<(), ComputeError> {
+        self.gl.use_program(kernel.program)?;
+        self.gl.set_uniform(
+            "u_out_dims",
+            Value::Vec2([
+                kernel.output_layout.width as f32,
+                kernel.output_layout.height as f32,
+            ]),
+        )?;
+        for (unit, input) in kernel.inputs.iter().enumerate() {
+            self.gl
+                .set_uniform(&format!("u_{}", input.name), Value::Int(unit as i32))?;
+            self.gl.set_uniform(
+                &format!("u_{}_dims", input.name),
+                Value::Vec2([input.layout.width as f32, input.layout.height as f32]),
+            )?;
+        }
+        for (name, value) in &kernel.uniforms {
+            self.gl.set_uniform(name, value.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Updates a user uniform declared at build time.
+    ///
+    /// # Errors
+    ///
+    /// GL errors for unknown names or type mismatches.
+    pub fn set_kernel_uniform(
+        &mut self,
+        kernel: &Kernel,
+        name: &str,
+        value: Value,
+    ) -> Result<(), ComputeError> {
+        self.gl.use_program(kernel.program)?;
+        Ok(self.gl.set_uniform(name, value)?)
+    }
+
+    // ---- execution ---------------------------------------------------------
+
+    fn dispatch_kernel(&mut self, kernel: &Kernel, to_screen: bool) -> Result<DrawStats, ComputeError> {
+        self.gl.use_program(kernel.program)?;
+        for (unit, input) in kernel.inputs.iter().enumerate() {
+            self.gl.bind_texture(unit as u32, input.texture)?;
+        }
+        for unit in kernel.inputs.len()..self.gl.limits().max_texture_units {
+            self.gl.unbind_texture(unit as u32);
+        }
+        self.gl
+            .set_attribute(POSITION_ATTRIBUTE, 2, &FULLSCREEN_QUAD)?;
+        let (w, h) = (kernel.output_layout.width, kernel.output_layout.height);
+        if to_screen {
+            self.gl.bind_framebuffer(None)?;
+        }
+        self.gl.viewport(0, 0, w as i32, h as i32);
+        let stats = self
+            .gl
+            .draw_arrays(PrimitiveMode::Triangles, 0, FULLSCREEN_QUAD_VERTICES)?;
+        self.pass_log.push(PassRecord {
+            kernel: kernel.name.clone(),
+            stats,
+            output_texels: kernel.output_layout.texel_count() as u64,
+        });
+        Ok(stats)
+    }
+
+    /// Allocates an RGBA8 render-target texture shaped like `layout`,
+    /// attaches it to the scratch FBO and leaves that FBO bound.
+    pub(crate) fn create_render_target(
+        &mut self,
+        layout: ArrayLayout,
+    ) -> Result<TextureId, ComputeError> {
+        let target = self.gl.create_texture();
+        self.gl
+            .tex_storage(target, TexFormat::Rgba8, layout.width, layout.height)?;
+        self.gl
+            .set_texture_filter(target, Filter::Nearest, Filter::Nearest)?;
+        self.gl
+            .set_texture_wrap(target, Wrap::ClampToEdge, Wrap::ClampToEdge)?;
+        self.gl.framebuffer_texture(self.scratch_fbo, target)?;
+        self.gl.bind_framebuffer(Some(self.scratch_fbo))?;
+        Ok(target)
+    }
+
+    /// Runs a kernel into a fresh texture (render-to-texture) and returns
+    /// the result as a new [`GpuArray`] for further passes.
+    ///
+    /// # Errors
+    ///
+    /// `BadKernel` when `T` does not match the kernel's declared output
+    /// type; GL/shader errors during the draw.
+    pub fn run_to_array<T: GpuScalar>(&mut self, kernel: &Kernel) -> Result<GpuArray<T>, ComputeError> {
+        if kernel.output_kind != OutputKind::Scalar(T::SCALAR) {
+            return Err(ComputeError::bad_kernel(format!(
+                "kernel `{}` outputs {:?}, requested {}",
+                kernel.name, kernel.output_kind, T::SCALAR
+            )));
+        }
+        let layout = kernel.output_layout;
+        let target = self.create_render_target(layout)?;
+        let result = self.dispatch_kernel(kernel, false);
+        self.gl.bind_framebuffer(None)?;
+        result?;
+        Ok(GpuArray::new(target, layout))
+    }
+
+    /// Runs a kernel straight into the default framebuffer — the paper's
+    /// "careful kernel ordering" readback strategy (workaround #7) — and
+    /// decodes the result.
+    ///
+    /// # Errors
+    ///
+    /// [`ComputeError::TooLarge`] when the output exceeds the screen;
+    /// type-mismatch and GL errors as in [`ComputeContext::run_to_array`].
+    pub fn run_and_read<T: GpuScalar>(&mut self, kernel: &Kernel) -> Result<Vec<T>, ComputeError> {
+        if kernel.output_kind != OutputKind::Scalar(T::SCALAR) {
+            return Err(ComputeError::bad_kernel(format!(
+                "kernel `{}` outputs {:?}, requested {}",
+                kernel.name, kernel.output_kind, T::SCALAR
+            )));
+        }
+        let layout = kernel.output_layout;
+        let (sw, sh) = self.screen_size();
+        if layout.width > sw || layout.height > sh {
+            return Err(ComputeError::TooLarge {
+                what: format!(
+                    "kernel output {}x{} vs {}x{} screen",
+                    layout.width, layout.height, sw, sh
+                ),
+            });
+        }
+        self.dispatch_kernel(kernel, true)?;
+        let bytes = self.gl.read_pixels(0, 0, layout.width, layout.height)?;
+        Ok(T::decode_framebuffer(&bytes, layout.len))
+    }
+
+    /// Alias of [`ComputeContext::run_and_read`] for `f32` kernels.
+    pub fn run_f32(&mut self, kernel: &Kernel) -> Result<Vec<f32>, ComputeError> {
+        self.run_and_read(kernel)
+    }
+
+    /// Runs a raw-texel kernel into a fresh texture and returns the
+    /// untyped result for further passes.
+    ///
+    /// # Errors
+    ///
+    /// `BadKernel` when the kernel has a scalar (non-raw) output; GL or
+    /// shader errors during the draw.
+    pub fn run_to_texels(&mut self, kernel: &Kernel) -> Result<GpuTexels, ComputeError> {
+        if kernel.output_kind != OutputKind::RawTexel {
+            return Err(ComputeError::bad_kernel(format!(
+                "kernel `{}` has a scalar output; use run_to_array",
+                kernel.name
+            )));
+        }
+        let layout = kernel.output_layout;
+        let target = self.create_render_target(layout)?;
+        let result = self.dispatch_kernel(kernel, false);
+        self.gl.bind_framebuffer(None)?;
+        result?;
+        Ok(GpuTexels::new(target, layout))
+    }
+
+    /// Runs a raw-texel kernel straight into the default framebuffer and
+    /// returns the RGBA bytes row by row (4 bytes per texel).
+    ///
+    /// # Errors
+    ///
+    /// `BadKernel` for scalar-output kernels, [`ComputeError::TooLarge`]
+    /// when the output exceeds the screen, and GL errors.
+    pub fn run_and_read_texels(&mut self, kernel: &Kernel) -> Result<Vec<u8>, ComputeError> {
+        if kernel.output_kind != OutputKind::RawTexel {
+            return Err(ComputeError::bad_kernel(format!(
+                "kernel `{}` has a scalar output; use run_and_read",
+                kernel.name
+            )));
+        }
+        let layout = kernel.output_layout;
+        let (sw, sh) = self.screen_size();
+        if layout.width > sw || layout.height > sh {
+            return Err(ComputeError::TooLarge {
+                what: format!(
+                    "kernel output {}x{} vs {}x{} screen",
+                    layout.width, layout.height, sw, sh
+                ),
+            });
+        }
+        self.dispatch_kernel(kernel, true)?;
+        Ok(self.gl.read_pixels(0, 0, layout.width, layout.height)?)
+    }
+
+    /// Reads a texel buffer back as RGBA bytes through the FBO path.
+    ///
+    /// # Errors
+    ///
+    /// GL errors (e.g. a deleted backing texture).
+    pub fn read_texels(&mut self, texels: &GpuTexels) -> Result<Vec<u8>, ComputeError> {
+        let layout = texels.layout;
+        self.gl.framebuffer_texture(self.scratch_fbo, texels.texture)?;
+        self.gl.bind_framebuffer(Some(self.scratch_fbo))?;
+        let bytes = self.gl.read_pixels(0, 0, layout.width, layout.height);
+        self.gl.bind_framebuffer(None)?;
+        Ok(bytes?)
+    }
+
+    /// Reads an array back to host memory using the chosen strategy.
+    ///
+    /// # Errors
+    ///
+    /// GL errors; `TooLarge` for the copy-shader path when the array
+    /// exceeds the screen.
+    pub fn read_array<T: GpuScalar>(
+        &mut self,
+        array: &GpuArray<T>,
+        strategy: Readback,
+    ) -> Result<Vec<T>, ComputeError> {
+        let layout = array.layout;
+        let bytes = match strategy {
+            Readback::DirectFbo => {
+                self.gl.framebuffer_texture(self.scratch_fbo, array.texture)?;
+                self.gl.bind_framebuffer(Some(self.scratch_fbo))?;
+                let bytes = self.gl.read_pixels(0, 0, layout.width, layout.height);
+                self.gl.bind_framebuffer(None)?;
+                bytes?
+            }
+            Readback::CopyShader => {
+                let (sw, sh) = self.screen_size();
+                if layout.width > sw || layout.height > sh {
+                    return Err(ComputeError::TooLarge {
+                        what: format!(
+                            "array {}x{} vs {}x{} screen",
+                            layout.width, layout.height, sw, sh
+                        ),
+                    });
+                }
+                let copy = self.copy_program()?;
+                self.gl.bind_framebuffer(None)?;
+                self.gl.use_program(copy)?;
+                self.gl.bind_texture(0, array.texture)?;
+                for unit in 1..self.gl.limits().max_texture_units {
+                    self.gl.unbind_texture(unit as u32);
+                }
+                self.gl.set_uniform("u_src", Value::Int(0))?;
+                self.gl
+                    .set_attribute(POSITION_ATTRIBUTE, 2, &FULLSCREEN_QUAD)?;
+                self.gl
+                    .viewport(0, 0, layout.width as i32, layout.height as i32);
+                let stats = self
+                    .gl
+                    .draw_arrays(PrimitiveMode::Triangles, 0, FULLSCREEN_QUAD_VERTICES)?;
+                self.pass_log.push(PassRecord {
+                    kernel: "gpes.copy".into(),
+                    stats,
+                    output_texels: layout.texel_count() as u64,
+                });
+                self.gl.read_pixels(0, 0, layout.width, layout.height)?
+            }
+        };
+        Ok(T::decode_framebuffer(&bytes, layout.len))
+    }
+
+    fn copy_program(&mut self) -> Result<ProgramId, ComputeError> {
+        if let Some(id) = self.copy_program {
+            return Ok(id);
+        }
+        let id = self.gl.create_program(
+            &geometry::passthrough_vertex_shader(),
+            &geometry::copy_fragment_shader(),
+        )?;
+        self.copy_program = Some(id);
+        Ok(id)
+    }
+
+    /// Dimensions of the default framebuffer ("screen").
+    pub fn screen_size(&self) -> (u32, u32) {
+        self.gl.default_size()
+    }
+
+    /// Records a pass executed outside the fragment-kernel dispatcher
+    /// (used by the vertex-compute path).
+    pub(crate) fn record_pass(&mut self, kernel: &str, stats: DrawStats, output_texels: u64) {
+        self.pass_log.push(PassRecord {
+            kernel: kernel.to_owned(),
+            stats,
+            output_texels,
+        });
+    }
+
+    /// Drains the log of executed passes (kernel name + draw stats),
+    /// consumed by the `gpes-perf` timing model.
+    pub fn take_pass_log(&mut self) -> Vec<PassRecord> {
+        std::mem::take(&mut self.pass_log)
+    }
+
+    /// Read-only view of the pass log.
+    pub fn pass_log(&self) -> &[PassRecord] {
+        &self.pass_log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::ScalarType;
+
+    #[test]
+    fn upload_and_direct_read_round_trip_f32() {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let data = vec![1.5f32, -2.25, 3.75, 0.0, 1.0e-20];
+        let arr = cc.upload(&data).expect("upload");
+        let back = cc.read_array(&arr, Readback::DirectFbo).expect("read");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn upload_and_copy_shader_read_round_trip_u32() {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let data = vec![0u32, 1, 65535, 1 << 24, 123_456];
+        let arr = cc.upload(&data).expect("upload");
+        let back = cc.read_array(&arr, Readback::CopyShader).expect("read");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn byte_arrays_round_trip_both_strategies() {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let data: Vec<u8> = (0..=255).collect();
+        let arr = cc.upload(&data).expect("upload");
+        // LUMINANCE8 is not colour-renderable: DirectFbo must fail…
+        let err = cc.read_array(&arr, Readback::DirectFbo).unwrap_err();
+        assert!(matches!(err, ComputeError::Gl(_)));
+        // …but the copy shader path works (it renders into RGBA8).
+        let back = cc.read_array(&arr, Readback::CopyShader).expect("read");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn simple_kernel_end_to_end() {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let a = cc.upload(&[1.0f32, 2.0, 3.0, 4.0]).expect("a");
+        let b = cc.upload(&[10.0f32, 20.0, 30.0, 40.0]).expect("b");
+        let k = Kernel::builder("add")
+            .input("a", &a)
+            .input("b", &b)
+            .output(ScalarType::F32, 4)
+            .body("return fetch_a(idx) + fetch_b(idx);")
+            .build(&mut cc)
+            .expect("build");
+        let out = cc.run_f32(&k).expect("run");
+        assert_eq!(out, vec![11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(cc.pass_log().len(), 1);
+        assert_eq!(cc.pass_log()[0].kernel, "add");
+    }
+
+    #[test]
+    fn kernel_chaining_through_run_to_array() {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let a = cc.upload(&[1.0f32, 2.0, 3.0]).expect("a");
+        let double = Kernel::builder("double")
+            .input("a", &a)
+            .output(ScalarType::F32, 3)
+            .body("return fetch_a(idx) * 2.0;")
+            .build(&mut cc)
+            .expect("build double");
+        let doubled: GpuArray<f32> = cc.run_to_array(&double).expect("run 1");
+        let add_one = Kernel::builder("inc")
+            .input("x", &doubled)
+            .output(ScalarType::F32, 3)
+            .body("return fetch_x(idx) + 1.0;")
+            .build(&mut cc)
+            .expect("build inc");
+        let out = cc.run_f32(&add_one).expect("run 2");
+        assert_eq!(out, vec![3.0, 5.0, 7.0]);
+        assert_eq!(cc.take_pass_log().len(), 2);
+        assert!(cc.pass_log().is_empty());
+    }
+
+    #[test]
+    fn u16_kernel_end_to_end_and_chained() {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let a = cc.upload_u16(&[1, 300, 65000, 0x1234]).expect("a");
+        let b = cc.upload_u16(&[2, 700, 535, 1]).expect("b");
+        let k = Kernel::builder("add_u16")
+            .input("a", &a)
+            .input("b", &b)
+            .output(ScalarType::U16, 4)
+            .body("return mod(fetch_a(idx) + fetch_b(idx), 65536.0);")
+            .build(&mut cc)
+            .expect("build");
+        let out: Vec<u16> = cc.run_and_read(&k).expect("run");
+        assert_eq!(out, vec![3, 1000, 65535, 0x1235]);
+        // Chain: the RGBA8 render target must fetch identically to the
+        // LUMINANCE_ALPHA upload (.ra placement).
+        let mid: GpuArray<u16> = cc.run_to_array(&k).expect("rtt");
+        let inc = Kernel::builder("inc_u16")
+            .input("x", &mid)
+            .output(ScalarType::U16, 4)
+            .body("return fetch_x(idx) + 1.0;")
+            .build(&mut cc)
+            .expect("build inc");
+        let out: Vec<u16> = cc.run_and_read(&inc).expect("run inc");
+        assert_eq!(out, vec![4, 1001, 0, 0x1236]); // 65535+1 wraps via mod in pack
+    }
+
+    #[test]
+    fn i16_kernel_end_to_end() {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let v = cc
+            .upload_i16(&[-5, 5, i16::MIN + 1, i16::MAX, -12345])
+            .expect("v");
+        let k = Kernel::builder("neg_i16")
+            .input("v", &v)
+            .output(ScalarType::I16, 5)
+            .body("return -fetch_v(idx);")
+            .build(&mut cc)
+            .expect("build");
+        let out: Vec<i16> = cc.run_and_read(&k).expect("run");
+        assert_eq!(out, vec![5, -5, i16::MAX, i16::MIN + 1, 12345]);
+    }
+
+    #[test]
+    fn texel_upload_and_raw_kernel_round_trip() {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let t = cc
+            .upload_texels(2, 1, &[10, 20, 30, 40, 50, 60, 70, 80])
+            .expect("texels");
+        assert_eq!(t.len(), 2);
+        let k = Kernel::builder("passthrough")
+            .input_texels("t", &t)
+            .output_texels(2)
+            .body("return fetch_t_texel(idx);")
+            .build(&mut cc)
+            .expect("build");
+        let bytes = cc.run_and_read_texels(&k).expect("run");
+        assert_eq!(bytes, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+        // Render-to-texture + read_texels path agrees.
+        let out = cc.run_to_texels(&k).expect("rtt");
+        assert_eq!(cc.read_texels(&out).expect("read"), bytes);
+        // Kind mismatches are rejected both ways.
+        assert!(cc.run_and_read::<f32>(&k).is_err());
+        let s = cc.upload(&[1.0f32]).expect("s");
+        let scalar_kernel = Kernel::builder("id")
+            .input("s", &s)
+            .output(ScalarType::F32, 1)
+            .body("return fetch_s(idx);")
+            .build(&mut cc)
+            .expect("build");
+        assert!(cc.run_and_read_texels(&scalar_kernel).is_err());
+        assert!(cc.run_to_texels(&scalar_kernel).is_err());
+    }
+
+    #[test]
+    fn wrong_output_type_is_rejected() {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let a = cc.upload(&[1.0f32]).expect("a");
+        let k = Kernel::builder("id")
+            .input("a", &a)
+            .output(ScalarType::F32, 1)
+            .body("return fetch_a(idx);")
+            .build(&mut cc)
+            .expect("build");
+        let err = cc.run_and_read::<u32>(&k).unwrap_err();
+        assert!(matches!(err, ComputeError::BadKernel { .. }));
+    }
+
+    #[test]
+    fn output_larger_than_screen_is_rejected_on_screen_path() {
+        let mut cc = ComputeContext::new(4, 4).expect("context");
+        let a = cc.upload(&vec![1.0f32; 100]).expect("a");
+        let k = Kernel::builder("id")
+            .input("a", &a)
+            .output(ScalarType::F32, 100)
+            .body("return fetch_a(idx);")
+            .build(&mut cc)
+            .expect("build");
+        let err = cc.run_f32(&k).unwrap_err();
+        assert!(matches!(err, ComputeError::TooLarge { .. }));
+        // …but render-to-texture still works.
+        let arr: GpuArray<f32> = cc.run_to_array(&k).expect("rtt");
+        let back = cc.read_array(&arr, Readback::DirectFbo).expect("read");
+        assert_eq!(back.len(), 100);
+    }
+
+    #[test]
+    fn uniform_update_changes_result() {
+        let mut cc = ComputeContext::new(8, 8).expect("context");
+        let a = cc.upload(&[1.0f32, 2.0]).expect("a");
+        let k = Kernel::builder("scale")
+            .input("a", &a)
+            .uniform_f32("gain", 2.0)
+            .output(ScalarType::F32, 2)
+            .body("return fetch_a(idx) * gain;")
+            .build(&mut cc)
+            .expect("build");
+        assert_eq!(cc.run_f32(&k).expect("run"), vec![2.0, 4.0]);
+        cc.set_kernel_uniform(&k, "gain", Value::Float(-3.0)).expect("set");
+        assert_eq!(cc.run_f32(&k).expect("run"), vec![-3.0, -6.0]);
+    }
+
+    #[test]
+    fn matrix_upload_and_fetch_rc() {
+        let mut cc = ComputeContext::new(8, 8).expect("context");
+        // 2x3 matrix [[1,2,3],[4,5,6]]
+        let m = cc
+            .upload_matrix(2, 3, &[1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .expect("matrix");
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        // Transpose via fetch_rc.
+        let k = Kernel::builder("transpose")
+            .input_matrix("m", &m)
+            .output_grid(ScalarType::F32, 3, 2)
+            .body("return fetch_m_rc(col, row);")
+            .build(&mut cc)
+            .expect("build");
+        let out = cc.run_f32(&k).expect("run");
+        assert_eq!(out, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+}

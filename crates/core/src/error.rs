@@ -1,0 +1,86 @@
+//! Error type for the GPGPU framework.
+
+use gpes_gles2::GlError;
+use std::fmt;
+
+/// Errors produced by the `gpes-core` framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComputeError {
+    /// An underlying GL call failed.
+    Gl(GlError),
+    /// A kernel or buffer does not fit the context's surface/texture sizes.
+    TooLarge {
+        /// What was too large.
+        what: String,
+    },
+    /// The kernel specification is inconsistent (duplicate names, missing
+    /// inputs, type misuse).
+    BadKernel {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A value was outside a codec's exactly-representable domain (e.g. an
+    /// integer beyond ±2²⁴ routed through the fp32 path).
+    Domain {
+        /// Description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for ComputeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComputeError::Gl(e) => write!(f, "gl: {e}"),
+            ComputeError::TooLarge { what } => write!(f, "{what} exceeds context capacity"),
+            ComputeError::BadKernel { message } => write!(f, "bad kernel: {message}"),
+            ComputeError::Domain { message } => write!(f, "domain error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ComputeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ComputeError::Gl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GlError> for ComputeError {
+    fn from(e: GlError) -> Self {
+        ComputeError::Gl(e)
+    }
+}
+
+impl ComputeError {
+    pub(crate) fn bad_kernel(message: impl Into<String>) -> Self {
+        ComputeError::BadKernel {
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = ComputeError::bad_kernel("duplicate input `a`");
+        assert!(e.to_string().contains("duplicate"));
+        let e = ComputeError::TooLarge {
+            what: "output of 10000000 elements".into(),
+        };
+        assert!(e.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn gl_errors_convert() {
+        let ge = GlError::Link {
+            message: "nope".into(),
+        };
+        let ce: ComputeError = ge.into();
+        assert!(matches!(ce, ComputeError::Gl(_)));
+    }
+}

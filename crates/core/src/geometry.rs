@@ -1,0 +1,86 @@
+//! §III workarounds 1 & 2: the screen-covering geometry and the
+//! pass-through vertex shader.
+//!
+//! ES 2 forces both pipeline stages to be programmed (workaround #1), so
+//! every GPGPU pass uses the same trivial vertex shader; and ES 2 has no
+//! quad primitive (workaround #2), so the screen-covering "quad" is two
+//! triangles sharing a diagonal. The rasteriser's top-left fill rule
+//! guarantees the diagonal is shaded exactly once.
+
+/// Vertex positions of a clip-space-covering quad as two `GL_TRIANGLES`
+/// (12 floats = 6 vertices × vec2).
+pub const FULLSCREEN_QUAD: [f32; 12] = [
+    -1.0, -1.0, //
+    1.0, -1.0, //
+    1.0, 1.0, //
+    -1.0, -1.0, //
+    1.0, 1.0, //
+    -1.0, 1.0, //
+];
+
+/// Number of vertices in [`FULLSCREEN_QUAD`].
+pub const FULLSCREEN_QUAD_VERTICES: usize = 6;
+
+/// The attribute name the pass-through vertex shader consumes.
+pub const POSITION_ATTRIBUTE: &str = "a_position";
+
+/// The pass-through vertex shader (workaround #1).
+///
+/// "The only use of this pass-through vertex shader is to pass all the
+/// required parameters (varyings) to the fragment shader" — here just the
+/// clip position; kernels address data through `gl_FragCoord`, so no
+/// varying is strictly required, but a `v_uv` convenience varying is
+/// still emitted for copy shaders.
+pub fn passthrough_vertex_shader() -> String {
+    format!(
+        "attribute vec2 {POSITION_ATTRIBUTE};\n\
+         varying vec2 v_uv;\n\
+         void main() {{\n\
+         \x20   v_uv = {POSITION_ATTRIBUTE} * 0.5 + 0.5;\n\
+         \x20   gl_Position = vec4({POSITION_ATTRIBUTE}, 0.0, 1.0);\n\
+         }}\n"
+    )
+}
+
+/// A pass-through *fragment* shader that copies a texture to the target —
+/// the paper's first readback strategy for workaround #7.
+pub fn copy_fragment_shader() -> String {
+    "precision highp float;\n\
+     varying vec2 v_uv;\n\
+     uniform sampler2D u_src;\n\
+     void main() { gl_FragColor = texture2D(u_src, v_uv); }\n"
+        .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpes_glsl::{compile, ShaderKind};
+
+    #[test]
+    fn quad_covers_clip_space() {
+        // Both triangles together span x,y ∈ [-1, 1].
+        let xs: Vec<f32> = FULLSCREEN_QUAD.iter().step_by(2).copied().collect();
+        let ys: Vec<f32> = FULLSCREEN_QUAD.iter().skip(1).step_by(2).copied().collect();
+        assert_eq!(xs.iter().cloned().fold(f32::MAX, f32::min), -1.0);
+        assert_eq!(xs.iter().cloned().fold(f32::MIN, f32::max), 1.0);
+        assert_eq!(ys.iter().cloned().fold(f32::MAX, f32::min), -1.0);
+        assert_eq!(ys.iter().cloned().fold(f32::MIN, f32::max), 1.0);
+        assert_eq!(FULLSCREEN_QUAD.len(), FULLSCREEN_QUAD_VERTICES * 2);
+    }
+
+    #[test]
+    fn passthrough_vertex_shader_compiles() {
+        let shader = compile(ShaderKind::Vertex, &passthrough_vertex_shader())
+            .expect("pass-through VS compiles");
+        assert_eq!(shader.interface.attributes.len(), 1);
+        assert_eq!(shader.interface.varyings.len(), 1);
+    }
+
+    #[test]
+    fn copy_fragment_shader_compiles() {
+        let shader = compile(ShaderKind::Fragment, &copy_fragment_shader())
+            .expect("copy FS compiles");
+        assert_eq!(shader.interface.uniforms.len(), 1);
+    }
+}

@@ -1,0 +1,501 @@
+//! Kernel construction: from a GLSL body to a complete, linked fragment
+//! program with codec library, fetch helpers and output packing.
+
+use crate::addressing::{self, ArrayLayout};
+use crate::buffer::{GpuArray, GpuMatrix, GpuScalar, GpuTexels};
+use crate::codec::ScalarType;
+use crate::error::ComputeError;
+use crate::geometry;
+use gpes_gles2::{ProgramId, TextureId};
+use gpes_glsl::Value;
+
+/// How the kernel's output domain is shaped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputShape {
+    /// `len` elements laid out in a near-square texture; the kernel body
+    /// addresses them through `idx`.
+    Linear(usize),
+    /// A `rows × cols` grid; the body addresses it through `row`/`col`.
+    Grid {
+        /// Number of rows.
+        rows: u32,
+        /// Number of columns.
+        cols: u32,
+    },
+}
+
+/// How an input's texels are presented to the kernel body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputEncoding {
+    /// Texels carry one §IV-encoded scalar each; `fetch_<name>(idx)`
+    /// decodes it to a `float`.
+    Scalar(ScalarType),
+    /// Texels are handed to the body as raw `vec4` colours through
+    /// `fetch_<name>_texel(idx)` — the escape hatch for kernels that
+    /// define their own texel interpretation (packed pairs, complex
+    /// numbers, related-work formats).
+    RawTexel,
+}
+
+/// What the kernel writes per fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputKind {
+    /// One §IV-encoded scalar per texel; the body returns `float`.
+    Scalar(ScalarType),
+    /// The body returns the whole `vec4` colour (already bias-packed);
+    /// read back with the `*_texels` methods.
+    RawTexel,
+}
+
+/// One input binding of a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputBinding {
+    /// The GLSL-visible name (`fetch_<name>` is generated).
+    pub name: String,
+    /// Bound texture.
+    pub texture: TextureId,
+    /// Its layout.
+    pub layout: ArrayLayout,
+    /// How the texels are decoded.
+    pub encoding: InputEncoding,
+}
+
+/// Builder for [`Kernel`]s (C-BUILDER).
+///
+/// ```no_run
+/// # use gpes_core::{ComputeContext, Kernel, ScalarType};
+/// # fn main() -> Result<(), gpes_core::ComputeError> {
+/// # let mut cc = ComputeContext::new(64, 64)?;
+/// # let a = cc.upload(&[1.0f32, 2.0])?;
+/// # let b = cc.upload(&[3.0f32, 4.0])?;
+/// let kernel = Kernel::builder("saxpy")
+///     .input("x", &a)
+///     .input("y", &b)
+///     .uniform_f32("alpha", 2.0)
+///     .output(ScalarType::F32, 2)
+///     .body("return alpha * fetch_x(idx) + fetch_y(idx);")
+///     .build(&mut cc)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    inputs: Vec<InputBinding>,
+    uniforms: Vec<(String, Value)>,
+    output: Option<(OutputKind, OutputShape)>,
+    body: Option<String>,
+    functions: String,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel named `name` (names appear in the pass log).
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder {
+            name: name.into(),
+            inputs: Vec::new(),
+            uniforms: Vec::new(),
+            output: None,
+            body: None,
+            functions: String::new(),
+        }
+    }
+
+    /// Binds an array input; the body reads it with `fetch_<name>(j)`
+    /// (and `fetch_<name>_rc(row, col)`).
+    pub fn input<T: GpuScalar>(mut self, name: &str, array: &GpuArray<T>) -> Self {
+        self.inputs.push(InputBinding {
+            name: name.to_owned(),
+            texture: array.texture,
+            layout: array.layout,
+            encoding: InputEncoding::Scalar(T::SCALAR),
+        });
+        self
+    }
+
+    /// Binds a matrix input; the body reads it with
+    /// `fetch_<name>_rc(row, col)`.
+    pub fn input_matrix<T: GpuScalar>(mut self, name: &str, matrix: &GpuMatrix<T>) -> Self {
+        self.inputs.push(InputBinding {
+            name: name.to_owned(),
+            texture: matrix.texture,
+            layout: matrix.layout,
+            encoding: InputEncoding::Scalar(T::SCALAR),
+        });
+        self
+    }
+
+    /// Binds an untyped texel buffer; the body reads raw colours with
+    /// `fetch_<name>_texel(j)` (and `fetch_<name>_texel_rc(row, col)`).
+    pub fn input_texels(mut self, name: &str, texels: &GpuTexels) -> Self {
+        self.inputs.push(InputBinding {
+            name: name.to_owned(),
+            texture: texels.texture,
+            layout: texels.layout,
+            encoding: InputEncoding::RawTexel,
+        });
+        self
+    }
+
+    /// Binds a typed array *as raw texels*, exposing
+    /// `fetch_<name>_texel(j)` instead of the decoding fetch — useful for
+    /// kernels that reinterpret the §IV byte layout themselves.
+    pub fn input_raw<T: GpuScalar>(mut self, name: &str, array: &GpuArray<T>) -> Self {
+        self.inputs.push(InputBinding {
+            name: name.to_owned(),
+            texture: array.texture,
+            layout: array.layout,
+            encoding: InputEncoding::RawTexel,
+        });
+        self
+    }
+
+    /// Declares a `uniform float` with an initial value.
+    pub fn uniform_f32(mut self, name: &str, value: f32) -> Self {
+        self.uniforms.push((name.to_owned(), Value::Float(value)));
+        self
+    }
+
+    /// Declares a `uniform vec2` with an initial value.
+    pub fn uniform_vec2(mut self, name: &str, value: [f32; 2]) -> Self {
+        self.uniforms.push((name.to_owned(), Value::Vec2(value)));
+        self
+    }
+
+    /// Declares the output element type and linear length.
+    pub fn output(mut self, scalar: ScalarType, len: usize) -> Self {
+        self.output = Some((OutputKind::Scalar(scalar), OutputShape::Linear(len)));
+        self
+    }
+
+    /// Declares a 2-D output grid (e.g. a matrix product result).
+    pub fn output_grid(mut self, scalar: ScalarType, rows: u32, cols: u32) -> Self {
+        self.output = Some((OutputKind::Scalar(scalar), OutputShape::Grid { rows, cols }));
+        self
+    }
+
+    /// Declares a raw-texel output of `texel_count` texels: the body is
+    /// the contents of `vec4 kernel(float idx, float row, float col)` and
+    /// must return the final (bias-packed) colour itself.
+    pub fn output_texels(mut self, texel_count: usize) -> Self {
+        self.output = Some((OutputKind::RawTexel, OutputShape::Linear(texel_count)));
+        self
+    }
+
+    /// Declares a raw-texel output shaped as a `rows × cols` grid.
+    pub fn output_texels_grid(mut self, rows: u32, cols: u32) -> Self {
+        self.output = Some((OutputKind::RawTexel, OutputShape::Grid { rows, cols }));
+        self
+    }
+
+    /// Supplies the kernel body: the contents of
+    /// `float kernel(float idx, float row, float col) { … }` for scalar
+    /// outputs, or `vec4 kernel(…)` for raw-texel outputs. It must
+    /// `return` the output element value.
+    pub fn body(mut self, body: impl Into<String>) -> Self {
+        self.body = Some(body.into());
+        self
+    }
+
+    /// Appends extra GLSL helper functions available to the body.
+    pub fn functions(mut self, source: impl Into<String>) -> Self {
+        self.functions.push_str(&source.into());
+        self.functions.push('\n');
+        self
+    }
+
+    /// Validates the specification and compiles the program.
+    ///
+    /// # Errors
+    ///
+    /// [`ComputeError::BadKernel`] for inconsistent specs (duplicate or
+    /// missing pieces) and compile/link errors from the GL layer.
+    pub fn build(self, cc: &mut crate::ComputeContext) -> Result<Kernel, ComputeError> {
+        let (out_kind, shape) = self
+            .output
+            .ok_or_else(|| ComputeError::bad_kernel("kernel has no declared output"))?;
+        let body = self
+            .body
+            .clone()
+            .ok_or_else(|| ComputeError::bad_kernel("kernel has no body"))?;
+        for (i, a) in self.inputs.iter().enumerate() {
+            if !is_valid_name(&a.name) {
+                return Err(ComputeError::bad_kernel(format!(
+                    "input name `{}` is not a valid GLSL identifier",
+                    a.name
+                )));
+            }
+            if self.inputs[..i].iter().any(|b| b.name == a.name) {
+                return Err(ComputeError::bad_kernel(format!(
+                    "duplicate input name `{}`",
+                    a.name
+                )));
+            }
+        }
+        for (i, (name, _)) in self.uniforms.iter().enumerate() {
+            if !is_valid_name(name) {
+                return Err(ComputeError::bad_kernel(format!(
+                    "uniform name `{name}` is not a valid GLSL identifier"
+                )));
+            }
+            if self.uniforms[..i].iter().any(|(n, _)| n == name) {
+                return Err(ComputeError::bad_kernel(format!(
+                    "duplicate uniform name `{name}`"
+                )));
+            }
+        }
+
+        let max_side = cc.max_texture_side();
+        let output_layout = match shape {
+            OutputShape::Linear(len) => ArrayLayout::for_len(len, max_side)?,
+            OutputShape::Grid { rows, cols } => ArrayLayout::grid(rows, cols, max_side)?,
+        };
+
+        let fragment_source = self.generate_fragment_source(cc, out_kind, &body);
+        let program = cc.compile_kernel_program(&fragment_source)?;
+        let kernel = Kernel {
+            name: self.name,
+            program,
+            inputs: self.inputs,
+            uniforms: self.uniforms,
+            output_kind: out_kind,
+            output_layout,
+            fragment_source,
+        };
+        cc.initialize_kernel_uniforms(&kernel)?;
+        Ok(kernel)
+    }
+
+    fn generate_fragment_source(
+        &self,
+        cc: &crate::ComputeContext,
+        out_kind: OutputKind,
+        body: &str,
+    ) -> String {
+        let mut src = String::with_capacity(8192);
+        src.push_str("precision highp float;\n");
+        src.push_str(&crate::codec::glsl_codec_library(
+            cc.pack_bias(),
+            cc.float_specials(),
+        ));
+        src.push_str(addressing::glsl_out_index());
+        for input in &self.inputs {
+            match input.encoding {
+                InputEncoding::Scalar(scalar) => {
+                    src.push_str(&addressing::glsl_fetch_1d(
+                        &input.name,
+                        scalar.unpack_fn(),
+                        scalar.fetch_swizzle(),
+                    ));
+                    src.push_str(&addressing::glsl_fetch_2d(
+                        &input.name,
+                        scalar.unpack_fn(),
+                        scalar.fetch_swizzle(),
+                    ));
+                }
+                InputEncoding::RawTexel => {
+                    src.push_str(&addressing::glsl_fetch_texel_1d(&input.name));
+                    src.push_str(&addressing::glsl_fetch_texel_2d(&input.name));
+                }
+            }
+        }
+        for (name, value) in &self.uniforms {
+            let ty = match value {
+                Value::Float(_) => "float",
+                Value::Vec2(_) => "vec2",
+                Value::Vec3(_) => "vec3",
+                Value::Vec4(_) => "vec4",
+                Value::Int(_) => "int",
+                _ => "float",
+            };
+            src.push_str(&format!("uniform {ty} {name};\n"));
+        }
+        src.push_str(&self.functions);
+        let pack_expr = match out_kind {
+            OutputKind::Scalar(out_scalar) => {
+                src.push_str(&format!(
+                    "float kernel(float idx, float row, float col) {{\n{body}\n}}\n"
+                ));
+                let pack = out_scalar.pack_fn();
+                if out_scalar.uses_rgba() {
+                    format!("{pack}(kernel(idx, row, col))")
+                } else {
+                    format!("vec4({pack}(kernel(idx, row, col)))")
+                }
+            }
+            OutputKind::RawTexel => {
+                src.push_str(&format!(
+                    "vec4 kernel(float idx, float row, float col) {{\n{body}\n}}\n"
+                ));
+                "kernel(idx, row, col)".to_owned()
+            }
+        };
+        src.push_str(&format!(
+            "void main() {{\n\
+             \x20   float idx = gpes_out_index();\n\
+             \x20   float row = floor(gl_FragCoord.y);\n\
+             \x20   float col = floor(gl_FragCoord.x);\n\
+             \x20   gl_FragColor = {pack_expr};\n\
+             }}\n"
+        ));
+        src
+    }
+}
+
+fn is_valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !name.starts_with("gl_")
+        && !name.starts_with("gpes_")
+        && !name.starts_with("u_")
+}
+
+/// A compiled GPGPU kernel: one fragment program plus its bindings.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    pub(crate) name: String,
+    pub(crate) program: ProgramId,
+    pub(crate) inputs: Vec<InputBinding>,
+    pub(crate) uniforms: Vec<(String, Value)>,
+    pub(crate) output_kind: OutputKind,
+    pub(crate) output_layout: ArrayLayout,
+    pub(crate) fragment_source: String,
+}
+
+impl Kernel {
+    /// Starts building a kernel named `name`.
+    pub fn builder(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder::new(name)
+    }
+
+    /// The kernel's name (used in pass logs).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Output kind (scalar codec or raw texels).
+    pub fn output_kind(&self) -> OutputKind {
+        self.output_kind
+    }
+
+    /// Output element type, or `None` for raw-texel kernels.
+    pub fn output_scalar(&self) -> Option<ScalarType> {
+        match self.output_kind {
+            OutputKind::Scalar(s) => Some(s),
+            OutputKind::RawTexel => None,
+        }
+    }
+
+    /// Output layout (texture dimensions + live length).
+    pub fn output_layout(&self) -> ArrayLayout {
+        self.output_layout
+    }
+
+    /// The generated fragment shader source — the artefact a developer
+    /// would paste into a GLES2 app on real hardware.
+    pub fn fragment_source(&self) -> &str {
+        &self.fragment_source
+    }
+
+    /// The pass-through vertex shader paired with this kernel.
+    pub fn vertex_source(&self) -> String {
+        geometry::passthrough_vertex_shader()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation() {
+        assert!(is_valid_name("a"));
+        assert!(is_valid_name("matrix_b2"));
+        assert!(is_valid_name("_x"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("2x"));
+        assert!(!is_valid_name("a-b"));
+        assert!(!is_valid_name("gl_thing"));
+        assert!(!is_valid_name("gpes_secret"));
+        assert!(!is_valid_name("u_reserved"));
+    }
+
+    #[test]
+    fn builder_requires_output_and_body() {
+        let mut cc = crate::ComputeContext::new(16, 16).expect("context");
+        let err = KernelBuilder::new("k").body("return 0.0;").build(&mut cc);
+        assert!(matches!(err, Err(ComputeError::BadKernel { .. })));
+        let err = KernelBuilder::new("k")
+            .output(ScalarType::F32, 4)
+            .build(&mut cc);
+        assert!(matches!(err, Err(ComputeError::BadKernel { .. })));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut cc = crate::ComputeContext::new(16, 16).expect("context");
+        let a = cc.upload(&[1.0f32]).expect("upload");
+        let err = KernelBuilder::new("k")
+            .input("a", &a)
+            .input("a", &a)
+            .output(ScalarType::F32, 1)
+            .body("return fetch_a(idx);")
+            .build(&mut cc);
+        assert!(matches!(err, Err(ComputeError::BadKernel { .. })));
+    }
+
+    #[test]
+    fn generated_source_is_inspectable() {
+        let mut cc = crate::ComputeContext::new(16, 16).expect("context");
+        let a = cc.upload(&[1.0f32, 2.0]).expect("upload");
+        let k = Kernel::builder("double")
+            .input("a", &a)
+            .output(ScalarType::F32, 2)
+            .body("return fetch_a(idx) * 2.0;")
+            .build(&mut cc)
+            .expect("build");
+        let src = k.fragment_source();
+        assert!(src.contains("gpes_unpack_float"));
+        assert!(src.contains("fetch_a"));
+        assert!(src.contains("gpes_pack_float"));
+        assert!(k.vertex_source().contains("gl_Position"));
+        assert_eq!(k.name(), "double");
+        assert_eq!(k.output_scalar(), Some(ScalarType::F32));
+        assert_eq!(k.output_kind(), OutputKind::Scalar(ScalarType::F32));
+    }
+
+    #[test]
+    fn raw_texel_kernel_source_shape() {
+        let mut cc = crate::ComputeContext::new(16, 16).expect("context");
+        let t = cc
+            .upload_texels(2, 1, &[1, 2, 3, 4, 5, 6, 7, 8])
+            .expect("texels");
+        let k = Kernel::builder("swap_halves")
+            .input_texels("t", &t)
+            .output_texels(2)
+            .body("vec4 v = fetch_t_texel(idx); return v.zwxy;")
+            .build(&mut cc)
+            .expect("build");
+        assert!(k.fragment_source().contains("vec4 kernel(float idx"));
+        assert!(k.fragment_source().contains("fetch_t_texel"));
+        assert_eq!(k.output_scalar(), None);
+        assert_eq!(k.output_kind(), OutputKind::RawTexel);
+    }
+
+    #[test]
+    fn body_compile_errors_are_reported() {
+        let mut cc = crate::ComputeContext::new(16, 16).expect("context");
+        let err = KernelBuilder::new("broken")
+            .output(ScalarType::F32, 1)
+            .body("return nonsense_fn(idx);")
+            .build(&mut cc);
+        assert!(matches!(err, Err(ComputeError::Gl(_))));
+    }
+}

@@ -1,0 +1,195 @@
+//! §III workaround 8: multi-output kernels.
+//!
+//! ES 2 fragment shaders write a single output (`gl_FragColor` /
+//! `gl_FragData[0]`), so "if a GPGPU kernel does so [produce several
+//! outputs], it needs to be split in more than one shaders, one per
+//! output". [`MultiOutputBuilder`] performs exactly that split: a shared
+//! set of inputs/uniforms plus one body per output, compiled into one
+//! [`Kernel`] each.
+
+use crate::codec::ScalarType;
+use crate::error::ComputeError;
+use crate::kernel::{Kernel, KernelBuilder};
+
+/// One declared output of a multi-output kernel.
+#[derive(Debug, Clone)]
+struct OutputSpec {
+    name: String,
+    scalar: ScalarType,
+    len: usize,
+    body: String,
+}
+
+/// Builder that splits a multi-output computation into one program per
+/// output.
+#[derive(Debug, Clone)]
+pub struct MultiOutputBuilder {
+    base: KernelBuilder,
+    outputs: Vec<OutputSpec>,
+}
+
+impl MultiOutputBuilder {
+    /// Starts from a base kernel (inputs, uniforms and helper functions
+    /// are shared by every output; output/body of the base are ignored).
+    pub fn new(base: KernelBuilder) -> MultiOutputBuilder {
+        MultiOutputBuilder {
+            base,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Adds an output with its own element type, length and body.
+    pub fn output(
+        mut self,
+        name: impl Into<String>,
+        scalar: ScalarType,
+        len: usize,
+        body: impl Into<String>,
+    ) -> Self {
+        self.outputs.push(OutputSpec {
+            name: name.into(),
+            scalar,
+            len,
+            body: body.into(),
+        });
+        self
+    }
+
+    /// Compiles one kernel per output.
+    ///
+    /// # Errors
+    ///
+    /// `BadKernel` when no outputs were declared or names repeat; compile
+    /// errors from the individual kernels.
+    pub fn build(self, cc: &mut crate::ComputeContext) -> Result<MultiOutputKernel, ComputeError> {
+        if self.outputs.is_empty() {
+            return Err(ComputeError::bad_kernel(
+                "multi-output kernel declares no outputs",
+            ));
+        }
+        for (i, o) in self.outputs.iter().enumerate() {
+            if self.outputs[..i].iter().any(|p| p.name == o.name) {
+                return Err(ComputeError::bad_kernel(format!(
+                    "duplicate output name `{}`",
+                    o.name
+                )));
+            }
+        }
+        let mut kernels = Vec::with_capacity(self.outputs.len());
+        for o in &self.outputs {
+            let kernel = self
+                .base
+                .clone()
+                .output(o.scalar, o.len)
+                .body(o.body.clone())
+                .build(cc)?;
+            kernels.push((o.name.clone(), kernel));
+        }
+        Ok(MultiOutputKernel { kernels })
+    }
+}
+
+/// The result of splitting: one compiled kernel per declared output.
+#[derive(Debug, Clone)]
+pub struct MultiOutputKernel {
+    kernels: Vec<(String, Kernel)>,
+}
+
+impl MultiOutputKernel {
+    /// Number of split programs (= number of outputs).
+    pub fn pass_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Looks up the kernel computing a named output.
+    pub fn kernel(&self, name: &str) -> Option<&Kernel> {
+        self.kernels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, k)| k)
+    }
+
+    /// Iterates over `(output name, kernel)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Kernel)> {
+        self.kernels.iter().map(|(n, k)| (n.as_str(), k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComputeContext;
+
+    #[test]
+    fn splits_into_one_kernel_per_output() {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let a = cc.upload(&[3.0f32, -4.0, 5.5]).expect("upload");
+        let base = Kernel::builder("minmax").input("a", &a);
+        let split = MultiOutputBuilder::new(base)
+            .output("doubled", ScalarType::F32, 3, "return fetch_a(idx) * 2.0;")
+            .output("negated", ScalarType::F32, 3, "return -fetch_a(idx);")
+            .build(&mut cc)
+            .expect("build");
+        assert_eq!(split.pass_count(), 2);
+
+        let doubled = cc
+            .run_f32(split.kernel("doubled").expect("kernel"))
+            .expect("run");
+        assert_eq!(doubled, vec![6.0, -8.0, 11.0]);
+        let negated = cc
+            .run_f32(split.kernel("negated").expect("kernel"))
+            .expect("run");
+        assert_eq!(negated, vec![-3.0, 4.0, -5.5]);
+        // The split executed as two separate passes — limitation #8.
+        assert_eq!(cc.pass_log().len(), 2);
+    }
+
+    #[test]
+    fn outputs_may_differ_in_type() {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let a = cc.upload(&[100i32, -200]).expect("upload");
+        let split = MultiOutputBuilder::new(Kernel::builder("mixed").input("a", &a))
+            .output("idpass", ScalarType::I32, 2, "return fetch_a(idx);")
+            .output(
+                "as_float_halves",
+                ScalarType::F32,
+                2,
+                "return fetch_a(idx) * 0.5;",
+            )
+            .build(&mut cc)
+            .expect("build");
+        let ints: Vec<i32> = cc
+            .run_and_read(split.kernel("idpass").expect("k"))
+            .expect("run");
+        assert_eq!(ints, vec![100, -200]);
+        let floats: Vec<f32> = cc
+            .run_and_read(split.kernel("as_float_halves").expect("k"))
+            .expect("run");
+        assert_eq!(floats, vec![50.0, -100.0]);
+    }
+
+    #[test]
+    fn empty_and_duplicate_outputs_rejected() {
+        let mut cc = ComputeContext::new(8, 8).expect("context");
+        let err = MultiOutputBuilder::new(Kernel::builder("none")).build(&mut cc);
+        assert!(matches!(err, Err(ComputeError::BadKernel { .. })));
+        let err = MultiOutputBuilder::new(Kernel::builder("dup"))
+            .output("x", ScalarType::F32, 1, "return 0.0;")
+            .output("x", ScalarType::F32, 1, "return 1.0;")
+            .build(&mut cc);
+        assert!(matches!(err, Err(ComputeError::BadKernel { .. })));
+    }
+
+    #[test]
+    fn iter_preserves_declaration_order() {
+        let mut cc = ComputeContext::new(8, 8).expect("context");
+        let split = MultiOutputBuilder::new(Kernel::builder("o"))
+            .output("first", ScalarType::F32, 1, "return 1.0;")
+            .output("second", ScalarType::F32, 1, "return 2.0;")
+            .build(&mut cc)
+            .expect("build");
+        let names: Vec<&str> = split.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["first", "second"]);
+        assert!(split.kernel("third").is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! Multi-pass execution records and readback strategies (workaround #7).
+//!
+//! ES 2 cannot read a texture back to client memory directly (there is no
+//! `glGetTexImage`). The paper names two complementary ways out, both
+//! implemented by [`crate::ComputeContext`]:
+//!
+//! 1. **Copy shader** ([`Readback::CopyShader`]): draw a pass-through
+//!    fragment shader that samples the texture into the default
+//!    framebuffer, then `glReadPixels`.
+//! 2. **Kernel ordering** ([`crate::ComputeContext::run_and_read`]): order
+//!    the passes so the *final* kernel renders straight into the default
+//!    framebuffer — no extra shader needed.
+//!
+//! Core ES 2 additionally allows reading an FBO whose colour attachment is
+//! the texture ([`Readback::DirectFbo`]); all strategies must agree
+//! bit-exactly, which the integration tests verify.
+
+use gpes_gles2::DrawStats;
+
+/// Strategy for reading a GPU array back to host memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Readback {
+    /// Read through an FBO binding of the backing texture.
+    #[default]
+    DirectFbo,
+    /// Blit via the pass-through copy shader into the default framebuffer.
+    CopyShader,
+}
+
+/// Record of one executed pass (kernel or internal copy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassRecord {
+    /// Kernel name (internal passes are prefixed `gpes.`).
+    pub kernel: String,
+    /// Pipeline statistics of the draw.
+    pub stats: DrawStats,
+    /// Texels in the render target (fragments expected).
+    pub output_texels: u64,
+}
+
+impl PassRecord {
+    /// Fragment-stage ALU+SFU+fetch operations per output texel.
+    pub fn ops_per_texel(&self) -> f64 {
+        if self.output_texels == 0 {
+            0.0
+        } else {
+            self.stats.fs_profile.total_ops() as f64 / self.output_texels as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpes_glsl::exec::OpProfile;
+
+    #[test]
+    fn ops_per_texel() {
+        let rec = PassRecord {
+            kernel: "k".into(),
+            stats: DrawStats {
+                fs_profile: OpProfile {
+                    alu_ops: 90,
+                    sfu_ops: 8,
+                    tex_fetches: 2,
+                    ..OpProfile::default()
+                },
+                ..DrawStats::default()
+            },
+            output_texels: 10,
+        };
+        assert_eq!(rec.ops_per_texel(), 10.0);
+        let empty = PassRecord {
+            kernel: "e".into(),
+            stats: DrawStats::default(),
+            output_texels: 0,
+        };
+        assert_eq!(empty.ops_per_texel(), 0.0);
+    }
+
+    #[test]
+    fn default_strategy_is_direct_fbo() {
+        assert_eq!(Readback::default(), Readback::DirectFbo);
+    }
+}

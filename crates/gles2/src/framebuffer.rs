@@ -1,0 +1,166 @@
+//! Framebuffers: the default window-system framebuffer and texture-backed
+//! framebuffer objects (render-to-texture, the paper's workaround #7).
+
+use crate::error::GlError;
+use crate::handles::TextureId;
+
+/// The default framebuffer (the "screen"): an RGBA8 color buffer plus an
+/// optional depth buffer.
+#[derive(Debug, Clone)]
+pub struct DefaultFramebuffer {
+    width: u32,
+    height: u32,
+    color: Vec<u8>,
+    depth: Vec<f32>,
+}
+
+impl DefaultFramebuffer {
+    /// Creates a default framebuffer of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero (callers validate).
+    pub fn new(width: u32, height: u32) -> DefaultFramebuffer {
+        assert!(width > 0 && height > 0, "framebuffer must be non-empty");
+        DefaultFramebuffer {
+            width,
+            height,
+            color: vec![0; width as usize * height as usize * 4],
+            depth: vec![1.0; width as usize * height as usize],
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// RGBA8 color bytes, row 0 = bottom.
+    pub fn color(&self) -> &[u8] {
+        &self.color
+    }
+
+    /// Mutable color bytes.
+    pub(crate) fn color_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.color
+    }
+
+    /// Mutable depth values.
+    pub(crate) fn depth_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.depth
+    }
+}
+
+/// A framebuffer object with (at most) one color attachment.
+///
+/// ES 2 FBOs also accept renderbuffer and depth attachments; GPGPU needs
+/// only `COLOR_ATTACHMENT0` + texture, which is what this subset models.
+#[derive(Debug, Clone, Default)]
+pub struct Framebuffer {
+    /// The texture attached at `COLOR_ATTACHMENT0`.
+    pub color_attachment: Option<TextureId>,
+}
+
+impl Framebuffer {
+    /// Creates an FBO with no attachment (incomplete until one is set).
+    pub fn new() -> Framebuffer {
+        Framebuffer::default()
+    }
+
+    /// Completeness check against the owning context's texture table.
+    ///
+    /// Core ES 2 renders only to `RGBA8`; `RGBA16F` becomes
+    /// color-renderable when the context enables
+    /// `EXT_color_buffer_half_float` (`half_float_renderable`).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidFramebufferOperation` with the specific reason, mirroring
+    /// `glCheckFramebufferStatus`.
+    pub fn check_complete(
+        &self,
+        texture_info: impl Fn(TextureId) -> Option<(crate::texture::TexFormat, u32, u32)>,
+        half_float_renderable: bool,
+    ) -> Result<(), GlError> {
+        let id = self.color_attachment.ok_or(GlError::InvalidFramebufferOperation {
+            message: "missing color attachment".into(),
+        })?;
+        let (format, w, h) = texture_info(id).ok_or(GlError::InvalidFramebufferOperation {
+            message: "attached texture was deleted".into(),
+        })?;
+        let renderable = format == crate::texture::TexFormat::Rgba8
+            || (format == crate::texture::TexFormat::RgbaF16 && half_float_renderable);
+        if !renderable {
+            return Err(GlError::InvalidFramebufferOperation {
+                message: format!("attachment format {format:?} is not color-renderable"),
+            });
+        }
+        if w == 0 || h == 0 {
+            return Err(GlError::InvalidFramebufferOperation {
+                message: "attachment has no storage".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::texture::TexFormat;
+
+    #[test]
+    fn default_fb_dimensions_and_clear_state() {
+        let fb = DefaultFramebuffer::new(4, 3);
+        assert_eq!(fb.width(), 4);
+        assert_eq!(fb.height(), 3);
+        assert_eq!(fb.color().len(), 4 * 3 * 4);
+        assert!(fb.color().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn fbo_incomplete_without_attachment() {
+        let fbo = Framebuffer::new();
+        let err = fbo.check_complete(|_| None, false).unwrap_err();
+        assert!(err.to_string().contains("missing color attachment"));
+    }
+
+    #[test]
+    fn fbo_rejects_non_renderable_format() {
+        let mut fbo = Framebuffer::new();
+        fbo.color_attachment = Some(TextureId(1));
+        let err = fbo
+            .check_complete(|_| Some((TexFormat::Luminance8, 4, 4)), false)
+            .unwrap_err();
+        assert!(err.to_string().contains("not color-renderable"));
+        fbo.check_complete(|_| Some((TexFormat::Rgba8, 4, 4)), false)
+            .expect("rgba8 attachment is complete");
+    }
+
+    #[test]
+    fn fbo_half_float_renderable_only_with_extension() {
+        let mut fbo = Framebuffer::new();
+        fbo.color_attachment = Some(TextureId(1));
+        let err = fbo
+            .check_complete(|_| Some((TexFormat::RgbaF16, 4, 4)), false)
+            .unwrap_err();
+        assert!(err.to_string().contains("not color-renderable"));
+        fbo.check_complete(|_| Some((TexFormat::RgbaF16, 4, 4)), true)
+            .expect("extension makes RGBA16F renderable");
+    }
+
+    #[test]
+    fn fbo_rejects_zero_storage() {
+        let mut fbo = Framebuffer::new();
+        fbo.color_attachment = Some(TextureId(1));
+        let err = fbo
+            .check_complete(|_| Some((TexFormat::Rgba8, 0, 0)), false)
+            .unwrap_err();
+        assert!(err.to_string().contains("no storage"));
+    }
+}

@@ -1,0 +1,163 @@
+//! IEEE 754 binary16 ("half float") conversions for the
+//! `OES_texture_half_float` / `EXT_color_buffer_half_float` extension
+//! emulation.
+//!
+//! The paper (§II.5–6) notes that *some* vendors expose half-float
+//! texture and framebuffer extensions, but that fp16 is "neither enough
+//! nor portable" for general-purpose computation. This module provides
+//! the exact fp16 semantics so ablation A6 can quantify "not enough":
+//! a 10-bit mantissa against the ≈15–23 bits the §IV byte packing keeps.
+//!
+//! Conversions follow IEEE 754-2008: round-to-nearest-even on narrowing,
+//! denormal and ±∞/NaN handling included.
+
+/// Converts an `f32` to binary16 bits, rounding to nearest-even.
+pub fn f32_to_f16_bits(f: f32) -> u16 {
+    let bits = f.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x7F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN; keep a NaN payload bit so NaNs stay NaNs.
+        let payload = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7C00 | payload | ((mant >> 13) as u16 & 0x03FF);
+    }
+
+    // Unbiased exponent; binary16 bias is 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow → ±∞
+    }
+    if unbiased >= -14 {
+        // Normal range: 10-bit mantissa with round-to-nearest-even.
+        let mant16 = mant >> 13;
+        let rem = mant & 0x1FFF;
+        let halfway = 0x1000;
+        let mut out = ((unbiased + 15) as u32) << 10 | mant16;
+        if rem > halfway || (rem == halfway && (mant16 & 1) == 1) {
+            out += 1; // may carry into the exponent — that is correct
+        }
+        return sign | out as u16;
+    }
+    if unbiased >= -25 {
+        // Denormal range: shift the implicit bit in.
+        let mant = mant | 0x80_0000;
+        let shift = (-14 - unbiased) as u32 + 13;
+        let mant16 = mant >> shift;
+        let rem = mant & ((1 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut out = mant16;
+        if rem > halfway || (rem == halfway && (mant16 & 1) == 1) {
+            out += 1;
+        }
+        return sign | out as u16;
+    }
+    sign // underflow → ±0
+}
+
+/// Converts binary16 bits to an `f32` (exact; binary16 ⊂ binary32).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x03FF) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Denormal: value = m · 2⁻²⁴. Renormalise: with the top set
+            // bit of m at position p, shift = 10 − p puts it at bit 10
+            // (the implicit-one slot) and the exponent becomes p − 24.
+            let shift = m.leading_zeros() - 21; // = 10 - p
+            let m = (m << shift) & 0x03FF;
+            let e = 127 - 14 - shift; // biased (p − 24) + 127
+            sign | (e << 23) | (m << 13)
+        }
+        (0x1F, 0) => sign | 0x7F80_0000,
+        (0x1F, m) => sign | 0x7F80_0000 | (m << 13),
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Narrows through fp16 and back — what a value suffers crossing an
+/// `RGBA16F` texture or framebuffer.
+#[inline]
+pub fn round_trip_f16(f: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25] {
+            assert_eq!(round_trip_f16(v), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(round_trip_f16(65520.0), f32::INFINITY); // > max finite 65504, rounds up
+        assert_eq!(round_trip_f16(1.0e6), f32::INFINITY);
+        assert_eq!(round_trip_f16(-1.0e6), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn specials_survive() {
+        assert_eq!(round_trip_f16(f32::INFINITY), f32::INFINITY);
+        assert_eq!(round_trip_f16(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert!(round_trip_f16(f32::NAN).is_nan());
+        assert_eq!(round_trip_f16(-0.0).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn denormal_range() {
+        let min_denorm = f16_bits_to_f32(0x0001);
+        assert_eq!(min_denorm, 2.0f32.powi(-24));
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-24)), 0x0001);
+        // Below half the smallest denormal → flush to zero.
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-26)), 0);
+        let min_normal = f16_bits_to_f32(0x0400);
+        assert_eq!(min_normal, 2.0f32.powi(-14));
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10:
+        // even mantissa (0) wins → 1.0.
+        assert_eq!(round_trip_f16(1.0 + 2.0f32.powi(-11)), 1.0);
+        // 1 + 3·2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds to
+        // the even mantissa 2 → 1 + 2^-9.
+        assert_eq!(round_trip_f16(1.0 + 3.0 * 2.0f32.powi(-11)), 1.0 + 2.0f32.powi(-9));
+        // Just above halfway rounds up.
+        assert_eq!(
+            round_trip_f16(1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20)),
+            1.0 + 2.0f32.powi(-10)
+        );
+    }
+
+    #[test]
+    fn all_finite_f16_bit_patterns_round_trip() {
+        for h in 0..=u16::MAX {
+            let f = f16_bits_to_f32(h);
+            if f.is_nan() {
+                assert!(f16_bits_to_f32(f32_to_f16_bits(f)).is_nan());
+                continue;
+            }
+            assert_eq!(
+                f32_to_f16_bits(f),
+                h,
+                "bits {h:#06x} -> {f} did not round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn mantissa_is_ten_bits() {
+        // 1 + 2^-10 survives; 1 + 2^-11 does not (rounds to even).
+        assert_eq!(round_trip_f16(1.0 + 2.0f32.powi(-10)), 1.0 + 2.0f32.powi(-10));
+        assert_eq!(round_trip_f16(1.0 + 2.0f32.powi(-11)), 1.0);
+    }
+}

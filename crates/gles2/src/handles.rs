@@ -1,0 +1,53 @@
+//! Typed object handles (`glGen*` names made type-safe).
+
+use std::fmt;
+
+macro_rules! handle {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+handle!(
+    /// Handle to a texture object.
+    TextureId
+);
+handle!(
+    /// Handle to a linked program object.
+    ProgramId
+);
+handle!(
+    /// Handle to a framebuffer object.
+    FramebufferId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_distinct_types() {
+        // This is a compile-time property; here we just check Display.
+        assert_eq!(TextureId(3).to_string(), "TextureId(3)");
+        assert_eq!(ProgramId(1).to_string(), "ProgramId(1)");
+        assert_eq!(FramebufferId(0).to_string(), "FramebufferId(0)");
+    }
+
+    #[test]
+    fn handles_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(TextureId(1));
+        set.insert(TextureId(2));
+        assert!(set.contains(&TextureId(1)));
+        assert!(TextureId(1) < TextureId(2));
+    }
+}

@@ -1,0 +1,58 @@
+//! # gpes-gles2 — a software OpenGL ES 2.0 subset
+//!
+//! A from-scratch, CPU-side implementation of the OpenGL ES 2.0 machinery
+//! that general-purpose computation needs, built as the hardware substrate
+//! for reproducing *“Towards General Purpose Computations on Low-End
+//! Mobile GPUs”* (Trompouki & Kosmidis, DATE 2016).
+//!
+//! The implementation deliberately enforces every ES 2 restriction the
+//! paper enumerates in §II:
+//!
+//! 1. **Both stages are programmable and mandatory** — a draw call runs a
+//!    vertex and a fragment shader through the [`gpes_glsl`] interpreter;
+//!    there is no fixed-function fallback.
+//! 2. **No quad primitive** — [`PrimitiveMode`] offers the triangle
+//!    modes (plus `Points`, which ES 2 also rasterises and vertex-stage
+//!    compute uses for scatter).
+//! 3. **2-D textures only** — no 1-D texture type exists.
+//! 4. **Normalised texture coordinates only** — `texture2D` takes [0, 1]²
+//!    coordinates; there is no texel-indexed fetch.
+//! 5. **Byte texture formats only** in core — float textures exist only
+//!    behind the `GL_OES_texture_half_float` vendor extension
+//!    ([`limits::Extensions`], off by default), exactly the situation
+//!    §II.5 of the paper describes.
+//! 6. **Framebuffer values are clamped bytes** — fragment outputs pass
+//!    through `⌊clamp(f,0,1)·255⌋` ([`convert`]).
+//! 7. **No texture readback** — texel data can only reach the CPU through
+//!    a framebuffer ([`Context::read_pixels`]); there is no
+//!    `glGetTexImage`.
+//! 8. **A single fragment output** — `gl_FragData` has one element.
+//!
+//! Rasterisation uses a shared-edge-exact top-left fill rule so that the
+//! two-triangle "quad" of GPGPU workloads shades every pixel exactly once,
+//! and can dispatch fragments across CPU threads ([`Dispatch`]) — a stand-in
+//! for the QPU data parallelism of the VideoCore IV.
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod convert;
+pub mod error;
+pub mod framebuffer;
+pub mod half;
+pub mod handles;
+pub mod limits;
+pub mod program;
+pub mod raster;
+pub mod texture;
+
+pub use context::Context;
+pub use convert::{float_to_texel, texel_to_float, StoreRounding};
+pub use error::GlError;
+pub use framebuffer::{DefaultFramebuffer, Framebuffer};
+pub use half::{f16_bits_to_f32, f32_to_f16_bits};
+pub use handles::{FramebufferId, ProgramId, TextureId};
+pub use limits::{Extensions, Limits, PrecisionFormat};
+pub use program::Program;
+pub use raster::{AttribArray, Dispatch, DrawStats, PrimitiveMode};
+pub use texture::{Filter, TexFormat, Texture, Wrap};

@@ -1,0 +1,114 @@
+//! Implementation-defined limits and precision queries.
+//!
+//! Values default to what the VideoCore IV driver reports on a Raspberry
+//! Pi, since that is the paper's platform.
+
+use gpes_glsl::{Precision, ShaderKind};
+
+/// Implementation limits (`glGetIntegerv` analogues).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Limits {
+    /// `GL_MAX_TEXTURE_SIZE`.
+    pub max_texture_size: u32,
+    /// `GL_MAX_TEXTURE_IMAGE_UNITS`.
+    pub max_texture_units: usize,
+    /// `GL_MAX_VARYING_VECTORS`.
+    pub max_varying_vectors: usize,
+    /// `GL_MAX_VERTEX_ATTRIBS`.
+    pub max_vertex_attribs: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_texture_size: 4096,
+            max_texture_units: 8,
+            max_varying_vectors: 8,
+            max_vertex_attribs: 8,
+        }
+    }
+}
+
+/// Optional driver extensions (`glGetString(GL_EXTENSIONS)` analogue).
+///
+/// All default to **off** — core ES 2.0, the paper's target. §II.5–6
+/// notes that a few vendors ship half-float texture/renderbuffer
+/// extensions; enabling these simulates such a vendor so ablation A6 can
+/// measure why the paper rejects them ("neither enough nor portable").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Extensions {
+    /// `OES_texture_half_float`: RGBA16F texture uploads and sampling.
+    pub oes_texture_half_float: bool,
+    /// `EXT_color_buffer_half_float`: RGBA16F render targets (unclamped
+    /// stores) and half-float readback.
+    pub ext_color_buffer_half_float: bool,
+}
+
+impl Extensions {
+    /// The advertised extension strings, in `glGetString` style.
+    pub fn strings(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.oes_texture_half_float {
+            out.push("GL_OES_texture_half_float");
+        }
+        if self.ext_color_buffer_half_float {
+            out.push("GL_EXT_color_buffer_half_float");
+        }
+        out
+    }
+}
+
+/// Result of `glGetShaderPrecisionFormat`: the paper (§IV-E) uses this call
+/// to discover that most low-end mobile GPUs match IEEE 754 single
+/// precision (8-bit exponent, 23-bit mantissa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecisionFormat {
+    /// log2 of the most negative representable magnitude.
+    pub range_min: i32,
+    /// log2 of the most positive representable magnitude.
+    pub range_max: i32,
+    /// Number of explicit mantissa bits (0 for integer formats' precision).
+    pub precision: i32,
+}
+
+/// Returns the precision format for a float precision qualifier in a given
+/// stage, modelling the VideoCore IV (fp32 everywhere; `lowp`/`mediump`
+/// are aliases of fp32 in the fragment stage as on that hardware).
+pub fn shader_precision_format(kind: ShaderKind, precision: Precision) -> PrecisionFormat {
+    let _ = kind;
+    match precision {
+        // IEEE-754 binary32: range ±2^127, 23-bit mantissa.
+        Precision::High | Precision::Medium | Precision::Low => PrecisionFormat {
+            range_min: 127,
+            range_max: 127,
+            precision: 23,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_videocore_class_hardware() {
+        let l = Limits::default();
+        assert_eq!(l.max_texture_units, 8);
+        assert_eq!(l.max_varying_vectors, 8);
+    }
+
+    #[test]
+    fn highp_float_is_ieee_single() {
+        let p = shader_precision_format(ShaderKind::Fragment, Precision::High);
+        assert_eq!(p.precision, 23);
+        assert_eq!(p.range_max, 127);
+    }
+
+    #[test]
+    fn all_precisions_report_fp32_on_this_device() {
+        for prec in [Precision::Low, Precision::Medium, Precision::High] {
+            let p = shader_precision_format(ShaderKind::Vertex, prec);
+            assert_eq!(p.precision, 23);
+        }
+    }
+}

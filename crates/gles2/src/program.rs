@@ -1,0 +1,318 @@
+//! Program objects: shader compilation, linking and uniform storage.
+
+use crate::error::GlError;
+use crate::limits::Limits;
+use gpes_glsl::{compile, compile_strict, CompiledShader, ShaderKind, Type, Value};
+use std::collections::HashMap;
+
+/// A linked pair of vertex + fragment shaders with uniform state.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The checked vertex shader.
+    pub vertex: CompiledShader,
+    /// The checked fragment shader.
+    pub fragment: CompiledShader,
+    /// Merged uniform interface (name, type) in declaration order.
+    uniforms: Vec<(String, Type)>,
+    /// Current uniform values (samplers stored as `Value::Sampler`).
+    values: HashMap<String, Value>,
+    /// Varyings consumed by the fragment shader (name, type), the set that
+    /// must be produced by the vertex stage and interpolated.
+    linked_varyings: Vec<(String, Type)>,
+}
+
+impl Program {
+    /// Compiles and links a program from two source strings
+    /// (`glCreateProgram` + `glCompileShader` ×2 + `glLinkProgram`).
+    ///
+    /// # Errors
+    ///
+    /// * [`GlError::Compile`] for either shader failing to compile,
+    /// * [`GlError::Link`] for interface mismatches: fragment varyings not
+    ///   written by the vertex shader, type conflicts, too many varying
+    ///   vectors, uniform type conflicts between stages.
+    pub fn link(vs_source: &str, fs_source: &str, limits: &Limits) -> Result<Program, GlError> {
+        Program::link_with(vs_source, fs_source, limits, false)
+    }
+
+    /// Like [`Program::link`], with an optional GLSL ES Appendix A pass —
+    /// what a minimum-profile driver (e.g. VideoCore IV) enforces.
+    ///
+    /// # Errors
+    ///
+    /// As [`Program::link`], plus Appendix A violations when `strict`.
+    pub fn link_with(
+        vs_source: &str,
+        fs_source: &str,
+        limits: &Limits,
+        strict: bool,
+    ) -> Result<Program, GlError> {
+        let (vertex, fragment) = if strict {
+            (
+                compile_strict(ShaderKind::Vertex, vs_source)?,
+                compile_strict(ShaderKind::Fragment, fs_source)?,
+            )
+        } else {
+            (
+                compile(ShaderKind::Vertex, vs_source)?,
+                compile(ShaderKind::Fragment, fs_source)?,
+            )
+        };
+
+        // Every varying the fragment shader declares must be declared by
+        // the vertex shader with an identical type.
+        let mut linked_varyings = Vec::new();
+        for (name, ty) in &fragment.interface.varyings {
+            match vertex.interface.varying(name) {
+                Some(vt) if vt == ty => linked_varyings.push((name.clone(), ty.clone())),
+                Some(vt) => {
+                    return Err(GlError::Link {
+                        message: format!(
+                            "varying `{name}` declared as {vt} in vertex shader but {ty} in fragment shader"
+                        ),
+                    })
+                }
+                None => {
+                    return Err(GlError::Link {
+                        message: format!(
+                            "fragment shader consumes varying `{name}` that the vertex shader does not declare"
+                        ),
+                    })
+                }
+            }
+        }
+
+        // Varying budget (ES 2 guarantees only 8 vec4 vectors).
+        let varying_vectors: usize = linked_varyings
+            .iter()
+            .map(|(_, t)| varying_vector_cost(t))
+            .sum();
+        if varying_vectors > limits.max_varying_vectors {
+            return Err(GlError::Link {
+                message: format!(
+                    "{varying_vectors} varying vectors exceed the limit of {}",
+                    limits.max_varying_vectors
+                ),
+            });
+        }
+
+        // Merge uniforms; same-name uniforms must agree on type.
+        let mut uniforms: Vec<(String, Type)> = Vec::new();
+        for (name, ty) in vertex
+            .interface
+            .uniforms
+            .iter()
+            .chain(fragment.interface.uniforms.iter())
+        {
+            match uniforms.iter().find(|(n, _)| n == name) {
+                Some((_, existing)) if existing == ty => {}
+                Some((_, existing)) => {
+                    return Err(GlError::Link {
+                        message: format!(
+                            "uniform `{name}` declared as {existing} and {ty} in different stages"
+                        ),
+                    })
+                }
+                None => uniforms.push((name.clone(), ty.clone())),
+            }
+        }
+
+        let samplers = uniforms
+            .iter()
+            .filter(|(_, t)| *t == Type::Sampler2D)
+            .count();
+        if samplers > limits.max_texture_units {
+            return Err(GlError::Link {
+                message: format!(
+                    "{samplers} sampler uniforms exceed the {} texture units",
+                    limits.max_texture_units
+                ),
+            });
+        }
+
+        if vertex.interface.attributes.len() > limits.max_vertex_attribs {
+            return Err(GlError::Link {
+                message: format!(
+                    "{} attributes exceed the limit of {}",
+                    vertex.interface.attributes.len(),
+                    limits.max_vertex_attribs
+                ),
+            });
+        }
+
+        Ok(Program {
+            vertex,
+            fragment,
+            uniforms,
+            values: HashMap::new(),
+            linked_varyings,
+        })
+    }
+
+    /// The merged uniform interface.
+    pub fn uniforms(&self) -> &[(String, Type)] {
+        &self.uniforms
+    }
+
+    /// Varyings interpolated from vertex to fragment stage.
+    pub fn varyings(&self) -> &[(String, Type)] {
+        &self.linked_varyings
+    }
+
+    /// The vertex shader's attribute interface.
+    pub fn attributes(&self) -> &[(String, Type)] {
+        &self.vertex.interface.attributes
+    }
+
+    /// Looks up a uniform's declared type (`glGetUniformLocation` analog;
+    /// returns `None` for names that do not exist).
+    pub fn uniform_type(&self, name: &str) -> Option<&Type> {
+        self.uniforms.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Sets a uniform (`glUniform*`).
+    ///
+    /// Sampler uniforms are set with `Value::Int(unit)` exactly as in GL
+    /// (`glUniform1i`); the value is stored as `Value::Sampler`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidOperation` if the name does not exist or the value type does
+    /// not match the declaration.
+    pub fn set_uniform(&mut self, name: &str, value: Value) -> Result<(), GlError> {
+        let declared = self.uniform_type(name).ok_or_else(|| {
+            GlError::invalid_op(format!("program has no uniform named `{name}`"))
+        })?;
+        let stored = match (declared, &value) {
+            (Type::Sampler2D, Value::Int(unit)) => {
+                if *unit < 0 {
+                    return Err(GlError::invalid_value("sampler unit must be non-negative"));
+                }
+                Value::Sampler(*unit as u32)
+            }
+            (decl, v) if *decl == v.ty() => value,
+            (decl, v) => {
+                return Err(GlError::invalid_op(format!(
+                    "uniform `{name}` is {decl}, got {}",
+                    v.ty()
+                )))
+            }
+        };
+        self.values.insert(name.to_owned(), stored);
+        Ok(())
+    }
+
+    /// Current uniform values.
+    pub fn uniform_values(&self) -> &HashMap<String, Value> {
+        &self.values
+    }
+
+    /// Verifies every declared uniform has been given a value, returning
+    /// the missing names otherwise. GL defaults uniforms to zero; GPGPU
+    /// bugs from unset samplers are so common that the simulator makes the
+    /// default available but lets the context warn.
+    pub fn unset_uniforms(&self) -> Vec<&str> {
+        self.uniforms
+            .iter()
+            .filter(|(n, _)| !self.values.contains_key(n))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+/// Number of 4-component "rows" a varying occupies for the budget check.
+fn varying_vector_cost(ty: &Type) -> usize {
+    match ty {
+        Type::Mat2 => 2,
+        Type::Mat3 => 3,
+        Type::Mat4 => 4,
+        Type::Array(elem, n) => varying_vector_cost(elem) * n,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VS: &str = "attribute vec2 a_pos;\nvarying vec2 v_uv;\n\
+                      void main() { v_uv = a_pos; gl_Position = vec4(a_pos, 0.0, 1.0); }";
+    const FS: &str = "precision highp float;\nvarying vec2 v_uv;\nuniform float u_k;\n\
+                      void main() { gl_FragColor = vec4(v_uv * u_k, 0.0, 1.0); }";
+
+    #[test]
+    fn links_matching_interfaces() {
+        let p = Program::link(VS, FS, &Limits::default()).expect("links");
+        assert_eq!(p.varyings(), &[("v_uv".to_owned(), Type::Vec2)]);
+        assert_eq!(p.attributes().len(), 1);
+        assert_eq!(p.uniform_type("u_k"), Some(&Type::Float));
+    }
+
+    #[test]
+    fn link_fails_on_missing_varying() {
+        let vs = "attribute vec2 a_pos; void main() { gl_Position = vec4(a_pos, 0.0, 1.0); }";
+        let err = Program::link(vs, FS, &Limits::default()).unwrap_err();
+        assert!(err.to_string().contains("v_uv"));
+    }
+
+    #[test]
+    fn link_fails_on_varying_type_conflict() {
+        let vs = "attribute vec2 a_pos;\nvarying vec3 v_uv;\n\
+                  void main() { v_uv = vec3(a_pos, 0.0); gl_Position = vec4(1.0); }";
+        let err = Program::link(vs, FS, &Limits::default()).unwrap_err();
+        assert!(err.to_string().contains("vec3"));
+    }
+
+    #[test]
+    fn link_fails_on_uniform_type_conflict() {
+        let vs = "uniform vec2 u_k;\nattribute vec2 a_pos;\nvarying vec2 v_uv;\n\
+                  void main() { v_uv = u_k; gl_Position = vec4(1.0); }";
+        let err = Program::link(vs, FS, &Limits::default()).unwrap_err();
+        assert!(err.to_string().contains("u_k"));
+    }
+
+    #[test]
+    fn varying_budget_enforced() {
+        let vs = "attribute vec2 a_pos;\n\
+                  varying mat4 v_a; varying mat4 v_b; varying vec4 v_c;\n\
+                  void main() { v_a = mat4(1.0); v_b = mat4(1.0); v_c = vec4(1.0);\n\
+                                gl_Position = vec4(a_pos, 0.0, 1.0); }";
+        let fs = "precision highp float;\n\
+                  varying mat4 v_a; varying mat4 v_b; varying vec4 v_c;\n\
+                  void main() { gl_FragColor = v_a[0] + v_b[1] + v_c; }";
+        let err = Program::link(vs, fs, &Limits::default()).unwrap_err();
+        assert!(err.to_string().contains("varying vectors"));
+    }
+
+    #[test]
+    fn uniform_set_and_type_check() {
+        let mut p = Program::link(VS, FS, &Limits::default()).expect("links");
+        assert_eq!(p.unset_uniforms(), vec!["u_k"]);
+        p.set_uniform("u_k", Value::Float(2.0)).expect("set");
+        assert!(p.unset_uniforms().is_empty());
+        let err = p.set_uniform("u_k", Value::Int(2)).unwrap_err();
+        assert!(err.to_string().contains("is float"));
+        let err = p.set_uniform("u_missing", Value::Float(0.0)).unwrap_err();
+        assert!(err.to_string().contains("no uniform"));
+    }
+
+    #[test]
+    fn sampler_uniform_accepts_int_unit() {
+        let fs = "precision highp float;\nuniform sampler2D u_tex;\nvarying vec2 v_uv;\n\
+                  void main() { gl_FragColor = texture2D(u_tex, v_uv); }";
+        let mut p = Program::link(VS, fs, &Limits::default()).expect("links");
+        p.set_uniform("u_tex", Value::Int(3)).expect("set sampler");
+        assert_eq!(
+            p.uniform_values().get("u_tex"),
+            Some(&Value::Sampler(3))
+        );
+        assert!(p.set_uniform("u_tex", Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn compile_errors_surface_with_position() {
+        let err = Program::link("void main() { gl_Position = 1 & 2; }", FS, &Limits::default())
+            .unwrap_err();
+        assert!(matches!(err, GlError::Compile(_)));
+    }
+}

@@ -1,0 +1,884 @@
+//! The rasterisation pipeline: vertex shading, primitive assembly,
+//! triangle rasterisation with a shared-edge-exact top-left fill rule,
+//! perspective-correct varying interpolation and fragment dispatch.
+//!
+//! This is "Figure 1" of the paper as executable code: the programmable
+//! vertex and fragment stages run through the `gpes-glsl` interpreter; the
+//! fixed-function stages (assembly, rasterisation, framebuffer conversion)
+//! are implemented here.
+//!
+//! Conformance notes for the GPGPU use case:
+//!
+//! * Only triangle primitives exist ([`PrimitiveMode`]) — limitation #2 of
+//!   the paper. A screen-covering quad must be drawn as two triangles, and
+//!   the top-left fill rule guarantees each pixel on the shared diagonal is
+//!   shaded exactly once.
+//! * There is no near-plane clipping: triangles with any `w ≤ 0` vertex are
+//!   dropped. GPGPU geometry is always drawn with `w = 1`.
+
+use crate::convert::{float_to_texel, StoreRounding};
+use crate::error::GlError;
+use crate::program::Program;
+use crate::texture::Texture;
+use gpes_glsl::exec::{ExecLimits, FloatModel, OpProfile, TextureAccess};
+use gpes_glsl::interp::Interpreter;
+use gpes_glsl::{Type, Value};
+use std::collections::HashMap;
+
+/// Primitive topologies accepted by `draw_arrays`.
+///
+/// ES 2 also rasterises lines; this GPGPU-oriented subset supports the
+/// triangle modes (the paper's screen-covering quad, workaround #2) plus
+/// `POINTS`, which vertex-stage compute uses to scatter one work item per
+/// output pixel (§III-1: kernels "can be implemented in the vertex or the
+/// fragment processing stage").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimitiveMode {
+    /// Independent triangles; `count` must be a multiple of 3.
+    Triangles,
+    /// Strip: vertices (i, i+1, i+2) with alternating winding.
+    TriangleStrip,
+    /// Fan around vertex 0.
+    TriangleFan,
+    /// One point per vertex, sized by `gl_PointSize` (default 1);
+    /// varyings pass through without interpolation.
+    Points,
+}
+
+/// Fragment dispatch strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// Single-threaded (deterministic op ordering, easiest to debug).
+    Serial,
+    /// Fixed number of worker threads.
+    Parallel(usize),
+    /// One thread per available core (results identical to serial; the
+    /// QPU-like data parallelism of fragment shading is order-independent).
+    #[default]
+    Auto,
+}
+
+impl Dispatch {
+    fn threads(self) -> usize {
+        match self {
+            Dispatch::Serial => 1,
+            Dispatch::Parallel(n) => n.max(1),
+            Dispatch::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16),
+        }
+    }
+}
+
+/// Per-draw statistics — the observable pipeline trace (experiment F1).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DrawStats {
+    /// Vertex shader invocations.
+    pub vertices_shaded: u32,
+    /// Triangles assembled from the vertex stream.
+    pub triangles_in: u32,
+    /// Triangles that survived face/degeneracy/w-culling.
+    pub triangles_rasterized: u32,
+    /// Fragment shader invocations.
+    pub fragments_shaded: u64,
+    /// Fragments that executed `discard`.
+    pub fragments_discarded: u64,
+    /// Pixels written to the target after all per-fragment tests.
+    pub pixels_written: u64,
+    /// Vertex-stage operation profile.
+    pub vs_profile: OpProfile,
+    /// Fragment-stage operation profile (drives the `gpes-perf` model).
+    pub fs_profile: OpProfile,
+}
+
+/// A client-side attribute array (`glVertexAttribPointer` analog).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttribArray {
+    /// Components per vertex (1–4).
+    pub size: usize,
+    /// Tightly packed floats, `size` per vertex.
+    pub data: Vec<f32>,
+}
+
+/// Texture-unit bindings snapshot used during one draw call.
+pub(crate) struct Bindings<'a> {
+    /// Slot per unit; `None` samples as opaque black (incomplete texture).
+    pub units: Vec<Option<&'a Texture>>,
+}
+
+impl TextureAccess for Bindings<'_> {
+    fn sample(&self, unit: u32, coord: [f32; 2]) -> [f32; 4] {
+        self.units
+            .get(unit as usize)
+            .and_then(|t| *t)
+            .map(|t| t.sample(coord))
+            .unwrap_or([0.0, 0.0, 0.0, 1.0])
+    }
+}
+
+/// Pixel storage of a render target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum PixelStore {
+    /// 4 bytes: eq. (2) clamp + byte conversion (core ES 2).
+    #[default]
+    Rgba8,
+    /// 8 bytes: four binary16 floats, unclamped
+    /// (`EXT_color_buffer_half_float`).
+    RgbaF16,
+}
+
+impl PixelStore {
+    pub(crate) fn bytes_per_pixel(self) -> usize {
+        match self {
+            PixelStore::Rgba8 => 4,
+            PixelStore::RgbaF16 => 8,
+        }
+    }
+}
+
+/// Mutable view of the render target for one draw call.
+pub(crate) struct TargetImage<'a> {
+    pub width: u32,
+    pub height: u32,
+    /// Pixel bytes, row 0 at the bottom; layout per [`PixelStore`].
+    pub color: &'a mut [u8],
+    pub depth: Option<&'a mut [f32]>,
+    pub pixel: PixelStore,
+}
+
+/// Fixed-function state for one draw call.
+pub(crate) struct RasterConfig {
+    pub viewport: (i32, i32, i32, i32),
+    pub scissor: Option<(i32, i32, i32, i32)>,
+    pub store_rounding: StoreRounding,
+    pub float_model: FloatModel,
+    pub dispatch: Dispatch,
+    pub depth_test: bool,
+    pub exec_limits: ExecLimits,
+}
+
+struct VaryingLayout {
+    names: Vec<(String, Type, usize)>, // name, type, component count
+    total: usize,
+}
+
+struct ShadedVertex {
+    clip: [f32; 4],
+    varyings: Vec<f32>,
+    point_size: f32,
+}
+
+/// Executes a complete draw call.
+#[allow(clippy::too_many_arguments)] // mirrors the GL draw-call surface
+pub(crate) fn draw(
+    program: &Program,
+    attribs: &HashMap<String, AttribArray>,
+    mode: PrimitiveMode,
+    first: usize,
+    count: usize,
+    bindings: &Bindings<'_>,
+    target: &mut TargetImage<'_>,
+    config: &RasterConfig,
+) -> Result<DrawStats, GlError> {
+    let mut stats = DrawStats::default();
+    if count == 0 {
+        return Ok(stats);
+    }
+    if mode == PrimitiveMode::Triangles && !count.is_multiple_of(3) {
+        return Err(GlError::invalid_value(
+            "GL_TRIANGLES draw count must be a multiple of 3",
+        ));
+    }
+    if mode != PrimitiveMode::Points && count < 3 {
+        return Err(GlError::invalid_value("triangle draws need at least 3 vertices"));
+    }
+
+    let layout = varying_layout(program);
+
+    // ---- vertex stage ----------------------------------------------------
+    let mut vs = Interpreter::with_model(&program.vertex, bindings, config.float_model)?;
+    vs.set_limits(config.exec_limits);
+    apply_uniforms(&mut vs, program);
+
+    let mut shaded: Vec<ShadedVertex> = Vec::with_capacity(count);
+    for vi in first..first + count {
+        for (name, ty) in program.attributes() {
+            let arr = attribs.get(name).ok_or_else(|| {
+                GlError::invalid_op(format!("no attribute array bound for `{name}`"))
+            })?;
+            let value = attribute_value(arr, vi, ty)?;
+            vs.set_global(name, value)?;
+        }
+        vs.run_main()?;
+        let clip = vs
+            .global("gl_Position")
+            .and_then(Value::as_vec4)
+            .ok_or_else(|| {
+                GlError::invalid_op("vertex shader did not produce gl_Position")
+            })?;
+        let mut varyings = Vec::with_capacity(layout.total);
+        for (name, _, len) in &layout.names {
+            let v = vs.global(name).ok_or_else(|| {
+                GlError::invalid_op(format!("vertex shader lost varying `{name}`"))
+            })?;
+            let comps = v.float_components().ok_or_else(|| {
+                GlError::invalid_op(format!("varying `{name}` is not float-based"))
+            })?;
+            debug_assert_eq!(comps.len(), *len);
+            varyings.extend_from_slice(&comps);
+        }
+        let point_size = vs
+            .global("gl_PointSize")
+            .and_then(|v| match v {
+                Value::Float(f) => Some(*f),
+                _ => None,
+            })
+            .unwrap_or(1.0);
+        shaded.push(ShadedVertex {
+            clip,
+            varyings,
+            point_size,
+        });
+        stats.vertices_shaded += 1;
+    }
+    stats.vs_profile = vs.take_profile();
+
+    if mode == PrimitiveMode::Points {
+        raster_points(program, &shaded, &layout, bindings, target, config, &mut stats)?;
+        return Ok(stats);
+    }
+
+    // ---- primitive assembly ----------------------------------------------
+    let tris = assemble(mode, count);
+    stats.triangles_in = tris.len() as u32;
+
+    // ---- rasterisation + fragment stage -----------------------------------
+    for tri in tris {
+        let rasterized = raster_triangle(
+            program,
+            &shaded,
+            tri,
+            &layout,
+            bindings,
+            target,
+            config,
+            &mut stats,
+        )?;
+        if rasterized {
+            stats.triangles_rasterized += 1;
+        }
+    }
+    Ok(stats)
+}
+
+fn varying_layout(program: &Program) -> VaryingLayout {
+    let mut names = Vec::new();
+    let mut total = 0;
+    for (name, ty) in program.varyings() {
+        let len = ty.component_count().unwrap_or(0);
+        total += len;
+        names.push((name.clone(), ty.clone(), len));
+    }
+    VaryingLayout { names, total }
+}
+
+fn apply_uniforms(interp: &mut Interpreter<'_>, program: &Program) {
+    for (name, value) in program.uniform_values() {
+        // A uniform may be declared in only one of the two stages; ignore
+        // the stage that does not know the name.
+        let _ = interp.set_global(name, value.clone());
+    }
+}
+
+/// Builds the attribute value for vertex `vi`, padding missing components
+/// with (0, 0, 0, 1) as GL does.
+fn attribute_value(arr: &AttribArray, vi: usize, ty: &Type) -> Result<Value, GlError> {
+    if !(1..=4).contains(&arr.size) {
+        return Err(GlError::invalid_value("attribute size must be 1..=4"));
+    }
+    let start = vi * arr.size;
+    if start + arr.size > arr.data.len() {
+        return Err(GlError::invalid_value(format!(
+            "attribute array too short for vertex {vi}"
+        )));
+    }
+    let supplied = &arr.data[start..start + arr.size];
+    let mut full = [0.0f32, 0.0, 0.0, 1.0];
+    full[..supplied.len()].copy_from_slice(supplied);
+    match ty {
+        Type::Float => Ok(Value::Float(full[0])),
+        Type::Vec2 => Ok(Value::Vec2([full[0], full[1]])),
+        Type::Vec3 => Ok(Value::Vec3([full[0], full[1], full[2]])),
+        Type::Vec4 => Ok(Value::Vec4(full)),
+        other => Err(GlError::invalid_op(format!(
+            "attribute type {other} is not supported by this subset"
+        ))),
+    }
+}
+
+fn assemble(mode: PrimitiveMode, count: usize) -> Vec<[usize; 3]> {
+    match mode {
+        // Points never reach assembly (dedicated raster path).
+        PrimitiveMode::Points => Vec::new(),
+        PrimitiveMode::Triangles => (0..count / 3).map(|t| [3 * t, 3 * t + 1, 3 * t + 2]).collect(),
+        PrimitiveMode::TriangleStrip => (0..count.saturating_sub(2))
+            .map(|i| {
+                if i % 2 == 0 {
+                    [i, i + 1, i + 2]
+                } else {
+                    [i + 1, i, i + 2]
+                }
+            })
+            .collect(),
+        PrimitiveMode::TriangleFan => (0..count.saturating_sub(2))
+            .map(|i| [0, i + 1, i + 2])
+            .collect(),
+    }
+}
+
+fn edge(ax: f64, ay: f64, bx: f64, by: f64, px: f64, py: f64) -> f64 {
+    (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+}
+
+/// Top-left fill rule: a pixel centre exactly on an edge belongs to the
+/// triangle iff the (CCW-directed) edge points "up", or is horizontal and
+/// points "left". Opposite-direction shared edges therefore claim each
+/// boundary pixel exactly once.
+fn accepts_zero_edge(ax: f64, ay: f64, bx: f64, by: f64) -> bool {
+    let dy = by - ay;
+    let dx = bx - ax;
+    dy > 0.0 || (dy == 0.0 && dx < 0.0)
+}
+
+struct TriangleSetup {
+    sx: [f64; 3],
+    sy: [f64; 3],
+    inv_w: [f32; 3],
+    z_ndc: [f32; 3],
+    /// Varying components pre-divided by clip w (for perspective-correct
+    /// interpolation).
+    var_over_w: [Vec<f32>; 3],
+    front_facing: bool,
+}
+
+#[derive(Default, Clone, Copy)]
+struct BandStats {
+    shaded: u64,
+    discarded: u64,
+    written: u64,
+    profile: OpProfile,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn raster_triangle(
+    program: &Program,
+    shaded: &[ShadedVertex],
+    tri: [usize; 3],
+    layout: &VaryingLayout,
+    bindings: &Bindings<'_>,
+    target: &mut TargetImage<'_>,
+    config: &RasterConfig,
+    stats: &mut DrawStats,
+) -> Result<bool, GlError> {
+    let verts = [&shaded[tri[0]], &shaded[tri[1]], &shaded[tri[2]]];
+    // No clipping in this subset: drop triangles behind the eye.
+    if verts.iter().any(|v| v.clip[3] <= 0.0) {
+        return Ok(false);
+    }
+    let (vx, vy, vw, vh) = config.viewport;
+    let mut sx = [0.0f64; 3];
+    let mut sy = [0.0f64; 3];
+    let mut inv_w = [0.0f32; 3];
+    let mut z_ndc = [0.0f32; 3];
+    for k in 0..3 {
+        let w = verts[k].clip[3];
+        let ndc_x = verts[k].clip[0] / w;
+        let ndc_y = verts[k].clip[1] / w;
+        z_ndc[k] = verts[k].clip[2] / w;
+        sx[k] = vx as f64 + (ndc_x as f64 + 1.0) * 0.5 * vw as f64;
+        sy[k] = vy as f64 + (ndc_y as f64 + 1.0) * 0.5 * vh as f64;
+        inv_w[k] = 1.0 / w;
+    }
+    let mut order = [0usize, 1, 2];
+    let area = edge(sx[0], sy[0], sx[1], sy[1], sx[2], sy[2]);
+    if area == 0.0 {
+        return Ok(false);
+    }
+    let front_facing = area > 0.0;
+    if area < 0.0 {
+        // Reorder to counter-clockwise so all edge functions are positive
+        // inside; remember original facing for gl_FrontFacing.
+        order = [0, 2, 1];
+    }
+    let o = order;
+    let setup = TriangleSetup {
+        sx: [sx[o[0]], sx[o[1]], sx[o[2]]],
+        sy: [sy[o[0]], sy[o[1]], sy[o[2]]],
+        inv_w: [inv_w[o[0]], inv_w[o[1]], inv_w[o[2]]],
+        z_ndc: [z_ndc[o[0]], z_ndc[o[1]], z_ndc[o[2]]],
+        var_over_w: [
+            premultiply(&verts[o[0]].varyings, inv_w[o[0]]),
+            premultiply(&verts[o[1]].varyings, inv_w[o[1]]),
+            premultiply(&verts[o[2]].varyings, inv_w[o[2]]),
+        ],
+        front_facing,
+    };
+
+    // Bounding box clipped to viewport, target and scissor.
+    let min_x = setup.sx.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_x = setup.sx.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min_y = setup.sy.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_y = setup.sy.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+    let clip_lo_x = vx.max(0);
+    let clip_lo_y = vy.max(0);
+    let clip_hi_x = (vx + vw).min(target.width as i32);
+    let clip_hi_y = (vy + vh).min(target.height as i32);
+    let (clip_lo_x, clip_lo_y, clip_hi_x, clip_hi_y) = match config.scissor {
+        Some((sx0, sy0, sw, sh)) => (
+            clip_lo_x.max(sx0),
+            clip_lo_y.max(sy0),
+            clip_hi_x.min(sx0 + sw),
+            clip_hi_y.min(sy0 + sh),
+        ),
+        None => (clip_lo_x, clip_lo_y, clip_hi_x, clip_hi_y),
+    };
+
+    let x0 = (min_x.floor() as i32).max(clip_lo_x);
+    let x1 = (max_x.ceil() as i32).min(clip_hi_x);
+    let y0 = (min_y.floor() as i32).max(clip_lo_y);
+    let y1 = (max_y.ceil() as i32).min(clip_hi_y);
+    if x0 >= x1 || y0 >= y1 {
+        return Ok(false);
+    }
+
+    let rows = (y1 - y0) as usize;
+    let threads = config.dispatch.threads().min(rows).max(1);
+    let width = target.width as usize;
+    let bpp = target.pixel.bytes_per_pixel();
+    let pixel = target.pixel;
+
+    let band_results: Vec<Result<BandStats, GlError>> = if threads == 1 {
+        let color = &mut *target.color;
+        let depth = target.depth.as_deref_mut();
+        vec![raster_band(
+            program, layout, &setup, bindings, config, width, x0, x1, y0, y1, color, 0, depth,
+            pixel,
+        )]
+    } else {
+        // Split the target rows y0..y1 into contiguous bands.
+        let rows_per_band = rows.div_ceil(threads);
+        let mut bands: Vec<(i32, i32)> = Vec::new();
+        let mut y = y0;
+        while y < y1 {
+            let end = (y + rows_per_band as i32).min(y1);
+            bands.push((y, end));
+            y = end;
+        }
+        // Carve the color (and depth) buffers into per-band mutable slices.
+        let mut color_slices: Vec<&mut [u8]> = Vec::with_capacity(bands.len());
+        let mut depth_slices: Vec<Option<&mut [f32]>> = Vec::with_capacity(bands.len());
+        {
+            let mut color_rest: &mut [u8] = target.color;
+            let mut consumed_rows = 0usize;
+            let mut depth_rest: Option<&mut [f32]> = target.depth.as_deref_mut();
+            for &(by0, by1) in &bands {
+                let skip_rows = by0 as usize - consumed_rows;
+                let take_rows = (by1 - by0) as usize;
+                let (_, after_skip) = color_rest.split_at_mut(skip_rows * width * bpp);
+                let (band, rest) = after_skip.split_at_mut(take_rows * width * bpp);
+                color_slices.push(band);
+                color_rest = rest;
+                depth_rest = match depth_rest {
+                    Some(d) => {
+                        let (_, after_skip) = d.split_at_mut(skip_rows * width);
+                        let (band, rest) = after_skip.split_at_mut(take_rows * width);
+                        depth_slices.push(Some(band));
+                        Some(rest)
+                    }
+                    None => {
+                        depth_slices.push(None);
+                        None
+                    }
+                };
+                consumed_rows = by1 as usize;
+            }
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(bands.len());
+            for ((&(by0, by1), color_band), depth_band) in
+                bands.iter().zip(color_slices).zip(depth_slices)
+            {
+                let setup = &setup;
+                handles.push(scope.spawn(move || {
+                    raster_band(
+                        program, layout, setup, bindings, config, width, x0, x1, by0, by1,
+                        color_band, by0, depth_band, pixel,
+                    )
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("raster worker panicked"))
+                .collect()
+        })
+    };
+
+    for result in band_results {
+        let band = result?;
+        stats.fragments_shaded += band.shaded;
+        stats.fragments_discarded += band.discarded;
+        stats.pixels_written += band.written;
+        stats.fs_profile.merge(&band.profile);
+    }
+    Ok(true)
+}
+
+fn premultiply(comps: &[f32], inv_w: f32) -> Vec<f32> {
+    comps.iter().map(|&c| c * inv_w).collect()
+}
+
+/// Writes one fragment colour into the target according to its pixel
+/// store (eq. (2) byte conversion, or raw halves for float targets).
+fn store_pixel(
+    color: &mut [u8],
+    pixel_index: usize,
+    pixel: PixelStore,
+    rgba: [f32; 4],
+    rounding: StoreRounding,
+) {
+    match pixel {
+        PixelStore::Rgba8 => {
+            let byte_off = pixel_index * 4;
+            for (i, &c) in rgba.iter().enumerate() {
+                color[byte_off + i] = float_to_texel(c, rounding);
+            }
+        }
+        PixelStore::RgbaF16 => {
+            let byte_off = pixel_index * 8;
+            for (i, &c) in rgba.iter().enumerate() {
+                let bits = crate::half::f32_to_f16_bits(c).to_le_bytes();
+                color[byte_off + 2 * i] = bits[0];
+                color[byte_off + 2 * i + 1] = bits[1];
+            }
+        }
+    }
+}
+
+/// Rasterises every shaded vertex as a point sprite (serial dispatch —
+/// point counts in GPGPU scatter passes equal the output size, and each
+/// point touches few pixels). Varyings pass through uninterpolated, per
+/// the GL point rasterisation rules.
+fn raster_points(
+    program: &Program,
+    shaded: &[ShadedVertex],
+    layout: &VaryingLayout,
+    bindings: &Bindings<'_>,
+    target: &mut TargetImage<'_>,
+    config: &RasterConfig,
+    stats: &mut DrawStats,
+) -> Result<(), GlError> {
+    let mut fs = Interpreter::with_model(&program.fragment, bindings, config.float_model)?;
+    fs.set_limits(config.exec_limits);
+    apply_uniforms(&mut fs, program);
+    let _ = fs.set_global("gl_FrontFacing", Value::Bool(true));
+
+    let (vx, vy, vw, vh) = config.viewport;
+    let clip_lo_x = vx.max(0);
+    let clip_lo_y = vy.max(0);
+    let clip_hi_x = (vx + vw).min(target.width as i32);
+    let clip_hi_y = (vy + vh).min(target.height as i32);
+    let (clip_lo_x, clip_lo_y, clip_hi_x, clip_hi_y) = match config.scissor {
+        Some((sx0, sy0, sw, sh)) => (
+            clip_lo_x.max(sx0),
+            clip_lo_y.max(sy0),
+            clip_hi_x.min(sx0 + sw),
+            clip_hi_y.min(sy0 + sh),
+        ),
+        None => (clip_lo_x, clip_lo_y, clip_hi_x, clip_hi_y),
+    };
+    let width = target.width as usize;
+
+    for v in shaded {
+        let w = v.clip[3];
+        if w <= 0.0 {
+            continue;
+        }
+        let sx = vx as f64 + (v.clip[0] as f64 / w as f64 + 1.0) * 0.5 * vw as f64;
+        let sy = vy as f64 + (v.clip[1] as f64 / w as f64 + 1.0) * 0.5 * vh as f64;
+        let z_ndc = v.clip[2] / w;
+        let frag_z = (z_ndc * 0.5 + 0.5).clamp(0.0, 1.0);
+        let half = (v.point_size.max(1.0) as f64) / 2.0;
+
+        // Covered pixels: centres inside the point square.
+        let x0 = ((sx - half - 0.5).ceil() as i32).max(clip_lo_x);
+        let x1 = ((sx + half - 0.5).floor() as i32 + 1).min(clip_hi_x);
+        let y0 = ((sy - half - 0.5).ceil() as i32).max(clip_lo_y);
+        let y1 = ((sy + half - 0.5).floor() as i32 + 1).min(clip_hi_y);
+
+        // Pass-through varyings (no interpolation for points).
+        let mut offset = 0usize;
+        for (name, ty, len) in &layout.names {
+            let comps = &v.varyings[offset..offset + len];
+            offset += len;
+            fs.set_global(name, rebuild_varying(ty, comps))?;
+        }
+
+        for py in y0..y1 {
+            for px in x0..x1 {
+                let pixel_index = py as usize * width + px as usize;
+                if config.depth_test {
+                    if let Some(depth_buf) = target.depth.as_deref_mut() {
+                        if frag_z >= depth_buf[pixel_index] {
+                            continue;
+                        }
+                    }
+                }
+                fs.set_global(
+                    "gl_FragCoord",
+                    Value::Vec4([px as f32 + 0.5, py as f32 + 0.5, frag_z, 1.0 / w]),
+                )?;
+                fs.run_main()?;
+                stats.fragments_shaded += 1;
+                if fs.discarded() {
+                    stats.fragments_discarded += 1;
+                    continue;
+                }
+                let rgba = fs.frag_color().ok_or(GlError::ShaderTrap(
+                    gpes_glsl::RuntimeError::MissingOutput {
+                        name: "gl_FragColor",
+                    },
+                ))?;
+                if config.depth_test {
+                    if let Some(depth_buf) = target.depth.as_deref_mut() {
+                        depth_buf[pixel_index] = frag_z;
+                    }
+                }
+                store_pixel(target.color, pixel_index, target.pixel, rgba, config.store_rounding);
+                stats.pixels_written += 1;
+            }
+        }
+    }
+    stats.fs_profile.merge(&fs.take_profile());
+    Ok(())
+}
+
+/// Rasterises rows `y0..y1` of one triangle into a band buffer whose first
+/// row corresponds to target row `band_base`.
+#[allow(clippy::too_many_arguments)]
+fn raster_band(
+    program: &Program,
+    layout: &VaryingLayout,
+    setup: &TriangleSetup,
+    bindings: &Bindings<'_>,
+    config: &RasterConfig,
+    width: usize,
+    x0: i32,
+    x1: i32,
+    y0: i32,
+    y1: i32,
+    color: &mut [u8],
+    band_base: i32,
+    mut depth: Option<&mut [f32]>,
+    pixel: PixelStore,
+) -> Result<BandStats, GlError> {
+    let mut band = BandStats::default();
+    let mut fs = Interpreter::with_model(&program.fragment, bindings, config.float_model)?;
+    fs.set_limits(config.exec_limits);
+    apply_uniforms(&mut fs, program);
+    let _ = fs.set_global("gl_FrontFacing", Value::Bool(setup.front_facing));
+
+    let [ax, bx, cx] = setup.sx;
+    let [ay, by, cy] = setup.sy;
+    let area = edge(ax, ay, bx, by, cx, cy);
+    debug_assert!(area > 0.0);
+
+    let top_left_ab = accepts_zero_edge(ax, ay, bx, by);
+    let top_left_bc = accepts_zero_edge(bx, by, cx, cy);
+    let top_left_ca = accepts_zero_edge(cx, cy, ax, ay);
+
+    let mut varying_values: Vec<Value> = layout
+        .names
+        .iter()
+        .map(|(_, ty, _)| Value::zero_of(ty))
+        .collect();
+
+    for py in y0..y1 {
+        let pyc = py as f64 + 0.5;
+        for px in x0..x1 {
+            let pxc = px as f64 + 0.5;
+            let w_ab = edge(ax, ay, bx, by, pxc, pyc); // weight for vertex C
+            let w_bc = edge(bx, by, cx, cy, pxc, pyc); // weight for vertex A
+            let w_ca = edge(cx, cy, ax, ay, pxc, pyc); // weight for vertex B
+            let inside = (w_ab > 0.0 || (w_ab == 0.0 && top_left_ab))
+                && (w_bc > 0.0 || (w_bc == 0.0 && top_left_bc))
+                && (w_ca > 0.0 || (w_ca == 0.0 && top_left_ca));
+            if !inside {
+                continue;
+            }
+            let la = (w_bc / area) as f32;
+            let lb = (w_ca / area) as f32;
+            let lc = (w_ab / area) as f32;
+
+            // Perspective-correct interpolation.
+            let denom = la * setup.inv_w[0] + lb * setup.inv_w[1] + lc * setup.inv_w[2];
+            let z = la * setup.z_ndc[0] + lb * setup.z_ndc[1] + lc * setup.z_ndc[2];
+            let frag_z = (z * 0.5 + 0.5).clamp(0.0, 1.0);
+
+            let pixel_index = (py - band_base) as usize * width + px as usize;
+            if config.depth_test {
+                if let Some(depth_buf) = depth.as_deref_mut() {
+                    if frag_z >= depth_buf[pixel_index] {
+                        continue;
+                    }
+                }
+            }
+
+            // Rebuild varying values for this fragment.
+            let mut offset = 0usize;
+            for (slot, (_, ty, len)) in varying_values.iter_mut().zip(&layout.names) {
+                let mut comps = Vec::with_capacity(*len);
+                for c in 0..*len {
+                    let idx = offset + c;
+                    let num = la * setup.var_over_w[0][idx]
+                        + lb * setup.var_over_w[1][idx]
+                        + lc * setup.var_over_w[2][idx];
+                    comps.push(num / denom);
+                }
+                offset += len;
+                *slot = rebuild_varying(ty, &comps);
+            }
+            for ((name, _, _), value) in layout.names.iter().zip(&varying_values) {
+                fs.set_global(name, value.clone())?;
+            }
+            fs.set_global(
+                "gl_FragCoord",
+                Value::Vec4([pxc as f32, pyc as f32, frag_z, denom]),
+            )?;
+
+            fs.run_main()?;
+            band.shaded += 1;
+            if fs.discarded() {
+                band.discarded += 1;
+                continue;
+            }
+            let rgba = fs.frag_color().ok_or(GlError::ShaderTrap(
+                gpes_glsl::RuntimeError::MissingOutput {
+                    name: "gl_FragColor",
+                },
+            ))?;
+
+            if config.depth_test {
+                if let Some(depth_buf) = depth.as_deref_mut() {
+                    depth_buf[pixel_index] = frag_z;
+                }
+            }
+            store_pixel(color, pixel_index, pixel, rgba, config.store_rounding);
+            band.written += 1;
+        }
+    }
+    band.profile = fs.take_profile();
+    Ok(band)
+}
+
+fn rebuild_varying(ty: &Type, comps: &[f32]) -> Value {
+    match ty {
+        Type::Float => Value::Float(comps[0]),
+        Type::Vec2 => Value::Vec2([comps[0], comps[1]]),
+        Type::Vec3 => Value::Vec3([comps[0], comps[1], comps[2]]),
+        Type::Vec4 => Value::Vec4([comps[0], comps[1], comps[2], comps[3]]),
+        Type::Mat2 => Value::Mat2([[comps[0], comps[1]], [comps[2], comps[3]]]),
+        Type::Mat3 => Value::Mat3([
+            [comps[0], comps[1], comps[2]],
+            [comps[3], comps[4], comps[5]],
+            [comps[6], comps[7], comps[8]],
+        ]),
+        Type::Mat4 => Value::Mat4([
+            [comps[0], comps[1], comps[2], comps[3]],
+            [comps[4], comps[5], comps[6], comps[7]],
+            [comps[8], comps[9], comps[10], comps[11]],
+            [comps[12], comps[13], comps[14], comps[15]],
+        ]),
+        other => unreachable!("varying of type {other} should have been rejected"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_triangles() {
+        assert_eq!(assemble(PrimitiveMode::Triangles, 6), vec![[0, 1, 2], [3, 4, 5]]);
+    }
+
+    #[test]
+    fn assemble_strip_alternates_winding() {
+        assert_eq!(
+            assemble(PrimitiveMode::TriangleStrip, 5),
+            vec![[0, 1, 2], [2, 1, 3], [2, 3, 4]]
+        );
+    }
+
+    #[test]
+    fn assemble_fan_pivots_on_zero() {
+        assert_eq!(
+            assemble(PrimitiveMode::TriangleFan, 5),
+            vec![[0, 1, 2], [0, 2, 3], [0, 3, 4]]
+        );
+    }
+
+    #[test]
+    fn edge_function_sign() {
+        // CCW triangle, point inside → positive.
+        assert!(edge(0.0, 0.0, 4.0, 0.0, 1.0, 1.0) > 0.0);
+        assert!(edge(0.0, 0.0, 4.0, 0.0, 1.0, -1.0) < 0.0);
+        assert_eq!(edge(0.0, 0.0, 4.0, 0.0, 2.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn top_left_rule_claims_shared_edges_once() {
+        // Any edge and its reverse: exactly one accepts zero.
+        let cases = [
+            (0.0, 0.0, 4.0, 0.0),
+            (0.0, 0.0, 0.0, 4.0),
+            (0.0, 0.0, 4.0, 4.0),
+            (4.0, 1.0, 0.0, 3.0),
+        ];
+        for (ax, ay, bx, by) in cases {
+            let forward = accepts_zero_edge(ax, ay, bx, by);
+            let backward = accepts_zero_edge(bx, by, ax, ay);
+            assert_ne!(forward, backward, "edge ({ax},{ay})→({bx},{by})");
+        }
+    }
+
+    #[test]
+    fn dispatch_thread_counts() {
+        assert_eq!(Dispatch::Serial.threads(), 1);
+        assert_eq!(Dispatch::Parallel(4).threads(), 4);
+        assert_eq!(Dispatch::Parallel(0).threads(), 1);
+        assert!(Dispatch::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn attribute_padding_follows_gl() {
+        let arr = AttribArray {
+            size: 2,
+            data: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        let v = attribute_value(&arr, 1, &Type::Vec4).expect("value");
+        assert_eq!(v, Value::Vec4([3.0, 4.0, 0.0, 1.0]));
+        let v = attribute_value(&arr, 0, &Type::Float).expect("value");
+        assert_eq!(v, Value::Float(1.0));
+    }
+
+    #[test]
+    fn attribute_bounds_checked() {
+        let arr = AttribArray {
+            size: 3,
+            data: vec![0.0; 6],
+        };
+        assert!(attribute_value(&arr, 2, &Type::Vec3).is_err());
+    }
+}

@@ -1,0 +1,1599 @@
+//! Tree-walking interpreter for checked shaders.
+//!
+//! One [`Interpreter`] instance executes many shader invocations (one per
+//! vertex or fragment): uniforms persist across invocations, per-invocation
+//! inputs are set with [`Interpreter::set_global`], and outputs are read
+//! back with [`Interpreter::global`].
+
+use crate::ast::*;
+use crate::builtins::{self, BuiltinCx};
+use crate::error::RuntimeError;
+use crate::exec::{ExecLimits, FloatModel, OpProfile, TextureAccess};
+use crate::sema::{CompiledShader, ShaderKind};
+use crate::swizzle::swizzle_indices;
+use crate::types::{Scalar, Type};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Control-flow outcome of a statement.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Option<Value>),
+    Discard,
+}
+
+/// Executes invocations of one compiled shader.
+pub struct Interpreter<'a> {
+    shader: &'a CompiledShader,
+    functions: HashMap<&'a str, Vec<&'a Function>>,
+    model: FloatModel,
+    limits: ExecLimits,
+    textures: &'a dyn TextureAccess,
+    profile: OpProfile,
+    /// Scope stack; index 0 holds globals.
+    scopes: Vec<Vec<(String, Value)>>,
+    /// (index into globals, initial value) for mutable plain globals that
+    /// must be re-initialised per invocation.
+    reset_list: Vec<(usize, Value)>,
+    call_depth: u32,
+    discarded: bool,
+    wrote_frag_color: bool,
+    wrote_frag_data: bool,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Creates an interpreter over a checked shader with the given texture
+    /// bindings.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a global initialiser itself fails to evaluate.
+    pub fn new(
+        shader: &'a CompiledShader,
+        textures: &'a dyn TextureAccess,
+    ) -> Result<Self, RuntimeError> {
+        Self::with_model(shader, textures, FloatModel::Exact)
+    }
+
+    /// Like [`Interpreter::new`] with an explicit float model.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a global initialiser itself fails to evaluate.
+    pub fn with_model(
+        shader: &'a CompiledShader,
+        textures: &'a dyn TextureAccess,
+        model: FloatModel,
+    ) -> Result<Self, RuntimeError> {
+        let mut functions: HashMap<&str, Vec<&Function>> = HashMap::new();
+        for item in &shader.unit.items {
+            if let Item::Function(f) = item {
+                functions.entry(&f.name).or_default().push(f);
+            }
+        }
+        let mut interp = Interpreter {
+            shader,
+            functions,
+            model,
+            limits: ExecLimits::default(),
+            textures,
+            profile: OpProfile::new(),
+            scopes: vec![Vec::new()],
+            reset_list: Vec::new(),
+            call_depth: 0,
+            discarded: false,
+            wrote_frag_color: false,
+            wrote_frag_data: false,
+        };
+        interp.init_globals()?;
+        Ok(interp)
+    }
+
+    /// Replaces the execution limits.
+    pub fn set_limits(&mut self, limits: ExecLimits) {
+        self.limits = limits;
+    }
+
+    fn init_globals(&mut self) -> Result<(), RuntimeError> {
+        // Stage builtins.
+        let builtin_globals: &[(&str, Type)] = match self.shader.kind {
+            ShaderKind::Vertex => &[
+                ("gl_Position", Type::Vec4),
+                ("gl_PointSize", Type::Float),
+            ],
+            ShaderKind::Fragment => &[
+                ("gl_FragColor", Type::Vec4),
+                ("gl_FragData", Type::Array(Box::new(Type::Vec4), 1)),
+                ("gl_FragCoord", Type::Vec4),
+                ("gl_FrontFacing", Type::Bool),
+                ("gl_PointCoord", Type::Vec2),
+            ],
+        };
+        for (name, ty) in builtin_globals {
+            self.scopes[0].push(((*name).to_owned(), Value::zero_of(ty)));
+        }
+        let items = self.shader.unit.items.clone();
+        for item in &items {
+            if let Item::Var(decl) = item {
+                for var in &decl.vars {
+                    let value = if let Some(init) = &var.init {
+                        self.eval(init)?
+                    } else {
+                        Value::zero_of(&var.ty)
+                    };
+                    let index = self.scopes[0].len();
+                    self.scopes[0].push((var.name.clone(), value.clone()));
+                    if decl.storage == Storage::None {
+                        self.reset_list.push((index, value));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets a global (uniform, attribute, varying or builtin input) by name.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unbound`] if no such global exists.
+    pub fn set_global(&mut self, name: &str, value: Value) -> Result<(), RuntimeError> {
+        for (n, v) in self.scopes[0].iter_mut() {
+            if n == name {
+                *v = value;
+                return Ok(());
+            }
+        }
+        Err(RuntimeError::Unbound { name: name.into() })
+    }
+
+    /// Reads a global by name (used for `gl_Position`, varyings,
+    /// `gl_FragColor` after a run).
+    pub fn global(&self, name: &str) -> Option<&Value> {
+        self.scopes[0]
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the last invocation executed `discard`.
+    pub fn discarded(&self) -> bool {
+        self.discarded
+    }
+
+    /// Whether the last invocation wrote `gl_FragColor` / `gl_FragData`.
+    pub fn wrote_outputs(&self) -> (bool, bool) {
+        (self.wrote_frag_color, self.wrote_frag_data)
+    }
+
+    /// The fragment colour produced by the last invocation, honouring
+    /// whether the shader used `gl_FragColor` or `gl_FragData[0]`.
+    pub fn frag_color(&self) -> Option<[f32; 4]> {
+        if self.wrote_frag_data {
+            match self.global("gl_FragData") {
+                Some(Value::Array(elems)) => elems.first().and_then(Value::as_vec4),
+                _ => None,
+            }
+        } else {
+            self.global("gl_FragColor").and_then(Value::as_vec4)
+        }
+    }
+
+    /// Accumulated operation profile over all invocations so far.
+    pub fn profile(&self) -> OpProfile {
+        self.profile
+    }
+
+    /// Resets the accumulated profile and returns the previous counts.
+    pub fn take_profile(&mut self) -> OpProfile {
+        std::mem::take(&mut self.profile)
+    }
+
+    /// Runs `main()` once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`RuntimeError`] raised during evaluation.
+    pub fn run_main(&mut self) -> Result<(), RuntimeError> {
+        self.discarded = false;
+        self.wrote_frag_color = false;
+        self.wrote_frag_data = false;
+        // Restore mutable plain globals to their initial values.
+        let resets = self.reset_list.clone();
+        for (index, value) in resets {
+            self.scopes[0][index].1 = value;
+        }
+        self.profile.invocations += 1;
+
+        let main = self
+            .functions
+            .get("main")
+            .and_then(|fs| fs.iter().find(|f| f.params.is_empty()))
+            .copied()
+            .ok_or(RuntimeError::Unbound {
+                name: "main".into(),
+            })?;
+        self.scopes.push(Vec::new());
+        let flow = self.exec_block(&main.body);
+        self.scopes.pop();
+        match flow? {
+            Flow::Discard => {
+                self.discarded = true;
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> Result<Flow, RuntimeError> {
+        for stmt in stmts {
+            match self.exec_stmt(stmt)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) -> Result<Flow, RuntimeError> {
+        match &stmt.kind {
+            StmtKind::Expr(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Decl(decl) => {
+                for var in &decl.vars {
+                    let value = if let Some(init) = &var.init {
+                        self.eval(init)?
+                    } else {
+                        Value::zero_of(&var.ty)
+                    };
+                    self.scopes
+                        .last_mut()
+                        .expect("scope stack non-empty")
+                        .push((var.name.clone(), value));
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::If(cond, then, els) => {
+                self.profile.branches += 1;
+                let c = self.eval_bool(cond)?;
+                if c {
+                    self.scoped_stmt(then)
+                } else if let Some(els) = els {
+                    self.scoped_stmt(els)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(Vec::new());
+                let result = (|| {
+                    if let Some(init) = init {
+                        self.exec_stmt(init)?;
+                    }
+                    let mut iterations: u64 = 0;
+                    loop {
+                        if let Some(cond) = cond {
+                            if !self.eval_bool(cond)? {
+                                break;
+                            }
+                        }
+                        iterations += 1;
+                        self.profile.branches += 1;
+                        if iterations > self.limits.max_loop_iterations {
+                            return Err(RuntimeError::LoopLimit {
+                                limit: self.limits.max_loop_iterations,
+                                span: stmt.span,
+                            });
+                        }
+                        match self.scoped_stmt(body)? {
+                            Flow::Break => break,
+                            Flow::Normal | Flow::Continue => {}
+                            other => return Ok(other),
+                        }
+                        if let Some(step) = step {
+                            self.eval(step)?;
+                        }
+                    }
+                    Ok(Flow::Normal)
+                })();
+                self.scopes.pop();
+                result
+            }
+            StmtKind::While(cond, body) => {
+                let mut iterations: u64 = 0;
+                while self.eval_bool(cond)? {
+                    iterations += 1;
+                    self.profile.branches += 1;
+                    if iterations > self.limits.max_loop_iterations {
+                        return Err(RuntimeError::LoopLimit {
+                            limit: self.limits.max_loop_iterations,
+                            span: stmt.span,
+                        });
+                    }
+                    match self.scoped_stmt(body)? {
+                        Flow::Break => break,
+                        Flow::Normal | Flow::Continue => {}
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::DoWhile(body, cond) => {
+                let mut iterations: u64 = 0;
+                loop {
+                    iterations += 1;
+                    self.profile.branches += 1;
+                    if iterations > self.limits.max_loop_iterations {
+                        return Err(RuntimeError::LoopLimit {
+                            limit: self.limits.max_loop_iterations,
+                            span: stmt.span,
+                        });
+                    }
+                    match self.scoped_stmt(body)? {
+                        Flow::Break => break,
+                        Flow::Normal | Flow::Continue => {}
+                        other => return Ok(other),
+                    }
+                    if !self.eval_bool(cond)? {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return(value) => {
+                let v = match value {
+                    Some(e) => Some(self.eval(e)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Discard => Ok(Flow::Discard),
+            StmtKind::Block(stmts) => {
+                self.scopes.push(Vec::new());
+                let r = self.exec_block(stmts);
+                self.scopes.pop();
+                r
+            }
+            StmtKind::Empty => Ok(Flow::Normal),
+        }
+    }
+
+    fn scoped_stmt(&mut self, stmt: &Stmt) -> Result<Flow, RuntimeError> {
+        self.scopes.push(Vec::new());
+        let r = self.exec_stmt(stmt);
+        self.scopes.pop();
+        r
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn eval_bool(&mut self, e: &Expr) -> Result<bool, RuntimeError> {
+        self.eval(e)?.as_bool().ok_or_else(|| RuntimeError::Type {
+            message: "condition did not evaluate to bool".into(),
+        })
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Value> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|scope| scope.iter().rev().find(|(n, _)| n == name))
+            .map(|(_, v)| v)
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<Value, RuntimeError> {
+        match &e.kind {
+            ExprKind::FloatLit(v) => Ok(Value::Float(*v)),
+            ExprKind::IntLit(v) => Ok(Value::Int(*v)),
+            ExprKind::BoolLit(v) => Ok(Value::Bool(*v)),
+            ExprKind::Ident(name) => self
+                .lookup(name)
+                .cloned()
+                .ok_or_else(|| RuntimeError::Unbound { name: name.clone() }),
+            ExprKind::Binary(op, a, b) => self.eval_binary(*op, a, b),
+            ExprKind::Unary(op, inner) => self.eval_unary(*op, inner),
+            ExprKind::Assign(op, lhs, rhs) => {
+                let rhs_value = self.eval(rhs)?;
+                let new_value = match op {
+                    AssignOp::Assign => rhs_value,
+                    other => {
+                        let current = self.eval(lhs)?;
+                        let bin = match other {
+                            AssignOp::AddAssign => BinOp::Add,
+                            AssignOp::SubAssign => BinOp::Sub,
+                            AssignOp::MulAssign => BinOp::Mul,
+                            AssignOp::DivAssign => BinOp::Div,
+                            AssignOp::Assign => unreachable!(),
+                        };
+                        self.apply_binary(bin, current, rhs_value)?
+                    }
+                };
+                self.assign_to(lhs, new_value.clone())?;
+                Ok(new_value)
+            }
+            ExprKind::Ternary(cond, yes, no) => {
+                self.profile.branches += 1;
+                if self.eval_bool(cond)? {
+                    self.eval(yes)
+                } else {
+                    self.eval(no)
+                }
+            }
+            ExprKind::Call(name, args) => self.eval_call(name, args),
+            ExprKind::Field(base, field) => {
+                let bv = self.eval(base)?;
+                let idx = swizzle_indices(field).ok_or_else(|| RuntimeError::Type {
+                    message: format!("invalid swizzle `.{field}`"),
+                })?;
+                swizzle_read(&bv, &idx)
+            }
+            ExprKind::Index(base, index) => {
+                let bv = self.eval(base)?;
+                let i = self.eval_index(index)?;
+                index_read(&bv, i)
+            }
+            ExprKind::Comma(a, b) => {
+                self.eval(a)?;
+                self.eval(b)
+            }
+        }
+    }
+
+    fn eval_index(&mut self, e: &Expr) -> Result<i64, RuntimeError> {
+        match self.eval(e)? {
+            Value::Int(i) => Ok(i as i64),
+            other => Err(RuntimeError::Type {
+                message: format!("index must be int, found {}", other.ty()),
+            }),
+        }
+    }
+
+    fn eval_unary(&mut self, op: UnOp, inner: &Expr) -> Result<Value, RuntimeError> {
+        match op {
+            UnOp::Plus => self.eval(inner),
+            UnOp::Neg => {
+                let v = self.eval(inner)?;
+                self.negate(v)
+            }
+            UnOp::Not => {
+                let v = self.eval(inner)?;
+                v.as_bool().map(|b| Value::Bool(!b)).ok_or_else(|| {
+                    RuntimeError::Type {
+                        message: "`!` requires bool".into(),
+                    }
+                })
+            }
+            UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec => {
+                let old = self.eval(inner)?;
+                let one = match old.ty().scalar() {
+                    Some(Scalar::Int) => Value::Int(1),
+                    _ => Value::Float(1.0),
+                };
+                let delta = if matches!(op, UnOp::PreInc | UnOp::PostInc) {
+                    BinOp::Add
+                } else {
+                    BinOp::Sub
+                };
+                let new = self.apply_binary(delta, old.clone(), one)?;
+                self.assign_to(inner, new.clone())?;
+                if matches!(op, UnOp::PreInc | UnOp::PreDec) {
+                    Ok(new)
+                } else {
+                    Ok(old)
+                }
+            }
+        }
+    }
+
+    fn negate(&mut self, v: Value) -> Result<Value, RuntimeError> {
+        match v {
+            Value::Float(x) => Ok(Value::Float(-x)),
+            Value::Int(x) => Ok(Value::Int(x.wrapping_neg())),
+            Value::Vec2(x) => Ok(Value::Vec2([-x[0], -x[1]])),
+            Value::Vec3(x) => Ok(Value::Vec3([-x[0], -x[1], -x[2]])),
+            Value::Vec4(x) => Ok(Value::Vec4([-x[0], -x[1], -x[2], -x[3]])),
+            Value::IVec2(x) => Ok(Value::IVec2([x[0].wrapping_neg(), x[1].wrapping_neg()])),
+            Value::IVec3(x) => Ok(Value::IVec3([
+                x[0].wrapping_neg(),
+                x[1].wrapping_neg(),
+                x[2].wrapping_neg(),
+            ])),
+            Value::IVec4(x) => Ok(Value::IVec4([
+                x[0].wrapping_neg(),
+                x[1].wrapping_neg(),
+                x[2].wrapping_neg(),
+                x[3].wrapping_neg(),
+            ])),
+            Value::Mat2(m) => Ok(Value::Mat2(m.map(|c| c.map(|x| -x)))),
+            Value::Mat3(m) => Ok(Value::Mat3(m.map(|c| c.map(|x| -x)))),
+            Value::Mat4(m) => Ok(Value::Mat4(m.map(|c| c.map(|x| -x)))),
+            other => Err(RuntimeError::Type {
+                message: format!("cannot negate {}", other.ty()),
+            }),
+        }
+    }
+
+    fn eval_binary(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Result<Value, RuntimeError> {
+        // Short-circuit logic.
+        match op {
+            BinOp::And => {
+                let av = self.eval_bool(a)?;
+                return if !av {
+                    Ok(Value::Bool(false))
+                } else {
+                    Ok(Value::Bool(self.eval_bool(b)?))
+                };
+            }
+            BinOp::Or => {
+                let av = self.eval_bool(a)?;
+                return if av {
+                    Ok(Value::Bool(true))
+                } else {
+                    Ok(Value::Bool(self.eval_bool(b)?))
+                };
+            }
+            _ => {}
+        }
+        let (av, bv) = (self.eval(a)?, self.eval(b)?);
+        self.apply_binary(op, av, bv)
+    }
+
+    fn apply_binary(&mut self, op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
+        use BinOp::*;
+        match op {
+            And => Ok(Value::Bool(
+                a.as_bool().unwrap_or(false) && b.as_bool().unwrap_or(false),
+            )),
+            Or => Ok(Value::Bool(
+                a.as_bool().unwrap_or(false) || b.as_bool().unwrap_or(false),
+            )),
+            Xor => match (a.as_bool(), b.as_bool()) {
+                (Some(x), Some(y)) => Ok(Value::Bool(x != y)),
+                _ => Err(RuntimeError::Type {
+                    message: "`^^` requires bool operands".into(),
+                }),
+            },
+            Eq => {
+                self.profile.alu_ops += 1;
+                Ok(Value::Bool(a == b))
+            }
+            Ne => {
+                self.profile.alu_ops += 1;
+                Ok(Value::Bool(a != b))
+            }
+            Lt | Le | Gt | Ge => {
+                self.profile.alu_ops += 1;
+                let result = match (&a, &b) {
+                    (Value::Float(x), Value::Float(y)) => match op {
+                        Lt => x < y,
+                        Le => x <= y,
+                        Gt => x > y,
+                        _ => x >= y,
+                    },
+                    (Value::Int(x), Value::Int(y)) => match op {
+                        Lt => x < y,
+                        Le => x <= y,
+                        Gt => x > y,
+                        _ => x >= y,
+                    },
+                    _ => {
+                        return Err(RuntimeError::Type {
+                            message: format!(
+                                "relational operator on {} and {}",
+                                a.ty(),
+                                b.ty()
+                            ),
+                        })
+                    }
+                };
+                Ok(Value::Bool(result))
+            }
+            Add | Sub | Div | Mul => self.arith(op, a, b),
+        }
+    }
+
+    fn arith(&mut self, op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
+        // Scalar fast paths: the overwhelmingly common case in GPGPU
+        // kernels, kept allocation-free.
+        match (&a, &b) {
+            (Value::Float(x), Value::Float(y)) => {
+                self.profile.alu_ops += 1;
+                let r = match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    _ => x / y,
+                };
+                return Ok(Value::Float(self.model.round_alu(r)));
+            }
+            (Value::Int(x), Value::Int(y)) => {
+                self.profile.alu_ops += 1;
+                let r = match op {
+                    BinOp::Add => x.wrapping_add(*y),
+                    BinOp::Sub => x.wrapping_sub(*y),
+                    BinOp::Mul => x.wrapping_mul(*y),
+                    _ => {
+                        if *y == 0 {
+                            0
+                        } else {
+                            x.wrapping_div(*y)
+                        }
+                    }
+                };
+                return Ok(Value::Int(r));
+            }
+            _ => {}
+        }
+        // Linear algebra products.
+        if op == BinOp::Mul {
+            match (&a, &b) {
+                (Value::Mat2(m), Value::Vec2(v)) => return Ok(Value::Vec2(self.m2v(m, v))),
+                (Value::Mat3(m), Value::Vec3(v)) => return Ok(Value::Vec3(self.m3v(m, v))),
+                (Value::Mat4(m), Value::Vec4(v)) => return Ok(Value::Vec4(self.m4v(m, v))),
+                (Value::Vec2(v), Value::Mat2(m)) => return Ok(Value::Vec2(self.v2m(v, m))),
+                (Value::Vec3(v), Value::Mat3(m)) => return Ok(Value::Vec3(self.v3m(v, m))),
+                (Value::Vec4(v), Value::Mat4(m)) => return Ok(Value::Vec4(self.v4m(v, m))),
+                (Value::Mat2(x), Value::Mat2(y)) => {
+                    let mut m = [[0.0f32; 2]; 2];
+                    for (c, col) in m.iter_mut().enumerate() {
+                        let yc = y[c];
+                        *col = self.m2v(x, &yc);
+                    }
+                    return Ok(Value::Mat2(m));
+                }
+                (Value::Mat3(x), Value::Mat3(y)) => {
+                    let mut m = [[0.0f32; 3]; 3];
+                    for (c, col) in m.iter_mut().enumerate() {
+                        let yc = y[c];
+                        *col = self.m3v(x, &yc);
+                    }
+                    return Ok(Value::Mat3(m));
+                }
+                (Value::Mat4(x), Value::Mat4(y)) => {
+                    let mut m = [[0.0f32; 4]; 4];
+                    for (c, col) in m.iter_mut().enumerate() {
+                        let yc = y[c];
+                        *col = self.m4v(x, &yc);
+                    }
+                    return Ok(Value::Mat4(m));
+                }
+                _ => {}
+            }
+        }
+
+        let scalar_cat = |v: &Value| v.ty().scalar();
+        match (scalar_cat(&a), scalar_cat(&b)) {
+            (Some(Scalar::Int), Some(Scalar::Int)) => self.int_arith(op, &a, &b),
+            (Some(Scalar::Float), Some(Scalar::Float)) => self.float_arith(op, &a, &b),
+            _ => Err(RuntimeError::Type {
+                message: format!(
+                    "operator `{}` cannot combine {} and {}",
+                    op.symbol(),
+                    a.ty(),
+                    b.ty()
+                ),
+            }),
+        }
+    }
+
+    fn float_arith(&mut self, op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
+        let ca = a.float_components().ok_or_else(|| RuntimeError::Type {
+            message: format!("expected float operand, found {}", a.ty()),
+        })?;
+        let cb = b.float_components().ok_or_else(|| RuntimeError::Type {
+            message: format!("expected float operand, found {}", b.ty()),
+        })?;
+        let (shape_ty, n) = if ca.len() >= cb.len() {
+            (a.ty(), ca.len())
+        } else {
+            (b.ty(), cb.len())
+        };
+        if ca.len() != cb.len() && ca.len() != 1 && cb.len() != 1 {
+            return Err(RuntimeError::Type {
+                message: format!("shape mismatch: {} vs {}", a.ty(), b.ty()),
+            });
+        }
+        self.profile.alu_ops += n as u64;
+        let pick = |c: &[f32], i: usize| if c.len() == 1 { c[0] } else { c[i] };
+        let f = |x: f32, y: f32| match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            _ => x / y,
+        };
+        let comps: Vec<f32> = (0..n)
+            .map(|i| self.model.round_alu(f(pick(&ca, i), pick(&cb, i))))
+            .collect();
+        Ok(rebuild_float(&shape_ty, &comps))
+    }
+
+    fn int_arith(&mut self, op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
+        let ca = int_components(a)?;
+        let cb = int_components(b)?;
+        let (shape_ty, n) = if ca.len() >= cb.len() {
+            (a.ty(), ca.len())
+        } else {
+            (b.ty(), cb.len())
+        };
+        if ca.len() != cb.len() && ca.len() != 1 && cb.len() != 1 {
+            return Err(RuntimeError::Type {
+                message: format!("shape mismatch: {} vs {}", a.ty(), b.ty()),
+            });
+        }
+        self.profile.alu_ops += n as u64;
+        let pick = |c: &[i32], i: usize| if c.len() == 1 { c[0] } else { c[i] };
+        let f = |x: i32, y: i32| match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            // GLSL leaves division by zero undefined; return 0 like most
+            // GPU hardware saturates rather than trapping.
+            _ => {
+                if y == 0 {
+                    0
+                } else {
+                    x.wrapping_div(y)
+                }
+            }
+        };
+        let comps: Vec<i32> = (0..n).map(|i| f(pick(&ca, i), pick(&cb, i))).collect();
+        Ok(rebuild_int(&shape_ty, &comps))
+    }
+
+    fn fdot(&mut self, a: &[f32], b: &[f32]) -> f32 {
+        self.profile.alu_ops += (2 * a.len()) as u64;
+        let mut acc = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            acc = self.model.round_alu(acc + self.model.round_alu(x * y));
+        }
+        acc
+    }
+
+    fn m2v(&mut self, m: &[[f32; 2]; 2], v: &[f32; 2]) -> [f32; 2] {
+        let rows: Vec<[f32; 2]> = (0..2).map(|r| [m[0][r], m[1][r]]).collect();
+        [self.fdot(&rows[0], v), self.fdot(&rows[1], v)]
+    }
+
+    fn m3v(&mut self, m: &[[f32; 3]; 3], v: &[f32; 3]) -> [f32; 3] {
+        let rows: Vec<[f32; 3]> = (0..3).map(|r| [m[0][r], m[1][r], m[2][r]]).collect();
+        [
+            self.fdot(&rows[0], v),
+            self.fdot(&rows[1], v),
+            self.fdot(&rows[2], v),
+        ]
+    }
+
+    fn m4v(&mut self, m: &[[f32; 4]; 4], v: &[f32; 4]) -> [f32; 4] {
+        let rows: Vec<[f32; 4]> = (0..4)
+            .map(|r| [m[0][r], m[1][r], m[2][r], m[3][r]])
+            .collect();
+        [
+            self.fdot(&rows[0], v),
+            self.fdot(&rows[1], v),
+            self.fdot(&rows[2], v),
+            self.fdot(&rows[3], v),
+        ]
+    }
+
+    fn v2m(&mut self, v: &[f32; 2], m: &[[f32; 2]; 2]) -> [f32; 2] {
+        [self.fdot(v, &m[0]), self.fdot(v, &m[1])]
+    }
+
+    fn v3m(&mut self, v: &[f32; 3], m: &[[f32; 3]; 3]) -> [f32; 3] {
+        [
+            self.fdot(v, &m[0]),
+            self.fdot(v, &m[1]),
+            self.fdot(v, &m[2]),
+        ]
+    }
+
+    fn v4m(&mut self, v: &[f32; 4], m: &[[f32; 4]; 4]) -> [f32; 4] {
+        [
+            self.fdot(v, &m[0]),
+            self.fdot(v, &m[1]),
+            self.fdot(v, &m[2]),
+            self.fdot(v, &m[3]),
+        ]
+    }
+
+    fn eval_call(&mut self, name: &str, args: &[Expr]) -> Result<Value, RuntimeError> {
+        let mut values = Vec::with_capacity(args.len());
+        for a in args {
+            values.push(self.eval(a)?);
+        }
+        // Builtins and constructors first (they cannot be shadowed).
+        {
+            let mut cx = BuiltinCx {
+                model: self.model,
+                profile: &mut self.profile,
+                textures: self.textures,
+            };
+            if let Some(result) = builtins::call(name, &values, &mut cx) {
+                return result;
+            }
+        }
+        // User-defined function by exact argument types.
+        let arg_types: Vec<Type> = values.iter().map(Value::ty).collect();
+        let func: &Function = self
+            .functions
+            .get(name)
+            .and_then(|fs| {
+                fs.iter()
+                    .find(|f| {
+                        f.params.len() == arg_types.len()
+                            && f.params
+                                .iter()
+                                .zip(&arg_types)
+                                .all(|(p, t)| &p.ty == t)
+                    })
+                    .copied()
+            })
+            .ok_or_else(|| RuntimeError::Unbound { name: name.into() })?;
+
+        if self.call_depth >= self.limits.max_call_depth {
+            return Err(RuntimeError::CallDepth {
+                limit: self.limits.max_call_depth,
+            });
+        }
+        self.call_depth += 1;
+        self.profile.calls += 1;
+
+        let mut frame: Vec<(String, Value)> = Vec::with_capacity(func.params.len());
+        for (param, value) in func.params.iter().zip(values.iter()) {
+            let initial = match param.qual {
+                ParamQual::In | ParamQual::InOut => value.clone(),
+                ParamQual::Out => Value::zero_of(&param.ty),
+            };
+            frame.push((param.name.clone(), initial));
+        }
+        // Functions see only globals + their own frame (no caller locals).
+        let saved_scopes = std::mem::take(&mut self.scopes);
+        self.scopes.push(saved_scopes[0].clone());
+        self.scopes.push(frame);
+
+        let flow = self.exec_block(&func.body);
+
+        let frame = self.scopes.pop().expect("call frame");
+        let globals = self.scopes.pop().expect("globals frame");
+        let mut outer = saved_scopes;
+        outer[0] = globals;
+        self.scopes = outer;
+        self.call_depth -= 1;
+
+        let flow = flow?;
+        // Copy out/inout parameters back to the caller's lvalues.
+        for ((param, slot), arg_expr) in func.params.iter().zip(&frame).zip(args) {
+            if matches!(param.qual, ParamQual::Out | ParamQual::InOut) {
+                self.assign_to(arg_expr, slot.1.clone())?;
+            }
+        }
+        match flow {
+            Flow::Return(Some(v)) => Ok(v),
+            Flow::Return(None) | Flow::Normal => {
+                if func.ret == Type::Void {
+                    Ok(Value::Float(0.0)) // void result, never used
+                } else {
+                    Err(RuntimeError::Type {
+                        message: format!("function `{name}` ended without returning a value"),
+                    })
+                }
+            }
+            Flow::Discard => Err(RuntimeError::Type {
+                message: "discard inside a function is not supported by this subset".into(),
+            }),
+            _ => Err(RuntimeError::Type {
+                message: "break/continue escaped a function body".into(),
+            }),
+        }
+    }
+
+    // ---- lvalues -----------------------------------------------------------
+
+    fn assign_to(&mut self, lhs: &Expr, value: Value) -> Result<(), RuntimeError> {
+        match &lhs.kind {
+            ExprKind::Ident(name) => {
+                if name == "gl_FragColor" {
+                    self.wrote_frag_color = true;
+                }
+                for scope in self.scopes.iter_mut().rev() {
+                    if let Some((_, slot)) = scope.iter_mut().rev().find(|(n, _)| n == name) {
+                        *slot = value;
+                        return Ok(());
+                    }
+                }
+                Err(RuntimeError::Unbound { name: name.clone() })
+            }
+            ExprKind::Field(base, field) => {
+                let idx = swizzle_indices(field).ok_or_else(|| RuntimeError::Type {
+                    message: format!("invalid swizzle `.{field}`"),
+                })?;
+                self.modify(base, &mut |bv| swizzle_write(bv, &idx, &value))
+            }
+            ExprKind::Index(base, index) => {
+                if let ExprKind::Ident(n) = &base.kind {
+                    if n == "gl_FragData" {
+                        self.wrote_frag_data = true;
+                    }
+                }
+                let i = self.eval_index(index)?;
+                self.modify(base, &mut |bv| index_write(bv, i, &value))
+            }
+            _ => Err(RuntimeError::Type {
+                message: "assignment target is not an lvalue".into(),
+            }),
+        }
+    }
+
+    /// Applies `f` to the storage slot denoted by lvalue expression `e`.
+    fn modify(
+        &mut self,
+        e: &Expr,
+        f: &mut dyn FnMut(&mut Value) -> Result<(), RuntimeError>,
+    ) -> Result<(), RuntimeError> {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                if name == "gl_FragColor" {
+                    self.wrote_frag_color = true;
+                }
+                if name == "gl_FragData" {
+                    self.wrote_frag_data = true;
+                }
+                // Find the slot without holding the borrow across `f`.
+                for si in (0..self.scopes.len()).rev() {
+                    if let Some(vi) = self.scopes[si].iter().rposition(|(n, _)| n == name) {
+                        return f(&mut self.scopes[si][vi].1);
+                    }
+                }
+                Err(RuntimeError::Unbound { name: name.clone() })
+            }
+            ExprKind::Index(base, index) => {
+                let i = self.eval_index(index)?;
+                self.modify(base, &mut |bv| index_modify(bv, i, f))
+            }
+            ExprKind::Field(base, field) => {
+                let idx = swizzle_indices(field).ok_or_else(|| RuntimeError::Type {
+                    message: format!("invalid swizzle `.{field}`"),
+                })?;
+                self.modify(base, &mut |bv| {
+                    let mut tmp = swizzle_read(bv, &idx)?;
+                    f(&mut tmp)?;
+                    swizzle_write(bv, &idx, &tmp)
+                })
+            }
+            _ => Err(RuntimeError::Type {
+                message: "expression is not an lvalue".into(),
+            }),
+        }
+    }
+}
+
+// ---- free helpers -----------------------------------------------------------
+
+fn int_components(v: &Value) -> Result<Vec<i32>, RuntimeError> {
+    Ok(match v {
+        Value::Int(x) => vec![*x],
+        Value::IVec2(x) => x.to_vec(),
+        Value::IVec3(x) => x.to_vec(),
+        Value::IVec4(x) => x.to_vec(),
+        other => {
+            return Err(RuntimeError::Type {
+                message: format!("expected int operand, found {}", other.ty()),
+            })
+        }
+    })
+}
+
+fn rebuild_float(ty: &Type, comps: &[f32]) -> Value {
+    match ty {
+        Type::Float => Value::Float(comps[0]),
+        Type::Vec2 => Value::Vec2([comps[0], comps[1]]),
+        Type::Vec3 => Value::Vec3([comps[0], comps[1], comps[2]]),
+        Type::Vec4 => Value::Vec4([comps[0], comps[1], comps[2], comps[3]]),
+        Type::Mat2 => Value::Mat2([[comps[0], comps[1]], [comps[2], comps[3]]]),
+        Type::Mat3 => Value::Mat3([
+            [comps[0], comps[1], comps[2]],
+            [comps[3], comps[4], comps[5]],
+            [comps[6], comps[7], comps[8]],
+        ]),
+        Type::Mat4 => Value::Mat4([
+            [comps[0], comps[1], comps[2], comps[3]],
+            [comps[4], comps[5], comps[6], comps[7]],
+            [comps[8], comps[9], comps[10], comps[11]],
+            [comps[12], comps[13], comps[14], comps[15]],
+        ]),
+        _ => unreachable!("rebuild_float on non-float shape"),
+    }
+}
+
+fn rebuild_int(ty: &Type, comps: &[i32]) -> Value {
+    match ty {
+        Type::Int => Value::Int(comps[0]),
+        Type::IVec2 => Value::IVec2([comps[0], comps[1]]),
+        Type::IVec3 => Value::IVec3([comps[0], comps[1], comps[2]]),
+        Type::IVec4 => Value::IVec4([comps[0], comps[1], comps[2], comps[3]]),
+        _ => unreachable!("rebuild_int on non-int shape"),
+    }
+}
+
+fn swizzle_read(base: &Value, idx: &[usize]) -> Result<Value, RuntimeError> {
+    let scalar = base.ty().scalar().ok_or_else(|| RuntimeError::Type {
+        message: format!("cannot swizzle {}", base.ty()),
+    })?;
+    let mut comps = Vec::with_capacity(idx.len());
+    for &i in idx {
+        let c = base.component(i).ok_or(RuntimeError::IndexOutOfBounds {
+            index: i as i64,
+            len: base.ty().dim().unwrap_or(0),
+        })?;
+        comps.push(match c {
+            Value::Float(f) => f,
+            Value::Int(x) => x as f32,
+            Value::Bool(b) => b as i32 as f32,
+            _ => unreachable!("component is scalar"),
+        });
+    }
+    if comps.len() == 1 {
+        Ok(match scalar {
+            Scalar::Float => Value::Float(comps[0]),
+            Scalar::Int => Value::Int(comps[0] as i32),
+            Scalar::Bool => Value::Bool(comps[0] != 0.0),
+        })
+    } else {
+        Ok(Value::from_components(scalar, &comps))
+    }
+}
+
+fn swizzle_write(base: &mut Value, idx: &[usize], value: &Value) -> Result<(), RuntimeError> {
+    let scalar = base.ty().scalar().ok_or_else(|| RuntimeError::Type {
+        message: format!("cannot swizzle {}", base.ty()),
+    })?;
+    let comps: Vec<f32> = if idx.len() == 1 {
+        vec![value.numeric_components().and_then(|c| c.first().copied()).ok_or_else(
+            || RuntimeError::Type {
+                message: "swizzle write needs a scalar".into(),
+            },
+        )?]
+    } else {
+        value.numeric_components().ok_or_else(|| RuntimeError::Type {
+            message: "swizzle write needs numeric components".into(),
+        })?
+    };
+    if comps.len() != idx.len() {
+        return Err(RuntimeError::Type {
+            message: format!(
+                "swizzle write of {} components into {}-component selector",
+                comps.len(),
+                idx.len()
+            ),
+        });
+    }
+    for (&i, &c) in idx.iter().zip(&comps) {
+        let cv = match scalar {
+            Scalar::Float => Value::Float(c),
+            Scalar::Int => Value::Int(c as i32),
+            Scalar::Bool => Value::Bool(c != 0.0),
+        };
+        if !base.set_component(i, &cv) {
+            return Err(RuntimeError::IndexOutOfBounds {
+                index: i as i64,
+                len: base.ty().dim().unwrap_or(0),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn index_read(base: &Value, i: i64) -> Result<Value, RuntimeError> {
+    let oob = |len: usize| RuntimeError::IndexOutOfBounds { index: i, len };
+    match base {
+        Value::Array(elems) => {
+            if i < 0 || i as usize >= elems.len() {
+                Err(oob(elems.len()))
+            } else {
+                Ok(elems[i as usize].clone())
+            }
+        }
+        Value::Mat2(m) => {
+            if (0..2).contains(&i) {
+                Ok(Value::Vec2(m[i as usize]))
+            } else {
+                Err(oob(2))
+            }
+        }
+        Value::Mat3(m) => {
+            if (0..3).contains(&i) {
+                Ok(Value::Vec3(m[i as usize]))
+            } else {
+                Err(oob(3))
+            }
+        }
+        Value::Mat4(m) => {
+            if (0..4).contains(&i) {
+                Ok(Value::Vec4(m[i as usize]))
+            } else {
+                Err(oob(4))
+            }
+        }
+        vector => {
+            let dim = vector.ty().dim().ok_or_else(|| RuntimeError::Type {
+                message: format!("cannot index {}", vector.ty()),
+            })?;
+            if i < 0 || i as usize >= dim {
+                Err(oob(dim))
+            } else {
+                vector.component(i as usize).ok_or(oob(dim))
+            }
+        }
+    }
+}
+
+fn index_write(base: &mut Value, i: i64, value: &Value) -> Result<(), RuntimeError> {
+    index_modify(base, i, &mut |slot| {
+        *slot = value.clone();
+        Ok(())
+    })
+}
+
+fn index_modify(
+    base: &mut Value,
+    i: i64,
+    f: &mut dyn FnMut(&mut Value) -> Result<(), RuntimeError>,
+) -> Result<(), RuntimeError> {
+    match base {
+        Value::Array(elems) => {
+            let len = elems.len();
+            let slot = elems
+                .get_mut(i.max(0) as usize)
+                .filter(|_| i >= 0)
+                .ok_or(RuntimeError::IndexOutOfBounds { index: i, len })?;
+            f(slot)
+        }
+        Value::Mat2(m) => {
+            if !(0..2).contains(&i) {
+                return Err(RuntimeError::IndexOutOfBounds { index: i, len: 2 });
+            }
+            let mut col = Value::Vec2(m[i as usize]);
+            f(&mut col)?;
+            m[i as usize] = col.as_vec2().ok_or_else(|| RuntimeError::Type {
+                message: "matrix column must stay vec2".into(),
+            })?;
+            Ok(())
+        }
+        Value::Mat3(m) => {
+            if !(0..3).contains(&i) {
+                return Err(RuntimeError::IndexOutOfBounds { index: i, len: 3 });
+            }
+            let mut col = Value::Vec3(m[i as usize]);
+            f(&mut col)?;
+            match col {
+                Value::Vec3(c) => {
+                    m[i as usize] = c;
+                    Ok(())
+                }
+                _ => Err(RuntimeError::Type {
+                    message: "matrix column must stay vec3".into(),
+                }),
+            }
+        }
+        Value::Mat4(m) => {
+            if !(0..4).contains(&i) {
+                return Err(RuntimeError::IndexOutOfBounds { index: i, len: 4 });
+            }
+            let mut col = Value::Vec4(m[i as usize]);
+            f(&mut col)?;
+            match col {
+                Value::Vec4(c) => {
+                    m[i as usize] = c;
+                    Ok(())
+                }
+                _ => Err(RuntimeError::Type {
+                    message: "matrix column must stay vec4".into(),
+                }),
+            }
+        }
+        vector => {
+            let dim = vector.ty().dim().ok_or_else(|| RuntimeError::Type {
+                message: format!("cannot index {}", vector.ty()),
+            })?;
+            if i < 0 || i as usize >= dim {
+                return Err(RuntimeError::IndexOutOfBounds { index: i, len: dim });
+            }
+            let mut tmp = vector
+                .component(i as usize)
+                .expect("component within bounds");
+            f(&mut tmp)?;
+            if vector.set_component(i as usize, &tmp) {
+                Ok(())
+            } else {
+                Err(RuntimeError::Type {
+                    message: "component write changed scalar category".into(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::NoTextures;
+    use crate::parser::parse;
+    use crate::sema::check;
+
+    fn run_fragment(src: &str) -> [f32; 4] {
+        run_fragment_with(src, FloatModel::Exact, &[])
+    }
+
+    fn run_fragment_with(
+        src: &str,
+        model: FloatModel,
+        globals: &[(&str, Value)],
+    ) -> [f32; 4] {
+        let shader = check(ShaderKind::Fragment, parse(src).expect("parse"))
+            .expect("check");
+        let tex = NoTextures;
+        let mut interp =
+            Interpreter::with_model(&shader, &tex, model).expect("interpreter");
+        for (name, value) in globals {
+            interp.set_global(name, value.clone()).expect("set global");
+        }
+        interp.run_main().expect("run");
+        interp.frag_color().expect("frag color")
+    }
+
+    const P: &str = "precision highp float;\n";
+
+    #[test]
+    fn writes_constant_color() {
+        let c = run_fragment(&format!(
+            "{P}void main() {{ gl_FragColor = vec4(0.1, 0.2, 0.3, 0.4); }}"
+        ));
+        assert_eq!(c, [0.1, 0.2, 0.3, 0.4]);
+    }
+
+    #[test]
+    fn arithmetic_and_locals() {
+        let c = run_fragment(&format!(
+            "{P}void main() {{
+                float a = 2.0;
+                float b = a * 3.0 + 1.0;
+                gl_FragColor = vec4(b / 14.0, b - 7.0, a, 1.0);
+            }}"
+        ));
+        assert_eq!(c, [0.5, 0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn for_loop_accumulates() {
+        let c = run_fragment(&format!(
+            "{P}void main() {{
+                float s = 0.0;
+                for (int i = 0; i < 10; i++) {{ s += 1.5; }}
+                gl_FragColor = vec4(s, 0.0, 0.0, 1.0);
+            }}"
+        ));
+        assert_eq!(c[0], 15.0);
+    }
+
+    #[test]
+    fn while_break_continue() {
+        let c = run_fragment(&format!(
+            "{P}void main() {{
+                float s = 0.0;
+                int i = 0;
+                while (true) {{
+                    i++;
+                    if (i > 10) break;
+                    if (i == 3) continue;
+                    s += 1.0;
+                }}
+                gl_FragColor = vec4(s / 255.0, 0.0, 0.0, 1.0);
+            }}"
+        ));
+        assert!((c[0] - 9.0 / 255.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn uniforms_and_varyings() {
+        let c = run_fragment_with(
+            &format!(
+                "{P}uniform float u_scale;\nvarying vec2 v_uv;\n\
+                 void main() {{ gl_FragColor = vec4(v_uv * u_scale, 0.0, 1.0); }}"
+            ),
+            FloatModel::Exact,
+            &[
+                ("u_scale", Value::Float(2.0)),
+                ("v_uv", Value::Vec2([0.25, 0.5])),
+            ],
+        );
+        assert_eq!(c, [0.5, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn user_function_with_out_param() {
+        let c = run_fragment(&format!(
+            "{P}void split(float v, out float hi, out float lo) {{
+                hi = floor(v);
+                lo = fract(v);
+            }}
+            void main() {{
+                float h; float l;
+                split(3.25, h, l);
+                gl_FragColor = vec4(h / 4.0, l, 0.0, 1.0);
+            }}"
+        ));
+        assert_eq!(c, [0.75, 0.25, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn recursion_is_caught_by_depth_limit() {
+        // GLSL ES forbids recursion; we detect it dynamically.
+        let shader = check(
+            ShaderKind::Fragment,
+            parse(&format!(
+                "{P}float f(float x) {{ return f(x) + 1.0; }}\n\
+                 void main() {{ gl_FragColor = vec4(f(1.0)); }}"
+            ))
+            .expect("parse"),
+        )
+        .expect("check");
+        let tex = NoTextures;
+        let mut interp = Interpreter::new(&shader, &tex).expect("interp");
+        let err = interp.run_main().unwrap_err();
+        assert!(matches!(err, RuntimeError::CallDepth { .. }));
+    }
+
+    #[test]
+    fn loop_limit_triggers() {
+        let shader = check(
+            ShaderKind::Fragment,
+            parse(&format!(
+                "{P}void main() {{ float s = 0.0; while (true) {{ s += 1.0; }} }}"
+            ))
+            .expect("parse"),
+        )
+        .expect("check");
+        let tex = NoTextures;
+        let mut interp = Interpreter::new(&shader, &tex).expect("interp");
+        interp.set_limits(ExecLimits {
+            max_loop_iterations: 1000,
+            max_call_depth: 8,
+        });
+        let err = interp.run_main().unwrap_err();
+        assert!(matches!(err, RuntimeError::LoopLimit { .. }));
+    }
+
+    #[test]
+    fn discard_is_reported() {
+        let shader = check(
+            ShaderKind::Fragment,
+            parse(&format!("{P}void main() {{ discard; }}")).expect("parse"),
+        )
+        .expect("check");
+        let tex = NoTextures;
+        let mut interp = Interpreter::new(&shader, &tex).expect("interp");
+        interp.run_main().expect("run");
+        assert!(interp.discarded());
+    }
+
+    #[test]
+    fn frag_data_zero_is_alias_for_output() {
+        let shader = check(
+            ShaderKind::Fragment,
+            parse(&format!(
+                "{P}void main() {{ gl_FragData[0] = vec4(0.5, 0.25, 0.125, 1.0); }}"
+            ))
+            .expect("parse"),
+        )
+        .expect("check");
+        let tex = NoTextures;
+        let mut interp = Interpreter::new(&shader, &tex).expect("interp");
+        interp.run_main().expect("run");
+        assert_eq!(interp.wrote_outputs(), (false, true));
+        assert_eq!(interp.frag_color(), Some([0.5, 0.25, 0.125, 1.0]));
+    }
+
+    #[test]
+    fn swizzle_write_through_lvalue() {
+        let c = run_fragment(&format!(
+            "{P}void main() {{
+                vec4 v = vec4(0.0);
+                v.xz = vec2(0.5, 0.75);
+                v.w = 1.0;
+                gl_FragColor = v;
+            }}"
+        ));
+        assert_eq!(c, [0.5, 0.0, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn matrix_vector_product() {
+        let c = run_fragment(&format!(
+            "{P}void main() {{
+                mat2 m = mat2(1.0, 2.0, 3.0, 4.0); // columns (1,2),(3,4)
+                vec2 v = m * vec2(1.0, 1.0);       // rows: (1+3, 2+4)
+                gl_FragColor = vec4(v / 8.0, 0.0, 1.0);
+            }}"
+        ));
+        assert_eq!(c, [0.5, 0.75, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn int_arithmetic_loop_index_math() {
+        let c = run_fragment(&format!(
+            "{P}void main() {{
+                int acc = 0;
+                for (int i = 1; i <= 4; i++) {{ acc = acc + i * i; }}
+                gl_FragColor = vec4(float(acc) / 30.0, 0.0, 0.0, 1.0);
+            }}"
+        ));
+        assert_eq!(c[0], 1.0);
+    }
+
+    #[test]
+    fn array_read_write() {
+        let c = run_fragment(&format!(
+            "{P}void main() {{
+                float a[3];
+                for (int i = 0; i < 3; i++) {{ a[i] = float(i) * 0.25; }}
+                gl_FragColor = vec4(a[0], a[1], a[2], 1.0);
+            }}"
+        ));
+        assert_eq!(c, [0.0, 0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn runtime_array_index_out_of_bounds() {
+        let shader = check(
+            ShaderKind::Fragment,
+            parse(&format!(
+                "{P}uniform int u_i;\nvoid main() {{ float a[2]; gl_FragColor = vec4(a[u_i]); }}"
+            ))
+            .expect("parse"),
+        )
+        .expect("check");
+        let tex = NoTextures;
+        let mut interp = Interpreter::new(&shader, &tex).expect("interp");
+        interp.set_global("u_i", Value::Int(5)).expect("set");
+        let err = interp.run_main().unwrap_err();
+        assert!(matches!(err, RuntimeError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn profile_counts_work() {
+        let shader = check(
+            ShaderKind::Fragment,
+            parse(&format!(
+                "{P}void main() {{
+                    float s = 0.0;
+                    for (int i = 0; i < 4; i++) {{ s += exp2(float(i)); }}
+                    gl_FragColor = vec4(s);
+                }}"
+            ))
+            .expect("parse"),
+        )
+        .expect("check");
+        let tex = NoTextures;
+        let mut interp = Interpreter::new(&shader, &tex).expect("interp");
+        interp.run_main().expect("run");
+        let p = interp.profile();
+        assert_eq!(p.invocations, 1);
+        assert_eq!(p.sfu_ops, 4); // one exp2 per iteration
+        assert!(p.alu_ops > 8);
+        assert!(p.branches >= 4);
+    }
+
+    #[test]
+    fn short_circuit_does_not_divide_by_zero() {
+        let c = run_fragment(&format!(
+            "{P}void main() {{
+                float d = 0.0;
+                bool ok = (d != 0.0) && (1.0 / d > 0.0);
+                gl_FragColor = vec4(ok ? 1.0 : 0.0);
+            }}"
+        ));
+        assert_eq!(c[0], 0.0);
+    }
+
+    #[test]
+    fn globals_reset_between_invocations() {
+        let shader = check(
+            ShaderKind::Fragment,
+            parse(&format!(
+                "{P}float counter = 0.0;\n\
+                 void main() {{ counter += 1.0; gl_FragColor = vec4(counter); }}"
+            ))
+            .expect("parse"),
+        )
+        .expect("check");
+        let tex = NoTextures;
+        let mut interp = Interpreter::new(&shader, &tex).expect("interp");
+        interp.run_main().expect("run 1");
+        let first = interp.frag_color().expect("color")[0];
+        interp.run_main().expect("run 2");
+        let second = interp.frag_color().expect("color")[0];
+        assert_eq!(first, 1.0);
+        assert_eq!(second, 1.0, "plain globals must reset per invocation");
+    }
+
+    #[test]
+    fn vertex_shader_outputs_position_and_varyings() {
+        let shader = check(
+            ShaderKind::Vertex,
+            parse(
+                "attribute vec2 a_pos;\nvarying vec2 v_uv;\n\
+                 void main() {\n\
+                   v_uv = a_pos * 0.5 + 0.5;\n\
+                   gl_Position = vec4(a_pos, 0.0, 1.0);\n\
+                 }",
+            )
+            .expect("parse"),
+        )
+        .expect("check");
+        let tex = NoTextures;
+        let mut interp = Interpreter::new(&shader, &tex).expect("interp");
+        interp
+            .set_global("a_pos", Value::Vec2([-1.0, 1.0]))
+            .expect("set");
+        interp.run_main().expect("run");
+        assert_eq!(
+            interp.global("gl_Position"),
+            Some(&Value::Vec4([-1.0, 1.0, 0.0, 1.0]))
+        );
+        assert_eq!(interp.global("v_uv"), Some(&Value::Vec2([0.0, 1.0])));
+    }
+
+    #[test]
+    fn ternary_evaluates_single_branch() {
+        let c = run_fragment(&format!(
+            "{P}void main() {{
+                float x = 1.0;
+                float r = (x > 0.0) ? 0.25 : (1.0 / 0.0);
+                gl_FragColor = vec4(r);
+            }}"
+        ));
+        assert_eq!(c[0], 0.25);
+    }
+
+    #[test]
+    fn mediump_model_loses_precision() {
+        let src = format!(
+            "{P}void main() {{
+                float a = 1.0;
+                float b = a + 0.0001; // below mediump resolution near 1.0
+                gl_FragColor = vec4(b - a, 0.0, 0.0, 1.0);
+            }}"
+        );
+        let exact = run_fragment_with(&src, FloatModel::Exact, &[]);
+        let medium = run_fragment_with(&src, FloatModel::Mediump16, &[]);
+        assert!(exact[0] > 0.0);
+        assert_eq!(medium[0], 0.0);
+    }
+
+    #[test]
+    fn comma_operator_in_for() {
+        let c = run_fragment(&format!(
+            "{P}void main() {{
+                float s = 0.0;
+                int j = 0;
+                for (int i = 0; i < 3; i++, j++) {{ s += 1.0; }}
+                gl_FragColor = vec4(s / 3.0, float(j) / 3.0, 0.0, 1.0);
+            }}"
+        ));
+        assert_eq!(c[0], 1.0);
+        assert_eq!(c[1], 1.0);
+    }
+}

@@ -1,0 +1,987 @@
+//! Recursive-descent parser for the GLSL ES 1.00 subset.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::lexer::tokenize;
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+use crate::types::{Precision, Type};
+
+/// Parses a complete shader source into a [`TranslationUnit`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(source: &str) -> Result<TranslationUnit, CompileError> {
+    let tokens = tokenize(source)?;
+    Parser::new(tokens).translation_unit()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(toks: Vec<Token>) -> Self {
+        Parser { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos.min(self.toks.len() - 1)].kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        &self.toks[(self.pos + offset).min(self.toks.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos.min(self.toks.len() - 1)].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.toks[self.pos.min(self.toks.len() - 1)].kind.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn accept(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Span, CompileError> {
+        if self.peek() == kind {
+            let sp = self.span();
+            self.bump();
+            Ok(sp)
+        } else {
+            Err(CompileError::parse(
+                format!("expected {kind}, found {}", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), CompileError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let sp = self.span();
+                self.bump();
+                Ok((name, sp))
+            }
+            other => Err(CompileError::parse(
+                format!("expected identifier, found {other}"),
+                self.span(),
+            )),
+        }
+    }
+
+    // ---- types and qualifiers -------------------------------------------
+
+    fn peek_precision(&self) -> Option<Precision> {
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Highp) => Some(Precision::High),
+            TokenKind::Keyword(Keyword::Mediump) => Some(Precision::Medium),
+            TokenKind::Keyword(Keyword::Lowp) => Some(Precision::Low),
+            _ => None,
+        }
+    }
+
+    fn accept_precision(&mut self) -> Option<Precision> {
+        let p = self.peek_precision();
+        if p.is_some() {
+            self.bump();
+        }
+        p
+    }
+
+    fn peek_type(&self) -> Option<Type> {
+        self.peek_type_at(0)
+    }
+
+    fn peek_type_at(&self, offset: usize) -> Option<Type> {
+        let kw = match self.peek_at(offset) {
+            TokenKind::Keyword(kw) => *kw,
+            _ => return None,
+        };
+        Some(match kw {
+            Keyword::Void => Type::Void,
+            Keyword::Float => Type::Float,
+            Keyword::Int => Type::Int,
+            Keyword::Bool => Type::Bool,
+            Keyword::Vec2 => Type::Vec2,
+            Keyword::Vec3 => Type::Vec3,
+            Keyword::Vec4 => Type::Vec4,
+            Keyword::Ivec2 => Type::IVec2,
+            Keyword::Ivec3 => Type::IVec3,
+            Keyword::Ivec4 => Type::IVec4,
+            Keyword::Bvec2 => Type::BVec2,
+            Keyword::Bvec3 => Type::BVec3,
+            Keyword::Bvec4 => Type::BVec4,
+            Keyword::Mat2 => Type::Mat2,
+            Keyword::Mat3 => Type::Mat3,
+            Keyword::Mat4 => Type::Mat4,
+            Keyword::Sampler2D => Type::Sampler2D,
+            _ => return None,
+        })
+    }
+
+    fn expect_type(&mut self) -> Result<Type, CompileError> {
+        if let Some(ty) = self.peek_type() {
+            self.bump();
+            Ok(ty)
+        } else if matches!(self.peek(), TokenKind::Keyword(Keyword::SamplerCube)) {
+            Err(CompileError::parse(
+                "samplerCube is not supported by this GPGPU-oriented subset",
+                self.span(),
+            ))
+        } else if matches!(self.peek(), TokenKind::Keyword(Keyword::Struct)) {
+            Err(CompileError::parse(
+                "struct types are not supported by this subset",
+                self.span(),
+            ))
+        } else {
+            Err(CompileError::parse(
+                format!("expected type, found {}", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    /// Constant-folds an integer expression used as an array size.
+    fn const_int(&self, expr: &Expr) -> Result<i64, CompileError> {
+        match &expr.kind {
+            ExprKind::IntLit(v) => Ok(*v as i64),
+            ExprKind::Unary(UnOp::Neg, inner) => Ok(-self.const_int(inner)?),
+            ExprKind::Unary(UnOp::Plus, inner) => self.const_int(inner),
+            ExprKind::Binary(op, a, b) => {
+                let (a, b) = (self.const_int(a)?, self.const_int(b)?);
+                Ok(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(CompileError::parse(
+                                "division by zero in constant expression",
+                                expr.span,
+                            ));
+                        }
+                        a / b
+                    }
+                    _ => {
+                        return Err(CompileError::parse(
+                            "unsupported operator in constant expression",
+                            expr.span,
+                        ))
+                    }
+                })
+            }
+            _ => Err(CompileError::parse(
+                "array size must be a constant integer expression",
+                expr.span,
+            )),
+        }
+    }
+
+    fn array_suffix(&mut self, base: Type) -> Result<Type, CompileError> {
+        if self.accept(&TokenKind::LBracket) {
+            let size_expr = self.assignment_expr()?;
+            self.expect(&TokenKind::RBracket)?;
+            let size = self.const_int(&size_expr)?;
+            if size <= 0 || size > 65536 {
+                return Err(CompileError::parse(
+                    format!("array size {size} out of range"),
+                    size_expr.span,
+                ));
+            }
+            Ok(Type::Array(Box::new(base), size as usize))
+        } else {
+            Ok(base)
+        }
+    }
+
+    // ---- translation unit ------------------------------------------------
+
+    fn translation_unit(&mut self) -> Result<TranslationUnit, CompileError> {
+        let mut unit = TranslationUnit::default();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            // Stray semicolons between items.
+            if self.accept(&TokenKind::Semicolon) {
+                continue;
+            }
+            unit.items.push(self.item()?);
+        }
+        Ok(unit)
+    }
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        // `precision <prec> <type> ;`
+        if matches!(self.peek(), TokenKind::Keyword(Keyword::Precision)) {
+            self.bump();
+            let precision = self.accept_precision().ok_or_else(|| {
+                CompileError::parse("expected precision qualifier", self.span())
+            })?;
+            let ty = self.expect_type()?;
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Item::Precision(PrecisionDecl { precision, ty }));
+        }
+        // `invariant varying ...` — accept and ignore the invariant keyword.
+        if matches!(self.peek(), TokenKind::Keyword(Keyword::Invariant)) {
+            self.bump();
+        }
+
+        let storage = match self.peek() {
+            TokenKind::Keyword(Keyword::Const) => {
+                self.bump();
+                Storage::Const
+            }
+            TokenKind::Keyword(Keyword::Attribute) => {
+                self.bump();
+                Storage::Attribute
+            }
+            TokenKind::Keyword(Keyword::Uniform) => {
+                self.bump();
+                Storage::Uniform
+            }
+            TokenKind::Keyword(Keyword::Varying) => {
+                self.bump();
+                Storage::Varying
+            }
+            _ => Storage::None,
+        };
+        let precision = self.accept_precision();
+        let header_span = self.span();
+        let ty = self.expect_type()?;
+
+        // Function definition or prototype?
+        if storage == Storage::None
+            && matches!(self.peek(), TokenKind::Ident(_))
+            && matches!(self.peek_at(1), TokenKind::LParen)
+        {
+            let (name, _) = self.expect_ident()?;
+            let params = self.params()?;
+            if self.accept(&TokenKind::Semicolon) {
+                return Ok(Item::Prototype(Function {
+                    name,
+                    ret: ty,
+                    params,
+                    body: Vec::new(),
+                    span: header_span,
+                }));
+            }
+            let body = self.block_body()?;
+            return Ok(Item::Function(Function {
+                name,
+                ret: ty,
+                params,
+                body,
+                span: header_span,
+            }));
+        }
+
+        let decl = self.declarators(storage, precision, ty)?;
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(Item::Var(decl))
+    }
+
+    fn params(&mut self) -> Result<Vec<Param>, CompileError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.accept(&TokenKind::RParen) {
+            return Ok(params);
+        }
+        // `(void)` means no parameters.
+        if matches!(self.peek(), TokenKind::Keyword(Keyword::Void))
+            && matches!(self.peek_at(1), TokenKind::RParen)
+        {
+            self.bump();
+            self.bump();
+            return Ok(params);
+        }
+        loop {
+            let qual = match self.peek() {
+                TokenKind::Keyword(Keyword::In) => {
+                    self.bump();
+                    ParamQual::In
+                }
+                TokenKind::Keyword(Keyword::Out) => {
+                    self.bump();
+                    ParamQual::Out
+                }
+                TokenKind::Keyword(Keyword::Inout) => {
+                    self.bump();
+                    ParamQual::InOut
+                }
+                _ => ParamQual::In,
+            };
+            self.accept_precision();
+            let base = self.expect_type()?;
+            let (name, ty) = if let TokenKind::Ident(_) = self.peek() {
+                let (name, _) = self.expect_ident()?;
+                let ty = self.array_suffix(base)?;
+                (name, ty)
+            } else {
+                (String::new(), base)
+            };
+            params.push(Param { name, ty, qual });
+            if !self.accept(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(params)
+    }
+
+    fn declarators(
+        &mut self,
+        storage: Storage,
+        precision: Option<Precision>,
+        base: Type,
+    ) -> Result<VarDecl, CompileError> {
+        let mut vars = Vec::new();
+        loop {
+            let (name, span) = self.expect_ident()?;
+            let ty = self.array_suffix(base.clone())?;
+            let init = if self.accept(&TokenKind::Eq) {
+                Some(self.assignment_expr()?)
+            } else {
+                None
+            };
+            vars.push(Declarator {
+                name,
+                ty,
+                init,
+                span,
+            });
+            if !self.accept(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(VarDecl {
+            storage,
+            precision,
+            vars,
+        })
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.accept(&TokenKind::RBrace) {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(CompileError::parse("unterminated block", self.span()));
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::LBrace => {
+                let body = self.block_body()?;
+                Ok(Stmt::new(StmtKind::Block(body), span))
+            }
+            TokenKind::Semicolon => {
+                self.bump();
+                Ok(Stmt::new(StmtKind::Empty, span))
+            }
+            TokenKind::Keyword(Keyword::Precision) => {
+                // Block-scope precision statement: parse and ignore.
+                self.bump();
+                self.accept_precision();
+                self.expect_type()?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::new(StmtKind::Empty, span))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                let then = Box::new(self.statement()?);
+                let els = if self.accept(&TokenKind::Keyword(Keyword::Else)) {
+                    Some(Box::new(self.statement()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::new(StmtKind::If(cond, then, els), span))
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let init = if self.accept(&TokenKind::Semicolon) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_statement()?))
+                };
+                let cond = if matches!(self.peek(), TokenKind::Semicolon) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect(&TokenKind::Semicolon)?;
+                let step = if matches!(self.peek(), TokenKind::RParen) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect(&TokenKind::RParen)?;
+                let body = Box::new(self.statement()?);
+                Ok(Stmt::new(
+                    StmtKind::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    },
+                    span,
+                ))
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = Box::new(self.statement()?);
+                Ok(Stmt::new(StmtKind::While(cond, body), span))
+            }
+            TokenKind::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = Box::new(self.statement()?);
+                self.expect(&TokenKind::Keyword(Keyword::While))?;
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::new(StmtKind::DoWhile(body, cond), span))
+            }
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                let value = if matches!(self.peek(), TokenKind::Semicolon) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::new(StmtKind::Return(value), span))
+            }
+            TokenKind::Keyword(Keyword::Break) => {
+                self.bump();
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::new(StmtKind::Break, span))
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.bump();
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::new(StmtKind::Continue, span))
+            }
+            TokenKind::Keyword(Keyword::Discard) => {
+                self.bump();
+                self.expect(&TokenKind::Semicolon)?;
+                Ok(Stmt::new(StmtKind::Discard, span))
+            }
+            _ => self.simple_statement(),
+        }
+    }
+
+    /// A declaration or expression statement (used directly in `for` inits).
+    fn simple_statement(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        let is_decl = matches!(
+            self.peek(),
+            TokenKind::Keyword(Keyword::Const)
+        ) || self.peek_precision().is_some()
+            || self.peek_type().is_some();
+        if is_decl {
+            let storage = if self.accept(&TokenKind::Keyword(Keyword::Const)) {
+                Storage::Const
+            } else {
+                Storage::None
+            };
+            let precision = self.accept_precision();
+            let ty = self.expect_type()?;
+            let decl = self.declarators(storage, precision, ty)?;
+            self.expect(&TokenKind::Semicolon)?;
+            Ok(Stmt::new(StmtKind::Decl(decl), span))
+        } else {
+            let expr = self.expression()?;
+            self.expect(&TokenKind::Semicolon)?;
+            Ok(Stmt::new(StmtKind::Expr(expr), span))
+        }
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    /// Full expression, including the comma operator.
+    fn expression(&mut self) -> Result<Expr, CompileError> {
+        let mut expr = self.assignment_expr()?;
+        while self.accept(&TokenKind::Comma) {
+            let rhs = self.assignment_expr()?;
+            let span = expr.span.to(rhs.span);
+            expr = Expr::new(ExprKind::Comma(Box::new(expr), Box::new(rhs)), span);
+        }
+        Ok(expr)
+    }
+
+    fn assignment_expr(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.ternary_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => AssignOp::Assign,
+            TokenKind::PlusEq => AssignOp::AddAssign,
+            TokenKind::MinusEq => AssignOp::SubAssign,
+            TokenKind::StarEq => AssignOp::MulAssign,
+            TokenKind::SlashEq => AssignOp::DivAssign,
+            _ => return Ok(lhs),
+        };
+        let op_span = self.span();
+        self.bump();
+        if !lhs.is_lvalue() {
+            return Err(CompileError::parse(
+                "left-hand side of assignment is not an lvalue",
+                op_span,
+            ));
+        }
+        let rhs = self.assignment_expr()?;
+        let span = lhs.span.to(rhs.span);
+        Ok(Expr::new(
+            ExprKind::Assign(op, Box::new(lhs), Box::new(rhs)),
+            span,
+        ))
+    }
+
+    fn ternary_expr(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.binary_expr(0)?;
+        if self.accept(&TokenKind::Question) {
+            let yes = self.assignment_expr()?;
+            self.expect(&TokenKind::Colon)?;
+            let no = self.assignment_expr()?;
+            let span = cond.span.to(no.span);
+            Ok(Expr::new(
+                ExprKind::Ternary(Box::new(cond), Box::new(yes), Box::new(no)),
+                span,
+            ))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binop_at(&self, level: usize) -> Option<BinOp> {
+        // Precedence levels, lowest first.
+        const LEVELS: &[&[(TokenKind, BinOp)]] = &[];
+        let _ = LEVELS;
+        match (level, self.peek()) {
+            (0, TokenKind::OrOr) => Some(BinOp::Or),
+            (1, TokenKind::XorXor) => Some(BinOp::Xor),
+            (2, TokenKind::AndAnd) => Some(BinOp::And),
+            (3, TokenKind::EqEq) => Some(BinOp::Eq),
+            (3, TokenKind::NotEq) => Some(BinOp::Ne),
+            (4, TokenKind::Lt) => Some(BinOp::Lt),
+            (4, TokenKind::Gt) => Some(BinOp::Gt),
+            (4, TokenKind::Le) => Some(BinOp::Le),
+            (4, TokenKind::Ge) => Some(BinOp::Ge),
+            (5, TokenKind::Plus) => Some(BinOp::Add),
+            (5, TokenKind::Minus) => Some(BinOp::Sub),
+            (6, TokenKind::Star) => Some(BinOp::Mul),
+            (6, TokenKind::Slash) => Some(BinOp::Div),
+            _ => None,
+        }
+    }
+
+    fn binary_expr(&mut self, level: usize) -> Result<Expr, CompileError> {
+        if level > 6 {
+            return self.unary_expr();
+        }
+        let mut lhs = self.binary_expr(level + 1)?;
+        while let Some(op) = self.binop_at(level) {
+            self.bump();
+            let rhs = self.binary_expr(level + 1)?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Plus => Some(UnOp::Plus),
+            TokenKind::Bang => Some(UnOp::Not),
+            TokenKind::PlusPlus => Some(UnOp::PreInc),
+            TokenKind::MinusMinus => Some(UnOp::PreDec),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let inner = self.unary_expr()?;
+            if matches!(op, UnOp::PreInc | UnOp::PreDec) && !inner.is_lvalue() {
+                return Err(CompileError::parse(
+                    "operand of ++/-- must be an lvalue",
+                    span,
+                ));
+            }
+            let full = span.to(inner.span);
+            Ok(Expr::new(ExprKind::Unary(op, Box::new(inner)), full))
+        } else {
+            self.postfix_expr()
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.expression()?;
+                    let end = self.expect(&TokenKind::RBracket)?;
+                    let span = expr.span.to(end);
+                    expr = Expr::new(ExprKind::Index(Box::new(expr), Box::new(index)), span);
+                }
+                TokenKind::Dot => {
+                    self.bump();
+                    let (field, fspan) = self.expect_ident()?;
+                    let span = expr.span.to(fspan);
+                    expr = Expr::new(ExprKind::Field(Box::new(expr), field), span);
+                }
+                TokenKind::PlusPlus => {
+                    let sp = self.span();
+                    self.bump();
+                    if !expr.is_lvalue() {
+                        return Err(CompileError::parse(
+                            "operand of ++ must be an lvalue",
+                            sp,
+                        ));
+                    }
+                    let span = expr.span.to(sp);
+                    expr = Expr::new(ExprKind::Unary(UnOp::PostInc, Box::new(expr)), span);
+                }
+                TokenKind::MinusMinus => {
+                    let sp = self.span();
+                    self.bump();
+                    if !expr.is_lvalue() {
+                        return Err(CompileError::parse(
+                            "operand of -- must be an lvalue",
+                            sp,
+                        ));
+                    }
+                    let span = expr.span.to(sp);
+                    expr = Expr::new(ExprKind::Unary(UnOp::PostDec, Box::new(expr)), span);
+                }
+                _ => return Ok(expr),
+            }
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, CompileError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.accept(&TokenKind::RParen) {
+            return Ok(args);
+        }
+        // `f(void)` is an empty argument list.
+        if matches!(self.peek(), TokenKind::Keyword(Keyword::Void))
+            && matches!(self.peek_at(1), TokenKind::RParen)
+        {
+            self.bump();
+            self.bump();
+            return Ok(args);
+        }
+        loop {
+            args.push(self.assignment_expr()?);
+            if !self.accept(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::FloatLit(v), span))
+            }
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::IntLit(v), span))
+            }
+            TokenKind::BoolLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::BoolLit(v), span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if matches!(self.peek(), TokenKind::LParen) {
+                    let args = self.call_args()?;
+                    let end = self.prev_span();
+                    Ok(Expr::new(ExprKind::Call(name, args), span.to(end)))
+                } else {
+                    Ok(Expr::new(ExprKind::Ident(name), span))
+                }
+            }
+            TokenKind::Keyword(kw) => {
+                // Type constructors: vec4(...), float(...), mat3(...)
+                if let Some(ty) = self.peek_type() {
+                    if ty != Type::Void && ty != Type::Sampler2D {
+                        self.bump();
+                        let args = self.call_args()?;
+                        let end = self.prev_span();
+                        return Ok(Expr::new(
+                            ExprKind::Call(ty.glsl_name(), args),
+                            span.to(end),
+                        ));
+                    }
+                }
+                Err(CompileError::parse(
+                    format!("unexpected keyword `{kw}` in expression"),
+                    span,
+                ))
+            }
+            other => Err(CompileError::parse(
+                format!("unexpected {other} in expression"),
+                span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> TranslationUnit {
+        parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\nsource: {src}"))
+    }
+
+    fn only_fn(unit: &TranslationUnit) -> &Function {
+        unit.items
+            .iter()
+            .find_map(|i| match i {
+                Item::Function(f) => Some(f),
+                _ => None,
+            })
+            .expect("expected a function")
+    }
+
+    #[test]
+    fn parses_minimal_fragment_shader() {
+        let unit = parse_ok(
+            "precision highp float;\n\
+             void main() { gl_FragColor = vec4(1.0, 0.0, 0.0, 1.0); }",
+        );
+        assert_eq!(unit.items.len(), 2);
+        let f = only_fn(&unit);
+        assert_eq!(f.name, "main");
+        assert_eq!(f.ret, Type::Void);
+        assert!(f.params.is_empty());
+        assert_eq!(f.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_globals_with_qualifiers() {
+        let unit = parse_ok(
+            "uniform sampler2D u_tex;\n\
+             attribute vec2 a_pos;\n\
+             varying vec2 v_uv;\n\
+             const float K = 2.5;\n\
+             void main() {}",
+        );
+        let storages: Vec<Storage> = unit
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Var(d) => Some(d.storage),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            storages,
+            vec![
+                Storage::Uniform,
+                Storage::Attribute,
+                Storage::Varying,
+                Storage::Const
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_for_loop_with_decl_init() {
+        let unit = parse_ok(
+            "void main() { float s = 0.0; for (int i = 0; i < 8; i++) { s += 1.0; } }",
+        );
+        let f = only_fn(&unit);
+        assert!(matches!(f.body[1].kind, StmtKind::For { .. }));
+    }
+
+    #[test]
+    fn parses_swizzles_and_indexing() {
+        let unit = parse_ok("void main() { vec4 c; c.xy = c.zw; c[0] = c.w; }");
+        let f = only_fn(&unit);
+        assert_eq!(f.body.len(), 3);
+    }
+
+    #[test]
+    fn parses_ternary_and_logic() {
+        parse_ok("void main() { float x = true ? 1.0 : 0.0; bool b = x > 0.5 && x < 1.5; }");
+    }
+
+    #[test]
+    fn parses_array_declaration() {
+        let unit = parse_ok("void main() { float acc[4]; acc[0] = 1.0; }");
+        let f = only_fn(&unit);
+        if let StmtKind::Decl(d) = &f.body[0].kind {
+            assert_eq!(d.vars[0].ty, Type::Array(Box::new(Type::Float), 4));
+        } else {
+            panic!("expected declaration");
+        }
+    }
+
+    #[test]
+    fn parses_const_expr_array_size() {
+        let unit = parse_ok("void main() { float a[2 * 3 + 1]; }");
+        let f = only_fn(&unit);
+        if let StmtKind::Decl(d) = &f.body[0].kind {
+            assert_eq!(d.vars[0].ty, Type::Array(Box::new(Type::Float), 7));
+        } else {
+            panic!("expected declaration");
+        }
+    }
+
+    #[test]
+    fn parses_function_with_out_params() {
+        let unit = parse_ok(
+            "void split(in float v, out float hi, inout float lo) { hi = v; lo += v; }\n\
+             void main() {}",
+        );
+        let f = unit
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Function(f) if f.name == "split" => Some(f),
+                _ => None,
+            })
+            .expect("split fn");
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[0].qual, ParamQual::In);
+        assert_eq!(f.params[1].qual, ParamQual::Out);
+        assert_eq!(f.params[2].qual, ParamQual::InOut);
+    }
+
+    #[test]
+    fn parses_prototype_then_definition() {
+        let unit = parse_ok("float f(float x);\nfloat f(float x) { return x; }\nvoid main() {}");
+        let protos = unit
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::Prototype(_)))
+            .count();
+        assert_eq!(protos, 1);
+    }
+
+    #[test]
+    fn assignment_to_rvalue_is_error() {
+        assert!(parse("void main() { 1.0 = 2.0; }").is_err());
+        assert!(parse("void main() { f() = 2.0; }").is_err());
+    }
+
+    #[test]
+    fn struct_is_rejected_with_clear_message() {
+        let e = parse("struct S { float x; };").unwrap_err();
+        assert!(e.message.contains("struct"));
+    }
+
+    #[test]
+    fn multiple_declarators_share_type() {
+        let unit = parse_ok("void main() { float a = 1.0, b, c = a; }");
+        let f = only_fn(&unit);
+        if let StmtKind::Decl(d) = &f.body[0].kind {
+            assert_eq!(d.vars.len(), 3);
+            assert!(d.vars[0].init.is_some());
+            assert!(d.vars[1].init.is_none());
+        } else {
+            panic!("expected declaration");
+        }
+    }
+
+    #[test]
+    fn comma_operator_in_for_step() {
+        parse_ok("void main() { int j = 0; for (int i = 0; i < 4; i++, j++) {} }");
+    }
+
+    #[test]
+    fn while_and_do_while() {
+        parse_ok("void main() { int i = 0; while (i < 3) { i++; } do { i--; } while (i > 0); }");
+    }
+
+    #[test]
+    fn discard_statement() {
+        let unit = parse_ok("void main() { if (true) discard; }");
+        let f = only_fn(&unit);
+        assert!(matches!(f.body[0].kind, StmtKind::If(..)));
+    }
+
+    #[test]
+    fn nested_calls_and_constructors() {
+        parse_ok(
+            "void main() { vec4 v = vec4(vec2(1.0, 2.0), floor(mod(7.0, 4.0)), 1.0); }",
+        );
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let unit = parse_ok("void main() { float x = 1.0 + 2.0 * 3.0; }");
+        let f = only_fn(&unit);
+        if let StmtKind::Decl(d) = &f.body[0].kind {
+            let init = d.vars[0].init.as_ref().expect("init");
+            if let ExprKind::Binary(BinOp::Add, _, rhs) = &init.kind {
+                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+            } else {
+                panic!("expected + at top");
+            }
+        }
+    }
+
+    #[test]
+    fn unexpected_token_reports_position() {
+        let e = parse("void main() { float x = ; }").unwrap_err();
+        assert_eq!(e.span.line, 1);
+        assert!(e.message.contains("unexpected"));
+    }
+
+    #[test]
+    fn void_param_list() {
+        let unit = parse_ok("void main(void) {}");
+        assert!(only_fn(&unit).params.is_empty());
+    }
+
+    #[test]
+    fn empty_statements_allowed() {
+        parse_ok("void main() { ;; if (true) ; }");
+    }
+}

@@ -1,0 +1,1154 @@
+//! Semantic analysis: symbol resolution, type checking and shader-interface
+//! extraction for the GLSL ES 1.00 subset.
+
+use crate::ast::*;
+use crate::builtins;
+use crate::error::CompileError;
+use crate::span::Span;
+use crate::swizzle::{swizzle_indices, writable};
+use crate::types::{Scalar, Type};
+use std::collections::HashMap;
+
+/// Which pipeline stage a shader targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShaderKind {
+    /// Vertex shader (reads attributes, writes `gl_Position` + varyings).
+    Vertex,
+    /// Fragment shader (reads varyings, writes `gl_FragColor`).
+    Fragment,
+}
+
+/// A successfully checked shader, ready for interpretation or linking.
+#[derive(Debug, Clone)]
+pub struct CompiledShader {
+    /// Stage.
+    pub kind: ShaderKind,
+    /// The checked syntax tree.
+    pub unit: TranslationUnit,
+    /// Externally visible variables.
+    pub interface: ShaderInterface,
+}
+
+/// Uniforms, attributes and varyings declared by a shader.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShaderInterface {
+    /// `uniform` declarations in source order.
+    pub uniforms: Vec<(String, Type)>,
+    /// `attribute` declarations (vertex shaders only).
+    pub attributes: Vec<(String, Type)>,
+    /// `varying` declarations.
+    pub varyings: Vec<(String, Type)>,
+}
+
+impl ShaderInterface {
+    /// Looks up a uniform's type by name.
+    pub fn uniform(&self, name: &str) -> Option<&Type> {
+        self.uniforms.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Looks up a varying's type by name.
+    pub fn varying(&self, name: &str) -> Option<&Type> {
+        self.varyings.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Looks up an attribute's type by name.
+    pub fn attribute(&self, name: &str) -> Option<&Type> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+}
+
+/// Checks a parsed translation unit as a shader of the given kind.
+///
+/// # Errors
+///
+/// Returns the first semantic error: undeclared identifiers, type
+/// mismatches, invalid qualifiers for the stage, missing `main`, missing
+/// default float precision in fragment shaders, writes to read-only
+/// builtins, `discard` outside fragment shaders, and so on.
+pub fn check(kind: ShaderKind, unit: TranslationUnit) -> Result<CompiledShader, CompileError> {
+    let mut checker = Checker::new(kind);
+    checker.collect_functions(&unit)?;
+    checker.check_unit(&unit)?;
+    Ok(CompiledShader {
+        kind,
+        unit,
+        interface: checker.interface,
+    })
+}
+
+#[derive(Debug, Clone)]
+struct Sym {
+    name: String,
+    ty: Type,
+    mutable: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct FnSig {
+    params: Vec<Param>,
+    ret: Type,
+    defined: bool,
+}
+
+struct Checker {
+    kind: ShaderKind,
+    scopes: Vec<Vec<Sym>>,
+    functions: HashMap<String, Vec<FnSig>>,
+    interface: ShaderInterface,
+    current_ret: Type,
+    loop_depth: u32,
+    has_float_precision_default: bool,
+}
+
+impl Checker {
+    fn new(kind: ShaderKind) -> Self {
+        let mut globals = Vec::new();
+        match kind {
+            ShaderKind::Vertex => {
+                globals.push(Sym {
+                    name: "gl_Position".into(),
+                    ty: Type::Vec4,
+                    mutable: true,
+                });
+                globals.push(Sym {
+                    name: "gl_PointSize".into(),
+                    ty: Type::Float,
+                    mutable: true,
+                });
+            }
+            ShaderKind::Fragment => {
+                globals.push(Sym {
+                    name: "gl_FragColor".into(),
+                    ty: Type::Vec4,
+                    mutable: true,
+                });
+                // ES 2 guarantees only a single draw buffer: this is the
+                // paper's limitation #8 made concrete in the type system.
+                globals.push(Sym {
+                    name: "gl_FragData".into(),
+                    ty: Type::Array(Box::new(Type::Vec4), 1),
+                    mutable: true,
+                });
+                globals.push(Sym {
+                    name: "gl_FragCoord".into(),
+                    ty: Type::Vec4,
+                    mutable: false,
+                });
+                globals.push(Sym {
+                    name: "gl_FrontFacing".into(),
+                    ty: Type::Bool,
+                    mutable: false,
+                });
+                globals.push(Sym {
+                    name: "gl_PointCoord".into(),
+                    ty: Type::Vec2,
+                    mutable: false,
+                });
+            }
+        }
+        Checker {
+            kind,
+            scopes: vec![globals],
+            functions: HashMap::new(),
+            interface: ShaderInterface::default(),
+            current_ret: Type::Void,
+            loop_depth: 0,
+            has_float_precision_default: kind == ShaderKind::Vertex,
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Sym> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|scope| scope.iter().rev().find(|s| s.name == name))
+    }
+
+    fn declare(&mut self, sym: Sym, span: Span) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("scope stack non-empty");
+        if scope.iter().any(|s| s.name == sym.name) {
+            return Err(CompileError::check(
+                format!("`{}` is already declared in this scope", sym.name),
+                span,
+            ));
+        }
+        scope.push(sym);
+        Ok(())
+    }
+
+    fn collect_functions(&mut self, unit: &TranslationUnit) -> Result<(), CompileError> {
+        for item in &unit.items {
+            let (f, defined) = match item {
+                Item::Function(f) => (f, true),
+                Item::Prototype(f) => (f, false),
+                _ => continue,
+            };
+            if builtins::signature(&f.name, &param_types(&f.params)).is_some()
+                || is_constructor_name(&f.name)
+            {
+                return Err(CompileError::check(
+                    format!("cannot redefine builtin function `{}`", f.name),
+                    f.span,
+                ));
+            }
+            let overloads = self.functions.entry(f.name.clone()).or_default();
+            let sig = FnSig {
+                params: f.params.clone(),
+                ret: f.ret.clone(),
+                defined,
+            };
+            if let Some(existing) = overloads
+                .iter_mut()
+                .find(|s| param_types(&s.params) == param_types(&f.params))
+            {
+                if existing.ret != f.ret {
+                    return Err(CompileError::check(
+                        format!("`{}` redeclared with a different return type", f.name),
+                        f.span,
+                    ));
+                }
+                if existing.defined && defined {
+                    return Err(CompileError::check(
+                        format!("function `{}` is defined twice", f.name),
+                        f.span,
+                    ));
+                }
+                existing.defined |= defined;
+            } else {
+                overloads.push(sig);
+            }
+        }
+        Ok(())
+    }
+
+    fn check_unit(&mut self, unit: &TranslationUnit) -> Result<(), CompileError> {
+        for item in &unit.items {
+            match item {
+                Item::Precision(p) => {
+                    if p.ty == Type::Float {
+                        self.has_float_precision_default = true;
+                    }
+                }
+                Item::Var(decl) => self.check_global(decl)?,
+                Item::Prototype(_) => {}
+                Item::Function(f) => self.check_function(f)?,
+            }
+        }
+        match self.functions.get("main") {
+            Some(sigs)
+                if sigs
+                    .iter()
+                    .any(|s| s.defined && s.ret == Type::Void && s.params.is_empty()) => {}
+            _ => {
+                return Err(CompileError::check(
+                    "shader must define `void main()`",
+                    Span::default(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn check_global(&mut self, decl: &VarDecl) -> Result<(), CompileError> {
+        for var in &decl.vars {
+            match decl.storage {
+                Storage::Attribute => {
+                    if self.kind != ShaderKind::Vertex {
+                        return Err(CompileError::check(
+                            "attributes are only allowed in vertex shaders",
+                            var.span,
+                        ));
+                    }
+                    if !var.ty.valid_attribute() {
+                        return Err(CompileError::check(
+                            format!("type {} cannot be an attribute", var.ty),
+                            var.span,
+                        ));
+                    }
+                    if var.init.is_some() {
+                        return Err(CompileError::check(
+                            "attributes cannot have initialisers",
+                            var.span,
+                        ));
+                    }
+                    self.interface
+                        .attributes
+                        .push((var.name.clone(), var.ty.clone()));
+                }
+                Storage::Uniform => {
+                    if var.init.is_some() {
+                        return Err(CompileError::check(
+                            "uniforms cannot have initialisers",
+                            var.span,
+                        ));
+                    }
+                    self.interface
+                        .uniforms
+                        .push((var.name.clone(), var.ty.clone()));
+                }
+                Storage::Varying => {
+                    let elem = match &var.ty {
+                        Type::Array(elem, _) => elem,
+                        other => other,
+                    };
+                    if !elem.valid_varying() {
+                        return Err(CompileError::check(
+                            format!(
+                                "type {} cannot be a varying (float-based types only)",
+                                var.ty
+                            ),
+                            var.span,
+                        ));
+                    }
+                    if var.init.is_some() {
+                        return Err(CompileError::check(
+                            "varyings cannot have initialisers",
+                            var.span,
+                        ));
+                    }
+                    self.interface
+                        .varyings
+                        .push((var.name.clone(), var.ty.clone()));
+                }
+                Storage::Const => {
+                    let init = var.init.as_ref().ok_or_else(|| {
+                        CompileError::check(
+                            format!("const `{}` must be initialised", var.name),
+                            var.span,
+                        )
+                    })?;
+                    let ty = self.check_expr(init)?;
+                    if ty != var.ty {
+                        return Err(CompileError::check(
+                            format!("const `{}` initialiser has type {ty}, expected {}", var.name, var.ty),
+                            var.span,
+                        ));
+                    }
+                }
+                Storage::None => {
+                    if let Some(init) = &var.init {
+                        let ty = self.check_expr(init)?;
+                        if ty != var.ty {
+                            return Err(CompileError::check(
+                                format!(
+                                    "initialiser for `{}` has type {ty}, expected {}",
+                                    var.name, var.ty
+                                ),
+                                var.span,
+                            ));
+                        }
+                    }
+                }
+            }
+            // Mutability: uniforms/attributes/consts are read-only
+            // everywhere; varyings are writable in the vertex stage and
+            // read-only in the fragment stage.
+            let mutable = match decl.storage {
+                Storage::None => true,
+                Storage::Varying => self.kind == ShaderKind::Vertex,
+                _ => false,
+            };
+            if var.ty.scalar() == Some(Scalar::Float)
+                || var.ty.is_matrix()
+                || matches!(&var.ty, Type::Array(t, _) if t.scalar() == Some(Scalar::Float))
+            {
+                self.require_float_precision(var.span)?;
+            }
+            self.declare(
+                Sym {
+                    name: var.name.clone(),
+                    ty: var.ty.clone(),
+                    mutable,
+                },
+                var.span,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn require_float_precision(&self, span: Span) -> Result<(), CompileError> {
+        if self.has_float_precision_default {
+            Ok(())
+        } else {
+            Err(CompileError::check(
+                "fragment shaders have no default float precision; \
+                 add `precision mediump float;` or `precision highp float;`",
+                span,
+            ))
+        }
+    }
+
+    fn check_function(&mut self, f: &Function) -> Result<(), CompileError> {
+        self.current_ret = f.ret.clone();
+        self.scopes.push(Vec::new());
+        for p in &f.params {
+            if p.name.is_empty() {
+                continue;
+            }
+            if p.ty.scalar() == Some(Scalar::Float) || p.ty.is_matrix() {
+                self.require_float_precision(f.span)?;
+            }
+            self.declare(
+                Sym {
+                    name: p.name.clone(),
+                    ty: p.ty.clone(),
+                    mutable: true,
+                },
+                f.span,
+            )?;
+        }
+        for stmt in &f.body {
+            self.check_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match &stmt.kind {
+            StmtKind::Expr(e) => {
+                self.check_expr(e)?;
+            }
+            StmtKind::Decl(decl) => {
+                if !matches!(decl.storage, Storage::None | Storage::Const) {
+                    return Err(CompileError::check(
+                        "only `const` qualifier is allowed on local declarations",
+                        stmt.span,
+                    ));
+                }
+                for var in &decl.vars {
+                    if let Some(init) = &var.init {
+                        let ty = self.check_expr(init)?;
+                        if ty != var.ty {
+                            return Err(CompileError::check(
+                                format!(
+                                    "initialiser for `{}` has type {ty}, expected {}",
+                                    var.name, var.ty
+                                ),
+                                var.span,
+                            ));
+                        }
+                    } else if decl.storage == Storage::Const {
+                        return Err(CompileError::check(
+                            format!("const `{}` must be initialised", var.name),
+                            var.span,
+                        ));
+                    }
+                    if var.ty.scalar() == Some(Scalar::Float)
+                        || var.ty.is_matrix()
+                        || matches!(&var.ty, Type::Array(t, _) if t.scalar() == Some(Scalar::Float) || t.is_matrix())
+                    {
+                        self.require_float_precision(var.span)?;
+                    }
+                    self.declare(
+                        Sym {
+                            name: var.name.clone(),
+                            ty: var.ty.clone(),
+                            mutable: decl.storage != Storage::Const,
+                        },
+                        var.span,
+                    )?;
+                }
+            }
+            StmtKind::If(cond, then, els) => {
+                self.expect_bool(cond)?;
+                self.scoped(|c| c.check_stmt(then))?;
+                if let Some(els) = els {
+                    self.scoped(|c| c.check_stmt(els))?;
+                }
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(Vec::new());
+                if let Some(init) = init {
+                    self.check_stmt(init)?;
+                }
+                if let Some(cond) = cond {
+                    self.expect_bool(cond)?;
+                }
+                if let Some(step) = step {
+                    self.check_expr(step)?;
+                }
+                self.loop_depth += 1;
+                let r = self.check_stmt(body);
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                r?;
+            }
+            StmtKind::While(cond, body) => {
+                self.expect_bool(cond)?;
+                self.loop_depth += 1;
+                let r = self.scoped(|c| c.check_stmt(body));
+                self.loop_depth -= 1;
+                r?;
+            }
+            StmtKind::DoWhile(body, cond) => {
+                self.loop_depth += 1;
+                let r = self.scoped(|c| c.check_stmt(body));
+                self.loop_depth -= 1;
+                r?;
+                self.expect_bool(cond)?;
+            }
+            StmtKind::Return(value) => {
+                let ty = match value {
+                    Some(e) => self.check_expr(e)?,
+                    None => Type::Void,
+                };
+                if ty != self.current_ret {
+                    return Err(CompileError::check(
+                        format!(
+                            "return type {ty} does not match declared {}",
+                            self.current_ret
+                        ),
+                        stmt.span,
+                    ));
+                }
+            }
+            StmtKind::Break | StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    return Err(CompileError::check(
+                        "break/continue outside of a loop",
+                        stmt.span,
+                    ));
+                }
+            }
+            StmtKind::Discard => {
+                if self.kind != ShaderKind::Fragment {
+                    return Err(CompileError::check(
+                        "`discard` is only allowed in fragment shaders",
+                        stmt.span,
+                    ));
+                }
+            }
+            StmtKind::Block(stmts) => {
+                self.scopes.push(Vec::new());
+                let mut result = Ok(());
+                for s in stmts {
+                    result = self.check_stmt(s);
+                    if result.is_err() {
+                        break;
+                    }
+                }
+                self.scopes.pop();
+                result?;
+            }
+            StmtKind::Empty => {}
+        }
+        Ok(())
+    }
+
+    fn scoped<R>(&mut self, f: impl FnOnce(&mut Self) -> Result<R, CompileError>) -> Result<R, CompileError> {
+        self.scopes.push(Vec::new());
+        let r = f(self);
+        self.scopes.pop();
+        r
+    }
+
+    fn expect_bool(&mut self, e: &Expr) -> Result<(), CompileError> {
+        let ty = self.check_expr(e)?;
+        if ty != Type::Bool {
+            return Err(CompileError::check(
+                format!("condition must be bool, found {ty}"),
+                e.span,
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> Result<Type, CompileError> {
+        match &e.kind {
+            ExprKind::FloatLit(_) => Ok(Type::Float),
+            ExprKind::IntLit(_) => Ok(Type::Int),
+            ExprKind::BoolLit(_) => Ok(Type::Bool),
+            ExprKind::Ident(name) => self
+                .lookup(name)
+                .map(|s| s.ty.clone())
+                .ok_or_else(|| CompileError::check(format!("`{name}` is not declared"), e.span)),
+            ExprKind::Binary(op, a, b) => {
+                let (ta, tb) = (self.check_expr(a)?, self.check_expr(b)?);
+                binary_type(*op, &ta, &tb).ok_or_else(|| {
+                    CompileError::check(
+                        format!("operator `{}` cannot combine {ta} and {tb}", op.symbol()),
+                        e.span,
+                    )
+                })
+            }
+            ExprKind::Unary(op, inner) => {
+                let ty = self.check_expr(inner)?;
+                match op {
+                    UnOp::Neg | UnOp::Plus => {
+                        if ty.scalar() == Some(Scalar::Bool) || ty == Type::Sampler2D
+                            || matches!(ty, Type::Array(..))
+                        {
+                            Err(CompileError::check(
+                                format!("cannot negate {ty}"),
+                                e.span,
+                            ))
+                        } else {
+                            Ok(ty)
+                        }
+                    }
+                    UnOp::Not => {
+                        if ty == Type::Bool {
+                            Ok(Type::Bool)
+                        } else {
+                            Err(CompileError::check(
+                                format!("`!` requires bool, found {ty}"),
+                                e.span,
+                            ))
+                        }
+                    }
+                    UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec => {
+                        self.check_assignable(inner)?;
+                        if matches!(ty.scalar(), Some(Scalar::Float) | Some(Scalar::Int))
+                            && !ty.is_matrix()
+                        {
+                            Ok(ty)
+                        } else {
+                            Err(CompileError::check(
+                                format!("++/-- requires a numeric lvalue, found {ty}"),
+                                e.span,
+                            ))
+                        }
+                    }
+                }
+            }
+            ExprKind::Assign(op, lhs, rhs) => {
+                let lt = self.check_expr(lhs)?;
+                let rt = self.check_expr(rhs)?;
+                self.check_assignable(lhs)?;
+                let effective = match op {
+                    AssignOp::Assign => {
+                        if lt == rt {
+                            Some(lt.clone())
+                        } else {
+                            None
+                        }
+                    }
+                    AssignOp::AddAssign | AssignOp::SubAssign | AssignOp::DivAssign => {
+                        binary_type(
+                            match op {
+                                AssignOp::AddAssign => BinOp::Add,
+                                AssignOp::SubAssign => BinOp::Sub,
+                                _ => BinOp::Div,
+                            },
+                            &lt,
+                            &rt,
+                        )
+                        .filter(|t| *t == lt)
+                    }
+                    AssignOp::MulAssign => binary_type(BinOp::Mul, &lt, &rt).filter(|t| *t == lt),
+                };
+                effective.ok_or_else(|| {
+                    CompileError::check(
+                        format!("cannot assign {rt} to lvalue of type {lt}"),
+                        e.span,
+                    )
+                })
+            }
+            ExprKind::Ternary(cond, yes, no) => {
+                self.expect_bool(cond)?;
+                let (ty, tn) = (self.check_expr(yes)?, self.check_expr(no)?);
+                if ty != tn {
+                    return Err(CompileError::check(
+                        format!("ternary branches have different types: {ty} vs {tn}"),
+                        e.span,
+                    ));
+                }
+                Ok(ty)
+            }
+            ExprKind::Call(name, args) => {
+                let mut arg_types = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_types.push(self.check_expr(a)?);
+                }
+                if let Some(ret) = builtins::signature(name, &arg_types) {
+                    return Ok(ret);
+                }
+                if let Some(overloads) = self.functions.get(name) {
+                    if let Some(sig) = overloads
+                        .iter()
+                        .find(|s| param_types(&s.params) == arg_types)
+                    {
+                        // out/inout arguments must be lvalues.
+                        let quals: Vec<ParamQual> = sig.params.iter().map(|p| p.qual).collect();
+                        let ret = sig.ret.clone();
+                        for (arg, qual) in args.iter().zip(quals) {
+                            if matches!(qual, ParamQual::Out | ParamQual::InOut) {
+                                self.check_assignable(arg)?;
+                            }
+                        }
+                        return Ok(ret);
+                    }
+                    return Err(CompileError::check(
+                        format!(
+                            "no overload of `{name}` matches argument types ({})",
+                            type_list(&arg_types)
+                        ),
+                        e.span,
+                    ));
+                }
+                if is_constructor_name(name) {
+                    return Err(CompileError::check(
+                        format!(
+                            "invalid constructor `{name}({})`",
+                            type_list(&arg_types)
+                        ),
+                        e.span,
+                    ));
+                }
+                Err(CompileError::check(
+                    format!("`{name}` is not a function"),
+                    e.span,
+                ))
+            }
+            ExprKind::Field(base, field) => {
+                let bt = self.check_expr(base)?;
+                if !bt.is_vector() {
+                    return Err(CompileError::check(
+                        format!("cannot swizzle type {bt}"),
+                        e.span,
+                    ));
+                }
+                let dim = bt.dim().expect("vector dim");
+                let idx = swizzle_indices(field).ok_or_else(|| {
+                    CompileError::check(format!("invalid swizzle `.{field}`"), e.span)
+                })?;
+                if idx.iter().any(|&i| i >= dim) {
+                    return Err(CompileError::check(
+                        format!("swizzle `.{field}` out of range for {bt}"),
+                        e.span,
+                    ));
+                }
+                let scalar = bt.scalar().expect("vector scalar");
+                Type::vector_of(scalar, idx.len()).ok_or_else(|| {
+                    CompileError::check(format!("invalid swizzle `.{field}`"), e.span)
+                })
+            }
+            ExprKind::Index(base, index) => {
+                let bt = self.check_expr(base)?;
+                let it = self.check_expr(index)?;
+                if it != Type::Int {
+                    return Err(CompileError::check(
+                        format!("index must be int, found {it}"),
+                        index.span,
+                    ));
+                }
+                let result = bt.index_result().ok_or_else(|| {
+                    CompileError::check(format!("type {bt} cannot be indexed"), e.span)
+                })?;
+                // Static bounds check for literal indices.
+                if let ExprKind::IntLit(i) = &index.kind {
+                    let len = match &bt {
+                        Type::Array(_, n) => *n,
+                        other => other.dim().unwrap_or(usize::MAX),
+                    };
+                    if *i < 0 || (*i as usize) >= len {
+                        return Err(CompileError::check(
+                            format!("index {i} out of bounds for {bt}"),
+                            index.span,
+                        ));
+                    }
+                }
+                Ok(result)
+            }
+            ExprKind::Comma(a, b) => {
+                self.check_expr(a)?;
+                self.check_expr(b)
+            }
+        }
+    }
+
+    /// Verifies that `e` denotes a writable location.
+    fn check_assignable(&mut self, e: &Expr) -> Result<(), CompileError> {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                let sym = self.lookup(name).ok_or_else(|| {
+                    CompileError::check(format!("`{name}` is not declared"), e.span)
+                })?;
+                if !sym.mutable {
+                    return Err(CompileError::check(
+                        format!("`{name}` is read-only in this shader stage"),
+                        e.span,
+                    ));
+                }
+                Ok(())
+            }
+            ExprKind::Field(base, field) => {
+                let idx = swizzle_indices(field).ok_or_else(|| {
+                    CompileError::check(format!("invalid swizzle `.{field}`"), e.span)
+                })?;
+                if !writable(&idx) {
+                    return Err(CompileError::check(
+                        format!("swizzle `.{field}` repeats components and cannot be assigned"),
+                        e.span,
+                    ));
+                }
+                self.check_assignable(base)
+            }
+            ExprKind::Index(base, _) => self.check_assignable(base),
+            _ => Err(CompileError::check(
+                "expression is not an lvalue",
+                e.span,
+            )),
+        }
+    }
+}
+
+fn param_types(params: &[Param]) -> Vec<Type> {
+    params.iter().map(|p| p.ty.clone()).collect()
+}
+
+fn type_list(types: &[Type]) -> String {
+    types
+        .iter()
+        .map(Type::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn is_constructor_name(name: &str) -> bool {
+    matches!(
+        name,
+        "float"
+            | "int"
+            | "bool"
+            | "vec2"
+            | "vec3"
+            | "vec4"
+            | "ivec2"
+            | "ivec3"
+            | "ivec4"
+            | "bvec2"
+            | "bvec3"
+            | "bvec4"
+            | "mat2"
+            | "mat3"
+            | "mat4"
+    )
+}
+
+/// Result type of a binary operation, or `None` if invalid.
+///
+/// GLSL ES has **no implicit conversions** — `int + float` is an error,
+/// which is why generated GPGPU code is littered with `float()` casts.
+pub fn binary_type(op: BinOp, a: &Type, b: &Type) -> Option<Type> {
+    use BinOp::*;
+    use Type::*;
+    match op {
+        And | Or | Xor => (*a == Bool && *b == Bool).then_some(Bool),
+        Eq | Ne => {
+            (a == b && !matches!(a, Sampler2D | Array(..) | Void)).then_some(Bool)
+        }
+        Lt | Le | Gt | Ge => {
+            (a == b && matches!(a, Float | Int)).then_some(Bool)
+        }
+        Add | Sub | Div | Mul => {
+            let float_shape =
+                |t: &Type| t.is_matrix() || matches!(t, Float | Vec2 | Vec3 | Vec4);
+            let int_shape = |t: &Type| matches!(t, Int | IVec2 | IVec3 | IVec4);
+            // Linear-algebra products first.
+            if op == Mul {
+                match (a, b) {
+                    (Mat2, Vec2) | (Vec2, Mat2) => return Some(Vec2),
+                    (Mat3, Vec3) | (Vec3, Mat3) => return Some(Vec3),
+                    (Mat4, Vec4) | (Vec4, Mat4) => return Some(Vec4),
+                    (Mat2, Mat2) => return Some(Mat2),
+                    (Mat3, Mat3) => return Some(Mat3),
+                    (Mat4, Mat4) => return Some(Mat4),
+                    _ => {}
+                }
+            } else if a.is_matrix() && a == b {
+                // Component-wise matrix add/sub/div.
+                return Some(a.clone());
+            }
+            if a == b && float_shape(a) && !a.is_matrix() {
+                return Some(a.clone());
+            }
+            if a == b && int_shape(a) {
+                return Some(a.clone());
+            }
+            match (a, b) {
+                (t, Float) | (Float, t) if float_shape(t) => Some(t.clone()),
+                (t, Int) | (Int, t) if int_shape(t) => Some(t.clone()),
+                _ => None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_frag(src: &str) -> Result<CompiledShader, CompileError> {
+        check(ShaderKind::Fragment, parse(src)?)
+    }
+
+    fn check_vert(src: &str) -> Result<CompiledShader, CompileError> {
+        check(ShaderKind::Vertex, parse(src)?)
+    }
+
+    const P: &str = "precision highp float;\n";
+
+    #[test]
+    fn minimal_shaders_check() {
+        check_frag(&format!("{P}void main() {{ gl_FragColor = vec4(1.0); }}"))
+            .expect("fragment shader should check");
+        check_vert("attribute vec4 a_pos; void main() { gl_Position = a_pos; }")
+            .expect("vertex shader should check");
+    }
+
+    #[test]
+    fn fragment_requires_float_precision_default() {
+        let e = check_frag("void main() { float x = 1.0; }").unwrap_err();
+        assert!(e.message.contains("precision"));
+        // Vertex shaders have a default (highp).
+        check_vert("void main() { float x = 1.0; gl_Position = vec4(x); }")
+            .expect("vertex default precision");
+    }
+
+    #[test]
+    fn interface_is_extracted() {
+        let s = check_frag(&format!(
+            "{P}uniform sampler2D u_a;\nuniform vec2 u_dims;\nvarying vec2 v_uv;\n\
+             void main() {{ gl_FragColor = texture2D(u_a, v_uv + u_dims); }}"
+        ))
+        .expect("checks");
+        assert_eq!(s.interface.uniforms.len(), 2);
+        assert_eq!(s.interface.uniform("u_a"), Some(&Type::Sampler2D));
+        assert_eq!(s.interface.varying("v_uv"), Some(&Type::Vec2));
+    }
+
+    #[test]
+    fn no_implicit_int_float_conversion() {
+        let e = check_frag(&format!("{P}void main() {{ float x = 1.0 + 1; }}")).unwrap_err();
+        assert!(e.message.contains("cannot combine"));
+    }
+
+    #[test]
+    fn undeclared_identifier() {
+        let e = check_frag(&format!("{P}void main() {{ gl_FragColor = missing; }}")).unwrap_err();
+        assert!(e.message.contains("not declared"));
+    }
+
+    #[test]
+    fn attribute_rejected_in_fragment() {
+        let e = check_frag(&format!("{P}attribute vec4 a_p; void main() {{}}")).unwrap_err();
+        assert!(e.message.contains("vertex"));
+    }
+
+    #[test]
+    fn varying_must_be_float_based() {
+        let e = check_vert("varying ivec2 v_i; void main() { gl_Position = vec4(0.0); }")
+            .unwrap_err();
+        assert!(e.message.contains("varying"));
+    }
+
+    #[test]
+    fn uniform_is_read_only() {
+        let e = check_frag(&format!(
+            "{P}uniform float u_k; void main() {{ u_k = 1.0; }}"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("read-only"));
+    }
+
+    #[test]
+    fn varying_read_only_in_fragment_writable_in_vertex() {
+        let e = check_frag(&format!(
+            "{P}varying vec2 v_uv; void main() {{ v_uv = vec2(0.0); }}"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("read-only"));
+        check_vert(
+            "varying vec2 v_uv; void main() { v_uv = vec2(1.0); gl_Position = vec4(0.0); }",
+        )
+        .expect("vertex may write varyings");
+    }
+
+    #[test]
+    fn gl_fragcoord_is_read_only() {
+        let e = check_frag(&format!(
+            "{P}void main() {{ gl_FragCoord = vec4(0.0); }}"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("read-only"));
+    }
+
+    #[test]
+    fn gl_fragdata_index_bounds() {
+        // gl_FragData[0] is the only legal element in ES 2 (limitation #8).
+        check_frag(&format!(
+            "{P}void main() {{ gl_FragData[0] = vec4(1.0); }}"
+        ))
+        .expect("gl_FragData[0] ok");
+        let e = check_frag(&format!(
+            "{P}void main() {{ gl_FragData[1] = vec4(1.0); }}"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("out of bounds"));
+    }
+
+    #[test]
+    fn discard_only_in_fragment() {
+        let e = check_vert("void main() { discard; gl_Position = vec4(0.0); }").unwrap_err();
+        assert!(e.message.contains("fragment"));
+        check_frag(&format!("{P}void main() {{ if (true) discard; }}")).expect("ok in fragment");
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let e = check_frag(&format!("{P}void main() {{ break; }}")).unwrap_err();
+        assert!(e.message.contains("loop"));
+    }
+
+    #[test]
+    fn swizzle_types() {
+        check_frag(&format!(
+            "{P}void main() {{ vec4 v = vec4(1.0); vec2 a = v.xy; float f = v.w; v.zw = a; }}"
+        ))
+        .expect("swizzles check");
+        let e = check_frag(&format!(
+            "{P}void main() {{ vec2 v = vec2(1.0); float f = v.z; }}"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn swizzle_write_with_repeats_rejected() {
+        let e = check_frag(&format!(
+            "{P}void main() {{ vec2 v = vec2(1.0); v.xx = vec2(2.0); }}"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("repeats"));
+    }
+
+    #[test]
+    fn ternary_branch_types_must_match() {
+        let e = check_frag(&format!(
+            "{P}void main() {{ float x = true ? 1.0 : vec2(0.0).x + 1.0; }}"
+        ));
+        assert!(e.is_ok());
+        let e = check_frag(&format!(
+            "{P}void main() {{ float x = true ? 1 : 0.0; }}"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("different types") || e.message.contains("expected"));
+    }
+
+    #[test]
+    fn user_functions_with_overloads() {
+        check_frag(&format!(
+            "{P}float twice(float x) {{ return x * 2.0; }}\n\
+             vec2 twice(vec2 x) {{ return x * 2.0; }}\n\
+             void main() {{ gl_FragColor = vec4(twice(2.0), twice(vec2(1.0)), 0.0); }}"
+        ))
+        .expect("overloads resolve");
+    }
+
+    #[test]
+    fn wrong_overload_is_rejected() {
+        let e = check_frag(&format!(
+            "{P}float f(float x) {{ return x; }}\n\
+             void main() {{ float y = f(1); }}"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("no overload"));
+    }
+
+    #[test]
+    fn out_param_requires_lvalue() {
+        let e = check_frag(&format!(
+            "{P}void split(out float v) {{ v = 1.0; }}\n\
+             void main() {{ split(2.0); }}"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("lvalue"));
+    }
+
+    #[test]
+    fn missing_main_is_error() {
+        let e = check_frag(&format!("{P}float helper() {{ return 1.0; }}")).unwrap_err();
+        assert!(e.message.contains("main"));
+    }
+
+    #[test]
+    fn cannot_redefine_builtin() {
+        let e = check_frag(&format!(
+            "{P}float floor(float x) {{ return x; }} void main() {{}}"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("builtin"));
+    }
+
+    #[test]
+    fn matrix_vector_products() {
+        check_vert(
+            "uniform mat4 u_mvp; attribute vec4 a_pos;\n\
+             void main() { gl_Position = u_mvp * a_pos; }",
+        )
+        .expect("mat4 * vec4");
+        assert_eq!(
+            binary_type(BinOp::Mul, &Type::Vec3, &Type::Mat3),
+            Some(Type::Vec3)
+        );
+        assert_eq!(binary_type(BinOp::Mul, &Type::Mat2, &Type::Vec3), None);
+        assert_eq!(binary_type(BinOp::Add, &Type::Mat2, &Type::Mat2), Some(Type::Mat2));
+    }
+
+    #[test]
+    fn relational_only_on_scalars() {
+        assert_eq!(
+            binary_type(BinOp::Lt, &Type::Float, &Type::Float),
+            Some(Type::Bool)
+        );
+        assert_eq!(binary_type(BinOp::Lt, &Type::Vec2, &Type::Vec2), None);
+        assert_eq!(
+            binary_type(BinOp::Eq, &Type::Vec2, &Type::Vec2),
+            Some(Type::Bool)
+        );
+    }
+
+    #[test]
+    fn const_requires_init_and_is_immutable() {
+        let e = check_frag(&format!("{P}void main() {{ const float k; }}")).unwrap_err();
+        assert!(e.message.contains("initialised"));
+        let e = check_frag(&format!(
+            "{P}void main() {{ const float k = 1.0; k = 2.0; }}"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("read-only"));
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope_allowed() {
+        check_frag(&format!(
+            "{P}void main() {{ float x = 1.0; {{ float x = 2.0; }} }}"
+        ))
+        .expect("shadowing in nested scope");
+        let e = check_frag(&format!(
+            "{P}void main() {{ float x = 1.0; float x = 2.0; }}"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("already declared"));
+    }
+
+    #[test]
+    fn array_index_static_bounds() {
+        let e = check_frag(&format!(
+            "{P}void main() {{ float a[4]; a[4] = 1.0; }}"
+        ))
+        .unwrap_err();
+        assert!(e.message.contains("out of bounds"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Source locations and spans for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range into the shader source, with line/column of the
+/// start point for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end` at the given line/column.
+    pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    /// A span from the start of `self` to the end of `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start,
+            end: other.end.max(self.end),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_line_and_col() {
+        let s = Span::new(0, 4, 3, 7);
+        assert_eq!(s.to_string(), "3:7");
+    }
+
+    #[test]
+    fn to_merges_ranges() {
+        let a = Span::new(0, 4, 1, 1);
+        let b = Span::new(6, 9, 1, 7);
+        let m = a.to(b);
+        assert_eq!((m.start, m.end), (0, 9));
+        assert_eq!((m.line, m.col), (1, 1));
+    }
+
+    #[test]
+    fn to_never_shrinks() {
+        let a = Span::new(0, 10, 1, 1);
+        let b = Span::new(2, 5, 1, 3);
+        assert_eq!(a.to(b).end, 10);
+    }
+}

@@ -1,0 +1,69 @@
+//! Swizzle-selector parsing (`.xyzw`, `.rgba`, `.stpq`).
+
+/// Parses a swizzle selector into component indices.
+///
+/// Returns `None` if the selector is empty, longer than 4, mixes character
+/// sets, or uses characters outside the three GLSL sets.
+///
+/// ```
+/// use gpes_glsl::swizzle::swizzle_indices;
+/// assert_eq!(swizzle_indices("xyz"), Some(vec![0, 1, 2]));
+/// assert_eq!(swizzle_indices("rgba"), Some(vec![0, 1, 2, 3]));
+/// assert_eq!(swizzle_indices("xr"), None); // mixed sets
+/// ```
+pub fn swizzle_indices(sel: &str) -> Option<Vec<usize>> {
+    const SETS: [&str; 3] = ["xyzw", "rgba", "stpq"];
+    if sel.is_empty() || sel.len() > 4 {
+        return None;
+    }
+    let set = SETS
+        .iter()
+        .find(|set| sel.chars().all(|c| set.contains(c)))?;
+    sel.chars().map(|c| set.find(c)).collect()
+}
+
+/// Whether a parsed swizzle may be used as an assignment target
+/// (GLSL forbids repeated components on the left-hand side).
+pub fn writable(indices: &[usize]) -> bool {
+    let mut seen = [false; 4];
+    for &i in indices {
+        if i >= 4 || seen[i] {
+            return false;
+        }
+        seen[i] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_three_sets() {
+        assert_eq!(swizzle_indices("x"), Some(vec![0]));
+        assert_eq!(swizzle_indices("wzyx"), Some(vec![3, 2, 1, 0]));
+        assert_eq!(swizzle_indices("ba"), Some(vec![2, 3]));
+        assert_eq!(swizzle_indices("stpq"), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn rejects_mixed_and_invalid() {
+        assert_eq!(swizzle_indices("xg"), None);
+        assert_eq!(swizzle_indices("abc"), None);
+        assert_eq!(swizzle_indices(""), None);
+        assert_eq!(swizzle_indices("xxxxx"), None);
+    }
+
+    #[test]
+    fn repeats_allowed_for_reads() {
+        assert_eq!(swizzle_indices("xxy"), Some(vec![0, 0, 1]));
+    }
+
+    #[test]
+    fn writability() {
+        assert!(writable(&[0, 1, 2]));
+        assert!(!writable(&[0, 0]));
+        assert!(writable(&[3]));
+    }
+}

@@ -1,0 +1,281 @@
+//! The GLSL ES 1.00 type lattice used by the checker and interpreter.
+
+use std::fmt;
+
+/// A GLSL ES type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `void` (function returns only).
+    Void,
+    /// `float`
+    Float,
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `vec2`
+    Vec2,
+    /// `vec3`
+    Vec3,
+    /// `vec4`
+    Vec4,
+    /// `ivec2`
+    IVec2,
+    /// `ivec3`
+    IVec3,
+    /// `ivec4`
+    IVec4,
+    /// `bvec2`
+    BVec2,
+    /// `bvec3`
+    BVec3,
+    /// `bvec4`
+    BVec4,
+    /// `mat2` (2×2, column-major)
+    Mat2,
+    /// `mat3`
+    Mat3,
+    /// `mat4`
+    Mat4,
+    /// `sampler2D`
+    Sampler2D,
+    /// Fixed-size array, e.g. `float[8]`.
+    Array(Box<Type>, usize),
+}
+
+/// Scalar component categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scalar {
+    /// `float` components.
+    Float,
+    /// `int` components.
+    Int,
+    /// `bool` components.
+    Bool,
+}
+
+impl Type {
+    /// Number of scalar components for scalars/vectors/matrices
+    /// (`mat3` → 9). `None` for `void`, samplers and arrays.
+    pub fn component_count(&self) -> Option<usize> {
+        Some(match self {
+            Type::Float | Type::Int | Type::Bool => 1,
+            Type::Vec2 | Type::IVec2 | Type::BVec2 => 2,
+            Type::Vec3 | Type::IVec3 | Type::BVec3 => 3,
+            Type::Vec4 | Type::IVec4 | Type::BVec4 => 4,
+            Type::Mat2 => 4,
+            Type::Mat3 => 9,
+            Type::Mat4 => 16,
+            Type::Void | Type::Sampler2D | Type::Array(..) => return None,
+        })
+    }
+
+    /// The scalar category of the components, if any.
+    pub fn scalar(&self) -> Option<Scalar> {
+        Some(match self {
+            Type::Float | Type::Vec2 | Type::Vec3 | Type::Vec4 | Type::Mat2 | Type::Mat3
+            | Type::Mat4 => Scalar::Float,
+            Type::Int | Type::IVec2 | Type::IVec3 | Type::IVec4 => Scalar::Int,
+            Type::Bool | Type::BVec2 | Type::BVec3 | Type::BVec4 => Scalar::Bool,
+            Type::Void | Type::Sampler2D | Type::Array(..) => return None,
+        })
+    }
+
+    /// True for `float`, `int`, `bool`.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Float | Type::Int | Type::Bool)
+    }
+
+    /// True for `vecN`, `ivecN`, `bvecN`.
+    pub fn is_vector(&self) -> bool {
+        matches!(
+            self,
+            Type::Vec2
+                | Type::Vec3
+                | Type::Vec4
+                | Type::IVec2
+                | Type::IVec3
+                | Type::IVec4
+                | Type::BVec2
+                | Type::BVec3
+                | Type::BVec4
+        )
+    }
+
+    /// True for `mat2/3/4`.
+    pub fn is_matrix(&self) -> bool {
+        matches!(self, Type::Mat2 | Type::Mat3 | Type::Mat4)
+    }
+
+    /// Vector dimension (2, 3 or 4) or matrix column count.
+    pub fn dim(&self) -> Option<usize> {
+        Some(match self {
+            Type::Vec2 | Type::IVec2 | Type::BVec2 | Type::Mat2 => 2,
+            Type::Vec3 | Type::IVec3 | Type::BVec3 | Type::Mat3 => 3,
+            Type::Vec4 | Type::IVec4 | Type::BVec4 | Type::Mat4 => 4,
+            _ => return None,
+        })
+    }
+
+    /// The vector type with the given scalar category and dimension
+    /// (dimension 1 yields the scalar type itself).
+    pub fn vector_of(scalar: Scalar, dim: usize) -> Option<Type> {
+        Some(match (scalar, dim) {
+            (Scalar::Float, 1) => Type::Float,
+            (Scalar::Float, 2) => Type::Vec2,
+            (Scalar::Float, 3) => Type::Vec3,
+            (Scalar::Float, 4) => Type::Vec4,
+            (Scalar::Int, 1) => Type::Int,
+            (Scalar::Int, 2) => Type::IVec2,
+            (Scalar::Int, 3) => Type::IVec3,
+            (Scalar::Int, 4) => Type::IVec4,
+            (Scalar::Bool, 1) => Type::Bool,
+            (Scalar::Bool, 2) => Type::BVec2,
+            (Scalar::Bool, 3) => Type::BVec3,
+            (Scalar::Bool, 4) => Type::BVec4,
+            _ => return None,
+        })
+    }
+
+    /// The type produced by indexing this type with `[]`.
+    pub fn index_result(&self) -> Option<Type> {
+        Some(match self {
+            Type::Vec2 | Type::Vec3 | Type::Vec4 => Type::Float,
+            Type::IVec2 | Type::IVec3 | Type::IVec4 => Type::Int,
+            Type::BVec2 | Type::BVec3 | Type::BVec4 => Type::Bool,
+            Type::Mat2 => Type::Vec2,
+            Type::Mat3 => Type::Vec3,
+            Type::Mat4 => Type::Vec4,
+            Type::Array(elem, _) => (**elem).clone(),
+            _ => return None,
+        })
+    }
+
+    /// Whether values of this type may be `varying` (float-based only,
+    /// per the GLSL ES 1.00 specification).
+    pub fn valid_varying(&self) -> bool {
+        matches!(
+            self,
+            Type::Float | Type::Vec2 | Type::Vec3 | Type::Vec4 | Type::Mat2 | Type::Mat3
+                | Type::Mat4
+        )
+    }
+
+    /// Whether values of this type may be an `attribute`.
+    pub fn valid_attribute(&self) -> bool {
+        matches!(
+            self,
+            Type::Float | Type::Vec2 | Type::Vec3 | Type::Vec4 | Type::Mat2 | Type::Mat3
+                | Type::Mat4
+        )
+    }
+
+    /// The GLSL spelling of the type (arrays render as `elem[n]`).
+    pub fn glsl_name(&self) -> String {
+        match self {
+            Type::Void => "void".into(),
+            Type::Float => "float".into(),
+            Type::Int => "int".into(),
+            Type::Bool => "bool".into(),
+            Type::Vec2 => "vec2".into(),
+            Type::Vec3 => "vec3".into(),
+            Type::Vec4 => "vec4".into(),
+            Type::IVec2 => "ivec2".into(),
+            Type::IVec3 => "ivec3".into(),
+            Type::IVec4 => "ivec4".into(),
+            Type::BVec2 => "bvec2".into(),
+            Type::BVec3 => "bvec3".into(),
+            Type::BVec4 => "bvec4".into(),
+            Type::Mat2 => "mat2".into(),
+            Type::Mat3 => "mat3".into(),
+            Type::Mat4 => "mat4".into(),
+            Type::Sampler2D => "sampler2D".into(),
+            Type::Array(elem, n) => format!("{}[{n}]", elem.glsl_name()),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.glsl_name())
+    }
+}
+
+/// Precision qualifiers. Stored for fidelity; the interpreter's float model
+/// decides how (or whether) they affect arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// `lowp`
+    Low,
+    /// `mediump`
+    Medium,
+    /// `highp`
+    High,
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::Low => f.write_str("lowp"),
+            Precision::Medium => f.write_str("mediump"),
+            Precision::High => f.write_str("highp"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_counts() {
+        assert_eq!(Type::Float.component_count(), Some(1));
+        assert_eq!(Type::Vec3.component_count(), Some(3));
+        assert_eq!(Type::Mat4.component_count(), Some(16));
+        assert_eq!(Type::Sampler2D.component_count(), None);
+        assert_eq!(Type::Array(Box::new(Type::Float), 4).component_count(), None);
+    }
+
+    #[test]
+    fn vector_of_round_trips_dim_and_scalar() {
+        for scalar in [Scalar::Float, Scalar::Int, Scalar::Bool] {
+            for dim in 2..=4 {
+                let t = Type::vector_of(scalar, dim).expect("valid vector");
+                assert_eq!(t.dim(), Some(dim));
+                assert_eq!(t.scalar(), Some(scalar));
+            }
+        }
+        assert_eq!(Type::vector_of(Scalar::Float, 5), None);
+    }
+
+    #[test]
+    fn index_results() {
+        assert_eq!(Type::Vec4.index_result(), Some(Type::Float));
+        assert_eq!(Type::IVec2.index_result(), Some(Type::Int));
+        assert_eq!(Type::Mat3.index_result(), Some(Type::Vec3));
+        assert_eq!(
+            Type::Array(Box::new(Type::Vec2), 3).index_result(),
+            Some(Type::Vec2)
+        );
+        assert_eq!(Type::Float.index_result(), None);
+    }
+
+    #[test]
+    fn varying_rules_are_float_based() {
+        assert!(Type::Vec4.valid_varying());
+        assert!(Type::Mat3.valid_varying());
+        assert!(!Type::Int.valid_varying());
+        assert!(!Type::BVec2.valid_varying());
+        assert!(!Type::Sampler2D.valid_varying());
+    }
+
+    #[test]
+    fn glsl_names() {
+        assert_eq!(Type::Vec4.glsl_name(), "vec4");
+        assert_eq!(
+            Type::Array(Box::new(Type::Mat2), 8).glsl_name(),
+            "mat2[8]"
+        );
+        assert_eq!(Type::Sampler2D.to_string(), "sampler2D");
+    }
+}

@@ -1,0 +1,366 @@
+//! Runtime values for the interpreter.
+
+use crate::types::{Scalar, Type};
+use std::fmt;
+
+/// A dynamically-typed GLSL value.
+///
+/// Matrices are stored column-major, as in GLSL: `Mat3([c0, c1, c2])` where
+/// each column is `[x, y, z]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `float`
+    Float(f32),
+    /// `int`
+    Int(i32),
+    /// `bool`
+    Bool(bool),
+    /// `vec2`
+    Vec2([f32; 2]),
+    /// `vec3`
+    Vec3([f32; 3]),
+    /// `vec4`
+    Vec4([f32; 4]),
+    /// `ivec2`
+    IVec2([i32; 2]),
+    /// `ivec3`
+    IVec3([i32; 3]),
+    /// `ivec4`
+    IVec4([i32; 4]),
+    /// `bvec2`
+    BVec2([bool; 2]),
+    /// `bvec3`
+    BVec3([bool; 3]),
+    /// `bvec4`
+    BVec4([bool; 4]),
+    /// `mat2`, column-major
+    Mat2([[f32; 2]; 2]),
+    /// `mat3`, column-major
+    Mat3([[f32; 3]; 3]),
+    /// `mat4`, column-major
+    Mat4([[f32; 4]; 4]),
+    /// `sampler2D` — bound texture unit index.
+    Sampler(u32),
+    /// Fixed-size array.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// The GLSL type of this value.
+    pub fn ty(&self) -> Type {
+        match self {
+            Value::Float(_) => Type::Float,
+            Value::Int(_) => Type::Int,
+            Value::Bool(_) => Type::Bool,
+            Value::Vec2(_) => Type::Vec2,
+            Value::Vec3(_) => Type::Vec3,
+            Value::Vec4(_) => Type::Vec4,
+            Value::IVec2(_) => Type::IVec2,
+            Value::IVec3(_) => Type::IVec3,
+            Value::IVec4(_) => Type::IVec4,
+            Value::BVec2(_) => Type::BVec2,
+            Value::BVec3(_) => Type::BVec3,
+            Value::BVec4(_) => Type::BVec4,
+            Value::Mat2(_) => Type::Mat2,
+            Value::Mat3(_) => Type::Mat3,
+            Value::Mat4(_) => Type::Mat4,
+            Value::Sampler(_) => Type::Sampler2D,
+            Value::Array(elems) => {
+                let elem_ty = elems.first().map(Value::ty).unwrap_or(Type::Float);
+                Type::Array(Box::new(elem_ty), elems.len())
+            }
+        }
+    }
+
+    /// The zero/default value of a type (samplers default to unit 0).
+    pub fn zero_of(ty: &Type) -> Value {
+        match ty {
+            Type::Void => Value::Float(0.0), // never read
+            Type::Float => Value::Float(0.0),
+            Type::Int => Value::Int(0),
+            Type::Bool => Value::Bool(false),
+            Type::Vec2 => Value::Vec2([0.0; 2]),
+            Type::Vec3 => Value::Vec3([0.0; 3]),
+            Type::Vec4 => Value::Vec4([0.0; 4]),
+            Type::IVec2 => Value::IVec2([0; 2]),
+            Type::IVec3 => Value::IVec3([0; 3]),
+            Type::IVec4 => Value::IVec4([0; 4]),
+            Type::BVec2 => Value::BVec2([false; 2]),
+            Type::BVec3 => Value::BVec3([false; 3]),
+            Type::BVec4 => Value::BVec4([false; 4]),
+            Type::Mat2 => Value::Mat2([[0.0; 2]; 2]),
+            Type::Mat3 => Value::Mat3([[0.0; 3]; 3]),
+            Type::Mat4 => Value::Mat4([[0.0; 4]; 4]),
+            Type::Sampler2D => Value::Sampler(0),
+            Type::Array(elem, n) => Value::Array(vec![Value::zero_of(elem); *n]),
+        }
+    }
+
+    /// Flattens float-based values to a component list
+    /// (matrices column-major). `None` for samplers/arrays/non-float.
+    pub fn float_components(&self) -> Option<Vec<f32>> {
+        Some(match self {
+            Value::Float(v) => vec![*v],
+            Value::Vec2(v) => v.to_vec(),
+            Value::Vec3(v) => v.to_vec(),
+            Value::Vec4(v) => v.to_vec(),
+            Value::Mat2(m) => m.iter().flatten().copied().collect(),
+            Value::Mat3(m) => m.iter().flatten().copied().collect(),
+            Value::Mat4(m) => m.iter().flatten().copied().collect(),
+            _ => return None,
+        })
+    }
+
+    /// All scalar components converted to `f32` (ints and bools included).
+    /// Used by constructors, which accept mixed component sources.
+    pub fn numeric_components(&self) -> Option<Vec<f32>> {
+        Some(match self {
+            Value::Float(v) => vec![*v],
+            Value::Int(v) => vec![*v as f32],
+            Value::Bool(v) => vec![*v as i32 as f32],
+            Value::Vec2(v) => v.to_vec(),
+            Value::Vec3(v) => v.to_vec(),
+            Value::Vec4(v) => v.to_vec(),
+            Value::IVec2(v) => v.iter().map(|&x| x as f32).collect(),
+            Value::IVec3(v) => v.iter().map(|&x| x as f32).collect(),
+            Value::IVec4(v) => v.iter().map(|&x| x as f32).collect(),
+            Value::BVec2(v) => v.iter().map(|&x| x as i32 as f32).collect(),
+            Value::BVec3(v) => v.iter().map(|&x| x as i32 as f32).collect(),
+            Value::BVec4(v) => v.iter().map(|&x| x as i32 as f32).collect(),
+            Value::Mat2(m) => m.iter().flatten().copied().collect(),
+            Value::Mat3(m) => m.iter().flatten().copied().collect(),
+            Value::Mat4(m) => m.iter().flatten().copied().collect(),
+            Value::Sampler(_) | Value::Array(_) => return None,
+        })
+    }
+
+    /// Builds a float-scalar-category value from components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalar`/`dim` do not name a constructible type or the
+    /// component count does not match (callers validate first).
+    pub fn from_components(scalar: Scalar, comps: &[f32]) -> Value {
+        match (scalar, comps.len()) {
+            (Scalar::Float, 1) => Value::Float(comps[0]),
+            (Scalar::Float, 2) => Value::Vec2([comps[0], comps[1]]),
+            (Scalar::Float, 3) => Value::Vec3([comps[0], comps[1], comps[2]]),
+            (Scalar::Float, 4) => Value::Vec4([comps[0], comps[1], comps[2], comps[3]]),
+            (Scalar::Int, 1) => Value::Int(comps[0] as i32),
+            (Scalar::Int, 2) => Value::IVec2([comps[0] as i32, comps[1] as i32]),
+            (Scalar::Int, 3) => Value::IVec3([comps[0] as i32, comps[1] as i32, comps[2] as i32]),
+            (Scalar::Int, 4) => Value::IVec4([
+                comps[0] as i32,
+                comps[1] as i32,
+                comps[2] as i32,
+                comps[3] as i32,
+            ]),
+            (Scalar::Bool, 1) => Value::Bool(comps[0] != 0.0),
+            (Scalar::Bool, 2) => Value::BVec2([comps[0] != 0.0, comps[1] != 0.0]),
+            (Scalar::Bool, 3) => {
+                Value::BVec3([comps[0] != 0.0, comps[1] != 0.0, comps[2] != 0.0])
+            }
+            (Scalar::Bool, 4) => Value::BVec4([
+                comps[0] != 0.0,
+                comps[1] != 0.0,
+                comps[2] != 0.0,
+                comps[3] != 0.0,
+            ]),
+            (s, n) => panic!("cannot build value of scalar {s:?} with {n} components"),
+        }
+    }
+
+    /// Reads component `i` of a vector as an `f32`-convertible scalar value.
+    pub fn component(&self, i: usize) -> Option<Value> {
+        match self {
+            Value::Vec2(v) => v.get(i).map(|&x| Value::Float(x)),
+            Value::Vec3(v) => v.get(i).map(|&x| Value::Float(x)),
+            Value::Vec4(v) => v.get(i).map(|&x| Value::Float(x)),
+            Value::IVec2(v) => v.get(i).map(|&x| Value::Int(x)),
+            Value::IVec3(v) => v.get(i).map(|&x| Value::Int(x)),
+            Value::IVec4(v) => v.get(i).map(|&x| Value::Int(x)),
+            Value::BVec2(v) => v.get(i).map(|&x| Value::Bool(x)),
+            Value::BVec3(v) => v.get(i).map(|&x| Value::Bool(x)),
+            Value::BVec4(v) => v.get(i).map(|&x| Value::Bool(x)),
+            _ => None,
+        }
+    }
+
+    /// Writes component `i` of a vector. Returns `false` on kind/index
+    /// mismatch.
+    pub fn set_component(&mut self, i: usize, v: &Value) -> bool {
+        match (self, v) {
+            (Value::Vec2(a), Value::Float(x)) if i < 2 => a[i] = *x,
+            (Value::Vec3(a), Value::Float(x)) if i < 3 => a[i] = *x,
+            (Value::Vec4(a), Value::Float(x)) if i < 4 => a[i] = *x,
+            (Value::IVec2(a), Value::Int(x)) if i < 2 => a[i] = *x,
+            (Value::IVec3(a), Value::Int(x)) if i < 3 => a[i] = *x,
+            (Value::IVec4(a), Value::Int(x)) if i < 4 => a[i] = *x,
+            (Value::BVec2(a), Value::Bool(x)) if i < 2 => a[i] = *x,
+            (Value::BVec3(a), Value::Bool(x)) if i < 3 => a[i] = *x,
+            (Value::BVec4(a), Value::Bool(x)) if i < 4 => a[i] = *x,
+            _ => return false,
+        }
+        true
+    }
+
+    /// Extracts an `f32` if this is a `float`.
+    pub fn as_f32(&self) -> Option<f32> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts an `i32` if this is an `int`.
+    pub fn as_i32(&self) -> Option<i32> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `bool` if this is a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `vec4` as an array.
+    pub fn as_vec4(&self) -> Option<[f32; 4]> {
+        match self {
+            Value::Vec4(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `vec2` as an array.
+    pub fn as_vec2(&self) -> Option<[f32; 2]> {
+        match self {
+            Value::Vec2(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Sampler(u) => write!(f, "sampler2D(unit={u})"),
+            other => {
+                let ty = other.ty();
+                match other.numeric_components() {
+                    Some(comps) => {
+                        write!(f, "{ty}(")?;
+                        for (i, c) in comps.iter().enumerate() {
+                            if i > 0 {
+                                f.write_str(", ")?;
+                            }
+                            write!(f, "{c}")?;
+                        }
+                        f.write_str(")")
+                    }
+                    None => write!(f, "{ty}(…)"),
+                }
+            }
+        }
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<[f32; 2]> for Value {
+    fn from(v: [f32; 2]) -> Self {
+        Value::Vec2(v)
+    }
+}
+
+impl From<[f32; 3]> for Value {
+    fn from(v: [f32; 3]) -> Self {
+        Value::Vec3(v)
+    }
+}
+
+impl From<[f32; 4]> for Value {
+    fn from(v: [f32; 4]) -> Self {
+        Value::Vec4(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_of_matches_type() {
+        for ty in [
+            Type::Float,
+            Type::Int,
+            Type::Bool,
+            Type::Vec3,
+            Type::IVec4,
+            Type::BVec2,
+            Type::Mat3,
+            Type::Array(Box::new(Type::Vec2), 5),
+        ] {
+            assert_eq!(Value::zero_of(&ty).ty(), ty);
+        }
+    }
+
+    #[test]
+    fn component_read_write() {
+        let mut v = Value::Vec3([1.0, 2.0, 3.0]);
+        assert_eq!(v.component(1), Some(Value::Float(2.0)));
+        assert!(v.set_component(1, &Value::Float(9.0)));
+        assert_eq!(v, Value::Vec3([1.0, 9.0, 3.0]));
+        assert!(!v.set_component(3, &Value::Float(0.0)));
+        assert!(!v.set_component(0, &Value::Int(1)));
+    }
+
+    #[test]
+    fn matrix_components_are_column_major() {
+        let m = Value::Mat2([[1.0, 2.0], [3.0, 4.0]]);
+        assert_eq!(m.float_components(), Some(vec![1.0, 2.0, 3.0, 4.0]));
+    }
+
+    #[test]
+    fn from_components_builds_ivec() {
+        let v = Value::from_components(Scalar::Int, &[1.9, -2.1, 3.0]);
+        // GLSL int() truncates toward zero.
+        assert_eq!(v, Value::IVec3([1, -2, 3]));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Float(1.5).to_string(), "1.5");
+        assert_eq!(Value::Vec2([1.0, 2.0]).to_string(), "vec2(1, 2)");
+        assert_eq!(Value::Sampler(3).to_string(), "sampler2D(unit=3)");
+    }
+
+    #[test]
+    fn numeric_components_of_bools() {
+        let v = Value::BVec2([true, false]);
+        assert_eq!(v.numeric_components(), Some(vec![1.0, 0.0]));
+    }
+}

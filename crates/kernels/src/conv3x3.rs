@@ -1,0 +1,179 @@
+//! 3×3 convolution on `u8` images — image processing is the workload
+//! class GLES2 GPUs were built for, here expressed through the same
+//! GPGPU framework (the "native byte" path of §IV-A).
+
+use gpes_core::{codec, ComputeContext, ComputeError, GpuMatrix, Kernel, PackBias, ScalarType};
+use gpes_perf::CpuWorkload;
+
+/// A 3×3 filter with a normalising divisor: `out = Σ wᵢ·pᵢ / divisor`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Filter3x3 {
+    /// Row-major weights.
+    pub weights: [f32; 9],
+    /// Divisor applied after the weighted sum.
+    pub divisor: f32,
+}
+
+impl Filter3x3 {
+    /// Box blur.
+    pub fn box_blur() -> Filter3x3 {
+        Filter3x3 {
+            weights: [1.0; 9],
+            divisor: 9.0,
+        }
+    }
+
+    /// Sharpen.
+    pub fn sharpen() -> Filter3x3 {
+        Filter3x3 {
+            weights: [0.0, -1.0, 0.0, -1.0, 5.0, -1.0, 0.0, -1.0, 0.0],
+            divisor: 1.0,
+        }
+    }
+
+    /// Horizontal Sobel edge detector (output clamps at 0 for negatives).
+    pub fn sobel_x() -> Filter3x3 {
+        Filter3x3 {
+            weights: [-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0],
+            divisor: 1.0,
+        }
+    }
+}
+
+/// Builds the convolution kernel over a `u8` image (clamp-to-edge
+/// borders).
+///
+/// # Errors
+///
+/// Build/compile errors from the framework.
+pub fn build(
+    cc: &mut ComputeContext,
+    image: &GpuMatrix<u8>,
+    filter: &Filter3x3,
+) -> Result<Kernel, ComputeError> {
+    let mut terms = String::new();
+    for dy in 0..3 {
+        for dx in 0..3 {
+            let w = filter.weights[dy * 3 + dx];
+            if w == 0.0 {
+                continue;
+            }
+            terms.push_str(&format!(
+                "acc += fetch_img_rc(row + ({dy_off:.1}), col + ({dx_off:.1})) * ({w:.6});\n",
+                dy_off = dy as f32 - 1.0,
+                dx_off = dx as f32 - 1.0,
+            ));
+        }
+    }
+    let body = format!(
+        "float acc = 0.0;\n{terms}return acc / ({divisor:.6});",
+        divisor = filter.divisor
+    );
+    Kernel::builder("conv3x3")
+        .input_matrix("img", image)
+        .output_grid(ScalarType::U8, image.rows(), image.cols())
+        .body(body)
+        .build(cc)
+}
+
+/// CPU reference with the same clamp-to-edge borders and accumulation
+/// order; the final value goes through the same pack-bias + eq. (2)
+/// store semantics as the shader (`bias` must match the context's).
+pub fn cpu_reference(
+    rows: usize,
+    cols: usize,
+    image: &[u8],
+    filter: &Filter3x3,
+    bias: PackBias,
+) -> Vec<u8> {
+    let mut out = vec![0u8; rows * cols];
+    let fetch = |r: i64, c: i64| -> f32 {
+        let r = r.clamp(0, rows as i64 - 1) as usize;
+        let c = c.clamp(0, cols as i64 - 1) as usize;
+        image[r * cols + c] as f32
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut acc = 0.0f32;
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    let w = filter.weights[dy * 3 + dx];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    acc += fetch(r as i64 + dy as i64 - 1, c as i64 + dx as i64 - 1) * w;
+                }
+            }
+            let v = acc / filter.divisor;
+            out[r * cols + c] = codec::ubyte::mirror_pack(v, bias);
+        }
+    }
+    out
+}
+
+/// Modelled ARM1176 workload for a `rows × cols` convolution (9 taps).
+pub fn cpu_workload(rows: usize, cols: usize) -> CpuWorkload {
+    let n = (rows * cols) as f64;
+    CpuWorkload {
+        fp_ops: 18.0 * n, // 9 multiply + 9 add
+        loads: 9.0 * n,
+        stores: n,
+        iterations: 9.0 * n,
+        cache_misses: 3.0 * n / 32.0, // byte elements, rows revisited
+        ..CpuWorkload::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    fn run_filter(rows: u32, cols: u32, filter: Filter3x3, seed: u64) {
+        let image = data::random_u8((rows * cols) as usize, seed, 255);
+        let mut cc = ComputeContext::new(64, 64).expect("context");
+        let gm = cc.upload_matrix(rows, cols, &image).expect("upload");
+        let k = build(&mut cc, &gm, &filter).expect("kernel");
+        let gpu: Vec<u8> = cc.run_and_read(&k).expect("run");
+        let cpu = cpu_reference(
+            rows as usize,
+            cols as usize,
+            &image,
+            &filter,
+            PackBias::default(),
+        );
+        assert_eq!(gpu, cpu, "{filter:?}");
+    }
+
+    #[test]
+    fn box_blur_matches_cpu() {
+        run_filter(12, 17, Filter3x3::box_blur(), 61);
+    }
+
+    #[test]
+    fn sharpen_matches_cpu() {
+        run_filter(9, 9, Filter3x3::sharpen(), 62);
+    }
+
+    #[test]
+    fn sobel_clamps_negatives_to_zero() {
+        run_filter(8, 8, Filter3x3::sobel_x(), 63);
+        // A flat image has zero gradient.
+        let image = vec![100u8; 16];
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let gm = cc.upload_matrix(4, 4, &image).expect("upload");
+        let k = build(&mut cc, &gm, &Filter3x3::sobel_x()).expect("kernel");
+        let gpu: Vec<u8> = cc.run_and_read(&k).expect("run");
+        assert!(gpu.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn blur_preserves_constant_images() {
+        let image = vec![77u8; 25];
+        let mut cc = ComputeContext::new(8, 8).expect("context");
+        let gm = cc.upload_matrix(5, 5, &image).expect("upload");
+        let k = build(&mut cc, &gm, &Filter3x3::box_blur()).expect("kernel");
+        let gpu: Vec<u8> = cc.run_and_read(&k).expect("run");
+        assert!(gpu.iter().all(|&v| v == 77), "{gpu:?}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Deterministic pseudo-random workload generation ("random-value
+//! elements", §V) with seeds fixed so every run and test is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform `f32` values in `[-range, range]`.
+pub fn random_f32(n: usize, seed: u64, range: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-range..=range)).collect()
+}
+
+/// Uniform `u32` values in `[0, max]` (keep `max ≤ 2²³` so sums stay in
+/// the 24-bit-exact window of §IV-C).
+pub fn random_u32(n: usize, seed: u64, max: u32) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..=max)).collect()
+}
+
+/// Uniform `i32` values in `[-max, max]`.
+pub fn random_i32(n: usize, seed: u64, max: i32) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-max..=max)).collect()
+}
+
+/// Uniform `u8` values in `[0, max]`.
+pub fn random_u8(n: usize, seed: u64, max: u8) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..=max)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(random_f32(8, 7, 1.0), random_f32(8, 7, 1.0));
+        assert_ne!(random_f32(8, 7, 1.0), random_f32(8, 8, 1.0));
+        assert_eq!(random_u32(5, 1, 100), random_u32(5, 1, 100));
+    }
+
+    #[test]
+    fn ranges_respected() {
+        for v in random_f32(1000, 3, 2.5) {
+            assert!((-2.5..=2.5).contains(&v));
+        }
+        for v in random_u32(1000, 3, 999) {
+            assert!(v <= 999);
+        }
+        for v in random_i32(1000, 3, 50) {
+            assert!((-50..=50).contains(&v));
+        }
+        for v in random_u8(1000, 3, 100) {
+            assert!(v <= 100);
+        }
+    }
+}

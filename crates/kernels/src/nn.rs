@@ -1,0 +1,105 @@
+//! Nearest-neighbour distance computation (Rodinia `nn`-style): the
+//! distance from every (lat, lng) record to a query point. The paper
+//! argues (§III-8) that Rodinia's kernels fit the single-output model —
+//! this and [`crate::hotspot`] back that claim with runnable evidence.
+
+use gpes_core::{ComputeContext, ComputeError, GpuArray, Kernel, ScalarType};
+use gpes_perf::CpuWorkload;
+
+/// Builds the distance kernel.
+///
+/// # Errors
+///
+/// Build/compile errors from the framework.
+pub fn build(
+    cc: &mut ComputeContext,
+    lat: &GpuArray<f32>,
+    lng: &GpuArray<f32>,
+    query: [f32; 2],
+) -> Result<Kernel, ComputeError> {
+    Kernel::builder("nn_distance")
+        .input("lat", lat)
+        .input("lng", lng)
+        .uniform_vec2("query", query)
+        .output(ScalarType::F32, lat.len())
+        .body(
+            "float dx = fetch_lat(idx) - query.x;\n\
+             float dy = fetch_lng(idx) - query.y;\n\
+             return sqrt(dx * dx + dy * dy);",
+        )
+        .build(cc)
+}
+
+/// CPU reference (same op order).
+pub fn cpu_reference(lat: &[f32], lng: &[f32], query: [f32; 2]) -> Vec<f32> {
+    lat.iter()
+        .zip(lng)
+        .map(|(&la, &ln)| {
+            let dx = la - query[0];
+            let dy = ln - query[1];
+            (dx * dx + dy * dy).sqrt()
+        })
+        .collect()
+}
+
+/// Finds the index of the closest record on the CPU (the host-side
+/// argmin over GPU-computed distances, as the Rodinia benchmark does).
+pub fn argmin(distances: &[f32]) -> Option<usize> {
+    distances
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+}
+
+/// Modelled ARM1176 workload.
+pub fn cpu_workload(n: usize) -> CpuWorkload {
+    let n = n as f64;
+    CpuWorkload {
+        fp_ops: 6.0 * n, // 2 subs, 2 muls, 1 add, 1 sqrt (weighted as one op)
+        loads: 2.0 * n,
+        stores: n,
+        iterations: n,
+        cache_misses: 3.0 * n / 8.0,
+        ..CpuWorkload::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn distances_match_cpu() {
+        let n = 150;
+        let lat = data::random_f32(n, 71, 90.0);
+        let lng = data::random_f32(n, 72, 180.0);
+        let query = [12.5f32, -45.0];
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let glat = cc.upload(&lat).expect("lat");
+        let glng = cc.upload(&lng).expect("lng");
+        let k = build(&mut cc, &glat, &glng, query).expect("kernel");
+        let gpu = cc.run_f32(&k).expect("run");
+        let cpu = cpu_reference(&lat, &lng, query);
+        assert_eq!(gpu, cpu);
+    }
+
+    #[test]
+    fn nearest_record_found() {
+        let lat = vec![10.0f32, 20.0, 30.0];
+        let lng = vec![10.0f32, 20.0, 30.0];
+        let mut cc = ComputeContext::new(8, 8).expect("context");
+        let glat = cc.upload(&lat).expect("lat");
+        let glng = cc.upload(&lng).expect("lng");
+        let k = build(&mut cc, &glat, &glng, [21.0, 19.0]).expect("kernel");
+        let gpu = cc.run_f32(&k).expect("run");
+        assert_eq!(argmin(&gpu), Some(1));
+    }
+
+    #[test]
+    fn argmin_handles_empty_and_ties() {
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmin(&[1.0, 0.5, 0.5]), Some(1)); // first of the tie
+    }
+}

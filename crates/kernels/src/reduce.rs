@@ -1,0 +1,178 @@
+//! Multi-pass parallel reduction (sum / max) — the canonical GPGPU
+//! pattern that exercises render-to-texture chaining (workaround #7).
+//!
+//! Each pass folds `FANIN` consecutive elements into one output element;
+//! passes repeat until a single element remains, which is read back
+//! through the framebuffer.
+
+use gpes_core::{ComputeContext, ComputeError, GpuArray, Kernel, ScalarType};
+
+/// Elements folded per output per pass.
+pub const FANIN: usize = 8;
+
+/// The reduction operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum of elements.
+    Sum,
+    /// Maximum element.
+    Max,
+}
+
+impl ReduceOp {
+    fn init_glsl(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "0.0",
+            // Kernel inputs are finite; the most negative finite float is
+            // a safe identity for max without needing -inf literals.
+            ReduceOp::Max => "-3.4028234e38",
+        }
+    }
+
+    fn combine_glsl(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "acc = acc + v;",
+            ReduceOp::Max => "acc = max(acc, v);",
+        }
+    }
+
+    fn combine_cpu(self, acc: f32, v: f32) -> f32 {
+        match self {
+            ReduceOp::Sum => acc + v,
+            ReduceOp::Max => acc.max(v),
+        }
+    }
+
+    fn init_cpu(self) -> f32 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => -3.402_823_4e38,
+        }
+    }
+}
+
+fn pass_kernel(
+    cc: &mut ComputeContext,
+    input: &GpuArray<f32>,
+    op: ReduceOp,
+    out_len: usize,
+) -> Result<Kernel, ComputeError> {
+    let body = format!(
+        "float acc = {init};\n\
+         for (int k = 0; k < {fanin}; k++) {{\n\
+         \x20   float j = idx * {fanin}.0 + float(k);\n\
+         \x20   if (j < n_live) {{\n\
+         \x20       float v = fetch_x(j);\n\
+         \x20       {combine}\n\
+         \x20   }}\n\
+         }}\n\
+         return acc;",
+        init = op.init_glsl(),
+        fanin = FANIN,
+        combine = op.combine_glsl(),
+    );
+    Kernel::builder(format!("reduce_{op:?}"))
+        .input("x", input)
+        .uniform_f32("n_live", input.len() as f32)
+        .output(ScalarType::F32, out_len)
+        .body(body)
+        .build(cc)
+}
+
+/// Reduces an f32 array on the GPU, returning the scalar result.
+///
+/// Runs ⌈log_FANIN n⌉ passes; intermediate arrays render to textures, and
+/// only the final single-element pass is read back.
+///
+/// # Errors
+///
+/// Build/run errors from the framework.
+pub fn gpu_reduce(
+    cc: &mut ComputeContext,
+    input: &GpuArray<f32>,
+    op: ReduceOp,
+) -> Result<f32, ComputeError> {
+    let mut current = *input;
+    let mut owned: Vec<GpuArray<f32>> = Vec::new();
+    while current.len() > 1 {
+        let out_len = current.len().div_ceil(FANIN);
+        let kernel = pass_kernel(cc, &current, op, out_len)?;
+        let next: GpuArray<f32> = cc.run_to_array(&kernel)?;
+        owned.push(next);
+        current = next;
+    }
+    let result = cc.read_array(&current, gpes_core::Readback::DirectFbo)?;
+    for array in owned {
+        cc.delete_array(array);
+    }
+    Ok(result[0])
+}
+
+/// CPU reference: fold in exactly the same tree order as the GPU passes
+/// so f32 sums agree bit-for-bit under the exact float model.
+pub fn cpu_reference(data: &[f32], op: ReduceOp) -> f32 {
+    let mut level: Vec<f32> = data.to_vec();
+    while level.len() > 1 {
+        level = level
+            .chunks(FANIN)
+            .map(|chunk| {
+                let mut acc = op.init_cpu();
+                for &v in chunk {
+                    acc = op.combine_cpu(acc, v);
+                }
+                acc
+            })
+            .collect();
+    }
+    level[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn sum_reduction_matches_tree_order() {
+        let n = 1000;
+        let values = data::random_f32(n, 51, 10.0);
+        let mut cc = ComputeContext::new(64, 64).expect("context");
+        let arr = cc.upload(&values).expect("upload");
+        let gpu = gpu_reduce(&mut cc, &arr, ReduceOp::Sum).expect("reduce");
+        assert_eq!(gpu, cpu_reference(&values, ReduceOp::Sum));
+        // 1000 → 125 → 16 → 2 → 1: four passes.
+        assert_eq!(cc.pass_log().len(), 4);
+    }
+
+    #[test]
+    fn max_reduction() {
+        let values = data::random_f32(333, 52, 1.0e6);
+        let mut cc = ComputeContext::new(32, 32).expect("context");
+        let arr = cc.upload(&values).expect("upload");
+        let gpu = gpu_reduce(&mut cc, &arr, ReduceOp::Max).expect("reduce");
+        let expected = values.iter().cloned().fold(f32::MIN, f32::max);
+        assert_eq!(gpu, expected);
+    }
+
+    #[test]
+    fn single_element_is_identity() {
+        let mut cc = ComputeContext::new(8, 8).expect("context");
+        let arr = cc.upload(&[42.5f32]).expect("upload");
+        assert_eq!(
+            gpu_reduce(&mut cc, &arr, ReduceOp::Sum).expect("reduce"),
+            42.5
+        );
+        assert!(cc.pass_log().is_empty(), "no kernel pass needed");
+    }
+
+    #[test]
+    fn negative_values_max() {
+        let values = vec![-5.0f32, -2.5, -9.0];
+        let mut cc = ComputeContext::new(8, 8).expect("context");
+        let arr = cc.upload(&values).expect("upload");
+        assert_eq!(
+            gpu_reduce(&mut cc, &arr, ReduceOp::Max).expect("reduce"),
+            -2.5
+        );
+    }
+}

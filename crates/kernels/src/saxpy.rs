@@ -1,0 +1,72 @@
+//! `saxpy`: `y ← α·x + y`, the BLAS level-1 staple.
+
+use gpes_core::{ComputeContext, ComputeError, GpuArray, Kernel, ScalarType};
+use gpes_perf::CpuWorkload;
+
+/// Builds the saxpy kernel.
+///
+/// # Errors
+///
+/// Build/compile errors from the framework.
+pub fn build(
+    cc: &mut ComputeContext,
+    x: &GpuArray<f32>,
+    y: &GpuArray<f32>,
+    alpha: f32,
+) -> Result<Kernel, ComputeError> {
+    Kernel::builder("saxpy")
+        .input("x", x)
+        .input("y", y)
+        .uniform_f32("alpha", alpha)
+        .output(ScalarType::F32, x.len())
+        .body("return alpha * fetch_x(idx) + fetch_y(idx);")
+        .build(cc)
+}
+
+/// CPU reference (same op order as the shader).
+pub fn cpu_reference(x: &[f32], y: &[f32], alpha: f32) -> Vec<f32> {
+    x.iter().zip(y).map(|(&xv, &yv)| alpha * xv + yv).collect()
+}
+
+/// Modelled ARM1176 workload.
+pub fn cpu_workload(n: usize) -> CpuWorkload {
+    let n = n as f64;
+    CpuWorkload {
+        fp_ops: 2.0 * n,
+        loads: 2.0 * n,
+        stores: n,
+        iterations: n,
+        cache_misses: 3.0 * n / 8.0,
+        ..CpuWorkload::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn gpu_matches_cpu_bit_exactly() {
+        let n = 200;
+        let x = data::random_f32(n, 41, 100.0);
+        let y = data::random_f32(n, 42, 100.0);
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let gx = cc.upload(&x).expect("x");
+        let gy = cc.upload(&y).expect("y");
+        let k = build(&mut cc, &gx, &gy, 2.5).expect("kernel");
+        assert_eq!(cc.run_f32(&k).expect("run"), cpu_reference(&x, &y, 2.5));
+    }
+
+    #[test]
+    fn alpha_update_via_uniform() {
+        let mut cc = ComputeContext::new(8, 8).expect("context");
+        let gx = cc.upload(&[1.0f32, 2.0]).expect("x");
+        let gy = cc.upload(&[10.0f32, 20.0]).expect("y");
+        let k = build(&mut cc, &gx, &gy, 1.0).expect("kernel");
+        assert_eq!(cc.run_f32(&k).expect("run"), vec![11.0, 22.0]);
+        cc.set_kernel_uniform(&k, "alpha", gpes_glsl::Value::Float(-1.0))
+            .expect("uniform");
+        assert_eq!(cc.run_f32(&k).expect("run"), vec![9.0, 18.0]);
+    }
+}

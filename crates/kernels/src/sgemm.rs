@@ -1,0 +1,225 @@
+//! The paper's second benchmark (§V): `sgemm` — single-precision general
+//! matrix multiply, `C ← α·A·B + β·C`, plus the integer configuration.
+
+use gpes_core::{ComputeContext, ComputeError, GpuMatrix, Kernel, ScalarType};
+use gpes_perf::CpuWorkload;
+
+fn gemm_body(k_dim: u32, with_alpha_beta: bool) -> String {
+    let tail = if with_alpha_beta {
+        "return alpha * acc + beta * fetch_c_rc(row, col);"
+    } else {
+        "return acc;"
+    };
+    format!(
+        "float acc = 0.0;\n\
+         for (int k = 0; k < {k_dim}; k++) {{\n\
+         \x20   acc += fetch_a_rc(row, float(k)) * fetch_b_rc(float(k), col);\n\
+         }}\n\
+         {tail}"
+    )
+}
+
+/// Builds the `f32` sgemm kernel: `C ← α·A·B + β·C` with `A: m×k`,
+/// `B: k×n`, `C: m×n`.
+///
+/// # Errors
+///
+/// `BadKernel` on dimension mismatches; build/compile errors.
+pub fn build_f32(
+    cc: &mut ComputeContext,
+    a: &GpuMatrix<f32>,
+    b: &GpuMatrix<f32>,
+    c: &GpuMatrix<f32>,
+    alpha: f32,
+    beta: f32,
+) -> Result<Kernel, ComputeError> {
+    if a.cols() != b.rows() || a.rows() != c.rows() || b.cols() != c.cols() {
+        return Err(ComputeError::BadKernel {
+            message: format!(
+                "sgemm dimension mismatch: A {}x{}, B {}x{}, C {}x{}",
+                a.rows(),
+                a.cols(),
+                b.rows(),
+                b.cols(),
+                c.rows(),
+                c.cols()
+            ),
+        });
+    }
+    Kernel::builder("sgemm_f32")
+        .input_matrix("a", a)
+        .input_matrix("b", b)
+        .input_matrix("c", c)
+        .uniform_f32("alpha", alpha)
+        .uniform_f32("beta", beta)
+        .output_grid(ScalarType::F32, c.rows(), c.cols())
+        .body(gemm_body(a.cols(), true))
+        .build(cc)
+}
+
+/// Builds the integer gemm kernel: `C ← A·B` over `i32` (24-bit-exact
+/// domain; α/β omitted to stay within it).
+///
+/// # Errors
+///
+/// `BadKernel` on dimension mismatches; build/compile errors.
+pub fn build_i32(
+    cc: &mut ComputeContext,
+    a: &GpuMatrix<i32>,
+    b: &GpuMatrix<i32>,
+) -> Result<Kernel, ComputeError> {
+    if a.cols() != b.rows() {
+        return Err(ComputeError::BadKernel {
+            message: format!(
+                "gemm dimension mismatch: A {}x{}, B {}x{}",
+                a.rows(),
+                a.cols(),
+                b.rows(),
+                b.cols()
+            ),
+        });
+    }
+    Kernel::builder("gemm_i32")
+        .input_matrix("a", a)
+        .input_matrix("b", b)
+        .output_grid(ScalarType::I32, a.rows(), b.cols())
+        .body(gemm_body(a.cols(), false))
+        .build(cc)
+}
+
+/// CPU reference for `f32` sgemm, accumulating in the same order as the
+/// shader (k ascending) so results are bit-identical under the exact
+/// float model.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS sgemm signature
+pub fn cpu_reference_f32(
+    m: usize,
+    k_dim: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &[f32],
+    alpha: f32,
+    beta: f32,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k_dim {
+                acc += a[i * k_dim + p] * b[p * n + j];
+            }
+            out[i * n + j] = alpha * acc + beta * c[i * n + j];
+        }
+    }
+    out
+}
+
+/// CPU reference for the integer configuration (`C = A·B`).
+pub fn cpu_reference_i32(m: usize, k_dim: usize, n: usize, a: &[i32], b: &[i32]) -> Vec<i32> {
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i64;
+            for p in 0..k_dim {
+                acc += a[i * k_dim + p] as i64 * b[p * n + j] as i64;
+            }
+            out[i * n + j] = acc as i32;
+        }
+    }
+    out
+}
+
+/// Modelled ARM1176 workload for square `size × size` gemm.
+///
+/// Inner loop: 2 loads, a multiply-accumulate (2 ops), loop overhead.
+/// `B` is walked column-wise → one miss per iteration once `size`
+/// exceeds the 16 KB L1; `A` row-wise → 1 miss per 8 elements.
+pub fn cpu_workload(size: usize, float: bool) -> CpuWorkload {
+    let n3 = (size * size * size) as f64;
+    let b_miss_rate = if size * 4 * 8 > 16 * 1024 { 1.0 } else { 0.0 };
+    let ops = 2.0 * n3;
+    CpuWorkload {
+        int_ops: if float { 0.0 } else { ops },
+        fp_ops: if float { ops } else { 0.0 },
+        loads: 2.0 * n3,
+        stores: (size * size) as f64,
+        iterations: n3,
+        cache_misses: n3 * (b_miss_rate + 1.0 / 8.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn f32_sgemm_matches_cpu_bit_exactly() {
+        let (m, k, n) = (8usize, 8usize, 8usize);
+        let a = data::random_f32(m * k, 11, 4.0);
+        let b = data::random_f32(k * n, 12, 4.0);
+        let c = data::random_f32(m * n, 13, 4.0);
+        let (alpha, beta) = (1.5f32, -0.5f32);
+
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let ga = cc.upload_matrix(m as u32, k as u32, &a).expect("a");
+        let gb = cc.upload_matrix(k as u32, n as u32, &b).expect("b");
+        let gc = cc.upload_matrix(m as u32, n as u32, &c).expect("c");
+        let kernel = build_f32(&mut cc, &ga, &gb, &gc, alpha, beta).expect("kernel");
+        let gpu = cc.run_f32(&kernel).expect("run");
+        let cpu = cpu_reference_f32(m, k, n, &a, &b, &c, alpha, beta);
+        assert_eq!(gpu, cpu, "same accumulation order must be bit-exact");
+    }
+
+    #[test]
+    fn i32_gemm_matches_cpu() {
+        let (m, k, n) = (6usize, 5usize, 7usize);
+        // Keep products and sums within ±2^24.
+        let a = data::random_i32(m * k, 21, 200);
+        let b = data::random_i32(k * n, 22, 200);
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let ga = cc.upload_matrix(m as u32, k as u32, &a).expect("a");
+        let gb = cc.upload_matrix(k as u32, n as u32, &b).expect("b");
+        let kernel = build_i32(&mut cc, &ga, &gb).expect("kernel");
+        let gpu: Vec<i32> = cc.run_and_read(&kernel).expect("run");
+        assert_eq!(gpu, cpu_reference_i32(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn non_square_dimensions() {
+        let (m, k, n) = (3usize, 9usize, 4usize);
+        let a = data::random_f32(m * k, 31, 2.0);
+        let b = data::random_f32(k * n, 32, 2.0);
+        let c = vec![0.0f32; m * n];
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let ga = cc.upload_matrix(m as u32, k as u32, &a).expect("a");
+        let gb = cc.upload_matrix(k as u32, n as u32, &b).expect("b");
+        let gc = cc.upload_matrix(m as u32, n as u32, &c).expect("c");
+        let kernel = build_f32(&mut cc, &ga, &gb, &gc, 1.0, 0.0).expect("kernel");
+        let gpu = cc.run_f32(&kernel).expect("run");
+        assert_eq!(gpu, cpu_reference_f32(m, k, n, &a, &b, &c, 1.0, 0.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let ga = cc.upload_matrix(2, 3, &[0.0f32; 6]).expect("a");
+        let gb = cc.upload_matrix(4, 2, &[0.0f32; 8]).expect("b"); // 3 != 4
+        let gc = cc.upload_matrix(2, 2, &[0.0f32; 4]).expect("c");
+        let err = build_f32(&mut cc, &ga, &gb, &gc, 1.0, 0.0).unwrap_err();
+        assert!(err.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn workload_counts_cube() {
+        let w = cpu_workload(64, true);
+        assert_eq!(w.fp_ops, 2.0 * 64.0f64.powi(3));
+        assert_eq!(w.int_ops, 0.0);
+        let w = cpu_workload(64, false);
+        assert_eq!(w.int_ops, 2.0 * 64.0f64.powi(3));
+        // Large sizes are B-miss dominated.
+        let small = cpu_workload(16, true);
+        let large = cpu_workload(1024, true);
+        assert!(large.cache_misses / large.iterations > small.cache_misses / small.iterations);
+    }
+}

@@ -1,0 +1,269 @@
+//! Speckle-reducing anisotropic diffusion (Rodinia `srad`-style), reduced
+//! to its two-kernel core.
+//!
+//! SRAD's GPU form is the textbook example of the paper's §III-8 rule:
+//! the algorithm wants *two* values per cell per iteration (a diffusion
+//! coefficient and the updated image), so on a single-output fragment
+//! pipeline it splits into two chained kernels:
+//!
+//! 1. `coeff`: `c = 1 / (1 + (q² − q0²) / (q0²·(1 + q0²)))` from the
+//!    local gradient/Laplacian statistics, clamped to `[0, 1]`;
+//! 2. `update`: `J' = J + λ/4 · div(c · ∇J)` using the coefficient field.
+//!
+//! Boundaries clamp to edge, exactly as the texture sampler does.
+
+use gpes_core::{ComputeContext, ComputeError, GpuMatrix, Kernel, ScalarType};
+use gpes_perf::CpuWorkload;
+
+/// Diffusion parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SradParams {
+    /// Time step λ.
+    pub lambda: f32,
+    /// Homogeneity scale q0² (from the noise statistics of the image).
+    pub q0sq: f32,
+}
+
+impl Default for SradParams {
+    fn default() -> Self {
+        SradParams {
+            lambda: 0.5,
+            q0sq: 0.05,
+        }
+    }
+}
+
+/// Builds kernel 1: the diffusion-coefficient field.
+///
+/// # Errors
+///
+/// Build/compile errors from the framework.
+pub fn build_coeff(
+    cc: &mut ComputeContext,
+    image: &GpuMatrix<f32>,
+    params: SradParams,
+) -> Result<Kernel, ComputeError> {
+    Kernel::builder("srad_coeff")
+        .input_matrix("j", image)
+        .uniform_f32("q0sq", params.q0sq)
+        .output_grid(ScalarType::F32, image.rows(), image.cols())
+        .body(
+            "float jc = fetch_j_rc(row, col);\n\
+             float jn = fetch_j_rc(row - 1.0, col);\n\
+             float js = fetch_j_rc(row + 1.0, col);\n\
+             float jw = fetch_j_rc(row, col - 1.0);\n\
+             float je = fetch_j_rc(row, col + 1.0);\n\
+             float dn = jn - jc;\n\
+             float ds = js - jc;\n\
+             float dw = jw - jc;\n\
+             float de = je - jc;\n\
+             float g2 = (dn*dn + ds*ds + dw*dw + de*de) / (jc*jc);\n\
+             float l = (dn + ds + dw + de) / jc;\n\
+             float num = 0.5*g2 - 0.0625*(l*l);\n\
+             float den = 1.0 + 0.25*l;\n\
+             float qsq = num / (den*den);\n\
+             float c = 1.0 / (1.0 + (qsq - q0sq) / (q0sq * (1.0 + q0sq)));\n\
+             return clamp(c, 0.0, 1.0);",
+        )
+        .build(cc)
+}
+
+/// Builds kernel 2: the image update from the coefficient field.
+///
+/// # Errors
+///
+/// `BadKernel` when grids disagree; build/compile errors.
+pub fn build_update(
+    cc: &mut ComputeContext,
+    image: &GpuMatrix<f32>,
+    coeff: &GpuMatrix<f32>,
+    params: SradParams,
+) -> Result<Kernel, ComputeError> {
+    if image.rows() != coeff.rows() || image.cols() != coeff.cols() {
+        return Err(ComputeError::BadKernel {
+            message: "image and coefficient grids must have equal dimensions".into(),
+        });
+    }
+    Kernel::builder("srad_update")
+        .input_matrix("j", image)
+        .input_matrix("c", coeff)
+        .uniform_f32("lambda", params.lambda)
+        .output_grid(ScalarType::F32, image.rows(), image.cols())
+        .body(
+            "float jc = fetch_j_rc(row, col);\n\
+             float cc = fetch_c_rc(row, col);\n\
+             float cs = fetch_c_rc(row + 1.0, col);\n\
+             float ce = fetch_c_rc(row, col + 1.0);\n\
+             float dn = fetch_j_rc(row - 1.0, col) - jc;\n\
+             float ds = fetch_j_rc(row + 1.0, col) - jc;\n\
+             float dw = fetch_j_rc(row, col - 1.0) - jc;\n\
+             float de = fetch_j_rc(row, col + 1.0) - jc;\n\
+             float div = cc*dn + cs*ds + cc*dw + ce*de;\n\
+             return jc + 0.25 * lambda * div;",
+        )
+        .build(cc)
+}
+
+/// Runs `iterations` of the two-kernel chain on the GPU.
+///
+/// # Errors
+///
+/// Upload/build/run errors from the framework.
+pub fn run_gpu(
+    cc: &mut ComputeContext,
+    rows: usize,
+    cols: usize,
+    image: &[f32],
+    params: SradParams,
+    iterations: usize,
+) -> Result<Vec<f32>, ComputeError> {
+    assert_eq!(image.len(), rows * cols, "image must be rows x cols");
+    let mut j = cc.upload_matrix(rows as u32, cols as u32, image)?;
+    for _ in 0..iterations {
+        let kc = build_coeff(cc, &j, params)?;
+        let carr: gpes_core::GpuArray<f32> = cc.run_to_array(&kc)?;
+        let cmat = carr.as_matrix(rows as u32, cols as u32)?;
+        let ku = build_update(cc, &j, &cmat, params)?;
+        let next: gpes_core::GpuArray<f32> = cc.run_to_array(&ku)?;
+        cc.delete_matrix(j);
+        cc.delete_array(carr);
+        j = next.as_matrix(rows as u32, cols as u32)?;
+    }
+    cc.read_array(&j.as_array(), gpes_core::Readback::DirectFbo)
+}
+
+/// CPU reference for `iterations` steps with identical clamping and
+/// operation order.
+pub fn cpu_reference(
+    rows: usize,
+    cols: usize,
+    image: &[f32],
+    params: SradParams,
+    iterations: usize,
+) -> Vec<f32> {
+    let mut j: Vec<f32> = image.to_vec();
+    let at = |v: &[f32], r: i64, c: i64| -> f32 {
+        let r = r.clamp(0, rows as i64 - 1) as usize;
+        let c = c.clamp(0, cols as i64 - 1) as usize;
+        v[r * cols + c]
+    };
+    for _ in 0..iterations {
+        let mut cfield = vec![0.0f32; rows * cols];
+        for r in 0..rows as i64 {
+            for c in 0..cols as i64 {
+                let jc = at(&j, r, c);
+                let dn = at(&j, r - 1, c) - jc;
+                let ds = at(&j, r + 1, c) - jc;
+                let dw = at(&j, r, c - 1) - jc;
+                let de = at(&j, r, c + 1) - jc;
+                let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc);
+                let l = (dn + ds + dw + de) / jc;
+                let num = 0.5 * g2 - 0.0625 * (l * l);
+                let den = 1.0 + 0.25 * l;
+                let qsq = num / (den * den);
+                let cval = 1.0 / (1.0 + (qsq - params.q0sq) / (params.q0sq * (1.0 + params.q0sq)));
+                cfield[(r * cols as i64 + c) as usize] = cval.clamp(0.0, 1.0);
+            }
+        }
+        let mut next = vec![0.0f32; rows * cols];
+        for r in 0..rows as i64 {
+            for c in 0..cols as i64 {
+                let jc = at(&j, r, c);
+                let ccv = at(&cfield, r, c);
+                let cs = at(&cfield, r + 1, c);
+                let ce = at(&cfield, r, c + 1);
+                let dn = at(&j, r - 1, c) - jc;
+                let ds = at(&j, r + 1, c) - jc;
+                let dw = at(&j, r, c - 1) - jc;
+                let de = at(&j, r, c + 1) - jc;
+                let div = ccv * dn + cs * ds + ccv * dw + ce * de;
+                next[(r * cols as i64 + c) as usize] = jc + 0.25 * params.lambda * div;
+            }
+        }
+        j = next;
+    }
+    j
+}
+
+/// Modelled ARM1176 workload for one iteration.
+pub fn cpu_workload(rows: usize, cols: usize) -> CpuWorkload {
+    let n = (rows * cols) as f64;
+    CpuWorkload {
+        fp_ops: 40.0 * n,
+        loads: 12.0 * n,
+        stores: 2.0 * n,
+        iterations: 2.0 * n,
+        cache_misses: n / 2.0,
+        ..CpuWorkload::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    fn speckled_image(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+        // Positive, away from zero (SRAD divides by the intensity).
+        data::random_f32(rows * cols, seed, 50.0)
+            .into_iter()
+            .map(|v| v.abs() + 10.0)
+            .collect()
+    }
+
+    #[test]
+    fn one_iteration_matches_cpu() {
+        let (rows, cols) = (9usize, 7usize);
+        let img = speckled_image(rows, cols, 71);
+        let mut cc = ComputeContext::new(32, 32).expect("context");
+        let gpu = run_gpu(&mut cc, rows, cols, &img, SradParams::default(), 1).expect("run");
+        let cpu = cpu_reference(rows, cols, &img, SradParams::default(), 1);
+        assert_eq!(gpu, cpu);
+        // Two kernels per iteration — the §III-8 split.
+        assert_eq!(cc.pass_log().len(), 2);
+    }
+
+    #[test]
+    fn three_iterations_match_cpu() {
+        let (rows, cols) = (6usize, 6usize);
+        let img = speckled_image(rows, cols, 72);
+        let mut cc = ComputeContext::new(32, 32).expect("context");
+        let gpu = run_gpu(&mut cc, rows, cols, &img, SradParams::default(), 3).expect("run");
+        let cpu = cpu_reference(rows, cols, &img, SradParams::default(), 3);
+        assert_eq!(gpu, cpu);
+        assert_eq!(cc.pass_log().len(), 6);
+    }
+
+    #[test]
+    fn diffusion_smooths_speckle() {
+        let (rows, cols) = (8usize, 8usize);
+        let img = speckled_image(rows, cols, 73);
+        let out = cpu_reference(rows, cols, &img, SradParams::default(), 5);
+        let variance = |v: &[f32]| {
+            let mean = v.iter().sum::<f32>() / v.len() as f32;
+            v.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / v.len() as f32
+        };
+        assert!(
+            variance(&out) < variance(&img),
+            "diffusion must reduce variance: {} vs {}",
+            variance(&out),
+            variance(&img)
+        );
+    }
+
+    #[test]
+    fn uniform_image_is_a_fixed_point() {
+        let (rows, cols) = (5usize, 5usize);
+        let img = vec![42.0f32; rows * cols];
+        let out = cpu_reference(rows, cols, &img, SradParams::default(), 4);
+        assert!(out.iter().all(|&v| (v - 42.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn mismatched_grids_rejected() {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let j = cc.upload_matrix(4, 4, &[1.0f32; 16]).expect("j");
+        let c = cc.upload_matrix(4, 5, &[1.0f32; 20]).expect("c");
+        assert!(build_update(&mut cc, &j, &c, SradParams::default()).is_err());
+    }
+}

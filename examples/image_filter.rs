@@ -1,0 +1,66 @@
+//! Image processing through the GPGPU framework: the native-byte path
+//! (§IV-A) running 3×3 filters over a procedurally generated image.
+//!
+//! ```text
+//! cargo run --example image_filter
+//! ```
+
+use gpes::kernels::conv3x3::{self, Filter3x3};
+use gpes::prelude::*;
+
+const W: u32 = 48;
+const H: u32 = 16;
+
+fn render(label: &str, pixels: &[u8]) {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    println!("{label}:");
+    for row in (0..H as usize).rev() {
+        let line: String = (0..W as usize)
+            .map(|col| {
+                let v = pixels[row * W as usize + col] as usize;
+                RAMP[v * (RAMP.len() - 1) / 255] as char
+            })
+            .collect();
+        println!("  {line}");
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A procedural "photo": two blobs on a gradient.
+    let mut image = vec![0u8; (W * H) as usize];
+    for y in 0..H as i32 {
+        for x in 0..W as i32 {
+            let blob = |cx: i32, cy: i32, r: f32| -> f32 {
+                let d2 = ((x - cx).pow(2) + (y - cy).pow(2)) as f32;
+                (255.0 * (-d2 / (r * r)).exp()).min(255.0)
+            };
+            let gradient = x as f32 / W as f32 * 60.0;
+            let v = (blob(12, 8, 5.0) + blob(34, 6, 4.0) + gradient).min(255.0);
+            image[(y * W as i32 + x) as usize] = v as u8;
+        }
+    }
+    render("input", &image);
+
+    let mut cc = ComputeContext::new(64, 64)?;
+    let gm = cc.upload_matrix(H, W, &image)?;
+
+    for (name, filter) in [
+        ("box blur", Filter3x3::box_blur()),
+        ("sharpen", Filter3x3::sharpen()),
+        ("sobel x", Filter3x3::sobel_x()),
+    ] {
+        let kernel = conv3x3::build(&mut cc, &gm, &filter)?;
+        let gpu: Vec<u8> = cc.run_and_read(&kernel)?;
+        let cpu = conv3x3::cpu_reference(
+            H as usize,
+            W as usize,
+            &image,
+            &filter,
+            cc.pack_bias(),
+        );
+        assert_eq!(gpu, cpu, "{name} must match the CPU reference");
+        println!();
+        render(name, &gpu);
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: element-wise `a + b` on the simulated GLES2 GPU.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use gpes::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A compute context whose default framebuffer ("screen") is 64x64 —
+    // final results are read back through it, as ES 2 requires.
+    let mut cc = ComputeContext::new(64, 64)?;
+
+    let a: Vec<f32> = (0..16).map(|i| i as f32).collect();
+    let b: Vec<f32> = (0..16).map(|i| (i * 100) as f32).collect();
+
+    // Upload: each f32 becomes 4 texel bytes with the paper's §IV-E
+    // sign/exponent rotation.
+    let ga = cc.upload(&a)?;
+    let gb = cc.upload(&b)?;
+
+    // A kernel is a GLSL ES 1.00 fragment program; the framework adds the
+    // codec library, fetch helpers and output packing around your body.
+    let kernel = Kernel::builder("add")
+        .input("a", &ga)
+        .input("b", &gb)
+        .output(ScalarType::F32, a.len())
+        .body("return fetch_a(idx) + fetch_b(idx);")
+        .build(&mut cc)?;
+
+    let result = cc.run_f32(&kernel)?;
+    println!("a + b = {result:?}");
+    assert_eq!(result, (0..16).map(|i| (i * 101) as f32).collect::<Vec<_>>());
+
+    // The generated fragment shader is plain GLSL ES 1.00 — paste it into
+    // a real GLES2 app unchanged.
+    println!("\n--- generated fragment shader ---");
+    for line in kernel.fragment_source().lines().take(12) {
+        println!("{line}");
+    }
+    println!("… ({} lines total)", kernel.fragment_source().lines().count());
+
+    let stats = cc.pass_log().last().expect("one pass ran").stats;
+    println!("\nfragments shaded: {}", stats.fragments_shaded);
+    println!(
+        "fragment ops: {} ALU, {} SFU, {} texture fetches",
+        stats.fs_profile.alu_ops, stats.fs_profile.sfu_ops, stats.fs_profile.tex_fetches
+    );
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! The §III-8 claim as a runnable demonstration: "most GPGPU kernels
+//! provide a single output. In fact all benchmarks of Rodinia suite fit
+//! in these two cases" (single-output, or split into one kernel per
+//! output).
+//!
+//! Runs the whole Rodinia-style suite through the framework, validates
+//! every kernel against its CPU reference, and reports how each one maps
+//! onto the single-output fragment model.
+//!
+//! ```text
+//! cargo run --release --example rodinia_suite
+//! ```
+
+use gpes::kernels::{backprop, data, gaussian, hotspot, kmeans, nn, pathfinder, srad};
+use gpes::prelude::*;
+
+struct SuiteRow {
+    name: &'static str,
+    mapping: &'static str,
+    passes: usize,
+    fragments: u64,
+    validated: bool,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rows = Vec::new();
+
+    // nn — one output per record: the single-output case.
+    {
+        let mut cc = ComputeContext::new(64, 64)?;
+        let n = 1500;
+        let lat = data::random_f32(n, 1, 90.0);
+        let lng = data::random_f32(n, 2, 180.0);
+        let ga = cc.upload(&lat)?;
+        let gb = cc.upload(&lng)?;
+        let k = nn::build(&mut cc, &ga, &gb, [12.0, -7.5])?;
+        let gpu = cc.run_f32(&k)?;
+        let validated = gpu == nn::cpu_reference(&lat, &lng, [12.0, -7.5]);
+        rows.push(finish(&mut cc, "nn", "single output", validated));
+    }
+
+    // hotspot — one temperature per cell, iterated: single output chained.
+    {
+        let mut cc = ComputeContext::new(64, 64)?;
+        let (r, c) = (24usize, 24usize);
+        let t = data::random_f32(r * c, 3, 80.0);
+        let p = data::random_f32(r * c, 4, 5.0);
+        let gt = cc.upload_matrix(r as u32, c as u32, &t)?;
+        let gp = cc.upload_matrix(r as u32, c as u32, &p)?;
+        let k = hotspot::build(&mut cc, &gt, &gp, hotspot::HotspotParams::default())?;
+        let gpu = cc.run_f32(&k)?;
+        let validated = gpu == hotspot::cpu_reference(r, c, &t, &p, hotspot::HotspotParams::default());
+        rows.push(finish(&mut cc, "hotspot", "single output, chained", validated));
+    }
+
+    // pathfinder — DP row sweep: single output per row, chained passes.
+    {
+        let mut cc = ComputeContext::new(64, 64)?;
+        let (r, c) = (12usize, 48usize);
+        let wall: Vec<f32> = data::random_f32(r * c, 5, 9.0).into_iter().map(f32::abs).collect();
+        let gpu = pathfinder::run_gpu(&mut cc, r, c, &wall)?;
+        let validated = gpu == pathfinder::cpu_reference(r, c, &wall);
+        rows.push(finish(&mut cc, "pathfinder", "single output, chained", validated));
+    }
+
+    // srad — wants coefficient AND image per step: the split case.
+    {
+        let mut cc = ComputeContext::new(64, 64)?;
+        let (r, c) = (16usize, 16usize);
+        let img: Vec<f32> = data::random_f32(r * c, 6, 40.0)
+            .into_iter()
+            .map(|v| v.abs() + 10.0)
+            .collect();
+        let gpu = srad::run_gpu(&mut cc, r, c, &img, srad::SradParams::default(), 2)?;
+        let validated = gpu == srad::cpu_reference(r, c, &img, srad::SradParams::default(), 2);
+        rows.push(finish(&mut cc, "srad", "SPLIT: 2 kernels/step (§III-8)", validated));
+    }
+
+    // kmeans — assignment is single-output (u8 indices); the reduction
+    // half stays on the CPU, as the paper's model favours.
+    {
+        let mut cc = ComputeContext::new(64, 64)?;
+        let points: Vec<(f32, f32)> = data::random_f32(800, 7, 30.0)
+            .into_iter()
+            .zip(data::random_f32(800, 8, 30.0))
+            .collect();
+        let centroids = vec![(-20.0, -20.0), (0.0, 0.0), (20.0, 20.0), (30.0, -10.0)];
+        let gpu = kmeans::run_gpu(&mut cc, &points, &centroids)?;
+        let validated = gpu == kmeans::cpu_reference(&points, &centroids);
+        rows.push(finish(&mut cc, "kmeans", "single output (u8 argmin)", validated));
+    }
+
+    // gaussian — Fan1 (multipliers) + Fan2 (update): the split case,
+    // chained over elimination columns.
+    {
+        let mut cc = ComputeContext::new(64, 64)?;
+        let n = 12;
+        let mut a = data::random_f32(n * n, 9, 1.0);
+        for i in 0..n {
+            a[i * n + i] += n as f32 + 1.0;
+        }
+        let b = data::random_f32(n, 10, 10.0);
+        let gpu = gaussian::solve_gpu(&mut cc, n, &a, &b)?;
+        let validated = gpu == gaussian::cpu_reference(n, &a, &b)?;
+        rows.push(finish(&mut cc, "gaussian", "SPLIT: Fan1+Fan2 per column", validated));
+    }
+
+    // backprop — one neuron per fragment, one kernel per layer.
+    {
+        let mut cc = ComputeContext::new(64, 64)?;
+        let input = data::random_f32(32, 11, 1.0);
+        let layers = vec![
+            (
+                data::random_f32(32 * 16, 12, 0.25),
+                data::random_f32(16, 13, 0.1),
+                backprop::Activation::Sigmoid,
+            ),
+            (
+                data::random_f32(16 * 4, 14, 0.25),
+                data::random_f32(4, 15, 0.1),
+                backprop::Activation::Identity,
+            ),
+        ];
+        let gpu = backprop::forward_gpu(&mut cc, &input, &layers)?;
+        let cpu = backprop::cpu_reference(&input, &layers);
+        let validated = gpu
+            .iter()
+            .zip(&cpu)
+            .all(|(g, c)| (g - c).abs() <= 4.0 * f32::EPSILON * c.abs().max(1.0));
+        rows.push(finish(&mut cc, "backprop", "single output, one kernel/layer", validated));
+    }
+
+    println!("§III-8: every Rodinia-style kernel fits the single-output model");
+    println!();
+    println!(
+        "{:<12} {:<34} {:>6} {:>10}  {}",
+        "kernel", "mapping", "passes", "fragments", "validated"
+    );
+    println!("{}", "-".repeat(78));
+    let mut all_ok = true;
+    for row in &rows {
+        println!(
+            "{:<12} {:<34} {:>6} {:>10}  {}",
+            row.name,
+            row.mapping,
+            row.passes,
+            row.fragments,
+            if row.validated { "yes" } else { "NO" }
+        );
+        all_ok &= row.validated;
+    }
+    println!("{}", "-".repeat(78));
+    println!("all kernels bit-exact (or ulp-bounded for exp()) vs CPU: {all_ok}");
+    assert!(all_ok);
+    Ok(())
+}
+
+fn finish(cc: &mut ComputeContext, name: &'static str, mapping: &'static str, validated: bool) -> SuiteRow {
+    let log = cc.take_pass_log();
+    SuiteRow {
+        name,
+        mapping,
+        passes: log.len(),
+        fragments: log.iter().map(|p| p.stats.fragments_shaded).sum(),
+        validated,
+    }
+}

@@ -1,0 +1,53 @@
+//! # gpes — General Purpose computations on OpenGL ES 2 GPUs
+//!
+//! Umbrella crate for the reproduction of *“Towards General Purpose
+//! Computations on Low-End Mobile GPUs”* (Trompouki & Kosmidis, DATE 2016).
+//!
+//! The workspace is organised bottom-up:
+//!
+//! * [`glsl`] — a GLSL ES 1.00 subset compiler + interpreter,
+//! * [`gles2`] — a software OpenGL ES 2.0 subset (the simulated driver/GPU),
+//! * [`core`] — the paper's contribution: a GPGPU framework over ES 2,
+//! * [`perf`] — VideoCore IV / ARM1176 analytic timing models,
+//! * [`kernels`] — benchmark kernels (`sum`, `sgemm`, …) with CPU references.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gpes::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cc = ComputeContext::new(64, 64)?;
+//! let a = cc.upload(&[1.0f32, 2.0, 3.0, 4.0])?;
+//! let b = cc.upload(&[10.0f32, 20.0, 30.0, 40.0])?;
+//! let kernel = Kernel::builder("add")
+//!     .input("a", &a)
+//!     .input("b", &b)
+//!     .output(ScalarType::F32, 4)
+//!     .body("return fetch_a(idx) + fetch_b(idx);")
+//!     .build(&mut cc)?;
+//! let out = cc.run_f32(&kernel)?;
+//! assert_eq!(out, vec![11.0, 22.0, 33.0, 44.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use gpes_core as core;
+pub use gpes_gles2 as gles2;
+pub use gpes_glsl as glsl;
+pub use gpes_kernels as kernels;
+pub use gpes_perf as perf;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use gpes_core::{
+        ComputeContext, ComputeError, FloatSpecials, GpuArray, GpuMatrix, GpuTexels, Kernel,
+        KernelBuilder, MultiOutputBuilder, MultiOutputKernel, PackBias, Readback, ScalarType,
+        VertexKernel,
+    };
+    pub use gpes_gles2::{Context, Dispatch, StoreRounding};
+    pub use gpes_glsl::exec::FloatModel;
+}

@@ -1,0 +1,195 @@
+//! Full-stack integration tests: host data → codec → texture → GLSL
+//! compiler → interpreter → rasteriser → framebuffer → codec → host data,
+//! for every numeric format of §IV.
+
+use gpes::kernels::data;
+use gpes::prelude::*;
+
+#[test]
+fn every_scalar_type_round_trips_through_a_kernel() {
+    let mut cc = ComputeContext::new(64, 64).expect("context");
+
+    // f32 — identity plus arithmetic.
+    let f = data::random_f32(500, 1, 1.0e9);
+    let gf = cc.upload(&f).expect("upload f32");
+    let k = Kernel::builder("f32x2")
+        .input("x", &gf)
+        .output(ScalarType::F32, f.len())
+        .body("return fetch_x(idx) * 2.0;")
+        .build(&mut cc)
+        .expect("build");
+    let out = cc.run_f32(&k).expect("run");
+    let expect: Vec<f32> = f.iter().map(|&v| v * 2.0).collect();
+    assert_eq!(out, expect);
+
+    // u32 within the 24-bit-exact window.
+    let u = data::random_u32(500, 2, 1 << 23);
+    let gu = cc.upload(&u).expect("upload u32");
+    let k = Kernel::builder("u32inc")
+        .input("x", &gu)
+        .output(ScalarType::U32, u.len())
+        .body("return fetch_x(idx) + 1.0;")
+        .build(&mut cc)
+        .expect("build");
+    let out: Vec<u32> = cc.run_and_read(&k).expect("run");
+    let expect: Vec<u32> = u.iter().map(|&v| v + 1).collect();
+    assert_eq!(out, expect);
+
+    // i32 crossing zero.
+    let i = data::random_i32(500, 3, 1 << 22);
+    let gi = cc.upload(&i).expect("upload i32");
+    let k = Kernel::builder("i32neg")
+        .input("x", &gi)
+        .output(ScalarType::I32, i.len())
+        .body("return -fetch_x(idx);")
+        .build(&mut cc)
+        .expect("build");
+    let out: Vec<i32> = cc.run_and_read(&k).expect("run");
+    let expect: Vec<i32> = i.iter().map(|&v| -v).collect();
+    assert_eq!(out, expect);
+
+    // u8 saturating-style arithmetic.
+    let b = data::random_u8(500, 4, 200);
+    let gb = cc.upload(&b).expect("upload u8");
+    let k = Kernel::builder("u8half")
+        .input("x", &gb)
+        .output(ScalarType::U8, b.len())
+        .body("return floor(fetch_x(idx) * 0.5);")
+        .build(&mut cc)
+        .expect("build");
+    let out: Vec<u8> = cc.run_and_read(&k).expect("run");
+    let expect: Vec<u8> = b.iter().map(|&v| v / 2).collect();
+    assert_eq!(out, expect);
+
+    // i8 sign handling.
+    let s: Vec<i8> = (-128..=127).collect();
+    let gs = cc.upload(&s).expect("upload i8");
+    let k = Kernel::builder("i8id")
+        .input("x", &gs)
+        .output(ScalarType::I8, s.len())
+        .body("return fetch_x(idx);")
+        .build(&mut cc)
+        .expect("build");
+    let out: Vec<i8> = cc.run_and_read(&k).expect("run");
+    assert_eq!(out, s);
+}
+
+#[test]
+fn float_specials_survive_the_full_stack() {
+    let mut cc = ComputeContext::new(16, 16).expect("context");
+    let values = vec![
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        0.0,
+        -0.0,
+        1.0e-40, // subnormal
+        f32::NAN,
+        1.5,
+    ];
+    let arr = cc.upload(&values).expect("upload");
+    let k = Kernel::builder("specials")
+        .input("x", &arr)
+        .output(ScalarType::F32, values.len())
+        .body("return fetch_x(idx);")
+        .build(&mut cc)
+        .expect("build");
+    let out = cc.run_f32(&k).expect("run");
+    assert_eq!(out[0], f32::INFINITY);
+    assert_eq!(out[1], f32::NEG_INFINITY);
+    assert_eq!(out[2].to_bits(), 0.0f32.to_bits());
+    assert_eq!(out[3].to_bits(), (-0.0f32).to_bits());
+    assert_eq!(out[4], 1.0e-40);
+    assert!(out[5].is_nan());
+    assert_eq!(out[6], 1.5);
+}
+
+#[test]
+fn multipass_chain_preserves_exactness() {
+    // Four chained passes of integer arithmetic must stay exact.
+    let mut cc = ComputeContext::new(32, 32).expect("context");
+    let v = data::random_i32(300, 5, 1 << 18);
+    let mut current = cc.upload(&v).expect("upload");
+    for step in 0..4 {
+        let k = Kernel::builder(format!("chain{step}"))
+            .input("x", &current)
+            .output(ScalarType::I32, v.len())
+            .body("return fetch_x(idx) * 2.0 + 1.0;")
+            .build(&mut cc)
+            .expect("build");
+        current = cc.run_to_array(&k).expect("run");
+    }
+    let out = cc
+        .read_array(&current, Readback::DirectFbo)
+        .expect("read");
+    let expect: Vec<i32> = v.iter().map(|&x| ((x * 2 + 1) * 2 + 1) * 2 * 2 + 2 + 1).collect();
+    // f(x) = 2x+1 applied four times: 16x + 15.
+    let expect2: Vec<i32> = v.iter().map(|&x| 16 * x + 15).collect();
+    assert_eq!(expect, expect2, "closed form check");
+    assert_eq!(out, expect2);
+}
+
+#[test]
+fn two_kernels_can_share_inputs() {
+    let mut cc = ComputeContext::new(32, 32).expect("context");
+    let v = data::random_f32(100, 6, 50.0);
+    let arr = cc.upload(&v).expect("upload");
+    let double = Kernel::builder("double")
+        .input("x", &arr)
+        .output(ScalarType::F32, v.len())
+        .body("return fetch_x(idx) * 2.0;")
+        .build(&mut cc)
+        .expect("build");
+    let square = Kernel::builder("square")
+        .input("x", &arr)
+        .output(ScalarType::F32, v.len())
+        .body("float v = fetch_x(idx); return v * v;")
+        .build(&mut cc)
+        .expect("build");
+    let d = cc.run_f32(&double).expect("run double");
+    let s = cc.run_f32(&square).expect("run square");
+    for ((&x, &dd), &ss) in v.iter().zip(&d).zip(&s) {
+        assert_eq!(dd, x * 2.0);
+        assert_eq!(ss, x * x);
+    }
+}
+
+#[test]
+fn user_functions_in_kernel_bodies() {
+    let mut cc = ComputeContext::new(16, 16).expect("context");
+    let v = vec![1.0f32, 4.0, 9.0, 16.0];
+    let arr = cc.upload(&v).expect("upload");
+    let k = Kernel::builder("helper_fn")
+        .input("x", &arr)
+        .functions(
+            "float plus_one(float v) { return v + 1.0; }\n\
+             float twice(float v) { return v * 2.0; }",
+        )
+        .output(ScalarType::F32, v.len())
+        .body("return twice(plus_one(fetch_x(idx)));")
+        .build(&mut cc)
+        .expect("build");
+    assert_eq!(
+        cc.run_f32(&k).expect("run"),
+        vec![4.0, 10.0, 20.0, 34.0]
+    );
+}
+
+#[test]
+fn gl_frag_coord_grid_addressing() {
+    // 2-D kernels address output cells through row/col (gl_FragCoord).
+    let mut cc = ComputeContext::new(16, 16).expect("context");
+    let v = vec![0.0f32; 1]; // dummy input
+    let arr = cc.upload(&v).expect("upload");
+    let k = Kernel::builder("coords")
+        .input("x", &arr)
+        .output_grid(ScalarType::F32, 4, 5)
+        .body("return row * 10.0 + col;")
+        .build(&mut cc)
+        .expect("build");
+    let out = cc.run_f32(&k).expect("run");
+    for r in 0..4usize {
+        for c in 0..5usize {
+            assert_eq!(out[r * 5 + c], (r * 10 + c) as f32);
+        }
+    }
+}

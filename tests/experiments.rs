@@ -1,0 +1,131 @@
+//! The paper's experiments as CI-checked assertions: every qualitative
+//! claim that `EXPERIMENTS.md` records must keep holding.
+
+use gpes_bench::{ablations, e1, e2, figures};
+use gpes::prelude::*;
+
+/// E1 — the §V speedup shape: the GPU wins every paper-scale
+/// configuration, and integer speedups exceed floating-point speedups.
+#[test]
+fn e1_shape_holds() {
+    // Reduced paper scale keeps the functional calibration quick in CI.
+    let rows = e1::run(1 << 18, 256).expect("e1");
+    for row in &rows {
+        assert!(row.validated, "{} output mismatch", row.label);
+        assert!(row.speedup() > 1.0, "{}", row.format());
+    }
+    let speedup = |label: &str| {
+        rows.iter()
+            .find(|r| r.label == label)
+            .map(|r| r.speedup())
+            .expect("row")
+    };
+    assert!(speedup("sum (int)") > speedup("sum (fp)"));
+    assert!(speedup("sgemm (int)") > speedup("sgemm (fp)"));
+}
+
+/// E1 — overheads dominate small problems: the GPU loses below the
+/// crossover, as any real accelerator does.
+#[test]
+fn e1_crossover_exists() {
+    let rows = e1::sum_sweep(&[512, 1 << 20]).expect("sweep");
+    assert!(rows[0].speedup() < 1.0, "{}", rows[0].format());
+    assert!(rows[1].speedup() > 1.0, "{}", rows[1].format());
+}
+
+/// E2 — the §V precision claim: exact on the CPU-equivalent model,
+/// ≈15 mantissa bits under the VideoCore-like SFU model.
+#[test]
+fn e2_precision_claims_hold() {
+    let values = gpes::kernels::data::random_f32(1024, 99, 1.0e10);
+    let exact = e2::scale_accuracy(FloatModel::Exact, &values).expect("exact");
+    assert_eq!(exact.min_bits, 23);
+    assert_eq!(exact.exact_fraction, 1.0);
+
+    let vc4 = e2::scale_accuracy(FloatModel::Vc4Sfu, &values).expect("vc4");
+    assert!(
+        (12..=19).contains(&vc4.min_bits),
+        "paper reports ≈15 bits; got {}",
+        vc4.format()
+    );
+
+    assert!(e2::host_transform_exact(&values), "CPU transforms are precise");
+}
+
+/// F1 — the pipeline trace counters stay self-consistent.
+#[test]
+fn f1_pipeline_trace() {
+    let stats = figures::pipeline_trace(321).expect("trace");
+    assert_eq!(stats.vertices_shaded, 6);
+    assert_eq!(stats.triangles_rasterized, 2);
+    // 321 elements land in an 18×18 texture: 321 live + 3 padding texels
+    // are all shaded (the viewport covers the whole output texture).
+    assert_eq!(stats.fragments_shaded, 324);
+}
+
+/// F2 — the byte layout of Figure 2.
+#[test]
+fn f2_layout_examples() {
+    assert!(figures::float_layout_row(1.0).contains("texel[00 00 00 7f]"));
+    assert!(figures::float_layout_row(-2.0).contains("texel[00 00 80 80]"));
+}
+
+/// A1/A2 — bias × rounding interaction (including the half-texel
+/// fragility under nearest stores).
+#[test]
+fn a1_bias_interaction() {
+    let rows = ablations::a1_pack_bias().expect("a1");
+    let broken: Vec<_> = rows.iter().filter(|r| r.mismatches > 0).collect();
+    assert_eq!(broken.len(), 1, "exactly one fragile configuration");
+    assert_eq!(broken[0].bias, PackBias::HalfTexel);
+}
+
+/// A4 — all readback strategies agree bit-exactly.
+#[test]
+fn a4_readback_agreement() {
+    let result = ablations::a4_readback(333).expect("a4");
+    assert!(result.all_equal);
+}
+
+/// A5 — the §VI related-work trade-offs hold on real runs: both formats
+/// compute correctly, the paper's codec keeps more exact bits and memcpy
+/// interop, the baseline packs denser.
+#[test]
+fn a5_strzodka_tradeoffs() {
+    let rows = ablations::a5_strzodka_baseline(777).expect("a5");
+    assert!(rows.iter().all(|r| r.correct));
+    let paper = &rows[0];
+    let baseline = &rows[1];
+    assert!(paper.exact_bits > baseline.exact_bits);
+    assert!(paper.memcpy_compatible && !baseline.memcpy_compatible);
+    assert!(baseline.values_per_texel == 2 * paper.values_per_texel);
+    assert!(paper.covers_float && !baseline.covers_float);
+}
+
+/// A6 — "neither enough nor portable": the fp16 extension path is both
+/// less precise than the paper's packing and not core ES 2.
+#[test]
+fn a6_half_float_claims() {
+    let rows = ablations::a6_half_float(768).expect("a6");
+    let paper_exact = &rows[0];
+    let paper_vc4 = &rows[1];
+    let fp16 = &rows[2];
+    assert_eq!(paper_exact.min_bits, 23);
+    assert!(paper_vc4.min_bits >= 12);
+    assert!(fp16.min_bits <= 10);
+    assert!(fp16.mean_bits < paper_vc4.mean_bits);
+    assert!(!fp16.core_es2);
+}
+
+/// A7 — channel packing cuts the per-value fragment work (the §V
+/// "not optimised" headroom).
+#[test]
+fn a7_packing_headroom() {
+    let rows = ablations::a7_channel_packing(1024).expect("a7");
+    assert!(rows.iter().all(|r| r.correct));
+    // u8: 4 values per fragment → ≥3x fewer invocations per value.
+    assert!(rows[1].invocations_per_value * 3.0 < rows[0].invocations_per_value);
+    // Modelled device time per value improves as well.
+    assert!(rows[1].modeled_ns_per_value < rows[0].modeled_ns_per_value);
+    assert!(rows[3].modeled_ns_per_value < rows[2].modeled_ns_per_value);
+}

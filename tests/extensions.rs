@@ -1,0 +1,297 @@
+//! Cross-crate integration tests for the framework extensions beyond the
+//! paper's §V evaluation: short codecs, the Strzodka'02 baseline, the
+//! fp16 extension path, vertex-stage compute, the GLSL preprocessor,
+//! Appendix A strict mode and chunked execution.
+
+use gpes::core::codec::strzodka16;
+use gpes::core::{chunked, vertex_compute::VertexKernel};
+use gpes::kernels::data;
+use gpes::prelude::*;
+
+#[test]
+fn short_codecs_full_stack_with_mixed_types() {
+    // u16 inputs, i32 output: codecs compose freely inside one kernel.
+    let mut cc = ComputeContext::new(32, 32).expect("context");
+    let a: Vec<u16> = (0..50).map(|i| i * 1000).collect();
+    let b: Vec<u16> = (0..50).map(|i| 65535 - i * 500).collect();
+    let ga = cc.upload(&a).expect("a");
+    let gb = cc.upload(&b).expect("b");
+    let k = Kernel::builder("diff16")
+        .input("a", &ga)
+        .input("b", &gb)
+        .output(ScalarType::I32, a.len())
+        .body("return fetch_a(idx) - fetch_b(idx);")
+        .build(&mut cc)
+        .expect("build");
+    let out: Vec<i32> = cc.run_and_read(&k).expect("run");
+    let expect: Vec<i32> = a.iter().zip(&b).map(|(&x, &y)| x as i32 - y as i32).collect();
+    assert_eq!(out, expect);
+}
+
+#[test]
+fn i16_negatives_through_luminance_alpha_textures() {
+    let mut cc = ComputeContext::new(16, 16).expect("context");
+    let v: Vec<i16> = vec![-32768, -1, 0, 1, 32767, -12345, 31415];
+    let gv = cc.upload(&v).expect("upload");
+    let k = Kernel::builder("halve")
+        .input("v", &gv)
+        .output(ScalarType::I16, v.len())
+        .body("float x = fetch_v(idx); return x - floor(x / 2.0);") // x - floor(x/2) = ceil(x/2)
+        .build(&mut cc)
+        .expect("build");
+    let out: Vec<i16> = cc.run_and_read(&k).expect("run");
+    let expect: Vec<i16> = v.iter().map(|&x| x - (x as f32 / 2.0).floor() as i16).collect();
+    assert_eq!(out, expect);
+}
+
+#[test]
+fn strzodka_virtual16_subtract_and_scale_on_gpu() {
+    let mut cc = ComputeContext::new(64, 64).expect("context");
+    let a: Vec<u16> = (0..200).map(|i| (i * 331) as u16).collect();
+    let b: Vec<u16> = (0..200).map(|i| (i * 77 + 13) as u16).collect();
+    let texels = a.len().div_ceil(2);
+    let side = (texels as f64).sqrt().ceil() as u32;
+    let texel_count = side as usize * side as usize;
+    let ta = cc
+        .upload_texels(side, side, &strzodka16::encode_texels(&a, texel_count))
+        .expect("ta");
+    let tb = cc
+        .upload_texels(side, side, &strzodka16::encode_texels(&b, texel_count))
+        .expect("tb");
+    // (3a − b) in the virtual-16 format, both lanes of every texel.
+    let k = Kernel::builder("v16_3a_minus_b")
+        .input_texels("a", &ta)
+        .input_texels("b", &tb)
+        .functions(strzodka16::GLSL)
+        .output_texels(texel_count)
+        .body(
+            "vec4 ta = fetch_a_texel(idx);\n\
+             vec4 tb = fetch_b_texel(idx);\n\
+             vec2 r0 = gpes_v16_sub(gpes_v16_scale(gpes_v16_from_bytes(ta.xy), 3.0),\n\
+                                    gpes_v16_from_bytes(tb.xy));\n\
+             vec2 r1 = gpes_v16_sub(gpes_v16_scale(gpes_v16_from_bytes(ta.zw), 3.0),\n\
+                                    gpes_v16_from_bytes(tb.zw));\n\
+             return vec4(gpes_v16_pack(r0), gpes_v16_pack(r1));",
+        )
+        .build(&mut cc)
+        .expect("build");
+    let bytes = cc.run_and_read_texels(&k).expect("run");
+    let out = strzodka16::decode_texels(&bytes, a.len());
+    let expect: Vec<u16> = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| x.wrapping_mul(3).wrapping_sub(y))
+        .collect();
+    assert_eq!(out, expect);
+}
+
+#[test]
+fn preprocessor_macros_inside_kernel_bodies() {
+    let mut cc = ComputeContext::new(16, 16).expect("context");
+    let x = cc.upload(&[1.0f32, 2.0, 3.0]).expect("x");
+    // #define travels through .functions() into the generated shader.
+    let k = Kernel::builder("macro_scale")
+        .input("x", &x)
+        .functions("#define GAIN 2.5\n#define SQ(v) ((v) * (v))\n")
+        .output(ScalarType::F32, 3)
+        .body("return SQ(fetch_x(idx)) * GAIN;")
+        .build(&mut cc)
+        .expect("build");
+    let out = cc.run_f32(&k).expect("run");
+    assert_eq!(out, vec![2.5, 10.0, 22.5]);
+}
+
+#[test]
+fn strict_driver_gates_kernel_loops() {
+    let mut cc = ComputeContext::new(16, 16).expect("context");
+    cc.gl().set_strict_shaders(true);
+    let x = cc.upload(&[1.0f32; 8]).expect("x");
+    // Constant-bound loop: fine under Appendix A.
+    let ok = Kernel::builder("const_loop")
+        .input("x", &x)
+        .output(ScalarType::F32, 8)
+        .body(
+            "float acc = 0.0;\n\
+             for (float i = 0.0; i < 8.0; i += 1.0) { acc += fetch_x(i); }\n\
+             return acc;",
+        )
+        .build(&mut cc);
+    assert!(ok.is_ok(), "{:?}", ok.err());
+    // Uniform-bound loop: rejected by the minimum-profile driver.
+    let err = Kernel::builder("dyn_loop")
+        .input("x", &x)
+        .uniform_f32("n", 8.0)
+        .output(ScalarType::F32, 8)
+        .body(
+            "float acc = 0.0;\n\
+             for (float i = 0.0; i < n; i += 1.0) { acc += fetch_x(i); }\n\
+             return acc;",
+        )
+        .build(&mut cc)
+        .unwrap_err();
+    assert!(err.to_string().contains("appendix A"), "{err}");
+}
+
+#[test]
+fn every_framework_kernel_is_appendix_a_conformant() {
+    // The paper's framework must run on minimum-profile drivers: every
+    // kernel the repository ships (including the generated codec library
+    // and fetch helpers) has to survive the strict Appendix A pass.
+    let mut cc = ComputeContext::new(64, 64).expect("context");
+    cc.gl().set_strict_shaders(true);
+
+    let a = cc.upload(&data::random_f32(64, 621, 10.0)).expect("a");
+    let b = cc.upload(&data::random_f32(64, 622, 10.0)).expect("b");
+    gpes::kernels::sum::build_f32(&mut cc, &a, &b).expect("sum under strict driver");
+    gpes::kernels::saxpy::build(&mut cc, &a, &b, 2.0).expect("saxpy under strict driver");
+
+    let ma = cc
+        .upload_matrix(8, 8, &data::random_f32(64, 623, 1.0))
+        .expect("ma");
+    let mb = cc
+        .upload_matrix(8, 8, &data::random_f32(64, 624, 1.0))
+        .expect("mb");
+    let mc = cc
+        .upload_matrix(8, 8, &data::random_f32(64, 625, 1.0))
+        .expect("mc");
+    gpes::kernels::sgemm::build_f32(&mut cc, &ma, &mb, &mc, 1.5, 0.5)
+        .expect("sgemm under strict driver (K is baked as a constant)");
+
+    let img = cc
+        .upload_matrix(8, 8, &data::random_u8(64, 626, 255))
+        .expect("img");
+    gpes::kernels::conv3x3::build(&mut cc, &img, &gpes::kernels::conv3x3::Filter3x3::box_blur())
+        .expect("conv3x3 under strict driver");
+
+    let pts = cc
+        .upload_matrix(16, 2, &data::random_f32(32, 627, 10.0))
+        .expect("pts");
+    let cen = cc
+        .upload_matrix(4, 2, &data::random_f32(8, 628, 10.0))
+        .expect("cen");
+    gpes::kernels::kmeans::build_assign(&mut cc, &pts, &cen)
+        .expect("kmeans under strict driver (constant K loop)");
+
+    let bias = cc.upload(&data::random_f32(4, 629, 0.1)).expect("bias");
+    let w = cc
+        .upload_matrix(64, 4, &data::random_f32(256, 630, 0.2))
+        .expect("w");
+    gpes::kernels::backprop::build_layer(
+        &mut cc,
+        &a,
+        &w,
+        &bias,
+        gpes::kernels::backprop::Activation::Sigmoid,
+    )
+    .expect("backprop under strict driver (constant in_dim loop)");
+
+    // End to end, not just compile: the whole FFT chain under the
+    // strict driver.
+    let re = data::random_f32(16, 631, 1.0);
+    let im = data::random_f32(16, 632, 1.0);
+    let (gre, gim) =
+        gpes::kernels::fft::run_gpu(&mut cc, &re, &im, gpes::kernels::fft::Direction::Forward)
+            .expect("fft under strict driver");
+    let (cre, cim) = gpes::kernels::fft::cpu_reference(&re, &im, gpes::kernels::fft::Direction::Forward);
+    assert_eq!((gre, gim), (cre, cim));
+}
+
+#[test]
+fn vertex_and_fragment_stages_agree_on_integers() {
+    let mut cc = ComputeContext::new(32, 32).expect("context");
+    let x: Vec<f32> = (0..40).map(|i| i as f32).collect();
+    let vk = VertexKernel::builder("affine_v")
+        .input("x", &x)
+        .output(ScalarType::U32, x.len())
+        .body("return x * 1000.0 + 7.0;")
+        .build(&mut cc)
+        .expect("vertex build");
+    let via_vertex: Vec<u32> = vk.run_and_read(&mut cc).expect("vertex run");
+
+    let gx = cc.upload(&x).expect("x");
+    let fk = Kernel::builder("affine_f")
+        .input("x", &gx)
+        .output(ScalarType::U32, x.len())
+        .body("return fetch_x(idx) * 1000.0 + 7.0;")
+        .build(&mut cc)
+        .expect("fragment build");
+    let via_fragment: Vec<u32> = cc.run_and_read(&fk).expect("fragment run");
+    assert_eq!(via_vertex, via_fragment);
+    assert_eq!(via_vertex[3], 3007);
+}
+
+#[test]
+fn chunked_execution_handles_device_limits() {
+    // A "phone-class" context: 16x16 surface, 16-texel texture cap.
+    let mut cc = ComputeContext::with_limits(
+        16,
+        16,
+        gpes::gles2::Limits {
+            max_texture_size: 16,
+            ..gpes::gles2::Limits::default()
+        },
+    )
+    .expect("context");
+    let n = 2000usize;
+    let a = data::random_f32(n, 611, 100.0);
+    let b = data::random_f32(n, 612, 100.0);
+    let out = chunked::run_chunked2(&mut cc, &a, &b, |cc, ga, gb, _| {
+        gpes::kernels::sum::build_f32(cc, ga, gb)
+    })
+    .expect("chunked");
+    let expect = gpes::kernels::sum::cpu_reference(&a, &b);
+    assert_eq!(out, expect);
+    assert_eq!(cc.pass_log().len(), n.div_ceil(256));
+}
+
+#[test]
+fn fp16_extension_remains_opt_in_at_the_compute_layer() {
+    // The compute layer never enables the extension on its own: a fresh
+    // context exposes a pure core-ES2 device.
+    let mut cc = ComputeContext::new(16, 16).expect("context");
+    assert!(cc.gl().extension_strings().is_empty());
+    let tex = cc.gl().create_texture();
+    let err = cc
+        .gl()
+        .tex_storage(tex, gpes::gles2::TexFormat::RgbaF16, 2, 2)
+        .unwrap_err();
+    assert!(err.to_string().contains("OES_texture_half_float"));
+}
+
+#[test]
+fn shader_extension_directive_round_trip() {
+    // #extension on a supported name compiles; require on unknown fails.
+    let src = "#extension GL_OES_texture_half_float : enable\n\
+               precision highp float;\nvoid main() { gl_FragColor = vec4(1.0); }";
+    gpes::glsl::compile(gpes::glsl::ShaderKind::Fragment, src).expect("enable compiles");
+    let bad = "#extension GL_TOTALLY_FAKE : require\n\
+               precision highp float;\nvoid main() { gl_FragColor = vec4(1.0); }";
+    let err = gpes::glsl::compile(gpes::glsl::ShaderKind::Fragment, bad).unwrap_err();
+    assert!(err.message.contains("not supported"));
+}
+
+#[test]
+fn rodinia_kernels_compose_with_chunking_and_models() {
+    // pathfinder at a size that fits, gaussian at a small size, both
+    // validated — then their CPU workload models produce positive times.
+    let mut cc = ComputeContext::new(64, 64).expect("context");
+    let (rows, cols) = (5usize, 40usize);
+    let wall: Vec<f32> = data::random_f32(rows * cols, 613, 5.0)
+        .into_iter()
+        .map(f32::abs)
+        .collect();
+    let gpu = gpes::kernels::pathfinder::run_gpu(&mut cc, rows, cols, &wall).expect("run");
+    assert_eq!(gpu, gpes::kernels::pathfinder::cpu_reference(rows, cols, &wall));
+
+    let cpu_model = gpes::perf::Arm11Cpu::raspberry_pi1_baseline();
+    for workload in [
+        gpes::kernels::pathfinder::cpu_workload(100, 100),
+        gpes::kernels::srad::cpu_workload(64, 64),
+        gpes::kernels::kmeans::cpu_workload(1000, 8),
+        gpes::kernels::gaussian::cpu_workload(64),
+        gpes::kernels::backprop::cpu_workload(64, 32),
+        gpes::kernels::fft::cpu_workload(1024),
+    ] {
+        assert!(cpu_model.time(&workload) > 0.0);
+    }
+}

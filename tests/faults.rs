@@ -1,0 +1,216 @@
+//! Failure injection across the stack: every error path a real GLES2
+//! app can hit must surface as a typed error, never a wrong answer or a
+//! panic.
+
+use gpes::gles2::{Context, GlError, PrimitiveMode, TexFormat};
+use gpes::glsl::exec::ExecLimits;
+use gpes::prelude::*;
+
+const VS: &str = "attribute vec2 a_pos;\nvoid main() { gl_Position = vec4(a_pos, 0.0, 1.0); }";
+const FS: &str = "precision highp float;\nvoid main() { gl_FragColor = vec4(1.0); }";
+const QUAD: [f32; 12] = [
+    -1.0, -1.0, 1.0, -1.0, 1.0, 1.0, //
+    -1.0, -1.0, 1.0, 1.0, -1.0, 1.0,
+];
+
+#[test]
+fn draw_without_program_or_attributes() {
+    let mut gl = Context::new(4, 4).expect("context");
+    let err = gl.draw_arrays(PrimitiveMode::Triangles, 0, 3).unwrap_err();
+    assert!(matches!(err, GlError::InvalidOperation { .. }));
+
+    let prog = gl.create_program(VS, FS).expect("program");
+    gl.use_program(prog).expect("use");
+    // No a_pos array bound.
+    let err = gl.draw_arrays(PrimitiveMode::Triangles, 0, 3).unwrap_err();
+    assert!(err.to_string().contains("a_pos"), "{err}");
+}
+
+#[test]
+fn bad_draw_counts() {
+    let mut gl = Context::new(4, 4).expect("context");
+    let prog = gl.create_program(VS, FS).expect("program");
+    gl.use_program(prog).expect("use");
+    gl.set_attribute("a_pos", 2, &QUAD).expect("attrib");
+    let err = gl.draw_arrays(PrimitiveMode::Triangles, 0, 4).unwrap_err();
+    assert!(err.to_string().contains("multiple of 3"));
+    let err = gl.draw_arrays(PrimitiveMode::TriangleStrip, 0, 2).unwrap_err();
+    assert!(matches!(err, GlError::InvalidValue { .. }));
+    // Attribute array shorter than the draw range.
+    let err = gl.draw_arrays(PrimitiveMode::Triangles, 3, 6).unwrap_err();
+    assert!(err.to_string().contains("too short"));
+}
+
+#[test]
+fn deleted_and_stale_objects() {
+    let mut gl = Context::new(4, 4).expect("context");
+    let tex = gl.create_texture();
+    gl.delete_texture(tex);
+    let err = gl
+        .tex_image_2d(tex, TexFormat::Rgba8, 1, 1, &[0, 0, 0, 0])
+        .unwrap_err();
+    assert!(matches!(err, GlError::NoSuchObject { kind: "texture", .. }));
+    let fb = gl.create_framebuffer();
+    let err = gl.framebuffer_texture(fb, tex).unwrap_err();
+    assert!(matches!(err, GlError::NoSuchObject { .. }));
+}
+
+#[test]
+fn incomplete_fbo_blocks_draws_and_reads() {
+    let mut gl = Context::new(4, 4).expect("context");
+    let prog = gl.create_program(VS, FS).expect("program");
+    gl.use_program(prog).expect("use");
+    gl.set_attribute("a_pos", 2, &QUAD).expect("attrib");
+    let fbo = gl.create_framebuffer();
+    gl.bind_framebuffer(Some(fbo)).expect("bind");
+    let err = gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).unwrap_err();
+    assert!(matches!(err, GlError::InvalidFramebufferOperation { .. }));
+    let err = gl.read_pixels(0, 0, 1, 1).unwrap_err();
+    assert!(matches!(err, GlError::InvalidFramebufferOperation { .. }));
+    // Attaching storage-less texture is still incomplete.
+    let tex = gl.create_texture();
+    gl.framebuffer_texture(fbo, tex).expect("attach");
+    let err = gl.check_framebuffer_complete().unwrap_err();
+    assert!(err.to_string().contains("no storage"));
+}
+
+#[test]
+fn read_pixels_out_of_bounds() {
+    let gl = Context::new(4, 4).expect("context");
+    let err = gl.read_pixels(2, 2, 4, 4).unwrap_err();
+    assert!(matches!(err, GlError::InvalidValue { .. }));
+}
+
+#[test]
+fn loop_budget_traps_runaway_shaders() {
+    let mut gl = Context::new(2, 2).expect("context");
+    gl.set_exec_limits(ExecLimits {
+        max_loop_iterations: 1000,
+        max_call_depth: 8,
+    });
+    let fs = "precision highp float;\n\
+              void main() {\n\
+                float acc = 0.0;\n\
+                for (float i = 0.0; i < 100000.0; i += 1.0) { acc += 1.0; }\n\
+                gl_FragColor = vec4(acc);\n\
+              }";
+    let prog = gl.create_program(VS, fs).expect("program");
+    gl.use_program(prog).expect("use");
+    gl.set_attribute("a_pos", 2, &QUAD).expect("attrib");
+    let err = gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).unwrap_err();
+    assert!(matches!(err, GlError::ShaderTrap(_)), "{err}");
+}
+
+#[test]
+fn unwritten_gl_position_culls_silently() {
+    // GL leaves gl_Position undefined when unwritten; this implementation
+    // zero-initialises it, so w = 0 and every triangle is culled — the
+    // draw "succeeds" and produces nothing, a classic GPGPU footgun the
+    // stats make visible.
+    let mut gl = Context::new(2, 2).expect("context");
+    let vs = "attribute vec2 a_pos;\nvoid main() { float unused = a_pos.x; }";
+    let prog = gl.create_program(vs, FS).expect("program");
+    gl.use_program(prog).expect("use");
+    gl.set_attribute("a_pos", 2, &QUAD).expect("attrib");
+    let stats = gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+    assert_eq!(stats.triangles_in, 2);
+    assert_eq!(stats.triangles_rasterized, 0);
+    assert_eq!(stats.fragments_shaded, 0);
+}
+
+#[test]
+fn uniform_errors() {
+    let mut gl = Context::new(2, 2).expect("context");
+    let fs = "precision highp float;\nuniform float u_gain;\n\
+              void main() { gl_FragColor = vec4(u_gain); }";
+    let prog = gl.create_program(VS, fs).expect("program");
+    gl.use_program(prog).expect("use");
+    // Unknown name.
+    let err = gl
+        .set_uniform("u_nope", gpes::glsl::Value::Float(1.0))
+        .unwrap_err();
+    assert!(matches!(err, GlError::InvalidOperation { .. }));
+    // Type mismatch.
+    let err = gl
+        .set_uniform("u_gain", gpes::glsl::Value::Vec2([0.0, 1.0]))
+        .unwrap_err();
+    assert!(matches!(err, GlError::InvalidOperation { .. }));
+}
+
+#[test]
+fn specials_flushed_when_configured() {
+    // FloatSpecials::Flush drops the §IV-E special-value branches: the
+    // exponent-255 pattern reconstructs as (1+m)·2¹²⁸, which saturates to
+    // ±∞ in fp32 — so NaN payloads silently become infinities (the naive
+    // shader behaviour), while Preserve keeps them NaN.
+    let v = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.5];
+    for (specials, nan_stays_nan) in [(FloatSpecials::Preserve, true), (FloatSpecials::Flush, false)] {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        cc.set_float_specials(specials);
+        let arr = cc.upload(&v).expect("upload");
+        let k = Kernel::builder("id")
+            .input("x", &arr)
+            .output(ScalarType::F32, v.len())
+            .body("return fetch_x(idx);")
+            .build(&mut cc)
+            .expect("build");
+        let out = cc.run_f32(&k).expect("run");
+        assert_eq!(
+            out[0].is_nan(),
+            nan_stays_nan,
+            "{specials:?}: NaN came back as {}",
+            out[0]
+        );
+        if specials == FloatSpecials::Preserve {
+            assert_eq!(out[1], f32::INFINITY);
+            assert_eq!(out[2], f32::NEG_INFINITY);
+        } else {
+            // Naive shader code packs ∞ through log2/exp2 arithmetic that
+            // saturates: the value (and even its sign) is implementation
+            // garbage. The only guarantee is that finite data is safe.
+            assert!(!out[1].is_nan());
+        }
+        assert_eq!(out[3], 1.5, "{specials:?}: finite values must be exact");
+    }
+}
+
+#[test]
+fn scissor_confines_writes() {
+    let mut gl = Context::new(4, 4).expect("context");
+    let prog = gl.create_program(VS, FS).expect("program");
+    gl.use_program(prog).expect("use");
+    gl.set_attribute("a_pos", 2, &QUAD).expect("attrib");
+    gl.set_scissor(Some((1, 1, 2, 2)));
+    let stats = gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+    assert_eq!(stats.pixels_written, 4);
+    let px = gl.read_pixels(0, 0, 4, 4).expect("read");
+    let at = |x: usize, y: usize| px[(y * 4 + x) * 4];
+    assert_eq!(at(0, 0), 0);
+    assert_eq!(at(1, 1), 255);
+    assert_eq!(at(2, 2), 255);
+    assert_eq!(at(3, 3), 0);
+}
+
+#[test]
+fn compute_context_surfaces_shader_errors_with_source_context() {
+    let mut cc = ComputeContext::new(8, 8).expect("context");
+    let x = cc.upload(&[1.0f32]).expect("x");
+    // A type error inside the body.
+    let err = Kernel::builder("broken")
+        .input("x", &x)
+        .output(ScalarType::F32, 1)
+        .body("return fetch_x(idx) + true;")
+        .build(&mut cc)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("check") || msg.contains("type") || msg.contains("operand"), "{msg}");
+}
+
+#[test]
+fn preprocessor_error_directive_reaches_the_driver_log() {
+    let mut gl = Context::new(2, 2).expect("context");
+    let fs = "precision highp float;\n#ifndef HAVE_FEATURE\n#error feature missing\n#endif\n\
+              void main() { gl_FragColor = vec4(1.0); }";
+    let err = gl.create_program(VS, fs).unwrap_err();
+    assert!(err.to_string().contains("feature missing"), "{err}");
+}

@@ -1,0 +1,256 @@
+//! Property-based tests over the full stack: codec round trips on whole
+//! value domains, addressing bijectivity, and fill-rule coverage.
+
+use gpes::core::addressing::ArrayLayout;
+use gpes::core::codec::{
+    float32, sbyte, sint, sshort, strzodka16, ubyte, uint, ushort, FloatSpecials, PackBias,
+};
+use gpes::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// §IV-E: the CPU-side rotation is a bijection on all 2³² patterns.
+    #[test]
+    fn float_rotation_bijective(bits: u32) {
+        prop_assert_eq!(float32::unrotate_bits(float32::rotate_bits(bits)), bits);
+    }
+
+    /// §IV-E: encode→shader-unpack→shader-pack→decode is bit-exact for
+    /// every float (including subnormals and specials) under the exact
+    /// model.
+    #[test]
+    fn float_full_cycle_bit_exact(bits: u32) {
+        let v = f32::from_bits(bits);
+        let up = float32::mirror_unpack(float32::encode(v), FloatSpecials::Preserve);
+        let out = float32::mirror_pack(up, PackBias::default(), FloatSpecials::Preserve);
+        let back = float32::decode(out);
+        if v.is_nan() {
+            prop_assert!(back.is_nan());
+        } else {
+            prop_assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    /// §IV-C/D: integers round-trip exactly within ±2²⁴.
+    #[test]
+    fn int_cycle_exact_in_domain(v in -(1i32 << 24)..=(1i32 << 24)) {
+        let up = sint::mirror_unpack(sint::encode(v));
+        prop_assert_eq!(up, v as f32);
+        let out = sint::mirror_pack(up, PackBias::default());
+        prop_assert_eq!(sint::decode(out), v);
+    }
+
+    #[test]
+    fn uint_cycle_exact_in_domain(v in 0u32..=(1u32 << 24)) {
+        let up = uint::mirror_unpack(uint::encode(v));
+        prop_assert_eq!(up, v as f32);
+        let out = uint::mirror_pack(up, PackBias::default());
+        prop_assert_eq!(uint::decode(out), v);
+    }
+
+    /// §IV-A/B: bytes round-trip under every bias mode.
+    #[test]
+    fn byte_cycles_all_biases(v: u8, signed: i8) {
+        for bias in [PackBias::QuarterTexel, PackBias::HalfTexel, PackBias::PaperDelta] {
+            prop_assert_eq!(ubyte::mirror_pack(ubyte::mirror_unpack(v), bias), v);
+            let up = sbyte::mirror_unpack(sbyte::encode(signed));
+            prop_assert_eq!(sbyte::decode(sbyte::mirror_pack(up, bias)), signed);
+        }
+    }
+
+    /// Shorts (the §IV recipe on two bytes): exact on the whole domain,
+    /// every bias mode.
+    #[test]
+    fn short_cycles_all_biases(u: u16, s: i16) {
+        for bias in [PackBias::QuarterTexel, PackBias::HalfTexel, PackBias::PaperDelta] {
+            let up = ushort::mirror_unpack(ushort::encode(u));
+            prop_assert_eq!(up, u as f32);
+            prop_assert_eq!(ushort::decode(ushort::mirror_pack(up, bias)), u);
+            let sp = sshort::mirror_unpack(sshort::encode(s));
+            prop_assert_eq!(sp, s as f32);
+            prop_assert_eq!(sshort::decode(sshort::mirror_pack(sp, bias)), s);
+        }
+    }
+
+    /// The Strzodka'02 baseline's virtual ops agree with wrapping u16
+    /// arithmetic for any operands.
+    #[test]
+    fn strzodka_virtual_ops_match_wrapping_u16(a: u16, b: u16, k in 0u16..=255) {
+        let ha = strzodka16::mirror_unpack(strzodka16::encode_u16(a));
+        let hb = strzodka16::mirror_unpack(strzodka16::encode_u16(b));
+        let dec = |h| strzodka16::decode_u16(strzodka16::mirror_pack(h, PackBias::default()));
+        prop_assert_eq!(dec(strzodka16::mirror_add(ha, hb)), a.wrapping_add(b));
+        prop_assert_eq!(dec(strzodka16::mirror_sub(ha, hb)), a.wrapping_sub(b));
+        prop_assert_eq!(dec(strzodka16::mirror_scale(ha, k as f32)), a.wrapping_mul(k));
+        prop_assert_eq!(strzodka16::mirror_lt(ha, hb), a < b);
+        // Signed excess-32768 host format is a bijection.
+        let s = (a as i32 - 32768) as i16;
+        prop_assert_eq!(strzodka16::decode_i16(strzodka16::encode_i16(s)), s);
+    }
+
+    /// fp16 narrowing (the §II.5 extension path): every finite value in
+    /// half range round-trips within half a 10-bit ulp, and values
+    /// already representable in fp16 are exact.
+    #[test]
+    fn f16_round_trip_error_bound(v in -60000.0f32..60000.0) {
+        let rt = gpes::gles2::half::round_trip_f16(v);
+        let scale = v.abs().max(2.0f32.powi(-14)); // denormal cutoff
+        prop_assert!((rt - v).abs() <= scale * 2.0f32.powi(-11),
+            "{v} -> {rt}");
+        // Idempotence: a second trip changes nothing.
+        prop_assert_eq!(gpes::gles2::half::round_trip_f16(rt).to_bits(), rt.to_bits());
+    }
+
+    /// The preprocessor's #if evaluator agrees with Rust on random
+    /// integer comparisons and arithmetic.
+    #[test]
+    fn preprocessor_if_matches_rust(a in -100i64..100, b in -100i64..100, c in 1i64..50) {
+        let truth = (a + b * c > a * 2) != (a - c <= b);
+        let src = format!(
+            "#if (({a}) + ({b}) * ({c}) > ({a}) * 2 && !(({a}) - ({c}) <= ({b}))) || \
+                 (!(({a}) + ({b}) * ({c}) > ({a}) * 2) && (({a}) - ({c}) <= ({b})))\n\
+             float yes;\n#endif\n"
+        );
+        let out = gpes::glsl::preprocess(&src).expect("preprocess");
+        prop_assert_eq!(out.source.contains("float yes;"), truth);
+    }
+
+    /// Workarounds 3/4: the 1-D↔2-D address mapping is a bijection and
+    /// texel centres stay strictly inside (0,1)².
+    #[test]
+    fn addressing_bijective(len in 1usize..100_000) {
+        let layout = ArrayLayout::for_len(len, 4096).expect("layout");
+        let probe = [0, len / 3, len / 2, len.saturating_sub(1)];
+        for &i in &probe {
+            let (x, y) = layout.coord_of(i);
+            prop_assert_eq!(layout.index_of(x, y), i);
+            let (u, v) = layout.normalized_center(i);
+            prop_assert!(u > 0.0 && u < 1.0 && v > 0.0 && v < 1.0);
+        }
+    }
+}
+
+proptest! {
+    // Full-pipeline properties are costlier: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random fp32 vector survives upload → identity kernel → read.
+    #[test]
+    fn gpu_identity_is_lossless(values in proptest::collection::vec(
+        proptest::num::f32::NORMAL | proptest::num::f32::SUBNORMAL | proptest::num::f32::ZERO,
+        1..200,
+    )) {
+        let mut cc = ComputeContext::new(32, 32).expect("context");
+        let arr = cc.upload(&values).expect("upload");
+        let k = Kernel::builder("id")
+            .input("x", &arr)
+            .output(ScalarType::F32, values.len())
+            .body("return fetch_x(idx);")
+            .build(&mut cc)
+            .expect("build");
+        let out = cc.run_f32(&k).expect("run");
+        for (a, b) in values.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The two-triangle quad shades every pixel exactly once for any
+    /// viewport size (the fill-rule guarantee behind workaround #2).
+    #[test]
+    fn quad_coverage_is_exact(w in 1u32..48, h in 1u32..48) {
+        let mut gl = gpes::gles2::Context::new(w, h).expect("context");
+        let prog = gl
+            .create_program(
+                "attribute vec2 a_pos; void main() { gl_Position = vec4(a_pos, 0.0, 1.0); }",
+                "precision highp float; void main() { gl_FragColor = vec4(1.0); }",
+            )
+            .expect("program");
+        gl.use_program(prog).expect("use");
+        gl.viewport(0, 0, w as i32, h as i32);
+        gl.set_attribute(
+            "a_pos",
+            2,
+            &[-1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0],
+        )
+        .expect("attrib");
+        let stats = gl
+            .draw_arrays(gpes::gles2::PrimitiveMode::Triangles, 0, 6)
+            .expect("draw");
+        prop_assert_eq!(stats.fragments_shaded, (w * h) as u64);
+        prop_assert_eq!(stats.pixels_written, (w * h) as u64);
+    }
+
+    /// Integer kernels agree with wrapped CPU arithmetic across the
+    /// exact domain, whatever the inputs.
+    #[test]
+    fn gpu_int_add_matches_cpu(
+        a in proptest::collection::vec(-(1i32 << 22)..(1i32 << 22), 1..100),
+    ) {
+        let b: Vec<i32> = a.iter().map(|&x| x / 2 + 7).collect();
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let ga = cc.upload(&a).expect("a");
+        let gb = cc.upload(&b).expect("b");
+        let k = gpes::kernels::sum::build_i32(&mut cc, &ga, &gb).expect("kernel");
+        let out: Vec<i32> = cc.run_and_read(&k).expect("run");
+        let expect: Vec<i32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    /// Vertex-stage compute is lossless for arbitrary f32 data — the
+    /// §III-1 path preserves the same codec guarantees as the fragment
+    /// path.
+    #[test]
+    fn vertex_compute_identity_is_lossless(values in proptest::collection::vec(
+        proptest::num::f32::NORMAL | proptest::num::f32::ZERO,
+        1..120,
+    )) {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let vk = gpes::core::vertex_compute::VertexKernel::builder("id_v")
+            .input("x", &values)
+            .output(ScalarType::F32, values.len())
+            .body("return x;")
+            .build(&mut cc)
+            .expect("build");
+        let out: Vec<f32> = vk.run_and_read(&mut cc).expect("run");
+        for (a, b) in values.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Any u16 vector survives the LUMINANCE_ALPHA upload → kernel →
+    /// RGBA8 framebuffer cycle exactly.
+    #[test]
+    fn gpu_u16_identity_is_lossless(values in proptest::collection::vec(any::<u16>(), 1..200)) {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let arr = cc.upload(&values).expect("upload");
+        let k = Kernel::builder("id16")
+            .input("x", &arr)
+            .output(ScalarType::U16, values.len())
+            .body("return fetch_x(idx);")
+            .build(&mut cc)
+            .expect("build");
+        let out: Vec<u16> = cc.run_and_read(&k).expect("run");
+        prop_assert_eq!(out, values);
+    }
+
+    /// Point rasterisation scatters every work item to exactly one
+    /// pixel, for any output size.
+    #[test]
+    fn points_cover_each_item_once(n in 1usize..200) {
+        let zeros = vec![0.0f32; n];
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let vk = gpes::core::vertex_compute::VertexKernel::builder("ones")
+            .input("z", &zeros)
+            .output(ScalarType::F32, n)
+            .body("return z + 1.0;")
+            .build(&mut cc)
+            .expect("build");
+        let out: Vec<f32> = vk.run_and_read(&mut cc).expect("run");
+        prop_assert!(out.iter().all(|&v| v == 1.0));
+        let log = cc.take_pass_log();
+        prop_assert_eq!(log[0].stats.fragments_shaded, n as u64);
+        prop_assert_eq!(log[0].stats.pixels_written, n as u64);
+    }
+}

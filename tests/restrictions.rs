@@ -1,0 +1,252 @@
+//! The eight ES 2 limitations of the paper's §II, verified as enforced
+//! behaviours of the stack — the reproduction's "the problem is real"
+//! tests.
+
+use gpes::gles2::{Context, GlError, PrimitiveMode, TexFormat, Wrap};
+use gpes::glsl::{compile, ShaderKind};
+use gpes::prelude::*;
+
+/// Limitation 1: both stages must be programmed — a program cannot link
+/// without a vertex shader, and the vertex shader must produce
+/// `gl_Position`.
+#[test]
+fn limitation_1_both_stages_programmable() {
+    let mut gl = Context::new(4, 4).expect("context");
+    // An empty vertex shader compiles but never writes gl_Position;
+    // drawing then fails (no fixed-function fallback exists).
+    let err = compile(ShaderKind::Vertex, "").unwrap_err();
+    assert!(err.message.contains("main"));
+    let prog = gl
+        .create_program(
+            "void main() { gl_Position = vec4(0.0); }",
+            "precision highp float; void main() { gl_FragColor = vec4(1.0); }",
+        )
+        .expect("minimal program links");
+    gl.use_program(prog).expect("use");
+}
+
+/// Limitation 2: triangles only — there is no quad primitive to draw, so
+/// GPGPU covers the screen with two triangles whose shared edge must be
+/// rasterised exactly once.
+#[test]
+fn limitation_2_no_quads_two_triangles_cover_once() {
+    let mut gl = Context::new(16, 16).expect("context");
+    let prog = gl
+        .create_program(
+            "attribute vec2 a_pos; void main() { gl_Position = vec4(a_pos, 0.0, 1.0); }",
+            "precision highp float; void main() { gl_FragColor = vec4(1.0); }",
+        )
+        .expect("program");
+    gl.use_program(prog).expect("use");
+    gl.set_attribute(
+        "a_pos",
+        2,
+        &[-1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0],
+    )
+    .expect("attrib");
+    let stats = gl
+        .draw_arrays(PrimitiveMode::Triangles, 0, 6)
+        .expect("draw");
+    assert_eq!(stats.fragments_shaded, 256, "every pixel exactly once");
+    // The enum itself is the restriction: only triangle modes exist.
+    let modes = [
+        PrimitiveMode::Triangles,
+        PrimitiveMode::TriangleStrip,
+        PrimitiveMode::TriangleFan,
+    ];
+    assert_eq!(modes.len(), 3);
+}
+
+/// Limitations 3 & 4: no 1-D textures and only normalised coordinates —
+/// the address translation must land on exact texel centres.
+#[test]
+fn limitations_3_4_linear_indexing_through_2d_normalised_coords() {
+    let mut cc = ComputeContext::new(64, 64).expect("context");
+    // A length that forces a non-trivial 2-D layout with a padded tail.
+    let n = 1000usize;
+    let v: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let arr = cc.upload(&v).expect("upload");
+    assert!(arr.layout().width > 1 && arr.layout().height > 1);
+    let k = Kernel::builder("gather_reverse")
+        .input("x", &arr)
+        .uniform_f32("n", n as f32)
+        .output(ScalarType::F32, n)
+        .body("return fetch_x(n - 1.0 - idx);")
+        .build(&mut cc)
+        .expect("build");
+    let out = cc.run_f32(&k).expect("run");
+    let expect: Vec<f32> = (0..n).rev().map(|i| i as f32).collect();
+    assert_eq!(out, expect, "arbitrary gather across rows is exact");
+}
+
+/// Limitation 5: no float texture formats exist — the type system of the
+/// simulator has no way to express one, so float data must go through the
+/// §IV packing (which this asserts produces *byte* textures).
+#[test]
+fn limitation_5_only_byte_texture_formats() {
+    let formats = [TexFormat::Rgba8, TexFormat::Rgb8, TexFormat::Luminance8];
+    for f in formats {
+        assert!(f.bytes_per_texel() <= 4);
+    }
+    // An f32 upload occupies exactly 4 bytes/element — RGBA8, not float32.
+    let mut cc = ComputeContext::new(8, 8).expect("context");
+    let arr = cc.upload(&[1.0f32, 2.0]).expect("upload");
+    let info = cc
+        .gl()
+        .texture_info(arr.texture())
+        .expect("texture info");
+    assert_eq!(info.0, TexFormat::Rgba8);
+}
+
+/// Limitation 6: the framebuffer clamps to [0,1] bytes — writing 2.0 or
+/// -1.0 stores 255/0, so out-of-range kernel outputs need the pack path.
+#[test]
+fn limitation_6_framebuffer_clamps() {
+    let mut gl = Context::new(2, 2).expect("context");
+    let prog = gl
+        .create_program(
+            "attribute vec2 a_pos; void main() { gl_Position = vec4(a_pos, 0.0, 1.0); }",
+            "precision highp float; void main() { gl_FragColor = vec4(2.0, -1.0, 0.5, 1.0); }",
+        )
+        .expect("program");
+    gl.use_program(prog).expect("use");
+    gl.set_attribute(
+        "a_pos",
+        2,
+        &[-1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0],
+    )
+    .expect("attrib");
+    gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+    let px = gl.read_pixels(0, 0, 1, 1).expect("read");
+    assert_eq!(&px[..3], &[255, 0, 127]);
+}
+
+/// Limitation 7: no texture readback API — results reach the CPU only
+/// through a framebuffer, and both of the paper's strategies agree.
+#[test]
+fn limitation_7_readback_only_through_framebuffer() {
+    let mut cc = ComputeContext::new(32, 32).expect("context");
+    let v: Vec<f32> = (0..64).map(|i| i as f32 * 1.5).collect();
+    let arr = cc.upload(&v).expect("upload");
+    let k = Kernel::builder("id")
+        .input("x", &arr)
+        .output(ScalarType::F32, v.len())
+        .body("return fetch_x(idx);")
+        .build(&mut cc)
+        .expect("build");
+    // Strategy A: final kernel ordered into the default framebuffer.
+    let direct = cc.run_f32(&k).expect("run to screen");
+    // Strategy B: render to texture + copy shader.
+    let rtt: GpuArray<f32> = cc.run_to_array(&k).expect("rtt");
+    let copied = cc
+        .read_array(&rtt, Readback::CopyShader)
+        .expect("copy shader read");
+    // Strategy C (core ES2): read the FBO the texture is attached to.
+    let fbo = cc.read_array(&rtt, Readback::DirectFbo).expect("fbo read");
+    assert_eq!(direct, v);
+    assert_eq!(copied, v);
+    assert_eq!(fbo, v);
+}
+
+/// Limitation 8: a single fragment output — `gl_FragData[1]` is a compile
+/// error and multi-output kernels split into one program per output.
+#[test]
+fn limitation_8_single_output_forces_splitting() {
+    let err = compile(
+        ShaderKind::Fragment,
+        "precision highp float; void main() { gl_FragData[1] = vec4(1.0); }",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("out of bounds"));
+
+    let mut cc = ComputeContext::new(16, 16).expect("context");
+    let v = vec![3.0f32, -4.0];
+    let arr = cc.upload(&v).expect("upload");
+    let split = MultiOutputBuilder::new(Kernel::builder("pair").input("x", &arr))
+        .output("abs", ScalarType::F32, 2, "return abs(fetch_x(idx));")
+        .output("sign", ScalarType::F32, 2, "return sign(fetch_x(idx));")
+        .build(&mut cc)
+        .expect("split");
+    assert_eq!(split.pass_count(), 2, "one shader per output");
+    let abs = cc.run_f32(split.kernel("abs").expect("abs")).expect("run");
+    let sig = cc.run_f32(split.kernel("sign").expect("sign")).expect("run");
+    assert_eq!(abs, vec![3.0, 4.0]);
+    assert_eq!(sig, vec![1.0, -1.0]);
+}
+
+/// Bitwise operators are reserved in GLSL ES 1.00 — the reason §IV exists.
+#[test]
+fn bitwise_operators_are_rejected_by_the_shader_compiler() {
+    for src in [
+        "precision highp float; void main() { int x = 1 & 2; }",
+        "precision highp float; void main() { int x = 1 << 4; }",
+        "precision highp float; void main() { float x = mod(5, 2); }", // int args
+    ] {
+        assert!(compile(ShaderKind::Fragment, src).is_err(), "{src}");
+    }
+}
+
+/// ES 2 NPOT rule: repeat-wrapped NPOT textures are incomplete and sample
+/// black — the reason GPGPU arrays use clamp-to-edge.
+#[test]
+fn npot_textures_need_clamp_to_edge() {
+    let mut gl = Context::new(4, 4).expect("context");
+    let tex = gl.create_texture();
+    gl.tex_image_2d(tex, TexFormat::Luminance8, 3, 3, &[200u8; 9])
+        .expect("upload");
+    gl.set_texture_wrap(tex, Wrap::Repeat, Wrap::Repeat)
+        .expect("wrap");
+    let prog = gl
+        .create_program(
+            "attribute vec2 a_pos; varying vec2 v_uv;\n\
+             void main() { v_uv = a_pos * 0.5 + 0.5; gl_Position = vec4(a_pos, 0.0, 1.0); }",
+            "precision highp float; varying vec2 v_uv; uniform sampler2D u_t;\n\
+             void main() { gl_FragColor = texture2D(u_t, v_uv); }",
+        )
+        .expect("program");
+    gl.use_program(prog).expect("use");
+    gl.bind_texture(0, tex).expect("bind");
+    gl.set_uniform("u_t", gpes::glsl::Value::Int(0)).expect("uniform");
+    gl.set_attribute(
+        "a_pos",
+        2,
+        &[-1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0],
+    )
+    .expect("attrib");
+    gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+    let px = gl.read_pixels(0, 0, 1, 1).expect("read");
+    assert_eq!(&px[..3], &[0, 0, 0], "incomplete texture samples black");
+
+    // Fixing the wrap mode makes it complete.
+    gl.set_texture_wrap(tex, Wrap::ClampToEdge, Wrap::ClampToEdge)
+        .expect("wrap");
+    gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+    let px = gl.read_pixels(0, 0, 1, 1).expect("read");
+    assert_eq!(px[0], 200);
+}
+
+/// Sampler feedback loops (render target bound for sampling) are
+/// rejected — the reason multi-pass chains ping-pong between textures.
+#[test]
+fn feedback_loops_are_rejected() {
+    let mut gl = Context::new(4, 4).expect("context");
+    let tex = gl.create_texture();
+    gl.tex_storage(tex, TexFormat::Rgba8, 4, 4).expect("storage");
+    let fbo = gl.create_framebuffer();
+    gl.framebuffer_texture(fbo, tex).expect("attach");
+    gl.bind_framebuffer(Some(fbo)).expect("bind fb");
+    gl.bind_texture(0, tex).expect("bind tex");
+    let prog = gl
+        .create_program(
+            "attribute vec2 a_pos; void main() { gl_Position = vec4(a_pos, 0.0, 1.0); }",
+            "precision highp float; uniform sampler2D u_t;\n\
+             void main() { gl_FragColor = texture2D(u_t, vec2(0.5)); }",
+        )
+        .expect("program");
+    gl.use_program(prog).expect("use");
+    gl.set_uniform("u_t", gpes::glsl::Value::Int(0)).expect("uniform");
+    gl.set_attribute("a_pos", 2, &[-1.0, -1.0, 3.0, -1.0, -1.0, 3.0])
+        .expect("attrib");
+    let err = gl.draw_arrays(PrimitiveMode::Triangles, 0, 3).unwrap_err();
+    assert!(matches!(err, GlError::InvalidOperation { .. }));
+}
