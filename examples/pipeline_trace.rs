@@ -48,6 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("        v");
     println!("  [glReadPixels]   the only road back to the CPU (workaround #7)");
 
-    assert_eq!(stats.fragments_shaded, 1000);
+    // The quad pass shades the whole near-square output texture, so the
+    // fragment count is the padded texel count (32x32 for 1000 elements),
+    // not the payload length.
+    let texels = kernel.output_layout().texel_count() as u64;
+    assert_eq!(stats.fragments_shaded, texels);
+    assert!(texels >= data.len() as u64);
     Ok(())
 }

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Record a perf baseline (BENCH_<n>.json) from the `reproduce` binary.
+
+Runs each experiment section of `cargo run --release -p gpes-bench --bin
+reproduce` separately, records host wall-clock per section, and parses the
+E1 speedup table into structured rows. Later PRs diff their BENCH_<n>.json
+against the previous one to show a perf trajectory (see EXPERIMENTS.md).
+
+Usage:
+    python3 scripts/record_baseline.py [output.json]
+
+The output defaults to BENCH_<n>.json with the first unused n.
+"""
+
+import json
+import pathlib
+import platform
+import re
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SECTIONS = ["e1", "sweep", "e2", "f1", "f2", "a1", "a3", "a4", "a5", "a6", "a7"]
+
+# e.g. "sum (int)    n=1048576    cpu   64.97 ms   gpu  13.33 ms   speedup 4.87x   paper 7.2x   validated yes"
+E1_ROW = re.compile(
+    r"^(?P<kernel>\S+ \((?:int|fp)\))\s+(?P<size>\S+)\s+"
+    r"cpu\s+(?P<cpu_ms>[\d.]+) ms\s+gpu\s+(?P<gpu_ms>[\d.]+) ms\s+"
+    r"speedup\s+(?P<speedup>[\d.]+)x\s+paper\s+(?P<paper>[\d.]+x|-)\s+"
+    r"validated\s+(?P<validated>\S+)"
+)
+
+
+def run_section(name: str) -> dict:
+    cmd = [
+        "cargo", "run", "--quiet", "--release", "-p", "gpes-bench",
+        "--bin", "reproduce", "--", name,
+    ]
+    start = time.monotonic()
+    proc = subprocess.run(
+        cmd, cwd=REPO, capture_output=True, text=True, timeout=1800
+    )
+    elapsed = time.monotonic() - start
+    if proc.returncode != 0:
+        sys.exit(f"section {name} failed (rc={proc.returncode}):\n{proc.stderr}")
+    return {"host_seconds": round(elapsed, 3), "stdout": proc.stdout}
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        out_path = pathlib.Path(sys.argv[1])
+    else:
+        n = 0
+        while (REPO / f"BENCH_{n}.json").exists():
+            n += 1
+        out_path = REPO / f"BENCH_{n}.json"
+
+    subprocess.run(
+        ["cargo", "build", "--release", "-p", "gpes-bench", "--bin", "reproduce"],
+        cwd=REPO, check=True,
+    )
+
+    git_rev = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"], cwd=REPO,
+        capture_output=True, text=True,
+    ).stdout.strip() or "unknown"
+
+    sections = {}
+    e1_rows = []
+    for name in SECTIONS:
+        result = run_section(name)
+        lines = result["stdout"].splitlines()
+        sections[name] = {
+            "host_seconds": result["host_seconds"],
+            "lines": len(lines),
+        }
+        if name in ("e1", "sweep"):
+            for line in lines:
+                m = E1_ROW.match(line.strip())
+                if m:
+                    row = m.groupdict()
+                    for k in ("cpu_ms", "gpu_ms", "speedup"):
+                        row[k] = float(row[k])
+                    paper = row["paper"]
+                    row["paper"] = (
+                        None if paper == "-" else float(paper.rstrip("x"))
+                    )
+                    row["validated"] = row["validated"] == "yes"
+                    row["section"] = name
+                    e1_rows.append(row)
+
+    baseline = {
+        "schema": "gpes-bench-baseline/1",
+        "recorded_unix": int(time.time()),
+        "git_rev": git_rev,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "total_host_seconds": round(
+            sum(s["host_seconds"] for s in sections.values()), 3
+        ),
+        "sections": sections,
+        "e1_speedups": e1_rows,
+    }
+    out_path.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {out_path} ({len(e1_rows)} speedup rows, "
+          f"{baseline['total_host_seconds']}s host time)")
+
+
+if __name__ == "__main__":
+    main()

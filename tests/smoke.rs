@@ -1,0 +1,21 @@
+//! Tier-0 smoke canary: the smallest possible end-to-end run through the
+//! whole stack (GLSL compile → ES 2 draw → codec round trip). If this
+//! fails, everything else is noise — look here first.
+
+use gpes::prelude::*;
+
+#[test]
+fn smoke_4x4_context_runs_one_kernel() {
+    let mut cc = ComputeContext::new(4, 4).expect("4x4 context");
+    let a = cc.upload(&[1.0f32, 2.0, 3.0, 4.0]).expect("upload a");
+    let b = cc.upload(&[0.5f32, 1.5, 2.5, 3.5]).expect("upload b");
+    let kernel = Kernel::builder("smoke_add")
+        .input("a", &a)
+        .input("b", &b)
+        .output(ScalarType::F32, 4)
+        .body("return fetch_a(idx) + fetch_b(idx);")
+        .build(&mut cc)
+        .expect("build kernel");
+    let out = cc.run_f32(&kernel).expect("run kernel");
+    assert_eq!(out, vec![1.5, 3.5, 5.5, 7.5]);
+}

@@ -1,0 +1,298 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal benchmark harness with the same spelling as the real
+//! `criterion`: [`criterion_group!`]/[`criterion_main!`], [`Criterion`],
+//! [`BenchmarkGroup`] (with `sample_size`/`throughput`/`bench_function`/
+//! `bench_with_input`/`finish`), [`Bencher::iter`], [`BenchmarkId`] and
+//! [`Throughput`].
+//!
+//! It measures for real — each benchmark runs a short warm-up then timed
+//! iterations and prints a mean per-iteration time (and throughput when
+//! declared) — but does no statistical analysis, outlier rejection, or
+//! HTML reporting. The measurement budget per benchmark is intentionally
+//! tiny (default ≈60 ms) so a full `cargo bench` stays fast; raise it with
+//! `CRITERION_SHIM_MS`. See `vendor/README.md` for the swap-back recipe.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (deprecated upstream in
+/// favour of `std::hint::black_box`, which the workspace's benches use).
+pub use std::hint::black_box;
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_MS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(60);
+    Duration::from_millis(ms.max(1))
+}
+
+/// The benchmark context handed to `criterion_group!` target functions.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: budget() }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let budget = self.budget;
+        run_one(&id.to_string(), None, budget, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes its sample from a
+    /// wall-clock budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares the amount of work one iteration represents, enabling
+    /// elements/bytes-per-second reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, self.criterion.budget, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, self.criterion.budget, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing driver handed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` until the measurement budget is
+    /// spent, recording the total for the mean report.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up (not recorded).
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(label: &str, throughput: Option<Throughput>, budget: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        budget,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{label:<50} (no iterations recorded)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+    let mut line = format!(
+        "{label:<50} {:>12}  ({} iters)",
+        format_time(per_iter),
+        bencher.iters
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!("  {:.3} Melem/s", n as f64 / per_iter / 1.0e6));
+        }
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+            line.push_str(&format!("  {:.3} MB/s", n as f64 / per_iter / 1.0e6));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1.0e-3 {
+        format!("{:.3} ms", seconds * 1.0e3)
+    } else if seconds >= 1.0e-6 {
+        format!("{:.3} µs", seconds * 1.0e6)
+    } else {
+        format!("{:.1} ns", seconds * 1.0e9)
+    }
+}
+
+/// Work-per-iteration declaration for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes (binary prefixes upstream).
+    Bytes(u64),
+    /// Iteration processes this many bytes (decimal prefixes upstream).
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: a function name, an optional parameter, or both.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: Some(name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier that is only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: Some(name.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.name, &self.parameter) {
+            (Some(n), Some(p)) => write!(f, "{n}/{p}"),
+            (Some(n), None) => f.write_str(n),
+            (None, Some(p)) => f.write_str(p),
+            (None, None) => f.write_str("?"),
+        }
+    }
+}
+
+/// Declares a group function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        std::env::set_var("CRITERION_SHIM_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        let mut count = 0u64;
+        group.bench_function("counter", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 42), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,794 @@
+//! Offline stand-in for the subset of the `proptest` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal property-testing engine with the same spelling as the
+//! real `proptest`: the [`proptest!`] macro (both `name: Type` and
+//! `name in strategy` parameter forms, plus `#![proptest_config(..)]`),
+//! [`prop_assert!`]/[`prop_assert_eq!`], [`prop_oneof!`], [`Just`],
+//! range/collection/regex-literal strategies and `num::f32` class
+//! strategies.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case seed
+//!   and generated inputs (via the assertion message) but is not minimised.
+//! * **Bounded cases.** The effective case count is
+//!   `min(requested, PROPTEST_CASES)` with `PROPTEST_CASES` defaulting to
+//!   64, so the full suite stays fast; export `PROPTEST_CASES=1024` for a
+//!   deeper run. Setting the variable always wins, in both directions.
+//! * **Deterministic.** Every test derives its RNG stream from the test
+//!   path and case index, so failures reproduce without a seed file.
+//!
+//! See `vendor/README.md` for the swap-back-to-crates.io recipe.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic stream used to drive all strategies, delegating to the
+/// sibling `vendor/rand` shim (one SplitMix64 implementation per
+/// workspace, mirroring upstream where proptest builds on rand).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+}
+
+impl TestRng {
+    /// Creates a generator whose output is a pure function of `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Derives a stable 64-bit seed from a test's path (FNV-1a).
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Per-block configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Requested number of cases (before the `PROPTEST_CASES` bound).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config requesting exactly `cases` cases (still subject to the
+    /// `PROPTEST_CASES` bound — see [`effective_cases`]).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Default ceiling applied when `PROPTEST_CASES` is unset, keeping
+/// `cargo test -q` fast (ISSUE 1 satellite: bounded case count).
+pub const DEFAULT_CASE_BOUND: u32 = 64;
+
+/// Resolves the number of cases actually run: `PROPTEST_CASES` wins when
+/// set (in either direction); otherwise `requested` capped at
+/// [`DEFAULT_CASE_BOUND`].
+pub fn effective_cases(requested: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+    {
+        Some(n) => n.max(1),
+        None => requested.clamp(1, DEFAULT_CASE_BOUND),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A failed property case (the `Err` of a generated test body).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A generator of values of one type — the (non-shrinking) counterpart of
+/// `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy for heterogeneous collections
+    /// ([`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value, like `proptest::prop::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between several strategies of one value type — the
+/// engine behind [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+// Range sampling delegates to the vendor/rand shim so the workspace has
+// exactly one uniform-sampling implementation.
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample_single(self.clone(), rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample_single(self.clone(), rng)
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+// ---------------------------------------------------------------------------
+// Arbitrary + any()
+// ---------------------------------------------------------------------------
+
+/// Whole-domain generation for a type, backing the `name: Type` parameter
+/// form of [`proptest!`] and [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws a value from the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Strategy over a type's whole [`Arbitrary`] domain.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies
+// ---------------------------------------------------------------------------
+
+/// `&str` patterns act as string strategies, like in the real `proptest`.
+///
+/// Only the shapes this workspace uses are supported: a sequence of
+/// literal characters and `[...]` character classes (with `a-b` ranges and
+/// `\n`/`\t`/`\\` escapes), each optionally followed by `{min,max}`.
+/// Unsupported syntax panics with a clear message rather than silently
+/// generating the wrong distribution.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    let mut out = String::new();
+    while i < chars.len() {
+        // 1. one atom: a char class or a literal character
+        let atom: Vec<char> = if chars[i] == '[' {
+            let (set, next) = parse_class(&chars, i + 1, pattern);
+            i = next;
+            set
+        } else {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars.get(i).copied(), pattern)
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![c]
+        };
+        // 2. optional {min,max} repetition
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{}} in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = body
+                .split_once(',')
+                .unwrap_or_else(|| panic!("unsupported repetition in pattern {pattern:?}"));
+            i = close + 1;
+            (
+                lo.trim().parse::<usize>().expect("bad repetition bound"),
+                hi.trim().parse::<usize>().expect("bad repetition bound"),
+            )
+        } else {
+            (1, 1)
+        };
+        let n = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(atom[rng.below(atom.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+fn unescape(c: Option<char>, pattern: &str) -> char {
+    match c {
+        Some('n') => '\n',
+        Some('t') => '\t',
+        Some('r') => '\r',
+        Some('\\') => '\\',
+        Some(c @ ('[' | ']' | '{' | '}' | '-' | '#')) => c,
+        other => panic!("unsupported escape {other:?} in pattern {pattern:?}"),
+    }
+}
+
+/// Parses a `[...]` body starting just after the `[`; returns the expanded
+/// character set and the index just past the `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            unescape(chars.get(i).copied(), pattern)
+        } else {
+            chars[i]
+        };
+        // range `a-b` (a `-` that is not last and not first)
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            assert!(c <= hi, "inverted class range in pattern {pattern:?}");
+            for code in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(code) {
+                    set.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "unclosed character class in pattern {pattern:?}"
+    );
+    assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+    (set, i + 1) // skip ']'
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (inclusive).
+        pub max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec` — a `Vec` strategy with bounded length.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// num:: class strategies
+// ---------------------------------------------------------------------------
+
+/// Numeric class strategies (`proptest::num`).
+pub mod num {
+    /// `f32` strategies by floating-point class, combinable with `|`.
+    pub mod f32 {
+        use crate::{Strategy, TestRng};
+
+        /// A set of `f32` classes acting as a strategy over their union.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub struct FloatClasses(u8);
+
+        /// Normal (non-zero, non-subnormal, finite) values.
+        pub const NORMAL: FloatClasses = FloatClasses(1);
+        /// Subnormal values.
+        pub const SUBNORMAL: FloatClasses = FloatClasses(2);
+        /// Positive and negative zero.
+        pub const ZERO: FloatClasses = FloatClasses(4);
+        /// Positive and negative infinity.
+        pub const INFINITE: FloatClasses = FloatClasses(8);
+        /// Quiet NaNs.
+        pub const QUIET_NAN: FloatClasses = FloatClasses(16);
+
+        impl std::ops::BitOr for FloatClasses {
+            type Output = FloatClasses;
+            fn bitor(self, rhs: FloatClasses) -> FloatClasses {
+                FloatClasses(self.0 | rhs.0)
+            }
+        }
+
+        impl Strategy for FloatClasses {
+            type Value = f32;
+            fn generate(&self, rng: &mut TestRng) -> f32 {
+                let classes: Vec<u8> =
+                    (0..5).map(|i| 1u8 << i).filter(|m| self.0 & m != 0).collect();
+                assert!(!classes.is_empty(), "empty f32 class strategy");
+                let class = classes[rng.below(classes.len() as u64) as usize];
+                let sign = (rng.next_u64() & 1) << 31;
+                let bits = match class {
+                    1 => {
+                        // normal: exponent 1..=254, any mantissa
+                        let exp = 1 + rng.below(254) as u32;
+                        let mant = rng.next_u32() & 0x007F_FFFF;
+                        (sign as u32) | (exp << 23) | mant
+                    }
+                    2 => {
+                        // subnormal: exponent 0, non-zero mantissa
+                        let mant = 1 + rng.below(0x007F_FFFF) as u32;
+                        (sign as u32) | mant
+                    }
+                    4 => sign as u32,
+                    8 => (sign as u32) | 0x7F80_0000,
+                    _ => (sign as u32) | 0x7FC0_0000 | (rng.next_u32() & 0x003F_FFFF),
+                };
+                f32::from_bits(bits)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!(),
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert failed: {} at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Fails the current property case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq failed at {}:{}: {} = {:?}, {} = {:?}",
+                file!(),
+                line!(),
+                stringify!($lhs),
+                lhs,
+                stringify!($rhs),
+                rhs,
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq failed at {}:{}: {} = {:?}, {} = {:?}: {}",
+                file!(),
+                line!(),
+                stringify!($lhs),
+                lhs,
+                stringify!($rhs),
+                rhs,
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Fails the current property case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs == rhs {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne failed at {}:{}: both sides = {:?}",
+                file!(),
+                line!(),
+                lhs,
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Declares property tests. Supports the two parameter spellings of the
+/// real `proptest!` (`name: Type` whole-domain and `name in strategy`) and
+/// the leading `#![proptest_config(..)]` attribute.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let cases = $crate::effective_cases(cfg.cases);
+            let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cases {
+                let mut rng = $crate::TestRng::from_seed(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $crate::__proptest_bindings!(rng; $($params)*);
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest {} failed on case {}/{} (seed {:#x}): {}",
+                        stringify!($name),
+                        case + 1,
+                        cases,
+                        seed,
+                        e,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bindings!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bindings!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+}
+
+/// The commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&v));
+            let u = (0u32..=10).generate(&mut rng);
+            assert!(u <= 10);
+            let f = (-1.0f32..1.0).generate(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_class() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = "[ -~]{0,20}".generate(&mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+        let t = "[a-c]{3,3}".generate(&mut rng);
+        assert_eq!(t.len(), 3);
+        assert!(t.chars().all(|c| ('a'..='c').contains(&c)));
+    }
+
+    #[test]
+    fn float_classes_generate_their_class() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..500 {
+            let v = num::f32::NORMAL.generate(&mut rng);
+            assert!(v.is_normal(), "{v} not normal");
+            let s = num::f32::SUBNORMAL.generate(&mut rng);
+            assert!(s != 0.0 && !s.is_normal() && s.is_finite(), "{s} not subnormal");
+            let z = num::f32::ZERO.generate(&mut rng);
+            assert_eq!(z, 0.0);
+            let m = (num::f32::NORMAL | num::f32::ZERO).generate(&mut rng);
+            assert!(m.is_finite());
+        }
+    }
+
+    #[test]
+    fn oneof_and_collections() {
+        let mut rng = TestRng::from_seed(4);
+        let strat = prop_oneof![Just("a".to_owned()), Just("b".to_owned()), "[xy]{1,2}"];
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!(["a", "b"].contains(&s.as_str()) || s.chars().all(|c| c == 'x' || c == 'y'));
+        }
+        let v = collection::vec(0u8..=255, 2..5).generate(&mut rng);
+        assert!((2..5).contains(&v.len()));
+    }
+
+    #[test]
+    fn effective_cases_bounds() {
+        // No env override in the test environment is assumed; if one is
+        // set the bound below still holds for the unset-path clamp logic.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(effective_cases(256), DEFAULT_CASE_BOUND);
+            assert_eq!(effective_cases(24), 24);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro front end itself: typed params, strategy params,
+        /// arrays, and mixed lists all bind.
+        #[test]
+        fn macro_binds_all_forms(bits: u32, flags: [bool; 4], v in -10i32..=10, s in "[a-z]{0,8}") {
+            prop_assert!(u64::from(bits) <= u64::from(u32::MAX));
+            prop_assert_eq!(flags.len(), 4);
+            prop_assert!((-10..=10).contains(&v));
+            prop_assert!(s.len() <= 8);
+        }
+    }
+}
