@@ -1,7 +1,7 @@
 //! Ablations A1–A7: design choices called out in `DESIGN.md`.
 
 use gpes_core::codec::strzodka16;
-use gpes_core::{ComputeContext, ComputeError, Kernel, PackBias, Readback, ScalarType};
+use gpes_core::{ComputeContext, ComputeError, Executor, Kernel, PackBias, Readback, ScalarType};
 use gpes_gles2::{Dispatch, StoreRounding};
 use gpes_kernels::data;
 use gpes_perf::{estimate_gpu, gpu_run_from_passes, readback_bytes_for, GpuRun, Vc4Gpu};
@@ -663,9 +663,123 @@ pub fn a7_channel_packing(n: usize) -> Result<Vec<A7Row>, ComputeError> {
     Ok(rows)
 }
 
+/// A8 — shader executor: the slot-addressed bytecode VM vs the
+/// tree-walking interpreter, through the full pipeline (host
+/// performance; results are bit-identical by the differential suites).
+#[derive(Debug, Clone)]
+pub struct A8Row {
+    /// Kernel family exercised.
+    pub kernel: &'static str,
+    /// Executor under test.
+    pub executor: Executor,
+    /// Simulated fragments per host second.
+    pub fragments_per_s: f64,
+    /// Whether the run produced the same bytes as the tree-walker.
+    pub matches_oracle: bool,
+}
+
+impl A8Row {
+    /// Formats the row.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<10} {:<12} {:>12.0} fragments/s (host)   matches oracle {}",
+            self.kernel,
+            format!("{:?}", self.executor),
+            self.fragments_per_s,
+            if self.matches_oracle { "yes" } else { "NO" },
+        )
+    }
+}
+
+/// Runs A8 on `sum (fp)` (codec-heavy) and `sgemm (fp)` (loop-heavy)
+/// kernels at modest sizes.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn a8_executor(n: usize) -> Result<Vec<A8Row>, ComputeError> {
+    let mut rows = Vec::new();
+
+    // Each executor runs exactly once per kernel; the tree-walker's own
+    // output is the oracle the other run is compared against.
+
+    // sum (fp): one fragment per element.
+    let a = data::random_f32(n, 501, 100.0);
+    let b = data::random_f32(n, 502, 100.0);
+    let run_sum = |executor: Executor| -> Result<(Vec<f32>, f64), ComputeError> {
+        let mut cc = ComputeContext::new(256, 256)?;
+        cc.set_executor(executor);
+        let ga = cc.upload(&a)?;
+        let gb = cc.upload(&b)?;
+        let k = gpes_kernels::sum::build_f32(&mut cc, &ga, &gb)?;
+        let start = Instant::now();
+        let out = cc.run_f32(&k)?;
+        let elapsed = start.elapsed().as_secs_f64();
+        Ok((out, n as f64 / elapsed))
+    };
+    let (vm_out, vm_rate) = run_sum(Executor::Bytecode)?;
+    let (tw_out, tw_rate) = run_sum(Executor::TreeWalker)?;
+    rows.push(A8Row {
+        kernel: "sum (fp)",
+        executor: Executor::Bytecode,
+        fragments_per_s: vm_rate,
+        matches_oracle: vm_out == tw_out,
+    });
+    rows.push(A8Row {
+        kernel: "sum (fp)",
+        executor: Executor::TreeWalker,
+        fragments_per_s: tw_rate,
+        matches_oracle: true,
+    });
+
+    // sgemm (fp): K multiply-adds per fragment.
+    let side = 32usize;
+    let ma = data::random_f32(side * side, 503, 2.0);
+    let mb = data::random_f32(side * side, 504, 2.0);
+    let mc = data::random_f32(side * side, 505, 2.0);
+    let run_gemm = |executor: Executor| -> Result<(Vec<f32>, f64), ComputeError> {
+        let mut cc = ComputeContext::new(64, 64)?;
+        cc.set_executor(executor);
+        let ga = cc.upload_matrix(side as u32, side as u32, &ma)?;
+        let gb = cc.upload_matrix(side as u32, side as u32, &mb)?;
+        let gc = cc.upload_matrix(side as u32, side as u32, &mc)?;
+        let k = gpes_kernels::sgemm::build_f32(&mut cc, &ga, &gb, &gc, 1.0, 0.5)?;
+        let start = Instant::now();
+        let out = cc.run_f32(&k)?;
+        let elapsed = start.elapsed().as_secs_f64();
+        Ok((out, (side * side) as f64 / elapsed))
+    };
+    let (vm_out, vm_rate) = run_gemm(Executor::Bytecode)?;
+    let (tw_out, tw_rate) = run_gemm(Executor::TreeWalker)?;
+    rows.push(A8Row {
+        kernel: "sgemm (fp)",
+        executor: Executor::Bytecode,
+        fragments_per_s: vm_rate,
+        matches_oracle: vm_out == tw_out,
+    });
+    rows.push(A8Row {
+        kernel: "sgemm (fp)",
+        executor: Executor::TreeWalker,
+        fragments_per_s: tw_rate,
+        matches_oracle: true,
+    });
+
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn a8_executors_agree_and_report_throughput() {
+        let rows = a8_executor(1024).expect("a8");
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.matches_oracle, "{}", row.format());
+            assert!(row.fragments_per_s > 0.0);
+        }
+    }
 
     #[test]
     fn a1_bias_rounding_interaction() {

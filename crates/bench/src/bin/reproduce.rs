@@ -139,6 +139,18 @@ fn run_a7() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn run_a8() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A8: shader executor — bytecode VM vs tree-walking interpreter");
+    for row in ablations::a8_executor(1 << 13)? {
+        println!("{}", row.format());
+    }
+    println!();
+    println!("the VM lowers each linked shader once to slot-addressed bytecode;");
+    println!("the tree-walker stays available as the differential-testing oracle");
+    println!("(outputs and op profiles are asserted bit-identical).");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     match what.as_str() {
@@ -153,6 +165,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "a5" => run_a5()?,
         "a6" => run_a6()?,
         "a7" => run_a7()?,
+        "a8" => run_a8()?,
         "all" => {
             run_e1()?;
             run_sweep()?;
@@ -165,9 +178,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run_a5()?;
             run_a6()?;
             run_a7()?;
+            run_a8()?;
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|all");
+            eprintln!(
+                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|all"
+            );
             std::process::exit(2);
         }
     }

@@ -10,8 +10,8 @@ use crate::geometry::{self, FULLSCREEN_QUAD, FULLSCREEN_QUAD_VERTICES, POSITION_
 use crate::kernel::Kernel;
 use crate::pipeline::{PassRecord, Readback};
 use gpes_gles2::{
-    Context, Dispatch, DrawStats, Filter, FramebufferId, PrimitiveMode, ProgramId, TexFormat,
-    TextureId, Wrap,
+    Context, Dispatch, DrawStats, Executor, Filter, FramebufferId, PrimitiveMode, ProgramId,
+    TexFormat, TextureId, Wrap,
 };
 use gpes_glsl::exec::FloatModel;
 use gpes_glsl::Value;
@@ -103,6 +103,14 @@ impl ComputeContext {
     /// Sets fragment dispatch parallelism.
     pub fn set_dispatch(&mut self, dispatch: Dispatch) {
         self.gl.set_dispatch(dispatch);
+    }
+
+    /// Selects the shader executor: the slot-addressed bytecode VM
+    /// (default) or the tree-walking interpreter retained as the
+    /// differential-testing oracle. Both are bit-identical in outputs
+    /// and op profiles.
+    pub fn set_executor(&mut self, executor: Executor) {
+        self.gl.set_executor(executor);
     }
 
     /// Maximum texture side length supported by the driver.

@@ -53,6 +53,7 @@ pub mod vertex_compute;
 pub use buffer::{GpuArray, GpuMatrix, GpuScalar, GpuTexels};
 pub use codec::{FloatSpecials, PackBias, ScalarType};
 pub use context::ComputeContext;
+pub use gpes_gles2::Executor;
 pub use error::ComputeError;
 pub use kernel::{InputEncoding, Kernel, KernelBuilder, OutputKind, OutputShape};
 pub use multi_output::{MultiOutputBuilder, MultiOutputKernel};

@@ -7,7 +7,8 @@ use crate::handles::{FramebufferId, ProgramId, TextureId};
 use crate::limits::{shader_precision_format, Extensions, Limits, PrecisionFormat};
 use crate::program::Program;
 use crate::raster::{
-    self, AttribArray, Bindings, Dispatch, DrawStats, PrimitiveMode, RasterConfig, TargetImage,
+    self, AttribArray, Bindings, Dispatch, DrawStats, Executor, PrimitiveMode, RasterConfig,
+    TargetImage,
 };
 use crate::texture::{Filter, TexFormat, Texture, Wrap};
 use gpes_glsl::exec::{ExecLimits, FloatModel};
@@ -58,6 +59,7 @@ pub struct Context {
     float_model: FloatModel,
     dispatch: Dispatch,
     exec_limits: ExecLimits,
+    executor: Executor,
     limits: Limits,
     extensions: Extensions,
     strict_shaders: bool,
@@ -108,6 +110,7 @@ impl Context {
             float_model: FloatModel::default(),
             dispatch: Dispatch::default(),
             exec_limits: ExecLimits::default(),
+            executor: Executor::default(),
             limits,
             extensions: Extensions::default(),
             strict_shaders: false,
@@ -186,6 +189,18 @@ impl Context {
     /// Selects serial or parallel fragment dispatch.
     pub fn set_dispatch(&mut self, dispatch: Dispatch) {
         self.dispatch = dispatch;
+    }
+
+    /// Selects the shader executor (bytecode VM by default; the
+    /// tree-walking interpreter remains available as the reference
+    /// oracle for differential testing).
+    pub fn set_executor(&mut self, executor: Executor) {
+        self.executor = executor;
+    }
+
+    /// The current shader executor selection.
+    pub fn executor(&self) -> Executor {
+        self.executor
     }
 
     /// Replaces shader execution limits (loop budgets).
@@ -735,6 +750,7 @@ impl Context {
             store_rounding: self.store_rounding,
             float_model: self.float_model,
             dispatch: self.dispatch,
+            executor: self.executor,
             depth_test: self.depth_test && self.bound_fb.is_none(),
             exec_limits: self.exec_limits,
         };

@@ -2,8 +2,9 @@
 
 use crate::error::GlError;
 use crate::limits::Limits;
-use gpes_glsl::{compile, compile_strict, CompiledShader, ShaderKind, Type, Value};
+use gpes_glsl::{compile, compile_strict, CompiledShader, Executable, ShaderKind, Type, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A linked pair of vertex + fragment shaders with uniform state.
 #[derive(Debug, Clone)]
@@ -12,6 +13,12 @@ pub struct Program {
     pub vertex: CompiledShader,
     /// The checked fragment shader.
     pub fragment: CompiledShader,
+    /// The vertex shader lowered to slot-addressed bytecode (done once at
+    /// link time; `None` for the rare shapes the lowerer rejects, which
+    /// fall back to the tree-walking interpreter).
+    vertex_exe: Option<Arc<Executable>>,
+    /// The fragment shader lowered to bytecode.
+    fragment_exe: Option<Arc<Executable>>,
     /// Merged uniform interface (name, type) in declaration order.
     uniforms: Vec<(String, Type)>,
     /// Current uniform values (samplers stored as `Value::Sampler`).
@@ -82,16 +89,22 @@ impl Program {
             }
         }
 
-        // Varying budget (ES 2 guarantees only 8 vec4 vectors).
+        // Varying budget (ES 2 guarantees only 8 vec4 vectors). The
+        // rasteriser interpolates into fixed-size buffers sized for that
+        // guarantee, so a context configured with a larger
+        // `max_varying_vectors` is still capped here — at link time,
+        // where the error is actionable, rather than at draw time.
         let varying_vectors: usize = linked_varyings
             .iter()
             .map(|(_, t)| varying_vector_cost(t))
             .sum();
-        if varying_vectors > limits.max_varying_vectors {
+        let budget = limits
+            .max_varying_vectors
+            .min(crate::raster::MAX_VARYING_COMPONENTS / 4);
+        if varying_vectors > budget {
             return Err(GlError::Link {
                 message: format!(
-                    "{varying_vectors} varying vectors exceed the limit of {}",
-                    limits.max_varying_vectors
+                    "{varying_vectors} varying vectors exceed the limit of {budget}",
                 ),
             });
         }
@@ -140,13 +153,31 @@ impl Program {
             });
         }
 
+        // Lower both stages to bytecode once per link — the analog of a
+        // driver compiling its internal representation at `glLinkProgram`
+        // instead of re-interpreting source per fragment.
+        let vertex_exe = gpes_glsl::lower(&vertex).ok().map(Arc::new);
+        let fragment_exe = gpes_glsl::lower(&fragment).ok().map(Arc::new);
+
         Ok(Program {
             vertex,
             fragment,
+            vertex_exe,
+            fragment_exe,
             uniforms,
             values: HashMap::new(),
             linked_varyings,
         })
+    }
+
+    /// The vertex stage's bytecode, if the lowerer accepted it.
+    pub fn vertex_executable(&self) -> Option<&Executable> {
+        self.vertex_exe.as_deref()
+    }
+
+    /// The fragment stage's bytecode, if the lowerer accepted it.
+    pub fn fragment_executable(&self) -> Option<&Executable> {
+        self.fragment_exe.as_deref()
     }
 
     /// The merged uniform interface.
@@ -246,6 +277,17 @@ mod tests {
         assert_eq!(p.varyings(), &[("v_uv".to_owned(), Type::Vec2)]);
         assert_eq!(p.attributes().len(), 1);
         assert_eq!(p.uniform_type("u_k"), Some(&Type::Float));
+    }
+
+    #[test]
+    fn link_lowers_both_stages_to_bytecode() {
+        // The bytecode fast path must actually be live: if the lowerer
+        // started rejecting ordinary shaders, every draw would silently
+        // fall back to the tree-walker and the differential suites would
+        // compare the interpreter against itself.
+        let p = Program::link(VS, FS, &Limits::default()).expect("links");
+        assert!(p.vertex_executable().is_some(), "vertex stage must lower");
+        assert!(p.fragment_executable().is_some(), "fragment stage must lower");
     }
 
     #[test]

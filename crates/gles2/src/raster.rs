@@ -22,8 +22,29 @@ use crate::program::Program;
 use crate::texture::Texture;
 use gpes_glsl::exec::{ExecLimits, FloatModel, OpProfile, TextureAccess};
 use gpes_glsl::interp::Interpreter;
+use gpes_glsl::vm::Vm;
 use gpes_glsl::{Type, Value};
 use std::collections::HashMap;
+
+/// Which shader executor runs the programmable stages.
+///
+/// Both produce bit-identical results and identical [`OpProfile`]s (the
+/// differential suites assert it); the bytecode VM is the fast default,
+/// the tree-walker is retained as the reference oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Executor {
+    /// Slot-addressed bytecode VM ([`gpes_glsl::vm::Vm`]), compiled once
+    /// per linked program.
+    #[default]
+    Bytecode,
+    /// Tree-walking interpreter ([`gpes_glsl::interp::Interpreter`]).
+    TreeWalker,
+}
+
+/// Most varying components a program may interpolate: 8 vec4 rows, the
+/// ES 2 minimum the paper's platform guarantees. Fixed-size per-fragment
+/// buffers are sized by this, keeping interpolation allocation-free.
+pub const MAX_VARYING_COMPONENTS: usize = 32;
 
 /// Primitive topologies accepted by `draw_arrays`.
 ///
@@ -117,6 +138,131 @@ impl TextureAccess for Bindings<'_> {
     }
 }
 
+/// A shader stage instance behind the [`Executor`] selection: either the
+/// bytecode VM or the tree-walking interpreter. The two are bit-identical
+/// in results and profile counts; the VM additionally offers pre-resolved
+/// slot stores for the per-fragment/per-vertex hot path.
+enum StageExec<'a> {
+    Vm(Vm<'a>),
+    Tree(Interpreter<'a>),
+}
+
+impl<'a> StageExec<'a> {
+    /// Instantiates the stage executor for `shader`, honouring
+    /// `config.executor` (falling back to the tree-walker when the
+    /// lowerer rejected the shader).
+    fn for_fragment(
+        program: &'a Program,
+        bindings: &'a Bindings<'a>,
+        config: &RasterConfig,
+    ) -> Result<StageExec<'a>, GlError> {
+        Self::new(
+            program.fragment_executable(),
+            &program.fragment,
+            bindings,
+            config,
+        )
+    }
+
+    fn for_vertex(
+        program: &'a Program,
+        bindings: &'a Bindings<'a>,
+        config: &RasterConfig,
+    ) -> Result<StageExec<'a>, GlError> {
+        Self::new(
+            program.vertex_executable(),
+            &program.vertex,
+            bindings,
+            config,
+        )
+    }
+
+    fn new(
+        exe: Option<&'a gpes_glsl::Executable>,
+        shader: &'a gpes_glsl::CompiledShader,
+        bindings: &'a Bindings<'a>,
+        config: &RasterConfig,
+    ) -> Result<StageExec<'a>, GlError> {
+        let exec = match (config.executor, exe) {
+            (Executor::Bytecode, Some(exe)) => {
+                let mut vm = Vm::with_model(exe, bindings, config.float_model)?;
+                vm.set_limits(config.exec_limits);
+                StageExec::Vm(vm)
+            }
+            _ => {
+                let mut interp = Interpreter::with_model(shader, bindings, config.float_model)?;
+                interp.set_limits(config.exec_limits);
+                StageExec::Tree(interp)
+            }
+        };
+        Ok(exec)
+    }
+
+    /// Resolves a global to its slot (VM) or a name marker (tree-walker).
+    /// Returns `None` when the stage does not declare the global.
+    fn resolve(&self, name: &str) -> Option<u32> {
+        match self {
+            StageExec::Vm(vm) => vm.global_slot(name),
+            // The tree-walker addresses globals by name; use a dummy slot
+            // value and remember resolvability.
+            StageExec::Tree(interp) => interp.global(name).map(|_| u32::MAX),
+        }
+    }
+
+    fn set_global(&mut self, name: &str, value: Value) -> Result<(), gpes_glsl::RuntimeError> {
+        match self {
+            StageExec::Vm(vm) => vm.set_global(name, value),
+            StageExec::Tree(interp) => interp.set_global(name, value),
+        }
+    }
+
+    /// Fast store for a global pre-resolved with [`StageExec::resolve`];
+    /// `name` is only consulted on the tree-walker path.
+    fn set_resolved(&mut self, slot: u32, name: &str, value: Value) {
+        match self {
+            StageExec::Vm(vm) => vm.set_slot(slot, value),
+            StageExec::Tree(interp) => {
+                let _ = interp.set_global(name, value);
+            }
+        }
+    }
+
+    fn global(&self, name: &str) -> Option<&Value> {
+        match self {
+            StageExec::Vm(vm) => vm.global(name),
+            StageExec::Tree(interp) => interp.global(name),
+        }
+    }
+
+    fn run_main(&mut self) -> Result<(), gpes_glsl::RuntimeError> {
+        match self {
+            StageExec::Vm(vm) => vm.run_main(),
+            StageExec::Tree(interp) => interp.run_main(),
+        }
+    }
+
+    fn discarded(&self) -> bool {
+        match self {
+            StageExec::Vm(vm) => vm.discarded(),
+            StageExec::Tree(interp) => interp.discarded(),
+        }
+    }
+
+    fn frag_color(&self) -> Option<[f32; 4]> {
+        match self {
+            StageExec::Vm(vm) => vm.frag_color(),
+            StageExec::Tree(interp) => interp.frag_color(),
+        }
+    }
+
+    fn take_profile(&mut self) -> OpProfile {
+        match self {
+            StageExec::Vm(vm) => vm.take_profile(),
+            StageExec::Tree(interp) => interp.take_profile(),
+        }
+    }
+}
+
 /// Pixel storage of a render target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub(crate) enum PixelStore {
@@ -156,6 +302,7 @@ pub(crate) struct RasterConfig {
     pub dispatch: Dispatch,
     pub depth_test: bool,
     pub exec_limits: ExecLimits,
+    pub executor: Executor,
 }
 
 struct VaryingLayout {
@@ -195,20 +342,36 @@ pub(crate) fn draw(
     }
 
     let layout = varying_layout(program);
+    if layout.total > MAX_VARYING_COMPONENTS {
+        return Err(GlError::invalid_op(format!(
+            "{} varying components exceed the rasteriser's fixed budget of {MAX_VARYING_COMPONENTS}",
+            layout.total
+        )));
+    }
 
     // ---- vertex stage ----------------------------------------------------
-    let mut vs = Interpreter::with_model(&program.vertex, bindings, config.float_model)?;
-    vs.set_limits(config.exec_limits);
+    let mut vs = StageExec::for_vertex(program, bindings, config)?;
     apply_uniforms(&mut vs, program);
+    // Pre-resolve attribute slots so the per-vertex loop stores without
+    // name lookups (this is the hot path of §III-1 vertex-stage compute).
+    let attr_slots: Vec<u32> = program
+        .attributes()
+        .iter()
+        .map(|(name, _)| {
+            vs.resolve(name).ok_or_else(|| {
+                GlError::invalid_op(format!("vertex shader lost attribute `{name}`"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
 
     let mut shaded: Vec<ShadedVertex> = Vec::with_capacity(count);
     for vi in first..first + count {
-        for (name, ty) in program.attributes() {
+        for ((name, ty), slot) in program.attributes().iter().zip(&attr_slots) {
             let arr = attribs.get(name).ok_or_else(|| {
                 GlError::invalid_op(format!("no attribute array bound for `{name}`"))
             })?;
             let value = attribute_value(arr, vi, ty)?;
-            vs.set_global(name, value)?;
+            vs.set_resolved(*slot, name, value);
         }
         vs.run_main()?;
         let clip = vs
@@ -283,11 +446,11 @@ fn varying_layout(program: &Program) -> VaryingLayout {
     VaryingLayout { names, total }
 }
 
-fn apply_uniforms(interp: &mut Interpreter<'_>, program: &Program) {
+fn apply_uniforms(exec: &mut StageExec<'_>, program: &Program) {
     for (name, value) in program.uniform_values() {
         // A uniform may be declared in only one of the two stages; ignore
         // the stage that does not know the name.
-        let _ = interp.set_global(name, value.clone());
+        let _ = exec.set_global(name, value.clone());
     }
 }
 
@@ -357,8 +520,8 @@ struct TriangleSetup {
     inv_w: [f32; 3],
     z_ndc: [f32; 3],
     /// Varying components pre-divided by clip w (for perspective-correct
-    /// interpolation).
-    var_over_w: [Vec<f32>; 3],
+    /// interpolation). Fixed-size: no allocation per triangle.
+    var_over_w: [[f32; MAX_VARYING_COMPONENTS]; 3],
     front_facing: bool,
 }
 
@@ -535,8 +698,14 @@ fn raster_triangle(
     Ok(true)
 }
 
-fn premultiply(comps: &[f32], inv_w: f32) -> Vec<f32> {
-    comps.iter().map(|&c| c * inv_w).collect()
+/// Pre-divides varying components by clip `w` into a fixed-size buffer
+/// (was a fresh `Vec<f32>` per vertex per triangle).
+fn premultiply(comps: &[f32], inv_w: f32) -> [f32; MAX_VARYING_COMPONENTS] {
+    let mut out = [0.0f32; MAX_VARYING_COMPONENTS];
+    for (slot, &c) in out.iter_mut().zip(comps) {
+        *slot = c * inv_w;
+    }
+    out
 }
 
 /// Writes one fragment colour into the target according to its pixel
@@ -579,10 +748,21 @@ fn raster_points(
     config: &RasterConfig,
     stats: &mut DrawStats,
 ) -> Result<(), GlError> {
-    let mut fs = Interpreter::with_model(&program.fragment, bindings, config.float_model)?;
-    fs.set_limits(config.exec_limits);
+    let mut fs = StageExec::for_fragment(program, bindings, config)?;
     apply_uniforms(&mut fs, program);
     let _ = fs.set_global("gl_FrontFacing", Value::Bool(true));
+    let varying_slots: Vec<u32> = layout
+        .names
+        .iter()
+        .map(|(name, _, _)| {
+            fs.resolve(name).ok_or_else(|| {
+                GlError::invalid_op(format!("fragment shader lost varying `{name}`"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let fragcoord_slot = fs
+        .resolve("gl_FragCoord")
+        .ok_or_else(|| GlError::invalid_op("fragment shader lost gl_FragCoord"))?;
 
     let (vx, vy, vw, vh) = config.viewport;
     let clip_lo_x = vx.max(0);
@@ -619,10 +799,10 @@ fn raster_points(
 
         // Pass-through varyings (no interpolation for points).
         let mut offset = 0usize;
-        for (name, ty, len) in &layout.names {
+        for ((name, ty, len), slot) in layout.names.iter().zip(&varying_slots) {
             let comps = &v.varyings[offset..offset + len];
             offset += len;
-            fs.set_global(name, rebuild_varying(ty, comps))?;
+            fs.set_resolved(*slot, name, rebuild_varying(ty, comps));
         }
 
         for py in y0..y1 {
@@ -635,10 +815,11 @@ fn raster_points(
                         }
                     }
                 }
-                fs.set_global(
+                fs.set_resolved(
+                    fragcoord_slot,
                     "gl_FragCoord",
                     Value::Vec4([px as f32 + 0.5, py as f32 + 0.5, frag_z, 1.0 / w]),
-                )?;
+                );
                 fs.run_main()?;
                 stats.fragments_shaded += 1;
                 if fs.discarded() {
@@ -684,10 +865,23 @@ fn raster_band(
     pixel: PixelStore,
 ) -> Result<BandStats, GlError> {
     let mut band = BandStats::default();
-    let mut fs = Interpreter::with_model(&program.fragment, bindings, config.float_model)?;
-    fs.set_limits(config.exec_limits);
+    let mut fs = StageExec::for_fragment(program, bindings, config)?;
     apply_uniforms(&mut fs, program);
     let _ = fs.set_global("gl_FrontFacing", Value::Bool(setup.front_facing));
+    // Pre-resolve per-fragment stores once per band: inside the loop the
+    // VM path is a plain indexed slot write, no string comparisons.
+    let varying_slots: Vec<u32> = layout
+        .names
+        .iter()
+        .map(|(name, _, _)| {
+            fs.resolve(name).ok_or_else(|| {
+                GlError::invalid_op(format!("fragment shader lost varying `{name}`"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let fragcoord_slot = fs
+        .resolve("gl_FragCoord")
+        .ok_or_else(|| GlError::invalid_op("fragment shader lost gl_FragCoord"))?;
 
     let [ax, bx, cx] = setup.sx;
     let [ay, by, cy] = setup.sy;
@@ -698,11 +892,7 @@ fn raster_band(
     let top_left_bc = accepts_zero_edge(bx, by, cx, cy);
     let top_left_ca = accepts_zero_edge(cx, cy, ax, ay);
 
-    let mut varying_values: Vec<Value> = layout
-        .names
-        .iter()
-        .map(|(_, ty, _)| Value::zero_of(ty))
-        .collect();
+    let mut comps = [0.0f32; MAX_VARYING_COMPONENTS];
 
     for py in y0..y1 {
         let pyc = py as f64 + 0.5;
@@ -735,27 +925,25 @@ fn raster_band(
                 }
             }
 
-            // Rebuild varying values for this fragment.
+            // Interpolate varyings into the fixed buffer, then store each
+            // rebuilt value through its pre-resolved slot.
+            for (idx, slot) in comps[..layout.total].iter_mut().enumerate() {
+                let num = la * setup.var_over_w[0][idx]
+                    + lb * setup.var_over_w[1][idx]
+                    + lc * setup.var_over_w[2][idx];
+                *slot = num / denom;
+            }
             let mut offset = 0usize;
-            for (slot, (_, ty, len)) in varying_values.iter_mut().zip(&layout.names) {
-                let mut comps = Vec::with_capacity(*len);
-                for c in 0..*len {
-                    let idx = offset + c;
-                    let num = la * setup.var_over_w[0][idx]
-                        + lb * setup.var_over_w[1][idx]
-                        + lc * setup.var_over_w[2][idx];
-                    comps.push(num / denom);
-                }
+            for ((name, ty, len), slot) in layout.names.iter().zip(&varying_slots) {
+                let value = rebuild_varying(ty, &comps[offset..offset + len]);
                 offset += len;
-                *slot = rebuild_varying(ty, &comps);
+                fs.set_resolved(*slot, name, value);
             }
-            for ((name, _, _), value) in layout.names.iter().zip(&varying_values) {
-                fs.set_global(name, value.clone())?;
-            }
-            fs.set_global(
+            fs.set_resolved(
+                fragcoord_slot,
                 "gl_FragCoord",
                 Value::Vec4([pxc as f32, pyc as f32, frag_z, denom]),
-            )?;
+            );
 
             fs.run_main()?;
             band.shaded += 1;

@@ -48,6 +48,25 @@ fn bvec_of_dim(dim: usize) -> Type {
     Type::vector_of(Scalar::Bool, dim).expect("bvec dim")
 }
 
+/// Whether `name` could dispatch to a builtin function or constructor for
+/// *some* argument list — i.e. whether [`call`] can ever return `Some`
+/// for it. Used by the bytecode lowerer, which must know statically when
+/// a user call site can be intercepted by the builtin layer.
+pub(crate) fn is_builtin_name(name: &str) -> bool {
+    matches!(
+        name,
+        "radians" | "degrees" | "sin" | "cos" | "tan" | "asin" | "acos" | "atan" | "pow"
+            | "exp" | "log" | "exp2" | "log2" | "sqrt" | "inversesqrt" | "abs" | "sign"
+            | "floor" | "ceil" | "fract" | "mod" | "min" | "max" | "clamp" | "mix" | "step"
+            | "smoothstep" | "length" | "distance" | "dot" | "cross" | "normalize"
+            | "faceforward" | "reflect" | "refract" | "matrixCompMult" | "lessThan"
+            | "lessThanEqual" | "greaterThan" | "greaterThanEqual" | "equal" | "notEqual"
+            | "any" | "all" | "not" | "texture2D" | "texture2DProj" | "float" | "int"
+            | "bool" | "vec2" | "vec3" | "vec4" | "ivec2" | "ivec3" | "ivec4" | "bvec2"
+            | "bvec3" | "bvec4" | "mat2" | "mat3" | "mat4"
+    )
+}
+
 /// Computes the result type of a builtin call, or `None` if `name` is not a
 /// builtin or the argument types do not match any overload.
 pub fn signature(name: &str, args: &[Type]) -> Option<Type> {
@@ -893,6 +912,61 @@ fn build(target: Type, args: &[Value], cx: &mut BuiltinCx<'_>) -> Result<Value, 
 mod tests {
     use super::*;
     use crate::exec::NoTextures;
+
+    /// Pins `is_builtin_name` to the dynamic dispatch table: every name
+    /// it accepts must be dispatchable by `call` for at least one probe
+    /// argument list, and names it rejects must never dispatch. (The
+    /// bytecode lowerer relies on this agreement for out-parameter
+    /// copy-back; `Vm::exec_call` additionally hard-errors on drift.)
+    #[test]
+    fn is_builtin_name_matches_call_dispatch() {
+        let probes: [&[Value]; 8] = [
+            &[Value::Float(0.5)],
+            &[Value::Float(0.5), Value::Float(0.25)],
+            &[Value::Float(0.5), Value::Float(0.25), Value::Float(0.75)],
+            &[Value::Vec3([1.0, 0.0, 0.0]), Value::Vec3([0.0, 1.0, 0.0])],
+            &[Value::Vec2([0.5, 0.5]), Value::Vec2([0.25, 0.75])],
+            &[Value::BVec2([true, false])],
+            &[Value::Sampler(0), Value::Vec2([0.5, 0.5])],
+            &[
+                Value::Vec4([1.0, 0.0, 0.0, 1.0]),
+                Value::Vec4([0.0, 1.0, 0.0, 1.0]),
+                Value::Float(0.5),
+            ],
+        ];
+        let dispatches = |name: &str| {
+            probes.iter().any(|args| {
+                let mut profile = OpProfile::new();
+                let mut cx = BuiltinCx {
+                    model: FloatModel::Exact,
+                    profile: &mut profile,
+                    textures: &NoTextures,
+                };
+                call(name, args, &mut cx).is_some()
+            })
+        };
+        let builtin_names = [
+            "radians", "degrees", "sin", "cos", "tan", "asin", "acos", "atan", "pow", "exp",
+            "log", "exp2", "log2", "sqrt", "inversesqrt", "abs", "sign", "floor", "ceil",
+            "fract", "mod", "min", "max", "clamp", "mix", "step", "smoothstep", "length",
+            "distance", "dot", "cross", "normalize", "faceforward", "reflect", "refract",
+            "matrixCompMult", "lessThan", "lessThanEqual", "greaterThan", "greaterThanEqual",
+            "equal", "notEqual", "any", "all", "not", "texture2D", "texture2DProj", "float",
+            "int", "bool", "vec2", "vec3", "vec4", "ivec2", "ivec3", "ivec4", "bvec2",
+            "bvec3", "bvec4", "mat2", "mat3", "mat4",
+        ];
+        for name in builtin_names {
+            assert!(is_builtin_name(name), "`{name}` missing from is_builtin_name");
+            assert!(
+                dispatches(name),
+                "`{name}` claimed builtin but no probe dispatched — extend the probes"
+            );
+        }
+        for name in ["kernel", "fetch_x", "helper", "main", "gpes_pack_float", "nosuch"] {
+            assert!(!is_builtin_name(name), "`{name}` wrongly claimed builtin");
+            assert!(!dispatches(name), "`{name}` dispatched but is_builtin_name is false");
+        }
+    }
 
     fn cx_eval(name: &str, args: &[Value]) -> Value {
         let mut profile = OpProfile::new();

@@ -1,0 +1,1231 @@
+//! Lowering checked shaders to slot-addressed bytecode.
+//!
+//! The tree-walking interpreter resolves every variable by string
+//! comparison over a scope stack and re-walks the AST for every fragment.
+//! This module performs all of that work **once per shader**: a resolver
+//! pass interns names, assigns every global, parameter and local a numeric
+//! slot, and flattens the statement tree into a compact instruction
+//! sequence ([`Insn`]) executed by [`crate::vm::Vm`].
+//!
+//! The lowering is deliberately semantics-preserving to the point of
+//! being boring: evaluation order, profile counting points, rounding and
+//! error messages all mirror `interp.rs` exactly, so the VM can be
+//! differentially tested against the tree-walker bit for bit.
+
+use crate::ast::*;
+use crate::builtins;
+use crate::sema::{CompiledShader, ShaderKind};
+use crate::span::Span;
+use crate::swizzle::swizzle_indices;
+use crate::types::Type;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a checked shader could not be lowered to bytecode.
+///
+/// Lowering is total for everything the semantic checker accepts except a
+/// few pathological shapes (e.g. same-name function overloads that
+/// disagree on `out` parameters); callers fall back to the tree-walking
+/// interpreter in that case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot lower shader to bytecode: {}", self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+fn err(message: impl Into<String>) -> LowerError {
+    LowerError {
+        message: message.into(),
+    }
+}
+
+/// A storage slot: globals live for the shader's lifetime, locals live in
+/// the current frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlotRef {
+    /// Index into the VM's global table.
+    Global(u32),
+    /// Offset into the current frame.
+    Local(u32),
+}
+
+/// One step of an lvalue path, walking outward from the root variable.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum PathStep {
+    /// `.xyz` — selector indices (first `len` entries valid).
+    Swizzle { idx: [u8; 4], len: u8 },
+    /// `[i]` — the index value is taken from the operand stack.
+    Index,
+}
+
+/// A fully resolved store destination.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StoreDef {
+    /// Root variable.
+    pub root: SlotRef,
+    /// Accessor path from the root (may be empty for plain assignment).
+    pub path: Box<[PathStep]>,
+    /// Number of `Index` steps in `path` (operands popped by the store).
+    pub n_index: u8,
+    /// Whether this store must set the `gl_FragColor`-written flag.
+    pub wrote_color: bool,
+    /// Whether this store must set the `gl_FragData`-written flag.
+    pub wrote_data: bool,
+}
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Insn {
+    /// Push constant `consts[i]`.
+    Const(u32),
+    /// Push a copy of global slot `i`.
+    LoadGlobal(u32),
+    /// Push a copy of frame slot `i`.
+    LoadLocal(u32),
+    /// Pop into frame slot `i` (declarations and temporaries only — no
+    /// output-flag bookkeeping).
+    StoreLocal(u32),
+    /// Pop into global slot `i` (global initialiser chunk only).
+    StoreGlobalPop(u32),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Swap the two topmost values.
+    Swap,
+    /// Unary negate.
+    Neg,
+    /// Logical not.
+    Not,
+    /// Non-short-circuit binary operator (arith/relational/`^^`).
+    Binary(BinOp),
+    /// Count one taken branch (emitted where the interpreter counts).
+    Branch,
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop a bool; jump if false. Errors on non-bool like `eval_bool`.
+    JumpIfFalse(u32),
+    /// Pop a bool; jump if true.
+    JumpIfTrue(u32),
+    /// Call `names[name]` with `argc` stacked arguments: builtins and
+    /// constructors first, then the user overloads in `candidates`.
+    /// Pushes `out`/`inout` parameter results (in parameter order) below
+    /// the return value when `pushes_outs`.
+    Call {
+        /// Interned callee name.
+        name: u32,
+        /// Argument count.
+        argc: u8,
+        /// Function-table indices of same-name/same-arity user functions.
+        candidates: Box<[u32]>,
+        /// Whether the call site expects out-parameter values pushed.
+        pushes_outs: bool,
+    },
+    /// Pop a value, add/subtract one (by its scalar category), push the
+    /// result — the shared half of `++`/`--`.
+    IncDec {
+        /// `true` for `++`.
+        inc: bool,
+    },
+    /// Pop a value, push the selected swizzle of it.
+    Swizzle {
+        /// Selector indices (first `len` valid).
+        idx: [u8; 4],
+        /// Selector length.
+        len: u8,
+    },
+    /// Pop index then base, push `base[index]`.
+    IndexOp,
+    /// Pop `n_index` index operands and one value; write through the path.
+    Store(Box<StoreDef>),
+    /// Push a fresh loop-iteration counter.
+    LoopEnter,
+    /// Count one iteration: bump the counter, profile a branch, enforce
+    /// the iteration limit (error cites `span`).
+    LoopIter {
+        /// Loop statement location for the `LoopLimit` error.
+        span: Span,
+    },
+    /// Pop the loop-iteration counter.
+    LoopExit,
+    /// `discard` in `main`: set the flag and end the invocation.
+    Discard,
+    /// `discard` reached inside a user function (runtime error, matching
+    /// the interpreter).
+    ErrDiscardInFunction,
+    /// `break`/`continue` escaped a function body (runtime error).
+    ErrBreakInFunction,
+    /// Return from a user function; the return value is on the stack.
+    Ret,
+    /// Non-void function fell off its end (runtime error citing the
+    /// interned function name).
+    ErrNoReturn(u32),
+    /// End the invocation (main / initialiser chunk).
+    Halt,
+}
+
+/// A compiled instruction sequence plus the frame space it needs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Chunk {
+    /// Instructions.
+    pub code: Vec<Insn>,
+    /// Number of frame slots (params + locals + temporaries).
+    pub frame_size: u32,
+}
+
+/// A lowered user-defined function.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FuncDef {
+    /// Interned name.
+    pub name: u32,
+    /// Parameter types and qualifiers, in order (types drive overload
+    /// dispatch exactly like the interpreter's runtime-type match).
+    pub params: Vec<(Type, ParamQual)>,
+    /// Declared return type.
+    pub ret: Type,
+    /// Body chunk index.
+    pub chunk: u32,
+}
+
+/// A global variable's metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct GlobalDef {
+    /// Source name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+}
+
+/// A checked shader lowered to slot-addressed bytecode, ready to be
+/// executed by [`crate::vm::Vm`]. Immutable and shareable across threads
+/// (each rasteriser band runs its own `Vm` over the same `Executable`).
+#[derive(Debug, Clone)]
+pub struct Executable {
+    /// Stage.
+    pub(crate) kind: ShaderKind,
+    /// Constant pool.
+    pub(crate) consts: Vec<Value>,
+    /// Interned names (callees, error messages).
+    pub(crate) names: Vec<String>,
+    /// Global slot metadata, in slot order.
+    pub(crate) globals: Vec<GlobalDef>,
+    /// Name → global slot (last declaration wins, like the scope scan).
+    pub(crate) global_index: HashMap<String, u32>,
+    /// Global slots holding plain mutable globals, re-initialised per
+    /// invocation.
+    pub(crate) reset_slots: Vec<u32>,
+    /// All chunks; `chunks[0]` evaluates global initialisers.
+    pub(crate) chunks: Vec<Chunk>,
+    /// Index of the `main` chunk.
+    pub(crate) main_chunk: u32,
+    /// Lowered user functions.
+    pub(crate) functions: Vec<FuncDef>,
+}
+
+impl Executable {
+    /// The shader stage this executable was lowered from.
+    pub fn kind(&self) -> ShaderKind {
+        self.kind
+    }
+
+    /// Resolves a global (uniform, attribute, varying or builtin) to its
+    /// slot, for allocation-free per-fragment stores via
+    /// [`crate::vm::Vm::set_slot`].
+    pub fn global_slot(&self, name: &str) -> Option<u32> {
+        self.global_index.get(name).copied()
+    }
+
+    /// Number of global slots.
+    pub fn global_count(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Total number of lowered instructions (diagnostics only).
+    pub fn code_len(&self) -> usize {
+        self.chunks.iter().map(|c| c.code.len()).sum()
+    }
+}
+
+/// Lowers a checked shader into an [`Executable`].
+///
+/// # Errors
+///
+/// [`LowerError`] for the few constructs the bytecode tier does not
+/// support (see the type's docs); callers should fall back to the
+/// tree-walking interpreter.
+pub fn lower(shader: &CompiledShader) -> Result<Executable, LowerError> {
+    Lowerer::new(shader).lower()
+}
+
+/// Builtin globals per stage, mirroring `Interpreter::init_globals`.
+pub(crate) fn builtin_globals(kind: ShaderKind) -> Vec<(&'static str, Type)> {
+    match kind {
+        ShaderKind::Vertex => vec![
+            ("gl_Position", Type::Vec4),
+            ("gl_PointSize", Type::Float),
+        ],
+        ShaderKind::Fragment => vec![
+            ("gl_FragColor", Type::Vec4),
+            ("gl_FragData", Type::Array(Box::new(Type::Vec4), 1)),
+            ("gl_FragCoord", Type::Vec4),
+            ("gl_FrontFacing", Type::Bool),
+            ("gl_PointCoord", Type::Vec2),
+        ],
+    }
+}
+
+struct Lowerer<'a> {
+    shader: &'a CompiledShader,
+    consts: Vec<Value>,
+    names: Vec<String>,
+    name_index: HashMap<String, u32>,
+    globals: Vec<GlobalDef>,
+    global_index: HashMap<String, u32>,
+    reset_slots: Vec<u32>,
+    chunks: Vec<Chunk>,
+    functions: Vec<FuncDef>,
+    /// name → function-table indices, in definition order.
+    fn_candidates: HashMap<String, Vec<u32>>,
+    /// AST bodies pending compilation, parallel to `functions`.
+    fn_bodies: Vec<&'a Function>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(shader: &'a CompiledShader) -> Self {
+        Lowerer {
+            shader,
+            consts: Vec::new(),
+            names: Vec::new(),
+            name_index: HashMap::new(),
+            globals: Vec::new(),
+            global_index: HashMap::new(),
+            reset_slots: Vec::new(),
+            chunks: Vec::new(),
+            functions: Vec::new(),
+            fn_candidates: HashMap::new(),
+            fn_bodies: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.name_index.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.name_index.insert(name.to_owned(), i);
+        i
+    }
+
+    fn add_const(&mut self, v: Value) -> u32 {
+        // Dedup by exact bit equality for the common scalar cases.
+        for (i, existing) in self.consts.iter().enumerate() {
+            let same = match (existing, &v) {
+                (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+                (Value::Int(a), Value::Int(b)) => a == b,
+                (Value::Bool(a), Value::Bool(b)) => a == b,
+                _ => false,
+            };
+            if same {
+                return i as u32;
+            }
+        }
+        self.consts.push(v);
+        (self.consts.len() - 1) as u32
+    }
+
+    fn lower(mut self) -> Result<Executable, LowerError> {
+        // Globals: stage builtins first (same order as the interpreter),
+        // then declared globals in item order.
+        for (name, ty) in builtin_globals(self.shader.kind) {
+            let slot = self.globals.len() as u32;
+            self.globals.push(GlobalDef {
+                name: (*name).to_owned(),
+                ty: ty.clone(),
+            });
+            self.global_index.insert((*name).to_owned(), slot);
+        }
+        for item in &self.shader.unit.items {
+            if let Item::Var(decl) = item {
+                for var in &decl.vars {
+                    let slot = self.globals.len() as u32;
+                    self.globals.push(GlobalDef {
+                        name: var.name.clone(),
+                        ty: var.ty.clone(),
+                    });
+                    self.global_index.insert(var.name.clone(), slot);
+                    if decl.storage == Storage::None {
+                        self.reset_slots.push(slot);
+                    }
+                }
+            }
+        }
+
+        // Function headers (bodies may call functions defined later).
+        for item in &self.shader.unit.items {
+            if let Item::Function(f) = item {
+                let idx = self.functions.len() as u32;
+                let name = self.intern(&f.name);
+                self.functions.push(FuncDef {
+                    name,
+                    params: f.params.iter().map(|p| (p.ty.clone(), p.qual)).collect(),
+                    ret: f.ret.clone(),
+                    chunk: 0, // patched below
+                });
+                self.fn_candidates.entry(f.name.clone()).or_default().push(idx);
+                self.fn_bodies.push(f);
+            }
+        }
+
+        // Chunk 0: global initialisers.
+        let init_chunk = self.lower_init_chunk()?;
+        debug_assert_eq!(init_chunk, 0);
+
+        // Function bodies.
+        for fi in 0..self.fn_bodies.len() {
+            let f = self.fn_bodies[fi];
+            let chunk = self.lower_function(f)?;
+            self.functions[fi].chunk = chunk;
+        }
+
+        // main().
+        let main = self
+            .fn_bodies
+            .iter()
+            .find(|f| f.name == "main" && f.params.is_empty())
+            .copied()
+            .ok_or_else(|| err("no main() function"))?;
+        let main_chunk = self.lower_main(main)?;
+
+        Ok(Executable {
+            kind: self.shader.kind,
+            consts: self.consts,
+            names: self.names,
+            globals: self.globals,
+            global_index: self.global_index,
+            reset_slots: self.reset_slots,
+            chunks: self.chunks,
+            main_chunk,
+            functions: self.functions,
+        })
+    }
+
+    fn lower_init_chunk(&mut self) -> Result<u32, LowerError> {
+        // Copy the shader reference out first: it lives for 'a, so the
+        // item walk does not conflict with the compiler's &mut borrow
+        // (and no AST cloning is needed).
+        let shader = self.shader;
+        let mut cc = ChunkCompiler::new(self, CompileCx::Init);
+        for item in &shader.unit.items {
+            if let Item::Var(decl) = item {
+                for var in &decl.vars {
+                    if let Some(init) = &var.init {
+                        cc.expr(init)?;
+                    } else {
+                        let c = cc.lo.add_const(Value::zero_of(&var.ty));
+                        cc.emit(Insn::Const(c));
+                    }
+                    let slot = cc.lo.global_index[&var.name];
+                    cc.emit(Insn::StoreGlobalPop(slot));
+                }
+            }
+        }
+        cc.emit(Insn::Halt);
+        Ok(cc.finish())
+    }
+
+    fn lower_function(&mut self, f: &Function) -> Result<u32, LowerError> {
+        let name_idx = self.intern(&f.name);
+        let ret_void = f.ret == Type::Void;
+        let mut cc = ChunkCompiler::new(self, CompileCx::Function);
+        cc.ret_void = ret_void;
+        cc.fn_name = name_idx;
+        cc.push_scope();
+        for p in &f.params {
+            let slot = cc.alloc_slot();
+            cc.declare(&p.name, slot);
+        }
+        for stmt in &f.body {
+            cc.stmt(stmt)?;
+        }
+        // Fall-through return.
+        if ret_void {
+            let dummy = cc.lo.add_const(Value::Float(0.0));
+            cc.emit(Insn::Const(dummy));
+            cc.emit(Insn::Ret);
+        } else {
+            cc.emit(Insn::ErrNoReturn(name_idx));
+        }
+        cc.pop_scope();
+        Ok(cc.finish())
+    }
+
+    fn lower_main(&mut self, main: &Function) -> Result<u32, LowerError> {
+        let mut cc = ChunkCompiler::new(self, CompileCx::Main);
+        cc.push_scope();
+        for stmt in &main.body {
+            cc.stmt(stmt)?;
+        }
+        cc.emit(Insn::Halt);
+        cc.pop_scope();
+        Ok(cc.finish())
+    }
+}
+
+/// What kind of chunk is being compiled (changes `discard`, `return`,
+/// `break` semantics, mirroring the interpreter's `Flow` handling).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CompileCx {
+    Init,
+    Main,
+    Function,
+}
+
+struct LoopCtx {
+    /// Jump-site indices to patch to the loop exit.
+    breaks: Vec<usize>,
+    /// Jump-site indices to patch to the continue point.
+    continues: Vec<usize>,
+}
+
+struct ChunkCompiler<'l, 'a> {
+    lo: &'l mut Lowerer<'a>,
+    cx: CompileCx,
+    code: Vec<Insn>,
+    scopes: Vec<Vec<(String, u32)>>,
+    next_slot: u32,
+    frame_size: u32,
+    loops: Vec<LoopCtx>,
+    /// Whether the enclosing function returns `void` (Function chunks).
+    ret_void: bool,
+    /// Interned name of the enclosing function (Function chunks).
+    fn_name: u32,
+}
+
+impl<'l, 'a> ChunkCompiler<'l, 'a> {
+    fn new(lo: &'l mut Lowerer<'a>, cx: CompileCx) -> Self {
+        ChunkCompiler {
+            lo,
+            cx,
+            code: Vec::new(),
+            scopes: Vec::new(),
+            next_slot: 0,
+            frame_size: 0,
+            loops: Vec::new(),
+            ret_void: true,
+            fn_name: 0,
+        }
+    }
+
+    fn finish(self) -> u32 {
+        let idx = self.lo.chunks.len() as u32;
+        self.lo.chunks.push(Chunk {
+            code: self.code,
+            frame_size: self.frame_size,
+        });
+        idx
+    }
+
+    fn emit(&mut self, insn: Insn) -> usize {
+        self.code.push(insn);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Insn::Jump(t) | Insn::JumpIfFalse(t) | Insn::JumpIfTrue(t) => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    // ---- slots & scopes --------------------------------------------------
+
+    fn alloc_slot(&mut self) -> u32 {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        self.frame_size = self.frame_size.max(self.next_slot);
+        s
+    }
+
+    fn declare(&mut self, name: &str, slot: u32) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack non-empty")
+            .push((name.to_owned(), slot));
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    fn pop_scope(&mut self) {
+        let scope = self.scopes.pop().expect("scope to pop");
+        // Slots of this scope become reusable.
+        self.next_slot -= scope.len() as u32;
+    }
+
+    /// Resolves a name exactly like the interpreter's scope scan:
+    /// innermost scope first, later declarations shadow earlier ones,
+    /// then globals.
+    fn resolve(&self, name: &str) -> Option<SlotRef> {
+        for scope in self.scopes.iter().rev() {
+            if let Some((_, slot)) = scope.iter().rev().find(|(n, _)| n == name) {
+                return Some(SlotRef::Local(*slot));
+            }
+        }
+        self.lo.global_index.get(name).copied().map(SlotRef::Global)
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), LowerError> {
+        match &stmt.kind {
+            StmtKind::Expr(e) => self.expr_stmt(e),
+            StmtKind::Decl(decl) => {
+                for var in &decl.vars {
+                    if let Some(init) = &var.init {
+                        self.expr(init)?;
+                    } else {
+                        let c = self.lo.add_const(Value::zero_of(&var.ty));
+                        self.emit(Insn::Const(c));
+                    }
+                    // Resolve the initialiser before the name becomes
+                    // visible (matches the interpreter's push-after-eval).
+                    let slot = self.alloc_slot();
+                    self.declare(&var.name, slot);
+                    self.emit(Insn::StoreLocal(slot));
+                }
+                Ok(())
+            }
+            StmtKind::If(cond, then, els) => {
+                self.emit(Insn::Branch);
+                self.expr(cond)?;
+                let to_else = self.emit(Insn::JumpIfFalse(0));
+                self.scoped_stmt(then)?;
+                match els {
+                    Some(els) => {
+                        let to_end = self.emit(Insn::Jump(0));
+                        let else_at = self.here();
+                        self.patch(to_else, else_at);
+                        self.scoped_stmt(els)?;
+                        let end = self.here();
+                        self.patch(to_end, end);
+                    }
+                    None => {
+                        let end = self.here();
+                        self.patch(to_else, end);
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.push_scope();
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                self.emit(Insn::LoopEnter);
+                let top = self.here();
+                let cond_exit = match cond {
+                    Some(cond) => {
+                        self.expr(cond)?;
+                        Some(self.emit(Insn::JumpIfFalse(0)))
+                    }
+                    None => None,
+                };
+                self.emit(Insn::LoopIter { span: stmt.span });
+                self.loops.push(LoopCtx {
+                    breaks: Vec::new(),
+                    continues: Vec::new(),
+                });
+                self.scoped_stmt(body)?;
+                let cont_at = self.here();
+                if let Some(step) = step {
+                    self.expr_stmt(step)?;
+                }
+                self.emit(Insn::Jump(top));
+                let exit = self.here();
+                let ctx = self.loops.pop().expect("loop ctx");
+                for at in ctx.breaks {
+                    self.patch(at, exit);
+                }
+                for at in ctx.continues {
+                    self.patch(at, cont_at);
+                }
+                if let Some(at) = cond_exit {
+                    self.patch(at, exit);
+                }
+                self.emit(Insn::LoopExit);
+                self.pop_scope();
+                Ok(())
+            }
+            StmtKind::While(cond, body) => {
+                self.emit(Insn::LoopEnter);
+                let top = self.here();
+                self.expr(cond)?;
+                let cond_exit = self.emit(Insn::JumpIfFalse(0));
+                self.emit(Insn::LoopIter { span: stmt.span });
+                self.loops.push(LoopCtx {
+                    breaks: Vec::new(),
+                    continues: Vec::new(),
+                });
+                self.scoped_stmt(body)?;
+                self.emit(Insn::Jump(top));
+                let exit = self.here();
+                let ctx = self.loops.pop().expect("loop ctx");
+                for at in ctx.breaks {
+                    self.patch(at, exit);
+                }
+                for at in ctx.continues {
+                    self.patch(at, top);
+                }
+                self.patch(cond_exit, exit);
+                self.emit(Insn::LoopExit);
+                Ok(())
+            }
+            StmtKind::DoWhile(body, cond) => {
+                self.emit(Insn::LoopEnter);
+                let top = self.here();
+                self.emit(Insn::LoopIter { span: stmt.span });
+                self.loops.push(LoopCtx {
+                    breaks: Vec::new(),
+                    continues: Vec::new(),
+                });
+                self.scoped_stmt(body)?;
+                let cont_at = self.here();
+                self.expr(cond)?;
+                self.emit(Insn::JumpIfTrue(top));
+                let exit = self.here();
+                let ctx = self.loops.pop().expect("loop ctx");
+                for at in ctx.breaks {
+                    self.patch(at, exit);
+                }
+                for at in ctx.continues {
+                    self.patch(at, cont_at);
+                }
+                self.emit(Insn::LoopExit);
+                Ok(())
+            }
+            StmtKind::Return(value) => {
+                match self.cx {
+                    CompileCx::Function => {
+                        // `return;` in a non-void function reproduces the
+                        // interpreter's fall-off error; `return e;` pushes
+                        // the value.
+                        match value {
+                            Some(e) => {
+                                self.expr(e)?;
+                                self.emit(Insn::Ret);
+                            }
+                            None if self.ret_void => {
+                                let dummy = self.lo.add_const(Value::Float(0.0));
+                                self.emit(Insn::Const(dummy));
+                                self.emit(Insn::Ret);
+                            }
+                            None => {
+                                // `return;` in a non-void function ends
+                                // it without a value — same runtime error
+                                // as falling off the end.
+                                let name = self.fn_name;
+                                self.emit(Insn::ErrNoReturn(name));
+                            }
+                        }
+                    }
+                    CompileCx::Main | CompileCx::Init => {
+                        if let Some(e) = value {
+                            self.expr(e)?;
+                            self.emit(Insn::Pop);
+                        }
+                        self.emit(Insn::Halt);
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::Break => {
+                if let Some(_ctx) = self.loops.last() {
+                    let at = self.emit(Insn::Jump(0));
+                    self.loops.last_mut().expect("loop").breaks.push(at);
+                } else if self.cx == CompileCx::Function {
+                    self.emit(Insn::ErrBreakInFunction);
+                } else {
+                    // Break at main's top level ends the invocation
+                    // (matches the interpreter's Flow handling).
+                    self.emit(Insn::Halt);
+                }
+                Ok(())
+            }
+            StmtKind::Continue => {
+                if let Some(_ctx) = self.loops.last() {
+                    let at = self.emit(Insn::Jump(0));
+                    self.loops.last_mut().expect("loop").continues.push(at);
+                } else if self.cx == CompileCx::Function {
+                    self.emit(Insn::ErrBreakInFunction);
+                } else {
+                    self.emit(Insn::Halt);
+                }
+                Ok(())
+            }
+            StmtKind::Discard => {
+                match self.cx {
+                    CompileCx::Main => self.emit(Insn::Discard),
+                    _ => self.emit(Insn::ErrDiscardInFunction),
+                };
+                Ok(())
+            }
+            StmtKind::Block(stmts) => {
+                self.push_scope();
+                for s in stmts {
+                    self.stmt(s)?;
+                }
+                self.pop_scope();
+                Ok(())
+            }
+            StmtKind::Empty => Ok(()),
+        }
+    }
+
+    fn scoped_stmt(&mut self, stmt: &Stmt) -> Result<(), LowerError> {
+        self.push_scope();
+        self.stmt(stmt)?;
+        self.pop_scope();
+        Ok(())
+    }
+
+    /// An expression evaluated for effect only: assignments and inc/dec
+    /// skip the result duplication, everything else evaluates then pops.
+    fn expr_stmt(&mut self, e: &Expr) -> Result<(), LowerError> {
+        match &e.kind {
+            ExprKind::Assign(..) | ExprKind::Unary(UnOp::PreInc, _)
+            | ExprKind::Unary(UnOp::PreDec, _) | ExprKind::Unary(UnOp::PostInc, _)
+            | ExprKind::Unary(UnOp::PostDec, _) => self.expr_value(e, false),
+            ExprKind::Comma(a, b) => {
+                self.expr_stmt(a)?;
+                self.expr_stmt(b)
+            }
+            _ => {
+                self.expr(e)?;
+                self.emit(Insn::Pop);
+                Ok(())
+            }
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self, e: &Expr) -> Result<(), LowerError> {
+        self.expr_value(e, true)
+    }
+
+    /// Compiles `e`; leaves its value on the stack iff `for_value`.
+    fn expr_value(&mut self, e: &Expr, for_value: bool) -> Result<(), LowerError> {
+        match &e.kind {
+            ExprKind::FloatLit(v) => {
+                let c = self.lo.add_const(Value::Float(*v));
+                self.emit(Insn::Const(c));
+                self.discard_if(!for_value);
+                Ok(())
+            }
+            ExprKind::IntLit(v) => {
+                let c = self.lo.add_const(Value::Int(*v));
+                self.emit(Insn::Const(c));
+                self.discard_if(!for_value);
+                Ok(())
+            }
+            ExprKind::BoolLit(v) => {
+                let c = self.lo.add_const(Value::Bool(*v));
+                self.emit(Insn::Const(c));
+                self.discard_if(!for_value);
+                Ok(())
+            }
+            ExprKind::Ident(name) => {
+                match self.resolve(name) {
+                    Some(SlotRef::Local(s)) => self.emit(Insn::LoadLocal(s)),
+                    Some(SlotRef::Global(s)) => self.emit(Insn::LoadGlobal(s)),
+                    None => return Err(err(format!("unbound identifier `{name}`"))),
+                };
+                self.discard_if(!for_value);
+                Ok(())
+            }
+            ExprKind::Binary(op, a, b) => {
+                match op {
+                    BinOp::And => {
+                        self.expr(a)?;
+                        let j1 = self.emit(Insn::JumpIfFalse(0));
+                        self.expr(b)?;
+                        let j2 = self.emit(Insn::JumpIfFalse(0));
+                        let t = self.lo.add_const(Value::Bool(true));
+                        self.emit(Insn::Const(t));
+                        let to_end = self.emit(Insn::Jump(0));
+                        let false_at = self.here();
+                        self.patch(j1, false_at);
+                        self.patch(j2, false_at);
+                        let f = self.lo.add_const(Value::Bool(false));
+                        self.emit(Insn::Const(f));
+                        let end = self.here();
+                        self.patch(to_end, end);
+                    }
+                    BinOp::Or => {
+                        self.expr(a)?;
+                        let j1 = self.emit(Insn::JumpIfTrue(0));
+                        self.expr(b)?;
+                        let j2 = self.emit(Insn::JumpIfTrue(0));
+                        let f = self.lo.add_const(Value::Bool(false));
+                        self.emit(Insn::Const(f));
+                        let to_end = self.emit(Insn::Jump(0));
+                        let true_at = self.here();
+                        self.patch(j1, true_at);
+                        self.patch(j2, true_at);
+                        let t = self.lo.add_const(Value::Bool(true));
+                        self.emit(Insn::Const(t));
+                        let end = self.here();
+                        self.patch(to_end, end);
+                    }
+                    _ => {
+                        self.expr(a)?;
+                        self.expr(b)?;
+                        self.emit(Insn::Binary(*op));
+                    }
+                }
+                self.discard_if(!for_value);
+                Ok(())
+            }
+            ExprKind::Unary(op, inner) => {
+                match op {
+                    UnOp::Plus => {
+                        self.expr(inner)?;
+                        self.discard_if(!for_value);
+                    }
+                    UnOp::Neg => {
+                        self.expr(inner)?;
+                        self.emit(Insn::Neg);
+                        self.discard_if(!for_value);
+                    }
+                    UnOp::Not => {
+                        self.expr(inner)?;
+                        self.emit(Insn::Not);
+                        self.discard_if(!for_value);
+                    }
+                    UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec => {
+                        let inc = matches!(op, UnOp::PreInc | UnOp::PostInc);
+                        let post = matches!(op, UnOp::PostInc | UnOp::PostDec);
+                        self.expr(inner)?; // old value (index exprs eval #1)
+                        if post && for_value {
+                            self.emit(Insn::Dup); // keep old as result
+                        }
+                        self.emit(Insn::IncDec { inc });
+                        if !post && for_value {
+                            self.emit(Insn::Dup); // keep new as result
+                        }
+                        self.store_lvalue(inner)?; // index exprs eval #2
+                    }
+                }
+                Ok(())
+            }
+            ExprKind::Assign(op, lhs, rhs) => {
+                self.expr(rhs)?;
+                if let Some(bin) = compound_op(*op) {
+                    self.expr(lhs)?; // current value (index exprs eval #1)
+                    self.emit(Insn::Swap);
+                    self.emit(Insn::Binary(bin));
+                }
+                if for_value {
+                    self.emit(Insn::Dup);
+                }
+                self.store_lvalue(lhs)?;
+                Ok(())
+            }
+            ExprKind::Ternary(cond, yes, no) => {
+                self.emit(Insn::Branch);
+                self.expr(cond)?;
+                let to_else = self.emit(Insn::JumpIfFalse(0));
+                self.expr(yes)?;
+                let to_end = self.emit(Insn::Jump(0));
+                let else_at = self.here();
+                self.patch(to_else, else_at);
+                self.expr(no)?;
+                let end = self.here();
+                self.patch(to_end, end);
+                self.discard_if(!for_value);
+                Ok(())
+            }
+            ExprKind::Call(name, args) => {
+                self.call(name, args)?;
+                self.discard_if(!for_value);
+                Ok(())
+            }
+            ExprKind::Field(base, field) => {
+                self.expr(base)?;
+                let (idx, len) = swizzle_of(field)?;
+                self.emit(Insn::Swizzle { idx, len });
+                self.discard_if(!for_value);
+                Ok(())
+            }
+            ExprKind::Index(base, index) => {
+                self.expr(base)?;
+                self.expr(index)?;
+                self.emit(Insn::IndexOp);
+                self.discard_if(!for_value);
+                Ok(())
+            }
+            ExprKind::Comma(a, b) => {
+                self.expr(a)?;
+                self.emit(Insn::Pop);
+                self.expr_value(b, for_value)
+            }
+        }
+    }
+
+    fn discard_if(&mut self, pop: bool) {
+        if pop {
+            self.emit(Insn::Pop);
+        }
+    }
+
+    /// Emits the index-expression evaluations and the `Store` for an
+    /// lvalue; expects the value to store on top of the stack on entry.
+    fn store_lvalue(&mut self, lhs: &Expr) -> Result<(), LowerError> {
+        let (root_name, path) = flatten_lvalue(lhs)?;
+        let root = self
+            .resolve(root_name)
+            .ok_or_else(|| err(format!("unbound assignment target `{root_name}`")))?;
+        // Evaluate index expressions outermost-first, mirroring the
+        // interpreter's assign_to/modify recursion order.
+        let mut n_index = 0usize;
+        let mut steps: Vec<PathStep> = Vec::with_capacity(path.len());
+        for step in &path {
+            match step {
+                LvStep::Swizzle(field) => {
+                    let (idx, len) = swizzle_of(field)?;
+                    steps.push(PathStep::Swizzle { idx, len });
+                }
+                LvStep::Index(_) => {
+                    steps.push(PathStep::Index);
+                    n_index += 1;
+                }
+            }
+        }
+        if n_index > 8 {
+            return Err(err("lvalue path nests more than 8 indexed accesses"));
+        }
+        let n_index = n_index as u8;
+        for step in path.iter().rev() {
+            if let LvStep::Index(e) = step {
+                self.expr(e)?;
+            }
+        }
+        let wrote_color = root_name == "gl_FragColor";
+        let wrote_data = root_name == "gl_FragData" && !steps.is_empty();
+        self.emit(Insn::Store(Box::new(StoreDef {
+            root,
+            path: steps.into_boxed_slice(),
+            n_index,
+            wrote_color,
+            wrote_data,
+        })));
+        Ok(())
+    }
+
+    /// Compiles a call expression, including static out-parameter
+    /// copy-back.
+    fn call(&mut self, name: &str, args: &[Expr]) -> Result<(), LowerError> {
+        if args.len() > u8::MAX as usize {
+            // `Insn::Call` carries an 8-bit arity; fall back to the
+            // interpreter rather than truncating.
+            return Err(err(format!(
+                "call to `{name}` has more than {} arguments",
+                u8::MAX
+            )));
+        }
+        for a in args {
+            self.expr(a)?;
+        }
+        let name_idx = self.lo.intern(name);
+        let candidates: Box<[u32]> = self
+            .lo
+            .fn_candidates
+            .get(name)
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&fi| self.lo.functions[fi as usize].params.len() == args.len())
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        // Determine the static out-parameter mask.
+        let mut out_mask: Option<Vec<bool>> = None;
+        for &fi in candidates.iter() {
+            let mask: Vec<bool> = self.lo.functions[fi as usize]
+                .params
+                .iter()
+                .map(|(_, q)| matches!(q, ParamQual::Out | ParamQual::InOut))
+                .collect();
+            match &out_mask {
+                None => out_mask = Some(mask),
+                Some(existing) if *existing == mask => {}
+                Some(_) => {
+                    return Err(err(format!(
+                        "overloads of `{name}` disagree on out parameters"
+                    )))
+                }
+            }
+        }
+        let out_mask = out_mask.unwrap_or_default();
+        let has_outs = out_mask.iter().any(|&b| b);
+        if has_outs && builtins::is_builtin_name(name) {
+            return Err(err(format!(
+                "`{name}` shadows a builtin and takes out parameters"
+            )));
+        }
+
+        self.emit(Insn::Call {
+            name: name_idx,
+            argc: args.len() as u8,
+            candidates,
+            pushes_outs: has_outs,
+        });
+        if !has_outs {
+            return Ok(());
+        }
+
+        // Stack now: [out_0, …, out_{m-1}, ret]. Stash into temporaries,
+        // then copy back in parameter order (like the interpreter).
+        let out_args: Vec<usize> = out_mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &o)| o.then_some(i))
+            .collect();
+        let t_ret = self.alloc_slot();
+        let t_outs: Vec<u32> = out_args.iter().map(|_| self.alloc_slot()).collect();
+        self.emit(Insn::StoreLocal(t_ret));
+        for &t in t_outs.iter().rev() {
+            self.emit(Insn::StoreLocal(t));
+        }
+        for (&arg_i, &t) in out_args.iter().zip(&t_outs) {
+            self.emit(Insn::LoadLocal(t));
+            self.store_lvalue(&args[arg_i])?;
+        }
+        self.emit(Insn::LoadLocal(t_ret));
+        // Temporaries are dead past this point; release the slots.
+        self.next_slot -= (t_outs.len() + 1) as u32;
+        Ok(())
+    }
+}
+
+fn compound_op(op: AssignOp) -> Option<BinOp> {
+    match op {
+        AssignOp::Assign => None,
+        AssignOp::AddAssign => Some(BinOp::Add),
+        AssignOp::SubAssign => Some(BinOp::Sub),
+        AssignOp::MulAssign => Some(BinOp::Mul),
+        AssignOp::DivAssign => Some(BinOp::Div),
+    }
+}
+
+fn swizzle_of(field: &str) -> Result<([u8; 4], u8), LowerError> {
+    let indices = swizzle_indices(field)
+        .ok_or_else(|| err(format!("invalid swizzle `.{field}`")))?;
+    let mut idx = [0u8; 4];
+    for (slot, &i) in idx.iter_mut().zip(&indices) {
+        *slot = i as u8;
+    }
+    Ok((idx, indices.len() as u8))
+}
+
+/// One accessor of an lvalue path (AST form, before index compilation).
+enum LvStep<'e> {
+    Swizzle(&'e str),
+    Index(&'e Expr),
+}
+
+/// Decomposes an lvalue into its root identifier and accessor path
+/// (root-outward order).
+fn flatten_lvalue(e: &Expr) -> Result<(&str, Vec<LvStep<'_>>), LowerError> {
+    match &e.kind {
+        ExprKind::Ident(name) => Ok((name, Vec::new())),
+        ExprKind::Field(base, field) => {
+            let (root, mut path) = flatten_lvalue(base)?;
+            path.push(LvStep::Swizzle(field));
+            Ok((root, path))
+        }
+        ExprKind::Index(base, index) => {
+            let (root, mut path) = flatten_lvalue(base)?;
+            path.push(LvStep::Index(index));
+            Ok((root, path))
+        }
+        _ => Err(err("assignment target is not an lvalue")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::check;
+
+    fn lower_src(src: &str) -> Executable {
+        let shader = check(ShaderKind::Fragment, parse(src).expect("parse")).expect("check");
+        lower(&shader).expect("lower")
+    }
+
+    const P: &str = "precision highp float;\n";
+
+    #[test]
+    fn lowers_trivial_shader() {
+        let exe = lower_src(&format!(
+            "{P}void main() {{ gl_FragColor = vec4(1.0); }}"
+        ));
+        assert!(exe.global_slot("gl_FragColor").is_some());
+        assert!(exe.code_len() > 0);
+        assert_eq!(exe.kind(), ShaderKind::Fragment);
+    }
+
+    #[test]
+    fn globals_get_distinct_slots() {
+        let exe = lower_src(&format!(
+            "{P}uniform float u_a;\nuniform vec2 u_b;\nvarying vec3 v_c;\n\
+             void main() {{ gl_FragColor = vec4(v_c * u_a, u_b.x); }}"
+        ));
+        let a = exe.global_slot("u_a").expect("u_a");
+        let b = exe.global_slot("u_b").expect("u_b");
+        let c = exe.global_slot("v_c").expect("v_c");
+        assert!(a != b && b != c && a != c);
+        assert_eq!(exe.global_slot("nope"), None);
+    }
+
+    #[test]
+    fn local_slots_are_reused_across_scopes() {
+        let exe = lower_src(&format!(
+            "{P}void main() {{
+                {{ float a = 1.0; float b = a; gl_FragColor = vec4(b); }}
+                {{ float c = 2.0; gl_FragColor = vec4(c); }}
+            }}"
+        ));
+        let main = &exe.chunks[exe.main_chunk as usize];
+        // Two slots in the first block, one (reused) in the second.
+        assert!(main.frame_size <= 2, "frame_size = {}", main.frame_size);
+    }
+
+    #[test]
+    fn executable_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Executable>();
+    }
+}

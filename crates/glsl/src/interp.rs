@@ -9,7 +9,8 @@ use crate::ast::*;
 use crate::builtins::{self, BuiltinCx};
 use crate::error::RuntimeError;
 use crate::exec::{ExecLimits, FloatModel, OpProfile, TextureAccess};
-use crate::sema::{CompiledShader, ShaderKind};
+use crate::ops;
+use crate::sema::CompiledShader;
 use crate::swizzle::swizzle_indices;
 use crate::types::{Scalar, Type};
 use crate::value::Value;
@@ -34,6 +35,9 @@ pub struct Interpreter<'a> {
     profile: OpProfile,
     /// Scope stack; index 0 holds globals.
     scopes: Vec<Vec<(String, Value)>>,
+    /// Retired scope `Vec`s kept for reuse, so entering a block in the
+    /// fragment hot loop does not reallocate.
+    scope_pool: Vec<Vec<(String, Value)>>,
     /// (index into globals, initial value) for mutable plain globals that
     /// must be re-initialised per invocation.
     reset_list: Vec<(usize, Value)>,
@@ -81,6 +85,7 @@ impl<'a> Interpreter<'a> {
             textures,
             profile: OpProfile::new(),
             scopes: vec![Vec::new()],
+            scope_pool: Vec::new(),
             reset_list: Vec::new(),
             call_depth: 0,
             discarded: false,
@@ -97,25 +102,15 @@ impl<'a> Interpreter<'a> {
     }
 
     fn init_globals(&mut self) -> Result<(), RuntimeError> {
-        // Stage builtins.
-        let builtin_globals: &[(&str, Type)] = match self.shader.kind {
-            ShaderKind::Vertex => &[
-                ("gl_Position", Type::Vec4),
-                ("gl_PointSize", Type::Float),
-            ],
-            ShaderKind::Fragment => &[
-                ("gl_FragColor", Type::Vec4),
-                ("gl_FragData", Type::Array(Box::new(Type::Vec4), 1)),
-                ("gl_FragCoord", Type::Vec4),
-                ("gl_FrontFacing", Type::Bool),
-                ("gl_PointCoord", Type::Vec2),
-            ],
-        };
-        for (name, ty) in builtin_globals {
-            self.scopes[0].push(((*name).to_owned(), Value::zero_of(ty)));
+        // Stage builtins — the single table shared with the bytecode
+        // lowerer, so both executors agree on what exists.
+        for (name, ty) in crate::compile::builtin_globals(self.shader.kind) {
+            self.scopes[0].push((name.to_owned(), Value::zero_of(&ty)));
         }
-        let items = self.shader.unit.items.clone();
-        for item in &items {
+        // Copy the `&'a` shader reference out of `self` so the item walk
+        // does not conflict with `eval`'s mutable borrow (no AST clone).
+        let shader = self.shader;
+        for item in &shader.unit.items {
             if let Item::Var(decl) = item {
                 for var in &decl.vars {
                     let value = if let Some(init) = &var.init {
@@ -200,10 +195,12 @@ impl<'a> Interpreter<'a> {
         self.discarded = false;
         self.wrote_frag_color = false;
         self.wrote_frag_data = false;
-        // Restore mutable plain globals to their initial values.
-        let resets = self.reset_list.clone();
-        for (index, value) in resets {
-            self.scopes[0][index].1 = value;
+        // Restore mutable plain globals to their initial values without
+        // cloning the reset list itself; `clone_from` keeps any array
+        // allocations alive across invocations.
+        let globals = &mut self.scopes[0];
+        for (index, value) in &self.reset_list {
+            globals[*index].1.clone_from(value);
         }
         self.profile.invocations += 1;
 
@@ -215,9 +212,9 @@ impl<'a> Interpreter<'a> {
             .ok_or(RuntimeError::Unbound {
                 name: "main".into(),
             })?;
-        self.scopes.push(Vec::new());
+        self.push_scope();
         let flow = self.exec_block(&main.body);
-        self.scopes.pop();
+        self.pop_scope();
         match flow? {
             Flow::Discard => {
                 self.discarded = true;
@@ -228,6 +225,19 @@ impl<'a> Interpreter<'a> {
     }
 
     // ---- statements ------------------------------------------------------
+
+    /// Enters a lexical scope, reusing a pooled `Vec` where possible.
+    fn push_scope(&mut self) {
+        self.scopes.push(self.scope_pool.pop().unwrap_or_default());
+    }
+
+    /// Leaves a lexical scope, returning its `Vec` to the pool.
+    fn pop_scope(&mut self) {
+        if let Some(mut scope) = self.scopes.pop() {
+            scope.clear();
+            self.scope_pool.push(scope);
+        }
+    }
 
     fn exec_block(&mut self, stmts: &[Stmt]) -> Result<Flow, RuntimeError> {
         for stmt in stmts {
@@ -276,7 +286,7 @@ impl<'a> Interpreter<'a> {
                 step,
                 body,
             } => {
-                self.scopes.push(Vec::new());
+                self.push_scope();
                 let result = (|| {
                     if let Some(init) = init {
                         self.exec_stmt(init)?;
@@ -307,7 +317,7 @@ impl<'a> Interpreter<'a> {
                     }
                     Ok(Flow::Normal)
                 })();
-                self.scopes.pop();
+                self.pop_scope();
                 result
             }
             StmtKind::While(cond, body) => {
@@ -362,9 +372,9 @@ impl<'a> Interpreter<'a> {
             StmtKind::Continue => Ok(Flow::Continue),
             StmtKind::Discard => Ok(Flow::Discard),
             StmtKind::Block(stmts) => {
-                self.scopes.push(Vec::new());
+                self.push_scope();
                 let r = self.exec_block(stmts);
-                self.scopes.pop();
+                self.pop_scope();
                 r
             }
             StmtKind::Empty => Ok(Flow::Normal),
@@ -372,9 +382,9 @@ impl<'a> Interpreter<'a> {
     }
 
     fn scoped_stmt(&mut self, stmt: &Stmt) -> Result<Flow, RuntimeError> {
-        self.scopes.push(Vec::new());
+        self.push_scope();
         let r = self.exec_stmt(stmt);
-        self.scopes.pop();
+        self.pop_scope();
         r
     }
 
@@ -499,31 +509,7 @@ impl<'a> Interpreter<'a> {
     }
 
     fn negate(&mut self, v: Value) -> Result<Value, RuntimeError> {
-        match v {
-            Value::Float(x) => Ok(Value::Float(-x)),
-            Value::Int(x) => Ok(Value::Int(x.wrapping_neg())),
-            Value::Vec2(x) => Ok(Value::Vec2([-x[0], -x[1]])),
-            Value::Vec3(x) => Ok(Value::Vec3([-x[0], -x[1], -x[2]])),
-            Value::Vec4(x) => Ok(Value::Vec4([-x[0], -x[1], -x[2], -x[3]])),
-            Value::IVec2(x) => Ok(Value::IVec2([x[0].wrapping_neg(), x[1].wrapping_neg()])),
-            Value::IVec3(x) => Ok(Value::IVec3([
-                x[0].wrapping_neg(),
-                x[1].wrapping_neg(),
-                x[2].wrapping_neg(),
-            ])),
-            Value::IVec4(x) => Ok(Value::IVec4([
-                x[0].wrapping_neg(),
-                x[1].wrapping_neg(),
-                x[2].wrapping_neg(),
-                x[3].wrapping_neg(),
-            ])),
-            Value::Mat2(m) => Ok(Value::Mat2(m.map(|c| c.map(|x| -x)))),
-            Value::Mat3(m) => Ok(Value::Mat3(m.map(|c| c.map(|x| -x)))),
-            Value::Mat4(m) => Ok(Value::Mat4(m.map(|c| c.map(|x| -x)))),
-            other => Err(RuntimeError::Type {
-                message: format!("cannot negate {}", other.ty()),
-            }),
-        }
+        ops::negate(v)
     }
 
     fn eval_binary(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Result<Value, RuntimeError> {
@@ -552,261 +538,7 @@ impl<'a> Interpreter<'a> {
     }
 
     fn apply_binary(&mut self, op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
-        use BinOp::*;
-        match op {
-            And => Ok(Value::Bool(
-                a.as_bool().unwrap_or(false) && b.as_bool().unwrap_or(false),
-            )),
-            Or => Ok(Value::Bool(
-                a.as_bool().unwrap_or(false) || b.as_bool().unwrap_or(false),
-            )),
-            Xor => match (a.as_bool(), b.as_bool()) {
-                (Some(x), Some(y)) => Ok(Value::Bool(x != y)),
-                _ => Err(RuntimeError::Type {
-                    message: "`^^` requires bool operands".into(),
-                }),
-            },
-            Eq => {
-                self.profile.alu_ops += 1;
-                Ok(Value::Bool(a == b))
-            }
-            Ne => {
-                self.profile.alu_ops += 1;
-                Ok(Value::Bool(a != b))
-            }
-            Lt | Le | Gt | Ge => {
-                self.profile.alu_ops += 1;
-                let result = match (&a, &b) {
-                    (Value::Float(x), Value::Float(y)) => match op {
-                        Lt => x < y,
-                        Le => x <= y,
-                        Gt => x > y,
-                        _ => x >= y,
-                    },
-                    (Value::Int(x), Value::Int(y)) => match op {
-                        Lt => x < y,
-                        Le => x <= y,
-                        Gt => x > y,
-                        _ => x >= y,
-                    },
-                    _ => {
-                        return Err(RuntimeError::Type {
-                            message: format!(
-                                "relational operator on {} and {}",
-                                a.ty(),
-                                b.ty()
-                            ),
-                        })
-                    }
-                };
-                Ok(Value::Bool(result))
-            }
-            Add | Sub | Div | Mul => self.arith(op, a, b),
-        }
-    }
-
-    fn arith(&mut self, op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
-        // Scalar fast paths: the overwhelmingly common case in GPGPU
-        // kernels, kept allocation-free.
-        match (&a, &b) {
-            (Value::Float(x), Value::Float(y)) => {
-                self.profile.alu_ops += 1;
-                let r = match op {
-                    BinOp::Add => x + y,
-                    BinOp::Sub => x - y,
-                    BinOp::Mul => x * y,
-                    _ => x / y,
-                };
-                return Ok(Value::Float(self.model.round_alu(r)));
-            }
-            (Value::Int(x), Value::Int(y)) => {
-                self.profile.alu_ops += 1;
-                let r = match op {
-                    BinOp::Add => x.wrapping_add(*y),
-                    BinOp::Sub => x.wrapping_sub(*y),
-                    BinOp::Mul => x.wrapping_mul(*y),
-                    _ => {
-                        if *y == 0 {
-                            0
-                        } else {
-                            x.wrapping_div(*y)
-                        }
-                    }
-                };
-                return Ok(Value::Int(r));
-            }
-            _ => {}
-        }
-        // Linear algebra products.
-        if op == BinOp::Mul {
-            match (&a, &b) {
-                (Value::Mat2(m), Value::Vec2(v)) => return Ok(Value::Vec2(self.m2v(m, v))),
-                (Value::Mat3(m), Value::Vec3(v)) => return Ok(Value::Vec3(self.m3v(m, v))),
-                (Value::Mat4(m), Value::Vec4(v)) => return Ok(Value::Vec4(self.m4v(m, v))),
-                (Value::Vec2(v), Value::Mat2(m)) => return Ok(Value::Vec2(self.v2m(v, m))),
-                (Value::Vec3(v), Value::Mat3(m)) => return Ok(Value::Vec3(self.v3m(v, m))),
-                (Value::Vec4(v), Value::Mat4(m)) => return Ok(Value::Vec4(self.v4m(v, m))),
-                (Value::Mat2(x), Value::Mat2(y)) => {
-                    let mut m = [[0.0f32; 2]; 2];
-                    for (c, col) in m.iter_mut().enumerate() {
-                        let yc = y[c];
-                        *col = self.m2v(x, &yc);
-                    }
-                    return Ok(Value::Mat2(m));
-                }
-                (Value::Mat3(x), Value::Mat3(y)) => {
-                    let mut m = [[0.0f32; 3]; 3];
-                    for (c, col) in m.iter_mut().enumerate() {
-                        let yc = y[c];
-                        *col = self.m3v(x, &yc);
-                    }
-                    return Ok(Value::Mat3(m));
-                }
-                (Value::Mat4(x), Value::Mat4(y)) => {
-                    let mut m = [[0.0f32; 4]; 4];
-                    for (c, col) in m.iter_mut().enumerate() {
-                        let yc = y[c];
-                        *col = self.m4v(x, &yc);
-                    }
-                    return Ok(Value::Mat4(m));
-                }
-                _ => {}
-            }
-        }
-
-        let scalar_cat = |v: &Value| v.ty().scalar();
-        match (scalar_cat(&a), scalar_cat(&b)) {
-            (Some(Scalar::Int), Some(Scalar::Int)) => self.int_arith(op, &a, &b),
-            (Some(Scalar::Float), Some(Scalar::Float)) => self.float_arith(op, &a, &b),
-            _ => Err(RuntimeError::Type {
-                message: format!(
-                    "operator `{}` cannot combine {} and {}",
-                    op.symbol(),
-                    a.ty(),
-                    b.ty()
-                ),
-            }),
-        }
-    }
-
-    fn float_arith(&mut self, op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
-        let ca = a.float_components().ok_or_else(|| RuntimeError::Type {
-            message: format!("expected float operand, found {}", a.ty()),
-        })?;
-        let cb = b.float_components().ok_or_else(|| RuntimeError::Type {
-            message: format!("expected float operand, found {}", b.ty()),
-        })?;
-        let (shape_ty, n) = if ca.len() >= cb.len() {
-            (a.ty(), ca.len())
-        } else {
-            (b.ty(), cb.len())
-        };
-        if ca.len() != cb.len() && ca.len() != 1 && cb.len() != 1 {
-            return Err(RuntimeError::Type {
-                message: format!("shape mismatch: {} vs {}", a.ty(), b.ty()),
-            });
-        }
-        self.profile.alu_ops += n as u64;
-        let pick = |c: &[f32], i: usize| if c.len() == 1 { c[0] } else { c[i] };
-        let f = |x: f32, y: f32| match op {
-            BinOp::Add => x + y,
-            BinOp::Sub => x - y,
-            BinOp::Mul => x * y,
-            _ => x / y,
-        };
-        let comps: Vec<f32> = (0..n)
-            .map(|i| self.model.round_alu(f(pick(&ca, i), pick(&cb, i))))
-            .collect();
-        Ok(rebuild_float(&shape_ty, &comps))
-    }
-
-    fn int_arith(&mut self, op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
-        let ca = int_components(a)?;
-        let cb = int_components(b)?;
-        let (shape_ty, n) = if ca.len() >= cb.len() {
-            (a.ty(), ca.len())
-        } else {
-            (b.ty(), cb.len())
-        };
-        if ca.len() != cb.len() && ca.len() != 1 && cb.len() != 1 {
-            return Err(RuntimeError::Type {
-                message: format!("shape mismatch: {} vs {}", a.ty(), b.ty()),
-            });
-        }
-        self.profile.alu_ops += n as u64;
-        let pick = |c: &[i32], i: usize| if c.len() == 1 { c[0] } else { c[i] };
-        let f = |x: i32, y: i32| match op {
-            BinOp::Add => x.wrapping_add(y),
-            BinOp::Sub => x.wrapping_sub(y),
-            BinOp::Mul => x.wrapping_mul(y),
-            // GLSL leaves division by zero undefined; return 0 like most
-            // GPU hardware saturates rather than trapping.
-            _ => {
-                if y == 0 {
-                    0
-                } else {
-                    x.wrapping_div(y)
-                }
-            }
-        };
-        let comps: Vec<i32> = (0..n).map(|i| f(pick(&ca, i), pick(&cb, i))).collect();
-        Ok(rebuild_int(&shape_ty, &comps))
-    }
-
-    fn fdot(&mut self, a: &[f32], b: &[f32]) -> f32 {
-        self.profile.alu_ops += (2 * a.len()) as u64;
-        let mut acc = 0.0;
-        for (x, y) in a.iter().zip(b) {
-            acc = self.model.round_alu(acc + self.model.round_alu(x * y));
-        }
-        acc
-    }
-
-    fn m2v(&mut self, m: &[[f32; 2]; 2], v: &[f32; 2]) -> [f32; 2] {
-        let rows: Vec<[f32; 2]> = (0..2).map(|r| [m[0][r], m[1][r]]).collect();
-        [self.fdot(&rows[0], v), self.fdot(&rows[1], v)]
-    }
-
-    fn m3v(&mut self, m: &[[f32; 3]; 3], v: &[f32; 3]) -> [f32; 3] {
-        let rows: Vec<[f32; 3]> = (0..3).map(|r| [m[0][r], m[1][r], m[2][r]]).collect();
-        [
-            self.fdot(&rows[0], v),
-            self.fdot(&rows[1], v),
-            self.fdot(&rows[2], v),
-        ]
-    }
-
-    fn m4v(&mut self, m: &[[f32; 4]; 4], v: &[f32; 4]) -> [f32; 4] {
-        let rows: Vec<[f32; 4]> = (0..4)
-            .map(|r| [m[0][r], m[1][r], m[2][r], m[3][r]])
-            .collect();
-        [
-            self.fdot(&rows[0], v),
-            self.fdot(&rows[1], v),
-            self.fdot(&rows[2], v),
-            self.fdot(&rows[3], v),
-        ]
-    }
-
-    fn v2m(&mut self, v: &[f32; 2], m: &[[f32; 2]; 2]) -> [f32; 2] {
-        [self.fdot(v, &m[0]), self.fdot(v, &m[1])]
-    }
-
-    fn v3m(&mut self, v: &[f32; 3], m: &[[f32; 3]; 3]) -> [f32; 3] {
-        [
-            self.fdot(v, &m[0]),
-            self.fdot(v, &m[1]),
-            self.fdot(v, &m[2]),
-        ]
-    }
-
-    fn v4m(&mut self, v: &[f32; 4], m: &[[f32; 4]; 4]) -> [f32; 4] {
-        [
-            self.fdot(v, &m[0]),
-            self.fdot(v, &m[1]),
-            self.fdot(v, &m[2]),
-            self.fdot(v, &m[3]),
-        ]
+        ops::apply_binary(self.model, &mut self.profile, op, a, b)
     }
 
     fn eval_call(&mut self, name: &str, args: &[Expr]) -> Result<Value, RuntimeError> {
@@ -981,257 +713,17 @@ impl<'a> Interpreter<'a> {
 }
 
 // ---- free helpers -----------------------------------------------------------
+// (The value-manipulation helpers shared with the bytecode VM live in
+// `crate::ops`; thin aliases keep this module's call sites readable.)
 
-fn int_components(v: &Value) -> Result<Vec<i32>, RuntimeError> {
-    Ok(match v {
-        Value::Int(x) => vec![*x],
-        Value::IVec2(x) => x.to_vec(),
-        Value::IVec3(x) => x.to_vec(),
-        Value::IVec4(x) => x.to_vec(),
-        other => {
-            return Err(RuntimeError::Type {
-                message: format!("expected int operand, found {}", other.ty()),
-            })
-        }
-    })
-}
-
-fn rebuild_float(ty: &Type, comps: &[f32]) -> Value {
-    match ty {
-        Type::Float => Value::Float(comps[0]),
-        Type::Vec2 => Value::Vec2([comps[0], comps[1]]),
-        Type::Vec3 => Value::Vec3([comps[0], comps[1], comps[2]]),
-        Type::Vec4 => Value::Vec4([comps[0], comps[1], comps[2], comps[3]]),
-        Type::Mat2 => Value::Mat2([[comps[0], comps[1]], [comps[2], comps[3]]]),
-        Type::Mat3 => Value::Mat3([
-            [comps[0], comps[1], comps[2]],
-            [comps[3], comps[4], comps[5]],
-            [comps[6], comps[7], comps[8]],
-        ]),
-        Type::Mat4 => Value::Mat4([
-            [comps[0], comps[1], comps[2], comps[3]],
-            [comps[4], comps[5], comps[6], comps[7]],
-            [comps[8], comps[9], comps[10], comps[11]],
-            [comps[12], comps[13], comps[14], comps[15]],
-        ]),
-        _ => unreachable!("rebuild_float on non-float shape"),
-    }
-}
-
-fn rebuild_int(ty: &Type, comps: &[i32]) -> Value {
-    match ty {
-        Type::Int => Value::Int(comps[0]),
-        Type::IVec2 => Value::IVec2([comps[0], comps[1]]),
-        Type::IVec3 => Value::IVec3([comps[0], comps[1], comps[2]]),
-        Type::IVec4 => Value::IVec4([comps[0], comps[1], comps[2], comps[3]]),
-        _ => unreachable!("rebuild_int on non-int shape"),
-    }
-}
-
-fn swizzle_read(base: &Value, idx: &[usize]) -> Result<Value, RuntimeError> {
-    let scalar = base.ty().scalar().ok_or_else(|| RuntimeError::Type {
-        message: format!("cannot swizzle {}", base.ty()),
-    })?;
-    let mut comps = Vec::with_capacity(idx.len());
-    for &i in idx {
-        let c = base.component(i).ok_or(RuntimeError::IndexOutOfBounds {
-            index: i as i64,
-            len: base.ty().dim().unwrap_or(0),
-        })?;
-        comps.push(match c {
-            Value::Float(f) => f,
-            Value::Int(x) => x as f32,
-            Value::Bool(b) => b as i32 as f32,
-            _ => unreachable!("component is scalar"),
-        });
-    }
-    if comps.len() == 1 {
-        Ok(match scalar {
-            Scalar::Float => Value::Float(comps[0]),
-            Scalar::Int => Value::Int(comps[0] as i32),
-            Scalar::Bool => Value::Bool(comps[0] != 0.0),
-        })
-    } else {
-        Ok(Value::from_components(scalar, &comps))
-    }
-}
-
-fn swizzle_write(base: &mut Value, idx: &[usize], value: &Value) -> Result<(), RuntimeError> {
-    let scalar = base.ty().scalar().ok_or_else(|| RuntimeError::Type {
-        message: format!("cannot swizzle {}", base.ty()),
-    })?;
-    let comps: Vec<f32> = if idx.len() == 1 {
-        vec![value.numeric_components().and_then(|c| c.first().copied()).ok_or_else(
-            || RuntimeError::Type {
-                message: "swizzle write needs a scalar".into(),
-            },
-        )?]
-    } else {
-        value.numeric_components().ok_or_else(|| RuntimeError::Type {
-            message: "swizzle write needs numeric components".into(),
-        })?
-    };
-    if comps.len() != idx.len() {
-        return Err(RuntimeError::Type {
-            message: format!(
-                "swizzle write of {} components into {}-component selector",
-                comps.len(),
-                idx.len()
-            ),
-        });
-    }
-    for (&i, &c) in idx.iter().zip(&comps) {
-        let cv = match scalar {
-            Scalar::Float => Value::Float(c),
-            Scalar::Int => Value::Int(c as i32),
-            Scalar::Bool => Value::Bool(c != 0.0),
-        };
-        if !base.set_component(i, &cv) {
-            return Err(RuntimeError::IndexOutOfBounds {
-                index: i as i64,
-                len: base.ty().dim().unwrap_or(0),
-            });
-        }
-    }
-    Ok(())
-}
-
-fn index_read(base: &Value, i: i64) -> Result<Value, RuntimeError> {
-    let oob = |len: usize| RuntimeError::IndexOutOfBounds { index: i, len };
-    match base {
-        Value::Array(elems) => {
-            if i < 0 || i as usize >= elems.len() {
-                Err(oob(elems.len()))
-            } else {
-                Ok(elems[i as usize].clone())
-            }
-        }
-        Value::Mat2(m) => {
-            if (0..2).contains(&i) {
-                Ok(Value::Vec2(m[i as usize]))
-            } else {
-                Err(oob(2))
-            }
-        }
-        Value::Mat3(m) => {
-            if (0..3).contains(&i) {
-                Ok(Value::Vec3(m[i as usize]))
-            } else {
-                Err(oob(3))
-            }
-        }
-        Value::Mat4(m) => {
-            if (0..4).contains(&i) {
-                Ok(Value::Vec4(m[i as usize]))
-            } else {
-                Err(oob(4))
-            }
-        }
-        vector => {
-            let dim = vector.ty().dim().ok_or_else(|| RuntimeError::Type {
-                message: format!("cannot index {}", vector.ty()),
-            })?;
-            if i < 0 || i as usize >= dim {
-                Err(oob(dim))
-            } else {
-                vector.component(i as usize).ok_or(oob(dim))
-            }
-        }
-    }
-}
-
-fn index_write(base: &mut Value, i: i64, value: &Value) -> Result<(), RuntimeError> {
-    index_modify(base, i, &mut |slot| {
-        *slot = value.clone();
-        Ok(())
-    })
-}
-
-fn index_modify(
-    base: &mut Value,
-    i: i64,
-    f: &mut dyn FnMut(&mut Value) -> Result<(), RuntimeError>,
-) -> Result<(), RuntimeError> {
-    match base {
-        Value::Array(elems) => {
-            let len = elems.len();
-            let slot = elems
-                .get_mut(i.max(0) as usize)
-                .filter(|_| i >= 0)
-                .ok_or(RuntimeError::IndexOutOfBounds { index: i, len })?;
-            f(slot)
-        }
-        Value::Mat2(m) => {
-            if !(0..2).contains(&i) {
-                return Err(RuntimeError::IndexOutOfBounds { index: i, len: 2 });
-            }
-            let mut col = Value::Vec2(m[i as usize]);
-            f(&mut col)?;
-            m[i as usize] = col.as_vec2().ok_or_else(|| RuntimeError::Type {
-                message: "matrix column must stay vec2".into(),
-            })?;
-            Ok(())
-        }
-        Value::Mat3(m) => {
-            if !(0..3).contains(&i) {
-                return Err(RuntimeError::IndexOutOfBounds { index: i, len: 3 });
-            }
-            let mut col = Value::Vec3(m[i as usize]);
-            f(&mut col)?;
-            match col {
-                Value::Vec3(c) => {
-                    m[i as usize] = c;
-                    Ok(())
-                }
-                _ => Err(RuntimeError::Type {
-                    message: "matrix column must stay vec3".into(),
-                }),
-            }
-        }
-        Value::Mat4(m) => {
-            if !(0..4).contains(&i) {
-                return Err(RuntimeError::IndexOutOfBounds { index: i, len: 4 });
-            }
-            let mut col = Value::Vec4(m[i as usize]);
-            f(&mut col)?;
-            match col {
-                Value::Vec4(c) => {
-                    m[i as usize] = c;
-                    Ok(())
-                }
-                _ => Err(RuntimeError::Type {
-                    message: "matrix column must stay vec4".into(),
-                }),
-            }
-        }
-        vector => {
-            let dim = vector.ty().dim().ok_or_else(|| RuntimeError::Type {
-                message: format!("cannot index {}", vector.ty()),
-            })?;
-            if i < 0 || i as usize >= dim {
-                return Err(RuntimeError::IndexOutOfBounds { index: i, len: dim });
-            }
-            let mut tmp = vector
-                .component(i as usize)
-                .expect("component within bounds");
-            f(&mut tmp)?;
-            if vector.set_component(i as usize, &tmp) {
-                Ok(())
-            } else {
-                Err(RuntimeError::Type {
-                    message: "component write changed scalar category".into(),
-                })
-            }
-        }
-    }
-}
+use ops::{index_modify, index_read, index_write, swizzle_read, swizzle_write};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exec::NoTextures;
     use crate::parser::parse;
-    use crate::sema::check;
+    use crate::sema::{check, ShaderKind};
 
     fn run_fragment(src: &str) -> [f32; 4] {
         run_fragment_with(src, FloatModel::Exact, &[])

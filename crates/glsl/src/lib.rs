@@ -45,10 +45,12 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod compile;
 pub mod error;
 pub mod exec;
 pub mod interp;
 pub mod lexer;
+mod ops;
 pub mod parser;
 pub mod preprocessor;
 pub mod sema;
@@ -58,13 +60,16 @@ pub mod swizzle;
 pub mod token;
 pub mod types;
 pub mod value;
+pub mod vm;
 
+pub use compile::{lower, Executable, LowerError};
 pub use error::{CompileError, RuntimeError};
 pub use preprocessor::{preprocess, ExtensionBehavior, Preprocessed};
 pub use sema::{CompiledShader, ShaderInterface, ShaderKind};
 pub use strict::StrictProfile;
 pub use types::{Precision, Scalar, Type};
 pub use value::Value;
+pub use vm::Vm;
 
 /// Compiles (parses + checks) a shader source string.
 ///

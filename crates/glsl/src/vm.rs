@@ -1,0 +1,785 @@
+//! Register-style virtual machine for lowered shaders.
+//!
+//! One [`Vm`] executes many invocations of a [`Executable`] (one per
+//! vertex or fragment). All storage — globals, operand stack, the frame
+//! arena for locals — is owned by the `Vm` and **reused across
+//! invocations**: after warm-up, running `main` performs no heap
+//! allocation for shaders without local arrays.
+//!
+//! The VM is semantically interchangeable with
+//! [`crate::interp::Interpreter`]: same results bit for bit under every
+//! [`FloatModel`], same [`OpProfile`] counters, same runtime errors. The
+//! interpreter is retained as the reference oracle; differential tests
+//! assert the equivalence on every bundled kernel and on generated
+//! programs.
+
+use crate::ast::{BinOp, ParamQual};
+use crate::builtins::{self, BuiltinCx};
+use crate::compile::{Executable, Insn, PathStep, SlotRef, StoreDef};
+use crate::error::RuntimeError;
+use crate::exec::{ExecLimits, FloatModel, OpProfile, TextureAccess};
+use crate::ops;
+use crate::types::Scalar;
+use crate::value::Value;
+
+/// How a chunk finished.
+enum ChunkFlow {
+    /// Fell through / `Halt`.
+    End,
+    /// `Ret` — return value is on the operand stack.
+    Ret,
+    /// `discard` executed (main chunk only).
+    Discarded,
+}
+
+/// Executes invocations of one lowered shader.
+pub struct Vm<'a> {
+    exe: &'a Executable,
+    textures: &'a dyn TextureAccess,
+    model: FloatModel,
+    limits: ExecLimits,
+    profile: OpProfile,
+    /// Global slot values, indexed by the lowerer's slot assignment.
+    globals: Vec<Value>,
+    /// (slot, initial value) for plain mutable globals.
+    reset_list: Vec<(u32, Value)>,
+    /// Operand stack, reused across invocations.
+    stack: Vec<Value>,
+    /// Frame arena: `main` occupies the bottom, calls stack above it.
+    locals: Vec<Value>,
+    /// Per-loop iteration counters (nested loops nest counters).
+    loop_counters: Vec<u64>,
+    call_depth: u32,
+    discarded: bool,
+    wrote_frag_color: bool,
+    wrote_frag_data: bool,
+}
+
+impl<'a> Vm<'a> {
+    /// Creates a VM over a lowered shader with the given texture
+    /// bindings, using the exact float model.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a global initialiser fails to evaluate (same cases as
+    /// [`crate::interp::Interpreter::new`]).
+    pub fn new(
+        exe: &'a Executable,
+        textures: &'a dyn TextureAccess,
+    ) -> Result<Self, RuntimeError> {
+        Self::with_model(exe, textures, FloatModel::Exact)
+    }
+
+    /// Like [`Vm::new`] with an explicit float model.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a global initialiser fails to evaluate.
+    pub fn with_model(
+        exe: &'a Executable,
+        textures: &'a dyn TextureAccess,
+        model: FloatModel,
+    ) -> Result<Self, RuntimeError> {
+        let globals = exe
+            .globals
+            .iter()
+            .map(|g| Value::zero_of(&g.ty))
+            .collect();
+        let mut vm = Vm {
+            exe,
+            textures,
+            model,
+            limits: ExecLimits::default(),
+            profile: OpProfile::new(),
+            globals,
+            reset_list: Vec::new(),
+            stack: Vec::new(),
+            locals: Vec::new(),
+            loop_counters: Vec::new(),
+            call_depth: 0,
+            discarded: false,
+            wrote_frag_color: false,
+            wrote_frag_data: false,
+        };
+        // Evaluate global initialisers (profile-counted, exactly like the
+        // interpreter's init_globals), then snapshot the reset values.
+        vm.run_chunk(0, 0)?;
+        vm.stack.clear();
+        vm.reset_list = vm
+            .exe
+            .reset_slots
+            .iter()
+            .map(|&slot| (slot, vm.globals[slot as usize].clone()))
+            .collect();
+        Ok(vm)
+    }
+
+    /// Replaces the execution limits.
+    pub fn set_limits(&mut self, limits: ExecLimits) {
+        self.limits = limits;
+    }
+
+    /// Sets a global (uniform, attribute, varying or builtin input) by
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unbound`] if no such global exists.
+    pub fn set_global(&mut self, name: &str, value: Value) -> Result<(), RuntimeError> {
+        match self.exe.global_slot(name) {
+            Some(slot) => {
+                self.globals[slot as usize] = value;
+                Ok(())
+            }
+            None => Err(RuntimeError::Unbound { name: name.into() }),
+        }
+    }
+
+    /// Sets a global by pre-resolved slot (see
+    /// [`Executable::global_slot`]) — the allocation- and
+    /// string-comparison-free path for per-fragment inputs.
+    pub fn set_slot(&mut self, slot: u32, value: Value) {
+        self.globals[slot as usize] = value;
+    }
+
+    /// Reads a global by name (`gl_Position`, varyings, `gl_FragColor`
+    /// after a run).
+    pub fn global(&self, name: &str) -> Option<&Value> {
+        self.exe
+            .global_slot(name)
+            .map(|slot| &self.globals[slot as usize])
+    }
+
+    /// Reads a global by pre-resolved slot.
+    pub fn slot(&self, slot: u32) -> &Value {
+        &self.globals[slot as usize]
+    }
+
+    /// Resolves a global name to its slot (see
+    /// [`Executable::global_slot`]).
+    pub fn global_slot(&self, name: &str) -> Option<u32> {
+        self.exe.global_slot(name)
+    }
+
+    /// Whether the last invocation executed `discard`.
+    pub fn discarded(&self) -> bool {
+        self.discarded
+    }
+
+    /// Whether the last invocation wrote `gl_FragColor` / `gl_FragData`.
+    pub fn wrote_outputs(&self) -> (bool, bool) {
+        (self.wrote_frag_color, self.wrote_frag_data)
+    }
+
+    /// The fragment colour produced by the last invocation, honouring
+    /// whether the shader used `gl_FragColor` or `gl_FragData[0]`.
+    pub fn frag_color(&self) -> Option<[f32; 4]> {
+        if self.wrote_frag_data {
+            match self.global("gl_FragData") {
+                Some(Value::Array(elems)) => elems.first().and_then(Value::as_vec4),
+                _ => None,
+            }
+        } else {
+            self.global("gl_FragColor").and_then(Value::as_vec4)
+        }
+    }
+
+    /// Accumulated operation profile over all invocations so far.
+    pub fn profile(&self) -> OpProfile {
+        self.profile
+    }
+
+    /// Resets the accumulated profile and returns the previous counts.
+    pub fn take_profile(&mut self) -> OpProfile {
+        std::mem::take(&mut self.profile)
+    }
+
+    /// Runs `main()` once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`RuntimeError`] raised during execution.
+    pub fn run_main(&mut self) -> Result<(), RuntimeError> {
+        self.discarded = false;
+        self.wrote_frag_color = false;
+        self.wrote_frag_data = false;
+        self.stack.clear();
+        self.loop_counters.clear();
+        self.call_depth = 0;
+        // Restore mutable plain globals; `clone_from` reuses any array
+        // allocations already held by the slot.
+        for (slot, value) in &self.reset_list {
+            self.globals[*slot as usize].clone_from(value);
+        }
+        self.profile.invocations += 1;
+        match self.run_chunk(self.exe.main_chunk, 0)? {
+            ChunkFlow::Discarded => {
+                self.discarded = true;
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn pop(&mut self) -> Value {
+        self.stack.pop().expect("operand stack underflow")
+    }
+
+    fn pop_bool(&mut self) -> Result<bool, RuntimeError> {
+        self.pop().as_bool().ok_or_else(|| RuntimeError::Type {
+            message: "condition did not evaluate to bool".into(),
+        })
+    }
+
+    /// Executes one chunk with its frame starting at `frame_base`.
+    fn run_chunk(&mut self, chunk: u32, frame_base: u32) -> Result<ChunkFlow, RuntimeError> {
+        // Detach the executable reference from `self`'s borrow so the
+        // instruction slice can be walked while `self` mutates.
+        let exe = self.exe;
+        let chunk = &exe.chunks[chunk as usize];
+        let frame_end = frame_base as usize + chunk.frame_size as usize;
+        if self.locals.len() < frame_end {
+            self.locals.resize(frame_end, Value::Float(0.0));
+        }
+        let counters_base = self.loop_counters.len();
+        let result = self.dispatch_loop(&chunk.code, frame_base, frame_end);
+        self.loop_counters.truncate(counters_base);
+        result
+    }
+
+    fn dispatch_loop(
+        &mut self,
+        code: &[Insn],
+        frame_base: u32,
+        frame_end: usize,
+    ) -> Result<ChunkFlow, RuntimeError> {
+        let fb = frame_base as usize;
+        let mut pc = 0usize;
+        while pc < code.len() {
+            match &code[pc] {
+                Insn::Const(i) => self.stack.push(self.exe.consts[*i as usize].clone()),
+                Insn::LoadGlobal(s) => self.stack.push(self.globals[*s as usize].clone()),
+                Insn::LoadLocal(s) => self.stack.push(self.locals[fb + *s as usize].clone()),
+                Insn::StoreLocal(s) => {
+                    let v = self.pop();
+                    self.locals[fb + *s as usize] = v;
+                }
+                Insn::StoreGlobalPop(s) => {
+                    let v = self.pop();
+                    self.globals[*s as usize] = v;
+                }
+                Insn::Dup => {
+                    let v = self.stack.last().expect("dup on empty stack").clone();
+                    self.stack.push(v);
+                }
+                Insn::Pop => {
+                    self.pop();
+                }
+                Insn::Swap => {
+                    let n = self.stack.len();
+                    self.stack.swap(n - 1, n - 2);
+                }
+                Insn::Neg => {
+                    let v = self.pop();
+                    self.stack.push(ops::negate(v)?);
+                }
+                Insn::Not => {
+                    let v = self.pop();
+                    let b = v.as_bool().ok_or_else(|| RuntimeError::Type {
+                        message: "`!` requires bool".into(),
+                    })?;
+                    self.stack.push(Value::Bool(!b));
+                }
+                Insn::Binary(op) => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    let r = ops::apply_binary(self.model, &mut self.profile, *op, a, b)?;
+                    self.stack.push(r);
+                }
+                Insn::Branch => self.profile.branches += 1,
+                Insn::Jump(t) => {
+                    pc = *t as usize;
+                    continue;
+                }
+                Insn::JumpIfFalse(t) => {
+                    if !self.pop_bool()? {
+                        pc = *t as usize;
+                        continue;
+                    }
+                }
+                Insn::JumpIfTrue(t) => {
+                    if self.pop_bool()? {
+                        pc = *t as usize;
+                        continue;
+                    }
+                }
+                Insn::IncDec { inc } => {
+                    let old = self.pop();
+                    let one = match old.ty().scalar() {
+                        Some(Scalar::Int) => Value::Int(1),
+                        _ => Value::Float(1.0),
+                    };
+                    let op = if *inc { BinOp::Add } else { BinOp::Sub };
+                    let new = ops::apply_binary(self.model, &mut self.profile, op, old, one)?;
+                    self.stack.push(new);
+                }
+                Insn::Swizzle { idx, len } => {
+                    let v = self.pop();
+                    let mut indices = [0usize; 4];
+                    for (slot, &i) in indices.iter_mut().zip(idx.iter()) {
+                        *slot = i as usize;
+                    }
+                    let r = ops::swizzle_read(&v, &indices[..*len as usize])?;
+                    self.stack.push(r);
+                }
+                Insn::IndexOp => {
+                    let idx = self.pop_index()?;
+                    let base = self.pop();
+                    let r = ops::index_read(&base, idx)?;
+                    self.stack.push(r);
+                }
+                Insn::Store(def) => self.exec_store(def, fb)?,
+                Insn::LoopEnter => self.loop_counters.push(0),
+                Insn::LoopIter { span } => {
+                    let counter = self
+                        .loop_counters
+                        .last_mut()
+                        .expect("loop counter underflow");
+                    *counter += 1;
+                    self.profile.branches += 1;
+                    if *counter > self.limits.max_loop_iterations {
+                        return Err(RuntimeError::LoopLimit {
+                            limit: self.limits.max_loop_iterations,
+                            span: *span,
+                        });
+                    }
+                }
+                Insn::LoopExit => {
+                    self.loop_counters.pop();
+                }
+                Insn::Discard => return Ok(ChunkFlow::Discarded),
+                Insn::ErrDiscardInFunction => {
+                    return Err(RuntimeError::Type {
+                        message: "discard inside a function is not supported by this subset"
+                            .into(),
+                    })
+                }
+                Insn::ErrBreakInFunction => {
+                    return Err(RuntimeError::Type {
+                        message: "break/continue escaped a function body".into(),
+                    })
+                }
+                Insn::Ret => return Ok(ChunkFlow::Ret),
+                Insn::ErrNoReturn(name) => {
+                    let name = &self.exe.names[*name as usize];
+                    return Err(RuntimeError::Type {
+                        message: format!("function `{name}` ended without returning a value"),
+                    });
+                }
+                Insn::Halt => return Ok(ChunkFlow::End),
+                Insn::Call {
+                    name,
+                    argc,
+                    candidates,
+                    pushes_outs,
+                } => {
+                    self.exec_call(*name, *argc, candidates, *pushes_outs, frame_end)?;
+                }
+            }
+            pc += 1;
+        }
+        Ok(ChunkFlow::End)
+    }
+
+    fn pop_index(&mut self) -> Result<i64, RuntimeError> {
+        match self.pop() {
+            Value::Int(i) => Ok(i as i64),
+            other => Err(RuntimeError::Type {
+                message: format!("index must be int, found {}", other.ty()),
+            }),
+        }
+    }
+
+    fn exec_store(&mut self, def: &StoreDef, fb: usize) -> Result<(), RuntimeError> {
+        // Index operands were pushed outermost-first; the first `Index`
+        // step encountered walking from the root therefore sits on top.
+        let mut indices = [0i64; 8];
+        for slot in indices.iter_mut().take(def.n_index as usize) {
+            *slot = self.pop_index()?;
+        }
+        let value = self.pop();
+        if def.wrote_color {
+            self.wrote_frag_color = true;
+        }
+        if def.wrote_data {
+            self.wrote_frag_data = true;
+        }
+        let root: &mut Value = match def.root {
+            SlotRef::Global(s) => &mut self.globals[s as usize],
+            SlotRef::Local(s) => &mut self.locals[fb + s as usize],
+        };
+        store_path(root, &def.path, &indices[..def.n_index as usize], value)
+    }
+
+    fn exec_call(
+        &mut self,
+        name_idx: u32,
+        argc: u8,
+        candidates: &[u32],
+        pushes_outs: bool,
+        caller_frame_end: usize,
+    ) -> Result<(), RuntimeError> {
+        let exe = self.exe;
+        let argc = argc as usize;
+        let args_start = self.stack.len() - argc;
+        let name = &exe.names[name_idx as usize];
+
+        // Builtins and constructors first (they cannot be shadowed) —
+        // exactly the interpreter's dispatch order.
+        {
+            let args = &self.stack[args_start..];
+            let mut cx = BuiltinCx {
+                model: self.model,
+                profile: &mut self.profile,
+                textures: self.textures,
+            };
+            if let Some(result) = builtins::call(name, args, &mut cx) {
+                // A call site lowered with out-parameter copy-back must
+                // never be intercepted by the builtin layer — the
+                // lowerer guarantees it via `is_builtin_name`. If the
+                // two tables ever drift, fail loudly instead of letting
+                // the copy-back sequence pop unrelated operands.
+                if pushes_outs {
+                    return Err(RuntimeError::Type {
+                        message: format!(
+                            "builtin `{name}` intercepted a call lowered with \
+                             out-parameter copy-back (builtin table drift)"
+                        ),
+                    });
+                }
+                let v = result?;
+                self.stack.truncate(args_start);
+                self.stack.push(v);
+                return Ok(());
+            }
+        }
+
+        // User-defined function by exact argument types.
+        let fi = candidates
+            .iter()
+            .copied()
+            .find(|&fi| {
+                let f = &exe.functions[fi as usize];
+                f.params.len() == argc
+                    && f.params
+                        .iter()
+                        .zip(&self.stack[args_start..])
+                        .all(|((ty, _), v)| ops::value_matches_type(v, ty))
+            })
+            .ok_or_else(|| RuntimeError::Unbound { name: name.clone() })?;
+
+        if self.call_depth >= self.limits.max_call_depth {
+            return Err(RuntimeError::CallDepth {
+                limit: self.limits.max_call_depth,
+            });
+        }
+        self.call_depth += 1;
+        self.profile.calls += 1;
+
+        let func = &exe.functions[fi as usize];
+        // The callee frame starts right above the caller's, like a call
+        // stack: space is reused across successive calls, so the arena
+        // stops growing once the deepest call chain has run once.
+        let callee_base = caller_frame_end;
+        let frame_end = callee_base + exe.chunks[func.chunk as usize].frame_size as usize;
+        if self.locals.len() < frame_end {
+            self.locals.resize(frame_end, Value::Float(0.0));
+        }
+        for (i, (ty, qual)) in func.params.iter().enumerate() {
+            let v = match qual {
+                ParamQual::In | ParamQual::InOut => {
+                    std::mem::replace(&mut self.stack[args_start + i], Value::Bool(false))
+                }
+                ParamQual::Out => Value::zero_of(ty),
+            };
+            self.locals[callee_base + i] = v;
+        }
+        self.stack.truncate(args_start);
+
+        let flow = self.run_chunk(func.chunk, callee_base as u32);
+        self.call_depth -= 1;
+        match flow? {
+            ChunkFlow::Ret => {}
+            ChunkFlow::End => unreachable!("function chunks end with Ret or an error"),
+            ChunkFlow::Discarded => unreachable!("discard lowers to an error in functions"),
+        }
+        if pushes_outs {
+            // Push out/inout parameter values (parameter order) below the
+            // return value.
+            let ret = self.pop();
+            for (i, (_, qual)) in func.params.iter().enumerate() {
+                if matches!(qual, ParamQual::Out | ParamQual::InOut) {
+                    let v = std::mem::replace(
+                        &mut self.locals[callee_base + i],
+                        Value::Bool(false),
+                    );
+                    self.stack.push(v);
+                }
+            }
+            self.stack.push(ret);
+        }
+        Ok(())
+    }
+}
+
+/// Writes `value` through `path` into `root`, using the shared
+/// swizzle/index mutators so behaviour matches the interpreter's
+/// `assign_to`/`modify` recursion.
+fn store_path(
+    root: &mut Value,
+    path: &[PathStep],
+    indices: &[i64],
+    value: Value,
+) -> Result<(), RuntimeError> {
+    match path.first() {
+        None => {
+            *root = value;
+            Ok(())
+        }
+        Some(PathStep::Index) => {
+            let i = indices[0];
+            if path.len() == 1 {
+                ops::index_write(root, i, &value)
+            } else {
+                ops::index_modify(root, i, &mut |inner| {
+                    store_path(inner, &path[1..], &indices[1..], value.clone())
+                })
+            }
+        }
+        Some(PathStep::Swizzle { idx, len }) => {
+            let mut sel = [0usize; 4];
+            for (slot, &i) in sel.iter_mut().zip(idx.iter()) {
+                *slot = i as usize;
+            }
+            let sel = &sel[..*len as usize];
+            if path.len() == 1 {
+                ops::swizzle_write(root, sel, &value)
+            } else {
+                // Swizzle-of-swizzle lvalues: read, recurse, write back —
+                // the interpreter's `modify` does the same.
+                let mut tmp = ops::swizzle_read(root, sel)?;
+                store_path(&mut tmp, &path[1..], indices, value)?;
+                ops::swizzle_write(root, sel, &tmp)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::lower;
+    use crate::exec::NoTextures;
+    use crate::interp::Interpreter;
+    use crate::parser::parse;
+    use crate::sema::check;
+    use crate::sema::ShaderKind;
+
+    const P: &str = "precision highp float;\n";
+
+    fn run_both(src: &str, globals: &[(&str, Value)]) -> ([f32; 4], [f32; 4], OpProfile, OpProfile) {
+        let shader = check(ShaderKind::Fragment, parse(src).expect("parse")).expect("check");
+        let exe = lower(&shader).expect("lower");
+        let tex = NoTextures;
+        let mut vm = Vm::new(&exe, &tex).expect("vm");
+        let mut interp = Interpreter::new(&shader, &tex).expect("interp");
+        for (n, v) in globals {
+            vm.set_global(n, v.clone()).expect("vm global");
+            interp.set_global(n, v.clone()).expect("interp global");
+        }
+        vm.run_main().expect("vm run");
+        interp.run_main().expect("interp run");
+        (
+            vm.frag_color().expect("vm color"),
+            interp.frag_color().expect("interp color"),
+            vm.profile(),
+            interp.profile(),
+        )
+    }
+
+    fn assert_match(src: &str, globals: &[(&str, Value)]) {
+        let (v, i, vp, ip) = run_both(src, globals);
+        assert_eq!(v.map(f32::to_bits), i.map(f32::to_bits), "colors for {src}");
+        assert_eq!(vp, ip, "profiles for {src}");
+    }
+
+    #[test]
+    fn constant_color() {
+        assert_match(
+            &format!("{P}void main() {{ gl_FragColor = vec4(0.1, 0.2, 0.3, 0.4); }}"),
+            &[],
+        );
+    }
+
+    #[test]
+    fn arithmetic_locals_and_loops() {
+        assert_match(
+            &format!(
+                "{P}void main() {{
+                    float s = 0.0;
+                    for (int i = 0; i < 10; i++) {{ s += fract(float(i) * 0.37); }}
+                    gl_FragColor = vec4(s / 10.0, s, 1.0 / (s + 1.0), 1.0);
+                }}"
+            ),
+            &[],
+        );
+    }
+
+    #[test]
+    fn uniforms_swizzles_and_compound_assign() {
+        assert_match(
+            &format!(
+                "{P}uniform vec4 u_v;\nuniform float u_k;\n\
+                 void main() {{
+                    vec4 v = u_v;
+                    v.xz *= u_k;
+                    v.w += 0.5;
+                    gl_FragColor = v;
+                 }}"
+            ),
+            &[
+                ("u_v", Value::Vec4([0.1, 0.2, 0.3, 0.4])),
+                ("u_k", Value::Float(1.5)),
+            ],
+        );
+    }
+
+    #[test]
+    fn user_functions_with_out_params() {
+        assert_match(
+            &format!(
+                "{P}void split(float v, out float hi, out float lo) {{
+                    hi = floor(v); lo = fract(v);
+                 }}
+                 float scale(float v) {{ return v * 2.0; }}
+                 void main() {{
+                    float h; float l;
+                    split(3.25, h, l);
+                    gl_FragColor = vec4(h / 4.0, l, scale(0.125), 1.0);
+                 }}"
+            ),
+            &[],
+        );
+    }
+
+    #[test]
+    fn arrays_and_matrices() {
+        assert_match(
+            &format!(
+                "{P}void main() {{
+                    float a[3];
+                    for (int i = 0; i < 3; i++) {{ a[i] = float(i) * 0.25; }}
+                    mat2 m = mat2(1.0, 2.0, 3.0, 4.0);
+                    vec2 v = m * vec2(a[1], a[2]);
+                    gl_FragColor = vec4(v, a[0], 1.0);
+                }}"
+            ),
+            &[],
+        );
+    }
+
+    #[test]
+    fn ternary_and_short_circuit() {
+        assert_match(
+            &format!(
+                "{P}void main() {{
+                    float d = 0.0;
+                    bool ok = (d != 0.0) && (1.0 / d > 0.0);
+                    bool or = (d == 0.0) || (1.0 / d > 0.0);
+                    gl_FragColor = vec4(ok ? 1.0 : 0.25, or ? 0.5 : 0.0, 0.0, 1.0);
+                }}"
+            ),
+            &[],
+        );
+    }
+
+    #[test]
+    fn globals_reset_between_invocations() {
+        let src = format!(
+            "{P}float counter = 0.0;\n\
+             void main() {{ counter += 1.0; gl_FragColor = vec4(counter); }}"
+        );
+        let shader = check(ShaderKind::Fragment, parse(&src).expect("parse")).expect("check");
+        let exe = lower(&shader).expect("lower");
+        let tex = NoTextures;
+        let mut vm = Vm::new(&exe, &tex).expect("vm");
+        vm.run_main().expect("run 1");
+        assert_eq!(vm.frag_color().expect("c")[0], 1.0);
+        vm.run_main().expect("run 2");
+        assert_eq!(vm.frag_color().expect("c")[0], 1.0);
+    }
+
+    #[test]
+    fn discard_and_frag_data() {
+        let src = format!("{P}void main() {{ discard; }}");
+        let shader = check(ShaderKind::Fragment, parse(&src).expect("parse")).expect("check");
+        let exe = lower(&shader).expect("lower");
+        let tex = NoTextures;
+        let mut vm = Vm::new(&exe, &tex).expect("vm");
+        vm.run_main().expect("run");
+        assert!(vm.discarded());
+
+        let src = format!("{P}void main() {{ gl_FragData[0] = vec4(0.5, 0.25, 0.125, 1.0); }}");
+        let shader = check(ShaderKind::Fragment, parse(&src).expect("parse")).expect("check");
+        let exe = lower(&shader).expect("lower");
+        let mut vm = Vm::new(&exe, &tex).expect("vm");
+        vm.run_main().expect("run");
+        assert_eq!(vm.wrote_outputs(), (false, true));
+        assert_eq!(vm.frag_color(), Some([0.5, 0.25, 0.125, 1.0]));
+    }
+
+    #[test]
+    fn loop_limit_and_recursion_guards() {
+        let src = format!("{P}void main() {{ float s = 0.0; while (true) {{ s += 1.0; }} }}");
+        let shader = check(ShaderKind::Fragment, parse(&src).expect("parse")).expect("check");
+        let exe = lower(&shader).expect("lower");
+        let tex = NoTextures;
+        let mut vm = Vm::new(&exe, &tex).expect("vm");
+        vm.set_limits(ExecLimits {
+            max_loop_iterations: 1000,
+            max_call_depth: 8,
+        });
+        assert!(matches!(
+            vm.run_main().unwrap_err(),
+            RuntimeError::LoopLimit { .. }
+        ));
+
+        let src = format!(
+            "{P}float f(float x) {{ return f(x) + 1.0; }}\n\
+             void main() {{ gl_FragColor = vec4(f(1.0)); }}"
+        );
+        let shader = check(ShaderKind::Fragment, parse(&src).expect("parse")).expect("check");
+        let exe = lower(&shader).expect("lower");
+        let mut vm = Vm::new(&exe, &tex).expect("vm");
+        assert!(matches!(
+            vm.run_main().unwrap_err(),
+            RuntimeError::CallDepth { .. }
+        ));
+    }
+
+    #[test]
+    fn slot_api_round_trips() {
+        let src = format!(
+            "{P}uniform float u_x;\nvoid main() {{ gl_FragColor = vec4(u_x); }}"
+        );
+        let shader = check(ShaderKind::Fragment, parse(&src).expect("parse")).expect("check");
+        let exe = lower(&shader).expect("lower");
+        let tex = NoTextures;
+        let mut vm = Vm::new(&exe, &tex).expect("vm");
+        let slot = exe.global_slot("u_x").expect("slot");
+        vm.set_slot(slot, Value::Float(0.75));
+        assert_eq!(vm.slot(slot), &Value::Float(0.75));
+        vm.run_main().expect("run");
+        assert_eq!(vm.frag_color(), Some([0.75; 4]));
+    }
+}

@@ -21,7 +21,7 @@ import sys
 import time
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-SECTIONS = ["e1", "sweep", "e2", "f1", "f2", "a1", "a3", "a4", "a5", "a6", "a7"]
+SECTIONS = ["e1", "sweep", "e2", "f1", "f2", "a1", "a3", "a4", "a5", "a6", "a7", "a8"]
 
 # e.g. "sum (int)    n=1048576    cpu   64.97 ms   gpu  13.33 ms   speedup 4.87x   paper 7.2x   validated yes"
 E1_ROW = re.compile(

@@ -48,6 +48,6 @@ pub mod prelude {
         KernelBuilder, MultiOutputBuilder, MultiOutputKernel, PackBias, Readback, ScalarType,
         VertexKernel,
     };
-    pub use gpes_gles2::{Context, Dispatch, StoreRounding};
+    pub use gpes_gles2::{Context, Dispatch, Executor, StoreRounding};
     pub use gpes_glsl::exec::FloatModel;
 }
