@@ -8,7 +8,11 @@ fn bench_bias(c: &mut Criterion) {
     let mut group = c.benchmark_group("a1_pack_bias");
     group.sample_size(10);
     let bytes: Vec<u8> = (0..=255).collect();
-    for bias in [PackBias::QuarterTexel, PackBias::HalfTexel, PackBias::PaperDelta] {
+    for bias in [
+        PackBias::QuarterTexel,
+        PackBias::HalfTexel,
+        PackBias::PaperDelta,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("u8_identity", format!("{bias:?}")),
             &bias,
@@ -30,7 +34,11 @@ fn bench_bias(c: &mut Criterion) {
         );
     }
     // Mirror (pure CPU) packing for reference.
-    for bias in [PackBias::QuarterTexel, PackBias::HalfTexel, PackBias::PaperDelta] {
+    for bias in [
+        PackBias::QuarterTexel,
+        PackBias::HalfTexel,
+        PackBias::PaperDelta,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("mirror_pack", format!("{bias:?}")),
             &bias,
@@ -38,9 +46,9 @@ fn bench_bias(c: &mut Criterion) {
                 bench.iter(|| {
                     let mut acc = 0u32;
                     for b in 0..=255u32 {
-                        acc = acc
-                            .wrapping_add(gpes_core::codec::ubyte::mirror_pack(b as f32, bias)
-                                as u32);
+                        acc = acc.wrapping_add(
+                            gpes_core::codec::ubyte::mirror_pack(b as f32, bias) as u32,
+                        );
                     }
                     black_box(acc)
                 });

@@ -68,20 +68,26 @@ fn bench_formats(c: &mut Criterion) {
     });
 
     // Host-side interop transforms (§VI's CPU cost argument).
-    group.bench_function(BenchmarkId::new("host_encode", "paper_u32_memcpy"), |bench| {
-        let a = data::random_u32(N, 555, u32::MAX);
-        bench.iter(|| {
-            let bytes: Vec<u8> = a.iter().flat_map(|v| v.to_le_bytes()).collect();
-            black_box(bytes)
-        });
-    });
-    group.bench_function(BenchmarkId::new("host_encode", "strzodka16_transform"), |bench| {
-        let a: Vec<u16> = data::random_u32(N, 556, u16::MAX as u32 + 1)
-            .into_iter()
-            .map(|v| v as u16)
-            .collect();
-        bench.iter(|| black_box(strzodka16::encode_texels(&a, N.div_ceil(2))));
-    });
+    group.bench_function(
+        BenchmarkId::new("host_encode", "paper_u32_memcpy"),
+        |bench| {
+            let a = data::random_u32(N, 555, u32::MAX);
+            bench.iter(|| {
+                let bytes: Vec<u8> = a.iter().flat_map(|v| v.to_le_bytes()).collect();
+                black_box(bytes)
+            });
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("host_encode", "strzodka16_transform"),
+        |bench| {
+            let a: Vec<u16> = data::random_u32(N, 556, u16::MAX as u32 + 1)
+                .into_iter()
+                .map(|v| v as u16)
+                .collect();
+            bench.iter(|| black_box(strzodka16::encode_texels(&a, N.div_ceil(2))));
+        },
+    );
     group.finish();
 
     let mut group = c.benchmark_group("a7_packing");

@@ -49,8 +49,7 @@ fn bench_rodinia(c: &mut Criterion) {
         let mut cc = ComputeContext::new(32, 32).expect("context");
         bench.iter(|| {
             black_box(
-                srad::run_gpu(&mut cc, 16, 16, &img, srad::SradParams::default(), 2)
-                    .expect("run"),
+                srad::run_gpu(&mut cc, 16, 16, &img, srad::SradParams::default(), 2).expect("run"),
             )
         });
     });

@@ -6,7 +6,8 @@ use gpes_gles2::{Context, PrimitiveMode};
 use std::hint::black_box;
 
 const VS: &str = "attribute vec2 a_pos;\nvoid main() { gl_Position = vec4(a_pos, 0.0, 1.0); }";
-const FS: &str = "precision highp float;\nvoid main() { gl_FragColor = vec4(0.5, 0.25, 1.0, 1.0); }";
+const FS: &str =
+    "precision highp float;\nvoid main() { gl_FragColor = vec4(0.5, 0.25, 1.0, 1.0); }";
 const QUAD: [f32; 12] = [
     -1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0,
 ];

@@ -44,7 +44,11 @@ impl A1Row {
 pub fn a1_pack_bias() -> Result<Vec<A1Row>, ComputeError> {
     let all_bytes: Vec<u8> = (0..=255).collect();
     let mut rows = Vec::new();
-    for bias in [PackBias::QuarterTexel, PackBias::HalfTexel, PackBias::PaperDelta] {
+    for bias in [
+        PackBias::QuarterTexel,
+        PackBias::HalfTexel,
+        PackBias::PaperDelta,
+    ] {
         for rounding in [StoreRounding::Floor, StoreRounding::Nearest] {
             let mut cc = ComputeContext::new(32, 32)?;
             cc.set_pack_bias(bias);
@@ -56,11 +60,7 @@ pub fn a1_pack_bias() -> Result<Vec<A1Row>, ComputeError> {
                 .body("return fetch_x(idx);")
                 .build(&mut cc)?;
             let out: Vec<u8> = cc.run_and_read(&k)?;
-            let mismatches = out
-                .iter()
-                .zip(&all_bytes)
-                .filter(|(a, b)| a != b)
-                .count();
+            let mismatches = out.iter().zip(&all_bytes).filter(|(a, b)| a != b).count();
             // Analytic margin: distance of the packed component to the
             // next-lower grid boundary b/255.
             let mut min_margin = f32::MAX;
@@ -230,11 +230,7 @@ pub fn a5_strzodka_baseline(n: usize) -> Result<Vec<A5Row>, ComputeError> {
         .into_iter()
         .map(|v| v as u16)
         .collect();
-    let reference: Vec<u16> = a
-        .iter()
-        .zip(&b)
-        .map(|(&x, &y)| x.wrapping_add(y))
-        .collect();
+    let reference: Vec<u16> = a.iter().zip(&b).map(|(&x, &y)| x.wrapping_add(y)).collect();
     let mut rows = Vec::new();
 
     // Paper path: values as u32 through the §IV-C codec (sums stay below
@@ -353,11 +349,7 @@ fn mantissa_stats(expected: &[f32], actual: &[f32]) -> (u32, f64) {
 
 /// Runs the fp16-extension saxpy with raw GL calls (what an app on a
 /// vendor with the half-float extensions would write).
-fn saxpy_via_f16_extension(
-    alpha: f32,
-    xs: &[f32],
-    ys: &[f32],
-) -> Result<Vec<f32>, ComputeError> {
+fn saxpy_via_f16_extension(alpha: f32, xs: &[f32], ys: &[f32]) -> Result<Vec<f32>, ComputeError> {
     use gpes_gles2::{f16_bits_to_f32, f32_to_f16_bits, Context, PrimitiveMode, TexFormat};
     let n = xs.len();
     let side = (n as f64).sqrt().ceil() as u32;
@@ -390,7 +382,9 @@ fn saxpy_via_f16_extension(
               }";
     let prog = gl.create_program(vs, fs)?;
     gl.use_program(prog)?;
-    let quad: [f32; 12] = [-1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0];
+    let quad: [f32; 12] = [
+        -1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0,
+    ];
     gl.set_attribute("a_pos", 2, &quad)?;
     gl.bind_texture(0, tx)?;
     gl.bind_texture(1, ty)?;
@@ -507,12 +501,7 @@ impl A7Row {
     }
 }
 
-fn a7_row_from_run(
-    label: &'static str,
-    correct: bool,
-    cc: &mut ComputeContext,
-    n: usize,
-) -> A7Row {
+fn a7_row_from_run(label: &'static str, correct: bool, cc: &mut ComputeContext, n: usize) -> A7Row {
     let passes = cc.take_pass_log();
     let run_small = gpu_run_from_passes(&passes, 1, 0, 0);
     let p = &run_small.fs_profile;
@@ -767,9 +756,224 @@ pub fn a8_executor(n: usize) -> Result<Vec<A8Row>, ComputeError> {
     Ok(rows)
 }
 
+/// A9 — host-side compile/bind split: the cost of rebuilding shaders
+/// inside a multi-pass iteration loop (the pre-split idiom, program cache
+/// off) vs the retained [`Pipeline`] (compile once, rebind per pass).
+#[derive(Debug, Clone)]
+pub struct A9Row {
+    /// Workload under test.
+    pub workload: &'static str,
+    /// Host strategy (`rebuild/pass` or `retained`).
+    pub mode: &'static str,
+    /// Host wall-clock for the whole loop, milliseconds.
+    pub host_ms: f64,
+    /// Programs compiled and linked over the loop.
+    pub programs_linked: u64,
+    /// Textures allocated over the loop.
+    pub textures_created: u64,
+    /// Texture-pool hits over the loop.
+    pub pool_hits: u64,
+}
+
+impl A9Row {
+    /// Formats the row.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<14} {:<13} {:>9.2} ms   programs {:>3}   textures {:>3}   pool hits {:>3}",
+            self.workload,
+            self.mode,
+            self.host_ms,
+            self.programs_linked,
+            self.textures_created,
+            self.pool_hits,
+        )
+    }
+}
+
+/// Runs A9 on the three iteration-heavy paper workloads: `iterations` of
+/// SRAD diffusion on a 24×24 image, a full reduction tree over `n`
+/// elements repeated `iterations` times, and a 256-point FFT repeated
+/// `iterations` times. Outputs of both modes are asserted equal.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn a9_host_cache(n: usize, iterations: usize) -> Result<Vec<A9Row>, ComputeError> {
+    use gpes_kernels::{fft, reduce, srad};
+    let mut rows = Vec::new();
+    let mut push = |workload: &'static str,
+                    mode: &'static str,
+                    cc: &ComputeContext,
+                    elapsed: std::time::Duration| {
+        let stats = cc.stats();
+        rows.push(A9Row {
+            workload,
+            mode,
+            host_ms: elapsed.as_secs_f64() * 1e3,
+            programs_linked: stats.programs_linked,
+            textures_created: stats.textures_created,
+            pool_hits: stats.texture_pool_hits,
+        });
+    };
+
+    // ---- srad -----------------------------------------------------------
+    let (srows, scols) = (24usize, 24usize);
+    let img: Vec<f32> = data::random_f32(srows * scols, 901, 40.0)
+        .into_iter()
+        .map(|v| v.abs() + 10.0)
+        .collect();
+    let params = srad::SradParams::default();
+    // Rebuild-per-pass (cache off): the pre-split host idiom.
+    let mut cc = ComputeContext::new(64, 64)?;
+    cc.set_program_cache_enabled(false);
+    let start = Instant::now();
+    let mut j = cc.upload_matrix(srows as u32, scols as u32, &img)?;
+    for _ in 0..iterations {
+        let kc = srad::build_coeff(&mut cc, &j, params)?;
+        let carr: gpes_core::GpuArray<f32> = cc.run_to_array(&kc)?;
+        let cmat = carr.as_matrix(srows as u32, scols as u32)?;
+        let ku = srad::build_update(&mut cc, &j, &cmat, params)?;
+        let next: gpes_core::GpuArray<f32> = cc.run_to_array(&ku)?;
+        cc.delete_matrix(j);
+        cc.delete_array(carr);
+        j = next.as_matrix(srows as u32, scols as u32)?;
+    }
+    let rebuilt = cc.read_array(&j.as_array(), Readback::DirectFbo)?;
+    push("srad", "rebuild/pass", &cc, start.elapsed());
+    // Retained pipeline.
+    let mut cc = ComputeContext::new(64, 64)?;
+    let start = Instant::now();
+    let retained = srad::run_gpu(&mut cc, srows, scols, &img, params, iterations)?;
+    push("srad", "retained", &cc, start.elapsed());
+    assert_eq!(rebuilt, retained, "srad modes must agree bit-for-bit");
+
+    // ---- reduce ---------------------------------------------------------
+    let values = data::random_f32(n, 902, 50.0);
+    // Rebuild-per-pass: one kernel build per tree level, cache off.
+    let mut cc = ComputeContext::new(256, 256)?;
+    cc.set_program_cache_enabled(false);
+    let start = Instant::now();
+    let mut rebuilt = 0.0f32;
+    for _ in 0..iterations {
+        let arr = cc.upload(&values)?;
+        let mut current = arr;
+        while current.len() > 1 {
+            let out_len = current.len().div_ceil(reduce::FANIN);
+            let k = Kernel::builder("reduce_Sum")
+                .input("x", &current)
+                .uniform_f32("n_live", current.len() as f32)
+                .output(ScalarType::F32, out_len)
+                .body(reduce::fold_body(reduce::ReduceOp::Sum))
+                .build(&mut cc)?;
+            let next: gpes_core::GpuArray<f32> = cc.run_to_array(&k)?;
+            cc.delete_array(current);
+            current = next;
+        }
+        rebuilt = cc.read_array(&current, Readback::DirectFbo)?[0];
+        cc.delete_array(current);
+    }
+    push("reduce", "rebuild/pass", &cc, start.elapsed());
+    let mut cc = ComputeContext::new(256, 256)?;
+    let start = Instant::now();
+    let mut retained = 0.0f32;
+    for _ in 0..iterations {
+        let arr = cc.upload(&values)?;
+        retained = reduce::gpu_reduce(&mut cc, &arr, reduce::ReduceOp::Sum)?;
+        cc.recycle_array(arr);
+    }
+    push("reduce", "retained", &cc, start.elapsed());
+    assert_eq!(rebuilt, retained, "reduce modes must agree bit-for-bit");
+
+    // ---- fft ------------------------------------------------------------
+    let fn_ = 256usize;
+    let re = data::random_f32(fn_, 903, 1.0);
+    let im = data::random_f32(fn_, 904, 1.0);
+    // Rebuild-per-stage: the pre-split idiom baked the stage width into
+    // the shader source, so every Stockham stage of every repetition
+    // compiled two fresh programs.
+    let mut cc = ComputeContext::new(64, 64)?;
+    cc.set_program_cache_enabled(false);
+    let start = Instant::now();
+    let mut rebuilt = (Vec::new(), Vec::new());
+    for _ in 0..iterations {
+        let mut gre = cc.upload(&re)?;
+        let mut gim = cc.upload(&im)?;
+        let mut half = 1usize;
+        while half < fn_ {
+            let build = |cc: &mut ComputeContext,
+                         gre: &gpes_core::GpuArray<f32>,
+                         gim: &gpes_core::GpuArray<f32>,
+                         emit_re: bool|
+             -> Result<Kernel, ComputeError> {
+                Kernel::builder(if emit_re {
+                    "fft_stage_re"
+                } else {
+                    "fft_stage_im"
+                })
+                .input("re", gre)
+                .input("im", gim)
+                .output(ScalarType::F32, fn_)
+                .body(fft::stage_body(
+                    fn_,
+                    fft::Direction::Forward,
+                    emit_re,
+                    Some(half),
+                ))
+                .build(cc)
+            };
+            let kre = build(&mut cc, &gre, &gim, true)?;
+            let kim = build(&mut cc, &gre, &gim, false)?;
+            let nre: gpes_core::GpuArray<f32> = cc.run_to_array(&kre)?;
+            let nim: gpes_core::GpuArray<f32> = cc.run_to_array(&kim)?;
+            cc.delete_array(gre);
+            cc.delete_array(gim);
+            gre = nre;
+            gim = nim;
+            half *= 2;
+        }
+        rebuilt = (
+            cc.read_array(&gre, Readback::DirectFbo)?,
+            cc.read_array(&gim, Readback::DirectFbo)?,
+        );
+        cc.delete_array(gre);
+        cc.delete_array(gim);
+    }
+    push("fft", "rebuild/pass", &cc, start.elapsed());
+    let mut cc = ComputeContext::new(64, 64)?;
+    let start = Instant::now();
+    let mut retained = (Vec::new(), Vec::new());
+    for _ in 0..iterations {
+        retained = fft::run_gpu(&mut cc, &re, &im, fft::Direction::Forward)?;
+    }
+    push("fft", "retained", &cc, start.elapsed());
+    assert_eq!(rebuilt, retained, "fft modes must agree bit-for-bit");
+
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn a9_retained_mode_compiles_nothing_in_the_loop() {
+        let rows = a9_host_cache(512, 4).expect("a9");
+        assert_eq!(rows.len(), 6);
+        for pair in rows.chunks(2) {
+            let (rebuild, retained) = (&pair[0], &pair[1]);
+            assert_eq!(rebuild.workload, retained.workload);
+            assert!(
+                retained.programs_linked < rebuild.programs_linked,
+                "{} vs {}",
+                rebuild.format(),
+                retained.format()
+            );
+            assert!(retained.textures_created < rebuild.textures_created);
+            assert!(retained.pool_hits > 0);
+        }
+        // The retained srad loop compiles exactly its two kernels.
+        assert_eq!(rows[1].programs_linked, 2);
+    }
 
     #[test]
     fn a8_executors_agree_and_report_throughput() {
@@ -787,8 +991,7 @@ mod tests {
         let rows = a1_pack_bias().expect("a1");
         assert_eq!(rows.len(), 6);
         for row in &rows {
-            let expect_broken =
-                row.bias == PackBias::HalfTexel && row.rounding == SR::Nearest;
+            let expect_broken = row.bias == PackBias::HalfTexel && row.rounding == SR::Nearest;
             if expect_broken {
                 // (b+0.5)/255 sits exactly on the round-to-nearest
                 // boundary: every byte except 255 shifts up by one.
@@ -836,15 +1039,14 @@ mod tests {
         // Paper path on an exact GPU: bit-exact.
         assert_eq!(exact.min_bits, 23, "{}", exact.format_row());
         // Paper path on the VideoCore-like model: ≈15 bits (§V).
-        assert!(
-            (12..23).contains(&vc4.min_bits),
-            "{}",
-            vc4.format_row()
-        );
+        assert!((12..23).contains(&vc4.min_bits), "{}", vc4.format_row());
         // fp16 extension: ≤10 bits of mantissa and not core ES 2 —
         // "neither enough nor portable".
         assert!(fp16.min_bits <= 10, "{}", fp16.format_row());
-        assert!(fp16.mean_bits < vc4.mean_bits, "fp16 must be worse than the paper path");
+        assert!(
+            fp16.mean_bits < vc4.mean_bits,
+            "fp16 must be worse than the paper path"
+        );
         assert!(!fp16.core_es2 && exact.core_es2);
         assert!(fp16.max_magnitude < 1.0e5);
     }

@@ -67,7 +67,10 @@ fn run_f1() -> Result<(), Box<dyn std::error::Error>> {
 
 fn run_f2() {
     heading("F2: Figure 2 — CPU (IEEE 754) vs GPU texel byte layout");
-    println!("{:>16}  {:<22} rotated texel bytes", "value", "ieee bytes (LE)");
+    println!(
+        "{:>16}  {:<22} rotated texel bytes",
+        "value", "ieee bytes (LE)"
+    );
     for &v in figures::F2_SAMPLES {
         println!("{}", figures::float_layout_row(v));
     }
@@ -151,6 +154,19 @@ fn run_a8() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn run_a9() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A9: host compile/bind split — rebuild-per-pass vs retained pipeline");
+    for row in ablations::a9_host_cache(1 << 12, 24)? {
+        println!("{}", row.format());
+    }
+    println!();
+    println!("`rebuild/pass` re-generates and links shaders inside the iteration");
+    println!("loop (the pre-split idiom, program cache off); `retained` declares");
+    println!("the dag once through Pipeline: in-loop compiles drop to zero and");
+    println!("steady-state iteration allocates no GL objects (pool hits instead).");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     match what.as_str() {
@@ -166,6 +182,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "a6" => run_a6()?,
         "a7" => run_a7()?,
         "a8" => run_a8()?,
+        "a9" => run_a9()?,
         "all" => {
             run_e1()?;
             run_sweep()?;
@@ -179,10 +196,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run_a6()?;
             run_a7()?;
             run_a8()?;
+            run_a9()?;
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|all"
+                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|a9|all"
             );
             std::process::exit(2);
         }

@@ -13,8 +13,8 @@ use gpes_core::{ComputeContext, ComputeError, ScalarType};
 use gpes_glsl::exec::OpProfile;
 use gpes_kernels::{data, sgemm, sum};
 use gpes_perf::{
-    estimate_gpu, gpu_run_from_passes, readback_bytes_for, upload_bytes_for, Arm11Cpu,
-    CpuWorkload, GpuEstimate, GpuRun, Vc4Gpu,
+    estimate_gpu, gpu_run_from_passes, readback_bytes_for, upload_bytes_for, Arm11Cpu, CpuWorkload,
+    GpuEstimate, GpuRun, Vc4Gpu,
 };
 
 /// One row of the E1 table.
@@ -81,7 +81,10 @@ fn sum_row<FB, FW>(
     paper_speedup: f64,
 ) -> Result<E1Row, ComputeError>
 where
-    FB: FnOnce(&mut ComputeContext, usize) -> Result<(bool, Vec<gpes_core::PassRecord>), ComputeError>,
+    FB: FnOnce(
+        &mut ComputeContext,
+        usize,
+    ) -> Result<(bool, Vec<gpes_core::PassRecord>), ComputeError>,
     FW: FnOnce(usize) -> CpuWorkload,
 {
     let mut cc = ComputeContext::new(256, 256)?;

@@ -53,12 +53,7 @@ impl E2Row {
     }
 }
 
-fn agreement_stats(
-    model: FloatModel,
-    scenario: &str,
-    expected: &[f32],
-    actual: &[f32],
-) -> E2Row {
+fn agreement_stats(model: FloatModel, scenario: &str, expected: &[f32], actual: &[f32]) -> E2Row {
     let mut min_bits = 23u32;
     let mut total = 0u64;
     let mut exact = 0usize;
@@ -197,7 +192,11 @@ mod tests {
             "expected ≈15 bits, got {}",
             row.format()
         );
-        assert!(row.mean_bits >= 14.0 && row.mean_bits <= 20.0, "{}", row.format());
+        assert!(
+            row.mean_bits >= 14.0 && row.mean_bits <= 20.0,
+            "{}",
+            row.format()
+        );
         assert!(row.exact_fraction < 1.0);
 
         let row = sum_accuracy(FloatModel::Vc4Sfu, 1024).expect("run");

@@ -1,0 +1,184 @@
+//! Per-dispatch bindings: the "bind" half of the compile/bind split.
+//!
+//! A [`crate::Kernel`] owns only the *compiled program and its signature*
+//! (input names/encodings, declared uniforms, output kind). Everything
+//! that changes between dispatches — which textures feed the inputs, the
+//! output shape, uniform values — travels in a [`Bindings`] value handed
+//! to [`crate::ComputeContext::run_to_array_with`] and friends. Rebinding
+//! a ping-pong texture therefore costs a few uniform stores, never a
+//! shader recompile.
+//!
+//! ```
+//! use gpes_core::{Bindings, ComputeContext, Kernel, ScalarType};
+//! use gpes_glsl::Value;
+//!
+//! # fn main() -> Result<(), gpes_core::ComputeError> {
+//! let mut cc = ComputeContext::new(64, 64)?;
+//! let a = cc.upload(&[1.0f32, 2.0])?;
+//! let b = cc.upload(&[10.0f32, 20.0])?;
+//! let k = Kernel::builder("scale")
+//!     .input("x", &a)
+//!     .uniform_f32("gain", 2.0)
+//!     .output(ScalarType::F32, 2)
+//!     .body("return fetch_x(idx) * gain;")
+//!     .build(&mut cc)?;
+//! // Dispatch once with the build-time defaults…
+//! assert_eq!(cc.run_f32(&k)?, vec![2.0, 4.0]);
+//! // …then rebind the input and override the uniform: same program.
+//! let rebound = Bindings::new().input("x", &b).uniform("gain", Value::Float(0.5));
+//! assert_eq!(cc.run_f32_with(&k, &rebound)?, vec![5.0, 10.0]);
+//! assert_eq!(cc.stats().programs_linked, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::buffer::{GpuArray, GpuMatrix, GpuScalar, GpuTexels};
+use crate::kernel::{InputBinding, InputEncoding, OutputShape};
+use gpes_glsl::Value;
+
+/// Per-dispatch state for a [`crate::Kernel`]: input textures, output
+/// shape and uniform overrides. Anything left unset falls back to the
+/// kernel's build-time defaults.
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    pub(crate) inputs: Vec<InputBinding>,
+    pub(crate) output: Option<OutputShape>,
+    pub(crate) uniforms: Vec<(String, Value)>,
+}
+
+impl Bindings {
+    /// An empty override set (all kernel defaults apply).
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    fn push_input(&mut self, binding: InputBinding) {
+        if let Some(slot) = self.inputs.iter_mut().find(|b| b.name == binding.name) {
+            *slot = binding;
+        } else {
+            self.inputs.push(binding);
+        }
+    }
+
+    /// Rebinds a typed array input declared at build time with
+    /// [`crate::KernelBuilder::input`].
+    pub fn input<T: GpuScalar>(mut self, name: &str, array: &GpuArray<T>) -> Self {
+        self.push_input(InputBinding {
+            name: name.to_owned(),
+            texture: array.texture,
+            layout: array.layout,
+            encoding: InputEncoding::Scalar(T::SCALAR),
+        });
+        self
+    }
+
+    /// Rebinds a matrix input declared with
+    /// [`crate::KernelBuilder::input_matrix`].
+    pub fn input_matrix<T: GpuScalar>(mut self, name: &str, matrix: &GpuMatrix<T>) -> Self {
+        self.push_input(InputBinding {
+            name: name.to_owned(),
+            texture: matrix.texture,
+            layout: matrix.layout,
+            encoding: InputEncoding::Scalar(T::SCALAR),
+        });
+        self
+    }
+
+    /// Rebinds a raw-texel input declared with
+    /// [`crate::KernelBuilder::input_texels`] or
+    /// [`crate::KernelBuilder::input_raw`].
+    pub fn input_texels(mut self, name: &str, texels: &GpuTexels) -> Self {
+        self.push_input(InputBinding {
+            name: name.to_owned(),
+            texture: texels.texture,
+            layout: texels.layout,
+            encoding: InputEncoding::RawTexel,
+        });
+        self
+    }
+
+    /// Rebinds a typed array *as raw texels* (pairs with
+    /// [`crate::KernelBuilder::input_raw`]).
+    pub fn input_raw<T: GpuScalar>(mut self, name: &str, array: &GpuArray<T>) -> Self {
+        self.push_input(InputBinding {
+            name: name.to_owned(),
+            texture: array.texture,
+            layout: array.layout,
+            encoding: InputEncoding::RawTexel,
+        });
+        self
+    }
+
+    /// Overrides the output domain with `len` linear elements.
+    pub fn output_len(mut self, len: usize) -> Self {
+        self.output = Some(OutputShape::Linear(len));
+        self
+    }
+
+    /// Overrides the output domain with a `rows × cols` grid.
+    pub fn output_grid(mut self, rows: u32, cols: u32) -> Self {
+        self.output = Some(OutputShape::Grid { rows, cols });
+        self
+    }
+
+    /// Overrides the output domain with an explicit [`OutputShape`].
+    pub fn output_shape(mut self, shape: OutputShape) -> Self {
+        self.output = Some(shape);
+        self
+    }
+
+    /// Typed uniform override (checked against the kernel's declared
+    /// uniform type at dispatch; mismatches are a
+    /// [`crate::ComputeError::BadKernel`]).
+    pub fn set_uniform(&mut self, name: &str, value: Value) {
+        if let Some((_, slot)) = self.uniforms.iter_mut().find(|(n, _)| n == name) {
+            *slot = value;
+        } else {
+            self.uniforms.push((name.to_owned(), value));
+        }
+    }
+
+    /// Builder-style form of [`Bindings::set_uniform`].
+    pub fn uniform(mut self, name: &str, value: Value) -> Self {
+        self.set_uniform(name, value);
+        self
+    }
+
+    /// Convenience: override a `float` uniform.
+    pub fn uniform_f32(self, name: &str, value: f32) -> Self {
+        self.uniform(name, Value::Float(value))
+    }
+
+    /// Convenience: override an `int` uniform.
+    pub fn uniform_i32(self, name: &str, value: i32) -> Self {
+        self.uniform(name, Value::Int(value))
+    }
+
+    /// Whether no overrides are present (pure-default dispatch).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty() && self.output.is_none() && self.uniforms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn later_overrides_replace_earlier_ones() {
+        let mut b = Bindings::new().uniform_f32("gain", 1.0);
+        b.set_uniform("gain", Value::Float(3.0));
+        assert_eq!(b.uniforms.len(), 1);
+        assert_eq!(b.uniforms[0].1, Value::Float(3.0));
+        assert!(!b.is_empty());
+        assert!(Bindings::new().is_empty());
+    }
+
+    #[test]
+    fn output_overrides() {
+        let b = Bindings::new().output_len(10);
+        assert_eq!(b.output, Some(OutputShape::Linear(10)));
+        let b = b.output_grid(2, 3);
+        assert_eq!(b.output, Some(OutputShape::Grid { rows: 2, cols: 3 }));
+    }
+}

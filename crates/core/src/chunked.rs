@@ -79,10 +79,12 @@ where
     for (chunk_no, chunk) in data.chunks(chunk_elems).enumerate() {
         let base = chunk_no * chunk_elems;
         let arr = cc.upload(chunk)?;
+        // The builder runs per chunk, but identical generated sources hit
+        // the context's program cache: one link serves every chunk.
         let kernel = build(cc, &arr, base)?;
         let mut part: Vec<T> = cc.run_and_read(&kernel)?;
         out.append(&mut part);
-        cc.delete_array(arr);
+        cc.recycle_array(arr);
     }
     Ok(out)
 }
@@ -102,7 +104,12 @@ pub fn run_chunked2<T, F>(
 ) -> Result<Vec<T>, ComputeError>
 where
     T: GpuScalar,
-    F: FnMut(&mut ComputeContext, &GpuArray<T>, &GpuArray<T>, usize) -> Result<Kernel, ComputeError>,
+    F: FnMut(
+        &mut ComputeContext,
+        &GpuArray<T>,
+        &GpuArray<T>,
+        usize,
+    ) -> Result<Kernel, ComputeError>,
 {
     if a.len() != b.len() {
         return Err(ComputeError::bad_kernel(format!(
@@ -123,8 +130,8 @@ where
         let kernel = build(cc, &ga, &gb, base)?;
         let mut part: Vec<T> = cc.run_and_read(&kernel)?;
         out.append(&mut part);
-        cc.delete_array(ga);
-        cc.delete_array(gb);
+        cc.recycle_array(ga);
+        cc.recycle_array(gb);
     }
     Ok(out)
 }
@@ -188,6 +195,12 @@ mod tests {
         }
         // 500 elements at 64 per chunk → 8 passes.
         assert_eq!(cc.pass_log().len(), 8);
+        // The generated source is chunk-independent (output shape and the
+        // chunk base are dispatch state), so one program serves all 8 —
+        // and recycled chunk uploads feed the texture pool.
+        assert_eq!(cc.stats().programs_linked, 1);
+        assert_eq!(cc.stats().program_cache_hits, 7);
+        assert!(cc.stats().texture_pool_hits >= 6);
     }
 
     #[test]

@@ -135,11 +135,7 @@ pub fn mirror_unpack(texel: [u8; 4], specials: FloatSpecials) -> f32 {
         return sign_value * m * exact_exp2(-149);
     }
     if specials == FloatSpecials::Preserve && b3 == 255.0 {
-        return if m == 0.0 {
-            sign_value / 0.0
-        } else {
-            f32::NAN
-        };
+        return if m == 0.0 { sign_value / 0.0 } else { f32::NAN };
     }
     sign_value * (1.0 + m * exact_exp2(-23)) * exact_exp2(b3 as i32 - 127)
 }
@@ -255,10 +251,10 @@ mod tests {
         1.0e-10,
         -1.0e10,
         6.02214e23,
-        1.175494e-38,  // near smallest normal
-        3.402823e38,   // near f32::MAX
-        1.0e-40,       // subnormal
-        -7.0e-42,      // subnormal
+        1.175494e-38, // near smallest normal
+        3.402823e38,  // near f32::MAX
+        1.0e-40,      // subnormal
+        -7.0e-42,     // subnormal
         255.0,
         1.0 / 3.0,
     ];

@@ -231,7 +231,11 @@ mod tests {
 
     #[test]
     fn pack_bias_both_satisfy_floor_recovery() {
-        for bias in [PackBias::QuarterTexel, PackBias::HalfTexel, PackBias::PaperDelta] {
+        for bias in [
+            PackBias::QuarterTexel,
+            PackBias::HalfTexel,
+            PackBias::PaperDelta,
+        ] {
             for b in 0..=255u32 {
                 let stored = mirror_store_byte(b as f32, bias);
                 assert_eq!(stored as u32, b, "{bias:?} byte {b}");

@@ -154,10 +154,7 @@ pub fn mirror_add(a: Halves, b: Halves) -> Halves {
 pub fn mirror_sub(a: Halves, b: Halves) -> Halves {
     let lo = a[1] - b[1];
     let borrow = if lo < 0.0 { 1.0 } else { 0.0 };
-    [
-        (a[0] - b[0] - borrow + 512.0) % 256.0,
-        lo + borrow * 256.0,
-    ]
+    [(a[0] - b[0] - borrow + 512.0) % 256.0, lo + borrow * 256.0]
 }
 
 /// Rust mirror of `gpes_v16_scale` (multiply by an integer scalar; exact

@@ -89,7 +89,17 @@ mod tests {
 
     #[test]
     fn round_trip_within_24_bits() {
-        for v in [0u32, 1, 255, 256, 65535, 65536, 1 << 20, (1 << 24) - 1, 1 << 24] {
+        for v in [
+            0u32,
+            1,
+            255,
+            256,
+            65535,
+            65536,
+            1 << 20,
+            (1 << 24) - 1,
+            1 << 24,
+        ] {
             assert!(is_exact(v));
             let up = mirror_unpack(encode(v));
             assert_eq!(up, v as f32, "unpack {v}");

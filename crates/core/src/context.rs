@@ -2,12 +2,13 @@
 //! simulated GLES2 driver.
 
 use crate::addressing::ArrayLayout;
+use crate::bind::Bindings;
 use crate::buffer::{GpuArray, GpuMatrix, GpuScalar, GpuTexels};
 use crate::codec::{FloatSpecials, PackBias};
 use crate::error::ComputeError;
-use crate::kernel::OutputKind;
 use crate::geometry::{self, FULLSCREEN_QUAD, FULLSCREEN_QUAD_VERTICES, POSITION_ATTRIBUTE};
 use crate::kernel::Kernel;
+use crate::kernel::{OutputKind, OutputShape};
 use crate::pipeline::{PassRecord, Readback};
 use gpes_gles2::{
     Context, Dispatch, DrawStats, Executor, Filter, FramebufferId, PrimitiveMode, ProgramId,
@@ -15,12 +16,60 @@ use gpes_gles2::{
 };
 use gpes_glsl::exec::FloatModel;
 use gpes_glsl::Value;
+use std::collections::HashMap;
+
+/// Host-side object-churn counters for a [`ComputeContext`].
+///
+/// Steady-state iteration over the compile/bind split should create
+/// **zero** new GL objects: every program comes out of the program cache
+/// and every render target out of the recycling pool. Snapshot these
+/// counters before and after an iteration loop to assert that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Programs actually compiled and linked (cache misses).
+    pub programs_linked: u64,
+    /// Kernel builds served by the program cache without a link.
+    pub program_cache_hits: u64,
+    /// Textures freshly allocated (pool misses), render targets and
+    /// uploads alike.
+    pub textures_created: u64,
+    /// Textures served from the recycling pool (as render targets or
+    /// upload storage).
+    pub texture_pool_hits: u64,
+    /// Textures returned to the pool via the `recycle_*` family.
+    pub textures_recycled: u64,
+}
+
+impl ContextStats {
+    /// GL objects allocated so far (programs + textures): the number that
+    /// must stop growing once an iteration loop reaches steady state.
+    pub fn gl_objects_created(&self) -> u64 {
+        self.programs_linked + self.textures_created
+    }
+}
+
+/// A kernel's bindings after validation against its signature and merging
+/// with the build-time defaults: what one dispatch actually uses.
+struct ResolvedDispatch {
+    layout: ArrayLayout,
+    /// Parallel to the kernel's input list (texture-unit order).
+    inputs: Vec<(TextureId, ArrayLayout)>,
+}
 
 /// A GPGPU compute context over OpenGL ES 2 (the paper's framework).
 ///
 /// Owns a GL context whose default framebuffer acts as the "screen"; all
 /// final readbacks go through it or through FBO-attached textures, exactly
 /// as the API allows on real hardware.
+///
+/// The context also owns two caches that keep iteration loops free of GL
+/// object churn (the TFLite-delegate / CNNdroid pattern):
+///
+/// * a **program cache** keyed by generated fragment source — building an
+///   identical kernel twice links one program;
+/// * a **render-target pool** — textures released with the `recycle_*`
+///   methods are reused by later render-to-texture dispatches of the same
+///   dimensions.
 pub struct ComputeContext {
     gl: Context,
     pack_bias: PackBias,
@@ -28,7 +77,23 @@ pub struct ComputeContext {
     scratch_fbo: FramebufferId,
     copy_program: Option<ProgramId>,
     pass_log: Vec<PassRecord>,
+    /// `vs \0 fs` source → linked program.
+    program_cache: HashMap<String, ProgramId>,
+    program_cache_enabled: bool,
+    /// `(width, height)` → recycled RGBA8 render targets.
+    target_pool: HashMap<(u32, u32), Vec<TextureId>>,
+    /// Textures currently held across all pool buckets.
+    pooled_textures: usize,
+    stats: ContextStats,
 }
+
+/// Per-`(width, height)` cap on pooled textures — a ping-pong dag needs at
+/// most a handful of spares per shape; beyond that, recycling deletes.
+const POOL_BUCKET_CAP: usize = 8;
+
+/// Total pooled-texture cap across all buckets, so a long-lived context
+/// serving many distinct shapes cannot retain memory without bound.
+const POOL_TOTAL_CAP: usize = 256;
 
 impl ComputeContext {
     /// Creates a context whose default framebuffer ("screen") is
@@ -66,7 +131,43 @@ impl ComputeContext {
             scratch_fbo,
             copy_program: None,
             pass_log: Vec::new(),
+            program_cache: HashMap::new(),
+            program_cache_enabled: true,
+            target_pool: HashMap::new(),
+            pooled_textures: 0,
+            stats: ContextStats::default(),
         })
+    }
+
+    /// Object-churn counters (program cache / render-target pool).
+    pub fn stats(&self) -> ContextStats {
+        self.stats
+    }
+
+    /// Enables or disables the program cache (on by default; the off
+    /// position exists for the `a9` host-cost ablation, which measures
+    /// what rebuild-per-pass used to cost).
+    pub fn set_program_cache_enabled(&mut self, enabled: bool) {
+        self.program_cache_enabled = enabled;
+    }
+
+    /// Drops every cached program and deletes the underlying GL objects.
+    /// Kernels built earlier keep working only if rebuilt; call this when
+    /// retiring a family of shaders for good.
+    pub fn clear_program_cache(&mut self) {
+        for (_, id) in self.program_cache.drain() {
+            self.gl.delete_program(id);
+        }
+    }
+
+    /// Deletes every pooled render target.
+    pub fn clear_target_pool(&mut self) {
+        for (_, textures) in self.target_pool.drain() {
+            for id in textures {
+                self.gl.delete_texture(id);
+            }
+        }
+        self.pooled_textures = 0;
     }
 
     /// Escape hatch to the underlying GL context.
@@ -161,9 +262,14 @@ impl ComputeContext {
         layout: ArrayLayout,
     ) -> Result<TextureId, ComputeError> {
         let texels = T::encode_texels(data, layout.texel_count());
-        let texture = self.gl.create_texture();
-        self.gl
-            .tex_image_2d(texture, T::tex_format(), layout.width, layout.height, &texels)?;
+        let texture = self.alloc_texture(layout.width, layout.height);
+        self.gl.tex_image_2d(
+            texture,
+            T::tex_format(),
+            layout.width,
+            layout.height,
+            &texels,
+        )?;
         self.gl
             .set_texture_filter(texture, Filter::Nearest, Filter::Nearest)?;
         self.gl
@@ -179,6 +285,43 @@ impl ComputeContext {
     /// Frees the texture behind a matrix.
     pub fn delete_matrix<T: GpuScalar>(&mut self, matrix: GpuMatrix<T>) {
         self.gl.delete_texture(matrix.texture);
+    }
+
+    /// Returns an array's texture to the render-target pool instead of
+    /// deleting it — the right retirement for ping-pong intermediates, so
+    /// the next same-shaped render-to-texture dispatch allocates nothing.
+    /// Non-RGBA8 textures (byte/short uploads) cannot serve as render
+    /// targets and are deleted instead.
+    pub fn recycle_array<T: GpuScalar>(&mut self, array: GpuArray<T>) {
+        self.recycle_texture(array.texture);
+    }
+
+    /// [`ComputeContext::recycle_array`] for matrices.
+    pub fn recycle_matrix<T: GpuScalar>(&mut self, matrix: GpuMatrix<T>) {
+        self.recycle_texture(matrix.texture);
+    }
+
+    /// [`ComputeContext::recycle_array`] for raw texel buffers.
+    pub fn recycle_texels(&mut self, texels: GpuTexels) {
+        self.recycle_texture(texels.texture);
+    }
+
+    pub(crate) fn recycle_texture(&mut self, id: TextureId) {
+        match self.gl.texture_info(id) {
+            Ok((TexFormat::Rgba8, w, h)) if self.pooled_textures < POOL_TOTAL_CAP => {
+                let bucket = self.target_pool.entry((w, h)).or_default();
+                if bucket.len() < POOL_BUCKET_CAP {
+                    bucket.push(id);
+                    self.pooled_textures += 1;
+                    self.stats.textures_recycled += 1;
+                } else {
+                    self.gl.delete_texture(id);
+                }
+            }
+            // Stale handles, non-renderable formats and pool overflow
+            // just go away.
+            _ => self.gl.delete_texture(id),
+        }
     }
 
     // Typed convenience aliases (discoverability).
@@ -239,7 +382,7 @@ impl ComputeContext {
             )));
         }
         let layout = ArrayLayout::grid(height, width, self.max_texture_side())?;
-        let texture = self.gl.create_texture();
+        let texture = self.alloc_texture(width, height);
         self.gl
             .tex_image_2d(texture, TexFormat::Rgba8, width, height, bytes)?;
         self.gl
@@ -261,9 +404,14 @@ impl ComputeContext {
             bytes.extend_from_slice(t);
         }
         bytes.resize(layout.texel_count() * 4, 0);
-        let texture = self.gl.create_texture();
-        self.gl
-            .tex_image_2d(texture, TexFormat::Rgba8, layout.width, layout.height, &bytes)?;
+        let texture = self.alloc_texture(layout.width, layout.height);
+        self.gl.tex_image_2d(
+            texture,
+            TexFormat::Rgba8,
+            layout.width,
+            layout.height,
+            &bytes,
+        )?;
         self.gl
             .set_texture_filter(texture, Filter::Nearest, Filter::Nearest)?;
         self.gl
@@ -278,65 +426,165 @@ impl ComputeContext {
 
     // ---- kernel plumbing (used by KernelBuilder) ----------------------------
 
+    /// Compiles (or fetches from the cache) a program pair.
+    pub(crate) fn compile_program_cached(
+        &mut self,
+        vs: &str,
+        fs: &str,
+    ) -> Result<ProgramId, ComputeError> {
+        let key = format!("{vs}\u{0}{fs}");
+        if self.program_cache_enabled {
+            if let Some(&id) = self.program_cache.get(&key) {
+                self.stats.program_cache_hits += 1;
+                return Ok(id);
+            }
+        }
+        let id = self.gl.create_program(vs, fs)?;
+        self.stats.programs_linked += 1;
+        if self.program_cache_enabled {
+            self.program_cache.insert(key, id);
+        }
+        Ok(id)
+    }
+
     pub(crate) fn compile_kernel_program(
         &mut self,
         fragment_source: &str,
     ) -> Result<ProgramId, ComputeError> {
         let vs = geometry::passthrough_vertex_shader();
-        Ok(self.gl.create_program(&vs, fragment_source)?)
+        self.compile_program_cached(&vs, fragment_source)
     }
 
-    pub(crate) fn initialize_kernel_uniforms(&mut self, kernel: &Kernel) -> Result<(), ComputeError> {
-        self.gl.use_program(kernel.program)?;
-        self.gl.set_uniform(
-            "u_out_dims",
-            Value::Vec2([
-                kernel.output_layout.width as f32,
-                kernel.output_layout.height as f32,
-            ]),
-        )?;
-        for (unit, input) in kernel.inputs.iter().enumerate() {
-            self.gl
-                .set_uniform(&format!("u_{}", input.name), Value::Int(unit as i32))?;
-            self.gl.set_uniform(
-                &format!("u_{}_dims", input.name),
-                Value::Vec2([input.layout.width as f32, input.layout.height as f32]),
-            )?;
-        }
-        for (name, value) in &kernel.uniforms {
-            self.gl.set_uniform(name, value.clone())?;
-        }
-        Ok(())
-    }
-
-    /// Updates a user uniform declared at build time.
+    /// Updates a *default* uniform declared at build time; alias of
+    /// [`Kernel::set_uniform`] kept for call-site symmetry with the
+    /// dispatch methods.
     ///
     /// # Errors
     ///
-    /// GL errors for unknown names or type mismatches.
+    /// `BadKernel` for unknown names or type mismatches.
     pub fn set_kernel_uniform(
         &mut self,
-        kernel: &Kernel,
+        kernel: &mut Kernel,
         name: &str,
         value: Value,
     ) -> Result<(), ComputeError> {
-        self.gl.use_program(kernel.program)?;
-        Ok(self.gl.set_uniform(name, value)?)
+        kernel.set_uniform(name, value)
     }
 
-    // ---- execution ---------------------------------------------------------
+    // ---- binding resolution + execution -------------------------------------
 
-    fn dispatch_kernel(&mut self, kernel: &Kernel, to_screen: bool) -> Result<DrawStats, ComputeError> {
+    /// Checks a [`Bindings`] override set against a kernel's signature and
+    /// merges it with the kernel's defaults.
+    fn resolve_bindings(
+        &self,
+        kernel: &Kernel,
+        bindings: &Bindings,
+    ) -> Result<ResolvedDispatch, ComputeError> {
+        for b in &bindings.inputs {
+            let spec = kernel
+                .inputs
+                .iter()
+                .find(|s| s.name == b.name)
+                .ok_or_else(|| {
+                    ComputeError::bad_kernel(format!(
+                        "kernel `{}` declares no input `{}`",
+                        kernel.name, b.name
+                    ))
+                })?;
+            if spec.encoding != b.encoding {
+                return Err(ComputeError::bad_kernel(format!(
+                    "input `{}` of kernel `{}` is declared {:?}, bound {:?}",
+                    b.name, kernel.name, spec.encoding, b.encoding
+                )));
+            }
+        }
+        for (name, value) in &bindings.uniforms {
+            let decl = kernel
+                .uniforms
+                .iter()
+                .find(|(n, _)| n == name)
+                .ok_or_else(|| {
+                    ComputeError::bad_kernel(format!(
+                        "kernel `{}` declares no uniform `{name}`",
+                        kernel.name
+                    ))
+                })?;
+            if std::mem::discriminant(&decl.1) != std::mem::discriminant(value) {
+                return Err(ComputeError::bad_kernel(format!(
+                    "uniform `{name}` of kernel `{}` is {}, bound {}",
+                    kernel.name,
+                    decl.1.ty(),
+                    value.ty()
+                )));
+            }
+        }
+        let layout = match bindings.output {
+            None => kernel.output_layout,
+            Some(OutputShape::Linear(len)) => ArrayLayout::for_len(len, self.max_texture_side())?,
+            Some(OutputShape::Grid { rows, cols }) => {
+                ArrayLayout::grid(rows, cols, self.max_texture_side())?
+            }
+        };
+        let inputs = kernel
+            .inputs
+            .iter()
+            .map(|spec| {
+                bindings
+                    .inputs
+                    .iter()
+                    .find(|b| b.name == spec.name)
+                    .map(|b| (b.texture, b.layout))
+                    .unwrap_or((spec.texture, spec.layout))
+            })
+            .collect();
+        Ok(ResolvedDispatch { layout, inputs })
+    }
+
+    /// Issues one draw for `kernel` under resolved bindings. All uniform
+    /// state (sampler units, dimension vectors, user uniforms) is applied
+    /// here, per dispatch — programs are shared through the cache, so
+    /// nothing may rely on values persisting inside the GL program. The
+    /// kernel's declared defaults go first, then each `overrides` slice in
+    /// order (later wins).
+    fn dispatch_resolved(
+        &mut self,
+        kernel: &Kernel,
+        resolved: &ResolvedDispatch,
+        overrides: &[&[(String, Value)]],
+        to_screen: bool,
+        reused_target: bool,
+    ) -> Result<DrawStats, ComputeError> {
         self.gl.use_program(kernel.program)?;
-        for (unit, input) in kernel.inputs.iter().enumerate() {
-            self.gl.bind_texture(unit as u32, input.texture)?;
+        self.gl.set_uniform(
+            "u_out_dims",
+            Value::Vec2([resolved.layout.width as f32, resolved.layout.height as f32]),
+        )?;
+        for (unit, ((sampler, dims), &(texture, layout))) in kernel
+            .input_uniform_names
+            .iter()
+            .zip(&resolved.inputs)
+            .enumerate()
+        {
+            self.gl.bind_texture(unit as u32, texture)?;
+            self.gl.set_uniform(sampler, Value::Int(unit as i32))?;
+            self.gl.set_uniform(
+                dims,
+                Value::Vec2([layout.width as f32, layout.height as f32]),
+            )?;
         }
         for unit in kernel.inputs.len()..self.gl.limits().max_texture_units {
             self.gl.unbind_texture(unit as u32);
         }
+        for (name, value) in kernel
+            .uniforms
+            .iter()
+            .chain(overrides.iter().flat_map(|slice| slice.iter()))
+        {
+            self.gl.set_uniform(name, value.clone())?;
+        }
         self.gl
             .set_attribute(POSITION_ATTRIBUTE, 2, &FULLSCREEN_QUAD)?;
-        let (w, h) = (kernel.output_layout.width, kernel.output_layout.height);
+        let (w, h) = (resolved.layout.width, resolved.layout.height);
         if to_screen {
             self.gl.bind_framebuffer(None)?;
         }
@@ -347,18 +595,64 @@ impl ComputeContext {
         self.pass_log.push(PassRecord {
             kernel: kernel.name.clone(),
             stats,
-            output_texels: kernel.output_layout.texel_count() as u64,
+            output_texels: resolved.layout.texel_count() as u64,
+            reused_target,
         });
         Ok(stats)
     }
 
-    /// Allocates an RGBA8 render-target texture shaped like `layout`,
-    /// attaches it to the scratch FBO and leaves that FBO bound.
-    pub(crate) fn create_render_target(
+    /// Pops a valid same-sized texture from the recycling pool, if any.
+    fn pooled_texture(&mut self, width: u32, height: u32) -> Option<TextureId> {
+        let pool = self.target_pool.get_mut(&(width, height))?;
+        while let Some(id) = pool.pop() {
+            self.pooled_textures = self.pooled_textures.saturating_sub(1);
+            // Skip handles the caller deleted behind the pool's back.
+            if self.gl.texture_info(id).is_ok() {
+                self.stats.texture_pool_hits += 1;
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// A texture object for `width × height` texels: recycled when the
+    /// pool has one (the caller re-images or overdraws it), fresh
+    /// otherwise.
+    fn alloc_texture(&mut self, width: u32, height: u32) -> TextureId {
+        match self.pooled_texture(width, height) {
+            Some(id) => id,
+            None => {
+                self.stats.textures_created += 1;
+                self.gl.create_texture()
+            }
+        }
+    }
+
+    /// Acquires an RGBA8 render target shaped like `layout` — from the
+    /// recycling pool when possible — attaches it to the scratch FBO and
+    /// leaves that FBO bound. Returns the texture and whether it was
+    /// pooled.
+    pub(crate) fn acquire_render_target(
         &mut self,
         layout: ArrayLayout,
-    ) -> Result<TextureId, ComputeError> {
+    ) -> Result<(TextureId, bool), ComputeError> {
+        // Pooled textures are always RGBA8 with storage in place; kernel
+        // dispatches draw a full-coverage quad that overwrites every
+        // texel, so no clear is needed (callers driving scissored draws
+        // through the raw `gl()` hatch must clear themselves). Sampler
+        // parameters are re-asserted in case the caller changed them on
+        // the recycled texture.
+        if let Some(id) = self.pooled_texture(layout.width, layout.height) {
+            self.gl
+                .set_texture_filter(id, Filter::Nearest, Filter::Nearest)?;
+            self.gl
+                .set_texture_wrap(id, Wrap::ClampToEdge, Wrap::ClampToEdge)?;
+            self.gl.framebuffer_texture(self.scratch_fbo, id)?;
+            self.gl.bind_framebuffer(Some(self.scratch_fbo))?;
+            return Ok((id, true));
+        }
         let target = self.gl.create_texture();
+        self.stats.textures_created += 1;
         self.gl
             .tex_storage(target, TexFormat::Rgba8, layout.width, layout.height)?;
         self.gl
@@ -367,47 +661,84 @@ impl ComputeContext {
             .set_texture_wrap(target, Wrap::ClampToEdge, Wrap::ClampToEdge)?;
         self.gl.framebuffer_texture(self.scratch_fbo, target)?;
         self.gl.bind_framebuffer(Some(self.scratch_fbo))?;
-        Ok(target)
+        Ok((target, false))
     }
 
-    /// Runs a kernel into a fresh texture (render-to-texture) and returns
-    /// the result as a new [`GpuArray`] for further passes.
+    /// Attaches an already-owned texture as the render target (used by the
+    /// pipeline's in-place fast path) and leaves the scratch FBO bound.
+    pub(crate) fn attach_render_target(&mut self, target: TextureId) -> Result<(), ComputeError> {
+        self.gl.framebuffer_texture(self.scratch_fbo, target)?;
+        self.gl.bind_framebuffer(Some(self.scratch_fbo))?;
+        Ok(())
+    }
+
+    /// Runs a kernel into a render-to-texture target under explicit
+    /// [`Bindings`], returning the result as a new [`GpuArray`].
     ///
     /// # Errors
     ///
     /// `BadKernel` when `T` does not match the kernel's declared output
-    /// type; GL/shader errors during the draw.
-    pub fn run_to_array<T: GpuScalar>(&mut self, kernel: &Kernel) -> Result<GpuArray<T>, ComputeError> {
+    /// type or the bindings disagree with the kernel signature; GL/shader
+    /// errors during the draw.
+    pub fn run_to_array_with<T: GpuScalar>(
+        &mut self,
+        kernel: &Kernel,
+        bindings: &Bindings,
+    ) -> Result<GpuArray<T>, ComputeError> {
         if kernel.output_kind != OutputKind::Scalar(T::SCALAR) {
             return Err(ComputeError::bad_kernel(format!(
                 "kernel `{}` outputs {:?}, requested {}",
-                kernel.name, kernel.output_kind, T::SCALAR
+                kernel.name,
+                kernel.output_kind,
+                T::SCALAR
             )));
         }
-        let layout = kernel.output_layout;
-        let target = self.create_render_target(layout)?;
-        let result = self.dispatch_kernel(kernel, false);
+        let resolved = self.resolve_bindings(kernel, bindings)?;
+        let (target, pooled) = self.acquire_render_target(resolved.layout)?;
+        let result =
+            self.dispatch_resolved(kernel, &resolved, &[&bindings.uniforms], false, pooled);
         self.gl.bind_framebuffer(None)?;
         result?;
-        Ok(GpuArray::new(target, layout))
+        Ok(GpuArray::new(target, resolved.layout))
+    }
+
+    /// Runs a kernel into a fresh texture (render-to-texture) under its
+    /// build-time default bindings.
+    ///
+    /// # Errors
+    ///
+    /// As [`ComputeContext::run_to_array_with`].
+    pub fn run_to_array<T: GpuScalar>(
+        &mut self,
+        kernel: &Kernel,
+    ) -> Result<GpuArray<T>, ComputeError> {
+        self.run_to_array_with(kernel, &Bindings::new())
     }
 
     /// Runs a kernel straight into the default framebuffer — the paper's
     /// "careful kernel ordering" readback strategy (workaround #7) — and
-    /// decodes the result.
+    /// decodes the result, under explicit [`Bindings`].
     ///
     /// # Errors
     ///
     /// [`ComputeError::TooLarge`] when the output exceeds the screen;
-    /// type-mismatch and GL errors as in [`ComputeContext::run_to_array`].
-    pub fn run_and_read<T: GpuScalar>(&mut self, kernel: &Kernel) -> Result<Vec<T>, ComputeError> {
+    /// type-mismatch and GL errors as in
+    /// [`ComputeContext::run_to_array_with`].
+    pub fn run_and_read_with<T: GpuScalar>(
+        &mut self,
+        kernel: &Kernel,
+        bindings: &Bindings,
+    ) -> Result<Vec<T>, ComputeError> {
         if kernel.output_kind != OutputKind::Scalar(T::SCALAR) {
             return Err(ComputeError::bad_kernel(format!(
                 "kernel `{}` outputs {:?}, requested {}",
-                kernel.name, kernel.output_kind, T::SCALAR
+                kernel.name,
+                kernel.output_kind,
+                T::SCALAR
             )));
         }
-        let layout = kernel.output_layout;
+        let resolved = self.resolve_bindings(kernel, bindings)?;
+        let layout = resolved.layout;
         let (sw, sh) = self.screen_size();
         if layout.width > sw || layout.height > sh {
             return Err(ComputeError::TooLarge {
@@ -417,9 +748,18 @@ impl ComputeContext {
                 ),
             });
         }
-        self.dispatch_kernel(kernel, true)?;
+        self.dispatch_resolved(kernel, &resolved, &[&bindings.uniforms], true, false)?;
         let bytes = self.gl.read_pixels(0, 0, layout.width, layout.height)?;
         Ok(T::decode_framebuffer(&bytes, layout.len))
+    }
+
+    /// Default-bindings form of [`ComputeContext::run_and_read_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ComputeContext::run_and_read_with`].
+    pub fn run_and_read<T: GpuScalar>(&mut self, kernel: &Kernel) -> Result<Vec<T>, ComputeError> {
+        self.run_and_read_with(kernel, &Bindings::new())
     }
 
     /// Alias of [`ComputeContext::run_and_read`] for `f32` kernels.
@@ -427,43 +767,71 @@ impl ComputeContext {
         self.run_and_read(kernel)
     }
 
-    /// Runs a raw-texel kernel into a fresh texture and returns the
-    /// untyped result for further passes.
+    /// Alias of [`ComputeContext::run_and_read_with`] for `f32` kernels.
+    pub fn run_f32_with(
+        &mut self,
+        kernel: &Kernel,
+        bindings: &Bindings,
+    ) -> Result<Vec<f32>, ComputeError> {
+        self.run_and_read_with(kernel, bindings)
+    }
+
+    /// Runs a raw-texel kernel into a render target under explicit
+    /// [`Bindings`] and returns the untyped result for further passes.
     ///
     /// # Errors
     ///
-    /// `BadKernel` when the kernel has a scalar (non-raw) output; GL or
-    /// shader errors during the draw.
-    pub fn run_to_texels(&mut self, kernel: &Kernel) -> Result<GpuTexels, ComputeError> {
+    /// `BadKernel` when the kernel has a scalar (non-raw) output or the
+    /// bindings disagree with the signature; GL or shader errors.
+    pub fn run_to_texels_with(
+        &mut self,
+        kernel: &Kernel,
+        bindings: &Bindings,
+    ) -> Result<GpuTexels, ComputeError> {
         if kernel.output_kind != OutputKind::RawTexel {
             return Err(ComputeError::bad_kernel(format!(
                 "kernel `{}` has a scalar output; use run_to_array",
                 kernel.name
             )));
         }
-        let layout = kernel.output_layout;
-        let target = self.create_render_target(layout)?;
-        let result = self.dispatch_kernel(kernel, false);
+        let resolved = self.resolve_bindings(kernel, bindings)?;
+        let (target, pooled) = self.acquire_render_target(resolved.layout)?;
+        let result =
+            self.dispatch_resolved(kernel, &resolved, &[&bindings.uniforms], false, pooled);
         self.gl.bind_framebuffer(None)?;
         result?;
-        Ok(GpuTexels::new(target, layout))
+        Ok(GpuTexels::new(target, resolved.layout))
     }
 
-    /// Runs a raw-texel kernel straight into the default framebuffer and
-    /// returns the RGBA bytes row by row (4 bytes per texel).
+    /// Default-bindings form of [`ComputeContext::run_to_texels_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ComputeContext::run_to_texels_with`].
+    pub fn run_to_texels(&mut self, kernel: &Kernel) -> Result<GpuTexels, ComputeError> {
+        self.run_to_texels_with(kernel, &Bindings::new())
+    }
+
+    /// Runs a raw-texel kernel straight into the default framebuffer under
+    /// explicit [`Bindings`] and returns the RGBA bytes row by row.
     ///
     /// # Errors
     ///
     /// `BadKernel` for scalar-output kernels, [`ComputeError::TooLarge`]
     /// when the output exceeds the screen, and GL errors.
-    pub fn run_and_read_texels(&mut self, kernel: &Kernel) -> Result<Vec<u8>, ComputeError> {
+    pub fn run_and_read_texels_with(
+        &mut self,
+        kernel: &Kernel,
+        bindings: &Bindings,
+    ) -> Result<Vec<u8>, ComputeError> {
         if kernel.output_kind != OutputKind::RawTexel {
             return Err(ComputeError::bad_kernel(format!(
                 "kernel `{}` has a scalar output; use run_and_read",
                 kernel.name
             )));
         }
-        let layout = kernel.output_layout;
+        let resolved = self.resolve_bindings(kernel, bindings)?;
+        let layout = resolved.layout;
         let (sw, sh) = self.screen_size();
         if layout.width > sw || layout.height > sh {
             return Err(ComputeError::TooLarge {
@@ -473,8 +841,35 @@ impl ComputeContext {
                 ),
             });
         }
-        self.dispatch_kernel(kernel, true)?;
+        self.dispatch_resolved(kernel, &resolved, &[&bindings.uniforms], true, false)?;
         Ok(self.gl.read_pixels(0, 0, layout.width, layout.height)?)
+    }
+
+    /// Default-bindings form of
+    /// [`ComputeContext::run_and_read_texels_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ComputeContext::run_and_read_texels_with`].
+    pub fn run_and_read_texels(&mut self, kernel: &Kernel) -> Result<Vec<u8>, ComputeError> {
+        self.run_and_read_texels_with(kernel, &Bindings::new())
+    }
+
+    /// Pipeline entry point: dispatch under pre-resolved pieces. The
+    /// uniform `overrides` slices apply after the kernel defaults, in
+    /// order (the pipeline passes its static overrides, then the
+    /// per-iteration values). Returns the draw stats.
+    pub(crate) fn dispatch_for_pipeline(
+        &mut self,
+        kernel: &Kernel,
+        inputs: Vec<(TextureId, ArrayLayout)>,
+        layout: ArrayLayout,
+        overrides: &[&[(String, Value)]],
+        to_screen: bool,
+        reused_target: bool,
+    ) -> Result<DrawStats, ComputeError> {
+        let resolved = ResolvedDispatch { layout, inputs };
+        self.dispatch_resolved(kernel, &resolved, overrides, to_screen, reused_target)
     }
 
     /// Reads a texel buffer back as RGBA bytes through the FBO path.
@@ -484,7 +879,8 @@ impl ComputeContext {
     /// GL errors (e.g. a deleted backing texture).
     pub fn read_texels(&mut self, texels: &GpuTexels) -> Result<Vec<u8>, ComputeError> {
         let layout = texels.layout;
-        self.gl.framebuffer_texture(self.scratch_fbo, texels.texture)?;
+        self.gl
+            .framebuffer_texture(self.scratch_fbo, texels.texture)?;
         self.gl.bind_framebuffer(Some(self.scratch_fbo))?;
         let bytes = self.gl.read_pixels(0, 0, layout.width, layout.height);
         self.gl.bind_framebuffer(None)?;
@@ -505,7 +901,8 @@ impl ComputeContext {
         let layout = array.layout;
         let bytes = match strategy {
             Readback::DirectFbo => {
-                self.gl.framebuffer_texture(self.scratch_fbo, array.texture)?;
+                self.gl
+                    .framebuffer_texture(self.scratch_fbo, array.texture)?;
                 self.gl.bind_framebuffer(Some(self.scratch_fbo))?;
                 let bytes = self.gl.read_pixels(0, 0, layout.width, layout.height);
                 self.gl.bind_framebuffer(None)?;
@@ -533,13 +930,14 @@ impl ComputeContext {
                     .set_attribute(POSITION_ATTRIBUTE, 2, &FULLSCREEN_QUAD)?;
                 self.gl
                     .viewport(0, 0, layout.width as i32, layout.height as i32);
-                let stats = self
-                    .gl
-                    .draw_arrays(PrimitiveMode::Triangles, 0, FULLSCREEN_QUAD_VERTICES)?;
+                let stats =
+                    self.gl
+                        .draw_arrays(PrimitiveMode::Triangles, 0, FULLSCREEN_QUAD_VERTICES)?;
                 self.pass_log.push(PassRecord {
                     kernel: "gpes.copy".into(),
                     stats,
                     output_texels: layout.texel_count() as u64,
+                    reused_target: false,
                 });
                 self.gl.read_pixels(0, 0, layout.width, layout.height)?
             }
@@ -571,6 +969,7 @@ impl ComputeContext {
             kernel: kernel.to_owned(),
             stats,
             output_texels,
+            reused_target: false,
         });
     }
 
@@ -773,7 +1172,7 @@ mod tests {
     fn uniform_update_changes_result() {
         let mut cc = ComputeContext::new(8, 8).expect("context");
         let a = cc.upload(&[1.0f32, 2.0]).expect("a");
-        let k = Kernel::builder("scale")
+        let mut k = Kernel::builder("scale")
             .input("a", &a)
             .uniform_f32("gain", 2.0)
             .output(ScalarType::F32, 2)
@@ -781,8 +1180,35 @@ mod tests {
             .build(&mut cc)
             .expect("build");
         assert_eq!(cc.run_f32(&k).expect("run"), vec![2.0, 4.0]);
-        cc.set_kernel_uniform(&k, "gain", Value::Float(-3.0)).expect("set");
+        cc.set_kernel_uniform(&mut k, "gain", Value::Float(-3.0))
+            .expect("set");
         assert_eq!(cc.run_f32(&k).expect("run"), vec![-3.0, -6.0]);
+        // Overrides beat the default without touching it.
+        let b = crate::Bindings::new().uniform_f32("gain", 10.0);
+        assert_eq!(cc.run_f32_with(&k, &b).expect("run"), vec![10.0, 20.0]);
+        assert_eq!(cc.run_f32(&k).expect("run"), vec![-3.0, -6.0]);
+    }
+
+    #[test]
+    fn texture_pool_is_bounded() {
+        let mut cc = ComputeContext::new(8, 8).expect("context");
+        // Recycle far more same-shape textures than the bucket cap holds.
+        for _ in 0..(2 * super::POOL_BUCKET_CAP) {
+            let arr = cc.upload(&[1.0f32; 4]).expect("upload");
+            cc.delete_array(arr); // ensure fresh allocations next upload
+        }
+        let mut arrays = Vec::new();
+        for _ in 0..(2 * super::POOL_BUCKET_CAP) {
+            arrays.push(cc.upload(&[1.0f32; 4]).expect("upload"));
+        }
+        for arr in arrays {
+            cc.recycle_array(arr);
+        }
+        // Only POOL_BUCKET_CAP made it into the pool; the rest deleted.
+        assert_eq!(cc.stats().textures_recycled, super::POOL_BUCKET_CAP as u64);
+        assert_eq!(cc.pooled_textures, super::POOL_BUCKET_CAP);
+        cc.clear_target_pool();
+        assert_eq!(cc.pooled_textures, 0);
     }
 
     #[test]

@@ -79,8 +79,8 @@ mod tests {
 
     #[test]
     fn copy_fragment_shader_compiles() {
-        let shader = compile(ShaderKind::Fragment, &copy_fragment_shader())
-            .expect("copy FS compiles");
+        let shader =
+            compile(ShaderKind::Fragment, &copy_fragment_shader()).expect("copy FS compiles");
         assert_eq!(shader.interface.uniforms.len(), 1);
     }
 }

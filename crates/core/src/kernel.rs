@@ -162,6 +162,24 @@ impl KernelBuilder {
         self
     }
 
+    /// Declares a `uniform int` with an initial value.
+    pub fn uniform_i32(mut self, name: &str, value: i32) -> Self {
+        self.uniforms.push((name.to_owned(), Value::Int(value)));
+        self
+    }
+
+    /// Declares a `uniform vec3` with an initial value.
+    pub fn uniform_vec3(mut self, name: &str, value: [f32; 3]) -> Self {
+        self.uniforms.push((name.to_owned(), Value::Vec3(value)));
+        self
+    }
+
+    /// Declares a `uniform vec4` with an initial value.
+    pub fn uniform_vec4(mut self, name: &str, value: [f32; 4]) -> Self {
+        self.uniforms.push((name.to_owned(), Value::Vec4(value)));
+        self
+    }
+
     /// Declares the output element type and linear length.
     pub fn output(mut self, scalar: ScalarType, len: usize) -> Self {
         self.output = Some((OutputKind::Scalar(scalar), OutputShape::Linear(len)));
@@ -252,18 +270,26 @@ impl KernelBuilder {
         };
 
         let fragment_source = self.generate_fragment_source(cc, out_kind, &body);
+        // The program cache makes this free when an identical shader was
+        // already linked (same signature + body ⇒ same generated source).
         let program = cc.compile_kernel_program(&fragment_source)?;
-        let kernel = Kernel {
+        // Sampler/dims uniform names are dispatch-loop constants; build
+        // them once here instead of `format!`-ing per dispatch.
+        let input_uniform_names = self
+            .inputs
+            .iter()
+            .map(|b| (format!("u_{}", b.name), format!("u_{}_dims", b.name)))
+            .collect();
+        Ok(Kernel {
             name: self.name,
             program,
             inputs: self.inputs,
+            input_uniform_names,
             uniforms: self.uniforms,
             output_kind: out_kind,
             output_layout,
             fragment_source,
-        };
-        cc.initialize_kernel_uniforms(&kernel)?;
-        Ok(kernel)
+        })
     }
 
     fn generate_fragment_source(
@@ -349,20 +375,30 @@ fn is_valid_name(name: &str) -> bool {
             .next()
             .map(|c| c.is_ascii_alphabetic() || c == '_')
             .unwrap_or(false)
-        && name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !name.starts_with("gl_")
         && !name.starts_with("gpes_")
         && !name.starts_with("u_")
 }
 
-/// A compiled GPGPU kernel: one fragment program plus its bindings.
+/// A compiled GPGPU kernel: a linked fragment program plus its
+/// *signature* (input names/encodings, declared uniforms, output kind).
+///
+/// Since the compile/bind split, a `Kernel` is immutable compiled state:
+/// the textures captured at build time are only *default bindings*.
+/// Dispatch-time state — which textures feed the inputs, the output
+/// shape, uniform values — can be replaced per dispatch with a
+/// [`crate::Bindings`] value (see
+/// [`crate::ComputeContext::run_to_array_with`]), so rebinding a
+/// ping-pong texture never recompiles anything.
 #[derive(Debug, Clone)]
 pub struct Kernel {
     pub(crate) name: String,
     pub(crate) program: ProgramId,
     pub(crate) inputs: Vec<InputBinding>,
+    /// `("u_<name>", "u_<name>_dims")` per input, precomputed for the
+    /// dispatch loop.
+    pub(crate) input_uniform_names: Vec<(String, String)>,
     pub(crate) uniforms: Vec<(String, Value)>,
     pub(crate) output_kind: OutputKind,
     pub(crate) output_layout: ArrayLayout,
@@ -407,6 +443,44 @@ impl Kernel {
     /// The pass-through vertex shader paired with this kernel.
     pub fn vertex_source(&self) -> String {
         geometry::passthrough_vertex_shader()
+    }
+
+    /// Updates a *default* uniform value declared at build time; later
+    /// dispatches without a [`crate::Bindings`] override use it. (Since
+    /// programs are shared through the context cache, uniform values are
+    /// applied at dispatch, not stored in the GL program.)
+    ///
+    /// # Errors
+    ///
+    /// [`ComputeError::BadKernel`] for unknown names or a value whose GLSL
+    /// type differs from the declaration.
+    pub fn set_uniform(&mut self, name: &str, value: Value) -> Result<(), ComputeError> {
+        let slot = self
+            .uniforms
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .ok_or_else(|| {
+                ComputeError::bad_kernel(format!("kernel declares no uniform `{name}`"))
+            })?;
+        if std::mem::discriminant(&slot.1) != std::mem::discriminant(&value) {
+            return Err(ComputeError::bad_kernel(format!(
+                "uniform `{name}` is {}, got {}",
+                slot.1.ty(),
+                value.ty()
+            )));
+        }
+        slot.1 = value;
+        Ok(())
+    }
+
+    /// The declared input names in texture-unit order.
+    pub fn input_names(&self) -> impl Iterator<Item = &str> {
+        self.inputs.iter().map(|b| b.name.as_str())
+    }
+
+    /// The declared uniforms (name, current default value).
+    pub fn uniforms(&self) -> &[(String, Value)] {
+        &self.uniforms
     }
 }
 

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod addressing;
+pub mod bind;
 pub mod buffer;
 pub mod chunked;
 pub mod codec;
@@ -50,12 +51,13 @@ pub mod multi_output;
 pub mod pipeline;
 pub mod vertex_compute;
 
+pub use bind::Bindings;
 pub use buffer::{GpuArray, GpuMatrix, GpuScalar, GpuTexels};
 pub use codec::{FloatSpecials, PackBias, ScalarType};
-pub use context::ComputeContext;
-pub use gpes_gles2::Executor;
+pub use context::{ComputeContext, ContextStats};
 pub use error::ComputeError;
+pub use gpes_gles2::Executor;
 pub use kernel::{InputEncoding, Kernel, KernelBuilder, OutputKind, OutputShape};
 pub use multi_output::{MultiOutputBuilder, MultiOutputKernel};
-pub use pipeline::{PassRecord, Readback};
+pub use pipeline::{Pass, PassRecord, Pipeline, PipelineBuilder, PipelineRun, Readback};
 pub use vertex_compute::{VertexKernel, VertexKernelBuilder};

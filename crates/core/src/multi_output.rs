@@ -103,10 +103,7 @@ impl MultiOutputKernel {
 
     /// Looks up the kernel computing a named output.
     pub fn kernel(&self, name: &str) -> Option<&Kernel> {
-        self.kernels
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, k)| k)
+        self.kernels.iter().find(|(n, _)| n == name).map(|(_, k)| k)
     }
 
     /// Iterates over `(output name, kernel)` pairs in declaration order.

@@ -14,8 +14,21 @@
 //! Core ES 2 additionally allows reading an FBO whose colour attachment is
 //! the texture ([`Readback::DirectFbo`]); all strategies must agree
 //! bit-exactly, which the integration tests verify.
+//!
+//! This module also hosts the retained [`Pipeline`] API: declare a
+//! multi-pass dag once, then run it with zero per-iteration shader
+//! compiles and (in steady state) zero new GL objects.
 
-use gpes_gles2::DrawStats;
+use crate::addressing::ArrayLayout;
+use crate::buffer::{GpuArray, GpuMatrix, GpuScalar, GpuTexels};
+use crate::codec::ScalarType;
+use crate::error::ComputeError;
+use crate::kernel::{InputEncoding, Kernel, OutputKind, OutputShape};
+use crate::ComputeContext;
+use gpes_gles2::{DrawStats, TextureId};
+use gpes_glsl::Value;
+use std::collections::HashMap;
+use std::fmt;
 
 /// Strategy for reading a GPU array back to host memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,6 +49,12 @@ pub struct PassRecord {
     pub stats: DrawStats,
     /// Texels in the render target (fragments expected).
     pub output_texels: u64,
+    /// Whether the render target was *reused* — served from the context's
+    /// recycling pool or overwritten in place by the pipeline's fast path
+    /// — rather than freshly allocated (always `false` for screen passes).
+    /// In a steady-state iteration loop every render-to-texture pass
+    /// should report `true`.
+    pub reused_target: bool,
 }
 
 impl PassRecord {
@@ -45,6 +64,784 @@ impl PassRecord {
             0.0
         } else {
             self.stats.fs_profile.total_ops() as f64 / self.output_texels as f64
+        }
+    }
+}
+
+// ---- the retained Pipeline API ----------------------------------------------
+
+/// What a pipeline buffer holds, for read/encoding validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BufKind {
+    /// §IV-encoded scalars of one type.
+    Scalar(ScalarType),
+    /// Raw RGBA8 texels.
+    Texels,
+}
+
+impl BufKind {
+    fn accepts(self, encoding: InputEncoding) -> bool {
+        match encoding {
+            InputEncoding::Scalar(s) => self == BufKind::Scalar(s),
+            // Raw-texel fetches reinterpret any RGBA8 buffer.
+            InputEncoding::RawTexel => true,
+        }
+    }
+
+    fn of_output(kind: OutputKind) -> BufKind {
+        match kind {
+            OutputKind::Scalar(s) => BufKind::Scalar(s),
+            OutputKind::RawTexel => BufKind::Texels,
+        }
+    }
+}
+
+/// One named buffer's current generation during (and after) a run.
+#[derive(Debug, Clone, Copy)]
+struct BufferState {
+    texture: TextureId,
+    layout: ArrayLayout,
+    kind: BufKind,
+    /// Whether the pipeline allocated this texture (and may recycle it).
+    /// Seed textures stay owned by the caller.
+    owned: bool,
+}
+
+type ShapeFn = Box<dyn Fn(usize) -> OutputShape>;
+type UniformFn = Box<dyn Fn(usize) -> Value>;
+type UntilFn = Box<dyn Fn(usize) -> bool>;
+
+/// One declared pass of a [`Pipeline`]: a kernel plus the buffer wiring
+/// and per-iteration overrides.
+pub struct Pass {
+    kernel: Kernel,
+    /// (kernel input name, pipeline buffer name).
+    reads: Vec<(String, String)>,
+    write: Option<(String, OutputShape)>,
+    output_fn: Option<ShapeFn>,
+    uniforms: Vec<(String, Value)>,
+    uniform_fns: Vec<(String, UniformFn)>,
+}
+
+impl Pass {
+    /// Starts a pass around a compiled kernel (the kernel is cloned; its
+    /// program stays shared through the context's cache).
+    pub fn new(kernel: &Kernel) -> Pass {
+        Pass {
+            kernel: kernel.clone(),
+            reads: Vec::new(),
+            write: None,
+            output_fn: None,
+            uniforms: Vec::new(),
+            uniform_fns: Vec::new(),
+        }
+    }
+
+    /// Feeds kernel input `input` from pipeline buffer `buffer`. Inputs
+    /// without a `read` keep the kernel's build-time default binding
+    /// (useful for constant textures like a DP wall matrix).
+    pub fn read(mut self, input: &str, buffer: &str) -> Self {
+        self.reads.push((input.to_owned(), buffer.to_owned()));
+        self
+    }
+
+    /// Writes the pass output into buffer `buffer` with a fixed shape.
+    /// Writing a buffer the pass also reads is the ping-pong case: the
+    /// draw goes to a spare target and the name is re-pointed afterwards,
+    /// so the GL feedback rule is never violated.
+    pub fn write(mut self, buffer: &str, shape: OutputShape) -> Self {
+        self.write = Some((buffer.to_owned(), shape));
+        self
+    }
+
+    /// [`Pass::write`] with a linear output of `len` elements.
+    pub fn write_len(self, buffer: &str, len: usize) -> Self {
+        self.write(buffer, OutputShape::Linear(len))
+    }
+
+    /// [`Pass::write`] with a `rows × cols` grid output.
+    pub fn write_grid(self, buffer: &str, rows: u32, cols: u32) -> Self {
+        self.write(buffer, OutputShape::Grid { rows, cols })
+    }
+
+    /// Makes the output shape a function of the iteration index — the
+    /// reduction-tree case, where each pass shrinks the domain.
+    pub fn output_per_iter(mut self, f: impl Fn(usize) -> OutputShape + 'static) -> Self {
+        self.output_fn = Some(Box::new(f));
+        self
+    }
+
+    /// Overrides a declared uniform with a fixed value for this pass.
+    pub fn uniform(mut self, name: &str, value: Value) -> Self {
+        self.uniforms.push((name.to_owned(), value));
+        self
+    }
+
+    /// Overrides a declared uniform per iteration (`f` receives the
+    /// zero-based iteration index) — the paper's workloads use this for
+    /// `n_live`, `row_idx`, `kcol` and FFT stage widths.
+    pub fn uniform_per_iter(mut self, name: &str, f: impl Fn(usize) -> Value + 'static) -> Self {
+        self.uniform_fns.push((name.to_owned(), Box::new(f)));
+        self
+    }
+}
+
+impl fmt::Debug for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pass")
+            .field("kernel", &self.kernel.name())
+            .field("reads", &self.reads)
+            .field("write", &self.write)
+            .field("dynamic_output", &self.output_fn.is_some())
+            .field("uniforms", &self.uniforms)
+            .field(
+                "per_iter_uniforms",
+                &self
+                    .uniform_fns
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// Builder for [`Pipeline`]s; see [`Pipeline::builder`].
+pub struct PipelineBuilder {
+    name: String,
+    sources: Vec<(String, TextureId, ArrayLayout, BufKind)>,
+    passes: Vec<Pass>,
+    iterations: Option<usize>,
+    until: Option<UntilFn>,
+    ping_pongs: Vec<(String, String)>,
+}
+
+impl PipelineBuilder {
+    /// Seeds buffer `name` from an uploaded (or previously computed)
+    /// array. The texture stays owned by the caller — the pipeline never
+    /// recycles it.
+    pub fn source<T: GpuScalar>(mut self, name: &str, array: &GpuArray<T>) -> Self {
+        self.sources.push((
+            name.to_owned(),
+            array.texture,
+            array.layout,
+            BufKind::Scalar(T::SCALAR),
+        ));
+        self
+    }
+
+    /// Seeds buffer `name` from a matrix.
+    pub fn source_matrix<T: GpuScalar>(mut self, name: &str, matrix: &GpuMatrix<T>) -> Self {
+        self.sources.push((
+            name.to_owned(),
+            matrix.texture,
+            matrix.layout,
+            BufKind::Scalar(T::SCALAR),
+        ));
+        self
+    }
+
+    /// Seeds buffer `name` from a raw texel buffer.
+    pub fn source_texels(mut self, name: &str, texels: &GpuTexels) -> Self {
+        self.sources.push((
+            name.to_owned(),
+            texels.texture,
+            texels.layout,
+            BufKind::Texels,
+        ));
+        self
+    }
+
+    /// Appends a pass; passes execute in declaration order each iteration.
+    pub fn pass(mut self, pass: Pass) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Runs the dag a fixed number of iterations (default 1). With a
+    /// known count the final pass can be routed straight to the default
+    /// framebuffer by [`Pipeline::run_and_read`].
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.iterations = Some(n);
+        self
+    }
+
+    /// Runs the dag until `stop(completed_iterations)` returns `true`
+    /// (checked after each iteration). Combine with
+    /// [`PipelineBuilder::iterations`] to cap the loop; without a cap the
+    /// pipeline aborts after 1 000 000 iterations.
+    pub fn until(mut self, stop: impl Fn(usize) -> bool + 'static) -> Self {
+        self.until = Some(Box::new(stop));
+        self
+    }
+
+    /// Swaps buffers `front` and `back` after every iteration — the
+    /// classic double-buffer for dags where *several* passes read the old
+    /// generation before anyone may overwrite it (e.g. the FFT's re/im
+    /// stage pair). Single-pass feedback (`.read("x", "x").write("x", …)`)
+    /// does not need this; it swaps implicitly.
+    pub fn ping_pong(mut self, front: &str, back: &str) -> Self {
+        self.ping_pongs.push((front.to_owned(), back.to_owned()));
+        self
+    }
+
+    /// Validates the wiring against every kernel's signature.
+    ///
+    /// # Errors
+    ///
+    /// [`ComputeError::BadKernel`] for passes without a write, reads of
+    /// undeclared buffers or kernel inputs, encoding mismatches, unknown
+    /// or type-mismatched uniform overrides, and unknown ping-pong names.
+    pub fn build(self) -> Result<Pipeline, ComputeError> {
+        if self.passes.is_empty() {
+            return Err(ComputeError::bad_kernel(format!(
+                "pipeline `{}` declares no passes",
+                self.name
+            )));
+        }
+        let mut kinds: HashMap<&str, BufKind> = HashMap::new();
+        for (name, _, _, kind) in &self.sources {
+            if kinds.insert(name, *kind).is_some() {
+                return Err(ComputeError::bad_kernel(format!(
+                    "pipeline `{}` declares source `{name}` twice",
+                    self.name
+                )));
+            }
+        }
+        // Register every written buffer for kind checking. A buffer must
+        // hold ONE kind — seeding or rewriting it with a different element
+        // kind would let a later read decode garbage.
+        for pass in &self.passes {
+            let (write_name, _) = pass.write.as_ref().ok_or_else(|| {
+                ComputeError::bad_kernel(format!(
+                    "pass `{}` of pipeline `{}` writes no buffer",
+                    pass.kernel.name(),
+                    self.name
+                ))
+            })?;
+            let kind = BufKind::of_output(pass.kernel.output_kind());
+            match kinds.get(write_name.as_str()) {
+                None => {
+                    kinds.insert(write_name, kind);
+                }
+                Some(existing) if *existing != kind => {
+                    return Err(ComputeError::bad_kernel(format!(
+                        "buffer `{write_name}` holds {existing:?}, but pass `{}` \
+                         writes {kind:?}",
+                        pass.kernel.name()
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        // A read must be satisfiable on the FIRST iteration — from a
+        // source or an earlier pass's write. (A buffer first written by a
+        // later pass is empty when iteration 0 reaches the read, and the
+        // end-of-iteration ping-pong swap cannot rescue it either, so the
+        // dag would always fail at runtime.)
+        let mut available: std::collections::HashSet<&str> =
+            self.sources.iter().map(|(n, _, _, _)| n.as_str()).collect();
+        for pass in &self.passes {
+            for (input, buffer) in &pass.reads {
+                let spec = pass
+                    .kernel
+                    .inputs
+                    .iter()
+                    .find(|s| &s.name == input)
+                    .ok_or_else(|| {
+                        ComputeError::bad_kernel(format!(
+                            "kernel `{}` declares no input `{input}`",
+                            pass.kernel.name()
+                        ))
+                    })?;
+                let kind = kinds.get(buffer.as_str()).ok_or_else(|| {
+                    ComputeError::bad_kernel(format!(
+                        "pipeline `{}` has no buffer `{buffer}` (read by `{}`)",
+                        self.name,
+                        pass.kernel.name()
+                    ))
+                })?;
+                if !kind.accepts(spec.encoding) {
+                    return Err(ComputeError::bad_kernel(format!(
+                        "buffer `{buffer}` holds {kind:?}, but input `{input}` of `{}` wants {:?}",
+                        pass.kernel.name(),
+                        spec.encoding
+                    )));
+                }
+                if !available.contains(buffer.as_str()) {
+                    return Err(ComputeError::bad_kernel(format!(
+                        "pass `{}` reads buffer `{buffer}` before its first write",
+                        pass.kernel.name()
+                    )));
+                }
+            }
+            for (name, value) in &pass.uniforms {
+                check_uniform_decl(&pass.kernel, name, Some(value))?;
+            }
+            for (name, _) in &pass.uniform_fns {
+                check_uniform_decl(&pass.kernel, name, None)?;
+            }
+            if let Some((write_name, _)) = &pass.write {
+                available.insert(write_name);
+            }
+        }
+        for (front, back) in &self.ping_pongs {
+            for name in [front, back] {
+                if !kinds.contains_key(name.as_str()) {
+                    return Err(ComputeError::bad_kernel(format!(
+                        "ping-pong names unknown buffer `{name}`"
+                    )));
+                }
+            }
+        }
+        Ok(Pipeline {
+            name: self.name,
+            sources: self.sources,
+            passes: self.passes,
+            iterations: self.iterations,
+            until: self.until,
+            ping_pongs: self.ping_pongs,
+        })
+    }
+}
+
+fn check_uniform_decl(
+    kernel: &Kernel,
+    name: &str,
+    value: Option<&Value>,
+) -> Result<(), ComputeError> {
+    let decl = kernel
+        .uniforms
+        .iter()
+        .find(|(n, _)| n == name)
+        .ok_or_else(|| {
+            ComputeError::bad_kernel(format!(
+                "kernel `{}` declares no uniform `{name}`",
+                kernel.name()
+            ))
+        })?;
+    if let Some(v) = value {
+        if std::mem::discriminant(&decl.1) != std::mem::discriminant(v) {
+            return Err(ComputeError::bad_kernel(format!(
+                "uniform `{name}` of kernel `{}` is {}, bound {}",
+                kernel.name(),
+                decl.1.ty(),
+                v.ty()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// A retained multi-pass execution plan: kernels compile once at build
+/// time; [`Pipeline::run`] only rebinds textures and uniforms, recycling
+/// render targets through the context pool so steady-state iteration
+/// allocates no GL objects.
+///
+/// ```
+/// use gpes_core::{ComputeContext, Kernel, OutputShape, Pass, Pipeline, ScalarType};
+/// use gpes_glsl::Value;
+///
+/// # fn main() -> Result<(), gpes_core::ComputeError> {
+/// let mut cc = ComputeContext::new(64, 64)?;
+/// let x = cc.upload(&[1.0f32, 2.0, 3.0, 4.0])?;
+/// let step = Kernel::builder("double")
+///     .input("x", &x)
+///     .output(ScalarType::F32, 4)
+///     .body("return fetch_x(idx) * 2.0;")
+///     .build(&mut cc)?;
+/// // Declare once: x ← double(x), five times (implicit ping-pong).
+/// let pipe = Pipeline::builder("pow2")
+///     .source("x", &x)
+///     .pass(Pass::new(&step).read("x", "x").write_len("x", 4))
+///     .iterations(5)
+///     .build()?;
+/// let out: Vec<f32> = pipe.run_and_read(&mut cc, "x")?;
+/// assert_eq!(out, vec![32.0, 64.0, 96.0, 128.0]);
+/// assert_eq!(cc.stats().programs_linked, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Pipeline {
+    name: String,
+    sources: Vec<(String, TextureId, ArrayLayout, BufKind)>,
+    passes: Vec<Pass>,
+    iterations: Option<usize>,
+    until: Option<UntilFn>,
+    ping_pongs: Vec<(String, String)>,
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("name", &self.name)
+            .field(
+                "sources",
+                &self
+                    .sources
+                    .iter()
+                    .map(|(n, _, _, _)| n.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .field("passes", &self.passes)
+            .field("iterations", &self.iterations)
+            .field("has_until", &self.until.is_some())
+            .field("ping_pongs", &self.ping_pongs)
+            .finish()
+    }
+}
+
+/// Iteration safety net when only an `until` predicate drives the loop.
+const MAX_OPEN_ITERATIONS: usize = 1_000_000;
+
+impl Pipeline {
+    /// Starts declaring a pipeline named `name` (names appear in errors).
+    pub fn builder(name: impl Into<String>) -> PipelineBuilder {
+        PipelineBuilder {
+            name: name.into(),
+            sources: Vec::new(),
+            passes: Vec::new(),
+            iterations: None,
+            until: None,
+            ping_pongs: Vec::new(),
+        }
+    }
+
+    /// The pipeline's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Executes the dag and returns a handle over the surviving buffers.
+    /// The pipeline is retained: `run` may be called any number of times
+    /// (each run re-seeds from the sources).
+    ///
+    /// # Errors
+    ///
+    /// Runtime wiring errors (reading a buffer before its first write),
+    /// per-iteration uniform type mismatches, and GL/shader errors.
+    pub fn run(&self, cc: &mut ComputeContext) -> Result<PipelineRun, ComputeError> {
+        let (buffers, _) = self.run_internal(cc, None)?;
+        Ok(PipelineRun { buffers })
+    }
+
+    /// Executes the dag and reads buffer `buffer` back, retiring every
+    /// pipeline-owned texture into the context pool. When the iteration
+    /// count is fixed and `buffer` is the final pass's output fitting the
+    /// screen, the final pass renders **straight into the default
+    /// framebuffer** (the paper's workaround #7 "careful kernel
+    /// ordering") — no extra texture, no extra pass.
+    ///
+    /// # Errors
+    ///
+    /// Type mismatches between `T` and the buffer contents, plus
+    /// everything [`Pipeline::run`] can raise.
+    pub fn run_and_read<T: GpuScalar>(
+        &self,
+        cc: &mut ComputeContext,
+        buffer: &str,
+    ) -> Result<Vec<T>, ComputeError> {
+        let screen_target = self.screen_routable::<T>(cc, buffer);
+        let (buffers, screen) = self.run_internal(cc, screen_target.as_deref())?;
+        let result = if let Some((bytes, layout)) = screen {
+            T::decode_framebuffer(&bytes, layout.len)
+        } else {
+            let run = PipelineRun { buffers };
+            let out = run.read::<T>(cc, buffer);
+            run.finish(cc);
+            return out;
+        };
+        PipelineRun { buffers }.finish(cc);
+        Ok(result)
+    }
+
+    /// Whether `run_and_read::<T>(_, buffer)` may route the final pass to
+    /// the default framebuffer.
+    fn screen_routable<T: GpuScalar>(&self, cc: &ComputeContext, buffer: &str) -> Option<String> {
+        if self.until.is_some() {
+            return None; // iteration count unknown up front
+        }
+        let total = self.iterations.unwrap_or(1);
+        if total == 0 {
+            return None;
+        }
+        let last = self.passes.last()?;
+        let (write_name, static_shape) = last.write.as_ref()?;
+        if write_name != buffer || last.kernel.output_kind() != OutputKind::Scalar(T::SCALAR) {
+            return None;
+        }
+        // A ping-ponged name is re-pointed after the final pass, so the
+        // requested buffer would no longer be the final pass's output —
+        // screen-routing it would skip the swap and change semantics.
+        if self
+            .ping_pongs
+            .iter()
+            .any(|(front, back)| front == buffer || back == buffer)
+        {
+            return None;
+        }
+        let shape = match &last.output_fn {
+            Some(f) => f(total - 1),
+            None => *static_shape,
+        };
+        let layout = match shape {
+            OutputShape::Linear(len) => ArrayLayout::for_len(len, cc.max_texture_side()).ok()?,
+            OutputShape::Grid { rows, cols } => {
+                ArrayLayout::grid(rows, cols, cc.max_texture_side()).ok()?
+            }
+        };
+        let (sw, sh) = cc.screen_size();
+        (layout.width <= sw && layout.height <= sh).then(|| buffer.to_owned())
+    }
+
+    /// The run loop. `screen_buffer` names the buffer whose final write
+    /// should go to the default framebuffer instead of a texture; the
+    /// read-back bytes are returned alongside the buffer map.
+    #[allow(clippy::type_complexity)]
+    fn run_internal(
+        &self,
+        cc: &mut ComputeContext,
+        screen_buffer: Option<&str>,
+    ) -> Result<(Vec<(String, BufferState)>, Option<(Vec<u8>, ArrayLayout)>), ComputeError> {
+        let mut bufs: HashMap<String, BufferState> = HashMap::new();
+        for (name, texture, layout, kind) in &self.sources {
+            bufs.insert(
+                name.clone(),
+                BufferState {
+                    texture: *texture,
+                    layout: *layout,
+                    kind: *kind,
+                    owned: false,
+                },
+            );
+        }
+        let fixed_total = if self.until.is_none() {
+            Some(self.iterations.unwrap_or(1))
+        } else {
+            None
+        };
+        let cap = self.iterations.unwrap_or(MAX_OPEN_ITERATIONS);
+        let mut screen: Option<(Vec<u8>, ArrayLayout)> = None;
+        let mut completed = 0usize;
+        let mut stopped = false;
+        while completed < cap {
+            let last_iteration = fixed_total == Some(completed + 1);
+            for (pi, pass) in self.passes.iter().enumerate() {
+                let to_screen = last_iteration
+                    && pi + 1 == self.passes.len()
+                    && screen_buffer.is_some()
+                    && pass.write.as_ref().map(|(n, _)| n.as_str()) == screen_buffer;
+                let bytes = self.run_pass(cc, pass, completed, &mut bufs, to_screen)?;
+                if let Some(b) = bytes {
+                    screen = Some(b);
+                }
+            }
+            for (front, back) in &self.ping_pongs {
+                if let (Some(&f), Some(&b)) = (bufs.get(front), bufs.get(back)) {
+                    bufs.insert(front.clone(), b);
+                    bufs.insert(back.clone(), f);
+                }
+            }
+            completed += 1;
+            if fixed_total == Some(completed) {
+                break;
+            }
+            if let Some(stop) = &self.until {
+                if stop(completed) {
+                    stopped = true;
+                    break;
+                }
+            }
+        }
+        if self.until.is_some() && !stopped && cap == MAX_OPEN_ITERATIONS && completed >= cap {
+            return Err(ComputeError::bad_kernel(format!(
+                "pipeline `{}` ran {MAX_OPEN_ITERATIONS} iterations without its \
+                 `until` predicate firing",
+                self.name
+            )));
+        }
+        Ok((bufs.into_iter().collect(), screen))
+    }
+
+    /// Executes one pass of one iteration.
+    fn run_pass(
+        &self,
+        cc: &mut ComputeContext,
+        pass: &Pass,
+        iteration: usize,
+        bufs: &mut HashMap<String, BufferState>,
+        to_screen: bool,
+    ) -> Result<Option<(Vec<u8>, ArrayLayout)>, ComputeError> {
+        let kernel = &pass.kernel;
+        // Inputs in texture-unit order: mapped buffers override defaults.
+        let mut inputs = Vec::with_capacity(kernel.inputs.len());
+        for spec in &kernel.inputs {
+            let slot = match pass.reads.iter().find(|(input, _)| *input == spec.name) {
+                Some((_, buffer)) => {
+                    let b = bufs.get(buffer).ok_or_else(|| {
+                        ComputeError::bad_kernel(format!(
+                            "pass `{}` reads buffer `{buffer}` before its first write",
+                            kernel.name()
+                        ))
+                    })?;
+                    (b.texture, b.layout)
+                }
+                None => (spec.texture, spec.layout),
+            };
+            inputs.push(slot);
+        }
+        let (write_name, static_shape) = pass.write.as_ref().expect("validated at build");
+        let shape = match &pass.output_fn {
+            Some(f) => f(iteration),
+            None => *static_shape,
+        };
+        let layout = match shape {
+            OutputShape::Linear(len) => ArrayLayout::for_len(len, cc.max_texture_side())?,
+            OutputShape::Grid { rows, cols } => {
+                ArrayLayout::grid(rows, cols, cc.max_texture_side())?
+            }
+        };
+        // Static overrides were validated at build; per-iteration values
+        // are produced fresh, so re-check their types here.
+        let mut dynamic: Vec<(String, Value)> = Vec::with_capacity(pass.uniform_fns.len());
+        for (name, f) in &pass.uniform_fns {
+            let value = f(iteration);
+            check_uniform_decl(kernel, name, Some(&value))?;
+            dynamic.push((name.clone(), value));
+        }
+        let overrides: [&[(String, Value)]; 2] = [&pass.uniforms, &dynamic];
+
+        if to_screen {
+            cc.dispatch_for_pipeline(kernel, inputs, layout, &overrides, true, false)?;
+            let bytes = cc.gl().read_pixels(0, 0, layout.width, layout.height)?;
+            return Ok(Some((bytes, layout)));
+        }
+
+        let out_kind = BufKind::of_output(kernel.output_kind());
+        // In-place fast path: overwrite the buffer's own texture when the
+        // pipeline owns it, the dimensions match and this pass does not
+        // sample it (no GL feedback loop).
+        let in_place = bufs.get(write_name.as_str()).is_some_and(|b| {
+            b.owned
+                && b.layout.width == layout.width
+                && b.layout.height == layout.height
+                && !inputs.iter().any(|&(t, _)| t == b.texture)
+        });
+        let result = if in_place {
+            let texture = bufs[write_name.as_str()].texture;
+            cc.attach_render_target(texture)?;
+            let drawn = cc.dispatch_for_pipeline(kernel, inputs, layout, &overrides, false, true);
+            cc.gl().bind_framebuffer(None)?;
+            drawn?;
+            let slot = bufs.get_mut(write_name.as_str()).expect("checked above");
+            slot.layout = layout;
+            slot.kind = out_kind;
+            None
+        } else {
+            let (target, pooled) = cc.acquire_render_target(layout)?;
+            let drawn = cc.dispatch_for_pipeline(kernel, inputs, layout, &overrides, false, pooled);
+            cc.gl().bind_framebuffer(None)?;
+            drawn?;
+            let old = bufs.insert(
+                write_name.clone(),
+                BufferState {
+                    texture: target,
+                    layout,
+                    kind: out_kind,
+                    owned: true,
+                },
+            );
+            if let Some(old) = old {
+                if old.owned {
+                    cc.recycle_texture(old.texture);
+                }
+            }
+            None
+        };
+        Ok(result)
+    }
+}
+
+/// The buffers left behind by one [`Pipeline::run`]. Read what you need,
+/// then call [`PipelineRun::finish`] — dropping the run without it strands
+/// the owned textures outside the recycling pool.
+#[derive(Debug)]
+#[must_use = "read the buffers, then call `finish(cc)` to recycle them"]
+pub struct PipelineRun {
+    buffers: Vec<(String, BufferState)>,
+}
+
+impl PipelineRun {
+    fn get(&self, name: &str) -> Result<&BufferState, ComputeError> {
+        self.buffers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b)
+            .ok_or_else(|| ComputeError::bad_kernel(format!("pipeline has no buffer `{name}`")))
+    }
+
+    /// The layout of a surviving buffer.
+    pub fn layout(&self, name: &str) -> Option<ArrayLayout> {
+        self.buffers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.layout)
+    }
+
+    /// Reads a buffer back through the direct-FBO path.
+    ///
+    /// # Errors
+    ///
+    /// `BadKernel` on element-type mismatches; GL errors.
+    pub fn read<T: GpuScalar>(
+        &self,
+        cc: &mut ComputeContext,
+        name: &str,
+    ) -> Result<Vec<T>, ComputeError> {
+        let b = self.get(name)?;
+        if b.kind != BufKind::Scalar(T::SCALAR) {
+            return Err(ComputeError::bad_kernel(format!(
+                "buffer `{name}` holds {:?}, requested {}",
+                b.kind,
+                T::SCALAR
+            )));
+        }
+        let array: GpuArray<T> = GpuArray::new(b.texture, b.layout);
+        cc.read_array(&array, Readback::DirectFbo)
+    }
+
+    /// Transfers ownership of a buffer's texture out of the run as a
+    /// typed array (it will no longer be recycled by
+    /// [`PipelineRun::finish`]).
+    ///
+    /// # Errors
+    ///
+    /// `BadKernel` on element-type mismatches.
+    pub fn take_array<T: GpuScalar>(&mut self, name: &str) -> Result<GpuArray<T>, ComputeError> {
+        let kind = self.get(name)?.kind;
+        if kind != BufKind::Scalar(T::SCALAR) {
+            return Err(ComputeError::bad_kernel(format!(
+                "buffer `{name}` holds {kind:?}, requested {}",
+                T::SCALAR
+            )));
+        }
+        let slot = self
+            .buffers
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .expect("checked by get");
+        slot.1.owned = false;
+        Ok(GpuArray::new(slot.1.texture, slot.1.layout))
+    }
+
+    /// Retires every pipeline-owned texture into the context's recycling
+    /// pool, so the next run (of any same-shaped pipeline) allocates
+    /// nothing.
+    pub fn finish(self, cc: &mut ComputeContext) {
+        for (_, b) in self.buffers {
+            if b.owned {
+                cc.recycle_texture(b.texture);
+            }
         }
     }
 }
@@ -68,12 +865,14 @@ mod tests {
                 ..DrawStats::default()
             },
             output_texels: 10,
+            reused_target: false,
         };
         assert_eq!(rec.ops_per_texel(), 10.0);
         let empty = PassRecord {
             kernel: "e".into(),
             stats: DrawStats::default(),
             output_texels: 0,
+            reused_target: false,
         };
         assert_eq!(empty.ops_per_texel(), 0.0);
     }

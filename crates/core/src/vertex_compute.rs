@@ -117,7 +117,9 @@ impl VertexKernelBuilder {
                 )));
             }
             if self.inputs[..i].iter().any(|(n, _)| n == name) {
-                return Err(ComputeError::bad_kernel(format!("duplicate input `{name}`")));
+                return Err(ComputeError::bad_kernel(format!(
+                    "duplicate input `{name}`"
+                )));
             }
             if data.len() != len {
                 return Err(ComputeError::bad_kernel(format!(
@@ -164,11 +166,10 @@ impl VertexKernelBuilder {
         };
         fs.push_str(&format!("void main() {{ gl_FragColor = {pack_expr}; }}\n"));
 
-        let program = cc.gl().create_program(&vs, &fs)?;
-        cc.gl().use_program(program)?;
-        for (name, value) in &self.uniforms {
-            cc.gl().set_uniform(name, value.clone())?;
-        }
+        // Shared through the context's program cache: building the same
+        // vertex kernel twice links one program. Uniform values are
+        // applied at dispatch (they cannot live in a shared program).
+        let program = cc.compile_program_cached(&vs, &fs)?;
 
         // Point positions: the NDC centre of each output texel.
         let mut positions = Vec::with_capacity(len * 2);
@@ -184,6 +185,7 @@ impl VertexKernelBuilder {
             name: self.name,
             program,
             inputs: self.inputs,
+            uniforms: self.uniforms,
             positions,
             indices,
             scalar,
@@ -215,6 +217,7 @@ pub struct VertexKernel {
     name: String,
     program: ProgramId,
     inputs: Vec<(String, Vec<f32>)>,
+    uniforms: Vec<(String, Value)>,
     positions: Vec<f32>,
     indices: Vec<f32>,
     scalar: ScalarType,
@@ -249,24 +252,31 @@ impl VertexKernel {
         &self.fragment_source
     }
 
-    /// Updates a uniform declared at build time.
+    /// Updates a uniform declared at build time. The value is stored on
+    /// the kernel and applied at dispatch — the GL program may be shared
+    /// with other kernels through the context cache.
     ///
     /// # Errors
     ///
-    /// GL errors for unknown names or type mismatches.
-    pub fn set_uniform(
-        &self,
-        cc: &mut ComputeContext,
-        name: &str,
-        value: f32,
-    ) -> Result<(), ComputeError> {
-        cc.gl().use_program(self.program)?;
-        Ok(cc.gl().set_uniform(name, Value::Float(value))?)
+    /// `BadKernel` for names not declared at build time.
+    pub fn set_uniform(&mut self, name: &str, value: f32) -> Result<(), ComputeError> {
+        let slot = self
+            .uniforms
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .ok_or_else(|| {
+                ComputeError::bad_kernel(format!("vertex kernel declares no uniform `{name}`"))
+            })?;
+        slot.1 = Value::Float(value);
+        Ok(())
     }
 
     fn dispatch(&self, cc: &mut ComputeContext) -> Result<(), ComputeError> {
         let gl = cc.gl();
         gl.use_program(self.program)?;
+        for (name, value) in &self.uniforms {
+            gl.set_uniform(name, value.clone())?;
+        }
         gl.set_attribute("a_gpes_pos", 2, &self.positions)?;
         gl.set_attribute("a_gpes_idx", 1, &self.indices)?;
         for (name, data) in &self.inputs {
@@ -293,7 +303,9 @@ impl VertexKernel {
         if T::SCALAR != self.scalar {
             return Err(ComputeError::bad_kernel(format!(
                 "vertex kernel `{}` outputs {}, requested {}",
-                self.name, self.scalar, T::SCALAR
+                self.name,
+                self.scalar,
+                T::SCALAR
             )));
         }
         let (sw, sh) = cc.screen_size();
@@ -328,10 +340,19 @@ impl VertexKernel {
         if T::SCALAR != self.scalar {
             return Err(ComputeError::bad_kernel(format!(
                 "vertex kernel `{}` outputs {}, requested {}",
-                self.name, self.scalar, T::SCALAR
+                self.name,
+                self.scalar,
+                T::SCALAR
             )));
         }
-        let target = cc.create_render_target(self.layout)?;
+        let (target, pooled) = cc.acquire_render_target(self.layout)?;
+        // The POINTS draw writes only `len` texels, not the full target:
+        // a recycled texture must be cleared so padding texels read as
+        // deterministic zeros, exactly like a fresh tex_storage target.
+        if pooled {
+            cc.gl().set_clear_color([0.0, 0.0, 0.0, 0.0]);
+            cc.gl().clear()?;
+        }
         let result = self.dispatch(cc);
         cc.gl().bind_framebuffer(None)?;
         result?;
@@ -396,7 +417,7 @@ mod tests {
     fn idx_and_uniform_updates_work() {
         let mut cc = ComputeContext::new(16, 16).expect("context");
         let zeros = vec![0.0f32; 5];
-        let vk = VertexKernel::builder("gain_idx")
+        let mut vk = VertexKernel::builder("gain_idx")
             .input("z", &zeros)
             .uniform_f32("gain", 3.0)
             .output(ScalarType::F32, 5)
@@ -407,7 +428,7 @@ mod tests {
             vk.run_and_read::<f32>(&mut cc).expect("run"),
             vec![0.0, 3.0, 6.0, 9.0, 12.0]
         );
-        vk.set_uniform(&mut cc, "gain", -1.0).expect("set");
+        vk.set_uniform("gain", -1.0).expect("set");
         assert_eq!(
             vk.run_and_read::<f32>(&mut cc).expect("run"),
             vec![0.0, -1.0, -2.0, -3.0, -4.0]

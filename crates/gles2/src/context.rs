@@ -87,7 +87,10 @@ impl Context {
     /// `InvalidValue` if either dimension is zero or exceeds
     /// `limits.max_texture_size`.
     pub fn new_with_limits(width: u32, height: u32, limits: Limits) -> Result<Context, GlError> {
-        if width == 0 || height == 0 || width > limits.max_texture_size || height > limits.max_texture_size
+        if width == 0
+            || height == 0
+            || width > limits.max_texture_size
+            || height > limits.max_texture_size
         {
             return Err(GlError::invalid_value(format!(
                 "default framebuffer size {width}x{height} out of range"
@@ -292,7 +295,8 @@ impl Context {
                 "format {format:?} requires GL_OES_texture_half_float"
             )));
         }
-        self.texture_mut(id)?.tex_image_2d(format, width, height, data)
+        self.texture_mut(id)?
+            .tex_image_2d(format, width, height, data)
     }
 
     /// Allocates zeroed texture storage (render target usage).
@@ -329,7 +333,8 @@ impl Context {
         height: u32,
         data: &[u8],
     ) -> Result<(), GlError> {
-        self.texture_mut(id)?.tex_sub_image_2d(x, y, width, height, data)
+        self.texture_mut(id)?
+            .tex_sub_image_2d(x, y, width, height, data)
     }
 
     /// Sets min/mag filters (`glTexParameteri`).
@@ -632,9 +637,11 @@ impl Context {
                         kind: "framebuffer",
                         id: id.0,
                     })?;
-                let tex = fbo.color_attachment.ok_or(GlError::InvalidFramebufferOperation {
-                    message: "missing color attachment".into(),
-                })?;
+                let tex = fbo
+                    .color_attachment
+                    .ok_or(GlError::InvalidFramebufferOperation {
+                        message: "missing color attachment".into(),
+                    })?;
                 let t = self.texture(tex)?;
                 Ok((t.width(), t.height()))
             }
@@ -940,7 +947,14 @@ fn draw_into_default(
         pixel: raster::PixelStore::Rgba8,
     };
     let result = raster::draw(
-        program, attributes, mode, first, count, bindings, &mut target, config,
+        program,
+        attributes,
+        mode,
+        first,
+        count,
+        bindings,
+        &mut target,
+        config,
     );
     *fb.color_mut() = color;
     *fb.depth_mut() = depth;
@@ -976,7 +990,9 @@ mod tests {
             8,
             "precision highp float;\nvoid main() { gl_FragColor = vec4(1.0, 0.0, 0.5, 1.0); }",
         );
-        let stats = gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+        let stats = gl
+            .draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw");
         assert_eq!(stats.vertices_shaded, 6);
         assert_eq!(stats.triangles_in, 2);
         assert_eq!(stats.triangles_rasterized, 2);
@@ -1006,10 +1022,14 @@ mod tests {
         // NDC centre of pixel (x, y) on a 4x4 target: ((x+0.5)/2 - 1, …).
         let ndc = |p: f32| (p + 0.5) / 2.0 - 1.0;
         let positions = [
-            ndc(0.0), ndc(0.0), //
-            ndc(3.0), ndc(0.0), //
-            ndc(1.0), ndc(2.0), //
-            ndc(2.0), ndc(3.0),
+            ndc(0.0),
+            ndc(0.0), //
+            ndc(3.0),
+            ndc(0.0), //
+            ndc(1.0),
+            ndc(2.0), //
+            ndc(2.0),
+            ndc(3.0),
         ];
         let values = [0.25f32, 0.5, 0.75, 1.0];
         gl.set_attribute("a_pos", 2, &positions).expect("pos");
@@ -1027,7 +1047,8 @@ mod tests {
         // Untouched pixels keep the clear colour.
         assert_eq!(at(1, 0), 0);
         // Point draws accept any count (no multiple-of-3 rule).
-        gl.draw_arrays(PrimitiveMode::Points, 0, 1).expect("single point");
+        gl.draw_arrays(PrimitiveMode::Points, 0, 1)
+            .expect("single point");
     }
 
     #[test]
@@ -1074,7 +1095,8 @@ mod tests {
                for (float i = 0.0; i < 8.0; i += 1.0) { acc += 1.0; }\n\
                gl_FragColor = vec4(acc / 255.0);\n\
              }";
-        gl.create_program(VS_QUAD, fs_const).expect("strict-conformant");
+        gl.create_program(VS_QUAD, fs_const)
+            .expect("strict-conformant");
     }
 
     #[test]
@@ -1090,7 +1112,8 @@ mod tests {
              void main() { gl_FragColor = vec4(0.0); }\n\
              #endif\n",
         );
-        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw");
         let px = gl.read_pixels(0, 0, 2, 2).expect("read");
         assert_eq!(px[0], 127);
     }
@@ -1104,8 +1127,10 @@ mod tests {
         assert!(matches!(err, GlError::InvalidEnum { .. }));
         assert!(gl.extension_strings().is_empty());
         assert!(gl.enable_extension("GL_IMG_made_up").is_err());
-        gl.enable_extension("GL_OES_texture_half_float").expect("enable");
-        gl.tex_storage(tex, TexFormat::RgbaF16, 2, 2).expect("now allowed");
+        gl.enable_extension("GL_OES_texture_half_float")
+            .expect("enable");
+        gl.tex_storage(tex, TexFormat::RgbaF16, 2, 2)
+            .expect("now allowed");
         // Texturing is allowed, but rendering still needs the second
         // extension (the paper's portability point: these are separate
         // vendor decisions).
@@ -1114,7 +1139,8 @@ mod tests {
         gl.bind_framebuffer(Some(fbo)).expect("bind");
         let err = gl.check_framebuffer_complete().unwrap_err();
         assert!(err.to_string().contains("not color-renderable"));
-        gl.enable_extension("GL_EXT_color_buffer_half_float").expect("enable");
+        gl.enable_extension("GL_EXT_color_buffer_half_float")
+            .expect("enable");
         gl.check_framebuffer_complete().expect("renderable now");
     }
 
@@ -1129,7 +1155,8 @@ mod tests {
             "precision highp float;\nuniform sampler2D u_x;\nvarying vec2 v_uv;\n\
              void main() { gl_FragColor = texture2D(u_x, v_uv) * 3.0 - 1.5; }",
         );
-        gl.enable_extension("GL_EXT_color_buffer_half_float").expect("enable");
+        gl.enable_extension("GL_EXT_color_buffer_half_float")
+            .expect("enable");
         // Input texture: four halves per texel; store scalars in .x.
         let xs = [0.1f32, 100.25, -7.0, 1.0 + 2.0f32.powi(-11)];
         let mut data = Vec::new();
@@ -1139,9 +1166,11 @@ mod tests {
             }
         }
         let src = gl.create_texture();
-        gl.tex_image_2d(src, TexFormat::RgbaF16, 2, 2, &data).expect("upload");
+        gl.tex_image_2d(src, TexFormat::RgbaF16, 2, 2, &data)
+            .expect("upload");
         let dst = gl.create_texture();
-        gl.tex_storage(dst, TexFormat::RgbaF16, 2, 2).expect("storage");
+        gl.tex_storage(dst, TexFormat::RgbaF16, 2, 2)
+            .expect("storage");
         let fbo = gl.create_framebuffer();
         gl.framebuffer_texture(fbo, dst).expect("attach");
         gl.bind_framebuffer(Some(fbo)).expect("bind");
@@ -1149,7 +1178,8 @@ mod tests {
         gl.bind_texture(0, src).expect("bind tex");
         gl.set_uniform("u_x", Value::Int(0)).expect("sampler");
         gl.viewport(0, 0, 2, 2);
-        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw");
         // Byte reads are refused on a float target…
         assert!(gl.read_pixels(0, 0, 2, 2).is_err());
         // …half-float reads work.
@@ -1179,7 +1209,8 @@ mod tests {
             "precision highp float;\nvarying vec2 v_uv;\n\
              void main() { gl_FragColor = vec4(v_uv, 0.0, 1.0); }",
         );
-        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw");
         let px = gl.read_pixels(0, 0, 4, 4).expect("read");
         // Pixel (0,0) centre = (0.5, 0.5)/4 = uv (0.125, 0.125) → byte 31.
         assert_eq!(px[0], 31);
@@ -1198,7 +1229,8 @@ mod tests {
             "precision highp float;\n\
              void main() { gl_FragColor = vec4(gl_FragCoord.xy / 4.0, 0.0, 1.0); }",
         );
-        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw");
         let px = gl.read_pixels(0, 0, 4, 4).expect("read");
         // Pixel (1, 2): fragcoord = (1.5, 2.5)/4 → (0.375, 0.625) → 95, 159.
         let off = (2 * 4 + 1) * 4;
@@ -1216,10 +1248,12 @@ mod tests {
         );
         let tex = gl.create_texture();
         let data: Vec<u8> = (0..16).map(|i| (i * 16) as u8).collect();
-        gl.tex_image_2d(tex, TexFormat::Rgba8, 2, 2, &data).expect("upload");
+        gl.tex_image_2d(tex, TexFormat::Rgba8, 2, 2, &data)
+            .expect("upload");
         gl.bind_texture(0, tex).expect("bind");
         gl.set_uniform("u_tex", Value::Int(0)).expect("uniform");
-        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw");
         let px = gl.read_pixels(0, 0, 2, 2).expect("read");
         // Nearest sampling at pixel centres returns the texel bytes
         // unchanged (c/255 → store ⌊f*255⌋ round-trips exactly).
@@ -1235,12 +1269,14 @@ mod tests {
         );
         // Pass 1: render into an FBO-attached texture.
         let target = gl.create_texture();
-        gl.tex_storage(target, TexFormat::Rgba8, 2, 2).expect("storage");
+        gl.tex_storage(target, TexFormat::Rgba8, 2, 2)
+            .expect("storage");
         let fbo = gl.create_framebuffer();
         gl.framebuffer_texture(fbo, target).expect("attach");
         gl.bind_framebuffer(Some(fbo)).expect("bind fbo");
         gl.viewport(0, 0, 2, 2);
-        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw 1");
+        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw 1");
         // glReadPixels works on the bound FBO.
         let px = gl.read_pixels(0, 0, 2, 2).expect("read fbo");
         assert_eq!(&px[..4], &[127, 63, 191, 255]);
@@ -1258,7 +1294,8 @@ mod tests {
         gl.use_program(copy).expect("use");
         gl.bind_texture(0, target).expect("bind src");
         gl.set_uniform("u_src", Value::Int(0)).expect("sampler");
-        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw 2");
+        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw 2");
         let px2 = gl.read_pixels(0, 0, 2, 2).expect("read default");
         assert_eq!(px, px2);
     }
@@ -1272,7 +1309,8 @@ mod tests {
              void main() { gl_FragColor = texture2D(u_tex, v_uv); }",
         );
         let tex = gl.create_texture();
-        gl.tex_storage(tex, TexFormat::Rgba8, 2, 2).expect("storage");
+        gl.tex_storage(tex, TexFormat::Rgba8, 2, 2)
+            .expect("storage");
         let fbo = gl.create_framebuffer();
         gl.framebuffer_texture(fbo, tex).expect("attach");
         gl.bind_framebuffer(Some(fbo)).expect("bind");
@@ -1324,7 +1362,9 @@ mod tests {
             "precision highp float;\nvoid main() { gl_FragColor = vec4(1.0); }",
         );
         gl.set_scissor(Some((0, 0, 2, 2)));
-        let stats = gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+        let stats = gl
+            .draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw");
         assert_eq!(stats.pixels_written, 4);
         gl.set_scissor(None);
         let px = gl.read_pixels(0, 0, 4, 4).expect("read");
@@ -1357,7 +1397,9 @@ mod tests {
         );
         gl.set_clear_color([0.0, 0.0, 0.0, 0.0]);
         gl.clear().expect("clear");
-        let stats = gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+        let stats = gl
+            .draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw");
         assert_eq!(stats.fragments_shaded, 16);
         assert_eq!(stats.fragments_discarded, 8);
         assert_eq!(stats.pixels_written, 8);
@@ -1372,12 +1414,14 @@ mod tests {
                   void main() { gl_FragColor = vec4(fract(v_uv * 13.7), fract(v_uv.x * 3.1), 1.0); }";
         let (mut gl1, _) = quad_context(16, 16, fs);
         gl1.set_dispatch(Dispatch::Serial);
-        gl1.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw serial");
+        gl1.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw serial");
         let serial = gl1.read_pixels(0, 0, 16, 16).expect("read");
 
         let (mut gl2, _) = quad_context(16, 16, fs);
         gl2.set_dispatch(Dispatch::Parallel(4));
-        gl2.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw parallel");
+        gl2.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw parallel");
         let parallel = gl2.read_pixels(0, 0, 16, 16).expect("read");
         assert_eq!(serial, parallel);
     }
@@ -1405,10 +1449,12 @@ mod tests {
         let fs = "precision highp float;\nvoid main() { gl_FragColor = vec4(100.9 / 255.0); }";
         let (mut gl, _) = quad_context(1, 1, fs);
         gl.set_store_rounding(StoreRounding::Floor);
-        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw");
         assert_eq!(gl.read_pixels(0, 0, 1, 1).expect("read")[0], 100);
         gl.set_store_rounding(StoreRounding::Nearest);
-        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw");
         assert_eq!(gl.read_pixels(0, 0, 1, 1).expect("read")[0], 101);
     }
 
@@ -1454,16 +1500,16 @@ mod tests {
         gl.set_attribute("a_pos", 3, &near).expect("attrib");
         gl.set_uniform("u_color", Value::Vec4([1.0, 0.0, 0.0, 1.0]))
             .expect("uniform");
-        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw near");
+        gl.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw near");
         // Far quad (z = 0.5) in green must lose the depth test.
-        let far: Vec<f32> = near
-            .chunks(3)
-            .flat_map(|v| [v[0], v[1], 0.5])
-            .collect();
+        let far: Vec<f32> = near.chunks(3).flat_map(|v| [v[0], v[1], 0.5]).collect();
         gl.set_attribute("a_pos", 3, &far).expect("attrib");
         gl.set_uniform("u_color", Value::Vec4([0.0, 1.0, 0.0, 1.0]))
             .expect("uniform");
-        let stats = gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw far");
+        let stats = gl
+            .draw_arrays(PrimitiveMode::Triangles, 0, 6)
+            .expect("draw far");
         assert_eq!(stats.pixels_written, 0);
         let px = gl.read_pixels(0, 0, 2, 2).expect("read");
         assert_eq!(&px[..4], &[255, 0, 0, 255]);

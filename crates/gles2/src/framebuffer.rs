@@ -87,9 +87,11 @@ impl Framebuffer {
         texture_info: impl Fn(TextureId) -> Option<(crate::texture::TexFormat, u32, u32)>,
         half_float_renderable: bool,
     ) -> Result<(), GlError> {
-        let id = self.color_attachment.ok_or(GlError::InvalidFramebufferOperation {
-            message: "missing color attachment".into(),
-        })?;
+        let id = self
+            .color_attachment
+            .ok_or(GlError::InvalidFramebufferOperation {
+                message: "missing color attachment".into(),
+            })?;
         let (format, w, h) = texture_info(id).ok_or(GlError::InvalidFramebufferOperation {
             message: "attached texture was deleted".into(),
         })?;

@@ -130,7 +130,10 @@ mod tests {
         assert_eq!(round_trip_f16(1.0 + 2.0f32.powi(-11)), 1.0);
         // 1 + 3·2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds to
         // the even mantissa 2 → 1 + 2^-9.
-        assert_eq!(round_trip_f16(1.0 + 3.0 * 2.0f32.powi(-11)), 1.0 + 2.0f32.powi(-9));
+        assert_eq!(
+            round_trip_f16(1.0 + 3.0 * 2.0f32.powi(-11)),
+            1.0 + 2.0f32.powi(-9)
+        );
         // Just above halfway rounds up.
         assert_eq!(
             round_trip_f16(1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20)),
@@ -157,7 +160,10 @@ mod tests {
     #[test]
     fn mantissa_is_ten_bits() {
         // 1 + 2^-10 survives; 1 + 2^-11 does not (rounds to even).
-        assert_eq!(round_trip_f16(1.0 + 2.0f32.powi(-10)), 1.0 + 2.0f32.powi(-10));
+        assert_eq!(
+            round_trip_f16(1.0 + 2.0f32.powi(-10)),
+            1.0 + 2.0f32.powi(-10)
+        );
         assert_eq!(round_trip_f16(1.0 + 2.0f32.powi(-11)), 1.0);
     }
 }

@@ -54,5 +54,7 @@ pub use half::{f16_bits_to_f32, f32_to_f16_bits};
 pub use handles::{FramebufferId, ProgramId, TextureId};
 pub use limits::{Extensions, Limits, PrecisionFormat};
 pub use program::Program;
-pub use raster::{AttribArray, Dispatch, DrawStats, Executor, PrimitiveMode, MAX_VARYING_COMPONENTS};
+pub use raster::{
+    AttribArray, Dispatch, DrawStats, Executor, PrimitiveMode, MAX_VARYING_COMPONENTS,
+};
 pub use texture::{Filter, TexFormat, Texture, Wrap};

@@ -103,9 +103,7 @@ impl Program {
             .min(crate::raster::MAX_VARYING_COMPONENTS / 4);
         if varying_vectors > budget {
             return Err(GlError::Link {
-                message: format!(
-                    "{varying_vectors} varying vectors exceed the limit of {budget}",
-                ),
+                message: format!("{varying_vectors} varying vectors exceed the limit of {budget}",),
             });
         }
 
@@ -198,7 +196,10 @@ impl Program {
     /// Looks up a uniform's declared type (`glGetUniformLocation` analog;
     /// returns `None` for names that do not exist).
     pub fn uniform_type(&self, name: &str) -> Option<&Type> {
-        self.uniforms.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+        self.uniforms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
     }
 
     /// Sets a uniform (`glUniform*`).
@@ -211,9 +212,9 @@ impl Program {
     /// `InvalidOperation` if the name does not exist or the value type does
     /// not match the declaration.
     pub fn set_uniform(&mut self, name: &str, value: Value) -> Result<(), GlError> {
-        let declared = self.uniform_type(name).ok_or_else(|| {
-            GlError::invalid_op(format!("program has no uniform named `{name}`"))
-        })?;
+        let declared = self
+            .uniform_type(name)
+            .ok_or_else(|| GlError::invalid_op(format!("program has no uniform named `{name}`")))?;
         let stored = match (declared, &value) {
             (Type::Sampler2D, Value::Int(unit)) => {
                 if *unit < 0 {
@@ -287,7 +288,10 @@ mod tests {
         // compare the interpreter against itself.
         let p = Program::link(VS, FS, &Limits::default()).expect("links");
         assert!(p.vertex_executable().is_some(), "vertex stage must lower");
-        assert!(p.fragment_executable().is_some(), "fragment stage must lower");
+        assert!(
+            p.fragment_executable().is_some(),
+            "fragment stage must lower"
+        );
     }
 
     #[test]
@@ -344,17 +348,18 @@ mod tests {
                   void main() { gl_FragColor = texture2D(u_tex, v_uv); }";
         let mut p = Program::link(VS, fs, &Limits::default()).expect("links");
         p.set_uniform("u_tex", Value::Int(3)).expect("set sampler");
-        assert_eq!(
-            p.uniform_values().get("u_tex"),
-            Some(&Value::Sampler(3))
-        );
+        assert_eq!(p.uniform_values().get("u_tex"), Some(&Value::Sampler(3)));
         assert!(p.set_uniform("u_tex", Value::Int(-1)).is_err());
     }
 
     #[test]
     fn compile_errors_surface_with_position() {
-        let err = Program::link("void main() { gl_Position = 1 & 2; }", FS, &Limits::default())
-            .unwrap_err();
+        let err = Program::link(
+            "void main() { gl_Position = 1 & 2; }",
+            FS,
+            &Limits::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, GlError::Compile(_)));
     }
 }

@@ -338,7 +338,9 @@ pub(crate) fn draw(
         ));
     }
     if mode != PrimitiveMode::Points && count < 3 {
-        return Err(GlError::invalid_value("triangle draws need at least 3 vertices"));
+        return Err(GlError::invalid_value(
+            "triangle draws need at least 3 vertices",
+        ));
     }
 
     let layout = varying_layout(program);
@@ -377,9 +379,7 @@ pub(crate) fn draw(
         let clip = vs
             .global("gl_Position")
             .and_then(Value::as_vec4)
-            .ok_or_else(|| {
-                GlError::invalid_op("vertex shader did not produce gl_Position")
-            })?;
+            .ok_or_else(|| GlError::invalid_op("vertex shader did not produce gl_Position"))?;
         let mut varyings = Vec::with_capacity(layout.total);
         for (name, _, len) in &layout.names {
             let v = vs.global(name).ok_or_else(|| {
@@ -408,7 +408,9 @@ pub(crate) fn draw(
     stats.vs_profile = vs.take_profile();
 
     if mode == PrimitiveMode::Points {
-        raster_points(program, &shaded, &layout, bindings, target, config, &mut stats)?;
+        raster_points(
+            program, &shaded, &layout, bindings, target, config, &mut stats,
+        )?;
         return Ok(stats);
     }
 
@@ -419,14 +421,7 @@ pub(crate) fn draw(
     // ---- rasterisation + fragment stage -----------------------------------
     for tri in tris {
         let rasterized = raster_triangle(
-            program,
-            &shaded,
-            tri,
-            &layout,
-            bindings,
-            target,
-            config,
-            &mut stats,
+            program, &shaded, tri, &layout, bindings, target, config, &mut stats,
         )?;
         if rasterized {
             stats.triangles_rasterized += 1;
@@ -484,7 +479,9 @@ fn assemble(mode: PrimitiveMode, count: usize) -> Vec<[usize; 3]> {
     match mode {
         // Points never reach assembly (dedicated raster path).
         PrimitiveMode::Points => Vec::new(),
-        PrimitiveMode::Triangles => (0..count / 3).map(|t| [3 * t, 3 * t + 1, 3 * t + 2]).collect(),
+        PrimitiveMode::Triangles => (0..count / 3)
+            .map(|t| [3 * t, 3 * t + 1, 3 * t + 2])
+            .collect(),
         PrimitiveMode::TriangleStrip => (0..count.saturating_sub(2))
             .map(|i| {
                 if i % 2 == 0 {
@@ -836,7 +833,13 @@ fn raster_points(
                         depth_buf[pixel_index] = frag_z;
                     }
                 }
-                store_pixel(target.color, pixel_index, target.pixel, rgba, config.store_rounding);
+                store_pixel(
+                    target.color,
+                    pixel_index,
+                    target.pixel,
+                    rgba,
+                    config.store_rounding,
+                );
                 stats.pixels_written += 1;
             }
         }
@@ -998,7 +1001,10 @@ mod tests {
 
     #[test]
     fn assemble_triangles() {
-        assert_eq!(assemble(PrimitiveMode::Triangles, 6), vec![[0, 1, 2], [3, 4, 5]]);
+        assert_eq!(
+            assemble(PrimitiveMode::Triangles, 6),
+            vec![[0, 1, 2], [3, 4, 5]]
+        );
     }
 
     #[test]

@@ -350,7 +350,9 @@ mod tests {
     #[test]
     fn upload_validates_length() {
         let mut t = Texture::new();
-        let err = t.tex_image_2d(TexFormat::Rgba8, 2, 2, &[0u8; 15]).unwrap_err();
+        let err = t
+            .tex_image_2d(TexFormat::Rgba8, 2, 2, &[0u8; 15])
+            .unwrap_err();
         assert!(matches!(err, GlError::InvalidValue { .. }));
         assert!(t.tex_image_2d(TexFormat::Rgba8, 2, 2, &[0u8; 16]).is_ok());
         assert!(t
@@ -419,7 +421,8 @@ mod tests {
     #[test]
     fn luminance_replicates() {
         let mut t = Texture::new();
-        t.tex_image_2d(TexFormat::Luminance8, 1, 1, &[51]).expect("upload");
+        t.tex_image_2d(TexFormat::Luminance8, 1, 1, &[51])
+            .expect("upload");
         let c = t.sample([0.5, 0.5]);
         let l = 51.0 / 255.0;
         assert_eq!(c, [l, l, l, 1.0]);
@@ -432,7 +435,8 @@ mod tests {
         for v in [100.0f32, -0.5, 65504.0, 1.0] {
             data.extend_from_slice(&crate::half::f32_to_f16_bits(v).to_le_bytes());
         }
-        t.tex_image_2d(TexFormat::RgbaF16, 1, 1, &data).expect("upload");
+        t.tex_image_2d(TexFormat::RgbaF16, 1, 1, &data)
+            .expect("upload");
         // No eq. (1) normalisation: floats come back as stored.
         assert_eq!(t.sample([0.5, 0.5]), [100.0, -0.5, 65504.0, 1.0]);
     }
@@ -453,7 +457,8 @@ mod tests {
     #[test]
     fn sub_image_updates_rectangle() {
         let mut t = checker2x2();
-        t.tex_sub_image_2d(1, 1, 1, 1, &[9, 9, 9, 255]).expect("sub");
+        t.tex_sub_image_2d(1, 1, 1, 1, &[9, 9, 9, 255])
+            .expect("sub");
         let c = t.texel(1, 1);
         assert!((c[0] - 9.0 / 255.0).abs() < 1e-7);
         assert!(t.tex_sub_image_2d(2, 0, 1, 1, &[0, 0, 0, 0]).is_err());

@@ -55,15 +55,68 @@ fn bvec_of_dim(dim: usize) -> Type {
 pub(crate) fn is_builtin_name(name: &str) -> bool {
     matches!(
         name,
-        "radians" | "degrees" | "sin" | "cos" | "tan" | "asin" | "acos" | "atan" | "pow"
-            | "exp" | "log" | "exp2" | "log2" | "sqrt" | "inversesqrt" | "abs" | "sign"
-            | "floor" | "ceil" | "fract" | "mod" | "min" | "max" | "clamp" | "mix" | "step"
-            | "smoothstep" | "length" | "distance" | "dot" | "cross" | "normalize"
-            | "faceforward" | "reflect" | "refract" | "matrixCompMult" | "lessThan"
-            | "lessThanEqual" | "greaterThan" | "greaterThanEqual" | "equal" | "notEqual"
-            | "any" | "all" | "not" | "texture2D" | "texture2DProj" | "float" | "int"
-            | "bool" | "vec2" | "vec3" | "vec4" | "ivec2" | "ivec3" | "ivec4" | "bvec2"
-            | "bvec3" | "bvec4" | "mat2" | "mat3" | "mat4"
+        "radians"
+            | "degrees"
+            | "sin"
+            | "cos"
+            | "tan"
+            | "asin"
+            | "acos"
+            | "atan"
+            | "pow"
+            | "exp"
+            | "log"
+            | "exp2"
+            | "log2"
+            | "sqrt"
+            | "inversesqrt"
+            | "abs"
+            | "sign"
+            | "floor"
+            | "ceil"
+            | "fract"
+            | "mod"
+            | "min"
+            | "max"
+            | "clamp"
+            | "mix"
+            | "step"
+            | "smoothstep"
+            | "length"
+            | "distance"
+            | "dot"
+            | "cross"
+            | "normalize"
+            | "faceforward"
+            | "reflect"
+            | "refract"
+            | "matrixCompMult"
+            | "lessThan"
+            | "lessThanEqual"
+            | "greaterThan"
+            | "greaterThanEqual"
+            | "equal"
+            | "notEqual"
+            | "any"
+            | "all"
+            | "not"
+            | "texture2D"
+            | "texture2DProj"
+            | "float"
+            | "int"
+            | "bool"
+            | "vec2"
+            | "vec3"
+            | "vec4"
+            | "ivec2"
+            | "ivec3"
+            | "ivec4"
+            | "bvec2"
+            | "bvec3"
+            | "bvec4"
+            | "mat2"
+            | "mat3"
+            | "mat4"
     )
 }
 
@@ -143,9 +196,7 @@ pub fn signature(name: &str, args: &[Type]) -> Option<Type> {
             _ => None,
         },
         "lessThan" | "lessThanEqual" | "greaterThan" | "greaterThanEqual" => match args {
-            [a, b] if a == b && (a.is_vector() && !is_bvec(a)) => {
-                Some(bvec_of_dim(a.dim()?))
-            }
+            [a, b] if a == b && (a.is_vector() && !is_bvec(a)) => Some(bvec_of_dim(a.dim()?)),
             _ => None,
         },
         "equal" | "notEqual" => match args {
@@ -357,7 +408,10 @@ fn map3(
         return Err(type_err("mismatched genType shapes in 3-ary builtin"));
     }
     let comps = (0..n)
-        .map(|i| cx.model.round_alu(f(ga.comps[i], pick(&gb, i), pick(&gc, i))))
+        .map(|i| {
+            cx.model
+                .round_alu(f(ga.comps[i], pick(&gb, i), pick(&gc, i)))
+        })
         .collect();
     Ok(gen_value(&ga.ty, comps))
 }
@@ -509,7 +563,13 @@ pub fn call(
                 Err(e) => return Some(Err(e)),
             };
             cx.profile.alu_ops += (5 * gx.comps.len()) as u64;
-            let pick = |g: &Gen, i: usize| if g.comps.len() == 1 { g.comps[0] } else { g.comps[i] };
+            let pick = |g: &Gen, i: usize| {
+                if g.comps.len() == 1 {
+                    g.comps[0]
+                } else {
+                    g.comps[i]
+                }
+            };
             let comps = (0..gx.comps.len())
                 .map(|i| {
                     let (a, b, v) = (pick(&g0, i), pick(&g1, i), gx.comps[i]);
@@ -564,20 +624,18 @@ pub fn call(
                 .collect();
             gen_value(&g.ty, comps)
         }),
-        ("faceforward", [n, i, nref]) => {
-            match (gen_of(n), gen_of(i), gen_of(nref)) {
-                (Ok(gn), Ok(gi), Ok(gr)) => {
-                    let d = dot_comps(cx, &gr.comps, &gi.comps);
-                    let comps = if d < 0.0 {
-                        gn.comps
-                    } else {
-                        gn.comps.iter().map(|&c| -c).collect()
-                    };
-                    Ok(gen_value(&gn.ty, comps))
-                }
-                _ => Err(type_err("faceforward requires genType operands")),
+        ("faceforward", [n, i, nref]) => match (gen_of(n), gen_of(i), gen_of(nref)) {
+            (Ok(gn), Ok(gi), Ok(gr)) => {
+                let d = dot_comps(cx, &gr.comps, &gi.comps);
+                let comps = if d < 0.0 {
+                    gn.comps
+                } else {
+                    gn.comps.iter().map(|&c| -c).collect()
+                };
+                Ok(gen_value(&gn.ty, comps))
             }
-        }
+            _ => Err(type_err("faceforward requires genType operands")),
+        },
         ("reflect", [i, n]) => match (gen_of(i), gen_of(n)) {
             (Ok(gi), Ok(gn)) => {
                 let d = dot_comps(cx, &gn.comps, &gi.comps);
@@ -648,14 +706,10 @@ pub fn call(
         ("greaterThan", [a, b]) => relational(cx, a, b, |x, y| x > y),
         ("greaterThanEqual", [a, b]) => relational(cx, a, b, |x, y| x >= y),
         ("equal", [a, b]) => match (a, b) {
-            (Value::BVec2(x), Value::BVec2(y)) => {
-                Ok(Value::BVec2([x[0] == y[0], x[1] == y[1]]))
+            (Value::BVec2(x), Value::BVec2(y)) => Ok(Value::BVec2([x[0] == y[0], x[1] == y[1]])),
+            (Value::BVec3(x), Value::BVec3(y)) => {
+                Ok(Value::BVec3([x[0] == y[0], x[1] == y[1], x[2] == y[2]]))
             }
-            (Value::BVec3(x), Value::BVec3(y)) => Ok(Value::BVec3([
-                x[0] == y[0],
-                x[1] == y[1],
-                x[2] == y[2],
-            ])),
             (Value::BVec4(x), Value::BVec4(y)) => Ok(Value::BVec4([
                 x[0] == y[0],
                 x[1] == y[1],
@@ -665,14 +719,10 @@ pub fn call(
             _ => relational(cx, a, b, |x, y| x == y),
         },
         ("notEqual", [a, b]) => match (a, b) {
-            (Value::BVec2(x), Value::BVec2(y)) => {
-                Ok(Value::BVec2([x[0] != y[0], x[1] != y[1]]))
+            (Value::BVec2(x), Value::BVec2(y)) => Ok(Value::BVec2([x[0] != y[0], x[1] != y[1]])),
+            (Value::BVec3(x), Value::BVec3(y)) => {
+                Ok(Value::BVec3([x[0] != y[0], x[1] != y[1], x[2] != y[2]]))
             }
-            (Value::BVec3(x), Value::BVec3(y)) => Ok(Value::BVec3([
-                x[0] != y[0],
-                x[1] != y[1],
-                x[2] != y[2],
-            ])),
             (Value::BVec4(x), Value::BVec4(y)) => Ok(Value::BVec4([
                 x[0] != y[0],
                 x[1] != y[1],
@@ -850,12 +900,8 @@ fn build(target: Type, args: &[Value], cx: &mut BuiltinCx<'_>) -> Result<Value, 
             // Diagonal matrix from one scalar.
             let s = comps[0];
             return Ok(match target {
-                Type::Mat2 => {
-                    Value::Mat2([[s, 0.0], [0.0, s]])
-                }
-                Type::Mat3 => {
-                    Value::Mat3([[s, 0.0, 0.0], [0.0, s, 0.0], [0.0, 0.0, s]])
-                }
+                Type::Mat2 => Value::Mat2([[s, 0.0], [0.0, s]]),
+                Type::Mat3 => Value::Mat3([[s, 0.0, 0.0], [0.0, s, 0.0], [0.0, 0.0, s]]),
                 _ => Value::Mat4([
                     [s, 0.0, 0.0, 0.0],
                     [0.0, s, 0.0, 0.0],
@@ -946,25 +992,92 @@ mod tests {
             })
         };
         let builtin_names = [
-            "radians", "degrees", "sin", "cos", "tan", "asin", "acos", "atan", "pow", "exp",
-            "log", "exp2", "log2", "sqrt", "inversesqrt", "abs", "sign", "floor", "ceil",
-            "fract", "mod", "min", "max", "clamp", "mix", "step", "smoothstep", "length",
-            "distance", "dot", "cross", "normalize", "faceforward", "reflect", "refract",
-            "matrixCompMult", "lessThan", "lessThanEqual", "greaterThan", "greaterThanEqual",
-            "equal", "notEqual", "any", "all", "not", "texture2D", "texture2DProj", "float",
-            "int", "bool", "vec2", "vec3", "vec4", "ivec2", "ivec3", "ivec4", "bvec2",
-            "bvec3", "bvec4", "mat2", "mat3", "mat4",
+            "radians",
+            "degrees",
+            "sin",
+            "cos",
+            "tan",
+            "asin",
+            "acos",
+            "atan",
+            "pow",
+            "exp",
+            "log",
+            "exp2",
+            "log2",
+            "sqrt",
+            "inversesqrt",
+            "abs",
+            "sign",
+            "floor",
+            "ceil",
+            "fract",
+            "mod",
+            "min",
+            "max",
+            "clamp",
+            "mix",
+            "step",
+            "smoothstep",
+            "length",
+            "distance",
+            "dot",
+            "cross",
+            "normalize",
+            "faceforward",
+            "reflect",
+            "refract",
+            "matrixCompMult",
+            "lessThan",
+            "lessThanEqual",
+            "greaterThan",
+            "greaterThanEqual",
+            "equal",
+            "notEqual",
+            "any",
+            "all",
+            "not",
+            "texture2D",
+            "texture2DProj",
+            "float",
+            "int",
+            "bool",
+            "vec2",
+            "vec3",
+            "vec4",
+            "ivec2",
+            "ivec3",
+            "ivec4",
+            "bvec2",
+            "bvec3",
+            "bvec4",
+            "mat2",
+            "mat3",
+            "mat4",
         ];
         for name in builtin_names {
-            assert!(is_builtin_name(name), "`{name}` missing from is_builtin_name");
+            assert!(
+                is_builtin_name(name),
+                "`{name}` missing from is_builtin_name"
+            );
             assert!(
                 dispatches(name),
                 "`{name}` claimed builtin but no probe dispatched — extend the probes"
             );
         }
-        for name in ["kernel", "fetch_x", "helper", "main", "gpes_pack_float", "nosuch"] {
+        for name in [
+            "kernel",
+            "fetch_x",
+            "helper",
+            "main",
+            "gpes_pack_float",
+            "nosuch",
+        ] {
             assert!(!is_builtin_name(name), "`{name}` wrongly claimed builtin");
-            assert!(!dispatches(name), "`{name}` dispatched but is_builtin_name is false");
+            assert!(
+                !dispatches(name),
+                "`{name}` dispatched but is_builtin_name is false"
+            );
         }
     }
 
@@ -1011,10 +1124,7 @@ mod tests {
     fn componentwise_on_vectors() {
         let v = cx_eval("abs", &[Value::Vec3([-1.0, 2.0, -3.0])]);
         assert_eq!(v, Value::Vec3([1.0, 2.0, 3.0]));
-        let v = cx_eval(
-            "min",
-            &[Value::Vec2([1.0, 5.0]), Value::Float(2.0)],
-        );
+        let v = cx_eval("min", &[Value::Vec2([1.0, 5.0]), Value::Float(2.0)]);
         assert_eq!(v, Value::Vec2([1.0, 2.0]));
     }
 
@@ -1071,7 +1181,11 @@ mod tests {
         assert_eq!(
             cx_eval(
                 "vec4",
-                &[Value::Vec2([1.0, 2.0]), Value::Float(3.0), Value::Float(4.0)]
+                &[
+                    Value::Vec2([1.0, 2.0]),
+                    Value::Float(3.0),
+                    Value::Float(4.0)
+                ]
             ),
             Value::Vec4([1.0, 2.0, 3.0, 4.0])
         );
@@ -1089,10 +1203,7 @@ mod tests {
     fn matrix_constructors() {
         let m = cx_eval("mat2", &[Value::Float(3.0)]);
         assert_eq!(m, Value::Mat2([[3.0, 0.0], [0.0, 3.0]]));
-        let m = cx_eval(
-            "mat2",
-            &[Value::Vec2([1.0, 2.0]), Value::Vec2([3.0, 4.0])],
-        );
+        let m = cx_eval("mat2", &[Value::Vec2([1.0, 2.0]), Value::Vec2([3.0, 4.0])]);
         assert_eq!(m, Value::Mat2([[1.0, 2.0], [3.0, 4.0]]));
         // mat3 from mat2 pads with identity.
         let m2 = Value::Mat2([[1.0, 2.0], [3.0, 4.0]]);

@@ -269,10 +269,7 @@ pub fn lower(shader: &CompiledShader) -> Result<Executable, LowerError> {
 /// Builtin globals per stage, mirroring `Interpreter::init_globals`.
 pub(crate) fn builtin_globals(kind: ShaderKind) -> Vec<(&'static str, Type)> {
     match kind {
-        ShaderKind::Vertex => vec![
-            ("gl_Position", Type::Vec4),
-            ("gl_PointSize", Type::Float),
-        ],
+        ShaderKind::Vertex => vec![("gl_Position", Type::Vec4), ("gl_PointSize", Type::Float)],
         ShaderKind::Fragment => vec![
             ("gl_FragColor", Type::Vec4),
             ("gl_FragData", Type::Array(Box::new(Type::Vec4), 1)),
@@ -286,8 +283,7 @@ pub(crate) fn builtin_globals(kind: ShaderKind) -> Vec<(&'static str, Type)> {
 struct Lowerer<'a> {
     shader: &'a CompiledShader,
     consts: Vec<Value>,
-    names: Vec<String>,
-    name_index: HashMap<String, u32>,
+    interner: crate::intern::Interner,
     globals: Vec<GlobalDef>,
     global_index: HashMap<String, u32>,
     reset_slots: Vec<u32>,
@@ -304,8 +300,7 @@ impl<'a> Lowerer<'a> {
         Lowerer {
             shader,
             consts: Vec::new(),
-            names: Vec::new(),
-            name_index: HashMap::new(),
+            interner: crate::intern::Interner::new(),
             globals: Vec::new(),
             global_index: HashMap::new(),
             reset_slots: Vec::new(),
@@ -317,13 +312,7 @@ impl<'a> Lowerer<'a> {
     }
 
     fn intern(&mut self, name: &str) -> u32 {
-        if let Some(&i) = self.name_index.get(name) {
-            return i;
-        }
-        let i = self.names.len() as u32;
-        self.names.push(name.to_owned());
-        self.name_index.insert(name.to_owned(), i);
-        i
+        self.interner.intern(name)
     }
 
     fn add_const(&mut self, v: Value) -> u32 {
@@ -381,7 +370,10 @@ impl<'a> Lowerer<'a> {
                     ret: f.ret.clone(),
                     chunk: 0, // patched below
                 });
-                self.fn_candidates.entry(f.name.clone()).or_default().push(idx);
+                self.fn_candidates
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(idx);
                 self.fn_bodies.push(f);
             }
         }
@@ -409,7 +401,7 @@ impl<'a> Lowerer<'a> {
         Ok(Executable {
             kind: self.shader.kind,
             consts: self.consts,
-            names: self.names,
+            names: self.interner.into_names(),
             globals: self.globals,
             global_index: self.global_index,
             reset_slots: self.reset_slots,
@@ -812,8 +804,10 @@ impl<'l, 'a> ChunkCompiler<'l, 'a> {
     /// skip the result duplication, everything else evaluates then pops.
     fn expr_stmt(&mut self, e: &Expr) -> Result<(), LowerError> {
         match &e.kind {
-            ExprKind::Assign(..) | ExprKind::Unary(UnOp::PreInc, _)
-            | ExprKind::Unary(UnOp::PreDec, _) | ExprKind::Unary(UnOp::PostInc, _)
+            ExprKind::Assign(..)
+            | ExprKind::Unary(UnOp::PreInc, _)
+            | ExprKind::Unary(UnOp::PreDec, _)
+            | ExprKind::Unary(UnOp::PostInc, _)
             | ExprKind::Unary(UnOp::PostDec, _) => self.expr_value(e, false),
             ExprKind::Comma(a, b) => {
                 self.expr_stmt(a)?;
@@ -1140,8 +1134,8 @@ fn compound_op(op: AssignOp) -> Option<BinOp> {
 }
 
 fn swizzle_of(field: &str) -> Result<([u8; 4], u8), LowerError> {
-    let indices = swizzle_indices(field)
-        .ok_or_else(|| err(format!("invalid swizzle `.{field}`")))?;
+    let indices =
+        swizzle_indices(field).ok_or_else(|| err(format!("invalid swizzle `.{field}`")))?;
     let mut idx = [0u8; 4];
     for (slot, &i) in idx.iter_mut().zip(&indices) {
         *slot = i as u8;
@@ -1189,9 +1183,7 @@ mod tests {
 
     #[test]
     fn lowers_trivial_shader() {
-        let exe = lower_src(&format!(
-            "{P}void main() {{ gl_FragColor = vec4(1.0); }}"
-        ));
+        let exe = lower_src(&format!("{P}void main() {{ gl_FragColor = vec4(1.0); }}"));
         assert!(exe.global_slot("gl_FragColor").is_some());
         assert!(exe.code_len() > 0);
         assert_eq!(exe.kind(), ShaderKind::Fragment);

@@ -1,0 +1,62 @@
+//! Name interning shared by the bytecode resolver and the tree-walking
+//! interpreter.
+//!
+//! The resolver ([`crate::compile`]) has always mapped identifiers to
+//! numeric ids while lowering to slot-addressed bytecode; the interpreter
+//! now reuses the same structure for its scope stack, so variable
+//! resolution inside the oracle is one hash followed by integer
+//! comparisons instead of repeated string compares per scope level.
+
+use std::collections::HashMap;
+
+/// A string-to-`u32` interner with stable ids and name recovery.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// The id for `name`, allocating one on first sight.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), i);
+        i
+    }
+
+    /// The id for `name`, if it was ever interned.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Consumes the interner into its name table (id-indexed).
+    pub fn into_names(self) -> Vec<String> {
+        self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_recoverable() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.get("alpha"), Some(a));
+        assert_eq!(i.get("gamma"), None);
+        assert_eq!(i.into_names(), vec!["alpha".to_owned(), "beta".to_owned()]);
+    }
+}

@@ -9,6 +9,7 @@ use crate::ast::*;
 use crate::builtins::{self, BuiltinCx};
 use crate::error::RuntimeError;
 use crate::exec::{ExecLimits, FloatModel, OpProfile, TextureAccess};
+use crate::intern::Interner;
 use crate::ops;
 use crate::sema::CompiledShader;
 use crate::swizzle::swizzle_indices;
@@ -33,11 +34,15 @@ pub struct Interpreter<'a> {
     limits: ExecLimits,
     textures: &'a dyn TextureAccess,
     profile: OpProfile,
+    /// Interned identifiers (the resolver's structure, reused here): the
+    /// scope stack stores ids, so resolution is one hash on the name
+    /// followed by integer compares per scope entry.
+    names: Interner,
     /// Scope stack; index 0 holds globals.
-    scopes: Vec<Vec<(String, Value)>>,
+    scopes: Vec<Vec<(u32, Value)>>,
     /// Retired scope `Vec`s kept for reuse, so entering a block in the
     /// fragment hot loop does not reallocate.
-    scope_pool: Vec<Vec<(String, Value)>>,
+    scope_pool: Vec<Vec<(u32, Value)>>,
     /// (index into globals, initial value) for mutable plain globals that
     /// must be re-initialised per invocation.
     reset_list: Vec<(usize, Value)>,
@@ -84,6 +89,7 @@ impl<'a> Interpreter<'a> {
             limits: ExecLimits::default(),
             textures,
             profile: OpProfile::new(),
+            names: Interner::new(),
             scopes: vec![Vec::new()],
             scope_pool: Vec::new(),
             reset_list: Vec::new(),
@@ -105,7 +111,8 @@ impl<'a> Interpreter<'a> {
         // Stage builtins — the single table shared with the bytecode
         // lowerer, so both executors agree on what exists.
         for (name, ty) in crate::compile::builtin_globals(self.shader.kind) {
-            self.scopes[0].push((name.to_owned(), Value::zero_of(&ty)));
+            let id = self.names.intern(name);
+            self.scopes[0].push((id, Value::zero_of(&ty)));
         }
         // Copy the `&'a` shader reference out of `self` so the item walk
         // does not conflict with `eval`'s mutable borrow (no AST clone).
@@ -119,7 +126,8 @@ impl<'a> Interpreter<'a> {
                         Value::zero_of(&var.ty)
                     };
                     let index = self.scopes[0].len();
-                    self.scopes[0].push((var.name.clone(), value.clone()));
+                    let id = self.names.intern(&var.name);
+                    self.scopes[0].push((id, value.clone()));
                     if decl.storage == Storage::None {
                         self.reset_list.push((index, value));
                     }
@@ -135,10 +143,12 @@ impl<'a> Interpreter<'a> {
     ///
     /// [`RuntimeError::Unbound`] if no such global exists.
     pub fn set_global(&mut self, name: &str, value: Value) -> Result<(), RuntimeError> {
-        for (n, v) in self.scopes[0].iter_mut() {
-            if n == name {
-                *v = value;
-                return Ok(());
+        if let Some(id) = self.names.get(name) {
+            for (n, v) in self.scopes[0].iter_mut() {
+                if *n == id {
+                    *v = value;
+                    return Ok(());
+                }
             }
         }
         Err(RuntimeError::Unbound { name: name.into() })
@@ -147,9 +157,10 @@ impl<'a> Interpreter<'a> {
     /// Reads a global by name (used for `gl_Position`, varyings,
     /// `gl_FragColor` after a run).
     pub fn global(&self, name: &str) -> Option<&Value> {
+        let id = self.names.get(name)?;
         self.scopes[0]
             .iter()
-            .find(|(n, _)| n == name)
+            .find(|(n, _)| *n == id)
             .map(|(_, v)| v)
     }
 
@@ -262,10 +273,11 @@ impl<'a> Interpreter<'a> {
                     } else {
                         Value::zero_of(&var.ty)
                     };
+                    let id = self.names.intern(&var.name);
                     self.scopes
                         .last_mut()
                         .expect("scope stack non-empty")
-                        .push((var.name.clone(), value));
+                        .push((id, value));
                 }
                 Ok(Flow::Normal)
             }
@@ -397,10 +409,11 @@ impl<'a> Interpreter<'a> {
     }
 
     fn lookup(&self, name: &str) -> Option<&Value> {
+        let id = self.names.get(name)?;
         self.scopes
             .iter()
             .rev()
-            .find_map(|scope| scope.iter().rev().find(|(n, _)| n == name))
+            .find_map(|scope| scope.iter().rev().find(|(n, _)| *n == id))
             .map(|(_, v)| v)
     }
 
@@ -480,11 +493,11 @@ impl<'a> Interpreter<'a> {
             }
             UnOp::Not => {
                 let v = self.eval(inner)?;
-                v.as_bool().map(|b| Value::Bool(!b)).ok_or_else(|| {
-                    RuntimeError::Type {
+                v.as_bool()
+                    .map(|b| Value::Bool(!b))
+                    .ok_or_else(|| RuntimeError::Type {
                         message: "`!` requires bool".into(),
-                    }
-                })
+                    })
             }
             UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec => {
                 let old = self.eval(inner)?;
@@ -566,10 +579,7 @@ impl<'a> Interpreter<'a> {
                 fs.iter()
                     .find(|f| {
                         f.params.len() == arg_types.len()
-                            && f.params
-                                .iter()
-                                .zip(&arg_types)
-                                .all(|(p, t)| &p.ty == t)
+                            && f.params.iter().zip(&arg_types).all(|(p, t)| &p.ty == t)
                     })
                     .copied()
             })
@@ -583,13 +593,13 @@ impl<'a> Interpreter<'a> {
         self.call_depth += 1;
         self.profile.calls += 1;
 
-        let mut frame: Vec<(String, Value)> = Vec::with_capacity(func.params.len());
+        let mut frame: Vec<(u32, Value)> = Vec::with_capacity(func.params.len());
         for (param, value) in func.params.iter().zip(values.iter()) {
             let initial = match param.qual {
                 ParamQual::In | ParamQual::InOut => value.clone(),
                 ParamQual::Out => Value::zero_of(&param.ty),
             };
-            frame.push((param.name.clone(), initial));
+            frame.push((self.names.intern(&param.name), initial));
         }
         // Functions see only globals + their own frame (no caller locals).
         let saved_scopes = std::mem::take(&mut self.scopes);
@@ -640,10 +650,12 @@ impl<'a> Interpreter<'a> {
                 if name == "gl_FragColor" {
                     self.wrote_frag_color = true;
                 }
-                for scope in self.scopes.iter_mut().rev() {
-                    if let Some((_, slot)) = scope.iter_mut().rev().find(|(n, _)| n == name) {
-                        *slot = value;
-                        return Ok(());
+                if let Some(id) = self.names.get(name) {
+                    for scope in self.scopes.iter_mut().rev() {
+                        if let Some((_, slot)) = scope.iter_mut().rev().find(|(n, _)| *n == id) {
+                            *slot = value;
+                            return Ok(());
+                        }
                     }
                 }
                 Err(RuntimeError::Unbound { name: name.clone() })
@@ -684,9 +696,11 @@ impl<'a> Interpreter<'a> {
                     self.wrote_frag_data = true;
                 }
                 // Find the slot without holding the borrow across `f`.
-                for si in (0..self.scopes.len()).rev() {
-                    if let Some(vi) = self.scopes[si].iter().rposition(|(n, _)| n == name) {
-                        return f(&mut self.scopes[si][vi].1);
+                if let Some(id) = self.names.get(name) {
+                    for si in (0..self.scopes.len()).rev() {
+                        if let Some(vi) = self.scopes[si].iter().rposition(|(n, _)| *n == id) {
+                            return f(&mut self.scopes[si][vi].1);
+                        }
                     }
                 }
                 Err(RuntimeError::Unbound { name: name.clone() })
@@ -729,16 +743,10 @@ mod tests {
         run_fragment_with(src, FloatModel::Exact, &[])
     }
 
-    fn run_fragment_with(
-        src: &str,
-        model: FloatModel,
-        globals: &[(&str, Value)],
-    ) -> [f32; 4] {
-        let shader = check(ShaderKind::Fragment, parse(src).expect("parse"))
-            .expect("check");
+    fn run_fragment_with(src: &str, model: FloatModel, globals: &[(&str, Value)]) -> [f32; 4] {
+        let shader = check(ShaderKind::Fragment, parse(src).expect("parse")).expect("check");
         let tex = NoTextures;
-        let mut interp =
-            Interpreter::with_model(&shader, &tex, model).expect("interpreter");
+        let mut interp = Interpreter::with_model(&shader, &tex, model).expect("interpreter");
         for (name, value) in globals {
             interp.set_global(name, value.clone()).expect("set global");
         }

@@ -218,14 +218,15 @@ impl<'s> Lexer<'s> {
         let span = self.span_from(start, line, col);
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
         if is_float {
-            let value: f32 = text
-                .parse()
-                .map_err(|_| CompileError::lex(format!("malformed float literal `{text}`"), span))?;
+            let value: f32 = text.parse().map_err(|_| {
+                CompileError::lex(format!("malformed float literal `{text}`"), span)
+            })?;
             self.push(TokenKind::FloatLit(value), span);
         } else if text.len() > 1 && text.starts_with('0') {
             // Octal integer, per the GLSL ES grammar.
-            let value = i32::from_str_radix(&text[1..], 8)
-                .map_err(|_| CompileError::lex(format!("malformed octal literal `{text}`"), span))?;
+            let value = i32::from_str_radix(&text[1..], 8).map_err(|_| {
+                CompileError::lex(format!("malformed octal literal `{text}`"), span)
+            })?;
             self.push(TokenKind::IntLit(value), span);
         } else {
             let value: i32 = text

@@ -48,6 +48,7 @@ pub mod builtins;
 pub mod compile;
 pub mod error;
 pub mod exec;
+pub(crate) mod intern;
 pub mod interp;
 pub mod lexer;
 mod ops;

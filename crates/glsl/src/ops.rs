@@ -382,7 +382,10 @@ fn m4v(model: FloatModel, profile: &mut OpProfile, m: &[[f32; 4]; 4], v: &[f32; 
 }
 
 fn v2m(model: FloatModel, profile: &mut OpProfile, v: &[f32; 2], m: &[[f32; 2]; 2]) -> [f32; 2] {
-    [fdot(model, profile, v, &m[0]), fdot(model, profile, v, &m[1])]
+    [
+        fdot(model, profile, v, &m[0]),
+        fdot(model, profile, v, &m[1]),
+    ]
 }
 
 fn v3m(model: FloatModel, profile: &mut OpProfile, v: &[f32; 3], m: &[[f32; 3]; 3]) -> [f32; 3] {

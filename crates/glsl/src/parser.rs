@@ -230,9 +230,9 @@ impl Parser {
         // `precision <prec> <type> ;`
         if matches!(self.peek(), TokenKind::Keyword(Keyword::Precision)) {
             self.bump();
-            let precision = self.accept_precision().ok_or_else(|| {
-                CompileError::parse("expected precision qualifier", self.span())
-            })?;
+            let precision = self
+                .accept_precision()
+                .ok_or_else(|| CompileError::parse("expected precision qualifier", self.span()))?;
             let ty = self.expect_type()?;
             self.expect(&TokenKind::Semicolon)?;
             return Ok(Item::Precision(PrecisionDecl { precision, ty }));
@@ -503,10 +503,8 @@ impl Parser {
     /// A declaration or expression statement (used directly in `for` inits).
     fn simple_statement(&mut self) -> Result<Stmt, CompileError> {
         let span = self.span();
-        let is_decl = matches!(
-            self.peek(),
-            TokenKind::Keyword(Keyword::Const)
-        ) || self.peek_precision().is_some()
+        let is_decl = matches!(self.peek(), TokenKind::Keyword(Keyword::Const))
+            || self.peek_precision().is_some()
             || self.peek_type().is_some();
         if is_decl {
             let storage = if self.accept(&TokenKind::Keyword(Keyword::Const)) {
@@ -664,10 +662,7 @@ impl Parser {
                     let sp = self.span();
                     self.bump();
                     if !expr.is_lvalue() {
-                        return Err(CompileError::parse(
-                            "operand of ++ must be an lvalue",
-                            sp,
-                        ));
+                        return Err(CompileError::parse("operand of ++ must be an lvalue", sp));
                     }
                     let span = expr.span.to(sp);
                     expr = Expr::new(ExprKind::Unary(UnOp::PostInc, Box::new(expr)), span);
@@ -676,10 +671,7 @@ impl Parser {
                     let sp = self.span();
                     self.bump();
                     if !expr.is_lvalue() {
-                        return Err(CompileError::parse(
-                            "operand of -- must be an lvalue",
-                            sp,
-                        ));
+                        return Err(CompileError::parse("operand of -- must be an lvalue", sp));
                     }
                     let span = expr.span.to(sp);
                     expr = Expr::new(ExprKind::Unary(UnOp::PostDec, Box::new(expr)), span);
@@ -832,9 +824,8 @@ mod tests {
 
     #[test]
     fn parses_for_loop_with_decl_init() {
-        let unit = parse_ok(
-            "void main() { float s = 0.0; for (int i = 0; i < 8; i++) { s += 1.0; } }",
-        );
+        let unit =
+            parse_ok("void main() { float s = 0.0; for (int i = 0; i < 8; i++) { s += 1.0; } }");
         let f = only_fn(&unit);
         assert!(matches!(f.body[1].kind, StmtKind::For { .. }));
     }
@@ -948,9 +939,7 @@ mod tests {
 
     #[test]
     fn nested_calls_and_constructors() {
-        parse_ok(
-            "void main() { vec4 v = vec4(vec2(1.0, 2.0), floor(mod(7.0, 4.0)), 1.0); }",
-        );
+        parse_ok("void main() { vec4 v = vec4(vec2(1.0, 2.0), floor(mod(7.0, 4.0)), 1.0); }");
     }
 
     #[test]

@@ -143,10 +143,7 @@ pub fn preprocess(source: &str) -> Result<Preprocessed, CompileError> {
                     if active {
                         let (name, rest2) = split_ident(args);
                         if name.is_empty() || !rest2.trim().is_empty() {
-                            return Err(CompileError::preprocess(
-                                "malformed #undef",
-                                span(1),
-                            ));
+                            return Err(CompileError::preprocess("malformed #undef", span(1)));
                         }
                         macros.remove(name);
                     }
@@ -160,7 +157,11 @@ pub fn preprocess(source: &str) -> Result<Preprocessed, CompileError> {
                         ));
                     }
                     let defined = is_defined(&macros, name);
-                    let cond = if directive == "ifdef" { defined } else { !defined };
+                    let cond = if directive == "ifdef" {
+                        defined
+                    } else {
+                        !defined
+                    };
                     stack.push(CondFrame {
                         active: active && cond,
                         taken: cond,
@@ -180,9 +181,9 @@ pub fn preprocess(source: &str) -> Result<Preprocessed, CompileError> {
                     });
                 }
                 "elif" => {
-                    let frame = stack.last_mut().ok_or_else(|| {
-                        CompileError::preprocess("#elif without #if", span(1))
-                    })?;
+                    let frame = stack
+                        .last_mut()
+                        .ok_or_else(|| CompileError::preprocess("#elif without #if", span(1)))?;
                     if frame.else_seen {
                         return Err(CompileError::preprocess("#elif after #else", span(1)));
                     }
@@ -197,9 +198,9 @@ pub fn preprocess(source: &str) -> Result<Preprocessed, CompileError> {
                     }
                 }
                 "else" => {
-                    let frame = stack.last_mut().ok_or_else(|| {
-                        CompileError::preprocess("#else without #if", span(1))
-                    })?;
+                    let frame = stack
+                        .last_mut()
+                        .ok_or_else(|| CompileError::preprocess("#else without #if", span(1)))?;
                     if frame.else_seen {
                         return Err(CompileError::preprocess("duplicate #else", span(1)));
                     }
@@ -210,16 +211,13 @@ pub fn preprocess(source: &str) -> Result<Preprocessed, CompileError> {
                     frame.taken = true;
                 }
                 "endif" => {
-                    stack.pop().ok_or_else(|| {
-                        CompileError::preprocess("#endif without #if", span(1))
-                    })?;
+                    stack
+                        .pop()
+                        .ok_or_else(|| CompileError::preprocess("#endif without #if", span(1)))?;
                 }
                 "error" => {
                     if active {
-                        return Err(CompileError::preprocess(
-                            format!("#error {args}"),
-                            span(1),
-                        ));
+                        return Err(CompileError::preprocess(format!("#error {args}"), span(1)));
                     }
                 }
                 "pragma" => {
@@ -498,8 +496,7 @@ fn expand_str(
                         out.push_str(&ident);
                         continue;
                     }
-                    let (args, consumed) =
-                        collect_args(&chars[j..], line_no, &ident)?;
+                    let (args, consumed) = collect_args(&chars[j..], line_no, &ident)?;
                     i = j + consumed;
                     if args.len() != params.len()
                         && !(params.is_empty() && args.len() == 1 && args[0].trim().is_empty())
@@ -521,8 +518,7 @@ fn expand_str(
                     // Substitute parameters in the body.
                     let substituted = substitute_params(&mac.body, params, &expanded_args);
                     in_flight.insert(ident.clone());
-                    let expanded =
-                        expand_str(&substituted, macros, line_no, in_flight, depth + 1)?;
+                    let expanded = expand_str(&substituted, macros, line_no, in_flight, depth + 1)?;
                     in_flight.remove(&ident);
                     out.push_str(&expanded);
                 }
@@ -656,7 +652,11 @@ fn eval_condition(
                         Span::new(0, 0, line_no, 1),
                     ));
                 }
-                protected.push_str(if is_defined(macros, &name) { " 1 " } else { " 0 " });
+                protected.push_str(if is_defined(macros, &name) {
+                    " 1 "
+                } else {
+                    " 0 "
+                });
             } else {
                 protected.push_str(&ident);
             }
@@ -800,7 +800,9 @@ impl CondParser {
                     self.pos += 1;
                 }
                 let text: String = self.chars[start..self.pos].iter().collect();
-                let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                let value = if let Some(hex) =
+                    text.strip_prefix("0x").or_else(|| text.strip_prefix("0X"))
+                {
                     i64::from_str_radix(hex, 16)
                 } else if text.len() > 1 && text.starts_with('0') {
                     i64::from_str_radix(&text[1..], 8)
@@ -836,7 +838,10 @@ mod tests {
     #[test]
     fn passthrough_without_directives() {
         let out = pp("void main() {\n  gl_FragColor = vec4(1.0);\n}\n");
-        assert_eq!(out.source, "void main() {\n  gl_FragColor = vec4(1.0);\n}\n");
+        assert_eq!(
+            out.source,
+            "void main() {\n  gl_FragColor = vec4(1.0);\n}\n"
+        );
         assert_eq!(out.version, None);
     }
 
@@ -901,7 +906,8 @@ mod tests {
 
     #[test]
     fn if_defined_and_arithmetic() {
-        let out = pp("#define A 3\n#if defined(A) && A * 2 >= 6 && !defined(B)\nfloat ok;\n#endif\n");
+        let out =
+            pp("#define A 3\n#if defined(A) && A * 2 >= 6 && !defined(B)\nfloat ok;\n#endif\n");
         assert!(out.source.contains("float ok;"));
         let out = pp("#if defined B\nfloat no;\n#endif\n");
         assert!(!out.source.contains("float no;"));
@@ -942,7 +948,13 @@ mod tests {
     fn error_directive_fires_only_when_active() {
         let err = preprocess("#error broken\n").unwrap_err();
         assert!(err.message.contains("broken"));
-        assert!(pp("#ifdef NOPE\n#error unreachable\n#endif\n").source.lines().count() == 3);
+        assert!(
+            pp("#ifdef NOPE\n#error unreachable\n#endif\n")
+                .source
+                .lines()
+                .count()
+                == 3
+        );
     }
 
     #[test]

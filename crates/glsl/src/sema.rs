@@ -43,12 +43,18 @@ pub struct ShaderInterface {
 impl ShaderInterface {
     /// Looks up a uniform's type by name.
     pub fn uniform(&self, name: &str) -> Option<&Type> {
-        self.uniforms.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+        self.uniforms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
     }
 
     /// Looks up a varying's type by name.
     pub fn varying(&self, name: &str) -> Option<&Type> {
-        self.varyings.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+        self.varyings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
     }
 
     /// Looks up an attribute's type by name.
@@ -323,7 +329,10 @@ impl Checker {
                     let ty = self.check_expr(init)?;
                     if ty != var.ty {
                         return Err(CompileError::check(
-                            format!("const `{}` initialiser has type {ty}, expected {}", var.name, var.ty),
+                            format!(
+                                "const `{}` initialiser has type {ty}, expected {}",
+                                var.name, var.ty
+                            ),
                             var.span,
                         ));
                     }
@@ -544,7 +553,10 @@ impl Checker {
         Ok(())
     }
 
-    fn scoped<R>(&mut self, f: impl FnOnce(&mut Self) -> Result<R, CompileError>) -> Result<R, CompileError> {
+    fn scoped<R>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<R, CompileError>,
+    ) -> Result<R, CompileError> {
         self.scopes.push(Vec::new());
         let r = f(self);
         self.scopes.pop();
@@ -584,13 +596,11 @@ impl Checker {
                 let ty = self.check_expr(inner)?;
                 match op {
                     UnOp::Neg | UnOp::Plus => {
-                        if ty.scalar() == Some(Scalar::Bool) || ty == Type::Sampler2D
+                        if ty.scalar() == Some(Scalar::Bool)
+                            || ty == Type::Sampler2D
                             || matches!(ty, Type::Array(..))
                         {
-                            Err(CompileError::check(
-                                format!("cannot negate {ty}"),
-                                e.span,
-                            ))
+                            Err(CompileError::check(format!("cannot negate {ty}"), e.span))
                         } else {
                             Ok(ty)
                         }
@@ -632,18 +642,16 @@ impl Checker {
                             None
                         }
                     }
-                    AssignOp::AddAssign | AssignOp::SubAssign | AssignOp::DivAssign => {
-                        binary_type(
-                            match op {
-                                AssignOp::AddAssign => BinOp::Add,
-                                AssignOp::SubAssign => BinOp::Sub,
-                                _ => BinOp::Div,
-                            },
-                            &lt,
-                            &rt,
-                        )
-                        .filter(|t| *t == lt)
-                    }
+                    AssignOp::AddAssign | AssignOp::SubAssign | AssignOp::DivAssign => binary_type(
+                        match op {
+                            AssignOp::AddAssign => BinOp::Add,
+                            AssignOp::SubAssign => BinOp::Sub,
+                            _ => BinOp::Div,
+                        },
+                        &lt,
+                        &rt,
+                    )
+                    .filter(|t| *t == lt),
                     AssignOp::MulAssign => binary_type(BinOp::Mul, &lt, &rt).filter(|t| *t == lt),
                 };
                 effective.ok_or_else(|| {
@@ -697,10 +705,7 @@ impl Checker {
                 }
                 if is_constructor_name(name) {
                     return Err(CompileError::check(
-                        format!(
-                            "invalid constructor `{name}({})`",
-                            type_list(&arg_types)
-                        ),
+                        format!("invalid constructor `{name}({})`", type_list(&arg_types)),
                         e.span,
                     ));
                 }
@@ -794,10 +799,7 @@ impl Checker {
                 self.check_assignable(base)
             }
             ExprKind::Index(base, _) => self.check_assignable(base),
-            _ => Err(CompileError::check(
-                "expression is not an lvalue",
-                e.span,
-            )),
+            _ => Err(CompileError::check("expression is not an lvalue", e.span)),
         }
     }
 }
@@ -844,15 +846,10 @@ pub fn binary_type(op: BinOp, a: &Type, b: &Type) -> Option<Type> {
     use Type::*;
     match op {
         And | Or | Xor => (*a == Bool && *b == Bool).then_some(Bool),
-        Eq | Ne => {
-            (a == b && !matches!(a, Sampler2D | Array(..) | Void)).then_some(Bool)
-        }
-        Lt | Le | Gt | Ge => {
-            (a == b && matches!(a, Float | Int)).then_some(Bool)
-        }
+        Eq | Ne => (a == b && !matches!(a, Sampler2D | Array(..) | Void)).then_some(Bool),
+        Lt | Le | Gt | Ge => (a == b && matches!(a, Float | Int)).then_some(Bool),
         Add | Sub | Div | Mul => {
-            let float_shape =
-                |t: &Type| t.is_matrix() || matches!(t, Float | Vec2 | Vec3 | Vec4);
+            let float_shape = |t: &Type| t.is_matrix() || matches!(t, Float | Vec2 | Vec3 | Vec4);
             let int_shape = |t: &Type| matches!(t, Int | IVec2 | IVec3 | IVec4);
             // Linear-algebra products first.
             if op == Mul {
@@ -948,8 +945,8 @@ mod tests {
 
     #[test]
     fn varying_must_be_float_based() {
-        let e = check_vert("varying ivec2 v_i; void main() { gl_Position = vec4(0.0); }")
-            .unwrap_err();
+        let e =
+            check_vert("varying ivec2 v_i; void main() { gl_Position = vec4(0.0); }").unwrap_err();
         assert!(e.message.contains("varying"));
     }
 
@@ -969,32 +966,23 @@ mod tests {
         ))
         .unwrap_err();
         assert!(e.message.contains("read-only"));
-        check_vert(
-            "varying vec2 v_uv; void main() { v_uv = vec2(1.0); gl_Position = vec4(0.0); }",
-        )
-        .expect("vertex may write varyings");
+        check_vert("varying vec2 v_uv; void main() { v_uv = vec2(1.0); gl_Position = vec4(0.0); }")
+            .expect("vertex may write varyings");
     }
 
     #[test]
     fn gl_fragcoord_is_read_only() {
-        let e = check_frag(&format!(
-            "{P}void main() {{ gl_FragCoord = vec4(0.0); }}"
-        ))
-        .unwrap_err();
+        let e = check_frag(&format!("{P}void main() {{ gl_FragCoord = vec4(0.0); }}")).unwrap_err();
         assert!(e.message.contains("read-only"));
     }
 
     #[test]
     fn gl_fragdata_index_bounds() {
         // gl_FragData[0] is the only legal element in ES 2 (limitation #8).
-        check_frag(&format!(
-            "{P}void main() {{ gl_FragData[0] = vec4(1.0); }}"
-        ))
-        .expect("gl_FragData[0] ok");
-        let e = check_frag(&format!(
-            "{P}void main() {{ gl_FragData[1] = vec4(1.0); }}"
-        ))
-        .unwrap_err();
+        check_frag(&format!("{P}void main() {{ gl_FragData[0] = vec4(1.0); }}"))
+            .expect("gl_FragData[0] ok");
+        let e =
+            check_frag(&format!("{P}void main() {{ gl_FragData[1] = vec4(1.0); }}")).unwrap_err();
         assert!(e.message.contains("out of bounds"));
     }
 
@@ -1039,10 +1027,7 @@ mod tests {
             "{P}void main() {{ float x = true ? 1.0 : vec2(0.0).x + 1.0; }}"
         ));
         assert!(e.is_ok());
-        let e = check_frag(&format!(
-            "{P}void main() {{ float x = true ? 1 : 0.0; }}"
-        ))
-        .unwrap_err();
+        let e = check_frag(&format!("{P}void main() {{ float x = true ? 1 : 0.0; }}")).unwrap_err();
         assert!(e.message.contains("different types") || e.message.contains("expected"));
     }
 
@@ -1103,7 +1088,10 @@ mod tests {
             Some(Type::Vec3)
         );
         assert_eq!(binary_type(BinOp::Mul, &Type::Mat2, &Type::Vec3), None);
-        assert_eq!(binary_type(BinOp::Add, &Type::Mat2, &Type::Mat2), Some(Type::Mat2));
+        assert_eq!(
+            binary_type(BinOp::Add, &Type::Mat2, &Type::Mat2),
+            Some(Type::Mat2)
+        );
     }
 
     #[test]
@@ -1145,10 +1133,7 @@ mod tests {
 
     #[test]
     fn array_index_static_bounds() {
-        let e = check_frag(&format!(
-            "{P}void main() {{ float a[4]; a[4] = 1.0; }}"
-        ))
-        .unwrap_err();
+        let e = check_frag(&format!("{P}void main() {{ float a[4]; a[4] = 1.0; }}")).unwrap_err();
         assert!(e.message.contains("out of bounds"));
     }
 }

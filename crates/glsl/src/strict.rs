@@ -331,8 +331,8 @@ mod tests {
 
     #[test]
     fn while_loops_rejected() {
-        let err = check_src("void main() { float i = 0.0; while (i < 4.0) { i += 1.0; } }")
-            .unwrap_err();
+        let err =
+            check_src("void main() { float i = 0.0; while (i < 4.0) { i += 1.0; } }").unwrap_err();
         assert!(err.message.contains("while"));
         let err = check_src("void main() { float i = 0.0; do { i += 1.0; } while (i < 4.0); }")
             .unwrap_err();
@@ -346,10 +346,9 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("constant"));
-        let err = check_src(
-            "void main() { float n = 4.0; for (float i = n; i < 8.0; i += 1.0) { } }",
-        )
-        .unwrap_err();
+        let err =
+            check_src("void main() { float n = 4.0; for (float i = n; i < 8.0; i += 1.0) { } }")
+                .unwrap_err();
         assert!(err.message.contains("constant"));
     }
 
@@ -357,28 +356,22 @@ mod tests {
     fn missing_header_pieces_rejected() {
         assert!(check_src("void main() { for (;;) { } }").is_err());
         assert!(check_src("void main() { float i; for (i = 0.0; i < 2.0; i++) { } }").is_err());
-        assert!(
-            check_src("void main() { for (float i = 0.0; i < 2.0; i *= 2.0) { } }").is_err()
-        );
+        assert!(check_src("void main() { for (float i = 0.0; i < 2.0; i *= 2.0) { } }").is_err());
         assert!(check_src("void main() { for (float i = 0.0; true; i++) { } }").is_err());
     }
 
     #[test]
     fn index_mutation_in_body_rejected() {
-        let err = check_src(
-            "void main() { for (float i = 0.0; i < 9.0; i++) { i = 5.0; } }",
-        )
-        .unwrap_err();
+        let err = check_src("void main() { for (float i = 0.0; i < 9.0; i++) { i = 5.0; } }")
+            .unwrap_err();
         assert!(err.message.contains("must not be written"));
         let err = check_src(
             "void main() { for (float i = 0.0; i < 9.0; i++) { if (i > 2.0) { i += 1.0; } } }",
         )
         .unwrap_err();
         assert!(err.message.contains("must not be written"));
-        let err = check_src(
-            "void main() { for (float i = 0.0; i < 9.0; i++) { float x = i++; } }",
-        )
-        .unwrap_err();
+        let err = check_src("void main() { for (float i = 0.0; i < 9.0; i++) { float x = i++; } }")
+            .unwrap_err();
         assert!(err.message.contains("must not be written"));
         // Reading the index is fine.
         check_src("void main() { for (float i = 0.0; i < 9.0; i++) { float x = i * 2.0; } }")

@@ -301,12 +301,55 @@ impl fmt::Display for Keyword {
 /// Words reserved by GLSL ES 1.00 that this implementation (like a
 /// conformant driver) must reject if used as identifiers.
 pub const RESERVED_WORDS: &[&str] = &[
-    "asm", "class", "union", "enum", "typedef", "template", "this", "packed", "goto", "switch",
-    "default", "inline", "noinline", "volatile", "public", "static", "extern", "external",
-    "interface", "flat", "long", "short", "double", "half", "fixed", "unsigned", "superp",
-    "input", "output", "hvec2", "hvec3", "hvec4", "dvec2", "dvec3", "dvec4", "fvec2", "fvec3",
-    "fvec4", "sampler1D", "sampler3D", "sampler1DShadow", "sampler2DShadow", "sampler2DRect",
-    "sampler3DRect", "sampler2DRectShadow", "sizeof", "cast", "namespace", "using",
+    "asm",
+    "class",
+    "union",
+    "enum",
+    "typedef",
+    "template",
+    "this",
+    "packed",
+    "goto",
+    "switch",
+    "default",
+    "inline",
+    "noinline",
+    "volatile",
+    "public",
+    "static",
+    "extern",
+    "external",
+    "interface",
+    "flat",
+    "long",
+    "short",
+    "double",
+    "half",
+    "fixed",
+    "unsigned",
+    "superp",
+    "input",
+    "output",
+    "hvec2",
+    "hvec3",
+    "hvec4",
+    "dvec2",
+    "dvec3",
+    "dvec4",
+    "fvec2",
+    "fvec3",
+    "fvec4",
+    "sampler1D",
+    "sampler3D",
+    "sampler1DShadow",
+    "sampler2DShadow",
+    "sampler2DRect",
+    "sampler3DRect",
+    "sampler2DRectShadow",
+    "sizeof",
+    "cast",
+    "namespace",
+    "using",
 ];
 
 #[cfg(test)]

@@ -73,7 +73,12 @@ impl Type {
     /// The scalar category of the components, if any.
     pub fn scalar(&self) -> Option<Scalar> {
         Some(match self {
-            Type::Float | Type::Vec2 | Type::Vec3 | Type::Vec4 | Type::Mat2 | Type::Mat3
+            Type::Float
+            | Type::Vec2
+            | Type::Vec3
+            | Type::Vec4
+            | Type::Mat2
+            | Type::Mat3
             | Type::Mat4 => Scalar::Float,
             Type::Int | Type::IVec2 | Type::IVec3 | Type::IVec4 => Scalar::Int,
             Type::Bool | Type::BVec2 | Type::BVec3 | Type::BVec4 => Scalar::Bool,
@@ -156,7 +161,12 @@ impl Type {
     pub fn valid_varying(&self) -> bool {
         matches!(
             self,
-            Type::Float | Type::Vec2 | Type::Vec3 | Type::Vec4 | Type::Mat2 | Type::Mat3
+            Type::Float
+                | Type::Vec2
+                | Type::Vec3
+                | Type::Vec4
+                | Type::Mat2
+                | Type::Mat3
                 | Type::Mat4
         )
     }
@@ -165,7 +175,12 @@ impl Type {
     pub fn valid_attribute(&self) -> bool {
         matches!(
             self,
-            Type::Float | Type::Vec2 | Type::Vec3 | Type::Vec4 | Type::Mat2 | Type::Mat3
+            Type::Float
+                | Type::Vec2
+                | Type::Vec3
+                | Type::Vec4
+                | Type::Mat2
+                | Type::Mat3
                 | Type::Mat4
         )
     }
@@ -233,7 +248,10 @@ mod tests {
         assert_eq!(Type::Vec3.component_count(), Some(3));
         assert_eq!(Type::Mat4.component_count(), Some(16));
         assert_eq!(Type::Sampler2D.component_count(), None);
-        assert_eq!(Type::Array(Box::new(Type::Float), 4).component_count(), None);
+        assert_eq!(
+            Type::Array(Box::new(Type::Float), 4).component_count(),
+            None
+        );
     }
 
     #[test]
@@ -272,10 +290,7 @@ mod tests {
     #[test]
     fn glsl_names() {
         assert_eq!(Type::Vec4.glsl_name(), "vec4");
-        assert_eq!(
-            Type::Array(Box::new(Type::Mat2), 8).glsl_name(),
-            "mat2[8]"
-        );
+        assert_eq!(Type::Array(Box::new(Type::Mat2), 8).glsl_name(), "mat2[8]");
         assert_eq!(Type::Sampler2D.to_string(), "sampler2D");
     }
 }

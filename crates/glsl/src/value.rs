@@ -157,9 +157,7 @@ impl Value {
             ]),
             (Scalar::Bool, 1) => Value::Bool(comps[0] != 0.0),
             (Scalar::Bool, 2) => Value::BVec2([comps[0] != 0.0, comps[1] != 0.0]),
-            (Scalar::Bool, 3) => {
-                Value::BVec3([comps[0] != 0.0, comps[1] != 0.0, comps[2] != 0.0])
-            }
+            (Scalar::Bool, 3) => Value::BVec3([comps[0] != 0.0, comps[1] != 0.0, comps[2] != 0.0]),
             (Scalar::Bool, 4) => Value::BVec4([
                 comps[0] != 0.0,
                 comps[1] != 0.0,

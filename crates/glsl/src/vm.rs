@@ -63,10 +63,7 @@ impl<'a> Vm<'a> {
     ///
     /// Fails if a global initialiser fails to evaluate (same cases as
     /// [`crate::interp::Interpreter::new`]).
-    pub fn new(
-        exe: &'a Executable,
-        textures: &'a dyn TextureAccess,
-    ) -> Result<Self, RuntimeError> {
+    pub fn new(exe: &'a Executable, textures: &'a dyn TextureAccess) -> Result<Self, RuntimeError> {
         Self::with_model(exe, textures, FloatModel::Exact)
     }
 
@@ -80,11 +77,7 @@ impl<'a> Vm<'a> {
         textures: &'a dyn TextureAccess,
         model: FloatModel,
     ) -> Result<Self, RuntimeError> {
-        let globals = exe
-            .globals
-            .iter()
-            .map(|g| Value::zero_of(&g.ty))
-            .collect();
+        let globals = exe.globals.iter().map(|g| Value::zero_of(&g.ty)).collect();
         let mut vm = Vm {
             exe,
             textures,
@@ -360,8 +353,7 @@ impl<'a> Vm<'a> {
                 Insn::Discard => return Ok(ChunkFlow::Discarded),
                 Insn::ErrDiscardInFunction => {
                     return Err(RuntimeError::Type {
-                        message: "discard inside a function is not supported by this subset"
-                            .into(),
+                        message: "discard inside a function is not supported by this subset".into(),
                     })
                 }
                 Insn::ErrBreakInFunction => {
@@ -519,10 +511,8 @@ impl<'a> Vm<'a> {
             let ret = self.pop();
             for (i, (_, qual)) in func.params.iter().enumerate() {
                 if matches!(qual, ParamQual::Out | ParamQual::InOut) {
-                    let v = std::mem::replace(
-                        &mut self.locals[callee_base + i],
-                        Value::Bool(false),
-                    );
+                    let v =
+                        std::mem::replace(&mut self.locals[callee_base + i], Value::Bool(false));
                     self.stack.push(v);
                 }
             }
@@ -587,7 +577,10 @@ mod tests {
 
     const P: &str = "precision highp float;\n";
 
-    fn run_both(src: &str, globals: &[(&str, Value)]) -> ([f32; 4], [f32; 4], OpProfile, OpProfile) {
+    fn run_both(
+        src: &str,
+        globals: &[(&str, Value)],
+    ) -> ([f32; 4], [f32; 4], OpProfile, OpProfile) {
         let shader = check(ShaderKind::Fragment, parse(src).expect("parse")).expect("check");
         let exe = lower(&shader).expect("lower");
         let tex = NoTextures;
@@ -769,9 +762,7 @@ mod tests {
 
     #[test]
     fn slot_api_round_trips() {
-        let src = format!(
-            "{P}uniform float u_x;\nvoid main() {{ gl_FragColor = vec4(u_x); }}"
-        );
+        let src = format!("{P}uniform float u_x;\nvoid main() {{ gl_FragColor = vec4(u_x); }}");
         let shader = check(ShaderKind::Fragment, parse(&src).expect("parse")).expect("check");
         let exe = lower(&shader).expect("lower");
         let tex = NoTextures;

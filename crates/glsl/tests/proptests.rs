@@ -30,8 +30,7 @@ fn eval_scalar(expr: &str, uniforms: &[(&str, Value)]) -> f32 {
     let shader = compile(ShaderKind::Fragment, &src)
         .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
     let tex = NoTextures;
-    let mut interp =
-        Interpreter::with_model(&shader, &tex, FloatModel::Exact).expect("interp");
+    let mut interp = Interpreter::with_model(&shader, &tex, FloatModel::Exact).expect("interp");
     for (n, v) in uniforms {
         interp.set_global(n, v.clone()).expect("uniform");
     }

@@ -299,9 +299,7 @@ impl Gen {
                 let m = self.fresh("m");
                 let a = self.float_expr();
                 let b = self.float_expr();
-                out.push_str(&format!(
-                    "{pad}mat2 {m} = mat2({a}, {b}, 1.0, 2.0);\n"
-                ));
+                out.push_str(&format!("{pad}mat2 {m} = mat2({a}, {b}, 1.0, 2.0);\n"));
                 let v = self.fresh("f");
                 out.push_str(&format!("{pad}float {v} = ({m} * vec2(1.0, 0.5)).x;\n"));
                 self.floats.push(v);
@@ -355,9 +353,7 @@ impl Gen {
         }
         let r = self.float_expr();
         let g = self.float_expr();
-        src.push_str(&format!(
-            "    gl_FragColor = vec4({r}, {g}, s0, 1.0);\n"
-        ));
+        src.push_str(&format!("    gl_FragColor = vec4({r}, {g}, s0, 1.0);\n"));
         src.push_str("}\n");
         src
     }

@@ -85,6 +85,11 @@ pub fn build_layer(
 /// `(weights_flat, bias, activation)` per layer with weights in
 /// `in_dim × out_dim` row-major order.
 ///
+/// Layer programs differ only where the (Appendix A constant) loop bound
+/// `in_dim` or the activation differs, so repeated forward passes — and
+/// repeated layer shapes within one network — hit the context's program
+/// cache, and intermediate activations recycle through the target pool.
+///
 /// # Errors
 ///
 /// Upload/build/run errors from the framework.
@@ -106,20 +111,19 @@ pub fn forward_gpu(
         let gb = cc.upload(b)?;
         let k = build_layer(cc, &current, &gw, &gb, *act)?;
         let next: GpuArray<f32> = cc.run_to_array(&k)?;
-        cc.delete_array(current);
-        cc.delete_matrix(gw);
-        cc.delete_array(gb);
+        cc.recycle_array(current);
+        cc.recycle_matrix(gw);
+        cc.recycle_array(gb);
         current = next;
         current_len = out_dim;
     }
-    cc.read_array(&current, gpes_core::Readback::DirectFbo)
+    let out = cc.read_array(&current, gpes_core::Readback::DirectFbo)?;
+    cc.recycle_array(current);
+    Ok(out)
 }
 
 /// CPU reference with identical accumulation order.
-pub fn cpu_reference(
-    input: &[f32],
-    layers: &[(Vec<f32>, Vec<f32>, Activation)],
-) -> Vec<f32> {
+pub fn cpu_reference(input: &[f32], layers: &[(Vec<f32>, Vec<f32>, Activation)]) -> Vec<f32> {
     let mut current = input.to_vec();
     for (w, b, act) in layers {
         let in_dim = current.len();
@@ -155,7 +159,12 @@ mod tests {
     use super::*;
     use crate::data;
 
-    fn layer(in_dim: usize, out_dim: usize, seed: u64, act: Activation) -> (Vec<f32>, Vec<f32>, Activation) {
+    fn layer(
+        in_dim: usize,
+        out_dim: usize,
+        seed: u64,
+        act: Activation,
+    ) -> (Vec<f32>, Vec<f32>, Activation) {
         (
             data::random_f32(in_dim * out_dim, seed, 1.0),
             data::random_f32(out_dim, seed + 1, 0.5),
@@ -173,7 +182,10 @@ mod tests {
         // exp() may differ in the last ulp between GLSL builtin and libm;
         // everything else is order-identical.
         for (g, c) in gpu.iter().zip(&cpu) {
-            assert!((g - c).abs() <= 2.0 * f32::EPSILON * c.abs().max(1.0), "{g} vs {c}");
+            assert!(
+                (g - c).abs() <= 2.0 * f32::EPSILON * c.abs().max(1.0),
+                "{g} vs {c}"
+            );
         }
     }
 
@@ -191,6 +203,26 @@ mod tests {
             assert!((g - c).abs() <= 1e-5 * c.abs().max(1.0), "{g} vs {c}");
         }
         assert_eq!(cc.pass_log().len(), 2);
+    }
+
+    #[test]
+    fn repeated_inference_hits_the_program_cache() {
+        let input = data::random_f32(8, 136, 1.0);
+        let layers = vec![
+            layer(8, 16, 137, Activation::Relu),
+            layer(16, 4, 138, Activation::Identity),
+        ];
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let first = forward_gpu(&mut cc, &input, &layers).expect("run 1");
+        let compiled = cc.stats().programs_linked;
+        let before = cc.stats();
+        let second = forward_gpu(&mut cc, &input, &layers).expect("run 2");
+        assert_eq!(first, second);
+        let after = cc.stats();
+        // Inference loop steady state: no new programs, pooled targets.
+        assert_eq!(after.programs_linked, compiled);
+        assert!(after.program_cache_hits > before.program_cache_hits);
+        assert!(after.texture_pool_hits > before.texture_pool_hits);
     }
 
     #[test]

@@ -11,8 +11,15 @@
 //!
 //! Stockham self-sorts: no bit-reversal pass is needed, which also means
 //! every stage is a pure gather — ideal for texture-fetch hardware.
+//!
+//! The stage width `half` is a **uniform**, not a compile-time constant,
+//! so the whole `log₂ N`-stage transform runs on exactly two compiled
+//! programs (one per §III-8 output half) dispatched through a retained
+//! [`Pipeline`] with explicit ping-pong buffer pairs — both stage kernels
+//! must read the *old* generation before either may be overwritten.
 
-use gpes_core::{ComputeContext, ComputeError, GpuArray, Kernel, ScalarType};
+use gpes_core::{ComputeContext, ComputeError, GpuArray, Kernel, Pass, Pipeline, ScalarType};
+use gpes_glsl::Value;
 use gpes_perf::CpuWorkload;
 
 /// Direction of the transform.
@@ -35,7 +42,8 @@ impl Direction {
 }
 
 /// Builds one Stockham stage kernel for the real (`emit_re = true`) or
-/// imaginary half of the butterfly.
+/// imaginary half of the butterfly. The stage width arrives through the
+/// `half_` uniform, so one program serves every stage.
 ///
 /// Stage `s` (half = 2^s): `out[k] = a ± w·b` where for output index
 /// `k = q·2·half + r` (`r < half`): `a = in[q·half + r]` from the first
@@ -45,13 +53,40 @@ fn build_stage(
     cc: &mut ComputeContext,
     re: &GpuArray<f32>,
     im: &GpuArray<f32>,
-    half: usize,
     direction: Direction,
     emit_re: bool,
 ) -> Result<Kernel, ComputeError> {
     let n = re.len();
-    let body = format!(
-        "float half_ = {half}.0;\n\
+    Kernel::builder(if emit_re {
+        "fft_stage_re"
+    } else {
+        "fft_stage_im"
+    })
+    .input("re", re)
+    .input("im", im)
+    .uniform_f32("half_", 1.0)
+    .output(ScalarType::F32, n)
+    .body(stage_body(n, direction, emit_re, None))
+    .build(cc)
+}
+
+/// The GLSL body of one Stockham stage for a size-`n` transform. With
+/// `baked_half: None` (the retained form) the stage width arrives through
+/// the `half_` uniform; `Some(h)` bakes it in as a literal — the
+/// pre-split form the `a9` baseline measures. Sharing the template keeps
+/// the two bit-identical by construction.
+pub fn stage_body(
+    n: usize,
+    direction: Direction,
+    emit_re: bool,
+    baked_half: Option<usize>,
+) -> String {
+    let prelude = match baked_half {
+        Some(h) => format!("float half_ = {h}.0;\n"),
+        None => String::new(),
+    };
+    format!(
+        "{prelude}\
          float q = floor((idx + 0.5) / (2.0 * half_));\n\
          float r = idx - q * 2.0 * half_;\n\
          float second = 0.0;\n\
@@ -69,17 +104,14 @@ fn build_stage(
          float tim = wr * bim + wi * bre;\n\
          float s = 1.0 - 2.0 * second;\n\
          return {out};",
-        half = half,
         n_over_2 = n / 2,
         sign = if direction.sign() < 0.0 { "-1" } else { "1" },
-        out = if emit_re { "are + s * tre" } else { "aim + s * tim" },
-    );
-    Kernel::builder(if emit_re { "fft_stage_re" } else { "fft_stage_im" })
-        .input("re", re)
-        .input("im", im)
-        .output(ScalarType::F32, n)
-        .body(body)
-        .build(cc)
+        out = if emit_re {
+            "are + s * tre"
+        } else {
+            "aim + s * tim"
+        },
+    )
 }
 
 /// Runs the full transform on the GPU; input and output are
@@ -105,22 +137,41 @@ pub fn run_gpu(
             message: "re and im must have equal length".into(),
         });
     }
-    let mut gre = cc.upload(re)?;
-    let mut gim = cc.upload(im)?;
-    let mut half = 1usize;
-    while half < n {
-        let kre = build_stage(cc, &gre, &gim, half, direction, true)?;
-        let kim = build_stage(cc, &gre, &gim, half, direction, false)?;
-        let nre: GpuArray<f32> = cc.run_to_array(&kre)?;
-        let nim: GpuArray<f32> = cc.run_to_array(&kim)?;
-        cc.delete_array(gre);
-        cc.delete_array(gim);
-        gre = nre;
-        gim = nim;
-        half *= 2;
-    }
-    let out_re = cc.read_array(&gre, gpes_core::Readback::DirectFbo)?;
-    let out_im = cc.read_array(&gim, gpes_core::Readback::DirectFbo)?;
+    let gre = cc.upload(re)?;
+    let gim = cc.upload(im)?;
+    let kre = build_stage(cc, &gre, &gim, direction, true)?;
+    let kim = build_stage(cc, &gre, &gim, direction, false)?;
+    let stages = n.trailing_zeros() as usize;
+    // Explicit ping-pong pairs: both stage kernels read the old (re, im)
+    // generation, so the swap must wait until the iteration ends.
+    let half_of = |stage: usize| Value::Float((1usize << stage) as f32);
+    let pipeline = Pipeline::builder("fft")
+        .source("re", &gre)
+        .source("im", &gim)
+        .pass(
+            Pass::new(&kre)
+                .read("re", "re")
+                .read("im", "im")
+                .write_len("re_next", n)
+                .uniform_per_iter("half_", half_of),
+        )
+        .pass(
+            Pass::new(&kim)
+                .read("re", "re")
+                .read("im", "im")
+                .write_len("im_next", n)
+                .uniform_per_iter("half_", half_of),
+        )
+        .ping_pong("re", "re_next")
+        .ping_pong("im", "im_next")
+        .iterations(stages)
+        .build()?;
+    let run = pipeline.run(cc)?;
+    let out_re = run.read::<f32>(cc, "re")?;
+    let out_im = run.read::<f32>(cc, "im")?;
+    run.finish(cc);
+    cc.recycle_array(gre);
+    cc.recycle_array(gim);
     Ok((out_re, out_im))
 }
 
@@ -217,6 +268,8 @@ mod tests {
         assert_eq!(gim, cim);
         // log2(64) stages x 2 kernels (the §III-8 split).
         assert_eq!(cc.pass_log().len(), 12);
+        // Twelve passes, two programs: the stage width is a uniform now.
+        assert_eq!(cc.stats().programs_linked, 2);
     }
 
     #[test]
@@ -227,8 +280,18 @@ mod tests {
         let (fre, fim) = cpu_reference(&re, &im, Direction::Forward);
         let (ore, oim) = dft_oracle(&re, &im, Direction::Forward);
         for i in 0..n {
-            assert!((fre[i] - ore[i]).abs() < 1e-3, "re[{i}]: {} vs {}", fre[i], ore[i]);
-            assert!((fim[i] - oim[i]).abs() < 1e-3, "im[{i}]: {} vs {}", fim[i], oim[i]);
+            assert!(
+                (fre[i] - ore[i]).abs() < 1e-3,
+                "re[{i}]: {} vs {}",
+                fre[i],
+                ore[i]
+            );
+            assert!(
+                (fim[i] - oim[i]).abs() < 1e-3,
+                "im[{i}]: {} vs {}",
+                fim[i],
+                oim[i]
+            );
         }
     }
 

@@ -8,7 +8,10 @@
 //! passes over textures (the §III-8 split again), with the augmented
 //! matrix `[A | b]` carried as one `n × (n+1)` texture.
 
-use gpes_core::{ComputeContext, ComputeError, GpuArray, GpuMatrix, Kernel, ScalarType};
+use gpes_core::{
+    ComputeContext, ComputeError, GpuArray, GpuMatrix, Kernel, Pass, Pipeline, ScalarType,
+};
+use gpes_glsl::Value;
 use gpes_perf::CpuWorkload;
 
 /// Builds `Fan1` for elimination column `k`: a column of multipliers
@@ -88,17 +91,33 @@ pub fn solve_gpu(
         aug_data.extend_from_slice(&a[r * n..(r + 1) * n]);
         aug_data.push(b[r]);
     }
-    let mut aug = cc.upload_matrix(n as u32, n as u32 + 1, &aug_data)?;
-    for k in 0..n - 1 {
-        let f1 = build_fan1(cc, &aug, k as u32)?;
-        let m: GpuArray<f32> = cc.run_to_array(&f1)?;
-        let f2 = build_fan2(cc, &aug, &m, k as u32)?;
-        let next: GpuArray<f32> = cc.run_to_array(&f2)?;
-        cc.delete_matrix(aug);
-        cc.delete_array(m);
-        aug = next.as_matrix(n as u32, n as u32 + 1)?;
-    }
-    let eliminated = cc.read_array(&aug.as_array(), gpes_core::Readback::DirectFbo)?;
+    let aug = cc.upload_matrix(n as u32, n as u32 + 1, &aug_data)?;
+    // Both Fan kernels compile once; `kcol` advances as a per-iteration
+    // uniform and the augmented matrix ping-pongs through the retained
+    // pipeline (Fan1's multiplier column is reused in place).
+    let f1 = build_fan1(cc, &aug, 0)?;
+    let m0 = cc.upload(&vec![0.0f32; n])?;
+    let f2 = build_fan2(cc, &aug, &m0, 0)?;
+    let pipeline = Pipeline::builder("gaussian")
+        .source_matrix("aug", &aug)
+        .pass(
+            Pass::new(&f1)
+                .read("a", "aug")
+                .write_len("m", n)
+                .uniform_per_iter("kcol", |k| Value::Float(k as f32)),
+        )
+        .pass(
+            Pass::new(&f2)
+                .read("a", "aug")
+                .read("m", "m")
+                .write_grid("aug", n as u32, n as u32 + 1)
+                .uniform_per_iter("kcol", |k| Value::Float(k as f32)),
+        )
+        .iterations(n - 1)
+        .build()?;
+    let eliminated = pipeline.run_and_read::<f32>(cc, "aug")?;
+    cc.recycle_array(m0);
+    cc.recycle_matrix(aug);
     back_substitute(n, &eliminated)
 }
 
@@ -191,8 +210,9 @@ mod tests {
         let gpu = solve_gpu(&mut cc, n, &a, &b).expect("gpu");
         let cpu = cpu_reference(n, &a, &b).expect("cpu");
         assert_eq!(gpu, cpu);
-        // Two passes per eliminated column.
+        // Two passes per eliminated column, two programs in total.
         assert_eq!(cc.pass_log().len(), 2 * (n - 1));
+        assert_eq!(cc.stats().programs_linked, 2);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Thermal stencil iteration (Rodinia `hotspot`-style): one Jacobi step
 //! of `T' = T + k·(N + S + E + W − 4T) + c·P` over a 2-D grid, with
-//! clamp-to-edge boundaries. Multi-step simulation chains passes through
-//! render-to-texture.
+//! clamp-to-edge boundaries. Multi-step simulation ([`run_gpu`]) chains
+//! passes through a retained [`Pipeline`]: the step kernel compiles once,
+//! the temperature grid ping-pongs through pooled render targets, and the
+//! power grid stays bound as the kernel's build-time default.
 
-use gpes_core::{ComputeContext, ComputeError, GpuMatrix, Kernel, ScalarType};
+use gpes_core::{ComputeContext, ComputeError, GpuMatrix, Kernel, Pass, Pipeline, ScalarType};
 use gpes_perf::CpuWorkload;
 
 /// Stencil coefficients.
@@ -53,6 +55,67 @@ pub fn build(
              return center + k_coef * lap + c_coef * fetch_p_rc(row, col);",
         )
         .build(cc)
+}
+
+/// Runs `steps` Jacobi iterations on the GPU and reads the final grid
+/// back (the last step renders straight into the default framebuffer
+/// when it fits the screen).
+///
+/// # Errors
+///
+/// `BadKernel` for mismatched grids; upload/build/run errors.
+pub fn run_gpu(
+    cc: &mut ComputeContext,
+    rows: usize,
+    cols: usize,
+    t: &[f32],
+    p: &[f32],
+    params: HotspotParams,
+    steps: usize,
+) -> Result<Vec<f32>, ComputeError> {
+    if t.len() != rows * cols || p.len() != rows * cols {
+        return Err(ComputeError::BadKernel {
+            message: format!(
+                "temperature ({}) and power ({}) must both be rows x cols = {}",
+                t.len(),
+                p.len(),
+                rows * cols
+            ),
+        });
+    }
+    let gt = cc.upload_matrix(rows as u32, cols as u32, t)?;
+    let gp = cc.upload_matrix(rows as u32, cols as u32, p)?;
+    let kernel = build(cc, &gt, &gp, params)?;
+    let pipeline = Pipeline::builder("hotspot")
+        .source_matrix("t", &gt)
+        .pass(
+            Pass::new(&kernel)
+                .read("t", "t")
+                .write_grid("t", rows as u32, cols as u32),
+        )
+        .iterations(steps)
+        .build()?;
+    let out = pipeline.run_and_read::<f32>(cc, "t")?;
+    cc.recycle_matrix(gt);
+    cc.recycle_matrix(gp);
+    Ok(out)
+}
+
+/// CPU reference for `steps` Jacobi iterations ([`cpu_reference`]
+/// repeated with identical operation order).
+pub fn cpu_reference_steps(
+    rows: usize,
+    cols: usize,
+    t: &[f32],
+    p: &[f32],
+    params: HotspotParams,
+    steps: usize,
+) -> Vec<f32> {
+    let mut grid = t.to_vec();
+    for _ in 0..steps {
+        grid = cpu_reference(rows, cols, &grid, p, params);
+    }
+    grid
 }
 
 /// CPU reference for one step, with identical border clamping and
@@ -114,6 +177,23 @@ mod tests {
         let gpu = cc.run_f32(&k).expect("run");
         let cpu = cpu_reference(rows, cols, &t, &p, HotspotParams::default());
         assert_eq!(gpu, cpu);
+    }
+
+    #[test]
+    fn multi_step_simulation_matches_cpu_with_one_program() {
+        let (rows, cols) = (10usize, 14usize);
+        let t = data::random_f32(rows * cols, 83, 80.0);
+        let p = data::random_f32(rows * cols, 84, 5.0);
+        let steps = 7;
+        let mut cc = ComputeContext::new(32, 32).expect("context");
+        let params = HotspotParams::default();
+        let gpu = run_gpu(&mut cc, rows, cols, &t, &p, params, steps).expect("run");
+        assert_eq!(gpu, cpu_reference_steps(rows, cols, &t, &p, params, steps));
+        assert_eq!(cc.pass_log().len(), steps);
+        // One compiled program for the whole simulation; steady-state
+        // iteration comes out of the render-target pool.
+        assert_eq!(cc.stats().programs_linked, 1);
+        assert!(cc.stats().texture_pool_hits > 0);
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub fn build_assign(
 
 /// Runs one assignment step on the GPU; returns per-point cluster ids.
 ///
+/// The assignment shader depends only on `K` (the Appendix A constant
+/// loop bound), so a Lloyd iteration calling this repeatedly compiles
+/// exactly one program — later calls hit the context's program cache and
+/// merely rebind the fresh centroid texture.
+///
 /// # Errors
 ///
 /// Upload/build/run errors from the framework.
@@ -71,7 +76,10 @@ pub fn run_gpu(
     let gp = cc.upload_matrix(points.len() as u32, 2, &flat_p)?;
     let gc = cc.upload_matrix(centroids.len() as u32, 2, &flat_c)?;
     let kernel = build_assign(cc, &gp, &gc)?;
-    cc.run_and_read(&kernel)
+    let out = cc.run_and_read(&kernel)?;
+    cc.recycle_matrix(gp);
+    cc.recycle_matrix(gc);
+    Ok(out)
 }
 
 /// CPU reference with identical distance formula and tie-breaking
@@ -196,6 +204,12 @@ mod tests {
         for c in 0..centroids.len() as u8 {
             assert!(last_assignment.contains(&c), "cluster {c} empty");
         }
+        // The assignment shader depends only on K: the whole Lloyd loop
+        // compiles one program, and point/centroid uploads recycle
+        // through the texture pool from the second step on.
+        assert_eq!(cc.stats().programs_linked, 1);
+        assert!(cc.stats().program_cache_hits >= 1);
+        assert!(cc.stats().texture_pool_hits >= 2);
     }
 
     #[test]

@@ -36,8 +36,8 @@ pub mod kmeans;
 pub mod nn;
 pub mod pathfinder;
 pub mod reduce;
-pub mod srad;
 pub mod saxpy;
 pub mod sgemm;
+pub mod srad;
 pub mod sum;
 pub mod transpose;

@@ -10,7 +10,10 @@
 //! render-to-texture, backing the paper's §III-8 claim that Rodinia-style
 //! kernels fit the single-output fragment model.
 
-use gpes_core::{ComputeContext, ComputeError, GpuArray, GpuMatrix, Kernel, ScalarType};
+use gpes_core::{
+    ComputeContext, ComputeError, GpuArray, GpuMatrix, Kernel, Pass, Pipeline, ScalarType,
+};
+use gpes_glsl::Value;
 use gpes_perf::CpuWorkload;
 
 /// Builds the one-row DP step kernel: reads the previous row's costs
@@ -54,6 +57,11 @@ pub fn build_step(
 /// Runs the full traversal on the GPU: row 0 seeds the DP vector, then
 /// one pass per remaining row.
 ///
+/// One compiled kernel serves every row: the wall matrix stays bound as
+/// the kernel's build-time default, the DP vector ping-pongs through the
+/// retained [`Pipeline`], and `row_idx` advances as a per-iteration
+/// uniform — no compiles, no fresh GL objects in the loop.
+///
 /// # Errors
 ///
 /// Upload/build/run errors from the framework.
@@ -65,14 +73,22 @@ pub fn run_gpu(
 ) -> Result<Vec<f32>, ComputeError> {
     assert_eq!(wall.len(), rows * cols, "wall must be rows x cols");
     let gwall = cc.upload_matrix(rows as u32, cols as u32, wall)?;
-    let mut dp = cc.upload(&wall[..cols])?;
-    for r in 1..rows {
-        let k = build_step(cc, &gwall, &dp, r as u32)?;
-        let next: GpuArray<f32> = cc.run_to_array(&k)?;
-        cc.delete_array(dp);
-        dp = next;
-    }
-    cc.read_array(&dp, gpes_core::Readback::DirectFbo)
+    let dp = cc.upload(&wall[..cols])?;
+    let kernel = build_step(cc, &gwall, &dp, 1)?;
+    let pipeline = Pipeline::builder("pathfinder")
+        .source("dp", &dp)
+        .pass(
+            Pass::new(&kernel)
+                .read("dp", "dp")
+                .write_len("dp", cols)
+                .uniform_per_iter("row_idx", |step| Value::Float((step + 1) as f32)),
+        )
+        .iterations(rows - 1)
+        .build()?;
+    let out = pipeline.run_and_read::<f32>(cc, "dp")?;
+    cc.recycle_array(dp);
+    cc.recycle_matrix(gwall);
+    Ok(out)
 }
 
 /// CPU reference with identical neighbour clamping and operation order.
@@ -122,6 +138,8 @@ mod tests {
         assert_eq!(gpu, cpu);
         // rows − 1 chained passes.
         assert_eq!(cc.pass_log().len(), rows - 1);
+        // …but a single compiled program for the whole traversal.
+        assert_eq!(cc.stats().programs_linked, 1);
     }
 
     #[test]

@@ -3,9 +3,15 @@
 //!
 //! Each pass folds `FANIN` consecutive elements into one output element;
 //! passes repeat until a single element remains, which is read back
-//! through the framebuffer.
+//! through the framebuffer. The whole tree is **one compiled kernel**
+//! dispatched through a retained [`Pipeline`]: each level only rebinds
+//! the ping-pong texture, shrinks the output domain and updates the
+//! `n_live` uniform — zero shader compiles inside the loop.
 
-use gpes_core::{ComputeContext, ComputeError, GpuArray, Kernel, ScalarType};
+use gpes_core::{
+    ComputeContext, ComputeError, GpuArray, Kernel, OutputShape, Pass, Pipeline, ScalarType,
+};
+use gpes_glsl::Value;
 
 /// Elements folded per output per pass.
 pub const FANIN: usize = 8;
@@ -51,13 +57,11 @@ impl ReduceOp {
     }
 }
 
-fn pass_kernel(
-    cc: &mut ComputeContext,
-    input: &GpuArray<f32>,
-    op: ReduceOp,
-    out_len: usize,
-) -> Result<Kernel, ComputeError> {
-    let body = format!(
+/// The GLSL body of one fold level (shared with the `a9` rebuild-per-pass
+/// baseline so the two stay bit-identical by construction). Level size
+/// arrives through the `n_live` uniform; the shader is level-independent.
+pub fn fold_body(op: ReduceOp) -> String {
+    format!(
         "float acc = {init};\n\
          for (int k = 0; k < {fanin}; k++) {{\n\
          \x20   float j = idx * {fanin}.0 + float(k);\n\
@@ -70,19 +74,30 @@ fn pass_kernel(
         init = op.init_glsl(),
         fanin = FANIN,
         combine = op.combine_glsl(),
-    );
+    )
+}
+
+/// Builds the single fold kernel shared by every level of the tree (the
+/// `n_live` uniform and the output shape vary per level, not the shader).
+fn pass_kernel(
+    cc: &mut ComputeContext,
+    input: &GpuArray<f32>,
+    op: ReduceOp,
+) -> Result<Kernel, ComputeError> {
     Kernel::builder(format!("reduce_{op:?}"))
         .input("x", input)
         .uniform_f32("n_live", input.len() as f32)
-        .output(ScalarType::F32, out_len)
-        .body(body)
+        .output(ScalarType::F32, input.len().div_ceil(FANIN))
+        .body(fold_body(op))
         .build(cc)
 }
 
 /// Reduces an f32 array on the GPU, returning the scalar result.
 ///
-/// Runs ⌈log_FANIN n⌉ passes; intermediate arrays render to textures, and
-/// only the final single-element pass is read back.
+/// Runs ⌈log_FANIN n⌉ passes of **one** compiled kernel through a
+/// retained [`Pipeline`]; intermediate levels ping-pong through pooled
+/// render targets, and the final single-element pass renders straight
+/// into the default framebuffer for readback.
 ///
 /// # Errors
 ///
@@ -92,19 +107,32 @@ pub fn gpu_reduce(
     input: &GpuArray<f32>,
     op: ReduceOp,
 ) -> Result<f32, ComputeError> {
-    let mut current = *input;
-    let mut owned: Vec<GpuArray<f32>> = Vec::new();
-    while current.len() > 1 {
-        let out_len = current.len().div_ceil(FANIN);
-        let kernel = pass_kernel(cc, &current, op, out_len)?;
-        let next: GpuArray<f32> = cc.run_to_array(&kernel)?;
-        owned.push(next);
-        current = next;
+    if input.len() == 1 {
+        let result = cc.read_array(input, gpes_core::Readback::DirectFbo)?;
+        return Ok(result[0]);
     }
-    let result = cc.read_array(&current, gpes_core::Readback::DirectFbo)?;
-    for array in owned {
-        cc.delete_array(array);
+    // Per-level element counts: in_lens[i] feeds level i, producing
+    // in_lens[i + 1].
+    let mut in_lens = vec![input.len()];
+    while *in_lens.last().expect("non-empty") > 1 {
+        in_lens.push(in_lens.last().expect("non-empty").div_ceil(FANIN));
     }
+    let levels = in_lens.len() - 1;
+    let kernel = pass_kernel(cc, input, op)?;
+    let live = in_lens.clone();
+    let out = in_lens;
+    let pipeline = Pipeline::builder(format!("reduce_{op:?}"))
+        .source("x", input)
+        .pass(
+            Pass::new(&kernel)
+                .read("x", "x")
+                .write_len("x", 1)
+                .output_per_iter(move |level| OutputShape::Linear(out[level + 1]))
+                .uniform_per_iter("n_live", move |level| Value::Float(live[level] as f32)),
+        )
+        .iterations(levels)
+        .build()?;
+    let result = pipeline.run_and_read::<f32>(cc, "x")?;
     Ok(result[0])
 }
 
@@ -142,6 +170,14 @@ mod tests {
         assert_eq!(gpu, cpu_reference(&values, ReduceOp::Sum));
         // 1000 → 125 → 16 → 2 → 1: four passes.
         assert_eq!(cc.pass_log().len(), 4);
+        // Four passes, ONE program: the compile/bind split at work.
+        assert_eq!(cc.stats().programs_linked, 1);
+        // Re-running reduces of other sizes recompiles nothing either.
+        let arr2 = cc.upload(&values[..321]).expect("upload 2");
+        let gpu2 = gpu_reduce(&mut cc, &arr2, ReduceOp::Sum).expect("reduce 2");
+        assert_eq!(gpu2, cpu_reference(&values[..321], ReduceOp::Sum));
+        assert_eq!(cc.stats().programs_linked, 1);
+        assert!(cc.stats().program_cache_hits >= 1);
     }
 
     #[test]

@@ -63,9 +63,9 @@ mod tests {
         let mut cc = ComputeContext::new(8, 8).expect("context");
         let gx = cc.upload(&[1.0f32, 2.0]).expect("x");
         let gy = cc.upload(&[10.0f32, 20.0]).expect("y");
-        let k = build(&mut cc, &gx, &gy, 1.0).expect("kernel");
+        let mut k = build(&mut cc, &gx, &gy, 1.0).expect("kernel");
         assert_eq!(cc.run_f32(&k).expect("run"), vec![11.0, 22.0]);
-        cc.set_kernel_uniform(&k, "alpha", gpes_glsl::Value::Float(-1.0))
+        cc.set_kernel_uniform(&mut k, "alpha", gpes_glsl::Value::Float(-1.0))
             .expect("uniform");
         assert_eq!(cc.run_f32(&k).expect("run"), vec![9.0, 18.0]);
     }

@@ -58,8 +58,8 @@ where
 {
     for model in MODELS {
         let run = |executor: Executor| -> (Vec<u8>, OpProfile, OpProfile) {
-            let mut cc = ComputeContext::new(256, 256)
-                .unwrap_or_else(|e| panic!("{name}: context: {e}"));
+            let mut cc =
+                ComputeContext::new(256, 256).unwrap_or_else(|e| panic!("{name}: context: {e}"));
             cc.set_executor(executor);
             cc.set_float_model(model);
             let out = work(&mut cc).unwrap_or_else(|e| panic!("{name}/{model:?}: {e}"));
@@ -74,8 +74,14 @@ where
         let (vm_out, vm_fs, vm_vs) = run(Executor::Bytecode);
         let (tw_out, tw_fs, tw_vs) = run(Executor::TreeWalker);
         assert_eq!(vm_out, tw_out, "{name} outputs diverge under {model:?}");
-        assert_eq!(vm_fs, tw_fs, "{name} fragment profiles diverge under {model:?}");
-        assert_eq!(vm_vs, tw_vs, "{name} vertex profiles diverge under {model:?}");
+        assert_eq!(
+            vm_fs, tw_fs,
+            "{name} fragment profiles diverge under {model:?}"
+        );
+        assert_eq!(
+            vm_vs, tw_vs,
+            "{name} vertex profiles diverge under {model:?}"
+        );
     }
 }
 
@@ -249,8 +255,16 @@ fn solver_and_ml_kernels_match() {
     assert_differential("backprop_forward", |cc| {
         let input = data::random_f32(8, 44, 1.0);
         let layers = vec![
-            (data::random_f32(8 * 6, 45, 0.5), data::random_f32(6, 46, 0.2), Activation::Sigmoid),
-            (data::random_f32(6 * 4, 47, 0.5), data::random_f32(4, 48, 0.2), Activation::Relu),
+            (
+                data::random_f32(8 * 6, 45, 0.5),
+                data::random_f32(6, 46, 0.2),
+                Activation::Sigmoid,
+            ),
+            (
+                data::random_f32(6 * 4, 47, 0.5),
+                data::random_f32(4, 48, 0.2),
+                Activation::Relu,
+            ),
         ];
         Ok(f32s_bytes(&backprop::forward_gpu(cc, &input, &layers)?))
     });

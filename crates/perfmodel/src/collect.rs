@@ -58,6 +58,7 @@ mod tests {
                 ..DrawStats::default()
             },
             output_texels: 16,
+            reused_target: false,
         };
         let run = gpu_run_from_passes(&[mk(10), mk(32)], 2, 100, 50);
         assert_eq!(run.fs_profile.alu_ops, 42);

@@ -212,7 +212,11 @@ mod tests {
             ..CpuWorkload::default()
         };
         let cmp = Comparison::new("sum (int)", &cpu, &workload, &gpu, &sum_like_run(n));
-        assert!(cmp.speedup() > 1.0, "GPU should win at 4M elements: {}", cmp.row());
+        assert!(
+            cmp.speedup() > 1.0,
+            "GPU should win at 4M elements: {}",
+            cmp.row()
+        );
         assert!(cmp.row().contains("speedup"));
     }
 }

@@ -21,9 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // A noisy two-tone signal.
-    let tone = |k: f32, j: usize| {
-        (2.0 * std::f32::consts::PI * k * j as f32 / n as f32).sin()
-    };
+    let tone = |k: f32, j: usize| (2.0 * std::f32::consts::PI * k * j as f32 / n as f32).sin();
     let noise = data::random_f32(n, 42, 0.1);
     let re: Vec<f32> = (0..n)
         .map(|j| 1.0 * tone(3.0, j) + 0.5 * tone(17.0, j) + noise[j])
@@ -56,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .zip(&ire)
         .map(|(orig, inv)| (orig - inv / n as f32).abs())
-        .fold(0.0f32, f32::max)
-        ;
+        .fold(0.0f32, f32::max);
     println!("\nifft(fft(x))/N max error: {max_err:.2e}");
 
     let passes = cc.pass_log().len();

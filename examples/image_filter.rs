@@ -51,13 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let kernel = conv3x3::build(&mut cc, &gm, &filter)?;
         let gpu: Vec<u8> = cc.run_and_read(&kernel)?;
-        let cpu = conv3x3::cpu_reference(
-            H as usize,
-            W as usize,
-            &image,
-            &filter,
-            cc.pack_bias(),
-        );
+        let cpu = conv3x3::cpu_reference(H as usize, W as usize, &image, &filter, cc.pack_bias());
         assert_eq!(gpu, cpu, "{name} must match the CPU reference");
         println!();
         render(name, &gpu);

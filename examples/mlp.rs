@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .zip(&cpu)
         .map(|(g, c)| (g - c).abs() / c.abs().max(1e-6))
         .fold(0.0f32, f32::max);
-    println!("\n{}-{}-{}-{} network logits (GPU):", dims[0], dims[1], dims[2], dims[3]);
+    println!(
+        "\n{}-{}-{}-{} network logits (GPU):",
+        dims[0], dims[1], dims[2], dims[3]
+    );
     for (i, v) in gpu.iter().enumerate() {
         println!("  class {i}: {v:>9.4}");
     }

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  [vertex data]    6 vertices of the screen-covering quad");
     println!("        |          (two triangles — ES 2 has no quad primitive)");
     println!("        v");
-    println!("  [vertex shader]  {} invocations (pass-through)", stats.vertices_shaded);
+    println!(
+        "  [vertex shader]  {} invocations (pass-through)",
+        stats.vertices_shaded
+    );
     println!("        v");
     println!(
         "  [assembly]       {} triangles in, {} rasterised",

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let result = cc.run_f32(&kernel)?;
     println!("a + b = {result:?}");
-    assert_eq!(result, (0..16).map(|i| (i * 101) as f32).collect::<Vec<_>>());
+    assert_eq!(
+        result,
+        (0..16).map(|i| (i * 101) as f32).collect::<Vec<_>>()
+    );
 
     // The generated fragment shader is plain GLSL ES 1.00 — paste it into
     // a real GLES2 app unchanged.
@@ -38,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in kernel.fragment_source().lines().take(12) {
         println!("{line}");
     }
-    println!("… ({} lines total)", kernel.fragment_source().lines().count());
+    println!(
+        "… ({} lines total)",
+        kernel.fragment_source().lines().count()
+    );
 
     let stats = cc.pass_log().last().expect("one pass ran").stats;
     println!("\nfragments shaded: {}", stats.fragments_shaded);

@@ -5,8 +5,8 @@
 //! cargo run --release --example reduction [n]
 //! ```
 
-use gpes::kernels::reduce::{self, ReduceOp};
 use gpes::kernels::data;
+use gpes::kernels::reduce::{self, ReduceOp};
 use gpes::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,14 +23,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gpu_sum = reduce::gpu_reduce(&mut cc, &arr, ReduceOp::Sum)?;
     let cpu_sum = reduce::cpu_reference(&values, ReduceOp::Sum);
     println!("gpu tree-sum: {gpu_sum}");
-    println!("cpu tree-sum: {cpu_sum}  (same fold order → bit-identical: {})",
-        gpu_sum == cpu_sum);
+    println!(
+        "cpu tree-sum: {cpu_sum}  (same fold order → bit-identical: {})",
+        gpu_sum == cpu_sum
+    );
 
     let gpu_max = reduce::gpu_reduce(&mut cc, &arr, ReduceOp::Max)?;
     println!("gpu max:      {gpu_max}");
 
-    println!("\npasses executed (each renders into a texture {}x smaller):",
-        reduce::FANIN);
+    println!(
+        "\npasses executed (each renders into a texture {}x smaller):",
+        reduce::FANIN
+    );
     for (i, pass) in cc.pass_log().iter().enumerate() {
         println!(
             "  pass {:>2}: {:<12} {:>8} fragments",

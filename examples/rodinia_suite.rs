@@ -49,18 +49,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let gp = cc.upload_matrix(r as u32, c as u32, &p)?;
         let k = hotspot::build(&mut cc, &gt, &gp, hotspot::HotspotParams::default())?;
         let gpu = cc.run_f32(&k)?;
-        let validated = gpu == hotspot::cpu_reference(r, c, &t, &p, hotspot::HotspotParams::default());
-        rows.push(finish(&mut cc, "hotspot", "single output, chained", validated));
+        let validated =
+            gpu == hotspot::cpu_reference(r, c, &t, &p, hotspot::HotspotParams::default());
+        rows.push(finish(
+            &mut cc,
+            "hotspot",
+            "single output, chained",
+            validated,
+        ));
     }
 
     // pathfinder — DP row sweep: single output per row, chained passes.
     {
         let mut cc = ComputeContext::new(64, 64)?;
         let (r, c) = (12usize, 48usize);
-        let wall: Vec<f32> = data::random_f32(r * c, 5, 9.0).into_iter().map(f32::abs).collect();
+        let wall: Vec<f32> = data::random_f32(r * c, 5, 9.0)
+            .into_iter()
+            .map(f32::abs)
+            .collect();
         let gpu = pathfinder::run_gpu(&mut cc, r, c, &wall)?;
         let validated = gpu == pathfinder::cpu_reference(r, c, &wall);
-        rows.push(finish(&mut cc, "pathfinder", "single output, chained", validated));
+        rows.push(finish(
+            &mut cc,
+            "pathfinder",
+            "single output, chained",
+            validated,
+        ));
     }
 
     // srad — wants coefficient AND image per step: the split case.
@@ -73,7 +87,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         let gpu = srad::run_gpu(&mut cc, r, c, &img, srad::SradParams::default(), 2)?;
         let validated = gpu == srad::cpu_reference(r, c, &img, srad::SradParams::default(), 2);
-        rows.push(finish(&mut cc, "srad", "SPLIT: 2 kernels/step (§III-8)", validated));
+        rows.push(finish(
+            &mut cc,
+            "srad",
+            "SPLIT: 2 kernels/step (§III-8)",
+            validated,
+        ));
     }
 
     // kmeans — assignment is single-output (u8 indices); the reduction
@@ -87,7 +106,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let centroids = vec![(-20.0, -20.0), (0.0, 0.0), (20.0, 20.0), (30.0, -10.0)];
         let gpu = kmeans::run_gpu(&mut cc, &points, &centroids)?;
         let validated = gpu == kmeans::cpu_reference(&points, &centroids);
-        rows.push(finish(&mut cc, "kmeans", "single output (u8 argmin)", validated));
+        rows.push(finish(
+            &mut cc,
+            "kmeans",
+            "single output (u8 argmin)",
+            validated,
+        ));
     }
 
     // gaussian — Fan1 (multipliers) + Fan2 (update): the split case,
@@ -102,7 +126,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let b = data::random_f32(n, 10, 10.0);
         let gpu = gaussian::solve_gpu(&mut cc, n, &a, &b)?;
         let validated = gpu == gaussian::cpu_reference(n, &a, &b)?;
-        rows.push(finish(&mut cc, "gaussian", "SPLIT: Fan1+Fan2 per column", validated));
+        rows.push(finish(
+            &mut cc,
+            "gaussian",
+            "SPLIT: Fan1+Fan2 per column",
+            validated,
+        ));
     }
 
     // backprop — one neuron per fragment, one kernel per layer.
@@ -127,7 +156,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .zip(&cpu)
             .all(|(g, c)| (g - c).abs() <= 4.0 * f32::EPSILON * c.abs().max(1.0));
-        rows.push(finish(&mut cc, "backprop", "single output, one kernel/layer", validated));
+        rows.push(finish(
+            &mut cc,
+            "backprop",
+            "single output, one kernel/layer",
+            validated,
+        ));
     }
 
     println!("§III-8: every Rodinia-style kernel fits the single-output model");
@@ -155,7 +189,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn finish(cc: &mut ComputeContext, name: &'static str, mapping: &'static str, validated: bool) -> SuiteRow {
+fn finish(
+    cc: &mut ComputeContext,
+    name: &'static str,
+    mapping: &'static str,
+    validated: bool,
+) -> SuiteRow {
     let log = cc.take_pass_log();
     SuiteRow {
         name,

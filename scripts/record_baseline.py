@@ -21,7 +21,7 @@ import sys
 import time
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-SECTIONS = ["e1", "sweep", "e2", "f1", "f2", "a1", "a3", "a4", "a5", "a6", "a7", "a8"]
+SECTIONS = ["e1", "sweep", "e2", "f1", "f2", "a1", "a3", "a4", "a5", "a6", "a7", "a8", "a9"]
 
 # e.g. "sum (int)    n=1048576    cpu   64.97 ms   gpu  13.33 ms   speedup 4.87x   paper 7.2x   validated yes"
 E1_ROW = re.compile(
@@ -29,6 +29,13 @@ E1_ROW = re.compile(
     r"cpu\s+(?P<cpu_ms>[\d.]+) ms\s+gpu\s+(?P<gpu_ms>[\d.]+) ms\s+"
     r"speedup\s+(?P<speedup>[\d.]+)x\s+paper\s+(?P<paper>[\d.]+x|-)\s+"
     r"validated\s+(?P<validated>\S+)"
+)
+
+# e.g. "srad     rebuild/pass    246.58 ms   programs  32   textures  33   pool hits   0"
+A9_ROW = re.compile(
+    r"^(?P<workload>\w+)\s+(?P<mode>\S+)\s+(?P<host_ms>[\d.]+) ms\s+"
+    r"programs\s+(?P<programs_linked>\d+)\s+textures\s+(?P<textures_created>\d+)\s+"
+    r"pool hits\s+(?P<pool_hits>\d+)"
 )
 
 
@@ -68,6 +75,7 @@ def main() -> None:
 
     sections = {}
     e1_rows = []
+    a9_rows = []
     for name in SECTIONS:
         result = run_section(name)
         lines = result["stdout"].splitlines()
@@ -89,6 +97,15 @@ def main() -> None:
                     row["validated"] = row["validated"] == "yes"
                     row["section"] = name
                     e1_rows.append(row)
+        if name == "a9":
+            for line in lines:
+                m = A9_ROW.match(line.strip())
+                if m:
+                    row = m.groupdict()
+                    row["host_ms"] = float(row["host_ms"])
+                    for k in ("programs_linked", "textures_created", "pool_hits"):
+                        row[k] = int(row[k])
+                    a9_rows.append(row)
 
     baseline = {
         "schema": "gpes-bench-baseline/1",
@@ -103,6 +120,9 @@ def main() -> None:
         ),
         "sections": sections,
         "e1_speedups": e1_rows,
+        # a9: host compile/bind split — rebuild-per-pass vs retained
+        # pipeline over the iterated multi-pass workloads (PR 3).
+        "a9_host_cache": a9_rows,
     }
     out_path.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"wrote {out_path} ({len(e1_rows)} speedup rows, "

@@ -44,9 +44,9 @@ pub use gpes_perf as perf;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use gpes_core::{
-        ComputeContext, ComputeError, FloatSpecials, GpuArray, GpuMatrix, GpuTexels, Kernel,
-        KernelBuilder, MultiOutputBuilder, MultiOutputKernel, PackBias, Readback, ScalarType,
-        VertexKernel,
+        Bindings, ComputeContext, ComputeError, ContextStats, FloatSpecials, GpuArray, GpuMatrix,
+        GpuTexels, Kernel, KernelBuilder, MultiOutputBuilder, MultiOutputKernel, OutputShape,
+        PackBias, Pass, Pipeline, Readback, ScalarType, VertexKernel,
     };
     pub use gpes_gles2::{Context, Dispatch, Executor, StoreRounding};
     pub use gpes_glsl::exec::FloatModel;

@@ -118,10 +118,11 @@ fn multipass_chain_preserves_exactness() {
             .expect("build");
         current = cc.run_to_array(&k).expect("run");
     }
-    let out = cc
-        .read_array(&current, Readback::DirectFbo)
-        .expect("read");
-    let expect: Vec<i32> = v.iter().map(|&x| ((x * 2 + 1) * 2 + 1) * 2 * 2 + 2 + 1).collect();
+    let out = cc.read_array(&current, Readback::DirectFbo).expect("read");
+    let expect: Vec<i32> = v
+        .iter()
+        .map(|&x| ((x * 2 + 1) * 2 + 1) * 2 * 2 + 2 + 1)
+        .collect();
     // f(x) = 2x+1 applied four times: 16x + 15.
     let expect2: Vec<i32> = v.iter().map(|&x| 16 * x + 15).collect();
     assert_eq!(expect, expect2, "closed form check");
@@ -168,10 +169,7 @@ fn user_functions_in_kernel_bodies() {
         .body("return twice(plus_one(fetch_x(idx)));")
         .build(&mut cc)
         .expect("build");
-    assert_eq!(
-        cc.run_f32(&k).expect("run"),
-        vec![4.0, 10.0, 20.0, 34.0]
-    );
+    assert_eq!(cc.run_f32(&k).expect("run"), vec![4.0, 10.0, 20.0, 34.0]);
 }
 
 #[test]

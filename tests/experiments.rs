@@ -1,8 +1,8 @@
 //! The paper's experiments as CI-checked assertions: every qualitative
 //! claim that `EXPERIMENTS.md` records must keep holding.
 
-use gpes_bench::{ablations, e1, e2, figures};
 use gpes::prelude::*;
+use gpes_bench::{ablations, e1, e2, figures};
 
 /// E1 — the §V speedup shape: the GPU wins every paper-scale
 /// configuration, and integer speedups exceed floating-point speedups.
@@ -49,7 +49,10 @@ fn e2_precision_claims_hold() {
         vc4.format()
     );
 
-    assert!(e2::host_transform_exact(&values), "CPU transforms are precise");
+    assert!(
+        e2::host_transform_exact(&values),
+        "CPU transforms are precise"
+    );
 }
 
 /// F1 — the pipeline trace counters stay self-consistent.

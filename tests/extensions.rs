@@ -24,7 +24,11 @@ fn short_codecs_full_stack_with_mixed_types() {
         .build(&mut cc)
         .expect("build");
     let out: Vec<i32> = cc.run_and_read(&k).expect("run");
-    let expect: Vec<i32> = a.iter().zip(&b).map(|(&x, &y)| x as i32 - y as i32).collect();
+    let expect: Vec<i32> = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| x as i32 - y as i32)
+        .collect();
     assert_eq!(out, expect);
 }
 
@@ -40,7 +44,10 @@ fn i16_negatives_through_luminance_alpha_textures() {
         .build(&mut cc)
         .expect("build");
     let out: Vec<i16> = cc.run_and_read(&k).expect("run");
-    let expect: Vec<i16> = v.iter().map(|&x| x - (x as f32 / 2.0).floor() as i16).collect();
+    let expect: Vec<i16> = v
+        .iter()
+        .map(|&x| x - (x as f32 / 2.0).floor() as i16)
+        .collect();
     assert_eq!(out, expect);
 }
 
@@ -160,8 +167,12 @@ fn every_framework_kernel_is_appendix_a_conformant() {
     let img = cc
         .upload_matrix(8, 8, &data::random_u8(64, 626, 255))
         .expect("img");
-    gpes::kernels::conv3x3::build(&mut cc, &img, &gpes::kernels::conv3x3::Filter3x3::box_blur())
-        .expect("conv3x3 under strict driver");
+    gpes::kernels::conv3x3::build(
+        &mut cc,
+        &img,
+        &gpes::kernels::conv3x3::Filter3x3::box_blur(),
+    )
+    .expect("conv3x3 under strict driver");
 
     let pts = cc
         .upload_matrix(16, 2, &data::random_f32(32, 627, 10.0))
@@ -192,7 +203,8 @@ fn every_framework_kernel_is_appendix_a_conformant() {
     let (gre, gim) =
         gpes::kernels::fft::run_gpu(&mut cc, &re, &im, gpes::kernels::fft::Direction::Forward)
             .expect("fft under strict driver");
-    let (cre, cim) = gpes::kernels::fft::cpu_reference(&re, &im, gpes::kernels::fft::Direction::Forward);
+    let (cre, cim) =
+        gpes::kernels::fft::cpu_reference(&re, &im, gpes::kernels::fft::Direction::Forward);
     assert_eq!((gre, gim), (cre, cim));
 }
 
@@ -281,7 +293,10 @@ fn rodinia_kernels_compose_with_chunking_and_models() {
         .map(f32::abs)
         .collect();
     let gpu = gpes::kernels::pathfinder::run_gpu(&mut cc, rows, cols, &wall).expect("run");
-    assert_eq!(gpu, gpes::kernels::pathfinder::cpu_reference(rows, cols, &wall));
+    assert_eq!(
+        gpu,
+        gpes::kernels::pathfinder::cpu_reference(rows, cols, &wall)
+    );
 
     let cpu_model = gpes::perf::Arm11Cpu::raspberry_pi1_baseline();
     for workload in [

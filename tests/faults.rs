@@ -34,7 +34,9 @@ fn bad_draw_counts() {
     gl.set_attribute("a_pos", 2, &QUAD).expect("attrib");
     let err = gl.draw_arrays(PrimitiveMode::Triangles, 0, 4).unwrap_err();
     assert!(err.to_string().contains("multiple of 3"));
-    let err = gl.draw_arrays(PrimitiveMode::TriangleStrip, 0, 2).unwrap_err();
+    let err = gl
+        .draw_arrays(PrimitiveMode::TriangleStrip, 0, 2)
+        .unwrap_err();
     assert!(matches!(err, GlError::InvalidValue { .. }));
     // Attribute array shorter than the draw range.
     let err = gl.draw_arrays(PrimitiveMode::Triangles, 3, 6).unwrap_err();
@@ -49,7 +51,13 @@ fn deleted_and_stale_objects() {
     let err = gl
         .tex_image_2d(tex, TexFormat::Rgba8, 1, 1, &[0, 0, 0, 0])
         .unwrap_err();
-    assert!(matches!(err, GlError::NoSuchObject { kind: "texture", .. }));
+    assert!(matches!(
+        err,
+        GlError::NoSuchObject {
+            kind: "texture",
+            ..
+        }
+    ));
     let fb = gl.create_framebuffer();
     let err = gl.framebuffer_texture(fb, tex).unwrap_err();
     assert!(matches!(err, GlError::NoSuchObject { .. }));
@@ -112,7 +120,9 @@ fn unwritten_gl_position_culls_silently() {
     let prog = gl.create_program(vs, FS).expect("program");
     gl.use_program(prog).expect("use");
     gl.set_attribute("a_pos", 2, &QUAD).expect("attrib");
-    let stats = gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+    let stats = gl
+        .draw_arrays(PrimitiveMode::Triangles, 0, 6)
+        .expect("draw");
     assert_eq!(stats.triangles_in, 2);
     assert_eq!(stats.triangles_rasterized, 0);
     assert_eq!(stats.fragments_shaded, 0);
@@ -144,7 +154,10 @@ fn specials_flushed_when_configured() {
     // ±∞ in fp32 — so NaN payloads silently become infinities (the naive
     // shader behaviour), while Preserve keeps them NaN.
     let v = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.5];
-    for (specials, nan_stays_nan) in [(FloatSpecials::Preserve, true), (FloatSpecials::Flush, false)] {
+    for (specials, nan_stays_nan) in [
+        (FloatSpecials::Preserve, true),
+        (FloatSpecials::Flush, false),
+    ] {
         let mut cc = ComputeContext::new(16, 16).expect("context");
         cc.set_float_specials(specials);
         let arr = cc.upload(&v).expect("upload");
@@ -181,7 +194,9 @@ fn scissor_confines_writes() {
     gl.use_program(prog).expect("use");
     gl.set_attribute("a_pos", 2, &QUAD).expect("attrib");
     gl.set_scissor(Some((1, 1, 2, 2)));
-    let stats = gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+    let stats = gl
+        .draw_arrays(PrimitiveMode::Triangles, 0, 6)
+        .expect("draw");
     assert_eq!(stats.pixels_written, 4);
     let px = gl.read_pixels(0, 0, 4, 4).expect("read");
     let at = |x: usize, y: usize| px[(y * 4 + x) * 4];
@@ -203,7 +218,10 @@ fn compute_context_surfaces_shader_errors_with_source_context() {
         .build(&mut cc)
         .unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("check") || msg.contains("type") || msg.contains("operand"), "{msg}");
+    assert!(
+        msg.contains("check") || msg.contains("type") || msg.contains("operand"),
+        "{msg}"
+    );
 }
 
 #[test]

@@ -41,7 +41,9 @@ fn limitation_2_no_quads_two_triangles_cover_once() {
     gl.set_attribute(
         "a_pos",
         2,
-        &[-1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0],
+        &[
+            -1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0,
+        ],
     )
     .expect("attrib");
     let stats = gl
@@ -91,10 +93,7 @@ fn limitation_5_only_byte_texture_formats() {
     // An f32 upload occupies exactly 4 bytes/element — RGBA8, not float32.
     let mut cc = ComputeContext::new(8, 8).expect("context");
     let arr = cc.upload(&[1.0f32, 2.0]).expect("upload");
-    let info = cc
-        .gl()
-        .texture_info(arr.texture())
-        .expect("texture info");
+    let info = cc.gl().texture_info(arr.texture()).expect("texture info");
     assert_eq!(info.0, TexFormat::Rgba8);
 }
 
@@ -113,10 +112,13 @@ fn limitation_6_framebuffer_clamps() {
     gl.set_attribute(
         "a_pos",
         2,
-        &[-1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0],
+        &[
+            -1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0,
+        ],
     )
     .expect("attrib");
-    gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+    gl.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+        .expect("draw");
     let px = gl.read_pixels(0, 0, 1, 1).expect("read");
     assert_eq!(&px[..3], &[255, 0, 127]);
 }
@@ -169,7 +171,9 @@ fn limitation_8_single_output_forces_splitting() {
         .expect("split");
     assert_eq!(split.pass_count(), 2, "one shader per output");
     let abs = cc.run_f32(split.kernel("abs").expect("abs")).expect("run");
-    let sig = cc.run_f32(split.kernel("sign").expect("sign")).expect("run");
+    let sig = cc
+        .run_f32(split.kernel("sign").expect("sign"))
+        .expect("run");
     assert_eq!(abs, vec![3.0, 4.0]);
     assert_eq!(sig, vec![1.0, -1.0]);
 }
@@ -206,21 +210,26 @@ fn npot_textures_need_clamp_to_edge() {
         .expect("program");
     gl.use_program(prog).expect("use");
     gl.bind_texture(0, tex).expect("bind");
-    gl.set_uniform("u_t", gpes::glsl::Value::Int(0)).expect("uniform");
+    gl.set_uniform("u_t", gpes::glsl::Value::Int(0))
+        .expect("uniform");
     gl.set_attribute(
         "a_pos",
         2,
-        &[-1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0],
+        &[
+            -1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0,
+        ],
     )
     .expect("attrib");
-    gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+    gl.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+        .expect("draw");
     let px = gl.read_pixels(0, 0, 1, 1).expect("read");
     assert_eq!(&px[..3], &[0, 0, 0], "incomplete texture samples black");
 
     // Fixing the wrap mode makes it complete.
     gl.set_texture_wrap(tex, Wrap::ClampToEdge, Wrap::ClampToEdge)
         .expect("wrap");
-    gl.draw_arrays(PrimitiveMode::Triangles, 0, 6).expect("draw");
+    gl.draw_arrays(PrimitiveMode::Triangles, 0, 6)
+        .expect("draw");
     let px = gl.read_pixels(0, 0, 1, 1).expect("read");
     assert_eq!(px[0], 200);
 }
@@ -231,7 +240,8 @@ fn npot_textures_need_clamp_to_edge() {
 fn feedback_loops_are_rejected() {
     let mut gl = Context::new(4, 4).expect("context");
     let tex = gl.create_texture();
-    gl.tex_storage(tex, TexFormat::Rgba8, 4, 4).expect("storage");
+    gl.tex_storage(tex, TexFormat::Rgba8, 4, 4)
+        .expect("storage");
     let fbo = gl.create_framebuffer();
     gl.framebuffer_texture(fbo, tex).expect("attach");
     gl.bind_framebuffer(Some(fbo)).expect("bind fb");
@@ -244,7 +254,8 @@ fn feedback_loops_are_rejected() {
         )
         .expect("program");
     gl.use_program(prog).expect("use");
-    gl.set_uniform("u_t", gpes::glsl::Value::Int(0)).expect("uniform");
+    gl.set_uniform("u_t", gpes::glsl::Value::Int(0))
+        .expect("uniform");
     gl.set_attribute("a_pos", 2, &[-1.0, -1.0, 3.0, -1.0, -1.0, 3.0])
         .expect("attrib");
     let err = gl.draw_arrays(PrimitiveMode::Triangles, 0, 3).unwrap_err();

@@ -96,14 +96,21 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks `f` under `id`, passing `input` through.
-    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
         let label = format!("{}/{}", self.name, id);
-        run_one(&label, self.throughput, self.criterion.budget, |b| f(b, input));
+        run_one(&label, self.throughput, self.criterion.budget, |b| {
+            f(b, input)
+        });
         self
     }
 

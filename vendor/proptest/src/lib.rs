@@ -412,7 +412,10 @@ fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize
         i < chars.len(),
         "unclosed character class in pattern {pattern:?}"
     );
-    assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+    assert!(
+        !set.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
     (set, i + 1) // skip ']'
 }
 
@@ -517,8 +520,10 @@ pub mod num {
         impl Strategy for FloatClasses {
             type Value = f32;
             fn generate(&self, rng: &mut TestRng) -> f32 {
-                let classes: Vec<u8> =
-                    (0..5).map(|i| 1u8 << i).filter(|m| self.0 & m != 0).collect();
+                let classes: Vec<u8> = (0..5)
+                    .map(|i| 1u8 << i)
+                    .filter(|m| self.0 & m != 0)
+                    .collect();
                 assert!(!classes.is_empty(), "empty f32 class strategy");
                 let class = classes[rng.below(classes.len() as u64) as usize];
                 let sign = (rng.next_u64() & 1) << 31;
@@ -748,7 +753,10 @@ mod tests {
             let v = num::f32::NORMAL.generate(&mut rng);
             assert!(v.is_normal(), "{v} not normal");
             let s = num::f32::SUBNORMAL.generate(&mut rng);
-            assert!(s != 0.0 && !s.is_normal() && s.is_finite(), "{s} not subnormal");
+            assert!(
+                s != 0.0 && !s.is_normal() && s.is_finite(),
+                "{s} not subnormal"
+            );
             let z = num::f32::ZERO.generate(&mut rng);
             assert_eq!(z, 0.0);
             let m = (num::f32::NORMAL | num::f32::ZERO).generate(&mut rng);
