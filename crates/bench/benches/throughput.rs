@@ -1,0 +1,75 @@
+//! Serving-engine throughput: jobs/sec over the a10 kernel mix as the
+//! worker pool scales, shared vs per-context program caches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpes_core::serve::CachePolicy;
+use gpes_core::{Engine, Job, KernelSpec};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const N: usize = 1 << 12;
+const JOBS: usize = 24;
+
+fn specs() -> Vec<Arc<KernelSpec>> {
+    vec![
+        Arc::new(
+            KernelSpec::new("saxpy")
+                .input("x")
+                .input("y")
+                .uniform_f32("alpha", 2.0)
+                .output(N)
+                .body("return alpha * fetch_x(idx) + fetch_y(idx);"),
+        ),
+        Arc::new(
+            KernelSpec::new("sq_diff")
+                .input("x")
+                .input("y")
+                .output(N)
+                .body("float d = fetch_x(idx) - fetch_y(idx); return d * d;"),
+        ),
+    ]
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(JOBS as u64));
+    let x: Arc<Vec<f32>> = Arc::new(gpes_kernels::data::random_f32(N, 31, 50.0));
+    let y: Arc<Vec<f32>> = Arc::new(gpes_kernels::data::random_f32(N, 32, 50.0));
+    for workers in [1usize, 2, 4] {
+        for (label, policy) in [
+            ("shared", CachePolicy::Shared),
+            ("per_context", CachePolicy::PerContext),
+        ] {
+            let specs = specs();
+            let id = BenchmarkId::new(label, workers);
+            group.bench_with_input(id, &workers, |bench, &w| {
+                let engine = Engine::builder()
+                    .workers(w)
+                    .cache_policy(policy)
+                    .build()
+                    .expect("engine");
+                bench.iter(|| {
+                    let handles: Vec<_> = (0..JOBS)
+                        .map(|i| {
+                            engine
+                                .submit(
+                                    Job::new(&specs[i % specs.len()])
+                                        .data_shared(&x)
+                                        .data_shared(&y),
+                                )
+                                .expect("submit")
+                        })
+                        .collect();
+                    for h in handles {
+                        black_box(h.wait().expect("job"));
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

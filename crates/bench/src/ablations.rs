@@ -758,7 +758,8 @@ pub fn a8_executor(n: usize) -> Result<Vec<A8Row>, ComputeError> {
 
 /// A9 — host-side compile/bind split: the cost of rebuilding shaders
 /// inside a multi-pass iteration loop (the pre-split idiom, program cache
-/// off) vs the retained [`Pipeline`] (compile once, rebind per pass).
+/// off) vs the retained [`gpes_core::Pipeline`] (compile once, rebind
+/// per pass).
 #[derive(Debug, Clone)]
 pub struct A9Row {
     /// Workload under test.
@@ -951,9 +952,246 @@ pub fn a9_host_cache(n: usize, iterations: usize) -> Result<Vec<A9Row>, ComputeE
     Ok(rows)
 }
 
+/// A10 — concurrent serving: one engine, a fixed kernel mix, workers
+/// 1→N, shared vs per-context program caches. The numbers the CI gate
+/// locks: with the shared cache, process-wide links equal the mix size at
+/// every worker count and post-warmup links are zero; per-context caches
+/// relink on every worker that touches a kernel.
+#[derive(Debug, Clone)]
+pub struct A10Row {
+    /// Kernel mix under test (`hot3`: 3 kernels hammered; `wide24`: 24
+    /// distinct kernels, the link-amortisation shape).
+    pub mix: &'static str,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Cache policy (`shared` or `per-context`).
+    pub cache: &'static str,
+    /// Jobs served in the timed wave.
+    pub jobs: usize,
+    /// Wall-clock for the timed wave, milliseconds.
+    pub host_ms: f64,
+    /// Serving rate over the timed wave.
+    pub jobs_per_sec: f64,
+    /// Programs linked process-wide over warmup + timed wave.
+    pub links: u64,
+    /// Programs linked after the warmup wave (shared cache: must be 0).
+    pub post_warmup_links: u64,
+}
+
+impl A10Row {
+    /// Formats the row.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<7} workers {}   {:<12} {:>4} jobs {:>9.2} ms {:>8.1} jobs/s   links {:>3}   post-warmup {:>3}",
+            self.mix,
+            self.workers,
+            self.cache,
+            self.jobs,
+            self.host_ms,
+            self.jobs_per_sec,
+            self.links,
+            self.post_warmup_links,
+        )
+    }
+}
+
+/// The a10 kernel mix: three distinct `f32` kernels over `n`-element
+/// inputs, cycled across jobs — the serving analog of one model's layers
+/// arriving from many clients.
+fn a10_specs(n: usize) -> Vec<std::sync::Arc<gpes_core::KernelSpec>> {
+    use gpes_core::KernelSpec;
+    use std::sync::Arc;
+    vec![
+        Arc::new(
+            KernelSpec::new("saxpy")
+                .input("x")
+                .input("y")
+                .uniform_f32("alpha", 2.0)
+                .output(n)
+                .body("return alpha * fetch_x(idx) + fetch_y(idx);"),
+        ),
+        Arc::new(
+            KernelSpec::new("blur3")
+                .input("x")
+                .input("y")
+                .uniform_f32("last", n as f32 - 1.0)
+                .output(n)
+                .body(
+                    "float a = fetch_x(max(idx - 1.0, 0.0));\n\
+                     float b = fetch_x(idx);\n\
+                     float c = fetch_x(min(idx + 1.0, last));\n\
+                     return (a + b + c) / 3.0 + fetch_y(idx);",
+                ),
+        ),
+        Arc::new(
+            KernelSpec::new("sq_diff")
+                .input("x")
+                .input("y")
+                .output(n)
+                .body("float d = fetch_x(idx) - fetch_y(idx); return d * d;"),
+        ),
+    ]
+}
+
+/// Serves `jobs` requests cycling over `specs` (all two-input, `n`-long)
+/// at each pool size in `worker_counts` under both cache policies,
+/// asserting every served output bit-identical to direct serial dispatch
+/// of the same spec.
+fn a10_mix(
+    mix: &'static str,
+    specs: &[std::sync::Arc<gpes_core::KernelSpec>],
+    n: usize,
+    jobs: usize,
+    worker_counts: &[usize],
+) -> Result<Vec<A10Row>, ComputeError> {
+    use gpes_core::serve::CachePolicy;
+    use gpes_core::{Bindings, Engine, Job};
+    use std::sync::Arc;
+
+    let x: Arc<Vec<f32>> = Arc::new(data::random_f32(n, 1001, 25.0));
+    let y: Arc<Vec<f32>> = Arc::new(data::random_f32(n, 1002, 25.0));
+
+    // Direct serial reference, once per spec: `KernelSpec::build` on a
+    // plain context generates the byte-identical program an engine worker
+    // compiles, so equality below is bit-exact, not approximate.
+    let mut cc = ComputeContext::new(256, 256)?;
+    let gx = cc.upload(x.as_slice())?;
+    let gy = cc.upload(y.as_slice())?;
+    let mut expected: Vec<Vec<f32>> = Vec::new();
+    for spec in specs {
+        let k = spec.build(&mut cc, &[gx, gy])?;
+        let out: gpes_core::GpuArray<f32> = cc.run_to_array_with(&k, &Bindings::new())?;
+        expected.push(cc.read_array(&out, Readback::DirectFbo)?);
+        cc.recycle_array(out);
+    }
+
+    let mut rows = Vec::new();
+    for &workers in worker_counts {
+        for (cache, policy) in [
+            ("shared", CachePolicy::Shared),
+            ("per-context", CachePolicy::PerContext),
+        ] {
+            let engine = Engine::builder()
+                .workers(workers)
+                .cache_policy(policy)
+                .build()?;
+            // Warmup: enough jobs that every worker serves work and the
+            // shared cache holds the whole mix.
+            let warm: Vec<_> = (0..workers.max(1) * specs.len())
+                .map(|i| {
+                    engine.submit(
+                        Job::new(&specs[i % specs.len()])
+                            .data_shared(&x)
+                            .data_shared(&y),
+                    )
+                })
+                .collect::<Result<_, _>>()?;
+            for h in warm {
+                h.wait()?;
+            }
+            let links_after_warmup = engine.programs_linked();
+
+            let start = Instant::now();
+            let handles: Vec<_> = (0..jobs)
+                .map(|i| {
+                    engine.submit(
+                        Job::new(&specs[i % specs.len()])
+                            .data_shared(&x)
+                            .data_shared(&y),
+                    )
+                })
+                .collect::<Result<_, _>>()?;
+            for (i, h) in handles.into_iter().enumerate() {
+                let served = h.wait()?;
+                assert_eq!(
+                    served,
+                    expected[i % specs.len()],
+                    "served output diverged from direct dispatch"
+                );
+            }
+            let elapsed = start.elapsed();
+            let links = engine.programs_linked();
+            rows.push(A10Row {
+                mix,
+                workers,
+                cache,
+                jobs,
+                host_ms: elapsed.as_secs_f64() * 1e3,
+                jobs_per_sec: jobs as f64 / elapsed.as_secs_f64(),
+                links,
+                post_warmup_links: links - links_after_warmup,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Runs A10 over two serving shapes:
+///
+/// * **`hot3`** — the three-kernel mix hammered with `jobs` requests at
+///   1/2/4 workers. Throughput here scales with *physical cores*; the
+///   counters (links constant 1→N with the shared cache, zero after
+///   warmup) are deterministic on any host and are what CI gates on.
+/// * **`wide24`** — 24 distinct kernels served 8× each at 1 and 4
+///   workers. This is the link-amortisation shape: per-context caches
+///   relink each kernel on every worker that serves it (up to 4× the
+///   links), which costs real wall-clock even on a single-core host;
+///   the shared cache links each exactly once.
+///
+/// # Errors
+///
+/// Propagates engine/simulator failures.
+pub fn a10_serving(n: usize, jobs: usize) -> Result<Vec<A10Row>, ComputeError> {
+    use gpes_core::KernelSpec;
+    use std::sync::Arc;
+
+    let mut rows = a10_mix("hot3", &a10_specs(n), n, jobs, &[1, 2, 4])?;
+
+    let wide_n = 256usize;
+    let wide: Vec<Arc<KernelSpec>> = (0..24)
+        .map(|i| {
+            // Distinct generated source per variant (the constant is
+            // baked into the body), so each is its own link.
+            Arc::new(
+                KernelSpec::new(format!("mix_{i}"))
+                    .input("x")
+                    .input("y")
+                    .output(wide_n)
+                    .body(format!(
+                        "return fetch_x(idx) * {}.0 - fetch_y(idx) / {}.0;",
+                        i + 1,
+                        i + 2
+                    )),
+            )
+        })
+        .collect();
+    rows.extend(a10_mix("wide24", &wide, wide_n, 24 * 8, &[1, 4])?);
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn a10_shared_cache_links_once_process_wide() {
+        let rows = a10_serving(512, 12).expect("a10");
+        assert_eq!(rows.len(), 10);
+        for row in rows.iter().filter(|r| r.cache == "shared") {
+            // Shared-cache links equal the mix size at every pool size
+            // and nothing links after warmup — the numbers CI gates on.
+            let mix_size = if row.mix == "hot3" { 3 } else { 24 };
+            assert_eq!(row.links, mix_size, "{}", row.format());
+            assert_eq!(row.post_warmup_links, 0, "{}", row.format());
+        }
+        // Per-context caches at any pool size link at least the whole
+        // mix; the outputs were asserted bit-identical inside
+        // a10_serving.
+        for row in rows.iter().filter(|r| r.cache == "per-context") {
+            let mix_size = if row.mix == "hot3" { 3 } else { 24 };
+            assert!(row.links >= mix_size, "{}", row.format());
+        }
+    }
 
     #[test]
     fn a9_retained_mode_compiles_nothing_in_the_loop() {

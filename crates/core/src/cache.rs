@@ -1,0 +1,302 @@
+//! Process-wide program cache: link each generated shader once, share the
+//! linked [`Program`] across every compute context and worker thread.
+//!
+//! A [`crate::ComputeContext`] already memoises programs per context
+//! (PR 3's compile/bind split). A server-style deployment runs *N* worker
+//! contexts, and without sharing each worker would relink the same kernel
+//! mix — N× the link work for identical bytecode. `SharedProgramCache`
+//! lifts the cache to the process: it is `Arc`-held, interior-mutexed,
+//! and keyed by the generated `vertex\0fragment` source exactly like the
+//! per-context cache, so a kernel built on any worker links at most once
+//! process-wide. The cached value is a pristine linked
+//! [`Program`] whose lowered bytecode stages are `Arc`-shared
+//! ([`gpes_gles2::Program::fragment_executable_shared`]); installing it
+//! into a context clones only the cheap interface tables.
+//!
+//! This is the CNNdroid / TFLite-delegate amortisation argument applied
+//! across contexts and threads instead of across iterations.
+
+use crate::error::ComputeError;
+use gpes_gles2::{Limits, Program};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Counters for a [`SharedProgramCache`] — the process-wide complement of
+/// [`crate::ContextStats`].
+///
+/// `links` is the number the a10 ablation locks down: with the shared
+/// cache in front of N workers it must stay constant as N grows, and must
+/// not grow at all once the kernel mix has been warmed up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Programs actually compiled and linked (cache misses that did the
+    /// work).
+    pub links: u64,
+    /// Lookups served from the cache without linking.
+    pub hits: u64,
+    /// Lookups that found no entry (every miss becomes a link unless the
+    /// link itself fails).
+    pub misses: u64,
+    /// Entries discarded to keep the cache within its capacity bound.
+    pub evictions: u64,
+}
+
+struct Inner {
+    /// `vs \0 fs` source → linked program, plus an insertion stamp for
+    /// FIFO eviction.
+    map: HashMap<String, (Arc<Program>, u64)>,
+    /// Monotonic insertion counter backing the eviction order.
+    stamp: u64,
+    stats: SharedCacheStats,
+}
+
+/// A thread-safe, process-wide cache of linked shader programs.
+///
+/// Cloneable via `Arc`; all methods take `&self`. Linking happens while
+/// the interior mutex is held, which is what makes the concurrency
+/// guarantee exact: when N threads race to build the same kernel, one
+/// links and N−1 observe the finished entry — never N links, never a
+/// torn entry.
+///
+/// # Example
+///
+/// ```
+/// use gpes_core::{cache::SharedProgramCache, ComputeContext};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), gpes_core::ComputeError> {
+/// let cache = Arc::new(SharedProgramCache::new());
+/// let mut a = ComputeContext::new(16, 16)?;
+/// let mut b = ComputeContext::new(16, 16)?;
+/// a.set_shared_program_cache(Arc::clone(&cache));
+/// b.set_shared_program_cache(Arc::clone(&cache));
+/// // Identical kernels built on `a` and `b` now link exactly once.
+/// # Ok(())
+/// # }
+/// ```
+pub struct SharedProgramCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+/// Default capacity: generous for any realistic kernel mix, small enough
+/// that a pathological source-per-request workload cannot retain linked
+/// programs without bound.
+pub const DEFAULT_SHARED_CACHE_CAPACITY: usize = 512;
+
+impl SharedProgramCache {
+    /// Creates a cache with the default capacity bound.
+    pub fn new() -> SharedProgramCache {
+        SharedProgramCache::with_capacity(DEFAULT_SHARED_CACHE_CAPACITY)
+    }
+
+    /// Creates a cache holding at most `capacity` linked programs;
+    /// inserting beyond that evicts the oldest entries first.
+    pub fn with_capacity(capacity: usize) -> SharedProgramCache {
+        SharedProgramCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                stamp: 0,
+                stats: SharedCacheStats::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the cached program for `vs`/`fs`, linking (and caching) it
+    /// on first sight. The link runs under the cache lock so concurrent
+    /// requests for one source produce exactly one link.
+    ///
+    /// The `limits` and `strict` flag are part of the cache key: a
+    /// program linked under a permissive driver must not be served to a
+    /// context simulating a strict (Appendix-A) or tighter-limits
+    /// driver, where the same source might not link at all.
+    ///
+    /// # Errors
+    ///
+    /// Compile/link diagnostics from the GL layer. Failures are not
+    /// cached; a later call retries the link.
+    pub fn get_or_link(
+        &self,
+        vs: &str,
+        fs: &str,
+        limits: &Limits,
+        strict: bool,
+    ) -> Result<Arc<Program>, ComputeError> {
+        let key = format!(
+            "{strict}\u{0}{}:{}:{}:{}\u{0}{vs}\u{0}{fs}",
+            limits.max_texture_size,
+            limits.max_texture_units,
+            limits.max_varying_vectors,
+            limits.max_vertex_attribs,
+        );
+        let mut inner = self.inner.lock().expect("shared program cache poisoned");
+        if let Some((program, _)) = inner.map.get(&key) {
+            let program = Arc::clone(program);
+            inner.stats.hits += 1;
+            return Ok(program);
+        }
+        inner.stats.misses += 1;
+        let program = Arc::new(Program::link_with(vs, fs, limits, strict)?);
+        inner.stats.links += 1;
+        let stamp = inner.stamp;
+        inner.stamp += 1;
+        inner.map.insert(key, (Arc::clone(&program), stamp));
+        while inner.map.len() > self.capacity {
+            // FIFO eviction: drop the oldest insertion. Entries still
+            // referenced elsewhere stay alive through their `Arc`s; the
+            // cache just stops advertising them.
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                inner.stats.evictions += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(program)
+    }
+
+    /// Snapshot of the hit/miss/link/eviction counters.
+    pub fn stats(&self) -> SharedCacheStats {
+        self.inner
+            .lock()
+            .expect("shared program cache poisoned")
+            .stats
+    }
+
+    /// Number of programs currently cached.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("shared program cache poisoned")
+            .map
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The capacity bound this cache evicts towards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every cached entry (outstanding `Arc` handles stay valid).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("shared program cache poisoned")
+            .map
+            .clear();
+    }
+}
+
+impl Default for SharedProgramCache {
+    fn default() -> SharedProgramCache {
+        SharedProgramCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry;
+
+    fn fs(body: &str) -> String {
+        format!("precision highp float;\nvoid main() {{ gl_FragColor = vec4({body}); }}\n")
+    }
+
+    #[test]
+    fn second_lookup_hits_without_linking() {
+        let cache = SharedProgramCache::new();
+        let vs = geometry::passthrough_vertex_shader();
+        let a = cache
+            .get_or_link(&vs, &fs("0.5"), &Limits::default(), false)
+            .expect("link");
+        let b = cache
+            .get_or_link(&vs, &fs("0.5"), &Limits::default(), false)
+            .expect("hit");
+        assert!(Arc::ptr_eq(&a, &b), "both handles share one program");
+        let stats = cache.stats();
+        assert_eq!((stats.links, stats.hits, stats.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn link_errors_are_not_cached() {
+        let cache = SharedProgramCache::new();
+        let vs = geometry::passthrough_vertex_shader();
+        let bad = "precision highp float;\nvoid main() { gl_FragColor = nonsense(); }\n";
+        assert!(cache
+            .get_or_link(&vs, bad, &Limits::default(), false)
+            .is_err());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().links, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn strict_and_limits_partition_the_cache() {
+        // A shader a permissive driver links but Appendix A rejects: the
+        // non-strict entry must never be served to a strict context.
+        let cache = SharedProgramCache::new();
+        let vs = geometry::passthrough_vertex_shader();
+        let dynamic = "precision highp float;\nuniform float u_n;\n\
+             void main() {\n\
+               float acc = 0.0;\n\
+               for (float i = 0.0; i < u_n; i += 1.0) { acc += 1.0; }\n\
+               gl_FragColor = vec4(acc);\n\
+             }";
+        cache
+            .get_or_link(&vs, dynamic, &Limits::default(), false)
+            .expect("permissive link");
+        assert!(
+            cache
+                .get_or_link(&vs, dynamic, &Limits::default(), true)
+                .is_err(),
+            "strict lookup must revalidate, not hit the permissive entry"
+        );
+        // Distinct limits are distinct entries too.
+        let small = Limits {
+            max_texture_size: 64,
+            ..Limits::default()
+        };
+        cache
+            .get_or_link(&vs, &fs("0.5"), &Limits::default(), false)
+            .expect("default limits");
+        cache
+            .get_or_link(&vs, &fs("0.5"), &small, false)
+            .expect("small limits");
+        assert_eq!(cache.stats().links, 3);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let cache = SharedProgramCache::with_capacity(2);
+        let vs = geometry::passthrough_vertex_shader();
+        for body in ["0.1", "0.2", "0.3"] {
+            cache
+                .get_or_link(&vs, &fs(body), &Limits::default(), false)
+                .expect("link");
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // The oldest ("0.1") was evicted: fetching it again relinks…
+        cache
+            .get_or_link(&vs, &fs("0.1"), &Limits::default(), false)
+            .expect("relink");
+        assert_eq!(cache.stats().links, 4);
+        // …while the newest survivor ("0.3") still hits.
+        cache
+            .get_or_link(&vs, &fs("0.3"), &Limits::default(), false)
+            .expect("hit");
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

@@ -4,6 +4,7 @@
 use crate::addressing::ArrayLayout;
 use crate::bind::Bindings;
 use crate::buffer::{GpuArray, GpuMatrix, GpuScalar, GpuTexels};
+use crate::cache::SharedProgramCache;
 use crate::codec::{FloatSpecials, PackBias};
 use crate::error::ComputeError;
 use crate::geometry::{self, FULLSCREEN_QUAD, FULLSCREEN_QUAD_VERTICES, POSITION_ATTRIBUTE};
@@ -17,6 +18,7 @@ use gpes_gles2::{
 use gpes_glsl::exec::FloatModel;
 use gpes_glsl::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Host-side object-churn counters for a [`ComputeContext`].
 ///
@@ -28,6 +30,10 @@ use std::collections::HashMap;
 pub struct ContextStats {
     /// Programs actually compiled and linked (cache misses).
     pub programs_linked: u64,
+    /// Programs installed from a process-wide [`SharedProgramCache`]
+    /// without linking anything in this context (a GL object was still
+    /// created to hold the adopted program).
+    pub programs_adopted: u64,
     /// Kernel builds served by the program cache without a link.
     pub program_cache_hits: u64,
     /// Textures freshly allocated (pool misses), render targets and
@@ -44,7 +50,21 @@ impl ContextStats {
     /// GL objects allocated so far (programs + textures): the number that
     /// must stop growing once an iteration loop reaches steady state.
     pub fn gl_objects_created(&self) -> u64 {
-        self.programs_linked + self.textures_created
+        self.programs_linked + self.programs_adopted + self.textures_created
+    }
+
+    /// Field-wise sum of two snapshots — used to accumulate counters
+    /// across a context's lifetimes (e.g. an engine worker that replaced
+    /// its context after a panicking job must not report zeroed stats).
+    pub fn merged(&self, other: &ContextStats) -> ContextStats {
+        ContextStats {
+            programs_linked: self.programs_linked + other.programs_linked,
+            programs_adopted: self.programs_adopted + other.programs_adopted,
+            program_cache_hits: self.program_cache_hits + other.program_cache_hits,
+            textures_created: self.textures_created + other.textures_created,
+            texture_pool_hits: self.texture_pool_hits + other.texture_pool_hits,
+            textures_recycled: self.textures_recycled + other.textures_recycled,
+        }
     }
 }
 
@@ -80,6 +100,9 @@ pub struct ComputeContext {
     /// `vs \0 fs` source → linked program.
     program_cache: HashMap<String, ProgramId>,
     program_cache_enabled: bool,
+    /// Optional process-wide cache consulted on local misses: workers in a
+    /// serving pool install shared linked programs instead of relinking.
+    shared_cache: Option<Arc<SharedProgramCache>>,
     /// `(width, height)` → recycled RGBA8 render targets.
     target_pool: HashMap<(u32, u32), Vec<TextureId>>,
     /// Textures currently held across all pool buckets.
@@ -133,6 +156,7 @@ impl ComputeContext {
             pass_log: Vec::new(),
             program_cache: HashMap::new(),
             program_cache_enabled: true,
+            shared_cache: None,
             target_pool: HashMap::new(),
             pooled_textures: 0,
             stats: ContextStats::default(),
@@ -149,6 +173,20 @@ impl ComputeContext {
     /// what rebuild-per-pass used to cost).
     pub fn set_program_cache_enabled(&mut self, enabled: bool) {
         self.program_cache_enabled = enabled;
+    }
+
+    /// Attaches a process-wide [`SharedProgramCache`]: local cache misses
+    /// consult it and *install* the shared linked program instead of
+    /// linking here, so N contexts building the same kernel link it once
+    /// process-wide. See [`crate::serve::Engine`], which wires one cache
+    /// through every worker context.
+    pub fn set_shared_program_cache(&mut self, cache: Arc<SharedProgramCache>) {
+        self.shared_cache = Some(cache);
+    }
+
+    /// The attached process-wide program cache, if any.
+    pub fn shared_program_cache(&self) -> Option<&Arc<SharedProgramCache>> {
+        self.shared_cache.as_ref()
     }
 
     /// Drops every cached program and deletes the underlying GL objects.
@@ -439,8 +477,27 @@ impl ComputeContext {
                 return Ok(id);
             }
         }
-        let id = self.gl.create_program(vs, fs)?;
-        self.stats.programs_linked += 1;
+        // Local miss: adopt from the process-wide cache when one is
+        // attached (linking there at most once per source per process),
+        // otherwise link in this context.
+        let shared = if self.program_cache_enabled {
+            self.shared_cache.clone()
+        } else {
+            None
+        };
+        let id = match shared {
+            Some(shared) => {
+                let strict = self.gl.strict_shaders();
+                let program = shared.get_or_link(vs, fs, self.gl.limits(), strict)?;
+                self.stats.programs_adopted += 1;
+                self.gl.install_program((*program).clone())
+            }
+            None => {
+                let id = self.gl.create_program(vs, fs)?;
+                self.stats.programs_linked += 1;
+                id
+            }
+        };
         if self.program_cache_enabled {
             self.program_cache.insert(key, id);
         }

@@ -150,6 +150,13 @@ impl KernelBuilder {
         self
     }
 
+    /// Declares a uniform of any supported GLSL type with an initial
+    /// value (the typed `uniform_*` conveniences route here).
+    pub fn uniform(mut self, name: &str, value: Value) -> Self {
+        self.uniforms.push((name.to_owned(), value));
+        self
+    }
+
     /// Declares a `uniform float` with an initial value.
     pub fn uniform_f32(mut self, name: &str, value: f32) -> Self {
         self.uniforms.push((name.to_owned(), Value::Float(value)));

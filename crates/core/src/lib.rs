@@ -41,6 +41,7 @@
 pub mod addressing;
 pub mod bind;
 pub mod buffer;
+pub mod cache;
 pub mod chunked;
 pub mod codec;
 pub mod context;
@@ -49,10 +50,12 @@ pub mod geometry;
 pub mod kernel;
 pub mod multi_output;
 pub mod pipeline;
+pub mod serve;
 pub mod vertex_compute;
 
 pub use bind::Bindings;
 pub use buffer::{GpuArray, GpuMatrix, GpuScalar, GpuTexels};
+pub use cache::{SharedCacheStats, SharedProgramCache};
 pub use codec::{FloatSpecials, PackBias, ScalarType};
 pub use context::{ComputeContext, ContextStats};
 pub use error::ComputeError;
@@ -60,4 +63,5 @@ pub use gpes_gles2::Executor;
 pub use kernel::{InputEncoding, Kernel, KernelBuilder, OutputKind, OutputShape};
 pub use multi_output::{MultiOutputBuilder, MultiOutputKernel};
 pub use pipeline::{Pass, PassRecord, Pipeline, PipelineBuilder, PipelineRun, Readback};
+pub use serve::{BatchResult, CachePolicy, Engine, Job, JobHandle, KernelSpec, Submission};
 pub use vertex_compute::{VertexKernel, VertexKernelBuilder};

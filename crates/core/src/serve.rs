@@ -1,0 +1,984 @@
+//! `gpes-serve` — a concurrent multi-kernel serving engine over the
+//! retained compute API.
+//!
+//! The deployment shape this models is the one on-device inference stacks
+//! (CNNdroid, the TFLite GPU delegate) settle on: many independent
+//! compute requests arrive at one device, one-time program compilation is
+//! amortised across all of them, and a small pool of worker contexts
+//! drains a submission queue. Concretely:
+//!
+//! * an [`Engine`] owns N worker threads, each with its own
+//!   [`ComputeContext`] (GL contexts are single-threaded by construction,
+//!   exactly as on real hardware — sharing happens at the *program*
+//!   level, not the context level);
+//! * every worker context is wired to one process-wide
+//!   [`SharedProgramCache`], so each distinct kernel links exactly once
+//!   no matter which worker sees it first ([`CachePolicy::PerContext`]
+//!   exists for the `a10` ablation that measures what N× relinking
+//!   costs);
+//! * requests are [`Job`]s (one kernel dispatch) or [`Submission`]s (a
+//!   multi-kernel DAG that runs on one worker without per-step queue
+//!   round-trips, intermediates staying on the GPU);
+//! * results come back through typed [`JobHandle`]s that block on
+//!   [`JobHandle::wait`].
+//!
+//! Kernels are described by a context-free [`KernelSpec`] rather than a
+//! built [`crate::Kernel`], because a kernel object is bound to the
+//! context that compiled it. A spec carries exactly the information
+//! [`crate::KernelBuilder`] needs, so a worker executing a job performs
+//! the same upload → build → dispatch → read sequence a caller would
+//! perform directly — the engine differential test asserts the outputs
+//! are bit-identical.
+//!
+//! ```
+//! use gpes_core::serve::{Engine, Job, KernelSpec};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), gpes_core::ComputeError> {
+//! let engine = Engine::builder().workers(2).build()?;
+//! let saxpy = Arc::new(
+//!     KernelSpec::new("saxpy")
+//!         .input("x")
+//!         .input("y")
+//!         .uniform_f32("alpha", 2.0)
+//!         .output(4)
+//!         .body("return alpha * fetch_x(idx) + fetch_y(idx);"),
+//! );
+//! let job = Job::new(&saxpy)
+//!     .data(vec![1.0, 2.0, 3.0, 4.0])
+//!     .data(vec![10.0, 20.0, 30.0, 40.0]);
+//! let handle = engine.submit(job)?;
+//! assert_eq!(handle.wait()?, vec![12.0, 24.0, 36.0, 48.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::buffer::GpuArray;
+use crate::cache::SharedProgramCache;
+use crate::context::{ComputeContext, ContextStats};
+use crate::error::ComputeError;
+use crate::kernel::{Kernel, OutputShape};
+use crate::pipeline::Readback;
+use crate::Bindings;
+use gpes_gles2::{Dispatch, Limits};
+use gpes_glsl::Value;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+// ---- kernel specification ------------------------------------------------
+
+/// A context-free description of an `f32` compute kernel: everything
+/// [`crate::KernelBuilder`] needs, minus the textures, so the same spec
+/// can be built (cheaply, through the program caches) on any worker
+/// context. Specs are immutable once built; wrap them in [`Arc`] and
+/// reuse them across jobs.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    name: String,
+    inputs: Vec<String>,
+    uniforms: Vec<(String, Value)>,
+    output: Option<OutputShape>,
+    body: String,
+    functions: String,
+}
+
+impl KernelSpec {
+    /// Starts a spec for a kernel named `name`.
+    pub fn new(name: impl Into<String>) -> KernelSpec {
+        KernelSpec {
+            name: name.into(),
+            inputs: Vec::new(),
+            uniforms: Vec::new(),
+            output: None,
+            body: String::new(),
+            functions: String::new(),
+        }
+    }
+
+    /// Declares an `f32` array input; jobs supply its data positionally,
+    /// in declaration order.
+    pub fn input(mut self, name: impl Into<String>) -> Self {
+        self.inputs.push(name.into());
+        self
+    }
+
+    /// Declares a uniform with a default value.
+    pub fn uniform(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.uniforms.push((name.into(), value));
+        self
+    }
+
+    /// Declares a `uniform float` with a default value.
+    pub fn uniform_f32(self, name: impl Into<String>, value: f32) -> Self {
+        self.uniform(name, Value::Float(value))
+    }
+
+    /// Declares the linear output length.
+    pub fn output(mut self, len: usize) -> Self {
+        self.output = Some(OutputShape::Linear(len));
+        self
+    }
+
+    /// Declares a `rows × cols` output grid.
+    pub fn output_grid(mut self, rows: u32, cols: u32) -> Self {
+        self.output = Some(OutputShape::Grid { rows, cols });
+        self
+    }
+
+    /// The kernel body (contents of `float kernel(idx, row, col)`).
+    pub fn body(mut self, body: impl Into<String>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// Extra GLSL helper functions available to the body.
+    pub fn functions(mut self, source: impl Into<String>) -> Self {
+        self.functions = source.into();
+        self
+    }
+
+    /// The declared input names, in positional order.
+    pub fn input_names(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// The kernel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds the kernel against `arrays` (parallel to the declared
+    /// inputs) on `cc` — a program-cache hit everywhere but the first
+    /// build of this spec in the process (shared cache) or context.
+    /// Public so direct (non-engine) dispatch of a spec generates the
+    /// byte-identical program an engine worker runs — the differential
+    /// tests and the `a10` ablation rely on it.
+    ///
+    /// # Errors
+    ///
+    /// Spec/kernel validation and compile errors, as
+    /// [`crate::KernelBuilder::build`].
+    pub fn build(
+        &self,
+        cc: &mut ComputeContext,
+        arrays: &[GpuArray<f32>],
+    ) -> Result<Kernel, ComputeError> {
+        if arrays.len() != self.inputs.len() {
+            return Err(bad_job(format!(
+                "kernel spec `{}` declares {} inputs, got {} arrays",
+                self.name,
+                self.inputs.len(),
+                arrays.len()
+            )));
+        }
+        let shape = self
+            .output
+            .ok_or_else(|| bad_job(format!("kernel spec `{}` declares no output", self.name)))?;
+        let mut b = Kernel::builder(self.name.clone());
+        for (name, array) in self.inputs.iter().zip(arrays) {
+            b = b.input(name, array);
+        }
+        for (name, value) in &self.uniforms {
+            b = b.uniform(name, value.clone());
+        }
+        if !self.functions.is_empty() {
+            b = b.functions(self.functions.clone());
+        }
+        b = match shape {
+            OutputShape::Linear(len) => b.output(crate::ScalarType::F32, len),
+            OutputShape::Grid { rows, cols } => b.output_grid(crate::ScalarType::F32, rows, cols),
+        };
+        b.body(self.body.clone()).build(cc)
+    }
+}
+
+fn bad_job(message: String) -> ComputeError {
+    ComputeError::BadKernel { message }
+}
+
+// ---- jobs and submissions ------------------------------------------------
+
+/// One input of a [`Submission`] step: fresh host data, or the on-GPU
+/// output of an earlier step in the same submission.
+#[derive(Debug, Clone)]
+pub enum StepInput {
+    /// Host data uploaded when the step runs. `Arc`-held so fan-out
+    /// submissions can share one buffer without copying.
+    Data(Arc<Vec<f32>>),
+    /// The output array of step `i` (must precede this step); it stays on
+    /// the GPU — no readback/re-upload between steps.
+    Step(usize),
+}
+
+/// A single kernel dispatch: spec + positional input data + optional
+/// dispatch-time uniform overrides. Result type: `Vec<f32>`.
+#[derive(Debug, Clone)]
+pub struct Job {
+    kernel: Arc<KernelSpec>,
+    inputs: Vec<Arc<Vec<f32>>>,
+    uniforms: Vec<(String, Value)>,
+}
+
+impl Job {
+    /// Starts a job running `kernel`.
+    pub fn new(kernel: &Arc<KernelSpec>) -> Job {
+        Job {
+            kernel: Arc::clone(kernel),
+            inputs: Vec::new(),
+            uniforms: Vec::new(),
+        }
+    }
+
+    /// Appends host data for the next declared input.
+    pub fn data(mut self, data: Vec<f32>) -> Job {
+        self.inputs.push(Arc::new(data));
+        self
+    }
+
+    /// Appends shared host data for the next declared input.
+    pub fn data_shared(mut self, data: &Arc<Vec<f32>>) -> Job {
+        self.inputs.push(Arc::clone(data));
+        self
+    }
+
+    /// Overrides a uniform for this dispatch only.
+    pub fn uniform(mut self, name: impl Into<String>, value: Value) -> Job {
+        self.uniforms.push((name.into(), value));
+        self
+    }
+
+    /// Overrides a `float` uniform for this dispatch only.
+    pub fn uniform_f32(self, name: impl Into<String>, value: f32) -> Job {
+        self.uniform(name, Value::Float(value))
+    }
+
+    fn validate(&self) -> Result<(), ComputeError> {
+        if self.inputs.len() != self.kernel.inputs.len() {
+            return Err(bad_job(format!(
+                "job for `{}` supplies {} inputs, spec declares {}",
+                self.kernel.name,
+                self.inputs.len(),
+                self.kernel.inputs.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+struct Step {
+    kernel: Arc<KernelSpec>,
+    inputs: Vec<StepInput>,
+    uniforms: Vec<(String, Value)>,
+}
+
+/// A batched multi-kernel DAG: several dispatches submitted as one unit,
+/// executed back-to-back on a single worker. Later steps read earlier
+/// steps' outputs directly from GPU memory ([`StepInput::Step`]), so a
+/// k-kernel chain costs one queue round-trip instead of k, and no
+/// intermediate ever crosses the host boundary.
+#[derive(Default)]
+pub struct Submission {
+    steps: Vec<Step>,
+    read: Vec<usize>,
+}
+
+impl Submission {
+    /// An empty submission.
+    pub fn new() -> Submission {
+        Submission::default()
+    }
+
+    /// Appends a step and returns its index (the handle later steps use
+    /// in [`StepInput::Step`]).
+    pub fn step(
+        &mut self,
+        kernel: &Arc<KernelSpec>,
+        inputs: Vec<StepInput>,
+        uniforms: Vec<(String, Value)>,
+    ) -> usize {
+        self.steps.push(Step {
+            kernel: Arc::clone(kernel),
+            inputs,
+            uniforms,
+        });
+        self.steps.len() - 1
+    }
+
+    /// Marks step `index` for readback; its result appears in the
+    /// [`BatchResult`]. When no step is marked, the final step is read.
+    pub fn read(&mut self, index: usize) {
+        if !self.read.contains(&index) {
+            self.read.push(index);
+        }
+    }
+
+    /// Number of steps queued so far.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the submission has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    fn validate(&self) -> Result<(), ComputeError> {
+        if self.steps.is_empty() {
+            return Err(bad_job("submission has no steps".into()));
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            if step.inputs.len() != step.kernel.inputs.len() {
+                return Err(bad_job(format!(
+                    "step {i} (`{}`) supplies {} inputs, spec declares {}",
+                    step.kernel.name,
+                    step.inputs.len(),
+                    step.kernel.inputs.len()
+                )));
+            }
+            for input in &step.inputs {
+                if let StepInput::Step(j) = input {
+                    if *j >= i {
+                        return Err(bad_job(format!(
+                            "step {i} reads step {j}: steps may only read earlier steps"
+                        )));
+                    }
+                }
+            }
+        }
+        for &r in &self.read {
+            if r >= self.steps.len() {
+                return Err(bad_job(format!("readback of nonexistent step {r}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Results of a [`Submission`]: one `Vec<f32>` per step marked for
+/// readback (`None` for unread steps).
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    outputs: Vec<Option<Vec<f32>>>,
+}
+
+impl BatchResult {
+    /// The readback of step `index`, if that step was marked.
+    pub fn output(&self, index: usize) -> Option<&[f32]> {
+        self.outputs.get(index).and_then(|o| o.as_deref())
+    }
+
+    /// Consumes the result into per-step optional outputs.
+    pub fn into_outputs(self) -> Vec<Option<Vec<f32>>> {
+        self.outputs
+    }
+}
+
+// ---- handles -------------------------------------------------------------
+
+struct HandleState<T> {
+    slot: Mutex<Option<Result<T, ComputeError>>>,
+    cv: Condvar,
+}
+
+/// A typed future for a submitted job: the worker fulfils it, the caller
+/// blocks on [`JobHandle::wait`] (or polls [`JobHandle::is_finished`]).
+pub struct JobHandle<T> {
+    state: Arc<HandleState<T>>,
+}
+
+impl<T> JobHandle<T> {
+    fn new() -> (JobHandle<T>, Arc<HandleState<T>>) {
+        let state = Arc::new(HandleState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        (
+            JobHandle {
+                state: Arc::clone(&state),
+            },
+            state,
+        )
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the dispatch produced on the worker (bad bindings, GL or
+    /// shader errors), or an engine-shutdown error if the pool stopped
+    /// before running the job.
+    pub fn wait(self) -> Result<T, ComputeError> {
+        let mut slot = self.state.slot.lock().expect("job handle poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.state.cv.wait(slot).expect("job handle poisoned");
+        }
+    }
+
+    /// Whether a result is ready (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.state
+            .slot
+            .lock()
+            .expect("job handle poisoned")
+            .is_some()
+    }
+}
+
+fn fulfil<T>(state: &HandleState<T>, result: Result<T, ComputeError>) {
+    *state.slot.lock().expect("job handle poisoned") = Some(result);
+    state.cv.notify_all();
+}
+
+// ---- engine --------------------------------------------------------------
+
+/// How worker contexts cache programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// One process-wide [`SharedProgramCache`] behind every worker: each
+    /// distinct kernel links exactly once per process.
+    #[default]
+    Shared,
+    /// Workers keep only their per-context caches — every worker relinks
+    /// every kernel it sees. Exists for the `a10` ablation; N workers
+    /// pay N× the link cost.
+    PerContext,
+}
+
+enum Task {
+    Single(Job, Arc<HandleState<Vec<f32>>>),
+    Batch(Submission, Arc<HandleState<BatchResult>>),
+}
+
+impl Task {
+    /// Fulfils the task's handle with an error — used when no worker
+    /// will ever execute it, so `wait()` cannot hang.
+    fn abort(self, message: &str) {
+        match self {
+            Task::Single(_, handle) => fulfil(&handle, Err(bad_job(message.into()))),
+            Task::Batch(_, handle) => fulfil(&handle, Err(bad_job(message.into()))),
+        }
+    }
+}
+
+struct QueueState {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+    /// Workers still in their serve loop. If this reaches zero while
+    /// tasks remain (every worker retired after a panic), the retiring
+    /// worker aborts the leftovers instead of leaving waiters hanging.
+    live_workers: usize,
+}
+
+struct EngineShared {
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+/// Configuration for an [`Engine`]; obtained from [`Engine::builder`].
+pub struct EngineBuilder {
+    workers: usize,
+    width: u32,
+    height: u32,
+    limits: Option<Limits>,
+    dispatch: Option<Dispatch>,
+    cache_policy: CachePolicy,
+    cache: Option<Arc<SharedProgramCache>>,
+}
+
+impl EngineBuilder {
+    /// Number of worker contexts/threads (default 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Screen size of each worker context (default 256×256); bounds the
+    /// largest job output.
+    pub fn screen(mut self, width: u32, height: u32) -> Self {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Driver limits for each worker context.
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Per-draw rasteriser dispatch inside each worker. Defaults to the
+    /// `GPES_TEST_DISPATCH` environment override when set, otherwise
+    /// [`Dispatch::Serial`]: engine parallelism comes from the worker
+    /// pool, and oversubscribing cores with band threads × workers slows
+    /// serving down.
+    pub fn dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch = Some(dispatch);
+        self
+    }
+
+    /// Selects the [`CachePolicy`] (default [`CachePolicy::Shared`]).
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Supplies an existing shared cache (implies
+    /// [`CachePolicy::Shared`]) — lets several engines, or an engine and
+    /// direct-dispatch contexts, share one set of linked programs.
+    pub fn shared_cache(mut self, cache: Arc<SharedProgramCache>) -> Self {
+        self.cache = Some(cache);
+        self.cache_policy = CachePolicy::Shared;
+        self
+    }
+
+    /// Builds the engine: creates the worker contexts (so configuration
+    /// errors surface here, on the caller's thread) and starts the pool.
+    ///
+    /// # Errors
+    ///
+    /// Context-creation failures (e.g. a screen size beyond the limits).
+    pub fn build(self) -> Result<Engine, ComputeError> {
+        let cache = match self.cache_policy {
+            CachePolicy::Shared => Some(
+                self.cache
+                    .unwrap_or_else(|| Arc::new(SharedProgramCache::new())),
+            ),
+            CachePolicy::PerContext => None,
+        };
+        let dispatch = self
+            .dispatch
+            .or_else(Dispatch::from_env)
+            .unwrap_or(Dispatch::Serial);
+        let config = WorkerConfig {
+            width: self.width,
+            height: self.height,
+            limits: self.limits,
+            dispatch,
+            cache: cache.clone(),
+        };
+        let mut contexts = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            contexts.push(config.make_context()?);
+        }
+        let shared = Arc::new(EngineShared {
+            queue: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                shutdown: false,
+                live_workers: self.workers,
+            }),
+            cv: Condvar::new(),
+        });
+        let worker_stats: Arc<Vec<Mutex<ContextStats>>> = Arc::new(
+            (0..self.workers)
+                .map(|_| Mutex::new(ContextStats::default()))
+                .collect(),
+        );
+        let mut handles = Vec::with_capacity(self.workers);
+        for (index, cc) in contexts.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let stats = Arc::clone(&worker_stats);
+            let config = config.clone();
+            handles.push(std::thread::spawn(move || {
+                worker_main(cc, config, shared, stats, index)
+            }));
+        }
+        Ok(Engine {
+            shared,
+            workers: handles,
+            cache,
+            worker_stats,
+        })
+    }
+}
+
+/// The serving engine: a queue of [`Job`]s/[`Submission`]s drained by a
+/// pool of worker compute contexts behind one shared program cache. See
+/// the [module docs](crate::serve) for the architecture.
+pub struct Engine {
+    shared: Arc<EngineShared>,
+    workers: Vec<JoinHandle<()>>,
+    cache: Option<Arc<SharedProgramCache>>,
+    worker_stats: Arc<Vec<Mutex<ContextStats>>>,
+}
+
+impl Engine {
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder {
+            workers: 1,
+            width: 256,
+            height: 256,
+            limits: None,
+            dispatch: None,
+            cache_policy: CachePolicy::default(),
+            cache: None,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The process-wide program cache, when the policy is
+    /// [`CachePolicy::Shared`].
+    pub fn cache(&self) -> Option<&Arc<SharedProgramCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Snapshot of each worker's [`ContextStats`] (updated after every
+    /// completed task).
+    pub fn worker_stats(&self) -> Vec<ContextStats> {
+        self.worker_stats
+            .iter()
+            .map(|s| *s.lock().expect("worker stats poisoned"))
+            .collect()
+    }
+
+    /// Programs linked process-wide on behalf of this engine: the shared
+    /// cache's link count, or (per-context policy) the sum of worker
+    /// links. The number the `a10` gate holds constant as workers scale.
+    pub fn programs_linked(&self) -> u64 {
+        match &self.cache {
+            Some(cache) => cache.stats().links,
+            None => self.worker_stats().iter().map(|s| s.programs_linked).sum(),
+        }
+    }
+
+    /// Enqueues a single-kernel job.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors (input arity) surface here; execution errors
+    /// surface on the handle.
+    pub fn submit(&self, job: Job) -> Result<JobHandle<Vec<f32>>, ComputeError> {
+        job.validate()?;
+        let (handle, state) = JobHandle::new();
+        self.enqueue(Task::Single(job, state))?;
+        Ok(handle)
+    }
+
+    /// Enqueues a multi-kernel DAG as one unit of work.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors (arity, forward references, bad readback marks)
+    /// surface here; execution errors surface on the handle.
+    pub fn submit_batch(
+        &self,
+        submission: Submission,
+    ) -> Result<JobHandle<BatchResult>, ComputeError> {
+        submission.validate()?;
+        let (handle, state) = JobHandle::new();
+        self.enqueue(Task::Batch(submission, state))?;
+        Ok(handle)
+    }
+
+    fn enqueue(&self, task: Task) -> Result<(), ComputeError> {
+        let mut queue = self.shared.queue.lock().expect("engine queue poisoned");
+        if queue.shutdown {
+            return Err(bad_job("engine is shut down".into()));
+        }
+        if queue.live_workers == 0 {
+            return Err(bad_job("engine has no live workers".into()));
+        }
+        queue.tasks.push_back(task);
+        drop(queue);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Stops accepting work, drains the queue and joins every worker.
+    /// (Dropping the engine does the same.)
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("engine queue poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+// ---- worker --------------------------------------------------------------
+
+/// Everything needed to (re)create one worker's context — kept so a
+/// worker can replace its context after a panicking job rather than keep
+/// serving from state a panic may have left half-updated.
+#[derive(Clone)]
+struct WorkerConfig {
+    width: u32,
+    height: u32,
+    limits: Option<Limits>,
+    dispatch: Dispatch,
+    cache: Option<Arc<SharedProgramCache>>,
+}
+
+impl WorkerConfig {
+    fn make_context(&self) -> Result<ComputeContext, ComputeError> {
+        let mut cc = match &self.limits {
+            Some(limits) => ComputeContext::with_limits(self.width, self.height, limits.clone())?,
+            None => ComputeContext::new(self.width, self.height)?,
+        };
+        cc.set_dispatch(self.dispatch);
+        if let Some(cache) = &self.cache {
+            cc.set_shared_program_cache(Arc::clone(cache));
+        }
+        Ok(cc)
+    }
+}
+
+/// Runs `f` with the worker context, converting a panic into an error so
+/// the caller's [`JobHandle::wait`] never deadlocks. Returns whether the
+/// task panicked (⇒ the context must be replaced: a panic can unwind out
+/// of the middle of a draw, leaving context state half-updated).
+fn run_shielded<T>(
+    cc: &mut ComputeContext,
+    f: impl FnOnce(&mut ComputeContext) -> Result<T, ComputeError>,
+) -> (Result<T, ComputeError>, bool) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(cc))) {
+        Ok(result) => (result, false),
+        Err(_) => (
+            Err(bad_job(
+                "engine worker panicked while serving this job".into(),
+            )),
+            true,
+        ),
+    }
+}
+
+/// Marks this worker as out of the serve loop. If it was the last one
+/// and tasks remain (every worker retired after a panic), the leftovers
+/// are aborted so their `wait()` calls return instead of hanging.
+fn retire_worker(shared: &EngineShared) {
+    let leftovers: Vec<Task> = {
+        let mut queue = shared.queue.lock().expect("engine queue poisoned");
+        queue.live_workers = queue.live_workers.saturating_sub(1);
+        if queue.live_workers == 0 {
+            queue.tasks.drain(..).collect()
+        } else {
+            Vec::new()
+        }
+    };
+    for task in leftovers {
+        task.abort("engine has no live workers");
+    }
+}
+
+/// A pending fulfilment: the task's result, held until after the worker
+/// has published its stats so a caller returning from `wait()` observes
+/// stats that already include its job.
+enum Completed {
+    Single(Arc<HandleState<Vec<f32>>>, Result<Vec<f32>, ComputeError>),
+    Batch(
+        Arc<HandleState<BatchResult>>,
+        Result<BatchResult, ComputeError>,
+    ),
+}
+
+impl Completed {
+    fn fulfil(self) {
+        match self {
+            Completed::Single(handle, result) => fulfil(&handle, result),
+            Completed::Batch(handle, result) => fulfil(&handle, result),
+        }
+    }
+}
+
+fn worker_main(
+    mut cc: ComputeContext,
+    config: WorkerConfig,
+    shared: Arc<EngineShared>,
+    stats: Arc<Vec<Mutex<ContextStats>>>,
+    index: usize,
+) {
+    // Counters accumulated by contexts this worker already retired (after
+    // a panicking job); published stats are always `base + current`, so a
+    // context swap never zeroes the worker's visible accounting.
+    let mut base = ContextStats::default();
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("engine queue poisoned");
+            loop {
+                if let Some(task) = queue.tasks.pop_front() {
+                    break task;
+                }
+                if queue.shutdown {
+                    drop(queue);
+                    retire_worker(&shared);
+                    return;
+                }
+                queue = shared.cv.wait(queue).expect("engine queue poisoned");
+            }
+        };
+        let (completed, panicked) = match task {
+            Task::Single(job, handle) => {
+                let (result, panicked) = run_shielded(&mut cc, |cc| run_job(cc, &job));
+                (Completed::Single(handle, result), panicked)
+            }
+            Task::Batch(submission, handle) => {
+                let (result, panicked) =
+                    run_shielded(&mut cc, |cc| run_submission(cc, &submission));
+                (Completed::Batch(handle, result), panicked)
+            }
+        };
+        if panicked {
+            // Fresh context, same wiring; if even that fails the worker
+            // retires (remaining queue entries drain to other workers,
+            // or are aborted if this was the last one).
+            base = base.merged(&cc.stats());
+            match config.make_context() {
+                Ok(fresh) => cc = fresh,
+                Err(_) => {
+                    completed.fulfil();
+                    retire_worker(&shared);
+                    return;
+                }
+            }
+        }
+        // Publish stats (and drain the per-request pass log) BEFORE
+        // fulfilling the handle: a caller returning from `wait()` must
+        // observe worker stats that include its job.
+        cc.take_pass_log();
+        *stats[index].lock().expect("worker stats poisoned") = base.merged(&cc.stats());
+        completed.fulfil();
+    }
+}
+
+/// Executes one job exactly as a direct caller would: upload inputs,
+/// build (cache-hit) the kernel, dispatch with overrides, read back
+/// through the FBO path, recycle every texture.
+fn run_job(cc: &mut ComputeContext, job: &Job) -> Result<Vec<f32>, ComputeError> {
+    let mut arrays = Vec::with_capacity(job.inputs.len());
+    for data in &job.inputs {
+        arrays.push(cc.upload(data.as_slice())?);
+    }
+    let result = dispatch_spec(cc, &job.kernel, &arrays, &job.uniforms);
+    for array in arrays {
+        cc.recycle_array(array);
+    }
+    let out = result?;
+    let host = cc.read_array(&out, Readback::DirectFbo);
+    cc.recycle_array(out);
+    host
+}
+
+/// Executes a submission's steps in order on one worker, keeping step
+/// outputs on the GPU for later steps, reading back only marked steps.
+fn run_submission(
+    cc: &mut ComputeContext,
+    submission: &Submission,
+) -> Result<BatchResult, ComputeError> {
+    let n = submission.steps.len();
+    let mut step_outputs: Vec<Option<GpuArray<f32>>> = (0..n).map(|_| None).collect();
+    let mut uploads: Vec<GpuArray<f32>> = Vec::new();
+    let mut failure: Option<ComputeError> = None;
+    for (i, step) in submission.steps.iter().enumerate() {
+        let mut arrays: Vec<GpuArray<f32>> = Vec::with_capacity(step.inputs.len());
+        let mut ok = true;
+        for input in &step.inputs {
+            let array = match input {
+                StepInput::Data(data) => match cc.upload(data.as_slice()) {
+                    Ok(array) => {
+                        // Track the upload for recycling; the borrow the
+                        // kernel needs is the (Copy) texture + layout pair.
+                        uploads.push(array);
+                        array
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        ok = false;
+                        break;
+                    }
+                },
+                StepInput::Step(j) => match &step_outputs[*j] {
+                    Some(array) => *array,
+                    None => {
+                        failure = Some(bad_job(format!("step {i} reads failed step {j}")));
+                        ok = false;
+                        break;
+                    }
+                },
+            };
+            arrays.push(array);
+        }
+        if !ok {
+            break;
+        }
+        match dispatch_spec(cc, &step.kernel, &arrays, &step.uniforms) {
+            Ok(out) => step_outputs[i] = Some(out),
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+    }
+
+    let mut outputs: Vec<Option<Vec<f32>>> = (0..n).map(|_| None).collect();
+    if failure.is_none() {
+        let read: Vec<usize> = if submission.read.is_empty() {
+            vec![n - 1]
+        } else {
+            submission.read.clone()
+        };
+        for &r in &read {
+            match step_outputs[r].as_ref() {
+                Some(array) => match cc.read_array(array, Readback::DirectFbo) {
+                    Ok(host) => outputs[r] = Some(host),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                },
+                None => {
+                    failure = Some(bad_job(format!("readback of unexecuted step {r}")));
+                    break;
+                }
+            }
+        }
+    }
+
+    for array in uploads {
+        cc.recycle_array(array);
+    }
+    for array in step_outputs.into_iter().flatten() {
+        cc.recycle_array(array);
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(BatchResult { outputs }),
+    }
+}
+
+/// Builds the spec's kernel over `arrays` and dispatches it once with the
+/// given uniform overrides.
+fn dispatch_spec(
+    cc: &mut ComputeContext,
+    spec: &KernelSpec,
+    arrays: &[GpuArray<f32>],
+    uniforms: &[(String, Value)],
+) -> Result<GpuArray<f32>, ComputeError> {
+    // Arity is validated inside `KernelSpec::build`.
+    let kernel = spec.build(cc, arrays)?;
+    let mut bindings = Bindings::new();
+    for (name, value) in uniforms {
+        bindings.set_uniform(name, value.clone());
+    }
+    cc.run_to_array_with(&kernel, &bindings)
+}

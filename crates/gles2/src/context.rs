@@ -111,7 +111,10 @@ impl Context {
             depth_test: false,
             store_rounding: StoreRounding::default(),
             float_model: FloatModel::default(),
-            dispatch: Dispatch::default(),
+            // The CI dispatch matrix pins rasteriser threading through the
+            // environment so every test binary runs both serial and
+            // banded-parallel without per-test plumbing.
+            dispatch: Dispatch::from_env().unwrap_or_default(),
             exec_limits: ExecLimits::default(),
             executor: Executor::default(),
             limits,
@@ -435,6 +438,21 @@ impl Context {
         let program = Program::link_with(vs, fs, &self.limits, self.strict_shaders)?;
         self.programs.push(Some(program));
         Ok(ProgramId(self.programs.len() as u32 - 1))
+    }
+
+    /// Adopts an already-linked [`Program`] into this context's object
+    /// table without compiling or linking anything — the mechanism behind
+    /// cross-context program sharing: a process-wide cache links each
+    /// generated source once, and every worker context installs a clone.
+    /// The clone shares the expensive lowered bytecode through `Arc`
+    /// handles; only the (empty) per-context uniform table is fresh.
+    ///
+    /// The caller is responsible for having linked the program under
+    /// limits compatible with this context (worker pools share one
+    /// [`Limits`] value, so this holds by construction).
+    pub fn install_program(&mut self, program: Program) -> ProgramId {
+        self.programs.push(Some(program));
+        ProgramId(self.programs.len() as u32 - 1)
     }
 
     /// Enables the GLSL ES Appendix A validation pass for programs

@@ -153,9 +153,11 @@ impl Program {
 
         // Lower both stages to bytecode once per link — the analog of a
         // driver compiling its internal representation at `glLinkProgram`
-        // instead of re-interpreting source per fragment.
-        let vertex_exe = gpes_glsl::lower(&vertex).ok().map(Arc::new);
-        let fragment_exe = gpes_glsl::lower(&fragment).ok().map(Arc::new);
+        // instead of re-interpreting source per fragment. The handles are
+        // `Arc`s so a cloned (or cache-shared) `Program` reuses the same
+        // lowered code instead of re-lowering.
+        let vertex_exe = gpes_glsl::lower_shared(&vertex).ok();
+        let fragment_exe = gpes_glsl::lower_shared(&fragment).ok();
 
         Ok(Program {
             vertex,
@@ -176,6 +178,17 @@ impl Program {
     /// The fragment stage's bytecode, if the lowerer accepted it.
     pub fn fragment_executable(&self) -> Option<&Executable> {
         self.fragment_exe.as_deref()
+    }
+
+    /// A shared handle to the vertex stage's bytecode. Cloning the `Arc`
+    /// is how multiple contexts (or threads) run one lowered program.
+    pub fn vertex_executable_shared(&self) -> Option<Arc<Executable>> {
+        self.vertex_exe.clone()
+    }
+
+    /// A shared handle to the fragment stage's bytecode.
+    pub fn fragment_executable_shared(&self) -> Option<Arc<Executable>> {
+        self.fragment_exe.clone()
     }
 
     /// The merged uniform interface.

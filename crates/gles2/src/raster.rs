@@ -80,6 +80,18 @@ pub enum Dispatch {
 }
 
 impl Dispatch {
+    /// Reads the `GPES_TEST_DISPATCH` override the CI dispatch matrix
+    /// sets: `serial`/`1` forces single-threaded rasterisation, `auto`
+    /// forces one thread per core, and a number forces that thread count.
+    /// Returns `None` when the variable is unset or unrecognised.
+    pub fn from_env() -> Option<Dispatch> {
+        match std::env::var("GPES_TEST_DISPATCH").ok()?.as_str() {
+            "serial" | "1" => Some(Dispatch::Serial),
+            "auto" => Some(Dispatch::Auto),
+            n => n.parse::<usize>().ok().map(Dispatch::Parallel),
+        }
+    }
+
     fn threads(self) -> usize {
         match self {
             Dispatch::Serial => 1,

@@ -5,7 +5,7 @@
 //! This module performs all of that work **once per shader**: a resolver
 //! pass interns names, assigns every global, parameter and local a numeric
 //! slot, and flattens the statement tree into a compact instruction
-//! sequence ([`Insn`]) executed by [`crate::vm::Vm`].
+//! sequence (`Insn`) executed by [`crate::vm::Vm`].
 //!
 //! The lowering is deliberately semantics-preserving to the point of
 //! being boring: evaluation order, profile counting points, rounding and
@@ -264,6 +264,21 @@ impl Executable {
 /// tree-walking interpreter.
 pub fn lower(shader: &CompiledShader) -> Result<Executable, LowerError> {
     Lowerer::new(shader).lower()
+}
+
+/// Lowers a checked shader into a reference-counted [`Executable`] ready
+/// for cross-context (and cross-thread) sharing.
+///
+/// An `Executable` is immutable after lowering — all mutable execution
+/// state lives in the [`crate::vm::Vm`] frame — so one lowered program can
+/// back any number of concurrently running VMs. This is the handle shape
+/// the process-wide program cache stores: link once, share everywhere.
+///
+/// # Errors
+///
+/// As [`lower`].
+pub fn lower_shared(shader: &CompiledShader) -> Result<std::sync::Arc<Executable>, LowerError> {
+    lower(shader).map(std::sync::Arc::new)
 }
 
 /// Builtin globals per stage, mirroring `Interpreter::init_globals`.

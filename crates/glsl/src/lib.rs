@@ -63,7 +63,7 @@ pub mod types;
 pub mod value;
 pub mod vm;
 
-pub use compile::{lower, Executable, LowerError};
+pub use compile::{lower, lower_shared, Executable, LowerError};
 pub use error::{CompileError, RuntimeError};
 pub use preprocessor::{preprocess, ExtensionBehavior, Preprocessed};
 pub use sema::{CompiledShader, ShaderInterface, ShaderKind};
@@ -101,7 +101,7 @@ pub fn compile(kind: ShaderKind, source: &str) -> Result<CompiledShader, Compile
 ///
 /// # Errors
 ///
-/// All [`compile`] errors, plus Appendix-A violations (`while` loops,
+/// All [`compile()`] errors, plus Appendix-A violations (`while` loops,
 /// non-constant loop bounds, loop-index mutation in the body, …).
 pub fn compile_strict(kind: ShaderKind, source: &str) -> Result<CompiledShader, CompileError> {
     let preprocessed = preprocessor::preprocess(source)?;

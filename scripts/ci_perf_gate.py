@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""CI perf smoke + cache-counter gate.
+
+Two concerns, one machine-readable artefact:
+
+* **Timing (advisory).** Compares the measured `reproduce a3` wall-clock
+  against the newest committed `BENCH_<n>.json`. Shared CI runners are
+  noisy, so a slow run only prints a warning — it never fails the build.
+
+* **Counters (blocking).** The a9/a10 cache counters are deterministic:
+  they count links and pool hits, not time. The contract locked in here:
+
+  - a9 retained mode compiles exactly 2/1/2 programs in-loop for
+    srad/reduce/fft and always hits the texture pool;
+  - a10 shared-cache rows link exactly the mix size (3 for `hot3`, 24
+    for `wide24`) at *every* worker count, with zero post-warmup links.
+
+  Any violation exits non-zero and fails CI.
+
+Everything parsed plus the verdicts is written to `ci_perf.json` (path
+overridable by the 4th argument) and uploaded as a workflow artifact, so
+the perf trajectory is diffable across runs instead of buried in logs.
+
+Usage:
+    ci_perf_gate.py <a3_start> <a3_end> <a9_output_file> <a10_output_file> [ci_perf.json]
+
+where `a3_start`/`a3_end` are `date +%s.%N` stamps around the a3 run.
+"""
+
+import glob
+import json
+import pathlib
+import re
+import sys
+
+A9_ROW = re.compile(
+    r"^(?P<workload>\w+)\s+(?P<mode>\S+)\s+(?P<host_ms>[\d.]+) ms\s+"
+    r"programs\s+(?P<programs_linked>\d+)\s+textures\s+(?P<textures_created>\d+)\s+"
+    r"pool hits\s+(?P<pool_hits>\d+)"
+)
+A10_ROW = re.compile(
+    r"^(?P<mix>\w+)\s+workers (?P<workers>\d+)\s+(?P<cache>\S+)\s+"
+    r"(?P<jobs>\d+) jobs\s+(?P<host_ms>[\d.]+) ms\s+(?P<jobs_per_sec>[\d.]+) jobs/s\s+"
+    r"links\s+(?P<links>\d+)\s+post-warmup\s+(?P<post_warmup_links>\d+)"
+)
+
+# The deterministic contracts.
+A9_RETAINED_LINKS = {"srad": 2, "reduce": 1, "fft": 2}
+A10_MIX_LINKS = {"hot3": 3, "wide24": 24}
+
+
+def parse_rows(path, regex, numeric):
+    rows = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        m = regex.match(line.strip())
+        if m:
+            row = m.groupdict()
+            for k, cast in numeric.items():
+                row[k] = cast(row[k])
+            rows.append(row)
+    return rows
+
+
+def main():
+    if len(sys.argv) < 5:
+        sys.exit(__doc__)
+    elapsed = float(sys.argv[2]) - float(sys.argv[1])
+    a9_rows = parse_rows(
+        sys.argv[3], A9_ROW,
+        {"host_ms": float, "programs_linked": int,
+         "textures_created": int, "pool_hits": int},
+    )
+    a10_rows = parse_rows(
+        sys.argv[4], A10_ROW,
+        {"workers": int, "jobs": int, "host_ms": float,
+         "jobs_per_sec": float, "links": int, "post_warmup_links": int},
+    )
+    out_path = pathlib.Path(sys.argv[5] if len(sys.argv) > 5 else "ci_perf.json")
+
+    # ---- advisory timing ------------------------------------------------
+    baselines = sorted(glob.glob("BENCH_*.json"),
+                       key=lambda p: int(re.search(r"\d+", p).group()))
+    base = json.load(open(baselines[-1]))["sections"]["a3"]["host_seconds"]
+    ratio = elapsed / base
+    print(f"perf-smoke: a3 took {elapsed:.2f}s on this runner; committed "
+          f"baseline ({baselines[-1]}) is {base:.2f}s ({ratio:.2f}x)")
+    if ratio > 2.0:
+        print("perf-smoke: WARNING — a3 is >2x the committed baseline "
+              "(advisory: shared runners are noisy, not failing the build)")
+
+    # ---- blocking counter gate ------------------------------------------
+    failures = []
+    retained = {r["workload"]: r for r in a9_rows if r["mode"] == "retained"}
+    for workload, want in A9_RETAINED_LINKS.items():
+        row = retained.get(workload)
+        if row is None:
+            failures.append(f"a9: missing retained row for {workload}")
+        elif row["programs_linked"] != want:
+            failures.append(
+                f"a9: {workload} retained linked {row['programs_linked']} "
+                f"programs in-loop, contract is {want}")
+        elif row["pool_hits"] == 0:
+            failures.append(f"a9: {workload} retained never hit the texture pool")
+
+    shared_rows = [r for r in a10_rows if r["cache"] == "shared"]
+    if not shared_rows:
+        failures.append("a10: no shared-cache rows parsed")
+    for row in shared_rows:
+        want = A10_MIX_LINKS.get(row["mix"])
+        where = f"a10: {row['mix']} @ {row['workers']} workers"
+        if want is None:
+            failures.append(f"{where}: unknown mix")
+        elif row["links"] != want:
+            failures.append(
+                f"{where}: {row['links']} process-wide links, contract is "
+                f"{want} (constant across worker counts)")
+        if row["post_warmup_links"] != 0:
+            failures.append(
+                f"{where}: {row['post_warmup_links']} post-warmup links, "
+                f"contract is 0 with the shared cache")
+
+    # ---- artefact --------------------------------------------------------
+    out_path.write_text(json.dumps({
+        "schema": "gpes-ci-perf/1",
+        "a3": {"elapsed_seconds": round(elapsed, 3),
+               "baseline_file": baselines[-1],
+               "baseline_seconds": base,
+               "ratio": round(ratio, 3),
+               "advisory_slow": ratio > 2.0},
+        "a9_counters": a9_rows,
+        "a10_counters": a10_rows,
+        "gate_failures": failures,
+    }, indent=2) + "\n")
+    print(f"wrote {out_path} ({len(a9_rows)} a9 rows, {len(a10_rows)} a10 rows)")
+
+    if failures:
+        print("counter gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("counter gate passed: a9 in-loop links 2/1/2, "
+          "a10 shared-cache post-warmup links all zero")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,7 @@ The output defaults to BENCH_<n>.json with the first unused n.
 """
 
 import json
+import os
 import pathlib
 import platform
 import re
@@ -21,7 +22,10 @@ import sys
 import time
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-SECTIONS = ["e1", "sweep", "e2", "f1", "f2", "a1", "a3", "a4", "a5", "a6", "a7", "a8", "a9"]
+SECTIONS = [
+    "e1", "sweep", "e2", "f1", "f2",
+    "a1", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10",
+]
 
 # e.g. "sum (int)    n=1048576    cpu   64.97 ms   gpu  13.33 ms   speedup 4.87x   paper 7.2x   validated yes"
 E1_ROW = re.compile(
@@ -31,12 +35,10 @@ E1_ROW = re.compile(
     r"validated\s+(?P<validated>\S+)"
 )
 
-# e.g. "srad     rebuild/pass    246.58 ms   programs  32   textures  33   pool hits   0"
-A9_ROW = re.compile(
-    r"^(?P<workload>\w+)\s+(?P<mode>\S+)\s+(?P<host_ms>[\d.]+) ms\s+"
-    r"programs\s+(?P<programs_linked>\d+)\s+textures\s+(?P<textures_created>\d+)\s+"
-    r"pool hits\s+(?P<pool_hits>\d+)"
-)
+# The a9/a10 row regexes live in ci_perf_gate.py (one copy, imported by
+# both consumers) so a format change in the bench row printers cannot
+# desynchronise the CI gate from the recorded baselines.
+from ci_perf_gate import A9_ROW, A10_ROW  # noqa: E402
 
 
 def run_section(name: str) -> dict:
@@ -76,6 +78,7 @@ def main() -> None:
     sections = {}
     e1_rows = []
     a9_rows = []
+    a10_rows = []
     for name in SECTIONS:
         result = run_section(name)
         lines = result["stdout"].splitlines()
@@ -106,6 +109,16 @@ def main() -> None:
                     for k in ("programs_linked", "textures_created", "pool_hits"):
                         row[k] = int(row[k])
                     a9_rows.append(row)
+        if name == "a10":
+            for line in lines:
+                m = A10_ROW.match(line.strip())
+                if m:
+                    row = m.groupdict()
+                    for k in ("host_ms", "jobs_per_sec"):
+                        row[k] = float(row[k])
+                    for k in ("workers", "jobs", "links", "post_warmup_links"):
+                        row[k] = int(row[k])
+                    a10_rows.append(row)
 
     baseline = {
         "schema": "gpes-bench-baseline/1",
@@ -114,6 +127,10 @@ def main() -> None:
         "host": {
             "platform": platform.platform(),
             "python": platform.python_version(),
+            # Effective cores bound worker-pool wall-clock scaling (a10):
+            # on a 1-core host N workers cannot beat 1 worker on jobs/s,
+            # while the link counters are host-independent.
+            "cpus": os.cpu_count(),
         },
         "total_host_seconds": round(
             sum(s["host_seconds"] for s in sections.values()), 3
@@ -123,6 +140,11 @@ def main() -> None:
         # a9: host compile/bind split — rebuild-per-pass vs retained
         # pipeline over the iterated multi-pass workloads (PR 3).
         "a9_host_cache": a9_rows,
+        # a10: concurrent serving engine — shared vs per-context program
+        # caches across worker pools (PR 4). The deterministic contract:
+        # shared-cache links equal the mix size at every pool size and
+        # post_warmup_links is 0; per-context caches relink per worker.
+        "a10_serving": a10_rows,
     }
     out_path.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"wrote {out_path} ({len(e1_rows)} speedup rows, "

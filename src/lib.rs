@@ -44,9 +44,10 @@ pub use gpes_perf as perf;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use gpes_core::{
-        Bindings, ComputeContext, ComputeError, ContextStats, FloatSpecials, GpuArray, GpuMatrix,
-        GpuTexels, Kernel, KernelBuilder, MultiOutputBuilder, MultiOutputKernel, OutputShape,
-        PackBias, Pass, Pipeline, Readback, ScalarType, VertexKernel,
+        Bindings, ComputeContext, ComputeError, ContextStats, Engine, FloatSpecials, GpuArray,
+        GpuMatrix, GpuTexels, Job, Kernel, KernelBuilder, KernelSpec, MultiOutputBuilder,
+        MultiOutputKernel, OutputShape, PackBias, Pass, Pipeline, Readback, ScalarType,
+        SharedProgramCache, Submission, VertexKernel,
     };
     pub use gpes_gles2::{Context, Dispatch, Executor, StoreRounding};
     pub use gpes_glsl::exec::FloatModel;
