@@ -1169,9 +1169,427 @@ pub fn a10_serving(n: usize, jobs: usize) -> Result<Vec<A10Row>, ComputeError> {
     Ok(rows)
 }
 
+/// A11 — pipeline serving: whole retained pipelines as engine jobs
+/// (`engine-pipeline`) vs direct retained-`Pipeline` execution on a local
+/// context (`direct`) vs the same passes flattened into a per-pass
+/// [`gpes_core::Submission`] DAG (`per-pass`), for the three iteration-heavy paper
+/// workloads. The CI gate locks the `engine-pipeline` rows: once serving
+/// reaches steady state, a full wave of requests links **zero** programs
+/// and creates **zero** GL objects, and every served output is
+/// bit-identical to the direct run.
+#[derive(Debug, Clone)]
+pub struct A11Row {
+    /// Workload under test (`fft`, `srad`, `reduce`).
+    pub workload: &'static str,
+    /// Serving mode (`direct`, `engine-pipeline`, `per-pass`).
+    pub mode: &'static str,
+    /// Worker threads (1 for `direct`).
+    pub workers: usize,
+    /// Requests in the measured steady-state wave.
+    pub jobs: usize,
+    /// Wall-clock of the measured wave, milliseconds.
+    pub host_ms: f64,
+    /// Serving rate over the measured wave.
+    pub jobs_per_sec: f64,
+    /// Programs linked process-wide over warmup + measured waves.
+    pub links: u64,
+    /// Programs linked during the measured wave (gate: 0).
+    pub post_warmup_links: u64,
+    /// GL objects created during the measured wave (gate: 0).
+    pub post_warmup_gl_objects: u64,
+    /// Whether every output matched the direct reference bit-for-bit.
+    pub identical: bool,
+}
+
+impl A11Row {
+    /// Formats the row (parsed by `scripts/ci_perf_gate.py`).
+    pub fn format(&self) -> String {
+        format!(
+            "{:<7} {:<15} workers {}   {:>4} jobs {:>9.2} ms {:>8.1} jobs/s   links {:>3}   post-warmup links {:>3}   objects {:>3}   identical {}",
+            self.workload,
+            self.mode,
+            self.workers,
+            self.jobs,
+            self.host_ms,
+            self.jobs_per_sec,
+            self.links,
+            self.post_warmup_links,
+            self.post_warmup_gl_objects,
+            if self.identical { "yes" } else { "NO" },
+        )
+    }
+}
+
+type DirectRunner = Box<dyn Fn(&mut ComputeContext) -> Result<Vec<f32>, ComputeError>>;
+type SubmissionBuilder = Box<dyn Fn() -> (gpes_core::Submission, Vec<gpes_core::StepHandle>)>;
+
+/// One a11 workload: how to serve it through each mode and what the
+/// correct output is.
+struct A11Workload {
+    name: &'static str,
+    /// Direct retained-pipeline run on a local context, returning the
+    /// concatenated outputs (the bit-exact reference).
+    reference: Vec<f32>,
+    spec: std::sync::Arc<gpes_core::PipelineSpec>,
+    /// Buffers to read from pipeline jobs, in reference order.
+    reads: Vec<&'static str>,
+    /// Source data for one request.
+    sources: Vec<std::sync::Arc<Vec<f32>>>,
+    /// Runs one direct request, returning the concatenated outputs.
+    run_direct: DirectRunner,
+    /// Builds one flat per-pass submission; readbacks are the final
+    /// steps, in reference order.
+    build_submission: SubmissionBuilder,
+}
+
+fn a11_workloads() -> Result<Vec<A11Workload>, ComputeError> {
+    use gpes_core::serve::StepInput;
+    use gpes_core::Submission;
+    use gpes_kernels::{fft, reduce, srad};
+    use std::sync::Arc;
+
+    let mut workloads = Vec::new();
+
+    // ---- fft: 64-point forward transform, 6 stages × 2 kernels --------
+    {
+        let n = 64usize;
+        let re: Arc<Vec<f32>> = Arc::new(data::random_f32(n, 1101, 1.0));
+        let im: Arc<Vec<f32>> = Arc::new(data::random_f32(n, 1102, 1.0));
+        let mut cc = ComputeContext::new(16, 16)?;
+        let (dre, dim) = fft::run_gpu(&mut cc, &re, &im, fft::Direction::Forward)?;
+        let mut reference = dre;
+        reference.extend_from_slice(&dim);
+        let spec = Arc::new(fft::pipeline_spec(n, fft::Direction::Forward)?);
+        let (re_d, im_d) = (Arc::clone(&re), Arc::clone(&im));
+        let (re_s, im_s) = (Arc::clone(&re), Arc::clone(&im));
+        let stages = n.trailing_zeros() as usize;
+        workloads.push(A11Workload {
+            name: "fft",
+            reference,
+            spec,
+            reads: vec!["re", "im"],
+            sources: vec![Arc::clone(&re), Arc::clone(&im)],
+            run_direct: Box::new(move |cc| {
+                let (gre, gim) = fft::run_gpu(cc, &re_d, &im_d, fft::Direction::Forward)?;
+                let mut out = gre;
+                out.extend_from_slice(&gim);
+                Ok(out)
+            }),
+            build_submission: Box::new(move || {
+                let kre = Arc::new(fft::stage_spec(n, fft::Direction::Forward, true));
+                let kim = Arc::new(fft::stage_spec(n, fft::Direction::Forward, false));
+                let mut sub = Submission::new();
+                let mut prev: Option<(gpes_core::StepHandle, gpes_core::StepHandle)> = None;
+                for stage in 0..stages {
+                    let half = gpes_glsl::Value::Float((1usize << stage) as f32);
+                    let inputs = |prev: &Option<(gpes_core::StepHandle, gpes_core::StepHandle)>| {
+                        match prev {
+                            None => vec![
+                                StepInput::Data(Arc::clone(&re_s)),
+                                StepInput::Data(Arc::clone(&im_s)),
+                            ],
+                            Some((r, i)) => vec![(*r).into(), (*i).into()],
+                        }
+                    };
+                    let sr = sub.step(
+                        &kre,
+                        inputs(&prev),
+                        vec![("half_".to_owned(), half.clone())],
+                    );
+                    let si = sub.step(&kim, inputs(&prev), vec![("half_".to_owned(), half)]);
+                    prev = Some((sr, si));
+                }
+                let (sr, si) = prev.expect("at least one stage");
+                sub.read(sr);
+                sub.read(si);
+                (sub, vec![sr, si])
+            }),
+        });
+    }
+
+    // ---- srad: 16×16 diffusion, 4 iterations × 2 kernels --------------
+    {
+        let (rows, cols) = (16usize, 16usize);
+        let iterations = 4usize;
+        let params = srad::SradParams::default();
+        let img: Arc<Vec<f32>> = Arc::new(
+            data::random_f32(rows * cols, 1103, 40.0)
+                .into_iter()
+                .map(|v| v.abs() + 10.0)
+                .collect(),
+        );
+        let mut cc = ComputeContext::new(32, 32)?;
+        let reference = srad::run_gpu(&mut cc, rows, cols, &img, params, iterations)?;
+        let spec = Arc::new(srad::pipeline_spec(rows, cols, params, iterations)?);
+        let (img_d, img_s) = (Arc::clone(&img), Arc::clone(&img));
+        workloads.push(A11Workload {
+            name: "srad",
+            reference,
+            spec,
+            reads: vec!["j"],
+            sources: vec![Arc::clone(&img)],
+            run_direct: Box::new(move |cc| {
+                srad::run_gpu(cc, rows, cols, &img_d, params, iterations)
+            }),
+            build_submission: Box::new(move || {
+                // 16×16 is square, so the linear near-square upload lays
+                // out exactly like the grid — fetch_rc sees one texture
+                // shape in every mode.
+                let kc = Arc::new(srad::coeff_spec(rows as u32, cols as u32, params));
+                let ku = Arc::new(srad::update_spec(rows as u32, cols as u32, params));
+                let mut sub = Submission::new();
+                let mut j: Option<gpes_core::StepHandle> = None;
+                for _ in 0..iterations {
+                    let j_input = |j: &Option<gpes_core::StepHandle>| match j {
+                        None => StepInput::Data(Arc::clone(&img_s)),
+                        Some(h) => (*h).into(),
+                    };
+                    let c = sub.step(&kc, vec![j_input(&j)], vec![]);
+                    j = Some(sub.step(&ku, vec![j_input(&j), c.into()], vec![]));
+                }
+                let j = j.expect("at least one iteration");
+                sub.read(j);
+                (sub, vec![j])
+            }),
+        });
+    }
+
+    // ---- reduce: 512-element sum tree, 3 levels of one kernel ---------
+    {
+        let n = 512usize;
+        let values: Arc<Vec<f32>> = Arc::new(data::random_f32(n, 1104, 25.0));
+        let reference = vec![reduce::cpu_reference(&values, reduce::ReduceOp::Sum)];
+        let spec = Arc::new(reduce::pipeline_spec(n, reduce::ReduceOp::Sum)?);
+        let (values_d, values_s) = (Arc::clone(&values), Arc::clone(&values));
+        workloads.push(A11Workload {
+            name: "reduce",
+            reference,
+            spec,
+            reads: vec!["x"],
+            sources: vec![Arc::clone(&values)],
+            run_direct: Box::new(move |cc| {
+                let arr = cc.upload(values_d.as_slice())?;
+                let out = reduce::gpu_reduce(cc, &arr, reduce::ReduceOp::Sum)?;
+                cc.recycle_array(arr);
+                Ok(vec![out])
+            }),
+            build_submission: Box::new(move || {
+                let mut sub = Submission::new();
+                let mut len = n;
+                let mut prev: Option<gpes_core::StepHandle> = None;
+                while len > 1 {
+                    let spec = Arc::new(reduce::fold_spec(len, reduce::ReduceOp::Sum));
+                    let input = match prev {
+                        None => StepInput::Data(Arc::clone(&values_s)),
+                        Some(h) => h.into(),
+                    };
+                    prev = Some(sub.step(&spec, vec![input], vec![]));
+                    len = len.div_ceil(reduce::FANIN);
+                }
+                let last = prev.expect("at least one level");
+                sub.read(last);
+                (sub, vec![last])
+            }),
+        });
+    }
+
+    Ok(workloads)
+}
+
+/// Serves convergence-checked waves: repeats `wave` until two
+/// consecutive full waves show the same per-wave counter deltas — for a
+/// healthy retained pipeline that steady delta is `(0, 0)`; for a mode
+/// that churns every wave (or leaks) the stable nonzero delta is
+/// reported and the gate fails it. Reports the last wave's timing and
+/// deltas plus the process-wide link total.
+fn a11_serve_steady(
+    engine: &gpes_core::Engine,
+    mut wave: impl FnMut(&gpes_core::Engine) -> Result<bool, ComputeError>,
+    jobs: usize,
+) -> Result<(f64, u64, u64, u64, bool), ComputeError> {
+    const MAX_WAVES: usize = 16;
+    let counters = |engine: &gpes_core::Engine| -> (u64, u64) {
+        (
+            engine.programs_linked(),
+            engine
+                .worker_stats()
+                .iter()
+                .map(gpes_core::ContextStats::gl_objects_created)
+                .sum(),
+        )
+    };
+    let mut identical = true;
+    let mut elapsed = std::time::Duration::ZERO;
+    let mut delta = (u64::MAX, u64::MAX);
+    for _ in 0..MAX_WAVES {
+        let before = counters(engine);
+        let start = Instant::now();
+        identical &= wave(engine)?;
+        elapsed = start.elapsed();
+        let after = counters(engine);
+        let wave_delta = (after.0 - before.0, after.1 - before.1);
+        let steady = wave_delta == delta || wave_delta == (0, 0);
+        delta = wave_delta;
+        if steady {
+            break;
+        }
+    }
+    let (links, _) = counters(engine);
+    Ok((
+        elapsed.as_secs_f64() * 1e3,
+        links,
+        delta.0,
+        delta.1,
+        identical && jobs > 0,
+    ))
+}
+
+/// Runs A11: every workload through every mode, asserting bit-identity
+/// to the direct reference and reporting the steady-state counter deltas
+/// the CI gate locks to zero.
+///
+/// # Errors
+///
+/// Propagates engine/simulator failures.
+pub fn a11_pipeline_serving() -> Result<Vec<A11Row>, ComputeError> {
+    use gpes_core::{Engine, PipelineJob};
+    const WAVE_JOBS: usize = 8;
+    let mut rows = Vec::new();
+
+    for workload in a11_workloads()? {
+        // ---- direct: retained pipeline on a local context -------------
+        {
+            let mut cc = ComputeContext::new(64, 64)?;
+            let mut identical = (workload.run_direct)(&mut cc)? == workload.reference;
+            let stats = cc.stats();
+            let (warm_links, warm_objects) = (stats.programs_linked, stats.gl_objects_created());
+            let start = Instant::now();
+            for _ in 0..WAVE_JOBS {
+                identical &= (workload.run_direct)(&mut cc)? == workload.reference;
+            }
+            let elapsed = start.elapsed();
+            let stats = cc.stats();
+            rows.push(A11Row {
+                workload: workload.name,
+                mode: "direct",
+                workers: 1,
+                jobs: WAVE_JOBS,
+                host_ms: elapsed.as_secs_f64() * 1e3,
+                jobs_per_sec: WAVE_JOBS as f64 / elapsed.as_secs_f64(),
+                links: stats.programs_linked,
+                post_warmup_links: stats.programs_linked - warm_links,
+                post_warmup_gl_objects: stats.gl_objects_created() - warm_objects,
+                identical,
+            });
+        }
+
+        // ---- engine-pipeline: whole pipeline as one job ---------------
+        for workers in [1usize, 2, 4] {
+            let engine = Engine::builder().workers(workers).build()?;
+            let (host_ms, links, post_links, post_objects, identical) = a11_serve_steady(
+                &engine,
+                |engine| {
+                    let handles: Vec<_> = (0..WAVE_JOBS)
+                        .map(|_| {
+                            let mut job = PipelineJob::new(&workload.spec);
+                            for source in &workload.sources {
+                                job = job.source_shared(source);
+                            }
+                            for read in &workload.reads {
+                                job = job.read(read);
+                            }
+                            engine.submit_pipeline(job)
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let mut identical = true;
+                    for h in handles {
+                        let result = h.wait()?;
+                        let mut served = Vec::new();
+                        for read in &workload.reads {
+                            served.extend_from_slice(result.output(read).unwrap_or(&[]));
+                        }
+                        identical &= served == workload.reference;
+                    }
+                    Ok(identical)
+                },
+                WAVE_JOBS,
+            )?;
+            rows.push(A11Row {
+                workload: workload.name,
+                mode: "engine-pipeline",
+                workers,
+                jobs: WAVE_JOBS,
+                host_ms,
+                jobs_per_sec: WAVE_JOBS as f64 / (host_ms / 1e3),
+                links,
+                post_warmup_links: post_links,
+                post_warmup_gl_objects: post_objects,
+                identical,
+            });
+        }
+
+        // ---- per-pass: the same passes as a flat Submission DAG -------
+        for workers in [1usize, 4] {
+            let engine = Engine::builder().workers(workers).build()?;
+            let (host_ms, links, post_links, post_objects, identical) = a11_serve_steady(
+                &engine,
+                |engine| {
+                    let handles: Vec<_> = (0..WAVE_JOBS)
+                        .map(|_| {
+                            let (sub, reads) = (workload.build_submission)();
+                            engine.submit_batch(sub).map(|h| (h, reads))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let mut identical = true;
+                    for (h, reads) in handles {
+                        let result = h.wait()?;
+                        let mut served = Vec::new();
+                        for read in reads {
+                            served.extend_from_slice(result.output(read).unwrap_or(&[]));
+                        }
+                        identical &= served == workload.reference;
+                    }
+                    Ok(identical)
+                },
+                WAVE_JOBS,
+            )?;
+            rows.push(A11Row {
+                workload: workload.name,
+                mode: "per-pass",
+                workers,
+                jobs: WAVE_JOBS,
+                host_ms,
+                jobs_per_sec: WAVE_JOBS as f64 / (host_ms / 1e3),
+                links,
+                post_warmup_links: post_links,
+                post_warmup_gl_objects: post_objects,
+                identical,
+            });
+        }
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn a11_engine_pipelines_are_identical_and_reach_steady_state() {
+        let rows = a11_pipeline_serving().expect("a11");
+        // 3 workloads × (1 direct + 3 engine-pipeline + 2 per-pass).
+        assert_eq!(rows.len(), 18);
+        for row in &rows {
+            // Every mode must reproduce the direct reference bit-exactly.
+            assert!(row.identical, "{}", row.format());
+        }
+        for row in rows.iter().filter(|r| r.mode == "engine-pipeline") {
+            // The CI gate's contract: steady-state pipeline serving
+            // links nothing and allocates nothing.
+            assert_eq!(row.post_warmup_links, 0, "{}", row.format());
+            assert_eq!(row.post_warmup_gl_objects, 0, "{}", row.format());
+        }
+    }
 
     #[test]
     fn a10_shared_cache_links_once_process_wide() {

@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p gpes-bench --bin reproduce -- [e1|e2|f1|f2|a1|a3|a4|…|a10|sweep|all]
+//! cargo run --release -p gpes-bench --bin reproduce -- [e1|e2|f1|f2|a1|a3|a4|…|a11|sweep|all]
 //! ```
 
 use gpes_bench::{ablations, e1, e2, figures};
@@ -184,6 +184,25 @@ fn run_a10() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn run_a11() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A11: pipeline serving — engine jobs vs direct runs vs per-pass DAGs");
+    for row in ablations::a11_pipeline_serving()? {
+        println!("{}", row.format());
+    }
+    println!();
+    println!("whole retained pipelines (fft/srad/reduce) served as single engine");
+    println!("jobs: workers cache the built pipeline by spec hash, so the");
+    println!("steady-state wave links zero programs and creates zero GL objects");
+    println!("(the rows CI gates on), and every served output is asserted");
+    println!("bit-identical to the direct retained-Pipeline run. The per-pass");
+    println!("rows flatten the same passes into Submission DAGs — correct, but");
+    println!("every intermediate of the DAG is live at once, so deep chains");
+    println!("(fft: 12 same-shape steps) overflow the texture-pool bucket and");
+    println!("keep allocating every wave (the nonzero objects column) where the");
+    println!("retained pipeline ping-pongs in two or three buffers.");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     match what.as_str() {
@@ -201,6 +220,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "a8" => run_a8()?,
         "a9" => run_a9()?,
         "a10" => run_a10()?,
+        "a11" => run_a11()?,
         "all" => {
             run_e1()?;
             run_sweep()?;
@@ -216,10 +236,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run_a8()?;
             run_a9()?;
             run_a10()?;
+            run_a11()?;
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|a9|a10|all"
+                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|a9|a10|a11|all"
             );
             std::process::exit(2);
         }

@@ -18,7 +18,7 @@
 
 use crate::error::ComputeError;
 use gpes_gles2::{Limits, Program};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 /// Counters for a [`SharedProgramCache`] — the process-wide complement of
@@ -41,12 +41,90 @@ pub struct SharedCacheStats {
     pub evictions: u64,
 }
 
+/// A bounded insertion-order (FIFO) map: inserting past `capacity`
+/// evicts the oldest entries, which are **returned** to the caller so
+/// site-specific retirement (recycling a texture, counting an eviction)
+/// stays at the call site. One implementation behind the shared program
+/// cache and both engine worker caches (pipelines, residencies), so the
+/// eviction bookkeeping cannot drift between them.
+pub(crate) struct FifoCache<K, V> {
+    map: HashMap<K, V>,
+    /// Keys in insertion order; the front is the next eviction, so
+    /// staying within capacity is O(1) instead of a min-scan per insert.
+    order: VecDeque<K>,
+    capacity: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> FifoCache<K, V> {
+    pub(crate) fn new(capacity: usize) -> FifoCache<K, V> {
+        FifoCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub(crate) fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    pub(crate) fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts the entry and returns whatever was evicted to stay within
+    /// capacity (never the entry just inserted, which joins at the back).
+    pub(crate) fn insert(&mut self, key: K, value: V) -> Vec<(K, V)> {
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+        }
+        let mut evicted = Vec::new();
+        while self.map.len() > self.capacity {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    if let Some(value) = self.map.remove(&oldest) {
+                        evicted.push((oldest, value));
+                    }
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Removes and returns every entry matching the predicate.
+    pub(crate) fn extract_if(&mut self, mut pred: impl FnMut(&K, &V) -> bool) -> Vec<(K, V)> {
+        let keys: Vec<K> = self
+            .map
+            .iter()
+            .filter(|(k, v)| pred(k, v))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(value) = self.map.remove(&key) {
+                out.push((key, value));
+            }
+        }
+        if !out.is_empty() {
+            self.order.retain(|k| self.map.contains_key(k));
+        }
+        out
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
 struct Inner {
-    /// `vs \0 fs` source → linked program, plus an insertion stamp for
-    /// FIFO eviction.
-    map: HashMap<String, (Arc<Program>, u64)>,
-    /// Monotonic insertion counter backing the eviction order.
-    stamp: u64,
+    /// `vs \0 fs` source → linked program.
+    cache: FifoCache<String, Arc<Program>>,
     stats: SharedCacheStats,
 }
 
@@ -95,8 +173,7 @@ impl SharedProgramCache {
     pub fn with_capacity(capacity: usize) -> SharedProgramCache {
         SharedProgramCache {
             inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                stamp: 0,
+                cache: FifoCache::new(capacity),
                 stats: SharedCacheStats::default(),
             }),
             capacity: capacity.max(1),
@@ -131,7 +208,7 @@ impl SharedProgramCache {
             limits.max_vertex_attribs,
         );
         let mut inner = self.inner.lock().expect("shared program cache poisoned");
-        if let Some((program, _)) = inner.map.get(&key) {
+        if let Some(program) = inner.cache.get(&key) {
             let program = Arc::clone(program);
             inner.stats.hits += 1;
             return Ok(program);
@@ -139,25 +216,10 @@ impl SharedProgramCache {
         inner.stats.misses += 1;
         let program = Arc::new(Program::link_with(vs, fs, limits, strict)?);
         inner.stats.links += 1;
-        let stamp = inner.stamp;
-        inner.stamp += 1;
-        inner.map.insert(key, (Arc::clone(&program), stamp));
-        while inner.map.len() > self.capacity {
-            // FIFO eviction: drop the oldest insertion. Entries still
-            // referenced elsewhere stay alive through their `Arc`s; the
-            // cache just stops advertising them.
-            if let Some(oldest) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, (_, s))| *s)
-                .map(|(k, _)| k.clone())
-            {
-                inner.map.remove(&oldest);
-                inner.stats.evictions += 1;
-            } else {
-                break;
-            }
-        }
+        // FIFO eviction past capacity: evicted entries still referenced
+        // elsewhere stay alive through their `Arc`s; the cache just stops
+        // advertising them.
+        inner.stats.evictions += inner.cache.insert(key, Arc::clone(&program)).len() as u64;
         Ok(program)
     }
 
@@ -174,7 +236,7 @@ impl SharedProgramCache {
         self.inner
             .lock()
             .expect("shared program cache poisoned")
-            .map
+            .cache
             .len()
     }
 
@@ -193,7 +255,7 @@ impl SharedProgramCache {
         self.inner
             .lock()
             .expect("shared program cache poisoned")
-            .map
+            .cache
             .clear();
     }
 }

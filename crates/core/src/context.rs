@@ -9,7 +9,7 @@ use crate::codec::{FloatSpecials, PackBias};
 use crate::error::ComputeError;
 use crate::geometry::{self, FULLSCREEN_QUAD, FULLSCREEN_QUAD_VERTICES, POSITION_ATTRIBUTE};
 use crate::kernel::Kernel;
-use crate::kernel::{OutputKind, OutputShape};
+use crate::kernel::OutputKind;
 use crate::pipeline::{PassRecord, Readback};
 use gpes_gles2::{
     Context, Dispatch, DrawStats, Executor, Filter, FramebufferId, PrimitiveMode, ProgramId,
@@ -577,10 +577,7 @@ impl ComputeContext {
         }
         let layout = match bindings.output {
             None => kernel.output_layout,
-            Some(OutputShape::Linear(len)) => ArrayLayout::for_len(len, self.max_texture_side())?,
-            Some(OutputShape::Grid { rows, cols }) => {
-                ArrayLayout::grid(rows, cols, self.max_texture_side())?
-            }
+            Some(shape) => shape.resolve(self.max_texture_side())?,
         };
         let inputs = kernel
             .inputs

@@ -25,6 +25,16 @@ pub enum ComputeError {
         /// Description of the violation.
         message: String,
     },
+    /// An `until`-driven pipeline exhausted its iteration cap without the
+    /// predicate firing. Distinct from [`ComputeError::BadKernel`] so a
+    /// serving engine can classify a runaway convergence loop without
+    /// string-matching: the job is well-formed, the *data* never converged.
+    IterationCap {
+        /// The pipeline that hit the cap.
+        pipeline: String,
+        /// The cap that was exhausted.
+        cap: usize,
+    },
 }
 
 impl fmt::Display for ComputeError {
@@ -34,6 +44,11 @@ impl fmt::Display for ComputeError {
             ComputeError::TooLarge { what } => write!(f, "{what} exceeds context capacity"),
             ComputeError::BadKernel { message } => write!(f, "bad kernel: {message}"),
             ComputeError::Domain { message } => write!(f, "domain error: {message}"),
+            ComputeError::IterationCap { pipeline, cap } => write!(
+                f,
+                "pipeline `{pipeline}` ran {cap} iterations without its `until` \
+                 predicate firing"
+            ),
         }
     }
 }

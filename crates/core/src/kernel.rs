@@ -24,6 +24,22 @@ pub enum OutputShape {
     },
 }
 
+impl OutputShape {
+    /// Resolves the shape to a concrete texture layout under a driver's
+    /// texture-size limit — the one conversion every dispatch path
+    /// (kernel build, bindings, pipeline passes, engine jobs) shares.
+    ///
+    /// # Errors
+    ///
+    /// Layout errors when the shape exceeds `max_side`.
+    pub fn resolve(self, max_side: u32) -> Result<ArrayLayout, ComputeError> {
+        match self {
+            OutputShape::Linear(len) => ArrayLayout::for_len(len, max_side),
+            OutputShape::Grid { rows, cols } => ArrayLayout::grid(rows, cols, max_side),
+        }
+    }
+}
+
 /// How an input's texels are presented to the kernel body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InputEncoding {
@@ -270,11 +286,7 @@ impl KernelBuilder {
             }
         }
 
-        let max_side = cc.max_texture_side();
-        let output_layout = match shape {
-            OutputShape::Linear(len) => ArrayLayout::for_len(len, max_side)?,
-            OutputShape::Grid { rows, cols } => ArrayLayout::grid(rows, cols, max_side)?,
-        };
+        let output_layout = shape.resolve(cc.max_texture_side())?;
 
         let fragment_source = self.generate_fragment_source(cc, out_kind, &body);
         // The program cache makes this free when an identical shader was

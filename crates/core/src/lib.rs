@@ -62,6 +62,12 @@ pub use error::ComputeError;
 pub use gpes_gles2::Executor;
 pub use kernel::{InputEncoding, Kernel, KernelBuilder, OutputKind, OutputShape};
 pub use multi_output::{MultiOutputBuilder, MultiOutputKernel};
-pub use pipeline::{Pass, PassRecord, Pipeline, PipelineBuilder, PipelineRun, Readback};
-pub use serve::{BatchResult, CachePolicy, Engine, Job, JobHandle, KernelSpec, Submission};
+pub use pipeline::{
+    Pass, PassRecord, Pipeline, PipelineBuilder, PipelineRun, Readback, SourceSeed,
+};
+pub use serve::{
+    BatchResult, CachePolicy, Engine, Job, JobHandle, JobInput, KernelSpec, PassSpec, PipelineJob,
+    PipelineResult, PipelineSpec, ResidentInput, ResidentStats, ServedPipeline, StepHandle,
+    Submission,
+};
 pub use vertex_compute::{VertexKernel, VertexKernelBuilder};

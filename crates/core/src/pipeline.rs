@@ -206,12 +206,57 @@ impl fmt::Debug for Pass {
     }
 }
 
+/// A per-run override of one declared pipeline source: the named buffer
+/// starts this run pointing at the given data instead of the texture
+/// captured at build time. Constructed from typed GPU buffers so the
+/// element kind is checked against the declaration before the run.
+#[derive(Debug, Clone)]
+pub struct SourceSeed {
+    name: String,
+    texture: TextureId,
+    layout: ArrayLayout,
+    kind: BufKind,
+}
+
+impl SourceSeed {
+    /// Seeds source `name` from an array for one run.
+    pub fn array<T: GpuScalar>(name: impl Into<String>, array: &GpuArray<T>) -> SourceSeed {
+        SourceSeed {
+            name: name.into(),
+            texture: array.texture,
+            layout: array.layout,
+            kind: BufKind::Scalar(T::SCALAR),
+        }
+    }
+
+    /// Seeds source `name` from a matrix for one run.
+    pub fn matrix<T: GpuScalar>(name: impl Into<String>, matrix: &GpuMatrix<T>) -> SourceSeed {
+        SourceSeed {
+            name: name.into(),
+            texture: matrix.texture,
+            layout: matrix.layout,
+            kind: BufKind::Scalar(T::SCALAR),
+        }
+    }
+
+    /// Seeds source `name` from a raw texel buffer for one run.
+    pub fn texels(name: impl Into<String>, texels: &GpuTexels) -> SourceSeed {
+        SourceSeed {
+            name: name.into(),
+            texture: texels.texture,
+            layout: texels.layout,
+            kind: BufKind::Texels,
+        }
+    }
+}
+
 /// Builder for [`Pipeline`]s; see [`Pipeline::builder`].
 pub struct PipelineBuilder {
     name: String,
     sources: Vec<(String, TextureId, ArrayLayout, BufKind)>,
     passes: Vec<Pass>,
     iterations: Option<usize>,
+    iteration_cap: Option<usize>,
     until: Option<UntilFn>,
     ping_pongs: Vec<(String, String)>,
 }
@@ -268,10 +313,22 @@ impl PipelineBuilder {
 
     /// Runs the dag until `stop(completed_iterations)` returns `true`
     /// (checked after each iteration). Combine with
-    /// [`PipelineBuilder::iterations`] to cap the loop; without a cap the
-    /// pipeline aborts after 1 000 000 iterations.
+    /// [`PipelineBuilder::iterations`] to cap the loop silently, or with
+    /// [`PipelineBuilder::iteration_cap`] to make cap exhaustion a typed
+    /// error; without either the pipeline aborts after 1 000 000
+    /// iterations.
     pub fn until(mut self, stop: impl Fn(usize) -> bool + 'static) -> Self {
         self.until = Some(Box::new(stop));
+        self
+    }
+
+    /// Caps an `until`-driven loop at `cap` iterations, turning cap
+    /// exhaustion into [`ComputeError::IterationCap`] instead of a silent
+    /// stop — the contract a serving engine needs so a job whose
+    /// predicate never fires fails loudly rather than hanging or lying.
+    /// Ignored when a fixed [`PipelineBuilder::iterations`] count is set.
+    pub fn iteration_cap(mut self, cap: usize) -> Self {
+        self.iteration_cap = Some(cap.max(1));
         self
     }
 
@@ -399,6 +456,7 @@ impl PipelineBuilder {
             sources: self.sources,
             passes: self.passes,
             iterations: self.iterations,
+            iteration_cap: self.iteration_cap,
             until: self.until,
             ping_pongs: self.ping_pongs,
         })
@@ -467,6 +525,7 @@ pub struct Pipeline {
     sources: Vec<(String, TextureId, ArrayLayout, BufKind)>,
     passes: Vec<Pass>,
     iterations: Option<usize>,
+    iteration_cap: Option<usize>,
     until: Option<UntilFn>,
     ping_pongs: Vec<(String, String)>,
 }
@@ -502,6 +561,7 @@ impl Pipeline {
             sources: Vec::new(),
             passes: Vec::new(),
             iterations: None,
+            iteration_cap: None,
             until: None,
             ping_pongs: Vec::new(),
         }
@@ -521,8 +581,74 @@ impl Pipeline {
     /// Runtime wiring errors (reading a buffer before its first write),
     /// per-iteration uniform type mismatches, and GL/shader errors.
     pub fn run(&self, cc: &mut ComputeContext) -> Result<PipelineRun, ComputeError> {
-        let (buffers, _) = self.run_internal(cc, None)?;
+        let (buffers, _) = self.run_internal(cc, None, &[])?;
         Ok(PipelineRun { buffers })
+    }
+
+    /// [`Pipeline::run`] with per-run source overrides: each seed
+    /// re-points a declared source buffer at fresh data for this run
+    /// only, so one retained pipeline serves many requests without being
+    /// rebuilt — the serving engine's hot path.
+    ///
+    /// # Errors
+    ///
+    /// `BadKernel` for seeds naming undeclared sources or carrying the
+    /// wrong element kind, plus everything [`Pipeline::run`] can raise.
+    pub fn run_seeded(
+        &self,
+        cc: &mut ComputeContext,
+        seeds: &[SourceSeed],
+    ) -> Result<PipelineRun, ComputeError> {
+        self.check_seeds(seeds)?;
+        let (buffers, _) = self.run_internal(cc, None, seeds)?;
+        Ok(PipelineRun { buffers })
+    }
+
+    /// [`Pipeline::run_and_read`] with per-run source overrides; see
+    /// [`Pipeline::run_seeded`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::run_seeded`] and [`Pipeline::run_and_read`].
+    pub fn run_and_read_seeded<T: GpuScalar>(
+        &self,
+        cc: &mut ComputeContext,
+        seeds: &[SourceSeed],
+        buffer: &str,
+    ) -> Result<Vec<T>, ComputeError> {
+        self.check_seeds(seeds)?;
+        let screen_target = self.screen_routable::<T>(cc, buffer);
+        let (buffers, screen) = self.run_internal(cc, screen_target.as_deref(), seeds)?;
+        if let Some((bytes, layout)) = screen {
+            PipelineRun { buffers }.finish(cc);
+            return Ok(T::decode_framebuffer(&bytes, layout.len));
+        }
+        let run = PipelineRun { buffers };
+        let out = run.read::<T>(cc, buffer);
+        run.finish(cc);
+        out
+    }
+
+    fn check_seeds(&self, seeds: &[SourceSeed]) -> Result<(), ComputeError> {
+        for seed in seeds {
+            let declared = self
+                .sources
+                .iter()
+                .find(|(n, _, _, _)| *n == seed.name)
+                .ok_or_else(|| {
+                    ComputeError::bad_kernel(format!(
+                        "pipeline `{}` declares no source `{}` to seed",
+                        self.name, seed.name
+                    ))
+                })?;
+            if declared.3 != seed.kind {
+                return Err(ComputeError::bad_kernel(format!(
+                    "source `{}` of pipeline `{}` holds {:?}, seeded with {:?}",
+                    seed.name, self.name, declared.3, seed.kind
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Executes the dag and reads buffer `buffer` back, retiring every
@@ -541,18 +667,7 @@ impl Pipeline {
         cc: &mut ComputeContext,
         buffer: &str,
     ) -> Result<Vec<T>, ComputeError> {
-        let screen_target = self.screen_routable::<T>(cc, buffer);
-        let (buffers, screen) = self.run_internal(cc, screen_target.as_deref())?;
-        let result = if let Some((bytes, layout)) = screen {
-            T::decode_framebuffer(&bytes, layout.len)
-        } else {
-            let run = PipelineRun { buffers };
-            let out = run.read::<T>(cc, buffer);
-            run.finish(cc);
-            return out;
-        };
-        PipelineRun { buffers }.finish(cc);
-        Ok(result)
+        self.run_and_read_seeded(cc, &[], buffer)
     }
 
     /// Whether `run_and_read::<T>(_, buffer)` may route the final pass to
@@ -584,12 +699,7 @@ impl Pipeline {
             Some(f) => f(total - 1),
             None => *static_shape,
         };
-        let layout = match shape {
-            OutputShape::Linear(len) => ArrayLayout::for_len(len, cc.max_texture_side()).ok()?,
-            OutputShape::Grid { rows, cols } => {
-                ArrayLayout::grid(rows, cols, cc.max_texture_side()).ok()?
-            }
-        };
+        let layout = shape.resolve(cc.max_texture_side()).ok()?;
         let (sw, sh) = cc.screen_size();
         (layout.width <= sw && layout.height <= sh).then(|| buffer.to_owned())
     }
@@ -602,6 +712,7 @@ impl Pipeline {
         &self,
         cc: &mut ComputeContext,
         screen_buffer: Option<&str>,
+        seeds: &[SourceSeed],
     ) -> Result<(Vec<(String, BufferState)>, Option<(Vec<u8>, ArrayLayout)>), ComputeError> {
         let mut bufs: HashMap<String, BufferState> = HashMap::new();
         for (name, texture, layout, kind) in &self.sources {
@@ -615,12 +726,26 @@ impl Pipeline {
                 },
             );
         }
+        for seed in seeds {
+            bufs.insert(
+                seed.name.clone(),
+                BufferState {
+                    texture: seed.texture,
+                    layout: seed.layout,
+                    kind: seed.kind,
+                    owned: false,
+                },
+            );
+        }
         let fixed_total = if self.until.is_none() {
             Some(self.iterations.unwrap_or(1))
         } else {
             None
         };
-        let cap = self.iterations.unwrap_or(MAX_OPEN_ITERATIONS);
+        let cap = self
+            .iterations
+            .or(self.iteration_cap)
+            .unwrap_or(MAX_OPEN_ITERATIONS);
         let mut screen: Option<(Vec<u8>, ArrayLayout)> = None;
         let mut completed = 0usize;
         let mut stopped = false;
@@ -653,12 +778,14 @@ impl Pipeline {
                 }
             }
         }
-        if self.until.is_some() && !stopped && cap == MAX_OPEN_ITERATIONS && completed >= cap {
-            return Err(ComputeError::bad_kernel(format!(
-                "pipeline `{}` ran {MAX_OPEN_ITERATIONS} iterations without its \
-                 `until` predicate firing",
-                self.name
-            )));
+        // A fixed `.iterations` count caps an `until` loop silently (the
+        // documented combination); an explicit `.iteration_cap` — or the
+        // safety-net default — makes exhaustion a typed error.
+        if self.until.is_some() && !stopped && self.iterations.is_none() && completed >= cap {
+            return Err(ComputeError::IterationCap {
+                pipeline: self.name.clone(),
+                cap,
+            });
         }
         Ok((bufs.into_iter().collect(), screen))
     }
@@ -695,12 +822,7 @@ impl Pipeline {
             Some(f) => f(iteration),
             None => *static_shape,
         };
-        let layout = match shape {
-            OutputShape::Linear(len) => ArrayLayout::for_len(len, cc.max_texture_side())?,
-            OutputShape::Grid { rows, cols } => {
-                ArrayLayout::grid(rows, cols, cc.max_texture_side())?
-            }
-        };
+        let layout = shape.resolve(cc.max_texture_side())?;
         // Static overrides were validated at build; per-iteration values
         // are produced fresh, so re-check their types here.
         let mut dynamic: Vec<(String, Value)> = Vec::with_capacity(pass.uniform_fns.len());

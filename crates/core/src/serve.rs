@@ -16,9 +16,17 @@
 //!   no matter which worker sees it first ([`CachePolicy::PerContext`]
 //!   exists for the `a10` ablation that measures what N× relinking
 //!   costs);
-//! * requests are [`Job`]s (one kernel dispatch) or [`Submission`]s (a
+//! * requests are [`Job`]s (one kernel dispatch), [`Submission`]s (a
 //!   multi-kernel DAG that runs on one worker without per-step queue
-//!   round-trips, intermediates staying on the GPU);
+//!   round-trips, intermediates staying on the GPU), or [`PipelineJob`]s
+//!   (a whole retained multi-pass [`crate::Pipeline`] described by a
+//!   context-free [`PipelineSpec`] — iteration loops, ping-pong pairs,
+//!   per-iteration uniforms and `until` predicates run entirely on one
+//!   worker, with the built pipeline cached per worker by spec hash);
+//! * constant inputs can be made **resident** ([`ResidentInput`]): each
+//!   worker uploads them once and every later job — kernel, DAG or
+//!   pipeline — reuses the on-GPU texture, with capacity evictions
+//!   accounted in [`ResidentStats`];
 //! * results come back through typed [`JobHandle`]s that block on
 //!   [`JobHandle::wait`].
 //!
@@ -54,15 +62,18 @@
 //! ```
 
 use crate::buffer::GpuArray;
-use crate::cache::SharedProgramCache;
+use crate::cache::{FifoCache, SharedProgramCache};
 use crate::context::{ComputeContext, ContextStats};
 use crate::error::ComputeError;
 use crate::kernel::{Kernel, OutputShape};
-use crate::pipeline::Readback;
+use crate::pipeline::{Pass, Pipeline, Readback, SourceSeed};
 use crate::Bindings;
 use gpes_gles2::{Dispatch, Limits};
 use gpes_glsl::Value;
-use std::collections::VecDeque;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -197,18 +208,191 @@ fn bad_job(message: String) -> ComputeError {
     ComputeError::BadKernel { message }
 }
 
+// ---- resident inputs -----------------------------------------------------
+
+/// Process-unique ids for [`ResidentInput`]s (and spec-hash closure
+/// tokens); never reused, so a stale worker cache entry can never alias a
+/// new handle.
+static NEXT_UNIQUE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_unique_id() -> u64 {
+    NEXT_UNIQUE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+struct ResidentInner {
+    id: u64,
+    data: Vec<f32>,
+    evicted: AtomicBool,
+}
+
+/// Host data promoted to **per-worker GPU residency**: the first job on
+/// each worker that references the handle uploads it, every later job on
+/// that worker — kernel, DAG step or pipeline source — binds the
+/// already-uploaded texture. The serving analog of model weights: pay the
+/// host→GPU transfer once per worker, not once per request.
+///
+/// Cloning the handle is cheap (it is `Arc`-backed) and refers to the
+/// same residency. [`ResidentInput::evict`] retires the handle
+/// everywhere: workers drop their textures and any job still referencing
+/// it fails with a validation error instead of silently re-uploading.
+/// Workers additionally bound how many residencies they hold; entries
+/// past the cap are evicted oldest-first (transparently re-uploaded on
+/// next use) with the eviction counted in [`ResidentStats`].
+#[derive(Clone)]
+pub struct ResidentInput {
+    inner: Arc<ResidentInner>,
+}
+
+impl ResidentInput {
+    /// Wraps host data for per-worker GPU residency.
+    pub fn new(data: Vec<f32>) -> ResidentInput {
+        ResidentInput {
+            inner: Arc::new(ResidentInner {
+                id: next_unique_id(),
+                data,
+                evicted: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.data.len()
+    }
+
+    /// Whether the input is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.data.is_empty()
+    }
+
+    /// Retires the residency everywhere: each worker recycles its
+    /// uploaded texture at its next task boundary, and any subsequent job
+    /// referencing this handle fails validation. Irreversible — re-upload
+    /// under a fresh handle instead.
+    pub fn evict(&self) {
+        self.inner.evicted.store(true, Ordering::Release);
+    }
+
+    /// Whether [`ResidentInput::evict`] has been called.
+    pub fn is_evicted(&self) -> bool {
+        self.inner.evicted.load(Ordering::Acquire)
+    }
+
+    fn check_live(&self, what: &str) -> Result<(), ComputeError> {
+        if self.is_evicted() {
+            return Err(bad_job(format!(
+                "{what} references an evicted ResidentInput (id {})",
+                self.inner.id
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ResidentInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidentInput")
+            .field("id", &self.inner.id)
+            .field("len", &self.inner.data.len())
+            .field("evicted", &self.is_evicted())
+            .finish()
+    }
+}
+
+/// Per-worker residency counters — the [`ContextStats`]-style accounting
+/// for [`ResidentInput`] textures. In steady state (every referenced
+/// residency within the per-worker cap) `uploads` freezes and every
+/// access is a hit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidentStats {
+    /// Host→GPU uploads performed for resident inputs (first use per
+    /// worker, or re-upload after a capacity eviction).
+    pub uploads: u64,
+    /// Accesses served from the worker's resident textures.
+    pub hits: u64,
+    /// Entries dropped — capacity evictions plus retired handles noticed.
+    pub evictions: u64,
+    /// Entries currently held by the worker.
+    pub resident_textures: u64,
+}
+
+impl ResidentStats {
+    fn merged(&self, other: &ResidentStats) -> ResidentStats {
+        ResidentStats {
+            uploads: self.uploads + other.uploads,
+            hits: self.hits + other.hits,
+            evictions: self.evictions + other.evictions,
+            // Current occupancy, not a lifetime total: the live state wins.
+            resident_textures: other.resident_textures,
+        }
+    }
+}
+
+/// One input of a [`Job`] or [`PipelineJob`]: fresh host data uploaded
+/// when the job runs (and recycled after), or a reference to a
+/// per-worker [`ResidentInput`].
+#[derive(Debug, Clone)]
+pub enum JobInput {
+    /// Host data uploaded per request. `Arc`-held so fan-out jobs share
+    /// one buffer without copying.
+    Data(Arc<Vec<f32>>),
+    /// An input resident on the worker across requests.
+    Resident(ResidentInput),
+}
+
+impl JobInput {
+    fn len(&self) -> usize {
+        match self {
+            JobInput::Data(d) => d.len(),
+            JobInput::Resident(r) => r.len(),
+        }
+    }
+
+    fn check_live(&self, what: &str) -> Result<(), ComputeError> {
+        match self {
+            JobInput::Data(_) => Ok(()),
+            JobInput::Resident(r) => r.check_live(what),
+        }
+    }
+}
+
 // ---- jobs and submissions ------------------------------------------------
 
-/// One input of a [`Submission`] step: fresh host data, or the on-GPU
-/// output of an earlier step in the same submission.
+/// One input of a [`Submission`] step: fresh host data, the on-GPU
+/// output of an earlier step in the same submission, or a per-worker
+/// resident input.
 #[derive(Debug, Clone)]
 pub enum StepInput {
     /// Host data uploaded when the step runs. `Arc`-held so fan-out
     /// submissions can share one buffer without copying.
     Data(Arc<Vec<f32>>),
     /// The output array of step `i` (must precede this step); it stays on
-    /// the GPU — no readback/re-upload between steps.
+    /// the GPU — no readback/re-upload between steps. Prefer wiring
+    /// through a [`StepHandle`] (`handle.into()`) over raw indices.
     Step(usize),
+    /// An input resident on the worker across requests.
+    Resident(ResidentInput),
+}
+
+/// A typed reference to a step appended to a [`Submission`] — returned by
+/// [`Submission::step`] so DAG wiring never hand-counts indices: pass it
+/// to later steps via `handle.into()` ([`StepInput`]) and to
+/// [`Submission::read`] / [`BatchResult::output`] directly. Handles are
+/// only meaningful for the submission that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepHandle(usize);
+
+impl StepHandle {
+    /// The raw step index (escape hatch for manual wiring).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<StepHandle> for StepInput {
+    fn from(handle: StepHandle) -> StepInput {
+        StepInput::Step(handle.0)
+    }
 }
 
 /// A single kernel dispatch: spec + positional input data + optional
@@ -216,7 +400,7 @@ pub enum StepInput {
 #[derive(Debug, Clone)]
 pub struct Job {
     kernel: Arc<KernelSpec>,
-    inputs: Vec<Arc<Vec<f32>>>,
+    inputs: Vec<JobInput>,
     uniforms: Vec<(String, Value)>,
 }
 
@@ -232,13 +416,20 @@ impl Job {
 
     /// Appends host data for the next declared input.
     pub fn data(mut self, data: Vec<f32>) -> Job {
-        self.inputs.push(Arc::new(data));
+        self.inputs.push(JobInput::Data(Arc::new(data)));
         self
     }
 
     /// Appends shared host data for the next declared input.
     pub fn data_shared(mut self, data: &Arc<Vec<f32>>) -> Job {
-        self.inputs.push(Arc::clone(data));
+        self.inputs.push(JobInput::Data(Arc::clone(data)));
+        self
+    }
+
+    /// Binds a per-worker [`ResidentInput`] to the next declared input —
+    /// no upload happens on workers that already hold it.
+    pub fn resident(mut self, input: &ResidentInput) -> Job {
+        self.inputs.push(JobInput::Resident(input.clone()));
         self
     }
 
@@ -261,6 +452,9 @@ impl Job {
                 self.inputs.len(),
                 self.kernel.inputs.len()
             )));
+        }
+        for input in &self.inputs {
+            input.check_live(&format!("job for `{}`", self.kernel.name))?;
         }
         Ok(())
     }
@@ -289,27 +483,28 @@ impl Submission {
         Submission::default()
     }
 
-    /// Appends a step and returns its index (the handle later steps use
-    /// in [`StepInput::Step`]).
+    /// Appends a step and returns its [`StepHandle`] — later steps wire
+    /// to it with `handle.into()`, readbacks with
+    /// [`Submission::read`]`(handle)`, so no index is ever hand-counted.
     pub fn step(
         &mut self,
         kernel: &Arc<KernelSpec>,
         inputs: Vec<StepInput>,
         uniforms: Vec<(String, Value)>,
-    ) -> usize {
+    ) -> StepHandle {
         self.steps.push(Step {
             kernel: Arc::clone(kernel),
             inputs,
             uniforms,
         });
-        self.steps.len() - 1
+        StepHandle(self.steps.len() - 1)
     }
 
-    /// Marks step `index` for readback; its result appears in the
+    /// Marks a step for readback; its result appears in the
     /// [`BatchResult`]. When no step is marked, the final step is read.
-    pub fn read(&mut self, index: usize) {
-        if !self.read.contains(&index) {
-            self.read.push(index);
+    pub fn read(&mut self, step: StepHandle) {
+        if !self.read.contains(&step.0) {
+            self.read.push(step.0);
         }
     }
 
@@ -337,12 +532,18 @@ impl Submission {
                 )));
             }
             for input in &step.inputs {
-                if let StepInput::Step(j) = input {
-                    if *j >= i {
-                        return Err(bad_job(format!(
-                            "step {i} reads step {j}: steps may only read earlier steps"
-                        )));
+                match input {
+                    StepInput::Step(j) => {
+                        if *j >= i {
+                            return Err(bad_job(format!(
+                                "step {i} reads step {j}: steps may only read earlier steps"
+                            )));
+                        }
                     }
+                    StepInput::Resident(r) => {
+                        r.check_live(&format!("step {i} (`{}`)", step.kernel.name))?
+                    }
+                    StepInput::Data(_) => {}
                 }
             }
         }
@@ -363,13 +564,708 @@ pub struct BatchResult {
 }
 
 impl BatchResult {
-    /// The readback of step `index`, if that step was marked.
-    pub fn output(&self, index: usize) -> Option<&[f32]> {
-        self.outputs.get(index).and_then(|o| o.as_deref())
+    /// The readback of a step, if it was marked with
+    /// [`Submission::read`].
+    pub fn output(&self, step: StepHandle) -> Option<&[f32]> {
+        self.outputs.get(step.0).and_then(|o| o.as_deref())
     }
 
     /// Consumes the result into per-step optional outputs.
     pub fn into_outputs(self) -> Vec<Option<Vec<f32>>> {
+        self.outputs
+    }
+}
+
+// ---- pipeline specs ------------------------------------------------------
+
+type SharedShapeFn = Arc<dyn Fn(usize) -> OutputShape + Send + Sync>;
+type SharedUniformFn = Arc<dyn Fn(usize) -> Value + Send + Sync>;
+type SharedUntilFn = Arc<dyn Fn(usize) -> bool + Send + Sync>;
+
+/// Default iteration cap applied to `until`-driven [`PipelineSpec`]s that
+/// set no explicit cap: a serving engine must never run a convergence
+/// loop open-ended on a worker, so cap exhaustion surfaces as
+/// [`ComputeError::IterationCap`] on the job handle instead of a hang.
+pub const DEFAULT_SERVE_ITERATION_CAP: usize = 65_536;
+
+/// How a [`PipelineSpec`] source is shaped (and therefore uploaded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SourceShape {
+    /// Linear array; `Some(len)` additionally pins the expected length.
+    Linear(Option<usize>),
+    /// Row-major `rows × cols` matrix.
+    Grid { rows: u32, cols: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct SourceDecl {
+    name: String,
+    shape: SourceShape,
+}
+
+/// One declared pass of a [`PipelineSpec`]: a context-free kernel plus
+/// buffer wiring and per-iteration overrides — the [`Pass`] builder with
+/// every context-bound piece removed. Unlike [`Pass`], **every** kernel
+/// input must be wired to a pipeline buffer with [`PassSpec::read`]: a
+/// spec has no build-time textures to fall back on.
+#[derive(Clone)]
+pub struct PassSpec {
+    kernel: Arc<KernelSpec>,
+    reads: Vec<(String, String)>,
+    write: Option<(String, OutputShape)>,
+    output_fn: Option<SharedShapeFn>,
+    uniforms: Vec<(String, Value)>,
+    uniform_fns: Vec<(String, SharedUniformFn)>,
+}
+
+impl PassSpec {
+    /// Starts a pass around a kernel spec.
+    pub fn new(kernel: &Arc<KernelSpec>) -> PassSpec {
+        PassSpec {
+            kernel: Arc::clone(kernel),
+            reads: Vec::new(),
+            write: None,
+            output_fn: None,
+            uniforms: Vec::new(),
+            uniform_fns: Vec::new(),
+        }
+    }
+
+    /// Feeds kernel input `input` from pipeline buffer `buffer`.
+    pub fn read(mut self, input: &str, buffer: &str) -> Self {
+        self.reads.push((input.to_owned(), buffer.to_owned()));
+        self
+    }
+
+    /// Writes the pass output into buffer `buffer` with a fixed shape.
+    pub fn write(mut self, buffer: &str, shape: OutputShape) -> Self {
+        self.write = Some((buffer.to_owned(), shape));
+        self
+    }
+
+    /// [`PassSpec::write`] with a linear output of `len` elements.
+    pub fn write_len(self, buffer: &str, len: usize) -> Self {
+        self.write(buffer, OutputShape::Linear(len))
+    }
+
+    /// [`PassSpec::write`] with a `rows × cols` grid output.
+    pub fn write_grid(self, buffer: &str, rows: u32, cols: u32) -> Self {
+        self.write(buffer, OutputShape::Grid { rows, cols })
+    }
+
+    /// Makes the output shape a function of the iteration index (the
+    /// reduction-tree case). `Send + Sync` because the spec crosses into
+    /// worker threads.
+    pub fn output_per_iter(
+        mut self,
+        f: impl Fn(usize) -> OutputShape + Send + Sync + 'static,
+    ) -> Self {
+        self.output_fn = Some(Arc::new(f));
+        self
+    }
+
+    /// Overrides a declared uniform with a fixed value for this pass.
+    pub fn uniform(mut self, name: &str, value: Value) -> Self {
+        self.uniforms.push((name.to_owned(), value));
+        self
+    }
+
+    /// Overrides a declared uniform per iteration (FFT stage widths,
+    /// reduction `n_live`, …).
+    pub fn uniform_per_iter(
+        mut self,
+        name: &str,
+        f: impl Fn(usize) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        self.uniform_fns.push((name.to_owned(), Arc::new(f)));
+        self
+    }
+}
+
+impl std::fmt::Debug for PassSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassSpec")
+            .field("kernel", &self.kernel.name)
+            .field("reads", &self.reads)
+            .field("write", &self.write)
+            .field("dynamic_output", &self.output_fn.is_some())
+            .field("uniforms", &self.uniforms)
+            .field(
+                "per_iter_uniforms",
+                &self
+                    .uniform_fns
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// Builder for [`PipelineSpec`]s; see [`PipelineSpec::builder`].
+pub struct PipelineSpecBuilder {
+    name: String,
+    sources: Vec<SourceDecl>,
+    passes: Vec<PassSpec>,
+    iterations: Option<usize>,
+    iteration_cap: Option<usize>,
+    until: Option<SharedUntilFn>,
+    ping_pongs: Vec<(String, String)>,
+}
+
+impl PipelineSpecBuilder {
+    /// Declares a linear source buffer; jobs supply its data positionally,
+    /// in declaration order.
+    pub fn source(mut self, name: &str) -> Self {
+        self.sources.push(SourceDecl {
+            name: name.to_owned(),
+            shape: SourceShape::Linear(None),
+        });
+        self
+    }
+
+    /// Declares a linear source buffer of exactly `len` elements
+    /// (validated against each job's data).
+    pub fn source_len(mut self, name: &str, len: usize) -> Self {
+        self.sources.push(SourceDecl {
+            name: name.to_owned(),
+            shape: SourceShape::Linear(Some(len)),
+        });
+        self
+    }
+
+    /// Declares a row-major `rows × cols` matrix source buffer.
+    pub fn source_grid(mut self, name: &str, rows: u32, cols: u32) -> Self {
+        self.sources.push(SourceDecl {
+            name: name.to_owned(),
+            shape: SourceShape::Grid { rows, cols },
+        });
+        self
+    }
+
+    /// Appends a pass; passes execute in declaration order each iteration.
+    pub fn pass(mut self, pass: PassSpec) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Runs the dag a fixed number of iterations (default 1).
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.iterations = Some(n);
+        self
+    }
+
+    /// Caps an `until`-driven loop, turning cap exhaustion into
+    /// [`ComputeError::IterationCap`] on the job handle. Defaults to
+    /// [`DEFAULT_SERVE_ITERATION_CAP`] when an `until` predicate is set
+    /// without a fixed iteration count.
+    pub fn iteration_cap(mut self, cap: usize) -> Self {
+        self.iteration_cap = Some(cap.max(1));
+        self
+    }
+
+    /// Runs the dag until `stop(completed_iterations)` returns `true`
+    /// (checked after each iteration).
+    pub fn until(mut self, stop: impl Fn(usize) -> bool + Send + Sync + 'static) -> Self {
+        self.until = Some(Arc::new(stop));
+        self
+    }
+
+    /// Swaps buffers `front` and `back` after every iteration (the FFT's
+    /// explicit double-buffer pair).
+    pub fn ping_pong(mut self, front: &str, back: &str) -> Self {
+        self.ping_pongs.push((front.to_owned(), back.to_owned()));
+        self
+    }
+
+    /// Validates the wiring — context-free, so a malformed spec is
+    /// rejected on the caller's thread, not on a worker — and seals the
+    /// spec with its cache fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`ComputeError::BadKernel`] for empty dags, duplicate sources,
+    /// passes without a write, unwired kernel inputs, reads of buffers
+    /// before their first write, unknown or type-mismatched uniform
+    /// overrides, and unknown ping-pong names.
+    pub fn build(self) -> Result<PipelineSpec, ComputeError> {
+        if self.passes.is_empty() {
+            return Err(bad_job(format!(
+                "pipeline spec `{}` declares no passes",
+                self.name
+            )));
+        }
+        let mut buffers: HashSet<&str> = HashSet::new();
+        for decl in &self.sources {
+            if !buffers.insert(&decl.name) {
+                return Err(bad_job(format!(
+                    "pipeline spec `{}` declares source `{}` twice",
+                    self.name, decl.name
+                )));
+            }
+        }
+        // A read must be satisfiable on the FIRST iteration, exactly as
+        // in `PipelineBuilder::build`.
+        let mut available: HashSet<&str> = self.sources.iter().map(|d| d.name.as_str()).collect();
+        for pass in &self.passes {
+            let kernel = &pass.kernel;
+            let (write_name, _) = pass.write.as_ref().ok_or_else(|| {
+                bad_job(format!(
+                    "pass `{}` of pipeline spec `{}` writes no buffer",
+                    kernel.name, self.name
+                ))
+            })?;
+            if kernel.output.is_none() {
+                return Err(bad_job(format!(
+                    "kernel spec `{}` (pass of `{}`) declares no output",
+                    kernel.name, self.name
+                )));
+            }
+            for input in &kernel.inputs {
+                let mapped = pass.reads.iter().filter(|(i, _)| i == input).count();
+                if mapped != 1 {
+                    return Err(bad_job(format!(
+                        "input `{input}` of pass `{}` in pipeline spec `{}` has {mapped} \
+                         read mappings; a spec pass must wire every input exactly once",
+                        kernel.name, self.name
+                    )));
+                }
+            }
+            for (input, buffer) in &pass.reads {
+                if !kernel.inputs.contains(input) {
+                    return Err(bad_job(format!(
+                        "kernel spec `{}` declares no input `{input}`",
+                        kernel.name
+                    )));
+                }
+                if !available.contains(buffer.as_str()) {
+                    return Err(bad_job(format!(
+                        "pass `{}` reads buffer `{buffer}` before its first write",
+                        kernel.name
+                    )));
+                }
+            }
+            for (name, value) in &pass.uniforms {
+                check_spec_uniform(kernel, name, Some(value))?;
+            }
+            for (name, _) in &pass.uniform_fns {
+                check_spec_uniform(kernel, name, None)?;
+            }
+            buffers.insert(write_name);
+            available.insert(write_name);
+        }
+        for (front, back) in &self.ping_pongs {
+            for name in [front, back] {
+                if !buffers.contains(name.as_str()) {
+                    return Err(bad_job(format!(
+                        "ping-pong names unknown buffer `{name}` in pipeline spec `{}`",
+                        self.name
+                    )));
+                }
+            }
+        }
+        let iteration_cap = match (self.iteration_cap, &self.until, self.iterations) {
+            (Some(cap), _, _) => Some(cap),
+            (None, Some(_), None) => Some(DEFAULT_SERVE_ITERATION_CAP),
+            _ => None,
+        };
+        let fingerprint = spec_fingerprint(&self);
+        Ok(PipelineSpec {
+            name: self.name,
+            sources: self.sources,
+            passes: self.passes,
+            iterations: self.iterations,
+            iteration_cap,
+            until: self.until,
+            ping_pongs: self.ping_pongs,
+            fingerprint,
+        })
+    }
+}
+
+fn check_spec_uniform(
+    kernel: &KernelSpec,
+    name: &str,
+    value: Option<&Value>,
+) -> Result<(), ComputeError> {
+    let decl = kernel
+        .uniforms
+        .iter()
+        .find(|(n, _)| n == name)
+        .ok_or_else(|| {
+            bad_job(format!(
+                "kernel spec `{}` declares no uniform `{name}`",
+                kernel.name
+            ))
+        })?;
+    if let Some(v) = value {
+        if std::mem::discriminant(&decl.1) != std::mem::discriminant(v) {
+            return Err(bad_job(format!(
+                "uniform `{name}` of kernel spec `{}` is {}, bound {}",
+                kernel.name,
+                decl.1.ty(),
+                v.ty()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Computes the per-worker cache key for a spec: a structural hash of
+/// everything serialisable, with every closure (per-iteration uniform,
+/// dynamic output shape, `until` predicate) contributing a process-unique
+/// token instead — two structurally identical closure-free specs share a
+/// cached pipeline, while closure-bearing specs never alias.
+fn spec_fingerprint(b: &PipelineSpecBuilder) -> u64 {
+    let mut h = DefaultHasher::new();
+    b.name.hash(&mut h);
+    for decl in &b.sources {
+        decl.name.hash(&mut h);
+        format!("{:?}", decl.shape).hash(&mut h);
+    }
+    for pass in &b.passes {
+        let k = &pass.kernel;
+        k.name.hash(&mut h);
+        k.inputs.hash(&mut h);
+        for (name, value) in &k.uniforms {
+            name.hash(&mut h);
+            format!("{value:?}").hash(&mut h);
+        }
+        format!("{:?}", k.output).hash(&mut h);
+        k.body.hash(&mut h);
+        k.functions.hash(&mut h);
+        pass.reads.hash(&mut h);
+        format!("{:?}", pass.write).hash(&mut h);
+        for (name, value) in &pass.uniforms {
+            name.hash(&mut h);
+            format!("{value:?}").hash(&mut h);
+        }
+        if pass.output_fn.is_some() {
+            next_unique_id().hash(&mut h);
+        }
+        for (name, _) in &pass.uniform_fns {
+            name.hash(&mut h);
+            next_unique_id().hash(&mut h);
+        }
+    }
+    b.iterations.hash(&mut h);
+    b.iteration_cap.hash(&mut h);
+    if b.until.is_some() {
+        next_unique_id().hash(&mut h);
+    }
+    b.ping_pongs.hash(&mut h);
+    h.finish()
+}
+
+/// A context-free description of a whole retained multi-pass pipeline:
+/// everything [`Pipeline::builder`] captures — passes, buffer wiring,
+/// per-iteration uniforms and shapes, ping-pong pairs, iteration counts
+/// and `until` predicates — minus the textures, so any engine worker can
+/// build, cache and run it. The serving analog of recording an op-graph
+/// once and replaying it per request (the TFLite-delegate / CNNdroid
+/// amortisation, lifted to multi-pass kernels).
+///
+/// Specs are immutable once built; wrap them in [`Arc`] and submit them
+/// through [`Engine::submit_pipeline`]. Each worker builds the pipeline
+/// once (all programs through the shared cache) and caches it by
+/// [`PipelineSpec::fingerprint`], so steady-state serving links zero
+/// programs and creates zero GL objects.
+///
+/// ```
+/// use gpes_core::serve::{Engine, PassSpec, PipelineJob, PipelineSpec, KernelSpec};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), gpes_core::ComputeError> {
+/// let double = Arc::new(
+///     KernelSpec::new("double")
+///         .input("x")
+///         .output(4)
+///         .body("return fetch_x(idx) * 2.0;"),
+/// );
+/// // x ← double(x), five times (implicit ping-pong), declared once.
+/// let spec = Arc::new(
+///     PipelineSpec::builder("pow2")
+///         .source_len("x", 4)
+///         .pass(PassSpec::new(&double).read("x", "x").write_len("x", 4))
+///         .iterations(5)
+///         .build()?,
+/// );
+/// let engine = Engine::builder().workers(2).build()?;
+/// let job = PipelineJob::new(&spec)
+///     .source(vec![1.0, 2.0, 3.0, 4.0])
+///     .read("x");
+/// let result = engine.submit_pipeline(job)?.wait()?;
+/// assert_eq!(result.output("x").unwrap(), &[32.0, 64.0, 96.0, 128.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct PipelineSpec {
+    name: String,
+    sources: Vec<SourceDecl>,
+    passes: Vec<PassSpec>,
+    iterations: Option<usize>,
+    iteration_cap: Option<usize>,
+    until: Option<SharedUntilFn>,
+    ping_pongs: Vec<(String, String)>,
+    fingerprint: u64,
+}
+
+impl std::fmt::Debug for PipelineSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineSpec")
+            .field("name", &self.name)
+            .field(
+                "sources",
+                &self
+                    .sources
+                    .iter()
+                    .map(|d| d.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .field("passes", &self.passes)
+            .field("iterations", &self.iterations)
+            .field("iteration_cap", &self.iteration_cap)
+            .field("has_until", &self.until.is_some())
+            .field("ping_pongs", &self.ping_pongs)
+            .field("fingerprint", &self.fingerprint)
+            .finish()
+    }
+}
+
+impl PipelineSpec {
+    /// Starts declaring a pipeline spec named `name`.
+    pub fn builder(name: impl Into<String>) -> PipelineSpecBuilder {
+        PipelineSpecBuilder {
+            name: name.into(),
+            sources: Vec::new(),
+            passes: Vec::new(),
+            iterations: None,
+            iteration_cap: None,
+            until: None,
+            ping_pongs: Vec::new(),
+        }
+    }
+
+    /// The spec's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-worker cache key: a structural hash of the spec, with
+    /// closures contributing process-unique tokens (two structurally
+    /// identical closure-free specs share a cached pipeline;
+    /// closure-bearing specs never alias).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The declared source names, in positional order.
+    pub fn source_names(&self) -> impl Iterator<Item = &str> {
+        self.sources.iter().map(|d| d.name.as_str())
+    }
+
+    /// The buffer names a job may mark for readback.
+    fn has_buffer(&self, name: &str) -> bool {
+        self.sources.iter().any(|d| d.name == name)
+            || self
+                .passes
+                .iter()
+                .any(|p| p.write.as_ref().is_some_and(|(w, _)| w == name))
+    }
+
+    /// Builds the retained pipeline on `cc` — a program-cache hit for
+    /// every pass everywhere but the first build in the process (shared
+    /// cache) or context. Public so direct (non-engine) execution of a
+    /// spec builds the byte-identical pipeline an engine worker runs —
+    /// the differential tests and the `a11` ablation rely on it.
+    ///
+    /// # Errors
+    ///
+    /// Kernel build/compile errors and pipeline validation errors.
+    pub fn build(&self, cc: &mut ComputeContext) -> Result<ServedPipeline, ComputeError> {
+        // Every source and kernel default binding points at a 1-texel
+        // placeholder: a run seeds every declared source with real data,
+        // and spec validation guarantees every kernel input is wired to a
+        // pipeline buffer, so the placeholder is never sampled.
+        let placeholder = cc.upload(&[0.0f32])?;
+        let mut builder = Pipeline::builder(self.name.clone());
+        for decl in &self.sources {
+            builder = builder.source(&decl.name, &placeholder);
+        }
+        for pass in &self.passes {
+            let arrays = vec![placeholder; pass.kernel.inputs.len()];
+            let kernel = pass.kernel.build(cc, &arrays)?;
+            let mut p = Pass::new(&kernel);
+            for (input, buffer) in &pass.reads {
+                p = p.read(input, buffer);
+            }
+            let (write_name, shape) = pass.write.as_ref().expect("validated by spec build");
+            p = p.write(write_name, *shape);
+            if let Some(f) = &pass.output_fn {
+                let f = Arc::clone(f);
+                p = p.output_per_iter(move |i| f(i));
+            }
+            for (name, value) in &pass.uniforms {
+                p = p.uniform(name, value.clone());
+            }
+            for (name, f) in &pass.uniform_fns {
+                let f = Arc::clone(f);
+                p = p.uniform_per_iter(name, move |i| f(i));
+            }
+            builder = builder.pass(p);
+        }
+        if let Some(n) = self.iterations {
+            builder = builder.iterations(n);
+        }
+        if let Some(cap) = self.iteration_cap {
+            builder = builder.iteration_cap(cap);
+        }
+        if let Some(until) = &self.until {
+            let until = Arc::clone(until);
+            builder = builder.until(move |i| until(i));
+        }
+        for (front, back) in &self.ping_pongs {
+            builder = builder.ping_pong(front, back);
+        }
+        Ok(ServedPipeline {
+            pipeline: builder.build()?,
+            placeholder,
+        })
+    }
+}
+
+/// A [`PipelineSpec`] compiled against one context: the retained
+/// [`Pipeline`] plus the source metadata needed to seed it per request.
+/// Obtained from [`PipelineSpec::build`]; engine workers cache one per
+/// spec fingerprint.
+pub struct ServedPipeline {
+    pipeline: Pipeline,
+    /// The 1-texel array backing build-time bindings; recycled when the
+    /// worker evicts the cached pipeline.
+    placeholder: GpuArray<f32>,
+}
+
+impl ServedPipeline {
+    /// The retained pipeline (run it with
+    /// [`Pipeline::run_seeded`], seeding every declared source).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+}
+
+/// A whole retained pipeline submitted as one engine job: the spec plus
+/// per-request source data (fresh or resident) and the buffers to read
+/// back. Result type: [`PipelineResult`].
+#[derive(Debug, Clone)]
+pub struct PipelineJob {
+    spec: Arc<PipelineSpec>,
+    sources: Vec<JobInput>,
+    reads: Vec<String>,
+}
+
+impl PipelineJob {
+    /// Starts a job running `spec`.
+    pub fn new(spec: &Arc<PipelineSpec>) -> PipelineJob {
+        PipelineJob {
+            spec: Arc::clone(spec),
+            sources: Vec::new(),
+            reads: Vec::new(),
+        }
+    }
+
+    /// Appends host data for the next declared source.
+    pub fn source(mut self, data: Vec<f32>) -> PipelineJob {
+        self.sources.push(JobInput::Data(Arc::new(data)));
+        self
+    }
+
+    /// Appends shared host data for the next declared source.
+    pub fn source_shared(mut self, data: &Arc<Vec<f32>>) -> PipelineJob {
+        self.sources.push(JobInput::Data(Arc::clone(data)));
+        self
+    }
+
+    /// Binds a per-worker [`ResidentInput`] to the next declared source.
+    pub fn source_resident(mut self, input: &ResidentInput) -> PipelineJob {
+        self.sources.push(JobInput::Resident(input.clone()));
+        self
+    }
+
+    /// Marks buffer `buffer` for readback after the run (post ping-pong
+    /// swaps, exactly like reading a [`crate::PipelineRun`]).
+    pub fn read(mut self, buffer: &str) -> PipelineJob {
+        if !self.reads.iter().any(|b| b == buffer) {
+            self.reads.push(buffer.to_owned());
+        }
+        self
+    }
+
+    fn validate(&self) -> Result<(), ComputeError> {
+        let spec = &self.spec;
+        if self.sources.len() != spec.sources.len() {
+            return Err(bad_job(format!(
+                "pipeline job for `{}` supplies {} sources, spec declares {}",
+                spec.name,
+                self.sources.len(),
+                spec.sources.len()
+            )));
+        }
+        for (decl, input) in spec.sources.iter().zip(&self.sources) {
+            input.check_live(&format!("pipeline job for `{}`", spec.name))?;
+            let want = match decl.shape {
+                SourceShape::Linear(None) => None,
+                SourceShape::Linear(Some(len)) => Some(len),
+                SourceShape::Grid { rows, cols } => Some(rows as usize * cols as usize),
+            };
+            if let Some(want) = want {
+                if input.len() != want {
+                    return Err(bad_job(format!(
+                        "source `{}` of pipeline `{}` wants {want} elements, job \
+                         supplies {}",
+                        decl.name,
+                        spec.name,
+                        input.len()
+                    )));
+                }
+            }
+        }
+        if self.reads.is_empty() {
+            return Err(bad_job(format!(
+                "pipeline job for `{}` reads no buffers; mark at least one with .read()",
+                spec.name
+            )));
+        }
+        for buffer in &self.reads {
+            if !spec.has_buffer(buffer) {
+                return Err(bad_job(format!(
+                    "pipeline `{}` has no buffer `{buffer}` to read",
+                    spec.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Results of a [`PipelineJob`]: one `Vec<f32>` per buffer marked with
+/// [`PipelineJob::read`].
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    outputs: Vec<(String, Vec<f32>)>,
+}
+
+impl PipelineResult {
+    /// The readback of buffer `name`, if it was marked.
+    pub fn output(&self, name: &str) -> Option<&[f32]> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, data)| data.as_slice())
+    }
+
+    /// Consumes the result into `(buffer, data)` pairs, in read order.
+    pub fn into_outputs(self) -> Vec<(String, Vec<f32>)> {
         self.outputs
     }
 }
@@ -451,6 +1347,7 @@ pub enum CachePolicy {
 enum Task {
     Single(Job, Arc<HandleState<Vec<f32>>>),
     Batch(Submission, Arc<HandleState<BatchResult>>),
+    Pipeline(PipelineJob, Arc<HandleState<PipelineResult>>),
 }
 
 impl Task {
@@ -460,6 +1357,7 @@ impl Task {
         match self {
             Task::Single(_, handle) => fulfil(&handle, Err(bad_job(message.into()))),
             Task::Batch(_, handle) => fulfil(&handle, Err(bad_job(message.into()))),
+            Task::Pipeline(_, handle) => fulfil(&handle, Err(bad_job(message.into()))),
         }
     }
 }
@@ -577,13 +1475,19 @@ impl EngineBuilder {
                 .map(|_| Mutex::new(ContextStats::default()))
                 .collect(),
         );
+        let resident_stats: Arc<Vec<Mutex<ResidentStats>>> = Arc::new(
+            (0..self.workers)
+                .map(|_| Mutex::new(ResidentStats::default()))
+                .collect(),
+        );
         let mut handles = Vec::with_capacity(self.workers);
         for (index, cc) in contexts.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             let stats = Arc::clone(&worker_stats);
+            let residents = Arc::clone(&resident_stats);
             let config = config.clone();
             handles.push(std::thread::spawn(move || {
-                worker_main(cc, config, shared, stats, index)
+                worker_main(cc, config, shared, stats, residents, index)
             }));
         }
         Ok(Engine {
@@ -591,6 +1495,7 @@ impl EngineBuilder {
             workers: handles,
             cache,
             worker_stats,
+            resident_stats,
         })
     }
 }
@@ -603,6 +1508,7 @@ pub struct Engine {
     workers: Vec<JoinHandle<()>>,
     cache: Option<Arc<SharedProgramCache>>,
     worker_stats: Arc<Vec<Mutex<ContextStats>>>,
+    resident_stats: Arc<Vec<Mutex<ResidentStats>>>,
 }
 
 impl Engine {
@@ -636,6 +1542,15 @@ impl Engine {
         self.worker_stats
             .iter()
             .map(|s| *s.lock().expect("worker stats poisoned"))
+            .collect()
+    }
+
+    /// Snapshot of each worker's [`ResidentStats`] (updated after every
+    /// completed task).
+    pub fn resident_stats(&self) -> Vec<ResidentStats> {
+        self.resident_stats
+            .iter()
+            .map(|s| *s.lock().expect("resident stats poisoned"))
             .collect()
     }
 
@@ -675,6 +1590,28 @@ impl Engine {
         submission.validate()?;
         let (handle, state) = JobHandle::new();
         self.enqueue(Task::Batch(submission, state))?;
+        Ok(handle)
+    }
+
+    /// Enqueues a whole retained pipeline as one job: the worker builds
+    /// (or cache-hits) the pipeline for the job's [`PipelineSpec`], seeds
+    /// it with the job's sources, runs every iteration on-GPU and reads
+    /// back the marked buffers. Steady state links no programs and
+    /// creates no GL objects — the `a11` CI gate's contract.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors (source arity/lengths, evicted residents,
+    /// unknown read buffers) surface here; execution errors — including
+    /// [`ComputeError::IterationCap`] for an `until` predicate that never
+    /// fires — surface on the handle.
+    pub fn submit_pipeline(
+        &self,
+        job: PipelineJob,
+    ) -> Result<JobHandle<PipelineResult>, ComputeError> {
+        job.validate()?;
+        let (handle, state) = JobHandle::new();
+        self.enqueue(Task::Pipeline(job, state))?;
         Ok(handle)
     }
 
@@ -790,6 +1727,10 @@ enum Completed {
         Arc<HandleState<BatchResult>>,
         Result<BatchResult, ComputeError>,
     ),
+    Pipeline(
+        Arc<HandleState<PipelineResult>>,
+        Result<PipelineResult, ComputeError>,
+    ),
 }
 
 impl Completed {
@@ -797,7 +1738,119 @@ impl Completed {
         match self {
             Completed::Single(handle, result) => fulfil(&handle, result),
             Completed::Batch(handle, result) => fulfil(&handle, result),
+            Completed::Pipeline(handle, result) => fulfil(&handle, result),
         }
+    }
+}
+
+/// Built pipelines a worker caches across requests, keyed by
+/// [`PipelineSpec::fingerprint`]; beyond the cap the oldest entry is
+/// dropped (its placeholder texture recycled — the programs stay in the
+/// context/shared caches, so rebuilding links nothing).
+const PIPELINES_PER_WORKER_CAP: usize = 32;
+
+/// Resident-input textures a worker holds; beyond the cap the oldest is
+/// recycled and counted as an eviction (the next use re-uploads).
+const RESIDENTS_PER_WORKER_CAP: usize = 64;
+
+/// Everything a worker retains across requests *on top of* its context:
+/// built pipelines and resident-input textures. Tied to the context's
+/// lifetime — a panic-replaced context gets a fresh (empty) state, since
+/// cached kernels and textures belong to the dead context.
+struct WorkerState {
+    pipelines: FifoCache<u64, ServedPipeline>,
+    /// `(resident id, texture width, texture height)` → handle + uploaded
+    /// array; the dims keep one residency usable under several declared
+    /// shapes, and the handle lets the post-task sweep notice evictions.
+    residents: FifoCache<(u64, u32, u32), (ResidentInput, GpuArray<f32>)>,
+    resident_stats: ResidentStats,
+}
+
+impl Default for WorkerState {
+    fn default() -> WorkerState {
+        WorkerState {
+            pipelines: FifoCache::new(PIPELINES_PER_WORKER_CAP),
+            residents: FifoCache::new(RESIDENTS_PER_WORKER_CAP),
+            resident_stats: ResidentStats::default(),
+        }
+    }
+}
+
+impl WorkerState {
+    /// Returns the cached pipeline for `spec`, building (and caching) it
+    /// on first sight.
+    fn pipeline_for(
+        &mut self,
+        cc: &mut ComputeContext,
+        spec: &PipelineSpec,
+    ) -> Result<&ServedPipeline, ComputeError> {
+        let key = spec.fingerprint();
+        if !self.pipelines.contains(&key) {
+            let served = spec.build(cc)?;
+            for (_, evicted) in self.pipelines.insert(key, served) {
+                cc.recycle_array(evicted.placeholder);
+            }
+        }
+        Ok(self.pipelines.get(&key).expect("just ensured present"))
+    }
+
+    /// Resolves a resident input to its per-worker texture under the
+    /// requested shape, uploading on first use and evicting oldest-first
+    /// past the cap. An evicted handle drops its entries and fails.
+    fn resident_array(
+        &mut self,
+        cc: &mut ComputeContext,
+        input: &ResidentInput,
+        shape: SourceShape,
+    ) -> Result<GpuArray<f32>, ComputeError> {
+        let id = input.inner.id;
+        if input.is_evicted() {
+            self.sweep_evicted(cc);
+            return Err(bad_job(format!(
+                "job references an evicted ResidentInput (id {id})"
+            )));
+        }
+        let layout = match shape {
+            SourceShape::Linear(_) => {
+                crate::addressing::ArrayLayout::for_len(input.len(), cc.max_texture_side())?
+            }
+            SourceShape::Grid { rows, cols } => {
+                crate::addressing::ArrayLayout::grid(rows, cols, cc.max_texture_side())?
+            }
+        };
+        let key = (id, layout.width, layout.height);
+        if let Some((_, array)) = self.residents.get(&key) {
+            self.resident_stats.hits += 1;
+            return Ok(*array);
+        }
+        let array = match shape {
+            SourceShape::Linear(_) => cc.upload(input.inner.data.as_slice())?,
+            SourceShape::Grid { rows, cols } => cc
+                .upload_matrix(rows, cols, input.inner.data.as_slice())?
+                .as_array(),
+        };
+        self.resident_stats.uploads += 1;
+        for (_, (_, evicted)) in self.residents.insert(key, (input.clone(), array)) {
+            cc.recycle_array(evicted);
+            self.resident_stats.evictions += 1;
+        }
+        self.resident_stats.resident_textures = self.residents.len() as u64;
+        Ok(array)
+    }
+
+    /// Recycles every residency whose handle has been evicted. Runs after
+    /// each task, so `ResidentInput::evict` reclaims a worker's texture at
+    /// its next task boundary — not only if the dead handle is referenced
+    /// again.
+    fn sweep_evicted(&mut self, cc: &mut ComputeContext) {
+        let dead = self
+            .residents
+            .extract_if(|_, (handle, _)| handle.is_evicted());
+        for (_, (_, array)) in dead {
+            cc.recycle_array(array);
+            self.resident_stats.evictions += 1;
+        }
+        self.resident_stats.resident_textures = self.residents.len() as u64;
     }
 }
 
@@ -806,12 +1859,15 @@ fn worker_main(
     config: WorkerConfig,
     shared: Arc<EngineShared>,
     stats: Arc<Vec<Mutex<ContextStats>>>,
+    resident_stats: Arc<Vec<Mutex<ResidentStats>>>,
     index: usize,
 ) {
     // Counters accumulated by contexts this worker already retired (after
     // a panicking job); published stats are always `base + current`, so a
     // context swap never zeroes the worker's visible accounting.
     let mut base = ContextStats::default();
+    let mut resident_base = ResidentStats::default();
+    let mut state = WorkerState::default();
     loop {
         let task = {
             let mut queue = shared.queue.lock().expect("engine queue poisoned");
@@ -829,20 +1885,30 @@ fn worker_main(
         };
         let (completed, panicked) = match task {
             Task::Single(job, handle) => {
-                let (result, panicked) = run_shielded(&mut cc, |cc| run_job(cc, &job));
+                let (result, panicked) = run_shielded(&mut cc, |cc| run_job(cc, &mut state, &job));
                 (Completed::Single(handle, result), panicked)
             }
             Task::Batch(submission, handle) => {
                 let (result, panicked) =
-                    run_shielded(&mut cc, |cc| run_submission(cc, &submission));
+                    run_shielded(&mut cc, |cc| run_submission(cc, &mut state, &submission));
                 (Completed::Batch(handle, result), panicked)
+            }
+            Task::Pipeline(job, handle) => {
+                let (result, panicked) =
+                    run_shielded(&mut cc, |cc| run_pipeline(cc, &mut state, &job));
+                (Completed::Pipeline(handle, result), panicked)
             }
         };
         if panicked {
             // Fresh context, same wiring; if even that fails the worker
             // retires (remaining queue entries drain to other workers,
-            // or are aborted if this was the last one).
+            // or are aborted if this was the last one). The worker state
+            // dies with the context — its kernels and textures belonged
+            // to the context a panic may have left half-updated.
             base = base.merged(&cc.stats());
+            resident_base = resident_base.merged(&state.resident_stats);
+            resident_base.resident_textures = 0;
+            state = WorkerState::default();
             match config.make_context() {
                 Ok(fresh) => cc = fresh,
                 Err(_) => {
@@ -852,25 +1918,60 @@ fn worker_main(
                 }
             }
         }
-        // Publish stats (and drain the per-request pass log) BEFORE
-        // fulfilling the handle: a caller returning from `wait()` must
-        // observe worker stats that include its job.
+        // Reclaim residencies whose handles were evicted since the last
+        // task, then publish stats (and drain the per-request pass log)
+        // BEFORE fulfilling the handle: a caller returning from `wait()`
+        // must observe worker stats that include its job.
+        state.sweep_evicted(&mut cc);
         cc.take_pass_log();
         *stats[index].lock().expect("worker stats poisoned") = base.merged(&cc.stats());
+        *resident_stats[index]
+            .lock()
+            .expect("resident stats poisoned") = resident_base.merged(&state.resident_stats);
         completed.fulfil();
     }
 }
 
-/// Executes one job exactly as a direct caller would: upload inputs,
-/// build (cache-hit) the kernel, dispatch with overrides, read back
-/// through the FBO path, recycle every texture.
-fn run_job(cc: &mut ComputeContext, job: &Job) -> Result<Vec<f32>, ComputeError> {
+/// Executes one job exactly as a direct caller would: upload (or resolve
+/// resident) inputs, build (cache-hit) the kernel, dispatch with
+/// overrides, read back through the FBO path, recycle every *per-job*
+/// texture — resident textures stay on the worker.
+fn run_job(
+    cc: &mut ComputeContext,
+    state: &mut WorkerState,
+    job: &Job,
+) -> Result<Vec<f32>, ComputeError> {
     let mut arrays = Vec::with_capacity(job.inputs.len());
-    for data in &job.inputs {
-        arrays.push(cc.upload(data.as_slice())?);
+    let mut uploads = Vec::new();
+    let mut failure = None;
+    for input in &job.inputs {
+        match input {
+            JobInput::Data(data) => match cc.upload(data.as_slice()) {
+                Ok(array) => {
+                    uploads.push(array);
+                    arrays.push(array);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            },
+            JobInput::Resident(resident) => {
+                match state.resident_array(cc, resident, SourceShape::Linear(None)) {
+                    Ok(array) => arrays.push(array),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
     }
-    let result = dispatch_spec(cc, &job.kernel, &arrays, &job.uniforms);
-    for array in arrays {
+    let result = match failure {
+        Some(e) => Err(e),
+        None => dispatch_spec(cc, &job.kernel, &arrays, &job.uniforms),
+    };
+    for array in uploads {
         cc.recycle_array(array);
     }
     let out = result?;
@@ -879,10 +1980,87 @@ fn run_job(cc: &mut ComputeContext, job: &Job) -> Result<Vec<f32>, ComputeError>
     host
 }
 
+/// Executes a whole retained pipeline as one job: cache-hit (or build)
+/// the pipeline for the spec, seed every declared source from the job,
+/// run all iterations on-GPU, read back the marked buffers, retire every
+/// per-job texture into the pool.
+fn run_pipeline(
+    cc: &mut ComputeContext,
+    state: &mut WorkerState,
+    job: &PipelineJob,
+) -> Result<PipelineResult, ComputeError> {
+    state.pipeline_for(cc, &job.spec)?;
+    let mut seeds = Vec::with_capacity(job.sources.len());
+    let mut uploads: Vec<GpuArray<f32>> = Vec::new();
+    let mut failure = None;
+    for (decl, input) in job.spec.sources.iter().zip(&job.sources) {
+        let resolved = match input {
+            JobInput::Data(data) => {
+                let uploaded = match decl.shape {
+                    SourceShape::Linear(_) => cc.upload(data.as_slice()),
+                    SourceShape::Grid { rows, cols } => cc
+                        .upload_matrix(rows, cols, data.as_slice())
+                        .map(|m| m.as_array()),
+                };
+                match uploaded {
+                    Ok(array) => {
+                        uploads.push(array);
+                        array
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            JobInput::Resident(resident) => match state.resident_array(cc, resident, decl.shape) {
+                Ok(array) => array,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            },
+        };
+        seeds.push(SourceSeed::array(decl.name.clone(), &resolved));
+    }
+    let result = match failure {
+        Some(e) => Err(e),
+        None => {
+            let served = state
+                .pipelines
+                .get(&job.spec.fingerprint())
+                .expect("built by pipeline_for above");
+            served.pipeline.run_seeded(cc, &seeds).and_then(|run| {
+                let mut outputs = Vec::with_capacity(job.reads.len());
+                let mut read_failure = None;
+                for buffer in &job.reads {
+                    match run.read::<f32>(cc, buffer) {
+                        Ok(data) => outputs.push((buffer.clone(), data)),
+                        Err(e) => {
+                            read_failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                run.finish(cc);
+                match read_failure {
+                    Some(e) => Err(e),
+                    None => Ok(PipelineResult { outputs }),
+                }
+            })
+        }
+    };
+    for array in uploads {
+        cc.recycle_array(array);
+    }
+    result
+}
+
 /// Executes a submission's steps in order on one worker, keeping step
 /// outputs on the GPU for later steps, reading back only marked steps.
 fn run_submission(
     cc: &mut ComputeContext,
+    state: &mut WorkerState,
     submission: &Submission,
 ) -> Result<BatchResult, ComputeError> {
     let n = submission.steps.len();
@@ -915,6 +2093,16 @@ fn run_submission(
                         break;
                     }
                 },
+                StepInput::Resident(resident) => {
+                    match state.resident_array(cc, resident, SourceShape::Linear(None)) {
+                        Ok(array) => array,
+                        Err(e) => {
+                            failure = Some(e);
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
             };
             arrays.push(array);
         }

@@ -18,9 +18,13 @@
 //! [`Pipeline`] with explicit ping-pong buffer pairs — both stage kernels
 //! must read the *old* generation before either may be overwritten.
 
-use gpes_core::{ComputeContext, ComputeError, GpuArray, Kernel, Pass, Pipeline, ScalarType};
+use gpes_core::{
+    ComputeContext, ComputeError, GpuArray, Kernel, KernelSpec, Pass, PassSpec, Pipeline,
+    PipelineSpec,
+};
 use gpes_glsl::Value;
 use gpes_perf::CpuWorkload;
+use std::sync::Arc;
 
 /// Direction of the transform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,18 +60,9 @@ fn build_stage(
     direction: Direction,
     emit_re: bool,
 ) -> Result<Kernel, ComputeError> {
-    let n = re.len();
-    Kernel::builder(if emit_re {
-        "fft_stage_re"
-    } else {
-        "fft_stage_im"
-    })
-    .input("re", re)
-    .input("im", im)
-    .uniform_f32("half_", 1.0)
-    .output(ScalarType::F32, n)
-    .body(stage_body(n, direction, emit_re, None))
-    .build(cc)
+    // Built through the context-free spec so direct and engine-served
+    // transforms share one program by construction.
+    stage_spec(re.len(), direction, emit_re).build(cc, &[*re, *im])
 }
 
 /// The GLSL body of one Stockham stage for a size-`n` transform. With
@@ -112,6 +107,66 @@ pub fn stage_body(
             "aim + s * tim"
         },
     )
+}
+
+/// Context-free spec of one Stockham stage kernel — the engine-servable
+/// twin of the private per-context stage builder, generating the byte-identical program (same
+/// inputs, uniform and body template), so direct and engine-served runs
+/// share one linked program through the caches.
+pub fn stage_spec(n: usize, direction: Direction, emit_re: bool) -> KernelSpec {
+    KernelSpec::new(if emit_re {
+        "fft_stage_re"
+    } else {
+        "fft_stage_im"
+    })
+    .input("re")
+    .input("im")
+    .uniform_f32("half_", 1.0)
+    .output(n)
+    .body(stage_body(n, direction, emit_re, None))
+}
+
+/// Context-free spec of the whole retained transform, mirroring
+/// [`run_gpu`]'s wiring (two stage kernels, explicit `re`/`im` ping-pong
+/// pairs, stage width as a per-iteration uniform). Submit through
+/// [`gpes_core::Engine::submit_pipeline`] with sources `re`, `im` (length
+/// `n` each) and read buffers `re`, `im`; outputs are bit-identical to
+/// [`run_gpu`].
+///
+/// # Errors
+///
+/// `BadKernel` for non-power-of-two sizes.
+pub fn pipeline_spec(n: usize, direction: Direction) -> Result<PipelineSpec, ComputeError> {
+    if !n.is_power_of_two() || n < 2 {
+        return Err(ComputeError::BadKernel {
+            message: format!("FFT size {n} is not a power of two >= 2"),
+        });
+    }
+    let stages = n.trailing_zeros() as usize;
+    let kre = Arc::new(stage_spec(n, direction, true));
+    let kim = Arc::new(stage_spec(n, direction, false));
+    let half_of = |stage: usize| Value::Float((1usize << stage) as f32);
+    PipelineSpec::builder("fft")
+        .source_len("re", n)
+        .source_len("im", n)
+        .pass(
+            PassSpec::new(&kre)
+                .read("re", "re")
+                .read("im", "im")
+                .write_len("re_next", n)
+                .uniform_per_iter("half_", half_of),
+        )
+        .pass(
+            PassSpec::new(&kim)
+                .read("re", "re")
+                .read("im", "im")
+                .write_len("im_next", n)
+                .uniform_per_iter("half_", half_of),
+        )
+        .ping_pong("re", "re_next")
+        .ping_pong("im", "im_next")
+        .iterations(stages)
+        .build()
 }
 
 /// Runs the full transform on the GPU; input and output are
@@ -348,5 +403,36 @@ mod tests {
         let mut cc = ComputeContext::new(16, 16).expect("context");
         assert!(run_gpu(&mut cc, &[0.0; 12], &[0.0; 12], Direction::Forward).is_err());
         assert!(run_gpu(&mut cc, &[0.0; 16], &[0.0; 8], Direction::Forward).is_err());
+        assert!(pipeline_spec(12, Direction::Forward).is_err());
+    }
+
+    #[test]
+    fn pipeline_spec_matches_direct_run_bitwise() {
+        let n = 64;
+        let re = data::random_f32(n, 406, 1.0);
+        let im = data::random_f32(n, 407, 1.0);
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        let (dre, dim) = run_gpu(&mut cc, &re, &im, Direction::Forward).expect("direct");
+        let links = cc.stats().programs_linked;
+        // Building the context-free spec on the same context is a pure
+        // program-cache hit: the generated sources are byte-identical.
+        let spec = pipeline_spec(n, Direction::Forward).expect("spec");
+        let served = spec.build(&mut cc).expect("build");
+        assert_eq!(cc.stats().programs_linked, links, "spec relinked a program");
+        let gre = cc.upload(&re).expect("re");
+        let gim = cc.upload(&im).expect("im");
+        let seeds = [
+            gpes_core::SourceSeed::array("re", &gre),
+            gpes_core::SourceSeed::array("im", &gim),
+        ];
+        let run = served
+            .pipeline()
+            .run_seeded(&mut cc, &seeds)
+            .expect("seeded run");
+        let sre = run.read::<f32>(&mut cc, "re").expect("read re");
+        let sim = run.read::<f32>(&mut cc, "im").expect("read im");
+        run.finish(&mut cc);
+        assert_eq!(sre, dre);
+        assert_eq!(sim, dim);
     }
 }

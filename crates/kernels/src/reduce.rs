@@ -9,9 +9,11 @@
 //! `n_live` uniform — zero shader compiles inside the loop.
 
 use gpes_core::{
-    ComputeContext, ComputeError, GpuArray, Kernel, OutputShape, Pass, Pipeline, ScalarType,
+    ComputeContext, ComputeError, GpuArray, Kernel, KernelSpec, OutputShape, Pass, PassSpec,
+    Pipeline, PipelineSpec,
 };
 use gpes_glsl::Value;
+use std::sync::Arc;
 
 /// Elements folded per output per pass.
 pub const FANIN: usize = 8;
@@ -79,17 +81,64 @@ pub fn fold_body(op: ReduceOp) -> String {
 
 /// Builds the single fold kernel shared by every level of the tree (the
 /// `n_live` uniform and the output shape vary per level, not the shader).
+/// Built through [`fold_spec`] so direct and engine-served reductions
+/// share one program by construction.
 fn pass_kernel(
     cc: &mut ComputeContext,
     input: &GpuArray<f32>,
     op: ReduceOp,
 ) -> Result<Kernel, ComputeError> {
-    Kernel::builder(format!("reduce_{op:?}"))
-        .input("x", input)
-        .uniform_f32("n_live", input.len() as f32)
-        .output(ScalarType::F32, input.len().div_ceil(FANIN))
+    fold_spec(input.len(), op).build(cc, &[*input])
+}
+
+/// Context-free spec of the fold kernel for an `n`-element input — the
+/// engine-servable twin of the private per-context builder, generating
+/// the byte-identical program (level size arrives through the `n_live`
+/// uniform, so one program serves the whole tree).
+pub fn fold_spec(n: usize, op: ReduceOp) -> KernelSpec {
+    KernelSpec::new(format!("reduce_{op:?}"))
+        .input("x")
+        .uniform_f32("n_live", n as f32)
+        .output(n.div_ceil(FANIN))
         .body(fold_body(op))
-        .build(cc)
+}
+
+/// Context-free spec of the whole retained reduction tree, mirroring
+/// [`gpu_reduce`]'s wiring (one fold kernel, per-level output shapes and
+/// `n_live` values). Submit through
+/// [`gpes_core::Engine::submit_pipeline`] with one linear source `x` of
+/// `n` elements and read buffer `x` (one element); the result is
+/// bit-identical to [`gpu_reduce`]. `n == 1` degenerates to zero
+/// iterations: the seed is read back unchanged.
+///
+/// # Errors
+///
+/// `BadKernel` for `n == 0`.
+pub fn pipeline_spec(n: usize, op: ReduceOp) -> Result<PipelineSpec, ComputeError> {
+    if n == 0 {
+        return Err(ComputeError::BadKernel {
+            message: "cannot reduce an empty array".into(),
+        });
+    }
+    let mut in_lens = vec![n];
+    while *in_lens.last().expect("non-empty") > 1 {
+        in_lens.push(in_lens.last().expect("non-empty").div_ceil(FANIN));
+    }
+    let levels = in_lens.len() - 1;
+    let kernel = Arc::new(fold_spec(n, op));
+    let live = in_lens.clone();
+    let out = in_lens;
+    PipelineSpec::builder(format!("reduce_{op:?}"))
+        .source_len("x", n)
+        .pass(
+            PassSpec::new(&kernel)
+                .read("x", "x")
+                .write_len("x", 1)
+                .output_per_iter(move |level| OutputShape::Linear(out[level + 1]))
+                .uniform_per_iter("n_live", move |level| Value::Float(live[level] as f32)),
+        )
+        .iterations(levels)
+        .build()
 }
 
 /// Reduces an f32 array on the GPU, returning the scalar result.
@@ -210,5 +259,25 @@ mod tests {
             gpu_reduce(&mut cc, &arr, ReduceOp::Max).expect("reduce"),
             -2.5
         );
+    }
+
+    #[test]
+    fn pipeline_spec_matches_direct_run_bitwise() {
+        let n = 1000;
+        let values = data::random_f32(n, 53, 10.0);
+        let mut cc = ComputeContext::new(64, 64).expect("context");
+        let arr = cc.upload(&values).expect("upload");
+        let direct = gpu_reduce(&mut cc, &arr, ReduceOp::Sum).expect("direct");
+        let links = cc.stats().programs_linked;
+        let spec = pipeline_spec(n, ReduceOp::Sum).expect("spec");
+        let served = spec.build(&mut cc).expect("build");
+        assert_eq!(cc.stats().programs_linked, links, "spec relinked a program");
+        let seeds = [gpes_core::SourceSeed::array("x", &arr)];
+        let out: Vec<f32> = served
+            .pipeline()
+            .run_and_read_seeded(&mut cc, &seeds, "x")
+            .expect("seeded run");
+        assert_eq!(out, vec![direct]);
+        assert!(pipeline_spec(0, ReduceOp::Sum).is_err());
     }
 }

@@ -12,8 +12,12 @@
 //!
 //! Boundaries clamp to edge, exactly as the texture sampler does.
 
-use gpes_core::{ComputeContext, ComputeError, GpuMatrix, Kernel, Pass, Pipeline, ScalarType};
+use gpes_core::{
+    ComputeContext, ComputeError, GpuMatrix, Kernel, KernelSpec, Pass, PassSpec, Pipeline,
+    PipelineSpec, ScalarType,
+};
 use gpes_perf::CpuWorkload;
+use std::sync::Arc;
 
 /// Diffusion parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,22 +37,10 @@ impl Default for SradParams {
     }
 }
 
-/// Builds kernel 1: the diffusion-coefficient field.
-///
-/// # Errors
-///
-/// Build/compile errors from the framework.
-pub fn build_coeff(
-    cc: &mut ComputeContext,
-    image: &GpuMatrix<f32>,
-    params: SradParams,
-) -> Result<Kernel, ComputeError> {
-    Kernel::builder("srad_coeff")
-        .input_matrix("j", image)
-        .uniform_f32("q0sq", params.q0sq)
-        .output_grid(ScalarType::F32, image.rows(), image.cols())
-        .body(
-            "float jc = fetch_j_rc(row, col);\n\
+/// The GLSL body of the coefficient kernel — one source of truth shared
+/// by [`build_coeff`] and [`coeff_spec`], so the two generate the
+/// byte-identical program.
+const COEFF_BODY: &str = "float jc = fetch_j_rc(row, col);\n\
              float jn = fetch_j_rc(row - 1.0, col);\n\
              float js = fetch_j_rc(row + 1.0, col);\n\
              float jw = fetch_j_rc(row, col - 1.0);\n\
@@ -63,8 +55,36 @@ pub fn build_coeff(
              float den = 1.0 + 0.25*l;\n\
              float qsq = num / (den*den);\n\
              float c = 1.0 / (1.0 + (qsq - q0sq) / (q0sq * (1.0 + q0sq)));\n\
-             return clamp(c, 0.0, 1.0);",
-        )
+             return clamp(c, 0.0, 1.0);";
+
+/// The GLSL body of the update kernel, shared by [`build_update`] and
+/// [`update_spec`].
+const UPDATE_BODY: &str = "float jc = fetch_j_rc(row, col);\n\
+             float cc = fetch_c_rc(row, col);\n\
+             float cs = fetch_c_rc(row + 1.0, col);\n\
+             float ce = fetch_c_rc(row, col + 1.0);\n\
+             float dn = fetch_j_rc(row - 1.0, col) - jc;\n\
+             float ds = fetch_j_rc(row + 1.0, col) - jc;\n\
+             float dw = fetch_j_rc(row, col - 1.0) - jc;\n\
+             float de = fetch_j_rc(row, col + 1.0) - jc;\n\
+             float div = cc*dn + cs*ds + cc*dw + ce*de;\n\
+             return jc + 0.25 * lambda * div;";
+
+/// Builds kernel 1: the diffusion-coefficient field.
+///
+/// # Errors
+///
+/// Build/compile errors from the framework.
+pub fn build_coeff(
+    cc: &mut ComputeContext,
+    image: &GpuMatrix<f32>,
+    params: SradParams,
+) -> Result<Kernel, ComputeError> {
+    Kernel::builder("srad_coeff")
+        .input_matrix("j", image)
+        .uniform_f32("q0sq", params.q0sq)
+        .output_grid(ScalarType::F32, image.rows(), image.cols())
+        .body(COEFF_BODY)
         .build(cc)
 }
 
@@ -89,19 +109,60 @@ pub fn build_update(
         .input_matrix("c", coeff)
         .uniform_f32("lambda", params.lambda)
         .output_grid(ScalarType::F32, image.rows(), image.cols())
-        .body(
-            "float jc = fetch_j_rc(row, col);\n\
-             float cc = fetch_c_rc(row, col);\n\
-             float cs = fetch_c_rc(row + 1.0, col);\n\
-             float ce = fetch_c_rc(row, col + 1.0);\n\
-             float dn = fetch_j_rc(row - 1.0, col) - jc;\n\
-             float ds = fetch_j_rc(row + 1.0, col) - jc;\n\
-             float dw = fetch_j_rc(row, col - 1.0) - jc;\n\
-             float de = fetch_j_rc(row, col + 1.0) - jc;\n\
-             float div = cc*dn + cs*ds + cc*dw + ce*de;\n\
-             return jc + 0.25 * lambda * div;",
-        )
+        .body(UPDATE_BODY)
         .build(cc)
+}
+
+/// Context-free spec of the coefficient kernel for a `rows × cols`
+/// image — the engine-servable twin of [`build_coeff`].
+pub fn coeff_spec(rows: u32, cols: u32, params: SradParams) -> KernelSpec {
+    KernelSpec::new("srad_coeff")
+        .input("j")
+        .uniform_f32("q0sq", params.q0sq)
+        .output_grid(rows, cols)
+        .body(COEFF_BODY)
+}
+
+/// Context-free spec of the update kernel — the engine-servable twin of
+/// [`build_update`].
+pub fn update_spec(rows: u32, cols: u32, params: SradParams) -> KernelSpec {
+    KernelSpec::new("srad_update")
+        .input("j")
+        .input("c")
+        .uniform_f32("lambda", params.lambda)
+        .output_grid(rows, cols)
+        .body(UPDATE_BODY)
+}
+
+/// Context-free spec of the whole retained diffusion loop, mirroring
+/// [`run_gpu`]'s wiring (coeff then update per iteration, `j` updated in
+/// place). Submit through [`gpes_core::Engine::submit_pipeline`] with one
+/// grid source `j` of `rows × cols` elements and read buffer `j`;
+/// outputs are bit-identical to [`run_gpu`].
+///
+/// # Errors
+///
+/// Spec validation errors (e.g. zero-sized grids rejected at build).
+pub fn pipeline_spec(
+    rows: usize,
+    cols: usize,
+    params: SradParams,
+    iterations: usize,
+) -> Result<PipelineSpec, ComputeError> {
+    let (r, c) = (rows as u32, cols as u32);
+    let kc = Arc::new(coeff_spec(r, c, params));
+    let ku = Arc::new(update_spec(r, c, params));
+    PipelineSpec::builder("srad")
+        .source_grid("j", r, c)
+        .pass(PassSpec::new(&kc).read("j", "j").write_grid("c", r, c))
+        .pass(
+            PassSpec::new(&ku)
+                .read("j", "j")
+                .read("c", "c")
+                .write_grid("j", r, c),
+        )
+        .iterations(iterations)
+        .build()
 }
 
 /// Runs `iterations` of the two-kernel chain on the GPU.
@@ -290,5 +351,28 @@ mod tests {
         let j = cc.upload_matrix(4, 4, &[1.0f32; 16]).expect("j");
         let c = cc.upload_matrix(4, 5, &[1.0f32; 20]).expect("c");
         assert!(build_update(&mut cc, &j, &c, SradParams::default()).is_err());
+    }
+
+    #[test]
+    fn pipeline_spec_matches_direct_run_bitwise() {
+        let (rows, cols) = (9usize, 7usize);
+        let img = speckled_image(rows, cols, 74);
+        let params = SradParams::default();
+        let mut cc = ComputeContext::new(32, 32).expect("context");
+        let direct = run_gpu(&mut cc, rows, cols, &img, params, 3).expect("direct");
+        let links = cc.stats().programs_linked;
+        let spec = pipeline_spec(rows, cols, params, 3).expect("spec");
+        let served = spec.build(&mut cc).expect("build");
+        assert_eq!(cc.stats().programs_linked, links, "spec relinked a program");
+        let j = cc
+            .upload_matrix(rows as u32, cols as u32, &img)
+            .expect("upload");
+        let seeds = [gpes_core::SourceSeed::matrix("j", &j)];
+        let out: Vec<f32> = served
+            .pipeline()
+            .run_and_read_seeded(&mut cc, &seeds, "j")
+            .expect("seeded run");
+        assert_eq!(out, direct);
+        cc.recycle_matrix(j);
     }
 }

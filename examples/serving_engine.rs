@@ -79,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s0 = sub.step(&blur, vec![StepInput::Data(Arc::clone(&x))], vec![]);
     let s1 = sub.step(
         &gain,
-        vec![StepInput::Step(s0)],
+        vec![s0.into()],
         vec![("gain".to_owned(), Value::Float(2.0))],
     );
     sub.read(s1);
@@ -87,6 +87,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "batch DAG blur→gain done; output[1] = {}",
         batch.output(s1).expect("marked step")[1]
+    );
+
+    // A whole retained pipeline as one job: x ← blur(x) four times, all
+    // iterations on the worker's GPU, the built pipeline cached by spec
+    // hash so repeat submissions link nothing and allocate nothing.
+    let smooth = Arc::new(
+        PipelineSpec::builder("smooth4")
+            .source_len("x", N)
+            .pass(PassSpec::new(&blur).read("x", "x").write_len("x", N))
+            .iterations(4)
+            .build()?,
+    );
+    // Constant inputs can be made resident: uploaded once per worker,
+    // then referenced by every later job without a host→GPU transfer.
+    let resident_x = ResidentInput::new(x.as_ref().clone());
+    for wave in 0..3 {
+        let job = PipelineJob::new(&smooth)
+            .source_resident(&resident_x)
+            .read("x");
+        let result = engine.submit_pipeline(job)?.wait()?;
+        println!(
+            "pipeline wave {wave}: smooth4 output[1] = {}",
+            result.output("x").expect("marked buffer")[1]
+        );
+    }
+    let residents = engine.resident_stats();
+    println!(
+        "resident uploads {} / hits {} across {} workers",
+        residents.iter().map(|s| s.uploads).sum::<u64>(),
+        residents.iter().map(|s| s.hits).sum::<u64>(),
+        engine.workers(),
     );
 
     println!(

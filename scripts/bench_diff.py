@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Diff freshly measured counters against the committed BENCH baselines.
+
+Reads the `ci_perf.json` a CI run just produced (see `ci_perf_gate.py`)
+and the newest committed `BENCH_<n>.json` that recorded each section,
+then prints a markdown regression table — counters compared exactly,
+timing as an advisory ratio. CI appends the table to the job summary and
+uploads it as an artifact, so a counter drift is visible at a glance
+without downloading logs.
+
+This script never fails the build: the deterministic contracts are
+enforced by the blocking `ci_perf_gate.py` step; this one exists to show
+the *trajectory* (e.g. a row whose links changed between baselines on
+purpose, or a jobs/s shift worth a look).
+
+Usage:
+    bench_diff.py <ci_perf.json> [markdown_out]
+"""
+
+import glob
+import json
+import pathlib
+import re
+import sys
+
+
+def latest_baseline_with(key):
+    """Newest committed BENCH_<n>.json that recorded section `key`."""
+    for path in sorted(glob.glob("BENCH_*.json"),
+                       key=lambda p: int(re.search(r"\d+", p).group()),
+                       reverse=True):
+        data = json.load(open(path))
+        if data.get(key):
+            return path, data[key]
+    return None, []
+
+
+def fmt_ratio(fresh, base):
+    if not base:
+        return "n/a"
+    return f"{fresh / base:.2f}x"
+
+
+def diff_section(lines, title, baseline_key, fresh_rows, key_fields,
+                 counter_fields, time_field):
+    path, base_rows = latest_baseline_with(baseline_key)
+    lines.append(f"### {title}")
+    if not fresh_rows:
+        lines.append("_no fresh rows measured_\n")
+        return
+    if path is None:
+        lines.append(f"_no committed baseline records `{baseline_key}` yet_\n")
+        return
+    lines.append(f"baseline: `{path}`\n")
+    head = key_fields + [f"{c} (fresh/base)" for c in counter_fields] + \
+        [f"{time_field} ratio", "verdict"]
+    lines.append("| " + " | ".join(head) + " |")
+    lines.append("|" + "---|" * len(head))
+    base_index = {tuple(str(r.get(k)) for k in key_fields): r for r in base_rows}
+    for row in fresh_rows:
+        key = tuple(str(row.get(k)) for k in key_fields)
+        base = base_index.get(key)
+        cells = list(key)
+        if base is None:
+            cells += ["new" for _ in counter_fields] + ["n/a", "NEW ROW"]
+        else:
+            drift = False
+            for c in counter_fields:
+                fresh_v, base_v = row.get(c), base.get(c)
+                cells.append(f"{fresh_v}/{base_v}")
+                drift |= fresh_v != base_v
+            cells.append(fmt_ratio(row.get(time_field, 0.0),
+                                   base.get(time_field, 0.0)))
+            cells.append("counter drift" if drift else "ok")
+        lines.append("| " + " | ".join(str(c) for c in cells) + " |")
+    lines.append("")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    ci_perf = json.load(open(sys.argv[1]))
+    lines = ["## Bench counter diff vs committed baselines", ""]
+
+    diff_section(
+        lines, "a9 — compile/bind split", "a9_host_cache",
+        ci_perf.get("a9_counters", []),
+        ["workload", "mode"],
+        ["programs_linked", "textures_created", "pool_hits"],
+        "host_ms",
+    )
+    diff_section(
+        lines, "a10 — concurrent serving", "a10_serving",
+        ci_perf.get("a10_counters", []),
+        ["mix", "workers", "cache"],
+        ["links", "post_warmup_links"],
+        "jobs_per_sec",
+    )
+    diff_section(
+        lines, "a11 — pipeline serving", "a11_pipeline_serving",
+        ci_perf.get("a11_counters", []),
+        ["workload", "mode", "workers"],
+        ["links", "post_warmup_links", "post_warmup_gl_objects", "identical"],
+        "jobs_per_sec",
+    )
+    lines.append("_counters compare exactly; timing ratios are advisory "
+                 "(shared runners are noisy). The blocking contracts live in "
+                 "`ci_perf_gate.py`._")
+
+    table = "\n".join(lines) + "\n"
+    sys.stdout.write(table)
+    if len(sys.argv) > 2:
+        pathlib.Path(sys.argv[2]).write_text(table)
+
+
+if __name__ == "__main__":
+    main()

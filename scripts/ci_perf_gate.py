@@ -7,22 +7,28 @@ Two concerns, one machine-readable artefact:
   against the newest committed `BENCH_<n>.json`. Shared CI runners are
   noisy, so a slow run only prints a warning — it never fails the build.
 
-* **Counters (blocking).** The a9/a10 cache counters are deterministic:
-  they count links and pool hits, not time. The contract locked in here:
+* **Counters (blocking).** The a9/a10/a11 cache counters are
+  deterministic: they count links, pool hits and GL objects, not time.
+  The contract locked in here:
 
   - a9 retained mode compiles exactly 2/1/2 programs in-loop for
     srad/reduce/fft and always hits the texture pool;
   - a10 shared-cache rows link exactly the mix size (3 for `hot3`, 24
-    for `wide24`) at *every* worker count, with zero post-warmup links.
+    for `wide24`) at *every* worker count, with zero post-warmup links;
+  - a11 engine-pipeline rows (whole retained pipelines served as engine
+    jobs) show **zero** post-warmup links and **zero** new GL objects in
+    the steady-state wave at every worker count, and every a11 row —
+    engine, direct and per-pass alike — reports outputs bit-identical to
+    the direct retained-Pipeline run.
 
   Any violation exits non-zero and fails CI.
 
 Everything parsed plus the verdicts is written to `ci_perf.json` (path
-overridable by the 4th argument) and uploaded as a workflow artifact, so
+overridable by the last argument) and uploaded as a workflow artifact, so
 the perf trajectory is diffable across runs instead of buried in logs.
 
 Usage:
-    ci_perf_gate.py <a3_start> <a3_end> <a9_output_file> <a10_output_file> [ci_perf.json]
+    ci_perf_gate.py <a3_start> <a3_end> <a9_out> <a10_out> <a11_out> [ci_perf.json]
 
 where `a3_start`/`a3_end` are `date +%s.%N` stamps around the a3 run.
 """
@@ -43,10 +49,23 @@ A10_ROW = re.compile(
     r"(?P<jobs>\d+) jobs\s+(?P<host_ms>[\d.]+) ms\s+(?P<jobs_per_sec>[\d.]+) jobs/s\s+"
     r"links\s+(?P<links>\d+)\s+post-warmup\s+(?P<post_warmup_links>\d+)"
 )
+A11_ROW = re.compile(
+    r"^(?P<workload>\w+)\s+(?P<mode>[\w-]+)\s+workers (?P<workers>\d+)\s+"
+    r"(?P<jobs>\d+) jobs\s+(?P<host_ms>[\d.]+) ms\s+(?P<jobs_per_sec>[\d.]+) jobs/s\s+"
+    r"links\s+(?P<links>\d+)\s+post-warmup links\s+(?P<post_warmup_links>\d+)\s+"
+    r"objects\s+(?P<post_warmup_gl_objects>\d+)\s+identical (?P<identical>\S+)"
+)
+
+A11_NUMERIC = {
+    "workers": int, "jobs": int, "host_ms": float, "jobs_per_sec": float,
+    "links": int, "post_warmup_links": int, "post_warmup_gl_objects": int,
+}
 
 # The deterministic contracts.
 A9_RETAINED_LINKS = {"srad": 2, "reduce": 1, "fft": 2}
 A10_MIX_LINKS = {"hot3": 3, "wide24": 24}
+A11_WORKLOADS = ("fft", "srad", "reduce")
+A11_ENGINE_WORKER_COUNTS = (1, 2, 4)
 
 
 def parse_rows(path, regex, numeric):
@@ -62,7 +81,7 @@ def parse_rows(path, regex, numeric):
 
 
 def main():
-    if len(sys.argv) < 5:
+    if len(sys.argv) < 6:
         sys.exit(__doc__)
     elapsed = float(sys.argv[2]) - float(sys.argv[1])
     a9_rows = parse_rows(
@@ -75,7 +94,8 @@ def main():
         {"workers": int, "jobs": int, "host_ms": float,
          "jobs_per_sec": float, "links": int, "post_warmup_links": int},
     )
-    out_path = pathlib.Path(sys.argv[5] if len(sys.argv) > 5 else "ci_perf.json")
+    a11_rows = parse_rows(sys.argv[5], A11_ROW, A11_NUMERIC)
+    out_path = pathlib.Path(sys.argv[6] if len(sys.argv) > 6 else "ci_perf.json")
 
     # ---- advisory timing ------------------------------------------------
     baselines = sorted(glob.glob("BENCH_*.json"),
@@ -119,9 +139,39 @@ def main():
                 f"{where}: {row['post_warmup_links']} post-warmup links, "
                 f"contract is 0 with the shared cache")
 
+    # a11: whole retained pipelines served as engine jobs. Every row must
+    # be bit-identical to the direct run; the engine-pipeline rows must
+    # additionally show a zero-link, zero-allocation steady-state wave at
+    # every worker count.
+    if not a11_rows:
+        failures.append("a11: no rows parsed")
+    for row in a11_rows:
+        where = f"a11: {row['workload']} {row['mode']} @ {row['workers']} workers"
+        if row["identical"] != "yes":
+            failures.append(f"{where}: output diverged from the direct run")
+    engine_rows = {
+        (r["workload"], r["workers"]): r
+        for r in a11_rows if r["mode"] == "engine-pipeline"
+    }
+    for workload in A11_WORKLOADS:
+        for workers in A11_ENGINE_WORKER_COUNTS:
+            row = engine_rows.get((workload, workers))
+            where = f"a11: {workload} engine-pipeline @ {workers} workers"
+            if row is None:
+                failures.append(f"{where}: row missing")
+                continue
+            if row["post_warmup_links"] != 0:
+                failures.append(
+                    f"{where}: {row['post_warmup_links']} post-warmup links, "
+                    f"contract is 0 for steady-state pipeline serving")
+            if row["post_warmup_gl_objects"] != 0:
+                failures.append(
+                    f"{where}: {row['post_warmup_gl_objects']} GL objects created "
+                    f"in the steady-state wave, contract is 0")
+
     # ---- artefact --------------------------------------------------------
     out_path.write_text(json.dumps({
-        "schema": "gpes-ci-perf/1",
+        "schema": "gpes-ci-perf/2",
         "a3": {"elapsed_seconds": round(elapsed, 3),
                "baseline_file": baselines[-1],
                "baseline_seconds": base,
@@ -129,17 +179,20 @@ def main():
                "advisory_slow": ratio > 2.0},
         "a9_counters": a9_rows,
         "a10_counters": a10_rows,
+        "a11_counters": a11_rows,
         "gate_failures": failures,
     }, indent=2) + "\n")
-    print(f"wrote {out_path} ({len(a9_rows)} a9 rows, {len(a10_rows)} a10 rows)")
+    print(f"wrote {out_path} ({len(a9_rows)} a9 rows, {len(a10_rows)} a10 rows, "
+          f"{len(a11_rows)} a11 rows)")
 
     if failures:
         print("counter gate FAILED:")
         for f in failures:
             print(f"  - {f}")
         sys.exit(1)
-    print("counter gate passed: a9 in-loop links 2/1/2, "
-          "a10 shared-cache post-warmup links all zero")
+    print("counter gate passed: a9 in-loop links 2/1/2, a10 shared-cache "
+          "post-warmup links all zero, a11 pipeline serving steady-state "
+          "links/objects all zero and outputs bit-identical")
 
 
 if __name__ == "__main__":

@@ -24,7 +24,7 @@ import time
 REPO = pathlib.Path(__file__).resolve().parent.parent
 SECTIONS = [
     "e1", "sweep", "e2", "f1", "f2",
-    "a1", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10",
+    "a1", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11",
 ]
 
 # e.g. "sum (int)    n=1048576    cpu   64.97 ms   gpu  13.33 ms   speedup 4.87x   paper 7.2x   validated yes"
@@ -35,10 +35,10 @@ E1_ROW = re.compile(
     r"validated\s+(?P<validated>\S+)"
 )
 
-# The a9/a10 row regexes live in ci_perf_gate.py (one copy, imported by
-# both consumers) so a format change in the bench row printers cannot
+# The a9/a10/a11 row regexes live in ci_perf_gate.py (one copy, imported
+# by both consumers) so a format change in the bench row printers cannot
 # desynchronise the CI gate from the recorded baselines.
-from ci_perf_gate import A9_ROW, A10_ROW  # noqa: E402
+from ci_perf_gate import A9_ROW, A10_ROW, A11_NUMERIC, A11_ROW  # noqa: E402
 
 
 def run_section(name: str) -> dict:
@@ -79,6 +79,7 @@ def main() -> None:
     e1_rows = []
     a9_rows = []
     a10_rows = []
+    a11_rows = []
     for name in SECTIONS:
         result = run_section(name)
         lines = result["stdout"].splitlines()
@@ -119,6 +120,14 @@ def main() -> None:
                     for k in ("workers", "jobs", "links", "post_warmup_links"):
                         row[k] = int(row[k])
                     a10_rows.append(row)
+        if name == "a11":
+            for line in lines:
+                m = A11_ROW.match(line.strip())
+                if m:
+                    row = m.groupdict()
+                    for k, cast in A11_NUMERIC.items():
+                        row[k] = cast(row[k])
+                    a11_rows.append(row)
 
     baseline = {
         "schema": "gpes-bench-baseline/1",
@@ -145,6 +154,12 @@ def main() -> None:
         # shared-cache links equal the mix size at every pool size and
         # post_warmup_links is 0; per-context caches relink per worker.
         "a10_serving": a10_rows,
+        # a11: whole retained pipelines served as engine jobs vs direct
+        # runs vs per-pass Submission DAGs (PR 5). The deterministic
+        # contract: engine-pipeline rows show zero post-warmup links and
+        # zero new GL objects in the steady-state wave, and every mode is
+        # bit-identical to the direct run.
+        "a11_pipeline_serving": a11_rows,
     }
     out_path.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"wrote {out_path} ({len(e1_rows)} speedup rows, "

@@ -46,8 +46,9 @@ pub mod prelude {
     pub use gpes_core::{
         Bindings, ComputeContext, ComputeError, ContextStats, Engine, FloatSpecials, GpuArray,
         GpuMatrix, GpuTexels, Job, Kernel, KernelBuilder, KernelSpec, MultiOutputBuilder,
-        MultiOutputKernel, OutputShape, PackBias, Pass, Pipeline, Readback, ScalarType,
-        SharedProgramCache, Submission, VertexKernel,
+        MultiOutputKernel, OutputShape, PackBias, Pass, PassSpec, Pipeline, PipelineJob,
+        PipelineResult, PipelineSpec, Readback, ResidentInput, ResidentStats, ScalarType,
+        SharedProgramCache, StepHandle, Submission, VertexKernel,
     };
     pub use gpes_gles2::{Context, Dispatch, Executor, StoreRounding};
     pub use gpes_glsl::exec::FloatModel;

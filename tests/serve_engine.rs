@@ -1,11 +1,15 @@
 //! Tier-1 integration tests for the serving engine: process-wide program
 //! sharing (exactly one link under thread races), cache eviction bounds,
 //! and bit-identity between `Engine` dispatch and direct `run_*_with`
-//! calls — single jobs and batched multi-kernel DAGs alike.
+//! calls — single jobs, batched multi-kernel DAGs, and whole retained
+//! pipelines served as engine jobs. Plus the failure-path contracts:
+//! `until` predicates that never fire surface `IterationCap` (not a
+//! hang), and evicted `ResidentInput`s fail validation.
 
 use gpes::core::serve::StepInput;
 use gpes::core::SharedCacheStats;
 use gpes::glsl::Value;
+use gpes::kernels::{data, fft, reduce, srad};
 use gpes::prelude::*;
 use std::sync::Arc;
 
@@ -220,7 +224,7 @@ fn batch_dag_matches_chained_direct_dispatch_bitwise() {
     );
     let g = sub.step(
         &gain_spec(n),
-        vec![StepInput::Step(b)],
+        vec![b.into()],
         vec![("gain".to_owned(), Value::Float(gain))],
     );
     sub.read(g);
@@ -355,4 +359,265 @@ fn worker_contexts_reach_steady_state_over_repeated_jobs() {
         prev = now;
     }
     assert!(steady, "steady-state serving must stop allocating");
+}
+
+// ---- pipeline serving ----------------------------------------------------
+
+#[test]
+fn engine_served_fft_pipeline_is_bit_identical_to_direct_run() {
+    let n = 64;
+    let re = data::random_f32(n, 801, 1.0);
+    let im = data::random_f32(n, 802, 1.0);
+    let mut cc = ComputeContext::new(16, 16).expect("context");
+    let (dre, dim) = fft::run_gpu(&mut cc, &re, &im, fft::Direction::Forward).expect("direct");
+
+    let engine = Engine::builder().workers(2).build().expect("engine");
+    let spec = Arc::new(fft::pipeline_spec(n, fft::Direction::Forward).expect("spec"));
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let job = PipelineJob::new(&spec)
+            .source(re.clone())
+            .source(im.clone())
+            .read("re")
+            .read("im");
+        handles.push(engine.submit_pipeline(job).expect("submit"));
+    }
+    for handle in handles {
+        let result = handle.wait().expect("pipeline job");
+        assert_eq!(result.output("re").expect("re"), dre.as_slice());
+        assert_eq!(result.output("im").expect("im"), dim.as_slice());
+    }
+    // Two stage kernels, one process-wide link each, however many
+    // workers served the six jobs.
+    assert_eq!(engine.programs_linked(), 2);
+}
+
+#[test]
+fn engine_served_srad_and_reduce_match_direct_runs() {
+    let (rows, cols) = (9usize, 7usize);
+    let img: Vec<f32> = data::random_f32(rows * cols, 803, 40.0)
+        .into_iter()
+        .map(|v| v.abs() + 10.0)
+        .collect();
+    let params = srad::SradParams::default();
+    let values = data::random_f32(500, 804, 25.0);
+    let mut cc = ComputeContext::new(32, 32).expect("context");
+    let direct_srad = srad::run_gpu(&mut cc, rows, cols, &img, params, 4).expect("srad");
+    let arr = cc.upload(&values).expect("upload");
+    let direct_reduce = reduce::gpu_reduce(&mut cc, &arr, reduce::ReduceOp::Sum).expect("reduce");
+
+    let engine = Engine::builder().workers(2).build().expect("engine");
+    let srad_spec = Arc::new(srad::pipeline_spec(rows, cols, params, 4).expect("spec"));
+    let reduce_spec =
+        Arc::new(reduce::pipeline_spec(values.len(), reduce::ReduceOp::Sum).expect("spec"));
+    let srad_job = PipelineJob::new(&srad_spec).source(img.clone()).read("j");
+    let reduce_job = PipelineJob::new(&reduce_spec)
+        .source(values.clone())
+        .read("x");
+    let h1 = engine.submit_pipeline(srad_job).expect("submit srad");
+    let h2 = engine.submit_pipeline(reduce_job).expect("submit reduce");
+    assert_eq!(
+        h1.wait().expect("srad").output("j").expect("j"),
+        direct_srad.as_slice()
+    );
+    assert_eq!(
+        h2.wait().expect("reduce").output("x").expect("x"),
+        &[direct_reduce][..]
+    );
+}
+
+#[test]
+fn pipeline_serving_reaches_steady_state_with_zero_links_and_objects() {
+    // The a11 gate's contract, as a test: once every worker has built the
+    // pipeline for the spec, a full serving wave links nothing and
+    // creates no GL objects — the pipeline cache, program caches and
+    // texture pools absorb everything.
+    let n = 256;
+    let engine = Engine::builder().workers(2).build().expect("engine");
+    let spec = Arc::new(reduce::pipeline_spec(n, reduce::ReduceOp::Sum).expect("spec"));
+    let values = Arc::new(data::random_f32(n, 805, 10.0));
+    let expected = reduce::cpu_reference(&values, reduce::ReduceOp::Sum);
+    let submit_wave = |count: usize| {
+        let handles: Vec<_> = (0..count)
+            .map(|_| {
+                engine
+                    .submit_pipeline(PipelineJob::new(&spec).source_shared(&values).read("x"))
+                    .expect("submit")
+            })
+            .collect();
+        for h in handles {
+            let out = h.wait().expect("job");
+            assert_eq!(out.output("x").expect("x"), &[expected][..]);
+        }
+    };
+    let gl_objects = || -> u64 {
+        engine
+            .worker_stats()
+            .iter()
+            .map(ContextStats::gl_objects_created)
+            .sum()
+    };
+    let mut prev = (gl_objects(), engine.programs_linked());
+    let mut steady = false;
+    for _ in 0..16 {
+        submit_wave(12);
+        let now = (gl_objects(), engine.programs_linked());
+        if now == prev {
+            steady = true;
+            break;
+        }
+        prev = now;
+    }
+    assert!(
+        steady,
+        "steady-state pipeline serving must stop linking and allocating"
+    );
+}
+
+#[test]
+fn pipeline_job_validation_rejects_bad_requests() {
+    let engine = Engine::builder().build().expect("engine");
+    let spec = Arc::new(reduce::pipeline_spec(16, reduce::ReduceOp::Sum).expect("spec"));
+    // Source arity.
+    assert!(engine
+        .submit_pipeline(PipelineJob::new(&spec).read("x"))
+        .is_err());
+    // Declared source length.
+    assert!(engine
+        .submit_pipeline(PipelineJob::new(&spec).source(vec![0.0; 5]).read("x"))
+        .is_err());
+    // No readback marked.
+    assert!(engine
+        .submit_pipeline(PipelineJob::new(&spec).source(vec![0.0; 16]))
+        .is_err());
+    // Unknown read buffer.
+    assert!(engine
+        .submit_pipeline(PipelineJob::new(&spec).source(vec![0.0; 16]).read("nope"))
+        .is_err());
+    // Malformed specs are rejected at spec build, on the caller's thread.
+    let gain = gain_spec(8);
+    assert!(matches!(
+        PipelineSpec::builder("unwired")
+            .source("x")
+            .pass(PassSpec::new(&gain).write_len("y", 8))
+            .build(),
+        Err(ComputeError::BadKernel { .. })
+    ));
+}
+
+#[test]
+fn until_predicate_never_firing_is_a_typed_error_not_a_hang() {
+    let n = 8;
+    let step = Arc::new(
+        KernelSpec::new("decay")
+            .input("x")
+            .output(n)
+            .body("return fetch_x(idx) * 0.5;"),
+    );
+    let spec = Arc::new(
+        PipelineSpec::builder("nonconverging")
+            .source_len("x", n)
+            .pass(PassSpec::new(&step).read("x", "x").write_len("x", n))
+            .until(|_| false)
+            .iteration_cap(8)
+            .build()
+            .expect("spec"),
+    );
+    let engine = Engine::builder().build().expect("engine");
+    let handle = engine
+        .submit_pipeline(PipelineJob::new(&spec).source(vec![1.0; n]).read("x"))
+        .expect("submit");
+    match handle.wait() {
+        Err(ComputeError::IterationCap { pipeline, cap }) => {
+            assert_eq!(pipeline, "nonconverging");
+            assert_eq!(cap, 8);
+        }
+        other => panic!("expected IterationCap, got {other:?}"),
+    }
+    // The engine survives the failed job and keeps serving.
+    let ok = engine
+        .submit(Job::new(&gain_spec(4)).data(vec![1.0, 2.0, 3.0, 4.0]))
+        .expect("submit")
+        .wait()
+        .expect("job");
+    assert_eq!(ok, vec![1.0, 2.0, 3.0, 4.0]);
+}
+
+// ---- resident inputs -----------------------------------------------------
+
+#[test]
+fn resident_inputs_upload_once_per_worker_and_serve_hits() {
+    let n = 300;
+    let engine = Engine::builder().workers(1).build().expect("engine");
+    let spec = saxpy_spec(n);
+    let x = ResidentInput::new(ramp(n, 0.5));
+    let y = ramp(n, 0.25);
+    let direct = direct_saxpy(n, &ramp(n, 0.5), &y, 2.0);
+    for _ in 0..5 {
+        let served = engine
+            .submit(Job::new(&spec).resident(&x).data(y.clone()))
+            .expect("submit")
+            .wait()
+            .expect("job");
+        assert_eq!(served, direct, "resident path must stay bit-identical");
+    }
+    let stats: Vec<ResidentStats> = engine.resident_stats();
+    let total: ResidentStats =
+        stats
+            .iter()
+            .fold(ResidentStats::default(), |acc, s| ResidentStats {
+                uploads: acc.uploads + s.uploads,
+                hits: acc.hits + s.hits,
+                evictions: acc.evictions + s.evictions,
+                resident_textures: acc.resident_textures + s.resident_textures,
+            });
+    assert_eq!(total.uploads, 1, "one upload on the single worker");
+    assert_eq!(total.hits, 4, "four later jobs reuse the texture");
+    assert_eq!(total.resident_textures, 1);
+    assert_eq!(total.evictions, 0);
+}
+
+#[test]
+fn resident_input_used_after_eviction_is_a_validation_error() {
+    let n = 64;
+    let engine = Engine::builder().build().expect("engine");
+    let spec = gain_spec(n);
+    let resident = ResidentInput::new(ramp(n, 1.0));
+    engine
+        .submit(Job::new(&spec).resident(&resident))
+        .expect("submit")
+        .wait()
+        .expect("job before eviction");
+    resident.evict();
+    assert!(resident.is_evicted());
+    // Kernel jobs, DAG steps and pipeline sources all reject it.
+    match engine.submit(Job::new(&spec).resident(&resident)) {
+        Err(ComputeError::BadKernel { message }) => {
+            assert!(message.contains("evicted"), "message: {message}");
+        }
+        Err(other) => panic!("expected BadKernel, got {other:?}"),
+        Ok(_) => panic!("evicted resident must fail validation"),
+    }
+    let mut sub = Submission::new();
+    sub.step(&spec, vec![StepInput::Resident(resident.clone())], vec![]);
+    assert!(engine.submit_batch(sub).is_err());
+    let pipe = Arc::new(reduce::pipeline_spec(n, reduce::ReduceOp::Sum).expect("spec"));
+    assert!(engine
+        .submit_pipeline(PipelineJob::new(&pipe).source_resident(&resident).read("x"))
+        .is_err());
+    // The worker reclaims the evicted texture at its next task boundary
+    // — it does not need to see the dead handle again.
+    engine
+        .submit(Job::new(&spec).data(ramp(n, 1.0)))
+        .expect("submit")
+        .wait()
+        .expect("job after eviction");
+    let total: u64 = engine.resident_stats().iter().map(|s| s.evictions).sum();
+    let held: u64 = engine
+        .resident_stats()
+        .iter()
+        .map(|s| s.resident_textures)
+        .sum();
+    assert_eq!(total, 1, "the sweep reclaimed the evicted residency");
+    assert_eq!(held, 0, "no resident textures remain");
 }
