@@ -1570,9 +1570,247 @@ pub fn a11_pipeline_serving() -> Result<Vec<A11Row>, ComputeError> {
     Ok(rows)
 }
 
+/// A12 — serving latency under saturation: the bounded engine driven by
+/// an open-loop producer past its admission capacity, reporting the
+/// queue/service latency distribution and the snapshot's outcome
+/// counters rather than just jobs/s.
+#[derive(Debug, Clone)]
+pub struct A12Report {
+    /// Worker threads.
+    pub workers: usize,
+    /// Admission bound the producer saturates.
+    pub queue_capacity: usize,
+    /// Jobs the producer aimed to get admitted.
+    pub target_jobs: usize,
+    /// Wall-clock of the saturation phase, milliseconds.
+    pub elapsed_ms: f64,
+    /// The engine's final [`gpes_core::EngineSnapshot`], taken at
+    /// quiescence (queue empty, every handle resolved).
+    pub snapshot: gpes_core::EngineSnapshot,
+    /// Programs linked during the saturation phase (gate: 0).
+    pub post_warmup_links: u64,
+    /// GL objects created during the saturation phase (gate: 0).
+    pub post_warmup_gl_objects: u64,
+    /// Whether every completed output matched the direct reference
+    /// bit-for-bit.
+    pub identical: bool,
+}
+
+impl A12Report {
+    /// Formats the report as the stable multi-line block
+    /// `scripts/ci_perf_gate.py` parses.
+    pub fn format(&self) -> String {
+        let s = &self.snapshot;
+        let completed_per_sec = s.completed as f64 / (self.elapsed_ms / 1e3);
+        [
+            format!(
+                "a12 config    workers {}   capacity {}   target jobs {}",
+                self.workers, self.queue_capacity, self.target_jobs
+            ),
+            format!(
+                "a12 counters  submitted {}   completed {}   rejected {}   shed {}   \
+                 cancelled {}   aborted {}   unobserved {}   balanced {}",
+                s.submitted,
+                s.completed,
+                s.rejected,
+                s.shed,
+                s.cancelled,
+                s.aborted,
+                s.unobserved_errors,
+                if s.counters_balanced() { "yes" } else { "NO" },
+            ),
+            format!(
+                "a12 steady    post-warmup links {}   objects {}   queue high-water {}   identical {}",
+                self.post_warmup_links,
+                self.post_warmup_gl_objects,
+                s.queue_depth_high_water,
+                if self.identical { "yes" } else { "NO" },
+            ),
+            format!("a12 queue     {}", s.queue_latency.format_summary()),
+            format!("a12 service   {}", s.service_latency.format_summary()),
+            format!(
+                "a12 timing    {:.2} ms   {:.1} completed jobs/s",
+                self.elapsed_ms, completed_per_sec
+            ),
+        ]
+        .join("\n")
+    }
+}
+
+/// Runs A12: saturating open-loop load against a small admission bound.
+///
+/// A 2-worker engine with a deliberately tight queue is flooded with
+/// `try_submit` saxpy jobs of `n` elements until `target_jobs` are
+/// admitted *and* at least one [`ComputeError::QueueFull`] rejection has
+/// been observed. Every 7th job carries an already-expired deadline
+/// (guaranteed shed at dequeue, before any GPU work); every 13th is
+/// cancelled right after admission. Completions drain through a
+/// [`gpes_core::CompletionSet`], every successful output is compared
+/// bit-for-bit against a direct no-engine run, and the final snapshot —
+/// whose counters must balance exactly — carries the queue/service
+/// latency histograms the report prints.
+///
+/// # Errors
+///
+/// Propagates engine/simulator failures (shed, cancelled and queue-full
+/// outcomes are expected and absorbed).
+pub fn a12_latency_under_load(n: usize, target_jobs: usize) -> Result<A12Report, ComputeError> {
+    use gpes_core::{CompletionSet, Engine, Job, KernelSpec};
+    use std::sync::Arc;
+    const WORKERS: usize = 2;
+    const CAPACITY: usize = 8;
+    let x = data::random_f32(n, 1201, 1.0);
+    let y = data::random_f32(n, 1202, 1.0);
+    let spec = Arc::new(
+        KernelSpec::new("a12_saxpy")
+            .input("x")
+            .input("y")
+            .uniform_f32("alpha", 2.0)
+            .output(n)
+            .body("return alpha * fetch_x(idx) + fetch_y(idx);"),
+    );
+
+    // Direct no-engine reference for the bit-identity check.
+    let reference = {
+        let mut cc = ComputeContext::new(256, 256)?;
+        let gx = cc.upload(&x)?;
+        let gy = cc.upload(&y)?;
+        let kernel = Kernel::builder("a12_saxpy_direct")
+            .input("x", &gx)
+            .input("y", &gy)
+            .uniform_f32("alpha", 2.0)
+            .output(ScalarType::F32, n)
+            .body("return alpha * fetch_x(idx) + fetch_y(idx);")
+            .build(&mut cc)?;
+        cc.run_f32(&kernel)?
+    };
+
+    let engine = Engine::builder()
+        .workers(WORKERS)
+        .queue_capacity(CAPACITY)
+        .build()?;
+    let counters = |engine: &Engine| -> (u64, u64) {
+        (
+            engine.programs_linked(),
+            engine
+                .worker_stats()
+                .iter()
+                .map(gpes_core::ContextStats::gl_objects_created)
+                .sum(),
+        )
+    };
+    let make_job = || Job::new(&spec).data(x.clone()).data(y.clone());
+
+    // Warmup to steady state, a11-style: closed-loop waves until a full
+    // wave links no programs and creates no GL objects.
+    let mut identical = true;
+    let mut prev = (u64::MAX, u64::MAX);
+    for _ in 0..16 {
+        let before = counters(&engine);
+        let handles: Vec<_> = (0..WORKERS * 2)
+            .map(|_| engine.submit(make_job()))
+            .collect::<Result<_, _>>()?;
+        for h in handles {
+            identical &= h.wait()? == reference;
+        }
+        let after = counters(&engine);
+        let delta = (after.0 - before.0, after.1 - before.1);
+        if delta == (0, 0) || delta == prev {
+            break;
+        }
+        prev = delta;
+    }
+    let warm = counters(&engine);
+
+    // Saturation: open-loop flood past the admission bound. On every
+    // QueueFull the producer drains one completion and retries — the
+    // bounded queue is the only thing pacing it.
+    let mut set = CompletionSet::new();
+    let mut admitted = 0usize;
+    let mut rejections = 0u64;
+    let mut attempt = 0usize;
+    let collect = |result: Result<Vec<f32>, ComputeError>,
+                   identical: &mut bool|
+     -> Result<(), ComputeError> {
+        match result {
+            Ok(out) => {
+                *identical &= out == reference;
+                Ok(())
+            }
+            Err(ComputeError::DeadlineExceeded { .. } | ComputeError::Cancelled) => Ok(()),
+            Err(e) => Err(e),
+        }
+    };
+    let start = Instant::now();
+    while admitted < target_jobs || rejections == 0 {
+        attempt += 1;
+        let mut job = make_job();
+        if attempt.is_multiple_of(7) {
+            // Already expired: admitted, then shed at dequeue.
+            job = job.deadline(Instant::now() - std::time::Duration::from_millis(1));
+        }
+        match engine.try_submit(job) {
+            Ok(handle) => {
+                if attempt.is_multiple_of(13) {
+                    // May or may not win the race against a worker;
+                    // both outcomes are legal and accounted.
+                    handle.cancel();
+                }
+                set.insert(handle);
+                admitted += 1;
+            }
+            Err(ComputeError::QueueFull { .. }) => {
+                rejections += 1;
+                if let Some((_token, result)) = set.wait_any() {
+                    collect(result, &mut identical)?;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    while let Some((_token, result)) = set.wait_any() {
+        collect(result, &mut identical)?;
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Cancelled payloads are discarded lazily at dequeue; wait for the
+    // idle workers to drain any stale entry so the snapshot is taken at
+    // true quiescence.
+    while engine.queue_depth() > 0 {
+        std::thread::yield_now();
+    }
+    let snapshot = engine.snapshot();
+    let after = counters(&engine);
+    Ok(A12Report {
+        workers: WORKERS,
+        queue_capacity: CAPACITY,
+        target_jobs,
+        elapsed_ms,
+        snapshot,
+        post_warmup_links: after.0 - warm.0,
+        post_warmup_gl_objects: after.1 - warm.1,
+        identical,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn a12_saturation_balances_counters_and_stays_steady() {
+        let report = a12_latency_under_load(256, 48).expect("a12");
+        let s = &report.snapshot;
+        assert!(s.counters_balanced(), "{}", report.format());
+        assert!(s.rejected > 0, "saturation must observe QueueFull");
+        assert!(s.shed > 0, "expired deadlines must shed");
+        assert!(s.completed > 0 && s.failed == 0, "{}", report.format());
+        assert!(report.identical, "{}", report.format());
+        assert_eq!(report.post_warmup_links, 0, "{}", report.format());
+        assert_eq!(report.post_warmup_gl_objects, 0, "{}", report.format());
+        assert!(s.queue_depth_high_water <= 8);
+        assert!(!s.queue_latency.is_empty() && !s.service_latency.is_empty());
+    }
 
     #[test]
     fn a11_engine_pipelines_are_identical_and_reach_steady_state() {

@@ -203,6 +203,23 @@ fn run_a11() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn run_a12() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A12: serving latency under saturation — bounded admission observed");
+    let report = ablations::a12_latency_under_load(1 << 12, 192)?;
+    println!("{}", report.format());
+    println!();
+    println!("an open-loop producer floods a 2-worker engine past its queue");
+    println!("bound: admission rejects with QueueFull instead of blocking,");
+    println!("expired deadlines are shed at dequeue before any GPU work, and");
+    println!("cancellation revokes queued jobs. The snapshot's outcome counters");
+    println!("balance exactly (submitted = completed + rejected + shed +");
+    println!("cancelled + aborted) and the queue/service histograms separate");
+    println!("time-waiting from time-serving. CI gates on the counter balance");
+    println!("and the zero post-warmup links/objects rows; the timing line is");
+    println!("advisory (host-dependent).");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     match what.as_str() {
@@ -221,6 +238,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "a9" => run_a9()?,
         "a10" => run_a10()?,
         "a11" => run_a11()?,
+        "a12" => run_a12()?,
         "all" => {
             run_e1()?;
             run_sweep()?;
@@ -237,10 +255,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run_a9()?;
             run_a10()?;
             run_a11()?;
+            run_a12()?;
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|a9|a10|a11|all"
+                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|a9|a10|a11|a12|all"
             );
             std::process::exit(2);
         }

@@ -35,6 +35,34 @@ pub enum ComputeError {
         /// The cap that was exhausted.
         cap: usize,
     },
+    /// The engine's bounded admission queue was full: a `try_submit*`
+    /// found no slot, or a blocking `submit*` timed out waiting for one.
+    /// The typed backpressure signal — callers shed load or retry, the
+    /// engine never buffers unboundedly.
+    QueueFull {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The job's deadline passed before a worker dequeued it; the work
+    /// was shed *before* touching the GPU.
+    DeadlineExceeded {
+        /// How long the job sat in the queue before being shed, in
+        /// milliseconds.
+        queued_ms: u64,
+    },
+    /// The job was cancelled via `JobHandle::cancel` while still queued;
+    /// it never ran.
+    Cancelled,
+    /// The engine shut down (explicitly or by drop) with this job still
+    /// queued; it was aborted without running.
+    EngineShutdown,
+    /// An engine invariant broke (e.g. a job result consumed twice, or a
+    /// pool with no live workers left). Jobs affected get this instead of
+    /// a hang or a cascading panic.
+    EngineInternal {
+        /// Description of the broken invariant.
+        message: String,
+    },
 }
 
 impl fmt::Display for ComputeError {
@@ -49,6 +77,22 @@ impl fmt::Display for ComputeError {
                 "pipeline `{pipeline}` ran {cap} iterations without its `until` \
                  predicate firing"
             ),
+            ComputeError::QueueFull { capacity } => write!(
+                f,
+                "engine queue is full ({capacity} tasks); shed load or retry"
+            ),
+            ComputeError::DeadlineExceeded { queued_ms } => write!(
+                f,
+                "job deadline passed after {queued_ms} ms in the queue; shed before \
+                 execution"
+            ),
+            ComputeError::Cancelled => write!(f, "job cancelled before execution"),
+            ComputeError::EngineShutdown => {
+                write!(f, "engine shut down before running this job")
+            }
+            ComputeError::EngineInternal { message } => {
+                write!(f, "engine internal error: {message}")
+            }
         }
     }
 }
@@ -88,6 +132,22 @@ mod tests {
             what: "output of 10000000 elements".into(),
         };
         assert!(e.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn serving_error_display_forms() {
+        let e = ComputeError::QueueFull { capacity: 4 };
+        assert!(e.to_string().contains("full"));
+        let e = ComputeError::DeadlineExceeded { queued_ms: 12 };
+        assert!(e.to_string().contains("deadline"));
+        assert!(ComputeError::Cancelled.to_string().contains("cancelled"));
+        assert!(ComputeError::EngineShutdown
+            .to_string()
+            .contains("shut down"));
+        let e = ComputeError::EngineInternal {
+            message: "result already taken".into(),
+        };
+        assert!(e.to_string().contains("result already taken"));
     }
 
     #[test]

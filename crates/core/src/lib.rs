@@ -66,8 +66,8 @@ pub use pipeline::{
     Pass, PassRecord, Pipeline, PipelineBuilder, PipelineRun, Readback, SourceSeed,
 };
 pub use serve::{
-    BatchResult, CachePolicy, Engine, Job, JobHandle, JobInput, KernelSpec, PassSpec, PipelineJob,
-    PipelineResult, PipelineSpec, ResidentInput, ResidentStats, ServedPipeline, StepHandle,
-    Submission,
+    BatchResult, CachePolicy, CompletionSet, Engine, EngineSnapshot, Job, JobHandle, JobInput,
+    KernelSpec, LatencyHistogram, PassSpec, PipelineJob, PipelineResult, PipelineSpec,
+    ResidentInput, ResidentStats, ServedPipeline, StepHandle, Submission,
 };
 pub use vertex_compute::{VertexKernel, VertexKernelBuilder};

@@ -27,8 +27,29 @@
 //!   worker uploads them once and every later job — kernel, DAG or
 //!   pipeline — reuses the on-GPU texture, with capacity evictions
 //!   accounted in [`ResidentStats`];
-//! * results come back through typed [`JobHandle`]s that block on
-//!   [`JobHandle::wait`].
+//! * admission is **bounded**: the queue holds at most
+//!   [`EngineBuilder::queue_capacity`] tasks. `try_submit*` rejects
+//!   immediately with [`ComputeError::QueueFull`]; the blocking
+//!   `submit*` family waits up to [`EngineBuilder::submit_timeout`] for
+//!   a slot and then rejects the same way — no submission path ever
+//!   blocks indefinitely;
+//! * jobs may carry a **deadline** ([`Job::deadline`] /
+//!   [`Submission::deadline`] / [`PipelineJob::deadline`]): a worker
+//!   checks it at dequeue and sheds expired work with
+//!   [`ComputeError::DeadlineExceeded`] *before* touching the GPU.
+//!   [`JobHandle::cancel`] aborts queued-but-unstarted work the same
+//!   way ([`ComputeError::Cancelled`]);
+//! * results come back through typed [`JobHandle`]s — blocking
+//!   [`JobHandle::wait`], non-blocking [`JobHandle::try_wait`] /
+//!   [`JobHandle::wait_timeout`] / [`JobHandle::wait_deadline`], or a
+//!   [`CompletionSet`] that multiplexes any number of in-flight handles
+//!   over one condvar so a caller can drive thousands of jobs without a
+//!   thread each;
+//! * [`Engine::snapshot`] exports an [`EngineSnapshot`]: admission and
+//!   outcome counters (`submitted = completed + rejected + shed +
+//!   cancelled + aborted` at quiescence), queue depth and high-water
+//!   mark, log-spaced queue/service latency histograms, and the merged
+//!   [`ContextStats`] / [`crate::SharedCacheStats`] / [`ResidentStats`].
 //!
 //! Kernels are described by a context-free [`KernelSpec`] rather than a
 //! built [`crate::Kernel`], because a kernel object is bound to the
@@ -61,6 +82,10 @@
 //! # }
 //! ```
 
+pub mod metrics;
+
+pub use metrics::{EngineSnapshot, LatencyHistogram};
+
 use crate::buffer::GpuArray;
 use crate::cache::{FifoCache, SharedProgramCache};
 use crate::context::{ComputeContext, ContextStats};
@@ -70,12 +95,14 @@ use crate::pipeline::{Pass, Pipeline, Readback, SourceSeed};
 use crate::Bindings;
 use gpes_gles2::{Dispatch, Limits};
 use gpes_glsl::Value;
+use metrics::{lock_recover, wait_recover, EngineMetrics};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 // ---- kernel specification ------------------------------------------------
 
@@ -402,6 +429,7 @@ pub struct Job {
     kernel: Arc<KernelSpec>,
     inputs: Vec<JobInput>,
     uniforms: Vec<(String, Value)>,
+    deadline: Option<Instant>,
 }
 
 impl Job {
@@ -411,7 +439,22 @@ impl Job {
             kernel: Arc::clone(kernel),
             inputs: Vec::new(),
             uniforms: Vec::new(),
+            deadline: None,
         }
+    }
+
+    /// Sets an absolute deadline: if no worker has dequeued the job by
+    /// `at`, it is shed with [`ComputeError::DeadlineExceeded`] before
+    /// any GPU work happens.
+    pub fn deadline(mut self, at: Instant) -> Job {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// [`Job::deadline`] relative to now.
+    pub fn timeout(self, after: Duration) -> Job {
+        let at = Instant::now() + after;
+        self.deadline(at)
     }
 
     /// Appends host data for the next declared input.
@@ -475,12 +518,25 @@ struct Step {
 pub struct Submission {
     steps: Vec<Step>,
     read: Vec<usize>,
+    deadline: Option<Instant>,
 }
 
 impl Submission {
     /// An empty submission.
     pub fn new() -> Submission {
         Submission::default()
+    }
+
+    /// Sets an absolute deadline: if no worker has dequeued the
+    /// submission by `at`, it is shed with
+    /// [`ComputeError::DeadlineExceeded`] before any GPU work happens.
+    pub fn deadline(&mut self, at: Instant) {
+        self.deadline = Some(at);
+    }
+
+    /// [`Submission::deadline`] relative to now.
+    pub fn timeout(&mut self, after: Duration) {
+        self.deadline = Some(Instant::now() + after);
     }
 
     /// Appends a step and returns its [`StepHandle`] — later steps wire
@@ -1162,6 +1218,7 @@ pub struct PipelineJob {
     spec: Arc<PipelineSpec>,
     sources: Vec<JobInput>,
     reads: Vec<String>,
+    deadline: Option<Instant>,
 }
 
 impl PipelineJob {
@@ -1171,7 +1228,22 @@ impl PipelineJob {
             spec: Arc::clone(spec),
             sources: Vec::new(),
             reads: Vec::new(),
+            deadline: None,
         }
+    }
+
+    /// Sets an absolute deadline: if no worker has dequeued the job by
+    /// `at`, it is shed with [`ComputeError::DeadlineExceeded`] before
+    /// any GPU work happens.
+    pub fn deadline(mut self, at: Instant) -> PipelineJob {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// [`PipelineJob::deadline`] relative to now.
+    pub fn timeout(self, after: Duration) -> PipelineJob {
+        let at = Instant::now() + after;
+        self.deadline(at)
     }
 
     /// Appends host data for the next declared source.
@@ -1272,22 +1344,113 @@ impl PipelineResult {
 
 // ---- handles -------------------------------------------------------------
 
+/// The queued → running → finished lifecycle of a task, shared between
+/// the handle (for [`JobHandle::cancel`]) and the worker (for claiming
+/// the task at dequeue). Compare-and-swap transitions make cancellation
+/// race-free: exactly one side wins the `Queued` state.
+struct TaskControl {
+    state: AtomicU8,
+}
+
+const TASK_QUEUED: u8 = 0;
+const TASK_RUNNING: u8 = 1;
+const TASK_CANCELLED: u8 = 2;
+const TASK_FINISHED: u8 = 3;
+
+impl TaskControl {
+    fn new() -> TaskControl {
+        TaskControl {
+            state: AtomicU8::new(TASK_QUEUED),
+        }
+    }
+
+    /// A worker (or the shedder/aborter) claims the task for fulfilment.
+    /// Fails exactly when the task was already cancelled — the handle
+    /// fulfilled it, the claimer must drop the payload untouched.
+    fn claim(&self) -> bool {
+        self.state
+            .compare_exchange(
+                TASK_QUEUED,
+                TASK_RUNNING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// The handle cancels the task. Succeeds exactly when it was still
+    /// queued — the winner fulfils the handle with
+    /// [`ComputeError::Cancelled`].
+    fn cancel(&self) -> bool {
+        self.state
+            .compare_exchange(
+                TASK_QUEUED,
+                TASK_CANCELLED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    fn finish(&self) {
+        self.state.store(TASK_FINISHED, Ordering::Release);
+    }
+}
+
+/// The result slot's three-state lifecycle: distinguishing `Taken` from
+/// `Pending` lets a second `wait()` return a typed error (instead of
+/// hanging forever on a slot that will never refill) and lets `Drop`
+/// count only genuinely unobserved errors.
+enum Slot<T> {
+    Pending,
+    Ready(Result<T, ComputeError>),
+    Taken,
+}
+
+struct HandleInner<T> {
+    slot: Slot<T>,
+    /// The handle was dropped with the slot still pending; when the
+    /// worker later fulfils it with an error, that error is counted as
+    /// unobserved instead of stored for nobody.
+    abandoned: bool,
+    /// Registered by a [`CompletionSet`]: on fulfilment the token is
+    /// pushed to the set's ready list (outside the handle lock).
+    watcher: Option<(Arc<SetCore>, u64)>,
+}
+
 struct HandleState<T> {
-    slot: Mutex<Option<Result<T, ComputeError>>>,
+    inner: Mutex<HandleInner<T>>,
     cv: Condvar,
+    control: TaskControl,
+    metrics: Arc<EngineMetrics>,
+}
+
+fn taken_twice<T>() -> Result<T, ComputeError> {
+    Err(ComputeError::EngineInternal {
+        message: "job result already taken".into(),
+    })
 }
 
 /// A typed future for a submitted job: the worker fulfils it, the caller
-/// blocks on [`JobHandle::wait`] (or polls [`JobHandle::is_finished`]).
+/// blocks on [`JobHandle::wait`], polls [`JobHandle::try_wait`], bounds
+/// the wait with [`JobHandle::wait_timeout`]/[`JobHandle::wait_deadline`],
+/// or multiplexes many handles through a [`CompletionSet`]. A handle for
+/// still-queued work can be revoked with [`JobHandle::cancel`].
 pub struct JobHandle<T> {
     state: Arc<HandleState<T>>,
 }
 
 impl<T> JobHandle<T> {
-    fn new() -> (JobHandle<T>, Arc<HandleState<T>>) {
+    fn new(metrics: &Arc<EngineMetrics>) -> (JobHandle<T>, Arc<HandleState<T>>) {
         let state = Arc::new(HandleState {
-            slot: Mutex::new(None),
+            inner: Mutex::new(HandleInner {
+                slot: Slot::Pending,
+                abandoned: false,
+                watcher: None,
+            }),
             cv: Condvar::new(),
+            control: TaskControl::new(),
+            metrics: Arc::clone(metrics),
         });
         (
             JobHandle {
@@ -1302,31 +1465,307 @@ impl<T> JobHandle<T> {
     /// # Errors
     ///
     /// Whatever the dispatch produced on the worker (bad bindings, GL or
-    /// shader errors), or an engine-shutdown error if the pool stopped
-    /// before running the job.
+    /// shader errors), or a typed serving error: queue-shed
+    /// ([`ComputeError::DeadlineExceeded`]), cancellation
+    /// ([`ComputeError::Cancelled`]), or engine shutdown/worker death
+    /// ([`ComputeError::EngineShutdown`] /
+    /// [`ComputeError::EngineInternal`]) — never a hang.
     pub fn wait(self) -> Result<T, ComputeError> {
-        let mut slot = self.state.slot.lock().expect("job handle poisoned");
+        let mut inner = lock_recover(&self.state.inner);
         loop {
-            if let Some(result) = slot.take() {
-                return result;
+            match std::mem::replace(&mut inner.slot, Slot::Pending) {
+                Slot::Ready(result) => {
+                    inner.slot = Slot::Taken;
+                    return result;
+                }
+                Slot::Taken => {
+                    inner.slot = Slot::Taken;
+                    return taken_twice();
+                }
+                Slot::Pending => {}
             }
-            slot = self.state.cv.wait(slot).expect("job handle poisoned");
+            inner = wait_recover(&self.state.cv, inner);
+        }
+    }
+
+    /// Returns the result if the job already finished, `None` if it is
+    /// still pending. Never blocks. Taking the result consumes it: a
+    /// later `try_wait`/`wait` yields [`ComputeError::EngineInternal`].
+    pub fn try_wait(&self) -> Option<Result<T, ComputeError>> {
+        let mut inner = lock_recover(&self.state.inner);
+        match std::mem::replace(&mut inner.slot, Slot::Pending) {
+            Slot::Ready(result) => {
+                inner.slot = Slot::Taken;
+                Some(result)
+            }
+            Slot::Taken => {
+                inner.slot = Slot::Taken;
+                Some(taken_twice())
+            }
+            Slot::Pending => None,
+        }
+    }
+
+    /// Blocks at most `timeout` for the result; `None` on timeout (the
+    /// job keeps running — the handle remains valid to wait again).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<T, ComputeError>> {
+        self.wait_deadline(Instant::now() + timeout)
+    }
+
+    /// Blocks until `deadline` for the result; `None` if it passes first
+    /// (the job keeps running — the handle remains valid to wait again).
+    pub fn wait_deadline(&self, deadline: Instant) -> Option<Result<T, ComputeError>> {
+        let mut inner = lock_recover(&self.state.inner);
+        loop {
+            match std::mem::replace(&mut inner.slot, Slot::Pending) {
+                Slot::Ready(result) => {
+                    inner.slot = Slot::Taken;
+                    return Some(result);
+                }
+                Slot::Taken => {
+                    inner.slot = Slot::Taken;
+                    return Some(taken_twice());
+                }
+                Slot::Pending => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, timed_out) = self
+                .state
+                .cv
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner = guard;
+            if timed_out.timed_out() && matches!(inner.slot, Slot::Pending) {
+                return None;
+            }
         }
     }
 
     /// Whether a result is ready (non-blocking).
     pub fn is_finished(&self) -> bool {
-        self.state
-            .slot
-            .lock()
-            .expect("job handle poisoned")
-            .is_some()
+        !matches!(lock_recover(&self.state.inner).slot, Slot::Pending)
+    }
+
+    /// Cancels the job if it is still queued: the handle resolves to
+    /// [`ComputeError::Cancelled`] and no worker will execute it (the
+    /// queue entry is discarded at dequeue). Returns `true` if this call
+    /// won the race; `false` if the job already started, finished, or
+    /// was cancelled before.
+    pub fn cancel(&self) -> bool {
+        if self.state.control.cancel() {
+            EngineMetrics::bump(&self.state.metrics.cancelled);
+            fulfil(&self.state, Err(ComputeError::Cancelled));
+            true
+        } else {
+            false
+        }
     }
 }
 
+impl<T> Drop for JobHandle<T> {
+    fn drop(&mut self) {
+        let mut inner = lock_recover(&self.state.inner);
+        match inner.slot {
+            // Fulfilled but never observed: surface an error result in
+            // the snapshot instead of discarding it silently.
+            Slot::Ready(Err(_)) => {
+                inner.slot = Slot::Taken;
+                EngineMetrics::bump(&self.state.metrics.unobserved_errors);
+            }
+            Slot::Ready(Ok(_)) | Slot::Taken => {}
+            // Still in flight: mark abandoned so `fulfil` counts a late
+            // error instead of storing it for nobody.
+            Slot::Pending => inner.abandoned = true,
+        }
+    }
+}
+
+/// Fulfils a handle. Marks the task finished, stores (or — for an
+/// abandoned handle — accounts) the result, and wakes direct waiters and
+/// any [`CompletionSet`] watcher. The watcher is notified *after* the
+/// handle lock is released: the set's ready-list lock is never taken
+/// while a handle lock is held, so the two lock orders cannot deadlock.
 fn fulfil<T>(state: &HandleState<T>, result: Result<T, ComputeError>) {
-    *state.slot.lock().expect("job handle poisoned") = Some(result);
+    state.control.finish();
+    let watcher = {
+        let mut inner = lock_recover(&state.inner);
+        if inner.abandoned {
+            if result.is_err() {
+                EngineMetrics::bump(&state.metrics.unobserved_errors);
+            }
+            inner.slot = Slot::Taken;
+        } else {
+            inner.slot = Slot::Ready(result);
+        }
+        inner.watcher.take()
+    };
     state.cv.notify_all();
+    if let Some((core, token)) = watcher {
+        lock_recover(&core.ready).push(token);
+        core.cv.notify_all();
+    }
+}
+
+// ---- completion set ------------------------------------------------------
+
+/// Shared notification core of a [`CompletionSet`]: fulfilled members
+/// push their token here and signal the one condvar every
+/// [`CompletionSet::wait_any`] caller sleeps on.
+struct SetCore {
+    ready: Mutex<Vec<u64>>,
+    cv: Condvar,
+}
+
+/// Multiplexes many [`JobHandle`]s onto one condvar, so a caller can
+/// drive thousands of in-flight jobs without a blocked thread per job:
+/// [`CompletionSet::insert`] registers a handle, [`CompletionSet::wait_any`]
+/// blocks until *any* member finishes and returns its result.
+///
+/// ```no_run
+/// # use gpes_core::serve::{CompletionSet, Engine, Job, KernelSpec};
+/// # fn demo(engine: &Engine, jobs: Vec<Job>) -> Result<(), gpes_core::ComputeError> {
+/// let mut set = CompletionSet::new();
+/// for job in jobs {
+///     set.insert(engine.submit(job)?);
+/// }
+/// while let Some((_token, result)) = set.wait_any() {
+///     let data = result?;
+///     // ... consume `data` as each job lands, in completion order ...
+/// #   let _ = data;
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct CompletionSet<T> {
+    core: Arc<SetCore>,
+    pending: HashMap<u64, JobHandle<T>>,
+    next_token: u64,
+}
+
+impl<T> Default for CompletionSet<T> {
+    fn default() -> CompletionSet<T> {
+        CompletionSet::new()
+    }
+}
+
+impl<T> CompletionSet<T> {
+    /// An empty set.
+    pub fn new() -> CompletionSet<T> {
+        CompletionSet {
+            core: Arc::new(SetCore {
+                ready: Mutex::new(Vec::new()),
+                cv: Condvar::new(),
+            }),
+            pending: HashMap::new(),
+            next_token: 0,
+        }
+    }
+
+    /// Adds a handle to the set and returns its token (echoed back by
+    /// [`CompletionSet::wait_any`] when this job finishes). A handle that
+    /// already finished is immediately ready.
+    pub fn insert(&mut self, handle: JobHandle<T>) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        {
+            let mut inner = lock_recover(&handle.state.inner);
+            if matches!(inner.slot, Slot::Pending) {
+                inner.watcher = Some((Arc::clone(&self.core), token));
+            } else {
+                lock_recover(&self.core.ready).push(token);
+            }
+        }
+        self.pending.insert(token, handle);
+        token
+    }
+
+    /// Handles still tracked (finished-but-uncollected members count
+    /// until `wait_any` returns them).
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no handles remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Returns a finished member's `(token, result)` without blocking,
+    /// or `None` if nothing has finished (or the set is empty).
+    pub fn try_next(&mut self) -> Option<(u64, Result<T, ComputeError>)> {
+        let token = lock_recover(&self.core.ready).pop()?;
+        Some((token, self.collect(token)))
+    }
+
+    /// Blocks until any member finishes and returns its `(token,
+    /// result)`; `None` when the set is empty. Engine shutdown, shed
+    /// deadlines and cancellations all fulfil their handles, so this
+    /// never hangs on an abandoned job.
+    pub fn wait_any(&mut self) -> Option<(u64, Result<T, ComputeError>)> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let core = Arc::clone(&self.core);
+        let token = {
+            let mut ready = lock_recover(&core.ready);
+            loop {
+                if let Some(token) = ready.pop() {
+                    break token;
+                }
+                ready = wait_recover(&core.cv, ready);
+            }
+        };
+        Some((token, self.collect(token)))
+    }
+
+    /// [`CompletionSet::wait_any`] bounded by `timeout`: `None` if the
+    /// set is empty or nothing finished in time.
+    pub fn wait_any_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Option<(u64, Result<T, ComputeError>)> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let deadline = Instant::now() + timeout;
+        let core = Arc::clone(&self.core);
+        let token = {
+            let mut ready = lock_recover(&core.ready);
+            loop {
+                if let Some(token) = ready.pop() {
+                    break token;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return None;
+                }
+                ready = core
+                    .cv
+                    .wait_timeout(ready, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0;
+            }
+        };
+        Some((token, self.collect(token)))
+    }
+
+    /// Takes the result out of a ready member. The ready-list lock is
+    /// already released here — taking the handle's inner lock cannot
+    /// deadlock against a concurrent `fulfil`.
+    fn collect(&mut self, token: u64) -> Result<T, ComputeError> {
+        match self.pending.remove(&token) {
+            Some(handle) => match handle.try_wait() {
+                Some(result) => result,
+                // A token is only pushed after fulfilment, so the slot
+                // must be ready; defensive rather than reachable.
+                None => taken_twice(),
+            },
+            None => taken_twice(),
+        }
+    }
 }
 
 // ---- engine --------------------------------------------------------------
@@ -1351,19 +1790,53 @@ enum Task {
 }
 
 impl Task {
-    /// Fulfils the task's handle with an error — used when no worker
-    /// will ever execute it, so `wait()` cannot hang.
-    fn abort(self, message: &str) {
+    fn control(&self) -> &TaskControl {
         match self {
-            Task::Single(_, handle) => fulfil(&handle, Err(bad_job(message.into()))),
-            Task::Batch(_, handle) => fulfil(&handle, Err(bad_job(message.into()))),
-            Task::Pipeline(_, handle) => fulfil(&handle, Err(bad_job(message.into()))),
+            Task::Single(_, handle) => &handle.control,
+            Task::Batch(_, handle) => &handle.control,
+            Task::Pipeline(_, handle) => &handle.control,
+        }
+    }
+
+    /// Fulfils the task's handle with `error` — used when no worker will
+    /// ever execute it (shutdown, dead pool), so `wait()` cannot hang.
+    /// No-op for a task its handle already cancelled.
+    fn abort(self, error: ComputeError, metrics: &EngineMetrics) {
+        if !self.control().claim() {
+            return;
+        }
+        EngineMetrics::bump(&metrics.aborted);
+        match self {
+            Task::Single(_, handle) => fulfil(&handle, Err(error)),
+            Task::Batch(_, handle) => fulfil(&handle, Err(error)),
+            Task::Pipeline(_, handle) => fulfil(&handle, Err(error)),
+        }
+    }
+
+    /// Fulfils an already-claimed task with
+    /// [`ComputeError::DeadlineExceeded`] — the worker shed it at dequeue
+    /// without touching the GPU.
+    fn shed(self, queued_ms: u64) {
+        let error = ComputeError::DeadlineExceeded { queued_ms };
+        match self {
+            Task::Single(_, handle) => fulfil(&handle, Err(error)),
+            Task::Batch(_, handle) => fulfil(&handle, Err(error)),
+            Task::Pipeline(_, handle) => fulfil(&handle, Err(error)),
         }
     }
 }
 
+/// A task plus its admission metadata: the deadline workers check at
+/// dequeue, and the enqueue timestamp feeding the queue-latency
+/// histogram.
+struct QueuedTask {
+    payload: Task,
+    deadline: Option<Instant>,
+    enqueued_at: Instant,
+}
+
 struct QueueState {
-    tasks: VecDeque<Task>,
+    tasks: VecDeque<QueuedTask>,
     shutdown: bool,
     /// Workers still in their serve loop. If this reaches zero while
     /// tasks remain (every worker retired after a panic), the retiring
@@ -1373,8 +1846,23 @@ struct QueueState {
 
 struct EngineShared {
     queue: Mutex<QueueState>,
+    /// Workers sleep here waiting for tasks.
     cv: Condvar,
+    /// Blocking `submit*` callers sleep here waiting for a queue slot.
+    space: Condvar,
+    /// The admission bound on `queue.tasks`.
+    capacity: usize,
+    metrics: Arc<EngineMetrics>,
 }
+
+/// Default admission bound: generous enough that a caller not thinking
+/// about backpressure never sees [`ComputeError::QueueFull`], small
+/// enough that a runaway producer cannot exhaust memory.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Default time a blocking `submit*` waits for a queue slot before
+/// giving up with [`ComputeError::QueueFull`].
+pub const DEFAULT_SUBMIT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Configuration for an [`Engine`]; obtained from [`Engine::builder`].
 pub struct EngineBuilder {
@@ -1385,6 +1873,8 @@ pub struct EngineBuilder {
     dispatch: Option<Dispatch>,
     cache_policy: CachePolicy,
     cache: Option<Arc<SharedProgramCache>>,
+    queue_capacity: usize,
+    submit_timeout: Duration,
 }
 
 impl EngineBuilder {
@@ -1433,6 +1923,24 @@ impl EngineBuilder {
         self
     }
 
+    /// Bounds the admission queue (default
+    /// [`DEFAULT_QUEUE_CAPACITY`], minimum 1). Once `capacity` tasks are
+    /// queued, `try_submit*` rejects with [`ComputeError::QueueFull`]
+    /// immediately and blocking `submit*` waits up to the
+    /// [`EngineBuilder::submit_timeout`] for a slot.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// How long a blocking `submit*` waits for a queue slot before
+    /// giving up with [`ComputeError::QueueFull`] (default
+    /// [`DEFAULT_SUBMIT_TIMEOUT`]).
+    pub fn submit_timeout(mut self, timeout: Duration) -> Self {
+        self.submit_timeout = timeout;
+        self
+    }
+
     /// Builds the engine: creates the worker contexts (so configuration
     /// errors surface here, on the caller's thread) and starts the pool.
     ///
@@ -1469,6 +1977,9 @@ impl EngineBuilder {
                 live_workers: self.workers,
             }),
             cv: Condvar::new(),
+            space: Condvar::new(),
+            capacity: self.queue_capacity,
+            metrics: Arc::new(EngineMetrics::default()),
         });
         let worker_stats: Arc<Vec<Mutex<ContextStats>>> = Arc::new(
             (0..self.workers)
@@ -1496,6 +2007,7 @@ impl EngineBuilder {
             cache,
             worker_stats,
             resident_stats,
+            submit_timeout: self.submit_timeout,
         })
     }
 }
@@ -1509,6 +2021,7 @@ pub struct Engine {
     cache: Option<Arc<SharedProgramCache>>,
     worker_stats: Arc<Vec<Mutex<ContextStats>>>,
     resident_stats: Arc<Vec<Mutex<ResidentStats>>>,
+    submit_timeout: Duration,
 }
 
 impl Engine {
@@ -1522,6 +2035,8 @@ impl Engine {
             dispatch: None,
             cache_policy: CachePolicy::default(),
             cache: None,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            submit_timeout: DEFAULT_SUBMIT_TIMEOUT,
         }
     }
 
@@ -1539,10 +2054,7 @@ impl Engine {
     /// Snapshot of each worker's [`ContextStats`] (updated after every
     /// completed task).
     pub fn worker_stats(&self) -> Vec<ContextStats> {
-        self.worker_stats
-            .iter()
-            .map(|s| *s.lock().expect("worker stats poisoned"))
-            .collect()
+        self.worker_stats.iter().map(|s| *lock_recover(s)).collect()
     }
 
     /// Snapshot of each worker's [`ResidentStats`] (updated after every
@@ -1550,8 +2062,62 @@ impl Engine {
     pub fn resident_stats(&self) -> Vec<ResidentStats> {
         self.resident_stats
             .iter()
-            .map(|s| *s.lock().expect("resident stats poisoned"))
+            .map(|s| *lock_recover(s))
             .collect()
+    }
+
+    /// Tasks sitting in the queue right now.
+    pub fn queue_depth(&self) -> usize {
+        lock_recover(&self.shared.queue).tasks.len()
+    }
+
+    /// The admission bound configured at build time.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// A point-in-time [`EngineSnapshot`]: admission/outcome counters,
+    /// queue depth and high-water mark, queue- and service-latency
+    /// histograms, and the merged GL-side statistics across every
+    /// worker. Cheap enough to call on every reporting tick.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let m = &self.shared.metrics;
+        let (queue_depth, live_workers) = {
+            let queue = lock_recover(&self.shared.queue);
+            (queue.tasks.len() as u64, queue.live_workers)
+        };
+        let mut context = ContextStats::default();
+        for s in self.worker_stats() {
+            context = context.merged(&s);
+        }
+        // Field-wise sum (unlike `ResidentStats::merged`, which models a
+        // context swap and keeps only the live occupancy).
+        let mut residents = ResidentStats::default();
+        for s in self.resident_stats() {
+            residents.uploads += s.uploads;
+            residents.hits += s.hits;
+            residents.evictions += s.evictions;
+            residents.resident_textures += s.resident_textures;
+        }
+        EngineSnapshot {
+            submitted: EngineMetrics::read(&m.submitted),
+            completed: EngineMetrics::read(&m.completed),
+            failed: EngineMetrics::read(&m.failed),
+            rejected: EngineMetrics::read(&m.rejected),
+            shed: EngineMetrics::read(&m.shed),
+            cancelled: EngineMetrics::read(&m.cancelled),
+            aborted: EngineMetrics::read(&m.aborted),
+            unobserved_errors: EngineMetrics::read(&m.unobserved_errors),
+            queue_depth,
+            queue_depth_high_water: EngineMetrics::read(&m.queue_depth_high_water),
+            queue_capacity: self.shared.capacity,
+            live_workers,
+            queue_latency: *lock_recover(&m.queue_latency),
+            service_latency: *lock_recover(&m.service_latency),
+            context,
+            residents,
+            shared_cache: self.cache.as_ref().map(|c| c.stats()),
+        }
     }
 
     /// Programs linked process-wide on behalf of this engine: the shared
@@ -1564,32 +2130,64 @@ impl Engine {
         }
     }
 
-    /// Enqueues a single-kernel job.
+    /// Enqueues a single-kernel job. Blocks up to the configured
+    /// [`EngineBuilder::submit_timeout`] when the queue is full, then
+    /// gives up with [`ComputeError::QueueFull`]; use
+    /// [`Engine::try_submit`] to never block.
     ///
     /// # Errors
     ///
-    /// Validation errors (input arity) surface here; execution errors
-    /// surface on the handle.
+    /// Validation errors (input arity) and admission errors
+    /// ([`ComputeError::QueueFull`], [`ComputeError::EngineShutdown`])
+    /// surface here; execution errors surface on the handle.
     pub fn submit(&self, job: Job) -> Result<JobHandle<Vec<f32>>, ComputeError> {
         job.validate()?;
-        let (handle, state) = JobHandle::new();
-        self.enqueue(Task::Single(job, state))?;
+        let deadline = job.deadline;
+        let (handle, state) = JobHandle::new(&self.shared.metrics);
+        self.enqueue(Task::Single(job, state), deadline, true)?;
         Ok(handle)
     }
 
-    /// Enqueues a multi-kernel DAG as one unit of work.
+    /// Non-blocking [`Engine::submit`]: a full queue rejects with
+    /// [`ComputeError::QueueFull`] immediately.
+    pub fn try_submit(&self, job: Job) -> Result<JobHandle<Vec<f32>>, ComputeError> {
+        job.validate()?;
+        let deadline = job.deadline;
+        let (handle, state) = JobHandle::new(&self.shared.metrics);
+        self.enqueue(Task::Single(job, state), deadline, false)?;
+        Ok(handle)
+    }
+
+    /// Enqueues a multi-kernel DAG as one unit of work. Blocks up to the
+    /// configured [`EngineBuilder::submit_timeout`] when the queue is
+    /// full; use [`Engine::try_submit_batch`] to never block.
     ///
     /// # Errors
     ///
     /// Validation errors (arity, forward references, bad readback marks)
-    /// surface here; execution errors surface on the handle.
+    /// and admission errors surface here; execution errors surface on
+    /// the handle.
     pub fn submit_batch(
         &self,
         submission: Submission,
     ) -> Result<JobHandle<BatchResult>, ComputeError> {
         submission.validate()?;
-        let (handle, state) = JobHandle::new();
-        self.enqueue(Task::Batch(submission, state))?;
+        let deadline = submission.deadline;
+        let (handle, state) = JobHandle::new(&self.shared.metrics);
+        self.enqueue(Task::Batch(submission, state), deadline, true)?;
+        Ok(handle)
+    }
+
+    /// Non-blocking [`Engine::submit_batch`]: a full queue rejects with
+    /// [`ComputeError::QueueFull`] immediately.
+    pub fn try_submit_batch(
+        &self,
+        submission: Submission,
+    ) -> Result<JobHandle<BatchResult>, ComputeError> {
+        submission.validate()?;
+        let deadline = submission.deadline;
+        let (handle, state) = JobHandle::new(&self.shared.metrics);
+        self.enqueue(Task::Batch(submission, state), deadline, false)?;
         Ok(handle)
     }
 
@@ -1610,37 +2208,105 @@ impl Engine {
         job: PipelineJob,
     ) -> Result<JobHandle<PipelineResult>, ComputeError> {
         job.validate()?;
-        let (handle, state) = JobHandle::new();
-        self.enqueue(Task::Pipeline(job, state))?;
+        let deadline = job.deadline;
+        let (handle, state) = JobHandle::new(&self.shared.metrics);
+        self.enqueue(Task::Pipeline(job, state), deadline, true)?;
         Ok(handle)
     }
 
-    fn enqueue(&self, task: Task) -> Result<(), ComputeError> {
-        let mut queue = self.shared.queue.lock().expect("engine queue poisoned");
-        if queue.shutdown {
-            return Err(bad_job("engine is shut down".into()));
-        }
-        if queue.live_workers == 0 {
-            return Err(bad_job("engine has no live workers".into()));
-        }
-        queue.tasks.push_back(task);
-        drop(queue);
-        self.shared.cv.notify_one();
-        Ok(())
+    /// Non-blocking [`Engine::submit_pipeline`]: a full queue rejects
+    /// with [`ComputeError::QueueFull`] immediately.
+    pub fn try_submit_pipeline(
+        &self,
+        job: PipelineJob,
+    ) -> Result<JobHandle<PipelineResult>, ComputeError> {
+        job.validate()?;
+        let deadline = job.deadline;
+        let (handle, state) = JobHandle::new(&self.shared.metrics);
+        self.enqueue(Task::Pipeline(job, state), deadline, false)?;
+        Ok(handle)
     }
 
-    /// Stops accepting work, drains the queue and joins every worker.
-    /// (Dropping the engine does the same.)
+    /// Admission: every path counts toward `submitted`, and every
+    /// refusal (full queue, shutdown, dead pool) counts toward
+    /// `rejected` — so the snapshot's balance identity covers admission
+    /// failures too. A blocking submit parks on the `space` condvar
+    /// until a worker frees a slot or the submit timeout expires.
+    fn enqueue(
+        &self,
+        task: Task,
+        deadline: Option<Instant>,
+        blocking: bool,
+    ) -> Result<(), ComputeError> {
+        let shared = &self.shared;
+        let metrics = &shared.metrics;
+        EngineMetrics::bump(&metrics.submitted);
+        let reject = |error: ComputeError| {
+            EngineMetrics::bump(&metrics.rejected);
+            Err(error)
+        };
+        let mut queue = lock_recover(&shared.queue);
+        let mut give_up_at: Option<Instant> = None;
+        loop {
+            if queue.shutdown {
+                return reject(ComputeError::EngineShutdown);
+            }
+            if queue.live_workers == 0 {
+                return reject(ComputeError::EngineInternal {
+                    message: "engine has no live workers".into(),
+                });
+            }
+            if queue.tasks.len() < shared.capacity {
+                queue.tasks.push_back(QueuedTask {
+                    payload: task,
+                    deadline,
+                    enqueued_at: Instant::now(),
+                });
+                metrics.raise_high_water(queue.tasks.len() as u64);
+                drop(queue);
+                shared.cv.notify_one();
+                return Ok(());
+            }
+            if !blocking {
+                return reject(ComputeError::QueueFull {
+                    capacity: shared.capacity,
+                });
+            }
+            let at = *give_up_at.get_or_insert_with(|| Instant::now() + self.submit_timeout);
+            let now = Instant::now();
+            if now >= at {
+                return reject(ComputeError::QueueFull {
+                    capacity: shared.capacity,
+                });
+            }
+            queue = shared
+                .space
+                .wait_timeout(queue, at - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Stops accepting work, aborts every still-queued task with
+    /// [`ComputeError::EngineShutdown`] (their handles resolve — no
+    /// `wait()` hangs) and joins every worker. In-progress tasks finish
+    /// normally first. (Dropping the engine does the same.)
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
-        {
-            let mut queue = self.shared.queue.lock().expect("engine queue poisoned");
+        let leftovers: Vec<QueuedTask> = {
+            let mut queue = lock_recover(&self.shared.queue);
             queue.shutdown = true;
-        }
+            queue.tasks.drain(..).collect()
+        };
         self.shared.cv.notify_all();
+        self.shared.space.notify_all();
+        for task in leftovers {
+            task.payload
+                .abort(ComputeError::EngineShutdown, &self.shared.metrics);
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -1692,9 +2358,9 @@ fn run_shielded<T>(
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(cc))) {
         Ok(result) => (result, false),
         Err(_) => (
-            Err(bad_job(
-                "engine worker panicked while serving this job".into(),
-            )),
+            Err(ComputeError::EngineInternal {
+                message: "engine worker panicked while serving this job".into(),
+            }),
             true,
         ),
     }
@@ -1702,10 +2368,11 @@ fn run_shielded<T>(
 
 /// Marks this worker as out of the serve loop. If it was the last one
 /// and tasks remain (every worker retired after a panic), the leftovers
-/// are aborted so their `wait()` calls return instead of hanging.
+/// are aborted so their `wait()` calls return instead of hanging; any
+/// producer blocked on admission is woken to observe the dead pool.
 fn retire_worker(shared: &EngineShared) {
-    let leftovers: Vec<Task> = {
-        let mut queue = shared.queue.lock().expect("engine queue poisoned");
+    let leftovers: Vec<QueuedTask> = {
+        let mut queue = lock_recover(&shared.queue);
         queue.live_workers = queue.live_workers.saturating_sub(1);
         if queue.live_workers == 0 {
             queue.tasks.drain(..).collect()
@@ -1713,8 +2380,14 @@ fn retire_worker(shared: &EngineShared) {
             Vec::new()
         }
     };
+    shared.space.notify_all();
     for task in leftovers {
-        task.abort("engine has no live workers");
+        task.payload.abort(
+            ComputeError::EngineInternal {
+                message: "engine has no live workers".into(),
+            },
+            &shared.metrics,
+        );
     }
 }
 
@@ -1734,6 +2407,14 @@ enum Completed {
 }
 
 impl Completed {
+    fn is_err(&self) -> bool {
+        match self {
+            Completed::Single(_, result) => result.is_err(),
+            Completed::Batch(_, result) => result.is_err(),
+            Completed::Pipeline(_, result) => result.is_err(),
+        }
+    }
+
     fn fulfil(self) {
         match self {
             Completed::Single(handle, result) => fulfil(&handle, result),
@@ -1869,8 +2550,8 @@ fn worker_main(
     let mut resident_base = ResidentStats::default();
     let mut state = WorkerState::default();
     loop {
-        let task = {
-            let mut queue = shared.queue.lock().expect("engine queue poisoned");
+        let queued = {
+            let mut queue = lock_recover(&shared.queue);
             loop {
                 if let Some(task) = queue.tasks.pop_front() {
                     break task;
@@ -1880,10 +2561,29 @@ fn worker_main(
                     retire_worker(&shared);
                     return;
                 }
-                queue = shared.cv.wait(queue).expect("engine queue poisoned");
+                queue = wait_recover(&shared.cv, queue);
             }
         };
-        let (completed, panicked) = match task {
+        // A slot just freed up: wake one producer blocked on admission.
+        shared.space.notify_one();
+        let queue_latency = queued.enqueued_at.elapsed();
+        lock_recover(&shared.metrics.queue_latency).record(queue_latency);
+        // Claim the task: losing means the handle cancelled it (and
+        // fulfilled itself) — discard the payload untouched.
+        if !queued.payload.control().claim() {
+            continue;
+        }
+        // Deadline shed: expired work never touches the GPU.
+        if let Some(deadline) = queued.deadline {
+            if Instant::now() >= deadline {
+                EngineMetrics::bump(&shared.metrics.shed);
+                let queued_ms = u64::try_from(queue_latency.as_millis()).unwrap_or(u64::MAX);
+                queued.payload.shed(queued_ms);
+                continue;
+            }
+        }
+        let started = Instant::now();
+        let (completed, panicked) = match queued.payload {
             Task::Single(job, handle) => {
                 let (result, panicked) = run_shielded(&mut cc, |cc| run_job(cc, &mut state, &job));
                 (Completed::Single(handle, result), panicked)
@@ -1912,6 +2612,9 @@ fn worker_main(
             match config.make_context() {
                 Ok(fresh) => cc = fresh,
                 Err(_) => {
+                    lock_recover(&shared.metrics.service_latency).record(started.elapsed());
+                    EngineMetrics::bump(&shared.metrics.completed);
+                    EngineMetrics::bump(&shared.metrics.failed);
                     completed.fulfil();
                     retire_worker(&shared);
                     return;
@@ -1924,10 +2627,13 @@ fn worker_main(
         // must observe worker stats that include its job.
         state.sweep_evicted(&mut cc);
         cc.take_pass_log();
-        *stats[index].lock().expect("worker stats poisoned") = base.merged(&cc.stats());
-        *resident_stats[index]
-            .lock()
-            .expect("resident stats poisoned") = resident_base.merged(&state.resident_stats);
+        *lock_recover(&stats[index]) = base.merged(&cc.stats());
+        *lock_recover(&resident_stats[index]) = resident_base.merged(&state.resident_stats);
+        lock_recover(&shared.metrics.service_latency).record(started.elapsed());
+        EngineMetrics::bump(&shared.metrics.completed);
+        if completed.is_err() {
+            EngineMetrics::bump(&shared.metrics.failed);
+        }
         completed.fulfil();
     }
 }

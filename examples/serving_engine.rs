@@ -126,5 +126,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         REQUESTS + 2,
         engine.workers(),
     );
+
+    // Traffic-shaped serving: a deliberately tight queue so admission
+    // visibly pushes back. try_submit never blocks — a full queue is a
+    // typed QueueFull the caller handles (here: drain one completion
+    // and retry); expired deadlines are shed before any GPU work, and
+    // a CompletionSet multiplexes every in-flight handle on one wait.
+    let bounded = Engine::builder().workers(2).queue_capacity(4).build()?;
+    let mut set = CompletionSet::new();
+    let (mut admitted, mut rejected) = (0u32, 0u32);
+    while admitted < 24 {
+        let mut job = Job::new(&saxpy)
+            .data_shared(&x)
+            .data_shared(&y)
+            .uniform_f32("alpha", 2.0);
+        if admitted.is_multiple_of(6) {
+            // An SLO the queue has already blown: shed, not executed.
+            job = job.timeout(std::time::Duration::ZERO);
+        }
+        match bounded.try_submit(job) {
+            Ok(handle) => {
+                set.insert(handle);
+                admitted += 1;
+            }
+            Err(ComputeError::QueueFull { .. }) => {
+                rejected += 1;
+                if let Some((_token, result)) = set.wait_any() {
+                    match result {
+                        Ok(_) | Err(ComputeError::DeadlineExceeded { .. }) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    while let Some((_token, result)) = set.wait_any() {
+        match result {
+            Ok(_) | Err(ComputeError::DeadlineExceeded { .. }) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let snap = bounded.snapshot();
+    println!(
+        "bounded engine: {admitted} admitted, {rejected} rejected at the bound; \
+         snapshot: {} completed, {} rejected, {} shed (balanced: {})",
+        snap.completed,
+        snap.rejected,
+        snap.shed,
+        snap.counters_balanced(),
+    );
+    println!(
+        "queue wait   {}\nservice time {}",
+        snap.queue_latency.format_summary(),
+        snap.service_latency.format_summary(),
+    );
     Ok(())
 }

@@ -76,6 +76,44 @@ def diff_section(lines, title, baseline_key, fresh_rows, key_fields,
     lines.append("")
 
 
+def diff_a12(lines, fresh):
+    """a12 is one nested block, not a row table. Only its steady-state
+    fields are deterministic; the admission counters scale with how fast
+    the host drained the open-loop load, so they (and the latency
+    quantiles) appear as advisory ratios, not exact comparisons."""
+    lines.append("### a12 — serving latency under saturation")
+    if not fresh:
+        lines.append("_no fresh a12 block measured_\n")
+        return
+    path, base = latest_baseline_with("a12_serving_latency")
+    if path is None:
+        lines.append("_no committed baseline records `a12_serving_latency` yet_\n")
+        return
+    lines.append(f"baseline: `{path}`\n")
+    fs, bs = fresh.get("steady", {}), base.get("steady", {})
+    drift = any(fs.get(k) != bs.get(k)
+                for k in ("post_warmup_links", "post_warmup_gl_objects",
+                          "identical"))
+    lines.append("| links (fresh/base) | objects (fresh/base) | "
+                 "identical (fresh/base) | service p50 ratio | "
+                 "queue p50 ratio | verdict |")
+    lines.append("|" + "---|" * 6)
+    fl, bl = fresh.get("latency_us", {}), base.get("latency_us", {})
+    lines.append(
+        "| {}/{} | {}/{} | {}/{} | {} | {} | {} |".format(
+            fs.get("post_warmup_links"), bs.get("post_warmup_links"),
+            fs.get("post_warmup_gl_objects"), bs.get("post_warmup_gl_objects"),
+            fs.get("identical"), bs.get("identical"),
+            fmt_ratio(fl.get("service", {}).get("p50_us", 0),
+                      bl.get("service", {}).get("p50_us", 0)),
+            fmt_ratio(fl.get("queue", {}).get("p50_us", 0),
+                      bl.get("queue", {}).get("p50_us", 0)),
+            "counter drift" if drift else "ok",
+        )
+    )
+    lines.append("")
+
+
 def main():
     if len(sys.argv) < 2:
         sys.exit(__doc__)
@@ -103,6 +141,7 @@ def main():
         ["links", "post_warmup_links", "post_warmup_gl_objects", "identical"],
         "jobs_per_sec",
     )
+    diff_a12(lines, ci_perf.get("a12_serving_latency", {}))
     lines.append("_counters compare exactly; timing ratios are advisory "
                  "(shared runners are noisy). The blocking contracts live in "
                  "`ci_perf_gate.py`._")

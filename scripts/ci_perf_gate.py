@@ -19,7 +19,13 @@ Two concerns, one machine-readable artefact:
     jobs) show **zero** post-warmup links and **zero** new GL objects in
     the steady-state wave at every worker count, and every a11 row —
     engine, direct and per-pass alike — reports outputs bit-identical to
-    the direct retained-Pipeline run.
+    the direct retained-Pipeline run;
+  - a12 (bounded admission under a saturating open-loop load) must show
+    balanced outcome counters (submitted = completed + rejected + shed +
+    cancelled + aborted), at least one QueueFull rejection and one
+    deadline shed (the load genuinely saturated), zero post-warmup
+    links/objects, and bit-identical completed outputs. The a12 latency
+    histograms and timing line are host-dependent and advisory.
 
   Any violation exits non-zero and fails CI.
 
@@ -28,7 +34,7 @@ overridable by the last argument) and uploaded as a workflow artifact, so
 the perf trajectory is diffable across runs instead of buried in logs.
 
 Usage:
-    ci_perf_gate.py <a3_start> <a3_end> <a9_out> <a10_out> <a11_out> [ci_perf.json]
+    ci_perf_gate.py <a3_start> <a3_end> <a9_out> <a10_out> <a11_out> <a12_out> [ci_perf.json]
 
 where `a3_start`/`a3_end` are `date +%s.%N` stamps around the a3 run.
 """
@@ -61,6 +67,66 @@ A11_NUMERIC = {
     "links": int, "post_warmup_links": int, "post_warmup_gl_objects": int,
 }
 
+# a12 is a single multi-line block, not a row table: one line per concern,
+# each with the stable `a12 <tag>` prefix printed by A12Report::format().
+A12_CONFIG = re.compile(
+    r"^a12 config\s+workers (?P<workers>\d+)\s+capacity (?P<capacity>\d+)\s+"
+    r"target jobs (?P<target_jobs>\d+)"
+)
+A12_COUNTERS = re.compile(
+    r"^a12 counters\s+submitted (?P<submitted>\d+)\s+completed (?P<completed>\d+)\s+"
+    r"rejected (?P<rejected>\d+)\s+shed (?P<shed>\d+)\s+cancelled (?P<cancelled>\d+)\s+"
+    r"aborted (?P<aborted>\d+)\s+unobserved (?P<unobserved>\d+)\s+"
+    r"balanced (?P<balanced>\S+)"
+)
+A12_STEADY = re.compile(
+    r"^a12 steady\s+post-warmup links (?P<post_warmup_links>\d+)\s+"
+    r"objects (?P<post_warmup_gl_objects>\d+)\s+"
+    r"queue high-water (?P<queue_high_water>\d+)\s+identical (?P<identical>\S+)"
+)
+A12_LATENCY = re.compile(
+    r"^a12 (?P<kind>queue|service)\s+p50 (?P<p50_us>\d+) us\s+p90 (?P<p90_us>\d+) us\s+"
+    r"p99 (?P<p99_us>\d+) us\s+max (?P<max_us>\d+) us\s+mean (?P<mean_us>\d+) us\s+"
+    r"samples (?P<samples>\d+)"
+)
+A12_TIMING = re.compile(
+    r"^a12 timing\s+(?P<elapsed_ms>[\d.]+) ms\s+"
+    r"(?P<completed_jobs_per_sec>[\d.]+) completed jobs/s"
+)
+
+
+def parse_a12_lines(lines):
+    """Parses A12Report::format() output into one nested dict (or {})."""
+    out = {}
+    for line in lines:
+        line = line.strip()
+        m = A12_CONFIG.match(line)
+        if m:
+            out["config"] = {k: int(v) for k, v in m.groupdict().items()}
+        m = A12_COUNTERS.match(line)
+        if m:
+            row = m.groupdict()
+            out["counters"] = {
+                k: (v if k == "balanced" else int(v)) for k, v in row.items()
+            }
+        m = A12_STEADY.match(line)
+        if m:
+            row = m.groupdict()
+            out["steady"] = {
+                k: (v if k == "identical" else int(v)) for k, v in row.items()
+            }
+        m = A12_LATENCY.match(line)
+        if m:
+            row = m.groupdict()
+            kind = row.pop("kind")
+            out.setdefault("latency_us", {})[kind] = {
+                k: int(v) for k, v in row.items()
+            }
+        m = A12_TIMING.match(line)
+        if m:
+            out["timing"] = {k: float(v) for k, v in m.groupdict().items()}
+    return out
+
 # The deterministic contracts.
 A9_RETAINED_LINKS = {"srad": 2, "reduce": 1, "fft": 2}
 A10_MIX_LINKS = {"hot3": 3, "wide24": 24}
@@ -81,7 +147,7 @@ def parse_rows(path, regex, numeric):
 
 
 def main():
-    if len(sys.argv) < 6:
+    if len(sys.argv) < 7:
         sys.exit(__doc__)
     elapsed = float(sys.argv[2]) - float(sys.argv[1])
     a9_rows = parse_rows(
@@ -95,7 +161,8 @@ def main():
          "jobs_per_sec": float, "links": int, "post_warmup_links": int},
     )
     a11_rows = parse_rows(sys.argv[5], A11_ROW, A11_NUMERIC)
-    out_path = pathlib.Path(sys.argv[6] if len(sys.argv) > 6 else "ci_perf.json")
+    a12 = parse_a12_lines(pathlib.Path(sys.argv[6]).read_text().splitlines())
+    out_path = pathlib.Path(sys.argv[7] if len(sys.argv) > 7 else "ci_perf.json")
 
     # ---- advisory timing ------------------------------------------------
     baselines = sorted(glob.glob("BENCH_*.json"),
@@ -169,9 +236,47 @@ def main():
                     f"{where}: {row['post_warmup_gl_objects']} GL objects created "
                     f"in the steady-state wave, contract is 0")
 
+    # a12: bounded admission under saturation. The outcome counters and
+    # steady-state rows are deterministic contracts; the latency
+    # histograms and the timing line are host noise and stay advisory.
+    required = ("config", "counters", "steady", "latency_us", "timing")
+    missing = [k for k in required if k not in a12]
+    if missing:
+        failures.append(f"a12: sections not parsed: {', '.join(missing)}")
+    else:
+        c = a12["counters"]
+        s = a12["steady"]
+        if c["balanced"] != "yes":
+            failures.append(
+                "a12: outcome counters do not balance (submitted != "
+                "completed + rejected + shed + cancelled + aborted)")
+        if c["rejected"] == 0:
+            failures.append(
+                "a12: zero QueueFull rejections — the open-loop load never "
+                "saturated the admission bound")
+        if c["shed"] == 0:
+            failures.append(
+                "a12: zero deadline sheds — expired jobs were not shed at "
+                "dequeue")
+        if s["identical"] != "yes":
+            failures.append("a12: a completed output diverged from the "
+                            "direct run")
+        if s["post_warmup_links"] != 0:
+            failures.append(
+                f"a12: {s['post_warmup_links']} post-warmup links, "
+                f"contract is 0 under saturation")
+        if s["post_warmup_gl_objects"] != 0:
+            failures.append(
+                f"a12: {s['post_warmup_gl_objects']} GL objects created "
+                f"under saturation, contract is 0")
+        if s["queue_high_water"] > a12["config"]["capacity"]:
+            failures.append(
+                f"a12: queue high-water {s['queue_high_water']} exceeds the "
+                f"admission bound {a12['config']['capacity']}")
+
     # ---- artefact --------------------------------------------------------
     out_path.write_text(json.dumps({
-        "schema": "gpes-ci-perf/2",
+        "schema": "gpes-ci-perf/3",
         "a3": {"elapsed_seconds": round(elapsed, 3),
                "baseline_file": baselines[-1],
                "baseline_seconds": base,
@@ -180,10 +285,11 @@ def main():
         "a9_counters": a9_rows,
         "a10_counters": a10_rows,
         "a11_counters": a11_rows,
+        "a12_serving_latency": a12,
         "gate_failures": failures,
     }, indent=2) + "\n")
     print(f"wrote {out_path} ({len(a9_rows)} a9 rows, {len(a10_rows)} a10 rows, "
-          f"{len(a11_rows)} a11 rows)")
+          f"{len(a11_rows)} a11 rows, {len(a12)} a12 sections)")
 
     if failures:
         print("counter gate FAILED:")
@@ -192,7 +298,8 @@ def main():
         sys.exit(1)
     print("counter gate passed: a9 in-loop links 2/1/2, a10 shared-cache "
           "post-warmup links all zero, a11 pipeline serving steady-state "
-          "links/objects all zero and outputs bit-identical")
+          "links/objects all zero and outputs bit-identical, a12 admission "
+          "counters balanced with QueueFull and deadline sheds observed")
 
 
 if __name__ == "__main__":

@@ -24,7 +24,7 @@ import time
 REPO = pathlib.Path(__file__).resolve().parent.parent
 SECTIONS = [
     "e1", "sweep", "e2", "f1", "f2",
-    "a1", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11",
+    "a1", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11", "a12",
 ]
 
 # e.g. "sum (int)    n=1048576    cpu   64.97 ms   gpu  13.33 ms   speedup 4.87x   paper 7.2x   validated yes"
@@ -38,7 +38,9 @@ E1_ROW = re.compile(
 # The a9/a10/a11 row regexes live in ci_perf_gate.py (one copy, imported
 # by both consumers) so a format change in the bench row printers cannot
 # desynchronise the CI gate from the recorded baselines.
-from ci_perf_gate import A9_ROW, A10_ROW, A11_NUMERIC, A11_ROW  # noqa: E402
+from ci_perf_gate import (  # noqa: E402
+    A9_ROW, A10_ROW, A11_NUMERIC, A11_ROW, parse_a12_lines,
+)
 
 
 def run_section(name: str) -> dict:
@@ -80,6 +82,7 @@ def main() -> None:
     a9_rows = []
     a10_rows = []
     a11_rows = []
+    a12_block = {}
     for name in SECTIONS:
         result = run_section(name)
         lines = result["stdout"].splitlines()
@@ -128,6 +131,8 @@ def main() -> None:
                     for k, cast in A11_NUMERIC.items():
                         row[k] = cast(row[k])
                     a11_rows.append(row)
+        if name == "a12":
+            a12_block = parse_a12_lines(lines)
 
     baseline = {
         "schema": "gpes-bench-baseline/1",
@@ -160,6 +165,13 @@ def main() -> None:
         # zero new GL objects in the steady-state wave, and every mode is
         # bit-identical to the direct run.
         "a11_pipeline_serving": a11_rows,
+        # a12: bounded admission under a saturating open-loop load
+        # (PR 6). The deterministic contract: outcome counters balance,
+        # QueueFull and deadline sheds are observed, the steady state
+        # links/allocates nothing, and completed outputs stay
+        # bit-identical. The admission counts and latency quantiles are
+        # load/host-dependent and recorded for trajectory only.
+        "a12_serving_latency": a12_block,
     }
     out_path.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"wrote {out_path} ({len(e1_rows)} speedup rows, "

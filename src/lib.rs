@@ -44,11 +44,12 @@ pub use gpes_perf as perf;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use gpes_core::{
-        Bindings, ComputeContext, ComputeError, ContextStats, Engine, FloatSpecials, GpuArray,
-        GpuMatrix, GpuTexels, Job, Kernel, KernelBuilder, KernelSpec, MultiOutputBuilder,
-        MultiOutputKernel, OutputShape, PackBias, Pass, PassSpec, Pipeline, PipelineJob,
-        PipelineResult, PipelineSpec, Readback, ResidentInput, ResidentStats, ScalarType,
-        SharedProgramCache, StepHandle, Submission, VertexKernel,
+        Bindings, CompletionSet, ComputeContext, ComputeError, ContextStats, Engine,
+        EngineSnapshot, FloatSpecials, GpuArray, GpuMatrix, GpuTexels, Job, Kernel, KernelBuilder,
+        KernelSpec, LatencyHistogram, MultiOutputBuilder, MultiOutputKernel, OutputShape, PackBias,
+        Pass, PassSpec, Pipeline, PipelineJob, PipelineResult, PipelineSpec, Readback,
+        ResidentInput, ResidentStats, ScalarType, SharedProgramCache, StepHandle, Submission,
+        VertexKernel,
     };
     pub use gpes_gles2::{Context, Dispatch, Executor, StoreRounding};
     pub use gpes_glsl::exec::FloatModel;

@@ -621,3 +621,377 @@ fn resident_input_used_after_eviction_is_a_validation_error() {
     assert_eq!(total, 1, "the sweep reclaimed the evicted residency");
     assert_eq!(held, 0, "no resident textures remain");
 }
+
+// ---- bounded admission, deadlines, cancellation --------------------------
+
+use gpes::core::serve::CompletionSet;
+use std::time::{Duration, Instant};
+
+/// A pipeline slow enough (hundreds of serial passes) that the submitting
+/// thread can observe the engine *while the worker is busy*.
+fn slow_pipeline(n: usize, iters: usize) -> Arc<PipelineSpec> {
+    let step = Arc::new(
+        KernelSpec::new("slow_step")
+            .input("x")
+            .output(n)
+            .body("return fetch_x(idx) + 1.0;"),
+    );
+    Arc::new(
+        PipelineSpec::builder("slow")
+            .source_len("x", n)
+            .pass(PassSpec::new(&step).read("x", "x").write_len("x", n))
+            .iterations(iters)
+            .build()
+            .expect("spec"),
+    )
+}
+
+fn slow_job(spec: &Arc<PipelineSpec>, n: usize) -> PipelineJob {
+    PipelineJob::new(spec).source(vec![0.0; n]).read("x")
+}
+
+/// Spins until the engine has dequeued down to `depth` queued tasks —
+/// used to order a test step after a worker has picked up earlier work.
+fn wait_queue_depth_at_most(engine: &Engine, depth: usize) {
+    let give_up = Instant::now() + Duration::from_secs(120);
+    while engine.queue_depth() > depth {
+        assert!(Instant::now() < give_up, "queue never drained to {depth}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn try_submit_rejects_with_queue_full_when_the_bound_is_hit() {
+    let n = 512;
+    let engine = Engine::builder()
+        .workers(1)
+        .queue_capacity(1)
+        .build()
+        .expect("engine");
+    let spec = slow_pipeline(n, 240);
+    // Occupy the single worker, then flood: with capacity 1, the second
+    // pending submission must be turned away while the worker is busy.
+    let busy = engine.submit_pipeline(slow_job(&spec, n)).expect("submit");
+    let gain = gain_spec(8);
+    let mut accepted = Vec::new();
+    let mut rejections = 0u64;
+    for _ in 0..64 {
+        match engine.try_submit(Job::new(&gain).data(vec![1.0; 8])) {
+            Ok(handle) => accepted.push(handle),
+            Err(ComputeError::QueueFull { capacity }) => {
+                assert_eq!(capacity, 1);
+                rejections += 1;
+            }
+            Err(other) => panic!("expected QueueFull, got {other:?}"),
+        }
+    }
+    assert!(rejections > 0, "a bounded queue must reject under flood");
+    busy.wait().expect("busy job");
+    for handle in accepted {
+        assert_eq!(handle.wait().expect("accepted job"), vec![1.0; 8]);
+    }
+    let snap = engine.snapshot();
+    assert_eq!(snap.rejected, rejections);
+    assert_eq!(snap.queue_capacity, 1);
+    assert!(snap.queue_depth_high_water >= 1);
+    assert!(
+        snap.counters_balanced(),
+        "quiescent counters must balance: {snap:?}"
+    );
+}
+
+#[test]
+fn expired_deadlines_are_shed_before_execution() {
+    let engine = Engine::builder().workers(1).build().expect("engine");
+    let gain = gain_spec(8);
+    // A deadline already in the past is shed at dequeue, deterministically.
+    let handle = engine
+        .submit(Job::new(&gain).data(vec![1.0; 8]).timeout(Duration::ZERO))
+        .expect("submit");
+    match handle.wait() {
+        Err(ComputeError::DeadlineExceeded { .. }) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // Batches and pipelines shed the same way.
+    let mut sub = Submission::new();
+    let s = sub.step(&gain, vec![StepInput::Data(Arc::new(vec![1.0; 8]))], vec![]);
+    sub.read(s);
+    sub.deadline(Instant::now() - Duration::from_millis(1));
+    assert!(matches!(
+        engine.submit_batch(sub).expect("submit").wait(),
+        Err(ComputeError::DeadlineExceeded { .. })
+    ));
+    let pipe = slow_pipeline(8, 2);
+    assert!(matches!(
+        engine
+            .submit_pipeline(slow_job(&pipe, 8).timeout(Duration::ZERO))
+            .expect("submit")
+            .wait(),
+        Err(ComputeError::DeadlineExceeded { .. })
+    ));
+    let snap = engine.snapshot();
+    assert_eq!(snap.shed, 3);
+    assert_eq!(snap.completed, 0, "shed work never reached a worker");
+    // A generous deadline does not interfere with normal service.
+    let ok = engine
+        .submit(
+            Job::new(&gain)
+                .data(vec![2.0; 8])
+                .timeout(Duration::from_secs(60)),
+        )
+        .expect("submit")
+        .wait()
+        .expect("job");
+    assert_eq!(ok, vec![2.0; 8]);
+    assert!(engine.snapshot().counters_balanced());
+}
+
+#[test]
+fn cancel_revokes_queued_work_exactly_once() {
+    let n = 512;
+    let engine = Engine::builder().workers(1).build().expect("engine");
+    let spec = slow_pipeline(n, 240);
+    let busy = engine.submit_pipeline(slow_job(&spec, n)).expect("submit");
+    let gain = gain_spec(8);
+    let queued = engine
+        .submit(Job::new(&gain).data(vec![3.0; 8]))
+        .expect("submit");
+    let won = queued.cancel();
+    // Cancelling twice can never win twice.
+    assert!(!queued.cancel());
+    match queued.wait() {
+        Err(ComputeError::Cancelled) => assert!(won, "Cancelled result implies cancel() won"),
+        Ok(data) => {
+            assert!(!won, "cancel() winning implies a Cancelled result");
+            assert_eq!(data, vec![3.0; 8]);
+        }
+        other => panic!("expected Cancelled or Ok, got {other:?}"),
+    }
+    busy.wait().expect("busy job");
+    let snap = engine.snapshot();
+    assert_eq!(snap.cancelled, u64::from(won));
+    assert!(snap.counters_balanced());
+    // Cancelling a finished job is a no-op.
+    let done = engine
+        .submit(Job::new(&gain).data(vec![1.0; 8]))
+        .expect("submit");
+    done.wait_timeout(Duration::from_secs(120))
+        .expect("finish")
+        .expect("job");
+    assert!(!done.cancel());
+}
+
+#[test]
+fn nonblocking_waits_poll_and_bound_without_losing_the_result() {
+    let n = 512;
+    let engine = Engine::builder().workers(1).build().expect("engine");
+    let spec = slow_pipeline(n, 240);
+    let handle = engine.submit_pipeline(slow_job(&spec, n)).expect("submit");
+    assert!(handle.try_wait().is_none(), "job cannot be done instantly");
+    assert!(!handle.is_finished());
+    assert!(
+        handle.wait_timeout(Duration::from_micros(1)).is_none(),
+        "a 1 µs bound must expire first"
+    );
+    // The timeout expiring left the job running and the handle valid.
+    let result = handle
+        .wait_deadline(Instant::now() + Duration::from_secs(120))
+        .expect("job finishes well within the deadline")
+        .expect("job");
+    assert_eq!(result.output("x").expect("x"), &vec![240.0; n][..]);
+    // The result was taken: later polls are a typed error, not a hang.
+    match handle.try_wait() {
+        Some(Err(ComputeError::EngineInternal { .. })) => {}
+        other => panic!("expected EngineInternal, got {other:?}"),
+    }
+}
+
+#[test]
+fn completion_set_multiplexes_handles_on_one_condvar() {
+    let n = 256;
+    let engine = Engine::builder().workers(2).build().expect("engine");
+    let spec = saxpy_spec(n);
+    let x = ramp(n, 0.5);
+    let y = ramp(n, 0.25);
+    let direct = direct_saxpy(n, &x, &y, 2.0);
+    let mut set = CompletionSet::new();
+    assert!(set.wait_any().is_none(), "empty set yields nothing");
+    for _ in 0..16 {
+        let handle = engine
+            .submit(Job::new(&spec).data(x.clone()).data(y.clone()))
+            .expect("submit");
+        set.insert(handle);
+    }
+    assert_eq!(set.len(), 16);
+    let mut seen = 0;
+    while let Some((_token, result)) = set.wait_any() {
+        assert_eq!(
+            result.expect("job"),
+            direct,
+            "served results stay bit-identical"
+        );
+        seen += 1;
+    }
+    assert_eq!(seen, 16);
+    assert!(set.is_empty());
+    // A handle that already finished is immediately ready on insert.
+    let done = engine
+        .submit(Job::new(&spec).data(x.clone()).data(y.clone()))
+        .expect("submit");
+    let give_up = Instant::now() + Duration::from_secs(120);
+    while !done.is_finished() {
+        assert!(Instant::now() < give_up, "job never finished");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    set.insert(done);
+    let (_token, result) = set.try_next().expect("already-finished member");
+    assert_eq!(result.expect("job"), direct);
+    // And an empty set times out rather than hanging.
+    assert!(set.wait_any_timeout(Duration::from_millis(1)).is_none());
+}
+
+#[test]
+fn unobserved_job_errors_surface_in_the_snapshot() {
+    let n = 8;
+    let engine = Engine::builder().workers(1).build().expect("engine");
+    let step = Arc::new(
+        KernelSpec::new("decay")
+            .input("x")
+            .output(n)
+            .body("return fetch_x(idx) * 0.5;"),
+    );
+    let failing = Arc::new(
+        PipelineSpec::builder("nonconverging")
+            .source_len("x", n)
+            .pass(PassSpec::new(&step).read("x", "x").write_len("x", n))
+            .until(|_| false)
+            .iteration_cap(4)
+            .build()
+            .expect("spec"),
+    );
+    // Drop the handle before the job fails: the late error is counted.
+    drop(
+        engine
+            .submit_pipeline(slow_job(&failing, n))
+            .expect("submit"),
+    );
+    // Drop the handle after the job failed: the stored error is counted.
+    let handle = engine
+        .submit_pipeline(slow_job(&failing, n))
+        .expect("submit");
+    // A marker job through the same single worker proves both failing
+    // jobs are done (FIFO order).
+    let gain = gain_spec(4);
+    engine
+        .submit(Job::new(&gain).data(vec![1.0; 4]))
+        .expect("submit")
+        .wait()
+        .expect("marker");
+    assert!(handle.is_finished());
+    drop(handle);
+    let snap = engine.snapshot();
+    assert_eq!(snap.unobserved_errors, 2);
+    assert_eq!(snap.failed, 2);
+    assert_eq!(snap.completed, 3);
+    assert!(snap.counters_balanced());
+    // An *observed* error is not double-counted.
+    assert!(engine
+        .submit_pipeline(slow_job(&failing, n))
+        .expect("submit")
+        .wait()
+        .is_err());
+    assert_eq!(engine.snapshot().unobserved_errors, 2);
+}
+
+#[test]
+fn no_wait_hangs_across_shutdown_worker_panic_and_drop_orderings() {
+    let n = 512;
+    let gain = gain_spec(8);
+
+    // (a) Explicit shutdown with work still queued: queued tasks abort
+    // with a typed error; nothing hangs.
+    let engine = Engine::builder().workers(1).build().expect("engine");
+    let spec = slow_pipeline(n, 240);
+    let busy = engine.submit_pipeline(slow_job(&spec, n)).expect("submit");
+    let queued: Vec<_> = (0..4)
+        .map(|_| {
+            engine
+                .submit(Job::new(&gain).data(vec![1.0; 8]))
+                .expect("submit")
+        })
+        .collect();
+    // Let the worker dequeue the slow job so it is genuinely running
+    // (not merely queued) when the shutdown drain happens.
+    wait_queue_depth_at_most(&engine, 4);
+    engine.shutdown();
+    // The running job finished; the queued ones either ran before the
+    // drain or were aborted with the shutdown error — never a hang.
+    busy.wait().expect("running job finishes across shutdown");
+    for handle in queued {
+        match handle.wait() {
+            Ok(data) => assert_eq!(data, vec![1.0; 8]),
+            Err(ComputeError::EngineShutdown) => {}
+            other => panic!("expected Ok or EngineShutdown, got {other:?}"),
+        }
+    }
+
+    // (b) A worker panic mid-job resolves that job with a typed error
+    // and the engine keeps serving on a replaced context.
+    let engine = Engine::builder().workers(1).build().expect("engine");
+    let bomb = Arc::new(
+        KernelSpec::new("bomb")
+            .input("x")
+            .uniform_f32("boom", 1.0)
+            .output(n)
+            .body("return fetch_x(idx) * boom;"),
+    );
+    let panicking = Arc::new(
+        PipelineSpec::builder("panics")
+            .source_len("x", n)
+            .pass(
+                PassSpec::new(&bomb)
+                    .read("x", "x")
+                    .write_len("x", n)
+                    .uniform_per_iter("boom", |_| panic!("injected worker panic")),
+            )
+            .iterations(2)
+            .build()
+            .expect("spec"),
+    );
+    match engine
+        .submit_pipeline(slow_job(&panicking, n))
+        .expect("submit")
+        .wait()
+    {
+        Err(ComputeError::EngineInternal { message }) => {
+            assert!(message.contains("panicked"), "message: {message}");
+        }
+        other => panic!("expected EngineInternal, got {other:?}"),
+    }
+    let ok = engine
+        .submit(Job::new(&gain).data(vec![2.0; 8]))
+        .expect("submit")
+        .wait()
+        .expect("job after panic");
+    assert_eq!(ok, vec![2.0; 8]);
+    let snap = engine.snapshot();
+    assert_eq!(snap.failed, 1);
+    assert!(snap.counters_balanced());
+    engine.shutdown();
+
+    // (c) Dropping the engine with handles still held: every handle
+    // resolves (result or typed abort) before the drop returns.
+    let engine = Engine::builder().workers(1).build().expect("engine");
+    let busy = engine.submit_pipeline(slow_job(&spec, n)).expect("submit");
+    wait_queue_depth_at_most(&engine, 0);
+    let tail = engine
+        .submit(Job::new(&gain).data(vec![4.0; 8]))
+        .expect("submit");
+    drop(engine);
+    busy.wait().expect("running job finishes across drop");
+    match tail.wait() {
+        Ok(data) => assert_eq!(data, vec![4.0; 8]),
+        Err(ComputeError::EngineShutdown) => {}
+        other => panic!("expected Ok or EngineShutdown, got {other:?}"),
+    }
+}
