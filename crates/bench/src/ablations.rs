@@ -1793,9 +1793,269 @@ pub fn a12_latency_under_load(n: usize, target_jobs: usize) -> Result<A12Report,
     })
 }
 
+/// One chaos rate's outcome in [`A13Report`]: the quiescent snapshot plus
+/// the correctness verdicts the CI gate blocks on.
+#[derive(Debug, Clone)]
+pub struct A13ChaosRow {
+    /// Per-site injection probability this row ran under.
+    pub rate: f64,
+    /// The engine's final [`gpes_core::EngineSnapshot`], taken at
+    /// quiescence (queue empty, every handle resolved).
+    pub snapshot: gpes_core::EngineSnapshot,
+    /// Completed outputs that did NOT match the fault-free reference
+    /// bit-for-bit (gate: 0 — chaos may slow or fail jobs, never corrupt
+    /// them).
+    pub wrong: u64,
+    /// Whether any waiter outlived the drain deadline (gate: false).
+    pub hung: bool,
+}
+
+impl A13ChaosRow {
+    /// Whether every completed output matched the reference.
+    pub fn identical(&self) -> bool {
+        self.wrong == 0
+    }
+}
+
+/// A13 — chaos serving: the a12-style open-loop load re-run under seeded
+/// deterministic [`gpes_gles2::FaultPlan`]s at several injection rates,
+/// with a one-shot context loss armed at every rate. The self-healing
+/// contract CI gates on: completed outputs stay bit-identical to the
+/// fault-free reference, counters (retries included) balance, every row
+/// recovers at least one lost context, and no waiter hangs.
+#[derive(Debug, Clone)]
+pub struct A13Report {
+    /// Worker threads.
+    pub workers: usize,
+    /// Admission bound the producer saturates.
+    pub queue_capacity: usize,
+    /// Jobs the producer admitted per rate.
+    pub target_jobs: usize,
+    /// Operation count after which each worker's one-shot context loss
+    /// fires.
+    pub lose_after: u64,
+    /// Retry budget per job (first attempt included).
+    pub max_attempts: u32,
+    /// One row per injection rate.
+    pub rows: Vec<A13ChaosRow>,
+}
+
+impl A13Report {
+    /// Formats the report as the stable multi-line block
+    /// `scripts/ci_perf_gate.py` parses.
+    pub fn format(&self) -> String {
+        let mut lines = vec![format!(
+            "a13 config    workers {}   capacity {}   target jobs {}   lose-after {}   \
+             attempts {}",
+            self.workers, self.queue_capacity, self.target_jobs, self.lose_after, self.max_attempts
+        )];
+        for row in &self.rows {
+            let s = &row.snapshot;
+            lines.push(format!(
+                "a13 chaos     rate {:.4}   submitted {}   completed {}   failed {}   \
+                 rejected {}   shed {}   cancelled {}   aborted {}   retried {}   \
+                 recovered {}   faults {}   balanced {}   identical {}   hung {}",
+                row.rate,
+                s.submitted,
+                s.completed,
+                s.failed,
+                s.rejected,
+                s.shed,
+                s.cancelled,
+                s.aborted,
+                s.retried,
+                s.recovered_contexts,
+                s.faults_injected,
+                if s.counters_balanced() { "yes" } else { "NO" },
+                if row.identical() { "yes" } else { "NO" },
+                if row.hung { "YES" } else { "no" },
+            ));
+        }
+        lines.join("\n")
+    }
+}
+
+/// Runs A13: open-loop chaos load under deterministic fault injection.
+///
+/// For each injection rate a fresh 2-worker engine gets a seeded
+/// [`gpes_gles2::FaultPlan`] (derived per worker) with every failure
+/// site armed at that rate plus a one-shot context loss a few operations
+/// in, and a generous zero-backoff [`gpes_core::RetryPolicy`]. The
+/// producer floods `try_submit` saxpy jobs past the admission bound
+/// (QueueFull paces it, exactly like a12), drains every handle through a
+/// timeout-bounded [`gpes_core::CompletionSet`] — a waiter outliving the
+/// deadline marks the row hung instead of hanging the bench — and takes
+/// the snapshot at quiescence. Completed outputs are compared
+/// bit-for-bit against a fault-free direct run; jobs whose retry budget
+/// was exhausted surface typed transient errors and are counted
+/// `failed`, never wrong.
+///
+/// # Errors
+///
+/// Propagates simulator failures that are neither transient nor
+/// injection-induced (those are expected and absorbed).
+pub fn a13_chaos(n: usize, target_jobs: usize) -> Result<A13Report, ComputeError> {
+    use gpes_core::{CompletionSet, Engine, Job, KernelSpec, RetryPolicy};
+    use gpes_gles2::FaultPlan;
+    use std::sync::Arc;
+    use std::time::Duration;
+    const WORKERS: usize = 2;
+    const CAPACITY: usize = 8;
+    const LOSE_AFTER: u64 = 9;
+    const SEED: u64 = 0xDA7E_2016;
+    const MAX_ATTEMPTS: u32 = 6;
+    const RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.15];
+    /// Per-row drain budget: far beyond any real run, tight enough that
+    /// a genuine hang fails the row (and the gate) instead of wedging CI.
+    const DRAIN_TIMEOUT: Duration = Duration::from_secs(120);
+
+    let x = data::random_f32(n, 1301, 1.0);
+    let y = data::random_f32(n, 1302, 1.0);
+    let spec = Arc::new(
+        KernelSpec::new("a13_saxpy")
+            .input("x")
+            .input("y")
+            .uniform_f32("alpha", 2.0)
+            .output(n)
+            .body("return alpha * fetch_x(idx) + fetch_y(idx);"),
+    );
+
+    // Fault-free direct reference for the bit-identity check.
+    let reference = {
+        let mut cc = ComputeContext::new(256, 256)?;
+        let gx = cc.upload(&x)?;
+        let gy = cc.upload(&y)?;
+        let kernel = Kernel::builder("a13_saxpy_direct")
+            .input("x", &gx)
+            .input("y", &gy)
+            .uniform_f32("alpha", 2.0)
+            .output(ScalarType::F32, n)
+            .body("return alpha * fetch_x(idx) + fetch_y(idx);")
+            .build(&mut cc)?;
+        cc.run_f32(&kernel)?
+    };
+
+    let mut rows = Vec::with_capacity(RATES.len());
+    for rate in RATES {
+        let engine = Engine::builder()
+            .workers(WORKERS)
+            .queue_capacity(CAPACITY)
+            .retry_policy(RetryPolicy {
+                max_attempts: MAX_ATTEMPTS,
+                backoff: Duration::ZERO,
+            })
+            .fault_plan(
+                FaultPlan::new(SEED)
+                    .rate_all(rate)
+                    .lose_context_after(LOSE_AFTER),
+            )
+            .build()?;
+        let mut set = CompletionSet::new();
+        let mut wrong = 0u64;
+        let mut hung = false;
+        let give_up = Instant::now() + DRAIN_TIMEOUT;
+        let collect =
+            |result: Result<Vec<f32>, ComputeError>, wrong: &mut u64| -> Result<(), ComputeError> {
+                match result {
+                    Ok(out) => {
+                        if out != reference {
+                            *wrong += 1;
+                        }
+                        Ok(())
+                    }
+                    // Retry budget exhausted under heavy injection: a typed
+                    // transient error, the expected chaos outcome.
+                    Err(e) if e.is_transient() => Ok(()),
+                    Err(e) => Err(e),
+                }
+            };
+        let mut admitted = 0usize;
+        while admitted < target_jobs && !hung {
+            match engine.try_submit(Job::new(&spec).data(x.clone()).data(y.clone())) {
+                Ok(handle) => {
+                    set.insert(handle);
+                    admitted += 1;
+                }
+                Err(ComputeError::QueueFull { .. }) => {
+                    let now = Instant::now();
+                    if now >= give_up {
+                        hung = true;
+                        break;
+                    }
+                    match set.wait_any_timeout(give_up - now) {
+                        Some((_token, result)) => collect(result, &mut wrong)?,
+                        None => hung = true,
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        while !set.is_empty() && !hung {
+            let now = Instant::now();
+            if now >= give_up {
+                hung = true;
+                break;
+            }
+            match set.wait_any_timeout(give_up - now) {
+                Some((_token, result)) => collect(result, &mut wrong)?,
+                None => hung = true,
+            }
+        }
+        if !hung {
+            // Quiescence before the snapshot: all handles resolved, and
+            // any stale queue entry drained by the idle workers.
+            while engine.queue_depth() > 0 {
+                std::thread::yield_now();
+            }
+        }
+        rows.push(A13ChaosRow {
+            rate,
+            snapshot: engine.snapshot(),
+            wrong,
+            hung,
+        });
+        engine.shutdown();
+    }
+    Ok(A13Report {
+        workers: WORKERS,
+        queue_capacity: CAPACITY,
+        target_jobs,
+        lose_after: LOSE_AFTER,
+        max_attempts: MAX_ATTEMPTS,
+        rows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn a13_chaos_heals_without_corruption_or_hangs() {
+        let report = a13_chaos(256, 32).expect("a13");
+        assert_eq!(report.rows.len(), 4);
+        let mut injected_under_chaos = 0u64;
+        let mut retried_total = 0u64;
+        for row in &report.rows {
+            let s = &row.snapshot;
+            assert!(!row.hung, "{}", report.format());
+            assert!(row.identical(), "{}", report.format());
+            assert!(s.counters_balanced(), "{}", report.format());
+            assert!(s.completed > 0, "{}", report.format());
+            assert!(
+                s.recovered_contexts >= 1,
+                "every row arms a one-shot context loss: {}",
+                report.format()
+            );
+            assert!(s.queue_depth_high_water <= report.queue_capacity as u64);
+            if row.rate > 0.0 {
+                injected_under_chaos += s.faults_injected;
+            }
+            retried_total += s.retried;
+        }
+        assert!(injected_under_chaos > 0, "{}", report.format());
+        assert!(retried_total >= 1, "{}", report.format());
+    }
 
     #[test]
     fn a12_saturation_balances_counters_and_stays_steady() {

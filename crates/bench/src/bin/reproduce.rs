@@ -220,6 +220,25 @@ fn run_a12() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn run_a13() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A13: chaos serving — deterministic fault injection, self-healing gated");
+    let report = ablations::a13_chaos(1 << 12, 96)?;
+    println!("{}", report.format());
+    println!();
+    println!("the a12 open-loop load re-run under seeded per-worker FaultPlans:");
+    println!("every failure site (link, alloc, upload, framebuffer, readback)");
+    println!("armed at the row's rate, plus a one-shot context loss a few");
+    println!("operations in. Workers retry transient failures and rebuild lost");
+    println!("contexts (re-adopting shared programs, re-uploading residents");
+    println!("lazily), so completed outputs stay bit-identical to the");
+    println!("fault-free reference at every rate — chaos may slow or fail jobs");
+    println!("with typed errors, never corrupt them. CI gates on identical");
+    println!("outputs, balanced counters (a retried job still counts once), at");
+    println!("least one recovered context per row, injected faults under");
+    println!("nonzero rates, and no hung waiters.");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     match what.as_str() {
@@ -239,6 +258,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "a10" => run_a10()?,
         "a11" => run_a11()?,
         "a12" => run_a12()?,
+        "a13" => run_a13()?,
         "all" => {
             run_e1()?;
             run_sweep()?;
@@ -256,10 +276,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run_a10()?;
             run_a11()?;
             run_a12()?;
+            run_a13()?;
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|a9|a10|a11|a12|all"
+                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|a9|a10|a11|a12|a13|all"
             );
             std::process::exit(2);
         }

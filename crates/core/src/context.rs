@@ -213,6 +213,30 @@ impl ComputeContext {
         &mut self.gl
     }
 
+    /// Installs a deterministic driver [`gpes_gles2::FaultPlan`] on the
+    /// underlying context — see [`gpes_gles2::Context::install_fault_plan`].
+    pub fn install_fault_plan(&mut self, plan: gpes_gles2::FaultPlan) {
+        self.gl.install_fault_plan(plan);
+    }
+
+    /// Removes and returns the installed fault plan with its advanced
+    /// state, so it can follow the worker onto a rebuilt context.
+    pub fn take_fault_plan(&mut self) -> Option<gpes_gles2::FaultPlan> {
+        self.gl.take_fault_plan()
+    }
+
+    /// Whether the underlying GL context has been lost (poisoned): every
+    /// further GL call fails with `GlError::ContextLost` until the
+    /// context is torn down and rebuilt.
+    pub fn context_lost(&self) -> bool {
+        self.gl.is_lost()
+    }
+
+    /// Faults the installed plan has injected so far (`0` with none).
+    pub fn faults_injected(&self) -> u64 {
+        self.gl.faults_injected()
+    }
+
     /// The output byte bias mode (ablation A1). Takes effect for kernels
     /// built afterwards.
     pub fn set_pack_bias(&mut self, bias: PackBias) {

@@ -118,6 +118,30 @@ impl ComputeError {
             message: message.into(),
         }
     }
+
+    /// Whether this error is *transient*: retrying the same work can
+    /// legitimately succeed, because the failure came from the driver's
+    /// (simulated) resource pressure rather than from the job itself.
+    /// The serving engine's [`crate::serve::RetryPolicy`] re-runs
+    /// transient failures mechanically; everything else — bad kernels,
+    /// domain violations, shed/cancelled/aborted outcomes — is permanent
+    /// and surfaces to the caller unchanged.
+    ///
+    /// | Error | Classification |
+    /// |---|---|
+    /// | `Gl(ResourceExhausted)` | transient |
+    /// | `Gl(ContextLost)` | transient (needs a context rebuild first) |
+    /// | every other variant | permanent |
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ComputeError::Gl(e) if e.is_transient())
+    }
+
+    /// Whether this error means the GL context died
+    /// ([`GlError::ContextLost`]): transient, but retrying is only useful
+    /// on a *rebuilt* context — every handle into the old one is dead.
+    pub fn is_context_loss(&self) -> bool {
+        matches!(self, ComputeError::Gl(GlError::ContextLost))
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +172,27 @@ mod tests {
             message: "result already taken".into(),
         };
         assert!(e.to_string().contains("result already taken"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        let exhausted = ComputeError::Gl(GlError::ResourceExhausted {
+            message: "texture upload".into(),
+        });
+        assert!(exhausted.is_transient() && !exhausted.is_context_loss());
+        let lost = ComputeError::Gl(GlError::ContextLost);
+        assert!(lost.is_transient() && lost.is_context_loss());
+        for permanent in [
+            ComputeError::bad_kernel("dup"),
+            ComputeError::Cancelled,
+            ComputeError::QueueFull { capacity: 4 },
+            ComputeError::DeadlineExceeded { queued_ms: 1 },
+            ComputeError::Gl(GlError::Link {
+                message: "nope".into(),
+            }),
+        ] {
+            assert!(!permanent.is_transient(), "{permanent} must be permanent");
+        }
     }
 
     #[test]

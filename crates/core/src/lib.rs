@@ -68,6 +68,6 @@ pub use pipeline::{
 pub use serve::{
     BatchResult, CachePolicy, CompletionSet, Engine, EngineSnapshot, Job, JobHandle, JobInput,
     KernelSpec, LatencyHistogram, PassSpec, PipelineJob, PipelineResult, PipelineSpec,
-    ResidentInput, ResidentStats, ServedPipeline, StepHandle, Submission,
+    ResidentInput, ResidentStats, RetryPolicy, ServedPipeline, StepHandle, Submission,
 };
 pub use vertex_compute::{VertexKernel, VertexKernelBuilder};

@@ -27,6 +27,13 @@
 //!   worker uploads them once and every later job — kernel, DAG or
 //!   pipeline — reuses the on-GPU texture, with capacity evictions
 //!   accounted in [`ResidentStats`];
+//! * workers **self-heal**: transient driver failures (resource
+//!   exhaustion, context loss — injectable deterministically via
+//!   [`EngineBuilder::fault_plan`]) are retried under a [`RetryPolicy`];
+//!   a lost context is torn down and rebuilt (shared programs re-adopted
+//!   through the cache, resident textures and cached pipelines
+//!   repopulated lazily) and the in-flight job replayed — callers see
+//!   success or a typed permanent error, never a stale-handle panic;
 //! * admission is **bounded**: the queue holds at most
 //!   [`EngineBuilder::queue_capacity`] tasks. `try_submit*` rejects
 //!   immediately with [`ComputeError::QueueFull`]; the blocking
@@ -93,7 +100,7 @@ use crate::error::ComputeError;
 use crate::kernel::{Kernel, OutputShape};
 use crate::pipeline::{Pass, Pipeline, Readback, SourceSeed};
 use crate::Bindings;
-use gpes_gles2::{Dispatch, Limits};
+use gpes_gles2::{Dispatch, FaultPlan, Limits};
 use gpes_glsl::Value;
 use metrics::{lock_recover, wait_recover, EngineMetrics};
 use std::collections::hash_map::DefaultHasher;
@@ -430,6 +437,7 @@ pub struct Job {
     inputs: Vec<JobInput>,
     uniforms: Vec<(String, Value)>,
     deadline: Option<Instant>,
+    retry: Option<RetryPolicy>,
 }
 
 impl Job {
@@ -440,7 +448,15 @@ impl Job {
             inputs: Vec::new(),
             uniforms: Vec::new(),
             deadline: None,
+            retry: None,
         }
+    }
+
+    /// Overrides the engine's [`RetryPolicy`] for this job only (e.g.
+    /// [`RetryPolicy::none`] for work that must not run twice).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Job {
+        self.retry = Some(policy);
+        self
     }
 
     /// Sets an absolute deadline: if no worker has dequeued the job by
@@ -519,6 +535,7 @@ pub struct Submission {
     steps: Vec<Step>,
     read: Vec<usize>,
     deadline: Option<Instant>,
+    retry: Option<RetryPolicy>,
 }
 
 impl Submission {
@@ -537,6 +554,11 @@ impl Submission {
     /// [`Submission::deadline`] relative to now.
     pub fn timeout(&mut self, after: Duration) {
         self.deadline = Some(Instant::now() + after);
+    }
+
+    /// Overrides the engine's [`RetryPolicy`] for this submission only.
+    pub fn retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
     }
 
     /// Appends a step and returns its [`StepHandle`] — later steps wire
@@ -1219,6 +1241,7 @@ pub struct PipelineJob {
     sources: Vec<JobInput>,
     reads: Vec<String>,
     deadline: Option<Instant>,
+    retry: Option<RetryPolicy>,
 }
 
 impl PipelineJob {
@@ -1229,7 +1252,14 @@ impl PipelineJob {
             sources: Vec::new(),
             reads: Vec::new(),
             deadline: None,
+            retry: None,
         }
+    }
+
+    /// Overrides the engine's [`RetryPolicy`] for this job only.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> PipelineJob {
+        self.retry = Some(policy);
+        self
     }
 
     /// Sets an absolute deadline: if no worker has dequeued the job by
@@ -1390,6 +1420,13 @@ impl TaskControl {
                 Ordering::Acquire,
             )
             .is_ok()
+    }
+
+    /// The worker returns a claimed task to the queue for a retry: back
+    /// to `Queued`, so the handle can still cancel it while it waits for
+    /// its next attempt. Only the claiming worker may call this.
+    fn requeue(&self) {
+        self.state.store(TASK_QUEUED, Ordering::Release);
     }
 
     fn finish(&self) {
@@ -1798,6 +1835,16 @@ impl Task {
         }
     }
 
+    /// The per-job [`RetryPolicy`] override, if the submission carried
+    /// one.
+    fn retry_override(&self) -> Option<RetryPolicy> {
+        match self {
+            Task::Single(job, _) => job.retry,
+            Task::Batch(submission, _) => submission.retry,
+            Task::Pipeline(job, _) => job.retry,
+        }
+    }
+
     /// Fulfils the task's handle with `error` — used when no worker will
     /// ever execute it (shutdown, dead pool), so `wait()` cannot hang.
     /// No-op for a task its handle already cancelled.
@@ -1833,6 +1880,10 @@ struct QueuedTask {
     payload: Task,
     deadline: Option<Instant>,
     enqueued_at: Instant,
+    /// Executions already attempted (0 on first admission); carried by
+    /// transient-failure requeues so [`RetryPolicy::max_attempts`]
+    /// bounds the total across the job's whole life.
+    attempt: u32,
 }
 
 struct QueueState {
@@ -1864,6 +1915,52 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
 /// giving up with [`ComputeError::QueueFull`].
 pub const DEFAULT_SUBMIT_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// How workers retry *transient* failures
+/// ([`ComputeError::is_transient`]): driver resource exhaustion and
+/// context loss, real or injected by an [`EngineBuilder::fault_plan`].
+/// Permanent errors (bad kernels, domain violations, shed/cancelled
+/// outcomes) are never retried. A retried job counts toward the
+/// snapshot's `retried` diagnostic but is still fulfilled exactly once,
+/// so the balance identity is unchanged; its deadline keeps applying, so
+/// a retry storm cannot outlive the job's latency budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum executions of one job, the first attempt included
+    /// (minimum 1, so `1` disables retries).
+    pub max_attempts: u32,
+    /// Sleep between attempts, applied on the worker off the queue
+    /// lock. Keep it zero for deterministic tests.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, no backoff. Invisible without fault injection:
+    /// the simulated driver only produces transient errors from an
+    /// installed [`gpes_gles2::FaultPlan`].
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure, transient or not, surfaces on the
+    /// job handle immediately.
+    #[must_use]
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+}
+
 /// Configuration for an [`Engine`]; obtained from [`Engine::builder`].
 pub struct EngineBuilder {
     workers: usize,
@@ -1875,6 +1972,8 @@ pub struct EngineBuilder {
     cache: Option<Arc<SharedProgramCache>>,
     queue_capacity: usize,
     submit_timeout: Duration,
+    fault_plan: Option<FaultPlan>,
+    retry: RetryPolicy,
 }
 
 impl EngineBuilder {
@@ -1941,6 +2040,27 @@ impl EngineBuilder {
         self
     }
 
+    /// Installs deterministic driver-fault injection: worker `i`'s
+    /// context gets `plan.derive(i)` — an independent but reproducible
+    /// schedule from one seed. Injected faults surface as transient
+    /// errors the [`RetryPolicy`] absorbs; context losses additionally
+    /// force a worker context rebuild (counted in
+    /// [`EngineSnapshot::recovered_contexts`]). The plan follows a
+    /// worker across rebuilds, so one-shot losses fire exactly once.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the engine-wide [`RetryPolicy`] for transient failures
+    /// (default: 3 attempts, no backoff). Jobs override it per
+    /// submission with [`Job::retry_policy`] /
+    /// [`Submission::retry_policy`] / [`PipelineJob::retry_policy`].
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// Builds the engine: creates the worker contexts (so configuration
     /// errors surface here, on the caller's thread) and starts the pool.
     ///
@@ -1965,10 +2085,12 @@ impl EngineBuilder {
             limits: self.limits,
             dispatch,
             cache: cache.clone(),
+            fault_plan: self.fault_plan,
+            retry: self.retry,
         };
         let mut contexts = Vec::with_capacity(self.workers);
-        for _ in 0..self.workers {
-            contexts.push(config.make_context()?);
+        for index in 0..self.workers {
+            contexts.push(config.make_context(index)?);
         }
         let shared = Arc::new(EngineShared {
             queue: Mutex::new(QueueState {
@@ -2037,6 +2159,8 @@ impl Engine {
             cache: None,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             submit_timeout: DEFAULT_SUBMIT_TIMEOUT,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -2108,6 +2232,9 @@ impl Engine {
             cancelled: EngineMetrics::read(&m.cancelled),
             aborted: EngineMetrics::read(&m.aborted),
             unobserved_errors: EngineMetrics::read(&m.unobserved_errors),
+            retried: EngineMetrics::read(&m.retried),
+            recovered_contexts: EngineMetrics::read(&m.recovered_contexts),
+            faults_injected: EngineMetrics::read(&m.faults_injected),
             queue_depth,
             queue_depth_high_water: EngineMetrics::read(&m.queue_depth_high_water),
             queue_capacity: self.shared.capacity,
@@ -2261,6 +2388,7 @@ impl Engine {
                     payload: task,
                     deadline,
                     enqueued_at: Instant::now(),
+                    attempt: 0,
                 });
                 metrics.raise_high_water(queue.tasks.len() as u64);
                 drop(queue);
@@ -2331,10 +2459,17 @@ struct WorkerConfig {
     limits: Option<Limits>,
     dispatch: Dispatch,
     cache: Option<Arc<SharedProgramCache>>,
+    fault_plan: Option<FaultPlan>,
+    retry: RetryPolicy,
 }
 
 impl WorkerConfig {
-    fn make_context(&self) -> Result<ComputeContext, ComputeError> {
+    /// Creates (or re-creates) worker `worker`'s context. An engine-level
+    /// fault plan is derived per worker index, so each context gets an
+    /// independent-but-reproducible schedule; a context rebuilt after a
+    /// loss has this fresh derivation overwritten with the old context's
+    /// carried plan, so consumed one-shots stay consumed.
+    fn make_context(&self, worker: usize) -> Result<ComputeContext, ComputeError> {
         let mut cc = match &self.limits {
             Some(limits) => ComputeContext::with_limits(self.width, self.height, limits.clone())?,
             None => ComputeContext::new(self.width, self.height)?,
@@ -2342,6 +2477,9 @@ impl WorkerConfig {
         cc.set_dispatch(self.dispatch);
         if let Some(cache) = &self.cache {
             cc.set_shared_program_cache(Arc::clone(cache));
+        }
+        if let Some(plan) = &self.fault_plan {
+            cc.install_fault_plan(plan.derive(worker as u64));
         }
         Ok(cc)
     }
@@ -2408,10 +2546,14 @@ enum Completed {
 
 impl Completed {
     fn is_err(&self) -> bool {
+        self.error().is_some()
+    }
+
+    fn error(&self) -> Option<&ComputeError> {
         match self {
-            Completed::Single(_, result) => result.is_err(),
-            Completed::Batch(_, result) => result.is_err(),
-            Completed::Pipeline(_, result) => result.is_err(),
+            Completed::Single(_, result) => result.as_ref().err(),
+            Completed::Batch(_, result) => result.as_ref().err(),
+            Completed::Pipeline(_, result) => result.as_ref().err(),
         }
     }
 
@@ -2535,6 +2677,60 @@ impl WorkerState {
     }
 }
 
+/// Publishes the worker's injected-fault watermark delta to the shared
+/// metrics; returns the new watermark. Never subtracts, so a stale
+/// reading (after a failed rebuild dropped the plan) is a no-op.
+fn publish_faults(metrics: &EngineMetrics, published: u64, now: u64) -> u64 {
+    if now > published {
+        EngineMetrics::add(&metrics.faults_injected, now - published);
+        now
+    } else {
+        published
+    }
+}
+
+/// Returns a claimed task to the queue for another attempt. The control
+/// goes back to `Queued` (so the handle can still cancel the retry) and
+/// the admission timestamp restarts — but `submitted` is NOT re-bumped:
+/// a retry is the same admitted job, so the snapshot balance identity
+/// counts it exactly once. Hands the task back (`Some`, still claimed)
+/// when the queue cannot take it: shutdown, dead pool, or full.
+fn requeue_transient(shared: &EngineShared, queued: QueuedTask) -> Option<QueuedTask> {
+    let mut queue = lock_recover(&shared.queue);
+    if queue.shutdown || queue.live_workers == 0 || queue.tasks.len() >= shared.capacity {
+        return Some(queued);
+    }
+    queued.payload.control().requeue();
+    queue.tasks.push_back(QueuedTask {
+        enqueued_at: Instant::now(),
+        ..queued
+    });
+    shared.metrics.raise_high_water(queue.tasks.len() as u64);
+    drop(queue);
+    shared.cv.notify_one();
+    None
+}
+
+/// Runs one task by reference (so a transient failure can re-run or
+/// requeue the same payload), pairing the shielded result with its
+/// handle.
+fn run_task(cc: &mut ComputeContext, state: &mut WorkerState, payload: &Task) -> (Completed, bool) {
+    match payload {
+        Task::Single(job, handle) => {
+            let (result, panicked) = run_shielded(cc, |cc| run_job(cc, state, job));
+            (Completed::Single(Arc::clone(handle), result), panicked)
+        }
+        Task::Batch(submission, handle) => {
+            let (result, panicked) = run_shielded(cc, |cc| run_submission(cc, state, submission));
+            (Completed::Batch(Arc::clone(handle), result), panicked)
+        }
+        Task::Pipeline(job, handle) => {
+            let (result, panicked) = run_shielded(cc, |cc| run_pipeline(cc, state, job));
+            (Completed::Pipeline(Arc::clone(handle), result), panicked)
+        }
+    }
+}
+
 fn worker_main(
     mut cc: ComputeContext,
     config: WorkerConfig,
@@ -2544,13 +2740,18 @@ fn worker_main(
     index: usize,
 ) {
     // Counters accumulated by contexts this worker already retired (after
-    // a panicking job); published stats are always `base + current`, so a
-    // context swap never zeroes the worker's visible accounting.
+    // a panicking job or a context loss); published stats are always
+    // `base + current`, so a context swap never zeroes the worker's
+    // visible accounting.
     let mut base = ContextStats::default();
     let mut resident_base = ResidentStats::default();
     let mut state = WorkerState::default();
-    loop {
-        let queued = {
+    // Injected-fault watermark already published to the engine metrics;
+    // the fault plan travels across context rebuilds, so the per-context
+    // counter is monotonic for this worker's lifetime.
+    let mut faults_published = 0u64;
+    'serve: loop {
+        let mut queued = {
             let mut queue = lock_recover(&shared.queue);
             loop {
                 if let Some(task) = queue.tasks.pop_front() {
@@ -2573,7 +2774,9 @@ fn worker_main(
         if !queued.payload.control().claim() {
             continue;
         }
-        // Deadline shed: expired work never touches the GPU.
+        // Deadline shed: expired work never touches the GPU. Requeued
+        // retries pass through here again, so the deadline keeps ruling
+        // however many attempts the job takes.
         if let Some(deadline) = queued.deadline {
             if Instant::now() >= deadline {
                 EngineMetrics::bump(&shared.metrics.shed);
@@ -2582,45 +2785,80 @@ fn worker_main(
                 continue;
             }
         }
+        let policy = queued.payload.retry_override().unwrap_or(config.retry);
         let started = Instant::now();
-        let (completed, panicked) = match queued.payload {
-            Task::Single(job, handle) => {
-                let (result, panicked) = run_shielded(&mut cc, |cc| run_job(cc, &mut state, &job));
-                (Completed::Single(handle, result), panicked)
-            }
-            Task::Batch(submission, handle) => {
-                let (result, panicked) =
-                    run_shielded(&mut cc, |cc| run_submission(cc, &mut state, &submission));
-                (Completed::Batch(handle, result), panicked)
-            }
-            Task::Pipeline(job, handle) => {
-                let (result, panicked) =
-                    run_shielded(&mut cc, |cc| run_pipeline(cc, &mut state, &job));
-                (Completed::Pipeline(handle, result), panicked)
-            }
-        };
-        if panicked {
-            // Fresh context, same wiring; if even that fails the worker
-            // retires (remaining queue entries drain to other workers,
-            // or are aborted if this was the last one). The worker state
-            // dies with the context — its kernels and textures belonged
-            // to the context a panic may have left half-updated.
-            base = base.merged(&cc.stats());
-            resident_base = resident_base.merged(&state.resident_stats);
-            resident_base.resident_textures = 0;
-            state = WorkerState::default();
-            match config.make_context() {
-                Ok(fresh) => cc = fresh,
-                Err(_) => {
-                    lock_recover(&shared.metrics.service_latency).record(started.elapsed());
-                    EngineMetrics::bump(&shared.metrics.completed);
-                    EngineMetrics::bump(&shared.metrics.failed);
-                    completed.fulfil();
-                    retire_worker(&shared);
-                    return;
+        // Execute, self-healing around transient failures: a lost context
+        // is rebuilt and the job replayed in place; other transient
+        // failures go back to the queue (or, if the queue is unavailable,
+        // retry in place); permanent outcomes break out for fulfilment.
+        let completed = loop {
+            let (completed, panicked) = run_task(&mut cc, &mut state, &queued.payload);
+            if panicked || cc.context_lost() {
+                // Fresh context, same wiring; the worker state dies with
+                // the context — its cached pipelines and resident
+                // textures belonged to the context that panicked or was
+                // lost, and repopulate lazily on the replacement. The
+                // fault plan (PRNG position, consumed one-shots, counts)
+                // moves onto the fresh context so a one-shot loss fires
+                // exactly once. If even the rebuild fails the worker
+                // retires (remaining queue entries drain to other
+                // workers, or are aborted if this was the last one).
+                base = base.merged(&cc.stats());
+                resident_base = resident_base.merged(&state.resident_stats);
+                resident_base.resident_textures = 0;
+                state = WorkerState::default();
+                let plan = cc.take_fault_plan();
+                match config.make_context(index) {
+                    Ok(mut fresh) => {
+                        if let Some(plan) = plan {
+                            faults_published =
+                                publish_faults(&shared.metrics, faults_published, plan.injected());
+                            fresh.install_fault_plan(plan);
+                        }
+                        cc = fresh;
+                        EngineMetrics::bump(&shared.metrics.recovered_contexts);
+                    }
+                    Err(_) => {
+                        lock_recover(&shared.metrics.service_latency).record(started.elapsed());
+                        EngineMetrics::bump(&shared.metrics.completed);
+                        EngineMetrics::bump(&shared.metrics.failed);
+                        completed.fulfil();
+                        retire_worker(&shared);
+                        return;
+                    }
                 }
             }
-        }
+            if panicked {
+                // Panics are never retried: the typed internal error
+                // surfaces (from the already-rebuilt context).
+                break completed;
+            }
+            match completed.error() {
+                Some(e) if e.is_transient() && queued.attempt + 1 < policy.attempts() => {
+                    queued.attempt += 1;
+                    EngineMetrics::bump(&shared.metrics.retried);
+                    if !policy.backoff.is_zero() {
+                        std::thread::sleep(policy.backoff);
+                    }
+                    if e.is_context_loss() {
+                        // Replay in place on the just-rebuilt context.
+                        continue;
+                    }
+                    match requeue_transient(&shared, queued) {
+                        // Back in the queue; this worker moves on.
+                        None => continue 'serve,
+                        // Queue unavailable (shutdown / full / dead
+                        // pool): retry in place rather than dropping
+                        // the attempt.
+                        Some(returned) => {
+                            queued = returned;
+                            continue;
+                        }
+                    }
+                }
+                _ => break completed,
+            }
+        };
         // Reclaim residencies whose handles were evicted since the last
         // task, then publish stats (and drain the per-request pass log)
         // BEFORE fulfilling the handle: a caller returning from `wait()`
@@ -2629,6 +2867,7 @@ fn worker_main(
         cc.take_pass_log();
         *lock_recover(&stats[index]) = base.merged(&cc.stats());
         *lock_recover(&resident_stats[index]) = resident_base.merged(&state.resident_stats);
+        faults_published = publish_faults(&shared.metrics, faults_published, cc.faults_injected());
         lock_recover(&shared.metrics.service_latency).record(started.elapsed());
         EngineMetrics::bump(&shared.metrics.completed);
         if completed.is_err() {

@@ -172,6 +172,9 @@ pub(crate) struct EngineMetrics {
     pub cancelled: AtomicU64,
     pub aborted: AtomicU64,
     pub unobserved_errors: AtomicU64,
+    pub retried: AtomicU64,
+    pub recovered_contexts: AtomicU64,
+    pub faults_injected: AtomicU64,
     pub queue_depth_high_water: AtomicU64,
     pub queue_latency: Mutex<LatencyHistogram>,
     pub service_latency: Mutex<LatencyHistogram>,
@@ -184,6 +187,10 @@ impl EngineMetrics {
 
     pub fn read(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
+    }
+
+    pub fn add(counter: &AtomicU64, delta: u64) {
+        counter.fetch_add(delta, Ordering::Relaxed);
     }
 
     pub fn raise_high_water(&self, depth: u64) {
@@ -226,6 +233,18 @@ pub struct EngineSnapshot {
     /// its `CompletionSet` abandoned) and the stored error discarded.
     /// Keeps failed work visible even when no caller observes it.
     pub unobserved_errors: u64,
+    /// Extra execution attempts granted by the [`super::RetryPolicy`]
+    /// after transient failures (context-loss replays included). Not part
+    /// of the balance identity: a retried job was submitted once and is
+    /// fulfilled once, however many attempts it took.
+    pub retried: u64,
+    /// Worker contexts torn down and rebuilt — after an injected/real
+    /// context loss or a panicking job. Resident textures and per-worker
+    /// pipeline caches die with the old context and repopulate lazily.
+    pub recovered_contexts: u64,
+    /// Driver faults injected by the workers' [`gpes_gles2::FaultPlan`]s
+    /// (context losses included); `0` when no plan is installed.
+    pub faults_injected: u64,
     /// Tasks sitting in the queue right now.
     pub queue_depth: u64,
     /// Deepest the queue has ever been.
@@ -253,7 +272,10 @@ impl EngineSnapshot {
     /// `submitted == completed + rejected + shed + cancelled + aborted`.
     /// Holds exactly when the engine is quiescent (no job queued or
     /// running); in-flight work makes the left side larger by the number
-    /// of jobs still in the pipe.
+    /// of jobs still in the pipe. Retries do not appear in the identity:
+    /// a transient failure re-runs the *same* admitted job (bumping only
+    /// [`EngineSnapshot::retried`]), so a retried-then-completed job
+    /// still balances exactly once.
     pub fn counters_balanced(&self) -> bool {
         self.submitted == self.completed + self.rejected + self.shed + self.cancelled + self.aborted
     }

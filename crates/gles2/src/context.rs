@@ -2,6 +2,7 @@
 
 use crate::convert::StoreRounding;
 use crate::error::GlError;
+use crate::faults::{FaultOutcome, FaultPlan, FaultSite};
 use crate::framebuffer::{DefaultFramebuffer, Framebuffer};
 use crate::handles::{FramebufferId, ProgramId, TextureId};
 use crate::limits::{shader_precision_format, Extensions, Limits, PrecisionFormat};
@@ -13,6 +14,7 @@ use crate::raster::{
 use crate::texture::{Filter, TexFormat, Texture, Wrap};
 use gpes_glsl::exec::{ExecLimits, FloatModel};
 use gpes_glsl::{Precision, ShaderKind, Value};
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 /// A software OpenGL ES 2.0 context.
@@ -64,6 +66,10 @@ pub struct Context {
     extensions: Extensions,
     strict_shaders: bool,
     last_stats: DrawStats,
+    // Fault injection lives behind interior mutability because the read
+    // path (`read_pixels`, completeness checks) takes `&self`.
+    faults: RefCell<Option<FaultPlan>>,
+    lost: Cell<bool>,
 }
 
 impl Context {
@@ -121,6 +127,8 @@ impl Context {
             extensions: Extensions::default(),
             strict_shaders: false,
             last_stats: DrawStats::default(),
+            faults: RefCell::new(None),
+            lost: Cell::new(false),
         })
     }
 
@@ -245,6 +253,67 @@ impl Context {
         (self.default_fb.width(), self.default_fb.height())
     }
 
+    // ---- fault injection ---------------------------------------------------
+
+    /// Installs a deterministic [`FaultPlan`]: from now on the five
+    /// injectable [`FaultSite`]s consult the plan, which can fail them
+    /// with [`GlError::ResourceExhausted`] or lose the context outright.
+    /// Replaces any previously installed plan.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        *self.faults.borrow_mut() = Some(plan);
+    }
+
+    /// Removes and returns the installed fault plan **with its advanced
+    /// state** (PRNG position, consumed one-shots, injection counters) —
+    /// the serving engine moves a worker's plan onto the replacement
+    /// context after a rebuild so a one-shot loss cannot fire twice.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.faults.borrow_mut().take()
+    }
+
+    /// Whether this context has been poisoned by a context loss: every
+    /// call that can fail now returns [`GlError::ContextLost`].
+    pub fn is_lost(&self) -> bool {
+        self.lost.get()
+    }
+
+    /// Faults the installed plan has injected so far (context losses
+    /// included); `0` with no plan installed.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.borrow().as_ref().map_or(0, FaultPlan::injected)
+    }
+
+    /// One injectable operation: fails fast on a poisoned context, then
+    /// asks the plan (if any) whether this operation faults.
+    fn fault_check(&self, site: FaultSite) -> Result<(), GlError> {
+        self.ensure_live()?;
+        let mut guard = self.faults.borrow_mut();
+        let Some(plan) = guard.as_mut() else {
+            return Ok(());
+        };
+        match plan.roll(site) {
+            FaultOutcome::Pass => Ok(()),
+            FaultOutcome::Fault => Err(GlError::ResourceExhausted {
+                message: format!("injected fault: {}", site.label()),
+            }),
+            FaultOutcome::LoseContext => {
+                drop(guard);
+                self.lost.set(true);
+                Err(GlError::ContextLost)
+            }
+        }
+    }
+
+    /// The `EGL_CONTEXT_LOST` poison check for operations that are not
+    /// injection sites themselves but must still die on a lost context.
+    fn ensure_live(&self) -> Result<(), GlError> {
+        if self.lost.get() {
+            Err(GlError::ContextLost)
+        } else {
+            Ok(())
+        }
+    }
+
     // ---- textures -----------------------------------------------------------
 
     /// Creates a texture object (`glGenTextures`).
@@ -287,6 +356,7 @@ impl Context {
         height: u32,
         data: &[u8],
     ) -> Result<(), GlError> {
+        self.fault_check(FaultSite::TextureUpload)?;
         let max = self.limits.max_texture_size;
         if width > max || height > max {
             return Err(GlError::invalid_value(format!(
@@ -314,6 +384,7 @@ impl Context {
         width: u32,
         height: u32,
     ) -> Result<(), GlError> {
+        self.fault_check(FaultSite::TextureAlloc)?;
         if format.requires_extension() && !self.extensions.oes_texture_half_float {
             return Err(GlError::invalid_enum(format!(
                 "format {format:?} requires GL_OES_texture_half_float"
@@ -336,6 +407,7 @@ impl Context {
         height: u32,
         data: &[u8],
     ) -> Result<(), GlError> {
+        self.fault_check(FaultSite::TextureUpload)?;
         self.texture_mut(id)?
             .tex_sub_image_2d(x, y, width, height, data)
     }
@@ -435,6 +507,7 @@ impl Context {
     ///
     /// Compile or link diagnostics.
     pub fn create_program(&mut self, vs: &str, fs: &str) -> Result<ProgramId, GlError> {
+        self.fault_check(FaultSite::ProgramLink)?;
         let program = Program::link_with(vs, fs, &self.limits, self.strict_shaders)?;
         self.programs.push(Some(program));
         Ok(ProgramId(self.programs.len() as u32 - 1))
@@ -484,6 +557,7 @@ impl Context {
     ///
     /// `NoSuchObject` for stale handles.
     pub fn use_program(&mut self, id: ProgramId) -> Result<(), GlError> {
+        self.ensure_live()?;
         self.program(id)?;
         self.current_program = Some(id);
         Ok(())
@@ -496,6 +570,7 @@ impl Context {
     /// `InvalidOperation` with no program bound, unknown names or type
     /// mismatches.
     pub fn set_uniform(&mut self, name: &str, value: Value) -> Result<(), GlError> {
+        self.ensure_live()?;
         let id = self
             .current_program
             .ok_or_else(|| GlError::invalid_op("no program is current"))?;
@@ -577,6 +652,7 @@ impl Context {
         fb: FramebufferId,
         tex: TextureId,
     ) -> Result<(), GlError> {
+        self.ensure_live()?;
         self.texture(tex)?;
         let fbo = self
             .framebuffers
@@ -596,6 +672,7 @@ impl Context {
     ///
     /// `NoSuchObject` for stale handles.
     pub fn bind_framebuffer(&mut self, fb: Option<FramebufferId>) -> Result<(), GlError> {
+        self.ensure_live()?;
         if let Some(id) = fb {
             self.framebuffers
                 .get(id.0 as usize)
@@ -615,6 +692,7 @@ impl Context {
     ///
     /// `InvalidFramebufferOperation` describing incompleteness.
     pub fn check_framebuffer_complete(&self) -> Result<(), GlError> {
+        self.fault_check(FaultSite::FramebufferCheck)?;
         match self.bound_fb {
             None => Ok(()),
             Some(id) => {
@@ -849,6 +927,7 @@ impl Context {
     /// `InvalidValue` for out-of-bounds rectangles; completeness errors for
     /// FBOs.
     pub fn read_pixels(&self, x: u32, y: u32, width: u32, height: u32) -> Result<Vec<u8>, GlError> {
+        self.fault_check(FaultSite::Readback)?;
         self.check_framebuffer_complete()?;
         let (tw, th, data): (u32, u32, &[u8]) = match self.bound_fb {
             None => (
@@ -901,6 +980,7 @@ impl Context {
         width: u32,
         height: u32,
     ) -> Result<Vec<u16>, GlError> {
+        self.fault_check(FaultSite::Readback)?;
         self.check_framebuffer_complete()?;
         let id = self.bound_fb.ok_or_else(|| {
             GlError::invalid_op("the default framebuffer is RGBA8; bind a half-float FBO")

@@ -49,6 +49,17 @@ pub enum GlError {
     /// A shader invocation failed at run time (loop budget, internal type
     /// confusion). Real hardware cannot report this; the simulator can.
     ShaderTrap(gpes_glsl::RuntimeError),
+    /// `GL_OUT_OF_MEMORY`-flavoured failure: an allocation, upload, link
+    /// or readback failed under (simulated) memory pressure. Transient —
+    /// the same call can succeed on retry.
+    ResourceExhausted {
+        /// What ran out / which site was injected.
+        message: String,
+    },
+    /// The context was lost (`EGL_CONTEXT_LOST`): every object created
+    /// against it is dead, and every further call on the context returns
+    /// this error until the context is torn down and rebuilt.
+    ContextLost,
 }
 
 impl GlError {
@@ -70,6 +81,21 @@ impl GlError {
             message: message.into(),
         }
     }
+
+    /// Whether this error is *transient* — the same operation can
+    /// legitimately succeed if retried (possibly on a rebuilt context).
+    ///
+    /// | Variant | Classification |
+    /// |---|---|
+    /// | [`GlError::ResourceExhausted`] | transient (memory pressure passes) |
+    /// | [`GlError::ContextLost`] | transient (succeeds on a rebuilt context) |
+    /// | everything else | permanent (caller/shader bug; retrying repeats it) |
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            GlError::ResourceExhausted { .. } | GlError::ContextLost
+        )
+    }
 }
 
 impl fmt::Display for GlError {
@@ -85,6 +111,10 @@ impl fmt::Display for GlError {
             GlError::Compile(e) => write!(f, "shader compile failed: {e}"),
             GlError::Link { message } => write!(f, "program link failed: {message}"),
             GlError::ShaderTrap(e) => write!(f, "shader execution trapped: {e}"),
+            GlError::ResourceExhausted { message } => {
+                write!(f, "out of resources: {message}")
+            }
+            GlError::ContextLost => write!(f, "context lost; rebuild the context"),
         }
     }
 }
@@ -132,6 +162,25 @@ mod tests {
         let ge: GlError = ce.clone().into();
         assert!(matches!(ge, GlError::Compile(_)));
         assert!(ge.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(GlError::ContextLost.is_transient());
+        assert!(GlError::ResourceExhausted {
+            message: "texture upload".into()
+        }
+        .is_transient());
+        assert!(!GlError::invalid_op("draw without program").is_transient());
+        assert!(!GlError::Link {
+            message: "varying mismatch".into()
+        }
+        .is_transient());
+        assert!(!GlError::NoSuchObject {
+            kind: "texture",
+            id: 1
+        }
+        .is_transient());
     }
 
     #[test]

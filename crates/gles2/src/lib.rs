@@ -38,6 +38,7 @@
 pub mod context;
 pub mod convert;
 pub mod error;
+pub mod faults;
 pub mod framebuffer;
 pub mod half;
 pub mod handles;
@@ -49,6 +50,7 @@ pub mod texture;
 pub use context::Context;
 pub use convert::{float_to_texel, texel_to_float, StoreRounding};
 pub use error::GlError;
+pub use faults::{FaultOutcome, FaultPlan, FaultSite};
 pub use framebuffer::{DefaultFramebuffer, Framebuffer};
 pub use half::{f16_bits_to_f32, f32_to_f16_bits};
 pub use handles::{FramebufferId, ProgramId, TextureId};

@@ -181,5 +181,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         snap.queue_latency.format_summary(),
         snap.service_latency.format_summary(),
     );
+
+    // Self-healing under injected faults: a seeded FaultPlan arms every
+    // driver failure site and loses the worker's GL context mid-wave.
+    // The engine retries transient failures and rebuilds the lost
+    // context (shared programs re-adopted, residents re-uploaded
+    // lazily), so every wave still completes bit-identically — chaos
+    // shows up only in the snapshot's diagnostic counters.
+    let chaotic = Engine::builder()
+        .workers(1)
+        .fault_plan(
+            FaultPlan::new(0xC0FFEE)
+                .fail_next(FaultSite::Readback, 3)
+                .lose_context_after(10),
+        )
+        .retry_policy(RetryPolicy {
+            max_attempts: 6,
+            backoff: std::time::Duration::ZERO,
+        })
+        .build()?;
+    let reference = {
+        let handle = engine.submit(
+            Job::new(&saxpy)
+                .data_shared(&x)
+                .data_shared(&y)
+                .uniform_f32("alpha", 3.5),
+        )?;
+        handle.wait()?
+    };
+    for wave in 0..8 {
+        let out = chaotic
+            .submit(
+                Job::new(&saxpy)
+                    .data_shared(&x)
+                    .data_shared(&y)
+                    .uniform_f32("alpha", 3.5),
+            )?
+            .wait()?;
+        assert_eq!(out, reference, "wave {wave} diverged under chaos");
+    }
+    let chaos = chaotic.snapshot();
+    println!(
+        "chaos engine: 8 waves bit-identical through {} injected faults — \
+         {} retried, {} context rebuilt, {} failed (balanced: {})",
+        chaos.faults_injected,
+        chaos.retried,
+        chaos.recovered_contexts,
+        chaos.failed,
+        chaos.counters_balanced(),
+    );
+    assert_eq!(chaos.recovered_contexts, 1);
     Ok(())
 }

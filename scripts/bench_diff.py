@@ -114,6 +114,45 @@ def diff_a12(lines, fresh):
     lines.append("")
 
 
+def diff_a13(lines, fresh):
+    """a13 is a per-rate row table. The healing outcomes (balanced /
+    identical / hung / recovered) plus the seed-deterministic retried and
+    faults counts compare exactly; submitted/rejected scale with how fast
+    the host drained the open-loop load, so they stay advisory."""
+    lines.append("### a13 — chaos serving under fault injection")
+    fresh_rows = fresh.get("rows", [])
+    if not fresh_rows:
+        lines.append("_no fresh a13 rows measured_\n")
+        return
+    path, base = latest_baseline_with("a13_chaos")
+    if path is None:
+        lines.append("_no committed baseline records `a13_chaos` yet_\n")
+        return
+    lines.append(f"baseline: `{path}`\n")
+    exact = ("balanced", "identical", "hung", "recovered", "retried", "faults")
+    head = ["rate"] + [f"{c} (fresh/base)" for c in exact] + \
+        ["completed ratio", "verdict"]
+    lines.append("| " + " | ".join(head) + " |")
+    lines.append("|" + "---|" * len(head))
+    base_index = {f"{r['rate']:.4f}": r for r in base.get("rows", [])}
+    for row in fresh_rows:
+        key = f"{row['rate']:.4f}"
+        old = base_index.get(key)
+        cells = [key]
+        if old is None:
+            cells += ["new" for _ in exact] + ["n/a", "NEW ROW"]
+        else:
+            drift = False
+            for c in exact:
+                cells.append(f"{row.get(c)}/{old.get(c)}")
+                drift |= row.get(c) != old.get(c)
+            cells.append(fmt_ratio(row.get("completed", 0),
+                                   old.get("completed", 0)))
+            cells.append("counter drift" if drift else "ok")
+        lines.append("| " + " | ".join(str(c) for c in cells) + " |")
+    lines.append("")
+
+
 def main():
     if len(sys.argv) < 2:
         sys.exit(__doc__)
@@ -142,6 +181,7 @@ def main():
         "jobs_per_sec",
     )
     diff_a12(lines, ci_perf.get("a12_serving_latency", {}))
+    diff_a13(lines, ci_perf.get("a13_chaos", {}))
     lines.append("_counters compare exactly; timing ratios are advisory "
                  "(shared runners are noisy). The blocking contracts live in "
                  "`ci_perf_gate.py`._")

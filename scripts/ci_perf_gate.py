@@ -26,6 +26,14 @@ Two concerns, one machine-readable artefact:
     deadline shed (the load genuinely saturated), zero post-warmup
     links/objects, and bit-identical completed outputs. The a12 latency
     histograms and timing line are host-dependent and advisory.
+  - a13 (chaos: the a12 load re-run under seeded deterministic
+    FaultPlans) must show, at *every* fault rate: balanced counters,
+    completed outputs bit-identical to the fault-free reference, no hung
+    waiters, and at least one recovered (rebuilt) worker context; across
+    the sweep, nonzero rates must actually inject faults and at least
+    one transient failure must be retried. Jobs *may* fail once the
+    retry budget is exhausted — a typed error is an allowed chaos
+    outcome; a wrong answer or a hang is not.
 
   Any violation exits non-zero and fails CI.
 
@@ -34,7 +42,7 @@ overridable by the last argument) and uploaded as a workflow artifact, so
 the perf trajectory is diffable across runs instead of buried in logs.
 
 Usage:
-    ci_perf_gate.py <a3_start> <a3_end> <a9_out> <a10_out> <a11_out> <a12_out> [ci_perf.json]
+    ci_perf_gate.py <a3_start> <a3_end> <a9_out> <a10_out> <a11_out> <a12_out> <a13_out> [ci_perf.json]
 
 where `a3_start`/`a3_end` are `date +%s.%N` stamps around the a3 run.
 """
@@ -95,6 +103,45 @@ A12_TIMING = re.compile(
 )
 
 
+# a13 is a config line plus one `a13 chaos` row per fault rate, printed
+# by A13Report::format().
+A13_CONFIG = re.compile(
+    r"^a13 config\s+workers (?P<workers>\d+)\s+capacity (?P<capacity>\d+)\s+"
+    r"target jobs (?P<target_jobs>\d+)\s+lose-after (?P<lose_after>\d+)\s+"
+    r"attempts (?P<attempts>\d+)"
+)
+A13_ROW = re.compile(
+    r"^a13 chaos\s+rate (?P<rate>[\d.]+)\s+submitted (?P<submitted>\d+)\s+"
+    r"completed (?P<completed>\d+)\s+failed (?P<failed>\d+)\s+"
+    r"rejected (?P<rejected>\d+)\s+shed (?P<shed>\d+)\s+"
+    r"cancelled (?P<cancelled>\d+)\s+aborted (?P<aborted>\d+)\s+"
+    r"retried (?P<retried>\d+)\s+recovered (?P<recovered>\d+)\s+"
+    r"faults (?P<faults>\d+)\s+balanced (?P<balanced>\S+)\s+"
+    r"identical (?P<identical>\S+)\s+hung (?P<hung>\S+)"
+)
+A13_FLAGS = ("balanced", "identical", "hung")
+
+
+def parse_a13_lines(lines):
+    """Parses A13Report::format() output into {"config": {...}, "rows": [...]}."""
+    out = {}
+    for line in lines:
+        line = line.strip()
+        m = A13_CONFIG.match(line)
+        if m:
+            out["config"] = {k: int(v) for k, v in m.groupdict().items()}
+        m = A13_ROW.match(line)
+        if m:
+            row = m.groupdict()
+            for k, v in row.items():
+                if k == "rate":
+                    row[k] = float(v)
+                elif k not in A13_FLAGS:
+                    row[k] = int(v)
+            out.setdefault("rows", []).append(row)
+    return out
+
+
 def parse_a12_lines(lines):
     """Parses A12Report::format() output into one nested dict (or {})."""
     out = {}
@@ -147,7 +194,7 @@ def parse_rows(path, regex, numeric):
 
 
 def main():
-    if len(sys.argv) < 7:
+    if len(sys.argv) < 8:
         sys.exit(__doc__)
     elapsed = float(sys.argv[2]) - float(sys.argv[1])
     a9_rows = parse_rows(
@@ -162,7 +209,8 @@ def main():
     )
     a11_rows = parse_rows(sys.argv[5], A11_ROW, A11_NUMERIC)
     a12 = parse_a12_lines(pathlib.Path(sys.argv[6]).read_text().splitlines())
-    out_path = pathlib.Path(sys.argv[7] if len(sys.argv) > 7 else "ci_perf.json")
+    a13 = parse_a13_lines(pathlib.Path(sys.argv[7]).read_text().splitlines())
+    out_path = pathlib.Path(sys.argv[8] if len(sys.argv) > 8 else "ci_perf.json")
 
     # ---- advisory timing ------------------------------------------------
     baselines = sorted(glob.glob("BENCH_*.json"),
@@ -274,9 +322,46 @@ def main():
                 f"a12: queue high-water {s['queue_high_water']} exceeds the "
                 f"admission bound {a12['config']['capacity']}")
 
+    # a13: chaos serving. Self-healing is deterministic from the seed:
+    # every rate must recover its lost contexts and keep completed
+    # outputs bit-identical, nonzero rates must actually inject faults,
+    # and the sweep must exercise the retry path. `failed` is *allowed*
+    # to be nonzero — a typed transient error after the retry budget is
+    # an honest outcome; a wrong answer or a hang fails the build.
+    a13_rows = a13.get("rows", [])
+    if "config" not in a13 or not a13_rows:
+        failures.append("a13: config or chaos rows not parsed")
+    else:
+        for row in a13_rows:
+            where = f"a13: rate {row['rate']:.4f}"
+            if row["balanced"] != "yes":
+                failures.append(
+                    f"{where}: outcome counters do not balance under fault "
+                    f"injection (a retried job must still count exactly once)")
+            if row["identical"] != "yes":
+                failures.append(
+                    f"{where}: a completed output diverged from the "
+                    f"fault-free reference — chaos corrupted a result")
+            if row["hung"] != "no":
+                failures.append(
+                    f"{where}: a submitted job never resolved — a waiter "
+                    f"hung through fault recovery")
+            if row["recovered"] < 1:
+                failures.append(
+                    f"{where}: no worker context was rebuilt — the injected "
+                    f"context loss never triggered recovery")
+        if sum(r["faults"] for r in a13_rows if r["rate"] > 0.0) == 0:
+            failures.append(
+                "a13: nonzero fault rates injected zero faults — the chaos "
+                "plan never armed")
+        if sum(r["retried"] for r in a13_rows) == 0:
+            failures.append(
+                "a13: zero retries across the sweep — transient failures "
+                "were never re-run")
+
     # ---- artefact --------------------------------------------------------
     out_path.write_text(json.dumps({
-        "schema": "gpes-ci-perf/3",
+        "schema": "gpes-ci-perf/4",
         "a3": {"elapsed_seconds": round(elapsed, 3),
                "baseline_file": baselines[-1],
                "baseline_seconds": base,
@@ -286,10 +371,12 @@ def main():
         "a10_counters": a10_rows,
         "a11_counters": a11_rows,
         "a12_serving_latency": a12,
+        "a13_chaos": a13,
         "gate_failures": failures,
     }, indent=2) + "\n")
     print(f"wrote {out_path} ({len(a9_rows)} a9 rows, {len(a10_rows)} a10 rows, "
-          f"{len(a11_rows)} a11 rows, {len(a12)} a12 sections)")
+          f"{len(a11_rows)} a11 rows, {len(a12)} a12 sections, "
+          f"{len(a13_rows)} a13 rows)")
 
     if failures:
         print("counter gate FAILED:")
@@ -299,7 +386,8 @@ def main():
     print("counter gate passed: a9 in-loop links 2/1/2, a10 shared-cache "
           "post-warmup links all zero, a11 pipeline serving steady-state "
           "links/objects all zero and outputs bit-identical, a12 admission "
-          "counters balanced with QueueFull and deadline sheds observed")
+          "counters balanced with QueueFull and deadline sheds observed, "
+          "a13 chaos rows all balanced/identical/recovered with no hangs")
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 SECTIONS = [
     "e1", "sweep", "e2", "f1", "f2",
     "a1", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11", "a12",
+    "a13",
 ]
 
 # e.g. "sum (int)    n=1048576    cpu   64.97 ms   gpu  13.33 ms   speedup 4.87x   paper 7.2x   validated yes"
@@ -39,7 +40,7 @@ E1_ROW = re.compile(
 # by both consumers) so a format change in the bench row printers cannot
 # desynchronise the CI gate from the recorded baselines.
 from ci_perf_gate import (  # noqa: E402
-    A9_ROW, A10_ROW, A11_NUMERIC, A11_ROW, parse_a12_lines,
+    A9_ROW, A10_ROW, A11_NUMERIC, A11_ROW, parse_a12_lines, parse_a13_lines,
 )
 
 
@@ -83,6 +84,7 @@ def main() -> None:
     a10_rows = []
     a11_rows = []
     a12_block = {}
+    a13_block = {}
     for name in SECTIONS:
         result = run_section(name)
         lines = result["stdout"].splitlines()
@@ -133,6 +135,8 @@ def main() -> None:
                     a11_rows.append(row)
         if name == "a12":
             a12_block = parse_a12_lines(lines)
+        if name == "a13":
+            a13_block = parse_a13_lines(lines)
 
     baseline = {
         "schema": "gpes-bench-baseline/1",
@@ -172,6 +176,12 @@ def main() -> None:
         # bit-identical. The admission counts and latency quantiles are
         # load/host-dependent and recorded for trajectory only.
         "a12_serving_latency": a12_block,
+        # a13: the a12 load re-run under seeded deterministic FaultPlans
+        # (PR 7). The deterministic contract: every rate's row balances,
+        # completes bit-identical to the fault-free reference, recovers
+        # its lost contexts and never hangs; retried/faults counts are
+        # seed-deterministic, submitted/rejected scale with host speed.
+        "a13_chaos": a13_block,
     }
     out_path.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"wrote {out_path} ({len(e1_rows)} speedup rows, "

@@ -48,9 +48,9 @@ pub mod prelude {
         EngineSnapshot, FloatSpecials, GpuArray, GpuMatrix, GpuTexels, Job, Kernel, KernelBuilder,
         KernelSpec, LatencyHistogram, MultiOutputBuilder, MultiOutputKernel, OutputShape, PackBias,
         Pass, PassSpec, Pipeline, PipelineJob, PipelineResult, PipelineSpec, Readback,
-        ResidentInput, ResidentStats, ScalarType, SharedProgramCache, StepHandle, Submission,
-        VertexKernel,
+        ResidentInput, ResidentStats, RetryPolicy, ScalarType, SharedProgramCache, StepHandle,
+        Submission, VertexKernel,
     };
-    pub use gpes_gles2::{Context, Dispatch, Executor, StoreRounding};
+    pub use gpes_gles2::{Context, Dispatch, Executor, FaultPlan, FaultSite, StoreRounding};
     pub use gpes_glsl::exec::FloatModel;
 }

@@ -232,3 +232,339 @@ fn preprocessor_error_directive_reaches_the_driver_log() {
     let err = gl.create_program(VS, fs).unwrap_err();
     assert!(err.to_string().contains("feature missing"), "{err}");
 }
+
+// ---- injected driver faults (FaultPlan) ----------------------------------
+//
+// Engine-level contracts for the deterministic fault layer: every
+// injected failure surfaces as the right typed error on the job handle
+// (or is healed by the retry policy), and a lost context is rebuilt with
+// residents transparently re-uploaded. These run under whichever
+// `GPES_TEST_DISPATCH` leg CI selects — fault decisions are per-worker
+// and independent of the rasteriser dispatch.
+
+use gpes::core::CachePolicy;
+use std::sync::Arc;
+
+fn saxpy(n: usize) -> Arc<KernelSpec> {
+    Arc::new(
+        KernelSpec::new("faults_saxpy")
+            .input("x")
+            .input("y")
+            .uniform_f32("alpha", 2.0)
+            .output(n)
+            .body("return alpha * fetch_x(idx) + fetch_y(idx);"),
+    )
+}
+
+fn ramp(n: usize, scale: f32) -> Vec<f32> {
+    (0..n).map(|i| (i as f32 - 7.0) * scale).collect()
+}
+
+#[test]
+fn fault_plan_same_seed_same_injection_sequence() {
+    // Determinism end to end: two contexts driven through the identical
+    // operation sequence under same-seed plans fail at identical points.
+    let drive = || -> (Vec<bool>, u64) {
+        let mut cc = ComputeContext::new(16, 16).expect("context");
+        cc.install_fault_plan(FaultPlan::new(77).rate_all(0.25));
+        let mut outcomes = Vec::new();
+        for i in 0..200 {
+            match cc.upload(&[i as f32, 1.0, 2.0, 3.0]) {
+                Ok(array) => {
+                    outcomes.push(true);
+                    cc.recycle_array(array);
+                }
+                Err(_) => outcomes.push(false),
+            }
+        }
+        (outcomes, cc.faults_injected())
+    };
+    let (first, injected_first) = drive();
+    let (second, injected_second) = drive();
+    assert_eq!(first, second, "same seed must fail at the same operations");
+    assert_eq!(injected_first, injected_second);
+    assert!(
+        injected_first > 0 && first.iter().any(|ok| *ok),
+        "a 25% rate over 200 uploads must both inject and pass"
+    );
+}
+
+#[test]
+fn context_loss_poisons_every_live_handle() {
+    let mut gl = Context::new(4, 4).expect("context");
+    let prog = gl.create_program(VS, FS).expect("program before loss");
+    gl.use_program(prog).expect("use before loss");
+    // Lose the context on the very next faultable operation.
+    gl.install_fault_plan(FaultPlan::new(3).lose_context_after(0));
+    let err = gl.read_pixels(0, 0, 1, 1).unwrap_err();
+    assert!(matches!(err, GlError::ContextLost), "{err}");
+    assert!(gl.is_lost());
+    // Every handle into the lost context is dead, exactly like
+    // EGL_CONTEXT_LOST — even ones created before the loss.
+    let err = gl.use_program(prog).unwrap_err();
+    assert!(matches!(err, GlError::ContextLost), "{err}");
+    let tex = gl.create_texture();
+    let err = gl
+        .tex_image_2d(tex, TexFormat::Rgba8, 1, 1, &[0; 4])
+        .unwrap_err();
+    assert!(matches!(err, GlError::ContextLost), "{err}");
+}
+
+#[test]
+fn every_fault_site_surfaces_as_typed_error_on_the_handle() {
+    let n = 16;
+    let spec = saxpy(n);
+    for site in FaultSite::ALL {
+        // Program links bypass the context under the shared cache (they
+        // happen inside the cache, once per process) — injecting at that
+        // site needs the per-context policy, where workers link locally.
+        let policy = match site {
+            FaultSite::ProgramLink => CachePolicy::PerContext,
+            _ => CachePolicy::Shared,
+        };
+        let engine = Engine::builder()
+            .workers(1)
+            .cache_policy(policy)
+            .fault_plan(FaultPlan::new(1).fail_next(site, u64::MAX))
+            .retry_policy(RetryPolicy::none())
+            .build()
+            .expect("engine");
+        let job = Job::new(&spec).data(ramp(n, 1.0)).data(ramp(n, 0.5));
+        let err = engine.submit(job).expect("admitted").wait().unwrap_err();
+        assert!(
+            err.is_transient(),
+            "{site:?}: {err} must classify transient"
+        );
+        match &err {
+            ComputeError::Gl(GlError::ResourceExhausted { message }) => assert!(
+                message.contains(site.label()),
+                "{site:?}: message `{message}` names the wrong site"
+            ),
+            other => panic!("{site:?}: expected ResourceExhausted, got {other:?}"),
+        }
+        let snap = engine.snapshot();
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(
+            snap.retried, 0,
+            "{site:?}: RetryPolicy::none must not retry"
+        );
+        assert!(snap.faults_injected >= 1);
+        assert!(snap.counters_balanced());
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn transient_fault_is_retried_to_success() {
+    let n = 16;
+    let spec = saxpy(n);
+    let x = ramp(n, 1.0);
+    let y = ramp(n, 0.5);
+    let expected: Vec<f32> = x.iter().zip(&y).map(|(a, b)| 2.0 * a + b).collect();
+    let engine = Engine::builder()
+        .workers(1)
+        // Exactly one injected failure: the first readback fails, the
+        // requeued retry succeeds.
+        .fault_plan(FaultPlan::new(5).fail_next(FaultSite::Readback, 1))
+        .build()
+        .expect("engine");
+    let job = Job::new(&spec).data(x).data(y);
+    let out = engine
+        .submit(job)
+        .expect("admitted")
+        .wait()
+        .expect("healed");
+    assert_eq!(out, expected, "retried job must produce the exact answer");
+    let snap = engine.snapshot();
+    assert_eq!(snap.submitted, 1, "a retry is not a new submission");
+    assert_eq!(snap.completed, 1);
+    assert_eq!(snap.failed, 0);
+    assert_eq!(snap.retried, 1);
+    assert_eq!(snap.faults_injected, 1);
+    assert!(snap.counters_balanced());
+    engine.shutdown();
+}
+
+#[test]
+fn exhausted_retries_surface_the_transient_error() {
+    let n = 16;
+    let spec = saxpy(n);
+    let engine = Engine::builder()
+        .workers(1)
+        .fault_plan(FaultPlan::new(5).fail_next(FaultSite::Readback, u64::MAX))
+        .retry_policy(RetryPolicy {
+            max_attempts: 3,
+            backoff: std::time::Duration::ZERO,
+        })
+        .build()
+        .expect("engine");
+    let job = Job::new(&spec).data(ramp(n, 1.0)).data(ramp(n, 0.5));
+    let err = engine.submit(job).expect("admitted").wait().unwrap_err();
+    assert!(err.is_transient(), "{err}");
+    let snap = engine.snapshot();
+    assert_eq!(snap.retried, 2, "3 attempts = first + 2 retries");
+    assert_eq!(snap.completed, 1);
+    assert_eq!(snap.failed, 1);
+    assert!(snap.counters_balanced());
+    engine.shutdown();
+}
+
+#[test]
+fn per_job_retry_policy_overrides_the_engine_default() {
+    let n = 16;
+    let spec = saxpy(n);
+    let engine = Engine::builder()
+        .workers(1)
+        .fault_plan(FaultPlan::new(5).fail_next(FaultSite::Readback, u64::MAX))
+        .build()
+        .expect("engine");
+    // The engine default would retry; this job opts out.
+    let job = Job::new(&spec)
+        .data(ramp(n, 1.0))
+        .data(ramp(n, 0.5))
+        .retry_policy(RetryPolicy::none());
+    let err = engine.submit(job).expect("admitted").wait().unwrap_err();
+    assert!(err.is_transient(), "{err}");
+    assert_eq!(engine.snapshot().retried, 0);
+    engine.shutdown();
+}
+
+#[test]
+fn context_loss_rebuilds_worker_and_reuploads_residents() {
+    let n = 16;
+    let spec = saxpy(n);
+    let x = ramp(n, 1.0);
+    let y = ramp(n, 0.5);
+    let resident = ResidentInput::new(y.clone());
+    let expected: Vec<f32> = x.iter().zip(&y).map(|(a, b)| 2.0 * a + b).collect();
+    let engine = Engine::builder()
+        .workers(1)
+        // One-shot loss a few operations in: it lands mid-stream while
+        // jobs (and the resident texture) are in active use.
+        .fault_plan(FaultPlan::new(9).lose_context_after(7))
+        .build()
+        .expect("engine");
+    for wave in 0..6 {
+        let job = Job::new(&spec).data(x.clone()).resident(&resident);
+        let out = engine
+            .submit(job)
+            .expect("admitted")
+            .wait()
+            .unwrap_or_else(|e| panic!("wave {wave}: {e}"));
+        assert_eq!(out, expected, "wave {wave}: healed output must be exact");
+    }
+    let snap = engine.snapshot();
+    assert_eq!(snap.recovered_contexts, 1, "one-shot loss = one rebuild");
+    assert!(snap.retried >= 1, "the in-flight job was replayed");
+    assert_eq!(snap.completed, 6);
+    assert_eq!(snap.failed, 0);
+    assert!(
+        snap.residents.uploads >= 2,
+        "resident must re-upload after the rebuild (uploads = {})",
+        snap.residents.uploads
+    );
+    assert!(snap.counters_balanced());
+    engine.shutdown();
+}
+
+#[test]
+fn panic_rebuild_reuploads_residents() {
+    // Satellite regression: the worker-panic rebuild path drops resident
+    // textures and the per-worker pipeline cache with the dead context,
+    // and the next job using the resident transparently re-uploads it.
+    let n = 16;
+    let spec = saxpy(n);
+    let x = ramp(n, 1.0);
+    let y = ramp(n, 0.5);
+    let resident = ResidentInput::new(y.clone());
+    let expected: Vec<f32> = x.iter().zip(&y).map(|(a, b)| 2.0 * a + b).collect();
+    let engine = Engine::builder().workers(1).build().expect("engine");
+    let before = engine
+        .submit(Job::new(&spec).data(x.clone()).resident(&resident))
+        .expect("admitted")
+        .wait()
+        .expect("job before panic");
+    assert_eq!(before, expected);
+    assert_eq!(engine.snapshot().residents.uploads, 1);
+
+    let bomb = Arc::new(
+        KernelSpec::new("bomb")
+            .input("x")
+            .uniform_f32("boom", 1.0)
+            .output(n)
+            .body("return fetch_x(idx) * boom;"),
+    );
+    let panicking = Arc::new(
+        PipelineSpec::builder("panics")
+            .source_len("x", n)
+            .pass(
+                PassSpec::new(&bomb)
+                    .read("x", "x")
+                    .write_len("x", n)
+                    .uniform_per_iter("boom", |_| panic!("injected worker panic")),
+            )
+            .iterations(2)
+            .build()
+            .expect("spec"),
+    );
+    let err = engine
+        .submit_pipeline(PipelineJob::new(&panicking).source(x.clone()).read("x"))
+        .expect("admitted")
+        .wait()
+        .unwrap_err();
+    assert!(matches!(err, ComputeError::EngineInternal { .. }), "{err}");
+
+    let after = engine
+        .submit(Job::new(&spec).data(x).resident(&resident))
+        .expect("admitted")
+        .wait()
+        .expect("job after panic rebuild");
+    assert_eq!(after, expected, "post-rebuild output must be exact");
+    let snap = engine.snapshot();
+    assert_eq!(snap.recovered_contexts, 1, "panic = one context rebuild");
+    assert_eq!(
+        snap.residents.uploads, 2,
+        "resident must re-upload exactly once after the rebuild"
+    );
+    assert_eq!(snap.failed, 1);
+    assert!(snap.counters_balanced());
+    engine.shutdown();
+}
+
+#[test]
+fn batch_and_pipeline_jobs_heal_transient_faults_too() {
+    let n = 16;
+    let gain = Arc::new(
+        KernelSpec::new("faults_gain")
+            .input("x")
+            .uniform_f32("gain", 3.0)
+            .output(n)
+            .body("return fetch_x(idx) * gain;"),
+    );
+    let x = ramp(n, 1.0);
+    let expected: Vec<f32> = x.iter().map(|a| a * 3.0).collect();
+    let engine = Engine::builder()
+        .workers(1)
+        .fault_plan(FaultPlan::new(13).fail_next(FaultSite::Readback, 1))
+        .build()
+        .expect("engine");
+    let mut submission = Submission::new();
+    let step = submission.step(
+        &gain,
+        vec![gpes::core::serve::StepInput::Data(Arc::new(x.clone()))],
+        vec![],
+    );
+    submission.read(step);
+    let result = engine
+        .submit_batch(submission)
+        .expect("admitted")
+        .wait()
+        .expect("healed batch");
+    assert_eq!(result.output(step).expect("read"), &expected[..]);
+    let snap = engine.snapshot();
+    assert_eq!(snap.retried, 1);
+    assert_eq!(snap.failed, 0);
+    assert!(snap.counters_balanced());
+    engine.shutdown();
+}
