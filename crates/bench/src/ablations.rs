@@ -2026,6 +2026,388 @@ pub fn a13_chaos(n: usize, target_jobs: usize) -> Result<A13Report, ComputeError
     })
 }
 
+/// One tenant's outcome in [`A14Report`]: the engine's per-tenant
+/// counters joined with the bench's own correctness tallies.
+#[derive(Debug, Clone)]
+pub struct A14TenantRow {
+    /// Tenant name.
+    pub tenant: String,
+    /// Kernel sources this tenant got through admission.
+    pub admitted: u64,
+    /// Typed refusals charged to the tenant (admission + quota).
+    pub rejected: u64,
+    /// Tenant-scoped cache evictions.
+    pub evicted: u64,
+    /// Jobs accepted into the queue for this tenant.
+    pub jobs: u64,
+    /// Completed outputs that did NOT match the tenant's direct
+    /// reference bit-for-bit (gate: 0).
+    pub wrong: u64,
+}
+
+/// A14 — multi-tenant dynamic kernel registry under adversarial load.
+/// Three well-behaved tenants register kernels from GLSL source and
+/// serve steady waves; a malformed tenant hammers the admission pipeline
+/// with invalid source (parse / sema / strict / oversized); a noisy
+/// tenant floods past its in-flight quota. The contract CI gates on:
+/// every invalid source rejected with a typed error (zero panics, zero
+/// wrong admissions), every well-behaved output bit-identical to the
+/// compiled-in path, zero post-warmup links / GL objects (the noisy and
+/// malformed tenants never cost their neighbours anything), balanced
+/// counters, and at least one typed quota rejection actually observed.
+#[derive(Debug, Clone)]
+pub struct A14Report {
+    /// Worker threads.
+    pub workers: usize,
+    /// Admission bound.
+    pub queue_capacity: usize,
+    /// Steady-phase jobs per well-behaved tenant.
+    pub wave_jobs: usize,
+    /// Jobs the noisy tenant got admitted (its quota paces it).
+    pub noisy_jobs: u64,
+    /// The noisy tenant's in-flight quota.
+    pub noisy_quota: usize,
+    /// Invalid registration attempts by the malformed tenant.
+    pub invalid_total: u64,
+    /// The subset rejected with a typed
+    /// [`gpes_core::ComputeError::AdmissionRejected`] (gate: all).
+    pub invalid_typed: u64,
+    /// Typed in-flight quota rejections observed by the noisy tenant
+    /// (gate: > 0).
+    pub quota_rejections: u64,
+    /// Programs linked during the steady phase (gate: 0).
+    pub post_warmup_links: u64,
+    /// GL objects created during the steady phase (gate: 0).
+    pub post_warmup_gl_objects: u64,
+    /// Final snapshot at quiescence; counters must balance.
+    pub snapshot: gpes_core::EngineSnapshot,
+    /// One row per tenant, sorted by name.
+    pub rows: Vec<A14TenantRow>,
+}
+
+impl A14Report {
+    /// Whether every completed output matched its tenant's reference.
+    pub fn identical(&self) -> bool {
+        self.rows.iter().all(|r| r.wrong == 0)
+    }
+
+    /// Whether every invalid source was rejected with a typed error.
+    pub fn all_invalid_typed(&self) -> bool {
+        self.invalid_typed == self.invalid_total
+    }
+
+    /// Formats the report as the stable multi-line block
+    /// `scripts/ci_perf_gate.py` parses.
+    pub fn format(&self) -> String {
+        let s = &self.snapshot;
+        let mut lines = vec![format!(
+            "a14 config    workers {}   capacity {}   tenants {}   wave jobs {}   \
+             noisy quota {}",
+            self.workers,
+            self.queue_capacity,
+            self.rows.len(),
+            self.wave_jobs,
+            self.noisy_quota,
+        )];
+        for row in &self.rows {
+            lines.push(format!(
+                "a14 tenant    name {}   admitted {}   rejected {}   evicted {}   \
+                 jobs {}   wrong {}",
+                row.tenant, row.admitted, row.rejected, row.evicted, row.jobs, row.wrong,
+            ));
+        }
+        lines.push(format!(
+            "a14 totals    invalid {}   typed {}   quota-rejections {}   \
+             post-warmup links {}   objects {}   balanced {}   identical {}",
+            self.invalid_total,
+            self.invalid_typed,
+            self.quota_rejections,
+            self.post_warmup_links,
+            self.post_warmup_gl_objects,
+            if s.counters_balanced() { "yes" } else { "NO" },
+            if self.identical() { "yes" } else { "NO" },
+        ));
+        lines.join("\n")
+    }
+}
+
+/// Runs A14: the multi-tenant registry gauntlet.
+///
+/// Five tenants share one 2-worker engine. `alpha`/`beta`/`gamma`
+/// register distinct kernels from source through the admission pipeline
+/// and serve closed-loop waves whose outputs are compared bit-for-bit
+/// against direct no-engine runs of the same bodies. `mallory` attempts
+/// the same four invalid sources before and during the steady phase —
+/// garbage that cannot parse, an undeclared identifier, an Appendix-A
+/// loop violation, and an output beyond the driver limits — each of
+/// which must surface as a typed admission error. `noisy` is capped at
+/// two in-flight jobs and floods `try_submit` from its own thread,
+/// concurrent with the well-behaved waves, until it has both landed its
+/// target of accepted jobs and observed at least one typed quota
+/// rejection. Links and GL objects are watermarked after warmup; the
+/// steady phase must create none.
+///
+/// # Errors
+///
+/// Propagates engine/simulator failures (typed admission and quota
+/// rejections are expected and absorbed).
+pub fn a14_registry(n: usize, wave_jobs: usize) -> Result<A14Report, ComputeError> {
+    use gpes_core::{CompletionSet, Engine, KernelSpec, TenantQuotas};
+    const WORKERS: usize = 2;
+    const CAPACITY: usize = 32;
+    const NOISY_TARGET: usize = 48;
+    const NOISY_QUOTA: usize = 2;
+    const WELL_BEHAVED: [(&str, &str); 3] = [
+        ("alpha", "return 2.0 * fetch_x(idx);"),
+        ("beta", "return fetch_x(idx) + 0.5;"),
+        ("gamma", "return fetch_x(idx) * fetch_x(idx);"),
+    ];
+    const NOISY_BODY: &str = "return fetch_x(idx) - 1.0;";
+
+    let x = data::random_f32(n, 1401, 1.0);
+
+    // Direct no-engine references: the compiled-in path the dynamic path
+    // must match bit-for-bit.
+    let mut references = Vec::with_capacity(WELL_BEHAVED.len() + 1);
+    {
+        let mut cc = ComputeContext::new(256, 256)?;
+        let gx = cc.upload(&x)?;
+        for (name, body) in WELL_BEHAVED.iter().chain([("noisy", NOISY_BODY)].iter()) {
+            let kernel = Kernel::builder(format!("a14_{name}_direct"))
+                .input("x", &gx)
+                .output(ScalarType::F32, n)
+                .body(*body)
+                .build(&mut cc)?;
+            references.push(cc.run_f32(&kernel)?);
+        }
+    }
+    let noisy_reference = references.pop().expect("noisy reference");
+
+    let engine = Engine::builder()
+        .workers(WORKERS)
+        .queue_capacity(CAPACITY)
+        .build()?;
+    let registry = engine.registry();
+    registry.set_quotas("noisy", TenantQuotas::default().max_in_flight(NOISY_QUOTA));
+
+    // Dynamic registration from source — the serving-boundary path.
+    let mut kernels = Vec::with_capacity(WELL_BEHAVED.len());
+    for (name, body) in WELL_BEHAVED {
+        kernels.push(
+            registry.register(
+                name,
+                KernelSpec::new(format!("{name}_kernel"))
+                    .input("x")
+                    .output(n)
+                    .body(body),
+            )?,
+        );
+    }
+    let noisy_kernel = registry.register(
+        "noisy",
+        KernelSpec::new("noisy_kernel")
+            .input("x")
+            .output(n)
+            .body(NOISY_BODY),
+    )?;
+
+    // The malformed tenant's arsenal: one source per rejection stage.
+    let invalid_specs = || {
+        vec![
+            KernelSpec::new("m_parse").output(n).body("return ((;"),
+            KernelSpec::new("m_sema").output(n).body("return nope;"),
+            KernelSpec::new("m_strict")
+                .uniform_f32("bound", 4.0)
+                .output(n)
+                .body(
+                    "float s = 0.0;\n\
+                     for (int i = 0; float(i) < bound; i++) { s += 1.0; }\n\
+                     return s;",
+                ),
+            KernelSpec::new("m_huge")
+                .output(usize::MAX / 4)
+                .body("return 1.0;"),
+        ]
+    };
+    let mut invalid_total = 0u64;
+    let mut invalid_typed = 0u64;
+    let attempt_invalid = |total: &mut u64, typed: &mut u64| {
+        for spec in invalid_specs() {
+            *total += 1;
+            if matches!(
+                registry.register("mallory", spec),
+                Err(ComputeError::AdmissionRejected { .. })
+            ) {
+                *typed += 1;
+            }
+        }
+    };
+    attempt_invalid(&mut invalid_total, &mut invalid_typed);
+
+    let counters = |engine: &Engine| -> (u64, u64) {
+        (
+            engine.programs_linked(),
+            engine
+                .worker_stats()
+                .iter()
+                .map(gpes_core::ContextStats::gl_objects_created)
+                .sum(),
+        )
+    };
+
+    // Warmup, a12-style: closed-loop waves until a full wave links no
+    // programs and creates no GL objects on either worker. Programs link
+    // once process-wide (shared cache) but pipeline GL objects are
+    // per-worker, so each wave floods `2 * WORKERS` concurrent copies of
+    // EACH kernel (the noisy tenant's included, paced within its quota)
+    // to pull every kernel through every worker before the watermark.
+    let mut wrong = vec![0u64; WELL_BEHAVED.len()];
+    let mut noisy_wrong = 0u64;
+    let mut prev = (u64::MAX, u64::MAX);
+    for _ in 0..16 {
+        let before = counters(&engine);
+        for (i, kernel) in kernels.iter().enumerate() {
+            let handles: Vec<_> = (0..WORKERS * 2)
+                .map(|_| engine.submit(kernel.job().data(x.clone())))
+                .collect::<Result<_, _>>()?;
+            for h in handles {
+                if h.wait()? != references[i] {
+                    wrong[i] += 1;
+                }
+            }
+        }
+        for _ in 0..WORKERS {
+            // The noisy quota caps concurrency, so run extra sub-waves
+            // of quota-width instead of one wide wave.
+            let handles: Vec<_> = (0..NOISY_QUOTA)
+                .map(|_| engine.submit(noisy_kernel.job().data(x.clone())))
+                .collect::<Result<_, _>>()?;
+            for h in handles {
+                if h.wait()? != noisy_reference {
+                    noisy_wrong += 1;
+                }
+            }
+        }
+        let after = counters(&engine);
+        let delta = (after.0 - before.0, after.1 - before.1);
+        if delta == (0, 0) || delta == prev {
+            break;
+        }
+        prev = delta;
+    }
+    let warm = counters(&engine);
+
+    // Steady phase: the noisy tenant floods from its own thread while
+    // the well-behaved tenants serve their waves and the malformed
+    // tenant keeps hammering admission.
+    let mut quota_rejections = 0u64;
+    let mut noisy_jobs = 0u64;
+    std::thread::scope(|scope| -> Result<(), ComputeError> {
+        let noisy = scope.spawn(|| -> Result<(u64, u64, u64), ComputeError> {
+            let mut set = CompletionSet::new();
+            let mut accepted = 0u64;
+            let mut rejections = 0u64;
+            let mut wrong = 0u64;
+            let drain =
+                |set: &mut CompletionSet<Vec<f32>>, wrong: &mut u64| -> Result<(), ComputeError> {
+                    if let Some((_token, result)) = set.wait_any() {
+                        if result? != noisy_reference {
+                            *wrong += 1;
+                        }
+                    }
+                    Ok(())
+                };
+            while (accepted as usize) < NOISY_TARGET || rejections == 0 {
+                match engine.try_submit(noisy_kernel.job().data(x.clone())) {
+                    Ok(handle) => {
+                        set.insert(handle);
+                        accepted += 1;
+                    }
+                    Err(ComputeError::QuotaExceeded { .. }) => {
+                        rejections += 1;
+                        drain(&mut set, &mut wrong)?;
+                    }
+                    Err(ComputeError::QueueFull { .. }) => drain(&mut set, &mut wrong)?,
+                    Err(e) => return Err(e),
+                }
+            }
+            while let Some((_token, result)) = set.wait_any() {
+                if result? != noisy_reference {
+                    wrong += 1;
+                }
+            }
+            Ok((accepted, rejections, wrong))
+        });
+        for wave in 0..wave_jobs {
+            let handles: Vec<_> = kernels
+                .iter()
+                .map(|k| engine.submit(k.job().data(x.clone())))
+                .collect::<Result<_, _>>()?;
+            for (i, h) in handles.into_iter().enumerate() {
+                if h.wait()? != references[i] {
+                    wrong[i] += 1;
+                }
+            }
+            if wave == wave_jobs / 2 {
+                // Mid-flood: admission keeps rejecting typed while the
+                // engine serves.
+                attempt_invalid(&mut invalid_total, &mut invalid_typed);
+            }
+        }
+        let (accepted, rejections, thread_wrong) =
+            noisy.join().expect("noisy flood thread must not panic")?;
+        noisy_jobs = accepted;
+        quota_rejections = rejections;
+        noisy_wrong += thread_wrong;
+        Ok(())
+    })?;
+
+    while engine.queue_depth() > 0 {
+        std::thread::yield_now();
+    }
+    let after = counters(&engine);
+    let snapshot = engine.snapshot();
+
+    // Join the engine's per-tenant counters with the bench's own
+    // correctness tallies.
+    let wrong_of = |tenant: &str| -> u64 {
+        if tenant == "noisy" {
+            return noisy_wrong;
+        }
+        WELL_BEHAVED
+            .iter()
+            .position(|(name, _)| *name == tenant)
+            .map_or(0, |i| wrong[i])
+    };
+    let rows: Vec<A14TenantRow> = snapshot
+        .tenants
+        .iter()
+        .map(|c| A14TenantRow {
+            tenant: c.tenant.clone(),
+            admitted: c.admitted,
+            rejected: c.rejected,
+            evicted: c.evicted,
+            jobs: c.jobs,
+            wrong: wrong_of(&c.tenant),
+        })
+        .collect();
+    engine.shutdown();
+    Ok(A14Report {
+        workers: WORKERS,
+        queue_capacity: CAPACITY,
+        wave_jobs,
+        noisy_jobs,
+        noisy_quota: NOISY_QUOTA,
+        invalid_total,
+        invalid_typed,
+        quota_rejections,
+        post_warmup_links: after.0 - warm.0,
+        post_warmup_gl_objects: after.1 - warm.1,
+        snapshot,
+        rows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2055,6 +2437,47 @@ mod tests {
         }
         assert!(injected_under_chaos > 0, "{}", report.format());
         assert!(retried_total >= 1, "{}", report.format());
+    }
+
+    #[test]
+    fn a14_registry_isolates_tenants() {
+        let report = a14_registry(256, 12).expect("a14");
+        let s = &report.snapshot;
+        assert!(report.all_invalid_typed(), "{}", report.format());
+        assert!(report.invalid_total >= 8, "{}", report.format());
+        assert!(report.identical(), "{}", report.format());
+        assert!(report.quota_rejections > 0, "{}", report.format());
+        assert_eq!(report.post_warmup_links, 0, "{}", report.format());
+        assert_eq!(report.post_warmup_gl_objects, 0, "{}", report.format());
+        assert!(s.counters_balanced(), "{}", report.format());
+        assert!(s.completed > 0, "{}", report.format());
+        for row in &report.rows {
+            assert_eq!(row.wrong, 0, "{}", report.format());
+            match row.tenant.as_str() {
+                "mallory" => {
+                    assert_eq!(row.admitted, 0, "{}", report.format());
+                    assert_eq!(row.rejected, report.invalid_total, "{}", report.format());
+                }
+                "noisy" => {
+                    assert_eq!(row.admitted, 1, "{}", report.format());
+                    assert_eq!(row.rejected, report.quota_rejections, "{}", report.format());
+                    assert!(row.jobs >= report.noisy_jobs, "{}", report.format());
+                }
+                _ => {
+                    assert_eq!(row.admitted, 1, "{}", report.format());
+                    assert_eq!(row.rejected, 0, "{}", report.format());
+                    assert!(row.jobs > 0, "{}", report.format());
+                }
+            }
+        }
+        for counters in &s.tenants {
+            assert_eq!(
+                counters.in_flight,
+                0,
+                "quiescent engine must hold no permits: {}",
+                report.format()
+            );
+        }
     }
 
     #[test]

@@ -239,6 +239,25 @@ fn run_a13() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn run_a14() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A14: multi-tenant dynamic kernel registry — admission and quotas gated");
+    let report = ablations::a14_registry(1 << 10, 24)?;
+    println!("{}", report.format());
+    println!();
+    println!("five tenants share one 2-worker engine. alpha/beta/gamma register");
+    println!("kernels from GLSL source through the staged admission pipeline");
+    println!("(signature -> parse -> Appendix-A strictness -> sema) and serve");
+    println!("steady waves; mallory hammers admission with garbage, undeclared");
+    println!("identifiers, non-constant loops and oversized outputs; noisy is");
+    println!("quota-capped at two in-flight jobs and floods from its own thread.");
+    println!("CI gates on: every invalid source rejected with a typed error and");
+    println!("zero panics, every dynamically-registered output bit-identical to");
+    println!("the compiled-in path, at least one typed quota rejection, zero");
+    println!("post-warmup links/objects (the hostile tenants cost their");
+    println!("neighbours nothing), and balanced counters.");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     match what.as_str() {
@@ -259,6 +278,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "a11" => run_a11()?,
         "a12" => run_a12()?,
         "a13" => run_a13()?,
+        "a14" => run_a14()?,
         "all" => {
             run_e1()?;
             run_sweep()?;
@@ -277,10 +297,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run_a11()?;
             run_a12()?;
             run_a13()?;
+            run_a14()?;
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|a9|a10|a11|a12|a13|all"
+                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|a9|a10|a11|a12|a13|a14|all"
             );
             std::process::exit(2);
         }

@@ -200,13 +200,7 @@ impl SharedProgramCache {
         limits: &Limits,
         strict: bool,
     ) -> Result<Arc<Program>, ComputeError> {
-        let key = format!(
-            "{strict}\u{0}{}:{}:{}:{}\u{0}{vs}\u{0}{fs}",
-            limits.max_texture_size,
-            limits.max_texture_units,
-            limits.max_varying_vectors,
-            limits.max_vertex_attribs,
-        );
+        let key = program_key(vs, fs, limits, strict);
         let mut inner = self.inner.lock().expect("shared program cache poisoned");
         if let Some(program) = inner.cache.get(&key) {
             let program = Arc::clone(program);
@@ -258,6 +252,34 @@ impl SharedProgramCache {
             .cache
             .clear();
     }
+
+    /// Evicts one entry by exact key, if cached. Used by the kernel
+    /// registry for *tenant-scoped* eviction: retiring a tenant's kernel
+    /// removes exactly that tenant's program, never a neighbour's.
+    /// Outstanding `Arc` handles (programs already adopted by worker
+    /// contexts) stay valid. Returns whether an entry was removed.
+    pub(crate) fn remove_key(&self, key: &str) -> bool {
+        let mut inner = self.inner.lock().expect("shared program cache poisoned");
+        let removed = !inner.cache.extract_if(|k, _| k == key).is_empty();
+        if removed {
+            inner.stats.evictions += 1;
+        }
+        removed
+    }
+}
+
+/// The process-wide program identity: source + driver limits + strictness.
+/// This string *is* the fingerprint the serving registry hands back for a
+/// dynamically registered kernel — two registrations with equal keys share
+/// one linked program no matter which tenant or worker triggers the link.
+pub(crate) fn program_key(vs: &str, fs: &str, limits: &Limits, strict: bool) -> String {
+    format!(
+        "{strict}\u{0}{}:{}:{}:{}\u{0}{vs}\u{0}{fs}",
+        limits.max_texture_size,
+        limits.max_texture_units,
+        limits.max_varying_vectors,
+        limits.max_vertex_attribs,
+    )
 }
 
 impl Default for SharedProgramCache {

@@ -3,6 +3,58 @@
 use gpes_gles2::GlError;
 use std::fmt;
 
+/// The admission-pipeline stage at which a dynamically submitted kernel
+/// source was rejected (see `gpes_core::serve::KernelRegistry`). Ordered
+/// as the pipeline runs them: signature → parse → strict → sema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdmissionStage {
+    /// Core-side signature validation: names, arity, output shape vs the
+    /// engine's driver limits. Nothing GLSL was parsed yet.
+    Signature,
+    /// The generated fragment source failed to preprocess, lex or parse.
+    Parse,
+    /// Parsed fine, but violates a GLSL ES Appendix-A restriction
+    /// (unbounded loop, `while`, non-constant index …) that a strict
+    /// mobile driver would reject at compile time.
+    Strict,
+    /// Semantic analysis rejected the source (type errors, undeclared
+    /// identifiers, bad calls).
+    Sema,
+}
+
+impl fmt::Display for AdmissionStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AdmissionStage::Signature => "signature",
+            AdmissionStage::Parse => "parse",
+            AdmissionStage::Strict => "strict",
+            AdmissionStage::Sema => "sema",
+        })
+    }
+}
+
+/// The per-tenant resource whose quota a registration or submission
+/// exceeded (see `gpes_core::serve::TenantQuotas`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuotaResource {
+    /// `TenantQuotas::max_kernels` registered kernels.
+    RegisteredKernels,
+    /// `TenantQuotas::max_resident_bytes` of resident input data.
+    ResidentBytes,
+    /// `TenantQuotas::max_in_flight` queued or running jobs.
+    InFlightJobs,
+}
+
+impl fmt::Display for QuotaResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QuotaResource::RegisteredKernels => "registered kernels",
+            QuotaResource::ResidentBytes => "resident bytes",
+            QuotaResource::InFlightJobs => "in-flight jobs",
+        })
+    }
+}
+
 /// Errors produced by the `gpes-core` framework.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ComputeError {
@@ -63,6 +115,23 @@ pub enum ComputeError {
         /// Description of the broken invariant.
         message: String,
     },
+    /// A dynamically submitted kernel source failed the registry's
+    /// admission pipeline. The kernel never reached a worker, let alone
+    /// the GPU; nothing was cached.
+    AdmissionRejected {
+        /// Which pipeline stage rejected it.
+        stage: AdmissionStage,
+        /// The stage's diagnostic.
+        message: String,
+    },
+    /// A registration or submission would exceed one of the tenant's
+    /// quotas. The request was refused without consuming the resource.
+    QuotaExceeded {
+        /// The tenant whose quota was hit.
+        tenant: String,
+        /// Which quota was hit.
+        resource: QuotaResource,
+    },
 }
 
 impl fmt::Display for ComputeError {
@@ -92,6 +161,12 @@ impl fmt::Display for ComputeError {
             }
             ComputeError::EngineInternal { message } => {
                 write!(f, "engine internal error: {message}")
+            }
+            ComputeError::AdmissionRejected { stage, message } => {
+                write!(f, "kernel admission rejected at {stage} stage: {message}")
+            }
+            ComputeError::QuotaExceeded { tenant, resource } => {
+                write!(f, "tenant `{tenant}` exceeded its {resource} quota")
             }
         }
     }
@@ -175,6 +250,30 @@ mod tests {
     }
 
     #[test]
+    fn admission_error_display_forms() {
+        let e = ComputeError::AdmissionRejected {
+            stage: AdmissionStage::Strict,
+            message: "non-constant loop bound".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("strict") && text.contains("non-constant"));
+        let e = ComputeError::QuotaExceeded {
+            tenant: "acme".into(),
+            resource: QuotaResource::InFlightJobs,
+        };
+        let text = e.to_string();
+        assert!(text.contains("acme") && text.contains("in-flight jobs"));
+        for stage in [
+            AdmissionStage::Signature,
+            AdmissionStage::Parse,
+            AdmissionStage::Strict,
+            AdmissionStage::Sema,
+        ] {
+            assert!(!stage.to_string().is_empty());
+        }
+    }
+
+    #[test]
     fn transient_classification() {
         let exhausted = ComputeError::Gl(GlError::ResourceExhausted {
             message: "texture upload".into(),
@@ -190,6 +289,14 @@ mod tests {
             ComputeError::Gl(GlError::Link {
                 message: "nope".into(),
             }),
+            ComputeError::AdmissionRejected {
+                stage: AdmissionStage::Parse,
+                message: "unexpected token".into(),
+            },
+            ComputeError::QuotaExceeded {
+                tenant: "acme".into(),
+                resource: QuotaResource::RegisteredKernels,
+            },
         ] {
             assert!(!permanent.is_transient(), "{permanent} must be permanent");
         }

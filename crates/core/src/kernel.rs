@@ -317,77 +317,103 @@ impl KernelBuilder {
         out_kind: OutputKind,
         body: &str,
     ) -> String {
-        let mut src = String::with_capacity(8192);
-        src.push_str("precision highp float;\n");
-        src.push_str(&crate::codec::glsl_codec_library(
+        let inputs: Vec<(&str, InputEncoding)> = self
+            .inputs
+            .iter()
+            .map(|b| (b.name.as_str(), b.encoding))
+            .collect();
+        generate_fragment_source(
             cc.pack_bias(),
             cc.float_specials(),
-        ));
-        src.push_str(addressing::glsl_out_index());
-        for input in &self.inputs {
-            match input.encoding {
-                InputEncoding::Scalar(scalar) => {
-                    src.push_str(&addressing::glsl_fetch_1d(
-                        &input.name,
-                        scalar.unpack_fn(),
-                        scalar.fetch_swizzle(),
-                    ));
-                    src.push_str(&addressing::glsl_fetch_2d(
-                        &input.name,
-                        scalar.unpack_fn(),
-                        scalar.fetch_swizzle(),
-                    ));
-                }
-                InputEncoding::RawTexel => {
-                    src.push_str(&addressing::glsl_fetch_texel_1d(&input.name));
-                    src.push_str(&addressing::glsl_fetch_texel_2d(&input.name));
-                }
-            }
-        }
-        for (name, value) in &self.uniforms {
-            let ty = match value {
-                Value::Float(_) => "float",
-                Value::Vec2(_) => "vec2",
-                Value::Vec3(_) => "vec3",
-                Value::Vec4(_) => "vec4",
-                Value::Int(_) => "int",
-                _ => "float",
-            };
-            src.push_str(&format!("uniform {ty} {name};\n"));
-        }
-        src.push_str(&self.functions);
-        let pack_expr = match out_kind {
-            OutputKind::Scalar(out_scalar) => {
-                src.push_str(&format!(
-                    "float kernel(float idx, float row, float col) {{\n{body}\n}}\n"
-                ));
-                let pack = out_scalar.pack_fn();
-                if out_scalar.uses_rgba() {
-                    format!("{pack}(kernel(idx, row, col))")
-                } else {
-                    format!("vec4({pack}(kernel(idx, row, col)))")
-                }
-            }
-            OutputKind::RawTexel => {
-                src.push_str(&format!(
-                    "vec4 kernel(float idx, float row, float col) {{\n{body}\n}}\n"
-                ));
-                "kernel(idx, row, col)".to_owned()
-            }
-        };
-        src.push_str(&format!(
-            "void main() {{\n\
-             \x20   float idx = gpes_out_index();\n\
-             \x20   float row = floor(gl_FragCoord.y);\n\
-             \x20   float col = floor(gl_FragCoord.x);\n\
-             \x20   gl_FragColor = {pack_expr};\n\
-             }}\n"
-        ));
-        src
+            &inputs,
+            &self.uniforms,
+            &self.functions,
+            out_kind,
+            body,
+        )
     }
 }
 
-fn is_valid_name(name: &str) -> bool {
+/// Generates a kernel's fragment shader from its signature alone — no
+/// live context needed. [`KernelBuilder::build`] routes through here, and
+/// so does the serving registry's admission path, so the source admission
+/// validates is byte-identical to the source a worker later compiles.
+pub(crate) fn generate_fragment_source(
+    pack_bias: crate::PackBias,
+    specials: crate::FloatSpecials,
+    inputs: &[(&str, InputEncoding)],
+    uniforms: &[(String, Value)],
+    functions: &str,
+    out_kind: OutputKind,
+    body: &str,
+) -> String {
+    let mut src = String::with_capacity(8192);
+    src.push_str("precision highp float;\n");
+    src.push_str(&crate::codec::glsl_codec_library(pack_bias, specials));
+    src.push_str(addressing::glsl_out_index());
+    for (name, encoding) in inputs {
+        match encoding {
+            InputEncoding::Scalar(scalar) => {
+                src.push_str(&addressing::glsl_fetch_1d(
+                    name,
+                    scalar.unpack_fn(),
+                    scalar.fetch_swizzle(),
+                ));
+                src.push_str(&addressing::glsl_fetch_2d(
+                    name,
+                    scalar.unpack_fn(),
+                    scalar.fetch_swizzle(),
+                ));
+            }
+            InputEncoding::RawTexel => {
+                src.push_str(&addressing::glsl_fetch_texel_1d(name));
+                src.push_str(&addressing::glsl_fetch_texel_2d(name));
+            }
+        }
+    }
+    for (name, value) in uniforms {
+        let ty = match value {
+            Value::Float(_) => "float",
+            Value::Vec2(_) => "vec2",
+            Value::Vec3(_) => "vec3",
+            Value::Vec4(_) => "vec4",
+            Value::Int(_) => "int",
+            _ => "float",
+        };
+        src.push_str(&format!("uniform {ty} {name};\n"));
+    }
+    src.push_str(functions);
+    let pack_expr = match out_kind {
+        OutputKind::Scalar(out_scalar) => {
+            src.push_str(&format!(
+                "float kernel(float idx, float row, float col) {{\n{body}\n}}\n"
+            ));
+            let pack = out_scalar.pack_fn();
+            if out_scalar.uses_rgba() {
+                format!("{pack}(kernel(idx, row, col))")
+            } else {
+                format!("vec4({pack}(kernel(idx, row, col)))")
+            }
+        }
+        OutputKind::RawTexel => {
+            src.push_str(&format!(
+                "vec4 kernel(float idx, float row, float col) {{\n{body}\n}}\n"
+            ));
+            "kernel(idx, row, col)".to_owned()
+        }
+    };
+    src.push_str(&format!(
+        "void main() {{\n\
+         \x20   float idx = gpes_out_index();\n\
+         \x20   float row = floor(gl_FragCoord.y);\n\
+         \x20   float col = floor(gl_FragCoord.x);\n\
+         \x20   gl_FragColor = {pack_expr};\n\
+         }}\n"
+    ));
+    src
+}
+
+pub(crate) fn is_valid_name(name: &str) -> bool {
     !name.is_empty()
         && name
             .chars()

@@ -58,7 +58,7 @@ pub use buffer::{GpuArray, GpuMatrix, GpuScalar, GpuTexels};
 pub use cache::{SharedCacheStats, SharedProgramCache};
 pub use codec::{FloatSpecials, PackBias, ScalarType};
 pub use context::{ComputeContext, ContextStats};
-pub use error::ComputeError;
+pub use error::{AdmissionStage, ComputeError, QuotaResource};
 pub use gpes_gles2::Executor;
 pub use kernel::{InputEncoding, Kernel, KernelBuilder, OutputKind, OutputShape};
 pub use multi_output::{MultiOutputBuilder, MultiOutputKernel};
@@ -67,7 +67,8 @@ pub use pipeline::{
 };
 pub use serve::{
     BatchResult, CachePolicy, CompletionSet, Engine, EngineSnapshot, Job, JobHandle, JobInput,
-    KernelSpec, LatencyHistogram, PassSpec, PipelineJob, PipelineResult, PipelineSpec,
-    ResidentInput, ResidentStats, RetryPolicy, ServedPipeline, StepHandle, Submission,
+    KernelRegistry, KernelSpec, LatencyHistogram, PassSpec, PipelineJob, PipelineResult,
+    PipelineSpec, RegisteredKernel, ResidentInput, ResidentStats, RetryPolicy, ServedPipeline,
+    StepHandle, Submission, TenantCounters, TenantId, TenantQuotas,
 };
 pub use vertex_compute::{VertexKernel, VertexKernelBuilder};

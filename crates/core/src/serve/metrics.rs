@@ -265,6 +265,11 @@ pub struct EngineSnapshot {
     /// The process-wide program cache counters, when the engine runs the
     /// shared cache policy.
     pub shared_cache: Option<SharedCacheStats>,
+    /// Per-tenant accounting (admitted / rejected / evicted / jobs /
+    /// in-flight), sorted by tenant name; empty when no submission was
+    /// ever tenant-tagged. Tenant-tagged rejections also count into the
+    /// global `rejected`, so the balance identity is unaffected.
+    pub tenants: Vec<super::TenantCounters>,
 }
 
 impl EngineSnapshot {

@@ -1,0 +1,1291 @@
+use super::*;
+
+// ---- kernel specification ------------------------------------------------
+
+/// A context-free description of an `f32` compute kernel: everything
+/// [`crate::KernelBuilder`] needs, minus the textures, so the same spec
+/// can be built (cheaply, through the program caches) on any worker
+/// context. Specs are immutable once built; wrap them in [`Arc`] and
+/// reuse them across jobs.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    pub(crate) name: String,
+    pub(crate) inputs: Vec<String>,
+    pub(crate) uniforms: Vec<(String, Value)>,
+    pub(crate) output: Option<OutputShape>,
+    pub(crate) body: String,
+    pub(crate) functions: String,
+}
+
+impl KernelSpec {
+    /// Starts a spec for a kernel named `name`.
+    pub fn new(name: impl Into<String>) -> KernelSpec {
+        KernelSpec {
+            name: name.into(),
+            inputs: Vec::new(),
+            uniforms: Vec::new(),
+            output: None,
+            body: String::new(),
+            functions: String::new(),
+        }
+    }
+
+    /// Declares an `f32` array input; jobs supply its data positionally,
+    /// in declaration order.
+    pub fn input(mut self, name: impl Into<String>) -> Self {
+        self.inputs.push(name.into());
+        self
+    }
+
+    /// Declares a uniform with a default value.
+    pub fn uniform(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.uniforms.push((name.into(), value));
+        self
+    }
+
+    /// Declares a `uniform float` with a default value.
+    pub fn uniform_f32(self, name: impl Into<String>, value: f32) -> Self {
+        self.uniform(name, Value::Float(value))
+    }
+
+    /// Declares the linear output length.
+    pub fn output(mut self, len: usize) -> Self {
+        self.output = Some(OutputShape::Linear(len));
+        self
+    }
+
+    /// Declares a `rows × cols` output grid.
+    pub fn output_grid(mut self, rows: u32, cols: u32) -> Self {
+        self.output = Some(OutputShape::Grid { rows, cols });
+        self
+    }
+
+    /// The kernel body (contents of `float kernel(idx, row, col)`).
+    pub fn body(mut self, body: impl Into<String>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// Extra GLSL helper functions available to the body.
+    pub fn functions(mut self, source: impl Into<String>) -> Self {
+        self.functions = source.into();
+        self
+    }
+
+    /// The declared input names, in positional order.
+    pub fn input_names(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// The kernel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds the kernel against `arrays` (parallel to the declared
+    /// inputs) on `cc` — a program-cache hit everywhere but the first
+    /// build of this spec in the process (shared cache) or context.
+    /// Public so direct (non-engine) dispatch of a spec generates the
+    /// byte-identical program an engine worker runs — the differential
+    /// tests and the `a10` ablation rely on it.
+    ///
+    /// # Errors
+    ///
+    /// Spec/kernel validation and compile errors, as
+    /// [`crate::KernelBuilder::build`].
+    pub fn build(
+        &self,
+        cc: &mut ComputeContext,
+        arrays: &[GpuArray<f32>],
+    ) -> Result<Kernel, ComputeError> {
+        if arrays.len() != self.inputs.len() {
+            return Err(bad_job(format!(
+                "kernel spec `{}` declares {} inputs, got {} arrays",
+                self.name,
+                self.inputs.len(),
+                arrays.len()
+            )));
+        }
+        let shape = self
+            .output
+            .ok_or_else(|| bad_job(format!("kernel spec `{}` declares no output", self.name)))?;
+        let mut b = Kernel::builder(self.name.clone());
+        for (name, array) in self.inputs.iter().zip(arrays) {
+            b = b.input(name, array);
+        }
+        for (name, value) in &self.uniforms {
+            b = b.uniform(name, value.clone());
+        }
+        if !self.functions.is_empty() {
+            b = b.functions(self.functions.clone());
+        }
+        b = match shape {
+            OutputShape::Linear(len) => b.output(crate::ScalarType::F32, len),
+            OutputShape::Grid { rows, cols } => b.output_grid(crate::ScalarType::F32, rows, cols),
+        };
+        b.body(self.body.clone()).build(cc)
+    }
+}
+
+pub(crate) fn bad_job(message: String) -> ComputeError {
+    ComputeError::BadKernel { message }
+}
+
+// ---- resident inputs -----------------------------------------------------
+
+/// Process-unique ids for [`ResidentInput`]s (and spec-hash closure
+/// tokens); never reused, so a stale worker cache entry can never alias a
+/// new handle.
+pub(crate) static NEXT_UNIQUE_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_unique_id() -> u64 {
+    NEXT_UNIQUE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+pub(crate) struct ResidentInner {
+    pub(crate) id: u64,
+    pub(crate) data: Vec<f32>,
+    pub(crate) evicted: AtomicBool,
+}
+
+/// Host data promoted to **per-worker GPU residency**: the first job on
+/// each worker that references the handle uploads it, every later job on
+/// that worker — kernel, DAG step or pipeline source — binds the
+/// already-uploaded texture. The serving analog of model weights: pay the
+/// host→GPU transfer once per worker, not once per request.
+///
+/// Cloning the handle is cheap (it is `Arc`-backed) and refers to the
+/// same residency. [`ResidentInput::evict`] retires the handle
+/// everywhere: workers drop their textures and any job still referencing
+/// it fails with a validation error instead of silently re-uploading.
+/// Workers additionally bound how many residencies they hold; entries
+/// past the cap are evicted oldest-first (transparently re-uploaded on
+/// next use) with the eviction counted in [`ResidentStats`].
+#[derive(Clone)]
+pub struct ResidentInput {
+    pub(crate) inner: Arc<ResidentInner>,
+}
+
+impl ResidentInput {
+    /// Wraps host data for per-worker GPU residency.
+    pub fn new(data: Vec<f32>) -> ResidentInput {
+        ResidentInput {
+            inner: Arc::new(ResidentInner {
+                id: next_unique_id(),
+                data,
+                evicted: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.data.len()
+    }
+
+    /// Whether the input is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.data.is_empty()
+    }
+
+    /// Retires the residency everywhere: each worker recycles its
+    /// uploaded texture at its next task boundary, and any subsequent job
+    /// referencing this handle fails validation. Irreversible — re-upload
+    /// under a fresh handle instead.
+    pub fn evict(&self) {
+        self.inner.evicted.store(true, Ordering::Release);
+    }
+
+    /// Whether [`ResidentInput::evict`] has been called.
+    pub fn is_evicted(&self) -> bool {
+        self.inner.evicted.load(Ordering::Acquire)
+    }
+
+    fn check_live(&self, what: &str) -> Result<(), ComputeError> {
+        if self.is_evicted() {
+            return Err(bad_job(format!(
+                "{what} references an evicted ResidentInput (id {})",
+                self.inner.id
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ResidentInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidentInput")
+            .field("id", &self.inner.id)
+            .field("len", &self.inner.data.len())
+            .field("evicted", &self.is_evicted())
+            .finish()
+    }
+}
+
+/// Per-worker residency counters — the [`ContextStats`]-style accounting
+/// for [`ResidentInput`] textures. In steady state (every referenced
+/// residency within the per-worker cap) `uploads` freezes and every
+/// access is a hit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidentStats {
+    /// Host→GPU uploads performed for resident inputs (first use per
+    /// worker, or re-upload after a capacity eviction).
+    pub uploads: u64,
+    /// Accesses served from the worker's resident textures.
+    pub hits: u64,
+    /// Entries dropped — capacity evictions plus retired handles noticed.
+    pub evictions: u64,
+    /// Entries currently held by the worker.
+    pub resident_textures: u64,
+}
+
+impl ResidentStats {
+    pub(crate) fn merged(&self, other: &ResidentStats) -> ResidentStats {
+        ResidentStats {
+            uploads: self.uploads + other.uploads,
+            hits: self.hits + other.hits,
+            evictions: self.evictions + other.evictions,
+            // Current occupancy, not a lifetime total: the live state wins.
+            resident_textures: other.resident_textures,
+        }
+    }
+}
+
+/// One input of a [`Job`] or [`PipelineJob`]: fresh host data uploaded
+/// when the job runs (and recycled after), or a reference to a
+/// per-worker [`ResidentInput`].
+#[derive(Debug, Clone)]
+pub enum JobInput {
+    /// Host data uploaded per request. `Arc`-held so fan-out jobs share
+    /// one buffer without copying.
+    Data(Arc<Vec<f32>>),
+    /// An input resident on the worker across requests.
+    Resident(ResidentInput),
+}
+
+impl JobInput {
+    fn len(&self) -> usize {
+        match self {
+            JobInput::Data(d) => d.len(),
+            JobInput::Resident(r) => r.len(),
+        }
+    }
+
+    fn check_live(&self, what: &str) -> Result<(), ComputeError> {
+        match self {
+            JobInput::Data(_) => Ok(()),
+            JobInput::Resident(r) => r.check_live(what),
+        }
+    }
+}
+
+// ---- jobs and submissions ------------------------------------------------
+
+/// One input of a [`Submission`] step: fresh host data, the on-GPU
+/// output of an earlier step in the same submission, or a per-worker
+/// resident input.
+#[derive(Debug, Clone)]
+pub enum StepInput {
+    /// Host data uploaded when the step runs. `Arc`-held so fan-out
+    /// submissions can share one buffer without copying.
+    Data(Arc<Vec<f32>>),
+    /// The output array of step `i` (must precede this step); it stays on
+    /// the GPU — no readback/re-upload between steps. Prefer wiring
+    /// through a [`StepHandle`] (`handle.into()`) over raw indices.
+    Step(usize),
+    /// An input resident on the worker across requests.
+    Resident(ResidentInput),
+}
+
+/// A typed reference to a step appended to a [`Submission`] — returned by
+/// [`Submission::step`] so DAG wiring never hand-counts indices: pass it
+/// to later steps via `handle.into()` ([`StepInput`]) and to
+/// [`Submission::read`] / [`BatchResult::output`] directly. Handles are
+/// only meaningful for the submission that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepHandle(usize);
+
+impl StepHandle {
+    /// The raw step index (escape hatch for manual wiring).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<StepHandle> for StepInput {
+    fn from(handle: StepHandle) -> StepInput {
+        StepInput::Step(handle.0)
+    }
+}
+
+/// A single kernel dispatch: spec + positional input data + optional
+/// dispatch-time uniform overrides. Result type: `Vec<f32>`.
+#[derive(Debug, Clone)]
+pub struct Job {
+    pub(crate) kernel: Arc<KernelSpec>,
+    pub(crate) inputs: Vec<JobInput>,
+    pub(crate) uniforms: Vec<(String, Value)>,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) retry: Option<RetryPolicy>,
+    pub(crate) tenant: Option<TenantId>,
+}
+
+impl Job {
+    /// Starts a job running `kernel`.
+    pub fn new(kernel: &Arc<KernelSpec>) -> Job {
+        Job {
+            kernel: Arc::clone(kernel),
+            inputs: Vec::new(),
+            uniforms: Vec::new(),
+            deadline: None,
+            retry: None,
+            tenant: None,
+        }
+    }
+
+    /// Tags the job with a tenant, making [`TenantQuotas::max_in_flight`]
+    /// apply at submit time and counting the job in the tenant's
+    /// [`TenantCounters`]. [`RegisteredKernel::job`] applies this
+    /// automatically.
+    pub fn tenant(mut self, tenant: impl Into<TenantId>) -> Job {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Overrides the engine's [`RetryPolicy`] for this job only (e.g.
+    /// [`RetryPolicy::none`] for work that must not run twice).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Job {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Sets an absolute deadline: if no worker has dequeued the job by
+    /// `at`, it is shed with [`ComputeError::DeadlineExceeded`] before
+    /// any GPU work happens.
+    pub fn deadline(mut self, at: Instant) -> Job {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// [`Job::deadline`] relative to now.
+    pub fn timeout(self, after: Duration) -> Job {
+        let at = Instant::now() + after;
+        self.deadline(at)
+    }
+
+    /// Appends host data for the next declared input.
+    pub fn data(mut self, data: Vec<f32>) -> Job {
+        self.inputs.push(JobInput::Data(Arc::new(data)));
+        self
+    }
+
+    /// Appends shared host data for the next declared input.
+    pub fn data_shared(mut self, data: &Arc<Vec<f32>>) -> Job {
+        self.inputs.push(JobInput::Data(Arc::clone(data)));
+        self
+    }
+
+    /// Binds a per-worker [`ResidentInput`] to the next declared input —
+    /// no upload happens on workers that already hold it.
+    pub fn resident(mut self, input: &ResidentInput) -> Job {
+        self.inputs.push(JobInput::Resident(input.clone()));
+        self
+    }
+
+    /// Overrides a uniform for this dispatch only.
+    pub fn uniform(mut self, name: impl Into<String>, value: Value) -> Job {
+        self.uniforms.push((name.into(), value));
+        self
+    }
+
+    /// Overrides a `float` uniform for this dispatch only.
+    pub fn uniform_f32(self, name: impl Into<String>, value: f32) -> Job {
+        self.uniform(name, Value::Float(value))
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), ComputeError> {
+        if self.inputs.len() != self.kernel.inputs.len() {
+            return Err(bad_job(format!(
+                "job for `{}` supplies {} inputs, spec declares {}",
+                self.kernel.name,
+                self.inputs.len(),
+                self.kernel.inputs.len()
+            )));
+        }
+        for input in &self.inputs {
+            input.check_live(&format!("job for `{}`", self.kernel.name))?;
+        }
+        Ok(())
+    }
+}
+
+pub(crate) struct Step {
+    pub(crate) kernel: Arc<KernelSpec>,
+    pub(crate) inputs: Vec<StepInput>,
+    pub(crate) uniforms: Vec<(String, Value)>,
+}
+
+/// A batched multi-kernel DAG: several dispatches submitted as one unit,
+/// executed back-to-back on a single worker. Later steps read earlier
+/// steps' outputs directly from GPU memory ([`StepInput::Step`]), so a
+/// k-kernel chain costs one queue round-trip instead of k, and no
+/// intermediate ever crosses the host boundary.
+#[derive(Default)]
+pub struct Submission {
+    pub(crate) steps: Vec<Step>,
+    pub(crate) read: Vec<usize>,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) retry: Option<RetryPolicy>,
+    pub(crate) tenant: Option<TenantId>,
+}
+
+impl Submission {
+    /// An empty submission.
+    pub fn new() -> Submission {
+        Submission::default()
+    }
+
+    /// Sets an absolute deadline: if no worker has dequeued the
+    /// submission by `at`, it is shed with
+    /// [`ComputeError::DeadlineExceeded`] before any GPU work happens.
+    pub fn deadline(&mut self, at: Instant) {
+        self.deadline = Some(at);
+    }
+
+    /// [`Submission::deadline`] relative to now.
+    pub fn timeout(&mut self, after: Duration) {
+        self.deadline = Some(Instant::now() + after);
+    }
+
+    /// Overrides the engine's [`RetryPolicy`] for this submission only.
+    pub fn retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
+    }
+
+    /// Tags the submission with a tenant, making
+    /// [`TenantQuotas::max_in_flight`] apply at submit time and counting
+    /// it in the tenant's [`TenantCounters`].
+    pub fn tenant(&mut self, tenant: impl Into<TenantId>) {
+        self.tenant = Some(tenant.into());
+    }
+
+    /// Appends a step and returns its [`StepHandle`] — later steps wire
+    /// to it with `handle.into()`, readbacks with
+    /// [`Submission::read`]`(handle)`, so no index is ever hand-counted.
+    pub fn step(
+        &mut self,
+        kernel: &Arc<KernelSpec>,
+        inputs: Vec<StepInput>,
+        uniforms: Vec<(String, Value)>,
+    ) -> StepHandle {
+        self.steps.push(Step {
+            kernel: Arc::clone(kernel),
+            inputs,
+            uniforms,
+        });
+        StepHandle(self.steps.len() - 1)
+    }
+
+    /// Marks a step for readback; its result appears in the
+    /// [`BatchResult`]. When no step is marked, the final step is read.
+    pub fn read(&mut self, step: StepHandle) {
+        if !self.read.contains(&step.0) {
+            self.read.push(step.0);
+        }
+    }
+
+    /// Number of steps queued so far.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the submission has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), ComputeError> {
+        if self.steps.is_empty() {
+            return Err(bad_job("submission has no steps".into()));
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            if step.inputs.len() != step.kernel.inputs.len() {
+                return Err(bad_job(format!(
+                    "step {i} (`{}`) supplies {} inputs, spec declares {}",
+                    step.kernel.name,
+                    step.inputs.len(),
+                    step.kernel.inputs.len()
+                )));
+            }
+            for input in &step.inputs {
+                match input {
+                    StepInput::Step(j) => {
+                        if *j >= i {
+                            return Err(bad_job(format!(
+                                "step {i} reads step {j}: steps may only read earlier steps"
+                            )));
+                        }
+                    }
+                    StepInput::Resident(r) => {
+                        r.check_live(&format!("step {i} (`{}`)", step.kernel.name))?
+                    }
+                    StepInput::Data(_) => {}
+                }
+            }
+        }
+        for &r in &self.read {
+            if r >= self.steps.len() {
+                return Err(bad_job(format!("readback of nonexistent step {r}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Results of a [`Submission`]: one `Vec<f32>` per step marked for
+/// readback (`None` for unread steps).
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    pub(crate) outputs: Vec<Option<Vec<f32>>>,
+}
+
+impl BatchResult {
+    /// The readback of a step, if it was marked with
+    /// [`Submission::read`].
+    pub fn output(&self, step: StepHandle) -> Option<&[f32]> {
+        self.outputs.get(step.0).and_then(|o| o.as_deref())
+    }
+
+    /// Consumes the result into per-step optional outputs.
+    pub fn into_outputs(self) -> Vec<Option<Vec<f32>>> {
+        self.outputs
+    }
+}
+
+// ---- pipeline specs ------------------------------------------------------
+
+pub(crate) type SharedShapeFn = Arc<dyn Fn(usize) -> OutputShape + Send + Sync>;
+pub(crate) type SharedUniformFn = Arc<dyn Fn(usize) -> Value + Send + Sync>;
+pub(crate) type SharedUntilFn = Arc<dyn Fn(usize) -> bool + Send + Sync>;
+
+/// Default iteration cap applied to `until`-driven [`PipelineSpec`]s that
+/// set no explicit cap: a serving engine must never run a convergence
+/// loop open-ended on a worker, so cap exhaustion surfaces as
+/// [`ComputeError::IterationCap`] on the job handle instead of a hang.
+pub const DEFAULT_SERVE_ITERATION_CAP: usize = 65_536;
+
+/// How a [`PipelineSpec`] source is shaped (and therefore uploaded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SourceShape {
+    /// Linear array; `Some(len)` additionally pins the expected length.
+    Linear(Option<usize>),
+    /// Row-major `rows × cols` matrix.
+    Grid { rows: u32, cols: u32 },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct SourceDecl {
+    pub(crate) name: String,
+    pub(crate) shape: SourceShape,
+}
+
+/// One declared pass of a [`PipelineSpec`]: a context-free kernel plus
+/// buffer wiring and per-iteration overrides — the [`Pass`] builder with
+/// every context-bound piece removed. Unlike [`Pass`], **every** kernel
+/// input must be wired to a pipeline buffer with [`PassSpec::read`]: a
+/// spec has no build-time textures to fall back on.
+#[derive(Clone)]
+pub struct PassSpec {
+    pub(crate) kernel: Arc<KernelSpec>,
+    pub(crate) reads: Vec<(String, String)>,
+    pub(crate) write: Option<(String, OutputShape)>,
+    pub(crate) output_fn: Option<SharedShapeFn>,
+    pub(crate) uniforms: Vec<(String, Value)>,
+    pub(crate) uniform_fns: Vec<(String, SharedUniformFn)>,
+}
+
+impl PassSpec {
+    /// Starts a pass around a kernel spec.
+    pub fn new(kernel: &Arc<KernelSpec>) -> PassSpec {
+        PassSpec {
+            kernel: Arc::clone(kernel),
+            reads: Vec::new(),
+            write: None,
+            output_fn: None,
+            uniforms: Vec::new(),
+            uniform_fns: Vec::new(),
+        }
+    }
+
+    /// Feeds kernel input `input` from pipeline buffer `buffer`.
+    pub fn read(mut self, input: &str, buffer: &str) -> Self {
+        self.reads.push((input.to_owned(), buffer.to_owned()));
+        self
+    }
+
+    /// Writes the pass output into buffer `buffer` with a fixed shape.
+    pub fn write(mut self, buffer: &str, shape: OutputShape) -> Self {
+        self.write = Some((buffer.to_owned(), shape));
+        self
+    }
+
+    /// [`PassSpec::write`] with a linear output of `len` elements.
+    pub fn write_len(self, buffer: &str, len: usize) -> Self {
+        self.write(buffer, OutputShape::Linear(len))
+    }
+
+    /// [`PassSpec::write`] with a `rows × cols` grid output.
+    pub fn write_grid(self, buffer: &str, rows: u32, cols: u32) -> Self {
+        self.write(buffer, OutputShape::Grid { rows, cols })
+    }
+
+    /// Makes the output shape a function of the iteration index (the
+    /// reduction-tree case). `Send + Sync` because the spec crosses into
+    /// worker threads.
+    pub fn output_per_iter(
+        mut self,
+        f: impl Fn(usize) -> OutputShape + Send + Sync + 'static,
+    ) -> Self {
+        self.output_fn = Some(Arc::new(f));
+        self
+    }
+
+    /// Overrides a declared uniform with a fixed value for this pass.
+    pub fn uniform(mut self, name: &str, value: Value) -> Self {
+        self.uniforms.push((name.to_owned(), value));
+        self
+    }
+
+    /// Overrides a declared uniform per iteration (FFT stage widths,
+    /// reduction `n_live`, …).
+    pub fn uniform_per_iter(
+        mut self,
+        name: &str,
+        f: impl Fn(usize) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        self.uniform_fns.push((name.to_owned(), Arc::new(f)));
+        self
+    }
+}
+
+impl std::fmt::Debug for PassSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassSpec")
+            .field("kernel", &self.kernel.name)
+            .field("reads", &self.reads)
+            .field("write", &self.write)
+            .field("dynamic_output", &self.output_fn.is_some())
+            .field("uniforms", &self.uniforms)
+            .field(
+                "per_iter_uniforms",
+                &self
+                    .uniform_fns
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// Builder for [`PipelineSpec`]s; see [`PipelineSpec::builder`].
+pub struct PipelineSpecBuilder {
+    name: String,
+    sources: Vec<SourceDecl>,
+    passes: Vec<PassSpec>,
+    iterations: Option<usize>,
+    iteration_cap: Option<usize>,
+    until: Option<SharedUntilFn>,
+    ping_pongs: Vec<(String, String)>,
+}
+
+impl PipelineSpecBuilder {
+    /// Declares a linear source buffer; jobs supply its data positionally,
+    /// in declaration order.
+    pub fn source(mut self, name: &str) -> Self {
+        self.sources.push(SourceDecl {
+            name: name.to_owned(),
+            shape: SourceShape::Linear(None),
+        });
+        self
+    }
+
+    /// Declares a linear source buffer of exactly `len` elements
+    /// (validated against each job's data).
+    pub fn source_len(mut self, name: &str, len: usize) -> Self {
+        self.sources.push(SourceDecl {
+            name: name.to_owned(),
+            shape: SourceShape::Linear(Some(len)),
+        });
+        self
+    }
+
+    /// Declares a row-major `rows × cols` matrix source buffer.
+    pub fn source_grid(mut self, name: &str, rows: u32, cols: u32) -> Self {
+        self.sources.push(SourceDecl {
+            name: name.to_owned(),
+            shape: SourceShape::Grid { rows, cols },
+        });
+        self
+    }
+
+    /// Appends a pass; passes execute in declaration order each iteration.
+    pub fn pass(mut self, pass: PassSpec) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Runs the dag a fixed number of iterations (default 1).
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.iterations = Some(n);
+        self
+    }
+
+    /// Caps an `until`-driven loop, turning cap exhaustion into
+    /// [`ComputeError::IterationCap`] on the job handle. Defaults to
+    /// [`DEFAULT_SERVE_ITERATION_CAP`] when an `until` predicate is set
+    /// without a fixed iteration count.
+    pub fn iteration_cap(mut self, cap: usize) -> Self {
+        self.iteration_cap = Some(cap.max(1));
+        self
+    }
+
+    /// Runs the dag until `stop(completed_iterations)` returns `true`
+    /// (checked after each iteration).
+    pub fn until(mut self, stop: impl Fn(usize) -> bool + Send + Sync + 'static) -> Self {
+        self.until = Some(Arc::new(stop));
+        self
+    }
+
+    /// Swaps buffers `front` and `back` after every iteration (the FFT's
+    /// explicit double-buffer pair).
+    pub fn ping_pong(mut self, front: &str, back: &str) -> Self {
+        self.ping_pongs.push((front.to_owned(), back.to_owned()));
+        self
+    }
+
+    /// Validates the wiring — context-free, so a malformed spec is
+    /// rejected on the caller's thread, not on a worker — and seals the
+    /// spec with its cache fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`ComputeError::BadKernel`] for empty dags, duplicate sources,
+    /// passes without a write, unwired kernel inputs, reads of buffers
+    /// before their first write, unknown or type-mismatched uniform
+    /// overrides, and unknown ping-pong names.
+    pub fn build(self) -> Result<PipelineSpec, ComputeError> {
+        if self.passes.is_empty() {
+            return Err(bad_job(format!(
+                "pipeline spec `{}` declares no passes",
+                self.name
+            )));
+        }
+        let mut buffers: HashSet<&str> = HashSet::new();
+        for decl in &self.sources {
+            if !buffers.insert(&decl.name) {
+                return Err(bad_job(format!(
+                    "pipeline spec `{}` declares source `{}` twice",
+                    self.name, decl.name
+                )));
+            }
+        }
+        // A read must be satisfiable on the FIRST iteration, exactly as
+        // in `PipelineBuilder::build`.
+        let mut available: HashSet<&str> = self.sources.iter().map(|d| d.name.as_str()).collect();
+        for pass in &self.passes {
+            let kernel = &pass.kernel;
+            let (write_name, _) = pass.write.as_ref().ok_or_else(|| {
+                bad_job(format!(
+                    "pass `{}` of pipeline spec `{}` writes no buffer",
+                    kernel.name, self.name
+                ))
+            })?;
+            if kernel.output.is_none() {
+                return Err(bad_job(format!(
+                    "kernel spec `{}` (pass of `{}`) declares no output",
+                    kernel.name, self.name
+                )));
+            }
+            for input in &kernel.inputs {
+                let mapped = pass.reads.iter().filter(|(i, _)| i == input).count();
+                if mapped != 1 {
+                    return Err(bad_job(format!(
+                        "input `{input}` of pass `{}` in pipeline spec `{}` has {mapped} \
+                         read mappings; a spec pass must wire every input exactly once",
+                        kernel.name, self.name
+                    )));
+                }
+            }
+            for (input, buffer) in &pass.reads {
+                if !kernel.inputs.contains(input) {
+                    return Err(bad_job(format!(
+                        "kernel spec `{}` declares no input `{input}`",
+                        kernel.name
+                    )));
+                }
+                if !available.contains(buffer.as_str()) {
+                    return Err(bad_job(format!(
+                        "pass `{}` reads buffer `{buffer}` before its first write",
+                        kernel.name
+                    )));
+                }
+            }
+            for (name, value) in &pass.uniforms {
+                check_spec_uniform(kernel, name, Some(value))?;
+            }
+            for (name, _) in &pass.uniform_fns {
+                check_spec_uniform(kernel, name, None)?;
+            }
+            buffers.insert(write_name);
+            available.insert(write_name);
+        }
+        for (front, back) in &self.ping_pongs {
+            for name in [front, back] {
+                if !buffers.contains(name.as_str()) {
+                    return Err(bad_job(format!(
+                        "ping-pong names unknown buffer `{name}` in pipeline spec `{}`",
+                        self.name
+                    )));
+                }
+            }
+        }
+        let iteration_cap = match (self.iteration_cap, &self.until, self.iterations) {
+            (Some(cap), _, _) => Some(cap),
+            (None, Some(_), None) => Some(DEFAULT_SERVE_ITERATION_CAP),
+            _ => None,
+        };
+        let fingerprint = spec_fingerprint(&self);
+        Ok(PipelineSpec {
+            name: self.name,
+            sources: self.sources,
+            passes: self.passes,
+            iterations: self.iterations,
+            iteration_cap,
+            until: self.until,
+            ping_pongs: self.ping_pongs,
+            fingerprint,
+        })
+    }
+}
+
+pub(crate) fn check_spec_uniform(
+    kernel: &KernelSpec,
+    name: &str,
+    value: Option<&Value>,
+) -> Result<(), ComputeError> {
+    let decl = kernel
+        .uniforms
+        .iter()
+        .find(|(n, _)| n == name)
+        .ok_or_else(|| {
+            bad_job(format!(
+                "kernel spec `{}` declares no uniform `{name}`",
+                kernel.name
+            ))
+        })?;
+    if let Some(v) = value {
+        if std::mem::discriminant(&decl.1) != std::mem::discriminant(v) {
+            return Err(bad_job(format!(
+                "uniform `{name}` of kernel spec `{}` is {}, bound {}",
+                kernel.name,
+                decl.1.ty(),
+                v.ty()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Computes the per-worker cache key for a spec: a structural hash of
+/// everything serialisable, with every closure (per-iteration uniform,
+/// dynamic output shape, `until` predicate) contributing a process-unique
+/// token instead — two structurally identical closure-free specs share a
+/// cached pipeline, while closure-bearing specs never alias.
+pub(crate) fn spec_fingerprint(b: &PipelineSpecBuilder) -> u64 {
+    let mut h = DefaultHasher::new();
+    b.name.hash(&mut h);
+    for decl in &b.sources {
+        decl.name.hash(&mut h);
+        format!("{:?}", decl.shape).hash(&mut h);
+    }
+    for pass in &b.passes {
+        let k = &pass.kernel;
+        k.name.hash(&mut h);
+        k.inputs.hash(&mut h);
+        for (name, value) in &k.uniforms {
+            name.hash(&mut h);
+            format!("{value:?}").hash(&mut h);
+        }
+        format!("{:?}", k.output).hash(&mut h);
+        k.body.hash(&mut h);
+        k.functions.hash(&mut h);
+        pass.reads.hash(&mut h);
+        format!("{:?}", pass.write).hash(&mut h);
+        for (name, value) in &pass.uniforms {
+            name.hash(&mut h);
+            format!("{value:?}").hash(&mut h);
+        }
+        if pass.output_fn.is_some() {
+            next_unique_id().hash(&mut h);
+        }
+        for (name, _) in &pass.uniform_fns {
+            name.hash(&mut h);
+            next_unique_id().hash(&mut h);
+        }
+    }
+    b.iterations.hash(&mut h);
+    b.iteration_cap.hash(&mut h);
+    if b.until.is_some() {
+        next_unique_id().hash(&mut h);
+    }
+    b.ping_pongs.hash(&mut h);
+    h.finish()
+}
+
+/// A context-free description of a whole retained multi-pass pipeline:
+/// everything [`Pipeline::builder`] captures — passes, buffer wiring,
+/// per-iteration uniforms and shapes, ping-pong pairs, iteration counts
+/// and `until` predicates — minus the textures, so any engine worker can
+/// build, cache and run it. The serving analog of recording an op-graph
+/// once and replaying it per request (the TFLite-delegate / CNNdroid
+/// amortisation, lifted to multi-pass kernels).
+///
+/// Specs are immutable once built; wrap them in [`Arc`] and submit them
+/// through [`Engine::submit_pipeline`]. Each worker builds the pipeline
+/// once (all programs through the shared cache) and caches it by
+/// [`PipelineSpec::fingerprint`], so steady-state serving links zero
+/// programs and creates zero GL objects.
+///
+/// ```
+/// use gpes_core::serve::{Engine, PassSpec, PipelineJob, PipelineSpec, KernelSpec};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), gpes_core::ComputeError> {
+/// let double = Arc::new(
+///     KernelSpec::new("double")
+///         .input("x")
+///         .output(4)
+///         .body("return fetch_x(idx) * 2.0;"),
+/// );
+/// // x ← double(x), five times (implicit ping-pong), declared once.
+/// let spec = Arc::new(
+///     PipelineSpec::builder("pow2")
+///         .source_len("x", 4)
+///         .pass(PassSpec::new(&double).read("x", "x").write_len("x", 4))
+///         .iterations(5)
+///         .build()?,
+/// );
+/// let engine = Engine::builder().workers(2).build()?;
+/// let job = PipelineJob::new(&spec)
+///     .source(vec![1.0, 2.0, 3.0, 4.0])
+///     .read("x");
+/// let result = engine.submit_pipeline(job)?.wait()?;
+/// assert_eq!(result.output("x").unwrap(), &[32.0, 64.0, 96.0, 128.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct PipelineSpec {
+    pub(crate) name: String,
+    pub(crate) sources: Vec<SourceDecl>,
+    pub(crate) passes: Vec<PassSpec>,
+    pub(crate) iterations: Option<usize>,
+    pub(crate) iteration_cap: Option<usize>,
+    pub(crate) until: Option<SharedUntilFn>,
+    pub(crate) ping_pongs: Vec<(String, String)>,
+    pub(crate) fingerprint: u64,
+}
+
+impl std::fmt::Debug for PipelineSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineSpec")
+            .field("name", &self.name)
+            .field(
+                "sources",
+                &self
+                    .sources
+                    .iter()
+                    .map(|d| d.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .field("passes", &self.passes)
+            .field("iterations", &self.iterations)
+            .field("iteration_cap", &self.iteration_cap)
+            .field("has_until", &self.until.is_some())
+            .field("ping_pongs", &self.ping_pongs)
+            .field("fingerprint", &self.fingerprint)
+            .finish()
+    }
+}
+
+impl PipelineSpec {
+    /// Starts declaring a pipeline spec named `name`.
+    pub fn builder(name: impl Into<String>) -> PipelineSpecBuilder {
+        PipelineSpecBuilder {
+            name: name.into(),
+            sources: Vec::new(),
+            passes: Vec::new(),
+            iterations: None,
+            iteration_cap: None,
+            until: None,
+            ping_pongs: Vec::new(),
+        }
+    }
+
+    /// The spec's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-worker cache key: a structural hash of the spec, with
+    /// closures contributing process-unique tokens (two structurally
+    /// identical closure-free specs share a cached pipeline;
+    /// closure-bearing specs never alias).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The declared source names, in positional order.
+    pub fn source_names(&self) -> impl Iterator<Item = &str> {
+        self.sources.iter().map(|d| d.name.as_str())
+    }
+
+    /// The buffer names a job may mark for readback.
+    fn has_buffer(&self, name: &str) -> bool {
+        self.sources.iter().any(|d| d.name == name)
+            || self
+                .passes
+                .iter()
+                .any(|p| p.write.as_ref().is_some_and(|(w, _)| w == name))
+    }
+
+    /// Builds the retained pipeline on `cc` — a program-cache hit for
+    /// every pass everywhere but the first build in the process (shared
+    /// cache) or context. Public so direct (non-engine) execution of a
+    /// spec builds the byte-identical pipeline an engine worker runs —
+    /// the differential tests and the `a11` ablation rely on it.
+    ///
+    /// # Errors
+    ///
+    /// Kernel build/compile errors and pipeline validation errors.
+    pub fn build(&self, cc: &mut ComputeContext) -> Result<ServedPipeline, ComputeError> {
+        // Every source and kernel default binding points at a 1-texel
+        // placeholder: a run seeds every declared source with real data,
+        // and spec validation guarantees every kernel input is wired to a
+        // pipeline buffer, so the placeholder is never sampled.
+        let placeholder = cc.upload(&[0.0f32])?;
+        let mut builder = Pipeline::builder(self.name.clone());
+        for decl in &self.sources {
+            builder = builder.source(&decl.name, &placeholder);
+        }
+        for pass in &self.passes {
+            let arrays = vec![placeholder; pass.kernel.inputs.len()];
+            let kernel = pass.kernel.build(cc, &arrays)?;
+            let mut p = Pass::new(&kernel);
+            for (input, buffer) in &pass.reads {
+                p = p.read(input, buffer);
+            }
+            let (write_name, shape) = pass.write.as_ref().expect("validated by spec build");
+            p = p.write(write_name, *shape);
+            if let Some(f) = &pass.output_fn {
+                let f = Arc::clone(f);
+                p = p.output_per_iter(move |i| f(i));
+            }
+            for (name, value) in &pass.uniforms {
+                p = p.uniform(name, value.clone());
+            }
+            for (name, f) in &pass.uniform_fns {
+                let f = Arc::clone(f);
+                p = p.uniform_per_iter(name, move |i| f(i));
+            }
+            builder = builder.pass(p);
+        }
+        if let Some(n) = self.iterations {
+            builder = builder.iterations(n);
+        }
+        if let Some(cap) = self.iteration_cap {
+            builder = builder.iteration_cap(cap);
+        }
+        if let Some(until) = &self.until {
+            let until = Arc::clone(until);
+            builder = builder.until(move |i| until(i));
+        }
+        for (front, back) in &self.ping_pongs {
+            builder = builder.ping_pong(front, back);
+        }
+        Ok(ServedPipeline {
+            pipeline: builder.build()?,
+            placeholder,
+        })
+    }
+}
+
+/// A [`PipelineSpec`] compiled against one context: the retained
+/// [`Pipeline`] plus the source metadata needed to seed it per request.
+/// Obtained from [`PipelineSpec::build`]; engine workers cache one per
+/// spec fingerprint.
+pub struct ServedPipeline {
+    pub(crate) pipeline: Pipeline,
+    /// The 1-texel array backing build-time bindings; recycled when the
+    /// worker evicts the cached pipeline.
+    pub(crate) placeholder: GpuArray<f32>,
+}
+
+impl ServedPipeline {
+    /// The retained pipeline (run it with
+    /// [`Pipeline::run_seeded`], seeding every declared source).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+}
+
+/// A whole retained pipeline submitted as one engine job: the spec plus
+/// per-request source data (fresh or resident) and the buffers to read
+/// back. Result type: [`PipelineResult`].
+#[derive(Debug, Clone)]
+pub struct PipelineJob {
+    pub(crate) spec: Arc<PipelineSpec>,
+    pub(crate) sources: Vec<JobInput>,
+    pub(crate) reads: Vec<String>,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) retry: Option<RetryPolicy>,
+    pub(crate) tenant: Option<TenantId>,
+}
+
+impl PipelineJob {
+    /// Starts a job running `spec`.
+    pub fn new(spec: &Arc<PipelineSpec>) -> PipelineJob {
+        PipelineJob {
+            spec: Arc::clone(spec),
+            sources: Vec::new(),
+            reads: Vec::new(),
+            deadline: None,
+            retry: None,
+            tenant: None,
+        }
+    }
+
+    /// Tags the job with a tenant, making [`TenantQuotas::max_in_flight`]
+    /// apply at submit time and counting it in the tenant's
+    /// [`TenantCounters`].
+    pub fn tenant(mut self, tenant: impl Into<TenantId>) -> PipelineJob {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Overrides the engine's [`RetryPolicy`] for this job only.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> PipelineJob {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Sets an absolute deadline: if no worker has dequeued the job by
+    /// `at`, it is shed with [`ComputeError::DeadlineExceeded`] before
+    /// any GPU work happens.
+    pub fn deadline(mut self, at: Instant) -> PipelineJob {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// [`PipelineJob::deadline`] relative to now.
+    pub fn timeout(self, after: Duration) -> PipelineJob {
+        let at = Instant::now() + after;
+        self.deadline(at)
+    }
+
+    /// Appends host data for the next declared source.
+    pub fn source(mut self, data: Vec<f32>) -> PipelineJob {
+        self.sources.push(JobInput::Data(Arc::new(data)));
+        self
+    }
+
+    /// Appends shared host data for the next declared source.
+    pub fn source_shared(mut self, data: &Arc<Vec<f32>>) -> PipelineJob {
+        self.sources.push(JobInput::Data(Arc::clone(data)));
+        self
+    }
+
+    /// Binds a per-worker [`ResidentInput`] to the next declared source.
+    pub fn source_resident(mut self, input: &ResidentInput) -> PipelineJob {
+        self.sources.push(JobInput::Resident(input.clone()));
+        self
+    }
+
+    /// Marks buffer `buffer` for readback after the run (post ping-pong
+    /// swaps, exactly like reading a [`crate::PipelineRun`]).
+    pub fn read(mut self, buffer: &str) -> PipelineJob {
+        if !self.reads.iter().any(|b| b == buffer) {
+            self.reads.push(buffer.to_owned());
+        }
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), ComputeError> {
+        let spec = &self.spec;
+        if self.sources.len() != spec.sources.len() {
+            return Err(bad_job(format!(
+                "pipeline job for `{}` supplies {} sources, spec declares {}",
+                spec.name,
+                self.sources.len(),
+                spec.sources.len()
+            )));
+        }
+        for (decl, input) in spec.sources.iter().zip(&self.sources) {
+            input.check_live(&format!("pipeline job for `{}`", spec.name))?;
+            let want = match decl.shape {
+                SourceShape::Linear(None) => None,
+                SourceShape::Linear(Some(len)) => Some(len),
+                SourceShape::Grid { rows, cols } => Some(rows as usize * cols as usize),
+            };
+            if let Some(want) = want {
+                if input.len() != want {
+                    return Err(bad_job(format!(
+                        "source `{}` of pipeline `{}` wants {want} elements, job \
+                         supplies {}",
+                        decl.name,
+                        spec.name,
+                        input.len()
+                    )));
+                }
+            }
+        }
+        if self.reads.is_empty() {
+            return Err(bad_job(format!(
+                "pipeline job for `{}` reads no buffers; mark at least one with .read()",
+                spec.name
+            )));
+        }
+        for buffer in &self.reads {
+            if !spec.has_buffer(buffer) {
+                return Err(bad_job(format!(
+                    "pipeline `{}` has no buffer `{buffer}` to read",
+                    spec.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Results of a [`PipelineJob`]: one `Vec<f32>` per buffer marked with
+/// [`PipelineJob::read`].
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    pub(crate) outputs: Vec<(String, Vec<f32>)>,
+}
+
+impl PipelineResult {
+    /// The readback of buffer `name`, if it was marked.
+    pub fn output(&self, name: &str) -> Option<&[f32]> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, data)| data.as_slice())
+    }
+
+    /// Consumes the result into `(buffer, data)` pairs, in read order.
+    pub fn into_outputs(self) -> Vec<(String, Vec<f32>)> {
+        self.outputs
+    }
+}

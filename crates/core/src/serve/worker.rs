@@ -1,0 +1,692 @@
+use super::*;
+
+// ---- worker --------------------------------------------------------------
+
+/// Everything needed to (re)create one worker's context — kept so a
+/// worker can replace its context after a panicking job rather than keep
+/// serving from state a panic may have left half-updated.
+#[derive(Clone)]
+pub(crate) struct WorkerConfig {
+    pub(crate) width: u32,
+    pub(crate) height: u32,
+    pub(crate) limits: Option<Limits>,
+    pub(crate) dispatch: Dispatch,
+    pub(crate) cache: Option<Arc<SharedProgramCache>>,
+    pub(crate) fault_plan: Option<FaultPlan>,
+    pub(crate) retry: RetryPolicy,
+    /// Per-worker retained-pipeline cache bound
+    /// ([`EngineBuilder::pipeline_cache_capacity`]).
+    pub(crate) pipeline_cap: usize,
+    /// Per-worker resident-input cache bound
+    /// ([`EngineBuilder::resident_cache_capacity`]).
+    pub(crate) resident_cap: usize,
+}
+
+impl WorkerConfig {
+    /// Creates (or re-creates) worker `worker`'s context. An engine-level
+    /// fault plan is derived per worker index, so each context gets an
+    /// independent-but-reproducible schedule; a context rebuilt after a
+    /// loss has this fresh derivation overwritten with the old context's
+    /// carried plan, so consumed one-shots stay consumed.
+    pub(crate) fn make_context(&self, worker: usize) -> Result<ComputeContext, ComputeError> {
+        let mut cc = match &self.limits {
+            Some(limits) => ComputeContext::with_limits(self.width, self.height, limits.clone())?,
+            None => ComputeContext::new(self.width, self.height)?,
+        };
+        cc.set_dispatch(self.dispatch);
+        if let Some(cache) = &self.cache {
+            cc.set_shared_program_cache(Arc::clone(cache));
+        }
+        if let Some(plan) = &self.fault_plan {
+            cc.install_fault_plan(plan.derive(worker as u64));
+        }
+        Ok(cc)
+    }
+}
+
+/// Runs `f` with the worker context, converting a panic into an error so
+/// the caller's [`JobHandle::wait`] never deadlocks. Returns whether the
+/// task panicked (⇒ the context must be replaced: a panic can unwind out
+/// of the middle of a draw, leaving context state half-updated).
+pub(crate) fn run_shielded<T>(
+    cc: &mut ComputeContext,
+    f: impl FnOnce(&mut ComputeContext) -> Result<T, ComputeError>,
+) -> (Result<T, ComputeError>, bool) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(cc))) {
+        Ok(result) => (result, false),
+        Err(_) => (
+            Err(ComputeError::EngineInternal {
+                message: "engine worker panicked while serving this job".into(),
+            }),
+            true,
+        ),
+    }
+}
+
+/// Marks this worker as out of the serve loop. If it was the last one
+/// and tasks remain (every worker retired after a panic), the leftovers
+/// are aborted so their `wait()` calls return instead of hanging; any
+/// producer blocked on admission is woken to observe the dead pool.
+pub(crate) fn retire_worker(shared: &EngineShared) {
+    let leftovers: Vec<QueuedTask> = {
+        let mut queue = lock_recover(&shared.queue);
+        queue.live_workers = queue.live_workers.saturating_sub(1);
+        if queue.live_workers == 0 {
+            queue.tasks.drain(..).collect()
+        } else {
+            Vec::new()
+        }
+    };
+    shared.space.notify_all();
+    for task in leftovers {
+        task.payload.abort(
+            ComputeError::EngineInternal {
+                message: "engine has no live workers".into(),
+            },
+            &shared.metrics,
+        );
+    }
+}
+
+/// A pending fulfilment: the task's result, held until after the worker
+/// has published its stats so a caller returning from `wait()` observes
+/// stats that already include its job.
+pub(crate) enum Completed {
+    Single(Arc<HandleState<Vec<f32>>>, Result<Vec<f32>, ComputeError>),
+    Batch(
+        Arc<HandleState<BatchResult>>,
+        Result<BatchResult, ComputeError>,
+    ),
+    Pipeline(
+        Arc<HandleState<PipelineResult>>,
+        Result<PipelineResult, ComputeError>,
+    ),
+}
+
+impl Completed {
+    fn is_err(&self) -> bool {
+        self.error().is_some()
+    }
+
+    fn error(&self) -> Option<&ComputeError> {
+        match self {
+            Completed::Single(_, result) => result.as_ref().err(),
+            Completed::Batch(_, result) => result.as_ref().err(),
+            Completed::Pipeline(_, result) => result.as_ref().err(),
+        }
+    }
+
+    fn fulfil(self) {
+        match self {
+            Completed::Single(handle, result) => fulfil(&handle, result),
+            Completed::Batch(handle, result) => fulfil(&handle, result),
+            Completed::Pipeline(handle, result) => fulfil(&handle, result),
+        }
+    }
+}
+
+/// Built pipelines a worker caches across requests, keyed by
+/// [`PipelineSpec::fingerprint`]; beyond the cap the oldest entry is
+/// dropped (its placeholder texture recycled — the programs stay in the
+/// context/shared caches, so rebuilding links nothing).
+pub(crate) const PIPELINES_PER_WORKER_CAP: usize = 32;
+
+/// Resident-input textures a worker holds; beyond the cap the oldest is
+/// recycled and counted as an eviction (the next use re-uploads).
+pub(crate) const RESIDENTS_PER_WORKER_CAP: usize = 64;
+
+/// Everything a worker retains across requests *on top of* its context:
+/// built pipelines and resident-input textures. Tied to the context's
+/// lifetime — a panic-replaced context gets a fresh (empty) state, since
+/// cached kernels and textures belong to the dead context.
+pub(crate) struct WorkerState {
+    pub(crate) pipelines: FifoCache<u64, ServedPipeline>,
+    /// `(resident id, texture width, texture height)` → handle + uploaded
+    /// array; the dims keep one residency usable under several declared
+    /// shapes, and the handle lets the post-task sweep notice evictions.
+    pub(crate) residents: FifoCache<(u64, u32, u32), (ResidentInput, GpuArray<f32>)>,
+    pub(crate) resident_stats: ResidentStats,
+}
+
+impl Default for WorkerState {
+    fn default() -> WorkerState {
+        WorkerState::with_caps(PIPELINES_PER_WORKER_CAP, RESIDENTS_PER_WORKER_CAP)
+    }
+}
+
+impl WorkerState {
+    /// A fresh state with explicit cache bounds
+    /// ([`EngineBuilder::pipeline_cache_capacity`] /
+    /// [`EngineBuilder::resident_cache_capacity`]).
+    pub(crate) fn with_caps(pipeline_cap: usize, resident_cap: usize) -> WorkerState {
+        WorkerState {
+            pipelines: FifoCache::new(pipeline_cap),
+            residents: FifoCache::new(resident_cap),
+            resident_stats: ResidentStats::default(),
+        }
+    }
+
+    /// Returns the cached pipeline for `spec`, building (and caching) it
+    /// on first sight.
+    fn pipeline_for(
+        &mut self,
+        cc: &mut ComputeContext,
+        spec: &PipelineSpec,
+    ) -> Result<&ServedPipeline, ComputeError> {
+        let key = spec.fingerprint();
+        if !self.pipelines.contains(&key) {
+            let served = spec.build(cc)?;
+            for (_, evicted) in self.pipelines.insert(key, served) {
+                cc.recycle_array(evicted.placeholder);
+            }
+        }
+        Ok(self.pipelines.get(&key).expect("just ensured present"))
+    }
+
+    /// Resolves a resident input to its per-worker texture under the
+    /// requested shape, uploading on first use and evicting oldest-first
+    /// past the cap. An evicted handle drops its entries and fails.
+    fn resident_array(
+        &mut self,
+        cc: &mut ComputeContext,
+        input: &ResidentInput,
+        shape: SourceShape,
+    ) -> Result<GpuArray<f32>, ComputeError> {
+        let id = input.inner.id;
+        if input.is_evicted() {
+            self.sweep_evicted(cc);
+            return Err(bad_job(format!(
+                "job references an evicted ResidentInput (id {id})"
+            )));
+        }
+        let layout = match shape {
+            SourceShape::Linear(_) => {
+                crate::addressing::ArrayLayout::for_len(input.len(), cc.max_texture_side())?
+            }
+            SourceShape::Grid { rows, cols } => {
+                crate::addressing::ArrayLayout::grid(rows, cols, cc.max_texture_side())?
+            }
+        };
+        let key = (id, layout.width, layout.height);
+        if let Some((_, array)) = self.residents.get(&key) {
+            self.resident_stats.hits += 1;
+            return Ok(*array);
+        }
+        let array = match shape {
+            SourceShape::Linear(_) => cc.upload(input.inner.data.as_slice())?,
+            SourceShape::Grid { rows, cols } => cc
+                .upload_matrix(rows, cols, input.inner.data.as_slice())?
+                .as_array(),
+        };
+        self.resident_stats.uploads += 1;
+        for (_, (_, evicted)) in self.residents.insert(key, (input.clone(), array)) {
+            cc.recycle_array(evicted);
+            self.resident_stats.evictions += 1;
+        }
+        self.resident_stats.resident_textures = self.residents.len() as u64;
+        Ok(array)
+    }
+
+    /// Recycles every residency whose handle has been evicted. Runs after
+    /// each task, so `ResidentInput::evict` reclaims a worker's texture at
+    /// its next task boundary — not only if the dead handle is referenced
+    /// again.
+    fn sweep_evicted(&mut self, cc: &mut ComputeContext) {
+        let dead = self
+            .residents
+            .extract_if(|_, (handle, _)| handle.is_evicted());
+        for (_, (_, array)) in dead {
+            cc.recycle_array(array);
+            self.resident_stats.evictions += 1;
+        }
+        self.resident_stats.resident_textures = self.residents.len() as u64;
+    }
+}
+
+/// Publishes the worker's injected-fault watermark delta to the shared
+/// metrics; returns the new watermark. Never subtracts, so a stale
+/// reading (after a failed rebuild dropped the plan) is a no-op.
+pub(crate) fn publish_faults(metrics: &EngineMetrics, published: u64, now: u64) -> u64 {
+    if now > published {
+        EngineMetrics::add(&metrics.faults_injected, now - published);
+        now
+    } else {
+        published
+    }
+}
+
+/// Returns a claimed task to the queue for another attempt. The control
+/// goes back to `Queued` (so the handle can still cancel the retry) and
+/// the admission timestamp restarts — but `submitted` is NOT re-bumped:
+/// a retry is the same admitted job, so the snapshot balance identity
+/// counts it exactly once. Hands the task back (`Some`, still claimed)
+/// when the queue cannot take it: shutdown, dead pool, or full.
+pub(crate) fn requeue_transient(shared: &EngineShared, queued: QueuedTask) -> Option<QueuedTask> {
+    let mut queue = lock_recover(&shared.queue);
+    if queue.shutdown || queue.live_workers == 0 || queue.tasks.len() >= shared.capacity {
+        return Some(queued);
+    }
+    queued.payload.control().requeue();
+    queue.tasks.push_back(QueuedTask {
+        enqueued_at: Instant::now(),
+        ..queued
+    });
+    shared.metrics.raise_high_water(queue.tasks.len() as u64);
+    drop(queue);
+    shared.cv.notify_one();
+    None
+}
+
+/// Runs one task by reference (so a transient failure can re-run or
+/// requeue the same payload), pairing the shielded result with its
+/// handle.
+pub(crate) fn run_task(
+    cc: &mut ComputeContext,
+    state: &mut WorkerState,
+    payload: &Task,
+) -> (Completed, bool) {
+    match payload {
+        Task::Single(job, handle) => {
+            let (result, panicked) = run_shielded(cc, |cc| run_job(cc, state, job));
+            (Completed::Single(Arc::clone(handle), result), panicked)
+        }
+        Task::Batch(submission, handle) => {
+            let (result, panicked) = run_shielded(cc, |cc| run_submission(cc, state, submission));
+            (Completed::Batch(Arc::clone(handle), result), panicked)
+        }
+        Task::Pipeline(job, handle) => {
+            let (result, panicked) = run_shielded(cc, |cc| run_pipeline(cc, state, job));
+            (Completed::Pipeline(Arc::clone(handle), result), panicked)
+        }
+    }
+}
+
+pub(crate) fn worker_main(
+    mut cc: ComputeContext,
+    config: WorkerConfig,
+    shared: Arc<EngineShared>,
+    stats: Arc<Vec<Mutex<ContextStats>>>,
+    resident_stats: Arc<Vec<Mutex<ResidentStats>>>,
+    index: usize,
+) {
+    // Counters accumulated by contexts this worker already retired (after
+    // a panicking job or a context loss); published stats are always
+    // `base + current`, so a context swap never zeroes the worker's
+    // visible accounting.
+    let mut base = ContextStats::default();
+    let mut resident_base = ResidentStats::default();
+    let mut state = WorkerState::with_caps(config.pipeline_cap, config.resident_cap);
+    // Injected-fault watermark already published to the engine metrics;
+    // the fault plan travels across context rebuilds, so the per-context
+    // counter is monotonic for this worker's lifetime.
+    let mut faults_published = 0u64;
+    'serve: loop {
+        let mut queued = {
+            let mut queue = lock_recover(&shared.queue);
+            loop {
+                if let Some(task) = queue.tasks.pop_front() {
+                    break task;
+                }
+                if queue.shutdown {
+                    drop(queue);
+                    retire_worker(&shared);
+                    return;
+                }
+                queue = wait_recover(&shared.cv, queue);
+            }
+        };
+        // A slot just freed up: wake one producer blocked on admission.
+        shared.space.notify_one();
+        let queue_latency = queued.enqueued_at.elapsed();
+        lock_recover(&shared.metrics.queue_latency).record(queue_latency);
+        // Claim the task: losing means the handle cancelled it (and
+        // fulfilled itself) — discard the payload untouched.
+        if !queued.payload.control().claim() {
+            continue;
+        }
+        // Deadline shed: expired work never touches the GPU. Requeued
+        // retries pass through here again, so the deadline keeps ruling
+        // however many attempts the job takes.
+        if let Some(deadline) = queued.deadline {
+            if Instant::now() >= deadline {
+                EngineMetrics::bump(&shared.metrics.shed);
+                let queued_ms = u64::try_from(queue_latency.as_millis()).unwrap_or(u64::MAX);
+                queued.payload.shed(queued_ms);
+                continue;
+            }
+        }
+        let policy = queued.payload.retry_override().unwrap_or(config.retry);
+        let started = Instant::now();
+        // Execute, self-healing around transient failures: a lost context
+        // is rebuilt and the job replayed in place; other transient
+        // failures go back to the queue (or, if the queue is unavailable,
+        // retry in place); permanent outcomes break out for fulfilment.
+        let completed = loop {
+            let (completed, panicked) = run_task(&mut cc, &mut state, &queued.payload);
+            if panicked || cc.context_lost() {
+                // Fresh context, same wiring; the worker state dies with
+                // the context — its cached pipelines and resident
+                // textures belonged to the context that panicked or was
+                // lost, and repopulate lazily on the replacement. The
+                // fault plan (PRNG position, consumed one-shots, counts)
+                // moves onto the fresh context so a one-shot loss fires
+                // exactly once. If even the rebuild fails the worker
+                // retires (remaining queue entries drain to other
+                // workers, or are aborted if this was the last one).
+                base = base.merged(&cc.stats());
+                resident_base = resident_base.merged(&state.resident_stats);
+                resident_base.resident_textures = 0;
+                state = WorkerState::with_caps(config.pipeline_cap, config.resident_cap);
+                let plan = cc.take_fault_plan();
+                match config.make_context(index) {
+                    Ok(mut fresh) => {
+                        if let Some(plan) = plan {
+                            faults_published =
+                                publish_faults(&shared.metrics, faults_published, plan.injected());
+                            fresh.install_fault_plan(plan);
+                        }
+                        cc = fresh;
+                        EngineMetrics::bump(&shared.metrics.recovered_contexts);
+                    }
+                    Err(_) => {
+                        lock_recover(&shared.metrics.service_latency).record(started.elapsed());
+                        EngineMetrics::bump(&shared.metrics.completed);
+                        EngineMetrics::bump(&shared.metrics.failed);
+                        drop(queued.tenant_permit.take());
+                        completed.fulfil();
+                        retire_worker(&shared);
+                        return;
+                    }
+                }
+            }
+            if panicked {
+                // Panics are never retried: the typed internal error
+                // surfaces (from the already-rebuilt context).
+                break completed;
+            }
+            match completed.error() {
+                Some(e) if e.is_transient() && queued.attempt + 1 < policy.attempts() => {
+                    queued.attempt += 1;
+                    EngineMetrics::bump(&shared.metrics.retried);
+                    if !policy.backoff.is_zero() {
+                        std::thread::sleep(policy.backoff);
+                    }
+                    if e.is_context_loss() {
+                        // Replay in place on the just-rebuilt context.
+                        continue;
+                    }
+                    match requeue_transient(&shared, queued) {
+                        // Back in the queue; this worker moves on.
+                        None => continue 'serve,
+                        // Queue unavailable (shutdown / full / dead
+                        // pool): retry in place rather than dropping
+                        // the attempt.
+                        Some(returned) => {
+                            queued = returned;
+                            continue;
+                        }
+                    }
+                }
+                _ => break completed,
+            }
+        };
+        // Reclaim residencies whose handles were evicted since the last
+        // task, then publish stats (and drain the per-request pass log)
+        // BEFORE fulfilling the handle: a caller returning from `wait()`
+        // must observe worker stats that include its job.
+        state.sweep_evicted(&mut cc);
+        cc.take_pass_log();
+        *lock_recover(&stats[index]) = base.merged(&cc.stats());
+        *lock_recover(&resident_stats[index]) = resident_base.merged(&state.resident_stats);
+        faults_published = publish_faults(&shared.metrics, faults_published, cc.faults_injected());
+        lock_recover(&shared.metrics.service_latency).record(started.elapsed());
+        EngineMetrics::bump(&shared.metrics.completed);
+        if completed.is_err() {
+            EngineMetrics::bump(&shared.metrics.failed);
+        }
+        // Release the tenant's in-flight slot before fulfilment, so a
+        // caller resuming from `wait()` can immediately resubmit without
+        // tripping its own quota.
+        drop(queued.tenant_permit.take());
+        completed.fulfil();
+    }
+}
+
+/// Executes one job exactly as a direct caller would: upload (or resolve
+/// resident) inputs, build (cache-hit) the kernel, dispatch with
+/// overrides, read back through the FBO path, recycle every *per-job*
+/// texture — resident textures stay on the worker.
+pub(crate) fn run_job(
+    cc: &mut ComputeContext,
+    state: &mut WorkerState,
+    job: &Job,
+) -> Result<Vec<f32>, ComputeError> {
+    let mut arrays = Vec::with_capacity(job.inputs.len());
+    let mut uploads = Vec::new();
+    let mut failure = None;
+    for input in &job.inputs {
+        match input {
+            JobInput::Data(data) => match cc.upload(data.as_slice()) {
+                Ok(array) => {
+                    uploads.push(array);
+                    arrays.push(array);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            },
+            JobInput::Resident(resident) => {
+                match state.resident_array(cc, resident, SourceShape::Linear(None)) {
+                    Ok(array) => arrays.push(array),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let result = match failure {
+        Some(e) => Err(e),
+        None => dispatch_spec(cc, &job.kernel, &arrays, &job.uniforms),
+    };
+    for array in uploads {
+        cc.recycle_array(array);
+    }
+    let out = result?;
+    let host = cc.read_array(&out, Readback::DirectFbo);
+    cc.recycle_array(out);
+    host
+}
+
+/// Executes a whole retained pipeline as one job: cache-hit (or build)
+/// the pipeline for the spec, seed every declared source from the job,
+/// run all iterations on-GPU, read back the marked buffers, retire every
+/// per-job texture into the pool.
+pub(crate) fn run_pipeline(
+    cc: &mut ComputeContext,
+    state: &mut WorkerState,
+    job: &PipelineJob,
+) -> Result<PipelineResult, ComputeError> {
+    state.pipeline_for(cc, &job.spec)?;
+    let mut seeds = Vec::with_capacity(job.sources.len());
+    let mut uploads: Vec<GpuArray<f32>> = Vec::new();
+    let mut failure = None;
+    for (decl, input) in job.spec.sources.iter().zip(&job.sources) {
+        let resolved = match input {
+            JobInput::Data(data) => {
+                let uploaded = match decl.shape {
+                    SourceShape::Linear(_) => cc.upload(data.as_slice()),
+                    SourceShape::Grid { rows, cols } => cc
+                        .upload_matrix(rows, cols, data.as_slice())
+                        .map(|m| m.as_array()),
+                };
+                match uploaded {
+                    Ok(array) => {
+                        uploads.push(array);
+                        array
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            JobInput::Resident(resident) => match state.resident_array(cc, resident, decl.shape) {
+                Ok(array) => array,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            },
+        };
+        seeds.push(SourceSeed::array(decl.name.clone(), &resolved));
+    }
+    let result = match failure {
+        Some(e) => Err(e),
+        None => {
+            let served = state
+                .pipelines
+                .get(&job.spec.fingerprint())
+                .expect("built by pipeline_for above");
+            served.pipeline.run_seeded(cc, &seeds).and_then(|run| {
+                let mut outputs = Vec::with_capacity(job.reads.len());
+                let mut read_failure = None;
+                for buffer in &job.reads {
+                    match run.read::<f32>(cc, buffer) {
+                        Ok(data) => outputs.push((buffer.clone(), data)),
+                        Err(e) => {
+                            read_failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                run.finish(cc);
+                match read_failure {
+                    Some(e) => Err(e),
+                    None => Ok(PipelineResult { outputs }),
+                }
+            })
+        }
+    };
+    for array in uploads {
+        cc.recycle_array(array);
+    }
+    result
+}
+
+/// Executes a submission's steps in order on one worker, keeping step
+/// outputs on the GPU for later steps, reading back only marked steps.
+pub(crate) fn run_submission(
+    cc: &mut ComputeContext,
+    state: &mut WorkerState,
+    submission: &Submission,
+) -> Result<BatchResult, ComputeError> {
+    let n = submission.steps.len();
+    let mut step_outputs: Vec<Option<GpuArray<f32>>> = (0..n).map(|_| None).collect();
+    let mut uploads: Vec<GpuArray<f32>> = Vec::new();
+    let mut failure: Option<ComputeError> = None;
+    for (i, step) in submission.steps.iter().enumerate() {
+        let mut arrays: Vec<GpuArray<f32>> = Vec::with_capacity(step.inputs.len());
+        let mut ok = true;
+        for input in &step.inputs {
+            let array = match input {
+                StepInput::Data(data) => match cc.upload(data.as_slice()) {
+                    Ok(array) => {
+                        // Track the upload for recycling; the borrow the
+                        // kernel needs is the (Copy) texture + layout pair.
+                        uploads.push(array);
+                        array
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        ok = false;
+                        break;
+                    }
+                },
+                StepInput::Step(j) => match &step_outputs[*j] {
+                    Some(array) => *array,
+                    None => {
+                        failure = Some(bad_job(format!("step {i} reads failed step {j}")));
+                        ok = false;
+                        break;
+                    }
+                },
+                StepInput::Resident(resident) => {
+                    match state.resident_array(cc, resident, SourceShape::Linear(None)) {
+                        Ok(array) => array,
+                        Err(e) => {
+                            failure = Some(e);
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            };
+            arrays.push(array);
+        }
+        if !ok {
+            break;
+        }
+        match dispatch_spec(cc, &step.kernel, &arrays, &step.uniforms) {
+            Ok(out) => step_outputs[i] = Some(out),
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+    }
+
+    let mut outputs: Vec<Option<Vec<f32>>> = (0..n).map(|_| None).collect();
+    if failure.is_none() {
+        let read: Vec<usize> = if submission.read.is_empty() {
+            vec![n - 1]
+        } else {
+            submission.read.clone()
+        };
+        for &r in &read {
+            match step_outputs[r].as_ref() {
+                Some(array) => match cc.read_array(array, Readback::DirectFbo) {
+                    Ok(host) => outputs[r] = Some(host),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                },
+                None => {
+                    failure = Some(bad_job(format!("readback of unexecuted step {r}")));
+                    break;
+                }
+            }
+        }
+    }
+
+    for array in uploads {
+        cc.recycle_array(array);
+    }
+    for array in step_outputs.into_iter().flatten() {
+        cc.recycle_array(array);
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(BatchResult { outputs }),
+    }
+}
+
+/// Builds the spec's kernel over `arrays` and dispatches it once with the
+/// given uniform overrides.
+pub(crate) fn dispatch_spec(
+    cc: &mut ComputeContext,
+    spec: &KernelSpec,
+    arrays: &[GpuArray<f32>],
+    uniforms: &[(String, Value)],
+) -> Result<GpuArray<f32>, ComputeError> {
+    // Arity is validated inside `KernelSpec::build`.
+    let kernel = spec.build(cc, arrays)?;
+    let mut bindings = Bindings::new();
+    for (name, value) in uniforms {
+        bindings.set_uniform(name, value.clone());
+    }
+    cc.run_to_array_with(&kernel, &bindings)
+}

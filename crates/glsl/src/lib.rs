@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod ast;
 pub mod builtins;
 pub mod compile;
@@ -63,6 +64,7 @@ pub mod types;
 pub mod value;
 pub mod vm;
 
+pub use admission::{admit, AdmissionDiagnostic, AdmissionStage};
 pub use compile::{lower, lower_shared, Executable, LowerError};
 pub use error::{CompileError, RuntimeError};
 pub use preprocessor::{preprocess, ExtensionBehavior, Preprocessed};

@@ -1,9 +1,26 @@
 //! Property-based tests for the GLSL ES front end and interpreter.
 
+use gpes_glsl::admission::{admit, AdmissionStage};
 use gpes_glsl::exec::{FloatModel, NoTextures};
 use gpes_glsl::interp::Interpreter;
-use gpes_glsl::{compile, ShaderKind, Value};
+use gpes_glsl::{compile, compile_strict, ShaderKind, Value};
 use proptest::prelude::*;
+
+/// A strict-compatible fragment shader built from generated pieces:
+/// declared uniforms only, constant loop bound — by construction it must
+/// survive every admission stage.
+fn generated_valid(n: u8, scale: i16, use_loop: bool) -> String {
+    let body = if use_loop {
+        format!(
+            "float acc = 0.0;\n  \
+             for (int i = 0; i < {n}; i++) {{ acc += u_k; }}\n  \
+             gl_FragColor = vec4(acc * {scale}.0);"
+        )
+    } else {
+        format!("gl_FragColor = vec4(u_k * {scale}.0);")
+    };
+    format!("precision highp float;\nuniform float u_k;\nvoid main() {{\n  {body}\n}}")
+}
 
 /// Compiles and runs a fragment shader that computes `expr` into the red
 /// channel scaled into [0,1]; returns the raw float the kernel computed
@@ -236,5 +253,85 @@ proptest! {
                 prop_assert_eq!(c[i], av[i] * bv[i] + av[i]);
             }
         }
+    }
+
+    /// Generated-valid programs pass the full admission pipeline *and*
+    /// run: the admitted shader computes the accumulation the generator
+    /// encoded, in the same f32 op order.
+    #[test]
+    fn generated_valid_sources_admit_and_run(
+        n in 0u8..16,
+        scale in -100i16..100,
+        use_loop: bool,
+    ) {
+        let src = generated_valid(n, scale, use_loop);
+        let shader = admit(ShaderKind::Fragment, &src)
+            .unwrap_or_else(|d| panic!("valid source rejected: {d}\n{src}"));
+        let tex = NoTextures;
+        let mut interp =
+            Interpreter::with_model(&shader, &tex, FloatModel::Exact).expect("interp");
+        interp.set_global("u_k", Value::Float(1.5)).expect("uniform");
+        interp.run_main().expect("run");
+        let expect = if use_loop {
+            let mut acc = 0.0f32;
+            for _ in 0..n {
+                acc += 1.5;
+            }
+            acc * scale as f32
+        } else {
+            1.5 * scale as f32
+        };
+        let raw = interp.global("gl_FragColor").expect("color").clone();
+        if let Value::Vec4(c) = raw {
+            prop_assert_eq!(c[0], expect);
+        } else {
+            prop_assert!(false, "unexpected value kind");
+        }
+    }
+
+    /// Truncating a valid program at any byte never panics admission:
+    /// the prefix either still admits or rejects with a typed,
+    /// non-empty, stage-tagged diagnostic.
+    #[test]
+    fn truncated_sources_reject_typed_never_panic(
+        n in 0u8..16,
+        scale in -100i16..100,
+        cut in 0usize..256,
+    ) {
+        let src = generated_valid(n, scale, true);
+        let cut = cut.min(src.len());
+        match admit(ShaderKind::Fragment, &src[..cut]) {
+            Ok(_) => {}
+            Err(d) => {
+                prop_assert!(!d.message.is_empty());
+                prop_assert!(matches!(
+                    d.stage,
+                    AdmissionStage::Parse | AdmissionStage::Strict | AdmissionStage::Sema
+                ));
+            }
+        }
+    }
+
+    /// Splicing arbitrary bytes into a valid program never panics, and
+    /// admission's verdict always matches `compile_strict`'s — the
+    /// registry gate admits exactly what the strict compiler accepts.
+    #[test]
+    fn mutated_sources_match_compile_strict(
+        pos in 0usize..200,
+        splice in "[ -~]{0,12}",
+    ) {
+        let src = generated_valid(7, 3, true);
+        let pos = pos.min(src.len());
+        let mutated = format!("{}{}{}", &src[..pos], splice, &src[pos..]);
+        let admitted = admit(ShaderKind::Fragment, &mutated).is_ok();
+        let strict = compile_strict(ShaderKind::Fragment, &mutated).is_ok();
+        prop_assert_eq!(admitted, strict, "admit/compile_strict diverge on {:?}", mutated);
+    }
+
+    /// Admission is total on arbitrary byte soup — errors only, never a
+    /// panic, exactly like the raw front end.
+    #[test]
+    fn admission_total_on_garbage(src in "[ -~]{0,200}") {
+        let _ = admit(ShaderKind::Fragment, &src);
     }
 }

@@ -153,6 +153,64 @@ def diff_a13(lines, fresh):
     lines.append("")
 
 
+def diff_a14(lines, fresh):
+    """a14 is a per-tenant row table plus a totals block. The admission
+    outcomes (admitted / wrong, the typed-vs-invalid totals and the
+    zero-cost steady state) compare exactly; the rejected/jobs counts
+    scale with how fast the noisy tenant's flood drained, so they stay
+    advisory."""
+    lines.append("### a14 — multi-tenant dynamic kernel registry")
+    fresh_rows = fresh.get("tenants", [])
+    if not fresh_rows:
+        lines.append("_no fresh a14 tenant rows measured_\n")
+        return
+    path, base = latest_baseline_with("a14_registry")
+    if path is None:
+        lines.append("_no committed baseline records `a14_registry` yet_\n")
+        return
+    lines.append(f"baseline: `{path}`\n")
+    exact = ("admitted", "evicted", "wrong")
+    head = ["tenant"] + [f"{c} (fresh/base)" for c in exact] + \
+        ["jobs ratio", "verdict"]
+    lines.append("| " + " | ".join(head) + " |")
+    lines.append("|" + "---|" * len(head))
+    base_index = {r["name"]: r for r in base.get("tenants", [])}
+    for row in fresh_rows:
+        old = base_index.get(row["name"])
+        cells = [row["name"]]
+        if old is None:
+            cells += ["new" for _ in exact] + ["n/a", "NEW ROW"]
+        else:
+            drift = False
+            for c in exact:
+                cells.append(f"{row.get(c)}/{old.get(c)}")
+                drift |= row.get(c) != old.get(c)
+            cells.append(fmt_ratio(row.get("jobs", 0), old.get("jobs", 0)))
+            cells.append("counter drift" if drift else "ok")
+        lines.append("| " + " | ".join(str(c) for c in cells) + " |")
+    ft, bt = fresh.get("totals", {}), base.get("totals", {})
+    exact_totals = ("invalid", "typed", "post_warmup_links",
+                    "post_warmup_gl_objects", "balanced", "identical")
+    drift = any(ft.get(k) != bt.get(k) for k in exact_totals)
+    lines.append("")
+    lines.append("| invalid (fresh/base) | typed (fresh/base) | "
+                 "links (fresh/base) | objects (fresh/base) | "
+                 "balanced (fresh/base) | identical (fresh/base) | verdict |")
+    lines.append("|" + "---|" * 7)
+    lines.append(
+        "| {}/{} | {}/{} | {}/{} | {}/{} | {}/{} | {}/{} | {} |".format(
+            ft.get("invalid"), bt.get("invalid"),
+            ft.get("typed"), bt.get("typed"),
+            ft.get("post_warmup_links"), bt.get("post_warmup_links"),
+            ft.get("post_warmup_gl_objects"), bt.get("post_warmup_gl_objects"),
+            ft.get("balanced"), bt.get("balanced"),
+            ft.get("identical"), bt.get("identical"),
+            "counter drift" if drift else "ok",
+        )
+    )
+    lines.append("")
+
+
 def main():
     if len(sys.argv) < 2:
         sys.exit(__doc__)
@@ -182,6 +240,7 @@ def main():
     )
     diff_a12(lines, ci_perf.get("a12_serving_latency", {}))
     diff_a13(lines, ci_perf.get("a13_chaos", {}))
+    diff_a14(lines, ci_perf.get("a14_registry", {}))
     lines.append("_counters compare exactly; timing ratios are advisory "
                  "(shared runners are noisy). The blocking contracts live in "
                  "`ci_perf_gate.py`._")

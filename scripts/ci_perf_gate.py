@@ -34,6 +34,14 @@ Two concerns, one machine-readable artefact:
     one transient failure must be retried. Jobs *may* fail once the
     retry budget is exhausted — a typed error is an allowed chaos
     outcome; a wrong answer or a hang is not.
+  - a14 (multi-tenant dynamic kernel registry) must show every invalid
+    GLSL source rejected with a *typed* admission error (typed count ==
+    attempt count — an untyped failure or a panic breaks the contract),
+    at least one typed quota rejection from the noisy tenant, zero
+    post-warmup links and GL objects (hostile tenants never cost their
+    neighbours anything), balanced counters, and every tenant's served
+    outputs bit-identical to the compiled-in path (`wrong 0` on every
+    tenant row).
 
   Any violation exits non-zero and fails CI.
 
@@ -42,7 +50,7 @@ overridable by the last argument) and uploaded as a workflow artifact, so
 the perf trajectory is diffable across runs instead of buried in logs.
 
 Usage:
-    ci_perf_gate.py <a3_start> <a3_end> <a9_out> <a10_out> <a11_out> <a12_out> <a13_out> [ci_perf.json]
+    ci_perf_gate.py <a3_start> <a3_end> <a9_out> <a10_out> <a11_out> <a12_out> <a13_out> <a14_out> [ci_perf.json]
 
 where `a3_start`/`a3_end` are `date +%s.%N` stamps around the a3 run.
 """
@@ -142,6 +150,52 @@ def parse_a13_lines(lines):
     return out
 
 
+# a14 is a config line, one `a14 tenant` row per tenant, and a totals
+# line, printed by A14Report::format().
+A14_CONFIG = re.compile(
+    r"^a14 config\s+workers (?P<workers>\d+)\s+capacity (?P<capacity>\d+)\s+"
+    r"tenants (?P<tenants>\d+)\s+wave jobs (?P<wave_jobs>\d+)\s+"
+    r"noisy quota (?P<noisy_quota>\d+)"
+)
+A14_TENANT = re.compile(
+    r"^a14 tenant\s+name (?P<name>\S+)\s+admitted (?P<admitted>\d+)\s+"
+    r"rejected (?P<rejected>\d+)\s+evicted (?P<evicted>\d+)\s+"
+    r"jobs (?P<jobs>\d+)\s+wrong (?P<wrong>\d+)"
+)
+A14_TOTALS = re.compile(
+    r"^a14 totals\s+invalid (?P<invalid>\d+)\s+typed (?P<typed>\d+)\s+"
+    r"quota-rejections (?P<quota_rejections>\d+)\s+"
+    r"post-warmup links (?P<post_warmup_links>\d+)\s+"
+    r"objects (?P<post_warmup_gl_objects>\d+)\s+balanced (?P<balanced>\S+)\s+"
+    r"identical (?P<identical>\S+)"
+)
+A14_FLAGS = ("balanced", "identical")
+
+
+def parse_a14_lines(lines):
+    """Parses A14Report::format() output into {"config", "tenants", "totals"}."""
+    out = {}
+    for line in lines:
+        line = line.strip()
+        m = A14_CONFIG.match(line)
+        if m:
+            out["config"] = {k: int(v) for k, v in m.groupdict().items()}
+        m = A14_TENANT.match(line)
+        if m:
+            row = m.groupdict()
+            for k, v in row.items():
+                if k != "name":
+                    row[k] = int(v)
+            out.setdefault("tenants", []).append(row)
+        m = A14_TOTALS.match(line)
+        if m:
+            row = m.groupdict()
+            out["totals"] = {
+                k: (v if k in A14_FLAGS else int(v)) for k, v in row.items()
+            }
+    return out
+
+
 def parse_a12_lines(lines):
     """Parses A12Report::format() output into one nested dict (or {})."""
     out = {}
@@ -194,7 +248,7 @@ def parse_rows(path, regex, numeric):
 
 
 def main():
-    if len(sys.argv) < 8:
+    if len(sys.argv) < 9:
         sys.exit(__doc__)
     elapsed = float(sys.argv[2]) - float(sys.argv[1])
     a9_rows = parse_rows(
@@ -210,7 +264,8 @@ def main():
     a11_rows = parse_rows(sys.argv[5], A11_ROW, A11_NUMERIC)
     a12 = parse_a12_lines(pathlib.Path(sys.argv[6]).read_text().splitlines())
     a13 = parse_a13_lines(pathlib.Path(sys.argv[7]).read_text().splitlines())
-    out_path = pathlib.Path(sys.argv[8] if len(sys.argv) > 8 else "ci_perf.json")
+    a14 = parse_a14_lines(pathlib.Path(sys.argv[8]).read_text().splitlines())
+    out_path = pathlib.Path(sys.argv[9] if len(sys.argv) > 9 else "ci_perf.json")
 
     # ---- advisory timing ------------------------------------------------
     baselines = sorted(glob.glob("BENCH_*.json"),
@@ -359,9 +414,57 @@ def main():
                 "a13: zero retries across the sweep — transient failures "
                 "were never re-run")
 
+    # a14: multi-tenant dynamic kernel registry. The admission pipeline
+    # and quota ledger are deterministic: every invalid source must be
+    # refused with a typed error, the noisy tenant must actually trip its
+    # in-flight quota, and neither hostile tenant may cost the
+    # well-behaved ones a single link or GL object past warmup.
+    a14_tenants = a14.get("tenants", [])
+    if "config" not in a14 or "totals" not in a14 or not a14_tenants:
+        failures.append("a14: config, tenant rows or totals not parsed")
+    else:
+        t = a14["totals"]
+        if t["invalid"] == 0:
+            failures.append(
+                "a14: zero invalid registration attempts — the admission "
+                "pipeline was never exercised")
+        if t["typed"] != t["invalid"]:
+            failures.append(
+                f"a14: {t['invalid']} invalid sources but only {t['typed']} "
+                f"typed rejections — an admission failure was untyped")
+        if t["quota_rejections"] == 0:
+            failures.append(
+                "a14: zero quota rejections — the noisy tenant never "
+                "tripped its in-flight quota")
+        if t["balanced"] != "yes":
+            failures.append(
+                "a14: outcome counters do not balance (tenant-tagged "
+                "rejections must feed the same global ledger)")
+        if t["identical"] != "yes":
+            failures.append(
+                "a14: a dynamically-registered kernel's output diverged "
+                "from the compiled-in path")
+        if t["post_warmup_links"] != 0:
+            failures.append(
+                f"a14: {t['post_warmup_links']} post-warmup links, contract "
+                f"is 0 — a hostile tenant cost its neighbours a relink")
+        if t["post_warmup_gl_objects"] != 0:
+            failures.append(
+                f"a14: {t['post_warmup_gl_objects']} GL objects created "
+                f"post-warmup, contract is 0")
+        if len(a14_tenants) != a14["config"]["tenants"]:
+            failures.append(
+                f"a14: {len(a14_tenants)} tenant rows parsed, config "
+                f"announced {a14['config']['tenants']}")
+        for row in a14_tenants:
+            if row["wrong"] != 0:
+                failures.append(
+                    f"a14: tenant {row['name']} had {row['wrong']} outputs "
+                    f"diverge from its reference")
+
     # ---- artefact --------------------------------------------------------
     out_path.write_text(json.dumps({
-        "schema": "gpes-ci-perf/4",
+        "schema": "gpes-ci-perf/5",
         "a3": {"elapsed_seconds": round(elapsed, 3),
                "baseline_file": baselines[-1],
                "baseline_seconds": base,
@@ -372,11 +475,12 @@ def main():
         "a11_counters": a11_rows,
         "a12_serving_latency": a12,
         "a13_chaos": a13,
+        "a14_registry": a14,
         "gate_failures": failures,
     }, indent=2) + "\n")
     print(f"wrote {out_path} ({len(a9_rows)} a9 rows, {len(a10_rows)} a10 rows, "
           f"{len(a11_rows)} a11 rows, {len(a12)} a12 sections, "
-          f"{len(a13_rows)} a13 rows)")
+          f"{len(a13_rows)} a13 rows, {len(a14_tenants)} a14 tenants)")
 
     if failures:
         print("counter gate FAILED:")
@@ -387,7 +491,9 @@ def main():
           "post-warmup links all zero, a11 pipeline serving steady-state "
           "links/objects all zero and outputs bit-identical, a12 admission "
           "counters balanced with QueueFull and deadline sheds observed, "
-          "a13 chaos rows all balanced/identical/recovered with no hangs")
+          "a13 chaos rows all balanced/identical/recovered with no hangs, "
+          "a14 registry admission all typed with quotas tripped and zero "
+          "cross-tenant cost")
 
 
 if __name__ == "__main__":

@@ -25,7 +25,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 SECTIONS = [
     "e1", "sweep", "e2", "f1", "f2",
     "a1", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11", "a12",
-    "a13",
+    "a13", "a14",
 ]
 
 # e.g. "sum (int)    n=1048576    cpu   64.97 ms   gpu  13.33 ms   speedup 4.87x   paper 7.2x   validated yes"
@@ -41,6 +41,7 @@ E1_ROW = re.compile(
 # desynchronise the CI gate from the recorded baselines.
 from ci_perf_gate import (  # noqa: E402
     A9_ROW, A10_ROW, A11_NUMERIC, A11_ROW, parse_a12_lines, parse_a13_lines,
+    parse_a14_lines,
 )
 
 
@@ -85,6 +86,7 @@ def main() -> None:
     a11_rows = []
     a12_block = {}
     a13_block = {}
+    a14_block = {}
     for name in SECTIONS:
         result = run_section(name)
         lines = result["stdout"].splitlines()
@@ -137,6 +139,8 @@ def main() -> None:
             a12_block = parse_a12_lines(lines)
         if name == "a13":
             a13_block = parse_a13_lines(lines)
+        if name == "a14":
+            a14_block = parse_a14_lines(lines)
 
     baseline = {
         "schema": "gpes-bench-baseline/1",
@@ -182,6 +186,13 @@ def main() -> None:
         # its lost contexts and never hangs; retried/faults counts are
         # seed-deterministic, submitted/rejected scale with host speed.
         "a13_chaos": a13_block,
+        # a14: multi-tenant dynamic kernel registry (PR 8). The
+        # deterministic contract: every invalid source is refused with a
+        # typed admission error, the noisy tenant trips its in-flight
+        # quota at least once, post-warmup links/objects are zero and all
+        # tenant rows are bit-identical; the quota-rejection count is
+        # scheduling-dependent and recorded for trajectory only.
+        "a14_registry": a14_block,
     }
     out_path.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"wrote {out_path} ({len(e1_rows)} speedup rows, "

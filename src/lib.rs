@@ -46,10 +46,11 @@ pub mod prelude {
     pub use gpes_core::{
         Bindings, CompletionSet, ComputeContext, ComputeError, ContextStats, Engine,
         EngineSnapshot, FloatSpecials, GpuArray, GpuMatrix, GpuTexels, Job, Kernel, KernelBuilder,
-        KernelSpec, LatencyHistogram, MultiOutputBuilder, MultiOutputKernel, OutputShape, PackBias,
-        Pass, PassSpec, Pipeline, PipelineJob, PipelineResult, PipelineSpec, Readback,
-        ResidentInput, ResidentStats, RetryPolicy, ScalarType, SharedProgramCache, StepHandle,
-        Submission, VertexKernel,
+        KernelRegistry, KernelSpec, LatencyHistogram, MultiOutputBuilder, MultiOutputKernel,
+        OutputShape, PackBias, Pass, PassSpec, Pipeline, PipelineJob, PipelineResult, PipelineSpec,
+        Readback, RegisteredKernel, ResidentInput, ResidentStats, RetryPolicy, ScalarType,
+        SharedProgramCache, StepHandle, Submission, TenantCounters, TenantId, TenantQuotas,
+        VertexKernel,
     };
     pub use gpes_gles2::{Context, Dispatch, Executor, FaultPlan, FaultSite, StoreRounding};
     pub use gpes_glsl::exec::FloatModel;
