@@ -1,5 +1,9 @@
-//! A5/A7 bench targets: per-value cost of the §IV codecs against the
+//! A5/A7 bench targets: per-texel cost of the §IV codecs against the
 //! Strzodka'02 baseline (A5) and the channel-packed layouts (A7).
+//!
+//! Throughput is **texels/s** — the packed layouts carry 2 (strzodka16)
+//! or 4 (u8x4) values per texel, so their texel counts differ from the
+//! shared element count `N`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpes_core::codec::strzodka16;
@@ -12,9 +16,9 @@ const N: usize = 4096;
 fn bench_formats(c: &mut Criterion) {
     let mut group = c.benchmark_group("a5_formats");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(N as u64));
 
-    // Paper u32 codec add.
+    // Paper u32 codec add: one value per texel.
+    group.throughput(Throughput::Elements(N as u64));
     group.bench_function(BenchmarkId::new("add", "paper_u32"), |bench| {
         let a = data::random_u32(N, 551, u16::MAX as u32);
         let b = data::random_u32(N, 552, u16::MAX as u32);
@@ -28,7 +32,8 @@ fn bench_formats(c: &mut Criterion) {
         });
     });
 
-    // Strzodka virtual-16 add (two values per texel).
+    // Strzodka virtual-16 add: two values per texel.
+    group.throughput(Throughput::Elements(N.div_ceil(2) as u64));
     group.bench_function(BenchmarkId::new("add", "strzodka16"), |bench| {
         let a: Vec<u16> = data::random_u32(N, 553, u16::MAX as u32 + 1)
             .into_iter()
@@ -68,6 +73,7 @@ fn bench_formats(c: &mut Criterion) {
     });
 
     // Host-side interop transforms (§VI's CPU cost argument).
+    group.throughput(Throughput::Elements(N as u64));
     group.bench_function(
         BenchmarkId::new("host_encode", "paper_u32_memcpy"),
         |bench| {
@@ -78,6 +84,7 @@ fn bench_formats(c: &mut Criterion) {
             });
         },
     );
+    group.throughput(Throughput::Elements(N.div_ceil(2) as u64));
     group.bench_function(
         BenchmarkId::new("host_encode", "strzodka16_transform"),
         |bench| {
@@ -92,6 +99,7 @@ fn bench_formats(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("a7_packing");
     group.sample_size(10);
+    // Scalar u8: one value per texel.
     group.throughput(Throughput::Elements(N as u64));
     group.bench_function("u8_scalar", |bench| {
         let a = data::random_u8(N, 557, 127);
@@ -105,6 +113,8 @@ fn bench_formats(c: &mut Criterion) {
             black_box(out)
         });
     });
+    // Packed u8x4: four values per texel.
+    group.throughput(Throughput::Elements(N.div_ceil(4) as u64));
     group.bench_function("u8_packed_x4", |bench| {
         let a = data::random_u8(N, 559, 127);
         let b = data::random_u8(N, 560, 127);

@@ -1,8 +1,14 @@
 //! Codec micro-benchmarks: host encode/decode and shader-mirror
 //! pack/unpack throughput for every §IV format.
+//!
+//! Throughput is reported in **texels/s** — the unit the GPU transfer
+//! path actually moves. For most codecs one value is one texel; for
+//! strzodka16 two values share a texel, so its element count is halved.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use gpes_core::codec::{float32, sbyte, sint, ubyte, uint, FloatSpecials, PackBias};
+use gpes_core::codec::{
+    float32, sbyte, sint, strzodka16, ubyte, uint, ushort, FloatSpecials, PackBias,
+};
 use gpes_kernels::data;
 use std::hint::black_box;
 
@@ -14,6 +20,7 @@ fn bench_host(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("codec_host");
     group.sample_size(20);
+    // One value per RGBA texel for the 32-bit codecs.
     group.throughput(Throughput::Elements(n as u64));
     group.bench_function("f32_encode_decode", |b| {
         b.iter(|| {
@@ -41,6 +48,64 @@ fn bench_host(c: &mut Criterion) {
             }
             black_box(acc)
         })
+    });
+    group.finish();
+}
+
+/// The vectorised slice paths the upload/readback hot loops actually
+/// call ([`gpes_core::Buffer`] delegates to these).
+fn bench_slices(c: &mut Criterion) {
+    let n = 4096usize;
+    let floats = data::random_f32(n, 40, 1.0e9);
+    let uints = data::random_u32(n, 41, 1 << 24);
+    let shorts: Vec<u16> = data::random_u32(n, 42, u16::MAX as u32 + 1)
+        .into_iter()
+        .map(|v| v as u16)
+        .collect();
+    let bytes_in = data::random_u8(n, 43, 255);
+
+    let mut group = c.benchmark_group("codec_slice");
+    group.sample_size(20);
+
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("f32_encode", |b| {
+        b.iter(|| black_box(float32::encode_slice(&floats, n)))
+    });
+    let f32_fb = float32::encode_slice(&floats, n);
+    group.bench_function("f32_decode", |b| {
+        b.iter(|| black_box(float32::decode_slice(&f32_fb, n)))
+    });
+    group.bench_function("u32_encode", |b| {
+        b.iter(|| black_box(uint::encode_slice(&uints, n)))
+    });
+    let u32_fb = uint::encode_slice(&uints, n);
+    group.bench_function("u32_decode", |b| {
+        b.iter(|| black_box(uint::decode_slice(&u32_fb, n)))
+    });
+    group.bench_function("u16_encode", |b| {
+        b.iter(|| black_box(ushort::encode_slice(&shorts, n)))
+    });
+    // Readback sees full RGBA pixels with the pair in (R, A).
+    let u16_fb: Vec<u8> = ushort::encode_slice(&shorts, n)
+        .chunks_exact(2)
+        .flat_map(|p| [p[0], 0, 0, p[1]])
+        .collect();
+    group.bench_function("u16_decode", |b| {
+        b.iter(|| black_box(ushort::decode_slice(&u16_fb, n)))
+    });
+    group.bench_function("u8_encode", |b| {
+        b.iter(|| black_box(ubyte::encode_slice(&bytes_in, n)))
+    });
+
+    // Two u16 values per RGBA texel for the Strzodka'02 baseline.
+    let texels = n.div_ceil(2);
+    group.throughput(Throughput::Elements(texels as u64));
+    group.bench_function("strzodka16_encode", |b| {
+        b.iter(|| black_box(strzodka16::encode_texels(&shorts, texels)))
+    });
+    let v16_fb = strzodka16::encode_texels(&shorts, texels);
+    group.bench_function("strzodka16_decode", |b| {
+        b.iter(|| black_box(strzodka16::decode_texels(&v16_fb, n)))
     });
     group.finish();
 }
@@ -76,5 +141,5 @@ fn bench_mirror(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_host, bench_mirror);
+criterion_group!(benches, bench_host, bench_slices, bench_mirror);
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Ablations A1–A7: design choices called out in `DESIGN.md`.
 
 use gpes_core::codec::strzodka16;
-use gpes_core::{ComputeContext, ComputeError, Executor, Kernel, PackBias, Readback, ScalarType};
+use gpes_core::{ComputeContext, ComputeError, ExecMode, Kernel, PackBias, Readback, ScalarType};
 use gpes_gles2::{Dispatch, StoreRounding};
 use gpes_kernels::data;
 use gpes_perf::{estimate_gpu, gpu_run_from_passes, readback_bytes_for, GpuRun, Vc4Gpu};
@@ -659,8 +659,8 @@ pub fn a7_channel_packing(n: usize) -> Result<Vec<A7Row>, ComputeError> {
 pub struct A8Row {
     /// Kernel family exercised.
     pub kernel: &'static str,
-    /// Executor under test.
-    pub executor: Executor,
+    /// Execution mode under test.
+    pub mode: ExecMode,
     /// Simulated fragments per host second.
     pub fragments_per_s: f64,
     /// Whether the run produced the same bytes as the tree-walker.
@@ -673,7 +673,7 @@ impl A8Row {
         format!(
             "{:<10} {:<12} {:>12.0} fragments/s (host)   matches oracle {}",
             self.kernel,
-            format!("{:?}", self.executor),
+            self.mode.label(),
             self.fragments_per_s,
             if self.matches_oracle { "yes" } else { "NO" },
         )
@@ -695,9 +695,9 @@ pub fn a8_executor(n: usize) -> Result<Vec<A8Row>, ComputeError> {
     // sum (fp): one fragment per element.
     let a = data::random_f32(n, 501, 100.0);
     let b = data::random_f32(n, 502, 100.0);
-    let run_sum = |executor: Executor| -> Result<(Vec<f32>, f64), ComputeError> {
+    let run_sum = |mode: ExecMode| -> Result<(Vec<f32>, f64), ComputeError> {
         let mut cc = ComputeContext::new(256, 256)?;
-        cc.set_executor(executor);
+        cc.set_exec_mode(mode);
         let ga = cc.upload(&a)?;
         let gb = cc.upload(&b)?;
         let k = gpes_kernels::sum::build_f32(&mut cc, &ga, &gb)?;
@@ -706,17 +706,17 @@ pub fn a8_executor(n: usize) -> Result<Vec<A8Row>, ComputeError> {
         let elapsed = start.elapsed().as_secs_f64();
         Ok((out, n as f64 / elapsed))
     };
-    let (vm_out, vm_rate) = run_sum(Executor::Bytecode)?;
-    let (tw_out, tw_rate) = run_sum(Executor::TreeWalker)?;
+    let (vm_out, vm_rate) = run_sum(ExecMode::Scalar)?;
+    let (tw_out, tw_rate) = run_sum(ExecMode::TreeWalker)?;
     rows.push(A8Row {
         kernel: "sum (fp)",
-        executor: Executor::Bytecode,
+        mode: ExecMode::Scalar,
         fragments_per_s: vm_rate,
         matches_oracle: vm_out == tw_out,
     });
     rows.push(A8Row {
         kernel: "sum (fp)",
-        executor: Executor::TreeWalker,
+        mode: ExecMode::TreeWalker,
         fragments_per_s: tw_rate,
         matches_oracle: true,
     });
@@ -726,9 +726,9 @@ pub fn a8_executor(n: usize) -> Result<Vec<A8Row>, ComputeError> {
     let ma = data::random_f32(side * side, 503, 2.0);
     let mb = data::random_f32(side * side, 504, 2.0);
     let mc = data::random_f32(side * side, 505, 2.0);
-    let run_gemm = |executor: Executor| -> Result<(Vec<f32>, f64), ComputeError> {
+    let run_gemm = |mode: ExecMode| -> Result<(Vec<f32>, f64), ComputeError> {
         let mut cc = ComputeContext::new(64, 64)?;
-        cc.set_executor(executor);
+        cc.set_exec_mode(mode);
         let ga = cc.upload_matrix(side as u32, side as u32, &ma)?;
         let gb = cc.upload_matrix(side as u32, side as u32, &mb)?;
         let gc = cc.upload_matrix(side as u32, side as u32, &mc)?;
@@ -738,17 +738,17 @@ pub fn a8_executor(n: usize) -> Result<Vec<A8Row>, ComputeError> {
         let elapsed = start.elapsed().as_secs_f64();
         Ok((out, (side * side) as f64 / elapsed))
     };
-    let (vm_out, vm_rate) = run_gemm(Executor::Bytecode)?;
-    let (tw_out, tw_rate) = run_gemm(Executor::TreeWalker)?;
+    let (vm_out, vm_rate) = run_gemm(ExecMode::Scalar)?;
+    let (tw_out, tw_rate) = run_gemm(ExecMode::TreeWalker)?;
     rows.push(A8Row {
         kernel: "sgemm (fp)",
-        executor: Executor::Bytecode,
+        mode: ExecMode::Scalar,
         fragments_per_s: vm_rate,
         matches_oracle: vm_out == tw_out,
     });
     rows.push(A8Row {
         kernel: "sgemm (fp)",
-        executor: Executor::TreeWalker,
+        mode: ExecMode::TreeWalker,
         fragments_per_s: tw_rate,
         matches_oracle: true,
     });
@@ -2408,6 +2408,346 @@ pub fn a14_registry(n: usize, wave_jobs: usize) -> Result<A14Report, ComputeErro
     })
 }
 
+/// A15 — SPMD lane execution: one per-kernel row for each execution
+/// mode in the scalar/spmd4/spmd8 ladder.
+#[derive(Debug, Clone)]
+pub struct A15VmRow {
+    /// Kernel family exercised.
+    pub kernel: &'static str,
+    /// Execution mode under test.
+    pub mode: ExecMode,
+    /// Simulated fragments per host second.
+    pub fragments_per_s: f64,
+    /// Whether the run produced the same bytes as the tree-walker.
+    pub identical: bool,
+    /// SPMD batches dispatched (gate: > 0 for Spmd rows, 0 otherwise).
+    pub spmd_batches: u64,
+    /// Bands/draws that fell back to scalar execution.
+    pub scalar_fallbacks: u64,
+}
+
+/// A15 — one codec hot-path row: element-at-a-time vs the vectorised
+/// slice path, in texels/s.
+#[derive(Debug, Clone)]
+pub struct A15CodecRow {
+    /// Codec under test.
+    pub codec: &'static str,
+    /// `element` (per-value encode/decode calls) or `slice`
+    /// (single-pass preallocated).
+    pub path: &'static str,
+    /// Round-trip throughput, texels per second.
+    pub texels_per_s: f64,
+}
+
+/// A15 — SPMD lane-parallel fragment VM: kernel throughput ladder,
+/// geometric-mean speedups, codec slice-path microbench, and a served
+/// engine run proving the SPMD path is what production serving executes.
+///
+/// CI gates on the deterministic contracts — every row bit-identical to
+/// the tree-walker, `spmd_batches > 0` exactly on the Spmd rows, the
+/// serve row balanced and labelled with an spmd exec mode. The speedup
+/// numbers are advisory (host-dependent; recorded by the baseline
+/// tooling and diffed, not gated).
+#[derive(Debug, Clone)]
+pub struct A15Report {
+    /// Per-kernel, per-mode throughput rows.
+    pub vm: Vec<A15VmRow>,
+    /// Geomean speedup vs the scalar VM, one entry per Spmd mode.
+    pub mix: Vec<(ExecMode, f64)>,
+    /// Codec hot-path rows.
+    pub codec: Vec<A15CodecRow>,
+    /// The engine's reported execution mode label.
+    pub serve_exec_mode: String,
+    /// Jobs served in the engine run.
+    pub serve_jobs: usize,
+    /// Every served output bit-identical to the scalar reference.
+    pub serve_identical: bool,
+    /// Engine outcome counters balance at quiescence.
+    pub serve_balanced: bool,
+    /// SPMD batches the engine's workers dispatched (gate: > 0).
+    pub serve_spmd_batches: u64,
+    /// Scalar fallbacks across the engine's workers.
+    pub serve_scalar_fallbacks: u64,
+}
+
+impl A15Report {
+    /// Whether every VM row matched the tree-walker oracle.
+    pub fn identical(&self) -> bool {
+        self.vm.iter().all(|r| r.identical)
+    }
+
+    /// Whether `spmd_batches` is positive exactly on the Spmd rows.
+    pub fn batches_consistent(&self) -> bool {
+        self.vm.iter().all(|r| match r.mode {
+            ExecMode::Spmd { .. } => r.spmd_batches > 0,
+            _ => r.spmd_batches == 0,
+        })
+    }
+
+    /// Formats the report as the stable multi-line block
+    /// `scripts/ci_perf_gate.py` parses.
+    pub fn format(&self) -> String {
+        let mut lines = Vec::new();
+        for row in &self.vm {
+            lines.push(format!(
+                "a15 vm        kernel {:<10} mode {:<7} fragments/s {:>10.0}   \
+                 identical {}   spmd_batches {}   fallbacks {}",
+                row.kernel,
+                row.mode.label(),
+                row.fragments_per_s,
+                if row.identical { "yes" } else { "NO" },
+                row.spmd_batches,
+                row.scalar_fallbacks,
+            ));
+        }
+        for (mode, speedup) in &self.mix {
+            lines.push(format!(
+                "a15 mix       mode {:<7} geomean speedup vs scalar {speedup:.2}x",
+                mode.label(),
+            ));
+        }
+        for row in &self.codec {
+            lines.push(format!(
+                "a15 codec     {:<12} path {:<8} texels/s {:>12.0}",
+                row.codec, row.path, row.texels_per_s,
+            ));
+        }
+        lines.push(format!(
+            "a15 serve     exec_mode {}   jobs {}   identical {}   balanced {}   \
+             spmd_batches {}   fallbacks {}",
+            self.serve_exec_mode,
+            self.serve_jobs,
+            if self.serve_identical { "yes" } else { "NO" },
+            if self.serve_balanced { "yes" } else { "NO" },
+            self.serve_spmd_batches,
+            self.serve_scalar_fallbacks,
+        ));
+        lines.join("\n")
+    }
+}
+
+/// Runs A15: the a8 kernel mix (`sum (fp)` codec-heavy, `sgemm (fp)`
+/// loop-heavy) under `Scalar`, `Spmd{4}` and `Spmd{8}`, each checked
+/// bit-for-bit against a tree-walker oracle run with per-row
+/// `spmd_batches`/`scalar_fallbacks` counters; the float32 and u16 codec
+/// round trips element-wise vs sliced; and a 2-worker engine wave under
+/// `Spmd{8}` whose snapshot must balance, report an spmd label, and show
+/// nonzero SPMD batches.
+///
+/// # Errors
+///
+/// Propagates simulator/engine failures.
+pub fn a15_spmd(n: usize, jobs: usize) -> Result<A15Report, ComputeError> {
+    use gpes_core::codec::{float32, ushort};
+
+    const MODES: [ExecMode; 3] = [
+        ExecMode::Scalar,
+        ExecMode::Spmd { lanes: 4 },
+        ExecMode::Spmd { lanes: 8 },
+    ];
+
+    // --- VM ladder over the a8 kernel mix -------------------------------
+    let a = data::random_f32(n, 501, 100.0);
+    let b = data::random_f32(n, 502, 100.0);
+    let side = 32usize;
+    let ma = data::random_f32(side * side, 503, 2.0);
+    let mb = data::random_f32(side * side, 504, 2.0);
+    let mc = data::random_f32(side * side, 505, 2.0);
+
+    let run_sum = |mode: ExecMode| -> Result<(Vec<f32>, f64, u64, u64), ComputeError> {
+        let mut cc = ComputeContext::new(256, 256)?;
+        cc.set_exec_mode(mode);
+        cc.set_dispatch(Dispatch::Serial);
+        let ga = cc.upload(&a)?;
+        let gb = cc.upload(&b)?;
+        let k = gpes_kernels::sum::build_f32(&mut cc, &ga, &gb)?;
+        let start = Instant::now();
+        let out = cc.run_f32(&k)?;
+        let elapsed = start.elapsed().as_secs_f64();
+        let stats = cc.stats();
+        Ok((
+            out,
+            n as f64 / elapsed,
+            stats.spmd_batches,
+            stats.scalar_fallbacks,
+        ))
+    };
+    let run_gemm = |mode: ExecMode| -> Result<(Vec<f32>, f64, u64, u64), ComputeError> {
+        let mut cc = ComputeContext::new(64, 64)?;
+        cc.set_exec_mode(mode);
+        cc.set_dispatch(Dispatch::Serial);
+        let ga = cc.upload_matrix(side as u32, side as u32, &ma)?;
+        let gb = cc.upload_matrix(side as u32, side as u32, &mb)?;
+        let gc = cc.upload_matrix(side as u32, side as u32, &mc)?;
+        let k = gpes_kernels::sgemm::build_f32(&mut cc, &ga, &gb, &gc, 1.0, 0.5)?;
+        let start = Instant::now();
+        let out = cc.run_f32(&k)?;
+        let elapsed = start.elapsed().as_secs_f64();
+        let stats = cc.stats();
+        Ok((
+            out,
+            (side * side) as f64 / elapsed,
+            stats.spmd_batches,
+            stats.scalar_fallbacks,
+        ))
+    };
+
+    type KernelRun<'r> = &'r dyn Fn(ExecMode) -> Result<(Vec<f32>, f64, u64, u64), ComputeError>;
+    let mut vm = Vec::new();
+    let kernels: [(&'static str, KernelRun); 2] =
+        [("sum (fp)", &run_sum), ("sgemm (fp)", &run_gemm)];
+    let mut scalar_rates = Vec::new();
+    let mut spmd_rates: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    for (kernel, run) in kernels {
+        let (oracle, _, _, _) = run(ExecMode::TreeWalker)?;
+        for (mi, mode) in MODES.into_iter().enumerate() {
+            let (out, rate, spmd_batches, scalar_fallbacks) = run(mode)?;
+            vm.push(A15VmRow {
+                kernel,
+                mode,
+                fragments_per_s: rate,
+                identical: out == oracle,
+                spmd_batches,
+                scalar_fallbacks,
+            });
+            match mi {
+                0 => scalar_rates.push(rate),
+                i => spmd_rates[i - 1].push(rate),
+            }
+        }
+    }
+    let mix: Vec<(ExecMode, f64)> = MODES[1..]
+        .iter()
+        .zip(&spmd_rates)
+        .map(|(&mode, rates)| {
+            let logsum: f64 = rates
+                .iter()
+                .zip(&scalar_rates)
+                .map(|(r, s)| (r / s).ln())
+                .sum();
+            (mode, (logsum / rates.len() as f64).exp())
+        })
+        .collect();
+
+    // --- Codec hot paths: element-at-a-time vs vectorised slice ---------
+    let reps = 32usize;
+    let floats = data::random_f32(n, 511, 1.0e9);
+    let shorts: Vec<u16> = data::random_u32(n, 512, u16::MAX as u32 + 1)
+        .into_iter()
+        .map(|v| v as u16)
+        .collect();
+    let mut codec = Vec::new();
+
+    // float32: one value per RGBA texel, both directions.
+    let start = Instant::now();
+    for _ in 0..reps {
+        let bytes: Vec<u8> = floats.iter().flat_map(|&v| float32::encode(v)).collect();
+        let back: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|px| float32::decode([px[0], px[1], px[2], px[3]]))
+            .collect();
+        std::hint::black_box(back);
+    }
+    codec.push(A15CodecRow {
+        codec: "float32",
+        path: "element",
+        texels_per_s: (reps * n) as f64 / start.elapsed().as_secs_f64(),
+    });
+    let start = Instant::now();
+    for _ in 0..reps {
+        let bytes = float32::encode_slice(&floats, n);
+        std::hint::black_box(float32::decode_slice(&bytes, n));
+    }
+    codec.push(A15CodecRow {
+        codec: "float32",
+        path: "slice",
+        texels_per_s: (reps * n) as f64 / start.elapsed().as_secs_f64(),
+    });
+
+    // u16: one value per (L, A) texel up, (R, A) gather back.
+    let fb: Vec<u8> = shorts
+        .iter()
+        .flat_map(|&v| {
+            let [lo, hi] = v.to_le_bytes();
+            [lo, 0, 0, hi]
+        })
+        .collect();
+    let start = Instant::now();
+    for _ in 0..reps {
+        let bytes: Vec<u8> = shorts.iter().flat_map(|&v| ushort::encode(v)).collect();
+        std::hint::black_box(bytes);
+        let back: Vec<u16> = fb
+            .chunks_exact(4)
+            .map(|px| ushort::decode([px[0], px[3]]))
+            .collect();
+        std::hint::black_box(back);
+    }
+    codec.push(A15CodecRow {
+        codec: "u16",
+        path: "element",
+        texels_per_s: (reps * n) as f64 / start.elapsed().as_secs_f64(),
+    });
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(ushort::encode_slice(&shorts, n));
+        std::hint::black_box(ushort::decode_slice(&fb, n));
+    }
+    codec.push(A15CodecRow {
+        codec: "u16",
+        path: "slice",
+        texels_per_s: (reps * n) as f64 / start.elapsed().as_secs_f64(),
+    });
+
+    // --- Served wave under Spmd{8} --------------------------------------
+    use gpes_core::{Bindings, Engine, Job};
+    use std::sync::Arc;
+    let specs = a10_specs(n);
+    let x: Arc<Vec<f32>> = Arc::new(data::random_f32(n, 521, 25.0));
+    let y: Arc<Vec<f32>> = Arc::new(data::random_f32(n, 522, 25.0));
+    let mut cc = ComputeContext::new(256, 256)?;
+    cc.set_exec_mode(ExecMode::Scalar);
+    let gx = cc.upload(x.as_slice())?;
+    let gy = cc.upload(y.as_slice())?;
+    let mut expected: Vec<Vec<f32>> = Vec::new();
+    for spec in &specs {
+        let k = spec.build(&mut cc, &[gx, gy])?;
+        let out: gpes_core::GpuArray<f32> = cc.run_to_array_with(&k, &Bindings::new())?;
+        expected.push(cc.read_array(&out, Readback::DirectFbo)?);
+        cc.recycle_array(out);
+    }
+    let engine = Engine::builder()
+        .workers(2)
+        .exec_mode(ExecMode::Spmd { lanes: 8 })
+        .build()?;
+    let handles: Vec<_> = (0..jobs)
+        .map(|i| {
+            engine.submit(
+                Job::new(&specs[i % specs.len()])
+                    .data_shared(&x)
+                    .data_shared(&y),
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let mut serve_identical = true;
+    for (i, h) in handles.into_iter().enumerate() {
+        serve_identical &= h.wait()? == expected[i % specs.len()];
+    }
+    let snapshot = engine.snapshot();
+    engine.shutdown();
+
+    Ok(A15Report {
+        vm,
+        mix,
+        codec,
+        serve_exec_mode: snapshot.exec_mode.clone(),
+        serve_jobs: jobs,
+        serve_identical,
+        serve_balanced: snapshot.counters_balanced(),
+        serve_spmd_batches: snapshot.context.spmd_batches,
+        serve_scalar_fallbacks: snapshot.context.scalar_fallbacks,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2550,6 +2890,26 @@ mod tests {
         }
         // The retained srad loop compiles exactly its two kernels.
         assert_eq!(rows[1].programs_linked, 2);
+    }
+
+    #[test]
+    fn a15_spmd_is_identical_and_actually_batches() {
+        let report = a15_spmd(512, 12).expect("a15");
+        assert_eq!(report.vm.len(), 6);
+        assert!(report.identical(), "{}", report.format());
+        assert!(report.batches_consistent(), "{}", report.format());
+        for row in &report.vm {
+            assert!(row.fragments_per_s > 0.0, "{}", report.format());
+        }
+        assert_eq!(report.mix.len(), 2);
+        assert_eq!(report.codec.len(), 4);
+        for row in &report.codec {
+            assert!(row.texels_per_s > 0.0, "{}", report.format());
+        }
+        assert!(report.serve_identical, "{}", report.format());
+        assert!(report.serve_balanced, "{}", report.format());
+        assert!(report.serve_spmd_batches > 0, "{}", report.format());
+        assert_eq!(report.serve_exec_mode, "spmd8", "{}", report.format());
     }
 
     #[test]

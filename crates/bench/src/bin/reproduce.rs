@@ -258,6 +258,22 @@ fn run_a14() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn run_a15() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A15: SPMD lane VM — scalar vs spmd4 vs spmd8, codec slice paths");
+    let report = ablations::a15_spmd(1 << 13, 48)?;
+    println!("{}", report.format());
+    println!();
+    println!("the SPMD VM shades band fragments in lockstep lanes over one");
+    println!("shared bytecode walk, with masked divergence for branches and");
+    println!("discard; outputs are bit-identical to the scalar VM and the");
+    println!("tree-walker (gated above and by the differential suites). The");
+    println!("codec rows compare the old per-value encode/decode loops with");
+    println!("the single-pass slice paths the buffers now call. CI gates on");
+    println!("the identical/balanced/spmd_batches columns; throughput and");
+    println!("speedup numbers are advisory on shared single-core CI hosts.");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     match what.as_str() {
@@ -279,6 +295,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "a12" => run_a12()?,
         "a13" => run_a13()?,
         "a14" => run_a14()?,
+        "a15" => run_a15()?,
         "all" => {
             run_e1()?;
             run_sweep()?;
@@ -298,10 +315,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run_a12()?;
             run_a13()?;
             run_a14()?;
+            run_a15()?;
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|a9|a10|a11|a12|a13|a14|all"
+                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|a9|a10|a11|a12|a13|a14|a15|all"
             );
             std::process::exit(2);
         }

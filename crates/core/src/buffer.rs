@@ -47,13 +47,11 @@ impl GpuScalar for u8 {
     const SCALAR: ScalarType = ScalarType::U8;
 
     fn encode_texels(data: &[Self], texel_count: usize) -> Vec<u8> {
-        let mut out = data.to_vec();
-        out.resize(texel_count, 0);
-        out
+        codec::ubyte::encode_slice(data, texel_count)
     }
 
     fn decode_framebuffer(bytes: &[u8], len: usize) -> Vec<Self> {
-        bytes.chunks_exact(4).take(len).map(|px| px[0]).collect()
+        codec::ubyte::decode_slice(bytes, len)
     }
 }
 
@@ -61,17 +59,11 @@ impl GpuScalar for i8 {
     const SCALAR: ScalarType = ScalarType::I8;
 
     fn encode_texels(data: &[Self], texel_count: usize) -> Vec<u8> {
-        let mut out: Vec<u8> = data.iter().map(|&v| codec::sbyte::encode(v)).collect();
-        out.resize(texel_count, 0);
-        out
+        codec::sbyte::encode_slice(data, texel_count)
     }
 
     fn decode_framebuffer(bytes: &[u8], len: usize) -> Vec<Self> {
-        bytes
-            .chunks_exact(4)
-            .take(len)
-            .map(|px| codec::sbyte::decode(px[0]))
-            .collect()
+        codec::sbyte::decode_slice(bytes, len)
     }
 }
 
@@ -79,20 +71,11 @@ impl GpuScalar for u16 {
     const SCALAR: ScalarType = ScalarType::U16;
 
     fn encode_texels(data: &[Self], texel_count: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(texel_count * 2);
-        for &v in data {
-            out.extend_from_slice(&codec::ushort::encode(v));
-        }
-        out.resize(texel_count * 2, 0);
-        out
+        codec::ushort::encode_slice(data, texel_count)
     }
 
     fn decode_framebuffer(bytes: &[u8], len: usize) -> Vec<Self> {
-        bytes
-            .chunks_exact(4)
-            .take(len)
-            .map(|px| codec::ushort::decode([px[0], px[3]]))
-            .collect()
+        codec::ushort::decode_slice(bytes, len)
     }
 
     fn tex_format() -> TexFormat {
@@ -104,20 +87,11 @@ impl GpuScalar for i16 {
     const SCALAR: ScalarType = ScalarType::I16;
 
     fn encode_texels(data: &[Self], texel_count: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(texel_count * 2);
-        for &v in data {
-            out.extend_from_slice(&codec::sshort::encode(v));
-        }
-        out.resize(texel_count * 2, 0);
-        out
+        codec::sshort::encode_slice(data, texel_count)
     }
 
     fn decode_framebuffer(bytes: &[u8], len: usize) -> Vec<Self> {
-        bytes
-            .chunks_exact(4)
-            .take(len)
-            .map(|px| codec::sshort::decode([px[0], px[3]]))
-            .collect()
+        codec::sshort::decode_slice(bytes, len)
     }
 
     fn tex_format() -> TexFormat {
@@ -129,20 +103,11 @@ impl GpuScalar for u32 {
     const SCALAR: ScalarType = ScalarType::U32;
 
     fn encode_texels(data: &[Self], texel_count: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(texel_count * 4);
-        for &v in data {
-            out.extend_from_slice(&codec::uint::encode(v));
-        }
-        out.resize(texel_count * 4, 0);
-        out
+        codec::uint::encode_slice(data, texel_count)
     }
 
     fn decode_framebuffer(bytes: &[u8], len: usize) -> Vec<Self> {
-        bytes
-            .chunks_exact(4)
-            .take(len)
-            .map(|px| codec::uint::decode([px[0], px[1], px[2], px[3]]))
-            .collect()
+        codec::uint::decode_slice(bytes, len)
     }
 }
 
@@ -150,20 +115,11 @@ impl GpuScalar for i32 {
     const SCALAR: ScalarType = ScalarType::I32;
 
     fn encode_texels(data: &[Self], texel_count: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(texel_count * 4);
-        for &v in data {
-            out.extend_from_slice(&codec::sint::encode(v));
-        }
-        out.resize(texel_count * 4, 0);
-        out
+        codec::sint::encode_slice(data, texel_count)
     }
 
     fn decode_framebuffer(bytes: &[u8], len: usize) -> Vec<Self> {
-        bytes
-            .chunks_exact(4)
-            .take(len)
-            .map(|px| codec::sint::decode([px[0], px[1], px[2], px[3]]))
-            .collect()
+        codec::sint::decode_slice(bytes, len)
     }
 }
 
@@ -171,20 +127,11 @@ impl GpuScalar for f32 {
     const SCALAR: ScalarType = ScalarType::F32;
 
     fn encode_texels(data: &[Self], texel_count: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(texel_count * 4);
-        for &v in data {
-            out.extend_from_slice(&codec::float32::encode(v));
-        }
-        out.resize(texel_count * 4, 0);
-        out
+        codec::float32::encode_slice(data, texel_count)
     }
 
     fn decode_framebuffer(bytes: &[u8], len: usize) -> Vec<Self> {
-        bytes
-            .chunks_exact(4)
-            .take(len)
-            .map(|px| codec::float32::decode([px[0], px[1], px[2], px[3]]))
-            .collect()
+        codec::float32::decode_slice(bytes, len)
     }
 }
 

@@ -48,6 +48,32 @@ pub fn decode(bytes: [u8; 4]) -> f32 {
     f32::from_bits(unrotate_bits(u32::from_le_bytes(bytes)))
 }
 
+/// Slice-level upload encode: `values` into `4·texel_count` RGBA bytes,
+/// zero-padded. This is the hot path touched by every float upload; the
+/// single preallocated pass over branch-free bit rotations is what the
+/// autovectoriser needs to emit SIMD (the per-element [`encode`] inside
+/// a `Vec::extend` loop defeats it).
+pub fn encode_slice(values: &[f32], texel_count: usize) -> Vec<u8> {
+    let mut out = vec![0u8; texel_count * 4];
+    for (px, &v) in out.chunks_exact_mut(4).zip(values) {
+        px.copy_from_slice(&rotate_bits(v.to_bits()).to_le_bytes());
+    }
+    out
+}
+
+/// Slice-level readback decode: `len` floats from RGBA8 framebuffer
+/// bytes. Counterpart of [`encode_slice`]; bit-identical to mapping
+/// [`decode`] over texels.
+pub fn decode_slice(bytes: &[u8], len: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; len.min(bytes.len() / 4)];
+    for (v, px) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        *v = f32::from_bits(unrotate_bits(u32::from_le_bytes([
+            px[0], px[1], px[2], px[3],
+        ])));
+    }
+    out
+}
+
 /// GLSL pack/unpack for `float` values carried in a full texel.
 pub fn glsl(specials: FloatSpecials) -> String {
     let unpack_specials = match specials {
@@ -269,6 +295,21 @@ mod tests {
         assert_eq!(encode(1.0), [0, 0, 0, 127]);
         // -2.0 = s=1, e=128, m=0 → b2 carries the sign bit.
         assert_eq!(encode(-2.0), [0, 0, 128, 128]);
+    }
+
+    #[test]
+    fn slice_paths_match_per_element() {
+        let enc = encode_slice(SAMPLES, SAMPLES.len() + 2);
+        assert_eq!(enc.len(), (SAMPLES.len() + 2) * 4);
+        for (i, &v) in SAMPLES.iter().enumerate() {
+            assert_eq!(&enc[i * 4..i * 4 + 4], &encode(v));
+        }
+        assert_eq!(&enc[SAMPLES.len() * 4..], &[0u8; 8]);
+        let dec = decode_slice(&enc, SAMPLES.len());
+        assert_eq!(dec.len(), SAMPLES.len());
+        for (d, &v) in dec.iter().zip(SAMPLES) {
+            assert_eq!(d.to_bits(), v.to_bits());
+        }
     }
 
     #[test]

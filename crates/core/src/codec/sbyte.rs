@@ -28,6 +28,26 @@ pub fn decode(b: u8) -> i8 {
     b as i8
 }
 
+/// Slice-level upload encode: two's-complement bytes unchanged (a cast
+/// copy), zero-padded to `texel_count` single-byte texels.
+pub fn encode_slice(values: &[i8], texel_count: usize) -> Vec<u8> {
+    let mut out = vec![0u8; texel_count];
+    for (dst, &v) in out.iter_mut().zip(values) {
+        *dst = v as u8;
+    }
+    out
+}
+
+/// Slice-level readback decode: gathers `len` R-channel bytes out of
+/// RGBA8 framebuffer pixels in one pass.
+pub fn decode_slice(bytes: &[u8], len: usize) -> Vec<i8> {
+    let mut out = vec![0i8; len.min(bytes.len() / 4)];
+    for (v, px) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        *v = px[0] as i8;
+    }
+    out
+}
+
 /// Rust mirror of the shader unpack: texel byte → signed value in
 /// [−128, 127] as a float.
 #[inline]

@@ -59,6 +59,25 @@ pub fn decode(bytes: [u8; 4]) -> i32 {
     i32::from_le_bytes(bytes)
 }
 
+/// Slice-level upload encode: two's-complement little-endian words into
+/// RGBA texels, zero-padded to `texel_count` — one preallocated pass.
+pub fn encode_slice(values: &[i32], texel_count: usize) -> Vec<u8> {
+    let mut out = vec![0u8; texel_count * 4];
+    for (px, &v) in out.chunks_exact_mut(4).zip(values) {
+        px.copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Slice-level readback decode: `len` words from RGBA8 framebuffer bytes.
+pub fn decode_slice(bytes: &[u8], len: usize) -> Vec<i32> {
+    let mut out = vec![0i32; len.min(bytes.len() / 4)];
+    for (v, px) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        *v = i32::from_le_bytes([px[0], px[1], px[2], px[3]]);
+    }
+    out
+}
+
 /// Whether `v` survives the fp32 shader path exactly.
 #[inline]
 pub fn is_exact(v: i32) -> bool {

@@ -40,6 +40,26 @@ pub fn decode(bytes: [u8; 2]) -> i16 {
     i16::from_le_bytes(bytes)
 }
 
+/// Slice-level upload encode: native two's-complement little-endian byte
+/// pairs into `(L, A)` texels, zero-padded to `texel_count`.
+pub fn encode_slice(values: &[i16], texel_count: usize) -> Vec<u8> {
+    let mut out = vec![0u8; texel_count * 2];
+    for (dst, &v) in out.chunks_exact_mut(2).zip(values) {
+        dst.copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Slice-level readback decode: `len` values from RGBA8 framebuffer
+/// pixels carrying the byte pair in `(R, A)`.
+pub fn decode_slice(bytes: &[u8], len: usize) -> Vec<i16> {
+    let mut out = vec![0i16; len.min(bytes.len() / 4)];
+    for (v, px) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        *v = i16::from_le_bytes([px[0], px[3]]);
+    }
+    out
+}
+
 /// Rust mirror of the shader unpack.
 #[inline]
 pub fn mirror_unpack(bytes: [u8; 2]) -> f32 {

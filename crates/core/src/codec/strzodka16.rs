@@ -105,30 +105,25 @@ pub fn decode_i16(bytes: [u8; 2]) -> i16 {
 
 /// Packs a slice of `u16` values two per RGBA8 texel (RG then BA),
 /// zero-padded to `texel_count` texels.
+///
+/// Slice-level hot path: a preallocated single pass of branch-free byte
+/// splits (2 bytes out per value) that the autovectoriser can widen,
+/// instead of growing a `Vec` pair by pair.
 pub fn encode_texels(values: &[u16], texel_count: usize) -> Vec<u8> {
-    let mut out = Vec::with_capacity(texel_count * 4);
-    for pair in values.chunks(2) {
-        let a = encode_u16(pair[0]);
-        let b = encode_u16(pair.get(1).copied().unwrap_or(0));
-        out.extend_from_slice(&[a[0], a[1], b[0], b[1]]);
+    let mut out = vec![0u8; texel_count * 4];
+    for (dst, &v) in out.chunks_exact_mut(2).zip(values) {
+        dst.copy_from_slice(&encode_u16(v));
     }
-    out.resize(texel_count * 4, 0);
     out
 }
 
 /// Recovers `len` values from RGBA8 texel bytes written by
 /// [`encode_texels`] (or by a shader through `gpes_v16_pack`).
 pub fn decode_texels(bytes: &[u8], len: usize) -> Vec<u16> {
-    let mut out = Vec::with_capacity(len);
-    for px in bytes.chunks_exact(4) {
-        if out.len() < len {
-            out.push(decode_u16([px[0], px[1]]));
-        }
-        if out.len() < len {
-            out.push(decode_u16([px[2], px[3]]));
-        }
+    let mut out = vec![0u16; len.min(bytes.len() / 2)];
+    for (v, src) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+        *v = decode_u16([src[0], src[1]]);
     }
-    out.truncate(len);
     out
 }
 

@@ -23,6 +23,25 @@ pub fn decode(b: u8) -> u8 {
     b
 }
 
+/// Slice-level upload encode: the identity `memcpy`, zero-padded to
+/// `texel_count` single-byte texels.
+pub fn encode_slice(values: &[u8], texel_count: usize) -> Vec<u8> {
+    let mut out = vec![0u8; texel_count];
+    let n = values.len().min(texel_count);
+    out[..n].copy_from_slice(&values[..n]);
+    out
+}
+
+/// Slice-level readback decode: gathers `len` R-channel bytes out of
+/// RGBA8 framebuffer pixels in one pass.
+pub fn decode_slice(bytes: &[u8], len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; len.min(bytes.len() / 4)];
+    for (v, px) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        *v = px[0];
+    }
+    out
+}
+
 /// Rust mirror of the shader unpack: texel byte → the value the kernel
 /// sees (a float holding 0..=255).
 #[inline]

@@ -44,6 +44,26 @@ pub fn decode(bytes: [u8; 4]) -> u32 {
     u32::from_le_bytes(bytes)
 }
 
+/// Slice-level upload encode: little-endian words straight into RGBA
+/// texels (the §IV "plain memcpy" claim, done as one preallocated pass),
+/// zero-padded to `texel_count`.
+pub fn encode_slice(values: &[u32], texel_count: usize) -> Vec<u8> {
+    let mut out = vec![0u8; texel_count * 4];
+    for (px, &v) in out.chunks_exact_mut(4).zip(values) {
+        px.copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Slice-level readback decode: `len` words from RGBA8 framebuffer bytes.
+pub fn decode_slice(bytes: &[u8], len: usize) -> Vec<u32> {
+    let mut out = vec![0u32; len.min(bytes.len() / 4)];
+    for (v, px) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        *v = u32::from_le_bytes([px[0], px[1], px[2], px[3]]);
+    }
+    out
+}
+
 /// Whether `v` survives the fp32 shader path exactly.
 #[inline]
 pub fn is_exact(v: u32) -> bool {

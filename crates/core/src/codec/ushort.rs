@@ -41,6 +41,26 @@ pub fn decode(bytes: [u8; 2]) -> u16 {
     u16::from_le_bytes(bytes)
 }
 
+/// Slice-level upload encode: little-endian byte pairs into `(L, A)`
+/// texels, zero-padded to `texel_count` — one preallocated pass.
+pub fn encode_slice(values: &[u16], texel_count: usize) -> Vec<u8> {
+    let mut out = vec![0u8; texel_count * 2];
+    for (dst, &v) in out.chunks_exact_mut(2).zip(values) {
+        dst.copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Slice-level readback decode: `len` values from RGBA8 framebuffer
+/// pixels carrying the byte pair in `(R, A)`.
+pub fn decode_slice(bytes: &[u8], len: usize) -> Vec<u16> {
+    let mut out = vec![0u16; len.min(bytes.len() / 4)];
+    for (v, px) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        *v = u16::from_le_bytes([px[0], px[3]]);
+    }
+    out
+}
+
 /// Rust mirror of the shader unpack (fp32 arithmetic, like the GPU).
 #[inline]
 pub fn mirror_unpack(bytes: [u8; 2]) -> f32 {

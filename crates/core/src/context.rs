@@ -11,8 +11,10 @@ use crate::geometry::{self, FULLSCREEN_QUAD, FULLSCREEN_QUAD_VERTICES, POSITION_
 use crate::kernel::Kernel;
 use crate::kernel::OutputKind;
 use crate::pipeline::{PassRecord, Readback};
+#[allow(deprecated)]
+use gpes_gles2::Executor;
 use gpes_gles2::{
-    Context, Dispatch, DrawStats, Executor, Filter, FramebufferId, PrimitiveMode, ProgramId,
+    Context, Dispatch, DrawStats, ExecMode, Filter, FramebufferId, PrimitiveMode, ProgramId,
     TexFormat, TextureId, Wrap,
 };
 use gpes_glsl::exec::FloatModel;
@@ -44,6 +46,14 @@ pub struct ContextStats {
     pub texture_pool_hits: u64,
     /// Textures returned to the pool via the `recycle_*` family.
     pub textures_recycled: u64,
+    /// SPMD fragment batches dispatched across all draws. Zero under the
+    /// scalar executors; the CI gate asserts it is positive whenever
+    /// [`ExecMode::Spmd`] is selected, proving the lane path really ran.
+    pub spmd_batches: u64,
+    /// SPMD batches replayed scalar-style after a lane trap, plus draws
+    /// that fell back to a scalar executor (lowerer rejected the shader,
+    /// or the vertex stage, which is always scalar under `Spmd`).
+    pub scalar_fallbacks: u64,
 }
 
 impl ContextStats {
@@ -64,6 +74,8 @@ impl ContextStats {
             textures_created: self.textures_created + other.textures_created,
             texture_pool_hits: self.texture_pool_hits + other.texture_pool_hits,
             textures_recycled: self.textures_recycled + other.textures_recycled,
+            spmd_batches: self.spmd_batches + other.spmd_batches,
+            scalar_fallbacks: self.scalar_fallbacks + other.scalar_fallbacks,
         }
     }
 }
@@ -268,12 +280,24 @@ impl ComputeContext {
         self.gl.set_dispatch(dispatch);
     }
 
-    /// Selects the shader executor: the slot-addressed bytecode VM
-    /// (default) or the tree-walking interpreter retained as the
-    /// differential-testing oracle. Both are bit-identical in outputs
-    /// and op profiles.
+    /// Selects the shader execution mode: the SPMD lane VM (default),
+    /// the scalar bytecode VM, or the tree-walking interpreter retained
+    /// as the differential-testing oracle. All three are bit-identical
+    /// in outputs and op profiles.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.gl.set_exec_mode(mode);
+    }
+
+    /// The current shader execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.gl.exec_mode()
+    }
+
+    /// Selects the shader executor.
+    #[deprecated(note = "use `set_exec_mode(ExecMode)`")]
+    #[allow(deprecated)]
     pub fn set_executor(&mut self, executor: Executor) {
-        self.gl.set_executor(executor);
+        self.gl.set_exec_mode(executor.into());
     }
 
     /// Maximum texture side length supported by the driver.
@@ -670,6 +694,7 @@ impl ComputeContext {
         let stats = self
             .gl
             .draw_arrays(PrimitiveMode::Triangles, 0, FULLSCREEN_QUAD_VERTICES)?;
+        self.note_draw(&stats);
         self.pass_log.push(PassRecord {
             kernel: kernel.name.clone(),
             stats,
@@ -1011,6 +1036,7 @@ impl ComputeContext {
                 let stats =
                     self.gl
                         .draw_arrays(PrimitiveMode::Triangles, 0, FULLSCREEN_QUAD_VERTICES)?;
+                self.note_draw(&stats);
                 self.pass_log.push(PassRecord {
                     kernel: "gpes.copy".into(),
                     stats,
@@ -1040,9 +1066,16 @@ impl ComputeContext {
         self.gl.default_size()
     }
 
+    /// Folds one draw's executor counters into the context-lifetime stats.
+    fn note_draw(&mut self, stats: &DrawStats) {
+        self.stats.spmd_batches += stats.spmd_batches;
+        self.stats.scalar_fallbacks += stats.scalar_fallbacks;
+    }
+
     /// Records a pass executed outside the fragment-kernel dispatcher
     /// (used by the vertex-compute path).
     pub(crate) fn record_pass(&mut self, kernel: &str, stats: DrawStats, output_texels: u64) {
+        self.note_draw(&stats);
         self.pass_log.push(PassRecord {
             kernel: kernel.to_owned(),
             stats,

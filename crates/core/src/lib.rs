@@ -59,6 +59,8 @@ pub use cache::{SharedCacheStats, SharedProgramCache};
 pub use codec::{FloatSpecials, PackBias, ScalarType};
 pub use context::{ComputeContext, ContextStats};
 pub use error::{AdmissionStage, ComputeError, QuotaResource};
+pub use gpes_gles2::ExecMode;
+#[allow(deprecated)]
 pub use gpes_gles2::Executor;
 pub use kernel::{InputEncoding, Kernel, KernelBuilder, OutputKind, OutputShape};
 pub use multi_output::{MultiOutputBuilder, MultiOutputKernel};

@@ -270,6 +270,12 @@ pub struct EngineSnapshot {
     /// ever tenant-tagged. Tenant-tagged rejections also count into the
     /// global `rejected`, so the balance identity is unaffected.
     pub tenants: Vec<super::TenantCounters>,
+    /// Resolved shader execution mode of the worker contexts, as the
+    /// compact [`gpes_gles2::ExecMode::label`] (`tree`, `scalar`,
+    /// `spmdN`). Paired with [`ContextStats::spmd_batches`] this lets the
+    /// CI gate assert the SPMD path actually ran, not just that outputs
+    /// matched.
+    pub exec_mode: String,
 }
 
 impl EngineSnapshot {

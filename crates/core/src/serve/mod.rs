@@ -108,7 +108,7 @@ use crate::error::ComputeError;
 use crate::kernel::{Kernel, OutputShape};
 use crate::pipeline::{Pass, Pipeline, Readback, SourceSeed};
 use crate::Bindings;
-use gpes_gles2::{Dispatch, FaultPlan, Limits};
+use gpes_gles2::{Dispatch, ExecMode, FaultPlan, Limits};
 use gpes_glsl::Value;
 use metrics::{lock_recover, wait_recover, EngineMetrics};
 use std::collections::hash_map::DefaultHasher;

@@ -614,6 +614,7 @@ pub struct EngineBuilder {
     height: u32,
     limits: Option<Limits>,
     dispatch: Option<Dispatch>,
+    exec_mode: Option<ExecMode>,
     cache_policy: CachePolicy,
     cache: Option<Arc<SharedProgramCache>>,
     queue_capacity: usize,
@@ -654,6 +655,15 @@ impl EngineBuilder {
     /// serving down.
     pub fn dispatch(mut self, dispatch: Dispatch) -> Self {
         self.dispatch = Some(dispatch);
+        self
+    }
+
+    /// Shader execution mode for every worker context. Defaults to the
+    /// `GPES_EXECUTOR` environment override when set, otherwise
+    /// [`ExecMode::default`] (the SPMD lane VM). The resolved choice is
+    /// reported back through [`EngineSnapshot::exec_mode`].
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = Some(mode);
         self
     }
 
@@ -765,12 +775,17 @@ impl EngineBuilder {
             .dispatch
             .or_else(Dispatch::from_env)
             .unwrap_or(Dispatch::Serial);
+        let exec_mode = self
+            .exec_mode
+            .or_else(ExecMode::from_env)
+            .unwrap_or_default();
         let limits = self.limits.clone().unwrap_or_default();
         let config = WorkerConfig {
             width: self.width,
             height: self.height,
             limits: self.limits,
             dispatch,
+            exec_mode,
             cache: cache.clone(),
             fault_plan: self.fault_plan,
             retry: self.retry,
@@ -821,6 +836,7 @@ impl EngineBuilder {
             resident_stats,
             submit_timeout: self.submit_timeout,
             limits,
+            exec_mode,
         })
     }
 }
@@ -838,6 +854,8 @@ pub struct Engine {
     /// Resolved driver limits of the worker contexts — what the
     /// registry's admission pipeline validates output shapes against.
     pub(crate) limits: Limits,
+    /// Resolved shader execution mode of every worker context.
+    pub(crate) exec_mode: ExecMode,
 }
 
 impl Engine {
@@ -849,6 +867,7 @@ impl Engine {
             height: 256,
             limits: None,
             dispatch: None,
+            exec_mode: None,
             cache_policy: CachePolicy::default(),
             cache: None,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
@@ -943,6 +962,7 @@ impl Engine {
             residents,
             shared_cache: self.cache.as_ref().map(|c| c.stats()),
             tenants: self.shared.tenants.snapshot(),
+            exec_mode: self.exec_mode.label(),
         }
     }
 

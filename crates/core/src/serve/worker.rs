@@ -11,6 +11,7 @@ pub(crate) struct WorkerConfig {
     pub(crate) height: u32,
     pub(crate) limits: Option<Limits>,
     pub(crate) dispatch: Dispatch,
+    pub(crate) exec_mode: ExecMode,
     pub(crate) cache: Option<Arc<SharedProgramCache>>,
     pub(crate) fault_plan: Option<FaultPlan>,
     pub(crate) retry: RetryPolicy,
@@ -34,6 +35,7 @@ impl WorkerConfig {
             None => ComputeContext::new(self.width, self.height)?,
         };
         cc.set_dispatch(self.dispatch);
+        cc.set_exec_mode(self.exec_mode);
         if let Some(cache) = &self.cache {
             cc.set_shared_program_cache(Arc::clone(cache));
         }

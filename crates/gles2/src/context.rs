@@ -7,8 +7,10 @@ use crate::framebuffer::{DefaultFramebuffer, Framebuffer};
 use crate::handles::{FramebufferId, ProgramId, TextureId};
 use crate::limits::{shader_precision_format, Extensions, Limits, PrecisionFormat};
 use crate::program::Program;
+#[allow(deprecated)]
+use crate::raster::Executor;
 use crate::raster::{
-    self, AttribArray, Bindings, Dispatch, DrawStats, Executor, PrimitiveMode, RasterConfig,
+    self, AttribArray, Bindings, Dispatch, DrawStats, ExecMode, PrimitiveMode, RasterConfig,
     TargetImage,
 };
 use crate::texture::{Filter, TexFormat, Texture, Wrap};
@@ -61,7 +63,7 @@ pub struct Context {
     float_model: FloatModel,
     dispatch: Dispatch,
     exec_limits: ExecLimits,
-    executor: Executor,
+    exec_mode: ExecMode,
     limits: Limits,
     extensions: Extensions,
     strict_shaders: bool,
@@ -122,7 +124,9 @@ impl Context {
             // banded-parallel without per-test plumbing.
             dispatch: Dispatch::from_env().unwrap_or_default(),
             exec_limits: ExecLimits::default(),
-            executor: Executor::default(),
+            // `GPES_EXECUTOR` mirrors `GPES_DISPATCH`: the CI matrix pins
+            // the executor without per-test plumbing.
+            exec_mode: ExecMode::from_env().unwrap_or_default(),
             limits,
             extensions: Extensions::default(),
             strict_shaders: false,
@@ -205,16 +209,34 @@ impl Context {
         self.dispatch = dispatch;
     }
 
-    /// Selects the shader executor (bytecode VM by default; the
-    /// tree-walking interpreter remains available as the reference
-    /// oracle for differential testing).
-    pub fn set_executor(&mut self, executor: Executor) {
-        self.executor = executor;
+    /// Selects the shader execution mode (SPMD lane VM by default; the
+    /// scalar VM and tree-walking interpreter remain available as
+    /// reference oracles for differential testing).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
     }
 
-    /// The current shader executor selection.
+    /// The current shader execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Selects the shader executor.
+    #[deprecated(note = "use `set_exec_mode(ExecMode)`")]
+    #[allow(deprecated)]
+    pub fn set_executor(&mut self, executor: Executor) {
+        self.exec_mode = executor.into();
+    }
+
+    /// The current shader executor selection, collapsed onto the legacy
+    /// two-variant enum (`Spmd` reports as `Bytecode`).
+    #[deprecated(note = "use `exec_mode()`")]
+    #[allow(deprecated)]
     pub fn executor(&self) -> Executor {
-        self.executor
+        match self.exec_mode {
+            ExecMode::TreeWalker => Executor::TreeWalker,
+            _ => Executor::Bytecode,
+        }
     }
 
     /// Replaces shader execution limits (loop budgets).
@@ -853,7 +875,7 @@ impl Context {
             store_rounding: self.store_rounding,
             float_model: self.float_model,
             dispatch: self.dispatch,
-            executor: self.executor,
+            exec_mode: self.exec_mode,
             depth_test: self.depth_test && self.bound_fb.is_none(),
             exec_limits: self.exec_limits,
         };

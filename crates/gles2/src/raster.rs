@@ -22,23 +22,111 @@ use crate::program::Program;
 use crate::texture::Texture;
 use gpes_glsl::exec::{ExecLimits, FloatModel, OpProfile, TextureAccess};
 use gpes_glsl::interp::Interpreter;
+use gpes_glsl::spmd::{SpmdVm, MAX_LANES};
 use gpes_glsl::vm::Vm;
 use gpes_glsl::{Type, Value};
 use std::collections::HashMap;
 
 /// Which shader executor runs the programmable stages.
 ///
-/// Both produce bit-identical results and identical [`OpProfile`]s (the
-/// differential suites assert it); the bytecode VM is the fast default,
-/// the tree-walker is retained as the reference oracle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Executor {
-    /// Slot-addressed bytecode VM ([`gpes_glsl::vm::Vm`]), compiled once
-    /// per linked program.
-    #[default]
-    Bytecode,
+/// All three produce bit-identical results and identical [`OpProfile`]s
+/// (the differential suites assert it across every float model): the
+/// tree-walker is the reference oracle, the scalar VM shades one
+/// fragment per dispatch, and the SPMD VM shades up to
+/// [`gpes_glsl::spmd::MAX_LANES`] band fragments per dispatch with
+/// masked divergence — the default, mirroring how mobile GPUs extract
+/// fragment-stage throughput (QPU-style lane parallelism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
     /// Tree-walking interpreter ([`gpes_glsl::interp::Interpreter`]).
     TreeWalker,
+    /// Slot-addressed scalar bytecode VM ([`gpes_glsl::vm::Vm`]), one
+    /// fragment per dispatch.
+    Scalar,
+    /// SPMD bytecode VM ([`gpes_glsl::spmd::SpmdVm`]): `lanes` fragments
+    /// per dispatch (clamped to `1..=8`). The vertex stage always runs
+    /// scalar — it feeds primitive assembly sequentially.
+    Spmd {
+        /// Fragments shaded per VM dispatch.
+        lanes: u8,
+    },
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        ExecMode::Spmd { lanes: 8 }
+    }
+}
+
+impl ExecMode {
+    /// Reads the `GPES_EXECUTOR` override (mirroring
+    /// [`Dispatch::from_env`]): `tree`/`treewalker`/`interp`,
+    /// `scalar`/`vm`/`bytecode`, `spmd` (8 lanes) or `spmdN` for N
+    /// lanes. Returns `None` when unset or unrecognised.
+    pub fn from_env() -> Option<ExecMode> {
+        Self::parse(std::env::var("GPES_EXECUTOR").ok()?.as_str())
+    }
+
+    fn parse(s: &str) -> Option<ExecMode> {
+        match s {
+            "tree" | "treewalker" | "interp" => Some(ExecMode::TreeWalker),
+            "scalar" | "vm" | "bytecode" => Some(ExecMode::Scalar),
+            "spmd" => Some(ExecMode::Spmd { lanes: 8 }),
+            _ => {
+                let n = s.strip_prefix("spmd")?.parse::<u8>().ok()?;
+                Some(ExecMode::Spmd {
+                    lanes: n.clamp(1, MAX_LANES as u8),
+                })
+            }
+        }
+    }
+
+    /// Lane width: the SPMD lane count, 1 for the scalar executors.
+    pub fn lanes(self) -> u8 {
+        match self {
+            ExecMode::Spmd { lanes } => lanes.clamp(1, MAX_LANES as u8),
+            _ => 1,
+        }
+    }
+
+    /// Stable compact label (`tree`, `scalar`, `spmdN`) for stats
+    /// snapshots and benchmark rows.
+    pub fn label(self) -> String {
+        match self {
+            ExecMode::TreeWalker => "tree".into(),
+            ExecMode::Scalar => "scalar".into(),
+            ExecMode::Spmd { lanes } => format!("spmd{lanes}"),
+        }
+    }
+}
+
+/// Legacy two-variant executor selection, superseded by [`ExecMode`].
+#[deprecated(note = "use `ExecMode` (TreeWalker / Scalar / Spmd { lanes })")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// Slot-addressed bytecode VM; maps to [`ExecMode::Scalar`].
+    Bytecode,
+    /// Tree-walking interpreter; maps to [`ExecMode::TreeWalker`].
+    TreeWalker,
+}
+
+// Not `#[derive(Default)]`: the derive expansion on a deprecated enum
+// trips `useless_deprecated`/deprecation warnings.
+#[allow(deprecated, clippy::derivable_impls)]
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::Bytecode
+    }
+}
+
+#[allow(deprecated)]
+impl From<Executor> for ExecMode {
+    fn from(e: Executor) -> ExecMode {
+        match e {
+            Executor::Bytecode => ExecMode::Scalar,
+            Executor::TreeWalker => ExecMode::TreeWalker,
+        }
+    }
 }
 
 /// Most varying components a program may interpolate: 8 vec4 rows, the
@@ -119,6 +207,13 @@ pub struct DrawStats {
     pub fragments_discarded: u64,
     /// Pixels written to the target after all per-fragment tests.
     pub pixels_written: u64,
+    /// SPMD fragment batches dispatched (0 under the scalar executors —
+    /// the CI gate asserts it is positive when [`ExecMode::Spmd`] ran).
+    pub spmd_batches: u64,
+    /// SPMD batches replayed lane-by-lane after a lane trap, plus bands
+    /// that fell back to a scalar executor because the lowerer rejected
+    /// the shader.
+    pub scalar_fallbacks: u64,
     /// Vertex-stage operation profile.
     pub vs_profile: OpProfile,
     /// Fragment-stage operation profile (drives the `gpes-perf` model).
@@ -150,18 +245,20 @@ impl TextureAccess for Bindings<'_> {
     }
 }
 
-/// A shader stage instance behind the [`Executor`] selection: either the
-/// bytecode VM or the tree-walking interpreter. The two are bit-identical
-/// in results and profile counts; the VM additionally offers pre-resolved
-/// slot stores for the per-fragment/per-vertex hot path.
+/// A shader stage instance behind the [`ExecMode`] selection: the SPMD
+/// VM, the scalar bytecode VM or the tree-walking interpreter. All are
+/// bit-identical in results and profile counts; the VMs additionally
+/// offer pre-resolved slot stores for the per-fragment/per-vertex hot
+/// path.
 enum StageExec<'a> {
+    Spmd(SpmdVm<'a>),
     Vm(Vm<'a>),
     Tree(Interpreter<'a>),
 }
 
 impl<'a> StageExec<'a> {
     /// Instantiates the stage executor for `shader`, honouring
-    /// `config.executor` (falling back to the tree-walker when the
+    /// `config.exec_mode` (falling back to the tree-walker when the
     /// lowerer rejected the shader).
     fn for_fragment(
         program: &'a Program,
@@ -173,6 +270,7 @@ impl<'a> StageExec<'a> {
             &program.fragment,
             bindings,
             config,
+            true,
         )
     }
 
@@ -186,6 +284,7 @@ impl<'a> StageExec<'a> {
             &program.vertex,
             bindings,
             config,
+            false,
         )
     }
 
@@ -194,9 +293,21 @@ impl<'a> StageExec<'a> {
         shader: &'a gpes_glsl::CompiledShader,
         bindings: &'a Bindings<'a>,
         config: &RasterConfig,
+        spmd_ok: bool,
     ) -> Result<StageExec<'a>, GlError> {
-        let exec = match (config.executor, exe) {
-            (Executor::Bytecode, Some(exe)) => {
+        // The vertex stage runs scalar even under Spmd: vertices feed
+        // primitive assembly one at a time.
+        let mode = match config.exec_mode {
+            ExecMode::Spmd { .. } if !spmd_ok => ExecMode::Scalar,
+            mode => mode,
+        };
+        let exec = match (mode, exe) {
+            (ExecMode::Spmd { lanes }, Some(exe)) => {
+                let mut vm = SpmdVm::with_model(exe, bindings, config.float_model, lanes as usize)?;
+                vm.set_limits(config.exec_limits);
+                StageExec::Spmd(vm)
+            }
+            (ExecMode::Scalar, Some(exe)) => {
                 let mut vm = Vm::with_model(exe, bindings, config.float_model)?;
                 vm.set_limits(config.exec_limits);
                 StageExec::Vm(vm)
@@ -210,10 +321,12 @@ impl<'a> StageExec<'a> {
         Ok(exec)
     }
 
-    /// Resolves a global to its slot (VM) or a name marker (tree-walker).
-    /// Returns `None` when the stage does not declare the global.
+    /// Resolves a global to its slot (VMs) or a name marker
+    /// (tree-walker). Returns `None` when the stage does not declare the
+    /// global.
     fn resolve(&self, name: &str) -> Option<u32> {
         match self {
+            StageExec::Spmd(vm) => vm.global_slot(name),
             StageExec::Vm(vm) => vm.global_slot(name),
             // The tree-walker addresses globals by name; use a dummy slot
             // value and remember resolvability.
@@ -223,15 +336,19 @@ impl<'a> StageExec<'a> {
 
     fn set_global(&mut self, name: &str, value: Value) -> Result<(), gpes_glsl::RuntimeError> {
         match self {
+            StageExec::Spmd(vm) => vm.set_global(name, value),
             StageExec::Vm(vm) => vm.set_global(name, value),
             StageExec::Tree(interp) => interp.set_global(name, value),
         }
     }
 
     /// Fast store for a global pre-resolved with [`StageExec::resolve`];
-    /// `name` is only consulted on the tree-walker path.
+    /// `name` is only consulted on the tree-walker path. On the SPMD VM
+    /// this broadcasts to every lane — per-fragment inputs go through
+    /// [`SpmdVm::set_lane_slot`] in the batched loops instead.
     fn set_resolved(&mut self, slot: u32, name: &str, value: Value) {
         match self {
+            StageExec::Spmd(vm) => vm.set_slot_all(slot, value),
             StageExec::Vm(vm) => vm.set_slot(slot, value),
             StageExec::Tree(interp) => {
                 let _ = interp.set_global(name, value);
@@ -239,15 +356,19 @@ impl<'a> StageExec<'a> {
         }
     }
 
-    fn global(&self, name: &str) -> Option<&Value> {
+    fn global(&self, name: &str) -> Option<Value> {
         match self {
-            StageExec::Vm(vm) => vm.global(name),
-            StageExec::Tree(interp) => interp.global(name),
+            StageExec::Spmd(vm) => vm.global(0, name),
+            StageExec::Vm(vm) => vm.global(name).cloned(),
+            StageExec::Tree(interp) => interp.global(name).cloned(),
         }
     }
 
     fn run_main(&mut self) -> Result<(), gpes_glsl::RuntimeError> {
         match self {
+            // Single-lane batch == scalar execution; the batched raster
+            // loops bypass this and call run_batch directly.
+            StageExec::Spmd(vm) => vm.run_batch(1).map_err(|e| e.error),
             StageExec::Vm(vm) => vm.run_main(),
             StageExec::Tree(interp) => interp.run_main(),
         }
@@ -255,6 +376,7 @@ impl<'a> StageExec<'a> {
 
     fn discarded(&self) -> bool {
         match self {
+            StageExec::Spmd(vm) => vm.discarded(0),
             StageExec::Vm(vm) => vm.discarded(),
             StageExec::Tree(interp) => interp.discarded(),
         }
@@ -262,6 +384,7 @@ impl<'a> StageExec<'a> {
 
     fn frag_color(&self) -> Option<[f32; 4]> {
         match self {
+            StageExec::Spmd(vm) => vm.frag_color(0),
             StageExec::Vm(vm) => vm.frag_color(),
             StageExec::Tree(interp) => interp.frag_color(),
         }
@@ -269,6 +392,7 @@ impl<'a> StageExec<'a> {
 
     fn take_profile(&mut self) -> OpProfile {
         match self {
+            StageExec::Spmd(vm) => vm.take_profile(),
             StageExec::Vm(vm) => vm.take_profile(),
             StageExec::Tree(interp) => interp.take_profile(),
         }
@@ -314,7 +438,7 @@ pub(crate) struct RasterConfig {
     pub dispatch: Dispatch,
     pub depth_test: bool,
     pub exec_limits: ExecLimits,
-    pub executor: Executor,
+    pub exec_mode: ExecMode,
 }
 
 struct VaryingLayout {
@@ -390,7 +514,7 @@ pub(crate) fn draw(
         vs.run_main()?;
         let clip = vs
             .global("gl_Position")
-            .and_then(Value::as_vec4)
+            .and_then(|v| v.as_vec4())
             .ok_or_else(|| GlError::invalid_op("vertex shader did not produce gl_Position"))?;
         let mut varyings = Vec::with_capacity(layout.total);
         for (name, _, len) in &layout.names {
@@ -406,7 +530,7 @@ pub(crate) fn draw(
         let point_size = vs
             .global("gl_PointSize")
             .and_then(|v| match v {
-                Value::Float(f) => Some(*f),
+                Value::Float(f) => Some(f),
                 _ => None,
             })
             .unwrap_or(1.0);
@@ -539,6 +663,8 @@ struct BandStats {
     shaded: u64,
     discarded: u64,
     written: u64,
+    spmd_batches: u64,
+    scalar_fallbacks: u64,
     profile: OpProfile,
 }
 
@@ -702,6 +828,8 @@ fn raster_triangle(
         stats.fragments_shaded += band.shaded;
         stats.fragments_discarded += band.discarded;
         stats.pixels_written += band.written;
+        stats.spmd_batches += band.spmd_batches;
+        stats.scalar_fallbacks += band.scalar_fallbacks;
         stats.fs_profile.merge(&band.profile);
     }
     Ok(true)
@@ -744,6 +872,64 @@ fn store_pixel(
     }
 }
 
+/// Dispatches one SPMD fragment batch and retires its lanes in lane
+/// order: deferred depth writes, colour stores and stat counting happen
+/// here. Lane order equals fragment acceptance order and batched pixels
+/// are unique, so retiring at flush time is indistinguishable from the
+/// scalar loop's write-as-you-shade. On a lane trap the lanes below the
+/// erroring lane (which the replay completed with exact scalar outputs)
+/// are still retired before the error propagates — exactly the pixels a
+/// scalar walk would have written before trapping.
+#[allow(clippy::too_many_arguments)]
+fn flush_spmd_batch(
+    vm: &mut SpmdVm<'_>,
+    n: usize,
+    pixel_indices: &[usize; MAX_LANES],
+    frag_zs: &[f32; MAX_LANES],
+    config: &RasterConfig,
+    color: &mut [u8],
+    depth: &mut Option<&mut [f32]>,
+    pixel: PixelStore,
+    band: &mut BandStats,
+) -> Result<(), GlError> {
+    let result = vm.run_batch(n);
+    band.spmd_batches += 1;
+    band.scalar_fallbacks += vm.take_replays();
+    let retired = match &result {
+        Ok(()) => n,
+        Err(e) => e.lane,
+    };
+    for lane in 0..retired {
+        band.shaded += 1;
+        if vm.discarded(lane) {
+            band.discarded += 1;
+            continue;
+        }
+        let rgba = vm.frag_color(lane).ok_or(GlError::ShaderTrap(
+            gpes_glsl::RuntimeError::MissingOutput {
+                name: "gl_FragColor",
+            },
+        ))?;
+        if config.depth_test {
+            if let Some(depth_buf) = depth.as_deref_mut() {
+                depth_buf[pixel_indices[lane]] = frag_zs[lane];
+            }
+        }
+        store_pixel(
+            color,
+            pixel_indices[lane],
+            pixel,
+            rgba,
+            config.store_rounding,
+        );
+        band.written += 1;
+    }
+    match result {
+        Ok(()) => Ok(()),
+        Err(e) => Err(GlError::ShaderTrap(e.error)),
+    }
+}
+
 /// Rasterises every shaded vertex as a point sprite (serial dispatch —
 /// point counts in GPGPU scatter passes equal the output size, and each
 /// point touches few pixels). Varyings pass through uninterpolated, per
@@ -757,7 +943,11 @@ fn raster_points(
     config: &RasterConfig,
     stats: &mut DrawStats,
 ) -> Result<(), GlError> {
+    let mut band = BandStats::default();
     let mut fs = StageExec::for_fragment(program, bindings, config)?;
+    if matches!(config.exec_mode, ExecMode::Spmd { .. }) && !matches!(fs, StageExec::Spmd(_)) {
+        band.scalar_fallbacks += 1;
+    }
     apply_uniforms(&mut fs, program);
     let _ = fs.set_global("gl_FrontFacing", Value::Bool(true));
     let varying_slots: Vec<u32> = layout
@@ -772,6 +962,13 @@ fn raster_points(
     let fragcoord_slot = fs
         .resolve("gl_FragCoord")
         .ok_or_else(|| GlError::invalid_op("fragment shader lost gl_FragCoord"))?;
+    // A batch may only span points when no depth buffer is observable:
+    // two points can cover the same pixel, and the second must see the
+    // first's depth write. Pixels within one point are unique.
+    let flush_per_point = config.depth_test && target.depth.is_some();
+    let mut batch_n = 0usize;
+    let mut batch_pixel = [0usize; MAX_LANES];
+    let mut batch_z = [0.0f32; MAX_LANES];
 
     let (vx, vy, vw, vh) = config.viewport;
     let clip_lo_x = vx.max(0);
@@ -806,12 +1003,22 @@ fn raster_points(
         let y0 = ((sy - half - 0.5).ceil() as i32).max(clip_lo_y);
         let y1 = ((sy + half - 0.5).floor() as i32 + 1).min(clip_hi_y);
 
-        // Pass-through varyings (no interpolation for points).
-        let mut offset = 0usize;
-        for ((name, ty, len), slot) in layout.names.iter().zip(&varying_slots) {
-            let comps = &v.varyings[offset..offset + len];
-            offset += len;
-            fs.set_resolved(*slot, name, rebuild_varying(ty, comps));
+        // Pass-through varyings (no interpolation for points). Under SPMD
+        // these are staged per lane at push time — a broadcast here would
+        // clobber lanes still pending from a previous point.
+        let mut point_varyings: Vec<Value> = Vec::new();
+        {
+            let mut offset = 0usize;
+            for ((name, ty, len), slot) in layout.names.iter().zip(&varying_slots) {
+                let comps = &v.varyings[offset..offset + len];
+                offset += len;
+                let value = rebuild_varying(ty, comps);
+                if matches!(fs, StageExec::Spmd(_)) {
+                    point_varyings.push(value);
+                } else {
+                    fs.set_resolved(*slot, name, value);
+                }
+            }
         }
 
         for py in y0..y1 {
@@ -824,15 +1031,37 @@ fn raster_points(
                         }
                     }
                 }
-                fs.set_resolved(
-                    fragcoord_slot,
-                    "gl_FragCoord",
-                    Value::Vec4([px as f32 + 0.5, py as f32 + 0.5, frag_z, 1.0 / w]),
-                );
+                let fragcoord = Value::Vec4([px as f32 + 0.5, py as f32 + 0.5, frag_z, 1.0 / w]);
+                if let StageExec::Spmd(vm) = &mut fs {
+                    let lane = batch_n;
+                    for (slot, value) in varying_slots.iter().zip(&point_varyings) {
+                        vm.set_lane_slot(lane, *slot, value.clone());
+                    }
+                    vm.set_lane_slot(lane, fragcoord_slot, fragcoord);
+                    batch_pixel[lane] = pixel_index;
+                    batch_z[lane] = frag_z;
+                    batch_n += 1;
+                    if batch_n == vm.lanes() {
+                        flush_spmd_batch(
+                            vm,
+                            batch_n,
+                            &batch_pixel,
+                            &batch_z,
+                            config,
+                            target.color,
+                            &mut target.depth,
+                            target.pixel,
+                            &mut band,
+                        )?;
+                        batch_n = 0;
+                    }
+                    continue;
+                }
+                fs.set_resolved(fragcoord_slot, "gl_FragCoord", fragcoord);
                 fs.run_main()?;
-                stats.fragments_shaded += 1;
+                band.shaded += 1;
                 if fs.discarded() {
-                    stats.fragments_discarded += 1;
+                    band.discarded += 1;
                     continue;
                 }
                 let rgba = fs.frag_color().ok_or(GlError::ShaderTrap(
@@ -852,10 +1081,49 @@ fn raster_points(
                     rgba,
                     config.store_rounding,
                 );
-                stats.pixels_written += 1;
+                band.written += 1;
+            }
+        }
+
+        // With a depth buffer active a later point may cover one of this
+        // point's pixels, so its writes must land before the next point.
+        if flush_per_point && batch_n > 0 {
+            if let StageExec::Spmd(vm) = &mut fs {
+                flush_spmd_batch(
+                    vm,
+                    batch_n,
+                    &batch_pixel,
+                    &batch_z,
+                    config,
+                    target.color,
+                    &mut target.depth,
+                    target.pixel,
+                    &mut band,
+                )?;
+                batch_n = 0;
             }
         }
     }
+    if batch_n > 0 {
+        if let StageExec::Spmd(vm) = &mut fs {
+            flush_spmd_batch(
+                vm,
+                batch_n,
+                &batch_pixel,
+                &batch_z,
+                config,
+                target.color,
+                &mut target.depth,
+                target.pixel,
+                &mut band,
+            )?;
+        }
+    }
+    stats.fragments_shaded += band.shaded;
+    stats.fragments_discarded += band.discarded;
+    stats.pixels_written += band.written;
+    stats.spmd_batches += band.spmd_batches;
+    stats.scalar_fallbacks += band.scalar_fallbacks;
     stats.fs_profile.merge(&fs.take_profile());
     Ok(())
 }
@@ -881,6 +1149,9 @@ fn raster_band(
 ) -> Result<BandStats, GlError> {
     let mut band = BandStats::default();
     let mut fs = StageExec::for_fragment(program, bindings, config)?;
+    if matches!(config.exec_mode, ExecMode::Spmd { .. }) && !matches!(fs, StageExec::Spmd(_)) {
+        band.scalar_fallbacks += 1;
+    }
     apply_uniforms(&mut fs, program);
     let _ = fs.set_global("gl_FrontFacing", Value::Bool(setup.front_facing));
     // Pre-resolve per-fragment stores once per band: inside the loop the
@@ -908,6 +1179,12 @@ fn raster_band(
     let top_left_ca = accepts_zero_edge(cx, cy, ax, ay);
 
     let mut comps = [0.0f32; MAX_VARYING_COMPONENTS];
+    // SPMD batch state: accepted fragments become lanes; their deferred
+    // depth/colour destinations retire at flush (band pixels are unique,
+    // so deferral is invisible). Batches never span triangles or bands.
+    let mut batch_n = 0usize;
+    let mut batch_pixel = [0usize; MAX_LANES];
+    let mut batch_z = [0.0f32; MAX_LANES];
 
     for py in y0..y1 {
         let pyc = py as f64 + 0.5;
@@ -948,6 +1225,38 @@ fn raster_band(
                     + lc * setup.var_over_w[2][idx];
                 *slot = num / denom;
             }
+            if let StageExec::Spmd(vm) = &mut fs {
+                let mut offset = 0usize;
+                for ((_, ty, len), slot) in layout.names.iter().zip(&varying_slots) {
+                    let value = rebuild_varying(ty, &comps[offset..offset + len]);
+                    offset += len;
+                    vm.set_lane_slot(batch_n, *slot, value);
+                }
+                vm.set_lane_slot(
+                    batch_n,
+                    fragcoord_slot,
+                    Value::Vec4([pxc as f32, pyc as f32, frag_z, denom]),
+                );
+                batch_pixel[batch_n] = pixel_index;
+                batch_z[batch_n] = frag_z;
+                batch_n += 1;
+                if batch_n == vm.lanes() {
+                    flush_spmd_batch(
+                        vm,
+                        batch_n,
+                        &batch_pixel,
+                        &batch_z,
+                        config,
+                        color,
+                        &mut depth,
+                        pixel,
+                        &mut band,
+                    )?;
+                    batch_n = 0;
+                }
+                continue;
+            }
+
             let mut offset = 0usize;
             for ((name, ty, len), slot) in layout.names.iter().zip(&varying_slots) {
                 let value = rebuild_varying(ty, &comps[offset..offset + len]);
@@ -979,6 +1288,23 @@ fn raster_band(
             }
             store_pixel(color, pixel_index, pixel, rgba, config.store_rounding);
             band.written += 1;
+        }
+    }
+    // Partial-band tail: fragments left over when the band ends before
+    // filling a full batch.
+    if let StageExec::Spmd(vm) = &mut fs {
+        if batch_n > 0 {
+            flush_spmd_batch(
+                vm,
+                batch_n,
+                &batch_pixel,
+                &batch_z,
+                config,
+                color,
+                &mut depth,
+                pixel,
+                &mut band,
+            )?;
         }
     }
     band.profile = fs.take_profile();

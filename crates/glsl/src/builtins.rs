@@ -418,14 +418,14 @@ fn map3(
 
 /// GLSL `mod(x, y) = x - y * floor(x/y)`, computed in fp32 steps so the
 /// float model applies as on hardware.
-fn glsl_mod(x: f32, y: f32) -> f32 {
+pub(crate) fn glsl_mod(x: f32, y: f32) -> f32 {
     x - y * (x / y).floor()
 }
 
 /// `exp2` with an exact fast path for integral arguments — powers of two
 /// are exactly representable and the numeric transformations of §IV depend
 /// on that exactness.
-fn exp2_f32(x: f32) -> f32 {
+pub(crate) fn exp2_f32(x: f32) -> f32 {
     if x.fract() == 0.0 && (-149.0..=127.0).contains(&x) {
         let e = x as i32;
         if e >= -126 {

@@ -57,6 +57,7 @@ pub mod parser;
 pub mod preprocessor;
 pub mod sema;
 pub mod span;
+pub mod spmd;
 pub mod strict;
 pub mod swizzle;
 pub mod token;
@@ -69,6 +70,7 @@ pub use compile::{lower, lower_shared, Executable, LowerError};
 pub use error::{CompileError, RuntimeError};
 pub use preprocessor::{preprocess, ExtensionBehavior, Preprocessed};
 pub use sema::{CompiledShader, ShaderInterface, ShaderKind};
+pub use spmd::{BatchError, SpmdVm, MAX_LANES};
 pub use strict::StrictProfile;
 pub use types::{Precision, Scalar, Type};
 pub use value::Value;

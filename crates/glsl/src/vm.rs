@@ -524,8 +524,9 @@ impl<'a> Vm<'a> {
 
 /// Writes `value` through `path` into `root`, using the shared
 /// swizzle/index mutators so behaviour matches the interpreter's
-/// `assign_to`/`modify` recursion.
-fn store_path(
+/// `assign_to`/`modify` recursion. Shared with the SPMD lane VM, whose
+/// per-lane stores must take exactly this path.
+pub(crate) fn store_path(
     root: &mut Value,
     path: &[PathStep],
     indices: &[i64],

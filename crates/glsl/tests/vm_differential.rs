@@ -13,6 +13,7 @@
 
 use gpes_glsl::exec::{FloatModel, NoTextures};
 use gpes_glsl::interp::Interpreter;
+use gpes_glsl::spmd::SpmdVm;
 use gpes_glsl::vm::Vm;
 use gpes_glsl::{compile, lower, ShaderKind, Value};
 use proptest::prelude::*;
@@ -436,6 +437,79 @@ fn check_program(seed: u64) {
                 interp.profile(),
                 "op profiles diverged (seed {seed}, {model:?}, invocation {invocation})\n{src}"
             );
+        }
+    }
+
+    // Third executor: the SPMD lane VM, each lane fed *different*
+    // uniforms so generated branches genuinely diverge across the batch.
+    // The oracle is one scalar VM run invocation-by-invocation in lane
+    // order — exactly the contract the rasteriser relies on.
+    for model in [FloatModel::Exact, FloatModel::Vc4Sfu, FloatModel::Mediump16] {
+        for lanes in [4usize, 8] {
+            let mut spmd = SpmdVm::with_model(&exe, &tex, model, lanes).expect("spmd init");
+            let mut scalar = Vm::with_model(&exe, &tex, model).expect("vm init");
+            let lane_seed = |lane: usize| seed ^ (lane as u64).wrapping_mul(0x9E37_79B9);
+            for lane in 0..lanes {
+                for (name, value) in uniforms(lane_seed(lane)) {
+                    let slot = spmd.global_slot(name).expect("spmd uniform slot");
+                    spmd.set_lane_slot(lane, slot, value);
+                }
+            }
+            let batch = spmd.run_batch(lanes);
+            let stop = match &batch {
+                Ok(()) => lanes,
+                Err(e) => e.lane,
+            };
+            for lane in 0..stop {
+                for (name, value) in uniforms(lane_seed(lane)) {
+                    scalar.set_global(name, value).expect("scalar uniform");
+                }
+                scalar.run_main().unwrap_or_else(|e| {
+                    panic!(
+                        "scalar oracle trapped before the SPMD batch did \
+                         (seed {seed}, {model:?}, lane {lane}): {e}\n{src}"
+                    )
+                });
+                assert!(
+                    spmd.completed(lane),
+                    "lane {lane} not retired (seed {seed}, {model:?})\n{src}"
+                );
+                assert_eq!(
+                    spmd.discarded(lane),
+                    scalar.discarded(),
+                    "SPMD lane {lane} discard flag diverged (seed {seed}, {model:?})\n{src}"
+                );
+                // Discarded lanes never write a colour; the reused scalar
+                // oracle keeps the previous invocation's value there.
+                if !scalar.discarded() {
+                    assert_eq!(
+                        spmd.frag_color(lane).map(|c| c.map(f32::to_bits)),
+                        scalar.frag_color().map(|c| c.map(f32::to_bits)),
+                        "SPMD lane {lane} colour diverged (seed {seed}, {model:?}, {lanes} lanes)\n{src}"
+                    );
+                }
+            }
+            match batch {
+                Ok(()) => assert_eq!(
+                    spmd.profile(),
+                    scalar.profile(),
+                    "SPMD aggregate profile diverged (seed {seed}, {model:?}, {lanes} lanes)\n{src}"
+                ),
+                Err(e) => {
+                    for (name, value) in uniforms(lane_seed(e.lane)) {
+                        scalar.set_global(name, value).expect("scalar uniform");
+                    }
+                    let se = scalar
+                        .run_main()
+                        .expect_err("SPMD trapped where the scalar oracle succeeded");
+                    assert_eq!(
+                        e.error.to_string(),
+                        se.to_string(),
+                        "SPMD trap diverged (seed {seed}, {model:?}, lane {})\n{src}",
+                        e.lane
+                    );
+                }
+            }
         }
     }
 }

@@ -1,14 +1,16 @@
-//! Differential testing: the bytecode VM against the tree-walking
-//! interpreter, across **every bundled kernel** and all three
-//! [`FloatModel`]s.
+//! Differential testing: the SPMD lane VM and the scalar bytecode VM
+//! against the tree-walking interpreter, across **every bundled kernel**
+//! and all three [`FloatModel`]s.
 //!
-//! For each kernel the same workload runs twice through the full
-//! pipeline — once per [`Executor`] — and must produce byte-identical
-//! outputs and identical fragment/vertex [`gpes_glsl::exec::OpProfile`]
-//! counters (the timing model consumes the profiles, so they are part of
-//! the contract, not just the pixels).
+//! For each kernel the same workload runs through the full pipeline once
+//! per [`ExecMode`] — tree-walker, scalar VM, `Spmd{4}` and `Spmd{8}` —
+//! and must produce byte-identical outputs and identical fragment/vertex
+//! [`gpes_glsl::exec::OpProfile`] counters (the timing model consumes
+//! the profiles, so they are part of the contract, not just the pixels).
+//! The SPMD runs additionally assert `spmd_batches > 0`: the lane path
+//! must actually execute, not silently fall back.
 
-use gpes_core::{ComputeContext, ComputeError, Executor};
+use gpes_core::{ComputeContext, ComputeError, ExecMode};
 use gpes_glsl::exec::{FloatModel, OpProfile};
 use gpes_kernels::backprop::{self, Activation};
 use gpes_kernels::fft::{self, Direction};
@@ -50,19 +52,40 @@ fn bundled_kernel_shaders_lower_to_bytecode() {
     }
 }
 
-/// Runs `work` once per executor under every float model and asserts
-/// byte-identical outputs and identical accumulated op profiles.
+const MODES: [ExecMode; 4] = [
+    ExecMode::TreeWalker,
+    ExecMode::Scalar,
+    ExecMode::Spmd { lanes: 4 },
+    ExecMode::Spmd { lanes: 8 },
+];
+
+/// Runs `work` once per [`ExecMode`] under every float model and asserts
+/// byte-identical outputs and identical accumulated op profiles, with
+/// the tree-walker as the oracle. SPMD runs must bank at least one lane
+/// batch.
 fn assert_differential<F>(name: &str, work: F)
 where
     F: Fn(&mut ComputeContext) -> Result<Vec<u8>, ComputeError>,
 {
     for model in MODELS {
-        let run = |executor: Executor| -> (Vec<u8>, OpProfile, OpProfile) {
+        let run = |mode: ExecMode| -> (Vec<u8>, OpProfile, OpProfile) {
             let mut cc =
                 ComputeContext::new(256, 256).unwrap_or_else(|e| panic!("{name}: context: {e}"));
-            cc.set_executor(executor);
+            cc.set_exec_mode(mode);
             cc.set_float_model(model);
             let out = work(&mut cc).unwrap_or_else(|e| panic!("{name}/{model:?}: {e}"));
+            if matches!(mode, ExecMode::Spmd { .. }) {
+                assert!(
+                    cc.stats().spmd_batches > 0,
+                    "{name}/{model:?}: SPMD selected but no lane batch ran"
+                );
+            } else {
+                assert_eq!(
+                    cc.stats().spmd_batches,
+                    0,
+                    "{name}/{model:?}: scalar mode dispatched SPMD batches"
+                );
+            }
             let mut fs = OpProfile::new();
             let mut vs = OpProfile::new();
             for pass in cc.take_pass_log() {
@@ -71,17 +94,22 @@ where
             }
             (out, fs, vs)
         };
-        let (vm_out, vm_fs, vm_vs) = run(Executor::Bytecode);
-        let (tw_out, tw_fs, tw_vs) = run(Executor::TreeWalker);
-        assert_eq!(vm_out, tw_out, "{name} outputs diverge under {model:?}");
-        assert_eq!(
-            vm_fs, tw_fs,
-            "{name} fragment profiles diverge under {model:?}"
-        );
-        assert_eq!(
-            vm_vs, tw_vs,
-            "{name} vertex profiles diverge under {model:?}"
-        );
+        let (tw_out, tw_fs, tw_vs) = run(ExecMode::TreeWalker);
+        for mode in MODES.into_iter().skip(1) {
+            let (out, fs, vs) = run(mode);
+            assert_eq!(
+                out, tw_out,
+                "{name} outputs diverge under {model:?}/{mode:?}"
+            );
+            assert_eq!(
+                fs, tw_fs,
+                "{name} fragment profiles diverge under {model:?}/{mode:?}"
+            );
+            assert_eq!(
+                vs, tw_vs,
+                "{name} vertex profiles diverge under {model:?}/{mode:?}"
+            );
+        }
     }
 }
 

@@ -211,6 +211,61 @@ def diff_a14(lines, fresh):
     lines.append("")
 
 
+def diff_a15(lines, fresh):
+    """a15 is per-kernel executor rows plus codec/serve summaries. The
+    identity and batching outcomes compare exactly; fragments/s, texels/s
+    and the geomean speedups are host-dependent and stay advisory."""
+    lines.append("### a15 — SPMD lane VM")
+    fresh_rows = fresh.get("vm", [])
+    if not fresh_rows:
+        lines.append("_no fresh a15 vm rows measured_\n")
+        return
+    path, base = latest_baseline_with("a15_spmd")
+    if path is None:
+        lines.append("_no committed baseline records `a15_spmd` yet_\n")
+        return
+    lines.append(f"baseline: `{path}`\n")
+    head = ["kernel", "mode", "identical (fresh/base)",
+            "batched (fresh/base)", "fragments/s ratio", "verdict"]
+    lines.append("| " + " | ".join(head) + " |")
+    lines.append("|" + "---|" * len(head))
+    base_index = {(r["kernel"], r["mode"]): r for r in base.get("vm", [])}
+    for row in fresh_rows:
+        old = base_index.get((row["kernel"], row["mode"]))
+        cells = [row["kernel"], row["mode"]]
+        if old is None:
+            cells += ["new", "new", "n/a", "NEW ROW"]
+        else:
+            batched = row["spmd_batches"] > 0
+            old_batched = old["spmd_batches"] > 0
+            drift = (row["identical"] != old["identical"]
+                     or batched != old_batched)
+            cells.append(f"{row['identical']}/{old['identical']}")
+            cells.append(f"{str(batched).lower()}/{str(old_batched).lower()}")
+            cells.append(fmt_ratio(row.get("fragments_per_sec", 0),
+                                   old.get("fragments_per_sec", 0)))
+            cells.append("counter drift" if drift else "ok")
+        lines.append("| " + " | ".join(str(c) for c in cells) + " |")
+    fm = {r["mode"]: r["geomean_speedup"] for r in fresh.get("mix", [])}
+    bm = {r["mode"]: r["geomean_speedup"] for r in base.get("mix", [])}
+    if fm:
+        lines.append("")
+        lines.append("geomean speedup vs scalar (advisory): " + ", ".join(
+            f"{mode} {fm[mode]:.2f}x (base "
+            f"{bm.get(mode, float('nan')):.2f}x)" for mode in sorted(fm)))
+    fs, bs = fresh.get("serve", {}), base.get("serve", {})
+    if fs:
+        drift = any(fs.get(k) != bs.get(k)
+                    for k in ("exec_mode", "identical", "balanced"))
+        lines.append("")
+        lines.append(
+            f"serving: exec_mode {fs.get('exec_mode')}/{bs.get('exec_mode')} "
+            f"identical {fs.get('identical')}/{bs.get('identical')} "
+            f"balanced {fs.get('balanced')}/{bs.get('balanced')} — "
+            f"{'counter drift' if drift else 'ok'}")
+    lines.append("")
+
+
 def main():
     if len(sys.argv) < 2:
         sys.exit(__doc__)
@@ -241,6 +296,7 @@ def main():
     diff_a12(lines, ci_perf.get("a12_serving_latency", {}))
     diff_a13(lines, ci_perf.get("a13_chaos", {}))
     diff_a14(lines, ci_perf.get("a14_registry", {}))
+    diff_a15(lines, ci_perf.get("a15_spmd", {}))
     lines.append("_counters compare exactly; timing ratios are advisory "
                  "(shared runners are noisy). The blocking contracts live in "
                  "`ci_perf_gate.py`._")

@@ -43,6 +43,13 @@ Two concerns, one machine-readable artefact:
     outputs bit-identical to the compiled-in path (`wrong 0` on every
     tenant row).
 
+  - a15 (SPMD lane VM) must show every executor row bit-identical to
+    the scalar VM, every SPMD-mode row actually batching
+    (`spmd_batches > 0`, and exactly 0 on the scalar rows), and the
+    engine serving run under an SPMD exec mode with balanced counters
+    and bit-identical outputs. The fragments/s, texels/s and geomean
+    speedup numbers are host-dependent and advisory.
+
   Any violation exits non-zero and fails CI.
 
 Everything parsed plus the verdicts is written to `ci_perf.json` (path
@@ -50,7 +57,7 @@ overridable by the last argument) and uploaded as a workflow artifact, so
 the perf trajectory is diffable across runs instead of buried in logs.
 
 Usage:
-    ci_perf_gate.py <a3_start> <a3_end> <a9_out> <a10_out> <a11_out> <a12_out> <a13_out> <a14_out> [ci_perf.json]
+    ci_perf_gate.py <a3_start> <a3_end> <a9_out> <a10_out> <a11_out> <a12_out> <a13_out> <a14_out> <a15_out> [ci_perf.json]
 
 where `a3_start`/`a3_end` are `date +%s.%N` stamps around the a3 run.
 """
@@ -196,6 +203,59 @@ def parse_a14_lines(lines):
     return out
 
 
+# a15 is four row families, printed by A15Report::format(): per-kernel
+# executor rows, geomean mix lines, codec texels/s rows, and one engine
+# serving line.
+A15_VM = re.compile(
+    r"^a15 vm\s+kernel (?P<kernel>.+?)\s+mode (?P<mode>\S+)\s+"
+    r"fragments/s\s+(?P<fragments_per_sec>\d+)\s+identical (?P<identical>\S+)\s+"
+    r"spmd_batches (?P<spmd_batches>\d+)\s+fallbacks (?P<fallbacks>\d+)"
+)
+A15_MIX = re.compile(
+    r"^a15 mix\s+mode (?P<mode>\S+)\s+"
+    r"geomean speedup vs scalar (?P<geomean_speedup>[\d.]+)x"
+)
+A15_CODEC = re.compile(
+    r"^a15 codec\s+(?P<format>\S+)\s+path (?P<path>\S+)\s+"
+    r"texels/s\s+(?P<texels_per_sec>\d+)"
+)
+A15_SERVE = re.compile(
+    r"^a15 serve\s+exec_mode (?P<exec_mode>\S+)\s+jobs (?P<jobs>\d+)\s+"
+    r"identical (?P<identical>\S+)\s+balanced (?P<balanced>\S+)\s+"
+    r"spmd_batches (?P<spmd_batches>\d+)\s+fallbacks (?P<fallbacks>\d+)"
+)
+
+
+def parse_a15_lines(lines):
+    """Parses A15Report::format() into {"vm", "mix", "codec", "serve"}."""
+    out = {}
+    for line in lines:
+        line = line.strip()
+        m = A15_VM.match(line)
+        if m:
+            row = m.groupdict()
+            for k in ("fragments_per_sec", "spmd_batches", "fallbacks"):
+                row[k] = int(row[k])
+            out.setdefault("vm", []).append(row)
+        m = A15_MIX.match(line)
+        if m:
+            row = m.groupdict()
+            row["geomean_speedup"] = float(row["geomean_speedup"])
+            out.setdefault("mix", []).append(row)
+        m = A15_CODEC.match(line)
+        if m:
+            row = m.groupdict()
+            row["texels_per_sec"] = int(row["texels_per_sec"])
+            out.setdefault("codec", []).append(row)
+        m = A15_SERVE.match(line)
+        if m:
+            row = m.groupdict()
+            for k in ("jobs", "spmd_batches", "fallbacks"):
+                row[k] = int(row[k])
+            out["serve"] = row
+    return out
+
+
 def parse_a12_lines(lines):
     """Parses A12Report::format() output into one nested dict (or {})."""
     out = {}
@@ -248,7 +308,7 @@ def parse_rows(path, regex, numeric):
 
 
 def main():
-    if len(sys.argv) < 9:
+    if len(sys.argv) < 10:
         sys.exit(__doc__)
     elapsed = float(sys.argv[2]) - float(sys.argv[1])
     a9_rows = parse_rows(
@@ -265,7 +325,8 @@ def main():
     a12 = parse_a12_lines(pathlib.Path(sys.argv[6]).read_text().splitlines())
     a13 = parse_a13_lines(pathlib.Path(sys.argv[7]).read_text().splitlines())
     a14 = parse_a14_lines(pathlib.Path(sys.argv[8]).read_text().splitlines())
-    out_path = pathlib.Path(sys.argv[9] if len(sys.argv) > 9 else "ci_perf.json")
+    a15 = parse_a15_lines(pathlib.Path(sys.argv[9]).read_text().splitlines())
+    out_path = pathlib.Path(sys.argv[10] if len(sys.argv) > 10 else "ci_perf.json")
 
     # ---- advisory timing ------------------------------------------------
     baselines = sorted(glob.glob("BENCH_*.json"),
@@ -462,9 +523,48 @@ def main():
                     f"a14: tenant {row['name']} had {row['wrong']} outputs "
                     f"diverge from its reference")
 
+    # a15: SPMD lane VM. Bit-identity and batching are deterministic
+    # contracts — every executor row must match the scalar VM exactly,
+    # SPMD modes must actually batch (scalar must not), and the engine
+    # serving run must hold the same invariants under an SPMD exec mode.
+    # Throughput and geomean speedup stay advisory on shared runners.
+    a15_vm = a15.get("vm", [])
+    if not a15_vm or "serve" not in a15:
+        failures.append("a15: vm rows or serve line not parsed")
+    else:
+        modes_seen = set()
+        for row in a15_vm:
+            where = f"a15: {row['kernel']} {row['mode']}"
+            modes_seen.add(row["mode"])
+            if row["identical"] != "yes":
+                failures.append(
+                    f"{where}: output or profile diverged from the scalar VM")
+            if row["mode"].startswith("spmd") and row["spmd_batches"] == 0:
+                failures.append(
+                    f"{where}: an SPMD mode never dispatched a lane batch")
+            if row["mode"] == "scalar" and row["spmd_batches"] != 0:
+                failures.append(
+                    f"{where}: scalar mode reported {row['spmd_batches']} "
+                    f"SPMD batches, contract is 0")
+        if not any(m.startswith("spmd") for m in modes_seen):
+            failures.append("a15: no SPMD executor rows parsed")
+        srv = a15["serve"]
+        if not srv["exec_mode"].startswith("spmd"):
+            failures.append(
+                f"a15: serving ran under exec_mode {srv['exec_mode']}, "
+                f"contract is an spmd mode")
+        if srv["identical"] != "yes":
+            failures.append(
+                "a15: a served output diverged from the scalar reference")
+        if srv["balanced"] != "yes":
+            failures.append("a15: serving outcome counters do not balance")
+        if srv["spmd_batches"] == 0:
+            failures.append(
+                "a15: the serving engine never dispatched a lane batch")
+
     # ---- artefact --------------------------------------------------------
     out_path.write_text(json.dumps({
-        "schema": "gpes-ci-perf/5",
+        "schema": "gpes-ci-perf/6",
         "a3": {"elapsed_seconds": round(elapsed, 3),
                "baseline_file": baselines[-1],
                "baseline_seconds": base,
@@ -476,11 +576,13 @@ def main():
         "a12_serving_latency": a12,
         "a13_chaos": a13,
         "a14_registry": a14,
+        "a15_spmd": a15,
         "gate_failures": failures,
     }, indent=2) + "\n")
     print(f"wrote {out_path} ({len(a9_rows)} a9 rows, {len(a10_rows)} a10 rows, "
           f"{len(a11_rows)} a11 rows, {len(a12)} a12 sections, "
-          f"{len(a13_rows)} a13 rows, {len(a14_tenants)} a14 tenants)")
+          f"{len(a13_rows)} a13 rows, {len(a14_tenants)} a14 tenants, "
+          f"{len(a15_vm)} a15 vm rows)")
 
     if failures:
         print("counter gate FAILED:")
@@ -493,7 +595,8 @@ def main():
           "counters balanced with QueueFull and deadline sheds observed, "
           "a13 chaos rows all balanced/identical/recovered with no hangs, "
           "a14 registry admission all typed with quotas tripped and zero "
-          "cross-tenant cost")
+          "cross-tenant cost, a15 SPMD rows all bit-identical and batching "
+          "with serving balanced under an spmd exec mode")
 
 
 if __name__ == "__main__":

@@ -25,7 +25,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 SECTIONS = [
     "e1", "sweep", "e2", "f1", "f2",
     "a1", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11", "a12",
-    "a13", "a14",
+    "a13", "a14", "a15",
 ]
 
 # e.g. "sum (int)    n=1048576    cpu   64.97 ms   gpu  13.33 ms   speedup 4.87x   paper 7.2x   validated yes"
@@ -41,7 +41,7 @@ E1_ROW = re.compile(
 # desynchronise the CI gate from the recorded baselines.
 from ci_perf_gate import (  # noqa: E402
     A9_ROW, A10_ROW, A11_NUMERIC, A11_ROW, parse_a12_lines, parse_a13_lines,
-    parse_a14_lines,
+    parse_a14_lines, parse_a15_lines,
 )
 
 
@@ -87,6 +87,7 @@ def main() -> None:
     a12_block = {}
     a13_block = {}
     a14_block = {}
+    a15_block = {}
     for name in SECTIONS:
         result = run_section(name)
         lines = result["stdout"].splitlines()
@@ -141,6 +142,8 @@ def main() -> None:
             a13_block = parse_a13_lines(lines)
         if name == "a14":
             a14_block = parse_a14_lines(lines)
+        if name == "a15":
+            a15_block = parse_a15_lines(lines)
 
     baseline = {
         "schema": "gpes-bench-baseline/1",
@@ -193,6 +196,14 @@ def main() -> None:
         # tenant rows are bit-identical; the quota-rejection count is
         # scheduling-dependent and recorded for trajectory only.
         "a14_registry": a14_block,
+        # a15: SPMD lane VM — scalar vs spmd4 vs spmd8 executors plus
+        # vectorised codec slice paths (PR 9). The deterministic
+        # contract: every executor row is bit-identical to the scalar
+        # VM, SPMD rows batch (scalar rows never do), and engine serving
+        # under an spmd mode stays balanced and identical. The
+        # fragments/s, texels/s and geomean speedup numbers are
+        # host-dependent and recorded for trajectory only.
+        "a15_spmd": a15_block,
     }
     out_path.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"wrote {out_path} ({len(e1_rows)} speedup rows, "

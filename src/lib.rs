@@ -52,6 +52,7 @@ pub mod prelude {
         SharedProgramCache, StepHandle, Submission, TenantCounters, TenantId, TenantQuotas,
         VertexKernel,
     };
+    #[allow(deprecated)] // `Executor` re-exported for the migration window
     pub use gpes_gles2::{Context, Dispatch, Executor, FaultPlan, FaultSite, StoreRounding};
     pub use gpes_glsl::exec::FloatModel;
 }
