@@ -2748,9 +2748,302 @@ pub fn a15_spmd(n: usize, jobs: usize) -> Result<A15Report, ComputeError> {
     })
 }
 
+/// A16 — one per-layer accounting row from the quantized graph's direct
+/// (non-engine) run.
+#[derive(Debug, Clone)]
+pub struct A16LayerRow {
+    /// Pass (kernel) name, e.g. `cnn_conv1_quant`.
+    pub pass: String,
+    /// Texels rendered by the pass.
+    pub output_texels: u64,
+    /// Fragment-stage operations per output texel (deterministic in the
+    /// simulator).
+    pub ops_per_texel: f64,
+}
+
+/// A16 — one served-path row: the quantized CNN vs its f32 twin at a
+/// given worker count.
+#[derive(Debug, Clone)]
+pub struct A16PathRow {
+    /// `quant` or `f32`.
+    pub precision: &'static str,
+    /// Engine worker count.
+    pub workers: usize,
+    /// Inferences per measured wave.
+    pub jobs: usize,
+    /// Host wall time of the steady wave, milliseconds.
+    pub host_ms: f64,
+    /// Served inferences per host second.
+    pub images_per_s: f64,
+    /// Every served output bit-identical to the host reference.
+    pub identical: bool,
+    /// Engine outcome counters balance at quiescence.
+    pub balanced: bool,
+    /// Programs linked after the warmup wave (must be 0).
+    pub post_warmup_links: u64,
+    /// GL objects created after the warmup wave (must be 0).
+    pub post_warmup_objects: u64,
+    /// `f32` tensors that crossed the host boundary, all workers, whole
+    /// run (gate: 0 on the quantized path).
+    pub f32_transfers: u64,
+    /// Quantized (u8/i16) tensors that crossed the host boundary.
+    pub quant_transfers: u64,
+}
+
+/// A16 — end-to-end quantized CNN inference as a served workload: u8
+/// activations and i16 weights flow GPU-side through every layer, with
+/// per-layer pass accounting and a quant-vs-f32 throughput ablation at
+/// 1/2/4 workers.
+///
+/// CI gates on the deterministic contracts: bit-identity to the host
+/// reference on every row, balanced counters, zero post-warmup
+/// links/objects, **zero f32 host transfers on the quantized rows** (and
+/// nonzero quantized transfers), nonzero f32 transfers on the f32 rows.
+/// The images/s column is advisory on shared single-core CI hosts.
+#[derive(Debug, Clone)]
+pub struct A16Report {
+    /// Per-layer accounting of the quantized graph (direct run).
+    pub layers: Vec<A16LayerRow>,
+    /// Served path rows, quant and f32 at each worker count.
+    pub paths: Vec<A16PathRow>,
+}
+
+impl A16Report {
+    /// Whether every path row was bit-identical to the host reference.
+    pub fn identical(&self) -> bool {
+        self.paths.iter().all(|r| r.identical)
+    }
+
+    /// Whether every path row's engine counters balanced.
+    pub fn balanced(&self) -> bool {
+        self.paths.iter().all(|r| r.balanced)
+    }
+
+    /// Whether the transfer counters prove the quantized path never
+    /// widened to f32 at the host boundary (and the f32 path did).
+    pub fn transfers_consistent(&self) -> bool {
+        self.paths.iter().all(|r| match r.precision {
+            "quant" => r.f32_transfers == 0 && r.quant_transfers > 0,
+            _ => r.f32_transfers > 0,
+        })
+    }
+
+    /// Formats the report as the stable multi-line block
+    /// `scripts/ci_perf_gate.py` parses.
+    pub fn format(&self) -> String {
+        let mut lines = vec![format!(
+            "a16 config    img {side}x{side}   conv 3x3 x2   dense {di}->{do_}   \
+             weights i16   activations u8",
+            side = gpes_kernels::cnn::IMG_SIDE,
+            di = gpes_kernels::cnn::DENSE_INPUTS,
+            do_ = gpes_kernels::cnn::DENSE_OUTPUTS,
+        )];
+        for row in &self.layers {
+            lines.push(format!(
+                "a16 layer     pass {:<16} output_texels {:>5}   ops/texel {:>8.1}",
+                row.pass, row.output_texels, row.ops_per_texel,
+            ));
+        }
+        for row in &self.paths {
+            lines.push(format!(
+                "a16 path      precision {:<6} workers {}   jobs {:>4} {:>9.2} ms \
+                 {:>8.1} images/s   identical {}   balanced {}   post_warmup_links {}   \
+                 post_warmup_objects {}   f32_transfers {}   quant_transfers {}",
+                row.precision,
+                row.workers,
+                row.jobs,
+                row.host_ms,
+                row.images_per_s,
+                if row.identical { "yes" } else { "NO" },
+                if row.balanced { "yes" } else { "NO" },
+                row.post_warmup_links,
+                row.post_warmup_objects,
+                row.f32_transfers,
+                row.quant_transfers,
+            ));
+        }
+        lines.join("\n")
+    }
+}
+
+/// Runs A16: the [`gpes_kernels::cnn`] graph once directly for per-layer
+/// accounting, then served waves of `jobs` inferences on 1/2/4-worker
+/// engines at both precisions, with the i16 weights uploaded once per
+/// worker as [`gpes_core::ResidentInput`]s and per-request u8 images
+/// entering (and i16 scores leaving) through the typed tensor path.
+///
+/// # Errors
+///
+/// Propagates simulator/engine failures.
+pub fn a16_quant_cnn(jobs: usize) -> Result<A16Report, ComputeError> {
+    use gpes_core::{Engine, PipelineJob, ResidentInput, SourceSeed, TensorData};
+    use gpes_kernels::cnn::{self, CnnOutput, Precision};
+    use std::sync::Arc;
+
+    const IMAGES: usize = 4;
+    let side = cnn::IMG_SIDE as usize;
+    let weights = cnn::CnnWeights::demo(1601);
+    let images: Vec<Vec<u8>> = (0..IMAGES)
+        .map(|i| data::random_u8(side * side, 1610 + i as u64, 255))
+        .collect();
+    let references: Vec<CnnOutput> = images
+        .iter()
+        .map(|img| cnn::cpu_reference(img, &weights, PackBias::default()))
+        .collect();
+
+    // ---- direct run: per-layer pass accounting ------------------------
+    let mut layers = Vec::new();
+    {
+        let mut cc = ComputeContext::new(64, 64)?;
+        let spec = cnn::pipeline_spec(Precision::Quantized)?;
+        let served = spec.build(&mut cc)?;
+        let (t1, t2, td) = cnn::weight_tensors(Precision::Quantized, &weights);
+        let w1 = cc.upload_any(&t1)?;
+        let w2 = cc.upload_any(&t2)?;
+        let wd = cc.upload_any_matrix(cnn::DENSE_OUTPUTS as u32, cnn::DENSE_INPUTS as u32, &td)?;
+        let img = cc.upload_any_matrix(
+            cnn::IMG_SIDE,
+            cnn::IMG_SIDE,
+            &cnn::img_tensor(Precision::Quantized, &images[0]),
+        )?;
+        let seeds = [
+            SourceSeed::any("img", &img),
+            SourceSeed::any("w1", &w1),
+            SourceSeed::any("w2", &w2),
+            SourceSeed::any("wd", &wd),
+        ];
+        // Warmup run (pool allocations), then the accounted run.
+        for accounted in [false, true] {
+            let run = served.pipeline().run_seeded(&mut cc, &seeds)?;
+            let scores = run.read_any(&mut cc, "scores")?;
+            let top = run.read_any(&mut cc, "top")?;
+            run.finish(&mut cc);
+            let log = cc.take_pass_log();
+            if !accounted {
+                continue;
+            }
+            let direct = CnnOutput {
+                scores: scores.as_i16().unwrap_or(&[]).to_vec(),
+                top: top.as_i16().unwrap_or(&[0])[0],
+            };
+            if direct != references[0] {
+                return Err(ComputeError::BadKernel {
+                    message: "a16 direct quantized run diverged from the host reference".into(),
+                });
+            }
+            layers.extend(log.iter().map(|r| A16LayerRow {
+                pass: r.kernel.clone(),
+                output_texels: r.output_texels,
+                ops_per_texel: r.ops_per_texel(),
+            }));
+        }
+    }
+
+    // ---- served waves: quant vs f32 at 1/2/4 workers ------------------
+    let mut paths = Vec::new();
+    for precision in [Precision::Quantized, Precision::F32] {
+        let spec = Arc::new(cnn::pipeline_spec(precision)?);
+        let (t1, t2, td) = cnn::weight_tensors(precision, &weights);
+        let image_tensors: Vec<Arc<TensorData>> = images
+            .iter()
+            .map(|img| Arc::new(cnn::img_tensor(precision, img)))
+            .collect();
+        for workers in [1usize, 2, 4] {
+            // Fresh residents per engine so each run pays (and counts)
+            // its own per-worker weight uploads.
+            let r1 = ResidentInput::new_tensor(t1.clone());
+            let r2 = ResidentInput::new_tensor(t2.clone());
+            let rd = ResidentInput::new_tensor(td.clone());
+            let engine = Engine::builder().workers(workers).build()?;
+            let (host_ms, _links, post_links, post_objects, identical) = a11_serve_steady(
+                &engine,
+                |engine| {
+                    let handles: Vec<_> = (0..jobs)
+                        .map(|i| {
+                            engine.submit_pipeline(
+                                PipelineJob::new(&spec)
+                                    .source_tensor_shared(&image_tensors[i % IMAGES])
+                                    .source_resident(&r1)
+                                    .source_resident(&r2)
+                                    .source_resident(&rd)
+                                    .read("scores")
+                                    .read("top"),
+                            )
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let mut identical = true;
+                    for (i, h) in handles.into_iter().enumerate() {
+                        let result = h.wait()?;
+                        let served = match precision {
+                            Precision::Quantized => CnnOutput {
+                                scores: result
+                                    .tensor("scores")
+                                    .and_then(|t| t.as_i16())
+                                    .unwrap_or(&[])
+                                    .to_vec(),
+                                top: result
+                                    .tensor("top")
+                                    .and_then(|t| t.as_i16())
+                                    .unwrap_or(&[0])[0],
+                            },
+                            Precision::F32 => CnnOutput {
+                                scores: result
+                                    .output("scores")
+                                    .unwrap_or(&[])
+                                    .iter()
+                                    .map(|&v| v as i16)
+                                    .collect(),
+                                top: result.output("top").unwrap_or(&[0.0])[0] as i16,
+                            },
+                        };
+                        identical &= served == references[i % IMAGES];
+                    }
+                    Ok(identical)
+                },
+                jobs,
+            )?;
+            let stats = engine
+                .worker_stats()
+                .iter()
+                .fold(gpes_core::ContextStats::default(), |acc, s| acc.merged(s));
+            let snapshot = engine.snapshot();
+            engine.shutdown();
+            paths.push(A16PathRow {
+                precision: precision.tag(),
+                workers,
+                jobs,
+                host_ms,
+                images_per_s: jobs as f64 / (host_ms / 1e3),
+                identical,
+                balanced: snapshot.counters_balanced(),
+                post_warmup_links: post_links,
+                post_warmup_objects: post_objects,
+                f32_transfers: stats.f32_host_transfers,
+                quant_transfers: stats.quantized_host_transfers,
+            });
+        }
+    }
+
+    Ok(A16Report { layers, paths })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn a16_quant_cnn_serves_bit_identically_without_f32_round_trips() {
+        let report = a16_quant_cnn(8).expect("a16");
+        assert!(!report.layers.is_empty(), "{}", report.format());
+        assert_eq!(report.paths.len(), 6, "{}", report.format());
+        assert!(report.identical(), "{}", report.format());
+        assert!(report.balanced(), "{}", report.format());
+        assert!(report.transfers_consistent(), "{}", report.format());
+        for row in &report.paths {
+            assert_eq!(row.post_warmup_links, 0, "{}", report.format());
+            assert_eq!(row.post_warmup_objects, 0, "{}", report.format());
+        }
+    }
 
     #[test]
     fn a13_chaos_heals_without_corruption_or_hangs() {

@@ -274,6 +274,23 @@ fn run_a15() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn run_a16() -> Result<(), Box<dyn std::error::Error>> {
+    heading("A16: quantized CNN serving — u8/i16 end-to-end, quant vs f32 paths");
+    let report = ablations::a16_quant_cnn(24)?;
+    println!("{}", report.format());
+    println!();
+    println!("a 16x16 u8 image runs conv-pool-conv-pool-dense-max entirely");
+    println!("GPU-side: activations stay u8 textures between passes, weights");
+    println!("are i16 ResidentInputs uploaded once per worker, and the scores");
+    println!("come back as i16 — the f32_transfers column counts every f32");
+    println!("tensor that crossed the host boundary and must read 0 on the");
+    println!("quantized rows. CI gates on bit-identity to the host reference,");
+    println!("balanced counters, zero post-warmup links/objects and the");
+    println!("transfer contract; images/s is advisory on single-core hosts");
+    println!("(worker counts mostly shift queueing, not throughput).");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     match what.as_str() {
@@ -296,6 +313,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "a13" => run_a13()?,
         "a14" => run_a14()?,
         "a15" => run_a15()?,
+        "a16" => run_a16()?,
         "all" => {
             run_e1()?;
             run_sweep()?;
@@ -316,10 +334,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run_a13()?;
             run_a14()?;
             run_a15()?;
+            run_a16()?;
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|a9|a10|a11|a12|a13|a14|a15|all"
+                "unknown experiment `{other}`; use e1|sweep|e2|f1|f2|a1|a3|a4|a5|a6|a7|a8|a9|a10|a11|a12|a13|a14|a15|a16|all"
             );
             std::process::exit(2);
         }

@@ -312,6 +312,223 @@ impl<T: GpuScalar> GpuMatrix<T> {
     }
 }
 
+/// Host tensor data with a runtime scalar tag — the type-erased twin of
+/// `Vec<T: GpuScalar>`, so serving-layer jobs and results can carry any
+/// §IV codec format through one channel without a generic parameter on
+/// every queue type. Quantized u8/i16 tensors (the CNNdroid/TFLite
+/// mobile-inference formats) travel as themselves: no widening to f32 at
+/// the host boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorData {
+    /// Unsigned byte elements (LUMINANCE8 upload path).
+    U8(Vec<u8>),
+    /// Signed byte elements.
+    I8(Vec<i8>),
+    /// Unsigned short elements (LUMINANCE_ALPHA8 upload path).
+    U16(Vec<u16>),
+    /// Signed short elements.
+    I16(Vec<i16>),
+    /// Unsigned int elements (RGBA8, 4 bytes per texel).
+    U32(Vec<u32>),
+    /// Signed int elements.
+    I32(Vec<i32>),
+    /// IEEE-754 single floats (the default serving format).
+    F32(Vec<f32>),
+}
+
+impl TensorData {
+    /// The runtime scalar tag.
+    pub fn scalar(&self) -> ScalarType {
+        match self {
+            TensorData::U8(_) => ScalarType::U8,
+            TensorData::I8(_) => ScalarType::I8,
+            TensorData::U16(_) => ScalarType::U16,
+            TensorData::I16(_) => ScalarType::I16,
+            TensorData::U32(_) => ScalarType::U32,
+            TensorData::I32(_) => ScalarType::I32,
+            TensorData::F32(_) => ScalarType::F32,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            TensorData::U8(v) => v.len(),
+            TensorData::I8(v) => v.len(),
+            TensorData::U16(v) => v.len(),
+            TensorData::I16(v) => v.len(),
+            TensorData::U32(v) => v.len(),
+            TensorData::I32(v) => v.len(),
+            TensorData::F32(v) => v.len(),
+        }
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Host bytes held (element size × len) — the quantity resident-input
+    /// quotas meter, so a u8 tensor costs a quarter of an f32 one.
+    pub fn byte_len(&self) -> usize {
+        let elem = match self {
+            TensorData::U8(_) | TensorData::I8(_) => 1,
+            TensorData::U16(_) | TensorData::I16(_) => 2,
+            TensorData::U32(_) | TensorData::I32(_) | TensorData::F32(_) => 4,
+        };
+        elem * self.len()
+    }
+
+    /// An all-zero tensor of `len` elements tagged `scalar` — the
+    /// serving layer's placeholder seed for typed pipeline buffers.
+    pub fn zeros(scalar: ScalarType, len: usize) -> TensorData {
+        match scalar {
+            ScalarType::U8 => TensorData::U8(vec![0; len]),
+            ScalarType::I8 => TensorData::I8(vec![0; len]),
+            ScalarType::U16 => TensorData::U16(vec![0; len]),
+            ScalarType::I16 => TensorData::I16(vec![0; len]),
+            ScalarType::U32 => TensorData::U32(vec![0; len]),
+            ScalarType::I32 => TensorData::I32(vec![0; len]),
+            ScalarType::F32 => TensorData::F32(vec![0.0; len]),
+        }
+    }
+
+    /// The f32 payload, when this is an f32 tensor.
+    pub fn as_f32(&self) -> Option<&[f32]> {
+        match self {
+            TensorData::F32(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// The u8 payload, when this is a u8 tensor.
+    pub fn as_u8(&self) -> Option<&[u8]> {
+        match self {
+            TensorData::U8(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// The i16 payload, when this is an i16 tensor.
+    pub fn as_i16(&self) -> Option<&[i16]> {
+        match self {
+            TensorData::I16(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// The u16 payload, when this is a u16 tensor.
+    pub fn as_u16(&self) -> Option<&[u16]> {
+        match self {
+            TensorData::U16(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+}
+
+impl From<Vec<u8>> for TensorData {
+    fn from(v: Vec<u8>) -> TensorData {
+        TensorData::U8(v)
+    }
+}
+
+impl From<Vec<i8>> for TensorData {
+    fn from(v: Vec<i8>) -> TensorData {
+        TensorData::I8(v)
+    }
+}
+
+impl From<Vec<u16>> for TensorData {
+    fn from(v: Vec<u16>) -> TensorData {
+        TensorData::U16(v)
+    }
+}
+
+impl From<Vec<i16>> for TensorData {
+    fn from(v: Vec<i16>) -> TensorData {
+        TensorData::I16(v)
+    }
+}
+
+impl From<Vec<u32>> for TensorData {
+    fn from(v: Vec<u32>) -> TensorData {
+        TensorData::U32(v)
+    }
+}
+
+impl From<Vec<i32>> for TensorData {
+    fn from(v: Vec<i32>) -> TensorData {
+        TensorData::I32(v)
+    }
+}
+
+impl From<Vec<f32>> for TensorData {
+    fn from(v: Vec<f32>) -> TensorData {
+        TensorData::F32(v)
+    }
+}
+
+/// A GPU array whose element type is carried at runtime instead of in the
+/// type system — the on-GPU twin of [`TensorData`]. Everything the typed
+/// [`GpuArray<T>`] knows (texture, layout) plus the scalar tag, so the
+/// serving worker can bind, chain and read back mixed-format buffers
+/// through one code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnyGpuArray {
+    pub(crate) texture: TextureId,
+    pub(crate) layout: ArrayLayout,
+    pub(crate) scalar: ScalarType,
+}
+
+impl AnyGpuArray {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.layout.len
+    }
+
+    /// Whether the array is empty (never true for live arrays).
+    pub fn is_empty(&self) -> bool {
+        self.layout.len == 0
+    }
+
+    /// The texture layout backing this array.
+    pub fn layout(&self) -> ArrayLayout {
+        self.layout
+    }
+
+    /// The backing texture handle.
+    pub fn texture(&self) -> TextureId {
+        self.texture
+    }
+
+    /// The runtime scalar tag.
+    pub fn scalar(&self) -> ScalarType {
+        self.scalar
+    }
+
+    /// Recovers the typed view; `None` when `T` is not the stored scalar.
+    pub fn downcast<T: GpuScalar>(&self) -> Option<GpuArray<T>> {
+        (self.scalar == T::SCALAR).then(|| GpuArray::new(self.texture, self.layout))
+    }
+}
+
+impl<T: GpuScalar> From<GpuArray<T>> for AnyGpuArray {
+    fn from(array: GpuArray<T>) -> AnyGpuArray {
+        AnyGpuArray {
+            texture: array.texture,
+            layout: array.layout,
+            scalar: T::SCALAR,
+        }
+    }
+}
+
+impl<T: GpuScalar> GpuArray<T> {
+    /// Erases the static element type into a runtime-tagged handle.
+    pub fn erase(&self) -> AnyGpuArray {
+        AnyGpuArray::from(*self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,5 +634,42 @@ mod tests {
         assert_eq!(m.rows(), 3);
         assert_eq!(m.cols(), 4);
         assert_eq!(m.len(), 12);
+    }
+
+    #[test]
+    fn tensor_data_tags_and_byte_lengths() {
+        let t: TensorData = vec![1u8, 2, 3].into();
+        assert_eq!(t.scalar(), ScalarType::U8);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.byte_len(), 3);
+        assert_eq!(t.as_u8(), Some(&[1u8, 2, 3][..]));
+        assert!(t.as_f32().is_none());
+        let t: TensorData = vec![-7i16, 12].into();
+        assert_eq!(t.scalar(), ScalarType::I16);
+        assert_eq!(t.byte_len(), 4);
+        assert_eq!(t.as_i16(), Some(&[-7i16, 12][..]));
+        let t: TensorData = vec![1.5f32].into();
+        assert_eq!(t.scalar(), ScalarType::F32);
+        assert_eq!(t.byte_len(), 4);
+        assert!(!t.is_empty());
+        let t: TensorData = vec![9u16].into();
+        assert_eq!(t.byte_len(), 2);
+        assert_eq!(t.as_u16(), Some(&[9u16][..]));
+    }
+
+    #[test]
+    fn any_array_erase_and_downcast() {
+        let layout = ArrayLayout {
+            len: 10,
+            width: 4,
+            height: 3,
+        };
+        let arr: GpuArray<i16> = GpuArray::new(TextureId(5), layout);
+        let any = arr.erase();
+        assert_eq!(any.scalar(), ScalarType::I16);
+        assert_eq!(any.len(), 10);
+        assert_eq!(any.texture(), TextureId(5));
+        assert_eq!(any.downcast::<i16>(), Some(arr));
+        assert!(any.downcast::<f32>().is_none());
     }
 }

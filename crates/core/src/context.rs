@@ -3,16 +3,14 @@
 
 use crate::addressing::ArrayLayout;
 use crate::bind::Bindings;
-use crate::buffer::{GpuArray, GpuMatrix, GpuScalar, GpuTexels};
+use crate::buffer::{AnyGpuArray, GpuArray, GpuMatrix, GpuScalar, GpuTexels, TensorData};
 use crate::cache::SharedProgramCache;
-use crate::codec::{FloatSpecials, PackBias};
+use crate::codec::{FloatSpecials, PackBias, ScalarType};
 use crate::error::ComputeError;
 use crate::geometry::{self, FULLSCREEN_QUAD, FULLSCREEN_QUAD_VERTICES, POSITION_ATTRIBUTE};
 use crate::kernel::Kernel;
 use crate::kernel::OutputKind;
 use crate::pipeline::{PassRecord, Readback};
-#[allow(deprecated)]
-use gpes_gles2::Executor;
 use gpes_gles2::{
     Context, Dispatch, DrawStats, ExecMode, Filter, FramebufferId, PrimitiveMode, ProgramId,
     TexFormat, TextureId, Wrap,
@@ -54,6 +52,16 @@ pub struct ContextStats {
     /// that fell back to a scalar executor (lowerer rejected the shader,
     /// or the vertex stage, which is always scalar under `Spmd`).
     pub scalar_fallbacks: u64,
+    /// Typed `f32` tensors that crossed the host↔GPU boundary (uploads
+    /// and readbacks alike). A fully quantized serving path performs
+    /// **zero** of these after warmup — the a16 CI gate asserts exactly
+    /// that.
+    pub f32_host_transfers: u64,
+    /// Non-f32 (u8/i16/… §IV codec) tensors that crossed the host↔GPU
+    /// boundary. The quantized twin of `f32_host_transfers`: a u8 CNN
+    /// request moves its image up and its scores back as themselves, so
+    /// this counter moves while the f32 one stands still.
+    pub quantized_host_transfers: u64,
 }
 
 impl ContextStats {
@@ -76,6 +84,9 @@ impl ContextStats {
             textures_recycled: self.textures_recycled + other.textures_recycled,
             spmd_batches: self.spmd_batches + other.spmd_batches,
             scalar_fallbacks: self.scalar_fallbacks + other.scalar_fallbacks,
+            f32_host_transfers: self.f32_host_transfers + other.f32_host_transfers,
+            quantized_host_transfers: self.quantized_host_transfers
+                + other.quantized_host_transfers,
         }
     }
 }
@@ -116,7 +127,7 @@ pub struct ComputeContext {
     /// serving pool install shared linked programs instead of relinking.
     shared_cache: Option<Arc<SharedProgramCache>>,
     /// `(width, height)` → recycled RGBA8 render targets.
-    target_pool: HashMap<(u32, u32), Vec<TextureId>>,
+    target_pool: HashMap<(TexFormat, u32, u32), Vec<TextureId>>,
     /// Textures currently held across all pool buckets.
     pooled_textures: usize,
     stats: ContextStats,
@@ -293,13 +304,6 @@ impl ComputeContext {
         self.gl.exec_mode()
     }
 
-    /// Selects the shader executor.
-    #[deprecated(note = "use `set_exec_mode(ExecMode)`")]
-    #[allow(deprecated)]
-    pub fn set_executor(&mut self, executor: Executor) {
-        self.gl.set_exec_mode(executor.into());
-    }
-
     /// Maximum texture side length supported by the driver.
     pub fn max_texture_side(&self) -> u32 {
         self.gl.limits().max_texture_size
@@ -347,8 +351,9 @@ impl ComputeContext {
         data: &[T],
         layout: ArrayLayout,
     ) -> Result<TextureId, ComputeError> {
+        self.note_host_transfer(T::SCALAR);
         let texels = T::encode_texels(data, layout.texel_count());
-        let texture = self.alloc_texture(layout.width, layout.height);
+        let texture = self.alloc_texture(T::tex_format(), layout.width, layout.height);
         self.gl.tex_image_2d(
             texture,
             T::tex_format(),
@@ -394,8 +399,13 @@ impl ComputeContext {
 
     pub(crate) fn recycle_texture(&mut self, id: TextureId) {
         match self.gl.texture_info(id) {
-            Ok((TexFormat::Rgba8, w, h)) if self.pooled_textures < POOL_TOTAL_CAP => {
-                let bucket = self.target_pool.entry((w, h)).or_default();
+            // Buckets are keyed by format as well as size: RGBA8 entries
+            // can serve as render targets with storage in place, while
+            // byte/short upload formats (LUMINANCE8, LUMINANCE_ALPHA8)
+            // are re-imaged on reuse — pooling them keeps a steady-state
+            // quantized upload loop at zero texture creations.
+            Ok((format, w, h)) if self.pooled_textures < POOL_TOTAL_CAP => {
+                let bucket = self.target_pool.entry((format, w, h)).or_default();
                 if bucket.len() < POOL_BUCKET_CAP {
                     bucket.push(id);
                     self.pooled_textures += 1;
@@ -404,8 +414,7 @@ impl ComputeContext {
                     self.gl.delete_texture(id);
                 }
             }
-            // Stale handles, non-renderable formats and pool overflow
-            // just go away.
+            // Stale handles and pool overflow just go away.
             _ => self.gl.delete_texture(id),
         }
     }
@@ -468,7 +477,7 @@ impl ComputeContext {
             )));
         }
         let layout = ArrayLayout::grid(height, width, self.max_texture_side())?;
-        let texture = self.alloc_texture(width, height);
+        let texture = self.alloc_texture(TexFormat::Rgba8, width, height);
         self.gl
             .tex_image_2d(texture, TexFormat::Rgba8, width, height, bytes)?;
         self.gl
@@ -490,7 +499,7 @@ impl ComputeContext {
             bytes.extend_from_slice(t);
         }
         bytes.resize(layout.texel_count() * 4, 0);
-        let texture = self.alloc_texture(layout.width, layout.height);
+        let texture = self.alloc_texture(TexFormat::Rgba8, layout.width, layout.height);
         self.gl.tex_image_2d(
             texture,
             TexFormat::Rgba8,
@@ -704,9 +713,10 @@ impl ComputeContext {
         Ok(stats)
     }
 
-    /// Pops a valid same-sized texture from the recycling pool, if any.
-    fn pooled_texture(&mut self, width: u32, height: u32) -> Option<TextureId> {
-        let pool = self.target_pool.get_mut(&(width, height))?;
+    /// Pops a valid same-format same-sized texture from the recycling
+    /// pool, if any.
+    fn pooled_texture(&mut self, format: TexFormat, width: u32, height: u32) -> Option<TextureId> {
+        let pool = self.target_pool.get_mut(&(format, width, height))?;
         while let Some(id) = pool.pop() {
             self.pooled_textures = self.pooled_textures.saturating_sub(1);
             // Skip handles the caller deleted behind the pool's back.
@@ -718,11 +728,11 @@ impl ComputeContext {
         None
     }
 
-    /// A texture object for `width × height` texels: recycled when the
-    /// pool has one (the caller re-images or overdraws it), fresh
-    /// otherwise.
-    fn alloc_texture(&mut self, width: u32, height: u32) -> TextureId {
-        match self.pooled_texture(width, height) {
+    /// A texture object for `width × height` texels of `format`:
+    /// recycled when the pool has one (the caller re-images or overdraws
+    /// it), fresh otherwise.
+    fn alloc_texture(&mut self, format: TexFormat, width: u32, height: u32) -> TextureId {
+        match self.pooled_texture(format, width, height) {
             Some(id) => id,
             None => {
                 self.stats.textures_created += 1;
@@ -745,7 +755,7 @@ impl ComputeContext {
         // through the raw `gl()` hatch must clear themselves). Sampler
         // parameters are re-asserted in case the caller changed them on
         // the recycled texture.
-        if let Some(id) = self.pooled_texture(layout.width, layout.height) {
+        if let Some(id) = self.pooled_texture(TexFormat::Rgba8, layout.width, layout.height) {
             self.gl
                 .set_texture_filter(id, Filter::Nearest, Filter::Nearest)?;
             self.gl
@@ -853,6 +863,7 @@ impl ComputeContext {
         }
         self.dispatch_resolved(kernel, &resolved, &[&bindings.uniforms], true, false)?;
         let bytes = self.gl.read_pixels(0, 0, layout.width, layout.height)?;
+        self.note_host_transfer(T::SCALAR);
         Ok(T::decode_framebuffer(&bytes, layout.len))
     }
 
@@ -1046,7 +1057,124 @@ impl ComputeContext {
                 self.gl.read_pixels(0, 0, layout.width, layout.height)?
             }
         };
+        self.note_host_transfer(T::SCALAR);
         Ok(T::decode_framebuffer(&bytes, layout.len))
+    }
+
+    /// [`ComputeContext::read_array`] over a runtime-tagged array: decodes
+    /// through the codec named by the array's scalar tag and returns the
+    /// matching [`TensorData`] variant — u8/i16 buffers come back as
+    /// themselves, never widened through f32 on the host.
+    ///
+    /// # Errors
+    ///
+    /// As [`ComputeContext::read_array`].
+    pub fn read_array_any(
+        &mut self,
+        array: &AnyGpuArray,
+        strategy: Readback,
+    ) -> Result<TensorData, ComputeError> {
+        fn typed<T: GpuScalar>(
+            cc: &mut ComputeContext,
+            array: &AnyGpuArray,
+            strategy: Readback,
+        ) -> Result<Vec<T>, ComputeError> {
+            let typed = array.downcast::<T>().expect("scalar matched by caller");
+            cc.read_array(&typed, strategy)
+        }
+        Ok(match array.scalar() {
+            ScalarType::U8 => TensorData::U8(typed(self, array, strategy)?),
+            ScalarType::I8 => TensorData::I8(typed(self, array, strategy)?),
+            ScalarType::U16 => TensorData::U16(typed(self, array, strategy)?),
+            ScalarType::I16 => TensorData::I16(typed(self, array, strategy)?),
+            ScalarType::U32 => TensorData::U32(typed(self, array, strategy)?),
+            ScalarType::I32 => TensorData::I32(typed(self, array, strategy)?),
+            ScalarType::F32 => TensorData::F32(typed(self, array, strategy)?),
+        })
+    }
+
+    /// Uploads a runtime-tagged tensor as a linear array, preserving its
+    /// scalar format on the wire (a u8 tensor travels through the
+    /// LUMINANCE8 path, an i16 one through LUMINANCE_ALPHA8, …).
+    ///
+    /// # Errors
+    ///
+    /// As [`ComputeContext::upload`].
+    pub fn upload_any(&mut self, data: &TensorData) -> Result<AnyGpuArray, ComputeError> {
+        Ok(match data {
+            TensorData::U8(v) => self.upload(v)?.erase(),
+            TensorData::I8(v) => self.upload(v)?.erase(),
+            TensorData::U16(v) => self.upload(v)?.erase(),
+            TensorData::I16(v) => self.upload(v)?.erase(),
+            TensorData::U32(v) => self.upload(v)?.erase(),
+            TensorData::I32(v) => self.upload(v)?.erase(),
+            TensorData::F32(v) => self.upload(v)?.erase(),
+        })
+    }
+
+    /// Uploads a runtime-tagged tensor as a `rows × cols` matrix viewed
+    /// linearly; the grid shape drives the texture layout exactly as
+    /// [`ComputeContext::upload_matrix`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ComputeContext::upload_matrix`].
+    pub fn upload_any_matrix(
+        &mut self,
+        rows: u32,
+        cols: u32,
+        data: &TensorData,
+    ) -> Result<AnyGpuArray, ComputeError> {
+        Ok(match data {
+            TensorData::U8(v) => self.upload_matrix(rows, cols, v)?.as_array().erase(),
+            TensorData::I8(v) => self.upload_matrix(rows, cols, v)?.as_array().erase(),
+            TensorData::U16(v) => self.upload_matrix(rows, cols, v)?.as_array().erase(),
+            TensorData::I16(v) => self.upload_matrix(rows, cols, v)?.as_array().erase(),
+            TensorData::U32(v) => self.upload_matrix(rows, cols, v)?.as_array().erase(),
+            TensorData::I32(v) => self.upload_matrix(rows, cols, v)?.as_array().erase(),
+            TensorData::F32(v) => self.upload_matrix(rows, cols, v)?.as_array().erase(),
+        })
+    }
+
+    /// [`ComputeContext::recycle_array`] for runtime-tagged arrays.
+    pub fn recycle_any(&mut self, array: AnyGpuArray) {
+        self.recycle_texture(array.texture());
+    }
+
+    /// Runs a kernel into a render-to-texture target under explicit
+    /// [`Bindings`], returning a runtime-tagged handle carrying the
+    /// kernel's declared output scalar — the dispatch path for serving
+    /// workers chaining mixed-format passes.
+    ///
+    /// # Errors
+    ///
+    /// `BadKernel` for raw-texel kernels; binding/GL errors as
+    /// [`ComputeContext::run_to_array_with`].
+    pub fn run_to_array_any_with(
+        &mut self,
+        kernel: &Kernel,
+        bindings: &Bindings,
+    ) -> Result<AnyGpuArray, ComputeError> {
+        let scalar = match kernel.output_kind {
+            OutputKind::Scalar(scalar) => scalar,
+            OutputKind::RawTexel => {
+                return Err(ComputeError::bad_kernel(format!(
+                    "kernel `{}` has a raw-texel output; use run_to_texels",
+                    kernel.name
+                )))
+            }
+        };
+        let resolved = self.resolve_bindings(kernel, bindings)?;
+        let (target, pooled) = self.acquire_render_target(resolved.layout)?;
+        let result =
+            self.dispatch_resolved(kernel, &resolved, &[&bindings.uniforms], false, pooled);
+        self.gl.bind_framebuffer(None)?;
+        result?;
+        Ok(AnyGpuArray {
+            texture: target,
+            layout: resolved.layout,
+            scalar,
+        })
     }
 
     fn copy_program(&mut self) -> Result<ProgramId, ComputeError> {
@@ -1070,6 +1198,15 @@ impl ComputeContext {
     fn note_draw(&mut self, stats: &DrawStats) {
         self.stats.spmd_batches += stats.spmd_batches;
         self.stats.scalar_fallbacks += stats.scalar_fallbacks;
+    }
+
+    /// Counts one typed tensor crossing the host↔GPU boundary.
+    fn note_host_transfer(&mut self, scalar: ScalarType) {
+        if scalar == ScalarType::F32 {
+            self.stats.f32_host_transfers += 1;
+        } else {
+            self.stats.quantized_host_transfers += 1;
+        }
     }
 
     /// Records a pass executed outside the fragment-kernel dispatcher

@@ -141,6 +141,19 @@ impl KernelBuilder {
         self
     }
 
+    /// Binds a runtime-tagged array input; the generated fetch decodes
+    /// through the codec named by the array's scalar tag, exactly as
+    /// [`KernelBuilder::input`] does for the static type.
+    pub fn input_any(mut self, name: &str, array: &crate::buffer::AnyGpuArray) -> Self {
+        self.inputs.push(InputBinding {
+            name: name.to_owned(),
+            texture: array.texture(),
+            layout: array.layout(),
+            encoding: InputEncoding::Scalar(array.scalar()),
+        });
+        self
+    }
+
     /// Binds an untyped texel buffer; the body reads raw colours with
     /// `fetch_<name>_texel(j)` (and `fetch_<name>_texel_rc(row, col)`).
     pub fn input_texels(mut self, name: &str, texels: &GpuTexels) -> Self {

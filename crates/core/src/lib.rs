@@ -54,14 +54,12 @@ pub mod serve;
 pub mod vertex_compute;
 
 pub use bind::Bindings;
-pub use buffer::{GpuArray, GpuMatrix, GpuScalar, GpuTexels};
+pub use buffer::{AnyGpuArray, GpuArray, GpuMatrix, GpuScalar, GpuTexels, TensorData};
 pub use cache::{SharedCacheStats, SharedProgramCache};
 pub use codec::{FloatSpecials, PackBias, ScalarType};
 pub use context::{ComputeContext, ContextStats};
 pub use error::{AdmissionStage, ComputeError, QuotaResource};
 pub use gpes_gles2::ExecMode;
-#[allow(deprecated)]
-pub use gpes_gles2::Executor;
 pub use kernel::{InputEncoding, Kernel, KernelBuilder, OutputKind, OutputShape};
 pub use multi_output::{MultiOutputBuilder, MultiOutputKernel};
 pub use pipeline::{

@@ -248,6 +248,18 @@ impl SourceSeed {
             kind: BufKind::Texels,
         }
     }
+
+    /// Seeds source `name` from a runtime-tagged array for one run; the
+    /// tag is checked against the declared buffer kind exactly as the
+    /// typed constructors are.
+    pub fn any(name: impl Into<String>, array: &crate::buffer::AnyGpuArray) -> SourceSeed {
+        SourceSeed {
+            name: name.into(),
+            texture: array.texture(),
+            layout: array.layout(),
+            kind: BufKind::Scalar(array.scalar()),
+        }
+    }
 }
 
 /// Builder for [`Pipeline`]s; see [`Pipeline::builder`].
@@ -293,6 +305,19 @@ impl PipelineBuilder {
             texels.texture,
             texels.layout,
             BufKind::Texels,
+        ));
+        self
+    }
+
+    /// Seeds buffer `name` from a runtime-tagged array — the buffer takes
+    /// the array's scalar kind, so passes reading it must declare a
+    /// matching input encoding.
+    pub fn source_any(mut self, name: &str, array: &crate::buffer::AnyGpuArray) -> Self {
+        self.sources.push((
+            name.to_owned(),
+            array.texture(),
+            array.layout(),
+            BufKind::Scalar(array.scalar()),
         ));
         self
     }
@@ -930,6 +955,35 @@ impl PipelineRun {
         }
         let array: GpuArray<T> = GpuArray::new(b.texture, b.layout);
         cc.read_array(&array, Readback::DirectFbo)
+    }
+
+    /// Reads a scalar buffer back as a runtime-tagged tensor through the
+    /// direct-FBO path — a u8 buffer comes back as
+    /// [`crate::TensorData::U8`], never widened to f32 on the host.
+    ///
+    /// # Errors
+    ///
+    /// `BadKernel` for raw-texel buffers; GL errors.
+    pub fn read_any(
+        &self,
+        cc: &mut ComputeContext,
+        name: &str,
+    ) -> Result<crate::TensorData, ComputeError> {
+        let b = self.get(name)?;
+        let scalar = match b.kind {
+            BufKind::Scalar(scalar) => scalar,
+            BufKind::Texels => {
+                return Err(ComputeError::bad_kernel(format!(
+                    "buffer `{name}` holds raw texels; use read_texels"
+                )))
+            }
+        };
+        let array = crate::buffer::AnyGpuArray {
+            texture: b.texture,
+            layout: b.layout,
+            scalar,
+        };
+        cc.read_array_any(&array, Readback::DirectFbo)
     }
 
     /// Transfers ownership of a buffer's texture out of the run as a

@@ -101,8 +101,9 @@ pub use queue::*;
 pub use registry::*;
 pub use spec::*;
 
-use crate::buffer::GpuArray;
+use crate::buffer::{AnyGpuArray, GpuArray, TensorData};
 use crate::cache::{FifoCache, SharedProgramCache};
+use crate::codec::ScalarType;
 use crate::context::{ComputeContext, ContextStats};
 use crate::error::ComputeError;
 use crate::kernel::{Kernel, OutputShape};

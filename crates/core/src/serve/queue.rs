@@ -451,8 +451,55 @@ pub enum CachePolicy {
     PerContext,
 }
 
+/// Where a single-kernel job's result goes: the legacy `Vec<f32>` handle
+/// ([`Engine::submit`]) or a typed [`TensorData`] handle
+/// ([`Engine::submit_typed`]). The worker computes a `TensorData` either
+/// way; the `F32` sink unwraps it at fulfilment.
+#[derive(Clone)]
+pub(crate) enum SingleSink {
+    F32(Arc<HandleState<Vec<f32>>>),
+    Tensor(Arc<HandleState<TensorData>>),
+}
+
+impl SingleSink {
+    pub(crate) fn control(&self) -> &TaskControl {
+        match self {
+            SingleSink::F32(handle) => &handle.control,
+            SingleSink::Tensor(handle) => &handle.control,
+        }
+    }
+
+    pub(crate) fn fulfil(self, result: Result<TensorData, ComputeError>) {
+        match self {
+            SingleSink::F32(handle) => {
+                let result = result.map(|t| match t {
+                    TensorData::F32(v) => v,
+                    // submit() admits only all-f32 specs, so a typed
+                    // result can never reach an F32 sink.
+                    other => unreachable!("f32 job produced {:?} output", other.scalar()),
+                });
+                fulfil(&handle, result);
+            }
+            SingleSink::Tensor(handle) => fulfil(&handle, result),
+        }
+    }
+}
+
+/// `submit`/`try_submit` resolve to `Vec<f32>`, so they only admit specs
+/// whose inputs and output are all f32; typed specs go through
+/// [`Engine::submit_typed`].
+fn check_f32_job(job: &Job) -> Result<(), ComputeError> {
+    if !job.kernel.is_all_f32() {
+        return Err(spec::bad_job(format!(
+            "kernel spec `{}` declares typed tensors; submit it with Engine::submit_typed",
+            job.kernel.name
+        )));
+    }
+    Ok(())
+}
+
 pub(crate) enum Task {
-    Single(Job, Arc<HandleState<Vec<f32>>>),
+    Single(Job, SingleSink),
     Batch(Submission, Arc<HandleState<BatchResult>>),
     Pipeline(PipelineJob, Arc<HandleState<PipelineResult>>),
 }
@@ -460,7 +507,7 @@ pub(crate) enum Task {
 impl Task {
     pub(crate) fn control(&self) -> &TaskControl {
         match self {
-            Task::Single(_, handle) => &handle.control,
+            Task::Single(_, sink) => sink.control(),
             Task::Batch(_, handle) => &handle.control,
             Task::Pipeline(_, handle) => &handle.control,
         }
@@ -485,7 +532,7 @@ impl Task {
         }
         EngineMetrics::bump(&metrics.aborted);
         match self {
-            Task::Single(_, handle) => fulfil(&handle, Err(error)),
+            Task::Single(_, sink) => sink.fulfil(Err(error)),
             Task::Batch(_, handle) => fulfil(&handle, Err(error)),
             Task::Pipeline(_, handle) => fulfil(&handle, Err(error)),
         }
@@ -497,7 +544,7 @@ impl Task {
     pub(crate) fn shed(self, queued_ms: u64) {
         let error = ComputeError::DeadlineExceeded { queued_ms };
         match self {
-            Task::Single(_, handle) => fulfil(&handle, Err(error)),
+            Task::Single(_, sink) => sink.fulfil(Err(error)),
             Task::Batch(_, handle) => fulfil(&handle, Err(error)),
             Task::Pipeline(_, handle) => fulfil(&handle, Err(error)),
         }
@@ -1003,20 +1050,53 @@ impl Engine {
     /// ([`ComputeError::QueueFull`], [`ComputeError::EngineShutdown`])
     /// surface here; execution errors surface on the handle.
     pub fn submit(&self, job: Job) -> Result<JobHandle<Vec<f32>>, ComputeError> {
+        check_f32_job(&job)?;
         job.validate()?;
         let deadline = job.deadline;
         let (handle, state) = JobHandle::new(&self.shared.metrics);
-        self.enqueue(Task::Single(job, state), deadline, true)?;
+        self.enqueue(Task::Single(job, SingleSink::F32(state)), deadline, true)?;
         Ok(handle)
     }
 
     /// Non-blocking [`Engine::submit`]: a full queue rejects with
     /// [`ComputeError::QueueFull`] immediately.
     pub fn try_submit(&self, job: Job) -> Result<JobHandle<Vec<f32>>, ComputeError> {
+        check_f32_job(&job)?;
         job.validate()?;
         let deadline = job.deadline;
         let (handle, state) = JobHandle::new(&self.shared.metrics);
-        self.enqueue(Task::Single(job, state), deadline, false)?;
+        self.enqueue(Task::Single(job, SingleSink::F32(state)), deadline, false)?;
+        Ok(handle)
+    }
+
+    /// [`Engine::submit`] for typed kernels: the handle resolves to the
+    /// output's [`TensorData`] in the spec's declared output scalar, so
+    /// quantized results come back as their own bytes. Accepts all-f32
+    /// specs too (the result is then `TensorData::F32`).
+    ///
+    /// # Errors
+    ///
+    /// Validation errors (input arity, scalar mismatches) and admission
+    /// errors surface here; execution errors surface on the handle.
+    pub fn submit_typed(&self, job: Job) -> Result<JobHandle<TensorData>, ComputeError> {
+        job.validate()?;
+        let deadline = job.deadline;
+        let (handle, state) = JobHandle::new(&self.shared.metrics);
+        self.enqueue(Task::Single(job, SingleSink::Tensor(state)), deadline, true)?;
+        Ok(handle)
+    }
+
+    /// Non-blocking [`Engine::submit_typed`]: a full queue rejects with
+    /// [`ComputeError::QueueFull`] immediately.
+    pub fn try_submit_typed(&self, job: Job) -> Result<JobHandle<TensorData>, ComputeError> {
+        job.validate()?;
+        let deadline = job.deadline;
+        let (handle, state) = JobHandle::new(&self.shared.metrics);
+        self.enqueue(
+            Task::Single(job, SingleSink::Tensor(state)),
+            deadline,
+            false,
+        )?;
         Ok(handle)
     }
 

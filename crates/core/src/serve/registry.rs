@@ -64,7 +64,7 @@ use super::*;
 use crate::cache::program_key;
 use crate::error::{AdmissionStage, QuotaResource};
 use crate::kernel::{generate_fragment_source, is_valid_name, InputEncoding, OutputKind};
-use crate::{FloatSpecials, PackBias, ScalarType};
+use crate::{FloatSpecials, PackBias};
 use gpes_glsl::admission as glsl_admission;
 use gpes_glsl::ShaderKind;
 
@@ -570,14 +570,14 @@ impl KernelRegistry {
                 format!("kernel `{}` has an empty body", spec.name),
             ));
         }
-        for (i, name) in spec.inputs.iter().enumerate() {
+        for (i, (name, _)) in spec.inputs.iter().enumerate() {
             if !is_valid_name(name) {
                 return Err(reject(
                     AdmissionStage::Signature,
                     format!("input name `{name}` is not a valid GLSL identifier"),
                 ));
             }
-            if spec.inputs[..i].iter().any(|other| other == name) {
+            if spec.inputs[..i].iter().any(|(other, _)| other == name) {
                 return Err(reject(
                     AdmissionStage::Signature,
                     format!("duplicate input name `{name}`"),
@@ -606,7 +606,7 @@ impl KernelRegistry {
         let inputs: Vec<(&str, InputEncoding)> = spec
             .inputs
             .iter()
-            .map(|name| (name.as_str(), InputEncoding::Scalar(ScalarType::F32)))
+            .map(|(name, scalar)| (name.as_str(), InputEncoding::Scalar(*scalar)))
             .collect();
         let source = generate_fragment_source(
             PackBias::default(),
@@ -614,7 +614,7 @@ impl KernelRegistry {
             &inputs,
             &spec.uniforms,
             &spec.functions,
-            OutputKind::Scalar(ScalarType::F32),
+            OutputKind::Scalar(spec.output_scalar),
             &spec.body,
         );
         glsl_admission::admit(ShaderKind::Fragment, &source).map_err(|diag| {
@@ -650,9 +650,26 @@ impl KernelRegistry {
         tenant: impl Into<TenantId>,
         data: Vec<f32>,
     ) -> Result<ResidentInput, ComputeError> {
+        self.register_resident_tensor(tenant, data)
+    }
+
+    /// [`KernelRegistry::register_resident`] for typed tensors: the byte
+    /// budget meters the tensor's own element size, so quantized u8
+    /// weights cost a quarter of their f32 equivalent.
+    ///
+    /// # Errors
+    ///
+    /// [`ComputeError::QuotaExceeded`] when `data` alone exceeds
+    /// [`TenantQuotas::max_resident_bytes`].
+    pub fn register_resident_tensor(
+        &self,
+        tenant: impl Into<TenantId>,
+        data: impl Into<TensorData>,
+    ) -> Result<ResidentInput, ComputeError> {
         let tenant = tenant.into();
-        let bytes = data.len() * std::mem::size_of::<f32>();
-        let resident = ResidentInput::new(data);
+        let data = data.into();
+        let bytes = data.byte_len();
+        let resident = ResidentInput::new_tensor(data);
         self.tenants.admit_resident(&tenant, &resident, bytes)?;
         Ok(resident)
     }

@@ -2,17 +2,24 @@ use super::*;
 
 // ---- kernel specification ------------------------------------------------
 
-/// A context-free description of an `f32` compute kernel: everything
+/// A context-free description of a compute kernel: everything
 /// [`crate::KernelBuilder`] needs, minus the textures, so the same spec
 /// can be built (cheaply, through the program caches) on any worker
 /// context. Specs are immutable once built; wrap them in [`Arc`] and
 /// reuse them across jobs.
+///
+/// Inputs and the output each carry a [`ScalarType`] (default `F32`), so
+/// quantized u8/i16 tensors are first-class: a typed spec samples its
+/// inputs through the matching §IV codec and packs its output the same
+/// way, and the serving layer moves those tensors without ever widening
+/// to f32 on the host.
 #[derive(Debug, Clone)]
 pub struct KernelSpec {
     pub(crate) name: String,
-    pub(crate) inputs: Vec<String>,
+    pub(crate) inputs: Vec<(String, ScalarType)>,
     pub(crate) uniforms: Vec<(String, Value)>,
     pub(crate) output: Option<OutputShape>,
+    pub(crate) output_scalar: ScalarType,
     pub(crate) body: String,
     pub(crate) functions: String,
 }
@@ -25,6 +32,7 @@ impl KernelSpec {
             inputs: Vec::new(),
             uniforms: Vec::new(),
             output: None,
+            output_scalar: ScalarType::F32,
             body: String::new(),
             functions: String::new(),
         }
@@ -32,8 +40,15 @@ impl KernelSpec {
 
     /// Declares an `f32` array input; jobs supply its data positionally,
     /// in declaration order.
-    pub fn input(mut self, name: impl Into<String>) -> Self {
-        self.inputs.push(name.into());
+    pub fn input(self, name: impl Into<String>) -> Self {
+        self.input_typed(name, ScalarType::F32)
+    }
+
+    /// Declares an array input of an explicit scalar type — how quantized
+    /// tensors enter a kernel. Jobs must supply data of exactly this type
+    /// ([`Job::tensor`] / [`PipelineJob::source_tensor`]).
+    pub fn input_typed(mut self, name: impl Into<String>, scalar: ScalarType) -> Self {
+        self.inputs.push((name.into(), scalar));
         self
     }
 
@@ -48,15 +63,31 @@ impl KernelSpec {
         self.uniform(name, Value::Float(value))
     }
 
-    /// Declares the linear output length.
+    /// Declares the linear output length (`f32` output).
     pub fn output(mut self, len: usize) -> Self {
         self.output = Some(OutputShape::Linear(len));
         self
     }
 
-    /// Declares a `rows × cols` output grid.
+    /// Declares a `rows × cols` output grid (`f32` output).
     pub fn output_grid(mut self, rows: u32, cols: u32) -> Self {
         self.output = Some(OutputShape::Grid { rows, cols });
+        self
+    }
+
+    /// Declares a linear output of `len` elements packed as `scalar` —
+    /// the kernel's scalar return is encoded through the matching §IV
+    /// codec, so downstream passes and readbacks see that type.
+    pub fn output_typed(mut self, scalar: ScalarType, len: usize) -> Self {
+        self.output = Some(OutputShape::Linear(len));
+        self.output_scalar = scalar;
+        self
+    }
+
+    /// Declares a `rows × cols` output grid packed as `scalar`.
+    pub fn output_grid_typed(mut self, scalar: ScalarType, rows: u32, cols: u32) -> Self {
+        self.output = Some(OutputShape::Grid { rows, cols });
+        self.output_scalar = scalar;
         self
     }
 
@@ -73,13 +104,30 @@ impl KernelSpec {
     }
 
     /// The declared input names, in positional order.
-    pub fn input_names(&self) -> &[String] {
+    pub fn input_names(&self) -> impl Iterator<Item = &str> {
+        self.inputs.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The declared `(name, scalar)` input pairs, in positional order.
+    pub fn input_types(&self) -> &[(String, ScalarType)] {
         &self.inputs
+    }
+
+    /// The scalar type the kernel's output is packed as.
+    pub fn output_scalar(&self) -> ScalarType {
+        self.output_scalar
     }
 
     /// The kernel's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Whether every input and the output are `f32` — the only shape the
+    /// (f32-wired) [`Submission`] DAG path accepts.
+    pub(crate) fn is_all_f32(&self) -> bool {
+        self.output_scalar == ScalarType::F32
+            && self.inputs.iter().all(|(_, s)| *s == ScalarType::F32)
     }
 
     /// Builds the kernel against `arrays` (parallel to the declared
@@ -98,6 +146,25 @@ impl KernelSpec {
         cc: &mut ComputeContext,
         arrays: &[GpuArray<f32>],
     ) -> Result<Kernel, ComputeError> {
+        let erased: Vec<AnyGpuArray> = arrays.iter().map(|a| a.erase()).collect();
+        self.build_any(cc, &erased)
+    }
+
+    /// [`KernelSpec::build`] over type-erased arrays: each array's runtime
+    /// scalar tag must equal the declared input scalar, so a quantized
+    /// kernel can never silently sample its bytes through the wrong
+    /// codec.
+    ///
+    /// # Errors
+    ///
+    /// Arity or scalar mismatches against the declaration, plus
+    /// spec/kernel validation and compile errors as
+    /// [`crate::KernelBuilder::build`].
+    pub fn build_any(
+        &self,
+        cc: &mut ComputeContext,
+        arrays: &[AnyGpuArray],
+    ) -> Result<Kernel, ComputeError> {
         if arrays.len() != self.inputs.len() {
             return Err(bad_job(format!(
                 "kernel spec `{}` declares {} inputs, got {} arrays",
@@ -110,8 +177,16 @@ impl KernelSpec {
             .output
             .ok_or_else(|| bad_job(format!("kernel spec `{}` declares no output", self.name)))?;
         let mut b = Kernel::builder(self.name.clone());
-        for (name, array) in self.inputs.iter().zip(arrays) {
-            b = b.input(name, array);
+        for ((name, scalar), array) in self.inputs.iter().zip(arrays) {
+            if array.scalar() != *scalar {
+                return Err(bad_job(format!(
+                    "input `{name}` of kernel spec `{}` is declared {scalar:?}, got a \
+                     {:?} array",
+                    self.name,
+                    array.scalar()
+                )));
+            }
+            b = b.input_any(name, array);
         }
         for (name, value) in &self.uniforms {
             b = b.uniform(name, value.clone());
@@ -120,8 +195,8 @@ impl KernelSpec {
             b = b.functions(self.functions.clone());
         }
         b = match shape {
-            OutputShape::Linear(len) => b.output(crate::ScalarType::F32, len),
-            OutputShape::Grid { rows, cols } => b.output_grid(crate::ScalarType::F32, rows, cols),
+            OutputShape::Linear(len) => b.output(self.output_scalar, len),
+            OutputShape::Grid { rows, cols } => b.output_grid(self.output_scalar, rows, cols),
         };
         b.body(self.body.clone()).build(cc)
     }
@@ -144,7 +219,7 @@ pub(crate) fn next_unique_id() -> u64 {
 
 pub(crate) struct ResidentInner {
     pub(crate) id: u64,
-    pub(crate) data: Vec<f32>,
+    pub(crate) data: TensorData,
     pub(crate) evicted: AtomicBool,
 }
 
@@ -167,12 +242,18 @@ pub struct ResidentInput {
 }
 
 impl ResidentInput {
-    /// Wraps host data for per-worker GPU residency.
+    /// Wraps `f32` host data for per-worker GPU residency.
     pub fn new(data: Vec<f32>) -> ResidentInput {
+        ResidentInput::new_tensor(data)
+    }
+
+    /// Wraps typed host data — quantized weights stay u8/i16 on the GPU,
+    /// the TFLite-delegate trick without the f32 widening.
+    pub fn new_tensor(data: impl Into<TensorData>) -> ResidentInput {
         ResidentInput {
             inner: Arc::new(ResidentInner {
                 id: next_unique_id(),
-                data,
+                data: data.into(),
                 evicted: AtomicBool::new(false),
             }),
         }
@@ -181,6 +262,11 @@ impl ResidentInput {
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.inner.data.len()
+    }
+
+    /// The runtime scalar tag of the resident data.
+    pub fn scalar(&self) -> ScalarType {
+        self.inner.data.scalar()
     }
 
     /// Whether the input is empty.
@@ -256,9 +342,12 @@ impl ResidentStats {
 /// per-worker [`ResidentInput`].
 #[derive(Debug, Clone)]
 pub enum JobInput {
-    /// Host data uploaded per request. `Arc`-held so fan-out jobs share
-    /// one buffer without copying.
+    /// `f32` host data uploaded per request. `Arc`-held so fan-out jobs
+    /// share one buffer without copying.
     Data(Arc<Vec<f32>>),
+    /// Typed host data uploaded per request — quantized u8/i16 tensors
+    /// travel as themselves, no f32 widening at the host boundary.
+    Tensor(Arc<TensorData>),
     /// An input resident on the worker across requests.
     Resident(ResidentInput),
 }
@@ -267,13 +356,22 @@ impl JobInput {
     fn len(&self) -> usize {
         match self {
             JobInput::Data(d) => d.len(),
+            JobInput::Tensor(t) => t.len(),
             JobInput::Resident(r) => r.len(),
+        }
+    }
+
+    fn scalar(&self) -> ScalarType {
+        match self {
+            JobInput::Data(_) => ScalarType::F32,
+            JobInput::Tensor(t) => t.scalar(),
+            JobInput::Resident(r) => r.scalar(),
         }
     }
 
     fn check_live(&self, what: &str) -> Result<(), ComputeError> {
         match self {
-            JobInput::Data(_) => Ok(()),
+            JobInput::Data(_) | JobInput::Tensor(_) => Ok(()),
             JobInput::Resident(r) => r.check_live(what),
         }
     }
@@ -373,15 +471,28 @@ impl Job {
         self.deadline(at)
     }
 
-    /// Appends host data for the next declared input.
+    /// Appends `f32` host data for the next declared input.
     pub fn data(mut self, data: Vec<f32>) -> Job {
         self.inputs.push(JobInput::Data(Arc::new(data)));
         self
     }
 
-    /// Appends shared host data for the next declared input.
+    /// Appends shared `f32` host data for the next declared input.
     pub fn data_shared(mut self, data: &Arc<Vec<f32>>) -> Job {
         self.inputs.push(JobInput::Data(Arc::clone(data)));
+        self
+    }
+
+    /// Appends typed host data for the next declared input — must match
+    /// the scalar the spec declared with [`KernelSpec::input_typed`].
+    pub fn tensor(mut self, data: impl Into<TensorData>) -> Job {
+        self.inputs.push(JobInput::Tensor(Arc::new(data.into())));
+        self
+    }
+
+    /// Appends shared typed host data for the next declared input.
+    pub fn tensor_shared(mut self, data: &Arc<TensorData>) -> Job {
+        self.inputs.push(JobInput::Tensor(Arc::clone(data)));
         self
     }
 
@@ -412,8 +523,16 @@ impl Job {
                 self.kernel.inputs.len()
             )));
         }
-        for input in &self.inputs {
+        for ((name, scalar), input) in self.kernel.inputs.iter().zip(&self.inputs) {
             input.check_live(&format!("job for `{}`", self.kernel.name))?;
+            if input.scalar() != *scalar {
+                return Err(bad_job(format!(
+                    "input `{name}` of job for `{}` is declared {scalar:?}, supplied \
+                     {:?} data",
+                    self.kernel.name,
+                    input.scalar()
+                )));
+            }
         }
         Ok(())
     }
@@ -517,6 +636,15 @@ impl Submission {
                     step.kernel.inputs.len()
                 )));
             }
+            // The DAG path moves Vec<f32> end to end; typed tensor chains
+            // are what PipelineSpec is for.
+            if !step.kernel.is_all_f32() {
+                return Err(bad_job(format!(
+                    "step {i} (`{}`) declares typed tensors; submissions are f32-only — \
+                     express quantized chains as a PipelineSpec",
+                    step.kernel.name
+                )));
+            }
             for input in &step.inputs {
                 match input {
                     StepInput::Step(j) => {
@@ -527,7 +655,15 @@ impl Submission {
                         }
                     }
                     StepInput::Resident(r) => {
-                        r.check_live(&format!("step {i} (`{}`)", step.kernel.name))?
+                        r.check_live(&format!("step {i} (`{}`)", step.kernel.name))?;
+                        if r.scalar() != ScalarType::F32 {
+                            return Err(bad_job(format!(
+                                "step {i} (`{}`) binds a {:?} resident input; submissions \
+                                 are f32-only",
+                                step.kernel.name,
+                                r.scalar()
+                            )));
+                        }
                     }
                     StepInput::Data(_) => {}
                 }
@@ -587,6 +723,7 @@ pub(crate) enum SourceShape {
 pub(crate) struct SourceDecl {
     pub(crate) name: String,
     pub(crate) shape: SourceShape,
+    pub(crate) scalar: ScalarType,
 }
 
 /// One declared pass of a [`PipelineSpec`]: a context-free kernel plus
@@ -700,31 +837,57 @@ pub struct PipelineSpecBuilder {
 }
 
 impl PipelineSpecBuilder {
-    /// Declares a linear source buffer; jobs supply its data positionally,
-    /// in declaration order.
-    pub fn source(mut self, name: &str) -> Self {
+    /// Declares a linear `f32` source buffer; jobs supply its data
+    /// positionally, in declaration order.
+    pub fn source(self, name: &str) -> Self {
+        self.source_typed(name, ScalarType::F32)
+    }
+
+    /// Declares a linear source buffer of an explicit scalar type — jobs
+    /// must seed it with matching [`TensorData`].
+    pub fn source_typed(mut self, name: &str, scalar: ScalarType) -> Self {
         self.sources.push(SourceDecl {
             name: name.to_owned(),
             shape: SourceShape::Linear(None),
+            scalar,
         });
         self
     }
 
-    /// Declares a linear source buffer of exactly `len` elements
+    /// Declares a linear `f32` source buffer of exactly `len` elements
     /// (validated against each job's data).
-    pub fn source_len(mut self, name: &str, len: usize) -> Self {
+    pub fn source_len(self, name: &str, len: usize) -> Self {
+        self.source_len_typed(name, ScalarType::F32, len)
+    }
+
+    /// Declares a typed linear source buffer of exactly `len` elements.
+    pub fn source_len_typed(mut self, name: &str, scalar: ScalarType, len: usize) -> Self {
         self.sources.push(SourceDecl {
             name: name.to_owned(),
             shape: SourceShape::Linear(Some(len)),
+            scalar,
         });
         self
     }
 
-    /// Declares a row-major `rows × cols` matrix source buffer.
-    pub fn source_grid(mut self, name: &str, rows: u32, cols: u32) -> Self {
+    /// Declares a row-major `rows × cols` `f32` matrix source buffer.
+    pub fn source_grid(self, name: &str, rows: u32, cols: u32) -> Self {
+        self.source_grid_typed(name, ScalarType::F32, rows, cols)
+    }
+
+    /// Declares a typed row-major `rows × cols` matrix source buffer —
+    /// how a quantized image enters a CNN pipeline.
+    pub fn source_grid_typed(
+        mut self,
+        name: &str,
+        scalar: ScalarType,
+        rows: u32,
+        cols: u32,
+    ) -> Self {
         self.sources.push(SourceDecl {
             name: name.to_owned(),
             shape: SourceShape::Grid { rows, cols },
+            scalar,
         });
         self
     }
@@ -782,6 +945,11 @@ impl PipelineSpecBuilder {
             )));
         }
         let mut buffers: HashSet<&str> = HashSet::new();
+        // Every buffer carries one scalar type for the pipeline's whole
+        // life: sources fix theirs at declaration, written buffers take
+        // the writing kernel's output scalar, and every read/rewrite must
+        // agree — so a u8 activation can never be sampled as f32.
+        let mut scalars: HashMap<&str, ScalarType> = HashMap::new();
         for decl in &self.sources {
             if !buffers.insert(&decl.name) {
                 return Err(bad_job(format!(
@@ -789,6 +957,7 @@ impl PipelineSpecBuilder {
                     self.name, decl.name
                 )));
             }
+            scalars.insert(&decl.name, decl.scalar);
         }
         // A read must be satisfiable on the FIRST iteration, exactly as
         // in `PipelineBuilder::build`.
@@ -807,7 +976,7 @@ impl PipelineSpecBuilder {
                     kernel.name, self.name
                 )));
             }
-            for input in &kernel.inputs {
+            for (input, _) in &kernel.inputs {
                 let mapped = pass.reads.iter().filter(|(i, _)| i == input).count();
                 if mapped != 1 {
                     return Err(bad_job(format!(
@@ -818,17 +987,26 @@ impl PipelineSpecBuilder {
                 }
             }
             for (input, buffer) in &pass.reads {
-                if !kernel.inputs.contains(input) {
+                let Some((_, want)) = kernel.inputs.iter().find(|(n, _)| n == input) else {
                     return Err(bad_job(format!(
                         "kernel spec `{}` declares no input `{input}`",
                         kernel.name
                     )));
-                }
+                };
                 if !available.contains(buffer.as_str()) {
                     return Err(bad_job(format!(
                         "pass `{}` reads buffer `{buffer}` before its first write",
                         kernel.name
                     )));
+                }
+                if let Some(have) = scalars.get(buffer.as_str()) {
+                    if have != want {
+                        return Err(bad_job(format!(
+                            "input `{input}` of pass `{}` in pipeline spec `{}` is declared \
+                             {want:?}, but buffer `{buffer}` holds {have:?}",
+                            kernel.name, self.name
+                        )));
+                    }
                 }
             }
             for (name, value) in &pass.uniforms {
@@ -837,6 +1015,16 @@ impl PipelineSpecBuilder {
             for (name, _) in &pass.uniform_fns {
                 check_spec_uniform(kernel, name, None)?;
             }
+            if let Some(have) = scalars.get(write_name.as_str()) {
+                if *have != kernel.output_scalar {
+                    return Err(bad_job(format!(
+                        "pass `{}` writes {:?} into buffer `{write_name}` of pipeline spec \
+                         `{}`, which holds {have:?}; a buffer keeps one scalar type",
+                        kernel.name, kernel.output_scalar, self.name
+                    )));
+                }
+            }
+            scalars.insert(write_name, kernel.output_scalar);
             buffers.insert(write_name);
             available.insert(write_name);
         }
@@ -848,6 +1036,15 @@ impl PipelineSpecBuilder {
                         self.name
                     )));
                 }
+            }
+            if scalars.get(front.as_str()) != scalars.get(back.as_str()) {
+                return Err(bad_job(format!(
+                    "ping-pong pair `{front}`/`{back}` of pipeline spec `{}` mixes scalar \
+                     types ({:?} vs {:?})",
+                    self.name,
+                    scalars.get(front.as_str()),
+                    scalars.get(back.as_str())
+                )));
             }
         }
         let iteration_cap = match (self.iteration_cap, &self.until, self.iterations) {
@@ -908,6 +1105,7 @@ pub(crate) fn spec_fingerprint(b: &PipelineSpecBuilder) -> u64 {
     for decl in &b.sources {
         decl.name.hash(&mut h);
         format!("{:?}", decl.shape).hash(&mut h);
+        decl.scalar.hash(&mut h);
     }
     for pass in &b.passes {
         let k = &pass.kernel;
@@ -918,6 +1116,7 @@ pub(crate) fn spec_fingerprint(b: &PipelineSpecBuilder) -> u64 {
             format!("{value:?}").hash(&mut h);
         }
         format!("{:?}", k.output).hash(&mut h);
+        k.output_scalar.hash(&mut h);
         k.body.hash(&mut h);
         k.functions.hash(&mut h);
         pass.reads.hash(&mut h);
@@ -1071,17 +1270,35 @@ impl PipelineSpec {
     /// Kernel build/compile errors and pipeline validation errors.
     pub fn build(&self, cc: &mut ComputeContext) -> Result<ServedPipeline, ComputeError> {
         // Every source and kernel default binding points at a 1-texel
-        // placeholder: a run seeds every declared source with real data,
-        // and spec validation guarantees every kernel input is wired to a
-        // pipeline buffer, so the placeholder is never sampled.
-        let placeholder = cc.upload(&[0.0f32])?;
+        // placeholder of the buffer's scalar type: a run seeds every
+        // declared source with real data, and spec validation guarantees
+        // every kernel input is wired to a pipeline buffer, so the
+        // placeholder is never sampled — but its scalar tag must match
+        // the declaration for the typed build to pass.
+        let mut placeholders: Vec<(ScalarType, AnyGpuArray)> = Vec::new();
+        fn placeholder_for(
+            cc: &mut ComputeContext,
+            pool: &mut Vec<(ScalarType, AnyGpuArray)>,
+            scalar: ScalarType,
+        ) -> Result<AnyGpuArray, ComputeError> {
+            if let Some((_, a)) = pool.iter().find(|(s, _)| *s == scalar) {
+                return Ok(*a);
+            }
+            let a = cc.upload_any(&TensorData::zeros(scalar, 1))?;
+            pool.push((scalar, a));
+            Ok(a)
+        }
         let mut builder = Pipeline::builder(self.name.clone());
         for decl in &self.sources {
-            builder = builder.source(&decl.name, &placeholder);
+            let placeholder = placeholder_for(cc, &mut placeholders, decl.scalar)?;
+            builder = builder.source_any(&decl.name, &placeholder);
         }
         for pass in &self.passes {
-            let arrays = vec![placeholder; pass.kernel.inputs.len()];
-            let kernel = pass.kernel.build(cc, &arrays)?;
+            let mut arrays = Vec::with_capacity(pass.kernel.inputs.len());
+            for (_, scalar) in &pass.kernel.inputs {
+                arrays.push(placeholder_for(cc, &mut placeholders, *scalar)?);
+            }
+            let kernel = pass.kernel.build_any(cc, &arrays)?;
             let mut p = Pass::new(&kernel);
             for (input, buffer) in &pass.reads {
                 p = p.read(input, buffer);
@@ -1116,7 +1333,7 @@ impl PipelineSpec {
         }
         Ok(ServedPipeline {
             pipeline: builder.build()?,
-            placeholder,
+            placeholders: placeholders.into_iter().map(|(_, a)| a).collect(),
         })
     }
 }
@@ -1127,9 +1344,10 @@ impl PipelineSpec {
 /// spec fingerprint.
 pub struct ServedPipeline {
     pub(crate) pipeline: Pipeline,
-    /// The 1-texel array backing build-time bindings; recycled when the
-    /// worker evicts the cached pipeline.
-    pub(crate) placeholder: GpuArray<f32>,
+    /// The 1-texel arrays (one per scalar type the spec touches) backing
+    /// build-time bindings; recycled when the worker evicts the cached
+    /// pipeline.
+    pub(crate) placeholders: Vec<AnyGpuArray>,
 }
 
 impl ServedPipeline {
@@ -1194,15 +1412,29 @@ impl PipelineJob {
         self.deadline(at)
     }
 
-    /// Appends host data for the next declared source.
+    /// Appends `f32` host data for the next declared source.
     pub fn source(mut self, data: Vec<f32>) -> PipelineJob {
         self.sources.push(JobInput::Data(Arc::new(data)));
         self
     }
 
-    /// Appends shared host data for the next declared source.
+    /// Appends shared `f32` host data for the next declared source.
     pub fn source_shared(mut self, data: &Arc<Vec<f32>>) -> PipelineJob {
         self.sources.push(JobInput::Data(Arc::clone(data)));
+        self
+    }
+
+    /// Appends typed host data for the next declared source — must match
+    /// the scalar declared with [`PipelineSpecBuilder::source_typed`]
+    /// (or the `_len`/`_grid` variants).
+    pub fn source_tensor(mut self, data: impl Into<TensorData>) -> PipelineJob {
+        self.sources.push(JobInput::Tensor(Arc::new(data.into())));
+        self
+    }
+
+    /// Appends shared typed host data for the next declared source.
+    pub fn source_tensor_shared(mut self, data: &Arc<TensorData>) -> PipelineJob {
+        self.sources.push(JobInput::Tensor(Arc::clone(data)));
         self
     }
 
@@ -1233,6 +1465,15 @@ impl PipelineJob {
         }
         for (decl, input) in spec.sources.iter().zip(&self.sources) {
             input.check_live(&format!("pipeline job for `{}`", spec.name))?;
+            if input.scalar() != decl.scalar {
+                return Err(bad_job(format!(
+                    "source `{}` of pipeline `{}` is declared {:?}, supplied {:?} data",
+                    decl.name,
+                    spec.name,
+                    decl.scalar,
+                    input.scalar()
+                )));
+            }
             let want = match decl.shape {
                 SourceShape::Linear(None) => None,
                 SourceShape::Linear(Some(len)) => Some(len),
@@ -1268,24 +1509,32 @@ impl PipelineJob {
     }
 }
 
-/// Results of a [`PipelineJob`]: one `Vec<f32>` per buffer marked with
-/// [`PipelineJob::read`].
+/// Results of a [`PipelineJob`]: one [`TensorData`] per buffer marked
+/// with [`PipelineJob::read`] — the buffer's declared scalar type, so a
+/// quantized readback arrives as its own bytes, never widened to f32.
 #[derive(Debug, Clone)]
 pub struct PipelineResult {
-    pub(crate) outputs: Vec<(String, Vec<f32>)>,
+    pub(crate) outputs: Vec<(String, TensorData)>,
 }
 
 impl PipelineResult {
-    /// The readback of buffer `name`, if it was marked.
+    /// The readback of an `f32` buffer `name`, if it was marked (`None`
+    /// for unmarked buffers *and* for typed buffers — read those with
+    /// [`PipelineResult::tensor`]).
     pub fn output(&self, name: &str) -> Option<&[f32]> {
+        self.tensor(name).and_then(|t| t.as_f32())
+    }
+
+    /// The typed readback of buffer `name`, if it was marked.
+    pub fn tensor(&self, name: &str) -> Option<&TensorData> {
         self.outputs
             .iter()
             .find(|(n, _)| n == name)
-            .map(|(_, data)| data.as_slice())
+            .map(|(_, data)| data)
     }
 
-    /// Consumes the result into `(buffer, data)` pairs, in read order.
-    pub fn into_outputs(self) -> Vec<(String, Vec<f32>)> {
+    /// Consumes the result into `(buffer, tensor)` pairs, in read order.
+    pub fn into_outputs(self) -> Vec<(String, TensorData)> {
         self.outputs
     }
 }

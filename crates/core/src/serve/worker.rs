@@ -94,7 +94,7 @@ pub(crate) fn retire_worker(shared: &EngineShared) {
 /// has published its stats so a caller returning from `wait()` observes
 /// stats that already include its job.
 pub(crate) enum Completed {
-    Single(Arc<HandleState<Vec<f32>>>, Result<Vec<f32>, ComputeError>),
+    Single(SingleSink, Result<TensorData, ComputeError>),
     Batch(
         Arc<HandleState<BatchResult>>,
         Result<BatchResult, ComputeError>,
@@ -120,7 +120,7 @@ impl Completed {
 
     fn fulfil(self) {
         match self {
-            Completed::Single(handle, result) => fulfil(&handle, result),
+            Completed::Single(sink, result) => sink.fulfil(result),
             Completed::Batch(handle, result) => fulfil(&handle, result),
             Completed::Pipeline(handle, result) => fulfil(&handle, result),
         }
@@ -146,7 +146,7 @@ pub(crate) struct WorkerState {
     /// `(resident id, texture width, texture height)` → handle + uploaded
     /// array; the dims keep one residency usable under several declared
     /// shapes, and the handle lets the post-task sweep notice evictions.
-    pub(crate) residents: FifoCache<(u64, u32, u32), (ResidentInput, GpuArray<f32>)>,
+    pub(crate) residents: FifoCache<(u64, u32, u32), (ResidentInput, AnyGpuArray)>,
     pub(crate) resident_stats: ResidentStats,
 }
 
@@ -179,7 +179,9 @@ impl WorkerState {
         if !self.pipelines.contains(&key) {
             let served = spec.build(cc)?;
             for (_, evicted) in self.pipelines.insert(key, served) {
-                cc.recycle_array(evicted.placeholder);
+                for placeholder in evicted.placeholders {
+                    cc.recycle_any(placeholder);
+                }
             }
         }
         Ok(self.pipelines.get(&key).expect("just ensured present"))
@@ -193,7 +195,7 @@ impl WorkerState {
         cc: &mut ComputeContext,
         input: &ResidentInput,
         shape: SourceShape,
-    ) -> Result<GpuArray<f32>, ComputeError> {
+    ) -> Result<AnyGpuArray, ComputeError> {
         let id = input.inner.id;
         if input.is_evicted() {
             self.sweep_evicted(cc);
@@ -215,14 +217,14 @@ impl WorkerState {
             return Ok(*array);
         }
         let array = match shape {
-            SourceShape::Linear(_) => cc.upload(input.inner.data.as_slice())?,
-            SourceShape::Grid { rows, cols } => cc
-                .upload_matrix(rows, cols, input.inner.data.as_slice())?
-                .as_array(),
+            SourceShape::Linear(_) => cc.upload_any(&input.inner.data)?,
+            SourceShape::Grid { rows, cols } => {
+                cc.upload_any_matrix(rows, cols, &input.inner.data)?
+            }
         };
         self.resident_stats.uploads += 1;
         for (_, (_, evicted)) in self.residents.insert(key, (input.clone(), array)) {
-            cc.recycle_array(evicted);
+            cc.recycle_any(evicted);
             self.resident_stats.evictions += 1;
         }
         self.resident_stats.resident_textures = self.residents.len() as u64;
@@ -238,7 +240,7 @@ impl WorkerState {
             .residents
             .extract_if(|_, (handle, _)| handle.is_evicted());
         for (_, (_, array)) in dead {
-            cc.recycle_array(array);
+            cc.recycle_any(array);
             self.resident_stats.evictions += 1;
         }
         self.resident_stats.resident_textures = self.residents.len() as u64;
@@ -288,9 +290,9 @@ pub(crate) fn run_task(
     payload: &Task,
 ) -> (Completed, bool) {
     match payload {
-        Task::Single(job, handle) => {
+        Task::Single(job, sink) => {
             let (result, panicked) = run_shielded(cc, |cc| run_job(cc, state, job));
-            (Completed::Single(Arc::clone(handle), result), panicked)
+            (Completed::Single(sink.clone(), result), panicked)
         }
         Task::Batch(submission, handle) => {
             let (result, panicked) = run_shielded(cc, |cc| run_submission(cc, state, submission));
@@ -462,31 +464,37 @@ pub(crate) fn run_job(
     cc: &mut ComputeContext,
     state: &mut WorkerState,
     job: &Job,
-) -> Result<Vec<f32>, ComputeError> {
+) -> Result<TensorData, ComputeError> {
     let mut arrays = Vec::with_capacity(job.inputs.len());
     let mut uploads = Vec::new();
     let mut failure = None;
     for input in &job.inputs {
-        match input {
-            JobInput::Data(data) => match cc.upload(data.as_slice()) {
-                Ok(array) => {
-                    uploads.push(array);
-                    arrays.push(array);
-                }
-                Err(e) => {
-                    failure = Some(e);
-                    break;
-                }
-            },
+        let uploaded = match input {
+            JobInput::Data(data) => Some(cc.upload(data.as_slice()).map(|a| a.erase())),
+            JobInput::Tensor(tensor) => Some(cc.upload_any(tensor)),
             JobInput::Resident(resident) => {
                 match state.resident_array(cc, resident, SourceShape::Linear(None)) {
-                    Ok(array) => arrays.push(array),
+                    Ok(array) => {
+                        arrays.push(array);
+                        None
+                    }
                     Err(e) => {
                         failure = Some(e);
                         break;
                     }
                 }
             }
+        };
+        match uploaded {
+            Some(Ok(array)) => {
+                uploads.push(array);
+                arrays.push(array);
+            }
+            Some(Err(e)) => {
+                failure = Some(e);
+                break;
+            }
+            None => {}
         }
     }
     let result = match failure {
@@ -494,11 +502,11 @@ pub(crate) fn run_job(
         None => dispatch_spec(cc, &job.kernel, &arrays, &job.uniforms),
     };
     for array in uploads {
-        cc.recycle_array(array);
+        cc.recycle_any(array);
     }
     let out = result?;
-    let host = cc.read_array(&out, Readback::DirectFbo);
-    cc.recycle_array(out);
+    let host = cc.read_array_any(&out, Readback::DirectFbo);
+    cc.recycle_any(out);
     host
 }
 
@@ -513,16 +521,32 @@ pub(crate) fn run_pipeline(
 ) -> Result<PipelineResult, ComputeError> {
     state.pipeline_for(cc, &job.spec)?;
     let mut seeds = Vec::with_capacity(job.sources.len());
-    let mut uploads: Vec<GpuArray<f32>> = Vec::new();
+    let mut uploads: Vec<AnyGpuArray> = Vec::new();
     let mut failure = None;
     for (decl, input) in job.spec.sources.iter().zip(&job.sources) {
         let resolved = match input {
             JobInput::Data(data) => {
                 let uploaded = match decl.shape {
-                    SourceShape::Linear(_) => cc.upload(data.as_slice()),
+                    SourceShape::Linear(_) => cc.upload(data.as_slice()).map(|a| a.erase()),
                     SourceShape::Grid { rows, cols } => cc
                         .upload_matrix(rows, cols, data.as_slice())
-                        .map(|m| m.as_array()),
+                        .map(|m| m.as_array().erase()),
+                };
+                match uploaded {
+                    Ok(array) => {
+                        uploads.push(array);
+                        array
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            JobInput::Tensor(tensor) => {
+                let uploaded = match decl.shape {
+                    SourceShape::Linear(_) => cc.upload_any(tensor),
+                    SourceShape::Grid { rows, cols } => cc.upload_any_matrix(rows, cols, tensor),
                 };
                 match uploaded {
                     Ok(array) => {
@@ -543,7 +567,7 @@ pub(crate) fn run_pipeline(
                 }
             },
         };
-        seeds.push(SourceSeed::array(decl.name.clone(), &resolved));
+        seeds.push(SourceSeed::any(decl.name.clone(), &resolved));
     }
     let result = match failure {
         Some(e) => Err(e),
@@ -556,7 +580,7 @@ pub(crate) fn run_pipeline(
                 let mut outputs = Vec::with_capacity(job.reads.len());
                 let mut read_failure = None;
                 for buffer in &job.reads {
-                    match run.read::<f32>(cc, buffer) {
+                    match run.read_any(cc, buffer) {
                         Ok(data) => outputs.push((buffer.clone(), data)),
                         Err(e) => {
                             read_failure = Some(e);
@@ -573,7 +597,7 @@ pub(crate) fn run_pipeline(
         }
     };
     for array in uploads {
-        cc.recycle_array(array);
+        cc.recycle_any(array);
     }
     result
 }
@@ -586,11 +610,11 @@ pub(crate) fn run_submission(
     submission: &Submission,
 ) -> Result<BatchResult, ComputeError> {
     let n = submission.steps.len();
-    let mut step_outputs: Vec<Option<GpuArray<f32>>> = (0..n).map(|_| None).collect();
-    let mut uploads: Vec<GpuArray<f32>> = Vec::new();
+    let mut step_outputs: Vec<Option<AnyGpuArray>> = (0..n).map(|_| None).collect();
+    let mut uploads: Vec<AnyGpuArray> = Vec::new();
     let mut failure: Option<ComputeError> = None;
     for (i, step) in submission.steps.iter().enumerate() {
-        let mut arrays: Vec<GpuArray<f32>> = Vec::with_capacity(step.inputs.len());
+        let mut arrays: Vec<AnyGpuArray> = Vec::with_capacity(step.inputs.len());
         let mut ok = true;
         for input in &step.inputs {
             let array = match input {
@@ -598,6 +622,7 @@ pub(crate) fn run_submission(
                     Ok(array) => {
                         // Track the upload for recycling; the borrow the
                         // kernel needs is the (Copy) texture + layout pair.
+                        let array = array.erase();
                         uploads.push(array);
                         array
                     }
@@ -649,8 +674,17 @@ pub(crate) fn run_submission(
         };
         for &r in &read {
             match step_outputs[r].as_ref() {
-                Some(array) => match cc.read_array(array, Readback::DirectFbo) {
-                    Ok(host) => outputs[r] = Some(host),
+                Some(array) => match cc.read_array_any(array, Readback::DirectFbo) {
+                    // Submission validation admits only all-f32 specs, so
+                    // every step readback is an f32 tensor.
+                    Ok(TensorData::F32(host)) => outputs[r] = Some(host),
+                    Ok(other) => {
+                        failure = Some(bad_job(format!(
+                            "step {r} produced {:?} output in an f32 submission",
+                            other.scalar()
+                        )));
+                        break;
+                    }
                     Err(e) => {
                         failure = Some(e);
                         break;
@@ -665,10 +699,10 @@ pub(crate) fn run_submission(
     }
 
     for array in uploads {
-        cc.recycle_array(array);
+        cc.recycle_any(array);
     }
     for array in step_outputs.into_iter().flatten() {
-        cc.recycle_array(array);
+        cc.recycle_any(array);
     }
     match failure {
         Some(e) => Err(e),
@@ -677,18 +711,20 @@ pub(crate) fn run_submission(
 }
 
 /// Builds the spec's kernel over `arrays` and dispatches it once with the
-/// given uniform overrides.
+/// given uniform overrides. The output array carries the spec's declared
+/// output scalar.
 pub(crate) fn dispatch_spec(
     cc: &mut ComputeContext,
     spec: &KernelSpec,
-    arrays: &[GpuArray<f32>],
+    arrays: &[AnyGpuArray],
     uniforms: &[(String, Value)],
-) -> Result<GpuArray<f32>, ComputeError> {
-    // Arity is validated inside `KernelSpec::build`.
-    let kernel = spec.build(cc, arrays)?;
+) -> Result<AnyGpuArray, ComputeError> {
+    // Arity and scalar agreement are validated inside
+    // `KernelSpec::build_any`.
+    let kernel = spec.build_any(cc, arrays)?;
     let mut bindings = Bindings::new();
     for (name, value) in uniforms {
         bindings.set_uniform(name, value.clone());
     }
-    cc.run_to_array_with(&kernel, &bindings)
+    cc.run_to_array_any_with(&kernel, &bindings)
 }

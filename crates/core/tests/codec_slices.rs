@@ -1,0 +1,227 @@
+//! Differential tests for the slice-level codec hot paths.
+//!
+//! The SPMD-friendly `encode_slice`/`decode_slice` (and the Strzodka
+//! `encode_texels`/`decode_texels`) batch many elements per call; the
+//! per-element `encode`/`decode` pairs are the semantic reference. The
+//! two must agree byte-for-byte at **every** length — in particular the
+//! non-multiple-of-8 tails a vectorised implementation handles in a
+//! scalar epilogue — and the shader-mirror pack must pin down the
+//! saturation and NaN/∞ behaviour the serving path relies on.
+
+use gpes_core::codec::{float32, sshort, strzodka16, ubyte, ushort, FloatSpecials, PackBias};
+
+/// Every length from empty through a few vector widths: covers the
+/// 1..=7 tails, exact multiples of 4/8, and one odd length past 32.
+const LENS: [usize; 12] = [0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 31, 33];
+
+const BIASES: [PackBias; 3] = [
+    PackBias::QuarterTexel,
+    PackBias::HalfTexel,
+    PackBias::PaperDelta,
+];
+
+/// Deterministic value pattern hitting both byte extremes in every tail.
+fn pattern(i: usize) -> u16 {
+    [
+        0, 1, 0x7F, 0x80, 0xFF, 0x100, 0x7FFF, 0x8000, 0xFFFE, 0xFFFF,
+    ][i % 10] as u16
+        ^ (i as u16).wrapping_mul(0x9E37)
+}
+
+/// Synthesises the RGBA8 framebuffer bytes a kernel would store for one
+/// already-encoded value, through the shader-mirror pack at `bias`.
+fn fb_pixel_u8(v: u8, bias: PackBias) -> [u8; 4] {
+    let b = ubyte::mirror_pack(ubyte::mirror_unpack(ubyte::encode(v)), bias);
+    [b, 0, 0, 0]
+}
+
+fn fb_pixel_i16(v: i16, bias: PackBias) -> [u8; 4] {
+    let b = sshort::mirror_pack(sshort::mirror_unpack(sshort::encode(v)), bias);
+    // The short formats carry the byte pair in (R, A), mirroring the
+    // LUMINANCE_ALPHA sampling layout.
+    [b[0], 0, 0, b[1]]
+}
+
+fn fb_pixel_u16(v: u16, bias: PackBias) -> [u8; 4] {
+    let b = ushort::mirror_pack(ushort::mirror_unpack(ushort::encode(v)), bias);
+    [b[0], 0, 0, b[1]]
+}
+
+#[test]
+fn ubyte_slices_match_per_element_at_every_tail() {
+    for &len in &LENS {
+        let values: Vec<u8> = (0..len).map(|i| pattern(i) as u8).collect();
+        // Upload side: texel_count may exceed len (padded texture rows).
+        for pad in [0, 1, 3] {
+            let texels = len + pad;
+            let batched = ubyte::encode_slice(&values, texels);
+            let mut expected = vec![0u8; texels];
+            for (dst, &v) in expected.iter_mut().zip(&values) {
+                *dst = ubyte::encode(v);
+            }
+            assert_eq!(batched, expected, "ubyte encode len {len} pad {pad}");
+        }
+        // Readback side: decode from RGBA8 pixels, including a request
+        // longer than the framebuffer (must truncate, not read junk).
+        for bias in BIASES {
+            let fb: Vec<u8> = values.iter().flat_map(|&v| fb_pixel_u8(v, bias)).collect();
+            let batched = ubyte::decode_slice(&fb, len);
+            let expected: Vec<u8> = fb.chunks_exact(4).map(|px| ubyte::decode(px[0])).collect();
+            assert_eq!(batched, expected, "ubyte decode len {len} {bias:?}");
+            assert_eq!(batched, values, "ubyte round-trip len {len} {bias:?}");
+            assert_eq!(
+                ubyte::decode_slice(&fb, len + 5),
+                values,
+                "ubyte over-length decode must truncate to the framebuffer"
+            );
+        }
+    }
+}
+
+#[test]
+fn sshort_slices_match_per_element_at_every_tail() {
+    for &len in &LENS {
+        let values: Vec<i16> = (0..len).map(|i| pattern(i) as i16).collect();
+        let batched = sshort::encode_slice(&values, len);
+        let expected: Vec<u8> = values.iter().flat_map(|&v| sshort::encode(v)).collect();
+        assert_eq!(batched, expected, "sshort encode len {len}");
+        // Zero-padding past the value count.
+        let padded = sshort::encode_slice(&values, len + 2);
+        assert_eq!(&padded[..len * 2], &expected[..]);
+        assert_eq!(&padded[len * 2..], &[0u8; 4][..]);
+
+        for bias in BIASES {
+            let fb: Vec<u8> = values.iter().flat_map(|&v| fb_pixel_i16(v, bias)).collect();
+            let batched = sshort::decode_slice(&fb, len);
+            let expected: Vec<i16> = fb
+                .chunks_exact(4)
+                .map(|px| sshort::decode([px[0], px[3]]))
+                .collect();
+            assert_eq!(batched, expected, "sshort decode len {len} {bias:?}");
+            assert_eq!(batched, values, "sshort round-trip len {len} {bias:?}");
+        }
+    }
+}
+
+#[test]
+fn ushort_slices_match_per_element_at_every_tail() {
+    for &len in &LENS {
+        let values: Vec<u16> = (0..len).map(pattern).collect();
+        let batched = ushort::encode_slice(&values, len);
+        let expected: Vec<u8> = values.iter().flat_map(|&v| ushort::encode(v)).collect();
+        assert_eq!(batched, expected, "ushort encode len {len}");
+
+        for bias in BIASES {
+            let fb: Vec<u8> = values.iter().flat_map(|&v| fb_pixel_u16(v, bias)).collect();
+            let batched = ushort::decode_slice(&fb, len);
+            assert_eq!(batched, values, "ushort round-trip len {len} {bias:?}");
+        }
+    }
+}
+
+#[test]
+fn strzodka16_texel_slices_match_per_element_at_every_tail() {
+    for &len in &LENS {
+        let values: Vec<u16> = (0..len).map(pattern).collect();
+        // Two values per RGBA texel; odd lengths leave the BA half padded.
+        let texels = len.div_ceil(2).max(1);
+        let batched = strzodka16::encode_texels(&values, texels);
+        let mut expected = vec![0u8; texels * 4];
+        for (dst, &v) in expected.chunks_exact_mut(2).zip(&values) {
+            dst.copy_from_slice(&strzodka16::encode_u16(v));
+        }
+        assert_eq!(batched, expected, "strzodka16 encode len {len}");
+        let decoded = strzodka16::decode_texels(&batched, len);
+        assert_eq!(decoded, values, "strzodka16 round-trip len {len}");
+    }
+}
+
+#[test]
+fn float32_slices_preserve_nan_and_inf_bit_patterns() {
+    // The §IV-E rotation is a pure bit permutation, so specials must
+    // survive the slice paths exactly — including NaN payload bits.
+    let specials = [
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+        f32::from_bits(0x7FC0_1234), // quiet NaN with payload
+        f32::from_bits(0xFF80_0001), // signalling-NaN pattern
+        f32::MAX,
+        f32::MIN_POSITIVE,
+        -0.0,
+        1.5,
+    ];
+    for &len in &LENS {
+        let values: Vec<f32> = (0..len).map(|i| specials[i % specials.len()]).collect();
+        let batched = float32::encode_slice(&values, len);
+        let expected: Vec<u8> = values.iter().flat_map(|&v| float32::encode(v)).collect();
+        assert_eq!(batched, expected, "float32 encode len {len}");
+        let back = float32::decode_slice(&batched, len);
+        let got: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want, "float32 decode len {len} must be bit-exact");
+    }
+    // And through the shader-mirror pack with specials preserved. The
+    // shader path canonicalises NaN payloads (fp32 arithmetic does not
+    // carry them), so NaN-ness must survive but not the payload bits;
+    // everything else must round-trip bit-exactly.
+    for &v in &specials {
+        let texel = float32::mirror_pack(v, PackBias::default(), FloatSpecials::Preserve);
+        let back = float32::mirror_unpack(texel, FloatSpecials::Preserve);
+        if v.is_nan() {
+            assert!(back.is_nan(), "mirror round-trip lost NaN-ness");
+        } else {
+            assert_eq!(
+                back.to_bits(),
+                v.to_bits(),
+                "mirror round-trip diverged for {v:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ubyte_pack_saturates_and_flushes_specials() {
+    for bias in BIASES {
+        // In-range integers are identity.
+        for v in [0.0f32, 1.0, 127.0, 254.0, 255.0] {
+            assert_eq!(ubyte::decode(ubyte::mirror_pack(v, bias)), v as u8);
+        }
+        // Out-of-range saturates at the store clamp (eq. (2)).
+        assert_eq!(ubyte::mirror_pack(-1.0, bias), 0, "{bias:?}");
+        assert_eq!(ubyte::mirror_pack(-1e30, bias), 0, "{bias:?}");
+        assert_eq!(ubyte::mirror_pack(256.0, bias), 255, "{bias:?}");
+        assert_eq!(ubyte::mirror_pack(1e30, bias), 255, "{bias:?}");
+        assert_eq!(ubyte::mirror_pack(f32::INFINITY, bias), 255, "{bias:?}");
+        assert_eq!(ubyte::mirror_pack(f32::NEG_INFINITY, bias), 0, "{bias:?}");
+        // GL clamps NaN to 0: comparisons are all false.
+        assert_eq!(ubyte::mirror_pack(f32::NAN, bias), 0, "{bias:?}");
+    }
+}
+
+#[test]
+fn sshort_pack_is_exact_at_the_bounds_and_wraps_beyond() {
+    for bias in BIASES {
+        // The whole i16 domain is exact; the bounds are the risky spots.
+        for v in [i16::MIN, -32767, -1, 0, 1, 32766, i16::MAX] {
+            let bytes = sshort::mirror_pack(v as f32, bias);
+            assert_eq!(sshort::decode(bytes), v, "{bias:?} value {v}");
+        }
+        // One past either bound wraps mod 2^16 (two's complement), the
+        // same behaviour integer hardware would give — kernels that need
+        // saturation clamp in-shader (the CNN dense layer does).
+        assert_eq!(sshort::decode(sshort::mirror_pack(32768.0, bias)), i16::MIN);
+        assert_eq!(
+            sshort::decode(sshort::mirror_pack(-32769.0, bias)),
+            i16::MAX
+        );
+        // NaN/∞ degenerate to byte arithmetic on NaN, which the store
+        // clamp flushes to zero — deterministic, never UB.
+        assert_eq!(sshort::decode(sshort::mirror_pack(f32::NAN, bias)), 0);
+        assert_eq!(sshort::decode(sshort::mirror_pack(f32::INFINITY, bias)), 0);
+        assert_eq!(
+            sshort::decode(sshort::mirror_pack(f32::NEG_INFINITY, bias)),
+            0
+        );
+    }
+}

@@ -7,8 +7,6 @@ use crate::framebuffer::{DefaultFramebuffer, Framebuffer};
 use crate::handles::{FramebufferId, ProgramId, TextureId};
 use crate::limits::{shader_precision_format, Extensions, Limits, PrecisionFormat};
 use crate::program::Program;
-#[allow(deprecated)]
-use crate::raster::Executor;
 use crate::raster::{
     self, AttribArray, Bindings, Dispatch, DrawStats, ExecMode, PrimitiveMode, RasterConfig,
     TargetImage,
@@ -219,24 +217,6 @@ impl Context {
     /// The current shader execution mode.
     pub fn exec_mode(&self) -> ExecMode {
         self.exec_mode
-    }
-
-    /// Selects the shader executor.
-    #[deprecated(note = "use `set_exec_mode(ExecMode)`")]
-    #[allow(deprecated)]
-    pub fn set_executor(&mut self, executor: Executor) {
-        self.exec_mode = executor.into();
-    }
-
-    /// The current shader executor selection, collapsed onto the legacy
-    /// two-variant enum (`Spmd` reports as `Bytecode`).
-    #[deprecated(note = "use `exec_mode()`")]
-    #[allow(deprecated)]
-    pub fn executor(&self) -> Executor {
-        match self.exec_mode {
-            ExecMode::TreeWalker => Executor::TreeWalker,
-            _ => Executor::Bytecode,
-        }
     }
 
     /// Replaces shader execution limits (loop budgets).

@@ -56,8 +56,6 @@ pub use half::{f16_bits_to_f32, f32_to_f16_bits};
 pub use handles::{FramebufferId, ProgramId, TextureId};
 pub use limits::{Extensions, Limits, PrecisionFormat};
 pub use program::Program;
-#[allow(deprecated)]
-pub use raster::Executor;
 pub use raster::{
     AttribArray, Dispatch, DrawStats, ExecMode, PrimitiveMode, MAX_VARYING_COMPONENTS,
 };

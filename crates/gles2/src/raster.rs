@@ -100,35 +100,6 @@ impl ExecMode {
     }
 }
 
-/// Legacy two-variant executor selection, superseded by [`ExecMode`].
-#[deprecated(note = "use `ExecMode` (TreeWalker / Scalar / Spmd { lanes })")]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Executor {
-    /// Slot-addressed bytecode VM; maps to [`ExecMode::Scalar`].
-    Bytecode,
-    /// Tree-walking interpreter; maps to [`ExecMode::TreeWalker`].
-    TreeWalker,
-}
-
-// Not `#[derive(Default)]`: the derive expansion on a deprecated enum
-// trips `useless_deprecated`/deprecation warnings.
-#[allow(deprecated, clippy::derivable_impls)]
-impl Default for Executor {
-    fn default() -> Self {
-        Executor::Bytecode
-    }
-}
-
-#[allow(deprecated)]
-impl From<Executor> for ExecMode {
-    fn from(e: Executor) -> ExecMode {
-        match e {
-            Executor::Bytecode => ExecMode::Scalar,
-            Executor::TreeWalker => ExecMode::TreeWalker,
-        }
-    }
-}
-
 /// Most varying components a program may interpolate: 8 vec4 rows, the
 /// ES 2 minimum the paper's platform guarantees. Fixed-size per-fragment
 /// buffers are sized by this, keeping interpolation allocation-free.

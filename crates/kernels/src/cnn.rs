@@ -1,0 +1,539 @@
+//! A small **quantized CNN** served end-to-end on the GPU: `u8`
+//! activations and `i16` weights flow through the §IV codecs with zero
+//! `f32` host round-trips — the TFLite-delegate trick expressed as a
+//! [`PipelineSpec`].
+//!
+//! Graph (all buffers GPU-resident between passes):
+//!
+//! ```text
+//! img u8 16×16 ─ conv1 3×3 ─ u8 16×16 ─ pool1 2×2max ─ u8 8×8
+//!             ─ conv2 3×3 ─ u8  8×8  ─ pool2 2×2max ─ u8 4×4
+//!             ─ dense 16→10 ─ i16 scores(10) ─ 2× max-fold ─ i16 top(1)
+//! ```
+//!
+//! Numeric contract: convolutions accumulate `u8 · i16` products and
+//! requantize with a power-of-two shift (`clamp(floor(acc / 2^s), 0,
+//! 255)` — the clamp at zero doubles as ReLU); the dense layer clamps
+//! its `i16` scores to ±32767. With the demo weight bounds every
+//! accumulator stays far below 2²⁴, so fp32 shader arithmetic is exact
+//! and [`cpu_reference`] — which mirrors the shader's operation order
+//! and the codec store/fetch round-trips — is **bit-identical**, on the
+//! quantized path and the [`Precision::F32`] twin alike.
+
+use gpes_core::{
+    codec, ComputeError, KernelSpec, PackBias, PassSpec, PipelineSpec, ScalarType, TensorData,
+};
+use gpes_glsl::Value;
+use std::sync::Arc;
+
+use crate::reduce::{fold_body, ReduceOp};
+
+/// Input image side (the graph is fixed at 16×16).
+pub const IMG_SIDE: u32 = 16;
+/// Requantization shift of the first convolution (divide by 2⁶).
+pub const CONV1_SHIFT: u32 = 6;
+/// Requantization shift of the second convolution (divide by 2⁶).
+pub const CONV2_SHIFT: u32 = 6;
+/// Flattened activations feeding the dense layer (4×4 after two pools).
+pub const DENSE_INPUTS: usize = 16;
+/// Dense-layer output classes.
+pub const DENSE_OUTPUTS: usize = 10;
+
+/// Which scalar formats the graph's buffers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// `u8` activations, `i16` weights and scores — the quantized path.
+    Quantized,
+    /// Everything `f32` — the widened baseline the ablation compares
+    /// against (identical arithmetic, 4× the texel traffic).
+    F32,
+}
+
+impl Precision {
+    /// Activation scalar type.
+    pub fn act(self) -> ScalarType {
+        match self {
+            Precision::Quantized => ScalarType::U8,
+            Precision::F32 => ScalarType::F32,
+        }
+    }
+
+    /// Weight scalar type.
+    pub fn weight(self) -> ScalarType {
+        match self {
+            Precision::Quantized => ScalarType::I16,
+            Precision::F32 => ScalarType::F32,
+        }
+    }
+
+    /// Score scalar type.
+    pub fn score(self) -> ScalarType {
+        match self {
+            Precision::Quantized => ScalarType::I16,
+            Precision::F32 => ScalarType::F32,
+        }
+    }
+
+    /// Pipeline-spec name suffix (`cnn_quant` / `cnn_f32`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Precision::Quantized => "quant",
+            Precision::F32 => "f32",
+        }
+    }
+}
+
+/// The network's weights: two 3×3 kernels plus a dense matrix, all
+/// `i16` (the `f32` twin widens them at tensor-construction time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnnWeights {
+    /// conv1 3×3 weights, row-major.
+    pub w1: Vec<i16>,
+    /// conv2 3×3 weights, row-major.
+    pub w2: Vec<i16>,
+    /// Dense weights, row-major `[DENSE_OUTPUTS × DENSE_INPUTS]`.
+    pub wd: Vec<i16>,
+}
+
+impl CnnWeights {
+    /// Deterministic demo weights, bounded so every accumulator stays in
+    /// the 24-bit-exact fp32 window (conv: `9·255·31 < 2¹⁷`; dense:
+    /// `16·255·63 < 2¹⁸`). Conv weights carry a positive mean so the
+    /// requantization clamp (which doubles as ReLU) doesn't zero the
+    /// whole feature map; individual negative weights remain.
+    pub fn demo(seed: u64) -> CnnWeights {
+        let lifted = |n: usize, s: u64| -> Vec<i16> {
+            crate::data::random_i16(n, s, 23)
+                .into_iter()
+                .map(|v| v + 8)
+                .collect()
+        };
+        CnnWeights {
+            w1: lifted(9, seed),
+            w2: lifted(9, seed.wrapping_add(1)),
+            wd: crate::data::random_i16(DENSE_OUTPUTS * DENSE_INPUTS, seed.wrapping_add(2), 63),
+        }
+    }
+}
+
+/// The readback of one inference: raw class scores and their maximum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnnOutput {
+    /// Dense-layer scores, one per class.
+    pub scores: Vec<i16>,
+    /// `max(scores)` — computed on the GPU by the fold passes.
+    pub top: i16,
+}
+
+fn conv_spec(name: &str, side: u32, shift: u32, precision: Precision) -> KernelSpec {
+    let mut terms = String::new();
+    for dy in 0..3i32 {
+        for dx in 0..3i32 {
+            terms.push_str(&format!(
+                "acc += fetch_x_rc(row + ({dy_off:.1}), col + ({dx_off:.1})) * fetch_w({k:.1});\n",
+                dy_off = (dy - 1) as f32,
+                dx_off = (dx - 1) as f32,
+                k = (dy * 3 + dx) as f32,
+            ));
+        }
+    }
+    let body = format!(
+        "float acc = 0.0;\n{terms}return clamp(floor(acc / {div:.1}), 0.0, 255.0);",
+        div = (1u32 << shift) as f32
+    );
+    KernelSpec::new(name)
+        .input_typed("x", precision.act())
+        .input_typed("w", precision.weight())
+        .output_grid_typed(precision.act(), side, side)
+        .body(body)
+}
+
+fn pool_spec(name: &str, out_side: u32, precision: Precision) -> KernelSpec {
+    KernelSpec::new(name)
+        .input_typed("x", precision.act())
+        .output_grid_typed(precision.act(), out_side, out_side)
+        .body(
+            "float r0 = row * 2.0;\n\
+             float c0 = col * 2.0;\n\
+             float m = fetch_x_rc(r0, c0);\n\
+             m = max(m, fetch_x_rc(r0, c0 + 1.0));\n\
+             m = max(m, fetch_x_rc(r0 + 1.0, c0));\n\
+             m = max(m, fetch_x_rc(r0 + 1.0, c0 + 1.0));\n\
+             return m;",
+        )
+}
+
+fn dense_spec(name: &str, precision: Precision) -> KernelSpec {
+    let body = format!(
+        "float acc = 0.0;\n\
+         for (int k = 0; k < {n}; k++) {{\n\
+         \x20   acc += fetch_x(float(k)) * fetch_w_rc(idx, float(k));\n\
+         }}\n\
+         return clamp(acc, -32767.0, 32767.0);",
+        n = DENSE_INPUTS
+    );
+    KernelSpec::new(name)
+        .input_typed("x", precision.act())
+        .input_typed("w", precision.weight())
+        .output_typed(precision.score(), DENSE_OUTPUTS)
+        .body(body)
+}
+
+fn max_spec(name: &str, precision: Precision) -> KernelSpec {
+    KernelSpec::new(name)
+        .input_typed("x", precision.score())
+        .uniform_f32("n_live", DENSE_OUTPUTS as f32)
+        .output_typed(
+            precision.score(),
+            DENSE_OUTPUTS.div_ceil(crate::reduce::FANIN),
+        )
+        .body(fold_body(ReduceOp::Max))
+}
+
+/// Context-free spec of the whole inference graph at the given
+/// precision. Sources, in positional order: `img` (activation grid
+/// 16×16), `w1` and `w2` (9 weights each), `wd` (weight grid 10×16) —
+/// the weights are the natural [`gpes_core::ResidentInput`] candidates.
+/// Readable buffers: `scores` (10 elements) and `top` (1 element).
+///
+/// # Errors
+///
+/// Spec validation errors (none for the shapes fixed here).
+pub fn pipeline_spec(precision: Precision) -> Result<PipelineSpec, ComputeError> {
+    let tag = precision.tag();
+    let conv1 = Arc::new(conv_spec(
+        &format!("cnn_conv1_{tag}"),
+        IMG_SIDE,
+        CONV1_SHIFT,
+        precision,
+    ));
+    let pool1 = Arc::new(pool_spec(
+        &format!("cnn_pool1_{tag}"),
+        IMG_SIDE / 2,
+        precision,
+    ));
+    let conv2 = Arc::new(conv_spec(
+        &format!("cnn_conv2_{tag}"),
+        IMG_SIDE / 2,
+        CONV2_SHIFT,
+        precision,
+    ));
+    let pool2 = Arc::new(pool_spec(
+        &format!("cnn_pool2_{tag}"),
+        IMG_SIDE / 4,
+        precision,
+    ));
+    let dense = Arc::new(dense_spec(&format!("cnn_dense_{tag}"), precision));
+    // One compiled max kernel serves both fold levels (reduce's trick):
+    // only `n_live` and the output length differ per pass.
+    let top = Arc::new(max_spec(&format!("cnn_top_{tag}"), precision));
+    let mid = DENSE_OUTPUTS.div_ceil(crate::reduce::FANIN);
+    PipelineSpec::builder(format!("cnn_{tag}"))
+        .source_grid_typed("img", precision.act(), IMG_SIDE, IMG_SIDE)
+        .source_len_typed("w1", precision.weight(), 9)
+        .source_len_typed("w2", precision.weight(), 9)
+        .source_grid_typed(
+            "wd",
+            precision.weight(),
+            DENSE_OUTPUTS as u32,
+            DENSE_INPUTS as u32,
+        )
+        .pass(
+            PassSpec::new(&conv1)
+                .read("x", "img")
+                .read("w", "w1")
+                .write_grid("c1", IMG_SIDE, IMG_SIDE),
+        )
+        .pass(
+            PassSpec::new(&pool1)
+                .read("x", "c1")
+                .write_grid("p1", IMG_SIDE / 2, IMG_SIDE / 2),
+        )
+        .pass(
+            PassSpec::new(&conv2)
+                .read("x", "p1")
+                .read("w", "w2")
+                .write_grid("c2", IMG_SIDE / 2, IMG_SIDE / 2),
+        )
+        .pass(
+            PassSpec::new(&pool2)
+                .read("x", "c2")
+                .write_grid("p2", IMG_SIDE / 4, IMG_SIDE / 4),
+        )
+        .pass(
+            PassSpec::new(&dense)
+                .read("x", "p2")
+                .read("w", "wd")
+                .write_len("scores", DENSE_OUTPUTS),
+        )
+        .pass(
+            PassSpec::new(&top)
+                .read("x", "scores")
+                .uniform("n_live", Value::Float(DENSE_OUTPUTS as f32))
+                .write_len("t1", mid),
+        )
+        .pass(
+            PassSpec::new(&top)
+                .read("x", "t1")
+                .uniform("n_live", Value::Float(mid as f32))
+                .write_len("top", 1),
+        )
+        .build()
+}
+
+/// The image as a source tensor at the given precision.
+pub fn img_tensor(precision: Precision, img: &[u8]) -> TensorData {
+    match precision {
+        Precision::Quantized => TensorData::from(img.to_vec()),
+        Precision::F32 => TensorData::from(img.iter().map(|&b| b as f32).collect::<Vec<f32>>()),
+    }
+}
+
+/// The weights as `(w1, w2, wd)` source tensors at the given precision.
+pub fn weight_tensors(
+    precision: Precision,
+    weights: &CnnWeights,
+) -> (TensorData, TensorData, TensorData) {
+    let lift = |w: &[i16]| match precision {
+        Precision::Quantized => TensorData::from(w.to_vec()),
+        Precision::F32 => TensorData::from(w.iter().map(|&v| v as f32).collect::<Vec<f32>>()),
+    };
+    (lift(&weights.w1), lift(&weights.w2), lift(&weights.wd))
+}
+
+/// One activation store/fetch round-trip: the value the *next* layer's
+/// fetch sees after this layer's pack + eq. (2) store. Identity for the
+/// in-range integers the graph produces, kept explicit so the reference
+/// tracks the codec, not an assumption about it.
+fn act_roundtrip(v: f32, bias: PackBias) -> f32 {
+    codec::ubyte::mirror_unpack(codec::ubyte::mirror_pack(v, bias))
+}
+
+fn score_roundtrip(v: f32, bias: PackBias) -> f32 {
+    codec::sshort::mirror_unpack(codec::sshort::mirror_pack(v, bias))
+}
+
+fn conv_layer(side: usize, x: &[f32], w: &[f32], shift: u32, bias: PackBias) -> Vec<f32> {
+    let div = (1u32 << shift) as f32;
+    let fetch = |r: i64, c: i64| -> f32 {
+        let r = r.clamp(0, side as i64 - 1) as usize;
+        let c = c.clamp(0, side as i64 - 1) as usize;
+        x[r * side + c]
+    };
+    let mut out = vec![0.0f32; side * side];
+    for r in 0..side {
+        for c in 0..side {
+            let mut acc = 0.0f32;
+            for dy in 0..3i64 {
+                for dx in 0..3i64 {
+                    acc += fetch(r as i64 + dy - 1, c as i64 + dx - 1) * w[(dy * 3 + dx) as usize];
+                }
+            }
+            let v = (acc / div).floor().clamp(0.0, 255.0);
+            out[r * side + c] = act_roundtrip(v, bias);
+        }
+    }
+    out
+}
+
+fn pool_layer(out_side: usize, x: &[f32], bias: PackBias) -> Vec<f32> {
+    let in_side = out_side * 2;
+    let mut out = vec![0.0f32; out_side * out_side];
+    for r in 0..out_side {
+        for c in 0..out_side {
+            let (r0, c0) = (r * 2, c * 2);
+            let mut m = x[r0 * in_side + c0];
+            m = m.max(x[r0 * in_side + c0 + 1]);
+            m = m.max(x[(r0 + 1) * in_side + c0]);
+            m = m.max(x[(r0 + 1) * in_side + c0 + 1]);
+            out[r * out_side + c] = act_roundtrip(m, bias);
+        }
+    }
+    out
+}
+
+/// Bit-exact host reference: mirrors the shader's operation order, the
+/// clamp-to-edge borders, and every codec store/fetch round-trip
+/// between layers (`bias` must match the context's [`PackBias`]).
+pub fn cpu_reference(img: &[u8], weights: &CnnWeights, bias: PackBias) -> CnnOutput {
+    let side = IMG_SIDE as usize;
+    let x: Vec<f32> = img
+        .iter()
+        .map(|&b| codec::ubyte::mirror_unpack(b))
+        .collect();
+    let w1: Vec<f32> = weights.w1.iter().map(|&v| v as f32).collect();
+    let w2: Vec<f32> = weights.w2.iter().map(|&v| v as f32).collect();
+    let c1 = conv_layer(side, &x, &w1, CONV1_SHIFT, bias);
+    let p1 = pool_layer(side / 2, &c1, bias);
+    let c2 = conv_layer(side / 2, &p1, &w2, CONV2_SHIFT, bias);
+    let p2 = pool_layer(side / 4, &c2, bias);
+    let mut scores = Vec::with_capacity(DENSE_OUTPUTS);
+    for o in 0..DENSE_OUTPUTS {
+        let mut acc = 0.0f32;
+        for (k, &p) in p2.iter().enumerate().take(DENSE_INPUTS) {
+            acc += p * weights.wd[o * DENSE_INPUTS + k] as f32;
+        }
+        let v = score_roundtrip(acc.clamp(-32767.0, 32767.0), bias);
+        scores.push(codec::sshort::decode(codec::sshort::mirror_pack(v, bias)));
+    }
+    // The fold passes store intermediates through the i16 codec too, but
+    // the round-trip is exact over the whole i16 domain, so max() of the
+    // scores is the value the GPU's `top` buffer holds.
+    let top = scores.iter().copied().max().expect("non-empty scores");
+    CnnOutput { scores, top }
+}
+
+/// Modelled ARM1176 workload of one inference (for the perf model's CPU
+/// side; dominated by the first convolution).
+pub fn cpu_workload() -> gpes_perf::CpuWorkload {
+    let conv = |side: f64| gpes_perf::CpuWorkload {
+        fp_ops: 18.0 * side * side,
+        loads: 10.0 * side * side,
+        stores: side * side,
+        iterations: 9.0 * side * side,
+        ..gpes_perf::CpuWorkload::default()
+    };
+    let c1 = conv(IMG_SIDE as f64);
+    let c2 = conv((IMG_SIDE / 2) as f64);
+    let dense_ops = (DENSE_OUTPUTS * DENSE_INPUTS) as f64;
+    gpes_perf::CpuWorkload {
+        fp_ops: c1.fp_ops + c2.fp_ops + 2.0 * dense_ops,
+        loads: c1.loads + c2.loads + 2.0 * dense_ops,
+        stores: c1.stores + c2.stores + DENSE_OUTPUTS as f64,
+        iterations: c1.iterations + c2.iterations + dense_ops,
+        ..gpes_perf::CpuWorkload::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpes_core::{ComputeContext, SourceSeed};
+
+    fn run_direct(precision: Precision, img: &[u8], weights: &CnnWeights) -> (CnnOutput, u64) {
+        let mut cc = ComputeContext::new(64, 64).expect("context");
+        let spec = pipeline_spec(precision).expect("spec");
+        let served = spec.build(&mut cc).expect("build");
+        let (t1, t2, td) = weight_tensors(precision, weights);
+        let img_t = img_tensor(precision, img);
+        let img_g = cc
+            .upload_any_matrix(IMG_SIDE, IMG_SIDE, &img_t)
+            .expect("img");
+        let w1 = cc.upload_any(&t1).expect("w1");
+        let w2 = cc.upload_any(&t2).expect("w2");
+        let wd = cc
+            .upload_any_matrix(DENSE_OUTPUTS as u32, DENSE_INPUTS as u32, &td)
+            .expect("wd");
+        let seeds = [
+            SourceSeed::any("img", &img_g),
+            SourceSeed::any("w1", &w1),
+            SourceSeed::any("w2", &w2),
+            SourceSeed::any("wd", &wd),
+        ];
+        let run = served.pipeline().run_seeded(&mut cc, &seeds).expect("run");
+        let scores_t = run.read_any(&mut cc, "scores").expect("scores");
+        let top_t = run.read_any(&mut cc, "top").expect("top");
+        run.finish(&mut cc);
+        let out = match precision {
+            Precision::Quantized => CnnOutput {
+                scores: scores_t.as_i16().expect("i16 scores").to_vec(),
+                top: top_t.as_i16().expect("i16 top")[0],
+            },
+            Precision::F32 => CnnOutput {
+                scores: scores_t
+                    .as_f32()
+                    .expect("f32 scores")
+                    .iter()
+                    .map(|&v| v as i16)
+                    .collect(),
+                top: top_t.as_f32().expect("f32 top")[0] as i16,
+            },
+        };
+        (out, cc.stats().f32_host_transfers)
+    }
+
+    #[test]
+    fn quantized_matches_cpu_reference_bitwise() {
+        let img = crate::data::random_u8((IMG_SIDE * IMG_SIDE) as usize, 91, 255);
+        let weights = CnnWeights::demo(17);
+        let (gpu, f32_transfers) = run_direct(Precision::Quantized, &img, &weights);
+        let cpu = cpu_reference(&img, &weights, gpes_core::PackBias::default());
+        assert_eq!(gpu, cpu);
+        assert_eq!(
+            f32_transfers, 0,
+            "quantized path must not move f32 tensors across the host boundary"
+        );
+    }
+
+    #[test]
+    fn f32_twin_agrees_with_quantized_path() {
+        let img = crate::data::random_u8((IMG_SIDE * IMG_SIDE) as usize, 92, 255);
+        let weights = CnnWeights::demo(18);
+        let (quant, _) = run_direct(Precision::Quantized, &img, &weights);
+        let (wide, f32_transfers) = run_direct(Precision::F32, &img, &weights);
+        assert_eq!(
+            quant, wide,
+            "integer-exact graph must agree across precisions"
+        );
+        assert!(
+            f32_transfers > 0,
+            "f32 path moves f32 tensors by definition"
+        );
+    }
+
+    #[test]
+    fn scores_respond_to_weights() {
+        let img = crate::data::random_u8((IMG_SIDE * IMG_SIDE) as usize, 93, 255);
+        let a = cpu_reference(&img, &CnnWeights::demo(1), gpes_core::PackBias::default());
+        let b = cpu_reference(&img, &CnnWeights::demo(2), gpes_core::PackBias::default());
+        assert_ne!(a.scores, b.scores);
+        assert_eq!(a.top, *a.scores.iter().max().expect("scores"));
+    }
+
+    #[test]
+    fn steady_state_links_and_objects_freeze() {
+        let img = crate::data::random_u8((IMG_SIDE * IMG_SIDE) as usize, 94, 255);
+        let weights = CnnWeights::demo(19);
+        let mut cc = ComputeContext::new(64, 64).expect("context");
+        let spec = pipeline_spec(Precision::Quantized).expect("spec");
+        let served = spec.build(&mut cc).expect("build");
+        let (t1, t2, td) = weight_tensors(Precision::Quantized, &weights);
+        let w1 = cc.upload_any(&t1).expect("w1");
+        let w2 = cc.upload_any(&t2).expect("w2");
+        let wd = cc
+            .upload_any_matrix(DENSE_OUTPUTS as u32, DENSE_INPUTS as u32, &td)
+            .expect("wd");
+        let run_once = |cc: &mut ComputeContext| {
+            let img_g = cc
+                .upload_any_matrix(IMG_SIDE, IMG_SIDE, &img_tensor(Precision::Quantized, &img))
+                .expect("img");
+            let seeds = [
+                SourceSeed::any("img", &img_g),
+                SourceSeed::any("w1", &w1),
+                SourceSeed::any("w2", &w2),
+                SourceSeed::any("wd", &wd),
+            ];
+            let run = served.pipeline().run_seeded(cc, &seeds).expect("run");
+            let top = run.read_any(cc, "top").expect("top");
+            run.finish(cc);
+            cc.recycle_any(img_g);
+            top.as_i16().expect("i16")[0]
+        };
+        let first = run_once(&mut cc);
+        assert_eq!(run_once(&mut cc), first);
+        let warm = cc.stats();
+        for _ in 0..4 {
+            assert_eq!(run_once(&mut cc), first);
+        }
+        let steady = cc.stats();
+        assert_eq!(
+            steady.programs_linked, warm.programs_linked,
+            "post-warmup inference must not link programs"
+        );
+        assert_eq!(
+            steady.gl_objects_created(),
+            warm.gl_objects_created(),
+            "post-warmup inference must not allocate GL objects"
+        );
+    }
+}

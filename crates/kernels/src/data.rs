@@ -29,6 +29,13 @@ pub fn random_u8(n: usize, seed: u64, max: u8) -> Vec<u8> {
     (0..n).map(|_| rng.gen_range(0..=max)).collect()
 }
 
+/// Uniform `i16` values in `[-max, max]` (quantized weights; keep `max`
+/// small enough that accumulators stay in the 24-bit-exact window).
+pub fn random_i16(n: usize, seed: u64, max: i16) -> Vec<i16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-max..=max)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

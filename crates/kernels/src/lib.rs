@@ -18,6 +18,7 @@
 //! | [`gaussian`] | Gaussian elimination (Fan1/Fan2) | Rodinia-style, chained 2-D passes |
 //! | [`backprop`] | MLP layer forward pass | Rodinia-style + paper ref. 17 |
 //! | [`transpose`] | matrix transpose | 2-D addressing validation |
+//! | [`cnn`] | quantized CNN inference (u8/i16 end-to-end) | §IV codecs as tensor formats |
 //!
 //! Every module pairs its GPU kernel with a CPU reference that uses the
 //! **same operation order**, so `f32` results are bit-identical under the
@@ -27,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod backprop;
+pub mod cnn;
 pub mod conv3x3;
 pub mod data;
 pub mod fft;

@@ -1,0 +1,199 @@
+//! Quantization differential sweep: generated tensors through every
+//! integer codec — u8 (§IV-A), i16 (§IV-D), u16 and the Strzodka VMV'02
+//! virtual-16 baseline — run **pipeline-side** (upload → shader
+//! fetch/decode → arithmetic → shader pack → readback) and compared
+//! against the host mirror of the exact same chain.
+//!
+//! The host reference composes the codec modules' `mirror_unpack` /
+//! `mirror_pack` functions, which replicate the shader's floor/mod
+//! arithmetic in `f32`; a single ULP of divergence anywhere in the
+//! generated GLSL, the interpreter, or the store path shows up as a
+//! byte mismatch. Case count scales with `PROPTEST_CASES` (the nightly
+//! CI job runs 1024 under both `GPES_TEST_DISPATCH` legs; push CI runs
+//! the bounded default).
+
+use gpes_core::codec::{sshort, strzodka16, ubyte, ushort, PackBias};
+use gpes_core::{ComputeContext, Kernel, ScalarType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Random length biased toward awkward tails: never a multiple of 8 in
+/// half the cases, occasionally a single element.
+fn random_len(rng: &mut StdRng) -> usize {
+    match rng.gen_range(0..4u32) {
+        0 => rng.gen_range(1..8),
+        1 => rng.gen_range(8..64usize) | 1,
+        _ => rng.gen_range(64..256),
+    }
+}
+
+const BIAS: PackBias = PackBias::QuarterTexel;
+
+#[test]
+fn u8_pipeline_matches_host_mirror() {
+    let mut cc = ComputeContext::new(128, 128).expect("context");
+    for case in 0..cases() {
+        let mut rng = StdRng::seed_from_u64(0xA16_0001 + case as u64);
+        let n = random_len(&mut rng);
+        let mut a: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=u8::MAX)).collect();
+        let mut b: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=u8::MAX)).collect();
+        // Pin the saturation corners into every case that has room.
+        if n >= 2 {
+            (a[0], b[0]) = (255, 255); // clamps at 255
+            (a[1], b[1]) = (0, 0);
+        }
+        let ga = cc.upload(&a).expect("upload a");
+        let gb = cc.upload(&b).expect("upload b");
+        let k = Kernel::builder("quant_diff_u8")
+            .input("a", &ga)
+            .input("b", &gb)
+            .output(ScalarType::U8, n)
+            .body("return clamp(fetch_a(idx) + fetch_b(idx), 0.0, 255.0);")
+            .build(&mut cc)
+            .expect("build");
+        let got: Vec<u8> = cc.run_and_read(&k).expect("run");
+        let want: Vec<u8> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| {
+                let x = ubyte::mirror_unpack(ubyte::encode(x));
+                let y = ubyte::mirror_unpack(ubyte::encode(y));
+                ubyte::decode(ubyte::mirror_pack((x + y).clamp(0.0, 255.0), BIAS))
+            })
+            .collect();
+        assert_eq!(got, want, "u8 case {case} (n={n})");
+    }
+}
+
+#[test]
+fn i16_pipeline_matches_host_mirror() {
+    let mut cc = ComputeContext::new(128, 128).expect("context");
+    for case in 0..cases() {
+        let mut rng = StdRng::seed_from_u64(0xA16_0002 + case as u64);
+        let n = random_len(&mut rng);
+        let mut a: Vec<i16> = (0..n).map(|_| rng.gen_range(i16::MIN..=i16::MAX)).collect();
+        let mut b: Vec<i16> = (0..n).map(|_| rng.gen_range(i16::MIN..=i16::MAX)).collect();
+        if n >= 2 {
+            (a[0], b[0]) = (i16::MAX, i16::MAX); // clamps at +32767
+            (a[1], b[1]) = (i16::MIN, i16::MIN); // clamps at -32767
+        }
+        let ga = cc.upload(&a).expect("upload a");
+        let gb = cc.upload(&b).expect("upload b");
+        // The CNN dense-layer contract: accumulate, clamp to the
+        // symmetric i16 range the sshort codec stores exactly.
+        let k = Kernel::builder("quant_diff_i16")
+            .input("a", &ga)
+            .input("b", &gb)
+            .output(ScalarType::I16, n)
+            .body("return clamp(fetch_a(idx) + fetch_b(idx), -32767.0, 32767.0);")
+            .build(&mut cc)
+            .expect("build");
+        let got: Vec<i16> = cc.run_and_read(&k).expect("run");
+        let want: Vec<i16> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| {
+                let x = sshort::mirror_unpack(sshort::encode(x));
+                let y = sshort::mirror_unpack(sshort::encode(y));
+                sshort::decode(sshort::mirror_pack((x + y).clamp(-32767.0, 32767.0), BIAS))
+            })
+            .collect();
+        assert_eq!(got, want, "i16 case {case} (n={n})");
+    }
+}
+
+#[test]
+fn u16_pipeline_matches_host_mirror() {
+    let mut cc = ComputeContext::new(128, 128).expect("context");
+    for case in 0..cases() {
+        let mut rng = StdRng::seed_from_u64(0xA16_0003 + case as u64);
+        let n = random_len(&mut rng);
+        let mut a: Vec<u16> = (0..n).map(|_| rng.gen_range(0..=u16::MAX)).collect();
+        let mut b: Vec<u16> = (0..n).map(|_| rng.gen_range(0..=u16::MAX)).collect();
+        if n >= 2 {
+            (a[0], b[0]) = (u16::MAX, u16::MAX);
+            (a[1], b[1]) = (0, 0);
+        }
+        let ga = cc.upload(&a).expect("upload a");
+        let gb = cc.upload(&b).expect("upload b");
+        // Wrapping add mod 2^16: sums stay below 2^17, exact in fp32.
+        let k = Kernel::builder("quant_diff_u16")
+            .input("a", &ga)
+            .input("b", &gb)
+            .output(ScalarType::U16, n)
+            .body("return mod(fetch_a(idx) + fetch_b(idx), 65536.0);")
+            .build(&mut cc)
+            .expect("build");
+        let got: Vec<u16> = cc.run_and_read(&k).expect("run");
+        let want: Vec<u16> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| {
+                let x = ushort::mirror_unpack(ushort::encode(x));
+                let y = ushort::mirror_unpack(ushort::encode(y));
+                ushort::decode(ushort::mirror_pack((x + y) % 65536.0, BIAS))
+            })
+            .collect();
+        assert_eq!(got, want, "u16 case {case} (n={n})");
+    }
+}
+
+#[test]
+fn strzodka16_pipeline_matches_host_mirror() {
+    let mut cc = ComputeContext::new(128, 128).expect("context");
+    for case in 0..cases() {
+        let mut rng = StdRng::seed_from_u64(0xA16_0004 + case as u64);
+        let n = random_len(&mut rng);
+        let mut a: Vec<u16> = (0..n).map(|_| rng.gen_range(0..=u16::MAX)).collect();
+        let mut b: Vec<u16> = (0..n).map(|_| rng.gen_range(0..=u16::MAX)).collect();
+        if n >= 2 {
+            (a[0], b[0]) = (u16::MAX, 1); // carries across the byte split
+            (a[1], b[1]) = (0x00FF, 0x0001);
+        }
+        let texel_count = n.div_ceil(2);
+        let side = (texel_count as f64).sqrt().ceil() as u32;
+        let texels = side as usize * side as usize;
+        let ta = cc
+            .upload_texels(side, side, &strzodka16::encode_texels(&a, texels))
+            .expect("upload a");
+        let tb = cc
+            .upload_texels(side, side, &strzodka16::encode_texels(&b, texels))
+            .expect("upload b");
+        let k = Kernel::builder("quant_diff_strzodka16")
+            .input_texels("a", &ta)
+            .input_texels("b", &tb)
+            .functions(strzodka16::GLSL)
+            .output_texels(texels)
+            .body(
+                "vec4 ta = fetch_a_texel(idx);\n\
+                 vec4 tb = fetch_b_texel(idx);\n\
+                 vec2 r0 = gpes_v16_add(gpes_v16_from_bytes(ta.xy), gpes_v16_from_bytes(tb.xy));\n\
+                 vec2 r1 = gpes_v16_add(gpes_v16_from_bytes(ta.zw), gpes_v16_from_bytes(tb.zw));\n\
+                 return vec4(gpes_v16_pack(r0), gpes_v16_pack(r1));",
+            )
+            .build(&mut cc)
+            .expect("build");
+        let bytes = cc.run_and_read_texels(&k).expect("run");
+        let got = strzodka16::decode_texels(&bytes, n);
+        let want: Vec<u16> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| {
+                let x = strzodka16::mirror_unpack(strzodka16::encode_u16(x));
+                let y = strzodka16::mirror_unpack(strzodka16::encode_u16(y));
+                strzodka16::decode_u16(strzodka16::mirror_pack(strzodka16::mirror_add(x, y), BIAS))
+            })
+            .collect();
+        assert_eq!(got, want, "strzodka16 case {case} (n={n})");
+        // The mirror chain itself must implement a true wrapping add.
+        let plain: Vec<u16> = a.iter().zip(&b).map(|(&x, &y)| x.wrapping_add(y)).collect();
+        assert_eq!(want, plain, "strzodka16 mirror drifted from wrapping add");
+    }
+}

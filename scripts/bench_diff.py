@@ -266,6 +266,63 @@ def diff_a15(lines, fresh):
     lines.append("")
 
 
+def diff_a16(lines, fresh):
+    """a16 is per-layer pass-accounting rows plus quant/f32 path rows.
+    The identity/balance flags, the zero-allocation steady state and the
+    transfer-codec counters compare exactly (they are deterministic from
+    the graph and the codec plumbing); images/s stays advisory — and on
+    a single-core host it is flat across worker counts by construction."""
+    lines.append("### a16 — quantized CNN serving")
+    fresh_rows = fresh.get("paths", [])
+    if not fresh_rows:
+        lines.append("_no fresh a16 path rows measured_\n")
+        return
+    path, base = latest_baseline_with("a16_quant")
+    if path is None:
+        lines.append("_no committed baseline records `a16_quant` yet_\n")
+        return
+    lines.append(f"baseline: `{path}`\n")
+    exact = ("identical", "balanced", "post_warmup_links",
+             "post_warmup_objects", "f32_transfers", "quant_transfers")
+    head = ["precision", "workers"] + [f"{c} (fresh/base)" for c in exact] + \
+        ["images/s ratio", "verdict"]
+    lines.append("| " + " | ".join(head) + " |")
+    lines.append("|" + "---|" * len(head))
+    base_index = {(r["precision"], r["workers"]): r
+                  for r in base.get("paths", [])}
+    for row in fresh_rows:
+        old = base_index.get((row["precision"], row["workers"]))
+        cells = [row["precision"], row["workers"]]
+        if old is None:
+            cells += ["new" for _ in exact] + ["n/a", "NEW ROW"]
+        else:
+            drift = False
+            for c in exact:
+                cells.append(f"{row.get(c)}/{old.get(c)}")
+                drift |= row.get(c) != old.get(c)
+            cells.append(fmt_ratio(row.get("images_per_sec", 0.0),
+                                   old.get("images_per_sec", 0.0)))
+            cells.append("counter drift" if drift else "ok")
+        lines.append("| " + " | ".join(str(c) for c in cells) + " |")
+    # Layers compare positionally: the two reduction levels share one
+    # kernel name, so the pass name alone is not a unique key.
+    fresh_layers = fresh.get("layers", [])
+    base_layers = base.get("layers", [])
+    layer_drift = [
+        f["pass"] for f, b in zip(fresh_layers, base_layers)
+        if f["output_texels"] != b["output_texels"]
+    ]
+    if len(fresh_layers) != len(base_layers):
+        layer_drift.append(
+            f"pass count {len(fresh_layers)} vs {len(base_layers)}")
+    lines.append("")
+    lines.append(
+        f"layer accounting: {len(fresh.get('layers', []))} passes — "
+        + (f"texel counts drifted on {', '.join(layer_drift)}"
+           if layer_drift else "output texel counts all match the baseline"))
+    lines.append("")
+
+
 def main():
     if len(sys.argv) < 2:
         sys.exit(__doc__)
@@ -297,6 +354,7 @@ def main():
     diff_a13(lines, ci_perf.get("a13_chaos", {}))
     diff_a14(lines, ci_perf.get("a14_registry", {}))
     diff_a15(lines, ci_perf.get("a15_spmd", {}))
+    diff_a16(lines, ci_perf.get("a16_quant", {}))
     lines.append("_counters compare exactly; timing ratios are advisory "
                  "(shared runners are noisy). The blocking contracts live in "
                  "`ci_perf_gate.py`._")

@@ -50,6 +50,17 @@ Two concerns, one machine-readable artefact:
     and bit-identical outputs. The fragments/s, texels/s and geomean
     speedup numbers are host-dependent and advisory.
 
+  - a16 (quantized CNN serving) must show every path row — quant and
+    f32 twin alike, at every worker count — bit-identical to the host
+    reference, with balanced counters and **zero** post-warmup links
+    and GL objects; the quantized rows must additionally report **zero**
+    f32 host transfers (u8/i16 tensors crossed the host boundary in
+    their native codec, never as widened f32) with a nonzero quantized
+    transfer count, while the f32 twin rows must report nonzero f32
+    transfers (proving the counter actually discriminates). Per-layer
+    pass-accounting rows must be present. The ms and images/s numbers
+    are host-dependent and advisory.
+
   Any violation exits non-zero and fails CI.
 
 Everything parsed plus the verdicts is written to `ci_perf.json` (path
@@ -57,7 +68,7 @@ overridable by the last argument) and uploaded as a workflow artifact, so
 the perf trajectory is diffable across runs instead of buried in logs.
 
 Usage:
-    ci_perf_gate.py <a3_start> <a3_end> <a9_out> <a10_out> <a11_out> <a12_out> <a13_out> <a14_out> <a15_out> [ci_perf.json]
+    ci_perf_gate.py <a3_start> <a3_end> <a9_out> <a10_out> <a11_out> <a12_out> <a13_out> <a14_out> <a15_out> <a16_out> [ci_perf.json]
 
 where `a3_start`/`a3_end` are `date +%s.%N` stamps around the a3 run.
 """
@@ -256,6 +267,57 @@ def parse_a15_lines(lines):
     return out
 
 
+# a16 is a config line, per-layer pass-accounting rows and per-path
+# serving rows, printed by A16Report::format().
+A16_CONFIG = re.compile(
+    r"^a16 config\s+img (?P<img_side>\d+)x\d+\s+conv 3x3 x(?P<conv_layers>\d+)\s+"
+    r"dense (?P<dense_inputs>\d+)->(?P<dense_outputs>\d+)\s+"
+    r"weights i16\s+activations u8"
+)
+A16_LAYER = re.compile(
+    r"^a16 layer\s+pass (?P<pass>\S+)\s+output_texels\s+(?P<output_texels>\d+)\s+"
+    r"ops/texel\s+(?P<ops_per_texel>[\d.]+)"
+)
+A16_PATH = re.compile(
+    r"^a16 path\s+precision (?P<precision>\S+)\s+workers (?P<workers>\d+)\s+"
+    r"jobs\s+(?P<jobs>\d+)\s+(?P<host_ms>[\d.]+) ms\s+"
+    r"(?P<images_per_sec>[\d.]+) images/s\s+identical (?P<identical>\S+)\s+"
+    r"balanced (?P<balanced>\S+)\s+"
+    r"post_warmup_links (?P<post_warmup_links>\d+)\s+"
+    r"post_warmup_objects (?P<post_warmup_objects>\d+)\s+"
+    r"f32_transfers (?P<f32_transfers>\d+)\s+"
+    r"quant_transfers (?P<quant_transfers>\d+)"
+)
+A16_PATH_FLAGS = ("precision", "identical", "balanced")
+A16_PRECISIONS = ("quant", "f32")
+A16_WORKER_COUNTS = (1, 2, 4)
+
+
+def parse_a16_lines(lines):
+    """Parses A16Report::format() into {"config", "layers", "paths"}."""
+    out = {}
+    for line in lines:
+        line = line.strip()
+        m = A16_CONFIG.match(line)
+        if m:
+            out["config"] = {k: int(v) for k, v in m.groupdict().items()}
+        m = A16_LAYER.match(line)
+        if m:
+            row = m.groupdict()
+            row["output_texels"] = int(row["output_texels"])
+            row["ops_per_texel"] = float(row["ops_per_texel"])
+            out.setdefault("layers", []).append(row)
+        m = A16_PATH.match(line)
+        if m:
+            row = m.groupdict()
+            for k, v in row.items():
+                if k in A16_PATH_FLAGS:
+                    continue
+                row[k] = float(v) if k in ("host_ms", "images_per_sec") else int(v)
+            out.setdefault("paths", []).append(row)
+    return out
+
+
 def parse_a12_lines(lines):
     """Parses A12Report::format() output into one nested dict (or {})."""
     out = {}
@@ -308,7 +370,7 @@ def parse_rows(path, regex, numeric):
 
 
 def main():
-    if len(sys.argv) < 10:
+    if len(sys.argv) < 11:
         sys.exit(__doc__)
     elapsed = float(sys.argv[2]) - float(sys.argv[1])
     a9_rows = parse_rows(
@@ -326,7 +388,8 @@ def main():
     a13 = parse_a13_lines(pathlib.Path(sys.argv[7]).read_text().splitlines())
     a14 = parse_a14_lines(pathlib.Path(sys.argv[8]).read_text().splitlines())
     a15 = parse_a15_lines(pathlib.Path(sys.argv[9]).read_text().splitlines())
-    out_path = pathlib.Path(sys.argv[10] if len(sys.argv) > 10 else "ci_perf.json")
+    a16 = parse_a16_lines(pathlib.Path(sys.argv[10]).read_text().splitlines())
+    out_path = pathlib.Path(sys.argv[11] if len(sys.argv) > 11 else "ci_perf.json")
 
     # ---- advisory timing ------------------------------------------------
     baselines = sorted(glob.glob("BENCH_*.json"),
@@ -562,9 +625,58 @@ def main():
             failures.append(
                 "a15: the serving engine never dispatched a lane batch")
 
+    # a16: quantized CNN serving. Bit-identity, counter balance, the
+    # zero-allocation steady state and the transfer-codec discipline are
+    # deterministic contracts: quant rows must move tensors across the
+    # host boundary only in their native u8/i16 codecs (f32_transfers
+    # exactly 0) while the f32 twin rows must show the counter firing.
+    # images/s and ms stay advisory on shared runners.
+    a16_layers = a16.get("layers", [])
+    a16_paths = a16.get("paths", [])
+    if "config" not in a16 or not a16_layers or not a16_paths:
+        failures.append("a16: config, layer rows or path rows not parsed")
+    else:
+        paths = {(r["precision"], r["workers"]): r for r in a16_paths}
+        for precision in A16_PRECISIONS:
+            for workers in A16_WORKER_COUNTS:
+                row = paths.get((precision, workers))
+                where = f"a16: {precision} @ {workers} workers"
+                if row is None:
+                    failures.append(f"{where}: row missing")
+                    continue
+                if row["identical"] != "yes":
+                    failures.append(
+                        f"{where}: served scores/top diverged from the host "
+                        f"reference — the pipeline is not bit-exact")
+                if row["balanced"] != "yes":
+                    failures.append(
+                        f"{where}: serving outcome counters do not balance")
+                if row["post_warmup_links"] != 0:
+                    failures.append(
+                        f"{where}: {row['post_warmup_links']} post-warmup "
+                        f"links, contract is 0 for steady-state CNN serving")
+                if row["post_warmup_objects"] != 0:
+                    failures.append(
+                        f"{where}: {row['post_warmup_objects']} GL objects "
+                        f"created in the steady-state wave, contract is 0")
+                if precision == "quant":
+                    if row["f32_transfers"] != 0:
+                        failures.append(
+                            f"{where}: {row['f32_transfers']} f32 host "
+                            f"transfers on the quantized path, contract is 0 "
+                            f"(tensors must cross as native u8/i16)")
+                    if row["quant_transfers"] == 0:
+                        failures.append(
+                            f"{where}: zero quantized host transfers — the "
+                            f"native-codec path was never exercised")
+                elif row["f32_transfers"] == 0:
+                    failures.append(
+                        f"{where}: zero f32 host transfers on the f32 twin — "
+                        f"the transfer counter never discriminated the paths")
+
     # ---- artefact --------------------------------------------------------
     out_path.write_text(json.dumps({
-        "schema": "gpes-ci-perf/6",
+        "schema": "gpes-ci-perf/7",
         "a3": {"elapsed_seconds": round(elapsed, 3),
                "baseline_file": baselines[-1],
                "baseline_seconds": base,
@@ -577,12 +689,13 @@ def main():
         "a13_chaos": a13,
         "a14_registry": a14,
         "a15_spmd": a15,
+        "a16_quant": a16,
         "gate_failures": failures,
     }, indent=2) + "\n")
     print(f"wrote {out_path} ({len(a9_rows)} a9 rows, {len(a10_rows)} a10 rows, "
           f"{len(a11_rows)} a11 rows, {len(a12)} a12 sections, "
           f"{len(a13_rows)} a13 rows, {len(a14_tenants)} a14 tenants, "
-          f"{len(a15_vm)} a15 vm rows)")
+          f"{len(a15_vm)} a15 vm rows, {len(a16_paths)} a16 path rows)")
 
     if failures:
         print("counter gate FAILED:")
@@ -596,7 +709,9 @@ def main():
           "a13 chaos rows all balanced/identical/recovered with no hangs, "
           "a14 registry admission all typed with quotas tripped and zero "
           "cross-tenant cost, a15 SPMD rows all bit-identical and batching "
-          "with serving balanced under an spmd exec mode")
+          "with serving balanced under an spmd exec mode, a16 quantized CNN "
+          "serving bit-identical at every worker count with zero f32 host "
+          "round-trips on the quant path")
 
 
 if __name__ == "__main__":

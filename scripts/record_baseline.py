@@ -25,7 +25,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 SECTIONS = [
     "e1", "sweep", "e2", "f1", "f2",
     "a1", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11", "a12",
-    "a13", "a14", "a15",
+    "a13", "a14", "a15", "a16",
 ]
 
 # e.g. "sum (int)    n=1048576    cpu   64.97 ms   gpu  13.33 ms   speedup 4.87x   paper 7.2x   validated yes"
@@ -41,7 +41,7 @@ E1_ROW = re.compile(
 # desynchronise the CI gate from the recorded baselines.
 from ci_perf_gate import (  # noqa: E402
     A9_ROW, A10_ROW, A11_NUMERIC, A11_ROW, parse_a12_lines, parse_a13_lines,
-    parse_a14_lines, parse_a15_lines,
+    parse_a14_lines, parse_a15_lines, parse_a16_lines,
 )
 
 
@@ -88,6 +88,7 @@ def main() -> None:
     a13_block = {}
     a14_block = {}
     a15_block = {}
+    a16_block = {}
     for name in SECTIONS:
         result = run_section(name)
         lines = result["stdout"].splitlines()
@@ -144,6 +145,8 @@ def main() -> None:
             a14_block = parse_a14_lines(lines)
         if name == "a15":
             a15_block = parse_a15_lines(lines)
+        if name == "a16":
+            a16_block = parse_a16_lines(lines)
 
     baseline = {
         "schema": "gpes-bench-baseline/1",
@@ -204,6 +207,15 @@ def main() -> None:
         # fragments/s, texels/s and geomean speedup numbers are
         # host-dependent and recorded for trajectory only.
         "a15_spmd": a15_block,
+        # a16: end-to-end quantized CNN inference served quant vs f32
+        # (PR 10). The deterministic contract: every path row is
+        # bit-identical to the host reference with balanced counters and
+        # a zero-link, zero-allocation steady state, quant rows report
+        # zero f32 host transfers (native u8/i16 codecs end-to-end) and
+        # f32 twin rows report nonzero. images/s is host-dependent —
+        # and flat across worker counts on a single-core host — so it is
+        # recorded for trajectory only.
+        "a16_quant": a16_block,
     }
     out_path.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"wrote {out_path} ({len(e1_rows)} speedup rows, "

@@ -44,15 +44,14 @@ pub use gpes_perf as perf;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use gpes_core::{
-        Bindings, CompletionSet, ComputeContext, ComputeError, ContextStats, Engine,
+        AnyGpuArray, Bindings, CompletionSet, ComputeContext, ComputeError, ContextStats, Engine,
         EngineSnapshot, FloatSpecials, GpuArray, GpuMatrix, GpuTexels, Job, Kernel, KernelBuilder,
         KernelRegistry, KernelSpec, LatencyHistogram, MultiOutputBuilder, MultiOutputKernel,
         OutputShape, PackBias, Pass, PassSpec, Pipeline, PipelineJob, PipelineResult, PipelineSpec,
         Readback, RegisteredKernel, ResidentInput, ResidentStats, RetryPolicy, ScalarType,
         SharedProgramCache, StepHandle, Submission, TenantCounters, TenantId, TenantQuotas,
-        VertexKernel,
+        TensorData, VertexKernel,
     };
-    #[allow(deprecated)] // `Executor` re-exported for the migration window
-    pub use gpes_gles2::{Context, Dispatch, Executor, FaultPlan, FaultSite, StoreRounding};
+    pub use gpes_gles2::{Context, Dispatch, FaultPlan, FaultSite, StoreRounding};
     pub use gpes_glsl::exec::FloatModel;
 }
